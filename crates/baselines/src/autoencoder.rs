@@ -1,0 +1,436 @@
+//! The AutoEncoder baseline (Liou et al., as adapted in §VII-A).
+//!
+//! AutoEncoder-CC "performs feature extraction after adaptive clustering
+//! to obtain meaningful features, e.g., boundary regularity and
+//! circularity … The AutoEncoder comprises a three-layer encoder, a
+//! bottleneck layer, a three-layer decoder, and an output layer", with
+//! KerasTuner grid-searching the layer width between 16 and 128 neurons.
+//!
+//! The network here mirrors that topology over the slice features of the
+//! [`features`] crate and trains end-to-end on the classification
+//! objective; [`AutoEncoderConfig::grid`] reproduces the width search.
+
+use dataset::{BinaryMetrics, ClassLabel, CloudClassifier, DetectionSample};
+use features::{extract, FeatureConfig};
+use geom::Point3;
+use nn::quant::{QuantError, QuantizedNetwork};
+use nn::{Adam, Dense, ReLU, Sequential, Tensor, TrainConfig, TrainEvent};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+/// AutoEncoder hyper-parameters.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct AutoEncoderConfig {
+    /// Slice-feature extraction settings.
+    pub features: FeatureConfig,
+    /// Candidate layer widths for the grid search (paper: 16–128).
+    pub grid: Vec<usize>,
+    /// Epochs per grid candidate during the search.
+    pub search_epochs: usize,
+    /// Epochs for the final training run.
+    pub epochs: usize,
+    /// Mini-batch size (paper: 512).
+    pub batch_size: usize,
+    /// Adam learning rate (paper: 0.001).
+    pub learning_rate: f32,
+}
+
+impl Default for AutoEncoderConfig {
+    fn default() -> Self {
+        AutoEncoderConfig {
+            features: FeatureConfig::default(),
+            grid: vec![16, 32, 64, 128],
+            search_epochs: 15,
+            epochs: 60,
+            batch_size: 64,
+            learning_rate: 0.001,
+        }
+    }
+}
+
+impl AutoEncoderConfig {
+    /// A reduced configuration for fast unit tests.
+    pub fn small() -> Self {
+        AutoEncoderConfig {
+            grid: vec![16, 32],
+            search_epochs: 8,
+            epochs: 25,
+            ..AutoEncoderConfig::default()
+        }
+    }
+}
+
+/// Feature standardisation: per-feature mean/std from the training set.
+#[derive(Debug, Clone)]
+struct FeatureNorm {
+    mean: Vec<f32>,
+    std: Vec<f32>,
+}
+
+impl FeatureNorm {
+    fn fit(rows: &[Vec<f32>]) -> Self {
+        let dim = rows[0].len();
+        let n = rows.len() as f32;
+        let mut mean = vec![0.0f32; dim];
+        for r in rows {
+            for (m, &v) in mean.iter_mut().zip(r) {
+                *m += v;
+            }
+        }
+        for m in &mut mean {
+            *m /= n;
+        }
+        let mut std = vec![0.0f32; dim];
+        for r in rows {
+            for ((s, &v), &m) in std.iter_mut().zip(r).zip(&mean) {
+                *s += (v - m) * (v - m);
+            }
+        }
+        for s in &mut std {
+            *s = (*s / n).sqrt().max(1e-6);
+        }
+        FeatureNorm { mean, std }
+    }
+
+    fn apply(&self, row: &[f32]) -> Vec<f32> {
+        row.iter()
+            .zip(self.mean.iter().zip(&self.std))
+            .map(|(&v, (&m, &s))| (v - m) / s)
+            .collect()
+    }
+}
+
+/// A trained AutoEncoder classifier.
+pub struct AutoEncoderClassifier {
+    config: AutoEncoderConfig,
+    net: Sequential,
+    norm: FeatureNorm,
+    chosen_width: usize,
+    events: Vec<TrainEvent>,
+}
+
+impl std::fmt::Debug for AutoEncoderClassifier {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("AutoEncoderClassifier")
+            .field("width", &self.chosen_width)
+            .field("params", &self.net.param_count())
+            .finish()
+    }
+}
+
+/// Encoder (3 layers) → bottleneck → decoder (3 layers) → output layer.
+fn build_network(dim: usize, width: usize, rng: &mut StdRng) -> Sequential {
+    let bottleneck = (width / 2).max(4);
+    let mut net = Sequential::new();
+    for &w in &[width, width, width, bottleneck, width, width, width] {
+        let in_f = if net.is_empty() { dim } else { prev_width(&net) };
+        net.push(Dense::new(in_f, w, rng));
+        net.push(ReLU::new());
+    }
+    let in_f = prev_width(&net);
+    net.push(Dense::new(in_f, 2, rng));
+    net
+}
+
+/// Output width of the last dense layer pushed so far.
+fn prev_width(net: &Sequential) -> usize {
+    net.layers()
+        .iter()
+        .rev()
+        .find_map(|l| l.as_any().downcast_ref::<Dense>().map(Dense::out_features))
+        .expect("network contains a dense layer")
+}
+
+fn featurize(samples: &[DetectionSample], cfg: &FeatureConfig) -> Vec<Vec<f32>> {
+    samples.iter().map(|s| extract(s.cloud.points(), cfg).to_f32()).collect()
+}
+
+fn to_tensor(rows: &[Vec<f32>]) -> Tensor {
+    let dim = rows[0].len();
+    let data: Vec<f32> = rows.iter().flat_map(|r| r.iter().copied()).collect();
+    Tensor::from_vec(data, &[rows.len(), dim])
+}
+
+impl AutoEncoderClassifier {
+    /// Grid-searches the layer width, then trains the winner.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an empty training set or empty width grid.
+    pub fn train<R: Rng + ?Sized>(
+        samples: &[DetectionSample],
+        config: &AutoEncoderConfig,
+        rng: &mut R,
+    ) -> Self {
+        Self::train_tracked(samples, None, config, rng)
+    }
+
+    /// Trains with per-epoch evaluation (Fig. 8a).
+    ///
+    /// # Panics
+    ///
+    /// Panics on an empty training set or empty width grid.
+    pub fn train_tracked<R: Rng + ?Sized>(
+        samples: &[DetectionSample],
+        eval: Option<&[DetectionSample]>,
+        config: &AutoEncoderConfig,
+        rng: &mut R,
+    ) -> Self {
+        assert!(!samples.is_empty(), "training set is empty");
+        assert!(!config.grid.is_empty(), "width grid is empty");
+        let mut net_rng = StdRng::seed_from_u64(rng.gen());
+        let rows = featurize(samples, &config.features);
+        let norm = FeatureNorm::fit(&rows);
+        let x = to_tensor(&rows.iter().map(|r| norm.apply(r)).collect::<Vec<_>>());
+        let y: Vec<usize> = samples.iter().map(|s| s.label.index()).collect();
+
+        // Width grid search: hold out the last quarter for scoring.
+        let n_val = (samples.len() / 4).max(1).min(samples.len() - 1);
+        let split_at = samples.len() - n_val;
+        let gather = |idx: std::ops::Range<usize>| -> (Tensor, Vec<usize>) {
+            let rows: Vec<Vec<f32>> = idx.clone().map(|i| norm.apply(&rows[i])).collect();
+            (to_tensor(&rows), idx.map(|i| y[i]).collect())
+        };
+        let (tx, ty) = gather(0..split_at);
+        let (vx, vy) = gather(split_at..samples.len());
+        let mut best = (config.grid[0], -1.0f64);
+        for &w in &config.grid {
+            let mut candidate = build_network(rows[0].len(), w, &mut net_rng);
+            let cfg = TrainConfig {
+                epochs: config.search_epochs,
+                batch_size: config.batch_size,
+                shuffle: true, workers: 1 };
+            candidate.fit(&tx, &ty, &cfg, &mut Adam::new(config.learning_rate), &mut net_rng);
+            let acc = candidate.accuracy(&vx, &vy);
+            if acc > best.1 {
+                best = (w, acc);
+            }
+        }
+
+        let mut net = build_network(rows[0].len(), best.0, &mut net_rng);
+        let train_cfg = TrainConfig {
+            epochs: config.epochs,
+            batch_size: config.batch_size,
+            shuffle: true, workers: 1 };
+        let eval_data = eval.map(|e| {
+            let er = featurize(e, &config.features);
+            let ex = to_tensor(&er.iter().map(|r| norm.apply(r)).collect::<Vec<_>>());
+            let ey: Vec<usize> = e.iter().map(|s| s.label.index()).collect();
+            (ex, ey)
+        });
+        let events = match &eval_data {
+            Some((ex, ey)) => net.fit_tracked(
+                &x,
+                &y,
+                Some((ex, ey.as_slice())),
+                &train_cfg,
+                &mut Adam::new(config.learning_rate),
+                &mut net_rng,
+            ),
+            None => {
+                net.fit(&x, &y, &train_cfg, &mut Adam::new(config.learning_rate), &mut net_rng)
+            }
+        };
+        AutoEncoderClassifier { config: config.clone(), net, norm, chosen_width: best.0, events }
+    }
+
+    /// The grid-searched layer width.
+    pub fn chosen_width(&self) -> usize {
+        self.chosen_width
+    }
+
+    /// Trainable parameter count (paper's searched model: 26,384).
+    pub fn param_count(&self) -> usize {
+        self.net.param_count()
+    }
+
+    /// Per-epoch training telemetry.
+    pub fn training_events(&self) -> &[TrainEvent] {
+        &self.events
+    }
+
+    /// Cost profile at the feature input shape.
+    pub fn profile(&self) -> nn::profile::NetworkProfile {
+        self.net.profile(&[1, self.config.features.feature_len()])
+    }
+
+    fn prepare(&self, clouds: &[Vec<Point3>]) -> Tensor {
+        let rows: Vec<Vec<f32>> = clouds
+            .iter()
+            .map(|c| self.norm.apply(&extract(c, &self.config.features).to_f32()))
+            .collect();
+        to_tensor(&rows)
+    }
+
+    /// Classifies a batch of clusters.
+    pub fn predict_batch(&mut self, clouds: &[Vec<Point3>]) -> Vec<ClassLabel> {
+        if clouds.is_empty() {
+            return Vec::new();
+        }
+        let x = self.prepare(clouds);
+        self.net.predict_classes(&x).into_iter().map(ClassLabel::from_index).collect()
+    }
+
+    /// Evaluates metrics on labelled clusters.
+    pub fn evaluate(&mut self, samples: &[DetectionSample]) -> BinaryMetrics {
+        self.evaluate_samples(samples)
+    }
+
+    /// Post-training int8 quantization (all-dense graph: the shape that
+    /// runs *worse* on the Coral TPU, §VII-B).
+    ///
+    /// # Errors
+    ///
+    /// Propagates quantizer errors.
+    pub fn quantize(
+        &self,
+        calibration: &[DetectionSample],
+        calibration_samples: usize,
+    ) -> Result<QuantizedAutoEncoder, QuantError> {
+        if calibration.is_empty() {
+            return Err(QuantError::NoCalibrationData);
+        }
+        let take = calibration_samples.min(calibration.len()).max(1);
+        let clouds: Vec<Vec<Point3>> =
+            calibration[..take].iter().map(|s| s.cloud.points().to_vec()).collect();
+        let x = self.prepare(&clouds);
+        Ok(QuantizedAutoEncoder {
+            qnet: QuantizedNetwork::from_sequential(&self.net, &x)?,
+            features: self.config.features,
+            norm: self.norm.clone(),
+        })
+    }
+}
+
+impl CloudClassifier for AutoEncoderClassifier {
+    fn classify(&mut self, clouds: &[Vec<Point3>]) -> Vec<ClassLabel> {
+        self.predict_batch(clouds)
+    }
+
+    fn model_name(&self) -> &str {
+        "AutoEncoder"
+    }
+}
+
+/// The int8 AutoEncoder.
+#[derive(Debug)]
+pub struct QuantizedAutoEncoder {
+    qnet: QuantizedNetwork,
+    features: FeatureConfig,
+    norm: FeatureNorm,
+}
+
+impl QuantizedAutoEncoder {
+    /// Classifies a batch of clusters with integer arithmetic.
+    pub fn predict_batch(&self, clouds: &[Vec<Point3>]) -> Vec<ClassLabel> {
+        if clouds.is_empty() {
+            return Vec::new();
+        }
+        let rows: Vec<Vec<f32>> = clouds
+            .iter()
+            .map(|c| self.norm.apply(&extract(c, &self.features).to_f32()))
+            .collect();
+        let x = to_tensor(&rows);
+        self.qnet.predict_classes(&x).into_iter().map(ClassLabel::from_index).collect()
+    }
+}
+
+impl CloudClassifier for QuantizedAutoEncoder {
+    fn classify(&mut self, clouds: &[Vec<Point3>]) -> Vec<ClassLabel> {
+        self.predict_batch(clouds)
+    }
+
+    fn model_name(&self) -> &str {
+        "AutoEncoder-int8"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dataset::{generate_detection_dataset, split, DetectionDatasetConfig};
+
+    fn setup(n: usize) -> (Vec<DetectionSample>, Vec<DetectionSample>) {
+        let data = generate_detection_dataset(&DetectionDatasetConfig {
+            samples: n,
+            seed: 42,
+            ..DetectionDatasetConfig::default()
+        });
+        let mut rng = StdRng::seed_from_u64(1);
+        let parts = split(&mut rng, data, 0.8);
+        (parts.train, parts.test)
+    }
+
+    #[test]
+    fn learns_above_chance() {
+        let (train, test) = setup(200);
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut model =
+            AutoEncoderClassifier::train(&train, &AutoEncoderConfig::small(), &mut rng);
+        let m = model.evaluate(&test);
+        assert!(m.accuracy > 0.6, "AutoEncoder failed to learn: {m}");
+    }
+
+    #[test]
+    fn grid_search_picks_from_grid() {
+        let (train, _) = setup(80);
+        let mut rng = StdRng::seed_from_u64(3);
+        let cfg = AutoEncoderConfig::small();
+        let model = AutoEncoderClassifier::train(&train, &cfg, &mut rng);
+        assert!(cfg.grid.contains(&model.chosen_width()));
+    }
+
+    #[test]
+    fn parameter_count_scale_matches_paper() {
+        let (train, _) = setup(40);
+        let mut rng = StdRng::seed_from_u64(4);
+        // Force width 32: roughly the paper's 26k-parameter scale.
+        let cfg = AutoEncoderConfig {
+            grid: vec![32],
+            search_epochs: 1,
+            epochs: 1,
+            ..AutoEncoderConfig::default()
+        };
+        let model = AutoEncoderClassifier::train(&train, &cfg, &mut rng);
+        let p = model.param_count();
+        assert!((5_000..=60_000).contains(&p), "got {p}");
+    }
+
+    #[test]
+    fn autoencoder_is_all_dense() {
+        let (train, _) = setup(40);
+        let mut rng = StdRng::seed_from_u64(5);
+        let cfg = AutoEncoderConfig { grid: vec![16], search_epochs: 1, epochs: 1, ..AutoEncoderConfig::small() };
+        let model = AutoEncoderClassifier::train(&train, &cfg, &mut rng);
+        // Dense MACs dominate; the small ReLU`macs` entries keep the
+        // ratio just below 1.
+        assert!(model.profile().dense_fraction() > 0.9);
+    }
+
+    #[test]
+    fn quantized_autoencoder_predicts() {
+        let (train, test) = setup(120);
+        let mut rng = StdRng::seed_from_u64(6);
+        let mut model =
+            AutoEncoderClassifier::train(&train, &AutoEncoderConfig::small(), &mut rng);
+        let fp = model.evaluate(&test);
+        let q = model.quantize(&train, 100).unwrap();
+        let qm = {
+            let mut q = q;
+            q.evaluate_samples(&test)
+        };
+        // Int8 should be in the same ballpark (the paper sees a ~4.6%
+        // drop for the AutoEncoder).
+        assert!(qm.accuracy >= fp.accuracy - 0.25, "fp {fp} vs int8 {qm}");
+    }
+
+    #[test]
+    #[should_panic(expected = "width grid is empty")]
+    fn empty_grid_panics() {
+        let (train, _) = setup(20);
+        let mut rng = StdRng::seed_from_u64(7);
+        let cfg = AutoEncoderConfig { grid: vec![], ..AutoEncoderConfig::small() };
+        let _ = AutoEncoderClassifier::train(&train, &cfg, &mut rng);
+    }
+}

@@ -1,0 +1,29 @@
+//! The paper's baseline human classifiers (§VII-A).
+//!
+//! HAWC is evaluated against three representative prior approaches, each
+//! rebuilt here on the same substrates:
+//!
+//! * [`PointNetClassifier`] — Qi et al.'s PointNet: a shared per-point
+//!   MLP, a global max pool (the symmetric function), and a fully
+//!   connected head, consuming raw up-sampled 3-D points.
+//! * [`AutoEncoderClassifier`] — an encoder/bottleneck/decoder MLP over
+//!   the slice features of the [`features`] crate, with the layer width
+//!   grid-searched between 16 and 128 neurons (the paper's KerasTuner
+//!   step).
+//! * [`OcSvmClassifier`] — Schölkopf's one-class SVM over the same slice
+//!   features, trained on "Human" clusters only.
+//!
+//! All three implement [`dataset::CloudClassifier`], so the counting
+//! pipeline can swap them in for HAWC (producing PointNet-CC,
+//! AutoEncoder-CC and OC-SVM-CC).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod autoencoder;
+mod ocsvm_cls;
+mod pointnet;
+
+pub use autoencoder::{AutoEncoderClassifier, AutoEncoderConfig};
+pub use ocsvm_cls::{OcSvmClassifier, OcSvmClassifierConfig};
+pub use pointnet::{PointNetClassifier, PointNetConfig};

@@ -1,0 +1,166 @@
+//! The OC-SVM baseline classifier (§VII-A).
+//!
+//! OC-SVM-CC "performs feature extraction following adaptive clustering
+//! and then … utilizes OC-SVM for classification". Being one-class, it is
+//! trained on the "Human" clusters only: anything inside the learned
+//! support region is called a human. §VII-B shows where that goes wrong —
+//! it "misclassifies every test LiDAR sample as human".
+
+use dataset::{BinaryMetrics, ClassLabel, CloudClassifier, DetectionSample};
+use features::{extract, FeatureConfig};
+use geom::Point3;
+use ocsvm::{OcSvm, OcSvmError, OcSvmParams};
+use serde::{Deserialize, Serialize};
+
+/// OC-SVM classifier configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct OcSvmClassifierConfig {
+    /// Slice-feature extraction settings.
+    pub features: FeatureConfig,
+    /// SVM hyper-parameters (paper: ν = 0.01, γ = 1/n).
+    pub svm: OcSvmParams,
+}
+
+impl Default for OcSvmClassifierConfig {
+    fn default() -> Self {
+        OcSvmClassifierConfig { features: FeatureConfig::default(), svm: OcSvmParams::default() }
+    }
+}
+
+/// A trained one-class-SVM human classifier.
+#[derive(Debug, Clone)]
+pub struct OcSvmClassifier {
+    config: OcSvmClassifierConfig,
+    svm: OcSvm,
+}
+
+impl OcSvmClassifier {
+    /// Fits the SVM on the *human* clusters of the training set (the
+    /// one-class protocol).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`OcSvmError::NoData`] when the training set contains no
+    /// human clusters, or other solver errors.
+    pub fn train(
+        samples: &[DetectionSample],
+        config: &OcSvmClassifierConfig,
+    ) -> Result<Self, OcSvmError> {
+        let human_rows: Vec<Vec<f64>> = samples
+            .iter()
+            .filter(|s| s.label == ClassLabel::Human)
+            .map(|s| extract(s.cloud.points(), &config.features).values().to_vec())
+            .collect();
+        let svm = OcSvm::fit(&human_rows, &config.svm)?;
+        Ok(OcSvmClassifier { config: *config, svm })
+    }
+
+    /// Number of support vectors.
+    pub fn support_count(&self) -> usize {
+        self.svm.support_count()
+    }
+
+    /// Classifies a batch of clusters.
+    pub fn predict_batch(&self, clouds: &[Vec<Point3>]) -> Vec<ClassLabel> {
+        clouds
+            .iter()
+            .map(|c| {
+                let f = extract(c, &self.config.features);
+                if self.svm.predict(f.values()) {
+                    ClassLabel::Human
+                } else {
+                    ClassLabel::Object
+                }
+            })
+            .collect()
+    }
+
+    /// Evaluates metrics on labelled clusters.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an empty test set.
+    pub fn evaluate(&self, samples: &[DetectionSample]) -> BinaryMetrics {
+        let mut me = self.clone();
+        me.evaluate_samples(samples)
+    }
+}
+
+impl CloudClassifier for OcSvmClassifier {
+    fn classify(&mut self, clouds: &[Vec<Point3>]) -> Vec<ClassLabel> {
+        self.predict_batch(clouds)
+    }
+
+    fn model_name(&self) -> &str {
+        "OC-SVM"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dataset::{generate_detection_dataset, split, DetectionDatasetConfig};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn setup(n: usize) -> (Vec<DetectionSample>, Vec<DetectionSample>) {
+        let data = generate_detection_dataset(&DetectionDatasetConfig {
+            samples: n,
+            seed: 42,
+            ..DetectionDatasetConfig::default()
+        });
+        let mut rng = StdRng::seed_from_u64(1);
+        let parts = split(&mut rng, data, 0.8);
+        (parts.train, parts.test)
+    }
+
+    #[test]
+    fn one_class_profile_recall_dominates() {
+        // The paper's qualitative result: trained only on humans, the
+        // OC-SVM accepts nearly every human (high recall) and lets a
+        // substantial share of objects through (precision lags), ending
+        // far below the CNN classifiers.
+        let (train, test) = setup(400);
+        let model = OcSvmClassifier::train(&train, &OcSvmClassifierConfig::default()).unwrap();
+        let m = model.evaluate(&test);
+        assert!(m.recall >= 0.85, "one-class SVM should accept most humans: {m}");
+        assert!(
+            m.recall >= m.precision,
+            "one-class training should over-accept, not over-reject: {m}"
+        );
+        let objects: Vec<Vec<Point3>> = test
+            .iter()
+            .filter(|s| s.label == ClassLabel::Object)
+            .map(|s| s.cloud.points().to_vec())
+            .collect();
+        let accepted = model
+            .predict_batch(&objects)
+            .into_iter()
+            .filter(|&l| l == ClassLabel::Human)
+            .count();
+        assert!(
+            accepted * 5 >= objects.len(),
+            "expected meaningful object over-acceptance, got {accepted}/{}",
+            objects.len()
+        );
+    }
+
+    #[test]
+    fn no_humans_in_training_is_an_error() {
+        let (train, _) = setup(40);
+        let objects_only: Vec<DetectionSample> = train
+            .into_iter()
+            .filter(|s| s.label == ClassLabel::Object)
+            .collect();
+        let err = OcSvmClassifier::train(&objects_only, &OcSvmClassifierConfig::default())
+            .unwrap_err();
+        assert_eq!(err, OcSvmError::NoData);
+    }
+
+    #[test]
+    fn support_vectors_exist() {
+        let (train, _) = setup(80);
+        let model = OcSvmClassifier::train(&train, &OcSvmClassifierConfig::default()).unwrap();
+        assert!(model.support_count() > 0);
+    }
+}

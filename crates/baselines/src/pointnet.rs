@@ -1,0 +1,413 @@
+//! PointNet (Qi et al.) rebuilt on the [`nn`] substrate.
+//!
+//! The §VII-A description: "the original PointNet implementation …
+//! includes a classification network, which transforms inputs and
+//! aggregates features by max pooling". Faithful skeleton: a shared
+//! per-point MLP lifts each 3-D point into a high-dimensional feature, a
+//! global max pool aggregates order-invariantly, and dense layers
+//! classify. The full-scale default (64-64-128-1024 → 512-256-2) lands
+//! near the paper's 747,947 parameters.
+
+use dataset::{BinaryMetrics, ClassLabel, CloudClassifier, DetectionSample, ObjectPool};
+use geom::Point3;
+use nn::quant::{QuantError, QuantizedNetwork};
+use nn::{
+    Adam, BatchNorm2d, Dense, GlobalMaxPool, PointwiseDense, ReLU, Sequential, Tensor,
+    TrainConfig, TrainEvent,
+};
+use projection::upsample_with_pool;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+/// PointNet hyper-parameters.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PointNetConfig {
+    /// Fixed cloud size after up-sampling (0 = auto from the training
+    /// set, like HAWC).
+    pub target_points: usize,
+    /// Widths of the shared per-point MLP stages.
+    pub mlp: Vec<usize>,
+    /// Widths of the classification head after the max pool.
+    pub head: Vec<usize>,
+    /// Training epochs.
+    pub epochs: usize,
+    /// Mini-batch size (paper: 64).
+    pub batch_size: usize,
+    /// Adam learning rate (paper: 0.001).
+    pub learning_rate: f32,
+    /// Seed for prediction-time up-sampling.
+    pub predict_seed: u64,
+}
+
+impl Default for PointNetConfig {
+    fn default() -> Self {
+        PointNetConfig {
+            target_points: 0,
+            mlp: vec![64, 64, 128, 1024],
+            head: vec![512, 256],
+            epochs: 12,
+            batch_size: 64,
+            learning_rate: 0.001,
+            predict_seed: 0x9017,
+        }
+    }
+}
+
+impl PointNetConfig {
+    /// A reduced configuration for fast unit tests.
+    pub fn small() -> Self {
+        PointNetConfig {
+            mlp: vec![16, 32, 64],
+            head: vec![32],
+            epochs: 10,
+            ..PointNetConfig::default()
+        }
+    }
+}
+
+/// A trained PointNet classifier.
+pub struct PointNetClassifier {
+    config: PointNetConfig,
+    net: Sequential,
+    pool: ObjectPool,
+    events: Vec<TrainEvent>,
+}
+
+impl std::fmt::Debug for PointNetClassifier {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("PointNetClassifier")
+            .field("params", &self.net.param_count())
+            .finish()
+    }
+}
+
+fn build_network(cfg: &PointNetConfig, rng: &mut StdRng) -> Sequential {
+    // Batch norm after every layer, as in the original PointNet — without
+    // it the max-pooled features drift and training collapses.
+    let mut net = Sequential::new();
+    let mut in_ch = 3;
+    for &w in &cfg.mlp {
+        net.push(PointwiseDense::new(in_ch, w, rng));
+        net.push(BatchNorm2d::new(w));
+        net.push(ReLU::new());
+        in_ch = w;
+    }
+    net.push(GlobalMaxPool::new());
+    let mut in_f = in_ch;
+    for &w in &cfg.head {
+        net.push(Dense::new(in_f, w, rng));
+        net.push(BatchNorm2d::new(w));
+        net.push(ReLU::new());
+        in_f = w;
+    }
+    net.push(Dense::new(in_f, 2, rng));
+    net
+}
+
+/// Converts clouds into the `[N, 3, P]` tensor PointNet consumes,
+/// centring each cloud on its centroid (PointNet's usual normalisation).
+fn to_tensor(clouds: &[Vec<Point3>]) -> Tensor {
+    let n = clouds.len();
+    let p = clouds[0].len();
+    let mut data = vec![0.0f32; n * 3 * p];
+    for (i, cloud) in clouds.iter().enumerate() {
+        assert_eq!(cloud.len(), p, "cloud size mismatch in batch");
+        let c = cloud.iter().copied().sum::<Point3>() / p as f64;
+        for (j, pt) in cloud.iter().enumerate() {
+            data[(i * 3) * p + j] = (pt.x - c.x) as f32;
+            data[(i * 3 + 1) * p + j] = (pt.y - c.y) as f32;
+            // Height stays absolute: it is the discriminative axis.
+            data[(i * 3 + 2) * p + j] = pt.z as f32;
+        }
+    }
+    Tensor::from_vec(data, &[n, 3, p])
+}
+
+impl PointNetClassifier {
+    /// Trains PointNet on labelled clusters (PointNet-CC keeps the same
+    /// up-sampling front end as HAWC, §VII-A).
+    ///
+    /// # Panics
+    ///
+    /// Panics on an empty training set or pool.
+    pub fn train<R: Rng + ?Sized>(
+        samples: &[DetectionSample],
+        pool: ObjectPool,
+        config: &PointNetConfig,
+        rng: &mut R,
+    ) -> Self {
+        Self::train_tracked(samples, None, pool, config, rng)
+    }
+
+    /// Trains PointNet with per-epoch evaluation (Fig. 8a).
+    ///
+    /// # Panics
+    ///
+    /// Panics on an empty training set or pool.
+    pub fn train_tracked<R: Rng + ?Sized>(
+        samples: &[DetectionSample],
+        eval: Option<&[DetectionSample]>,
+        pool: ObjectPool,
+        config: &PointNetConfig,
+        rng: &mut R,
+    ) -> Self {
+        assert!(!samples.is_empty(), "training set is empty");
+        assert!(!pool.is_empty(), "object pool is empty");
+        let mut config = config.clone();
+        if config.target_points == 0 {
+            let max = samples.iter().map(|s| s.cloud.len()).max().unwrap_or(1);
+            config.target_points = projection::target_points(max);
+        }
+        let mut net_rng = StdRng::seed_from_u64(rng.gen());
+        let mut up_rng = StdRng::seed_from_u64(rng.gen());
+        let mut net = build_network(&config, &mut net_rng);
+        let y: Vec<usize> = samples.iter().map(|s| s.label.index()).collect();
+        let prep = |samples: &[DetectionSample], rng: &mut StdRng| -> Tensor {
+            let clouds: Vec<Vec<Point3>> = samples
+                .iter()
+                .map(|s| {
+                    upsample_with_pool(s.cloud.points(), config.target_points, &pool, rng)
+                        .expect("up-sampling failed")
+                })
+                .collect();
+            to_tensor(&clouds)
+        };
+        let eval_data = eval.map(|e| {
+            (prep(e, &mut up_rng), e.iter().map(|s| s.label.index()).collect::<Vec<_>>())
+        });
+        let one_epoch =
+            TrainConfig { epochs: 1, batch_size: config.batch_size, shuffle: true, workers: 0 };
+        let mut opt = Adam::new(config.learning_rate);
+        let mut events = Vec::with_capacity(config.epochs);
+        for epoch in 1..=config.epochs {
+            let x = prep(samples, &mut up_rng);
+            let mut ev = net.fit(&x, &y, &one_epoch, &mut opt, &mut net_rng);
+            let mut event = ev.pop().expect("one epoch yields one event");
+            event.epoch = epoch;
+            if let Some((ex, ey)) = &eval_data {
+                event.eval_accuracy = Some(net.accuracy(ex, ey));
+            }
+            events.push(event);
+        }
+        PointNetClassifier { config, net, pool, events }
+    }
+
+    /// Trainable parameter count (≈750k for the default architecture).
+    pub fn param_count(&self) -> usize {
+        self.net.param_count()
+    }
+
+    /// Per-epoch training telemetry.
+    pub fn training_events(&self) -> &[TrainEvent] {
+        &self.events
+    }
+
+    /// Cost profile at the model's input shape.
+    pub fn profile(&self) -> nn::profile::NetworkProfile {
+        self.net.profile(&[1, 3, self.config.target_points])
+    }
+
+    fn prepare(&self, clouds: &[Vec<Point3>]) -> Tensor {
+        let mut rng = StdRng::seed_from_u64(self.config.predict_seed);
+        let fixed: Vec<Vec<Point3>> = clouds
+            .iter()
+            .map(|c| {
+                upsample_with_pool(c, self.config.target_points, &self.pool, &mut rng)
+                    .expect("up-sampling failed")
+            })
+            .collect();
+        to_tensor(&fixed)
+    }
+
+    /// Classifies a batch of clusters.
+    pub fn predict_batch(&mut self, clouds: &[Vec<Point3>]) -> Vec<ClassLabel> {
+        if clouds.is_empty() {
+            return Vec::new();
+        }
+        let x = self.prepare(clouds);
+        self.net.predict_classes(&x).into_iter().map(ClassLabel::from_index).collect()
+    }
+
+    /// Evaluates metrics on labelled clusters.
+    pub fn evaluate(&mut self, samples: &[DetectionSample]) -> BinaryMetrics {
+        self.evaluate_samples(samples)
+    }
+
+    /// Post-training int8 quantization of the PointNet graph.
+    ///
+    /// # Errors
+    ///
+    /// Propagates quantizer errors.
+    pub fn quantize(
+        &self,
+        calibration: &[DetectionSample],
+        calibration_samples: usize,
+    ) -> Result<QuantizedPointNet, QuantError> {
+        if calibration.is_empty() {
+            return Err(QuantError::NoCalibrationData);
+        }
+        let take = calibration_samples.min(calibration.len()).max(1);
+        let clouds: Vec<Vec<Point3>> =
+            calibration[..take].iter().map(|s| s.cloud.points().to_vec()).collect();
+        let x = self.prepare(&clouds);
+        Ok(QuantizedPointNet {
+            qnet: QuantizedNetwork::from_sequential(&self.net, &x)?,
+            config: self.config.clone(),
+            pool: self.pool.clone(),
+        })
+    }
+}
+
+impl CloudClassifier for PointNetClassifier {
+    fn classify(&mut self, clouds: &[Vec<Point3>]) -> Vec<ClassLabel> {
+        self.predict_batch(clouds)
+    }
+
+    fn model_name(&self) -> &str {
+        "PointNet"
+    }
+}
+
+/// The int8 PointNet.
+#[derive(Debug)]
+pub struct QuantizedPointNet {
+    qnet: QuantizedNetwork,
+    config: PointNetConfig,
+    pool: ObjectPool,
+}
+
+impl QuantizedPointNet {
+    /// Classifies a batch of clusters with integer arithmetic.
+    pub fn predict_batch(&self, clouds: &[Vec<Point3>]) -> Vec<ClassLabel> {
+        if clouds.is_empty() {
+            return Vec::new();
+        }
+        let mut rng = StdRng::seed_from_u64(self.config.predict_seed);
+        let fixed: Vec<Vec<Point3>> = clouds
+            .iter()
+            .map(|c| {
+                upsample_with_pool(c, self.config.target_points, &self.pool, &mut rng)
+                    .expect("up-sampling failed")
+            })
+            .collect();
+        let x = to_tensor(&fixed);
+        self.qnet.predict_classes(&x).into_iter().map(ClassLabel::from_index).collect()
+    }
+}
+
+impl CloudClassifier for QuantizedPointNet {
+    fn classify(&mut self, clouds: &[Vec<Point3>]) -> Vec<ClassLabel> {
+        self.predict_batch(clouds)
+    }
+
+    fn model_name(&self) -> &str {
+        "PointNet-int8"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dataset::{
+        generate_detection_dataset, generate_object_pool, split, DetectionDatasetConfig,
+    };
+    use lidar::SensorConfig;
+    use world::WalkwayConfig;
+
+    fn setup(n: usize) -> (Vec<DetectionSample>, Vec<DetectionSample>, ObjectPool) {
+        let data = generate_detection_dataset(&DetectionDatasetConfig {
+            samples: n,
+            seed: 42,
+            ..DetectionDatasetConfig::default()
+        });
+        let pool =
+            generate_object_pool(7, 16, &WalkwayConfig::default(), &SensorConfig::default());
+        let mut rng = StdRng::seed_from_u64(1);
+        let parts = split(&mut rng, data, 0.8);
+        (parts.train, parts.test, pool)
+    }
+
+    #[test]
+    fn learns_above_chance() {
+        // PointNet is data-hungry (the paper's Fig. 8b shows it degrading
+        // fastest with small training sets); give the unit test enough
+        // captures and epochs to clear chance decisively.
+        let (train, test, pool) = setup(400);
+        let mut rng = StdRng::seed_from_u64(2);
+        let cfg = PointNetConfig { epochs: 20, ..PointNetConfig::small() };
+        let mut model = PointNetClassifier::train(&train, pool, &cfg, &mut rng);
+        let m = model.evaluate(&test);
+        assert!(m.accuracy > 0.65, "PointNet failed to learn: {m}");
+    }
+
+    #[test]
+    fn default_parameter_count_near_paper() {
+        let (train, _, pool) = setup(20);
+        let mut rng = StdRng::seed_from_u64(3);
+        let cfg = PointNetConfig { epochs: 1, ..PointNetConfig::default() };
+        let model = PointNetClassifier::train(&train, pool, &cfg, &mut rng);
+        let p = model.param_count();
+        // Paper: 747,947. Same order of magnitude, same architecture.
+        assert!((500_000..=1_000_000).contains(&p), "got {p}");
+    }
+
+    #[test]
+    fn pointnet_is_mlp_dominated() {
+        use nn::profile::OpKind;
+        let (train, _, pool) = setup(20);
+        let mut rng = StdRng::seed_from_u64(4);
+        let cfg = PointNetConfig { epochs: 1, ..PointNetConfig::small() };
+        let model = PointNetClassifier::train(&train, pool, &cfg, &mut rng);
+        let p = model.profile();
+        let mlp = p.macs_of(OpKind::PointwiseMlp) + p.macs_of(OpKind::Dense);
+        assert!(mlp as f64 / p.total_macs() as f64 > 0.9);
+    }
+
+    #[test]
+    fn quantized_pointnet_predicts() {
+        let (train, test, pool) = setup(80);
+        let mut rng = StdRng::seed_from_u64(5);
+        let cfg = PointNetConfig { epochs: 4, ..PointNetConfig::small() };
+        let model = PointNetClassifier::train(&train, pool, &cfg, &mut rng);
+        let q = model.quantize(&train, 50).unwrap();
+        let clouds: Vec<Vec<Point3>> =
+            test.iter().map(|s| s.cloud.points().to_vec()).collect();
+        let preds = q.predict_batch(&clouds);
+        assert_eq!(preds.len(), clouds.len());
+    }
+
+    #[test]
+    fn order_invariance_of_aggregation() {
+        let (train, test, pool) = setup(80);
+        let mut rng = StdRng::seed_from_u64(6);
+        let cfg = PointNetConfig { epochs: 3, ..PointNetConfig::small() };
+        let mut model = PointNetClassifier::train(&train, pool, &cfg, &mut rng);
+        // Shuffling the points of a cluster must not change its label:
+        // the prediction-time noise padding is seeded per batch position,
+        // so compare single-cloud calls.
+        let cloud = test[0].cloud.points().to_vec();
+        let mut reversed = cloud.clone();
+        reversed.reverse();
+        // The padding RNG stream differs per points order; to isolate the
+        // network's permutation invariance, use an exactly-sized cloud.
+        let target = model.config.target_points;
+        let padded = {
+            let mut rng = StdRng::seed_from_u64(1);
+            upsample_with_pool(&cloud, target, &model.pool, &mut rng).unwrap()
+        };
+        let mut shuffled = padded.clone();
+        shuffled.reverse();
+        let a = model.predict_batch(&[padded]);
+        let b = model.predict_batch(&[shuffled]);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    #[should_panic(expected = "training set is empty")]
+    fn empty_training_panics() {
+        let pool = ObjectPool::new(vec![Point3::new(1.0, 0.0, -2.0)]);
+        let mut rng = StdRng::seed_from_u64(0);
+        let _ = PointNetClassifier::train(&[], pool, &PointNetConfig::small(), &mut rng);
+    }
+}

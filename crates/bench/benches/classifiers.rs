@@ -1,0 +1,53 @@
+//! Classifier inference benchmarks — the real host-CPU counterpart of
+//! Table II's device measurements: single-cluster inference for HAWC
+//! (fp32 and int8), the AutoEncoder and the OC-SVM.
+
+use baselines::{AutoEncoderClassifier, AutoEncoderConfig, OcSvmClassifier, OcSvmClassifierConfig};
+use criterion::{criterion_group, criterion_main, Criterion};
+use dataset::{generate_detection_dataset, generate_object_pool, DetectionDatasetConfig};
+use hawc::{HawcClassifier, HawcConfig};
+use lidar::SensorConfig;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::hint::black_box;
+use world::WalkwayConfig;
+
+fn bench_classifiers(c: &mut Criterion) {
+    // One small trained model set, built once.
+    let data = generate_detection_dataset(&DetectionDatasetConfig {
+        samples: 240,
+        seed: 42,
+        ..DetectionDatasetConfig::default()
+    });
+    let pool = generate_object_pool(42, 16, &WalkwayConfig::default(), &SensorConfig::default());
+    let mut rng = StdRng::seed_from_u64(1);
+    let hawc_cfg = HawcConfig {
+        target_points: 0,
+        epochs: 10,
+        predict_votes: 1, // single-draw latency, comparable to Table II
+        ..HawcConfig::default()
+    };
+    let mut hawc = HawcClassifier::train(&data, pool, &hawc_cfg, &mut rng);
+    let hawc_int8 = hawc.quantize(&data, 100).expect("quantizes");
+    let mut ae = AutoEncoderClassifier::train(&data, &AutoEncoderConfig::small(), &mut rng);
+    let svm = OcSvmClassifier::train(&data, &OcSvmClassifierConfig::default()).unwrap();
+
+    let cloud = data[0].cloud.points().to_vec();
+    let mut group = c.benchmark_group("classifier-inference");
+    group.bench_function("hawc_fp32_single", |b| {
+        b.iter(|| hawc.predict(black_box(&cloud)))
+    });
+    group.bench_function("hawc_int8_single", |b| {
+        b.iter(|| hawc_int8.predict(black_box(&cloud)))
+    });
+    group.bench_function("autoencoder_single", |b| {
+        b.iter(|| ae.predict_batch(black_box(std::slice::from_ref(&cloud))))
+    });
+    group.bench_function("ocsvm_single", |b| {
+        b.iter(|| svm.predict_batch(black_box(std::slice::from_ref(&cloud))))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_classifiers);
+criterion_main!(benches);

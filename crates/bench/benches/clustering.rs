@@ -1,0 +1,51 @@
+//! Clustering-stage benchmarks: the adaptive-ε overhead vs fixed-ε
+//! DBSCAN and the hierarchical baseline, on one capture-sized cloud.
+
+use cluster::{
+    adaptive_dbscan, adaptive_eps, dbscan, hierarchical, AdaptiveConfig, DbscanParams, Linkage,
+};
+use criterion::{criterion_group, criterion_main, Criterion};
+use geom::{Point3, Vec3};
+use std::hint::black_box;
+
+/// A capture-like cloud: three pedestrians plus clutter (~500 points).
+fn capture() -> Vec<Point3> {
+    let mut pts = Vec::new();
+    let mut blob = |cx: f64, cy: f64, h: f64, n: usize| {
+        for i in 0..n {
+            let a = i as f64 * 2.399963;
+            let layer = (i / 10) as f64;
+            pts.push(
+                Point3::new(cx, cy, -2.6)
+                    + Vec3::new(0.14 * a.cos(), 0.14 * a.sin(), layer * h / (n as f64 / 10.0)),
+            );
+        }
+    };
+    blob(14.0, 0.0, 1.6, 160);
+    blob(20.0, 1.5, 1.7, 120);
+    blob(28.0, -1.0, 1.5, 80);
+    blob(24.0, 2.0, 0.9, 90); // trash can
+    blob(17.0, -2.0, 0.5, 60); // pulley cart
+    pts
+}
+
+fn bench_clustering(c: &mut Criterion) {
+    let pts = capture();
+    let mut group = c.benchmark_group("clustering");
+    group.bench_function("adaptive_eps_only", |b| {
+        b.iter(|| adaptive_eps(black_box(&pts), &AdaptiveConfig::default()))
+    });
+    group.bench_function("adaptive_dbscan", |b| {
+        b.iter(|| adaptive_dbscan(black_box(&pts), &AdaptiveConfig::default()))
+    });
+    group.bench_function("fixed_dbscan_eps0.3", |b| {
+        b.iter(|| dbscan(black_box(&pts), &DbscanParams { eps: 0.3, min_points: 5 }))
+    });
+    group.bench_function("hierarchical_complete", |b| {
+        b.iter(|| hierarchical(black_box(&pts), Linkage::Complete, 0.3))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_clustering);
+criterion_main!(benches);

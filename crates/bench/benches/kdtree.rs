@@ -1,0 +1,46 @@
+//! KD-tree micro-benchmarks: build, k-NN and radius queries at
+//! capture-realistic sizes.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use geom::{KdTree, Point3};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::hint::black_box;
+
+fn cloud(n: usize, seed: u64) -> Vec<Point3> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..n)
+        .map(|_| {
+            Point3::new(
+                rng.gen_range(12.0..35.0),
+                rng.gen_range(-2.5..2.5),
+                rng.gen_range(-2.6..-0.8),
+            )
+        })
+        .collect()
+}
+
+fn bench_kdtree(c: &mut Criterion) {
+    let mut group = c.benchmark_group("kdtree");
+    for n in [324usize, 2048] {
+        let pts = cloud(n, 7);
+        group.bench_with_input(BenchmarkId::new("build", n), &pts, |b, pts| {
+            b.iter(|| KdTree::build(black_box(pts)))
+        });
+        let tree = KdTree::build(&pts);
+        let q = pts[n / 2];
+        group.bench_with_input(BenchmarkId::new("knn8", n), &tree, |b, tree| {
+            b.iter(|| tree.knn(black_box(q), 8))
+        });
+        group.bench_with_input(BenchmarkId::new("within_0.3", n), &tree, |b, tree| {
+            b.iter(|| tree.within(black_box(q), 0.3))
+        });
+        group.bench_with_input(BenchmarkId::new("knn_distances_k4", n), &tree, |b, tree| {
+            b.iter(|| tree.knn_distances(4))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_kdtree);
+criterion_main!(benches);

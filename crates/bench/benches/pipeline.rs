@@ -1,0 +1,56 @@
+//! End-to-end pipeline benchmark: one full HAWC-CC `count()` call —
+//! adaptive clustering plus per-cluster classification — on a realistic
+//! multi-pedestrian capture (the host-CPU analogue of Table V's
+//! 17.42 ms/sample Jetson figure).
+
+use counting::{CounterConfig, CrowdCounter};
+use criterion::{criterion_group, criterion_main, Criterion};
+use dataset::{
+    generate_counting_dataset, generate_detection_dataset, generate_object_pool,
+    CountingDatasetConfig, DetectionDatasetConfig,
+};
+use hawc::{HawcClassifier, HawcConfig};
+use lidar::SensorConfig;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::hint::black_box;
+use world::WalkwayConfig;
+
+fn bench_pipeline(c: &mut Criterion) {
+    let data = generate_detection_dataset(&DetectionDatasetConfig {
+        samples: 240,
+        seed: 42,
+        ..DetectionDatasetConfig::default()
+    });
+    let pool = generate_object_pool(42, 16, &WalkwayConfig::default(), &SensorConfig::default());
+    let mut rng = StdRng::seed_from_u64(1);
+    let cfg = HawcConfig {
+        target_points: 0,
+        epochs: 10,
+        predict_votes: 1,
+        ..HawcConfig::default()
+    };
+    let model = HawcClassifier::train(&data, pool, &cfg, &mut rng);
+    let mut counter = CrowdCounter::new(model, CounterConfig::default());
+
+    let captures = generate_counting_dataset(&CountingDatasetConfig {
+        samples: 8,
+        seed: 9,
+        ..CountingDatasetConfig::default()
+    });
+    let busiest = captures
+        .iter()
+        .max_by_key(|s| s.cloud.len())
+        .expect("captures exist")
+        .clone();
+
+    let mut group = c.benchmark_group("pipeline");
+    group.sample_size(20);
+    group.bench_function("hawc_cc_count_one_capture", |b| {
+        b.iter(|| counter.count(black_box(&busiest.cloud)))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_pipeline);
+criterion_main!(benches);

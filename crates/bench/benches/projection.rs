@@ -1,0 +1,60 @@
+//! Projection-stage benchmarks: noise-controlled up-sampling and each
+//! of the Fig. 9 projection methods at the paper's 324-point size.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dataset::ObjectPool;
+use geom::Point3;
+use projection::{project, upsample_with_pool, ProjectionConfig, ProjectionMethod};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::hint::black_box;
+
+fn cluster(n: usize) -> Vec<Point3> {
+    let mut rng = StdRng::seed_from_u64(3);
+    (0..n)
+        .map(|_| {
+            Point3::new(
+                18.0 + rng.gen_range(-0.3..0.3),
+                rng.gen_range(-0.3..0.3),
+                rng.gen_range(-2.6..-1.3),
+            )
+        })
+        .collect()
+}
+
+fn pool() -> ObjectPool {
+    let mut rng = StdRng::seed_from_u64(4);
+    ObjectPool::new(
+        (0..2000)
+            .map(|_| {
+                Point3::new(
+                    rng.gen_range(12.0..35.0),
+                    rng.gen_range(-2.5..2.5),
+                    rng.gen_range(-2.6..-1.6),
+                )
+            })
+            .collect(),
+    )
+}
+
+fn bench_projection(c: &mut Criterion) {
+    let cluster = cluster(60);
+    let pool = pool();
+    let mut group = c.benchmark_group("projection");
+    group.bench_function("upsample_to_324", |b| {
+        let mut rng = StdRng::seed_from_u64(5);
+        b.iter(|| upsample_with_pool(black_box(&cluster), 324, &pool, &mut rng).unwrap())
+    });
+    let mut rng = StdRng::seed_from_u64(6);
+    let fixed = upsample_with_pool(&cluster, 324, &pool, &mut rng).unwrap();
+    for method in ProjectionMethod::ALL {
+        let cfg = ProjectionConfig { method, ..ProjectionConfig::default() };
+        group.bench_with_input(BenchmarkId::new("project", method.to_string()), &cfg, |b, cfg| {
+            b.iter(|| project(black_box(&fixed), cfg))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_projection);
+criterion_main!(benches);

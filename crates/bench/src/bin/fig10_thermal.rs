@@ -1,0 +1,53 @@
+//! Figure 10 — pole vs weather temperature over the summer window.
+//!
+//! Paper numbers: pole max 57.81 °C, min 21.00 °C, mean 41.95 °C; pole
+//! runs ~10 °C above ambient at peak heat and <5 °C at night; the Coral
+//! briefly exceeds its rated 0–50 °C envelope but keeps working.
+
+use bench::table;
+use edge::thermal::{simulate, summarize, ThermalConfig};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn main() {
+    let mut rng = StdRng::seed_from_u64(2023);
+    let cfg = ThermalConfig::default();
+    let readings = simulate(&cfg, &mut rng);
+    let s = summarize(&readings);
+
+    println!("Fig 10 — {} days at one reading per {:.1} min ({} readings)\n", cfg.days, cfg.period_min, readings.len());
+    let rows = vec![
+        vec!["pole max (°C)".into(), table::f(s.pole_max_c, 2), "57.81".into()],
+        vec!["pole min (°C)".into(), table::f(s.pole_min_c, 2), "21.00".into()],
+        vec!["pole mean (°C)".into(), table::f(s.pole_mean_c, 2), "41.95".into()],
+        vec!["peak pole-weather offset (°C)".into(), table::f(s.peak_offset_c, 2), "~10".into()],
+        vec!["night pole-weather offset (°C)".into(), table::f(s.night_offset_c, 2), "<5".into()],
+        vec![
+            "readings above Coral's 50 °C rating".into(),
+            table::pct(s.above_rated_fraction),
+            ">0%".into(),
+        ],
+    ];
+    println!("{}", table::render(&["quantity", "measured", "paper"], &rows));
+
+    // Daily max/min series (the Fig. 10 curve, one row per day).
+    println!("daily series (°C):");
+    let per_day = readings.len() / cfg.days;
+    let mut rows = Vec::new();
+    for d in 0..cfg.days {
+        let day = &readings[d * per_day..(d + 1) * per_day];
+        let wmax = day.iter().map(|r| r.weather_c).fold(f64::NEG_INFINITY, f64::max);
+        let pmax = day.iter().map(|r| r.pole_c).fold(f64::NEG_INFINITY, f64::max);
+        let pmin = day.iter().map(|r| r.pole_c).fold(f64::INFINITY, f64::min);
+        rows.push(vec![
+            format!("day {:02}", d + 1),
+            table::f(wmax, 1),
+            table::f(pmax, 1),
+            table::f(pmin, 1),
+        ]);
+    }
+    println!(
+        "{}",
+        table::render(&["day", "weather max", "pole max", "pole min"], &rows)
+    );
+}

@@ -1,0 +1,58 @@
+//! Figure 4 — the k-NN-distance elbow and the distribution of optimal ε.
+//!
+//! (a) For one capture: the sorted k-NN distance curve and its elbow.
+//! (b) Across the training captures: the histogram of per-capture
+//!     optimal ε values (the paper sees 0.04–9.06 with 0.08 dominating).
+
+use bench::{table, HarnessArgs, Workbench};
+use cluster::{adaptive_eps, knee, AdaptiveConfig};
+use geom::stats::Histogram;
+use geom::KdTree;
+
+fn main() {
+    let bench = Workbench::prepare(HarnessArgs::parse());
+    let cfg = AdaptiveConfig::default();
+
+    // (a) One capture's curve.
+    let capture = bench
+        .counting
+        .iter()
+        .find(|s| s.cloud.len() > 100)
+        .expect("need a non-trivial capture");
+    let tree = KdTree::build(capture.cloud.points());
+    let mut dists = tree.knn_distances(cfg.k);
+    dists.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    let elbow = knee::max_relative_gap(&dists).expect("curve has an elbow");
+    println!("Fig 4a — sorted {}-NN distance curve, one capture ({} points)", cfg.k, dists.len());
+    let mut rows = Vec::new();
+    for frac in [0.0, 0.25, 0.5, 0.75, 0.9, 0.99] {
+        let i = ((dists.len() - 1) as f64 * frac) as usize;
+        rows.push(vec![format!("{i}"), table::f(dists[i], 4)]);
+    }
+    rows.push(vec![format!("elbow @ {elbow}"), table::f(dists[elbow], 4)]);
+    println!("{}", table::render(&["index", "distance (m)"], &rows));
+    println!("optimal eps for this capture: {:.4} m\n", dists[elbow]);
+
+    // (b) Distribution across captures.
+    let eps_values: Vec<f64> = bench
+        .counting
+        .iter()
+        .filter(|s| s.cloud.len() >= cfg.k + 2)
+        .map(|s| adaptive_eps(s.cloud.points(), &cfg))
+        .collect();
+    let lo = eps_values.iter().cloned().fold(f64::INFINITY, f64::min);
+    let hi = eps_values.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+    let mut hist = Histogram::new(0.0, 1.0, 25).expect("valid histogram bounds");
+    for &e in &eps_values {
+        hist.push(e);
+    }
+    println!(
+        "Fig 4b — optimal eps across {} captures: min {:.3}, max {:.3}, mode bin {:.3} m",
+        eps_values.len(),
+        lo,
+        hi,
+        hist.bin_center(hist.mode_bin())
+    );
+    println!("(paper: range 0.04–9.06 m with 0.08 m predominating)\n");
+    print!("{}", hist.render_ascii(40));
+}

@@ -1,0 +1,49 @@
+//! Table IV — counting accuracy of HAWC-CC under different clustering
+//! methods: fixed-ε DBSCAN (ε ∈ {0.1 … 0.9}), hierarchical clustering,
+//! and the paper's adaptive clustering.
+//!
+//! Paper: adaptive 0.38 MAE / 0.53 MSE beats every fixed ε (best fixed:
+//! ε = 0.5 at 0.40/0.55-ish) and hierarchical clustering explodes to
+//! MAE 134.7 / MSE 28,236 by shattering objects into many clusters.
+
+use bench::{table, HarnessArgs, Workbench};
+use cluster::{DbscanParams, Linkage};
+use counting::{evaluate_counter, ClusterMethod, CounterConfig, CrowdCounter};
+
+fn main() {
+    let bench = Workbench::prepare(HarnessArgs::parse());
+    let model = bench.train_hawc();
+
+    let mut variants: Vec<(String, ClusterMethod)> = Vec::new();
+    for eps in [0.1, 0.3, 0.5, 0.7, 0.9] {
+        variants.push((
+            format!("fixed ε = {eps}"),
+            ClusterMethod::Fixed(DbscanParams { eps, min_points: 5 }),
+        ));
+    }
+    variants.push((
+        "hierarchical (complete, 0.3 m)".into(),
+        ClusterMethod::Hierarchical { linkage: Linkage::Complete, threshold: 0.3 },
+    ));
+    variants.push(("adaptive (ours)".into(), ClusterMethod::default()));
+
+    // One trained classifier shared across clustering variants; the
+    // CrowdCounter takes ownership, so thread it through.
+    let mut classifier = Some(model);
+    let mut rows = Vec::new();
+    for (name, method) in variants {
+        let counter_cfg = CounterConfig { cluster_method: method, ..CounterConfig::default() };
+        let mut counter = CrowdCounter::new(classifier.take().expect("classifier"), counter_cfg);
+        let report = evaluate_counter(&mut counter, &bench.counting);
+        eprintln!("[table4] {name}: {report}");
+        rows.push(vec![
+            name,
+            table::f(report.metrics.mae(), 3),
+            table::f(report.metrics.mse(), 3),
+        ]);
+        classifier = Some(counter.into_classifier());
+    }
+    println!("\nTable IV — clustering method vs counting accuracy ({} captures)\n", bench.counting.len());
+    println!("{}", table::render(&["Clustering", "MAE", "MSE"], &rows));
+    println!("paper: fixed ε 0.40–1.56 MAE; hierarchical 134.7 MAE; adaptive 0.38 MAE (best)");
+}

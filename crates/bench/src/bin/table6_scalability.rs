@@ -1,0 +1,89 @@
+//! Table VI — scalability: counting accuracy from 20 to 250 pedestrians,
+//! averaged over three runs, following the paper's synthetic-density
+//! protocol (±5 m offsets over a 100 m² patch, objects at half the
+//! pedestrian count, Fruin density levels).
+//!
+//! Paper: MAE grows from 0.47 (20 people) to 5.90 (250 people) — still
+//! 97.64% accuracy in the high-density regime, beating the RGB baselines.
+
+use bench::{table, HarnessArgs, Workbench};
+use counting::{CounterConfig, CountingMetrics, CrowdCounter};
+use geom::stats::Summary;
+use lidar::{ground_segment, roi_filter, Lidar, SensorConfig};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use world::{CrowdConfig, CrowdLayout, WalkwayConfig};
+
+fn main() {
+    let args = HarnessArgs::parse();
+    // Paper: 100 samples per run; scale down with the harness size.
+    let samples_per_run = (args.counting_samples / 20).clamp(10, 100);
+    let runs = 3;
+    let bench = Workbench::prepare(args);
+    let model = bench.train_hawc();
+    let mut counter = CrowdCounter::new(model, CounterConfig::default());
+    let sensor = Lidar::new(SensorConfig::default());
+    // The crowd patch spills outside the default ROI (7–40 m); widen the
+    // crop so the captures keep the whole patch, as the paper describes.
+    let walkway = WalkwayConfig { x_min: 7.0, x_max: 40.0, width: 10.0, ..WalkwayConfig::default() };
+
+    println!(
+        "\nTable VI — scalability, {} runs x {} captures per row\n",
+        runs, samples_per_run
+    );
+    let mut rows = Vec::new();
+    for pedestrians in [20usize, 30, 40, 50, 60, 70, 80, 90, 100, 150, 200, 250] {
+        let cfg = CrowdConfig { pedestrians, ..CrowdConfig::default() };
+        let mut run_mae = Summary::new();
+        let mut run_mse = Summary::new();
+        let mut run_total = Summary::new();
+        let mut run_actual = Summary::new();
+        for run in 0..runs {
+            let mut rng =
+                StdRng::seed_from_u64(0x7AB6 ^ (pedestrians as u64) << 8 ^ run as u64);
+            let mut metrics = CountingMetrics::new();
+            for _ in 0..samples_per_run {
+                let layout = CrowdLayout::generate(&mut rng, cfg);
+                let scene = layout.build_scene(&mut rng, walkway);
+                let mut sweep = sensor.scan(&scene, &mut rng);
+                roi_filter(&mut sweep, &walkway);
+                ground_segment(&mut sweep);
+                // Ground truth: pedestrians visible in the capture (the
+                // paper's labellers can only count what the LiDAR saw).
+                let min_visible = 8;
+                let ground_truth = (0..scene.entity_count())
+                    .filter(|&i| scene.entity(i).is_human())
+                    .filter(|&i| sweep.points_of(i).len() >= min_visible)
+                    .count();
+                let result = counter.count(&sweep.into_cloud());
+                metrics.push(result.count, ground_truth);
+            }
+            run_mae.push(metrics.mae());
+            run_mse.push(metrics.mse());
+            run_total.push(metrics.predicted_total() as f64 / 1000.0);
+            run_actual.push(metrics.actual_total() as f64 / 1000.0);
+        }
+        let density = cfg.density_level().to_string();
+        eprintln!(
+            "[table6] {pedestrians} peds ({density}): MAE {:.3} MSE {:.3}",
+            run_mae.mean(),
+            run_mse.mean()
+        );
+        rows.push(vec![
+            format!("{pedestrians}"),
+            density,
+            table::pm(run_mae.mean(), run_mae.sample_std_dev(), 3),
+            table::pm(run_mse.mean(), run_mse.sample_std_dev(), 3),
+            table::f(run_total.mean(), 3),
+            table::pm(run_actual.mean(), run_actual.sample_std_dev(), 3),
+        ]);
+    }
+    println!(
+        "{}",
+        table::render(
+            &["# Pedestrians", "Density", "MAE", "MSE", "Total (K)", "Actual (K)"],
+            &rows
+        )
+    );
+    println!("paper: MAE 0.47 @20 → 5.90 @250 (97.64% accuracy at high density)");
+}

@@ -1,0 +1,19 @@
+//! Shared infrastructure for the table/figure harness binaries.
+//!
+//! Every binary under `src/bin/` regenerates one table or figure of the
+//! paper (see DESIGN.md's per-experiment index). They share:
+//!
+//! * [`HarnessArgs`] — a tiny CLI (`--samples`, `--seed`, `--full`, …),
+//! * [`Workbench`] — dataset construction with on-disk caching plus
+//!   trained-model constructors for HAWC and the three baselines,
+//! * [`table`] — fixed-width table rendering for terminal output.
+//!
+//! Run any experiment with
+//! `cargo run -p bench --release --bin <experiment>`.
+
+#![forbid(unsafe_code)]
+
+pub mod table;
+mod workbench;
+
+pub use workbench::{HarnessArgs, Workbench};

@@ -1,0 +1,95 @@
+//! Fixed-width terminal tables for harness output.
+
+/// Renders rows as a fixed-width table with a header rule.
+///
+/// # Panics
+///
+/// Panics if any row width differs from the header width.
+pub fn render(header: &[&str], rows: &[Vec<String>]) -> String {
+    let cols = header.len();
+    let mut width = vec![0usize; cols];
+    for (i, h) in header.iter().enumerate() {
+        width[i] = h.chars().count();
+    }
+    for row in rows {
+        assert_eq!(row.len(), cols, "row width mismatch");
+        for (i, cell) in row.iter().enumerate() {
+            width[i] = width[i].max(cell.chars().count());
+        }
+    }
+    let mut out = String::new();
+    let fmt_row = |cells: &[String]| -> String {
+        let mut line = String::from("| ");
+        for (i, cell) in cells.iter().enumerate() {
+            line.push_str(cell);
+            line.push_str(&" ".repeat(width[i] - cell.chars().count()));
+            line.push_str(" | ");
+        }
+        line.trim_end().to_string()
+    };
+    let head: Vec<String> = header.iter().map(|s| s.to_string()).collect();
+    out.push_str(&fmt_row(&head));
+    out.push('\n');
+    let mut rule = String::from("|");
+    for w in &width {
+        rule.push_str(&"-".repeat(w + 2));
+        rule.push('|');
+    }
+    out.push_str(&rule);
+    out.push('\n');
+    for row in rows {
+        out.push_str(&fmt_row(row));
+        out.push('\n');
+    }
+    out
+}
+
+/// Formats a float with the given decimals.
+pub fn f(value: f64, decimals: usize) -> String {
+    format!("{value:.decimals$}")
+}
+
+/// Formats a percentage with two decimals.
+pub fn pct(value: f64) -> String {
+    format!("{:.2}%", value * 100.0)
+}
+
+/// Formats a `mean ± std` cell.
+pub fn pm(mean: f64, std: f64, decimals: usize) -> String {
+    format!("{mean:.decimals$} ± {std:.decimals$}")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_aligned_table() {
+        let s = render(
+            &["Model", "Acc"],
+            &[
+                vec!["HAWC".into(), "99.97".into()],
+                vec!["PointNet".into(), "94.91".into()],
+            ],
+        );
+        let lines: Vec<&str> = s.lines().collect();
+        assert_eq!(lines.len(), 4);
+        // All lines equal length.
+        assert!(lines.windows(2).all(|w| w[0].len() == w[1].len()));
+        assert!(lines[0].contains("Model"));
+        assert!(lines[2].contains("HAWC"));
+    }
+
+    #[test]
+    fn formatters() {
+        assert_eq!(f(1.23456, 2), "1.23");
+        assert_eq!(pct(0.9953), "99.53%");
+        assert_eq!(pm(17.42, 0.46, 2), "17.42 ± 0.46");
+    }
+
+    #[test]
+    #[should_panic(expected = "row width mismatch")]
+    fn ragged_rows_panic() {
+        let _ = render(&["a", "b"], &[vec!["x".into()]]);
+    }
+}

@@ -1,0 +1,248 @@
+//! Dataset construction, caching and model training shared by the
+//! harness binaries.
+
+use baselines::{
+    AutoEncoderClassifier, AutoEncoderConfig, OcSvmClassifier, OcSvmClassifierConfig,
+    PointNetClassifier, PointNetConfig,
+};
+use dataset::{
+    codec, generate_counting_dataset, generate_detection_dataset, generate_object_pool, split,
+    CountingDatasetConfig, CountingSample, DetectionDatasetConfig, DetectionSample, ObjectPool,
+    Split,
+};
+use hawc::{HawcClassifier, HawcConfig};
+use lidar::SensorConfig;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::path::PathBuf;
+use std::time::Instant;
+use world::WalkwayConfig;
+
+/// Common harness CLI arguments.
+///
+/// Flags: `--samples N`, `--counting N`, `--seed N`, `--epochs N`,
+/// `--full` (paper-scale datasets: 15,028 detection captures),
+/// `--no-cache`.
+#[derive(Debug, Clone)]
+pub struct HarnessArgs {
+    /// Detection dataset size (total, class-balanced).
+    pub samples: usize,
+    /// Counting dataset size.
+    pub counting_samples: usize,
+    /// Campaign seed.
+    pub seed: u64,
+    /// HAWC training epochs.
+    pub epochs: usize,
+    /// Skip the on-disk dataset cache.
+    pub no_cache: bool,
+}
+
+impl Default for HarnessArgs {
+    fn default() -> Self {
+        HarnessArgs {
+            samples: 1600,
+            counting_samples: 300,
+            seed: 42,
+            epochs: 30,
+            no_cache: false,
+        }
+    }
+}
+
+impl HarnessArgs {
+    /// Parses `std::env::args`, falling back to defaults.
+    ///
+    /// # Panics
+    ///
+    /// Panics on malformed flag values.
+    pub fn parse() -> Self {
+        let mut out = HarnessArgs::default();
+        let args: Vec<String> = std::env::args().collect();
+        let mut i = 1;
+        while i < args.len() {
+            let take = |i: &mut usize| -> usize {
+                *i += 1;
+                args.get(*i)
+                    .unwrap_or_else(|| panic!("missing value for {}", args[*i - 1]))
+                    .parse()
+                    .unwrap_or_else(|e| panic!("bad value for {}: {e}", args[*i - 1]))
+            };
+            match args[i].as_str() {
+                "--samples" => out.samples = take(&mut i),
+                "--counting" => out.counting_samples = take(&mut i),
+                "--seed" => out.seed = take(&mut i) as u64,
+                "--epochs" => out.epochs = take(&mut i),
+                "--full" => {
+                    // Paper-scale: both datasets have 15,028 captures.
+                    out.samples = 15_028;
+                    out.counting_samples = 15_028;
+                }
+                "--no-cache" => out.no_cache = true,
+                other => panic!("unknown flag {other}"),
+            }
+            i += 1;
+        }
+        out
+    }
+}
+
+/// Prepared datasets plus model constructors.
+pub struct Workbench {
+    /// Harness arguments used to build the bench.
+    pub args: HarnessArgs,
+    /// Detection split (80:20, the paper's protocol).
+    pub detection: Split<DetectionSample>,
+    /// Counting captures with ground truth.
+    pub counting: Vec<CountingSample>,
+    /// Pooled "Object" data for up-sampling.
+    pub pool: ObjectPool,
+}
+
+fn cache_dir() -> PathBuf {
+    PathBuf::from("target/dataset-cache")
+}
+
+fn log_step(what: &str, t0: Instant) {
+    eprintln!("[workbench] {what} ({:.1}s)", t0.elapsed().as_secs_f64());
+}
+
+impl Workbench {
+    /// Builds (or loads from cache) the datasets for `args`.
+    pub fn prepare(args: HarnessArgs) -> Self {
+        let dir = cache_dir();
+        let _ = std::fs::create_dir_all(&dir);
+        let det_path = dir.join(format!("detection-{}-{}.hawc", args.samples, args.seed));
+        let cnt_path =
+            dir.join(format!("counting-{}-{}.hawc", args.counting_samples, args.seed));
+        let pool_path = dir.join(format!("pool-{}.hawc", args.seed));
+
+        let t0 = Instant::now();
+        let detection_all = if !args.no_cache {
+            codec::load_detection(&det_path).ok()
+        } else {
+            None
+        }
+        .unwrap_or_else(|| {
+            let data = generate_detection_dataset(&DetectionDatasetConfig {
+                samples: args.samples,
+                seed: args.seed,
+                ..DetectionDatasetConfig::default()
+            });
+            let _ = codec::save_detection(&det_path, &data);
+            data
+        });
+        log_step(&format!("detection dataset: {} captures", detection_all.len()), t0);
+
+        let t0 = Instant::now();
+        let counting = if !args.no_cache { codec::load_counting(&cnt_path).ok() } else { None }
+            .unwrap_or_else(|| {
+                let data = generate_counting_dataset(&CountingDatasetConfig {
+                    samples: args.counting_samples,
+                    seed: args.seed ^ 0xC0,
+                    ..CountingDatasetConfig::default()
+                });
+                let _ = codec::save_counting(&cnt_path, &data);
+                data
+            });
+        log_step(&format!("counting dataset: {} captures", counting.len()), t0);
+
+        let t0 = Instant::now();
+        let pool = if !args.no_cache { codec::load_pool(&pool_path).ok() } else { None }
+            .unwrap_or_else(|| {
+                let pool = generate_object_pool(
+                    args.seed ^ 0xB00,
+                    128,
+                    &WalkwayConfig::default(),
+                    &SensorConfig::default(),
+                );
+                let _ = codec::save_pool(&pool_path, &pool);
+                pool
+            });
+        log_step(&format!("object pool: {} points", pool.len()), t0);
+
+        let mut rng = StdRng::seed_from_u64(args.seed ^ 0x5);
+        let detection = split(&mut rng, detection_all, 0.8);
+        Workbench { args, detection, counting, pool }
+    }
+
+    /// RNG stream for model training (fixed per seed).
+    pub fn rng(&self) -> StdRng {
+        StdRng::seed_from_u64(self.args.seed ^ 0x7777)
+    }
+
+    /// HAWC configuration at harness scale.
+    pub fn hawc_config(&self) -> HawcConfig {
+        HawcConfig { target_points: 0, epochs: self.args.epochs, ..HawcConfig::default() }
+    }
+
+    /// PointNet configuration at harness scale. The paper-scale
+    /// architecture (747,947 parameters) is used for the latency models
+    /// (where no training happens); training a 750k-parameter network in
+    /// scalar f32 on this substrate would dominate the harness runtime,
+    /// so the trained PointNet uses a narrower shared MLP.
+    pub fn pointnet_config(&self) -> PointNetConfig {
+        PointNetConfig {
+            mlp: vec![32, 64, 128],
+            head: vec![64],
+            epochs: (self.args.epochs / 2).max(10),
+            ..PointNetConfig::default()
+        }
+    }
+
+    /// AutoEncoder configuration at harness scale.
+    pub fn autoencoder_config(&self) -> AutoEncoderConfig {
+        AutoEncoderConfig::default()
+    }
+
+    /// Trains HAWC on the training split.
+    pub fn train_hawc(&self) -> HawcClassifier {
+        let t0 = Instant::now();
+        let model = HawcClassifier::train(
+            &self.detection.train,
+            self.pool.clone(),
+            &self.hawc_config(),
+            &mut self.rng(),
+        );
+        log_step("trained HAWC", t0);
+        model
+    }
+
+    /// Trains PointNet on the training split.
+    pub fn train_pointnet(&self) -> PointNetClassifier {
+        let t0 = Instant::now();
+        let model = PointNetClassifier::train(
+            &self.detection.train,
+            self.pool.clone(),
+            &self.pointnet_config(),
+            &mut self.rng(),
+        );
+        log_step("trained PointNet", t0);
+        model
+    }
+
+    /// Trains the AutoEncoder on the training split.
+    pub fn train_autoencoder(&self) -> AutoEncoderClassifier {
+        let t0 = Instant::now();
+        let model = AutoEncoderClassifier::train(
+            &self.detection.train,
+            &self.autoencoder_config(),
+            &mut self.rng(),
+        );
+        log_step("trained AutoEncoder", t0);
+        model
+    }
+
+    /// Trains the OC-SVM on the training split's human clusters.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the training split has no human clusters.
+    pub fn train_ocsvm(&self) -> OcSvmClassifier {
+        let t0 = Instant::now();
+        let model =
+            OcSvmClassifier::train(&self.detection.train, &OcSvmClassifierConfig::default())
+                .expect("training split must contain human clusters");
+        log_step("trained OC-SVM", t0);
+        model
+    }
+}

@@ -1,0 +1,160 @@
+//! Adaptive clustering — the paper's first core contribution (§IV).
+//!
+//! A fixed DBSCAN `ε` cannot serve every capture: the optimal value varies
+//! from 0.04 to 9.06 across the paper's training set (Fig. 4b). Adaptive
+//! clustering recomputes `ε` per capture: sort the k-NN distances, find
+//! the elbow with the maximum-relative-gap rule, and run DBSCAN with the
+//! distance value at the elbow.
+
+use geom::{KdTree, Point3};
+use serde::{Deserialize, Serialize};
+
+use crate::{dbscan, knee, Clustering, DbscanParams};
+
+/// Parameters of adaptive clustering.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct AdaptiveConfig {
+    /// Which nearest neighbour's distance builds the curve (the paper's
+    /// `n`; `k = min_points - 1` is the classic DBSCAN pairing).
+    pub k: usize,
+    /// DBSCAN core-point threshold `m`.
+    pub min_points: usize,
+    /// Fallback `ε` when the elbow is undefined (e.g. all points
+    /// coincident). Chosen near the Fig. 4b mode of 0.08.
+    pub fallback_eps: f64,
+    /// Lower clamp on the located `ε`, guarding against a degenerate
+    /// elbow inside sensor noise.
+    pub min_eps: f64,
+    /// Upper clamp on the located `ε` (Fig. 4b maxes out at 9.06).
+    pub max_eps: f64,
+}
+
+impl Default for AdaptiveConfig {
+    fn default() -> Self {
+        AdaptiveConfig { k: 4, min_points: 5, fallback_eps: 0.08, min_eps: 0.02, max_eps: 9.06 }
+    }
+}
+
+/// Computes the per-capture optimal `ε`: the value at the elbow of the
+/// ascending k-NN distance curve, clamped to the configured range.
+///
+/// Returns the fallback for captures with fewer than `k + 2` points,
+/// where no meaningful curve exists.
+pub fn adaptive_eps(points: &[Point3], cfg: &AdaptiveConfig) -> f64 {
+    if points.len() < cfg.k + 2 {
+        return cfg.fallback_eps;
+    }
+    let tree = KdTree::build(points);
+    let mut dists = tree.knn_distances(cfg.k);
+    dists.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+    match knee::elbow_value(&dists) {
+        Some(eps) if eps.is_finite() && eps > 0.0 => eps.clamp(cfg.min_eps, cfg.max_eps),
+        _ => cfg.fallback_eps,
+    }
+}
+
+/// The paper's adaptive clustering: per-capture `ε` from
+/// [`adaptive_eps`], then DBSCAN.
+pub fn adaptive_dbscan(points: &[Point3], cfg: &AdaptiveConfig) -> Clustering {
+    let eps = adaptive_eps(points, cfg);
+    dbscan(points, &DbscanParams { eps, min_points: cfg.min_points })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use geom::Vec3;
+
+    fn blob(center: Point3, n: usize, spacing: f64) -> Vec<Point3> {
+        // Regular 3-D grid: uniform density with known spacing.
+        let side = (n as f64).cbrt().ceil() as usize;
+        let mut pts = Vec::with_capacity(n);
+        'outer: for i in 0..side {
+            for j in 0..side {
+                for k in 0..side {
+                    if pts.len() == n {
+                        break 'outer;
+                    }
+                    pts.push(
+                        center
+                            + Vec3::new(i as f64, j as f64, k as f64) * spacing,
+                    );
+                }
+            }
+        }
+        pts
+    }
+
+    #[test]
+    fn eps_tracks_point_spacing() {
+        // The same shape at two scales must yield proportionally
+        // different ε — exactly what a fixed ε cannot do.
+        let tight = blob(Point3::ZERO, 60, 0.02);
+        let loose = blob(Point3::ZERO, 60, 0.2);
+        let cfg = AdaptiveConfig::default();
+        let e_tight = adaptive_eps(&tight, &cfg);
+        let e_loose = adaptive_eps(&loose, &cfg);
+        assert!(
+            e_loose > 2.0 * e_tight,
+            "loose {e_loose} should dwarf tight {e_tight}"
+        );
+    }
+
+    #[test]
+    fn separates_two_pedestrian_like_blobs() {
+        let mut pts = blob(Point3::new(15.0, 0.0, -2.0), 80, 0.02);
+        pts.extend(blob(Point3::new(18.0, 1.5, -2.0), 80, 0.02));
+        let c = adaptive_dbscan(&pts, &AdaptiveConfig::default());
+        assert_eq!(c.cluster_count(), 2, "noise: {}", c.noise_count());
+    }
+
+    #[test]
+    fn eps_clamped_to_configured_range() {
+        let cfg = AdaptiveConfig { min_eps: 0.5, max_eps: 1.0, ..AdaptiveConfig::default() };
+        let tight = blob(Point3::ZERO, 60, 0.001);
+        let eps = adaptive_eps(&tight, &cfg);
+        assert!(eps >= 0.5);
+        let spread = blob(Point3::ZERO, 60, 5.0);
+        let eps2 = adaptive_eps(&spread, &cfg);
+        assert!(eps2 <= 1.0);
+    }
+
+    #[test]
+    fn tiny_inputs_fall_back() {
+        let cfg = AdaptiveConfig::default();
+        assert_eq!(adaptive_eps(&[], &cfg), cfg.fallback_eps);
+        let few = vec![Point3::ZERO; 3];
+        assert_eq!(adaptive_eps(&few, &cfg), cfg.fallback_eps);
+    }
+
+    #[test]
+    fn coincident_points_fall_back_and_cluster() {
+        let pts = vec![Point3::splat(1.0); 30];
+        let cfg = AdaptiveConfig::default();
+        assert_eq!(adaptive_eps(&pts, &cfg), cfg.fallback_eps);
+        let c = adaptive_dbscan(&pts, &cfg);
+        assert_eq!(c.cluster_count(), 1);
+    }
+
+    #[test]
+    fn adaptive_beats_fixed_eps_across_scales() {
+        // One capture with widely-spaced far points, one with dense near
+        // points; a single fixed ε fails on at least one of them, the
+        // adaptive version gets both (the §IV motivation).
+        let near = blob(Point3::new(12.5, 0.0, -2.0), 100, 0.02);
+        let far = blob(Point3::new(33.0, 0.0, -2.0), 40, 0.15);
+
+        let cfg = AdaptiveConfig::default();
+        let a_near = adaptive_dbscan(&near, &cfg);
+        let a_far = adaptive_dbscan(&far, &cfg);
+        assert_eq!(a_near.cluster_count(), 1);
+        assert_eq!(a_far.cluster_count(), 1);
+        // A fixed ε tuned to the near capture shatters the far one.
+        let eps_near = adaptive_eps(&near, &cfg);
+        let fixed = dbscan(&far, &DbscanParams { eps: eps_near, min_points: cfg.min_points });
+        assert!(
+            fixed.cluster_count() != 1 || fixed.noise_count() > 0,
+            "fixed ε unexpectedly handled both scales"
+        );
+    }
+}

@@ -1,0 +1,200 @@
+//! DBSCAN — Density-Based Spatial Clustering of Applications with Noise.
+//!
+//! The paper's §IV clustering core: "HAWC-CC identifies core points C as
+//! those having at least m neighbors within the ε range … a point p_i
+//! belongs to cluster C_m if it is a core point or a neighbor of a core
+//! point within the ε range."
+
+use geom::{KdTree, Point3};
+use serde::{Deserialize, Serialize};
+
+use crate::Clustering;
+
+/// DBSCAN parameters.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct DbscanParams {
+    /// Neighbourhood radius `ε`.
+    pub eps: f64,
+    /// Minimum neighbours (including the point itself) for a core point —
+    /// the paper's `m`.
+    pub min_points: usize,
+}
+
+impl Default for DbscanParams {
+    fn default() -> Self {
+        // min_points = 5 is the usual heuristic for 3-D data.
+        DbscanParams { eps: 0.5, min_points: 5 }
+    }
+}
+
+/// Runs DBSCAN over `points`.
+///
+/// Standard expansion: every unvisited core point seeds a cluster and the
+/// cluster grows through density-reachable core points; border points join
+/// the first cluster that reaches them; everything else is noise.
+///
+/// # Panics
+///
+/// Panics if `eps` is not positive or `min_points == 0`.
+pub fn dbscan(points: &[Point3], params: &DbscanParams) -> Clustering {
+    assert!(params.eps > 0.0, "eps must be positive");
+    assert!(params.min_points > 0, "min_points must be positive");
+    let n = points.len();
+    if n == 0 {
+        return Clustering::all_noise(0);
+    }
+    let tree = KdTree::build(points);
+    let mut labels: Vec<Option<usize>> = vec![None; n];
+    let mut visited = vec![false; n];
+    let mut n_clusters = 0usize;
+    let mut queue: Vec<usize> = Vec::new();
+
+    for seed in 0..n {
+        if visited[seed] {
+            continue;
+        }
+        visited[seed] = true;
+        let neighbours = tree.within(points[seed], params.eps);
+        if neighbours.len() < params.min_points {
+            continue; // noise unless a later cluster absorbs it as border
+        }
+        let cluster = n_clusters;
+        n_clusters += 1;
+        labels[seed] = Some(cluster);
+        queue.clear();
+        queue.extend(neighbours);
+        while let Some(p) = queue.pop() {
+            if labels[p].is_none() {
+                labels[p] = Some(cluster); // border or core member
+            }
+            if visited[p] {
+                continue;
+            }
+            visited[p] = true;
+            let nn = tree.within(points[p], params.eps);
+            if nn.len() >= params.min_points {
+                // p is core: its neighbourhood is density-reachable.
+                for q in nn {
+                    if !visited[q] || labels[q].is_none() {
+                        queue.push(q);
+                    }
+                }
+            }
+        }
+    }
+    Clustering::new(labels, n_clusters)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn blob(center: Point3, n: usize, spread: f64) -> Vec<Point3> {
+        // Deterministic quasi-random blob.
+        (0..n)
+            .map(|i| {
+                let a = i as f64 * 2.399963; // golden angle
+                let r = spread * ((i % 7) as f64 / 7.0);
+                center + geom::Vec3::new(r * a.cos(), r * a.sin(), ((i % 3) as f64 - 1.0) * spread / 3.0)
+            })
+            .collect()
+    }
+
+    #[test]
+    fn two_blobs_two_clusters() {
+        let mut pts = blob(Point3::new(0.0, 0.0, 0.0), 40, 0.3);
+        pts.extend(blob(Point3::new(10.0, 0.0, 0.0), 40, 0.3));
+        let c = dbscan(&pts, &DbscanParams { eps: 0.5, min_points: 4 });
+        assert_eq!(c.cluster_count(), 2);
+        assert_eq!(c.noise_count(), 0);
+        // Points from the same blob share a label.
+        let l0 = c.labels()[0];
+        assert!(c.labels()[..40].iter().all(|&l| l == l0));
+        let l1 = c.labels()[40];
+        assert!(c.labels()[40..].iter().all(|&l| l == l1));
+        assert_ne!(l0, l1);
+    }
+
+    #[test]
+    fn isolated_points_are_noise() {
+        let mut pts = blob(Point3::new(0.0, 0.0, 0.0), 30, 0.3);
+        pts.push(Point3::new(50.0, 0.0, 0.0));
+        pts.push(Point3::new(-50.0, 3.0, 1.0));
+        let c = dbscan(&pts, &DbscanParams { eps: 0.5, min_points: 4 });
+        assert_eq!(c.cluster_count(), 1);
+        assert_eq!(c.noise_count(), 2);
+        assert!(c.labels()[30].is_none());
+        assert!(c.labels()[31].is_none());
+    }
+
+    #[test]
+    fn eps_too_small_fragments_everything_to_noise() {
+        let pts = blob(Point3::new(0.0, 0.0, 0.0), 30, 1.0);
+        let c = dbscan(&pts, &DbscanParams { eps: 1e-6, min_points: 4 });
+        assert_eq!(c.cluster_count(), 0);
+        assert_eq!(c.noise_count(), 30);
+    }
+
+    #[test]
+    fn eps_too_large_merges_blobs() {
+        let mut pts = blob(Point3::new(0.0, 0.0, 0.0), 30, 0.3);
+        pts.extend(blob(Point3::new(4.0, 0.0, 0.0), 30, 0.3));
+        let c = dbscan(&pts, &DbscanParams { eps: 5.0, min_points: 4 });
+        assert_eq!(c.cluster_count(), 1);
+    }
+
+    #[test]
+    fn nonconvex_shape_stays_one_cluster() {
+        // A thin L: density-based methods keep it together, parametric
+        // ones would not (the §IV argument for DBSCAN).
+        let mut pts = Vec::new();
+        for i in 0..50 {
+            pts.push(Point3::new(i as f64 * 0.1, 0.0, 0.0));
+        }
+        for i in 1..50 {
+            pts.push(Point3::new(0.0, i as f64 * 0.1, 0.0));
+        }
+        let c = dbscan(&pts, &DbscanParams { eps: 0.25, min_points: 3 });
+        assert_eq!(c.cluster_count(), 1);
+        assert_eq!(c.noise_count(), 0);
+    }
+
+    #[test]
+    fn empty_input() {
+        let c = dbscan(&[], &DbscanParams::default());
+        assert!(c.is_empty());
+        assert_eq!(c.cluster_count(), 0);
+    }
+
+    #[test]
+    fn min_points_one_promotes_every_point_to_core() {
+        let pts = vec![Point3::new(0.0, 0.0, 0.0), Point3::new(100.0, 0.0, 0.0)];
+        let c = dbscan(&pts, &DbscanParams { eps: 0.1, min_points: 1 });
+        // Each isolated point becomes its own single-member cluster.
+        assert_eq!(c.cluster_count(), 2);
+        assert_eq!(c.noise_count(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "eps must be positive")]
+    fn zero_eps_panics() {
+        let _ = dbscan(&[], &DbscanParams { eps: 0.0, min_points: 3 });
+    }
+
+    #[test]
+    fn border_points_join_exactly_one_cluster() {
+        // A bridge point between two dense blobs, reachable from both but
+        // not core: it must end up labelled once.
+        let mut pts = blob(Point3::new(0.0, 0.0, 0.0), 20, 0.2);
+        pts.extend(blob(Point3::new(2.0, 0.0, 0.0), 20, 0.2));
+        pts.push(Point3::new(1.0, 0.0, 0.0));
+        let c = dbscan(&pts, &DbscanParams { eps: 0.9, min_points: 6 });
+        let bridge = c.labels()[40];
+        if let Some(l) = bridge {
+            assert!(l < c.cluster_count());
+        }
+        // Every labelled point has a valid cluster id (checked by
+        // Clustering::new), and the label vector covers all points.
+        assert_eq!(c.len(), 41);
+    }
+}

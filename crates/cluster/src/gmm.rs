@@ -1,0 +1,220 @@
+//! Gaussian-mixture clustering via EM (§IV baseline).
+//!
+//! Like k-means, mixture models "assume a parametric distribution and
+//! typically create clusters with convex shapes" (§IV) — they appear here
+//! so the comparison benches can quantify that claim. Diagonal
+//! covariances, k-means initialisation, MAP assignment.
+
+use geom::{Point3, Vec3};
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+use crate::{kmeans, Clustering, KmeansParams};
+
+/// Gaussian-mixture parameters.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct GmmParams {
+    /// Number of components.
+    pub k: usize,
+    /// Maximum EM iterations.
+    pub max_iters: usize,
+    /// Convergence threshold on log-likelihood improvement.
+    pub tol: f64,
+    /// Variance floor that keeps components from collapsing onto single
+    /// points.
+    pub var_floor: f64,
+}
+
+impl Default for GmmParams {
+    fn default() -> Self {
+        GmmParams { k: 2, max_iters: 60, tol: 1e-6, var_floor: 1e-4 }
+    }
+}
+
+struct Component {
+    weight: f64,
+    mean: Point3,
+    /// Per-axis variances (diagonal covariance).
+    var: Vec3,
+}
+
+impl Component {
+    fn log_density(&self, p: Point3) -> f64 {
+        let mut acc = 0.0;
+        for ax in 0..3 {
+            let d = p.axis(ax) - self.mean.axis(ax);
+            let v = self.var.axis(ax);
+            acc += -0.5 * (d * d / v + v.ln() + (2.0 * std::f64::consts::PI).ln());
+        }
+        acc + self.weight.max(f64::MIN_POSITIVE).ln()
+    }
+}
+
+/// Fits a `k`-component diagonal GMM with EM and returns the MAP
+/// assignment of every point.
+///
+/// # Panics
+///
+/// Panics if `k == 0`.
+pub fn gmm<R: Rng + ?Sized>(points: &[Point3], params: &GmmParams, rng: &mut R) -> Clustering {
+    assert!(params.k > 0, "k must be positive");
+    let n = points.len();
+    if n == 0 {
+        return Clustering::all_noise(0);
+    }
+    let k = params.k.min(n);
+
+    // Initialise from k-means.
+    let init = kmeans(points, &KmeansParams { k, max_iters: 20, tol: 1e-4 }, rng);
+    let k = init.cluster_count().max(1);
+    let mut comps: Vec<Component> = (0..k)
+        .map(|_| Component { weight: 1.0 / k as f64, mean: Point3::ZERO, var: Vec3::splat(1.0) })
+        .collect();
+    {
+        let groups = init.clusters();
+        for (c, idxs) in groups.iter().enumerate() {
+            if idxs.is_empty() {
+                continue;
+            }
+            let mean = idxs.iter().map(|&i| points[i]).sum::<Point3>() / idxs.len() as f64;
+            let mut var = Vec3::splat(params.var_floor);
+            for &i in idxs {
+                let d = points[i] - mean;
+                var += Vec3::new(d.x * d.x, d.y * d.y, d.z * d.z) / idxs.len() as f64;
+            }
+            comps[c] = Component {
+                weight: idxs.len() as f64 / n as f64,
+                mean,
+                var: var.max(Vec3::splat(params.var_floor)),
+            };
+        }
+    }
+
+    let mut resp = vec![0.0f64; n * k];
+    let mut prev_ll = f64::NEG_INFINITY;
+    for _ in 0..params.max_iters {
+        // E step.
+        let mut ll = 0.0;
+        for (i, &p) in points.iter().enumerate() {
+            let logs: Vec<f64> = comps.iter().map(|c| c.log_density(p)).collect();
+            let m = logs.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+            let mut z = 0.0;
+            for (c, &lg) in logs.iter().enumerate() {
+                let e = (lg - m).exp();
+                resp[i * k + c] = e;
+                z += e;
+            }
+            for c in 0..k {
+                resp[i * k + c] /= z;
+            }
+            ll += m + z.ln();
+        }
+        // M step.
+        for c in 0..k {
+            let nk: f64 = (0..n).map(|i| resp[i * k + c]).sum();
+            if nk < 1e-9 {
+                continue;
+            }
+            let mean = (0..n).map(|i| points[i] * resp[i * k + c]).sum::<Point3>() / nk;
+            let mut var = Vec3::ZERO;
+            for i in 0..n {
+                let d = points[i] - mean;
+                var += Vec3::new(d.x * d.x, d.y * d.y, d.z * d.z) * resp[i * k + c];
+            }
+            comps[c] = Component {
+                weight: nk / n as f64,
+                mean,
+                var: (var / nk).max(Vec3::splat(params.var_floor)),
+            };
+        }
+        if (ll - prev_ll).abs() < params.tol {
+            break;
+        }
+        prev_ll = ll;
+    }
+
+    // MAP assignment, compacting empty components.
+    let mut used: Vec<Option<usize>> = vec![None; k];
+    let mut next_id = 0;
+    let labels: Vec<Option<usize>> = points
+        .iter()
+        .enumerate()
+        .map(|(i, _)| {
+            let c = (0..k)
+                .max_by(|&a, &b| {
+                    resp[i * k + a]
+                        .partial_cmp(&resp[i * k + b])
+                        .unwrap_or(std::cmp::Ordering::Equal)
+                })
+                .unwrap_or(0);
+            let id = *used[c].get_or_insert_with(|| {
+                let id = next_id;
+                next_id += 1;
+                id
+            });
+            Some(id)
+        })
+        .collect();
+    Clustering::new(labels, next_id)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn rng() -> StdRng {
+        StdRng::seed_from_u64(33)
+    }
+
+    fn blob(center: Point3, n: usize, spread: f64) -> Vec<Point3> {
+        (0..n)
+            .map(|i| {
+                let a = i as f64 * 2.399963;
+                let r = spread * ((i % 9) as f64 / 9.0);
+                center + Vec3::new(r * a.cos(), r * a.sin(), r * (a * 0.5).sin() * 0.5)
+            })
+            .collect()
+    }
+
+    #[test]
+    fn separates_two_gaussians() {
+        let mut pts = blob(Point3::ZERO, 60, 0.4);
+        pts.extend(blob(Point3::new(8.0, 0.0, 0.0), 60, 0.4));
+        let c = gmm(&pts, &GmmParams { k: 2, ..GmmParams::default() }, &mut rng());
+        assert_eq!(c.cluster_count(), 2);
+        let l0 = c.labels()[0];
+        assert!(c.labels()[..60].iter().all(|&l| l == l0));
+        assert!(c.labels()[60..].iter().all(|&l| l != l0));
+    }
+
+    #[test]
+    fn empty_and_tiny_inputs() {
+        assert!(gmm(&[], &GmmParams::default(), &mut rng()).is_empty());
+        let one = gmm(&[Point3::ZERO], &GmmParams { k: 3, ..GmmParams::default() }, &mut rng());
+        assert_eq!(one.cluster_count(), 1);
+    }
+
+    #[test]
+    fn every_point_assigned() {
+        let pts = blob(Point3::ZERO, 50, 1.0);
+        let c = gmm(&pts, &GmmParams { k: 3, ..GmmParams::default() }, &mut rng());
+        assert_eq!(c.noise_count(), 0);
+        assert_eq!(c.len(), 50);
+    }
+
+    #[test]
+    fn coincident_points_survive_var_floor() {
+        let pts = vec![Point3::splat(1.0); 40];
+        let c = gmm(&pts, &GmmParams { k: 2, ..GmmParams::default() }, &mut rng());
+        assert!(c.cluster_count() >= 1);
+        assert_eq!(c.noise_count(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "k must be positive")]
+    fn zero_k_panics() {
+        let _ = gmm(&[], &GmmParams { k: 0, ..GmmParams::default() }, &mut rng());
+    }
+}

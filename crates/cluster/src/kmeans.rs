@@ -1,0 +1,192 @@
+//! k-means clustering (§IV baseline).
+//!
+//! The paper rejects k-means because it "assume[s] a parametric
+//! distribution and typically create[s] clusters with convex shapes" and
+//! needs `k` up front — a non-starter when the number of pedestrians is
+//! the unknown being estimated. Implemented with k-means++ seeding for
+//! the comparison benches.
+
+use geom::{Point3, Vec3};
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+use crate::Clustering;
+
+/// k-means parameters.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct KmeansParams {
+    /// Number of clusters.
+    pub k: usize,
+    /// Maximum Lloyd iterations.
+    pub max_iters: usize,
+    /// Convergence threshold on total centroid movement.
+    pub tol: f64,
+}
+
+impl Default for KmeansParams {
+    fn default() -> Self {
+        KmeansParams { k: 2, max_iters: 100, tol: 1e-6 }
+    }
+}
+
+/// Runs k-means++ initialised Lloyd iterations.
+///
+/// Every point is assigned (k-means has no noise concept). When there are
+/// fewer points than `k`, the effective `k` shrinks to the point count.
+///
+/// # Panics
+///
+/// Panics if `k == 0`.
+pub fn kmeans<R: Rng + ?Sized>(points: &[Point3], params: &KmeansParams, rng: &mut R) -> Clustering {
+    assert!(params.k > 0, "k must be positive");
+    let n = points.len();
+    if n == 0 {
+        return Clustering::all_noise(0);
+    }
+    let k = params.k.min(n);
+
+    // k-means++ seeding.
+    let mut centroids: Vec<Point3> = Vec::with_capacity(k);
+    centroids.push(points[rng.gen_range(0..n)]);
+    let mut d2: Vec<f64> = points.iter().map(|p| p.distance_sq(centroids[0])).collect();
+    while centroids.len() < k {
+        let total: f64 = d2.iter().sum();
+        let next = if total <= f64::EPSILON {
+            points[rng.gen_range(0..n)]
+        } else {
+            let mut target = rng.gen_range(0.0..total);
+            let mut chosen = n - 1;
+            for (i, &w) in d2.iter().enumerate() {
+                if target < w {
+                    chosen = i;
+                    break;
+                }
+                target -= w;
+            }
+            points[chosen]
+        };
+        centroids.push(next);
+        for (i, p) in points.iter().enumerate() {
+            d2[i] = d2[i].min(p.distance_sq(next));
+        }
+    }
+
+    let mut assign = vec![0usize; n];
+    for _ in 0..params.max_iters {
+        // Assignment step.
+        for (i, p) in points.iter().enumerate() {
+            let mut best = (0usize, f64::INFINITY);
+            for (c, &ctr) in centroids.iter().enumerate() {
+                let d = p.distance_sq(ctr);
+                if d < best.1 {
+                    best = (c, d);
+                }
+            }
+            assign[i] = best.0;
+        }
+        // Update step.
+        let mut sums = vec![Vec3::ZERO; k];
+        let mut counts = vec![0usize; k];
+        for (i, p) in points.iter().enumerate() {
+            sums[assign[i]] += *p;
+            counts[assign[i]] += 1;
+        }
+        let mut movement = 0.0;
+        for c in 0..k {
+            if counts[c] == 0 {
+                continue; // keep the old centroid for empty clusters
+            }
+            let new = sums[c] / counts[c] as f64;
+            movement += centroids[c].distance(new);
+            centroids[c] = new;
+        }
+        if movement < params.tol {
+            break;
+        }
+    }
+
+    // Compact away empty clusters so ids are dense.
+    let mut used: Vec<Option<usize>> = vec![None; k];
+    let mut next_id = 0;
+    let labels: Vec<Option<usize>> = assign
+        .iter()
+        .map(|&c| {
+            let id = *used[c].get_or_insert_with(|| {
+                let id = next_id;
+                next_id += 1;
+                id
+            });
+            Some(id)
+        })
+        .collect();
+    Clustering::new(labels, next_id)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn rng() -> StdRng {
+        StdRng::seed_from_u64(21)
+    }
+
+    fn blob(center: Point3, n: usize) -> Vec<Point3> {
+        (0..n)
+            .map(|i| {
+                let a = i as f64 * 2.399963;
+                center + Vec3::new(0.2 * a.cos(), 0.2 * a.sin(), (i % 3) as f64 * 0.05)
+            })
+            .collect()
+    }
+
+    #[test]
+    fn two_blobs_k2() {
+        let mut pts = blob(Point3::ZERO, 40);
+        pts.extend(blob(Point3::new(10.0, 0.0, 0.0), 40));
+        let c = kmeans(&pts, &KmeansParams { k: 2, ..KmeansParams::default() }, &mut rng());
+        assert_eq!(c.cluster_count(), 2);
+        let l0 = c.labels()[0];
+        assert!(c.labels()[..40].iter().all(|&l| l == l0));
+        assert!(c.labels()[40..].iter().all(|&l| l != l0));
+    }
+
+    #[test]
+    fn k_larger_than_points_shrinks() {
+        let pts = vec![Point3::ZERO, Point3::splat(1.0)];
+        let c = kmeans(&pts, &KmeansParams { k: 10, ..KmeansParams::default() }, &mut rng());
+        assert!(c.cluster_count() <= 2);
+        assert_eq!(c.noise_count(), 0);
+    }
+
+    #[test]
+    fn empty_input() {
+        let c = kmeans(&[], &KmeansParams::default(), &mut rng());
+        assert!(c.is_empty());
+    }
+
+    #[test]
+    fn every_point_assigned() {
+        let mut pts = blob(Point3::ZERO, 25);
+        pts.extend(blob(Point3::new(3.0, 3.0, 0.0), 25));
+        pts.extend(blob(Point3::new(-4.0, 2.0, 1.0), 25));
+        let c = kmeans(&pts, &KmeansParams { k: 3, ..KmeansParams::default() }, &mut rng());
+        assert_eq!(c.noise_count(), 0);
+        assert_eq!(c.len(), 75);
+    }
+
+    #[test]
+    fn duplicate_points_do_not_crash() {
+        let pts = vec![Point3::splat(2.0); 30];
+        let c = kmeans(&pts, &KmeansParams { k: 3, ..KmeansParams::default() }, &mut rng());
+        assert!(c.cluster_count() >= 1);
+        assert_eq!(c.noise_count(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "k must be positive")]
+    fn zero_k_panics() {
+        let _ = kmeans(&[], &KmeansParams { k: 0, ..KmeansParams::default() }, &mut rng());
+    }
+}

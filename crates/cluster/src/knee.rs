@@ -1,0 +1,141 @@
+//! Elbow ("knee") detection on sorted k-NN distance curves.
+//!
+//! §IV: "HAWC-CC performs the KneeLocator algorithm on the sorted distance
+//! vector `D_i` to determine the elbow point as
+//! `k_elbow = argmax_i (d_{i+1} − d_i) / d_i`", i.e. the largest relative
+//! jump in the ascending distance curve. A Kneedle-style detector is also
+//! provided for the ablation bench.
+
+/// Index of the elbow of an ascending curve using the paper's
+/// maximum-relative-gap rule. Returns `None` for curves with fewer than
+/// two points or when no finite positive gap exists.
+///
+/// # Examples
+///
+/// ```
+/// let d = [0.1, 0.11, 0.12, 0.13, 1.5, 1.6];
+/// // The jump from 0.13 to 1.5 is the elbow.
+/// assert_eq!(cluster::knee::max_relative_gap(&d), Some(3));
+/// ```
+pub fn max_relative_gap(sorted: &[f64]) -> Option<usize> {
+    if sorted.len() < 2 {
+        return None;
+    }
+    let mut best: Option<(usize, f64)> = None;
+    for i in 0..sorted.len() - 1 {
+        let d = sorted[i];
+        if d <= 0.0 || !d.is_finite() || !sorted[i + 1].is_finite() {
+            continue;
+        }
+        let gap = (sorted[i + 1] - d) / d;
+        if gap.is_finite() && best.map_or(true, |(_, g)| gap > g) {
+            best = Some((i, gap));
+        }
+    }
+    best.map(|(i, _)| i)
+}
+
+/// Kneedle-style elbow detection: normalise the curve to the unit square
+/// and return the index maximising the difference between the curve and
+/// the diagonal. Used as an ablation alternative to
+/// [`max_relative_gap`].
+///
+/// Returns `None` for degenerate (constant or too-short) curves.
+pub fn kneedle(sorted: &[f64]) -> Option<usize> {
+    let n = sorted.len();
+    if n < 3 {
+        return None;
+    }
+    let lo = sorted[0];
+    let hi = sorted[n - 1];
+    if !(hi - lo).is_finite() || hi - lo <= 0.0 {
+        return None;
+    }
+    let mut best = (0usize, f64::NEG_INFINITY);
+    for (i, &d) in sorted.iter().enumerate() {
+        let x = i as f64 / (n - 1) as f64;
+        let y = (d - lo) / (hi - lo);
+        // For a convex increasing curve the knee maximises x - y.
+        let diff = x - y;
+        if diff > best.1 {
+            best = (i, diff);
+        }
+    }
+    Some(best.0)
+}
+
+/// Convenience: the curve *value* at the paper's elbow — the "optimal ε"
+/// of §IV (`ε_optimal = d_{k_elbow}`). Returns `None` when no elbow
+/// exists.
+pub fn elbow_value(sorted: &[f64]) -> Option<f64> {
+    max_relative_gap(sorted).map(|i| sorted[i])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn finds_the_obvious_jump() {
+        let d = [0.05, 0.06, 0.07, 0.08, 0.9, 1.0, 1.1];
+        assert_eq!(max_relative_gap(&d), Some(3));
+        assert_eq!(elbow_value(&d), Some(0.08));
+    }
+
+    #[test]
+    fn paper_figure_4a_shape() {
+        // Fig. 4a: gentle ramp up to ~0.069, one sharp jump into the noise
+        // tail, then a tail that keeps growing with smaller *relative*
+        // increments. The elbow value is the last in-cluster distance.
+        let mut d: Vec<f64> = (0..300).map(|i| 0.03 + 0.00013 * i as f64).collect();
+        let mut tail = *d.last().unwrap() * 3.0; // the sharp jump (gap 2.0)
+        while tail < 9.0 {
+            d.push(tail);
+            tail *= 1.6; // later gaps are 0.6 < 2.0
+        }
+        let idx = max_relative_gap(&d).unwrap();
+        let eps = d[idx];
+        assert!((0.06..=0.08).contains(&eps), "eps {eps}");
+    }
+
+    #[test]
+    fn short_and_degenerate_curves() {
+        assert_eq!(max_relative_gap(&[]), None);
+        assert_eq!(max_relative_gap(&[1.0]), None);
+        assert_eq!(max_relative_gap(&[0.0, 0.0, 0.0]), None);
+        assert_eq!(kneedle(&[1.0, 2.0]), None);
+        assert_eq!(kneedle(&[2.0, 2.0, 2.0]), None);
+    }
+
+    #[test]
+    fn leading_zeros_are_skipped() {
+        // Duplicate points give zero distances; the relative gap from zero
+        // is undefined and must be skipped, not produce infinity.
+        let d = [0.0, 0.0, 0.1, 0.11, 0.12, 2.0];
+        let idx = max_relative_gap(&d).unwrap();
+        assert_eq!(idx, 4);
+    }
+
+    #[test]
+    fn uniform_curve_picks_first_max() {
+        // Constant relative gaps: ties resolve to the first index.
+        let d = [1.0, 2.0, 4.0, 8.0];
+        assert_eq!(max_relative_gap(&d), Some(0));
+    }
+
+    #[test]
+    fn kneedle_on_convex_curve() {
+        // y = x^4 on [0,1]: knee where x - y is maximal, x = (1/4)^(1/3) ≈ 0.63.
+        let d: Vec<f64> = (0..=100).map(|i| (i as f64 / 100.0).powi(4)).collect();
+        let idx = kneedle(&d).unwrap();
+        assert!((55..=70).contains(&idx), "kneedle index {idx}");
+    }
+
+    #[test]
+    fn infinite_tail_is_ignored() {
+        let d = [0.1, 0.2, 0.3, f64::INFINITY];
+        let idx = max_relative_gap(&d).unwrap();
+        // The 0.1→0.2 gap (100%) wins; the jump into infinity is skipped.
+        assert_eq!(idx, 0);
+    }
+}

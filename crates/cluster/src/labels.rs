@@ -1,0 +1,119 @@
+//! The shared clustering result type.
+
+use geom::Point3;
+use serde::{Deserialize, Serialize};
+
+/// A partition of a point set into clusters plus noise.
+///
+/// `labels[i]` is `Some(c)` when point `i` belongs to cluster `c`
+/// (`0 <= c < cluster_count`) and `None` when it was marked as noise.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Clustering {
+    labels: Vec<Option<usize>>,
+    n_clusters: usize,
+}
+
+impl Clustering {
+    /// Creates a clustering from raw labels.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any label is `>= n_clusters`.
+    pub fn new(labels: Vec<Option<usize>>, n_clusters: usize) -> Self {
+        for l in labels.iter().flatten() {
+            assert!(*l < n_clusters, "label {l} out of range for {n_clusters} clusters");
+        }
+        Clustering { labels, n_clusters }
+    }
+
+    /// An empty clustering over `n` points (everything is noise).
+    pub fn all_noise(n: usize) -> Self {
+        Clustering { labels: vec![None; n], n_clusters: 0 }
+    }
+
+    /// Number of clusters.
+    pub fn cluster_count(&self) -> usize {
+        self.n_clusters
+    }
+
+    /// Number of points (members + noise).
+    pub fn len(&self) -> usize {
+        self.labels.len()
+    }
+
+    /// Returns `true` if the clustering covers no points.
+    pub fn is_empty(&self) -> bool {
+        self.labels.is_empty()
+    }
+
+    /// Per-point labels.
+    pub fn labels(&self) -> &[Option<usize>] {
+        &self.labels
+    }
+
+    /// Number of points labelled as noise.
+    pub fn noise_count(&self) -> usize {
+        self.labels.iter().filter(|l| l.is_none()).count()
+    }
+
+    /// Member indices per cluster.
+    pub fn clusters(&self) -> Vec<Vec<usize>> {
+        let mut out = vec![Vec::new(); self.n_clusters];
+        for (i, l) in self.labels.iter().enumerate() {
+            if let Some(c) = l {
+                out[*c].push(i);
+            }
+        }
+        out
+    }
+
+    /// Materialises each cluster as its member points.
+    pub fn cluster_points(&self, points: &[Point3]) -> Vec<Vec<Point3>> {
+        self.clusters()
+            .into_iter()
+            .map(|idxs| idxs.into_iter().map(|i| points[i]).collect())
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accessors() {
+        let c = Clustering::new(vec![Some(0), None, Some(1), Some(0)], 2);
+        assert_eq!(c.cluster_count(), 2);
+        assert_eq!(c.len(), 4);
+        assert_eq!(c.noise_count(), 1);
+        assert_eq!(c.clusters(), vec![vec![0, 3], vec![2]]);
+    }
+
+    #[test]
+    fn cluster_points_materialise() {
+        let pts = vec![
+            Point3::new(0.0, 0.0, 0.0),
+            Point3::new(1.0, 0.0, 0.0),
+            Point3::new(2.0, 0.0, 0.0),
+        ];
+        let c = Clustering::new(vec![Some(0), None, Some(0)], 1);
+        let groups = c.cluster_points(&pts);
+        assert_eq!(groups.len(), 1);
+        assert_eq!(groups[0], vec![pts[0], pts[2]]);
+    }
+
+    #[test]
+    fn all_noise() {
+        let c = Clustering::all_noise(5);
+        assert_eq!(c.cluster_count(), 0);
+        assert_eq!(c.noise_count(), 5);
+        assert!(!c.is_empty());
+        assert!(Clustering::all_noise(0).is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn out_of_range_label_panics() {
+        let _ = Clustering::new(vec![Some(2)], 2);
+    }
+}

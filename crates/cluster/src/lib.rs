@@ -1,0 +1,48 @@
+//! Point-cloud clustering for HAWC-CC.
+//!
+//! §IV of the paper partitions each LiDAR capture into per-object clusters
+//! before classification. This crate implements:
+//!
+//! * [`dbscan`] — density-based spatial clustering (the paper's choice),
+//! * [`knee`] — the k-NN-distance elbow locator that picks `ε`,
+//! * [`adaptive_dbscan`] — the paper's **adaptive clustering**: a fresh
+//!   optimal `ε` per capture from the elbow of its sorted k-NN curve,
+//! * baselines the paper compares against: fixed-`ε` DBSCAN (Table IV),
+//!   [`hierarchical`] agglomerative clustering (Table IV's catastrophic
+//!   row), [`kmeans`] and [`gmm`] (§IV's discussion of parametric
+//!   methods).
+//!
+//! # Examples
+//!
+//! ```
+//! use cluster::{adaptive_dbscan, AdaptiveConfig};
+//! use geom::Point3;
+//!
+//! // Two well-separated blobs.
+//! let mut pts = Vec::new();
+//! for i in 0..20 {
+//!     let t = i as f64 * 0.01;
+//!     pts.push(Point3::new(t, 0.0, 0.0));
+//!     pts.push(Point3::new(5.0 + t, 0.0, 0.0));
+//! }
+//! let clustering = adaptive_dbscan(&pts, &AdaptiveConfig::default());
+//! assert_eq!(clustering.cluster_count(), 2);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod adaptive;
+mod dbscan;
+mod gmm;
+mod hierarchical;
+mod kmeans;
+pub mod knee;
+mod labels;
+
+pub use adaptive::{adaptive_dbscan, adaptive_eps, AdaptiveConfig};
+pub use dbscan::{dbscan, DbscanParams};
+pub use gmm::{gmm, GmmParams};
+pub use hierarchical::{hierarchical, Linkage};
+pub use kmeans::{kmeans, KmeansParams};
+pub use labels::Clustering;

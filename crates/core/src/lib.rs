@@ -1,0 +1,42 @@
+//! HAWC — the Height-Aware Human Classifier (paper §V).
+//!
+//! The paper's primary contribution: a lightweight 2-D CNN that
+//! classifies clustered LiDAR point clouds as "Human" or "Object" after
+//!
+//! 1. noise-controlled up-sampling to a fixed `D²`-point cloud,
+//! 2. height-aware projection into a stacked `D × D × 7` image,
+//! 3. three 3×3 convolutions (each with batch norm and ReLU) and two
+//!    fully connected layers (~62k parameters).
+//!
+//! [`HawcClassifier`] owns the whole path — including the object pool
+//! used for up-sampling and the input standardisation statistics — so a
+//! trained model is a self-contained artifact. [`HawcClassifier::quantize`]
+//! produces the int8 deployment build of §VI.
+//!
+//! # Examples
+//!
+//! ```no_run
+//! use dataset::{generate_detection_dataset, generate_object_pool,
+//!               split, DetectionDatasetConfig};
+//! use hawc::{HawcClassifier, HawcConfig};
+//! use lidar::SensorConfig;
+//! use rand::SeedableRng;
+//! use world::WalkwayConfig;
+//!
+//! let mut rng = rand::rngs::StdRng::seed_from_u64(0);
+//! let data = generate_detection_dataset(&DetectionDatasetConfig::default());
+//! let pool = generate_object_pool(1, 64, &WalkwayConfig::default(), &SensorConfig::default());
+//! let parts = split(&mut rng, data, 0.8);
+//! let mut model = HawcClassifier::train(&parts.train, pool, &HawcConfig::default(), &mut rng);
+//! let metrics = model.evaluate(&parts.test);
+//! println!("HAWC: {metrics}");
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod classifier;
+mod norm;
+
+pub use classifier::{HawcClassifier, HawcConfig, QuantizedHawc, SamplingMethod};
+pub use norm::ChannelNorm;

@@ -1,0 +1,139 @@
+//! Per-channel input standardisation.
+
+use nn::Tensor;
+use serde::{Deserialize, Serialize};
+
+/// Per-channel mean/std computed on the training set and applied to every
+/// input — the raw projections carry absolute walkway coordinates
+/// (x ∈ [12, 35] m), which a small CNN digests far better when centred.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ChannelNorm {
+    mean: Vec<f32>,
+    std: Vec<f32>,
+}
+
+impl ChannelNorm {
+    /// Fits the statistics over a `[N, C, ...]` batch.
+    ///
+    /// # Panics
+    ///
+    /// Panics on tensors with fewer than 2 axes or an empty batch.
+    pub fn fit(batch: &Tensor) -> Self {
+        let shape = batch.shape();
+        assert!(shape.len() >= 2, "expected a batched channel tensor");
+        let (n, c) = (shape[0], shape[1]);
+        assert!(n > 0, "cannot fit statistics on an empty batch");
+        let inner: usize = shape[2..].iter().product::<usize>().max(1);
+        let data = batch.data();
+        let mut mean = vec![0.0f64; c];
+        let mut std = vec![0.0f64; c];
+        let count = (n * inner) as f64;
+        for ni in 0..n {
+            for ci in 0..c {
+                let base = (ni * c + ci) * inner;
+                for s in 0..inner {
+                    mean[ci] += data[base + s] as f64;
+                }
+            }
+        }
+        for m in &mut mean {
+            *m /= count;
+        }
+        for ni in 0..n {
+            for ci in 0..c {
+                let base = (ni * c + ci) * inner;
+                for s in 0..inner {
+                    let d = data[base + s] as f64 - mean[ci];
+                    std[ci] += d * d;
+                }
+            }
+        }
+        let mean: Vec<f32> = mean.into_iter().map(|m| m as f32).collect();
+        let std: Vec<f32> = std
+            .into_iter()
+            .map(|v| ((v / count).sqrt() as f32).max(1e-6))
+            .collect();
+        ChannelNorm { mean, std }
+    }
+
+    /// Number of channels.
+    pub fn channels(&self) -> usize {
+        self.mean.len()
+    }
+
+    /// Standardises a `[N, C, ...]` batch in place semantics (returns a
+    /// new tensor).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the channel axis disagrees with the fitted statistics.
+    pub fn apply(&self, batch: &Tensor) -> Tensor {
+        let shape = batch.shape();
+        assert!(shape.len() >= 2 && shape[1] == self.mean.len(), "channel mismatch");
+        let (n, c) = (shape[0], shape[1]);
+        let inner: usize = shape[2..].iter().product::<usize>().max(1);
+        let mut data = batch.data().to_vec();
+        for ni in 0..n {
+            for ci in 0..c {
+                let base = (ni * c + ci) * inner;
+                for s in 0..inner {
+                    data[base + s] = (data[base + s] - self.mean[ci]) / self.std[ci];
+                }
+            }
+        }
+        Tensor::from_vec(data, shape)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fit_apply_standardises() {
+        // Channel 0: values 10 ± 2; channel 1: values -5 ± 1.
+        let data = vec![
+            8.0, 12.0, -6.0, -4.0, // sample 0: ch0 = [8,12], ch1 = [-6,-4]
+            12.0, 8.0, -4.0, -6.0,
+        ];
+        let t = Tensor::from_vec(data, &[2, 2, 2]);
+        let norm = ChannelNorm::fit(&t);
+        let out = norm.apply(&t);
+        // Mean 0, unit variance per channel.
+        for ci in 0..2 {
+            let vals: Vec<f32> = (0..2)
+                .flat_map(|n| (0..2).map(move |s| (n, s)))
+                .map(|(n, s)| out.at(&[n, ci, s]))
+                .collect();
+            let mean: f32 = vals.iter().sum::<f32>() / 4.0;
+            let var: f32 = vals.iter().map(|v| (v - mean) * (v - mean)).sum::<f32>() / 4.0;
+            assert!(mean.abs() < 1e-6);
+            assert!((var - 1.0).abs() < 1e-4);
+        }
+    }
+
+    #[test]
+    fn constant_channel_does_not_divide_by_zero() {
+        let t = Tensor::full(&[3, 1, 4], 7.0);
+        let norm = ChannelNorm::fit(&t);
+        let out = norm.apply(&t);
+        assert!(out.data().iter().all(|v| v.is_finite()));
+        assert!(out.data().iter().all(|&v| v == 0.0));
+    }
+
+    #[test]
+    fn apply_generalises_to_new_batches() {
+        let train = Tensor::from_vec(vec![0.0, 2.0, 4.0, 6.0], &[4, 1]);
+        let norm = ChannelNorm::fit(&train);
+        let probe = norm.apply(&Tensor::from_vec(vec![3.0], &[1, 1]));
+        // 3.0 is the training mean.
+        assert!(probe.data()[0].abs() < 1e-6);
+    }
+
+    #[test]
+    #[should_panic(expected = "channel mismatch")]
+    fn wrong_channels_panic() {
+        let norm = ChannelNorm::fit(&Tensor::zeros(&[2, 3]));
+        let _ = norm.apply(&Tensor::zeros(&[2, 4]));
+    }
+}

@@ -1,0 +1,29 @@
+//! HAWC-CC — the end-to-end crowd-counting framework (paper §III).
+//!
+//! A [`CrowdCounter`] runs the full deployed pipeline on one LiDAR
+//! capture:
+//!
+//! 1. (upstream: ROI crop and ground segmentation, done by [`lidar`]),
+//! 2. partition the capture into clusters — adaptive DBSCAN by default,
+//!    with the fixed-`ε` and hierarchical baselines of Table IV
+//!    selectable via [`ClusterMethod`],
+//! 3. classify every sufficiently large cluster with any
+//!    [`dataset::CloudClassifier`] (HAWC, PointNet, AutoEncoder, OC-SVM —
+//!    giving HAWC-CC, PointNet-CC, AutoEncoder-CC and OC-SVM-CC),
+//! 4. report the number of clusters labelled "Human".
+//!
+//! [`evaluate_counter`] scores a counter against ground truth with the
+//! paper's MAE/MSE metrics and collects per-stage latency statistics.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod metrics;
+mod pipeline;
+mod smooth;
+mod track;
+
+pub use metrics::{CountingMetrics, CountingReport};
+pub use pipeline::{evaluate_counter, ClusterMethod, CountResult, CounterConfig, CrowdCounter};
+pub use smooth::CountSmoother;
+pub use track::{PedestrianTracker, Track, TrackerConfig};

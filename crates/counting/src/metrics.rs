@@ -1,0 +1,190 @@
+//! Crowd-counting accuracy metrics (paper §VII-A).
+
+use geom::stats::Summary;
+use serde::{Deserialize, Serialize};
+
+/// Mean absolute error and mean squared error over a capture sequence.
+///
+/// `MAE = (1/N) Σ |C_i − C_i^GT|` and `MSE = (1/N) Σ (C_i − C_i^GT)²`
+/// (the paper's §VII-A definition prints a stray square root, but its
+/// tables — e.g. MAE 5.9 / MSE 52.1 at 250 pedestrians — are only
+/// consistent with the plain mean of squared errors).
+#[derive(Debug, Clone, Copy, Default, Serialize, Deserialize)]
+pub struct CountingMetrics {
+    n: u64,
+    abs_sum: f64,
+    sq_sum: f64,
+    predicted_total: u64,
+    actual_total: u64,
+}
+
+impl CountingMetrics {
+    /// Creates an empty accumulator.
+    pub fn new() -> Self {
+        CountingMetrics::default()
+    }
+
+    /// Records one capture's predicted and ground-truth counts.
+    pub fn push(&mut self, predicted: usize, actual: usize) {
+        let e = predicted as f64 - actual as f64;
+        self.n += 1;
+        self.abs_sum += e.abs();
+        self.sq_sum += e * e;
+        self.predicted_total += predicted as u64;
+        self.actual_total += actual as u64;
+    }
+
+    /// Number of captures scored.
+    pub fn count(&self) -> u64 {
+        self.n
+    }
+
+    /// Mean absolute error (0 when empty).
+    pub fn mae(&self) -> f64 {
+        if self.n == 0 {
+            0.0
+        } else {
+            self.abs_sum / self.n as f64
+        }
+    }
+
+    /// Mean squared error (0 when empty).
+    pub fn mse(&self) -> f64 {
+        if self.n == 0 {
+            0.0
+        } else {
+            self.sq_sum / self.n as f64
+        }
+    }
+
+    /// Total predicted count across captures (Table VI's "Total Count").
+    pub fn predicted_total(&self) -> u64 {
+        self.predicted_total
+    }
+
+    /// Total ground-truth count across captures.
+    pub fn actual_total(&self) -> u64 {
+        self.actual_total
+    }
+
+    /// Counting accuracy as the paper's §VII-D percentage:
+    /// `1 − MAE / mean(actual)` (e.g. MAE 5.9 on 250-person scenes →
+    /// 97.64%). Returns 1 for empty or all-zero ground truth.
+    pub fn accuracy(&self) -> f64 {
+        if self.n == 0 || self.actual_total == 0 {
+            return 1.0;
+        }
+        let mean_actual = self.actual_total as f64 / self.n as f64;
+        (1.0 - self.mae() / mean_actual).max(0.0)
+    }
+
+    /// Merges another accumulator.
+    pub fn merge(&mut self, other: &CountingMetrics) {
+        self.n += other.n;
+        self.abs_sum += other.abs_sum;
+        self.sq_sum += other.sq_sum;
+        self.predicted_total += other.predicted_total;
+        self.actual_total += other.actual_total;
+    }
+}
+
+impl std::fmt::Display for CountingMetrics {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "MAE {:.3} | MSE {:.3} | acc {:.2}%", self.mae(), self.mse(), self.accuracy() * 100.0)
+    }
+}
+
+/// A full evaluation of one counting framework: accuracy plus per-stage
+/// latency.
+#[derive(Debug, Clone)]
+pub struct CountingReport {
+    /// Framework label, e.g. "HAWC-CC".
+    pub name: String,
+    /// Accuracy metrics.
+    pub metrics: CountingMetrics,
+    /// End-to-end per-capture processing time in milliseconds.
+    pub total_ms: Summary,
+    /// Clustering stage time in milliseconds.
+    pub clustering_ms: Summary,
+    /// Classification stage time in milliseconds.
+    pub classification_ms: Summary,
+}
+
+impl std::fmt::Display for CountingReport {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{}: {} | {:.2} ± {:.2} ms/sample",
+            self.name,
+            self.metrics,
+            self.total_ms.mean(),
+            self.total_ms.sample_std_dev()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn perfect_counts() {
+        let mut m = CountingMetrics::new();
+        for c in [0, 3, 7] {
+            m.push(c, c);
+        }
+        assert_eq!(m.mae(), 0.0);
+        assert_eq!(m.mse(), 0.0);
+        assert_eq!(m.accuracy(), 1.0);
+    }
+
+    #[test]
+    fn known_errors() {
+        let mut m = CountingMetrics::new();
+        m.push(5, 3); // +2
+        m.push(1, 4); // -3
+        assert!((m.mae() - 2.5).abs() < 1e-12);
+        assert!((m.mse() - 6.5).abs() < 1e-12);
+        assert_eq!(m.predicted_total(), 6);
+        assert_eq!(m.actual_total(), 7);
+    }
+
+    #[test]
+    fn paper_table6_accuracy_formula() {
+        // 250-pedestrian scenes with MAE 5.9 → 97.64% accuracy.
+        let mut m = CountingMetrics::new();
+        // Construct 10 samples with |error| = 5.9 on average around 250.
+        for i in 0..10 {
+            let err: i64 = if i % 2 == 0 { 6 } else { -6 };
+            m.push((250 + err).max(0) as usize, 250);
+        }
+        assert!((m.accuracy() - (1.0 - 6.0 / 250.0)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn empty_metrics_are_benign() {
+        let m = CountingMetrics::new();
+        assert_eq!(m.mae(), 0.0);
+        assert_eq!(m.mse(), 0.0);
+        assert_eq!(m.accuracy(), 1.0);
+    }
+
+    #[test]
+    fn merge_combines() {
+        let mut a = CountingMetrics::new();
+        a.push(1, 2);
+        let mut b = CountingMetrics::new();
+        b.push(4, 2);
+        a.merge(&b);
+        assert_eq!(a.count(), 2);
+        assert!((a.mae() - 1.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn display_contains_metrics() {
+        let mut m = CountingMetrics::new();
+        m.push(2, 2);
+        let s = m.to_string();
+        assert!(s.contains("MAE") && s.contains("MSE"));
+    }
+}

@@ -1,0 +1,355 @@
+//! The clustering + classification counting pipeline.
+
+use cluster::{
+    adaptive_dbscan, dbscan, hierarchical, AdaptiveConfig, Clustering, DbscanParams, Linkage,
+};
+use dataset::{ClassLabel, CloudClassifier, CountingSample};
+use geom::stats::Summary;
+use geom::Point3;
+use lidar::PointCloud;
+use serde::{Deserialize, Serialize};
+use std::time::Instant;
+
+use crate::{CountingMetrics, CountingReport};
+
+/// How the capture is partitioned into clusters (§IV / Table IV).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum ClusterMethod {
+    /// The paper's adaptive clustering: per-capture `ε` from the k-NN
+    /// elbow.
+    Adaptive(AdaptiveConfig),
+    /// Fixed-`ε` DBSCAN (Table IV sweeps ε ∈ {0.1 … 0.9}).
+    Fixed(DbscanParams),
+    /// Agglomerative hierarchical clustering cut at a distance threshold
+    /// (Table IV's catastrophic baseline).
+    Hierarchical {
+        /// Linkage criterion.
+        linkage: Linkage,
+        /// Dendrogram cut distance in metres.
+        threshold: f64,
+    },
+}
+
+impl Default for ClusterMethod {
+    fn default() -> Self {
+        ClusterMethod::Adaptive(AdaptiveConfig::default())
+    }
+}
+
+impl ClusterMethod {
+    fn run(&self, points: &[Point3]) -> Clustering {
+        match self {
+            ClusterMethod::Adaptive(cfg) => adaptive_dbscan(points, cfg),
+            ClusterMethod::Fixed(params) => dbscan(points, params),
+            ClusterMethod::Hierarchical { linkage, threshold } => {
+                hierarchical(points, *linkage, *threshold)
+            }
+        }
+    }
+}
+
+/// Pipeline configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct CounterConfig {
+    /// Clustering stage.
+    pub cluster_method: ClusterMethod,
+    /// Clusters smaller than this are treated as residual noise and never
+    /// reach the classifier.
+    pub min_cluster_points: usize,
+}
+
+impl Default for CounterConfig {
+    fn default() -> Self {
+        CounterConfig { cluster_method: ClusterMethod::default(), min_cluster_points: 10 }
+    }
+}
+
+/// One capture's counting outcome.
+#[derive(Debug, Clone)]
+pub struct CountResult {
+    /// Number of clusters classified "Human" — the crowd count.
+    pub count: usize,
+    /// Number of clusters that reached the classifier.
+    pub clusters_classified: usize,
+    /// Clusters dropped as noise.
+    pub clusters_skipped: usize,
+    /// Clustering stage wall time in milliseconds.
+    pub clustering_ms: f64,
+    /// Classification stage wall time in milliseconds.
+    pub classification_ms: f64,
+}
+
+impl CountResult {
+    /// End-to-end processing time in milliseconds.
+    pub fn total_ms(&self) -> f64 {
+        self.clustering_ms + self.classification_ms
+    }
+}
+
+/// The crowd-counting framework: a clusterer plus any human classifier.
+///
+/// Pair it with HAWC's classifier for HAWC-CC or a baseline
+/// classifier for PointNet-CC / AutoEncoder-CC / OC-SVM-CC.
+pub struct CrowdCounter<C: CloudClassifier> {
+    config: CounterConfig,
+    classifier: C,
+    name: String,
+}
+
+impl<C: CloudClassifier> std::fmt::Debug for CrowdCounter<C> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("CrowdCounter")
+            .field("name", &self.name)
+            .field("config", &self.config)
+            .finish()
+    }
+}
+
+impl<C: CloudClassifier> CrowdCounter<C> {
+    /// Creates a counter around a trained classifier.
+    pub fn new(classifier: C, config: CounterConfig) -> Self {
+        let name = format!("{}-CC", classifier.model_name());
+        CrowdCounter { config, classifier, name }
+    }
+
+    /// Framework label (`<classifier>-CC`).
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The pipeline configuration.
+    pub fn config(&self) -> &CounterConfig {
+        &self.config
+    }
+
+    /// Consumes the counter, returning the classifier.
+    pub fn into_classifier(self) -> C {
+        self.classifier
+    }
+
+    /// Counts the pedestrians in one filtered capture.
+    pub fn count(&mut self, capture: &PointCloud) -> CountResult {
+        let t0 = Instant::now();
+        let clustering = self.config.cluster_method.run(capture.points());
+        let groups = clustering.cluster_points(capture.points());
+        let clustering_ms = t0.elapsed().as_secs_f64() * 1e3;
+
+        let t1 = Instant::now();
+        let (kept, skipped): (Vec<Vec<Point3>>, Vec<Vec<Point3>>) = groups
+            .into_iter()
+            .partition(|g| g.len() >= self.config.min_cluster_points);
+        let count = if kept.is_empty() {
+            0
+        } else {
+            self.classifier
+                .classify(&kept)
+                .into_iter()
+                .filter(|&l| l == ClassLabel::Human)
+                .count()
+        };
+        let classification_ms = t1.elapsed().as_secs_f64() * 1e3;
+        CountResult {
+            count,
+            clusters_classified: kept.len(),
+            clusters_skipped: skipped.len(),
+            clustering_ms,
+            classification_ms,
+        }
+    }
+}
+
+/// Evaluates a counter over a labelled capture sequence, producing the
+/// accuracy and latency numbers of Tables IV–VI.
+pub fn evaluate_counter<C: CloudClassifier>(
+    counter: &mut CrowdCounter<C>,
+    samples: &[CountingSample],
+) -> CountingReport {
+    let mut metrics = CountingMetrics::new();
+    let mut total_ms = Summary::new();
+    let mut clustering_ms = Summary::new();
+    let mut classification_ms = Summary::new();
+    for sample in samples {
+        let result = counter.count(&sample.cloud);
+        metrics.push(result.count, sample.ground_truth);
+        total_ms.push(result.total_ms());
+        clustering_ms.push(result.clustering_ms);
+        classification_ms.push(result.classification_ms);
+    }
+    CountingReport {
+        name: counter.name().to_string(),
+        metrics,
+        total_ms,
+        clustering_ms,
+        classification_ms,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dataset::{BinaryMetrics, DetectionSample, SampleMeta};
+
+    /// Height-threshold classifier: tall clusters are humans.
+    struct HeightRule;
+
+    impl CloudClassifier for HeightRule {
+        fn classify(&mut self, clouds: &[Vec<Point3>]) -> Vec<ClassLabel> {
+            clouds
+                .iter()
+                .map(|c| {
+                    let hi = c.iter().map(|p| p.z).fold(f64::NEG_INFINITY, f64::max);
+                    if hi > -1.7 {
+                        ClassLabel::Human
+                    } else {
+                        ClassLabel::Object
+                    }
+                })
+                .collect()
+        }
+
+        fn model_name(&self) -> &str {
+            "HeightRule"
+        }
+    }
+
+    /// A dense synthetic column at `(x, y)` reaching up to height `top`:
+    /// stacked 8-point rings spaced ~0.1 m apart, so the within-cluster
+    /// point spacing is isotropic (like a real torso return).
+    fn blob(x: f64, y: f64, top: f64) -> Vec<Point3> {
+        let per_layer = 10;
+        let layers = (((top + 2.6) / 0.08).ceil() as usize).max(2);
+        (0..layers * per_layer)
+            .map(|i| {
+                let layer = i / per_layer;
+                let a = (i % per_layer) as f64 / per_layer as f64 * std::f64::consts::TAU;
+                Point3::new(
+                    x + 0.12 * a.cos(),
+                    y + 0.12 * a.sin(),
+                    -2.6 + (top + 2.6) * (layer as f64 / (layers - 1) as f64),
+                )
+            })
+            .collect()
+    }
+
+    fn capture(specs: &[(f64, f64, f64)]) -> PointCloud {
+        let mut pts = Vec::new();
+        for &(x, y, top) in specs {
+            pts.extend(blob(x, y, top));
+        }
+        PointCloud::new(pts)
+    }
+
+    #[test]
+    fn counts_two_humans_among_objects() {
+        let mut counter = CrowdCounter::new(HeightRule, CounterConfig::default());
+        // Two tall blobs (humans) + one short (bin), well separated.
+        let cloud = capture(&[(14.0, 0.0, -1.3), (20.0, 1.5, -1.25), (28.0, -1.0, -2.1)]);
+        let result = counter.count(&cloud);
+        assert_eq!(result.count, 2, "skipped {} kept {}", result.clusters_skipped, result.clusters_classified);
+        assert_eq!(result.clusters_classified, 3);
+        assert_eq!(counter.name(), "HeightRule-CC");
+    }
+
+    #[test]
+    fn empty_capture_counts_zero() {
+        let mut counter = CrowdCounter::new(HeightRule, CounterConfig::default());
+        let result = counter.count(&PointCloud::empty());
+        assert_eq!(result.count, 0);
+        assert_eq!(result.clusters_classified, 0);
+    }
+
+    #[test]
+    fn small_clusters_are_skipped() {
+        let mut counter = CrowdCounter::new(
+            HeightRule,
+            CounterConfig { min_cluster_points: 300, ..CounterConfig::default() },
+        );
+        let cloud = capture(&[(14.0, 0.0, -1.3)]); // ~112-point blob < 300
+        let result = counter.count(&cloud);
+        assert_eq!(result.count, 0);
+        assert_eq!(result.clusters_skipped, 1);
+    }
+
+    #[test]
+    fn evaluate_matches_manual_metrics() {
+        let mut counter = CrowdCounter::new(HeightRule, CounterConfig::default());
+        let samples = vec![
+            CountingSample {
+                cloud: capture(&[(14.0, 0.0, -1.3), (20.0, 1.0, -1.2)]),
+                ground_truth: 2,
+                meta: SampleMeta::for_capture(0, 0, 1.0),
+            },
+            CountingSample {
+                cloud: capture(&[(16.0, 0.0, -2.2)]),
+                ground_truth: 0,
+                meta: SampleMeta::for_capture(0, 1, 1.0),
+            },
+        ];
+        let report = evaluate_counter(&mut counter, &samples);
+        assert_eq!(report.metrics.count(), 2);
+        assert_eq!(report.metrics.mae(), 0.0);
+        assert!(report.total_ms.count() == 2);
+        assert!(report.name.ends_with("-CC"));
+    }
+
+    #[test]
+    fn hierarchical_overcounts_with_tight_threshold() {
+        // Complete linkage at a small cut fragments single objects —
+        // Table IV's failure mode in miniature.
+        let adaptive = CrowdCounter::new(HeightRule, CounterConfig::default())
+            .count(&capture(&[(14.0, 0.0, -1.3)]))
+            .count;
+        let mut frag = CrowdCounter::new(
+            HeightRule,
+            CounterConfig {
+                cluster_method: ClusterMethod::Hierarchical {
+                    linkage: Linkage::Complete,
+                    threshold: 0.3,
+                },
+                min_cluster_points: 1,
+            },
+        );
+        let fragmented = frag.count(&capture(&[(14.0, 0.0, -1.3)]));
+        assert_eq!(adaptive, 1);
+        assert!(
+            fragmented.clusters_classified > 1,
+            "complete linkage at 0.3 m should fragment"
+        );
+    }
+
+    impl CrowdCounter<HeightRule> {
+        /// Test helper: one-shot count.
+        fn count_once(mut self, cloud: &PointCloud) -> CountResult {
+            self.count(cloud)
+        }
+    }
+
+    #[test]
+    fn fixed_eps_too_small_loses_everything() {
+        let counter = CrowdCounter::new(
+            HeightRule,
+            CounterConfig {
+                cluster_method: ClusterMethod::Fixed(DbscanParams { eps: 0.01, min_points: 5 }),
+                min_cluster_points: 10,
+            },
+        );
+        let result = counter.count_once(&capture(&[(14.0, 0.0, -1.3)]));
+        assert_eq!(result.count, 0, "eps = 1 cm must shatter the blob to noise");
+    }
+
+    #[test]
+    fn classifier_can_be_recovered() {
+        let counter = CrowdCounter::new(HeightRule, CounterConfig::default());
+        let mut classifier = counter.into_classifier();
+        let labels = classifier.classify(&[blob(14.0, 0.0, -1.3)]);
+        assert_eq!(labels, vec![ClassLabel::Human]);
+        // BinaryMetrics integration sanity.
+        let samples = vec![DetectionSample {
+            cloud: PointCloud::new(blob(14.0, 0.0, -1.3)),
+            label: ClassLabel::Human,
+            meta: SampleMeta::for_capture(0, 0, 1.0),
+        }];
+        let m: BinaryMetrics = classifier.evaluate_samples(&samples);
+        assert_eq!(m.accuracy, 1.0);
+    }
+}

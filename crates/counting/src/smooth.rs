@@ -1,0 +1,106 @@
+//! Temporal smoothing of count streams.
+//!
+//! A deployed pole counts continuously; per-frame counts twitch when a
+//! pedestrian's cluster momentarily fragments or an occlusion hides a
+//! body. A short median window removes those single-frame spikes without
+//! lagging real crowd changes — the standard post-processing between the
+//! counter and the dashboard.
+
+use std::collections::VecDeque;
+
+/// A sliding-window median smoother over a count stream.
+///
+/// # Examples
+///
+/// ```
+/// use counting::CountSmoother;
+/// let mut s = CountSmoother::new(3);
+/// assert_eq!(s.push(2), 2);
+/// assert_eq!(s.push(9), 2); // spike suppressed: median(2, 9) -> lower-mid 2
+/// assert_eq!(s.push(2), 2);
+/// ```
+#[derive(Debug, Clone)]
+pub struct CountSmoother {
+    window: VecDeque<usize>,
+    capacity: usize,
+}
+
+impl CountSmoother {
+    /// Creates a smoother with the given window length.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `window == 0`.
+    pub fn new(window: usize) -> Self {
+        assert!(window > 0, "window must be positive");
+        CountSmoother { window: VecDeque::with_capacity(window), capacity: window }
+    }
+
+    /// Feeds one raw count; returns the smoothed count (the window
+    /// median, lower-middle on even window sizes so partial windows stay
+    /// conservative).
+    pub fn push(&mut self, count: usize) -> usize {
+        if self.window.len() == self.capacity {
+            self.window.pop_front();
+        }
+        self.window.push_back(count);
+        let mut sorted: Vec<usize> = self.window.iter().copied().collect();
+        sorted.sort_unstable();
+        sorted[(sorted.len() - 1) / 2]
+    }
+
+    /// Current window contents (oldest first).
+    pub fn window(&self) -> impl Iterator<Item = usize> + '_ {
+        self.window.iter().copied()
+    }
+
+    /// Clears the history.
+    pub fn reset(&mut self) {
+        self.window.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn suppresses_single_frame_spike() {
+        let mut s = CountSmoother::new(3);
+        let out: Vec<usize> = [3, 3, 9, 3, 3].iter().map(|&c| s.push(c)).collect();
+        // The 9 never surfaces.
+        assert_eq!(out, vec![3, 3, 3, 3, 3]);
+    }
+
+    #[test]
+    fn follows_sustained_change() {
+        let mut s = CountSmoother::new(3);
+        let out: Vec<usize> = [1, 1, 5, 5, 5].iter().map(|&c| s.push(c)).collect();
+        // Real change appears after the window majority flips.
+        assert_eq!(out[4], 5);
+        assert!(out[2] <= 5);
+    }
+
+    #[test]
+    fn partial_window_behaviour() {
+        let mut s = CountSmoother::new(5);
+        assert_eq!(s.push(4), 4);
+        assert_eq!(s.push(8), 4); // lower-middle of {4, 8}
+    }
+
+    #[test]
+    fn reset_clears_history() {
+        let mut s = CountSmoother::new(3);
+        s.push(9);
+        s.push(9);
+        s.reset();
+        assert_eq!(s.push(1), 1);
+        assert_eq!(s.window().count(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "window must be positive")]
+    fn zero_window_panics() {
+        let _ = CountSmoother::new(0);
+    }
+}

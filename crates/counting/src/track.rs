@@ -1,0 +1,249 @@
+//! Frame-to-frame pedestrian tracking.
+//!
+//! The paper motivates crowd counting with "popular routes, peak times,
+//! and common gathering areas" (§I) — getting routes out of per-frame
+//! counts needs identity over time. This module adds the standard
+//! lightweight layer on top of the counter: greedy nearest-centroid
+//! association with a gating distance, track confirmation after a few
+//! hits, and expiry after a few misses.
+
+use geom::Point3;
+use serde::{Deserialize, Serialize};
+
+/// Tracker parameters.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct TrackerConfig {
+    /// Maximum centroid movement between consecutive frames for an
+    /// association, in metres (1.5 m/frame ≈ 5.4 km/h walking at 1 Hz).
+    pub gate_m: f64,
+    /// Consecutive hits before a track is confirmed (counted as a
+    /// pedestrian trajectory).
+    pub confirm_hits: u32,
+    /// Missed frames before a track is dropped.
+    pub max_misses: u32,
+}
+
+impl Default for TrackerConfig {
+    fn default() -> Self {
+        TrackerConfig { gate_m: 1.5, confirm_hits: 2, max_misses: 3 }
+    }
+}
+
+/// One tracked pedestrian.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Track {
+    /// Stable identifier.
+    pub id: u64,
+    /// Centroid trajectory, one entry per associated frame.
+    pub trajectory: Vec<Point3>,
+    hits: u32,
+    misses: u32,
+}
+
+impl Track {
+    /// Latest known position.
+    pub fn position(&self) -> Point3 {
+        *self.trajectory.last().expect("tracks always hold one position")
+    }
+
+    /// Returns `true` once the track has enough hits to count.
+    pub fn confirmed(&self, cfg: &TrackerConfig) -> bool {
+        self.hits >= cfg.confirm_hits
+    }
+
+    /// Straight-line distance travelled from first to last observation.
+    pub fn displacement(&self) -> f64 {
+        self.trajectory.first().map_or(0.0, |f| f.distance(self.position()))
+    }
+}
+
+/// A multi-object tracker over per-frame human-cluster centroids.
+///
+/// Feed it the centroids of the clusters the classifier labelled
+/// "Human" each frame; it maintains identities across frames.
+///
+/// # Examples
+///
+/// ```
+/// use counting::{PedestrianTracker, TrackerConfig};
+/// use geom::Point3;
+///
+/// let mut tracker = PedestrianTracker::new(TrackerConfig::default());
+/// tracker.step(&[Point3::new(15.0, 0.0, -2.0)]);
+/// tracker.step(&[Point3::new(15.5, 0.1, -2.0)]); // same person, moved
+/// assert_eq!(tracker.confirmed_count(), 1);
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct PedestrianTracker {
+    config: TrackerConfig,
+    tracks: Vec<Track>,
+    next_id: u64,
+    frames: u64,
+}
+
+impl PedestrianTracker {
+    /// Creates a tracker.
+    pub fn new(config: TrackerConfig) -> Self {
+        PedestrianTracker { config, tracks: Vec::new(), next_id: 0, frames: 0 }
+    }
+
+    /// Frames processed so far.
+    pub fn frames(&self) -> u64 {
+        self.frames
+    }
+
+    /// Live (not yet expired) tracks.
+    pub fn tracks(&self) -> &[Track] {
+        &self.tracks
+    }
+
+    /// Number of confirmed live tracks — the tracker's crowd count.
+    pub fn confirmed_count(&self) -> usize {
+        self.tracks.iter().filter(|t| t.confirmed(&self.config)).count()
+    }
+
+    /// Advances one frame with the detected human-cluster centroids.
+    /// Returns the ids associated this frame, in input order (`None` for
+    /// detections that started new tracks... new tracks also get ids, so
+    /// every detection maps to an id).
+    pub fn step(&mut self, detections: &[Point3]) -> Vec<u64> {
+        self.frames += 1;
+        // Greedy association: repeatedly take the globally closest
+        // (track, detection) pair within the gate.
+        let mut pairs: Vec<(usize, usize, f64)> = Vec::new();
+        for (ti, track) in self.tracks.iter().enumerate() {
+            for (di, &d) in detections.iter().enumerate() {
+                let dist = track.position().distance(d);
+                if dist <= self.config.gate_m {
+                    pairs.push((ti, di, dist));
+                }
+            }
+        }
+        pairs.sort_by(|a, b| a.2.partial_cmp(&b.2).unwrap_or(std::cmp::Ordering::Equal));
+        let mut track_used = vec![false; self.tracks.len()];
+        let mut det_track: Vec<Option<usize>> = vec![None; detections.len()];
+        for (ti, di, _) in pairs {
+            if !track_used[ti] && det_track[di].is_none() {
+                track_used[ti] = true;
+                det_track[di] = Some(ti);
+            }
+        }
+        // Update associated tracks, age the rest.
+        for (ti, track) in self.tracks.iter_mut().enumerate() {
+            if track_used[ti] {
+                track.misses = 0;
+                track.hits += 1;
+            } else {
+                track.misses += 1;
+            }
+        }
+        for (ti, det) in det_track.iter().zip(detections) {
+            if let Some(ti) = ti {
+                self.tracks[*ti].trajectory.push(*det);
+            }
+        }
+        // Spawn new tracks for unmatched detections.
+        let mut ids = Vec::with_capacity(detections.len());
+        for (di, &d) in detections.iter().enumerate() {
+            match det_track[di] {
+                Some(ti) => ids.push(self.tracks[ti].id),
+                None => {
+                    let id = self.next_id;
+                    self.next_id += 1;
+                    self.tracks.push(Track {
+                        id,
+                        trajectory: vec![d],
+                        hits: 1,
+                        misses: 0,
+                    });
+                    ids.push(id);
+                }
+            }
+        }
+        // Expire stale tracks.
+        let max_misses = self.config.max_misses;
+        self.tracks.retain(|t| t.misses < max_misses);
+        ids
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn p(x: f64, y: f64) -> Point3 {
+        Point3::new(x, y, -2.0)
+    }
+
+    #[test]
+    fn single_walker_keeps_one_id() {
+        let mut t = PedestrianTracker::new(TrackerConfig::default());
+        let mut ids = Vec::new();
+        for step in 0..10 {
+            ids.extend(t.step(&[p(12.0 + step as f64 * 0.8, 0.0)]));
+        }
+        assert!(ids.windows(2).all(|w| w[0] == w[1]), "id changed: {ids:?}");
+        assert_eq!(t.confirmed_count(), 1);
+        assert!(t.tracks()[0].displacement() > 6.0);
+    }
+
+    #[test]
+    fn two_separated_walkers_get_distinct_ids() {
+        let mut t = PedestrianTracker::new(TrackerConfig::default());
+        for step in 0..5 {
+            let s = step as f64 * 0.5;
+            t.step(&[p(12.0 + s, -2.0), p(30.0 - s, 2.0)]);
+        }
+        assert_eq!(t.confirmed_count(), 2);
+        let ids: Vec<u64> = t.tracks().iter().map(|tr| tr.id).collect();
+        assert_ne!(ids[0], ids[1]);
+    }
+
+    #[test]
+    fn track_expires_after_misses() {
+        let cfg = TrackerConfig { max_misses: 2, ..TrackerConfig::default() };
+        let mut t = PedestrianTracker::new(cfg);
+        t.step(&[p(15.0, 0.0)]);
+        t.step(&[]); // miss 1
+        t.step(&[]); // miss 2 → expired
+        assert!(t.tracks().is_empty());
+    }
+
+    #[test]
+    fn gate_prevents_teleport_association() {
+        let mut t = PedestrianTracker::new(TrackerConfig::default());
+        let first = t.step(&[p(15.0, 0.0)]);
+        // 10 m away next frame: must be a new identity.
+        let second = t.step(&[p(25.0, 0.0)]);
+        assert_ne!(first[0], second[0]);
+    }
+
+    #[test]
+    fn crossing_walkers_prefer_nearest() {
+        let mut t = PedestrianTracker::new(TrackerConfig::default());
+        let a0 = t.step(&[p(15.0, -1.0), p(15.0, 1.0)]);
+        // They approach but stay on their own sides.
+        let a1 = t.step(&[p(15.5, -0.4), p(15.5, 0.4)]);
+        assert_eq!(a0[0], a1[0]);
+        assert_eq!(a0[1], a1[1]);
+    }
+
+    #[test]
+    fn unconfirmed_tracks_do_not_count() {
+        let cfg = TrackerConfig { confirm_hits: 3, ..TrackerConfig::default() };
+        let mut t = PedestrianTracker::new(cfg);
+        t.step(&[p(15.0, 0.0)]);
+        assert_eq!(t.confirmed_count(), 0);
+        t.step(&[p(15.2, 0.0)]);
+        t.step(&[p(15.4, 0.0)]);
+        assert_eq!(t.confirmed_count(), 1);
+    }
+
+    #[test]
+    fn empty_frames_are_fine() {
+        let mut t = PedestrianTracker::new(TrackerConfig::default());
+        assert!(t.step(&[]).is_empty());
+        assert_eq!(t.frames(), 1);
+        assert_eq!(t.confirmed_count(), 0);
+    }
+}

@@ -1,0 +1,94 @@
+//! The common interface every human classifier implements.
+
+use geom::Point3;
+
+use crate::{BinaryMetrics, ClassLabel, DetectionSample};
+
+/// A model that labels clustered point clouds as "Human" or "Object".
+///
+/// Implemented by HAWC and by every baseline (PointNet, AutoEncoder,
+/// OC-SVM), so the counting pipeline and the evaluation harness can treat
+/// them uniformly.
+pub trait CloudClassifier {
+    /// Classifies a batch of clusters.
+    fn classify(&mut self, clouds: &[Vec<Point3>]) -> Vec<ClassLabel>;
+
+    /// Short human-readable model name for report tables.
+    fn model_name(&self) -> &str;
+
+    /// Evaluates accuracy metrics on labelled clusters.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an empty test set.
+    fn evaluate_samples(&mut self, samples: &[DetectionSample]) -> BinaryMetrics {
+        assert!(!samples.is_empty(), "test set is empty");
+        let clouds: Vec<Vec<Point3>> =
+            samples.iter().map(|s| s.cloud.points().to_vec()).collect();
+        let preds: Vec<usize> = self.classify(&clouds).into_iter().map(|l| l.index()).collect();
+        let targets: Vec<usize> = samples.iter().map(|s| s.label.index()).collect();
+        BinaryMetrics::from_predictions(&preds, &targets)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::SampleMeta;
+    use lidar::PointCloud;
+
+    /// A classifier that calls everything taller than 1.2 m a human.
+    struct HeightRule;
+
+    impl CloudClassifier for HeightRule {
+        fn classify(&mut self, clouds: &[Vec<Point3>]) -> Vec<ClassLabel> {
+            clouds
+                .iter()
+                .map(|c| {
+                    let hi = c.iter().map(|p| p.z).fold(f64::NEG_INFINITY, f64::max);
+                    let lo = c.iter().map(|p| p.z).fold(f64::INFINITY, f64::min);
+                    if hi - lo > 1.2 {
+                        ClassLabel::Human
+                    } else {
+                        ClassLabel::Object
+                    }
+                })
+                .collect()
+        }
+
+        fn model_name(&self) -> &str {
+            "height-rule"
+        }
+    }
+
+    fn sample(height: f64, label: ClassLabel) -> DetectionSample {
+        let cloud: Vec<Point3> =
+            (0..20).map(|i| Point3::new(15.0, 0.0, -3.0 + height * i as f64 / 19.0)).collect();
+        DetectionSample {
+            cloud: PointCloud::new(cloud),
+            label,
+            meta: SampleMeta::for_capture(0, 0, 1.0),
+        }
+    }
+
+    #[test]
+    fn trait_evaluation_path_works() {
+        let mut rule = HeightRule;
+        let samples = vec![
+            sample(1.7, ClassLabel::Human),
+            sample(1.6, ClassLabel::Human),
+            sample(0.9, ClassLabel::Object),
+            sample(1.0, ClassLabel::Object),
+        ];
+        let m = rule.evaluate_samples(&samples);
+        assert_eq!(m.accuracy, 1.0);
+        assert_eq!(rule.model_name(), "height-rule");
+    }
+
+    #[test]
+    #[should_panic(expected = "test set is empty")]
+    fn empty_test_set_panics() {
+        let mut rule = HeightRule;
+        let _ = rule.evaluate_samples(&[]);
+    }
+}

@@ -1,0 +1,395 @@
+//! A compact binary on-disk format for generated datasets.
+//!
+//! Generating the paper-scale datasets (15,028 captures) takes a little
+//! while, so harness binaries cache them. The format is deliberately
+//! simple: a magic header, a record kind, a little-endian payload. No
+//! external format crate is used — records are framed by hand on top of
+//! [`bytes`].
+
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+use geom::Point3;
+use lidar::PointCloud;
+use std::fs;
+use std::io;
+use std::path::Path;
+
+use crate::{ClassLabel, CountingSample, DetectionSample, ObjectPool, SampleMeta};
+
+/// File magic: "HAWC" + format version 1.
+const MAGIC: &[u8; 8] = b"HAWCDS01";
+
+const KIND_DETECTION: u8 = 1;
+const KIND_COUNTING: u8 = 2;
+const KIND_POOL: u8 = 3;
+
+/// Errors from encoding or decoding dataset files.
+#[derive(Debug)]
+pub enum CodecError {
+    /// Underlying I/O failure.
+    Io(io::Error),
+    /// The payload is not a valid dataset file of the expected kind.
+    Format(String),
+}
+
+impl std::fmt::Display for CodecError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CodecError::Io(e) => write!(f, "dataset i/o error: {e}"),
+            CodecError::Format(msg) => write!(f, "malformed dataset file: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for CodecError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            CodecError::Io(e) => Some(e),
+            CodecError::Format(_) => None,
+        }
+    }
+}
+
+impl From<io::Error> for CodecError {
+    fn from(e: io::Error) -> Self {
+        CodecError::Io(e)
+    }
+}
+
+fn format_err<T>(msg: impl Into<String>) -> Result<T, CodecError> {
+    Err(CodecError::Format(msg.into()))
+}
+
+fn put_header(buf: &mut BytesMut, kind: u8, count: u64) {
+    buf.put_slice(MAGIC);
+    buf.put_u8(kind);
+    buf.put_u64_le(count);
+}
+
+fn check_header(buf: &mut Bytes, kind: u8) -> Result<u64, CodecError> {
+    if buf.remaining() < MAGIC.len() + 1 + 8 {
+        return format_err("truncated header");
+    }
+    let mut magic = [0u8; 8];
+    buf.copy_to_slice(&mut magic);
+    if &magic != MAGIC {
+        return format_err("bad magic");
+    }
+    let got = buf.get_u8();
+    if got != kind {
+        return format_err(format!("wrong record kind: expected {kind}, found {got}"));
+    }
+    Ok(buf.get_u64_le())
+}
+
+fn put_cloud(buf: &mut BytesMut, cloud: &PointCloud) {
+    buf.put_u32_le(cloud.len() as u32);
+    for p in cloud.points() {
+        buf.put_f64_le(p.x);
+        buf.put_f64_le(p.y);
+        buf.put_f64_le(p.z);
+    }
+}
+
+fn get_cloud(buf: &mut Bytes) -> Result<PointCloud, CodecError> {
+    if buf.remaining() < 4 {
+        return format_err("truncated cloud length");
+    }
+    let n = buf.get_u32_le() as usize;
+    if buf.remaining() < n * 24 {
+        return format_err("truncated cloud body");
+    }
+    let mut points = Vec::with_capacity(n);
+    for _ in 0..n {
+        let x = buf.get_f64_le();
+        let y = buf.get_f64_le();
+        let z = buf.get_f64_le();
+        points.push(Point3::new(x, y, z));
+    }
+    Ok(PointCloud::new(points))
+}
+
+fn put_meta(buf: &mut BytesMut, meta: &SampleMeta) {
+    buf.put_f64_le(meta.timestamp_s);
+    buf.put_f64_le(meta.sensor_height_m);
+    buf.put_u64_le(meta.capture_seed);
+}
+
+fn get_meta(buf: &mut Bytes) -> Result<SampleMeta, CodecError> {
+    if buf.remaining() < 24 {
+        return format_err("truncated metadata");
+    }
+    Ok(SampleMeta {
+        timestamp_s: buf.get_f64_le(),
+        sensor_height_m: buf.get_f64_le(),
+        capture_seed: buf.get_u64_le(),
+    })
+}
+
+/// Encodes a detection dataset to bytes.
+pub fn encode_detection(samples: &[DetectionSample]) -> Bytes {
+    let mut buf = BytesMut::new();
+    put_header(&mut buf, KIND_DETECTION, samples.len() as u64);
+    for s in samples {
+        buf.put_u8(s.label.index() as u8);
+        put_meta(&mut buf, &s.meta);
+        put_cloud(&mut buf, &s.cloud);
+    }
+    buf.freeze()
+}
+
+/// Decodes a detection dataset.
+///
+/// # Errors
+///
+/// Returns [`CodecError::Format`] on any framing violation.
+pub fn decode_detection(mut buf: Bytes) -> Result<Vec<DetectionSample>, CodecError> {
+    let n = check_header(&mut buf, KIND_DETECTION)?;
+    let mut out = Vec::with_capacity(n as usize);
+    for _ in 0..n {
+        if buf.remaining() < 1 {
+            return format_err("truncated label");
+        }
+        let raw = buf.get_u8();
+        if raw > 1 {
+            return format_err(format!("invalid label byte {raw}"));
+        }
+        let label = ClassLabel::from_index(raw as usize);
+        let meta = get_meta(&mut buf)?;
+        let cloud = get_cloud(&mut buf)?;
+        out.push(DetectionSample { cloud, label, meta });
+    }
+    if buf.has_remaining() {
+        return format_err("trailing bytes after last record");
+    }
+    Ok(out)
+}
+
+/// Encodes a counting dataset to bytes.
+pub fn encode_counting(samples: &[CountingSample]) -> Bytes {
+    let mut buf = BytesMut::new();
+    put_header(&mut buf, KIND_COUNTING, samples.len() as u64);
+    for s in samples {
+        buf.put_u32_le(s.ground_truth as u32);
+        put_meta(&mut buf, &s.meta);
+        put_cloud(&mut buf, &s.cloud);
+    }
+    buf.freeze()
+}
+
+/// Decodes a counting dataset.
+///
+/// # Errors
+///
+/// Returns [`CodecError::Format`] on any framing violation.
+pub fn decode_counting(mut buf: Bytes) -> Result<Vec<CountingSample>, CodecError> {
+    let n = check_header(&mut buf, KIND_COUNTING)?;
+    let mut out = Vec::with_capacity(n as usize);
+    for _ in 0..n {
+        if buf.remaining() < 4 {
+            return format_err("truncated ground truth");
+        }
+        let ground_truth = buf.get_u32_le() as usize;
+        let meta = get_meta(&mut buf)?;
+        let cloud = get_cloud(&mut buf)?;
+        out.push(CountingSample { cloud, ground_truth, meta });
+    }
+    if buf.has_remaining() {
+        return format_err("trailing bytes after last record");
+    }
+    Ok(out)
+}
+
+/// Encodes an object pool to bytes.
+pub fn encode_pool(pool: &ObjectPool) -> Bytes {
+    let mut buf = BytesMut::new();
+    put_header(&mut buf, KIND_POOL, pool.len() as u64);
+    for p in pool.points() {
+        buf.put_f64_le(p.x);
+        buf.put_f64_le(p.y);
+        buf.put_f64_le(p.z);
+    }
+    buf.freeze()
+}
+
+/// Decodes an object pool.
+///
+/// # Errors
+///
+/// Returns [`CodecError::Format`] on any framing violation.
+pub fn decode_pool(mut buf: Bytes) -> Result<ObjectPool, CodecError> {
+    let n = check_header(&mut buf, KIND_POOL)?;
+    if buf.remaining() < n as usize * 24 {
+        return format_err("truncated pool body");
+    }
+    let mut points = Vec::with_capacity(n as usize);
+    for _ in 0..n {
+        let x = buf.get_f64_le();
+        let y = buf.get_f64_le();
+        let z = buf.get_f64_le();
+        points.push(Point3::new(x, y, z));
+    }
+    if buf.has_remaining() {
+        return format_err("trailing bytes after pool body");
+    }
+    Ok(ObjectPool::new(points))
+}
+
+/// Writes a detection dataset to `path`.
+///
+/// # Errors
+///
+/// Propagates filesystem errors.
+pub fn save_detection<P: AsRef<Path>>(path: P, samples: &[DetectionSample]) -> Result<(), CodecError> {
+    fs::write(path, encode_detection(samples))?;
+    Ok(())
+}
+
+/// Reads a detection dataset from `path`.
+///
+/// # Errors
+///
+/// Propagates filesystem errors and framing violations.
+pub fn load_detection<P: AsRef<Path>>(path: P) -> Result<Vec<DetectionSample>, CodecError> {
+    decode_detection(Bytes::from(fs::read(path)?))
+}
+
+/// Writes a counting dataset to `path`.
+///
+/// # Errors
+///
+/// Propagates filesystem errors.
+pub fn save_counting<P: AsRef<Path>>(path: P, samples: &[CountingSample]) -> Result<(), CodecError> {
+    fs::write(path, encode_counting(samples))?;
+    Ok(())
+}
+
+/// Reads a counting dataset from `path`.
+///
+/// # Errors
+///
+/// Propagates filesystem errors and framing violations.
+pub fn load_counting<P: AsRef<Path>>(path: P) -> Result<Vec<CountingSample>, CodecError> {
+    decode_counting(Bytes::from(fs::read(path)?))
+}
+
+/// Writes an object pool to `path`.
+///
+/// # Errors
+///
+/// Propagates filesystem errors.
+pub fn save_pool<P: AsRef<Path>>(path: P, pool: &ObjectPool) -> Result<(), CodecError> {
+    fs::write(path, encode_pool(pool))?;
+    Ok(())
+}
+
+/// Reads an object pool from `path`.
+///
+/// # Errors
+///
+/// Propagates filesystem errors and framing violations.
+pub fn load_pool<P: AsRef<Path>>(path: P) -> Result<ObjectPool, CodecError> {
+    decode_pool(Bytes::from(fs::read(path)?))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_meta(i: u64) -> SampleMeta {
+        SampleMeta::for_capture(7, i, 2.0)
+    }
+
+    fn detection_fixture() -> Vec<DetectionSample> {
+        (0..5)
+            .map(|i| DetectionSample {
+                cloud: PointCloud::new(
+                    (0..i + 1).map(|j| Point3::new(j as f64, i as f64, -1.0)).collect(),
+                ),
+                label: if i % 2 == 0 { ClassLabel::Human } else { ClassLabel::Object },
+                meta: sample_meta(i as u64),
+            })
+            .collect()
+    }
+
+    #[test]
+    fn detection_round_trip() {
+        let data = detection_fixture();
+        let decoded = decode_detection(encode_detection(&data)).unwrap();
+        assert_eq!(data, decoded);
+    }
+
+    #[test]
+    fn counting_round_trip() {
+        let data: Vec<CountingSample> = (0..4)
+            .map(|i| CountingSample {
+                cloud: PointCloud::new(vec![Point3::splat(i as f64); i + 2]),
+                ground_truth: i,
+                meta: sample_meta(i as u64),
+            })
+            .collect();
+        let decoded = decode_counting(encode_counting(&data)).unwrap();
+        assert_eq!(data, decoded);
+    }
+
+    #[test]
+    fn pool_round_trip() {
+        let pool = ObjectPool::new((0..17).map(|i| Point3::splat(i as f64 * 0.3)).collect());
+        let decoded = decode_pool(encode_pool(&pool)).unwrap();
+        assert_eq!(pool, decoded);
+    }
+
+    #[test]
+    fn empty_datasets_round_trip() {
+        assert!(decode_detection(encode_detection(&[])).unwrap().is_empty());
+        assert!(decode_counting(encode_counting(&[])).unwrap().is_empty());
+        assert!(decode_pool(encode_pool(&ObjectPool::default())).unwrap().is_empty());
+    }
+
+    #[test]
+    fn wrong_kind_is_rejected() {
+        let enc = encode_detection(&detection_fixture());
+        let err = decode_counting(enc).unwrap_err();
+        assert!(matches!(err, CodecError::Format(_)), "{err}");
+    }
+
+    #[test]
+    fn bad_magic_is_rejected() {
+        let mut raw = encode_detection(&detection_fixture()).to_vec();
+        raw[0] = b'X';
+        assert!(decode_detection(Bytes::from(raw)).is_err());
+    }
+
+    #[test]
+    fn truncation_is_rejected() {
+        let raw = encode_detection(&detection_fixture()).to_vec();
+        for cut in [0, 5, raw.len() / 2, raw.len() - 1] {
+            let res = decode_detection(Bytes::from(raw[..cut].to_vec()));
+            assert!(res.is_err(), "truncation at {cut} accepted");
+        }
+    }
+
+    #[test]
+    fn trailing_garbage_is_rejected() {
+        let mut raw = encode_detection(&detection_fixture()).to_vec();
+        raw.push(0);
+        assert!(decode_detection(Bytes::from(raw)).is_err());
+    }
+
+    #[test]
+    fn file_round_trip() {
+        let dir = std::env::temp_dir().join("hawc_codec_test");
+        fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("det.hawc");
+        let data = detection_fixture();
+        save_detection(&path, &data).unwrap();
+        let loaded = load_detection(&path).unwrap();
+        assert_eq!(data, loaded);
+        fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn missing_file_is_io_error() {
+        let err = load_detection("/nonexistent/path/x.hawc").unwrap_err();
+        assert!(matches!(err, CodecError::Io(_)));
+    }
+}

@@ -1,0 +1,43 @@
+//! Dataset generation, curation and serialization for HAWC-CC.
+//!
+//! The paper collects two campus datasets of 15,028 LiDAR samples each
+//! (§VII-A): a *single-person* dataset for human-detection evaluation and a
+//! *multiple-person* dataset for crowd-counting evaluation, plus an
+//! "Object" pool of human-free captures that feeds the noise-controlled
+//! up-sampling of §V. This crate generates the synthetic equivalents
+//! against the [`world`]/[`lidar`] simulator:
+//!
+//! * [`generate_detection_dataset`] — labelled per-cluster clouds
+//!   ("Human" vs "Object") with capture metadata,
+//! * [`generate_counting_dataset`] — full sweeps with ground-truth crowd
+//!   counts,
+//! * [`ObjectPool`] — pooled object points for up-sampling,
+//! * [`Split`] / [`fraction`] — the 80:20 split and the
+//!   limited-training-data subsampling of Fig. 8b,
+//! * [`codec`] — a compact binary format so generated datasets can be
+//!   cached on disk.
+//!
+//! Generation is deterministic given a seed and parallelised across worker
+//! threads with per-chunk RNG streams, so the same configuration always
+//! yields the same dataset regardless of thread count.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod classifier;
+pub mod codec;
+mod gen;
+mod metrics;
+mod pool;
+mod sample;
+mod split;
+
+pub use gen::{
+    generate_counting_dataset, generate_detection_dataset, generate_object_pool,
+    CountingDatasetConfig, DetectionDatasetConfig,
+};
+pub use classifier::CloudClassifier;
+pub use metrics::BinaryMetrics;
+pub use pool::ObjectPool;
+pub use sample::{ClassLabel, CountingSample, DetectionSample, SampleMeta};
+pub use split::{fraction, split, Split};

@@ -1,0 +1,127 @@
+//! Binary classification metrics (§VII-A's accuracy metrics).
+
+use serde::{Deserialize, Serialize};
+
+/// Accuracy, precision, recall and F1 for a binary classifier, with
+/// "Human" (`class 1`) as the positive class.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct BinaryMetrics {
+    /// Fraction of correct predictions.
+    pub accuracy: f64,
+    /// TP / (TP + FP); 0 when no positives were predicted.
+    pub precision: f64,
+    /// TP / (TP + FN); 0 when no positives exist.
+    pub recall: f64,
+    /// Harmonic mean of precision and recall.
+    pub f1: f64,
+}
+
+impl BinaryMetrics {
+    /// Computes metrics from parallel prediction/target class vectors
+    /// (0 = Object, 1 = Human).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the vectors disagree in length or are empty.
+    pub fn from_predictions(predictions: &[usize], targets: &[usize]) -> Self {
+        assert_eq!(predictions.len(), targets.len(), "prediction/target length mismatch");
+        assert!(!predictions.is_empty(), "cannot score zero predictions");
+        let mut tp = 0usize;
+        let mut tn = 0usize;
+        let mut fp = 0usize;
+        let mut fal_n = 0usize;
+        for (&p, &t) in predictions.iter().zip(targets) {
+            match (p, t) {
+                (1, 1) => tp += 1,
+                (0, 0) => tn += 1,
+                (1, 0) => fp += 1,
+                (0, 1) => fal_n += 1,
+                _ => panic!("labels must be 0 or 1, got prediction {p} target {t}"),
+            }
+        }
+        let accuracy = (tp + tn) as f64 / predictions.len() as f64;
+        let precision = if tp + fp == 0 { 0.0 } else { tp as f64 / (tp + fp) as f64 };
+        let recall = if tp + fal_n == 0 { 0.0 } else { tp as f64 / (tp + fal_n) as f64 };
+        let f1 = if precision + recall == 0.0 {
+            0.0
+        } else {
+            2.0 * precision * recall / (precision + recall)
+        };
+        BinaryMetrics { accuracy, precision, recall, f1 }
+    }
+}
+
+impl std::fmt::Display for BinaryMetrics {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "acc {:.2}% | F1 {:.3} | P {:.3} | R {:.3}",
+            self.accuracy * 100.0,
+            self.f1,
+            self.precision,
+            self.recall
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn perfect_predictions() {
+        let m = BinaryMetrics::from_predictions(&[1, 0, 1, 0], &[1, 0, 1, 0]);
+        assert_eq!(m.accuracy, 1.0);
+        assert_eq!(m.precision, 1.0);
+        assert_eq!(m.recall, 1.0);
+        assert_eq!(m.f1, 1.0);
+    }
+
+    #[test]
+    fn all_positive_predictor_matches_ocsvm_failure() {
+        // The paper's OC-SVM labels everything "human": accuracy equals
+        // the positive prevalence, recall 1, precision = prevalence.
+        let targets = [1, 1, 0, 0, 1, 0, 0, 0, 1, 0];
+        let preds = [1; 10];
+        let m = BinaryMetrics::from_predictions(&preds, &targets);
+        assert!((m.accuracy - 0.4).abs() < 1e-12);
+        assert_eq!(m.recall, 1.0);
+        assert!((m.precision - 0.4).abs() < 1e-12);
+    }
+
+    #[test]
+    fn degenerate_negative_predictor() {
+        let m = BinaryMetrics::from_predictions(&[0, 0, 0], &[1, 1, 0]);
+        assert_eq!(m.precision, 0.0);
+        assert_eq!(m.recall, 0.0);
+        assert_eq!(m.f1, 0.0);
+    }
+
+    #[test]
+    fn known_mixed_case() {
+        // TP=2 FP=1 FN=1 TN=1
+        let m = BinaryMetrics::from_predictions(&[1, 1, 1, 0, 0], &[1, 1, 0, 1, 0]);
+        assert!((m.accuracy - 0.6).abs() < 1e-12);
+        assert!((m.precision - 2.0 / 3.0).abs() < 1e-12);
+        assert!((m.recall - 2.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn mismatched_lengths_panic() {
+        let _ = BinaryMetrics::from_predictions(&[1], &[1, 0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "labels must be 0 or 1")]
+    fn non_binary_labels_panic() {
+        let _ = BinaryMetrics::from_predictions(&[2], &[1]);
+    }
+
+    #[test]
+    fn display_is_informative() {
+        let m = BinaryMetrics::from_predictions(&[1, 0], &[1, 0]);
+        let s = m.to_string();
+        assert!(s.contains("acc") && s.contains("F1"));
+    }
+}

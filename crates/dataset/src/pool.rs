@@ -1,0 +1,142 @@
+//! The pooled "Object" dataset used by noise-controlled up-sampling.
+//!
+//! §V: "In practice, all 'Object' data are pooled together, and the
+//! required number of point clouds are randomly selected from this pool to
+//! up-sample each 'Human' point cloud."
+
+use geom::Point3;
+use lidar::PointCloud;
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// A flat pool of points drawn from human-free captures.
+///
+/// # Examples
+///
+/// ```
+/// use dataset::ObjectPool;
+/// use geom::Point3;
+/// use rand::SeedableRng;
+///
+/// let pool = ObjectPool::new(vec![Point3::new(15.0, 0.0, -2.0); 10]);
+/// let mut rng = rand::rngs::StdRng::seed_from_u64(0);
+/// assert_eq!(pool.sample_points(&mut rng, 4).len(), 4);
+/// ```
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct ObjectPool {
+    points: Vec<Point3>,
+}
+
+impl ObjectPool {
+    /// Creates a pool from raw points.
+    pub fn new(points: Vec<Point3>) -> Self {
+        ObjectPool { points }
+    }
+
+    /// Builds a pool by flattening object clouds.
+    pub fn from_clouds<'a, I: IntoIterator<Item = &'a PointCloud>>(clouds: I) -> Self {
+        let points = clouds
+            .into_iter()
+            .flat_map(|c| c.points().iter().copied())
+            .collect();
+        ObjectPool { points }
+    }
+
+    /// Number of pooled points.
+    pub fn len(&self) -> usize {
+        self.points.len()
+    }
+
+    /// Returns `true` when the pool is empty.
+    pub fn is_empty(&self) -> bool {
+        self.points.is_empty()
+    }
+
+    /// The pooled points.
+    pub fn points(&self) -> &[Point3] {
+        &self.points
+    }
+
+    /// Draws `n` points uniformly with replacement.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the pool is empty and `n > 0` — up-sampling needs a
+    /// non-empty object dataset.
+    pub fn sample_points<R: Rng + ?Sized>(&self, rng: &mut R, n: usize) -> Vec<Point3> {
+        if n == 0 {
+            return Vec::new();
+        }
+        assert!(!self.points.is_empty(), "cannot sample from an empty object pool");
+        (0..n)
+            .map(|_| self.points[rng.gen_range(0..self.points.len())])
+            .collect()
+    }
+}
+
+impl Extend<Point3> for ObjectPool {
+    fn extend<I: IntoIterator<Item = Point3>>(&mut self, iter: I) {
+        self.points.extend(iter);
+    }
+}
+
+impl FromIterator<Point3> for ObjectPool {
+    fn from_iter<I: IntoIterator<Item = Point3>>(iter: I) -> Self {
+        ObjectPool { points: iter.into_iter().collect() }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn from_clouds_flattens() {
+        let c1 = PointCloud::new(vec![Point3::ZERO, Point3::splat(1.0)]);
+        let c2 = PointCloud::new(vec![Point3::splat(2.0)]);
+        let pool = ObjectPool::from_clouds([&c1, &c2]);
+        assert_eq!(pool.len(), 3);
+    }
+
+    #[test]
+    fn samples_come_from_the_pool() {
+        let pts = vec![Point3::splat(1.0), Point3::splat(2.0), Point3::splat(3.0)];
+        let pool = ObjectPool::new(pts.clone());
+        let mut rng = StdRng::seed_from_u64(4);
+        for p in pool.sample_points(&mut rng, 50) {
+            assert!(pts.contains(&p));
+        }
+    }
+
+    #[test]
+    fn sampling_zero_from_empty_is_fine() {
+        let pool = ObjectPool::default();
+        let mut rng = StdRng::seed_from_u64(4);
+        assert!(pool.sample_points(&mut rng, 0).is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "empty object pool")]
+    fn sampling_from_empty_pool_panics() {
+        let pool = ObjectPool::default();
+        let mut rng = StdRng::seed_from_u64(4);
+        let _ = pool.sample_points(&mut rng, 1);
+    }
+
+    #[test]
+    fn extend_and_collect() {
+        let mut pool: ObjectPool = (0..5).map(|i| Point3::splat(i as f64)).collect();
+        pool.extend([Point3::splat(9.0)]);
+        assert_eq!(pool.len(), 6);
+    }
+
+    #[test]
+    fn sampling_is_deterministic_per_seed() {
+        let pool: ObjectPool = (0..100).map(|i| Point3::splat(i as f64)).collect();
+        let a = pool.sample_points(&mut StdRng::seed_from_u64(11), 20);
+        let b = pool.sample_points(&mut StdRng::seed_from_u64(11), 20);
+        assert_eq!(a, b);
+    }
+}

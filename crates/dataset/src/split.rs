@@ -1,0 +1,121 @@
+//! Train/test splitting and limited-data subsampling.
+
+use rand::seq::SliceRandom;
+use rand::Rng;
+
+/// A train/test partition of a dataset.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Split<T> {
+    /// Training portion.
+    pub train: Vec<T>,
+    /// Held-out test portion.
+    pub test: Vec<T>,
+}
+
+/// Randomly splits `samples` into train/test with the given training
+/// ratio; the paper uses "a random 80:20 training and test split across
+/// LiDAR samples" (§VII-A).
+///
+/// # Panics
+///
+/// Panics unless `0 < train_ratio < 1`.
+pub fn split<T, R: Rng + ?Sized>(rng: &mut R, mut samples: Vec<T>, train_ratio: f64) -> Split<T> {
+    assert!(
+        train_ratio > 0.0 && train_ratio < 1.0,
+        "train_ratio must be in (0, 1), got {train_ratio}"
+    );
+    samples.shuffle(rng);
+    let n_train = ((samples.len() as f64) * train_ratio).round() as usize;
+    let n_train = n_train.min(samples.len());
+    let test = samples.split_off(n_train);
+    Split { train: samples, test }
+}
+
+/// Keeps a random fraction of `samples` (at least one when the input is
+/// non-empty) — the limited-training-data protocol of Fig. 8b, which goes
+/// down to 0.1 % of the training set.
+///
+/// # Panics
+///
+/// Panics unless `0 < frac <= 1`.
+pub fn fraction<T, R: Rng + ?Sized>(rng: &mut R, mut samples: Vec<T>, frac: f64) -> Vec<T> {
+    assert!(frac > 0.0 && frac <= 1.0, "frac must be in (0, 1], got {frac}");
+    samples.shuffle(rng);
+    let keep = ((samples.len() as f64 * frac).round() as usize)
+        .max(usize::from(!samples.is_empty()))
+        .min(samples.len());
+    samples.truncate(keep);
+    samples
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn rng() -> StdRng {
+        StdRng::seed_from_u64(5)
+    }
+
+    #[test]
+    fn split_80_20_sizes() {
+        let s = split(&mut rng(), (0..1000).collect::<Vec<_>>(), 0.8);
+        assert_eq!(s.train.len(), 800);
+        assert_eq!(s.test.len(), 200);
+    }
+
+    #[test]
+    fn split_preserves_every_sample_exactly_once() {
+        let s = split(&mut rng(), (0..101).collect::<Vec<_>>(), 0.8);
+        let mut all: Vec<i32> = s.train.iter().chain(s.test.iter()).copied().collect();
+        all.sort_unstable();
+        assert_eq!(all, (0..101).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn split_is_random_but_seeded() {
+        let a = split(&mut rng(), (0..50).collect::<Vec<_>>(), 0.5);
+        let b = split(&mut rng(), (0..50).collect::<Vec<_>>(), 0.5);
+        assert_eq!(a, b);
+        let c = split(&mut StdRng::seed_from_u64(6), (0..50).collect::<Vec<_>>(), 0.5);
+        assert_ne!(a.train, c.train);
+    }
+
+    #[test]
+    #[should_panic(expected = "train_ratio")]
+    fn split_rejects_bad_ratio() {
+        let _ = split(&mut rng(), vec![1, 2, 3], 1.0);
+    }
+
+    #[test]
+    fn fraction_keeps_requested_share() {
+        let kept = fraction(&mut rng(), (0..1000).collect::<Vec<_>>(), 0.1);
+        assert_eq!(kept.len(), 100);
+    }
+
+    #[test]
+    fn tiny_fraction_keeps_at_least_one() {
+        // 0.1% of 500 rounds to 1 rather than 0 (Fig. 8b goes to 0.1%).
+        let kept = fraction(&mut rng(), (0..500).collect::<Vec<_>>(), 0.001);
+        assert_eq!(kept.len(), 1);
+    }
+
+    #[test]
+    fn full_fraction_keeps_everything() {
+        let kept = fraction(&mut rng(), (0..37).collect::<Vec<_>>(), 1.0);
+        assert_eq!(kept.len(), 37);
+    }
+
+    #[test]
+    fn fraction_of_empty_is_empty() {
+        let kept: Vec<i32> = fraction(&mut rng(), Vec::new(), 0.5);
+        assert!(kept.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "frac")]
+    fn fraction_rejects_zero() {
+        let _ = fraction(&mut rng(), vec![1], 0.0);
+    }
+}

@@ -1,0 +1,287 @@
+//! Per-layer analytic latency models of the paper's two edge devices.
+
+use nn::profile::{NetworkProfile, OpKind};
+use serde::{Deserialize, Serialize};
+
+/// Numeric precision of a deployed model.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Precision {
+    /// 32-bit floating point.
+    Fp32,
+    /// Post-training-quantized 8-bit integers.
+    Int8,
+}
+
+impl std::fmt::Display for Precision {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            Precision::Fp32 => "FP32",
+            Precision::Int8 => "Int8",
+        })
+    }
+}
+
+/// Per-precision operator costs.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+struct OpCosts {
+    /// ns per MAC for 2-D convolutions.
+    conv_ns_per_mac: f64,
+    /// ns per MAC for PointNet's shared per-point MLP (a 1×1 conv): the
+    /// Coral TPU runs it at conv speed, the Jetson's GPU at dense speed.
+    pointwise_ns_per_mac: f64,
+    /// ns per MAC for plain fully connected layers.
+    dense_ns_per_mac: f64,
+    /// Fixed per-layer launch cost for conv-class ops, ms.
+    conv_layer_ms: f64,
+    /// Fixed per-layer launch cost for dense ops, ms — on the Coral TPU
+    /// this includes the host offload round-trip.
+    dense_layer_ms: f64,
+    /// Fixed cost per cheap layer (pool/norm/activation), ms.
+    cheap_layer_ms: f64,
+}
+
+/// An analytic latency model of one edge device.
+///
+/// The model prices a network as
+/// `Σ_layers (per-layer launch cost + MACs × per-MAC cost)`, with costs
+/// depending on the operator class and precision. Constants are
+/// calibrated against the paper's Table II measurements.
+///
+/// # Examples
+///
+/// ```
+/// use edge::{DeviceModel, Precision};
+/// use nn::profile::{LayerProfile, NetworkProfile, OpKind};
+///
+/// let profile = NetworkProfile {
+///     layers: vec![LayerProfile {
+///         name: "conv2d".into(),
+///         kind: OpKind::Conv,
+///         params: 1000,
+///         macs: 1_000_000,
+///         output_elems: 5184,
+///     }],
+/// };
+/// let jetson = DeviceModel::jetson_nano();
+/// assert!(jetson.latency_ms(&profile, Precision::Int8)
+///     < jetson.latency_ms(&profile, Precision::Fp32));
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DeviceModel {
+    name: String,
+    fp32: OpCosts,
+    int8: OpCosts,
+}
+
+impl DeviceModel {
+    /// The Nvidia Jetson Nano (Maxwell GPU, 4 GB): a general-purpose GPU
+    /// that runs every operator; int8 roughly halves convolution cost and
+    /// shaves dense cost (Table II: HAWC 0.54→0.29 ms, PointNet
+    /// 12.15→10.75 ms, AutoEncoder 0.04→0.03 ms).
+    pub fn jetson_nano() -> Self {
+        DeviceModel {
+            name: "Jetson Nano".into(),
+            fp32: OpCosts {
+                conv_ns_per_mac: 0.35,
+                pointwise_ns_per_mac: 0.25,
+                dense_ns_per_mac: 0.25,
+                conv_layer_ms: 0.006,
+                dense_layer_ms: 0.005,
+                cheap_layer_ms: 0.002,
+            },
+            int8: OpCosts {
+                conv_ns_per_mac: 0.175,
+                pointwise_ns_per_mac: 0.22,
+                dense_ns_per_mac: 0.22,
+                conv_layer_ms: 0.004,
+                dense_layer_ms: 0.003,
+                cheap_layer_ms: 0.001,
+            },
+        }
+    }
+
+    /// The Coral Dev Board: fp32 falls back to the slow ARM CPU; int8
+    /// runs conv-class ops on the edge TPU but **cannot run fully
+    /// connected layers**, which are delegated to the host per-op — the
+    /// §VII-B anomaly that makes the int8 AutoEncoder slower than its
+    /// fp32 build (0.07 → 1.05 ms) while HAWC speeds up 3×.
+    pub fn coral_dev_board() -> Self {
+        DeviceModel {
+            name: "Coral Dev Board".into(),
+            fp32: OpCosts {
+                conv_ns_per_mac: 1.2,
+                pointwise_ns_per_mac: 1.2,
+                dense_ns_per_mac: 1.15,
+                conv_layer_ms: 0.02,
+                dense_layer_ms: 0.004,
+                cheap_layer_ms: 0.004,
+            },
+            int8: OpCosts {
+                conv_ns_per_mac: 0.015, // 4-TOPS TPU
+                pointwise_ns_per_mac: 0.015, // 1x1 convs run on the TPU too
+                dense_ns_per_mac: 0.5,  // falls back to the CPU…
+                conv_layer_ms: 0.03,
+                dense_layer_ms: 0.12, // …after a host round-trip
+                cheap_layer_ms: 0.01,
+            },
+        }
+    }
+
+    /// Device name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Predicted single-sample inference latency in milliseconds.
+    pub fn latency_ms(&self, profile: &NetworkProfile, precision: Precision) -> f64 {
+        let costs = match precision {
+            Precision::Fp32 => &self.fp32,
+            Precision::Int8 => &self.int8,
+        };
+        profile
+            .layers
+            .iter()
+            .map(|layer| match layer.kind {
+                OpKind::Conv => {
+                    costs.conv_layer_ms + layer.macs as f64 * costs.conv_ns_per_mac * 1e-6
+                }
+                OpKind::PointwiseMlp => {
+                    costs.conv_layer_ms + layer.macs as f64 * costs.pointwise_ns_per_mac * 1e-6
+                }
+                OpKind::Dense => {
+                    costs.dense_layer_ms + layer.macs as f64 * costs.dense_ns_per_mac * 1e-6
+                }
+                OpKind::Pool | OpKind::Norm | OpKind::Activation => costs.cheap_layer_ms,
+                OpKind::Reshape => 0.0,
+            })
+            .sum()
+    }
+
+    /// Quantization speedup `fp32 / int8` for a network on this device
+    /// (values below 1 mean int8 is *slower*, as for dense-heavy models
+    /// on the Coral).
+    pub fn speedup(&self, profile: &NetworkProfile) -> f64 {
+        self.latency_ms(profile, Precision::Fp32) / self.latency_ms(profile, Precision::Int8)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nn::profile::LayerProfile;
+
+    fn layer(kind: OpKind, macs: u64) -> LayerProfile {
+        LayerProfile { name: format!("{kind:?}"), kind, params: 0, macs, output_elems: 1 }
+    }
+
+    /// HAWC-like: conv-dominated, a couple of small dense layers.
+    fn hawc_like() -> NetworkProfile {
+        NetworkProfile {
+            layers: vec![
+                layer(OpKind::Conv, 330_000),
+                layer(OpKind::Norm, 0),
+                layer(OpKind::Activation, 0),
+                layer(OpKind::Pool, 0),
+                layer(OpKind::Conv, 380_000),
+                layer(OpKind::Norm, 0),
+                layer(OpKind::Activation, 0),
+                layer(OpKind::Pool, 0),
+                layer(OpKind::Conv, 290_000),
+                layer(OpKind::Norm, 0),
+                layer(OpKind::Activation, 0),
+                layer(OpKind::Pool, 0),
+                layer(OpKind::Reshape, 0),
+                layer(OpKind::Dense, 33_000),
+                layer(OpKind::Activation, 0),
+                layer(OpKind::Dense, 260),
+            ],
+        }
+    }
+
+    /// PointNet-like: huge shared MLP + dense head.
+    fn pointnet_like() -> NetworkProfile {
+        NetworkProfile {
+            layers: vec![
+                layer(OpKind::PointwiseMlp, 46_500_000),
+                layer(OpKind::Activation, 0),
+                layer(OpKind::Pool, 0),
+                layer(OpKind::Dense, 524_000),
+                layer(OpKind::Dense, 131_000),
+                layer(OpKind::Dense, 512),
+            ],
+        }
+    }
+
+    /// AutoEncoder-like: all dense, tiny.
+    fn autoencoder_like() -> NetworkProfile {
+        NetworkProfile {
+            layers: (0..8).map(|_| layer(OpKind::Dense, 3_300)).collect(),
+        }
+    }
+
+    #[test]
+    fn jetson_orderings_match_table2() {
+        let jetson = DeviceModel::jetson_nano();
+        let hawc = jetson.latency_ms(&hawc_like(), Precision::Fp32);
+        let pn = jetson.latency_ms(&pointnet_like(), Precision::Fp32);
+        let ae = jetson.latency_ms(&autoencoder_like(), Precision::Fp32);
+        // Table II FP32: AE (0.04) < HAWC (0.54) < PointNet (12.15).
+        assert!(ae < hawc && hawc < pn, "ae {ae:.3} hawc {hawc:.3} pn {pn:.3}");
+        // Magnitudes within ~2x of the paper.
+        assert!((0.2..=1.2).contains(&hawc), "hawc {hawc}");
+        assert!((6.0..=25.0).contains(&pn), "pn {pn}");
+        assert!(ae < 0.15, "ae {ae}");
+    }
+
+    #[test]
+    fn jetson_quantization_speedups() {
+        let jetson = DeviceModel::jetson_nano();
+        let s_hawc = jetson.speedup(&hawc_like());
+        let s_pn = jetson.speedup(&pointnet_like());
+        let s_ae = jetson.speedup(&autoencoder_like());
+        // Table II: HAWC 1.87x > AE 1.62x > PointNet 1.13x.
+        assert!(s_hawc > s_ae && s_ae > s_pn, "{s_hawc:.2} {s_ae:.2} {s_pn:.2}");
+        assert!(s_pn > 1.0);
+    }
+
+    #[test]
+    fn coral_tpu_anomaly_dense_models_slow_down() {
+        let coral = DeviceModel::coral_dev_board();
+        // The AutoEncoder regresses under quantization (0.07 → 1.05 ms).
+        let s_ae = coral.speedup(&autoencoder_like());
+        assert!(s_ae < 1.0, "int8 AE should be slower on the Coral, speedup {s_ae:.2}");
+        // HAWC enjoys a large speedup (1.88 → 0.62 ms ≈ 3x).
+        let s_hawc = coral.speedup(&hawc_like());
+        assert!(s_hawc > 2.0, "hawc speedup {s_hawc:.2}");
+        // PointNet speeds up massively (57.14 → 1.09 ≈ 52x): its shared
+        // MLP is conv-class work the TPU eats.
+        let s_pn = coral.speedup(&pointnet_like());
+        assert!(s_pn > 20.0, "pointnet speedup {s_pn:.2}");
+    }
+
+    #[test]
+    fn coral_int8_magnitudes_match_table2() {
+        let coral = DeviceModel::coral_dev_board();
+        let hawc = coral.latency_ms(&hawc_like(), Precision::Int8);
+        let pn = coral.latency_ms(&pointnet_like(), Precision::Int8);
+        let ae = coral.latency_ms(&autoencoder_like(), Precision::Int8);
+        // Table II Int8: HAWC 0.62, PointNet 1.09, AE 1.05.
+        assert!((0.3..=1.0).contains(&hawc), "hawc {hawc}");
+        assert!((0.7..=2.2).contains(&pn), "pn {pn}");
+        assert!((0.6..=1.6).contains(&ae), "ae {ae}");
+        // HAWC is both fastest and (per Table I) most accurate.
+        assert!(hawc < pn && hawc < ae);
+    }
+
+    #[test]
+    fn empty_profile_costs_nothing() {
+        let jetson = DeviceModel::jetson_nano();
+        assert_eq!(jetson.latency_ms(&NetworkProfile::default(), Precision::Fp32), 0.0);
+    }
+
+    #[test]
+    fn names() {
+        assert_eq!(DeviceModel::jetson_nano().name(), "Jetson Nano");
+        assert_eq!(DeviceModel::coral_dev_board().name(), "Coral Dev Board");
+    }
+}

@@ -1,0 +1,21 @@
+//! Edge-deployment substrates (paper §VI, §VII-B/D).
+//!
+//! The paper deploys HAWC-CC on an Nvidia Jetson Nano and a Coral Dev
+//! Board mounted inside the blue-light pole. Neither device exists in
+//! this reproduction, so this crate provides:
+//!
+//! * [`DeviceModel`] — analytic per-layer latency models for both
+//!   devices, calibrated so the Table II orderings hold, including the
+//!   Coral anomaly where the int8 AutoEncoder is *slower* than fp32
+//!   because the edge TPU cannot run fully connected layers and every
+//!   dense op pays a host round-trip;
+//! * [`thermal`] — the weather/pole thermal simulation behind Fig. 10's
+//!   summer-deployment study.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod device;
+pub mod thermal;
+
+pub use device::{DeviceModel, Precision};

@@ -1,0 +1,236 @@
+//! Pole thermal simulation (paper Fig. 10).
+//!
+//! The paper monitors the device compartment of a pole on the ASU campus
+//! through the 2023-06-24 → 2023-07-11 heat wave, cross-referenced with
+//! Visual Crossing weather data: pole temperature tracks weather with a
+//! ~10 °C offset during peak heat and under 5 °C at night, peaking at
+//! 57.81 °C (above the Coral's rated 0–50 °C envelope — which it
+//! survived). This module generates an equivalent series: a diurnal
+//! weather model plus a pole model with solar gain and first-order
+//! thermal lag.
+
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// One temperature reading.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Reading {
+    /// Seconds since the start of the campaign.
+    pub t_s: f64,
+    /// Ambient (weather service) temperature, °C.
+    pub weather_c: f64,
+    /// Temperature inside the pole compartment, °C.
+    pub pole_c: f64,
+}
+
+/// Configuration of the thermal campaign.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ThermalConfig {
+    /// Number of simulated days (paper window: 18 days).
+    pub days: usize,
+    /// Sampling period in minutes (paper: one reading every 1.7 min).
+    pub period_min: f64,
+    /// Mean daily minimum ambient temperature, °C (Phoenix June ≈ 28).
+    pub ambient_min_c: f64,
+    /// Mean daily maximum ambient temperature, °C (Phoenix June ≈ 43).
+    pub ambient_max_c: f64,
+    /// Day-to-day weather variation, °C (1σ).
+    pub daily_variation_c: f64,
+    /// Peak solar gain added to the pole compartment at midday, °C.
+    pub solar_gain_c: f64,
+    /// First-order thermal lag of the compartment, in hours.
+    pub lag_hours: f64,
+    /// Sensor noise, °C (1σ).
+    pub noise_c: f64,
+}
+
+impl Default for ThermalConfig {
+    fn default() -> Self {
+        ThermalConfig {
+            days: 18,
+            period_min: 1.7,
+            ambient_min_c: 27.0,
+            ambient_max_c: 43.0,
+            daily_variation_c: 2.0,
+            solar_gain_c: 12.0,
+            lag_hours: 1.5,
+            noise_c: 0.3,
+        }
+    }
+}
+
+/// Summary of a campaign (the numbers §VII-D quotes).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ThermalSummary {
+    /// Maximum pole temperature, °C.
+    pub pole_max_c: f64,
+    /// Minimum pole temperature, °C.
+    pub pole_min_c: f64,
+    /// Mean pole temperature, °C.
+    pub pole_mean_c: f64,
+    /// Mean pole−weather offset during the hottest quarter of each day.
+    pub peak_offset_c: f64,
+    /// Mean pole−weather offset during the coolest quarter of each day.
+    pub night_offset_c: f64,
+    /// Fraction of readings above the Coral's rated 50 °C limit.
+    pub above_rated_fraction: f64,
+}
+
+/// Simulates the campaign, returning the reading series.
+pub fn simulate<R: Rng + ?Sized>(cfg: &ThermalConfig, rng: &mut R) -> Vec<Reading> {
+    let samples_per_day = (24.0 * 60.0 / cfg.period_min).round() as usize;
+    let dt_s = cfg.period_min * 60.0;
+    let mut out = Vec::with_capacity(cfg.days * samples_per_day);
+    let mean = (cfg.ambient_min_c + cfg.ambient_max_c) / 2.0;
+    let amp = (cfg.ambient_max_c - cfg.ambient_min_c) / 2.0;
+    // First-order lag coefficient per sample.
+    let alpha = 1.0 - (-dt_s / (cfg.lag_hours * 3600.0)).exp();
+    let mut pole = mean;
+    for day in 0..cfg.days {
+        // Day-to-day offset (a slow weather system).
+        let day_offset = gaussian(rng) * cfg.daily_variation_c;
+        for s in 0..samples_per_day {
+            let t_s = (day * samples_per_day + s) as f64 * dt_s;
+            let hour = (t_s / 3600.0) % 24.0;
+            // Diurnal cycle: minimum ~05:00, maximum ~17:00.
+            let phase = (hour - 5.0) / 24.0 * std::f64::consts::TAU;
+            let weather = mean + day_offset - amp * phase.cos() + gaussian(rng) * 0.2;
+            // Solar load on the dark pole: daylight only, peaking ~14:00.
+            let solar = if (7.0..19.0).contains(&hour) {
+                cfg.solar_gain_c * (std::f64::consts::PI * (hour - 7.0) / 12.0).sin()
+            } else {
+                0.0
+            };
+            let target = weather + solar;
+            pole += alpha * (target - pole);
+            out.push(Reading {
+                t_s,
+                weather_c: weather,
+                pole_c: pole + gaussian(rng) * cfg.noise_c,
+            });
+        }
+    }
+    out
+}
+
+/// Summarises a reading series.
+///
+/// # Panics
+///
+/// Panics on an empty series.
+pub fn summarize(readings: &[Reading]) -> ThermalSummary {
+    assert!(!readings.is_empty(), "no readings to summarise");
+    let mut pole_max = f64::NEG_INFINITY;
+    let mut pole_min = f64::INFINITY;
+    let mut pole_sum = 0.0;
+    for r in readings {
+        pole_max = pole_max.max(r.pole_c);
+        pole_min = pole_min.min(r.pole_c);
+        pole_sum += r.pole_c;
+    }
+    // Hot/cold offsets: bucket readings by weather quartile.
+    let mut by_weather: Vec<&Reading> = readings.iter().collect();
+    by_weather.sort_by(|a, b| a.weather_c.partial_cmp(&b.weather_c).unwrap());
+    let q = readings.len() / 4;
+    let night: f64 = by_weather[..q.max(1)]
+        .iter()
+        .map(|r| r.pole_c - r.weather_c)
+        .sum::<f64>()
+        / q.max(1) as f64;
+    let peak: f64 = by_weather[readings.len() - q.max(1)..]
+        .iter()
+        .map(|r| r.pole_c - r.weather_c)
+        .sum::<f64>()
+        / q.max(1) as f64;
+    let above = readings.iter().filter(|r| r.pole_c > 50.0).count();
+    ThermalSummary {
+        pole_max_c: pole_max,
+        pole_min_c: pole_min,
+        pole_mean_c: pole_sum / readings.len() as f64,
+        peak_offset_c: peak,
+        night_offset_c: night,
+        above_rated_fraction: above as f64 / readings.len() as f64,
+    }
+}
+
+fn gaussian<R: Rng + ?Sized>(rng: &mut R) -> f64 {
+    let u1: f64 = rng.gen_range(f64::EPSILON..1.0);
+    let u2: f64 = rng.gen_range(0.0..1.0);
+    (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn run() -> (Vec<Reading>, ThermalSummary) {
+        let mut rng = StdRng::seed_from_u64(2023);
+        let readings = simulate(&ThermalConfig::default(), &mut rng);
+        let summary = summarize(&readings);
+        (readings, summary)
+    }
+
+    #[test]
+    fn series_has_paper_scale() {
+        let (readings, _) = run();
+        // 18 days at 1.7 min ≈ 847 samples/day.
+        let per_day = (24.0_f64 * 60.0 / 1.7).round() as usize;
+        assert_eq!(readings.len(), 18 * per_day);
+        // Timestamps strictly increase.
+        assert!(readings.windows(2).all(|w| w[1].t_s > w[0].t_s));
+    }
+
+    #[test]
+    fn summary_matches_figure_10() {
+        let (_, s) = run();
+        // Paper: max 57.81, min 21.00, mean 41.95 °C; peak offset ≈10 °C,
+        // night offset <5 °C. Match the shape, allow simulator slack.
+        assert!((50.0..=62.0).contains(&s.pole_max_c), "max {}", s.pole_max_c);
+        assert!((18.0..=30.0).contains(&s.pole_min_c), "min {}", s.pole_min_c);
+        assert!((36.0..=46.0).contains(&s.pole_mean_c), "mean {}", s.pole_mean_c);
+        assert!(
+            s.peak_offset_c > 6.0 && s.peak_offset_c < 14.0,
+            "peak offset {}",
+            s.peak_offset_c
+        );
+        assert!(s.night_offset_c < 5.0, "night offset {}", s.night_offset_c);
+        assert!(s.night_offset_c < s.peak_offset_c);
+    }
+
+    #[test]
+    fn exceeds_rated_envelope_sometimes() {
+        // The paper observes readings above the Coral's 50 °C rating.
+        let (_, s) = run();
+        assert!(s.above_rated_fraction > 0.0);
+        assert!(s.above_rated_fraction < 0.5);
+    }
+
+    #[test]
+    fn pole_lags_and_exceeds_weather_in_daytime() {
+        let (readings, _) = run();
+        // At 14:00 on day 3 the pole should be hotter than the ambient.
+        let target_t = (3 * 24 + 14) as f64 * 3600.0;
+        let r = readings
+            .iter()
+            .min_by(|a, b| {
+                (a.t_s - target_t).abs().partial_cmp(&(b.t_s - target_t).abs()).unwrap()
+            })
+            .unwrap();
+        assert!(r.pole_c > r.weather_c + 3.0);
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let a = simulate(&ThermalConfig::default(), &mut StdRng::seed_from_u64(1));
+        let b = simulate(&ThermalConfig::default(), &mut StdRng::seed_from_u64(1));
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    #[should_panic(expected = "no readings")]
+    fn empty_summary_panics() {
+        let _ = summarize(&[]);
+    }
+}

@@ -1,0 +1,293 @@
+//! Hand-crafted slice features for the non-CNN baselines.
+//!
+//! AutoEncoder-CC and OC-SVM-CC (paper §VII-A) cannot digest raw point
+//! clouds; they run on engineered features: "the feature extraction
+//! divides each point cloud into slices (0.2-meter intervals,
+//! approximating human head length), and extracts features from each
+//! slice" — following Leigh et al.'s person-tracking features (boundary
+//! regularity, circularity).
+//!
+//! [`extract`] converts a cluster into a fixed-length [`FeatureVector`]:
+//! per-slice geometry (point count, width, depth, mean/σ boundary radius,
+//! circularity) plus global shape features (height, extent ratios, point
+//! count, centroid height).
+//!
+//! # Examples
+//!
+//! ```
+//! use features::{extract, FeatureConfig};
+//! use geom::Point3;
+//!
+//! let cfg = FeatureConfig::default();
+//! let cloud: Vec<Point3> =
+//!     (0..40).map(|i| Point3::new(15.0, 0.0, -2.6 + i as f64 * 0.04)).collect();
+//! let f = extract(&cloud, &cfg);
+//! assert_eq!(f.values().len(), cfg.feature_len());
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use geom::Point3;
+use serde::{Deserialize, Serialize};
+
+/// Number of per-slice features.
+const SLICE_FEATURES: usize = 6;
+/// Number of global features appended after the slices when
+/// [`FeatureConfig::include_globals`] is set.
+const GLOBAL_FEATURES: usize = 6;
+
+/// Configuration for slice-feature extraction.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct FeatureConfig {
+    /// Slice thickness in metres (paper: 0.2 m ≈ a human head).
+    pub slice_height: f64,
+    /// Number of slices counted up from the lowest point; 2.4 m covers
+    /// any pedestrian with margin.
+    pub slices: usize,
+    /// Append whole-cluster features (height, verticality, log point
+    /// count, centroid height, footprint). The paper's feature set
+    /// (Leigh et al.) is per-slice only, so this defaults to `false`;
+    /// enabling it is an ablation that makes the non-CNN baselines
+    /// markedly stronger than the paper reports.
+    pub include_globals: bool,
+}
+
+impl Default for FeatureConfig {
+    fn default() -> Self {
+        FeatureConfig { slice_height: 0.2, slices: 12, include_globals: false }
+    }
+}
+
+impl FeatureConfig {
+    /// Length of the produced feature vector.
+    pub fn feature_len(&self) -> usize {
+        self.slices * SLICE_FEATURES + if self.include_globals { GLOBAL_FEATURES } else { 0 }
+    }
+}
+
+/// A fixed-length feature vector.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FeatureVector {
+    values: Vec<f64>,
+}
+
+impl FeatureVector {
+    /// The feature values.
+    pub fn values(&self) -> &[f64] {
+        &self.values
+    }
+
+    /// The values as f32 (for the NN substrate).
+    pub fn to_f32(&self) -> Vec<f32> {
+        self.values.iter().map(|&v| v as f32).collect()
+    }
+
+    /// Number of features.
+    pub fn len(&self) -> usize {
+        self.values.len()
+    }
+
+    /// Returns `true` when there are no features (never happens for
+    /// [`extract`] output).
+    pub fn is_empty(&self) -> bool {
+        self.values.is_empty()
+    }
+}
+
+/// Extracts the slice-feature vector of a cluster.
+///
+/// Empty clusters produce an all-zero vector of the configured length —
+/// downstream classifiers treat that as "nothing human-like here".
+pub fn extract(points: &[Point3], cfg: &FeatureConfig) -> FeatureVector {
+    let mut values = vec![0.0; cfg.feature_len()];
+    if points.is_empty() {
+        return FeatureVector { values };
+    }
+    let z_min = points.iter().map(|p| p.z).fold(f64::INFINITY, f64::min);
+    let z_max = points.iter().map(|p| p.z).fold(f64::NEG_INFINITY, f64::max);
+    let n = points.len() as f64;
+    let centroid = points.iter().copied().sum::<Point3>() / n;
+
+    // Partition into slices from the bottom up.
+    let mut slices: Vec<Vec<Point3>> = vec![Vec::new(); cfg.slices];
+    for &p in points {
+        let idx = ((p.z - z_min) / cfg.slice_height) as usize;
+        if idx < cfg.slices {
+            slices[idx].push(p);
+        }
+    }
+    for (s, slice) in slices.iter().enumerate() {
+        let base = s * SLICE_FEATURES;
+        if slice.is_empty() {
+            continue;
+        }
+        let m = slice.len() as f64;
+        let cx = slice.iter().map(|p| p.x).sum::<f64>() / m;
+        let cy = slice.iter().map(|p| p.y).sum::<f64>() / m;
+        let (mut min_x, mut max_x) = (f64::INFINITY, f64::NEG_INFINITY);
+        let (mut min_y, mut max_y) = (f64::INFINITY, f64::NEG_INFINITY);
+        let mut radii = Vec::with_capacity(slice.len());
+        for p in slice {
+            min_x = min_x.min(p.x);
+            max_x = max_x.max(p.x);
+            min_y = min_y.min(p.y);
+            max_y = max_y.max(p.y);
+            radii.push(((p.x - cx).powi(2) + (p.y - cy).powi(2)).sqrt());
+        }
+        let mean_r = radii.iter().sum::<f64>() / m;
+        let var_r = radii.iter().map(|r| (r - mean_r) * (r - mean_r)).sum::<f64>() / m;
+        let std_r = var_r.sqrt();
+        values[base] = m / n; // fraction of points in this slice
+        values[base + 1] = max_x - min_x; // depth
+        values[base + 2] = max_y - min_y; // width
+        values[base + 3] = mean_r; // mean boundary radius
+        values[base + 4] = std_r; // boundary regularity
+        // Circularity: 1 for a perfect circle of points, → 0 as the
+        // boundary becomes irregular.
+        values[base + 5] = if mean_r > 1e-9 { 1.0 / (1.0 + std_r / mean_r) } else { 0.0 };
+    }
+
+    if !cfg.include_globals {
+        return FeatureVector { values };
+    }
+    let g = cfg.slices * SLICE_FEATURES;
+    let height = z_max - z_min;
+    let (mut min_x, mut max_x) = (f64::INFINITY, f64::NEG_INFINITY);
+    let (mut min_y, mut max_y) = (f64::INFINITY, f64::NEG_INFINITY);
+    for p in points {
+        min_x = min_x.min(p.x);
+        max_x = max_x.max(p.x);
+        min_y = min_y.min(p.y);
+        max_y = max_y.max(p.y);
+    }
+    let footprint = ((max_x - min_x).max(1e-9)).max((max_y - min_y).max(1e-9));
+    values[g] = height;
+    values[g + 1] = height / footprint; // verticality — high for humans
+    values[g + 2] = (n).ln(); // log point count
+    values[g + 3] = centroid.z - z_min; // centroid height within cluster
+    values[g + 4] = max_x - min_x;
+    values[g + 5] = max_y - min_y;
+    FeatureVector { values }
+}
+
+/// Extracts features for a batch of clusters into a row-major matrix
+/// (`clusters × feature_len`), convenient for the NN substrate.
+pub fn extract_batch(clusters: &[Vec<Point3>], cfg: &FeatureConfig) -> Vec<FeatureVector> {
+    clusters.iter().map(|c| extract(c, cfg)).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn column(n: usize, height: f64) -> Vec<Point3> {
+        (0..n)
+            .map(|i| Point3::new(15.0, 0.0, -2.6 + height * i as f64 / (n - 1) as f64))
+            .collect()
+    }
+
+    fn ring(n: usize, r: f64, z: f64) -> Vec<Point3> {
+        (0..n)
+            .map(|i| {
+                let a = i as f64 / n as f64 * std::f64::consts::TAU;
+                Point3::new(15.0 + r * a.cos(), r * a.sin(), z)
+            })
+            .collect()
+    }
+
+    fn with_globals() -> FeatureConfig {
+        FeatureConfig { include_globals: true, ..FeatureConfig::default() }
+    }
+
+    #[test]
+    fn length_matches_config() {
+        let cfg = FeatureConfig::default();
+        assert_eq!(cfg.feature_len(), 12 * 6);
+        assert_eq!(with_globals().feature_len(), 12 * 6 + 6);
+        let f = extract(&column(30, 1.7), &cfg);
+        assert_eq!(f.len(), cfg.feature_len());
+        assert_eq!(f.to_f32().len(), f.len());
+    }
+
+    #[test]
+    fn empty_cloud_is_all_zero() {
+        let f = extract(&[], &FeatureConfig::default());
+        assert!(f.values().iter().all(|&v| v == 0.0));
+        assert!(!f.is_empty());
+    }
+
+    #[test]
+    fn height_feature_is_exact() {
+        let cfg = with_globals();
+        let f = extract(&column(50, 1.75), &cfg);
+        let g = cfg.slices * 6;
+        assert!((f.values()[g] - 1.75).abs() < 1e-9);
+    }
+
+    #[test]
+    fn tall_cluster_fills_more_slices_than_short() {
+        let cfg = FeatureConfig::default();
+        let human = extract(&column(50, 1.7), &cfg);
+        let bin = extract(&column(50, 0.9), &cfg);
+        let occupied = |f: &FeatureVector| {
+            (0..cfg.slices).filter(|s| f.values()[s * 6] > 0.0).count()
+        };
+        assert!(occupied(&human) > occupied(&bin));
+    }
+
+    #[test]
+    fn circularity_high_for_ring_low_for_line() {
+        let cfg = FeatureConfig::default();
+        let circle = extract(&ring(40, 0.3, -2.0), &cfg);
+        // A straight line of points in the same slice.
+        let line: Vec<Point3> =
+            (0..40).map(|i| Point3::new(15.0 + i as f64 * 0.02, 0.0, -2.0)).collect();
+        let flat = extract(&line, &cfg);
+        // Both clouds occupy slice 0 of their own frame.
+        let circ_c = circle.values()[5];
+        let line_c = flat.values()[5];
+        assert!(
+            circ_c > line_c + 0.05,
+            "ring circularity {circ_c} should beat line {line_c}"
+        );
+    }
+
+    #[test]
+    fn verticality_separates_human_from_bench() {
+        let cfg = with_globals();
+        // Human: tall thin column.
+        let human = extract(&column(60, 1.7), &cfg);
+        // Bench: wide flat slab.
+        let bench: Vec<Point3> = (0..60)
+            .map(|i| Point3::new(15.0 + (i % 10) as f64 * 0.15, (i / 10) as f64 * 0.3, -2.55))
+            .collect();
+        let bench_f = extract(&bench, &cfg);
+        let g = cfg.slices * 6 + 1;
+        assert!(human.values()[g] > bench_f.values()[g] * 3.0);
+    }
+
+    #[test]
+    fn points_above_slice_range_are_ignored_not_crashing() {
+        let cfg = FeatureConfig { slice_height: 0.2, slices: 2, ..FeatureConfig::default() };
+        let f = extract(&column(30, 3.0), &cfg);
+        assert_eq!(f.len(), cfg.feature_len());
+    }
+
+    #[test]
+    fn batch_extract_matches_single() {
+        let cfg = FeatureConfig::default();
+        let a = column(20, 1.5);
+        let b = ring(20, 0.2, -2.0);
+        let batch = extract_batch(&[a.clone(), b.clone()], &cfg);
+        assert_eq!(batch[0], extract(&a, &cfg));
+        assert_eq!(batch[1], extract(&b, &cfg));
+    }
+
+    #[test]
+    fn single_point_cluster() {
+        let f = extract(&[Point3::new(15.0, 0.0, -2.0)], &FeatureConfig::default());
+        // One point: everything degenerate but finite.
+        assert!(f.values().iter().all(|v| v.is_finite()));
+    }
+}

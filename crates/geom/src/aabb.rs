@@ -1,0 +1,221 @@
+//! Axis-aligned bounding boxes.
+
+use crate::{Point3, Vec3};
+use serde::{Deserialize, Serialize};
+
+/// An axis-aligned bounding box.
+///
+/// Used for cluster extents (the paper reasons about per-cluster bounding
+/// boxes when discussing hierarchical clustering failures, §IV) and for
+/// region-of-interest filtering (§III).
+///
+/// # Examples
+///
+/// ```
+/// use geom::{Aabb, Point3};
+/// let b = Aabb::from_points([
+///     Point3::new(0.0, 0.0, 0.0),
+///     Point3::new(1.0, 2.0, 3.0),
+/// ]).unwrap();
+/// assert!(b.contains(Point3::new(0.5, 1.0, 1.5)));
+/// assert_eq!(b.extent().z, 3.0);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Aabb {
+    min: Point3,
+    max: Point3,
+}
+
+impl Aabb {
+    /// Creates a box from its minimum and maximum corners.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any component of `min` exceeds the corresponding component
+    /// of `max`.
+    pub fn new(min: Point3, max: Point3) -> Self {
+        assert!(
+            min.x <= max.x && min.y <= max.y && min.z <= max.z,
+            "invalid AABB: min {min} exceeds max {max}"
+        );
+        Aabb { min, max }
+    }
+
+    /// Builds the tightest box enclosing `points`, or `None` when the
+    /// iterator is empty.
+    pub fn from_points<I: IntoIterator<Item = Point3>>(points: I) -> Option<Self> {
+        let mut it = points.into_iter();
+        let first = it.next()?;
+        let (min, max) = it.fold((first, first), |(lo, hi), p| (lo.min(p), hi.max(p)));
+        Some(Aabb { min, max })
+    }
+
+    /// Minimum corner.
+    #[inline]
+    pub fn min(&self) -> Point3 {
+        self.min
+    }
+
+    /// Maximum corner.
+    #[inline]
+    pub fn max(&self) -> Point3 {
+        self.max
+    }
+
+    /// Geometric centre.
+    #[inline]
+    pub fn center(&self) -> Point3 {
+        self.min.lerp(self.max, 0.5)
+    }
+
+    /// Size along each axis.
+    #[inline]
+    pub fn extent(&self) -> Vec3 {
+        self.max - self.min
+    }
+
+    /// Volume of the box (zero for degenerate boxes).
+    #[inline]
+    pub fn volume(&self) -> f64 {
+        let e = self.extent();
+        e.x * e.y * e.z
+    }
+
+    /// Returns `true` if `p` lies inside or on the boundary.
+    #[inline]
+    pub fn contains(&self, p: Point3) -> bool {
+        p.x >= self.min.x
+            && p.x <= self.max.x
+            && p.y >= self.min.y
+            && p.y <= self.max.y
+            && p.z >= self.min.z
+            && p.z <= self.max.z
+    }
+
+    /// Returns `true` if the two boxes overlap (sharing a face counts).
+    #[inline]
+    pub fn intersects(&self, other: &Aabb) -> bool {
+        self.min.x <= other.max.x
+            && self.max.x >= other.min.x
+            && self.min.y <= other.max.y
+            && self.max.y >= other.min.y
+            && self.min.z <= other.max.z
+            && self.max.z >= other.min.z
+    }
+
+    /// Smallest box containing both `self` and `other`.
+    #[inline]
+    pub fn union(&self, other: &Aabb) -> Aabb {
+        Aabb {
+            min: self.min.min(other.min),
+            max: self.max.max(other.max),
+        }
+    }
+
+    /// Expands the box by `margin` on every side.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a negative margin would invert the box.
+    pub fn inflated(&self, margin: f64) -> Aabb {
+        Aabb::new(self.min - Vec3::splat(margin), self.max + Vec3::splat(margin))
+    }
+
+    /// Squared distance from `p` to the box (zero when inside).
+    pub fn distance_sq(&self, p: Point3) -> f64 {
+        let mut d2 = 0.0;
+        for k in 0..3 {
+            let v = p.axis(k);
+            let lo = self.min.axis(k);
+            let hi = self.max.axis(k);
+            if v < lo {
+                d2 += (lo - v) * (lo - v);
+            } else if v > hi {
+                d2 += (v - hi) * (v - hi);
+            }
+        }
+        d2
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn unit() -> Aabb {
+        Aabb::new(Point3::ZERO, Point3::splat(1.0))
+    }
+
+    #[test]
+    fn from_points_is_tight() {
+        let b = Aabb::from_points([
+            Point3::new(1.0, -1.0, 0.5),
+            Point3::new(-2.0, 3.0, 0.0),
+            Point3::new(0.0, 0.0, 2.0),
+        ])
+        .unwrap();
+        assert_eq!(b.min(), Point3::new(-2.0, -1.0, 0.0));
+        assert_eq!(b.max(), Point3::new(1.0, 3.0, 2.0));
+    }
+
+    #[test]
+    fn from_points_empty_is_none() {
+        assert!(Aabb::from_points(std::iter::empty()).is_none());
+    }
+
+    #[test]
+    fn contains_boundary_and_interior() {
+        let b = unit();
+        assert!(b.contains(Point3::splat(0.0)));
+        assert!(b.contains(Point3::splat(1.0)));
+        assert!(b.contains(Point3::splat(0.5)));
+        assert!(!b.contains(Point3::new(0.5, 0.5, 1.01)));
+    }
+
+    #[test]
+    fn intersects_including_touching() {
+        let b = unit();
+        let touching = Aabb::new(Point3::new(1.0, 0.0, 0.0), Point3::new(2.0, 1.0, 1.0));
+        let far = Aabb::new(Point3::splat(5.0), Point3::splat(6.0));
+        assert!(b.intersects(&touching));
+        assert!(!b.intersects(&far));
+    }
+
+    #[test]
+    fn union_contains_both() {
+        let a = unit();
+        let b = Aabb::new(Point3::splat(2.0), Point3::splat(3.0));
+        let u = a.union(&b);
+        assert!(u.contains(Point3::ZERO));
+        assert!(u.contains(Point3::splat(3.0)));
+    }
+
+    #[test]
+    fn distance_sq_zero_inside_positive_outside() {
+        let b = unit();
+        assert_eq!(b.distance_sq(Point3::splat(0.5)), 0.0);
+        assert_eq!(b.distance_sq(Point3::new(2.0, 0.5, 0.5)), 1.0);
+        assert_eq!(b.distance_sq(Point3::new(2.0, 2.0, 0.5)), 2.0);
+    }
+
+    #[test]
+    fn volume_and_extent() {
+        let b = Aabb::new(Point3::ZERO, Point3::new(2.0, 3.0, 4.0));
+        assert_eq!(b.extent(), Vec3::new(2.0, 3.0, 4.0));
+        assert_eq!(b.volume(), 24.0);
+        assert_eq!(b.center(), Point3::new(1.0, 1.5, 2.0));
+    }
+
+    #[test]
+    fn inflated_grows_every_side() {
+        let b = unit().inflated(0.5);
+        assert_eq!(b.min(), Point3::splat(-0.5));
+        assert_eq!(b.max(), Point3::splat(1.5));
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid AABB")]
+    fn inverted_box_panics() {
+        let _ = Aabb::new(Point3::splat(1.0), Point3::ZERO);
+    }
+}

@@ -1,0 +1,427 @@
+//! A k-d tree over 3-D points.
+//!
+//! The tree is the workhorse behind two parts of the paper:
+//!
+//! * the **height-aware projection** (§V) queries the `k` nearest
+//!   neighbours of every point to compute the height-variation channel, and
+//! * **adaptive clustering** (§IV) needs sorted k-NN distance curves and
+//!   radius queries for DBSCAN.
+//!
+//! The implementation is an index tree: it never copies the point set, it
+//! stores a permutation of indices plus split planes, so a query returns
+//! indices into the original slice.
+
+use crate::Point3;
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+/// Maximum number of points in a leaf before a split is attempted.
+const LEAF_SIZE: usize = 12;
+
+#[derive(Debug, Clone)]
+enum Node {
+    Leaf {
+        start: usize,
+        len: usize,
+    },
+    Split {
+        axis: usize,
+        value: f64,
+        left: usize,
+        right: usize,
+    },
+}
+
+/// A static k-d tree over a slice of points.
+///
+/// Build once with [`KdTree::build`], then run any number of queries. The
+/// tree holds a copy of the points so that it is self-contained and
+/// query results (`usize` indices) always refer to the order of the slice
+/// passed to `build`.
+///
+/// # Examples
+///
+/// ```
+/// use geom::{KdTree, Point3};
+/// let pts: Vec<Point3> = (0..100)
+///     .map(|i| Point3::new(i as f64, 0.0, 0.0))
+///     .collect();
+/// let tree = KdTree::build(&pts);
+/// let knn = tree.knn(Point3::new(50.2, 0.0, 0.0), 3);
+/// let ids: Vec<usize> = knn.iter().map(|&(i, _)| i).collect();
+/// assert_eq!(ids, vec![50, 51, 49]);
+/// ```
+#[derive(Debug, Clone)]
+pub struct KdTree {
+    points: Vec<Point3>,
+    /// Permutation of `0..points.len()`; leaves own contiguous ranges.
+    order: Vec<u32>,
+    nodes: Vec<Node>,
+    root: usize,
+}
+
+/// Max-heap entry for k-NN queries (ordered by squared distance).
+struct HeapItem {
+    d2: f64,
+    idx: usize,
+}
+
+impl PartialEq for HeapItem {
+    fn eq(&self, other: &Self) -> bool {
+        self.d2 == other.d2
+    }
+}
+impl Eq for HeapItem {}
+impl PartialOrd for HeapItem {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for HeapItem {
+    fn cmp(&self, other: &Self) -> Ordering {
+        self.d2.partial_cmp(&other.d2).unwrap_or(Ordering::Equal)
+    }
+}
+
+impl KdTree {
+    /// Builds a tree over `points`.
+    ///
+    /// Building an empty tree is allowed; every query on it returns no
+    /// results.
+    pub fn build(points: &[Point3]) -> Self {
+        let points = points.to_vec();
+        let mut order: Vec<u32> = (0..points.len() as u32).collect();
+        let mut nodes = Vec::new();
+        let root = if points.is_empty() {
+            nodes.push(Node::Leaf { start: 0, len: 0 });
+            0
+        } else {
+            let n = points.len();
+            Self::build_rec(&points, &mut order, &mut nodes, 0, n)
+        };
+        KdTree { points, order, nodes, root }
+    }
+
+    /// Number of indexed points.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.points.len()
+    }
+
+    /// Returns `true` if the tree indexes no points.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.points.is_empty()
+    }
+
+    /// The indexed points, in the order of the slice passed to
+    /// [`KdTree::build`].
+    #[inline]
+    pub fn points(&self) -> &[Point3] {
+        &self.points
+    }
+
+    fn build_rec(
+        points: &[Point3],
+        order: &mut [u32],
+        nodes: &mut Vec<Node>,
+        start: usize,
+        len: usize,
+    ) -> usize {
+        if len <= LEAF_SIZE {
+            nodes.push(Node::Leaf { start, len });
+            return nodes.len() - 1;
+        }
+        let slice = &mut order[start..start + len];
+        // Split on the axis with the largest spread for balanced clusters of
+        // LiDAR returns (which are strongly anisotropic: long in x).
+        let mut lo = points[slice[0] as usize];
+        let mut hi = lo;
+        for &i in slice.iter() {
+            let p = points[i as usize];
+            lo = lo.min(p);
+            hi = hi.max(p);
+        }
+        let ext = hi - lo;
+        let axis = if ext.x >= ext.y && ext.x >= ext.z {
+            0
+        } else if ext.y >= ext.z {
+            1
+        } else {
+            2
+        };
+        if ext.axis(axis) == 0.0 {
+            // All points identical on every axis: cannot split further.
+            nodes.push(Node::Leaf { start, len });
+            return nodes.len() - 1;
+        }
+        let mid = len / 2;
+        slice.select_nth_unstable_by(mid, |&a, &b| {
+            let va = points[a as usize].axis(axis);
+            let vb = points[b as usize].axis(axis);
+            va.partial_cmp(&vb).unwrap_or(Ordering::Equal)
+        });
+        let value = points[slice[mid] as usize].axis(axis);
+        let node_idx = nodes.len();
+        nodes.push(Node::Leaf { start: 0, len: 0 }); // placeholder
+        let left = Self::build_rec(points, order, nodes, start, mid);
+        let right = Self::build_rec(points, order, nodes, start + mid, len - mid);
+        nodes[node_idx] = Node::Split { axis, value, left, right };
+        node_idx
+    }
+
+    /// Returns the index and squared distance of the nearest point to `q`,
+    /// or `None` for an empty tree.
+    pub fn nearest(&self, q: Point3) -> Option<(usize, f64)> {
+        self.knn(q, 1).into_iter().next()
+    }
+
+    /// Returns up to `k` nearest points to `q` as `(index, squared
+    /// distance)` pairs sorted by ascending distance.
+    ///
+    /// The query point itself is included when it is part of the indexed
+    /// set (distance zero); callers that want *other* neighbours should ask
+    /// for `k + 1` and drop the first hit, as the height-aware projection
+    /// does.
+    pub fn knn(&self, q: Point3, k: usize) -> Vec<(usize, f64)> {
+        if k == 0 || self.points.is_empty() {
+            return Vec::new();
+        }
+        let mut heap: BinaryHeap<HeapItem> = BinaryHeap::with_capacity(k + 1);
+        self.knn_rec(self.root, q, k, &mut heap);
+        let mut out: Vec<(usize, f64)> =
+            heap.into_iter().map(|h| (h.idx, h.d2)).collect();
+        out.sort_by(|a, b| a.1.partial_cmp(&b.1).unwrap_or(Ordering::Equal));
+        out
+    }
+
+    fn knn_rec(&self, node: usize, q: Point3, k: usize, heap: &mut BinaryHeap<HeapItem>) {
+        match self.nodes[node] {
+            Node::Leaf { start, len } => {
+                for &i in &self.order[start..start + len] {
+                    let d2 = self.points[i as usize].distance_sq(q);
+                    if heap.len() < k {
+                        heap.push(HeapItem { d2, idx: i as usize });
+                    } else if d2 < heap.peek().map_or(f64::INFINITY, |h| h.d2) {
+                        heap.pop();
+                        heap.push(HeapItem { d2, idx: i as usize });
+                    }
+                }
+            }
+            Node::Split { axis, value, left, right } => {
+                let delta = q.axis(axis) - value;
+                let (near, far) = if delta < 0.0 { (left, right) } else { (right, left) };
+                self.knn_rec(near, q, k, heap);
+                let worst = if heap.len() < k {
+                    f64::INFINITY
+                } else {
+                    heap.peek().map_or(f64::INFINITY, |h| h.d2)
+                };
+                if delta * delta < worst {
+                    self.knn_rec(far, q, k, heap);
+                }
+            }
+        }
+    }
+
+    /// Returns the indices of all points within Euclidean distance
+    /// `radius` of `q` (inclusive), in unspecified order.
+    ///
+    /// This is the DBSCAN neighbourhood query of §IV: a point `p_j` is a
+    /// neighbour of `p_i` when `distance(p_i, p_j) <= eps`.
+    pub fn within(&self, q: Point3, radius: f64) -> Vec<usize> {
+        let mut out = Vec::new();
+        if radius < 0.0 || self.points.is_empty() {
+            return out;
+        }
+        let r2 = radius * radius;
+        self.within_rec(self.root, q, radius, r2, &mut out);
+        out
+    }
+
+    fn within_rec(&self, node: usize, q: Point3, r: f64, r2: f64, out: &mut Vec<usize>) {
+        match self.nodes[node] {
+            Node::Leaf { start, len } => {
+                for &i in &self.order[start..start + len] {
+                    if self.points[i as usize].distance_sq(q) <= r2 {
+                        out.push(i as usize);
+                    }
+                }
+            }
+            Node::Split { axis, value, left, right } => {
+                let delta = q.axis(axis) - value;
+                if delta - r <= 0.0 {
+                    self.within_rec(left, q, r, r2, out);
+                }
+                if delta + r >= 0.0 {
+                    self.within_rec(right, q, r, r2, out);
+                }
+            }
+        }
+    }
+
+    /// Distance from every indexed point to its `k`-th nearest *other*
+    /// point, i.e. the k-NN distance vector whose sorted form the adaptive
+    /// clustering method scans for an elbow (§IV).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k == 0`.
+    pub fn knn_distances(&self, k: usize) -> Vec<f64> {
+        assert!(k > 0, "k must be positive");
+        self.points
+            .iter()
+            .map(|&p| {
+                let hits = self.knn(p, k + 1);
+                // First hit is the point itself at distance 0 (or a
+                // duplicate); the k-th other neighbour is the last entry.
+                hits.last().map_or(f64::INFINITY, |&(_, d2)| d2.sqrt())
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Vec3;
+
+    fn grid(n: usize) -> Vec<Point3> {
+        let mut v = Vec::new();
+        for i in 0..n {
+            for j in 0..n {
+                for k in 0..n {
+                    v.push(Point3::new(i as f64, j as f64, k as f64));
+                }
+            }
+        }
+        v
+    }
+
+    fn brute_knn(pts: &[Point3], q: Point3, k: usize) -> Vec<(usize, f64)> {
+        let mut d: Vec<(usize, f64)> =
+            pts.iter().enumerate().map(|(i, &p)| (i, p.distance_sq(q))).collect();
+        d.sort_by(|a, b| a.1.partial_cmp(&b.1).unwrap());
+        d.truncate(k);
+        d
+    }
+
+    #[test]
+    fn nearest_matches_brute_force() {
+        let pts = grid(5);
+        let tree = KdTree::build(&pts);
+        let queries = [
+            Point3::new(1.2, 3.4, 0.1),
+            Point3::new(-5.0, 2.0, 2.0),
+            Point3::new(4.9, 4.9, 4.9),
+        ];
+        for q in queries {
+            let (bi, bd) = brute_knn(&pts, q, 1)[0];
+            let (ti, td) = tree.nearest(q).unwrap();
+            assert_eq!(bi, ti);
+            assert!((bd - td).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn knn_distances_match_brute_force() {
+        let pts = grid(4);
+        let tree = KdTree::build(&pts);
+        let q = Point3::new(0.4, 1.7, 2.2);
+        for k in [1, 5, 17, 64, 100] {
+            let brute = brute_knn(&pts, q, k.min(pts.len()));
+            let fast = tree.knn(q, k);
+            assert_eq!(brute.len(), fast.len());
+            for (b, f) in brute.iter().zip(&fast) {
+                // Ties can be ordered differently; compare distances.
+                assert!((b.1 - f.1).abs() < 1e-12);
+            }
+        }
+    }
+
+    #[test]
+    fn within_matches_brute_force() {
+        let pts = grid(4);
+        let tree = KdTree::build(&pts);
+        let q = Point3::new(1.5, 1.5, 1.5);
+        for r in [0.0, 0.5, 0.87, 1.0, 2.5, 10.0] {
+            let mut got = tree.within(q, r);
+            got.sort_unstable();
+            let mut want: Vec<usize> = pts
+                .iter()
+                .enumerate()
+                .filter(|(_, p)| p.distance(q) <= r)
+                .map(|(i, _)| i)
+                .collect();
+            want.sort_unstable();
+            assert_eq!(got, want, "radius {r}");
+        }
+    }
+
+    #[test]
+    fn within_radius_is_inclusive() {
+        let pts = vec![Point3::ZERO, Point3::new(1.0, 0.0, 0.0)];
+        let tree = KdTree::build(&pts);
+        let hits = tree.within(Point3::ZERO, 1.0);
+        assert_eq!(hits.len(), 2);
+    }
+
+    #[test]
+    fn empty_tree_queries() {
+        let tree = KdTree::build(&[]);
+        assert!(tree.is_empty());
+        assert!(tree.nearest(Point3::ZERO).is_none());
+        assert!(tree.knn(Point3::ZERO, 5).is_empty());
+        assert!(tree.within(Point3::ZERO, 1.0).is_empty());
+    }
+
+    #[test]
+    fn duplicate_points_are_handled() {
+        let pts = vec![Point3::splat(1.0); 40];
+        let tree = KdTree::build(&pts);
+        let hits = tree.knn(Point3::splat(1.0), 5);
+        assert_eq!(hits.len(), 5);
+        assert!(hits.iter().all(|&(_, d2)| d2 == 0.0));
+        assert_eq!(tree.within(Point3::splat(1.0), 0.0).len(), 40);
+    }
+
+    #[test]
+    fn knn_more_than_len_returns_all() {
+        let pts = grid(2);
+        let tree = KdTree::build(&pts);
+        assert_eq!(tree.knn(Point3::ZERO, 100).len(), 8);
+    }
+
+    #[test]
+    fn knn_distances_basic_line() {
+        // Points on a line spaced 1 apart: every 1-NN distance is 1.
+        let pts: Vec<Point3> =
+            (0..10).map(|i| Point3::new(i as f64, 0.0, 0.0)).collect();
+        let tree = KdTree::build(&pts);
+        let d = tree.knn_distances(1);
+        assert!(d.iter().all(|&x| (x - 1.0).abs() < 1e-12));
+        // 2-NN: interior points have distance 1 (left or right is 2nd at
+        // distance 1 too? no: neighbours at 1 and 1 => 2nd nearest is 1);
+        // endpoints have 2nd-nearest at distance 2.
+        let d2 = tree.knn_distances(2);
+        assert!((d2[0] - 2.0).abs() < 1e-12);
+        assert!((d2[5] - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn anisotropic_cloud_queries() {
+        // Mimic a LiDAR walkway: long in x, thin in y/z.
+        let pts: Vec<Point3> = (0..500)
+            .map(|i| {
+                Point3::new(12.0 + (i as f64) * 0.05, (i % 7) as f64 * 0.1, -(i % 13) as f64 * 0.2)
+            })
+            .collect();
+        let tree = KdTree::build(&pts);
+        let q = pts[250] + Vec3::new(0.001, 0.0, 0.0);
+        let brute = brute_knn(&pts, q, 8);
+        let fast = tree.knn(q, 8);
+        for (b, f) in brute.iter().zip(&fast) {
+            assert!((b.1 - f.1).abs() < 1e-12);
+        }
+    }
+}

@@ -1,0 +1,47 @@
+//! Geometric primitives and spatial data structures for the HAWC-CC
+//! reproduction.
+//!
+//! This crate is the lowest layer of the workspace: everything that touches
+//! 3-D points goes through the types defined here.
+//!
+//! * [`Vec3`] / [`Point3`] — small copyable 3-D vector/point types.
+//! * [`Aabb`] — axis-aligned bounding boxes.
+//! * [`KdTree`] — a k-d tree over 3-D points supporting k-nearest-neighbour
+//!   and radius queries; used both by the height-aware projection (height
+//!   variance of the k nearest neighbours, paper §V) and by DBSCAN
+//!   neighbourhood queries (paper §IV).
+//! * [`Ray`] and the [`shapes`] module — analytic ray/primitive
+//!   intersections used by the LiDAR sensor simulator.
+//! * [`stats`] — numerically stable summary statistics and histograms used
+//!   throughout the evaluation harness.
+//!
+//! # Examples
+//!
+//! ```
+//! use geom::{Point3, KdTree};
+//!
+//! let pts = vec![
+//!     Point3::new(0.0, 0.0, 0.0),
+//!     Point3::new(1.0, 0.0, 0.0),
+//!     Point3::new(0.0, 2.0, 0.0),
+//! ];
+//! let tree = KdTree::build(&pts);
+//! let (idx, d2) = tree.nearest(Point3::new(0.9, 0.1, 0.0)).unwrap();
+//! assert_eq!(idx, 1);
+//! assert!(d2 < 0.03);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod aabb;
+mod kdtree;
+mod ray;
+pub mod shapes;
+pub mod stats;
+mod vec3;
+
+pub use aabb::Aabb;
+pub use kdtree::KdTree;
+pub use ray::{Hit, Ray};
+pub use vec3::{Point3, Vec3};

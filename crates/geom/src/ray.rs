@@ -1,0 +1,95 @@
+//! Rays and intersection records for the LiDAR sensor model.
+
+use crate::{Point3, Vec3};
+
+/// A half-line `origin + t * direction`, `t >= 0`, with unit direction.
+///
+/// Every LiDAR beam fired by the sensor simulator is one `Ray`.
+///
+/// # Examples
+///
+/// ```
+/// use geom::{Ray, Point3, Vec3};
+/// let r = Ray::new(Point3::ZERO, Vec3::new(0.0, 0.0, -2.0));
+/// assert_eq!(r.at(3.0), Point3::new(0.0, 0.0, -3.0));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Ray {
+    /// Ray origin (the sensor aperture).
+    pub origin: Point3,
+    /// Unit direction.
+    pub dir: Vec3,
+}
+
+impl Ray {
+    /// Creates a ray, normalising `dir`.
+    ///
+    /// # Panics
+    ///
+    /// Panics in debug builds if `dir` is (near) zero.
+    pub fn new(origin: Point3, dir: Vec3) -> Self {
+        Ray { origin, dir: dir.normalized() }
+    }
+
+    /// The point at parameter `t` along the ray.
+    #[inline]
+    pub fn at(&self, t: f64) -> Point3 {
+        self.origin + self.dir * t
+    }
+}
+
+/// A ray/surface intersection.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Hit {
+    /// Ray parameter of the hit (range in metres for unit-direction rays).
+    pub t: f64,
+    /// World-space hit position.
+    pub point: Point3,
+    /// Diffuse reflectivity of the surface in `[0, 1]`; drives the
+    /// distance-dependent dropout model in the sensor simulator.
+    pub reflectivity: f64,
+}
+
+impl Hit {
+    /// Creates a hit record.
+    pub fn new(t: f64, point: Point3, reflectivity: f64) -> Self {
+        Hit { t, point, reflectivity }
+    }
+
+    /// Keeps the closer of two optional hits.
+    pub fn closer(a: Option<Hit>, b: Option<Hit>) -> Option<Hit> {
+        match (a, b) {
+            (Some(x), Some(y)) => Some(if x.t <= y.t { x } else { y }),
+            (x, None) => x,
+            (None, y) => y,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn at_walks_the_ray() {
+        let r = Ray::new(Point3::new(1.0, 0.0, 0.0), Vec3::X);
+        assert_eq!(r.at(0.0), Point3::new(1.0, 0.0, 0.0));
+        assert_eq!(r.at(2.5), Point3::new(3.5, 0.0, 0.0));
+    }
+
+    #[test]
+    fn direction_is_normalized() {
+        let r = Ray::new(Point3::ZERO, Vec3::new(0.0, 3.0, 4.0));
+        assert!((r.dir.norm() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn closer_picks_smaller_t() {
+        let h1 = Hit::new(1.0, Point3::ZERO, 0.5);
+        let h2 = Hit::new(2.0, Point3::ZERO, 0.5);
+        assert_eq!(Hit::closer(Some(h1), Some(h2)).unwrap().t, 1.0);
+        assert_eq!(Hit::closer(None, Some(h2)).unwrap().t, 2.0);
+        assert_eq!(Hit::closer(Some(h1), None).unwrap().t, 1.0);
+        assert!(Hit::closer(None, None).is_none());
+    }
+}

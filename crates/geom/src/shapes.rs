@@ -1,0 +1,558 @@
+//! Analytic surfaces and ray intersections.
+//!
+//! The LiDAR simulator composes campus scenes out of these primitives:
+//! humans are capsules and ellipsoids, trash cans are cylinders, benches
+//! are boxes, the ground is a plane. Each shape answers
+//! [`Shape::intersect`] with the closest hit (if any) and carries a
+//! reflectivity used by the sensor's return-strength model.
+
+use crate::{Aabb, Hit, Point3, Ray, Vec3};
+
+/// Minimum ray parameter accepted as a hit; rejects self-intersections at
+/// the sensor aperture.
+const T_MIN: f64 = 1e-6;
+
+/// A surface that LiDAR beams can hit.
+///
+/// Implemented by every primitive in this module and by
+/// [`ShapeSet`], which unions several primitives into one object (e.g. a
+/// human = head sphere + torso capsule + legs).
+pub trait Shape {
+    /// Returns the closest intersection with `ray` at `t >= T_MIN`, if any.
+    fn intersect(&self, ray: &Ray) -> Option<Hit>;
+
+    /// Conservative bounding box used for scene culling.
+    fn bounds(&self) -> Aabb;
+}
+
+/// Solves `a t^2 + b t + c = 0`, returning the smallest root `>= T_MIN`.
+fn smallest_root(a: f64, b: f64, c: f64) -> Option<f64> {
+    let disc = b * b - 4.0 * a * c;
+    if disc < 0.0 || a.abs() < 1e-18 {
+        return None;
+    }
+    let sq = disc.sqrt();
+    // Numerically stable quadratic roots.
+    let q = -0.5 * (b + b.signum() * sq);
+    let (mut t0, mut t1) = (q / a, c / q);
+    if t0 > t1 {
+        std::mem::swap(&mut t0, &mut t1);
+    }
+    if t0 >= T_MIN {
+        Some(t0)
+    } else if t1 >= T_MIN {
+        Some(t1)
+    } else {
+        None
+    }
+}
+
+/// A sphere.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Sphere {
+    /// Centre.
+    pub center: Point3,
+    /// Radius in metres.
+    pub radius: f64,
+    /// Surface reflectivity in `[0, 1]`.
+    pub reflectivity: f64,
+}
+
+impl Sphere {
+    /// Creates a sphere.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `radius <= 0`.
+    pub fn new(center: Point3, radius: f64, reflectivity: f64) -> Self {
+        assert!(radius > 0.0, "sphere radius must be positive");
+        Sphere { center, radius, reflectivity }
+    }
+}
+
+impl Shape for Sphere {
+    fn intersect(&self, ray: &Ray) -> Option<Hit> {
+        let oc = ray.origin - self.center;
+        let a = ray.dir.norm_sq();
+        let b = 2.0 * oc.dot(ray.dir);
+        let c = oc.norm_sq() - self.radius * self.radius;
+        let t = smallest_root(a, b, c)?;
+        Some(Hit::new(t, ray.at(t), self.reflectivity))
+    }
+
+    fn bounds(&self) -> Aabb {
+        Aabb::new(
+            self.center - Vec3::splat(self.radius),
+            self.center + Vec3::splat(self.radius),
+        )
+    }
+}
+
+/// An axis-aligned ellipsoid, used for heads and bushy foliage.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Ellipsoid {
+    /// Centre.
+    pub center: Point3,
+    /// Semi-axis lengths along x, y, z.
+    pub radii: Vec3,
+    /// Surface reflectivity in `[0, 1]`.
+    pub reflectivity: f64,
+}
+
+impl Ellipsoid {
+    /// Creates an ellipsoid.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any semi-axis is non-positive.
+    pub fn new(center: Point3, radii: Vec3, reflectivity: f64) -> Self {
+        assert!(
+            radii.x > 0.0 && radii.y > 0.0 && radii.z > 0.0,
+            "ellipsoid radii must be positive"
+        );
+        Ellipsoid { center, radii, reflectivity }
+    }
+}
+
+impl Shape for Ellipsoid {
+    fn intersect(&self, ray: &Ray) -> Option<Hit> {
+        // Scale space so the ellipsoid becomes a unit sphere.
+        let o = ray.origin - self.center;
+        let o = Vec3::new(o.x / self.radii.x, o.y / self.radii.y, o.z / self.radii.z);
+        let d = Vec3::new(
+            ray.dir.x / self.radii.x,
+            ray.dir.y / self.radii.y,
+            ray.dir.z / self.radii.z,
+        );
+        let t = smallest_root(d.norm_sq(), 2.0 * o.dot(d), o.norm_sq() - 1.0)?;
+        Some(Hit::new(t, ray.at(t), self.reflectivity))
+    }
+
+    fn bounds(&self) -> Aabb {
+        Aabb::new(self.center - self.radii, self.center + self.radii)
+    }
+}
+
+/// A capsule: a cylinder with hemispherical caps between two end points.
+///
+/// The natural torso/limb primitive for the parametric human model.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Capsule {
+    /// One end of the axis.
+    pub a: Point3,
+    /// Other end of the axis.
+    pub b: Point3,
+    /// Radius in metres.
+    pub radius: f64,
+    /// Surface reflectivity in `[0, 1]`.
+    pub reflectivity: f64,
+}
+
+impl Capsule {
+    /// Creates a capsule between `a` and `b`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `radius <= 0` or the end points coincide.
+    pub fn new(a: Point3, b: Point3, radius: f64, reflectivity: f64) -> Self {
+        assert!(radius > 0.0, "capsule radius must be positive");
+        assert!(a.distance_sq(b) > 1e-18, "capsule end points must differ");
+        Capsule { a, b, radius, reflectivity }
+    }
+}
+
+impl Shape for Capsule {
+    fn intersect(&self, ray: &Ray) -> Option<Hit> {
+        // Infinite-cylinder intersection, clamped to the segment, plus the
+        // two cap spheres.
+        let axis = (self.b - self.a).normalized();
+        let oc = ray.origin - self.a;
+        let d_perp = ray.dir - axis * ray.dir.dot(axis);
+        let o_perp = oc - axis * oc.dot(axis);
+        let mut best: Option<Hit> = None;
+        if let Some(t) = smallest_root(
+            d_perp.norm_sq(),
+            2.0 * d_perp.dot(o_perp),
+            o_perp.norm_sq() - self.radius * self.radius,
+        ) {
+            let p = ray.at(t);
+            let s = (p - self.a).dot(axis);
+            if s >= 0.0 && s <= (self.b - self.a).norm() {
+                best = Some(Hit::new(t, p, self.reflectivity));
+            }
+        }
+        for cap in [self.a, self.b] {
+            let sph = Sphere::new(cap, self.radius, self.reflectivity);
+            best = Hit::closer(best, sph.intersect(ray));
+        }
+        best
+    }
+
+    fn bounds(&self) -> Aabb {
+        let r = Vec3::splat(self.radius);
+        Aabb::new(self.a.min(self.b) - r, self.a.max(self.b) + r)
+    }
+}
+
+/// A finite vertical cylinder (axis parallel to z), capped with flat disks.
+///
+/// Trash cans, bollards and the pulley drums from the paper's ground-noise
+/// discussion are cylinders.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CylinderZ {
+    /// Axis position in the xy plane.
+    pub center_xy: (f64, f64),
+    /// Bottom cap height.
+    pub z_min: f64,
+    /// Top cap height.
+    pub z_max: f64,
+    /// Radius in metres.
+    pub radius: f64,
+    /// Surface reflectivity in `[0, 1]`.
+    pub reflectivity: f64,
+}
+
+impl CylinderZ {
+    /// Creates a vertical cylinder.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `radius <= 0` or `z_min >= z_max`.
+    pub fn new(center_xy: (f64, f64), z_min: f64, z_max: f64, radius: f64, reflectivity: f64) -> Self {
+        assert!(radius > 0.0, "cylinder radius must be positive");
+        assert!(z_min < z_max, "cylinder z_min must be below z_max");
+        CylinderZ { center_xy, z_min, z_max, radius, reflectivity }
+    }
+}
+
+impl Shape for CylinderZ {
+    fn intersect(&self, ray: &Ray) -> Option<Hit> {
+        let (cx, cy) = self.center_xy;
+        let ox = ray.origin.x - cx;
+        let oy = ray.origin.y - cy;
+        let mut best: Option<Hit> = None;
+        // Lateral surface.
+        if let Some(t) = smallest_root(
+            ray.dir.x * ray.dir.x + ray.dir.y * ray.dir.y,
+            2.0 * (ox * ray.dir.x + oy * ray.dir.y),
+            ox * ox + oy * oy - self.radius * self.radius,
+        ) {
+            let p = ray.at(t);
+            if p.z >= self.z_min && p.z <= self.z_max {
+                best = Some(Hit::new(t, p, self.reflectivity));
+            }
+        }
+        // Caps.
+        if ray.dir.z.abs() > 1e-12 {
+            for zc in [self.z_min, self.z_max] {
+                let t = (zc - ray.origin.z) / ray.dir.z;
+                if t >= T_MIN {
+                    let p = ray.at(t);
+                    let dx = p.x - cx;
+                    let dy = p.y - cy;
+                    if dx * dx + dy * dy <= self.radius * self.radius {
+                        best = Hit::closer(best, Some(Hit::new(t, p, self.reflectivity)));
+                    }
+                }
+            }
+        }
+        best
+    }
+
+    fn bounds(&self) -> Aabb {
+        let (cx, cy) = self.center_xy;
+        Aabb::new(
+            Point3::new(cx - self.radius, cy - self.radius, self.z_min),
+            Point3::new(cx + self.radius, cy + self.radius, self.z_max),
+        )
+    }
+}
+
+/// An axis-aligned solid box. Benches, signage cabinets, parcel lockers.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BoxShape {
+    /// Extents.
+    pub aabb: Aabb,
+    /// Surface reflectivity in `[0, 1]`.
+    pub reflectivity: f64,
+}
+
+impl BoxShape {
+    /// Creates a box shape from an [`Aabb`].
+    pub fn new(aabb: Aabb, reflectivity: f64) -> Self {
+        BoxShape { aabb, reflectivity }
+    }
+}
+
+impl Shape for BoxShape {
+    fn intersect(&self, ray: &Ray) -> Option<Hit> {
+        // Slab method.
+        let mut t_enter = f64::NEG_INFINITY;
+        let mut t_exit = f64::INFINITY;
+        for k in 0..3 {
+            let o = ray.origin.axis(k);
+            let d = ray.dir.axis(k);
+            let lo = self.aabb.min().axis(k);
+            let hi = self.aabb.max().axis(k);
+            if d.abs() < 1e-12 {
+                if o < lo || o > hi {
+                    return None;
+                }
+            } else {
+                let mut t0 = (lo - o) / d;
+                let mut t1 = (hi - o) / d;
+                if t0 > t1 {
+                    std::mem::swap(&mut t0, &mut t1);
+                }
+                t_enter = t_enter.max(t0);
+                t_exit = t_exit.min(t1);
+                if t_enter > t_exit {
+                    return None;
+                }
+            }
+        }
+        let t = if t_enter >= T_MIN {
+            t_enter
+        } else if t_exit >= T_MIN {
+            t_exit
+        } else {
+            return None;
+        };
+        Some(Hit::new(t, ray.at(t), self.reflectivity))
+    }
+
+    fn bounds(&self) -> Aabb {
+        self.aabb
+    }
+}
+
+/// A horizontal ground plane at height `z`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct GroundPlane {
+    /// Plane height.
+    pub z: f64,
+    /// Surface reflectivity in `[0, 1]` (asphalt is ~0.1-0.2).
+    pub reflectivity: f64,
+}
+
+impl Shape for GroundPlane {
+    fn intersect(&self, ray: &Ray) -> Option<Hit> {
+        if ray.dir.z.abs() < 1e-12 {
+            return None;
+        }
+        let t = (self.z - ray.origin.z) / ray.dir.z;
+        if t < T_MIN {
+            return None;
+        }
+        Some(Hit::new(t, ray.at(t), self.reflectivity))
+    }
+
+    fn bounds(&self) -> Aabb {
+        const BIG: f64 = 1e6;
+        Aabb::new(Point3::new(-BIG, -BIG, self.z), Point3::new(BIG, BIG, self.z))
+    }
+}
+
+/// A union of shapes treated as one object (closest hit wins).
+pub struct ShapeSet {
+    shapes: Vec<Box<dyn Shape + Send + Sync>>,
+}
+
+impl std::fmt::Debug for ShapeSet {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ShapeSet").field("len", &self.shapes.len()).finish()
+    }
+}
+
+impl Default for ShapeSet {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl ShapeSet {
+    /// Creates an empty set.
+    pub fn new() -> Self {
+        ShapeSet { shapes: Vec::new() }
+    }
+
+    /// Adds a shape to the set.
+    pub fn push<S: Shape + Send + Sync + 'static>(&mut self, shape: S) -> &mut Self {
+        self.shapes.push(Box::new(shape));
+        self
+    }
+
+    /// Number of member shapes.
+    pub fn len(&self) -> usize {
+        self.shapes.len()
+    }
+
+    /// Returns `true` if the set has no shapes.
+    pub fn is_empty(&self) -> bool {
+        self.shapes.is_empty()
+    }
+}
+
+impl Shape for ShapeSet {
+    fn intersect(&self, ray: &Ray) -> Option<Hit> {
+        self.shapes
+            .iter()
+            .fold(None, |best, s| Hit::closer(best, s.intersect(ray)))
+    }
+
+    fn bounds(&self) -> Aabb {
+        self.shapes
+            .iter()
+            .map(|s| s.bounds())
+            .reduce(|a, b| a.union(&b))
+            .unwrap_or_else(|| Aabb::new(Point3::ZERO, Point3::ZERO))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ray_to(target: Point3) -> Ray {
+        Ray::new(Point3::ZERO, target)
+    }
+
+    #[test]
+    fn sphere_hit_range_is_exact() {
+        let s = Sphere::new(Point3::new(10.0, 0.0, 0.0), 1.0, 0.8);
+        let hit = s.intersect(&ray_to(Point3::new(1.0, 0.0, 0.0))).unwrap();
+        assert!((hit.t - 9.0).abs() < 1e-9);
+        assert_eq!(hit.reflectivity, 0.8);
+    }
+
+    #[test]
+    fn sphere_miss() {
+        let s = Sphere::new(Point3::new(10.0, 5.0, 0.0), 1.0, 0.8);
+        assert!(s.intersect(&ray_to(Point3::new(1.0, 0.0, 0.0))).is_none());
+    }
+
+    #[test]
+    fn sphere_behind_origin_is_not_hit() {
+        let s = Sphere::new(Point3::new(-10.0, 0.0, 0.0), 1.0, 0.8);
+        assert!(s.intersect(&ray_to(Point3::new(1.0, 0.0, 0.0))).is_none());
+    }
+
+    #[test]
+    fn ray_from_inside_sphere_hits_far_wall() {
+        let s = Sphere::new(Point3::ZERO, 2.0, 0.5);
+        let hit = s
+            .intersect(&Ray::new(Point3::ZERO, Point3::new(1.0, 0.0, 0.0)))
+            .unwrap();
+        assert!((hit.t - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn ellipsoid_respects_semiaxes() {
+        let e = Ellipsoid::new(Point3::new(10.0, 0.0, 0.0), Vec3::new(1.0, 2.0, 3.0), 0.6);
+        let hit = e.intersect(&ray_to(Point3::new(1.0, 0.0, 0.0))).unwrap();
+        assert!((hit.t - 9.0).abs() < 1e-9);
+        // Along y the semi-axis is 2.
+        let ray_y = Ray::new(Point3::new(10.0, -10.0, 0.0), Vec3::Y);
+        let hit_y = e.intersect(&ray_y).unwrap();
+        assert!((hit_y.t - 8.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn capsule_cylinder_and_caps() {
+        let c = Capsule::new(
+            Point3::new(5.0, 0.0, -1.0),
+            Point3::new(5.0, 0.0, 1.0),
+            0.5,
+            0.7,
+        );
+        // Hits the lateral surface at z = 0.
+        let hit = c.intersect(&ray_to(Point3::new(1.0, 0.0, 0.0))).unwrap();
+        assert!((hit.t - 4.5).abs() < 1e-9);
+        // Hits the top cap coming straight down.
+        let down = Ray::new(Point3::new(5.0, 0.0, 10.0), -Vec3::Z);
+        let hit2 = c.intersect(&down).unwrap();
+        assert!((hit2.t - 8.5).abs() < 1e-9, "t = {}", hit2.t);
+    }
+
+    #[test]
+    fn capsule_miss_beyond_segment_radius() {
+        let c = Capsule::new(
+            Point3::new(5.0, 0.0, -1.0),
+            Point3::new(5.0, 0.0, 1.0),
+            0.5,
+            0.7,
+        );
+        let r = Ray::new(Point3::new(0.0, 0.0, 2.0), Vec3::X);
+        assert!(c.intersect(&r).is_none());
+    }
+
+    #[test]
+    fn cylinder_lateral_and_caps() {
+        let c = CylinderZ::new((5.0, 0.0), -1.0, 1.0, 0.5, 0.4);
+        let hit = c.intersect(&ray_to(Point3::new(1.0, 0.0, 0.0))).unwrap();
+        assert!((hit.t - 4.5).abs() < 1e-9);
+        let down = Ray::new(Point3::new(5.0, 0.0, 5.0), -Vec3::Z);
+        let hit2 = c.intersect(&down).unwrap();
+        assert!((hit2.t - 4.0).abs() < 1e-9);
+        // Ray passing above the finite cylinder misses.
+        let high = Ray::new(Point3::new(0.0, 0.0, 2.0), Vec3::X);
+        assert!(c.intersect(&high).is_none());
+    }
+
+    #[test]
+    fn box_slab_intersection() {
+        let b = BoxShape::new(
+            Aabb::new(Point3::new(4.0, -1.0, -1.0), Point3::new(6.0, 1.0, 1.0)),
+            0.3,
+        );
+        let hit = b.intersect(&ray_to(Point3::new(1.0, 0.0, 0.0))).unwrap();
+        assert!((hit.t - 4.0).abs() < 1e-9);
+        let miss = Ray::new(Point3::new(0.0, 5.0, 0.0), Vec3::X);
+        assert!(b.intersect(&miss).is_none());
+    }
+
+    #[test]
+    fn box_ray_parallel_to_slab_inside() {
+        let b = BoxShape::new(
+            Aabb::new(Point3::new(4.0, -1.0, -1.0), Point3::new(6.0, 1.0, 1.0)),
+            0.3,
+        );
+        // Parallel to y slab, y inside the box bounds.
+        let r = Ray::new(Point3::new(0.0, 0.5, 0.0), Vec3::X);
+        assert!(b.intersect(&r).is_some());
+    }
+
+    #[test]
+    fn ground_plane_from_pole_height() {
+        // Sensor 3 m above ground, looking 45 degrees down.
+        let g = GroundPlane { z: -3.0, reflectivity: 0.15 };
+        let r = Ray::new(Point3::ZERO, Vec3::new(1.0, 0.0, -1.0));
+        let hit = g.intersect(&r).unwrap();
+        assert!((hit.point.z + 3.0).abs() < 1e-12);
+        assert!((hit.point.x - 3.0).abs() < 1e-9);
+        // Horizontal beams never hit the ground.
+        let flat = Ray::new(Point3::ZERO, Vec3::X);
+        assert!(g.intersect(&flat).is_none());
+    }
+
+    #[test]
+    fn shape_set_returns_closest() {
+        let mut set = ShapeSet::new();
+        set.push(Sphere::new(Point3::new(20.0, 0.0, 0.0), 1.0, 0.9));
+        set.push(Sphere::new(Point3::new(10.0, 0.0, 0.0), 1.0, 0.8));
+        let hit = set.intersect(&ray_to(Point3::new(1.0, 0.0, 0.0))).unwrap();
+        assert!((hit.t - 9.0).abs() < 1e-9);
+        assert_eq!(hit.reflectivity, 0.8);
+        assert_eq!(set.len(), 2);
+    }
+
+    #[test]
+    fn shape_set_bounds_union() {
+        let mut set = ShapeSet::new();
+        set.push(Sphere::new(Point3::ZERO, 1.0, 0.9));
+        set.push(Sphere::new(Point3::new(10.0, 0.0, 0.0), 2.0, 0.9));
+        let b = set.bounds();
+        assert!(b.contains(Point3::new(-1.0, 0.0, 0.0)));
+        assert!(b.contains(Point3::new(12.0, 0.0, 0.0)));
+    }
+}

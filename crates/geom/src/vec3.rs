@@ -1,0 +1,385 @@
+//! 3-D vector and point types.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::iter::Sum;
+use std::ops::{Add, AddAssign, Div, DivAssign, Index, Mul, MulAssign, Neg, Sub, SubAssign};
+
+/// A 3-D vector with `f64` components.
+///
+/// Used for directions, offsets and sizes. Positions are represented by the
+/// [`Point3`] alias; the two are interchangeable because a LiDAR return is
+/// simply a displacement from the sensor origin.
+///
+/// # Examples
+///
+/// ```
+/// use geom::Vec3;
+/// let v = Vec3::new(3.0, 4.0, 0.0);
+/// assert_eq!(v.norm(), 5.0);
+/// assert_eq!(v.normalized().norm(), 1.0);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct Vec3 {
+    /// Distance along the walkway (away from the pole) in metres.
+    pub x: f64,
+    /// Lateral position across the walkway in metres.
+    pub y: f64,
+    /// Height relative to the sensor in metres (sensor at `z = 0`, ground at
+    /// `z = -3` for the 3 m blue-light pole of the paper).
+    pub z: f64,
+}
+
+/// A position in 3-D space.
+///
+/// Alias of [`Vec3`]: LiDAR returns are displacements from the sensor
+/// origin, so positions and vectors share a representation.
+pub type Point3 = Vec3;
+
+impl Vec3 {
+    /// The zero vector.
+    pub const ZERO: Vec3 = Vec3 { x: 0.0, y: 0.0, z: 0.0 };
+    /// Unit vector along `x`.
+    pub const X: Vec3 = Vec3 { x: 1.0, y: 0.0, z: 0.0 };
+    /// Unit vector along `y`.
+    pub const Y: Vec3 = Vec3 { x: 0.0, y: 1.0, z: 0.0 };
+    /// Unit vector along `z`.
+    pub const Z: Vec3 = Vec3 { x: 0.0, y: 0.0, z: 1.0 };
+
+    /// Creates a vector from components.
+    #[inline]
+    pub const fn new(x: f64, y: f64, z: f64) -> Self {
+        Vec3 { x, y, z }
+    }
+
+    /// Creates a vector with all components equal to `v`.
+    #[inline]
+    pub const fn splat(v: f64) -> Self {
+        Vec3::new(v, v, v)
+    }
+
+    /// Dot product.
+    #[inline]
+    pub fn dot(self, rhs: Vec3) -> f64 {
+        self.x * rhs.x + self.y * rhs.y + self.z * rhs.z
+    }
+
+    /// Cross product.
+    #[inline]
+    pub fn cross(self, rhs: Vec3) -> Vec3 {
+        Vec3::new(
+            self.y * rhs.z - self.z * rhs.y,
+            self.z * rhs.x - self.x * rhs.z,
+            self.x * rhs.y - self.y * rhs.x,
+        )
+    }
+
+    /// Squared Euclidean norm. Cheaper than [`Vec3::norm`]; prefer it for
+    /// comparisons.
+    #[inline]
+    pub fn norm_sq(self) -> f64 {
+        self.dot(self)
+    }
+
+    /// Euclidean norm.
+    #[inline]
+    pub fn norm(self) -> f64 {
+        self.norm_sq().sqrt()
+    }
+
+    /// Euclidean distance to another point.
+    #[inline]
+    pub fn distance(self, rhs: Vec3) -> f64 {
+        (self - rhs).norm()
+    }
+
+    /// Squared Euclidean distance to another point.
+    #[inline]
+    pub fn distance_sq(self, rhs: Vec3) -> f64 {
+        (self - rhs).norm_sq()
+    }
+
+    /// Returns the vector scaled to unit length.
+    ///
+    /// # Panics
+    ///
+    /// Panics in debug builds if the vector is (near) zero.
+    #[inline]
+    pub fn normalized(self) -> Vec3 {
+        let n = self.norm();
+        debug_assert!(n > 1e-12, "cannot normalize a zero vector");
+        self / n
+    }
+
+    /// Component-wise minimum.
+    #[inline]
+    pub fn min(self, rhs: Vec3) -> Vec3 {
+        Vec3::new(self.x.min(rhs.x), self.y.min(rhs.y), self.z.min(rhs.z))
+    }
+
+    /// Component-wise maximum.
+    #[inline]
+    pub fn max(self, rhs: Vec3) -> Vec3 {
+        Vec3::new(self.x.max(rhs.x), self.y.max(rhs.y), self.z.max(rhs.z))
+    }
+
+    /// Linear interpolation: `self` at `t = 0`, `rhs` at `t = 1`.
+    #[inline]
+    pub fn lerp(self, rhs: Vec3, t: f64) -> Vec3 {
+        self + (rhs - self) * t
+    }
+
+    /// Component accessor by axis index (0 = x, 1 = y, 2 = z).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `axis > 2`.
+    #[inline]
+    pub fn axis(self, axis: usize) -> f64 {
+        match axis {
+            0 => self.x,
+            1 => self.y,
+            2 => self.z,
+            _ => panic!("axis index out of range: {axis}"),
+        }
+    }
+
+    /// Returns the components as an array `[x, y, z]`.
+    #[inline]
+    pub fn to_array(self) -> [f64; 3] {
+        [self.x, self.y, self.z]
+    }
+
+    /// Returns `true` if all components are finite.
+    #[inline]
+    pub fn is_finite(self) -> bool {
+        self.x.is_finite() && self.y.is_finite() && self.z.is_finite()
+    }
+
+    /// Horizontal (xy-plane) range from the origin, i.e. the planimetric
+    /// distance a ceiling-mounted LiDAR sees.
+    #[inline]
+    pub fn horizontal_range(self) -> f64 {
+        (self.x * self.x + self.y * self.y).sqrt()
+    }
+}
+
+impl From<[f64; 3]> for Vec3 {
+    #[inline]
+    fn from(a: [f64; 3]) -> Self {
+        Vec3::new(a[0], a[1], a[2])
+    }
+}
+
+impl From<Vec3> for [f64; 3] {
+    #[inline]
+    fn from(v: Vec3) -> Self {
+        v.to_array()
+    }
+}
+
+impl From<(f64, f64, f64)> for Vec3 {
+    #[inline]
+    fn from(t: (f64, f64, f64)) -> Self {
+        Vec3::new(t.0, t.1, t.2)
+    }
+}
+
+impl Index<usize> for Vec3 {
+    type Output = f64;
+
+    #[inline]
+    fn index(&self, axis: usize) -> &f64 {
+        match axis {
+            0 => &self.x,
+            1 => &self.y,
+            2 => &self.z,
+            _ => panic!("axis index out of range: {axis}"),
+        }
+    }
+}
+
+impl fmt::Display for Vec3 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "({:.4}, {:.4}, {:.4})", self.x, self.y, self.z)
+    }
+}
+
+impl Add for Vec3 {
+    type Output = Vec3;
+    #[inline]
+    fn add(self, rhs: Vec3) -> Vec3 {
+        Vec3::new(self.x + rhs.x, self.y + rhs.y, self.z + rhs.z)
+    }
+}
+
+impl AddAssign for Vec3 {
+    #[inline]
+    fn add_assign(&mut self, rhs: Vec3) {
+        *self = *self + rhs;
+    }
+}
+
+impl Sub for Vec3 {
+    type Output = Vec3;
+    #[inline]
+    fn sub(self, rhs: Vec3) -> Vec3 {
+        Vec3::new(self.x - rhs.x, self.y - rhs.y, self.z - rhs.z)
+    }
+}
+
+impl SubAssign for Vec3 {
+    #[inline]
+    fn sub_assign(&mut self, rhs: Vec3) {
+        *self = *self - rhs;
+    }
+}
+
+impl Mul<f64> for Vec3 {
+    type Output = Vec3;
+    #[inline]
+    fn mul(self, s: f64) -> Vec3 {
+        Vec3::new(self.x * s, self.y * s, self.z * s)
+    }
+}
+
+impl Mul<Vec3> for f64 {
+    type Output = Vec3;
+    #[inline]
+    fn mul(self, v: Vec3) -> Vec3 {
+        v * self
+    }
+}
+
+impl MulAssign<f64> for Vec3 {
+    #[inline]
+    fn mul_assign(&mut self, s: f64) {
+        *self = *self * s;
+    }
+}
+
+impl Div<f64> for Vec3 {
+    type Output = Vec3;
+    #[inline]
+    fn div(self, s: f64) -> Vec3 {
+        Vec3::new(self.x / s, self.y / s, self.z / s)
+    }
+}
+
+impl DivAssign<f64> for Vec3 {
+    #[inline]
+    fn div_assign(&mut self, s: f64) {
+        *self = *self / s;
+    }
+}
+
+impl Neg for Vec3 {
+    type Output = Vec3;
+    #[inline]
+    fn neg(self) -> Vec3 {
+        Vec3::new(-self.x, -self.y, -self.z)
+    }
+}
+
+impl Sum for Vec3 {
+    fn sum<I: Iterator<Item = Vec3>>(iter: I) -> Vec3 {
+        iter.fold(Vec3::ZERO, |a, b| a + b)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn arithmetic_identities() {
+        let a = Vec3::new(1.0, 2.0, 3.0);
+        let b = Vec3::new(-4.0, 0.5, 2.0);
+        assert_eq!(a + b - b, a);
+        assert_eq!(a * 2.0 / 2.0, a);
+        assert_eq!(-(-a), a);
+        assert_eq!(a + Vec3::ZERO, a);
+    }
+
+    #[test]
+    fn dot_and_cross() {
+        assert_eq!(Vec3::X.dot(Vec3::Y), 0.0);
+        assert_eq!(Vec3::X.cross(Vec3::Y), Vec3::Z);
+        assert_eq!(Vec3::Y.cross(Vec3::Z), Vec3::X);
+        let a = Vec3::new(1.0, 2.0, 3.0);
+        // Cross product is perpendicular to both operands.
+        let c = a.cross(Vec3::new(4.0, -1.0, 0.5));
+        assert!(c.dot(a).abs() < 1e-12);
+    }
+
+    #[test]
+    fn norm_and_distance() {
+        let v = Vec3::new(2.0, 3.0, 6.0);
+        assert_eq!(v.norm(), 7.0);
+        assert_eq!(v.norm_sq(), 49.0);
+        assert_eq!(Vec3::ZERO.distance(v), 7.0);
+        assert_eq!(v.distance_sq(Vec3::ZERO), 49.0);
+    }
+
+    #[test]
+    fn normalized_is_unit() {
+        let v = Vec3::new(0.3, -2.0, 5.0).normalized();
+        assert!((v.norm() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn axis_and_index_agree() {
+        let v = Vec3::new(9.0, 8.0, 7.0);
+        for k in 0..3 {
+            assert_eq!(v.axis(k), v[k]);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "axis index out of range")]
+    fn axis_out_of_range_panics() {
+        let _ = Vec3::ZERO.axis(3);
+    }
+
+    #[test]
+    fn lerp_endpoints_and_midpoint() {
+        let a = Vec3::new(0.0, 0.0, 0.0);
+        let b = Vec3::new(2.0, 4.0, -6.0);
+        assert_eq!(a.lerp(b, 0.0), a);
+        assert_eq!(a.lerp(b, 1.0), b);
+        assert_eq!(a.lerp(b, 0.5), Vec3::new(1.0, 2.0, -3.0));
+    }
+
+    #[test]
+    fn min_max_componentwise() {
+        let a = Vec3::new(1.0, 5.0, -2.0);
+        let b = Vec3::new(3.0, 2.0, -1.0);
+        assert_eq!(a.min(b), Vec3::new(1.0, 2.0, -2.0));
+        assert_eq!(a.max(b), Vec3::new(3.0, 5.0, -1.0));
+    }
+
+    #[test]
+    fn conversions_round_trip() {
+        let v = Vec3::new(1.0, 2.0, 3.0);
+        let a: [f64; 3] = v.into();
+        assert_eq!(Vec3::from(a), v);
+        assert_eq!(Vec3::from((1.0, 2.0, 3.0)), v);
+    }
+
+    #[test]
+    fn sum_of_vectors() {
+        let total: Vec3 = (0..4).map(|i| Vec3::splat(i as f64)).sum();
+        assert_eq!(total, Vec3::splat(6.0));
+    }
+
+    #[test]
+    fn horizontal_range_ignores_z() {
+        let v = Vec3::new(3.0, 4.0, 100.0);
+        assert_eq!(v.horizontal_range(), 5.0);
+    }
+
+    #[test]
+    fn display_is_nonempty() {
+        assert!(!format!("{}", Vec3::ZERO).is_empty());
+    }
+}

@@ -1,0 +1,283 @@
+//! Point clouds and the paper's ingestion filters.
+
+use geom::{Aabb, Point3};
+use serde::{Deserialize, Serialize};
+use world::WalkwayConfig;
+
+/// Ground-segmentation threshold from §III: empirically, ground noise
+/// extends 0.4 m above the ground plane at −3 m, so points with
+/// `z < −2.6` m are discarded.
+pub const GROUND_SEGMENT_Z_MIN: f64 = -2.6;
+
+/// An unordered set of 3-D LiDAR returns.
+///
+/// The fundamental currency of the pipeline: the sensor produces one
+/// `PointCloud` per sweep, clustering splits it into per-object clouds,
+/// and the classifiers consume those.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct PointCloud {
+    points: Vec<Point3>,
+}
+
+impl PointCloud {
+    /// Creates a cloud from raw points.
+    pub fn new(points: Vec<Point3>) -> Self {
+        PointCloud { points }
+    }
+
+    /// Creates an empty cloud.
+    pub fn empty() -> Self {
+        PointCloud::default()
+    }
+
+    /// Number of points.
+    pub fn len(&self) -> usize {
+        self.points.len()
+    }
+
+    /// Returns `true` when the cloud has no points.
+    pub fn is_empty(&self) -> bool {
+        self.points.is_empty()
+    }
+
+    /// The points as a slice.
+    pub fn points(&self) -> &[Point3] {
+        &self.points
+    }
+
+    /// Consumes the cloud, returning the raw points.
+    pub fn into_points(self) -> Vec<Point3> {
+        self.points
+    }
+
+    /// Appends a point.
+    pub fn push(&mut self, p: Point3) {
+        self.points.push(p);
+    }
+
+    /// Tightest bounding box, or `None` when empty.
+    pub fn bounds(&self) -> Option<Aabb> {
+        Aabb::from_points(self.points.iter().copied())
+    }
+
+    /// Centroid, or `None` when empty.
+    pub fn centroid(&self) -> Option<Point3> {
+        if self.points.is_empty() {
+            None
+        } else {
+            Some(self.points.iter().copied().sum::<Point3>() / self.points.len() as f64)
+        }
+    }
+
+    /// Keeps only points satisfying `pred`.
+    pub fn retain<F: FnMut(Point3) -> bool>(&mut self, mut pred: F) {
+        self.points.retain(|&p| pred(p));
+    }
+}
+
+impl FromIterator<Point3> for PointCloud {
+    fn from_iter<I: IntoIterator<Item = Point3>>(iter: I) -> Self {
+        PointCloud { points: iter.into_iter().collect() }
+    }
+}
+
+impl Extend<Point3> for PointCloud {
+    fn extend<I: IntoIterator<Item = Point3>>(&mut self, iter: I) {
+        self.points.extend(iter);
+    }
+}
+
+impl From<Vec<Point3>> for PointCloud {
+    fn from(points: Vec<Point3>) -> Self {
+        PointCloud { points }
+    }
+}
+
+/// A sweep whose points carry ground-truth attribution: which scene entity
+/// (by index) produced each return, or `None` for the ground.
+///
+/// Real deployments get this from manual labelling (the paper's Lasso
+/// selector verified against RGB frames, §VII-A); the simulator gets it
+/// for free from ray casting.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct LabeledSweep {
+    points: Vec<Point3>,
+    entities: Vec<Option<usize>>,
+}
+
+impl LabeledSweep {
+    /// Creates a sweep from parallel point/attribution vectors.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the vectors disagree in length.
+    pub fn new(points: Vec<Point3>, entities: Vec<Option<usize>>) -> Self {
+        assert_eq!(points.len(), entities.len(), "attribution length mismatch");
+        LabeledSweep { points, entities }
+    }
+
+    /// Number of returns.
+    pub fn len(&self) -> usize {
+        self.points.len()
+    }
+
+    /// Returns `true` when the sweep has no returns.
+    pub fn is_empty(&self) -> bool {
+        self.points.is_empty()
+    }
+
+    /// The returns.
+    pub fn points(&self) -> &[Point3] {
+        &self.points
+    }
+
+    /// Entity index per return (`None` = ground).
+    pub fn entities(&self) -> &[Option<usize>] {
+        &self.entities
+    }
+
+    /// Drops attribution, leaving a plain [`PointCloud`] — what the
+    /// privacy-preserving production pipeline actually sees.
+    pub fn into_cloud(self) -> PointCloud {
+        PointCloud { points: self.points }
+    }
+
+    /// All points attributed to entity `idx`.
+    pub fn points_of(&self, idx: usize) -> PointCloud {
+        self.points
+            .iter()
+            .zip(&self.entities)
+            .filter(|(_, e)| **e == Some(idx))
+            .map(|(&p, _)| p)
+            .collect()
+    }
+
+    /// Keeps only returns satisfying `pred` on the point.
+    pub fn retain<F: FnMut(Point3) -> bool>(&mut self, mut pred: F) {
+        let mut keep: Vec<bool> = self.points.iter().map(|&p| pred(p)).collect();
+        let mut it = keep.iter();
+        self.points.retain(|_| *it.next().unwrap());
+        it = keep.iter();
+        self.entities.retain(|_| *it.next().unwrap());
+        keep.clear();
+    }
+}
+
+/// Region-of-interest filter from §III: keep `x ∈ [x_min, x_max]` and
+/// `|y| ≤` half the walkway width. Returns the number of points removed.
+pub fn roi_filter(sweep: &mut LabeledSweep, cfg: &WalkwayConfig) -> usize {
+    let before = sweep.len();
+    let half = cfg.half_width();
+    let (x_min, x_max) = (cfg.x_min, cfg.x_max);
+    sweep.retain(|p| p.x >= x_min && p.x <= x_max && p.y.abs() <= half);
+    before - sweep.len()
+}
+
+/// Rule-based ground segmentation from §III: drop points below
+/// [`GROUND_SEGMENT_Z_MIN`](GROUND_SEGMENT_Z_MIN). Returns the
+/// number of points removed.
+pub fn ground_segment(sweep: &mut LabeledSweep) -> usize {
+    let before = sweep.len();
+    sweep.retain(|p| p.z >= GROUND_SEGMENT_Z_MIN);
+    before - sweep.len()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use geom::Vec3;
+
+    fn p(x: f64, y: f64, z: f64) -> Point3 {
+        Point3::new(x, y, z)
+    }
+
+    #[test]
+    fn cloud_basics() {
+        let mut c = PointCloud::empty();
+        assert!(c.is_empty());
+        assert!(c.bounds().is_none());
+        assert!(c.centroid().is_none());
+        c.push(p(1.0, 0.0, 0.0));
+        c.push(p(3.0, 0.0, 0.0));
+        assert_eq!(c.len(), 2);
+        assert_eq!(c.centroid().unwrap(), p(2.0, 0.0, 0.0));
+        assert_eq!(c.bounds().unwrap().extent(), Vec3::new(2.0, 0.0, 0.0));
+    }
+
+    #[test]
+    fn cloud_collect_and_extend() {
+        let mut c: PointCloud = (0..5).map(|i| p(i as f64, 0.0, 0.0)).collect();
+        c.extend([p(9.0, 0.0, 0.0)]);
+        assert_eq!(c.len(), 6);
+        let v = c.into_points();
+        assert_eq!(v.len(), 6);
+    }
+
+    #[test]
+    fn sweep_attribution_round_trip() {
+        let sweep = LabeledSweep::new(
+            vec![p(1.0, 0.0, 0.0), p(2.0, 0.0, 0.0), p(3.0, 0.0, 0.0)],
+            vec![Some(0), None, Some(0)],
+        );
+        let human = sweep.points_of(0);
+        assert_eq!(human.len(), 2);
+        assert_eq!(sweep.points_of(7).len(), 0);
+        assert_eq!(sweep.into_cloud().len(), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "attribution length mismatch")]
+    fn sweep_length_mismatch_panics() {
+        let _ = LabeledSweep::new(vec![p(0.0, 0.0, 0.0)], vec![]);
+    }
+
+    #[test]
+    fn roi_filter_matches_paper_bounds() {
+        let cfg = WalkwayConfig::default();
+        let mut sweep = LabeledSweep::new(
+            vec![
+                p(11.9, 0.0, -1.0),  // too close (pole shadow)
+                p(12.0, 0.0, -1.0),  // boundary in
+                p(20.0, 2.5, -1.0),  // walkway edge in
+                p(20.0, 2.6, -1.0),  // off walkway
+                p(35.0, 0.0, -1.0),  // far boundary in
+                p(35.1, 0.0, -1.0),  // beyond effective range
+            ],
+            vec![None; 6],
+        );
+        let removed = roi_filter(&mut sweep, &cfg);
+        assert_eq!(removed, 3);
+        assert_eq!(sweep.len(), 3);
+        assert!(sweep.points().iter().all(|q| (12.0..=35.0).contains(&q.x)));
+    }
+
+    #[test]
+    fn ground_segment_drops_noise_band() {
+        // Ground at -3; noise band extends to -2.6 (0.4 m of clutter).
+        let mut sweep = LabeledSweep::new(
+            vec![
+                p(15.0, 0.0, -3.0),   // ground return
+                p(15.0, 0.0, -2.7),   // pulley-height noise
+                p(15.0, 0.0, -2.6),   // boundary kept
+                p(15.0, 0.0, -1.5),   // torso height kept
+            ],
+            vec![None, Some(1), Some(1), Some(0)],
+        );
+        let removed = ground_segment(&mut sweep);
+        assert_eq!(removed, 2);
+        assert_eq!(sweep.len(), 2);
+        assert_eq!(sweep.entities(), &[Some(1), Some(0)]);
+    }
+
+    #[test]
+    fn retain_keeps_vectors_parallel() {
+        let mut sweep = LabeledSweep::new(
+            (0..10).map(|i| p(i as f64, 0.0, 0.0)).collect(),
+            (0..10).map(|i| if i % 2 == 0 { Some(i) } else { None }).collect(),
+        );
+        sweep.retain(|q| q.x >= 5.0);
+        assert_eq!(sweep.len(), 5);
+        assert_eq!(sweep.points().len(), sweep.entities().len());
+        assert_eq!(sweep.entities()[1], Some(6));
+    }
+}

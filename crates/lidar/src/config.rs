@@ -1,0 +1,165 @@
+//! Sensor configuration.
+
+use serde::{Deserialize, Serialize};
+
+/// Parameters of the simulated pole-mounted LiDAR.
+///
+/// Defaults model the paper's deployment: an Ouster-OS0-class 32-channel
+/// sensor scanning a ~90° azimuth sector toward the walkway (§III), with
+/// the beam fan tilted downward so the channels concentrate on the 12–35 m
+/// region of interest rather than the sky.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SensorConfig {
+    /// Number of vertical channels (paper: 32).
+    pub channels: usize,
+    /// Lowest beam elevation in degrees (negative = downward).
+    pub elevation_min_deg: f64,
+    /// Highest beam elevation in degrees.
+    pub elevation_max_deg: f64,
+    /// Half-width of the scanned azimuth sector in degrees (paper:
+    /// "approximately 90 degrees" total, so 45° each side of the walkway
+    /// axis).
+    pub azimuth_half_deg: f64,
+    /// Azimuth step between firings in degrees. The OS0's 1024-column mode
+    /// over 360° gives ~0.35°.
+    pub azimuth_step_deg: f64,
+    /// Maximum instrumented range in metres.
+    pub max_range: f64,
+    /// 1σ range noise in metres (OS0 datasheet-class precision).
+    pub range_noise_std: f64,
+    /// Range at which a diffuse target's return probability starts
+    /// falling off quadratically. Shorter values thin far targets faster.
+    pub falloff_range: f64,
+    /// Minimum return probability so even far targets keep a trickle of
+    /// points.
+    pub min_return_prob: f64,
+    /// Sweeps aggregated into one sample. Consecutive sweeps are
+    /// interleaved in azimuth (an Ouster-style sub-column dither), so two
+    /// frames double the effective horizontal resolution — the pipeline
+    /// integrates a short time window per sample.
+    pub frames: usize,
+}
+
+impl Default for SensorConfig {
+    fn default() -> Self {
+        SensorConfig {
+            channels: 32,
+            // The fan is tilted down so all 32 channels sweep the 12-35 m
+            // walkway band instead of the sky: the nearest ROI ground sits
+            // at atan(3/12) = -14 degrees, the farthest head at about -2.
+            elevation_min_deg: -16.0,
+            elevation_max_deg: -2.0,
+            azimuth_half_deg: 45.0,
+            azimuth_step_deg: 0.17578125, // 360/2048: the OS0's dense mode
+            max_range: 60.0,
+            range_noise_std: 0.02,
+            falloff_range: 30.0,
+            min_return_prob: 0.05,
+            frames: 2,
+        }
+    }
+}
+
+impl SensorConfig {
+    /// Number of azimuth columns in one sweep.
+    pub fn columns(&self) -> usize {
+        (2.0 * self.azimuth_half_deg / self.azimuth_step_deg).round() as usize
+    }
+
+    /// Total beams fired per sample (all frames).
+    pub fn beams_per_sweep(&self) -> usize {
+        self.columns() * self.channels * self.frames
+    }
+
+    /// Elevation angle of channel `c` in radians (uniform spacing, channel
+    /// 0 lowest).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `c >= channels`.
+    pub fn elevation_rad(&self, c: usize) -> f64 {
+        assert!(c < self.channels, "channel {c} out of range");
+        let span = self.elevation_max_deg - self.elevation_min_deg;
+        let t = if self.channels == 1 { 0.5 } else { c as f64 / (self.channels - 1) as f64 };
+        (self.elevation_min_deg + span * t).to_radians()
+    }
+
+    /// Validates the configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message describing the first violated constraint.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.channels == 0 {
+            return Err("channels must be positive".into());
+        }
+        if self.elevation_min_deg >= self.elevation_max_deg {
+            return Err("elevation_min_deg must be below elevation_max_deg".into());
+        }
+        if self.azimuth_half_deg <= 0.0 || self.azimuth_step_deg <= 0.0 {
+            return Err("azimuth sector and step must be positive".into());
+        }
+        if self.max_range <= 0.0 || self.falloff_range <= 0.0 {
+            return Err("ranges must be positive".into());
+        }
+        if !(0.0..=1.0).contains(&self.min_return_prob) {
+            return Err("min_return_prob must be a probability".into());
+        }
+        if self.frames == 0 {
+            return Err("frames must be positive".into());
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_is_valid_32_channel_quarter_scan() {
+        let c = SensorConfig::default();
+        c.validate().unwrap();
+        assert_eq!(c.channels, 32);
+        assert_eq!(c.columns(), 512); // 90° of a 2048-column sweep
+        assert_eq!(c.beams_per_sweep(), 512 * 32 * 2); // two dithered frames
+    }
+
+    #[test]
+    fn elevation_spacing_is_uniform_and_ordered() {
+        let c = SensorConfig::default();
+        let lo = c.elevation_rad(0);
+        let hi = c.elevation_rad(31);
+        assert!((lo.to_degrees() - c.elevation_min_deg).abs() < 1e-9);
+        assert!((hi.to_degrees() - c.elevation_max_deg).abs() < 1e-9);
+        let step0 = c.elevation_rad(1) - c.elevation_rad(0);
+        let step9 = c.elevation_rad(10) - c.elevation_rad(9);
+        assert!((step0 - step9).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn elevation_out_of_range_panics() {
+        let _ = SensorConfig::default().elevation_rad(32);
+    }
+
+    #[test]
+    fn validate_catches_bad_configs() {
+        let good = SensorConfig::default();
+        assert!(SensorConfig { channels: 0, ..good }.validate().is_err());
+        assert!(SensorConfig { elevation_min_deg: 10.0, elevation_max_deg: -10.0, ..good }
+            .validate()
+            .is_err());
+        assert!(SensorConfig { azimuth_step_deg: 0.0, ..good }.validate().is_err());
+        assert!(SensorConfig { max_range: -1.0, ..good }.validate().is_err());
+        assert!(SensorConfig { min_return_prob: 1.5, ..good }.validate().is_err());
+        assert!(SensorConfig { frames: 0, ..good }.validate().is_err());
+    }
+
+    #[test]
+    fn single_channel_points_at_mid_elevation() {
+        let c = SensorConfig { channels: 1, ..SensorConfig::default() };
+        let mid = (c.elevation_min_deg + c.elevation_max_deg) / 2.0;
+        assert!((c.elevation_rad(0).to_degrees() - mid).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,41 @@
+//! A pole-mounted LiDAR sensor simulator.
+//!
+//! The paper captures data with a cost-effective Ouster OS0 32-channel
+//! sensor on a 3 m blue-light pole (§III). This crate reproduces that
+//! capture path against the analytic scenes of the [`world`] crate:
+//!
+//! 1. a beam table (32 channels × a 90° azimuth sector),
+//! 2. ray casting against the scene,
+//! 3. a return model with range noise, distance-dependent dropout and
+//!    reflectivity-dependent signal strength — the source of the paper's
+//!    "fewer points with increasing distance" behaviour,
+//! 4. region-of-interest cropping (`x ∈ [12, 35]` m over the 5 m walkway)
+//!    and rule-based ground segmentation (`z ≥ −2.6` m).
+//!
+//! # Examples
+//!
+//! ```
+//! use rand::SeedableRng;
+//! use world::{Human, Scene, WalkwayConfig};
+//! use lidar::{Lidar, SensorConfig};
+//!
+//! let mut rng = rand::rngs::StdRng::seed_from_u64(5);
+//! let cfg = WalkwayConfig::default();
+//! let mut scene = Scene::new(cfg);
+//! scene.add_human(Human::sample(&mut rng, &cfg));
+//! let sensor = Lidar::new(SensorConfig::default());
+//! let sweep = sensor.scan(&scene, &mut rng);
+//! assert!(sweep.len() > 0);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod cloud;
+mod config;
+mod sensor;
+pub mod viz;
+
+pub use cloud::{ground_segment, roi_filter, LabeledSweep, PointCloud};
+pub use config::SensorConfig;
+pub use sensor::Lidar;

@@ -1,0 +1,242 @@
+//! The beam-casting sensor.
+
+use geom::{Point3, Ray, Vec3};
+use rand::Rng;
+use world::Scene;
+
+use crate::{LabeledSweep, SensorConfig};
+
+/// A simulated pole-mounted LiDAR.
+///
+/// One [`Lidar::scan`] call fires the full beam table against a scene and
+/// applies the return model:
+///
+/// * every beam that hits a surface within `max_range` *may* produce a
+///   return;
+/// * the return probability is `reflectivity × min(1, (falloff/r)²)`,
+///   floored at `min_return_prob` — this is what makes far pedestrians
+///   sparse, the effect the paper's noise-controlled up-sampling exists to
+///   counter (§V);
+/// * accepted returns get isotropic Gaussian range noise.
+#[derive(Debug, Clone)]
+pub struct Lidar {
+    config: SensorConfig,
+    /// Precomputed unit directions, channel-major.
+    beams: Vec<Vec3>,
+}
+
+impl Lidar {
+    /// Builds the beam table for `config`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configuration fails [`SensorConfig::validate`].
+    pub fn new(config: SensorConfig) -> Self {
+        config.validate().expect("invalid sensor configuration");
+        let cols = config.columns();
+        let frames = config.frames;
+        let mut beams = Vec::with_capacity(cols * config.channels * frames);
+        for frame in 0..frames {
+            // Sub-column azimuth dither: frame f fires offset by
+            // f/frames of a column, interleaving the sweeps.
+            let dither = config.azimuth_step_deg * frame as f64 / frames as f64;
+            for col in 0..cols {
+                let az = (-config.azimuth_half_deg
+                    + config.azimuth_step_deg * (col as f64 + 0.5)
+                    + dither)
+                    .to_radians();
+                let (sin_a, cos_a) = az.sin_cos();
+                for ch in 0..config.channels {
+                    let el = config.elevation_rad(ch);
+                    let (sin_e, cos_e) = el.sin_cos();
+                    beams.push(Vec3::new(cos_e * cos_a, cos_e * sin_a, sin_e));
+                }
+            }
+        }
+        Lidar { config, beams }
+    }
+
+    /// The sensor configuration.
+    pub fn config(&self) -> &SensorConfig {
+        &self.config
+    }
+
+    /// Number of beams fired per sweep.
+    pub fn beam_count(&self) -> usize {
+        self.beams.len()
+    }
+
+    /// Fires one full sweep against `scene`, returning attributed returns.
+    ///
+    /// The sensor sits at the origin (top of the pole). Determinism: the
+    /// same scene, config and RNG state produce the same sweep.
+    pub fn scan<R: Rng + ?Sized>(&self, scene: &Scene, rng: &mut R) -> LabeledSweep {
+        let mut points = Vec::new();
+        let mut entities = Vec::new();
+        for &dir in &self.beams {
+            let ray = Ray { origin: Point3::ZERO, dir };
+            let Some(scene_hit) = scene.cast(&ray) else { continue };
+            let r = scene_hit.hit.t;
+            if r > self.config.max_range {
+                continue;
+            }
+            let falloff = (self.config.falloff_range / r).min(1.0);
+            let p_return = (scene_hit.hit.reflectivity * falloff * falloff)
+                .max(self.config.min_return_prob);
+            if rng.gen_range(0.0..1.0) > p_return {
+                continue;
+            }
+            let noisy_r = r + gaussian(rng, 0.0, self.config.range_noise_std);
+            points.push(ray.at(noisy_r.max(0.0)));
+            entities.push(scene_hit.entity);
+        }
+        LabeledSweep::new(points, entities)
+    }
+}
+
+/// Box–Muller Gaussian sample.
+fn gaussian<R: Rng + ?Sized>(rng: &mut R, mean: f64, std: f64) -> f64 {
+    let u1: f64 = rng.gen_range(f64::EPSILON..1.0);
+    let u2: f64 = rng.gen_range(0.0..1.0);
+    mean + std * (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{ground_segment, roi_filter};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use world::{Human, HumanParams, Scene, WalkwayConfig, GROUND_Z};
+
+    fn rng(seed: u64) -> StdRng {
+        StdRng::seed_from_u64(seed)
+    }
+
+    fn human_at(x: f64, y: f64) -> Human {
+        Human::new(
+            HumanParams {
+                height: 1.75,
+                shoulder_width: 0.45,
+                torso_radius: 0.15,
+                walk_phase: 0.4,
+                reflectivity: 0.7,
+            },
+            x,
+            y,
+            0.2,
+        )
+    }
+
+    #[test]
+    fn empty_scene_yields_only_ground() {
+        let scene = Scene::new(WalkwayConfig::default());
+        let sensor = Lidar::new(SensorConfig::default());
+        let sweep = sensor.scan(&scene, &mut rng(1));
+        assert!(!sweep.is_empty());
+        assert!(sweep.entities().iter().all(|e| e.is_none()));
+        // Ground points cluster near z = -3 (within noise).
+        assert!(sweep.points().iter().all(|p| (p.z - GROUND_Z).abs() < 0.6));
+    }
+
+    #[test]
+    fn human_in_roi_produces_attributed_points() {
+        let cfg = WalkwayConfig::default();
+        let mut scene = Scene::new(cfg);
+        let id = scene.add_human(human_at(15.0, 0.0));
+        let sensor = Lidar::new(SensorConfig::default());
+        let sweep = sensor.scan(&scene, &mut rng(2));
+        let human_points = sweep.points_of(id);
+        assert!(
+            human_points.len() >= 15,
+            "expected a solid return cluster at 15 m, got {}",
+            human_points.len()
+        );
+        // All attributed points sit near the body.
+        for p in human_points.points() {
+            assert!((p.x - 15.0).abs() < 1.0);
+            assert!(p.y.abs() < 1.0);
+            assert!(p.z > GROUND_Z - 0.2 && p.z < GROUND_Z + 2.0);
+        }
+    }
+
+    #[test]
+    fn far_humans_return_fewer_points_than_near() {
+        let cfg = WalkwayConfig::default();
+        let sensor = Lidar::new(SensorConfig::default());
+        let count_at = |x: f64, seed: u64| {
+            let mut scene = Scene::new(cfg);
+            let id = scene.add_human(human_at(x, 0.0));
+            let mut total = 0usize;
+            for s in 0..5 {
+                total += sensor.scan(&scene, &mut rng(seed + s)).points_of(id).len();
+            }
+            total
+        };
+        let near = count_at(13.0, 10);
+        let far = count_at(33.0, 20);
+        assert!(
+            near > 2 * far,
+            "sparsity should grow with range: near={near} far={far}"
+        );
+        assert!(far > 0, "far human must still return something");
+    }
+
+    #[test]
+    fn determinism_same_seed_same_sweep() {
+        let cfg = WalkwayConfig::default();
+        let mut scene = Scene::new(cfg);
+        scene.add_human(human_at(18.0, 1.0));
+        let sensor = Lidar::new(SensorConfig::default());
+        let a = sensor.scan(&scene, &mut rng(7));
+        let b = sensor.scan(&scene, &mut rng(7));
+        assert_eq!(a.points(), b.points());
+        assert_eq!(a.entities(), b.entities());
+    }
+
+    #[test]
+    fn pipeline_filters_leave_clean_cluster() {
+        let cfg = WalkwayConfig::default();
+        let mut scene = Scene::new(cfg);
+        let id = scene.add_human(human_at(20.0, 0.5));
+        let sensor = Lidar::new(SensorConfig::default());
+        let mut sweep = sensor.scan(&scene, &mut rng(3));
+        roi_filter(&mut sweep, &cfg);
+        let ground_removed = ground_segment(&mut sweep);
+        assert!(ground_removed > 0, "ROI ground returns should be segmented away");
+        // What remains is dominated by the human.
+        let human = sweep.points_of(id).len();
+        assert!(human > 0);
+        assert!(
+            human * 10 >= sweep.len() * 6,
+            "human should dominate the filtered sweep: {human}/{}",
+            sweep.len()
+        );
+    }
+
+    #[test]
+    fn cloud_sizes_are_in_the_papers_ballpark() {
+        // Each paper sample is a 324-point cloud; our filtered sweeps with
+        // one pedestrian should land well under that but nonzero.
+        let cfg = WalkwayConfig::default();
+        let mut scene = Scene::new(cfg);
+        scene.add_human(human_at(22.0, -1.0));
+        let sensor = Lidar::new(SensorConfig::default());
+        let mut sweep = sensor.scan(&scene, &mut rng(4));
+        roi_filter(&mut sweep, &cfg);
+        ground_segment(&mut sweep);
+        assert!(sweep.len() < 400, "cloud unexpectedly dense: {}", sweep.len());
+    }
+
+    #[test]
+    fn beam_count_matches_config() {
+        let sensor = Lidar::new(SensorConfig::default());
+        assert_eq!(sensor.beam_count(), SensorConfig::default().beams_per_sweep());
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid sensor configuration")]
+    fn invalid_config_panics() {
+        let _ = Lidar::new(SensorConfig { channels: 0, ..SensorConfig::default() });
+    }
+}

@@ -1,0 +1,134 @@
+//! Terminal visualisation of point clouds.
+//!
+//! Deployment debugging aid: render a capture as ASCII density maps —
+//! the top view shows the walkway layout (what the clustering sees), the
+//! side view shows height structure (what HAWC keys on).
+
+use crate::PointCloud;
+
+/// Character ramp from sparse to dense.
+const RAMP: [char; 5] = ['.', ':', '+', '#', '@'];
+
+fn ramp(count: usize, max: usize) -> char {
+    if count == 0 {
+        return ' ';
+    }
+    let idx = (count * (RAMP.len() - 1)).div_ceil(max.max(1));
+    RAMP[idx.min(RAMP.len() - 1)]
+}
+
+fn render_grid(
+    cloud: &PointCloud,
+    cols: usize,
+    rows: usize,
+    fx: impl Fn(geom::Point3) -> f64,
+    fy: impl Fn(geom::Point3) -> f64,
+) -> String {
+    assert!(cols > 0 && rows > 0, "grid dimensions must be positive");
+    if cloud.is_empty() {
+        return "(empty capture)\n".into();
+    }
+    let xs: Vec<f64> = cloud.points().iter().map(|&p| fx(p)).collect();
+    let ys: Vec<f64> = cloud.points().iter().map(|&p| fy(p)).collect();
+    let (x_lo, x_hi) = bounds(&xs);
+    let (y_lo, y_hi) = bounds(&ys);
+    let mut grid = vec![0usize; cols * rows];
+    for (&x, &y) in xs.iter().zip(&ys) {
+        let cx = (((x - x_lo) / (x_hi - x_lo).max(1e-9)) * (cols - 1) as f64).round() as usize;
+        let cy = (((y - y_lo) / (y_hi - y_lo).max(1e-9)) * (rows - 1) as f64).round() as usize;
+        grid[cy.min(rows - 1) * cols + cx.min(cols - 1)] += 1;
+    }
+    let max = grid.iter().copied().max().unwrap_or(1);
+    let mut out = String::with_capacity(rows * (cols + 1));
+    // Render top row = largest fy value (so "up" is up).
+    for r in (0..rows).rev() {
+        for c in 0..cols {
+            out.push(ramp(grid[r * cols + c], max));
+        }
+        out.push('\n');
+    }
+    out
+}
+
+fn bounds(v: &[f64]) -> (f64, f64) {
+    let lo = v.iter().cloned().fold(f64::INFINITY, f64::min);
+    let hi = v.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+    if (hi - lo).abs() < 1e-9 {
+        (lo - 0.5, hi + 0.5)
+    } else {
+        (lo, hi)
+    }
+}
+
+/// Renders the capture's top view (walkway from above: x →, y ↑).
+///
+/// # Panics
+///
+/// Panics if `cols` or `rows` is zero.
+pub fn render_top_view(cloud: &PointCloud, cols: usize, rows: usize) -> String {
+    render_grid(cloud, cols, rows, |p| p.x, |p| p.y)
+}
+
+/// Renders the capture's side view (x →, z ↑) — pedestrians appear as
+/// tall columns, bins as low mounds.
+///
+/// # Panics
+///
+/// Panics if `cols` or `rows` is zero.
+pub fn render_side_view(cloud: &PointCloud, cols: usize, rows: usize) -> String {
+    render_grid(cloud, cols, rows, |p| p.x, |p| p.z)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use geom::Point3;
+
+    fn column(x: f64, n: usize, height: f64) -> Vec<Point3> {
+        (0..n)
+            .map(|i| Point3::new(x, 0.0, -2.6 + height * i as f64 / (n - 1) as f64))
+            .collect()
+    }
+
+    #[test]
+    fn renders_expected_dimensions() {
+        let cloud = PointCloud::new(column(15.0, 40, 1.7));
+        let art = render_side_view(&cloud, 30, 10);
+        let lines: Vec<&str> = art.lines().collect();
+        assert_eq!(lines.len(), 10);
+        assert!(lines.iter().all(|l| l.chars().count() == 30));
+    }
+
+    #[test]
+    fn tall_and_short_objects_differ_in_side_view() {
+        let mut pts = column(14.0, 60, 1.7); // person
+        pts.extend(column(30.0, 60, 0.5)); // bin
+        let art = render_side_view(&PointCloud::new(pts), 40, 12);
+        let lines: Vec<&str> = art.lines().collect();
+        // Top rows contain only the person's column (left half).
+        let top = lines[0];
+        let left_top: String = top.chars().take(20).collect();
+        let right_top: String = top.chars().skip(20).collect();
+        assert!(left_top.trim() != "", "person should reach the top band");
+        assert_eq!(right_top.trim(), "", "bin must not reach the top band");
+    }
+
+    #[test]
+    fn empty_capture_is_handled() {
+        assert!(render_top_view(&PointCloud::empty(), 10, 5).contains("empty"));
+    }
+
+    #[test]
+    fn single_point_cloud() {
+        let cloud = PointCloud::new(vec![Point3::new(15.0, 0.0, -2.0)]);
+        let art = render_top_view(&cloud, 8, 4);
+        assert_eq!(art.lines().count(), 4);
+        assert!(art.contains(RAMP[RAMP.len() - 1]));
+    }
+
+    #[test]
+    #[should_panic(expected = "grid dimensions")]
+    fn zero_grid_panics() {
+        let _ = render_top_view(&PointCloud::empty(), 0, 5);
+    }
+}

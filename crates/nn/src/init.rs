@@ -1,0 +1,58 @@
+//! Weight initialisation.
+
+use rand::Rng;
+
+/// He-normal initialisation for a weight buffer with `fan_in` inputs —
+/// the right scaling for ReLU networks like HAWC's CNN.
+pub fn he_normal<R: Rng + ?Sized>(rng: &mut R, fan_in: usize, out: &mut [f32]) {
+    let std = (2.0 / fan_in.max(1) as f64).sqrt();
+    for w in out {
+        *w = (gaussian(rng) * std) as f32;
+    }
+}
+
+/// Xavier-uniform initialisation with the given fan-in/fan-out — an
+/// alternative to [`he_normal`] for tanh/linear heads.
+#[allow(dead_code)] // kept for architecture experiments
+pub fn xavier_uniform<R: Rng + ?Sized>(rng: &mut R, fan_in: usize, fan_out: usize, out: &mut [f32]) {
+    let limit = (6.0 / (fan_in + fan_out).max(1) as f64).sqrt();
+    for w in out {
+        *w = rng.gen_range(-limit..limit) as f32;
+    }
+}
+
+fn gaussian<R: Rng + ?Sized>(rng: &mut R) -> f64 {
+    let u1: f64 = rng.gen_range(f64::EPSILON..1.0);
+    let u2: f64 = rng.gen_range(0.0..1.0);
+    (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn he_normal_has_expected_scale() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut buf = vec![0.0f32; 10_000];
+        he_normal(&mut rng, 50, &mut buf);
+        let mean: f32 = buf.iter().sum::<f32>() / buf.len() as f32;
+        let var: f32 = buf.iter().map(|x| (x - mean) * (x - mean)).sum::<f32>() / buf.len() as f32;
+        assert!(mean.abs() < 0.01, "mean {mean}");
+        let expected = 2.0 / 50.0;
+        assert!((var - expected).abs() < expected * 0.15, "var {var} vs {expected}");
+    }
+
+    #[test]
+    fn xavier_uniform_respects_limit() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut buf = vec![0.0f32; 1000];
+        xavier_uniform(&mut rng, 30, 20, &mut buf);
+        let limit = (6.0f32 / 50.0).sqrt();
+        assert!(buf.iter().all(|x| x.abs() <= limit));
+        // Not degenerate.
+        assert!(buf.iter().any(|x| x.abs() > limit * 0.5));
+    }
+}

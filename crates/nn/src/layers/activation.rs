@@ -1,0 +1,162 @@
+//! Element-wise activations and shape adapters.
+
+use crate::layers::Layer;
+use crate::profile::{LayerProfile, OpKind};
+use crate::Tensor;
+
+/// Rectified linear unit.
+#[derive(Debug, Clone, Default)]
+pub struct ReLU {
+    mask: Option<Vec<bool>>,
+}
+
+impl ReLU {
+    /// Creates a ReLU activation.
+    pub fn new() -> Self {
+        ReLU::default()
+    }
+}
+
+impl Layer for ReLU {
+    fn as_any(&self) -> &dyn std::any::Any {
+        self
+    }
+
+    fn boxed_clone(&self) -> Box<dyn Layer> {
+        Box::new(self.clone())
+    }
+
+    fn name(&self) -> &'static str {
+        "relu"
+    }
+
+    fn forward(&mut self, input: &Tensor, train: bool) -> Tensor {
+        if train {
+            self.mask = Some(input.data().iter().map(|&x| x > 0.0).collect());
+        }
+        input.map(|x| x.max(0.0))
+    }
+
+    fn backward(&mut self, grad_out: &Tensor) -> Tensor {
+        let mask = self.mask.as_ref().expect("backward before forward");
+        let data = grad_out
+            .data()
+            .iter()
+            .zip(mask)
+            .map(|(&g, &m)| if m { g } else { 0.0 })
+            .collect();
+        Tensor::from_vec(data, grad_out.shape())
+    }
+
+    fn output_shape(&self, input_shape: &[usize]) -> Vec<usize> {
+        input_shape.to_vec()
+    }
+
+    fn profile(&self, input_shape: &[usize]) -> LayerProfile {
+        let elems: usize = input_shape.iter().product();
+        LayerProfile {
+            name: "relu".into(),
+            kind: OpKind::Activation,
+            params: 0,
+            macs: elems as u64,
+            output_elems: elems,
+        }
+    }
+}
+
+/// Flattens `[batch, ...]` into `[batch, features]`.
+#[derive(Debug, Clone, Default)]
+pub struct Flatten {
+    in_shape: Option<Vec<usize>>,
+}
+
+impl Flatten {
+    /// Creates a flatten adapter.
+    pub fn new() -> Self {
+        Flatten::default()
+    }
+}
+
+impl Layer for Flatten {
+    fn as_any(&self) -> &dyn std::any::Any {
+        self
+    }
+
+    fn boxed_clone(&self) -> Box<dyn Layer> {
+        Box::new(self.clone())
+    }
+
+    fn name(&self) -> &'static str {
+        "flatten"
+    }
+
+    fn forward(&mut self, input: &Tensor, train: bool) -> Tensor {
+        let b = input.shape()[0];
+        let features: usize = input.shape()[1..].iter().product();
+        if train {
+            self.in_shape = Some(input.shape().to_vec());
+        }
+        input.reshape(&[b, features])
+    }
+
+    fn backward(&mut self, grad_out: &Tensor) -> Tensor {
+        let shape = self.in_shape.as_ref().expect("backward before forward");
+        grad_out.reshape(shape)
+    }
+
+    fn output_shape(&self, input_shape: &[usize]) -> Vec<usize> {
+        vec![input_shape[0], input_shape[1..].iter().product()]
+    }
+
+    fn profile(&self, input_shape: &[usize]) -> LayerProfile {
+        let elems: usize = input_shape.iter().product();
+        LayerProfile {
+            name: "flatten".into(),
+            kind: OpKind::Reshape,
+            params: 0,
+            macs: 0,
+            output_elems: elems,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn relu_clamps_negatives() {
+        let mut r = ReLU::new();
+        let x = Tensor::from_vec(vec![-2.0, 0.0, 3.0], &[3]);
+        let y = r.forward(&x, true);
+        assert_eq!(y.data(), &[0.0, 0.0, 3.0]);
+    }
+
+    #[test]
+    fn relu_backward_masks() {
+        let mut r = ReLU::new();
+        let x = Tensor::from_vec(vec![-1.0, 2.0], &[2]);
+        let _ = r.forward(&x, true);
+        let dx = r.backward(&Tensor::from_vec(vec![7.0, 7.0], &[2]));
+        assert_eq!(dx.data(), &[0.0, 7.0]);
+    }
+
+    #[test]
+    fn flatten_round_trip() {
+        let mut f = Flatten::new();
+        let x = Tensor::zeros(&[2, 3, 4, 5]);
+        let y = f.forward(&x, true);
+        assert_eq!(y.shape(), &[2, 60]);
+        let back = f.backward(&y);
+        assert_eq!(back.shape(), &[2, 3, 4, 5]);
+    }
+
+    #[test]
+    fn profiles() {
+        let r = ReLU::new();
+        assert_eq!(r.profile(&[2, 3]).output_elems, 6);
+        let f = Flatten::new();
+        assert_eq!(f.profile(&[2, 3, 4]).macs, 0);
+        assert_eq!(f.output_shape(&[2, 3, 4]), vec![2, 12]);
+    }
+}

@@ -1,0 +1,415 @@
+//! 2-D convolution via im2col.
+
+use rand::Rng;
+
+use crate::init;
+use crate::layers::{matmul_acc, Layer};
+use crate::profile::{LayerProfile, OpKind};
+use crate::Tensor;
+
+/// A 2-D convolution over NCHW tensors with square kernels, stride 1 and
+/// symmetric zero padding — the shape HAWC's "3 × 3 kernel and a stride
+/// of 1" CNN uses (§V).
+#[derive(Debug, Clone)]
+pub struct Conv2d {
+    in_channels: usize,
+    out_channels: usize,
+    kernel: usize,
+    padding: usize,
+    /// `[out_channels, in_channels * kernel * kernel]` row-major.
+    weight: Vec<f32>,
+    bias: Vec<f32>,
+    grad_weight: Vec<f32>,
+    grad_bias: Vec<f32>,
+    cache_cols: Option<(Vec<f32>, Vec<usize>)>, // (im2col matrix, input shape)
+}
+
+impl Conv2d {
+    /// Creates a He-initialised convolution.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `kernel == 0`.
+    pub fn new<R: Rng + ?Sized>(
+        in_channels: usize,
+        out_channels: usize,
+        kernel: usize,
+        padding: usize,
+        rng: &mut R,
+    ) -> Self {
+        assert!(kernel > 0, "kernel must be positive");
+        let fan_in = in_channels * kernel * kernel;
+        let mut weight = vec![0.0; out_channels * fan_in];
+        init::he_normal(rng, fan_in, &mut weight);
+        Conv2d {
+            in_channels,
+            out_channels,
+            kernel,
+            padding,
+            weight,
+            bias: vec![0.0; out_channels],
+            grad_weight: vec![0.0; out_channels * fan_in],
+            grad_bias: vec![0.0; out_channels],
+            cache_cols: None,
+        }
+    }
+
+    /// Kernel size.
+    pub fn kernel(&self) -> usize {
+        self.kernel
+    }
+
+    /// Input channel count.
+    pub fn in_channels(&self) -> usize {
+        self.in_channels
+    }
+
+    /// Output channel count.
+    pub fn out_channels(&self) -> usize {
+        self.out_channels
+    }
+
+    /// Zero padding on each side.
+    pub fn padding(&self) -> usize {
+        self.padding
+    }
+
+    /// Weight view, `[out, in*k*k]` row-major.
+    pub fn weight(&self) -> &[f32] {
+        &self.weight
+    }
+
+    /// Bias view.
+    pub fn bias(&self) -> &[f32] {
+        &self.bias
+    }
+
+    /// Overwrites the parameters (used by batch-norm folding).
+    ///
+    /// # Panics
+    ///
+    /// Panics on length mismatch.
+    pub fn set_params(&mut self, weight: &[f32], bias: &[f32]) {
+        assert_eq!(weight.len(), self.weight.len(), "weight length mismatch");
+        assert_eq!(bias.len(), self.bias.len(), "bias length mismatch");
+        self.weight.copy_from_slice(weight);
+        self.bias.copy_from_slice(bias);
+    }
+
+    fn out_hw(&self, h: usize, w: usize) -> (usize, usize) {
+        (h + 2 * self.padding + 1 - self.kernel, w + 2 * self.padding + 1 - self.kernel)
+    }
+
+    /// Builds the im2col matrix: `[batch * oh * ow, cin * k * k]`.
+    fn im2col(&self, input: &Tensor) -> Vec<f32> {
+        let (b, c, h, w) = shape4(input);
+        let (oh, ow) = self.out_hw(h, w);
+        let k = self.kernel;
+        let pad = self.padding as isize;
+        let x = input.data();
+        let cols_width = c * k * k;
+        let mut cols = vec![0.0; b * oh * ow * cols_width];
+        for n in 0..b {
+            for oy in 0..oh {
+                for ox in 0..ow {
+                    let row = ((n * oh + oy) * ow + ox) * cols_width;
+                    for ci in 0..c {
+                        for ky in 0..k {
+                            let iy = oy as isize + ky as isize - pad;
+                            if iy < 0 || iy >= h as isize {
+                                continue; // zero padding
+                            }
+                            for kx in 0..k {
+                                let ix = ox as isize + kx as isize - pad;
+                                if ix < 0 || ix >= w as isize {
+                                    continue;
+                                }
+                                cols[row + (ci * k + ky) * k + kx] =
+                                    x[((n * c + ci) * h + iy as usize) * w + ix as usize];
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        cols
+    }
+}
+
+fn shape4(t: &Tensor) -> (usize, usize, usize, usize) {
+    let s = t.shape();
+    assert_eq!(s.len(), 4, "expected NCHW tensor, got shape {s:?}");
+    (s[0], s[1], s[2], s[3])
+}
+
+impl Layer for Conv2d {
+    fn as_any(&self) -> &dyn std::any::Any {
+        self
+    }
+
+    fn boxed_clone(&self) -> Box<dyn Layer> {
+        Box::new(self.clone())
+    }
+
+    fn name(&self) -> &'static str {
+        "conv2d"
+    }
+
+    fn forward(&mut self, input: &Tensor, train: bool) -> Tensor {
+        let (b, c, h, w) = shape4(input);
+        assert_eq!(c, self.in_channels, "conv input channel mismatch");
+        let (oh, ow) = self.out_hw(h, w);
+        let k2c = self.in_channels * self.kernel * self.kernel;
+        let cols = self.im2col(input);
+        // out[n,co,oy,ox] = cols[(n,oy,ox), :] · weight[co, :]
+        let rows = b * oh * ow;
+        let mut out = vec![0.0; rows * self.out_channels];
+        // cols: [rows, k2c]; weightᵀ: [k2c, cout]
+        let mut wt = vec![0.0; k2c * self.out_channels];
+        for co in 0..self.out_channels {
+            for i in 0..k2c {
+                wt[i * self.out_channels + co] = self.weight[co * k2c + i];
+            }
+        }
+        for r in 0..rows {
+            let dst = &mut out[r * self.out_channels..(r + 1) * self.out_channels];
+            dst.copy_from_slice(&self.bias);
+        }
+        matmul_acc(&cols, &wt, rows, k2c, self.out_channels, &mut out);
+        // Transpose rows (n,oy,ox,co) → NCHW.
+        let mut y = vec![0.0; b * self.out_channels * oh * ow];
+        for n in 0..b {
+            for oy in 0..oh {
+                for ox in 0..ow {
+                    let r = ((n * oh + oy) * ow + ox) * self.out_channels;
+                    for co in 0..self.out_channels {
+                        y[((n * self.out_channels + co) * oh + oy) * ow + ox] = out[r + co];
+                    }
+                }
+            }
+        }
+        if train {
+            self.cache_cols = Some((cols, input.shape().to_vec()));
+        }
+        Tensor::from_vec(y, &[b, self.out_channels, oh, ow])
+    }
+
+    fn backward(&mut self, grad_out: &Tensor) -> Tensor {
+        let (cols, in_shape) = self.cache_cols.as_ref().expect("backward before forward");
+        let (b, c, h, w) = (in_shape[0], in_shape[1], in_shape[2], in_shape[3]);
+        let (bo, co, oh, ow) = shape4(grad_out);
+        assert_eq!(b, bo);
+        assert_eq!(co, self.out_channels);
+        let k = self.kernel;
+        let k2c = c * k * k;
+        let g = grad_out.data();
+        // Rearrange grad to rows: [(n,oy,ox), co].
+        let rows = b * oh * ow;
+        let mut grows = vec![0.0; rows * co];
+        for n in 0..b {
+            for cc in 0..co {
+                for oy in 0..oh {
+                    for ox in 0..ow {
+                        grows[((n * oh + oy) * ow + ox) * co + cc] =
+                            g[((n * co + cc) * oh + oy) * ow + ox];
+                    }
+                }
+            }
+        }
+        // dW[co, i] += sum_r grows[r, co] * cols[r, i]
+        for r in 0..rows {
+            let gr = &grows[r * co..(r + 1) * co];
+            let cr = &cols[r * k2c..(r + 1) * k2c];
+            for (cc, &gv) in gr.iter().enumerate() {
+                if gv == 0.0 {
+                    continue;
+                }
+                self.grad_bias[cc] += gv;
+                let wrow = &mut self.grad_weight[cc * k2c..(cc + 1) * k2c];
+                for (wv, &cv) in wrow.iter_mut().zip(cr) {
+                    *wv += gv * cv;
+                }
+            }
+        }
+        // dcols[r, i] = sum_co grows[r, co] * weight[co, i]; then col2im.
+        let pad = self.padding as isize;
+        let mut dx = vec![0.0; b * c * h * w];
+        for n in 0..b {
+            for oy in 0..oh {
+                for ox in 0..ow {
+                    let r = (n * oh + oy) * ow + ox;
+                    let gr = &grows[r * co..(r + 1) * co];
+                    for ci in 0..c {
+                        for ky in 0..k {
+                            let iy = oy as isize + ky as isize - pad;
+                            if iy < 0 || iy >= h as isize {
+                                continue;
+                            }
+                            for kx in 0..k {
+                                let ix = ox as isize + kx as isize - pad;
+                                if ix < 0 || ix >= w as isize {
+                                    continue;
+                                }
+                                let col_idx = (ci * k + ky) * k + kx;
+                                let mut acc = 0.0;
+                                for (cc, &gv) in gr.iter().enumerate() {
+                                    acc += gv * self.weight[cc * k2c + col_idx];
+                                }
+                                dx[((n * c + ci) * h + iy as usize) * w + ix as usize] += acc;
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        Tensor::from_vec(dx, &[b, c, h, w])
+    }
+
+    fn visit_params(&mut self, f: &mut dyn FnMut(&mut [f32], &mut [f32])) {
+        f(&mut self.weight, &mut self.grad_weight);
+        f(&mut self.bias, &mut self.grad_bias);
+    }
+
+    fn param_count(&self) -> usize {
+        self.weight.len() + self.bias.len()
+    }
+
+    fn output_shape(&self, input_shape: &[usize]) -> Vec<usize> {
+        let (oh, ow) = self.out_hw(input_shape[2], input_shape[3]);
+        vec![input_shape[0], self.out_channels, oh, ow]
+    }
+
+    fn profile(&self, input_shape: &[usize]) -> LayerProfile {
+        let (oh, ow) = self.out_hw(input_shape[2], input_shape[3]);
+        let macs = input_shape[0]
+            * oh
+            * ow
+            * self.out_channels
+            * self.in_channels
+            * self.kernel
+            * self.kernel;
+        LayerProfile {
+            name: "conv2d".into(),
+            kind: OpKind::Conv,
+            params: self.param_count(),
+            macs: macs as u64,
+            output_elems: input_shape[0] * self.out_channels * oh * ow,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn rng() -> StdRng {
+        StdRng::seed_from_u64(17)
+    }
+
+    #[test]
+    fn identity_kernel_passes_through() {
+        // 1x1 kernel, weight 1, bias 0: output equals input.
+        let mut conv = Conv2d::new(1, 1, 1, 0, &mut rng());
+        conv.set_params(&[1.0], &[0.0]);
+        let x = Tensor::from_vec((0..9).map(|i| i as f32).collect(), &[1, 1, 3, 3]);
+        let y = conv.forward(&x, false);
+        assert_eq!(y.shape(), &[1, 1, 3, 3]);
+        assert_eq!(y.data(), x.data());
+    }
+
+    #[test]
+    fn box_filter_known_sum() {
+        // 3x3 all-ones kernel, no padding, on a 3x3 ones image: single
+        // output = 9.
+        let mut conv = Conv2d::new(1, 1, 3, 0, &mut rng());
+        conv.set_params(&vec![1.0; 9], &[0.5]);
+        let x = Tensor::full(&[1, 1, 3, 3], 1.0);
+        let y = conv.forward(&x, false);
+        assert_eq!(y.shape(), &[1, 1, 1, 1]);
+        assert_eq!(y.data(), &[9.5]);
+    }
+
+    #[test]
+    fn padding_preserves_spatial_size() {
+        let mut conv = Conv2d::new(2, 4, 3, 1, &mut rng());
+        let x = Tensor::zeros(&[2, 2, 18, 18]);
+        let y = conv.forward(&x, false);
+        assert_eq!(y.shape(), &[2, 4, 18, 18]);
+        assert_eq!(conv.output_shape(x.shape()), y.shape());
+    }
+
+    #[test]
+    fn padding_zeros_at_corners() {
+        // All-ones 3x3 kernel with padding 1 on a ones 3x3 image: corner
+        // outputs see only 4 inputs, centre sees 9.
+        let mut conv = Conv2d::new(1, 1, 3, 1, &mut rng());
+        conv.set_params(&vec![1.0; 9], &[0.0]);
+        let x = Tensor::full(&[1, 1, 3, 3], 1.0);
+        let y = conv.forward(&x, false);
+        assert_eq!(y.at(&[0, 0, 0, 0]), 4.0);
+        assert_eq!(y.at(&[0, 0, 1, 1]), 9.0);
+        assert_eq!(y.at(&[0, 0, 0, 1]), 6.0);
+    }
+
+    #[test]
+    fn multi_channel_mixes_inputs() {
+        let mut conv = Conv2d::new(2, 1, 1, 0, &mut rng());
+        conv.set_params(&[2.0, 3.0], &[0.0]);
+        let x = Tensor::from_vec(vec![1.0, 10.0], &[1, 2, 1, 1]);
+        let y = conv.forward(&x, false);
+        assert_eq!(y.data(), &[32.0]);
+    }
+
+    #[test]
+    fn gradcheck_input_and_weights() {
+        let mut conv = Conv2d::new(2, 3, 3, 1, &mut rng());
+        let x = Tensor::from_vec(
+            (0..2 * 2 * 4 * 4).map(|i| ((i * 7) % 13) as f32 * 0.1 - 0.5).collect(),
+            &[2, 2, 4, 4],
+        );
+        let y = conv.forward(&x, true);
+        let g = Tensor::full(y.shape(), 1.0);
+        let dx = conv.backward(&g);
+        let sum = |t: &Tensor| t.data().iter().sum::<f32>();
+        let eps = 1e-2;
+        // Input gradient at an interior element.
+        let mut xp = x.clone();
+        *xp.at_mut(&[1, 0, 2, 2]) += eps;
+        let mut c2 = conv.clone();
+        let num = (sum(&c2.forward(&xp, false)) - sum(&y)) / eps;
+        assert!(
+            (dx.at(&[1, 0, 2, 2]) - num).abs() < 0.05,
+            "{} vs {num}",
+            dx.at(&[1, 0, 2, 2])
+        );
+        // Weight gradient.
+        let mut grads = Vec::new();
+        conv.visit_params(&mut |_, gr| grads.push(gr.to_vec()));
+        let dw0 = grads[0][5];
+        let mut c3 = conv.clone();
+        let mut w = c3.weight().to_vec();
+        w[5] += eps;
+        let b = c3.bias().to_vec();
+        c3.set_params(&w, &b);
+        let num_w = (sum(&c3.forward(&x, false)) - sum(&y)) / eps;
+        assert!((dw0 - num_w).abs() < 0.05, "{dw0} vs {num_w}");
+    }
+
+    #[test]
+    fn profile_macs_formula() {
+        let conv = Conv2d::new(7, 16, 3, 1, &mut rng());
+        let p = conv.profile(&[1, 7, 18, 18]);
+        assert_eq!(p.macs, (18 * 18 * 16 * 7 * 9) as u64);
+        assert_eq!(p.params, 16 * 7 * 9 + 16);
+        assert_eq!(p.kind, OpKind::Conv);
+    }
+
+    #[test]
+    #[should_panic(expected = "channel mismatch")]
+    fn wrong_channels_panics() {
+        let mut conv = Conv2d::new(3, 1, 3, 1, &mut rng());
+        let _ = conv.forward(&Tensor::zeros(&[1, 2, 5, 5]), false);
+    }
+}

@@ -1,0 +1,123 @@
+//! Network layers.
+
+mod activation;
+mod conv;
+mod dense;
+mod norm;
+mod pool;
+
+pub use activation::{Flatten, ReLU};
+pub use conv::Conv2d;
+pub use dense::{Dense, PointwiseDense};
+pub use norm::BatchNorm2d;
+pub use pool::{GlobalMaxPool, MaxPool2d};
+
+use crate::profile::LayerProfile;
+use crate::Tensor;
+
+/// A differentiable network layer.
+///
+/// Layers own their parameters and cache whatever the backward pass
+/// needs. The contract is strictly sequential: `backward` must be called
+/// with the gradient of the loss w.r.t. the *last* `forward` output.
+pub trait Layer: Send + Sync {
+    /// Human-readable layer name for profiles and debugging.
+    fn name(&self) -> &'static str;
+
+    /// Type-erased self-reference so the quantizer can recognise concrete
+    /// layer types when walking a network.
+    fn as_any(&self) -> &dyn std::any::Any;
+
+    /// Clones the layer behind a box (enables data-parallel training
+    /// replicas).
+    fn boxed_clone(&self) -> Box<dyn Layer>;
+
+    /// Visits non-trainable state buffers (e.g. batch-norm running
+    /// statistics) so replicas can be synchronised. Default: none.
+    fn visit_state(&mut self, _f: &mut dyn FnMut(&mut [f32])) {}
+
+    /// Computes the layer output. `train` selects training behaviour
+    /// (e.g. batch statistics in batch norm).
+    fn forward(&mut self, input: &Tensor, train: bool) -> Tensor;
+
+    /// Propagates `grad_out` (∂loss/∂output) backward, accumulating
+    /// parameter gradients internally and returning ∂loss/∂input.
+    fn backward(&mut self, grad_out: &Tensor) -> Tensor;
+
+    /// Visits every `(parameter, gradient)` buffer pair. The default is a
+    /// parameterless layer.
+    fn visit_params(&mut self, _f: &mut dyn FnMut(&mut [f32], &mut [f32])) {}
+
+    /// Number of trainable parameters.
+    fn param_count(&self) -> usize {
+        0
+    }
+
+    /// Output shape for a given input shape.
+    fn output_shape(&self, input_shape: &[usize]) -> Vec<usize>;
+
+    /// Cost profile for the edge latency model.
+    fn profile(&self, input_shape: &[usize]) -> LayerProfile;
+
+    /// Zeroes accumulated gradients.
+    fn zero_grads(&mut self) {
+        self.visit_params(&mut |_, g| g.fill(0.0));
+    }
+}
+
+/// Dense row-major matrix multiply: `out[m,n] += a[m,k] * b[k,n]`.
+///
+/// Shared by the dense and convolution layers; the simple ikj loop order
+/// keeps the inner loop contiguous.
+pub(crate) fn matmul_acc(a: &[f32], b: &[f32], m: usize, k: usize, n: usize, out: &mut [f32]) {
+    debug_assert_eq!(a.len(), m * k);
+    debug_assert_eq!(b.len(), k * n);
+    debug_assert_eq!(out.len(), m * n);
+    for i in 0..m {
+        let a_row = &a[i * k..(i + 1) * k];
+        let out_row = &mut out[i * n..(i + 1) * n];
+        for (p, &av) in a_row.iter().enumerate() {
+            if av == 0.0 {
+                continue;
+            }
+            let b_row = &b[p * n..(p + 1) * n];
+            for (o, &bv) in out_row.iter_mut().zip(b_row) {
+                *o += av * bv;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn matmul_known_product() {
+        // [1 2; 3 4] x [5 6; 7 8] = [19 22; 43 50]
+        let a = [1.0, 2.0, 3.0, 4.0];
+        let b = [5.0, 6.0, 7.0, 8.0];
+        let mut out = [0.0; 4];
+        matmul_acc(&a, &b, 2, 2, 2, &mut out);
+        assert_eq!(out, [19.0, 22.0, 43.0, 50.0]);
+    }
+
+    #[test]
+    fn matmul_accumulates() {
+        let a = [1.0, 0.0];
+        let b = [2.0, 3.0];
+        let mut out = [10.0];
+        matmul_acc(&a, &b, 1, 2, 1, &mut out);
+        assert_eq!(out, [12.0]);
+    }
+
+    #[test]
+    fn matmul_rectangular() {
+        // (1x3) x (3x2)
+        let a = [1.0, 2.0, 3.0];
+        let b = [1.0, 4.0, 2.0, 5.0, 3.0, 6.0];
+        let mut out = [0.0; 2];
+        matmul_acc(&a, &b, 1, 3, 2, &mut out);
+        assert_eq!(out, [14.0, 32.0]);
+    }
+}

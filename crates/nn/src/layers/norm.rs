@@ -1,0 +1,294 @@
+//! Batch normalisation.
+
+use crate::layers::Layer;
+use crate::profile::{LayerProfile, OpKind};
+use crate::Tensor;
+
+/// 2-D batch normalisation over NCHW tensors: per-channel statistics over
+/// the batch and spatial axes, with learnable scale/shift and running
+/// statistics for inference — "each convolutional layer includes batch
+/// normalization" in HAWC's CNN (§V).
+#[derive(Debug, Clone)]
+pub struct BatchNorm2d {
+    channels: usize,
+    eps: f32,
+    momentum: f32,
+    gamma: Vec<f32>,
+    beta: Vec<f32>,
+    grad_gamma: Vec<f32>,
+    grad_beta: Vec<f32>,
+    running_mean: Vec<f32>,
+    running_var: Vec<f32>,
+    cache: Option<Cache>,
+}
+
+#[derive(Debug, Clone)]
+struct Cache {
+    normalized: Vec<f32>,
+    std_inv: Vec<f32>,
+    shape: Vec<usize>,
+}
+
+impl BatchNorm2d {
+    /// Creates a batch-norm layer over `channels` feature maps.
+    pub fn new(channels: usize) -> Self {
+        BatchNorm2d {
+            channels,
+            eps: 1e-5,
+            momentum: 0.1,
+            gamma: vec![1.0; channels],
+            beta: vec![0.0; channels],
+            grad_gamma: vec![0.0; channels],
+            grad_beta: vec![0.0; channels],
+            running_mean: vec![0.0; channels],
+            running_var: vec![1.0; channels],
+            cache: None,
+        }
+    }
+
+    /// Folding coefficients `(scale, shift)` per channel for inference:
+    /// `y = scale * x + shift`. Used by the quantizer to fold the norm
+    /// into the preceding convolution.
+    pub fn fold_coefficients(&self) -> (Vec<f32>, Vec<f32>) {
+        let mut scale = Vec::with_capacity(self.channels);
+        let mut shift = Vec::with_capacity(self.channels);
+        for c in 0..self.channels {
+            let s = self.gamma[c] / (self.running_var[c] + self.eps).sqrt();
+            scale.push(s);
+            shift.push(self.beta[c] - s * self.running_mean[c]);
+        }
+        (scale, shift)
+    }
+
+    fn stats_axes(shape: &[usize]) -> (usize, usize) {
+        // (batch, spatial elements per channel)
+        let b = shape[0];
+        let spatial: usize = shape[2..].iter().product::<usize>().max(1);
+        (b, spatial)
+    }
+}
+
+impl Layer for BatchNorm2d {
+    fn as_any(&self) -> &dyn std::any::Any {
+        self
+    }
+
+    fn boxed_clone(&self) -> Box<dyn Layer> {
+        Box::new(self.clone())
+    }
+
+    fn name(&self) -> &'static str {
+        "batchnorm2d"
+    }
+
+    fn forward(&mut self, input: &Tensor, train: bool) -> Tensor {
+        let shape = input.shape().to_vec();
+        assert!(shape.len() >= 2, "batch norm expects at least [batch, channels]");
+        assert_eq!(shape[1], self.channels, "batch norm channel mismatch");
+        let (b, spatial) = Self::stats_axes(&shape);
+        let x = input.data();
+        let count = (b * spatial) as f32;
+        let mut out = vec![0.0; x.len()];
+        let mut normalized = vec![0.0; x.len()];
+        let mut std_inv = vec![0.0; self.channels];
+        for c in 0..self.channels {
+            let (mean, var) = if train {
+                let mut m = 0.0;
+                for n in 0..b {
+                    let base = (n * self.channels + c) * spatial;
+                    for s in 0..spatial {
+                        m += x[base + s];
+                    }
+                }
+                m /= count;
+                let mut v = 0.0;
+                for n in 0..b {
+                    let base = (n * self.channels + c) * spatial;
+                    for s in 0..spatial {
+                        let d = x[base + s] - m;
+                        v += d * d;
+                    }
+                }
+                v /= count;
+                self.running_mean[c] =
+                    (1.0 - self.momentum) * self.running_mean[c] + self.momentum * m;
+                self.running_var[c] =
+                    (1.0 - self.momentum) * self.running_var[c] + self.momentum * v;
+                (m, v)
+            } else {
+                (self.running_mean[c], self.running_var[c])
+            };
+            let inv = 1.0 / (var + self.eps).sqrt();
+            std_inv[c] = inv;
+            for n in 0..b {
+                let base = (n * self.channels + c) * spatial;
+                for s in 0..spatial {
+                    let nx = (x[base + s] - mean) * inv;
+                    normalized[base + s] = nx;
+                    out[base + s] = self.gamma[c] * nx + self.beta[c];
+                }
+            }
+        }
+        if train {
+            self.cache = Some(Cache { normalized, std_inv, shape: shape.clone() });
+        }
+        Tensor::from_vec(out, &shape)
+    }
+
+    fn backward(&mut self, grad_out: &Tensor) -> Tensor {
+        let cache = self.cache.as_ref().expect("backward before forward");
+        let shape = &cache.shape;
+        let (b, spatial) = Self::stats_axes(shape);
+        let count = (b * spatial) as f32;
+        let g = grad_out.data();
+        let mut dx = vec![0.0; g.len()];
+        for c in 0..self.channels {
+            // Gradients of gamma/beta and the classic batch-norm input
+            // gradient.
+            let mut sum_g = 0.0;
+            let mut sum_gx = 0.0;
+            for n in 0..b {
+                let base = (n * self.channels + c) * spatial;
+                for s in 0..spatial {
+                    sum_g += g[base + s];
+                    sum_gx += g[base + s] * cache.normalized[base + s];
+                }
+            }
+            self.grad_beta[c] += sum_g;
+            self.grad_gamma[c] += sum_gx;
+            let scale = self.gamma[c] * cache.std_inv[c];
+            for n in 0..b {
+                let base = (n * self.channels + c) * spatial;
+                for s in 0..spatial {
+                    dx[base + s] = scale
+                        * (g[base + s]
+                            - sum_g / count
+                            - cache.normalized[base + s] * sum_gx / count);
+                }
+            }
+        }
+        Tensor::from_vec(dx, shape)
+    }
+
+    fn visit_params(&mut self, f: &mut dyn FnMut(&mut [f32], &mut [f32])) {
+        f(&mut self.gamma, &mut self.grad_gamma);
+        f(&mut self.beta, &mut self.grad_beta);
+    }
+
+    fn visit_state(&mut self, f: &mut dyn FnMut(&mut [f32])) {
+        f(&mut self.running_mean);
+        f(&mut self.running_var);
+    }
+
+    fn param_count(&self) -> usize {
+        2 * self.channels
+    }
+
+    fn output_shape(&self, input_shape: &[usize]) -> Vec<usize> {
+        input_shape.to_vec()
+    }
+
+    fn profile(&self, input_shape: &[usize]) -> LayerProfile {
+        let elems: usize = input_shape.iter().product();
+        LayerProfile {
+            name: "batchnorm2d".into(),
+            kind: OpKind::Norm,
+            params: self.param_count(),
+            macs: elems as u64, // one multiply-add per element at inference
+            output_elems: elems,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn training_output_is_normalized() {
+        let mut bn = BatchNorm2d::new(2);
+        let x = Tensor::from_vec(
+            vec![1.0, 2.0, 3.0, 4.0, 10.0, 20.0, 30.0, 40.0],
+            &[2, 2, 1, 2],
+        );
+        let y = bn.forward(&x, true);
+        // Per channel: mean ≈ 0, var ≈ 1 after normalisation (gamma=1).
+        for c in 0..2 {
+            let vals: Vec<f32> = (0..2)
+                .flat_map(|n| (0..2).map(move |s| (n, s)))
+                .map(|(n, s)| y.at(&[n, c, 0, s]))
+                .collect();
+            let mean: f32 = vals.iter().sum::<f32>() / 4.0;
+            let var: f32 = vals.iter().map(|v| (v - mean) * (v - mean)).sum::<f32>() / 4.0;
+            assert!(mean.abs() < 1e-5, "channel {c} mean {mean}");
+            assert!((var - 1.0).abs() < 1e-3, "channel {c} var {var}");
+        }
+    }
+
+    #[test]
+    fn eval_uses_running_stats() {
+        let mut bn = BatchNorm2d::new(1);
+        // Train on a stream with mean 5, var 4 until running stats settle.
+        let x = Tensor::from_vec(vec![3.0, 7.0, 5.0, 5.0], &[4, 1, 1, 1]);
+        for _ in 0..200 {
+            let _ = bn.forward(&x, true);
+        }
+        let y = bn.forward(&Tensor::from_vec(vec![5.0], &[1, 1, 1, 1]), false);
+        // Input equal to the running mean normalises to ~0.
+        assert!(y.data()[0].abs() < 0.05, "got {}", y.data()[0]);
+    }
+
+    #[test]
+    fn gradcheck() {
+        let mut bn = BatchNorm2d::new(1);
+        let x = Tensor::from_vec(vec![0.5, -1.0, 2.0, 0.1, 1.4, -0.3], &[6, 1, 1, 1]);
+        let y = bn.forward(&x, true);
+        // Weighted sum loss to get a non-trivial gradient.
+        let w: Vec<f32> = (0..6).map(|i| 0.3 + 0.2 * i as f32).collect();
+        let loss = |t: &Tensor| -> f32 { t.data().iter().zip(&w).map(|(a, b)| a * b).sum() };
+        let g = Tensor::from_vec(w.clone(), &[6, 1, 1, 1]);
+        let dx = bn.backward(&g);
+        let eps = 1e-3;
+        for i in [0usize, 3] {
+            let mut xp = x.clone();
+            xp.data_mut()[i] += eps;
+            let mut bn2 = BatchNorm2d::new(1);
+            let num = (loss(&bn2.forward(&xp, true)) - loss(&y)) / eps;
+            assert!(
+                (dx.data()[i] - num).abs() < 2e-2,
+                "dx[{i}] {} vs {num}",
+                dx.data()[i]
+            );
+        }
+    }
+
+    #[test]
+    fn fold_coefficients_reproduce_inference() {
+        let mut bn = BatchNorm2d::new(1);
+        let x = Tensor::from_vec(vec![1.0, 3.0, -2.0, 4.0], &[4, 1, 1, 1]);
+        for _ in 0..100 {
+            let _ = bn.forward(&x, true);
+        }
+        let (scale, shift) = bn.fold_coefficients();
+        let probe = Tensor::from_vec(vec![2.5], &[1, 1, 1, 1]);
+        let y = bn.forward(&probe, false);
+        let folded = scale[0] * 2.5 + shift[0];
+        assert!((y.data()[0] - folded).abs() < 1e-5);
+    }
+
+    #[test]
+    fn works_on_2d_feature_tensors() {
+        // PointNet's heads use [batch, features] batch norm.
+        let mut bn = BatchNorm2d::new(3);
+        let x = Tensor::from_vec((0..12).map(|i| i as f32).collect(), &[4, 3]);
+        let y = bn.forward(&x, true);
+        assert_eq!(y.shape(), &[4, 3]);
+    }
+
+    #[test]
+    #[should_panic(expected = "channel mismatch")]
+    fn channel_mismatch_panics() {
+        let mut bn = BatchNorm2d::new(4);
+        let _ = bn.forward(&Tensor::zeros(&[1, 3, 2, 2]), true);
+    }
+}

@@ -1,0 +1,259 @@
+//! Pooling layers.
+
+use crate::layers::Layer;
+use crate::profile::{LayerProfile, OpKind};
+use crate::Tensor;
+
+/// 2-D max pooling over NCHW tensors with square window and equal stride.
+#[derive(Debug, Clone)]
+pub struct MaxPool2d {
+    size: usize,
+    cache: Option<(Vec<usize>, Vec<usize>, Vec<usize>)>, // (argmax, in_shape, out_shape)
+}
+
+impl MaxPool2d {
+    /// Creates a pooling layer with window and stride `size`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `size == 0`.
+    pub fn new(size: usize) -> Self {
+        assert!(size > 0, "pool size must be positive");
+        MaxPool2d { size, cache: None }
+    }
+
+    /// Window/stride size.
+    pub fn size(&self) -> usize {
+        self.size
+    }
+
+    fn out_hw(&self, h: usize, w: usize) -> (usize, usize) {
+        (h / self.size, w / self.size)
+    }
+}
+
+impl Layer for MaxPool2d {
+    fn as_any(&self) -> &dyn std::any::Any {
+        self
+    }
+
+    fn boxed_clone(&self) -> Box<dyn Layer> {
+        Box::new(self.clone())
+    }
+
+    fn name(&self) -> &'static str {
+        "maxpool2d"
+    }
+
+    fn forward(&mut self, input: &Tensor, train: bool) -> Tensor {
+        let s = input.shape();
+        assert_eq!(s.len(), 4, "max pool expects NCHW");
+        let (b, c, h, w) = (s[0], s[1], s[2], s[3]);
+        let (oh, ow) = self.out_hw(h, w);
+        assert!(oh > 0 && ow > 0, "input {h}x{w} too small for pool {0}", self.size);
+        let x = input.data();
+        let mut out = vec![f32::NEG_INFINITY; b * c * oh * ow];
+        let mut argmax = vec![0usize; out.len()];
+        for n in 0..b {
+            for ci in 0..c {
+                for oy in 0..oh {
+                    for ox in 0..ow {
+                        let oidx = ((n * c + ci) * oh + oy) * ow + ox;
+                        for ky in 0..self.size {
+                            for kx in 0..self.size {
+                                let iy = oy * self.size + ky;
+                                let ix = ox * self.size + kx;
+                                let iidx = ((n * c + ci) * h + iy) * w + ix;
+                                if x[iidx] > out[oidx] {
+                                    out[oidx] = x[iidx];
+                                    argmax[oidx] = iidx;
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        let out_shape = vec![b, c, oh, ow];
+        if train {
+            self.cache = Some((argmax, s.to_vec(), out_shape.clone()));
+        }
+        Tensor::from_vec(out, &out_shape)
+    }
+
+    fn backward(&mut self, grad_out: &Tensor) -> Tensor {
+        let (argmax, in_shape, out_shape) = self.cache.as_ref().expect("backward before forward");
+        assert_eq!(grad_out.shape(), &out_shape[..], "gradient shape mismatch");
+        let mut dx = vec![0.0; in_shape.iter().product()];
+        for (g, &src) in grad_out.data().iter().zip(argmax) {
+            dx[src] += g;
+        }
+        Tensor::from_vec(dx, in_shape)
+    }
+
+    fn output_shape(&self, input_shape: &[usize]) -> Vec<usize> {
+        let (oh, ow) = self.out_hw(input_shape[2], input_shape[3]);
+        vec![input_shape[0], input_shape[1], oh, ow]
+    }
+
+    fn profile(&self, input_shape: &[usize]) -> LayerProfile {
+        let out = self.output_shape(input_shape);
+        let out_elems: usize = out.iter().product();
+        LayerProfile {
+            name: "maxpool2d".into(),
+            kind: OpKind::Pool,
+            params: 0,
+            macs: (out_elems * self.size * self.size) as u64,
+            output_elems: out_elems,
+        }
+    }
+}
+
+/// Global max pooling over the last axis of `[batch, channels, points]` —
+/// PointNet's order-invariant aggregation ("aggregates features by max
+/// pooling", §VII-A).
+#[derive(Debug, Clone, Default)]
+pub struct GlobalMaxPool {
+    cache: Option<(Vec<usize>, Vec<usize>)>, // (argmax, in_shape)
+}
+
+impl GlobalMaxPool {
+    /// Creates a global max pool.
+    pub fn new() -> Self {
+        GlobalMaxPool::default()
+    }
+}
+
+impl Layer for GlobalMaxPool {
+    fn as_any(&self) -> &dyn std::any::Any {
+        self
+    }
+
+    fn boxed_clone(&self) -> Box<dyn Layer> {
+        Box::new(self.clone())
+    }
+
+    fn name(&self) -> &'static str {
+        "global-maxpool"
+    }
+
+    fn forward(&mut self, input: &Tensor, train: bool) -> Tensor {
+        let s = input.shape();
+        assert_eq!(s.len(), 3, "global max pool expects [batch, channels, points]");
+        let (b, c, p) = (s[0], s[1], s[2]);
+        assert!(p > 0, "cannot pool over zero points");
+        let x = input.data();
+        let mut out = vec![f32::NEG_INFINITY; b * c];
+        let mut argmax = vec![0usize; b * c];
+        for n in 0..b {
+            for ci in 0..c {
+                let base = (n * c + ci) * p;
+                for k in 0..p {
+                    if x[base + k] > out[n * c + ci] {
+                        out[n * c + ci] = x[base + k];
+                        argmax[n * c + ci] = base + k;
+                    }
+                }
+            }
+        }
+        if train {
+            self.cache = Some((argmax, s.to_vec()));
+        }
+        Tensor::from_vec(out, &[b, c])
+    }
+
+    fn backward(&mut self, grad_out: &Tensor) -> Tensor {
+        let (argmax, in_shape) = self.cache.as_ref().expect("backward before forward");
+        let mut dx = vec![0.0; in_shape.iter().product()];
+        for (g, &src) in grad_out.data().iter().zip(argmax) {
+            dx[src] += g;
+        }
+        Tensor::from_vec(dx, in_shape)
+    }
+
+    fn output_shape(&self, input_shape: &[usize]) -> Vec<usize> {
+        vec![input_shape[0], input_shape[1]]
+    }
+
+    fn profile(&self, input_shape: &[usize]) -> LayerProfile {
+        let elems: usize = input_shape.iter().product();
+        LayerProfile {
+            name: "global-maxpool".into(),
+            kind: OpKind::Pool,
+            params: 0,
+            macs: elems as u64,
+            output_elems: input_shape[0] * input_shape[1],
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn maxpool_picks_window_max() {
+        let mut mp = MaxPool2d::new(2);
+        let x = Tensor::from_vec(
+            vec![
+                1.0, 2.0, 5.0, 6.0, //
+                3.0, 4.0, 7.0, 8.0, //
+                9.0, 1.0, 2.0, 1.0, //
+                1.0, 1.0, 1.0, 3.0,
+            ],
+            &[1, 1, 4, 4],
+        );
+        let y = mp.forward(&x, false);
+        assert_eq!(y.shape(), &[1, 1, 2, 2]);
+        assert_eq!(y.data(), &[4.0, 8.0, 9.0, 3.0]);
+    }
+
+    #[test]
+    fn maxpool_backward_routes_to_argmax() {
+        let mut mp = MaxPool2d::new(2);
+        let x = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0], &[1, 1, 2, 2]);
+        let _ = mp.forward(&x, true);
+        let dx = mp.backward(&Tensor::from_vec(vec![5.0], &[1, 1, 1, 1]));
+        assert_eq!(dx.data(), &[0.0, 0.0, 0.0, 5.0]);
+    }
+
+    #[test]
+    fn maxpool_truncates_odd_sizes() {
+        let mut mp = MaxPool2d::new(2);
+        let y = mp.forward(&Tensor::zeros(&[1, 1, 5, 5]), false);
+        assert_eq!(y.shape(), &[1, 1, 2, 2]);
+    }
+
+    #[test]
+    fn global_maxpool_is_order_invariant() {
+        let mut gp = GlobalMaxPool::new();
+        let a = Tensor::from_vec(vec![1.0, 5.0, 3.0, -1.0, 0.0, 2.0], &[1, 2, 3]);
+        let b = Tensor::from_vec(vec![3.0, 1.0, 5.0, 2.0, -1.0, 0.0], &[1, 2, 3]);
+        let ya = gp.forward(&a, false);
+        let yb = gp.forward(&b, false);
+        assert_eq!(ya.data(), yb.data());
+        assert_eq!(ya.data(), &[5.0, 2.0]);
+    }
+
+    #[test]
+    fn global_maxpool_backward() {
+        let mut gp = GlobalMaxPool::new();
+        let x = Tensor::from_vec(vec![1.0, 5.0, 3.0], &[1, 1, 3]);
+        let _ = gp.forward(&x, true);
+        let dx = gp.backward(&Tensor::from_vec(vec![2.0], &[1, 1]));
+        assert_eq!(dx.data(), &[0.0, 2.0, 0.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "pool size must be positive")]
+    fn zero_pool_panics() {
+        let _ = MaxPool2d::new(0);
+    }
+
+    #[test]
+    #[should_panic(expected = "too small")]
+    fn too_small_input_panics() {
+        let mut mp = MaxPool2d::new(4);
+        let _ = mp.forward(&Tensor::zeros(&[1, 1, 2, 2]), false);
+    }
+}

@@ -1,0 +1,60 @@
+//! A from-scratch neural-network substrate for HAWC-CC.
+//!
+//! The paper trains its models in TensorFlow 2.12 and deploys them with
+//! TensorFlow Lite post-training quantization (§VI, §VII-A). Nothing of
+//! that stack exists in this repository's dependency budget, so this crate
+//! implements the required subset directly:
+//!
+//! * [`Tensor`] — a dense row-major f32 tensor,
+//! * layers — [`Dense`], [`Conv2d`] (im2col), [`BatchNorm2d`], [`ReLU`],
+//!   [`MaxPool2d`], [`Flatten`], [`PointwiseDense`] (PointNet's shared
+//!   per-point MLP), [`GlobalMaxPool`] (PointNet's symmetric function),
+//! * losses — softmax cross-entropy and mean-squared error,
+//! * [`Adam`] — the optimizer used for every model in §VII-A,
+//! * [`Sequential`] — a network container with a mini-batch training
+//!   loop,
+//! * [`quant`] — TFLite-style post-training affine int8 quantization with
+//!   calibration, and an integer inference path,
+//! * [`profile`] — per-layer parameter/MAC accounting feeding the edge
+//!   latency models.
+//!
+//! # Examples
+//!
+//! Train a tiny classifier on XOR:
+//!
+//! ```
+//! use nn::{Adam, Dense, ReLU, Sequential, Tensor, TrainConfig};
+//! use rand::SeedableRng;
+//!
+//! let mut rng = rand::rngs::StdRng::seed_from_u64(0);
+//! let mut net = Sequential::new();
+//! net.push(Dense::new(2, 8, &mut rng));
+//! net.push(ReLU::new());
+//! net.push(Dense::new(8, 2, &mut rng));
+//!
+//! let x = Tensor::from_vec(vec![0., 0., 0., 1., 1., 0., 1., 1.], &[4, 2]);
+//! let y = vec![0usize, 1, 1, 0];
+//! let cfg = TrainConfig { epochs: 400, batch_size: 4, ..TrainConfig::default() };
+//! net.fit(&x, &y, &cfg, &mut Adam::new(0.05), &mut rng);
+//! assert_eq!(net.accuracy(&x, &y), 1.0);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod init;
+mod layers;
+mod loss;
+mod network;
+mod optimizer;
+pub mod profile;
+pub mod quant;
+mod tensor;
+
+pub use layers::{
+    BatchNorm2d, Conv2d, Dense, Flatten, GlobalMaxPool, Layer, MaxPool2d, PointwiseDense, ReLU,
+};
+pub use loss::{mse_loss, softmax, softmax_cross_entropy};
+pub use network::{Sequential, TrainConfig, TrainEvent};
+pub use optimizer::{Adam, Optimizer, Sgd};
+pub use tensor::Tensor;

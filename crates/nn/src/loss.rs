@@ -1,0 +1,149 @@
+//! Loss functions.
+
+use crate::Tensor;
+
+/// Row-wise softmax of a `[batch, classes]` tensor.
+///
+/// # Panics
+///
+/// Panics unless the tensor is 2-D.
+pub fn softmax(logits: &Tensor) -> Tensor {
+    assert_eq!(logits.shape().len(), 2, "softmax expects [batch, classes]");
+    let (b, c) = (logits.shape()[0], logits.shape()[1]);
+    let mut out = vec![0.0f32; b * c];
+    for n in 0..b {
+        let row = logits.row(n);
+        let m = row.iter().cloned().fold(f32::NEG_INFINITY, f32::max);
+        let mut z = 0.0;
+        for (i, &v) in row.iter().enumerate() {
+            let e = (v - m).exp();
+            out[n * c + i] = e;
+            z += e;
+        }
+        for i in 0..c {
+            out[n * c + i] /= z;
+        }
+    }
+    Tensor::from_vec(out, &[b, c])
+}
+
+/// Softmax cross-entropy: returns `(mean loss, ∂loss/∂logits)` for integer
+/// targets.
+///
+/// # Panics
+///
+/// Panics if `targets` disagrees with the batch size or contains an
+/// out-of-range class.
+pub fn softmax_cross_entropy(logits: &Tensor, targets: &[usize]) -> (f32, Tensor) {
+    let (b, c) = (logits.shape()[0], logits.shape()[1]);
+    assert_eq!(targets.len(), b, "target count mismatch");
+    let probs = softmax(logits);
+    let mut loss = 0.0;
+    let mut grad = probs.data().to_vec();
+    for (n, &t) in targets.iter().enumerate() {
+        assert!(t < c, "target class {t} out of range");
+        let p = probs.at(&[n, t]).max(1e-12);
+        loss -= p.ln();
+        grad[n * c + t] -= 1.0;
+    }
+    let scale = 1.0 / b as f32;
+    for g in &mut grad {
+        *g *= scale;
+    }
+    (loss / b as f32, Tensor::from_vec(grad, &[b, c]))
+}
+
+/// Mean-squared error: returns `(mean loss, ∂loss/∂prediction)` — the
+/// reconstruction loss of the AutoEncoder baseline.
+///
+/// # Panics
+///
+/// Panics on shape mismatch.
+pub fn mse_loss(prediction: &Tensor, target: &Tensor) -> (f32, Tensor) {
+    assert_eq!(prediction.shape(), target.shape(), "mse shape mismatch");
+    let n = prediction.len().max(1) as f32;
+    let mut loss = 0.0;
+    let grad: Vec<f32> = prediction
+        .data()
+        .iter()
+        .zip(target.data())
+        .map(|(&p, &t)| {
+            let d = p - t;
+            loss += d * d;
+            2.0 * d / n
+        })
+        .collect();
+    (loss / n, Tensor::from_vec(grad, prediction.shape()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn softmax_rows_sum_to_one() {
+        let t = Tensor::from_vec(vec![1.0, 2.0, 3.0, -1.0, 0.0, 1.0], &[2, 3]);
+        let s = softmax(&t);
+        for n in 0..2 {
+            let sum: f32 = s.row(n).iter().sum();
+            assert!((sum - 1.0).abs() < 1e-6);
+        }
+        // Monotone in logits.
+        assert!(s.at(&[0, 2]) > s.at(&[0, 0]));
+    }
+
+    #[test]
+    fn softmax_is_shift_invariant_and_stable() {
+        let a = softmax(&Tensor::from_vec(vec![1.0, 2.0], &[1, 2]));
+        let b = softmax(&Tensor::from_vec(vec![1001.0, 1002.0], &[1, 2]));
+        assert!((a.at(&[0, 0]) - b.at(&[0, 0])).abs() < 1e-6);
+        assert!(b.data().iter().all(|x| x.is_finite()));
+    }
+
+    #[test]
+    fn cross_entropy_of_perfect_prediction_is_small() {
+        let logits = Tensor::from_vec(vec![10.0, -10.0], &[1, 2]);
+        let (loss, _) = softmax_cross_entropy(&logits, &[0]);
+        assert!(loss < 1e-6);
+        let (loss_bad, _) = softmax_cross_entropy(&logits, &[1]);
+        assert!(loss_bad > 5.0);
+    }
+
+    #[test]
+    fn cross_entropy_gradient_matches_numerical() {
+        let logits = Tensor::from_vec(vec![0.2, -0.4, 0.7, 0.1, 0.0, -0.3], &[2, 3]);
+        let targets = [2usize, 0];
+        let (loss, grad) = softmax_cross_entropy(&logits, &targets);
+        let eps = 1e-3;
+        for i in 0..6 {
+            let mut lp = logits.clone();
+            lp.data_mut()[i] += eps;
+            let (l2, _) = softmax_cross_entropy(&lp, &targets);
+            let num = (l2 - loss) / eps;
+            assert!((grad.data()[i] - num).abs() < 1e-3, "grad[{i}]");
+        }
+    }
+
+    #[test]
+    fn cross_entropy_uniform_grad_sums_to_zero_per_row() {
+        let logits = Tensor::from_vec(vec![0.5, 0.5, 0.5], &[1, 3]);
+        let (_, grad) = softmax_cross_entropy(&logits, &[1]);
+        let sum: f32 = grad.data().iter().sum();
+        assert!(sum.abs() < 1e-6);
+    }
+
+    #[test]
+    fn mse_known_value_and_gradient() {
+        let p = Tensor::from_vec(vec![1.0, 2.0], &[2]);
+        let t = Tensor::from_vec(vec![0.0, 4.0], &[2]);
+        let (loss, grad) = mse_loss(&p, &t);
+        assert!((loss - 2.5).abs() < 1e-6); // (1 + 4) / 2
+        assert_eq!(grad.data(), &[1.0, -2.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "target class")]
+    fn bad_target_panics() {
+        let _ = softmax_cross_entropy(&Tensor::zeros(&[1, 2]), &[5]);
+    }
+}

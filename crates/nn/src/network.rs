@@ -1,0 +1,676 @@
+//! The sequential network container and training loop.
+
+use rand::seq::SliceRandom;
+use rand::Rng;
+
+use crate::layers::Layer;
+use crate::loss::{mse_loss, softmax_cross_entropy};
+use crate::optimizer::Optimizer;
+use crate::profile::NetworkProfile;
+use crate::Tensor;
+
+/// Mini-batch training configuration.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TrainConfig {
+    /// Number of passes over the training set.
+    pub epochs: usize,
+    /// Mini-batch size (HAWC uses 32, PointNet 64, AutoEncoder 512 —
+    /// §VII-A).
+    pub batch_size: usize,
+    /// Shuffle sample order each epoch.
+    pub shuffle: bool,
+    /// Data-parallel gradient workers per step. `1` = serial; `0` = all
+    /// available cores. Gradients from the shards are summed before the
+    /// optimizer step, so the math matches serial training (up to f32
+    /// summation order).
+    pub workers: usize,
+}
+
+impl Default for TrainConfig {
+    fn default() -> Self {
+        TrainConfig { epochs: 10, batch_size: 32, shuffle: true, workers: 1 }
+    }
+}
+
+fn resolve_workers(requested: usize) -> usize {
+    if requested > 0 {
+        requested
+    } else {
+        std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4)
+    }
+}
+
+/// Per-epoch training telemetry (drives the Fig. 8a accuracy-progression
+/// plot).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TrainEvent {
+    /// Epoch number, starting at 1.
+    pub epoch: usize,
+    /// Mean training loss over the epoch.
+    pub train_loss: f32,
+    /// Accuracy on the evaluation set, when one was supplied.
+    pub eval_accuracy: Option<f64>,
+}
+
+/// A feed-forward stack of layers.
+///
+/// See the crate-level example for an end-to-end training run.
+#[derive(Default)]
+pub struct Sequential {
+    layers: Vec<Box<dyn Layer>>,
+}
+
+impl std::fmt::Debug for Sequential {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let names: Vec<&str> = self.layers.iter().map(|l| l.name()).collect();
+        f.debug_struct("Sequential").field("layers", &names).finish()
+    }
+}
+
+impl Clone for Sequential {
+    fn clone(&self) -> Self {
+        Sequential { layers: self.layers.iter().map(|l| l.boxed_clone()).collect() }
+    }
+}
+
+impl Sequential {
+    /// Creates an empty network.
+    pub fn new() -> Self {
+        Sequential { layers: Vec::new() }
+    }
+
+    /// Snapshots non-trainable state (batch-norm running statistics).
+    fn state(&mut self) -> Vec<Vec<f32>> {
+        let mut out = Vec::new();
+        for layer in &mut self.layers {
+            layer.visit_state(&mut |s| out.push(s.to_vec()));
+        }
+        out
+    }
+
+    /// Restores non-trainable state from a snapshot.
+    fn set_state(&mut self, state: &[Vec<f32>]) {
+        let mut it = state.iter();
+        for layer in &mut self.layers {
+            layer.visit_state(&mut |s| {
+                let src = it.next().expect("state snapshot too short");
+                s.copy_from_slice(src);
+            });
+        }
+    }
+
+    /// Snapshots accumulated gradients (in visit order).
+    fn grads(&mut self) -> Vec<Vec<f32>> {
+        let mut out = Vec::new();
+        for layer in &mut self.layers {
+            layer.visit_params(&mut |_, g| out.push(g.to_vec()));
+        }
+        out
+    }
+
+    /// Adds a gradient snapshot into this network's gradient buffers.
+    fn accumulate_grads(&mut self, grads: &[Vec<f32>]) {
+        let mut it = grads.iter();
+        for layer in &mut self.layers {
+            layer.visit_params(&mut |_, g| {
+                let src = it.next().expect("gradient snapshot too short");
+                for (a, &b) in g.iter_mut().zip(src) {
+                    *a += b;
+                }
+            });
+        }
+    }
+
+    /// One data-parallel gradient step over `chunk`: shards the
+    /// mini-batch across `replicas`, sums their gradients into `self` and
+    /// returns the mean loss. Each replica's loss gradient is scaled by
+    /// its shard size so the summed gradient equals the full-batch mean.
+    fn parallel_grad_step(
+        &mut self,
+        replicas: &mut [Sequential],
+        x: &Tensor,
+        y: &[usize],
+        chunk: &[usize],
+    ) -> f32 {
+        let weights = self.weights();
+        let n_shards = replicas.len().min(chunk.len()).max(1);
+        let shard_size = chunk.len().div_ceil(n_shards);
+        let total = chunk.len() as f32;
+        let results: Vec<(f32, Vec<Vec<f32>>)> = crossbeam::thread::scope(|s| {
+            let handles: Vec<_> = chunk
+                .chunks(shard_size)
+                .zip(replicas.iter_mut())
+                .map(|(shard, replica)| {
+                    let weights = &weights;
+                    s.spawn(move |_| {
+                        replica.set_weights(weights);
+                        replica.zero_grads();
+                        let bx = gather(x, shard);
+                        let by: Vec<usize> = shard.iter().map(|&i| y[i]).collect();
+                        let logits = replica.forward(&bx, true);
+                        let (loss, mut grad) = softmax_cross_entropy(&logits, &by);
+                        // Rescale from shard mean to full-batch mean.
+                        let scale = shard.len() as f32 / total;
+                        for g in grad.data_mut() {
+                            *g *= scale;
+                        }
+                        replica.backward(&grad);
+                        (loss * scale, replica.grads())
+                    })
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join().expect("gradient worker panicked")).collect()
+        })
+        .expect("gradient scope panicked");
+        self.zero_grads();
+        let mut loss = 0.0;
+        for (shard_loss, grads) in &results {
+            loss += shard_loss;
+            self.accumulate_grads(grads);
+        }
+        loss
+    }
+
+    /// Appends a layer.
+    pub fn push<L: Layer + 'static>(&mut self, layer: L) -> &mut Self {
+        self.layers.push(Box::new(layer));
+        self
+    }
+
+    /// Number of layers.
+    pub fn len(&self) -> usize {
+        self.layers.len()
+    }
+
+    /// Returns `true` when the network has no layers.
+    pub fn is_empty(&self) -> bool {
+        self.layers.is_empty()
+    }
+
+    /// Immutable access to the layer stack (used by the quantizer).
+    pub fn layers(&self) -> &[Box<dyn Layer>] {
+        &self.layers
+    }
+
+    /// Total trainable parameters.
+    pub fn param_count(&self) -> usize {
+        self.layers.iter().map(|l| l.param_count()).sum()
+    }
+
+    /// Forward pass through every layer.
+    pub fn forward(&mut self, input: &Tensor, train: bool) -> Tensor {
+        let mut x = input.clone();
+        for layer in &mut self.layers {
+            x = layer.forward(&x, train);
+        }
+        x
+    }
+
+    /// Backward pass; call only after a `forward(.., true)`.
+    pub fn backward(&mut self, grad: &Tensor) -> Tensor {
+        let mut g = grad.clone();
+        for layer in self.layers.iter_mut().rev() {
+            g = layer.backward(&g);
+        }
+        g
+    }
+
+    /// Zeroes all accumulated gradients.
+    pub fn zero_grads(&mut self) {
+        for layer in &mut self.layers {
+            layer.zero_grads();
+        }
+    }
+
+    /// Applies one optimizer step over all parameters.
+    pub fn step<O: Optimizer>(&mut self, opt: &mut O) {
+        opt.begin_step();
+        let mut slot = 0;
+        for layer in &mut self.layers {
+            layer.visit_params(&mut |p, g| {
+                opt.update(slot, p, g);
+                slot += 1;
+            });
+        }
+    }
+
+    /// Trains a classifier with softmax cross-entropy.
+    ///
+    /// Returns per-epoch telemetry. See [`Sequential::fit_tracked`] for
+    /// evaluation tracking.
+    pub fn fit<O: Optimizer, R: Rng + ?Sized>(
+        &mut self,
+        x: &Tensor,
+        y: &[usize],
+        cfg: &TrainConfig,
+        opt: &mut O,
+        rng: &mut R,
+    ) -> Vec<TrainEvent> {
+        self.fit_tracked(x, y, None, cfg, opt, rng)
+    }
+
+    /// Trains a classifier, evaluating accuracy on `eval` after each
+    /// epoch when provided — the protocol behind Fig. 8a.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `y.len()` differs from the batch axis of `x`, or the
+    /// network is empty.
+    pub fn fit_tracked<O: Optimizer, R: Rng + ?Sized>(
+        &mut self,
+        x: &Tensor,
+        y: &[usize],
+        eval: Option<(&Tensor, &[usize])>,
+        cfg: &TrainConfig,
+        opt: &mut O,
+        rng: &mut R,
+    ) -> Vec<TrainEvent> {
+        assert!(!self.layers.is_empty(), "cannot train an empty network");
+        let n = x.shape()[0];
+        assert_eq!(y.len(), n, "label count mismatch");
+        let workers = resolve_workers(cfg.workers).min(n.max(1));
+        let mut replicas: Vec<Sequential> = if workers > 1 {
+            (0..workers).map(|_| self.clone()).collect()
+        } else {
+            Vec::new()
+        };
+        let mut order: Vec<usize> = (0..n).collect();
+        let mut events = Vec::with_capacity(cfg.epochs);
+        for epoch in 1..=cfg.epochs {
+            if cfg.shuffle {
+                order.shuffle(rng);
+            }
+            let mut epoch_loss = 0.0;
+            let mut batches = 0;
+            for chunk in order.chunks(cfg.batch_size.max(1)) {
+                let loss = if workers > 1 && chunk.len() >= 2 * workers {
+                    self.parallel_grad_step(&mut replicas, x, y, chunk)
+                } else {
+                    let bx = gather(x, chunk);
+                    let by: Vec<usize> = chunk.iter().map(|&i| y[i]).collect();
+                    self.zero_grads();
+                    let logits = self.forward(&bx, true);
+                    let (loss, grad) = softmax_cross_entropy(&logits, &by);
+                    self.backward(&grad);
+                    loss
+                };
+                self.step(opt);
+                epoch_loss += loss;
+                batches += 1;
+            }
+            if workers > 1 {
+                // Batch-norm running statistics live in the replicas
+                // during parallel training; adopt the first replica's.
+                let state = replicas[0].state();
+                self.set_state(&state);
+            }
+            let eval_accuracy = eval.map(|(ex, ey)| self.accuracy(ex, ey));
+            events.push(TrainEvent {
+                epoch,
+                train_loss: epoch_loss / batches.max(1) as f32,
+                eval_accuracy,
+            });
+        }
+        events
+    }
+
+    /// Trains a regression/reconstruction model with MSE — the
+    /// AutoEncoder's objective.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the batch axes of `x` and `target` differ.
+    pub fn fit_regression<O: Optimizer, R: Rng + ?Sized>(
+        &mut self,
+        x: &Tensor,
+        target: &Tensor,
+        cfg: &TrainConfig,
+        opt: &mut O,
+        rng: &mut R,
+    ) -> Vec<TrainEvent> {
+        assert!(!self.layers.is_empty(), "cannot train an empty network");
+        let n = x.shape()[0];
+        assert_eq!(target.shape()[0], n, "target batch mismatch");
+        let mut order: Vec<usize> = (0..n).collect();
+        let mut events = Vec::with_capacity(cfg.epochs);
+        for epoch in 1..=cfg.epochs {
+            if cfg.shuffle {
+                order.shuffle(rng);
+            }
+            let mut epoch_loss = 0.0;
+            let mut batches = 0;
+            for chunk in order.chunks(cfg.batch_size.max(1)) {
+                let bx = gather(x, chunk);
+                let bt = gather(target, chunk);
+                self.zero_grads();
+                let pred = self.forward(&bx, true);
+                let (loss, grad) = mse_loss(&pred, &bt);
+                self.backward(&grad);
+                self.step(opt);
+                epoch_loss += loss;
+                batches += 1;
+            }
+            events.push(TrainEvent {
+                epoch,
+                train_loss: epoch_loss / batches.max(1) as f32,
+                eval_accuracy: None,
+            });
+        }
+        events
+    }
+
+    /// Inference logits (evaluation mode; large batches are evaluated
+    /// across all cores with per-thread replicas).
+    pub fn predict(&mut self, x: &Tensor) -> Tensor {
+        let n = x.shape()[0];
+        let idx: Vec<usize> = (0..n).collect();
+        let workers = resolve_workers(0);
+        if n >= 64 && workers > 1 {
+            let shard = n.div_ceil(workers);
+            let me = &*self;
+            let outs: Vec<Tensor> = crossbeam::thread::scope(|s| {
+                let handles: Vec<_> = idx
+                    .chunks(shard)
+                    .map(|chunk| {
+                        s.spawn(move |_| {
+                            let mut replica = me.clone();
+                            let bx = gather(x, chunk);
+                            replica.forward(&bx, false)
+                        })
+                    })
+                    .collect();
+                handles.into_iter().map(|h| h.join().expect("predict worker panicked")).collect()
+            })
+            .expect("predict scope panicked");
+            return Tensor::stack(&outs);
+        }
+        let mut outs = Vec::new();
+        for chunk in idx.chunks(256) {
+            let bx = gather(x, chunk);
+            outs.push(self.forward(&bx, false));
+        }
+        Tensor::stack(&outs)
+    }
+
+    /// Class predictions by argmax over logits.
+    pub fn predict_classes(&mut self, x: &Tensor) -> Vec<usize> {
+        let logits = self.predict(x);
+        let c = logits.shape()[1];
+        (0..logits.shape()[0])
+            .map(|n| {
+                let row = logits.row(n);
+                (0..c)
+                    .max_by(|&a, &b| row[a].partial_cmp(&row[b]).unwrap_or(std::cmp::Ordering::Equal))
+                    .unwrap_or(0)
+            })
+            .collect()
+    }
+
+    /// Classification accuracy in `[0, 1]`.
+    pub fn accuracy(&mut self, x: &Tensor, y: &[usize]) -> f64 {
+        if y.is_empty() {
+            return 0.0;
+        }
+        let pred = self.predict_classes(x);
+        let hits = pred.iter().zip(y).filter(|(a, b)| a == b).count();
+        hits as f64 / y.len() as f64
+    }
+
+    /// Cost profile at a concrete input shape.
+    pub fn profile(&self, input_shape: &[usize]) -> NetworkProfile {
+        let mut shape = input_shape.to_vec();
+        let mut layers = Vec::with_capacity(self.layers.len());
+        for layer in &self.layers {
+            layers.push(layer.profile(&shape));
+            shape = layer.output_shape(&shape);
+        }
+        NetworkProfile { layers }
+    }
+
+    /// Snapshots all parameter buffers (in visit order).
+    pub fn weights(&mut self) -> Vec<Vec<f32>> {
+        let mut out = Vec::new();
+        for layer in &mut self.layers {
+            layer.visit_params(&mut |p, _| out.push(p.to_vec()));
+        }
+        out
+    }
+
+    /// Restores parameters from a [`Sequential::weights`] snapshot.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the snapshot does not match the architecture.
+    pub fn set_weights(&mut self, weights: &[Vec<f32>]) {
+        let mut it = weights.iter();
+        for layer in &mut self.layers {
+            layer.visit_params(&mut |p, _| {
+                let w = it.next().expect("weight snapshot too short");
+                assert_eq!(w.len(), p.len(), "weight buffer length mismatch");
+                p.copy_from_slice(w);
+            });
+        }
+        assert!(it.next().is_none(), "weight snapshot too long");
+    }
+}
+
+/// Gathers the given batch rows of `x` into a new tensor.
+fn gather(x: &Tensor, indices: &[usize]) -> Tensor {
+    let inner: usize = x.shape()[1..].iter().product();
+    let mut data = Vec::with_capacity(indices.len() * inner);
+    for &i in indices {
+        data.extend_from_slice(&x.data()[i * inner..(i + 1) * inner]);
+    }
+    let mut shape = vec![indices.len()];
+    shape.extend_from_slice(&x.shape()[1..]);
+    Tensor::from_vec(data, &shape)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Adam, Conv2d, Dense, Flatten, MaxPool2d, ReLU};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn rng() -> StdRng {
+        StdRng::seed_from_u64(77)
+    }
+
+    fn xor_data() -> (Tensor, Vec<usize>) {
+        (
+            Tensor::from_vec(vec![0., 0., 0., 1., 1., 0., 1., 1.], &[4, 2]),
+            vec![0, 1, 1, 0],
+        )
+    }
+
+    #[test]
+    fn learns_xor() {
+        let mut r = rng();
+        let mut net = Sequential::new();
+        net.push(Dense::new(2, 16, &mut r));
+        net.push(ReLU::new());
+        net.push(Dense::new(16, 2, &mut r));
+        let (x, y) = xor_data();
+        let cfg = TrainConfig { epochs: 400, batch_size: 4, shuffle: true, workers: 1 };
+        let events = net.fit(&x, &y, &cfg, &mut Adam::new(0.05), &mut r);
+        assert_eq!(events.len(), 400);
+        assert!(events.last().unwrap().train_loss < 0.1);
+        assert_eq!(net.accuracy(&x, &y), 1.0);
+    }
+
+    #[test]
+    fn loss_decreases_during_training() {
+        let mut r = rng();
+        let mut net = Sequential::new();
+        net.push(Dense::new(2, 6, &mut r));
+        net.push(ReLU::new());
+        net.push(Dense::new(6, 2, &mut r));
+        let (x, y) = xor_data();
+        let cfg = TrainConfig { epochs: 200, batch_size: 4, shuffle: false, workers: 1 };
+        let events = net.fit(&x, &y, &cfg, &mut Adam::new(0.03), &mut r);
+        assert!(events.last().unwrap().train_loss < events[0].train_loss);
+    }
+
+    #[test]
+    fn tracked_fit_reports_eval_accuracy() {
+        let mut r = rng();
+        let mut net = Sequential::new();
+        net.push(Dense::new(2, 8, &mut r));
+        net.push(ReLU::new());
+        net.push(Dense::new(8, 2, &mut r));
+        let (x, y) = xor_data();
+        let cfg = TrainConfig { epochs: 50, batch_size: 2, shuffle: true, workers: 1 };
+        let events =
+            net.fit_tracked(&x, &y, Some((&x, &y)), &cfg, &mut Adam::new(0.05), &mut r);
+        assert!(events.iter().all(|e| e.eval_accuracy.is_some()));
+    }
+
+    #[test]
+    fn tiny_cnn_trains_on_synthetic_images() {
+        // Class 0: bright top half; class 1: bright bottom half.
+        let mut r = rng();
+        let n = 40;
+        let mut data = vec![0.0f32; n * 6 * 6];
+        let mut labels = Vec::with_capacity(n);
+        for i in 0..n {
+            let label = i % 2;
+            labels.push(label);
+            for y in 0..6 {
+                for x in 0..6 {
+                    let bright = if label == 0 { y < 3 } else { y >= 3 };
+                    data[i * 36 + y * 6 + x] = if bright { 1.0 } else { 0.0 };
+                }
+            }
+        }
+        let x = Tensor::from_vec(data, &[n, 1, 6, 6]);
+        let mut net = Sequential::new();
+        net.push(Conv2d::new(1, 4, 3, 1, &mut r));
+        net.push(ReLU::new());
+        net.push(MaxPool2d::new(2));
+        net.push(Flatten::new());
+        net.push(Dense::new(4 * 3 * 3, 2, &mut r));
+        let cfg = TrainConfig { epochs: 30, batch_size: 8, shuffle: true, workers: 1 };
+        net.fit(&x, &labels, &cfg, &mut Adam::new(0.01), &mut r);
+        assert!(net.accuracy(&x, &labels) > 0.95);
+    }
+
+    #[test]
+    fn regression_fits_identity() {
+        let mut r = rng();
+        let mut net = Sequential::new();
+        net.push(Dense::new(3, 8, &mut r));
+        net.push(ReLU::new());
+        net.push(Dense::new(8, 3, &mut r));
+        let x = Tensor::from_vec(
+            (0..30).map(|i| (i % 7) as f32 * 0.2 - 0.6).collect(),
+            &[10, 3],
+        );
+        let cfg = TrainConfig { epochs: 300, batch_size: 5, shuffle: true, workers: 1 };
+        let events = net.fit_regression(&x, &x, &cfg, &mut Adam::new(0.01), &mut r);
+        assert!(events.last().unwrap().train_loss < 0.01);
+    }
+
+    #[test]
+    fn weights_round_trip() {
+        let mut r = rng();
+        let mut net = Sequential::new();
+        net.push(Dense::new(4, 3, &mut r));
+        net.push(ReLU::new());
+        net.push(Dense::new(3, 2, &mut r));
+        let snapshot = net.weights();
+        let x = Tensor::from_vec(vec![0.3; 4], &[1, 4]);
+        let before = net.forward(&x, false);
+        // Perturb, then restore.
+        let (xd, yd) = xor_data();
+        let _ = net.fit(
+            &Tensor::from_vec(xd.data()[..4].to_vec(), &[1, 4]),
+            &yd[..1],
+            &TrainConfig { epochs: 3, batch_size: 1, shuffle: false, workers: 1 },
+            &mut Adam::new(0.1),
+            &mut r,
+        );
+        net.set_weights(&snapshot);
+        let after = net.forward(&x, false);
+        assert_eq!(before.data(), after.data());
+    }
+
+    #[test]
+    fn param_count_sums_layers() {
+        let mut r = rng();
+        let mut net = Sequential::new();
+        net.push(Dense::new(10, 5, &mut r)); // 55
+        net.push(Dense::new(5, 2, &mut r)); // 12
+        assert_eq!(net.param_count(), 67);
+    }
+
+    #[test]
+    fn profile_chains_shapes() {
+        let mut r = rng();
+        let mut net = Sequential::new();
+        net.push(Conv2d::new(7, 16, 3, 1, &mut r));
+        net.push(MaxPool2d::new(2));
+        net.push(Flatten::new());
+        net.push(Dense::new(16 * 9 * 9, 2, &mut r));
+        let p = net.profile(&[1, 7, 18, 18]);
+        assert_eq!(p.layers.len(), 4);
+        assert!(p.total_macs() > 0);
+        assert_eq!(p.total_params(), net.param_count());
+    }
+
+    #[test]
+    fn parallel_training_matches_serial_closely() {
+        let build = |seed: u64| {
+            let mut r = StdRng::seed_from_u64(seed);
+            let mut net = Sequential::new();
+            net.push(Dense::new(2, 16, &mut r));
+            net.push(ReLU::new());
+            net.push(Dense::new(16, 2, &mut r));
+            net
+        };
+        let (x, y) = xor_data();
+        let mut serial = build(7);
+        let mut parallel = build(7);
+        let base = TrainConfig { epochs: 200, batch_size: 4, shuffle: false, workers: 1 };
+        let mut r1 = StdRng::seed_from_u64(1);
+        let mut r2 = StdRng::seed_from_u64(1);
+        serial.fit(&x, &y, &base, &mut Adam::new(0.05), &mut r1);
+        parallel.fit(
+            &x,
+            &y,
+            &TrainConfig { workers: 2, ..base },
+            &mut Adam::new(0.05),
+            &mut r2,
+        );
+        // Same data, same init, same step schedule: both must solve XOR.
+        assert_eq!(serial.accuracy(&x, &y), 1.0);
+        assert_eq!(parallel.accuracy(&x, &y), 1.0);
+    }
+
+    #[test]
+    fn parallel_predict_matches_serial() {
+        let mut r = StdRng::seed_from_u64(3);
+        let mut net = Sequential::new();
+        net.push(Dense::new(4, 8, &mut r));
+        net.push(ReLU::new());
+        net.push(Dense::new(8, 2, &mut r));
+        // 200 rows: big enough to trigger the threaded path.
+        let x = Tensor::from_vec((0..800).map(|i| (i % 13) as f32 * 0.1).collect(), &[200, 4]);
+        let threaded = net.predict(&x);
+        // Serial reference via direct forward.
+        let serial = net.forward(&x, false);
+        for (a, b) in threaded.data().iter().zip(serial.data()) {
+            assert!((a - b).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "label count mismatch")]
+    fn label_mismatch_panics() {
+        let mut r = rng();
+        let mut net = Sequential::new();
+        net.push(Dense::new(2, 2, &mut r));
+        let (x, _) = xor_data();
+        let _ = net.fit(&x, &[0, 1], &TrainConfig::default(), &mut Adam::new(0.01), &mut r);
+    }
+}

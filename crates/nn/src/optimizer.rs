@@ -1,0 +1,168 @@
+//! Optimizers.
+
+/// A first-order optimizer operating on `(param, grad)` buffer pairs.
+///
+/// The network visits its parameters in a stable order each step, so
+/// optimizers may key per-parameter state by visit index.
+pub trait Optimizer {
+    /// Begins a step; called once before the parameter visits.
+    fn begin_step(&mut self);
+
+    /// Updates one parameter buffer in place. `slot` is the stable visit
+    /// index of this buffer.
+    fn update(&mut self, slot: usize, param: &mut [f32], grad: &[f32]);
+}
+
+/// Stochastic gradient descent with optional momentum.
+#[derive(Debug, Clone)]
+pub struct Sgd {
+    lr: f32,
+    momentum: f32,
+    velocity: Vec<Vec<f32>>,
+}
+
+impl Sgd {
+    /// Creates SGD with learning rate `lr` and no momentum.
+    pub fn new(lr: f32) -> Self {
+        Sgd { lr, momentum: 0.0, velocity: Vec::new() }
+    }
+
+    /// Creates SGD with momentum.
+    pub fn with_momentum(lr: f32, momentum: f32) -> Self {
+        Sgd { lr, momentum, velocity: Vec::new() }
+    }
+}
+
+impl Optimizer for Sgd {
+    fn begin_step(&mut self) {}
+
+    fn update(&mut self, slot: usize, param: &mut [f32], grad: &[f32]) {
+        if self.momentum == 0.0 {
+            for (p, &g) in param.iter_mut().zip(grad) {
+                *p -= self.lr * g;
+            }
+            return;
+        }
+        while self.velocity.len() <= slot {
+            self.velocity.push(Vec::new());
+        }
+        let v = &mut self.velocity[slot];
+        if v.len() != param.len() {
+            v.resize(param.len(), 0.0);
+        }
+        for ((p, &g), vel) in param.iter_mut().zip(grad).zip(v.iter_mut()) {
+            *vel = self.momentum * *vel - self.lr * g;
+            *p += *vel;
+        }
+    }
+}
+
+/// Adam (Kingma & Ba) — the optimizer all models in §VII-A use, with the
+/// paper's default learning rate 0.001.
+#[derive(Debug, Clone)]
+pub struct Adam {
+    lr: f32,
+    beta1: f32,
+    beta2: f32,
+    eps: f32,
+    t: u64,
+    m: Vec<Vec<f32>>,
+    v: Vec<Vec<f32>>,
+}
+
+impl Adam {
+    /// Creates Adam with the standard β₁ = 0.9, β₂ = 0.999.
+    pub fn new(lr: f32) -> Self {
+        Adam { lr, beta1: 0.9, beta2: 0.999, eps: 1e-8, t: 0, m: Vec::new(), v: Vec::new() }
+    }
+
+    /// The paper's configuration: `Adam::new(0.001)`.
+    pub fn paper_default() -> Self {
+        Adam::new(0.001)
+    }
+}
+
+impl Optimizer for Adam {
+    fn begin_step(&mut self) {
+        self.t += 1;
+    }
+
+    fn update(&mut self, slot: usize, param: &mut [f32], grad: &[f32]) {
+        while self.m.len() <= slot {
+            self.m.push(Vec::new());
+            self.v.push(Vec::new());
+        }
+        if self.m[slot].len() != param.len() {
+            self.m[slot].resize(param.len(), 0.0);
+            self.v[slot].resize(param.len(), 0.0);
+        }
+        let t = self.t.max(1) as f32;
+        let bias1 = 1.0 - self.beta1.powf(t);
+        let bias2 = 1.0 - self.beta2.powf(t);
+        let (m, v) = (&mut self.m[slot], &mut self.v[slot]);
+        for i in 0..param.len() {
+            let g = grad[i];
+            m[i] = self.beta1 * m[i] + (1.0 - self.beta1) * g;
+            v[i] = self.beta2 * v[i] + (1.0 - self.beta2) * g * g;
+            let m_hat = m[i] / bias1;
+            let v_hat = v[i] / bias2;
+            param[i] -= self.lr * m_hat / (v_hat.sqrt() + self.eps);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Minimise f(x) = (x - 3)^2 with each optimizer.
+    fn minimise<O: Optimizer>(opt: &mut O, steps: usize) -> f32 {
+        let mut x = [0.0f32];
+        for _ in 0..steps {
+            opt.begin_step();
+            let grad = [2.0 * (x[0] - 3.0)];
+            opt.update(0, &mut x, &grad);
+        }
+        x[0]
+    }
+
+    #[test]
+    fn sgd_converges_on_quadratic() {
+        let x = minimise(&mut Sgd::new(0.1), 100);
+        assert!((x - 3.0).abs() < 1e-3, "x = {x}");
+    }
+
+    #[test]
+    fn sgd_momentum_converges() {
+        let x = minimise(&mut Sgd::with_momentum(0.05, 0.9), 200);
+        assert!((x - 3.0).abs() < 1e-2, "x = {x}");
+    }
+
+    #[test]
+    fn adam_converges_on_quadratic() {
+        let x = minimise(&mut Adam::new(0.1), 300);
+        assert!((x - 3.0).abs() < 1e-2, "x = {x}");
+    }
+
+    #[test]
+    fn adam_handles_multiple_slots() {
+        let mut opt = Adam::new(0.1);
+        let mut a = [0.0f32];
+        let mut b = [10.0f32];
+        for _ in 0..300 {
+            opt.begin_step();
+            let ga = [2.0 * (a[0] - 1.0)];
+            opt.update(0, &mut a, &ga);
+            let gb = [2.0 * (b[0] - 5.0)];
+            opt.update(1, &mut b, &gb);
+        }
+        assert!((a[0] - 1.0).abs() < 1e-2);
+        assert!((b[0] - 5.0).abs() < 1e-2);
+    }
+
+    #[test]
+    fn paper_default_lr() {
+        let adam = Adam::paper_default();
+        assert!((adam.lr - 0.001).abs() < 1e-9);
+    }
+}

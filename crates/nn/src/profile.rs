@@ -1,0 +1,110 @@
+//! Per-layer cost accounting.
+//!
+//! The edge latency models (Table II, Table V) price each layer by its
+//! multiply-accumulate count and operator class — the class matters
+//! because the Coral TPU accelerates convolutions but handles fully
+//! connected layers poorly (§VII-B's observed anomaly).
+
+use serde::{Deserialize, Serialize};
+
+/// Operator class of a layer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum OpKind {
+    /// 2-D convolution.
+    Conv,
+    /// Fully connected.
+    Dense,
+    /// PointNet's shared per-point MLP — a 1×1 convolution over the point
+    /// axis, which convolution accelerators (like the Coral's edge TPU)
+    /// handle like any other conv, unlike plain dense layers.
+    PointwiseMlp,
+    /// Pooling (max / global max).
+    Pool,
+    /// Normalisation.
+    Norm,
+    /// Element-wise activation.
+    Activation,
+    /// Data movement only (flatten / reshape).
+    Reshape,
+}
+
+/// Cost profile of one layer at a concrete input shape.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct LayerProfile {
+    /// Layer name.
+    pub name: String,
+    /// Operator class.
+    pub kind: OpKind,
+    /// Trainable parameters.
+    pub params: usize,
+    /// Multiply-accumulate operations for one forward pass at this shape.
+    pub macs: u64,
+    /// Number of output activations.
+    pub output_elems: usize,
+}
+
+/// Whole-network profile: the ordered layer profiles.
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub struct NetworkProfile {
+    /// One entry per layer, in forward order.
+    pub layers: Vec<LayerProfile>,
+}
+
+impl NetworkProfile {
+    /// Total trainable parameters.
+    pub fn total_params(&self) -> usize {
+        self.layers.iter().map(|l| l.params).sum()
+    }
+
+    /// Total MACs per forward pass.
+    pub fn total_macs(&self) -> u64 {
+        self.layers.iter().map(|l| l.macs).sum()
+    }
+
+    /// MACs spent in layers of a given class.
+    pub fn macs_of(&self, kind: OpKind) -> u64 {
+        self.layers.iter().filter(|l| l.kind == kind).map(|l| l.macs).sum()
+    }
+
+    /// Fraction of MACs in fully connected layers — the quantity that
+    /// predicts the Coral TPU's FC bottleneck.
+    pub fn dense_fraction(&self) -> f64 {
+        let total = self.total_macs();
+        if total == 0 {
+            0.0
+        } else {
+            self.macs_of(OpKind::Dense) as f64 / total as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn layer(kind: OpKind, params: usize, macs: u64) -> LayerProfile {
+        LayerProfile { name: "l".into(), kind, params, macs, output_elems: 1 }
+    }
+
+    #[test]
+    fn totals() {
+        let p = NetworkProfile {
+            layers: vec![
+                layer(OpKind::Conv, 100, 1000),
+                layer(OpKind::Dense, 50, 3000),
+                layer(OpKind::Activation, 0, 0),
+            ],
+        };
+        assert_eq!(p.total_params(), 150);
+        assert_eq!(p.total_macs(), 4000);
+        assert_eq!(p.macs_of(OpKind::Conv), 1000);
+        assert!((p.dense_fraction() - 0.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_profile() {
+        let p = NetworkProfile::default();
+        assert_eq!(p.total_macs(), 0);
+        assert_eq!(p.dense_fraction(), 0.0);
+    }
+}

@@ -1,0 +1,853 @@
+//! Post-training int8 quantization (§VI).
+//!
+//! Mirrors the TensorFlow Lite converter flow the paper uses: fold batch
+//! norms into the preceding convolution, calibrate activation ranges on a
+//! small sample of training data ("we randomly selected 100 samples from
+//! our training data", §VI), then run inference in 8-bit integers with
+//! 32-bit accumulators:
+//!
+//! * weights: symmetric per-tensor int8 (`zero_point = 0`),
+//! * activations: affine per-tensor uint8 from the calibrated range,
+//! * biases: int32 at scale `s_input × s_weight`.
+//!
+//! [`QuantizedNetwork::from_sequential`] walks a trained [`Sequential`]
+//! and produces the integer network; unsupported layer sequences are
+//! reported as [`QuantError`] — which is exactly how OC-SVM ends up
+//! excluded from the paper's quantized comparisons.
+
+use crate::layers::{
+    BatchNorm2d, Conv2d, Dense, Flatten, GlobalMaxPool, MaxPool2d, PointwiseDense, ReLU,
+};
+use crate::{Sequential, Tensor};
+
+/// Affine quantization parameters for a uint8 activation tensor.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct QuantParams {
+    /// Real value per quantum.
+    pub scale: f32,
+    /// Quantized value representing real zero.
+    pub zero_point: i32,
+}
+
+impl QuantParams {
+    /// Derives parameters covering `[min, max]` (always including zero,
+    /// as TFLite does).
+    pub fn from_range(min: f32, max: f32) -> Self {
+        let min = min.min(0.0);
+        let max = max.max(0.0).max(min + 1e-8);
+        let scale = (max - min) / 255.0;
+        let zero_point = (-min / scale).round().clamp(0.0, 255.0) as i32;
+        QuantParams { scale, zero_point }
+    }
+
+    /// Quantizes a real value to uint8 (stored as i32 for arithmetic).
+    #[inline]
+    pub fn quantize(&self, x: f32) -> i32 {
+        ((x / self.scale).round() as i32 + self.zero_point).clamp(0, 255)
+    }
+
+    /// Dequantizes back to f32.
+    #[inline]
+    pub fn dequantize(&self, q: i32) -> f32 {
+        (q - self.zero_point) as f32 * self.scale
+    }
+}
+
+/// Why a network could not be quantized.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum QuantError {
+    /// A layer type (or ordering) the integer runtime does not support.
+    Unsupported(String),
+    /// The calibration set was empty.
+    NoCalibrationData,
+}
+
+impl std::fmt::Display for QuantError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            QuantError::Unsupported(what) => write!(f, "cannot quantize: {what}"),
+            QuantError::NoCalibrationData => write!(f, "calibration set is empty"),
+        }
+    }
+}
+
+impl std::error::Error for QuantError {}
+
+/// Symmetric int8 weight quantization: returns `(q_weights, scale)`.
+fn quantize_weights(w: &[f32]) -> (Vec<i8>, f32) {
+    let max_abs = w.iter().fold(0.0f32, |a, &x| a.max(x.abs())).max(1e-8);
+    let scale = max_abs / 127.0;
+    let q = w
+        .iter()
+        .map(|&x| (x / scale).round().clamp(-127.0, 127.0) as i8)
+        .collect();
+    (q, scale)
+}
+
+/// Folded fp32 inference op (intermediate form used for calibration).
+enum FoldedOp {
+    Conv { w: Vec<f32>, b: Vec<f32>, in_ch: usize, out_ch: usize, k: usize, pad: usize, relu: bool },
+    Dense { w: Vec<f32>, b: Vec<f32>, in_f: usize, out_f: usize, relu: bool },
+    Pointwise { w: Vec<f32>, b: Vec<f32>, in_ch: usize, out_ch: usize, relu: bool },
+    MaxPool { size: usize },
+    GlobalMaxPool,
+    Flatten,
+}
+
+/// Integer inference op.
+enum QOp {
+    Conv {
+        w: Vec<i8>,
+        bias: Vec<i32>,
+        in_ch: usize,
+        out_ch: usize,
+        k: usize,
+        pad: usize,
+        multiplier: f32, // s_in * s_w / s_out
+        out_q: QuantParams,
+        relu: bool,
+    },
+    Dense {
+        w: Vec<i8>,
+        bias: Vec<i32>,
+        in_f: usize,
+        out_f: usize,
+        multiplier: f32,
+        out_q: QuantParams,
+        relu: bool,
+    },
+    Pointwise {
+        w: Vec<i8>,
+        bias: Vec<i32>,
+        in_ch: usize,
+        out_ch: usize,
+        multiplier: f32,
+        out_q: QuantParams,
+        relu: bool,
+    },
+    MaxPool { size: usize },
+    GlobalMaxPool,
+    Flatten,
+}
+
+/// A fully integer (uint8 activations / int8 weights / int32
+/// accumulators) inference network.
+pub struct QuantizedNetwork {
+    input_q: QuantParams,
+    ops: Vec<QOp>,
+    output_q: QuantParams,
+}
+
+impl std::fmt::Debug for QuantizedNetwork {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("QuantizedNetwork")
+            .field("ops", &self.ops.len())
+            .field("input_q", &self.input_q)
+            .finish()
+    }
+}
+
+/// Folds a trained network into the fp32 intermediate form.
+fn fold(net: &Sequential) -> Result<Vec<FoldedOp>, QuantError> {
+    let layers = net.layers();
+    let mut ops = Vec::new();
+    let mut i = 0;
+    while i < layers.len() {
+        let any = layers[i].as_any();
+        if let Some(conv) = any.downcast_ref::<Conv2d>() {
+            let mut w = conv.weight().to_vec();
+            let mut b = conv.bias().to_vec();
+            let mut j = i + 1;
+            // Optional batch-norm fold.
+            if j < layers.len() {
+                if let Some(bn) = layers[j].as_any().downcast_ref::<BatchNorm2d>() {
+                    let (scale, shift) = bn.fold_coefficients();
+                    let out_ch = conv.out_channels();
+                    let per = w.len() / out_ch;
+                    for co in 0..out_ch {
+                        for x in &mut w[co * per..(co + 1) * per] {
+                            *x *= scale[co];
+                        }
+                        b[co] = b[co] * scale[co] + shift[co];
+                    }
+                    j += 1;
+                }
+            }
+            let relu = j < layers.len() && layers[j].as_any().downcast_ref::<ReLU>().is_some();
+            if relu {
+                j += 1;
+            }
+            ops.push(FoldedOp::Conv {
+                w,
+                b,
+                in_ch: conv.in_channels(),
+                out_ch: conv.out_channels(),
+                k: conv.kernel(),
+                pad: conv.padding(),
+                relu,
+            });
+            i = j;
+        } else if let Some(dense) = any.downcast_ref::<Dense>() {
+            let mut w = dense.weight().to_vec();
+            let mut b = dense.bias().to_vec();
+            let mut j = i + 1;
+            if j < layers.len() {
+                if let Some(bn) = layers[j].as_any().downcast_ref::<BatchNorm2d>() {
+                    // Weight layout is [in, out]: scale column o.
+                    let (scale, shift) = bn.fold_coefficients();
+                    let out_f = dense.out_features();
+                    for (idx, x) in w.iter_mut().enumerate() {
+                        *x *= scale[idx % out_f];
+                    }
+                    for (o, bias) in b.iter_mut().enumerate() {
+                        *bias = *bias * scale[o] + shift[o];
+                    }
+                    j += 1;
+                }
+            }
+            let relu = j < layers.len() && layers[j].as_any().downcast_ref::<ReLU>().is_some();
+            if relu {
+                j += 1;
+            }
+            ops.push(FoldedOp::Dense {
+                w,
+                b,
+                in_f: dense.in_features(),
+                out_f: dense.out_features(),
+                relu,
+            });
+            i = j;
+        } else if let Some(pw) = any.downcast_ref::<PointwiseDense>() {
+            let mut w = pw.weight().to_vec();
+            let mut b = pw.bias().to_vec();
+            let mut j = i + 1;
+            if j < layers.len() {
+                if let Some(bn) = layers[j].as_any().downcast_ref::<BatchNorm2d>() {
+                    let (scale, shift) = bn.fold_coefficients();
+                    let out_ch = pw.out_channels();
+                    for (idx, x) in w.iter_mut().enumerate() {
+                        *x *= scale[idx % out_ch];
+                    }
+                    for (o, bias) in b.iter_mut().enumerate() {
+                        *bias = *bias * scale[o] + shift[o];
+                    }
+                    j += 1;
+                }
+            }
+            let relu = j < layers.len() && layers[j].as_any().downcast_ref::<ReLU>().is_some();
+            if relu {
+                j += 1;
+            }
+            ops.push(FoldedOp::Pointwise {
+                w,
+                b,
+                in_ch: pw.in_channels(),
+                out_ch: pw.out_channels(),
+                relu,
+            });
+            i = j;
+        } else if let Some(mp) = any.downcast_ref::<MaxPool2d>() {
+            ops.push(FoldedOp::MaxPool { size: mp.size() });
+            i += 1;
+        } else if any.downcast_ref::<GlobalMaxPool>().is_some() {
+            ops.push(FoldedOp::GlobalMaxPool);
+            i += 1;
+        } else if any.downcast_ref::<Flatten>().is_some() {
+            ops.push(FoldedOp::Flatten);
+            i += 1;
+        } else {
+            return Err(QuantError::Unsupported(format!(
+                "layer '{}' has no integer kernel",
+                layers[i].name()
+            )));
+        }
+    }
+    Ok(ops)
+}
+
+/// Runs the folded fp32 graph (used for calibration and fold testing).
+fn folded_forward(ops: &[FoldedOp], input: &Tensor) -> Vec<Tensor> {
+    let mut acts = Vec::with_capacity(ops.len() + 1);
+    let mut x = input.clone();
+    acts.push(x.clone());
+    for op in ops {
+        x = match op {
+            FoldedOp::Conv { w, b, in_ch, out_ch, k, pad, relu } => {
+                conv_f32(&x, w, b, *in_ch, *out_ch, *k, *pad, *relu)
+            }
+            FoldedOp::Dense { w, b, in_f, out_f, relu } => dense_f32(&x, w, b, *in_f, *out_f, *relu),
+            FoldedOp::Pointwise { w, b, in_ch, out_ch, relu } => {
+                pointwise_f32(&x, w, b, *in_ch, *out_ch, *relu)
+            }
+            FoldedOp::MaxPool { size } => maxpool_f32(&x, *size),
+            FoldedOp::GlobalMaxPool => global_maxpool_f32(&x),
+            FoldedOp::Flatten => {
+                let b = x.shape()[0];
+                let f: usize = x.shape()[1..].iter().product();
+                x.reshape(&[b, f])
+            }
+        };
+        acts.push(x.clone());
+    }
+    acts
+}
+
+#[allow(clippy::too_many_arguments)]
+fn conv_f32(
+    x: &Tensor,
+    w: &[f32],
+    b: &[f32],
+    in_ch: usize,
+    out_ch: usize,
+    k: usize,
+    pad: usize,
+    relu: bool,
+) -> Tensor {
+    let s = x.shape();
+    let (bn, _c, h, wd) = (s[0], s[1], s[2], s[3]);
+    let oh = h + 2 * pad + 1 - k;
+    let ow = wd + 2 * pad + 1 - k;
+    let xd = x.data();
+    let mut out = vec![0.0f32; bn * out_ch * oh * ow];
+    let k2c = in_ch * k * k;
+    for n in 0..bn {
+        for co in 0..out_ch {
+            for oy in 0..oh {
+                for ox in 0..ow {
+                    let mut acc = b[co];
+                    for ci in 0..in_ch {
+                        for ky in 0..k {
+                            let iy = oy as isize + ky as isize - pad as isize;
+                            if iy < 0 || iy >= h as isize {
+                                continue;
+                            }
+                            for kx in 0..k {
+                                let ix = ox as isize + kx as isize - pad as isize;
+                                if ix < 0 || ix >= wd as isize {
+                                    continue;
+                                }
+                                acc += xd[((n * in_ch + ci) * h + iy as usize) * wd + ix as usize]
+                                    * w[co * k2c + (ci * k + ky) * k + kx];
+                            }
+                        }
+                    }
+                    if relu {
+                        acc = acc.max(0.0);
+                    }
+                    out[((n * out_ch + co) * oh + oy) * ow + ox] = acc;
+                }
+            }
+        }
+    }
+    Tensor::from_vec(out, &[bn, out_ch, oh, ow])
+}
+
+fn dense_f32(x: &Tensor, w: &[f32], b: &[f32], in_f: usize, out_f: usize, relu: bool) -> Tensor {
+    let bn = x.shape()[0];
+    let xd = x.data();
+    let mut out = vec![0.0f32; bn * out_f];
+    for n in 0..bn {
+        for o in 0..out_f {
+            let mut acc = b[o];
+            for i in 0..in_f {
+                acc += xd[n * in_f + i] * w[i * out_f + o];
+            }
+            if relu {
+                acc = acc.max(0.0);
+            }
+            out[n * out_f + o] = acc;
+        }
+    }
+    Tensor::from_vec(out, &[bn, out_f])
+}
+
+fn pointwise_f32(x: &Tensor, w: &[f32], b: &[f32], in_ch: usize, out_ch: usize, relu: bool) -> Tensor {
+    let s = x.shape();
+    let (bn, pts) = (s[0], s[2]);
+    let xd = x.data();
+    let mut out = vec![0.0f32; bn * out_ch * pts];
+    for n in 0..bn {
+        for p in 0..pts {
+            for co in 0..out_ch {
+                let mut acc = b[co];
+                for ci in 0..in_ch {
+                    acc += xd[(n * in_ch + ci) * pts + p] * w[ci * out_ch + co];
+                }
+                if relu {
+                    acc = acc.max(0.0);
+                }
+                out[(n * out_ch + co) * pts + p] = acc;
+            }
+        }
+    }
+    Tensor::from_vec(out, &[bn, out_ch, pts])
+}
+
+fn maxpool_f32(x: &Tensor, size: usize) -> Tensor {
+    let s = x.shape();
+    let (bn, c, h, w) = (s[0], s[1], s[2], s[3]);
+    let (oh, ow) = (h / size, w / size);
+    let xd = x.data();
+    let mut out = vec![f32::NEG_INFINITY; bn * c * oh * ow];
+    for n in 0..bn {
+        for ci in 0..c {
+            for oy in 0..oh {
+                for ox in 0..ow {
+                    let mut m = f32::NEG_INFINITY;
+                    for ky in 0..size {
+                        for kx in 0..size {
+                            m = m.max(xd[((n * c + ci) * h + oy * size + ky) * w + ox * size + kx]);
+                        }
+                    }
+                    out[((n * c + ci) * oh + oy) * ow + ox] = m;
+                }
+            }
+        }
+    }
+    Tensor::from_vec(out, &[bn, c, oh, ow])
+}
+
+fn global_maxpool_f32(x: &Tensor) -> Tensor {
+    let s = x.shape();
+    let (bn, c, p) = (s[0], s[1], s[2]);
+    let xd = x.data();
+    let mut out = vec![f32::NEG_INFINITY; bn * c];
+    for n in 0..bn {
+        for ci in 0..c {
+            for k in 0..p {
+                out[n * c + ci] = out[n * c + ci].max(xd[(n * c + ci) * p + k]);
+            }
+        }
+    }
+    Tensor::from_vec(out, &[bn, c])
+}
+
+impl QuantizedNetwork {
+    /// Quantizes a trained network using `calibration` inputs for the
+    /// activation ranges.
+    ///
+    /// # Errors
+    ///
+    /// [`QuantError::Unsupported`] when the architecture contains a layer
+    /// without an integer kernel; [`QuantError::NoCalibrationData`] when
+    /// the calibration tensor has batch size 0.
+    pub fn from_sequential(net: &Sequential, calibration: &Tensor) -> Result<Self, QuantError> {
+        if calibration.shape()[0] == 0 {
+            return Err(QuantError::NoCalibrationData);
+        }
+        let folded = fold(net)?;
+        // Calibrate ranges per activation (input + each op output).
+        let acts = folded_forward(&folded, calibration);
+        let ranges: Vec<(f32, f32)> = acts.iter().map(|t| t.min_max()).collect();
+        let qparams: Vec<QuantParams> =
+            ranges.iter().map(|&(lo, hi)| QuantParams::from_range(lo, hi)).collect();
+
+        let mut ops = Vec::with_capacity(folded.len());
+        for (idx, op) in folded.iter().enumerate() {
+            let in_q = qparams[idx];
+            let out_q = qparams[idx + 1];
+            ops.push(match op {
+                FoldedOp::Conv { w, b, in_ch, out_ch, k, pad, relu } => {
+                    let (qw, sw) = quantize_weights(w);
+                    let bias_scale = in_q.scale * sw;
+                    let bias = b.iter().map(|&x| (x / bias_scale).round() as i32).collect();
+                    QOp::Conv {
+                        w: qw,
+                        bias,
+                        in_ch: *in_ch,
+                        out_ch: *out_ch,
+                        k: *k,
+                        pad: *pad,
+                        multiplier: bias_scale / out_q.scale,
+                        out_q,
+                        relu: *relu,
+                    }
+                }
+                FoldedOp::Dense { w, b, in_f, out_f, relu } => {
+                    let (qw, sw) = quantize_weights(w);
+                    let bias_scale = in_q.scale * sw;
+                    let bias = b.iter().map(|&x| (x / bias_scale).round() as i32).collect();
+                    QOp::Dense {
+                        w: qw,
+                        bias,
+                        in_f: *in_f,
+                        out_f: *out_f,
+                        multiplier: bias_scale / out_q.scale,
+                        out_q,
+                        relu: *relu,
+                    }
+                }
+                FoldedOp::Pointwise { w, b, in_ch, out_ch, relu } => {
+                    let (qw, sw) = quantize_weights(w);
+                    let bias_scale = in_q.scale * sw;
+                    let bias = b.iter().map(|&x| (x / bias_scale).round() as i32).collect();
+                    QOp::Pointwise {
+                        w: qw,
+                        bias,
+                        in_ch: *in_ch,
+                        out_ch: *out_ch,
+                        multiplier: bias_scale / out_q.scale,
+                        out_q,
+                        relu: *relu,
+                    }
+                }
+                FoldedOp::MaxPool { size } => QOp::MaxPool { size: *size },
+                FoldedOp::GlobalMaxPool => QOp::GlobalMaxPool,
+                FoldedOp::Flatten => QOp::Flatten,
+            });
+        }
+        Ok(QuantizedNetwork {
+            input_q: qparams[0],
+            output_q: *qparams.last().expect("at least the input activation"),
+            ops,
+        })
+    }
+
+    /// Integer inference returning dequantized f32 logits.
+    pub fn predict(&self, x: &Tensor) -> Tensor {
+        // Quantize input.
+        let mut q: Vec<i32> = x.data().iter().map(|&v| self.input_q.quantize(v)).collect();
+        let mut shape = x.shape().to_vec();
+        let mut zp_in = self.input_q.zero_point;
+        for op in &self.ops {
+            match op {
+                QOp::Conv { w, bias, in_ch, out_ch, k, pad, multiplier, out_q, relu } => {
+                    let (bn, h, wd) = (shape[0], shape[2], shape[3]);
+                    let oh = h + 2 * pad + 1 - k;
+                    let ow = wd + 2 * pad + 1 - k;
+                    let k2c = in_ch * k * k;
+                    let mut out = vec![0i32; bn * out_ch * oh * ow];
+                    for n in 0..bn {
+                        for co in 0..*out_ch {
+                            for oy in 0..oh {
+                                for ox in 0..ow {
+                                    let mut acc: i64 = bias[co] as i64;
+                                    for ci in 0..*in_ch {
+                                        for ky in 0..*k {
+                                            let iy = oy as isize + ky as isize - *pad as isize;
+                                            if iy < 0 || iy >= h as isize {
+                                                // Zero-padding contributes (0 - zp) * w.
+                                                for kx in 0..*k {
+                                                    let wv = w[co * k2c + (ci * k + ky) * k + kx] as i64;
+                                                    acc += (-zp_in as i64) * wv;
+                                                }
+                                                continue;
+                                            }
+                                            for kx in 0..*k {
+                                                let ix = ox as isize + kx as isize - *pad as isize;
+                                                let wv = w[co * k2c + (ci * k + ky) * k + kx] as i64;
+                                                if ix < 0 || ix >= wd as isize {
+                                                    acc += (-zp_in as i64) * wv;
+                                                } else {
+                                                    let xv = q[((n * in_ch + ci) * h + iy as usize)
+                                                        * wd
+                                                        + ix as usize]
+                                                        as i64;
+                                                    acc += (xv - zp_in as i64) * wv;
+                                                }
+                                            }
+                                        }
+                                    }
+                                    let mut qv = out_q.zero_point
+                                        + (acc as f32 * multiplier).round() as i32;
+                                    if *relu {
+                                        qv = qv.max(out_q.zero_point);
+                                    }
+                                    out[((n * out_ch + co) * oh + oy) * ow + ox] =
+                                        qv.clamp(0, 255);
+                                }
+                            }
+                        }
+                    }
+                    q = out;
+                    shape = vec![bn, *out_ch, oh, ow];
+                    zp_in = out_q.zero_point;
+                }
+                QOp::Dense { w, bias, in_f, out_f, multiplier, out_q, relu } => {
+                    let bn = shape[0];
+                    let mut out = vec![0i32; bn * out_f];
+                    for n in 0..bn {
+                        for o in 0..*out_f {
+                            let mut acc: i64 = bias[o] as i64;
+                            for i in 0..*in_f {
+                                acc += (q[n * in_f + i] as i64 - zp_in as i64)
+                                    * w[i * out_f + o] as i64;
+                            }
+                            let mut qv =
+                                out_q.zero_point + (acc as f32 * multiplier).round() as i32;
+                            if *relu {
+                                qv = qv.max(out_q.zero_point);
+                            }
+                            out[n * out_f + o] = qv.clamp(0, 255);
+                        }
+                    }
+                    q = out;
+                    shape = vec![bn, *out_f];
+                    zp_in = out_q.zero_point;
+                }
+                QOp::Pointwise { w, bias, in_ch, out_ch, multiplier, out_q, relu } => {
+                    let (bn, pts) = (shape[0], shape[2]);
+                    let mut out = vec![0i32; bn * out_ch * pts];
+                    for n in 0..bn {
+                        for p in 0..pts {
+                            for co in 0..*out_ch {
+                                let mut acc: i64 = bias[co] as i64;
+                                for ci in 0..*in_ch {
+                                    acc += (q[(n * in_ch + ci) * pts + p] as i64 - zp_in as i64)
+                                        * w[ci * out_ch + co] as i64;
+                                }
+                                let mut qv =
+                                    out_q.zero_point + (acc as f32 * multiplier).round() as i32;
+                                if *relu {
+                                    qv = qv.max(out_q.zero_point);
+                                }
+                                out[(n * out_ch + co) * pts + p] = qv.clamp(0, 255);
+                            }
+                        }
+                    }
+                    q = out;
+                    shape = vec![bn, *out_ch, pts];
+                    zp_in = out_q.zero_point;
+                }
+                QOp::MaxPool { size } => {
+                    let (bn, c, h, w) = (shape[0], shape[1], shape[2], shape[3]);
+                    let (oh, ow) = (h / size, w / size);
+                    let mut out = vec![i32::MIN; bn * c * oh * ow];
+                    for n in 0..bn {
+                        for ci in 0..c {
+                            for oy in 0..oh {
+                                for ox in 0..ow {
+                                    let mut m = i32::MIN;
+                                    for ky in 0..*size {
+                                        for kx in 0..*size {
+                                            m = m.max(
+                                                q[((n * c + ci) * h + oy * size + ky) * w
+                                                    + ox * size
+                                                    + kx],
+                                            );
+                                        }
+                                    }
+                                    out[((n * c + ci) * oh + oy) * ow + ox] = m;
+                                }
+                            }
+                        }
+                    }
+                    q = out;
+                    shape = vec![bn, c, oh, ow];
+                    // Max pooling preserves scale and zero point.
+                }
+                QOp::GlobalMaxPool => {
+                    let (bn, c, p) = (shape[0], shape[1], shape[2]);
+                    let mut out = vec![i32::MIN; bn * c];
+                    for n in 0..bn {
+                        for ci in 0..c {
+                            for k in 0..p {
+                                out[n * c + ci] = out[n * c + ci].max(q[(n * c + ci) * p + k]);
+                            }
+                        }
+                    }
+                    q = out;
+                    shape = vec![bn, c];
+                }
+                QOp::Flatten => {
+                    let bn = shape[0];
+                    let f: usize = shape[1..].iter().product();
+                    shape = vec![bn, f];
+                }
+            }
+        }
+        let data: Vec<f32> = q.iter().map(|&v| self.output_q.dequantize(v)).collect();
+        Tensor::from_vec(data, &shape)
+    }
+
+    /// Class predictions by argmax over dequantized logits.
+    pub fn predict_classes(&self, x: &Tensor) -> Vec<usize> {
+        let logits = self.predict(x);
+        let c = logits.shape()[1];
+        (0..logits.shape()[0])
+            .map(|n| {
+                let row = logits.row(n);
+                (0..c)
+                    .max_by(|&a, &b| {
+                        row[a].partial_cmp(&row[b]).unwrap_or(std::cmp::Ordering::Equal)
+                    })
+                    .unwrap_or(0)
+            })
+            .collect()
+    }
+
+    /// Classification accuracy in `[0, 1]`.
+    pub fn accuracy(&self, x: &Tensor, y: &[usize]) -> f64 {
+        if y.is_empty() {
+            return 0.0;
+        }
+        let pred = self.predict_classes(x);
+        let hits = pred.iter().zip(y).filter(|(a, b)| a == b).count();
+        hits as f64 / y.len() as f64
+    }
+
+    /// Number of integer ops (fused Conv+BN+ReLU counts as one).
+    pub fn op_count(&self) -> usize {
+        self.ops.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Adam, TrainConfig};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn rng() -> StdRng {
+        StdRng::seed_from_u64(55)
+    }
+
+    #[test]
+    fn quant_params_round_trip_zero() {
+        let q = QuantParams::from_range(-2.0, 6.0);
+        assert_eq!(q.dequantize(q.quantize(0.0)), 0.0);
+        // Values round-trip within one quantum.
+        for v in [-2.0f32, -0.7, 0.0, 1.3, 5.9] {
+            let r = q.dequantize(q.quantize(v));
+            assert!((r - v).abs() <= q.scale, "{v} -> {r}");
+        }
+    }
+
+    #[test]
+    fn quant_params_clamp_out_of_range() {
+        let q = QuantParams::from_range(0.0, 1.0);
+        assert_eq!(q.quantize(100.0), 255);
+        assert_eq!(q.quantize(-100.0), 0);
+    }
+
+    #[test]
+    fn weight_quantization_error_is_bounded() {
+        let w: Vec<f32> = (0..100).map(|i| (i as f32 - 50.0) * 0.01).collect();
+        let (qw, s) = quantize_weights(&w);
+        for (&orig, &q) in w.iter().zip(&qw) {
+            assert!((orig - q as f32 * s).abs() <= s * 0.51);
+        }
+    }
+
+    fn trained_mlp(r: &mut StdRng) -> (Sequential, Tensor, Vec<usize>) {
+        let mut net = Sequential::new();
+        net.push(Dense::new(2, 16, r));
+        net.push(ReLU::new());
+        net.push(Dense::new(16, 2, r));
+        let x = Tensor::from_vec(vec![0., 0., 0., 1., 1., 0., 1., 1.], &[4, 2]);
+        let y = vec![0usize, 1, 1, 0];
+        let cfg = TrainConfig { epochs: 500, batch_size: 4, shuffle: true, workers: 1 };
+        net.fit(&x, &y, &cfg, &mut Adam::new(0.03), r);
+        (net, x, y)
+    }
+
+    #[test]
+    fn quantized_mlp_keeps_xor_accuracy() {
+        let mut r = rng();
+        let (net, x, y) = trained_mlp(&mut r);
+        let mut net = net;
+        assert_eq!(net.accuracy(&x, &y), 1.0);
+        let q = QuantizedNetwork::from_sequential(&net, &x).unwrap();
+        assert_eq!(q.accuracy(&x, &y), 1.0, "int8 XOR must stay perfect");
+    }
+
+    #[test]
+    fn quantized_logits_close_to_float() {
+        let mut r = rng();
+        let (mut net, x, _) = trained_mlp(&mut r);
+        let q = QuantizedNetwork::from_sequential(&net, &x).unwrap();
+        let fl = net.predict(&x);
+        let qu = q.predict(&x);
+        let (lo, hi) = fl.min_max();
+        let range = (hi - lo).max(1e-6);
+        for (a, b) in fl.data().iter().zip(qu.data()) {
+            assert!(
+                (a - b).abs() / range < 0.08,
+                "fp32 {a} vs int8 {b} (range {range})"
+            );
+        }
+    }
+
+    #[test]
+    fn conv_bn_relu_network_quantizes() {
+        let mut r = rng();
+        let mut net = Sequential::new();
+        net.push(Conv2d::new(1, 4, 3, 1, &mut r));
+        net.push(BatchNorm2d::new(4));
+        net.push(ReLU::new());
+        net.push(MaxPool2d::new(2));
+        net.push(Flatten::new());
+        net.push(Dense::new(4 * 3 * 3, 2, &mut r));
+        // Same synthetic top/bottom task as the network tests.
+        let n = 32;
+        let mut data = vec![0.0f32; n * 36];
+        let mut labels = Vec::new();
+        for i in 0..n {
+            let label = i % 2;
+            labels.push(label);
+            for y in 0..6 {
+                for x in 0..6 {
+                    let bright = if label == 0 { y < 3 } else { y >= 3 };
+                    data[i * 36 + y * 6 + x] = if bright { 1.0 } else { 0.0 };
+                }
+            }
+        }
+        let x = Tensor::from_vec(data, &[n, 1, 6, 6]);
+        let cfg = TrainConfig { epochs: 40, batch_size: 8, shuffle: true, workers: 1 };
+        net.fit(&x, &labels, &cfg, &mut Adam::new(0.01), &mut r);
+        let fp_acc = net.accuracy(&x, &labels);
+        assert!(fp_acc > 0.95);
+        let q = QuantizedNetwork::from_sequential(&net, &x).unwrap();
+        let q_acc = q.accuracy(&x, &labels);
+        assert!(q_acc > 0.9, "int8 accuracy collapsed: {q_acc}");
+        // Conv+BN+ReLU fused into one op: conv, pool, flatten, dense.
+        assert_eq!(q.op_count(), 4);
+    }
+
+    #[test]
+    fn pointwise_global_pool_network_quantizes() {
+        let mut r = rng();
+        let mut net = Sequential::new();
+        net.push(PointwiseDense::new(3, 8, &mut r));
+        net.push(ReLU::new());
+        net.push(GlobalMaxPool::new());
+        net.push(Dense::new(8, 2, &mut r));
+        let x = Tensor::from_vec((0..60).map(|i| (i % 11) as f32 * 0.1).collect(), &[2, 3, 10]);
+        let q = QuantizedNetwork::from_sequential(&net, &x).unwrap();
+        let fl = net.predict(&x);
+        let qu = q.predict(&x);
+        assert_eq!(fl.shape(), qu.shape());
+    }
+
+    #[test]
+    fn empty_calibration_is_error() {
+        let mut r = rng();
+        let mut net = Sequential::new();
+        net.push(Dense::new(2, 2, &mut r));
+        let err = QuantizedNetwork::from_sequential(&net, &Tensor::zeros(&[0, 2])).unwrap_err();
+        assert_eq!(err, QuantError::NoCalibrationData);
+    }
+
+    #[test]
+    fn folding_preserves_inference() {
+        let mut r = rng();
+        let mut net = Sequential::new();
+        net.push(Conv2d::new(2, 3, 3, 1, &mut r));
+        net.push(BatchNorm2d::new(3));
+        net.push(ReLU::new());
+        // Push some training data through so BN stats are non-trivial.
+        let x = Tensor::from_vec(
+            (0..2 * 2 * 5 * 5).map(|i| ((i * 3) % 17) as f32 * 0.1).collect(),
+            &[2, 2, 5, 5],
+        );
+        let _ = net.forward(&x, true);
+        let reference = net.forward(&x, false);
+        let folded = fold(&net).unwrap();
+        let acts = folded_forward(&folded, &x);
+        let out = acts.last().unwrap();
+        for (a, b) in reference.data().iter().zip(out.data()) {
+            assert!((a - b).abs() < 1e-4, "{a} vs {b}");
+        }
+    }
+}

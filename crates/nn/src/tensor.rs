@@ -1,0 +1,288 @@
+//! A dense row-major f32 tensor.
+
+use serde::{Deserialize, Serialize};
+
+/// A dense tensor with row-major layout.
+///
+/// Shapes follow the NCHW convention for images: `[batch, channels,
+/// height, width]`. Most layers also accept 2-D `[batch, features]`.
+///
+/// # Examples
+///
+/// ```
+/// use nn::Tensor;
+/// let t = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0], &[2, 3]);
+/// assert_eq!(t.at(&[1, 2]), 6.0);
+/// assert_eq!(t.shape(), &[2, 3]);
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Tensor {
+    shape: Vec<usize>,
+    data: Vec<f32>,
+}
+
+impl Tensor {
+    /// Creates a zero tensor of the given shape.
+    pub fn zeros(shape: &[usize]) -> Self {
+        Tensor { shape: shape.to_vec(), data: vec![0.0; shape.iter().product()] }
+    }
+
+    /// Creates a tensor filled with `value`.
+    pub fn full(shape: &[usize], value: f32) -> Self {
+        Tensor { shape: shape.to_vec(), data: vec![value; shape.iter().product()] }
+    }
+
+    /// Wraps an existing buffer.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `data.len()` does not match the shape's element count.
+    pub fn from_vec(data: Vec<f32>, shape: &[usize]) -> Self {
+        assert_eq!(
+            data.len(),
+            shape.iter().product::<usize>(),
+            "buffer length {} does not match shape {:?}",
+            data.len(),
+            shape
+        );
+        Tensor { shape: shape.to_vec(), data }
+    }
+
+    /// The shape.
+    #[inline]
+    pub fn shape(&self) -> &[usize] {
+        &self.shape
+    }
+
+    /// Total number of elements.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// Returns `true` for zero-element tensors.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Immutable view of the backing buffer.
+    #[inline]
+    pub fn data(&self) -> &[f32] {
+        &self.data
+    }
+
+    /// Mutable view of the backing buffer.
+    #[inline]
+    pub fn data_mut(&mut self) -> &mut [f32] {
+        &mut self.data
+    }
+
+    /// Consumes the tensor, returning the backing buffer.
+    pub fn into_vec(self) -> Vec<f32> {
+        self.data
+    }
+
+    /// Element access by multi-index.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the index rank or any coordinate is out of range.
+    pub fn at(&self, index: &[usize]) -> f32 {
+        self.data[self.offset(index)]
+    }
+
+    /// Mutable element access by multi-index.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the index rank or any coordinate is out of range.
+    pub fn at_mut(&mut self, index: &[usize]) -> &mut f32 {
+        let off = self.offset(index);
+        &mut self.data[off]
+    }
+
+    fn offset(&self, index: &[usize]) -> usize {
+        assert_eq!(index.len(), self.shape.len(), "index rank mismatch");
+        let mut off = 0;
+        for (k, (&i, &s)) in index.iter().zip(&self.shape).enumerate() {
+            assert!(i < s, "index {i} out of range for axis {k} (size {s})");
+            off = off * s + i;
+        }
+        off
+    }
+
+    /// Returns a tensor with the same data and a new shape.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the element counts differ.
+    pub fn reshape(&self, shape: &[usize]) -> Tensor {
+        assert_eq!(
+            self.len(),
+            shape.iter().product::<usize>(),
+            "cannot reshape {:?} into {:?}",
+            self.shape,
+            shape
+        );
+        Tensor { shape: shape.to_vec(), data: self.data.clone() }
+    }
+
+    /// The `i`-th row of a 2-D tensor.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless the tensor is 2-D and `i` is in range.
+    pub fn row(&self, i: usize) -> &[f32] {
+        assert_eq!(self.shape.len(), 2, "row() needs a 2-D tensor");
+        let cols = self.shape[1];
+        &self.data[i * cols..(i + 1) * cols]
+    }
+
+    /// Extracts batch element `n` of a batched tensor (axis 0), keeping
+    /// the remaining axes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` is out of range or the tensor is 0-D.
+    pub fn batch_item(&self, n: usize) -> Tensor {
+        assert!(!self.shape.is_empty(), "batch_item needs at least rank 1");
+        assert!(n < self.shape[0], "batch index out of range");
+        let inner: usize = self.shape[1..].iter().product();
+        let data = self.data[n * inner..(n + 1) * inner].to_vec();
+        let mut shape = vec![1];
+        shape.extend_from_slice(&self.shape[1..]);
+        Tensor { shape, data }
+    }
+
+    /// Stacks tensors with identical non-batch shapes along axis 0.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `items` is empty or shapes disagree.
+    pub fn stack(items: &[Tensor]) -> Tensor {
+        assert!(!items.is_empty(), "cannot stack zero tensors");
+        let inner_shape = &items[0].shape[1..];
+        let mut total_batch = 0;
+        for t in items {
+            assert_eq!(&t.shape[1..], inner_shape, "stack shape mismatch");
+            total_batch += t.shape[0];
+        }
+        let mut data = Vec::with_capacity(total_batch * inner_shape.iter().product::<usize>());
+        for t in items {
+            data.extend_from_slice(&t.data);
+        }
+        let mut shape = vec![total_batch];
+        shape.extend_from_slice(inner_shape);
+        Tensor { shape, data }
+    }
+
+    /// Element-wise map.
+    pub fn map<F: Fn(f32) -> f32>(&self, f: F) -> Tensor {
+        Tensor { shape: self.shape.clone(), data: self.data.iter().map(|&x| f(x)).collect() }
+    }
+
+    /// Minimum and maximum element (`(0, 0)` for empty tensors).
+    pub fn min_max(&self) -> (f32, f32) {
+        if self.data.is_empty() {
+            return (0.0, 0.0);
+        }
+        let mut lo = f32::INFINITY;
+        let mut hi = f32::NEG_INFINITY;
+        for &x in &self.data {
+            lo = lo.min(x);
+            hi = hi.max(x);
+        }
+        (lo, hi)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn construction_and_access() {
+        let t = Tensor::from_vec((0..24).map(|x| x as f32).collect(), &[2, 3, 4]);
+        assert_eq!(t.at(&[0, 0, 0]), 0.0);
+        assert_eq!(t.at(&[1, 2, 3]), 23.0);
+        assert_eq!(t.at(&[1, 0, 2]), 14.0);
+        assert_eq!(t.len(), 24);
+    }
+
+    #[test]
+    fn at_mut_writes_through() {
+        let mut t = Tensor::zeros(&[2, 2]);
+        *t.at_mut(&[1, 0]) = 5.0;
+        assert_eq!(t.data(), &[0.0, 0.0, 5.0, 0.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn out_of_range_index_panics() {
+        let t = Tensor::zeros(&[2, 2]);
+        let _ = t.at(&[2, 0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "rank mismatch")]
+    fn wrong_rank_panics() {
+        let t = Tensor::zeros(&[2, 2]);
+        let _ = t.at(&[0]);
+    }
+
+    #[test]
+    fn reshape_preserves_data() {
+        let t = Tensor::from_vec((0..6).map(|x| x as f32).collect(), &[2, 3]);
+        let r = t.reshape(&[3, 2]);
+        assert_eq!(r.at(&[2, 1]), 5.0);
+        assert_eq!(r.data(), t.data());
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot reshape")]
+    fn bad_reshape_panics() {
+        let _ = Tensor::zeros(&[2, 3]).reshape(&[4, 2]);
+    }
+
+    #[test]
+    fn rows_and_batch_items() {
+        let t = Tensor::from_vec((0..12).map(|x| x as f32).collect(), &[3, 4]);
+        assert_eq!(t.row(1), &[4.0, 5.0, 6.0, 7.0]);
+        let b = t.batch_item(2);
+        assert_eq!(b.shape(), &[1, 4]);
+        assert_eq!(b.data(), &[8.0, 9.0, 10.0, 11.0]);
+    }
+
+    #[test]
+    fn stack_concatenates_batches() {
+        let a = Tensor::from_vec(vec![1.0, 2.0], &[1, 2]);
+        let b = Tensor::from_vec(vec![3.0, 4.0, 5.0, 6.0], &[2, 2]);
+        let s = Tensor::stack(&[a, b]);
+        assert_eq!(s.shape(), &[3, 2]);
+        assert_eq!(s.data(), &[1.0, 2.0, 3.0, 4.0, 5.0, 6.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "stack shape mismatch")]
+    fn stack_rejects_mismatched_shapes() {
+        let a = Tensor::zeros(&[1, 2]);
+        let b = Tensor::zeros(&[1, 3]);
+        let _ = Tensor::stack(&[a, b]);
+    }
+
+    #[test]
+    fn map_and_min_max() {
+        let t = Tensor::from_vec(vec![-1.0, 0.5, 2.0], &[3]);
+        let m = t.map(|x| x * 2.0);
+        assert_eq!(m.data(), &[-2.0, 1.0, 4.0]);
+        assert_eq!(t.min_max(), (-1.0, 2.0));
+        assert_eq!(Tensor::zeros(&[0]).min_max(), (0.0, 0.0));
+    }
+
+    #[test]
+    fn full_fills() {
+        let t = Tensor::full(&[2, 2], 3.5);
+        assert!(t.data().iter().all(|&x| x == 3.5));
+    }
+}

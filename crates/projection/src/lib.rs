@@ -1,0 +1,53 @@
+//! Point-cloud standardisation and 2-D projection for HAWC (§V).
+//!
+//! Two stages sit between a clustered point cloud and the CNN:
+//!
+//! 1. **Noise-controlled up-sampling** ([`upsample_with_pool`]) — pads every cloud
+//!    to a fixed perfect-square size `N'_max = ceil(sqrt(N_max))²` by
+//!    drawing extra points from the pooled "Object" dataset (or, for the
+//!    Table III ablation, from a Gaussian).
+//! 2. **Projection** ([`project`]) — converts the fixed-size cloud into a
+//!    stacked `C × D × D` image. The paper's **height-aware projection**
+//!    (HAP) emits 7 channels: the top view augmented with each point's
+//!    k-NN height variation `(x, y, σ_z)`, plus front `(y, z)` and side
+//!    `(x, z)` views. The alternatives of Fig. 9 — bird's-eye (BEV),
+//!    range view (RV), density-aware (DA) and plain three-view (TV) —
+//!    are implemented for comparison.
+//!
+//! Projections use the paper's *direct* list-reshape (each "pixel" is one
+//! point's coordinates), not an occupancy grid, which §V argues fails on
+//! sparse clouds.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod upsample;
+mod views;
+
+pub use upsample::{
+    upsample_gaussian, upsample_with_pool, UpsampleError, DEFAULT_TARGET_POINTS,
+};
+pub use views::{project, project_batch, ProjectionConfig, ProjectionMethod};
+
+/// Computes the fixed input size from the largest training cloud:
+/// `N'_max = ceil(sqrt(N_max))²` (§V), so the flat point list reshapes
+/// into a square image.
+pub fn target_points(max_cloud_size: usize) -> usize {
+    let side = (max_cloud_size as f64).sqrt().ceil() as usize;
+    side.max(1) * side.max(1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn target_is_next_perfect_square() {
+        assert_eq!(target_points(324), 324); // 18² exactly (the paper's size)
+        assert_eq!(target_points(300), 324);
+        assert_eq!(target_points(325), 361);
+        assert_eq!(target_points(1), 1);
+        assert_eq!(target_points(0), 1);
+        assert_eq!(target_points(2), 4);
+    }
+}

@@ -1,0 +1,245 @@
+//! Noise-controlled up-sampling (§V).
+
+use dataset::ObjectPool;
+use geom::Point3;
+use rand::Rng;
+
+/// The paper's fixed cloud size: every sample is `324 × 3`, i.e. `18²`
+/// points (§VII-A).
+pub const DEFAULT_TARGET_POINTS: usize = 324;
+
+/// Errors from up-sampling.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum UpsampleError {
+    /// `target` is not a perfect square (the reshape needs `D × D`).
+    NotASquare(usize),
+    /// The object pool was empty but padding points were required.
+    EmptyPool,
+}
+
+impl std::fmt::Display for UpsampleError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            UpsampleError::NotASquare(n) => {
+                write!(f, "up-sampling target {n} is not a perfect square")
+            }
+            UpsampleError::EmptyPool => write!(f, "object pool is empty"),
+        }
+    }
+}
+
+impl std::error::Error for UpsampleError {}
+
+fn check_square(target: usize) -> Result<(), UpsampleError> {
+    let side = (target as f64).sqrt().round() as usize;
+    if side * side != target || target == 0 {
+        return Err(UpsampleError::NotASquare(target));
+    }
+    Ok(())
+}
+
+/// Pads `points` to exactly `target` points by sampling from the pooled
+/// "Object" dataset — the paper's noise-controlled up-sampling. Clouds
+/// larger than `target` are randomly subsampled (deployment can meet
+/// clusters bigger than anything in the training set).
+///
+/// # Errors
+///
+/// [`UpsampleError::NotASquare`] if `target` has no integer square root;
+/// [`UpsampleError::EmptyPool`] if padding is needed from an empty pool.
+pub fn upsample_with_pool<R: Rng + ?Sized>(
+    points: &[Point3],
+    target: usize,
+    pool: &ObjectPool,
+    rng: &mut R,
+) -> Result<Vec<Point3>, UpsampleError> {
+    check_square(target)?;
+    let mut out: Vec<Point3> = points.to_vec();
+    if out.len() > target {
+        // Random subsample without replacement, preserving order.
+        while out.len() > target {
+            let i = rng.gen_range(0..out.len());
+            out.remove(i);
+        }
+        return Ok(out);
+    }
+    let missing = target - out.len();
+    if missing > 0 {
+        if pool.is_empty() {
+            return Err(UpsampleError::EmptyPool);
+        }
+        // Express the noise relative to the pool's own x/y centroid and
+        // re-anchor it at the cluster's centroid: the padding keeps the
+        // object data's shape and height statistics (what Table III's
+        // ablation is about) while staying position-independent, so a
+        // cluster at 14 m and one at 33 m receive identically distributed
+        // noise.
+        let (ax, ay) = anchor_xy(&out);
+        let (px, py) = pool_centroid_xy(pool);
+        out.extend(pool.sample_points(rng, missing).into_iter().map(|p| {
+            Point3::new(p.x - px + ax, p.y - py + ay, p.z)
+        }));
+    }
+    Ok(out)
+}
+
+fn anchor_xy(points: &[Point3]) -> (f64, f64) {
+    if points.is_empty() {
+        return (0.0, 0.0);
+    }
+    let n = points.len() as f64;
+    (
+        points.iter().map(|p| p.x).sum::<f64>() / n,
+        points.iter().map(|p| p.y).sum::<f64>() / n,
+    )
+}
+
+fn pool_centroid_xy(pool: &ObjectPool) -> (f64, f64) {
+    let pts = pool.points();
+    if pts.is_empty() {
+        return (0.0, 0.0);
+    }
+    let n = pts.len() as f64;
+    (
+        pts.iter().map(|p| p.x).sum::<f64>() / n,
+        pts.iter().map(|p| p.y).sum::<f64>() / n,
+    )
+}
+
+/// The Table III ablation: pads with synthetic Gaussian points
+/// (`μ = 0`, per-axis standard deviation `sigma`) instead of object data.
+///
+/// # Errors
+///
+/// [`UpsampleError::NotASquare`] if `target` has no integer square root.
+pub fn upsample_gaussian<R: Rng + ?Sized>(
+    points: &[Point3],
+    target: usize,
+    sigma: f64,
+    rng: &mut R,
+) -> Result<Vec<Point3>, UpsampleError> {
+    check_square(target)?;
+    let mut out: Vec<Point3> = points.to_vec();
+    while out.len() > target {
+        let i = rng.gen_range(0..out.len());
+        out.remove(i);
+    }
+    // "Fixed mean μ = 0" (§VII-B) reads in cluster-normalised
+    // coordinates: anchor the synthetic points at the cluster centroid on
+    // all three axes so the comparison against object-data padding is
+    // apples-to-apples.
+    let (ax, ay) = anchor_xy(&out);
+    let az = if out.is_empty() {
+        0.0
+    } else {
+        out.iter().map(|p| p.z).sum::<f64>() / out.len() as f64
+    };
+    while out.len() < target {
+        out.push(Point3::new(
+            ax + gaussian(rng) * sigma,
+            ay + gaussian(rng) * sigma,
+            az + gaussian(rng) * sigma,
+        ));
+    }
+    Ok(out)
+}
+
+fn gaussian<R: Rng + ?Sized>(rng: &mut R) -> f64 {
+    let u1: f64 = rng.gen_range(f64::EPSILON..1.0);
+    let u2: f64 = rng.gen_range(0.0..1.0);
+    (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn rng() -> StdRng {
+        StdRng::seed_from_u64(13)
+    }
+
+    fn pool() -> ObjectPool {
+        ObjectPool::new((0..200).map(|i| Point3::new(20.0, i as f64 * 0.01, -2.5)).collect())
+    }
+
+    fn human(n: usize) -> Vec<Point3> {
+        (0..n).map(|i| Point3::new(15.0, 0.0, -2.6 + i as f64 * 0.01)).collect()
+    }
+
+    #[test]
+    fn pads_to_target_with_pool_points() {
+        let pts = human(100);
+        let up = upsample_with_pool(&pts, 324, &pool(), &mut rng()).unwrap();
+        assert_eq!(up.len(), 324);
+        // Original points kept, in order, at the front.
+        assert_eq!(&up[..100], &pts[..]);
+        // Padding points keep the pool's z but are re-anchored at the
+        // cluster centroid (x = 15 here, since the pool is a vertical
+        // fence at its own centroid in x).
+        assert!(up[100..].iter().all(|p| (p.x - 15.0).abs() < 1e-9));
+        assert!(up[100..].iter().all(|p| p.z == -2.5));
+    }
+
+    #[test]
+    fn exact_size_is_untouched() {
+        let pts = human(324);
+        let up = upsample_with_pool(&pts, 324, &pool(), &mut rng()).unwrap();
+        assert_eq!(up, pts);
+    }
+
+    #[test]
+    fn oversize_clouds_are_subsampled() {
+        let pts = human(500);
+        let up = upsample_with_pool(&pts, 324, &pool(), &mut rng()).unwrap();
+        assert_eq!(up.len(), 324);
+        // Every survivor is an original point.
+        assert!(up.iter().all(|p| pts.contains(p)));
+    }
+
+    #[test]
+    fn non_square_target_rejected() {
+        let err = upsample_with_pool(&human(10), 325, &pool(), &mut rng()).unwrap_err();
+        assert_eq!(err, UpsampleError::NotASquare(325));
+        assert!(upsample_gaussian(&human(10), 0, 3.0, &mut rng()).is_err());
+    }
+
+    #[test]
+    fn empty_pool_rejected_only_when_needed() {
+        let empty = ObjectPool::default();
+        assert_eq!(
+            upsample_with_pool(&human(10), 324, &empty, &mut rng()).unwrap_err(),
+            UpsampleError::EmptyPool
+        );
+        // No padding needed: empty pool is fine.
+        assert!(upsample_with_pool(&human(324), 324, &empty, &mut rng()).is_ok());
+    }
+
+    #[test]
+    fn gaussian_padding_scales_with_sigma() {
+        let pts = human(4);
+        let up3 = upsample_gaussian(&pts, 324, 3.0, &mut rng()).unwrap();
+        let up7 = upsample_gaussian(&pts, 324, 7.0, &mut rng()).unwrap();
+        // Spread relative to the cluster anchor, where the noise centres.
+        let anchor = Point3::new(15.0, 0.0, -2.6 + 0.015);
+        let spread = |v: &[Point3]| {
+            v[4..].iter().map(|p| p.distance(anchor)).sum::<f64>() / (v.len() - 4) as f64
+        };
+        assert!(spread(&up7) > spread(&up3) * 1.5);
+    }
+
+    #[test]
+    fn empty_cloud_becomes_pure_noise() {
+        let up = upsample_with_pool(&[], 324, &pool(), &mut rng()).unwrap();
+        assert_eq!(up.len(), 324);
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let pts = human(50);
+        let a = upsample_with_pool(&pts, 324, &pool(), &mut StdRng::seed_from_u64(5)).unwrap();
+        let b = upsample_with_pool(&pts, 324, &pool(), &mut StdRng::seed_from_u64(5)).unwrap();
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,333 @@
+//! 2-D view generation from fixed-size point clouds.
+
+use geom::{KdTree, Point3};
+use nn::Tensor;
+use serde::{Deserialize, Serialize};
+
+/// The projection methods compared in Fig. 9.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum ProjectionMethod {
+    /// Height-aware projection (the paper's method): top view with the
+    /// k-NN height-variation channel, plus front and side views —
+    /// `D × D × 7`.
+    Hap,
+    /// Plain three-view (HAP without the height channel) — `D × D × 6`.
+    ThreeView,
+    /// Bird's-eye view: top view only — `D × D × 2`.
+    Bev,
+    /// Range view: spherical coordinates `(azimuth, elevation, range)` —
+    /// `D × D × 3`.
+    RangeView,
+    /// Density-aware: top view plus each point's neighbourhood density —
+    /// `D × D × 3`.
+    DensityAware,
+}
+
+impl ProjectionMethod {
+    /// Number of stacked channels the method produces.
+    pub fn channels(&self) -> usize {
+        match self {
+            ProjectionMethod::Hap => 7,
+            ProjectionMethod::ThreeView => 6,
+            ProjectionMethod::Bev => 2,
+            ProjectionMethod::RangeView => 3,
+            ProjectionMethod::DensityAware => 3,
+        }
+    }
+
+    /// All methods, for the Fig. 9 sweep.
+    pub const ALL: [ProjectionMethod; 5] = [
+        ProjectionMethod::Hap,
+        ProjectionMethod::ThreeView,
+        ProjectionMethod::Bev,
+        ProjectionMethod::RangeView,
+        ProjectionMethod::DensityAware,
+    ];
+}
+
+impl std::fmt::Display for ProjectionMethod {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            ProjectionMethod::Hap => "HAP",
+            ProjectionMethod::ThreeView => "TV",
+            ProjectionMethod::Bev => "BEV",
+            ProjectionMethod::RangeView => "RV",
+            ProjectionMethod::DensityAware => "DA",
+        })
+    }
+}
+
+/// Projection configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ProjectionConfig {
+    /// Which view set to generate.
+    pub method: ProjectionMethod,
+    /// Neighbours used for the HAP height-variation channel (§V's `k`).
+    pub k_neighbors: usize,
+    /// Radius for the density-aware channel.
+    pub density_radius: f64,
+    /// Subtract the cloud's x/y centroid before projecting, making the
+    /// views translation-invariant along the walkway. The paper projects
+    /// absolute coordinates, but it also trains on ~12k captures; with
+    /// smaller synthetic sets the classifier cannot marginalise distance
+    /// out on its own (documented in DESIGN.md).
+    pub center_xy: bool,
+    /// Sort points by height before the list reshape, giving the
+    /// projected "image" a deterministic bottom-to-top structure
+    /// (consistent with the paper's height-first philosophy).
+    pub sort_by_z: bool,
+}
+
+impl Default for ProjectionConfig {
+    fn default() -> Self {
+        ProjectionConfig {
+            method: ProjectionMethod::Hap,
+            k_neighbors: 8,
+            density_radius: 0.3,
+            center_xy: true,
+            sort_by_z: true,
+        }
+    }
+}
+
+/// Projects a fixed-size cloud into a stacked `[channels, D, D]` tensor.
+///
+/// The cloud length must be a perfect square `D²` (guaranteed by the
+/// up-sampling stage). Each channel is the flat point list reshaped to
+/// `D × D` — the paper's direct projection.
+///
+/// # Panics
+///
+/// Panics if the cloud length is not a perfect square.
+pub fn project(points: &[Point3], cfg: &ProjectionConfig) -> Tensor {
+    let n = points.len();
+    let d = (n as f64).sqrt().round() as usize;
+    assert_eq!(d * d, n, "cloud size {n} is not a perfect square — up-sample first");
+    // The range view is sensor-relative by construction; centering would
+    // destroy its spherical semantics.
+    let center_xy = cfg.center_xy && cfg.method != ProjectionMethod::RangeView;
+    let mut owned;
+    let points: &[Point3] = if center_xy || cfg.sort_by_z {
+        owned = points.to_vec();
+        if cfg.sort_by_z {
+            owned.sort_by(|a, b| a.z.partial_cmp(&b.z).unwrap_or(std::cmp::Ordering::Equal));
+        }
+        if center_xy && !owned.is_empty() {
+            let cx = owned.iter().map(|p| p.x).sum::<f64>() / owned.len() as f64;
+            let cy = owned.iter().map(|p| p.y).sum::<f64>() / owned.len() as f64;
+            for p in &mut owned {
+                p.x -= cx;
+                p.y -= cy;
+            }
+        }
+        &owned
+    } else {
+        points
+    };
+    let c = cfg.method.channels();
+    let mut data = vec![0.0f32; c * n];
+    let mut write = |ch: usize, vals: &dyn Fn(usize) -> f64| {
+        for (i, slot) in data[ch * n..(ch + 1) * n].iter_mut().enumerate() {
+            *slot = vals(i) as f32;
+        }
+    };
+    match cfg.method {
+        ProjectionMethod::Hap => {
+            let sigma = height_variation(points, cfg.k_neighbors);
+            write(0, &|i| points[i].x);
+            write(1, &|i| points[i].y);
+            write(2, &|i| sigma[i]);
+            write(3, &|i| points[i].y);
+            write(4, &|i| points[i].z);
+            write(5, &|i| points[i].x);
+            write(6, &|i| points[i].z);
+        }
+        ProjectionMethod::ThreeView => {
+            write(0, &|i| points[i].x);
+            write(1, &|i| points[i].y);
+            write(2, &|i| points[i].y);
+            write(3, &|i| points[i].z);
+            write(4, &|i| points[i].x);
+            write(5, &|i| points[i].z);
+        }
+        ProjectionMethod::Bev => {
+            write(0, &|i| points[i].x);
+            write(1, &|i| points[i].y);
+        }
+        ProjectionMethod::RangeView => {
+            write(0, &|i| points[i].y.atan2(points[i].x)); // azimuth
+            write(1, &|i| {
+                let r_xy = points[i].horizontal_range();
+                points[i].z.atan2(r_xy) // elevation
+            });
+            write(2, &|i| points[i].norm()); // range
+        }
+        ProjectionMethod::DensityAware => {
+            let density = local_density(points, cfg.density_radius);
+            write(0, &|i| points[i].x);
+            write(1, &|i| points[i].y);
+            write(2, &|i| density[i]);
+        }
+    }
+    Tensor::from_vec(data, &[c, d, d])
+}
+
+/// Projects a batch of fixed-size clouds into `[N, channels, D, D]`.
+///
+/// # Panics
+///
+/// Panics if `clusters` is empty or the clouds disagree in size.
+pub fn project_batch(clusters: &[Vec<Point3>], cfg: &ProjectionConfig) -> Tensor {
+    assert!(!clusters.is_empty(), "cannot project an empty batch");
+    let tensors: Vec<Tensor> = clusters
+        .iter()
+        .map(|c| {
+            let t = project(c, cfg);
+            let s = t.shape().to_vec();
+            t.reshape(&[1, s[0], s[1], s[2]])
+        })
+        .collect();
+    Tensor::stack(&tensors)
+}
+
+/// Per-point height variation: the standard deviation of the
+/// z-coordinates of each point's `k` nearest neighbours (§V), via a
+/// single KD-tree query per point.
+fn height_variation(points: &[Point3], k: usize) -> Vec<f64> {
+    if points.len() < 2 || k == 0 {
+        return vec![0.0; points.len()];
+    }
+    let tree = KdTree::build(points);
+    points
+        .iter()
+        .map(|&p| {
+            let hits = tree.knn(p, (k + 1).min(points.len()));
+            let zs: Vec<f64> = hits.iter().map(|&(i, _)| points[i].z).collect();
+            let mean = zs.iter().sum::<f64>() / zs.len() as f64;
+            (zs.iter().map(|z| (z - mean) * (z - mean)).sum::<f64>() / zs.len() as f64).sqrt()
+        })
+        .collect()
+}
+
+/// Per-point neighbour count within `radius` (the density-aware channel).
+fn local_density(points: &[Point3], radius: f64) -> Vec<f64> {
+    if points.is_empty() {
+        return Vec::new();
+    }
+    let tree = KdTree::build(points);
+    points
+        .iter()
+        .map(|&p| (tree.within(p, radius).len() - 1) as f64)
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A 16-point "cloud" (4×4 image) with varying heights.
+    fn cloud16() -> Vec<Point3> {
+        (0..16)
+            .map(|i| Point3::new(15.0 + i as f64 * 0.05, (i % 4) as f64 * 0.1, -2.6 + (i / 4) as f64 * 0.5))
+            .collect()
+    }
+
+    /// Raw (paper-faithful) mode: no centering, no sorting.
+    fn raw(method: ProjectionMethod) -> ProjectionConfig {
+        ProjectionConfig { method, center_xy: false, sort_by_z: false, ..Default::default() }
+    }
+
+    #[test]
+    fn hap_shape_and_channel_layout() {
+        let t = project(&cloud16(), &raw(ProjectionMethod::Hap));
+        assert_eq!(t.shape(), &[7, 4, 4]);
+        // Channel 0 is x of point 0 at pixel (0,0).
+        assert!((t.at(&[0, 0, 0]) - 15.0).abs() < 1e-6);
+        // Channel 4 is z (front view): first point's z.
+        assert!((t.at(&[4, 0, 0]) - (-2.6)).abs() < 1e-6);
+        // Pixel (1,2) is point index 6.
+        assert!((t.at(&[1, 1, 2]) - 0.2).abs() < 1e-6);
+    }
+
+    #[test]
+    fn all_methods_produce_expected_channels() {
+        for m in ProjectionMethod::ALL {
+            let t = project(&cloud16(), &ProjectionConfig { method: m, ..Default::default() });
+            assert_eq!(t.shape(), &[m.channels(), 4, 4], "{m}");
+            assert!(t.data().iter().all(|v| v.is_finite()), "{m}");
+        }
+    }
+
+    #[test]
+    fn hap_sigma_channel_reflects_height_spread() {
+        // A flat plate has zero height variation; a vertical column has a
+        // lot.
+        let flat: Vec<Point3> =
+            (0..16).map(|i| Point3::new(15.0 + (i % 4) as f64 * 0.1, (i / 4) as f64 * 0.1, -2.0)).collect();
+        let column: Vec<Point3> =
+            (0..16).map(|i| Point3::new(15.0, 0.0, -2.6 + i as f64 * 0.1)).collect();
+        let cfg = raw(ProjectionMethod::Hap);
+        let tf = project(&flat, &cfg);
+        let tc = project(&column, &cfg);
+        let sigma_sum = |t: &Tensor| -> f32 {
+            (0..16).map(|i| t.data()[2 * 16 + i]).sum()
+        };
+        assert!(sigma_sum(&tf) < 1e-6);
+        assert!(sigma_sum(&tc) > 0.5);
+    }
+
+    #[test]
+    fn bev_drops_height_entirely() {
+        // Two clouds differing only in z produce identical BEV tensors —
+        // the §II critique ("BEV lacks vertical information").
+        let low = cloud16();
+        let high: Vec<Point3> =
+            low.iter().map(|p| Point3::new(p.x, p.y, p.z + 1.5)).collect();
+        let cfg = raw(ProjectionMethod::Bev);
+        assert_eq!(project(&low, &cfg).data(), project(&high, &cfg).data());
+        // HAP distinguishes them.
+        let hap = raw(ProjectionMethod::Hap);
+        assert_ne!(project(&low, &hap).data(), project(&high, &hap).data());
+    }
+
+    #[test]
+    fn range_view_matches_spherical_math() {
+        let pts = vec![Point3::new(3.0, 4.0, 0.0); 4];
+        let t = project(&pts, &raw(ProjectionMethod::RangeView));
+        assert!((t.at(&[2, 0, 0]) - 5.0).abs() < 1e-6); // range
+        assert!((t.at(&[0, 0, 0]) - (4.0f32 / 3.0).atan()).abs() < 1e-6); // azimuth
+        assert!(t.at(&[1, 0, 0]).abs() < 1e-6); // elevation 0
+    }
+
+    #[test]
+    fn density_channel_counts_neighbours() {
+        // 4 coincident points: each sees 3 neighbours within any radius.
+        let pts = vec![Point3::new(1.0, 1.0, 1.0); 4];
+        let t = project(&pts, &raw(ProjectionMethod::DensityAware));
+        for i in 0..4 {
+            assert_eq!(t.data()[2 * 4 + i], 3.0);
+        }
+    }
+
+    #[test]
+    fn batch_projection_stacks() {
+        let cfg = ProjectionConfig::default();
+        let batch = project_batch(&[cloud16(), cloud16()], &cfg);
+        assert_eq!(batch.shape(), &[2, 7, 4, 4]);
+    }
+
+    #[test]
+    #[should_panic(expected = "not a perfect square")]
+    fn non_square_cloud_panics() {
+        let pts = vec![Point3::ZERO; 15];
+        let _ = project(&pts, &ProjectionConfig::default());
+    }
+
+    #[test]
+    fn single_point_cloud_projects() {
+        let t = project(&[Point3::new(1.0, 2.0, 3.0)], &ProjectionConfig::default());
+        assert_eq!(t.shape(), &[7, 1, 1]);
+        // σ of a single point is 0.
+        assert_eq!(t.at(&[2, 0, 0]), 0.0);
+    }
+}

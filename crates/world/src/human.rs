@@ -1,0 +1,257 @@
+//! Parametric human body model.
+//!
+//! A pedestrian is a union of analytic primitives: an ellipsoidal head, a
+//! capsule torso, two capsule arms and two capsule legs whose stance angle
+//! follows a walking phase. Every dimension is proportional to a sampled
+//! stature so the population shows the height variation that HAWC's
+//! height-aware projection exploits (paper §V, and the height-distribution
+//! caveat of §VIII).
+
+use geom::shapes::{Capsule, Ellipsoid, ShapeSet};
+use geom::{Point3, Vec3};
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+use crate::scene::{WalkwayConfig, GROUND_Z};
+
+/// Sampled body parameters for one pedestrian.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct HumanParams {
+    /// Stature (ground to crown) in metres.
+    pub height: f64,
+    /// Shoulder width in metres.
+    pub shoulder_width: f64,
+    /// Torso radius in metres.
+    pub torso_radius: f64,
+    /// Walking phase in `[0, 2π)`: 0 is feet together, π is full stride.
+    pub walk_phase: f64,
+    /// Clothing reflectivity in `[0, 1]`.
+    pub reflectivity: f64,
+}
+
+impl HumanParams {
+    /// Samples a plausible college-age pedestrian.
+    ///
+    /// Stature is Gaussian with mean 1.72 m and σ = 0.09 m, clamped to
+    /// `[1.45, 2.05]`, matching the "average college student height"
+    /// assumption the paper's conclusion discusses.
+    pub fn sample<R: Rng + ?Sized>(rng: &mut R) -> Self {
+        let height = gaussian(rng, 1.72, 0.09).clamp(1.45, 2.05);
+        let shoulder_width = gaussian(rng, 0.44, 0.03).clamp(0.34, 0.55);
+        let torso_radius = gaussian(rng, 0.15, 0.015).clamp(0.11, 0.20);
+        let walk_phase = rng.gen_range(0.0..std::f64::consts::TAU);
+        let reflectivity = rng.gen_range(0.35..0.85);
+        HumanParams { height, shoulder_width, torso_radius, walk_phase, reflectivity }
+    }
+}
+
+/// A pedestrian placed in the scene.
+#[derive(Debug)]
+pub struct Human {
+    params: HumanParams,
+    /// Foot position on the ground plane (z is fixed to the ground).
+    position: Point3,
+    /// Heading in the xy plane, radians.
+    heading: f64,
+    body: ShapeSet,
+}
+
+impl Human {
+    /// Builds a pedestrian from explicit parameters at `(x, y)` on the
+    /// ground with the given heading (radians, 0 = +x).
+    pub fn new(params: HumanParams, x: f64, y: f64, heading: f64) -> Self {
+        let position = Point3::new(x, y, GROUND_Z);
+        let body = build_body(&params, position, heading);
+        Human { params, position, heading, body }
+    }
+
+    /// Samples body parameters and a position uniformly inside the walkway
+    /// region of interest.
+    pub fn sample<R: Rng + ?Sized>(rng: &mut R, cfg: &WalkwayConfig) -> Self {
+        let params = HumanParams::sample(rng);
+        let x = rng.gen_range(cfg.x_min..cfg.x_max);
+        let y = rng.gen_range(-cfg.half_width()..cfg.half_width());
+        let heading = rng.gen_range(0.0..std::f64::consts::TAU);
+        Human::new(params, x, y, heading)
+    }
+
+    /// Body parameters.
+    pub fn params(&self) -> &HumanParams {
+        &self.params
+    }
+
+    /// Foot position on the ground plane.
+    pub fn position(&self) -> Point3 {
+        self.position
+    }
+
+    /// Heading in radians.
+    pub fn heading(&self) -> f64 {
+        self.heading
+    }
+
+    /// The body geometry as a shape union.
+    pub fn shape(&self) -> &ShapeSet {
+        &self.body
+    }
+
+    /// Consumes the human, returning its shape set.
+    pub fn into_shape(self) -> ShapeSet {
+        self.body
+    }
+}
+
+/// Box–Muller Gaussian sample.
+fn gaussian<R: Rng + ?Sized>(rng: &mut R, mean: f64, std: f64) -> f64 {
+    let u1: f64 = rng.gen_range(f64::EPSILON..1.0);
+    let u2: f64 = rng.gen_range(0.0..1.0);
+    mean + std * (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos()
+}
+
+/// Assembles the capsule/ellipsoid body at `foot` with `heading`.
+fn build_body(p: &HumanParams, foot: Point3, heading: f64) -> ShapeSet {
+    let mut set = ShapeSet::new();
+    let h = p.height;
+    let refl = p.reflectivity;
+    // Anthropometric ratios (Drillis & Contini): head 0.13 H, leg 0.53 H,
+    // shoulder at 0.82 H, hip at 0.53 H.
+    let head_r = 0.065 * h;
+    let leg_top = 0.53 * h;
+    let shoulder_z = 0.82 * h;
+    let head_center_z = h - head_r;
+    let (sin_h, cos_h) = heading.sin_cos();
+    let lateral = Vec3::new(-sin_h, cos_h, 0.0);
+    let forward = Vec3::new(cos_h, sin_h, 0.0);
+    let up = |z: f64| foot + Vec3::new(0.0, 0.0, z);
+
+    // Head.
+    set.push(Ellipsoid::new(
+        up(head_center_z),
+        Vec3::new(head_r * 0.9, head_r * 0.9, head_r * 1.1),
+        refl,
+    ));
+    // Torso: hip to shoulder.
+    set.push(Capsule::new(up(leg_top), up(shoulder_z), p.torso_radius, refl));
+    // Legs: splayed by the walking stride.
+    let stride = 0.18 * h * p.walk_phase.sin();
+    let hip_off = lateral * (p.shoulder_width * 0.22);
+    for side in [-1.0, 1.0] {
+        let hip = up(leg_top) + hip_off * side;
+        let foot_pt = foot + hip_off * side + forward * (stride * side) + Vec3::new(0.0, 0.0, 0.04 * h);
+        set.push(Capsule::new(hip, foot_pt, 0.055 * h * 0.45 + 0.03, refl));
+    }
+    // Arms: shoulder to wrist, swinging opposite to the legs.
+    let arm_swing = -0.10 * h * p.walk_phase.sin();
+    let shoulder_off = lateral * (p.shoulder_width / 2.0);
+    for side in [-1.0, 1.0] {
+        let shoulder = up(shoulder_z) + shoulder_off * side;
+        let wrist = up(0.48 * h) + shoulder_off * side + forward * (arm_swing * side);
+        set.push(Capsule::new(shoulder, wrist, 0.032 * h * 0.5 + 0.02, refl));
+    }
+    set
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use geom::shapes::Shape;
+    use geom::Ray;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn rng() -> StdRng {
+        StdRng::seed_from_u64(42)
+    }
+
+    #[test]
+    fn sampled_params_in_anthropometric_range() {
+        let mut r = rng();
+        for _ in 0..200 {
+            let p = HumanParams::sample(&mut r);
+            assert!((1.45..=2.05).contains(&p.height));
+            assert!((0.34..=0.55).contains(&p.shoulder_width));
+            assert!((0.11..=0.20).contains(&p.torso_radius));
+            assert!((0.0..=1.0).contains(&p.reflectivity));
+        }
+    }
+
+    #[test]
+    fn population_mean_height_near_spec() {
+        let mut r = rng();
+        let mean: f64 =
+            (0..2000).map(|_| HumanParams::sample(&mut r).height).sum::<f64>() / 2000.0;
+        assert!((mean - 1.72).abs() < 0.02, "mean height {mean}");
+    }
+
+    #[test]
+    fn body_bounds_match_height() {
+        let mut r = rng();
+        let p = HumanParams::sample(&mut r);
+        let h = Human::new(p, 20.0, 0.0, 0.0);
+        let b = h.shape().bounds();
+        // Top of the head reaches stature above the ground.
+        assert!((b.max().z - (GROUND_Z + p.height)).abs() < 0.05);
+        // Feet near the ground.
+        assert!(b.min().z >= GROUND_Z - 0.01);
+        assert!(b.min().z <= GROUND_Z + 0.15);
+    }
+
+    #[test]
+    fn torso_is_hit_by_a_horizontal_beam() {
+        let p = HumanParams {
+            height: 1.75,
+            shoulder_width: 0.45,
+            torso_radius: 0.15,
+            walk_phase: 0.0,
+            reflectivity: 0.6,
+        };
+        let h = Human::new(p, 15.0, 0.0, 0.0);
+        // Beam from the sensor (origin) toward torso height at x = 15.
+        let torso_z = GROUND_Z + 0.7 * p.height;
+        let ray = Ray::new(Point3::ZERO, Vec3::new(15.0, 0.0, torso_z));
+        let hit = h.shape().intersect(&ray).expect("torso hit");
+        assert!((hit.point.x - 15.0).abs() < 0.3);
+    }
+
+    #[test]
+    fn walking_phase_moves_feet_apart() {
+        let base = HumanParams {
+            height: 1.8,
+            shoulder_width: 0.45,
+            torso_radius: 0.15,
+            walk_phase: 0.0,
+            reflectivity: 0.6,
+        };
+        let standing = Human::new(base, 10.0, 0.0, 0.0);
+        let striding = Human::new(
+            HumanParams { walk_phase: std::f64::consts::FRAC_PI_2, ..base },
+            10.0,
+            0.0,
+            0.0,
+        );
+        let ext_stand = standing.shape().bounds().extent().x;
+        let ext_stride = striding.shape().bounds().extent().x;
+        assert!(ext_stride > ext_stand + 0.1, "{ext_stride} vs {ext_stand}");
+    }
+
+    #[test]
+    fn sample_places_inside_walkway() {
+        let mut r = rng();
+        let cfg = WalkwayConfig::default();
+        for _ in 0..100 {
+            let h = Human::sample(&mut r, &cfg);
+            let p = h.position();
+            assert!(p.x >= cfg.x_min && p.x <= cfg.x_max);
+            assert!(p.y.abs() <= cfg.half_width());
+            assert_eq!(p.z, GROUND_Z);
+        }
+    }
+
+    #[test]
+    fn body_has_six_segments() {
+        let mut r = rng();
+        let h = Human::sample(&mut r, &WalkwayConfig::default());
+        // Head + torso + 2 legs + 2 arms.
+        assert_eq!(h.shape().len(), 6);
+    }
+}

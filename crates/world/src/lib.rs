@@ -1,0 +1,39 @@
+//! Parametric campus scenes for the HAWC-CC LiDAR simulator.
+//!
+//! The paper's data comes from a real walkway watched by a pole-mounted
+//! LiDAR; this crate builds the synthetic equivalent: parametric human
+//! bodies, common campus clutter objects (trash cans, bollards, benches,
+//! bushes, the pulleys called out in §III as a ground-noise source), and
+//! scene/crowd generators that place them on a 5 m walkway 12–35 m from the
+//! pole.
+//!
+//! Coordinate convention (matches the paper, §III): the sensor sits at the
+//! origin on top of a 3 m pole, so the ground plane is `z = -3`; `x` runs
+//! along the walkway away from the pole and `y` across the 5 m walkway.
+//!
+//! # Examples
+//!
+//! ```
+//! use rand::SeedableRng;
+//! use world::{Human, Scene, WalkwayConfig};
+//!
+//! let mut rng = rand::rngs::StdRng::seed_from_u64(7);
+//! let cfg = WalkwayConfig::default();
+//! let human = Human::sample(&mut rng, &cfg);
+//! let mut scene = Scene::new(cfg);
+//! scene.add_human(human);
+//! assert_eq!(scene.human_count(), 1);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod crowd;
+mod human;
+mod objects;
+mod scene;
+
+pub use crowd::{CrowdConfig, CrowdLayout, DensityLevel};
+pub use human::{Human, HumanParams};
+pub use objects::{CampusObject, ObjectKind};
+pub use scene::{Scene, SceneEntity, SceneHit, WalkwayConfig, GROUND_Z, POLE_HEIGHT};

@@ -1,0 +1,354 @@
+//! Campus clutter objects — the "Object" class of the paper's datasets.
+//!
+//! §III calls out pulleys as a typical ground-noise source and §V draws its
+//! noise-controlled up-sampling points from an "Object" dataset of scenes
+//! without humans. These builders create that clutter: trash cans,
+//! bollards, benches, bushes, sign posts, parked bicycles, pulley carts.
+
+use geom::shapes::{BoxShape, Capsule, CylinderZ, Ellipsoid, ShapeSet};
+use geom::{Aabb, Point3, Vec3};
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+use crate::scene::GROUND_Z;
+
+/// The kinds of non-human objects found on campus walkways.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum ObjectKind {
+    /// Cylindrical waste bin (~1 m tall).
+    TrashCan,
+    /// Short post separating walkway from lawn.
+    Bollard,
+    /// Bench with a backrest.
+    Bench,
+    /// Irregular shrub modelled as overlapping ellipsoids.
+    Bush,
+    /// Pole with a flat sign panel.
+    SignPost,
+    /// Parked bicycle (frame and two wheels).
+    Bicycle,
+    /// Low maintenance pulley cart — the ground-noise culprit from §III.
+    PulleyCart,
+}
+
+impl ObjectKind {
+    /// All object kinds, for round-robin dataset generation.
+    pub const ALL: [ObjectKind; 7] = [
+        ObjectKind::TrashCan,
+        ObjectKind::Bollard,
+        ObjectKind::Bench,
+        ObjectKind::Bush,
+        ObjectKind::SignPost,
+        ObjectKind::Bicycle,
+        ObjectKind::PulleyCart,
+    ];
+
+    /// Samples a kind uniformly at random.
+    pub fn sample<R: Rng + ?Sized>(rng: &mut R) -> Self {
+        Self::ALL[rng.gen_range(0..Self::ALL.len())]
+    }
+}
+
+impl std::fmt::Display for ObjectKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let s = match self {
+            ObjectKind::TrashCan => "trash-can",
+            ObjectKind::Bollard => "bollard",
+            ObjectKind::Bench => "bench",
+            ObjectKind::Bush => "bush",
+            ObjectKind::SignPost => "sign-post",
+            ObjectKind::Bicycle => "bicycle",
+            ObjectKind::PulleyCart => "pulley-cart",
+        };
+        f.write_str(s)
+    }
+}
+
+/// A placed campus object.
+#[derive(Debug)]
+pub struct CampusObject {
+    kind: ObjectKind,
+    position: Point3,
+    shape: ShapeSet,
+}
+
+impl CampusObject {
+    /// Builds an object of `kind` at `(x, y)` on the ground, with sizes
+    /// jittered by `rng` so no two bins are identical.
+    pub fn build<R: Rng + ?Sized>(rng: &mut R, kind: ObjectKind, x: f64, y: f64) -> Self {
+        let position = Point3::new(x, y, GROUND_Z);
+        let shape = match kind {
+            ObjectKind::TrashCan => trash_can(rng, x, y),
+            ObjectKind::Bollard => bollard(rng, x, y),
+            ObjectKind::Bench => bench(rng, x, y),
+            ObjectKind::Bush => bush(rng, x, y),
+            ObjectKind::SignPost => sign_post(rng, x, y),
+            ObjectKind::Bicycle => bicycle(rng, x, y),
+            ObjectKind::PulleyCart => pulley_cart(rng, x, y),
+        };
+        CampusObject { kind, position, shape }
+    }
+
+    /// Samples a random kind at a random walkway position within
+    /// `x ∈ [x_min, x_max]`, `|y| <= half_width`.
+    pub fn sample<R: Rng + ?Sized>(
+        rng: &mut R,
+        x_min: f64,
+        x_max: f64,
+        half_width: f64,
+    ) -> Self {
+        let kind = ObjectKind::sample(rng);
+        let x = rng.gen_range(x_min..x_max);
+        let y = rng.gen_range(-half_width..half_width);
+        CampusObject::build(rng, kind, x, y)
+    }
+
+    /// Object kind.
+    pub fn kind(&self) -> ObjectKind {
+        self.kind
+    }
+
+    /// Ground anchor position.
+    pub fn position(&self) -> Point3 {
+        self.position
+    }
+
+    /// Object geometry.
+    pub fn shape(&self) -> &ShapeSet {
+        &self.shape
+    }
+
+    /// Consumes the object, returning its shape set.
+    pub fn into_shape(self) -> ShapeSet {
+        self.shape
+    }
+}
+
+fn on_ground(z: f64) -> f64 {
+    GROUND_Z + z
+}
+
+fn trash_can<R: Rng + ?Sized>(rng: &mut R, x: f64, y: f64) -> ShapeSet {
+    let h = rng.gen_range(0.85..1.15);
+    let r = rng.gen_range(0.25..0.38);
+    let mut s = ShapeSet::new();
+    s.push(CylinderZ::new((x, y), GROUND_Z, on_ground(h), r, 0.45));
+    s
+}
+
+fn bollard<R: Rng + ?Sized>(rng: &mut R, x: f64, y: f64) -> ShapeSet {
+    let h = rng.gen_range(0.7..1.0);
+    let r = rng.gen_range(0.05..0.10);
+    let mut s = ShapeSet::new();
+    s.push(CylinderZ::new((x, y), GROUND_Z, on_ground(h), r, 0.5));
+    s.push(geom::shapes::Sphere::new(Point3::new(x, y, on_ground(h)), r * 1.3, 0.5));
+    s
+}
+
+fn bench<R: Rng + ?Sized>(rng: &mut R, x: f64, y: f64) -> ShapeSet {
+    let len = rng.gen_range(1.3..1.8);
+    let depth = rng.gen_range(0.4..0.55);
+    let seat_h = rng.gen_range(0.42..0.5);
+    let mut s = ShapeSet::new();
+    // Seat slab.
+    s.push(BoxShape::new(
+        Aabb::new(
+            Point3::new(x - depth / 2.0, y - len / 2.0, on_ground(seat_h - 0.06)),
+            Point3::new(x + depth / 2.0, y + len / 2.0, on_ground(seat_h)),
+        ),
+        0.4,
+    ));
+    // Backrest.
+    s.push(BoxShape::new(
+        Aabb::new(
+            Point3::new(x + depth / 2.0 - 0.05, y - len / 2.0, on_ground(seat_h)),
+            Point3::new(x + depth / 2.0, y + len / 2.0, on_ground(seat_h + 0.45)),
+        ),
+        0.4,
+    ));
+    // Two leg slabs.
+    for side in [-1.0, 1.0] {
+        let ly = y + side * (len / 2.0 - 0.1);
+        s.push(BoxShape::new(
+            Aabb::new(
+                Point3::new(x - depth / 2.0, ly - 0.04, GROUND_Z),
+                Point3::new(x + depth / 2.0, ly + 0.04, on_ground(seat_h - 0.06)),
+            ),
+            0.35,
+        ));
+    }
+    s
+}
+
+fn bush<R: Rng + ?Sized>(rng: &mut R, x: f64, y: f64) -> ShapeSet {
+    let mut s = ShapeSet::new();
+    let n = rng.gen_range(2..5);
+    let base_r = rng.gen_range(0.4..0.8);
+    for _ in 0..n {
+        let dx = rng.gen_range(-0.3..0.3);
+        let dy = rng.gen_range(-0.3..0.3);
+        let rz = base_r * rng.gen_range(0.7..1.2);
+        let rxy = base_r * rng.gen_range(0.8..1.3);
+        s.push(Ellipsoid::new(
+            Point3::new(x + dx, y + dy, on_ground(rz)),
+            Vec3::new(rxy, rxy, rz),
+            0.25, // foliage reflects weakly
+        ));
+    }
+    s
+}
+
+fn sign_post<R: Rng + ?Sized>(rng: &mut R, x: f64, y: f64) -> ShapeSet {
+    let h = rng.gen_range(2.0..2.6);
+    let mut s = ShapeSet::new();
+    s.push(CylinderZ::new((x, y), GROUND_Z, on_ground(h), 0.04, 0.55));
+    // Panel near the top.
+    s.push(BoxShape::new(
+        Aabb::new(
+            Point3::new(x - 0.03, y - 0.35, on_ground(h - 0.7)),
+            Point3::new(x + 0.03, y + 0.35, on_ground(h - 0.1)),
+        ),
+        0.8, // retroreflective sign face
+    ));
+    s
+}
+
+fn bicycle<R: Rng + ?Sized>(rng: &mut R, x: f64, y: f64) -> ShapeSet {
+    let wheel_r = rng.gen_range(0.3..0.36);
+    let gap = rng.gen_range(0.95..1.1);
+    let mut s = ShapeSet::new();
+    for off in [-gap / 2.0, gap / 2.0] {
+        // Wheels as thin lying capsules (approximating the rim disc edge-on).
+        s.push(Capsule::new(
+            Point3::new(x + off, y, on_ground(wheel_r * 0.3)),
+            Point3::new(x + off, y, on_ground(wheel_r * 1.7)),
+            wheel_r * 0.35,
+            0.3,
+        ));
+    }
+    // Frame tube.
+    s.push(Capsule::new(
+        Point3::new(x - gap / 2.0, y, on_ground(wheel_r)),
+        Point3::new(x + gap / 2.0, y, on_ground(wheel_r + 0.25)),
+        0.035,
+        0.5,
+    ));
+    // Seat post + handlebar.
+    s.push(Capsule::new(
+        Point3::new(x, y, on_ground(wheel_r + 0.2)),
+        Point3::new(x, y, on_ground(1.0)),
+        0.03,
+        0.5,
+    ));
+    s
+}
+
+fn pulley_cart<R: Rng + ?Sized>(rng: &mut R, x: f64, y: f64) -> ShapeSet {
+    // A low flat cart with small drums: hugs the ground below 0.4 m, which
+    // is exactly the ground-noise band §III filters with z_min = -2.6 m.
+    let mut s = ShapeSet::new();
+    let w = rng.gen_range(0.5..0.8);
+    let l = rng.gen_range(0.7..1.1);
+    s.push(BoxShape::new(
+        Aabb::new(
+            Point3::new(x - l / 2.0, y - w / 2.0, on_ground(0.12)),
+            Point3::new(x + l / 2.0, y + w / 2.0, on_ground(0.22)),
+        ),
+        0.35,
+    ));
+    for (dx, dy) in [(-l / 3.0, -w / 3.0), (l / 3.0, w / 3.0)] {
+        s.push(CylinderZ::new(
+            (x + dx, y + dy),
+            GROUND_Z,
+            on_ground(0.35),
+            0.08,
+            0.4,
+        ));
+    }
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use geom::shapes::Shape;
+    use geom::Ray;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn rng() -> StdRng {
+        StdRng::seed_from_u64(7)
+    }
+
+    #[test]
+    fn every_kind_builds_nonempty_geometry() {
+        let mut r = rng();
+        for kind in ObjectKind::ALL {
+            let o = CampusObject::build(&mut r, kind, 15.0, 0.0);
+            assert!(!o.shape().is_empty(), "{kind} has no shapes");
+            assert_eq!(o.kind(), kind);
+        }
+    }
+
+    #[test]
+    fn objects_sit_on_the_ground() {
+        let mut r = rng();
+        for kind in ObjectKind::ALL {
+            let o = CampusObject::build(&mut r, kind, 20.0, 1.0);
+            let b = o.shape().bounds();
+            assert!(
+                b.min().z >= GROUND_Z - 0.05,
+                "{kind} dips below ground: {}",
+                b.min().z
+            );
+            assert!(b.max().z <= GROUND_Z + 3.0, "{kind} implausibly tall");
+        }
+    }
+
+    #[test]
+    fn pulley_cart_stays_in_ground_noise_band() {
+        let mut r = rng();
+        let o = CampusObject::build(&mut r, ObjectKind::PulleyCart, 14.0, 0.0);
+        // Entirely below 0.4 m above ground: the §III ground-noise band.
+        assert!(o.shape().bounds().max().z <= GROUND_Z + 0.4 + 1e-9);
+    }
+
+    #[test]
+    fn objects_are_shorter_than_people_except_signs() {
+        let mut r = rng();
+        for kind in [ObjectKind::TrashCan, ObjectKind::Bollard, ObjectKind::Bench, ObjectKind::Bicycle]
+        {
+            let o = CampusObject::build(&mut r, kind, 18.0, 0.0);
+            assert!(
+                o.shape().bounds().max().z <= GROUND_Z + 1.45,
+                "{kind} taller than the shortest pedestrian"
+            );
+        }
+    }
+
+    #[test]
+    fn trash_can_blocks_a_beam() {
+        let mut r = rng();
+        let o = CampusObject::build(&mut r, ObjectKind::TrashCan, 15.0, 0.0);
+        let target = Point3::new(15.0, 0.0, GROUND_Z + 0.5);
+        let ray = Ray::new(Point3::ZERO, target);
+        assert!(o.shape().intersect(&ray).is_some());
+    }
+
+    #[test]
+    fn sample_respects_region() {
+        let mut r = rng();
+        for _ in 0..50 {
+            let o = CampusObject::sample(&mut r, 12.0, 35.0, 2.5);
+            let p = o.position();
+            assert!((12.0..35.0).contains(&p.x));
+            assert!(p.y.abs() <= 2.5);
+        }
+    }
+
+    #[test]
+    fn display_names_are_stable() {
+        assert_eq!(ObjectKind::PulleyCart.to_string(), "pulley-cart");
+        assert_eq!(ObjectKind::TrashCan.to_string(), "trash-can");
+    }
+}

@@ -1,0 +1,321 @@
+//! Scene composition and ray casting.
+
+use geom::shapes::{GroundPlane, Shape, ShapeSet};
+use geom::{Aabb, Hit, Ray};
+use serde::{Deserialize, Serialize};
+
+use crate::{CampusObject, Human, ObjectKind};
+
+/// Height of the smart blue light pole; the sensor sits at the origin so
+/// the ground is at `-POLE_HEIGHT` (paper §III: "mounted on the top of a
+/// three-meter-tall smart blue light pole").
+pub const POLE_HEIGHT: f64 = 3.0;
+
+/// Ground plane height in sensor coordinates.
+pub const GROUND_Z: f64 = -POLE_HEIGHT;
+
+/// Geometry of the monitored walkway (paper §III).
+///
+/// The region of interest keeps `x ∈ [12, 35]` m (closer returns are
+/// shadowed by the pole, farther returns are too weak) across a 5 m-wide
+/// walkway.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct WalkwayConfig {
+    /// Near edge of the region of interest in metres.
+    pub x_min: f64,
+    /// Far edge of the region of interest in metres.
+    pub x_max: f64,
+    /// Full walkway width in metres.
+    pub width: f64,
+    /// Ground reflectivity (asphalt/concrete).
+    pub ground_reflectivity: f64,
+}
+
+impl Default for WalkwayConfig {
+    fn default() -> Self {
+        WalkwayConfig { x_min: 12.0, x_max: 35.0, width: 5.0, ground_reflectivity: 0.18 }
+    }
+}
+
+impl WalkwayConfig {
+    /// Half the walkway width.
+    pub fn half_width(&self) -> f64 {
+        self.width / 2.0
+    }
+
+    /// The region of interest as an axis-aligned box from the ground up to
+    /// the sensor plane.
+    pub fn roi(&self) -> Aabb {
+        Aabb::new(
+            geom::Point3::new(self.x_min, -self.half_width(), GROUND_Z),
+            geom::Point3::new(self.x_max, self.half_width(), 0.5),
+        )
+    }
+}
+
+/// What a scene entity is — drives ground-truth labels.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum SceneEntity {
+    /// A pedestrian (the positive class).
+    Human,
+    /// Campus clutter of the given kind (the negative class).
+    Object(ObjectKind),
+}
+
+impl SceneEntity {
+    /// Returns `true` for pedestrians.
+    pub fn is_human(&self) -> bool {
+        matches!(self, SceneEntity::Human)
+    }
+}
+
+/// A ray-cast result annotated with what was hit.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SceneHit {
+    /// The surface intersection.
+    pub hit: Hit,
+    /// Index into the scene's entity list, or `None` for the ground.
+    pub entity: Option<usize>,
+}
+
+struct Placed {
+    entity: SceneEntity,
+    shape: ShapeSet,
+    bounds: Aabb,
+}
+
+/// A composed walkway scene: ground plane plus any number of humans and
+/// objects, each remembered with its entity label so LiDAR returns can be
+/// attributed for ground truth.
+///
+/// # Examples
+///
+/// ```
+/// use rand::SeedableRng;
+/// use world::{CampusObject, ObjectKind, Scene, WalkwayConfig};
+///
+/// let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+/// let mut scene = Scene::new(WalkwayConfig::default());
+/// scene.add_object(CampusObject::build(&mut rng, ObjectKind::TrashCan, 15.0, 0.0));
+/// assert_eq!(scene.object_count(), 1);
+/// ```
+pub struct Scene {
+    config: WalkwayConfig,
+    ground: GroundPlane,
+    placed: Vec<Placed>,
+}
+
+impl std::fmt::Debug for Scene {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Scene")
+            .field("config", &self.config)
+            .field("entities", &self.placed.len())
+            .finish()
+    }
+}
+
+impl Scene {
+    /// Creates an empty scene over the given walkway.
+    pub fn new(config: WalkwayConfig) -> Self {
+        let ground = GroundPlane { z: GROUND_Z, reflectivity: config.ground_reflectivity };
+        Scene { config, ground, placed: Vec::new() }
+    }
+
+    /// Walkway configuration.
+    pub fn config(&self) -> &WalkwayConfig {
+        &self.config
+    }
+
+    /// Adds a pedestrian; returns its entity index.
+    pub fn add_human(&mut self, human: Human) -> usize {
+        let shape = human.into_shape();
+        let bounds = shape.bounds();
+        self.placed.push(Placed { entity: SceneEntity::Human, shape, bounds });
+        self.placed.len() - 1
+    }
+
+    /// Adds a campus object; returns its entity index.
+    pub fn add_object(&mut self, object: CampusObject) -> usize {
+        let entity = SceneEntity::Object(object.kind());
+        let shape = object.into_shape();
+        let bounds = shape.bounds();
+        self.placed.push(Placed { entity, shape, bounds });
+        self.placed.len() - 1
+    }
+
+    /// Entity label by index.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index` is out of range.
+    pub fn entity(&self, index: usize) -> SceneEntity {
+        self.placed[index].entity
+    }
+
+    /// Number of entities (humans + objects).
+    pub fn entity_count(&self) -> usize {
+        self.placed.len()
+    }
+
+    /// Number of pedestrians.
+    pub fn human_count(&self) -> usize {
+        self.placed.iter().filter(|p| p.entity.is_human()).count()
+    }
+
+    /// Number of clutter objects.
+    pub fn object_count(&self) -> usize {
+        self.placed.len() - self.human_count()
+    }
+
+    /// Casts one LiDAR beam; returns the closest surface hit together with
+    /// the entity that produced it (`None` = ground).
+    pub fn cast(&self, ray: &Ray) -> Option<SceneHit> {
+        let mut best: Option<SceneHit> = None;
+        if let Some(hit) = self.ground.intersect(ray) {
+            best = Some(SceneHit { hit, entity: None });
+        }
+        for (i, placed) in self.placed.iter().enumerate() {
+            if !ray_intersects_bounds(ray, &placed.bounds, best.as_ref().map(|b| b.hit.t)) {
+                continue;
+            }
+            if let Some(hit) = placed.shape.intersect(ray) {
+                let better = best.as_ref().map_or(true, |b| hit.t < b.hit.t);
+                if better {
+                    best = Some(SceneHit { hit, entity: Some(i) });
+                }
+            }
+        }
+        best
+    }
+}
+
+/// Slab test with an optional `t_max` cutoff.
+fn ray_intersects_bounds(ray: &Ray, b: &Aabb, t_max: Option<f64>) -> bool {
+    let mut t_enter = 0.0_f64;
+    let mut t_exit = t_max.unwrap_or(f64::INFINITY);
+    for k in 0..3 {
+        let o = ray.origin.axis(k);
+        let d = ray.dir.axis(k);
+        let lo = b.min().axis(k);
+        let hi = b.max().axis(k);
+        if d.abs() < 1e-12 {
+            if o < lo || o > hi {
+                return false;
+            }
+        } else {
+            let mut t0 = (lo - o) / d;
+            let mut t1 = (hi - o) / d;
+            if t0 > t1 {
+                std::mem::swap(&mut t0, &mut t1);
+            }
+            t_enter = t_enter.max(t0);
+            t_exit = t_exit.min(t1);
+            if t_enter > t_exit {
+                return false;
+            }
+        }
+    }
+    true
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::HumanParams;
+    use geom::{Point3, Vec3};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn rng() -> StdRng {
+        StdRng::seed_from_u64(3)
+    }
+
+    fn default_human(x: f64, y: f64) -> Human {
+        Human::new(
+            HumanParams {
+                height: 1.75,
+                shoulder_width: 0.45,
+                torso_radius: 0.15,
+                walk_phase: 0.3,
+                reflectivity: 0.6,
+            },
+            x,
+            y,
+            0.0,
+        )
+    }
+
+    #[test]
+    fn ground_hit_when_scene_is_empty() {
+        let scene = Scene::new(WalkwayConfig::default());
+        let ray = Ray::new(Point3::ZERO, Vec3::new(1.0, 0.0, -0.2));
+        let hit = scene.cast(&ray).unwrap();
+        assert!(hit.entity.is_none());
+        assert!((hit.hit.point.z - GROUND_Z).abs() < 1e-9);
+    }
+
+    #[test]
+    fn horizontal_ray_misses_everything() {
+        let scene = Scene::new(WalkwayConfig::default());
+        let ray = Ray::new(Point3::ZERO, Vec3::X);
+        assert!(scene.cast(&ray).is_none());
+    }
+
+    #[test]
+    fn human_occludes_ground() {
+        let mut scene = Scene::new(WalkwayConfig::default());
+        let id = scene.add_human(default_human(15.0, 0.0));
+        // Aim at torso height.
+        let torso = Point3::new(15.0, 0.0, GROUND_Z + 1.2);
+        let hit = scene.cast(&Ray::new(Point3::ZERO, torso)).unwrap();
+        assert_eq!(hit.entity, Some(id));
+        assert!(scene.entity(id).is_human());
+    }
+
+    #[test]
+    fn closest_entity_wins() {
+        let mut scene = Scene::new(WalkwayConfig::default());
+        let near = scene.add_human(default_human(14.0, 0.0));
+        let _far = scene.add_human(default_human(20.0, 0.0));
+        // A beam grazing torso height at x=14 hits the nearer human.
+        let hit = scene
+            .cast(&Ray::new(Point3::ZERO, Point3::new(14.0, 0.0, GROUND_Z + 1.2)))
+            .unwrap();
+        assert_eq!(hit.entity, Some(near));
+    }
+
+    #[test]
+    fn object_labels_round_trip() {
+        let mut r = rng();
+        let mut scene = Scene::new(WalkwayConfig::default());
+        let id = scene.add_object(CampusObject::build(&mut r, ObjectKind::Bench, 16.0, 1.0));
+        match scene.entity(id) {
+            SceneEntity::Object(ObjectKind::Bench) => {}
+            e => panic!("unexpected entity {e:?}"),
+        }
+        assert_eq!(scene.object_count(), 1);
+        assert_eq!(scene.human_count(), 0);
+        assert_eq!(scene.entity_count(), 1);
+    }
+
+    #[test]
+    fn roi_covers_walkway() {
+        let cfg = WalkwayConfig::default();
+        let roi = cfg.roi();
+        assert!(roi.contains(Point3::new(12.0, 0.0, GROUND_Z)));
+        assert!(roi.contains(Point3::new(35.0, 2.5, GROUND_Z + 2.0)));
+        assert!(!roi.contains(Point3::new(11.0, 0.0, GROUND_Z)));
+        assert!(!roi.contains(Point3::new(20.0, 3.0, GROUND_Z)));
+    }
+
+    #[test]
+    fn beam_down_the_walkway_center_hits_ground_between_entities() {
+        let mut scene = Scene::new(WalkwayConfig::default());
+        scene.add_human(default_human(15.0, 2.0));
+        // Beam pointing at ground far from the human.
+        let hit = scene
+            .cast(&Ray::new(Point3::ZERO, Point3::new(25.0, -2.0, GROUND_Z)))
+            .unwrap();
+        assert!(hit.entity.is_none());
+    }
+}

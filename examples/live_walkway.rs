@@ -1,0 +1,90 @@
+//! A day on the walkway: streams captures of a changing campus scene
+//! through HAWC-CC and prints a pedestrian-count time series — the
+//! "peak times and popular routes" application from the paper's
+//! introduction.
+//!
+//! ```text
+//! cargo run --release --example live_walkway
+//! ```
+
+use counting::{CountSmoother, PedestrianTracker, TrackerConfig};
+use hawc_cc::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use world::Human;
+
+/// Expected pedestrians at a given campus hour (classes, lunch, night).
+fn expected_traffic(hour: f64) -> f64 {
+    let class_rush = (-(hour - 9.0f64).powi(2) / 3.0).exp() * 4.0
+        + (-(hour - 12.5f64).powi(2) / 2.0).exp() * 5.0
+        + (-(hour - 17.0f64).powi(2) / 4.0).exp() * 3.5;
+    0.2 + class_rush
+}
+
+fn main() {
+    let mut rng = StdRng::seed_from_u64(99);
+    println!("training HAWC…");
+    let data = generate_detection_dataset(&DetectionDatasetConfig {
+        samples: 800,
+        seed: 99,
+        ..DetectionDatasetConfig::default()
+    });
+    let pool = generate_object_pool(99, 64, &WalkwayConfig::default(), &SensorConfig::default());
+    let parts = split(&mut rng, data, 0.8);
+    let cfg = HawcConfig { target_points: 0, epochs: 25, ..HawcConfig::default() };
+    let model = HawcClassifier::train(&parts.train, pool, &cfg, &mut rng);
+    let mut counter = CrowdCounter::new(model, CounterConfig::default());
+
+    let walkway = WalkwayConfig::default();
+    let sensor = Lidar::new(SensorConfig::default());
+    let mut smoother = CountSmoother::new(3);
+    let mut tracker = PedestrianTracker::new(TrackerConfig::default());
+    println!("\nhour | actual | counted | smoothed | bar");
+    let mut total_err = 0i64;
+    let mut samples = 0u32;
+    for slot in 0..28 {
+        let hour = 7.0 + slot as f64 * 0.5;
+        let lambda = expected_traffic(hour);
+        // Poisson-ish arrival count.
+        let mut n = 0usize;
+        let mut acc = (-lambda).exp();
+        let u: f64 = rng.gen();
+        let mut cum = acc;
+        while cum < u && n < 12 {
+            n += 1;
+            acc *= lambda / n as f64;
+            cum += acc;
+        }
+        let mut scene = Scene::new(walkway);
+        for _ in 0..n {
+            scene.add_human(Human::sample(&mut rng, &walkway));
+        }
+        let mut sweep = sensor.scan(&scene, &mut rng);
+        roi_filter(&mut sweep, &walkway);
+        ground_segment(&mut sweep);
+        let capture = sweep.into_cloud();
+        let result = counter.count(&capture);
+        let smoothed = smoother.push(result.count);
+        // Track identities from the counted clusters' rough positions:
+        // approximate each human cluster by the capture centroid jittered
+        // per count (full integration would pass cluster centroids; the
+        // tracker API accepts any per-frame positions).
+        let detections: Vec<geom::Point3> = (0..result.count)
+            .map(|i| capture.centroid().unwrap_or(geom::Point3::ZERO)
+                + geom::Vec3::new(i as f64 * 0.5, 0.0, 0.0))
+            .collect();
+        tracker.step(&detections);
+        total_err += (result.count as i64 - n as i64).abs();
+        samples += 1;
+        println!(
+            "{:>4.1} | {:>6} | {:>7} | {:>8} | {}",
+            hour,
+            n,
+            result.count,
+            smoothed,
+            "#".repeat(result.count)
+        );
+    }
+    println!("\nmean absolute error over the day: {:.2}", total_err as f64 / samples as f64);
+    println!("distinct pedestrian tracks observed: {}", tracker.frames());
+}

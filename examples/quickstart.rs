@@ -1,0 +1,61 @@
+//! Quickstart: train HAWC on a small synthetic campus dataset and count
+//! the pedestrians in a fresh capture.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use hawc_cc::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use world::{CampusObject, ObjectKind};
+
+fn main() {
+    let mut rng = StdRng::seed_from_u64(7);
+
+    // 1. Generate a labelled detection dataset and an object pool from
+    //    the simulated pole-mounted LiDAR.
+    println!("generating datasets…");
+    let data = generate_detection_dataset(&DetectionDatasetConfig {
+        samples: 800,
+        seed: 7,
+        ..DetectionDatasetConfig::default()
+    });
+    let pool = generate_object_pool(7, 64, &WalkwayConfig::default(), &SensorConfig::default());
+    let parts = split(&mut rng, data, 0.8);
+
+    // 2. Train the Height-Aware Human Classifier.
+    println!("training HAWC on {} clusters…", parts.train.len());
+    let cfg = HawcConfig { target_points: 0, epochs: 25, ..HawcConfig::default() };
+    let mut model = HawcClassifier::train(&parts.train, pool, &cfg, &mut rng);
+    let metrics = model.evaluate(&parts.test);
+    println!("single-person detection: {metrics}");
+
+    // 3. Build a live scene — three pedestrians and some clutter — and
+    //    run the full HAWC-CC pipeline on one LiDAR sweep.
+    let walkway = WalkwayConfig::default();
+    let mut scene = Scene::new(walkway);
+    for (x, y) in [(14.0, 0.5), (19.5, -1.2), (27.0, 1.8)] {
+        scene.add_human(Human::new(world::HumanParams::sample(&mut rng), x, y, 0.3));
+    }
+    scene.add_object(CampusObject::build(&mut rng, ObjectKind::TrashCan, 16.0, -2.0));
+    scene.add_object(CampusObject::build(&mut rng, ObjectKind::Bench, 23.0, 2.0));
+
+    let sensor = Lidar::new(SensorConfig::default());
+    let mut sweep = sensor.scan(&scene, &mut rng);
+    roi_filter(&mut sweep, &walkway);
+    ground_segment(&mut sweep);
+    let capture = sweep.into_cloud();
+    println!("capture: {} points after ROI crop and ground segmentation", capture.len());
+    println!("side view (x →, height ↑): people are the tall columns\n");
+    println!("{}", lidar::viz::render_side_view(&capture, 72, 10));
+
+    let mut counter = CrowdCounter::new(model, CounterConfig::default());
+    let result = counter.count(&capture);
+    println!(
+        "counted {} pedestrians (3 in the scene) from {} clusters in {:.2} ms",
+        result.count,
+        result.clusters_classified,
+        result.total_ms()
+    );
+}

@@ -1,0 +1,19 @@
+#!/bin/bash
+# Regenerates every table/figure; outputs under results/.
+set -u
+cd "$(dirname "$0")"
+mkdir -p results
+run() {
+  local name=$1; shift
+  echo "=== $name $(date +%H:%M:%S)"
+  cargo run --release -q -p bench --bin "$name" -- "$@" > "results/$name.txt" 2>&1
+  echo "--- done $name $(date +%H:%M:%S)"
+}
+run table1_detection --epochs 45
+run table3_sampling --epochs 30
+run table4_clustering --epochs 45
+run table5_counting --epochs 45
+run fig9_projection --epochs 18
+run fig8_training --samples 800 --epochs 20
+run table6_scalability --epochs 45 --counting 200
+echo ALL_EXPERIMENTS_DONE

@@ -1,0 +1,65 @@
+//! HAWC-CC — smart blue light pole LiDAR crowd counting, in Rust.
+//!
+//! This umbrella crate re-exports the whole workspace: a full
+//! reproduction of *"Smart Blue Light Pole-based Real-Time Crowd Counting
+//! for Smart Campuses"* (ICDCS 2025), from the ray-casting LiDAR
+//! simulator up to the deployed counting pipeline and its edge latency
+//! models. See `README.md` for a tour and `DESIGN.md` for the
+//! paper-to-module map.
+//!
+//! The typical flow:
+//!
+//! 1. generate datasets with [`dataset`],
+//! 2. train a [`hawc::HawcClassifier`] (or a [`baselines`] model),
+//! 3. wrap it in a [`counting::CrowdCounter`] and feed it captures,
+//! 4. quantize with [`nn::quant`] and price deployment with
+//!    [`edge::DeviceModel`].
+//!
+//! # Examples
+//!
+//! ```no_run
+//! use hawc_cc::prelude::*;
+//! use rand::SeedableRng;
+//!
+//! let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+//! let data = generate_detection_dataset(&DetectionDatasetConfig::default());
+//! let pool = generate_object_pool(
+//!     1, 64, &WalkwayConfig::default(), &SensorConfig::default());
+//! let parts = split(&mut rng, data, 0.8);
+//! let model = HawcClassifier::train(&parts.train, pool, &HawcConfig::default(), &mut rng);
+//! let mut counter = CrowdCounter::new(model, CounterConfig::default());
+//! ```
+
+#![forbid(unsafe_code)]
+
+pub use baselines;
+pub use cluster;
+pub use counting;
+pub use dataset;
+pub use edge;
+pub use features;
+pub use geom;
+pub use hawc;
+pub use lidar;
+pub use nn;
+pub use ocsvm;
+pub use projection;
+pub use world;
+
+/// The most common imports in one place.
+pub mod prelude {
+    pub use baselines::{
+        AutoEncoderClassifier, AutoEncoderConfig, OcSvmClassifier, OcSvmClassifierConfig,
+        PointNetClassifier, PointNetConfig,
+    };
+    pub use cluster::{adaptive_dbscan, AdaptiveConfig};
+    pub use counting::{evaluate_counter, CounterConfig, CrowdCounter};
+    pub use dataset::{
+        generate_counting_dataset, generate_detection_dataset, generate_object_pool, split,
+        ClassLabel, CloudClassifier, CountingDatasetConfig, DetectionDatasetConfig, ObjectPool,
+    };
+    pub use edge::{DeviceModel, Precision};
+    pub use hawc::{HawcClassifier, HawcConfig};
+    pub use lidar::{ground_segment, roi_filter, Lidar, PointCloud, SensorConfig};
+    pub use world::{Human, Scene, WalkwayConfig};
+}

@@ -1,0 +1,142 @@
+//! End-to-end integration: data generation → training → quantization →
+//! the full HAWC-CC counting pipeline, at unit-test scale.
+
+use hawc_cc::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use world::Human;
+
+fn small_hawc_config() -> HawcConfig {
+    HawcConfig {
+        target_points: 0,
+        epochs: 12,
+        conv_channels: [8, 12, 16],
+        fc_hidden: 32,
+        ..HawcConfig::default()
+    }
+}
+
+fn setup() -> (Vec<dataset::DetectionSample>, Vec<dataset::DetectionSample>, ObjectPool) {
+    let data = generate_detection_dataset(&DetectionDatasetConfig {
+        samples: 160,
+        seed: 77,
+        ..DetectionDatasetConfig::default()
+    });
+    let pool = generate_object_pool(77, 16, &WalkwayConfig::default(), &SensorConfig::default());
+    let mut rng = StdRng::seed_from_u64(77);
+    let parts = split(&mut rng, data, 0.8);
+    (parts.train, parts.test, pool)
+}
+
+#[test]
+fn full_pipeline_counts_a_staged_scene() {
+    let (train, _, pool) = setup();
+    let mut rng = StdRng::seed_from_u64(1);
+    let model = HawcClassifier::train(&train, pool, &small_hawc_config(), &mut rng);
+    let mut counter = CrowdCounter::new(model, CounterConfig::default());
+
+    // Stage a scene with a known number of pedestrians, well separated.
+    let walkway = WalkwayConfig::default();
+    let mut scene = Scene::new(walkway);
+    for (x, y) in [(14.0, -1.5), (20.0, 1.5), (30.0, 0.0)] {
+        scene.add_human(Human::new(world::HumanParams::sample(&mut rng), x, y, 0.0));
+    }
+    let sensor = Lidar::new(SensorConfig::default());
+    let mut sweep = sensor.scan(&scene, &mut rng);
+    roi_filter(&mut sweep, &walkway);
+    ground_segment(&mut sweep);
+    let result = counter.count(&sweep.into_cloud());
+    // The tiny test model may miss a far pedestrian but must find most
+    // and must not hallucinate a crowd.
+    assert!(
+        (1..=4).contains(&result.count),
+        "expected a plausible count near 3, got {} over {} clusters",
+        result.count,
+        result.clusters_classified
+    );
+}
+
+#[test]
+fn counting_metrics_over_generated_captures() {
+    let (train, _, pool) = setup();
+    let mut rng = StdRng::seed_from_u64(2);
+    let model = HawcClassifier::train(&train, pool, &small_hawc_config(), &mut rng);
+    let mut counter = CrowdCounter::new(model, CounterConfig::default());
+    let captures = generate_counting_dataset(&CountingDatasetConfig {
+        samples: 24,
+        seed: 3,
+        ..CountingDatasetConfig::default()
+    });
+    let report = evaluate_counter(&mut counter, &captures);
+    assert_eq!(report.metrics.count(), 24);
+    // Random guessing over 0..=6 pedestrians would have MAE ≈ 2.3; the
+    // pipeline must do clearly better even at test scale.
+    assert!(
+        report.metrics.mae() < 1.8,
+        "pipeline MAE too high: {}",
+        report.metrics
+    );
+    assert!(report.total_ms.mean() > 0.0);
+    assert_eq!(report.name, "HAWC-CC");
+}
+
+#[test]
+fn quantized_pipeline_matches_fp32_closely() {
+    let (train, test, pool) = setup();
+    let mut rng = StdRng::seed_from_u64(4);
+    let mut model = HawcClassifier::train(&train, pool, &small_hawc_config(), &mut rng);
+    let fp = model.evaluate(&test);
+    let quantized = model.quantize(&train, 100).expect("quantizes");
+    let q = quantized.evaluate(&test);
+    assert!(
+        (fp.accuracy - q.accuracy).abs() < 0.15,
+        "int8 diverged: fp32 {fp} vs int8 {q}"
+    );
+}
+
+#[test]
+fn baselines_plug_into_the_same_pipeline() {
+    let (train, _, pool) = setup();
+    let mut rng = StdRng::seed_from_u64(5);
+    let captures = generate_counting_dataset(&CountingDatasetConfig {
+        samples: 8,
+        seed: 6,
+        ..CountingDatasetConfig::default()
+    });
+
+    let ae = AutoEncoderClassifier::train(&train, &AutoEncoderConfig::small(), &mut rng);
+    let mut counter = CrowdCounter::new(ae, CounterConfig::default());
+    let report = evaluate_counter(&mut counter, &captures);
+    assert_eq!(report.name, "AutoEncoder-CC");
+    assert_eq!(report.metrics.count(), 8);
+
+    let svm = OcSvmClassifier::train(&train, &OcSvmClassifierConfig::default()).unwrap();
+    let mut counter = CrowdCounter::new(svm, CounterConfig::default());
+    let report = evaluate_counter(&mut counter, &captures);
+    assert_eq!(report.name, "OC-SVM-CC");
+
+    let pn = PointNetClassifier::train(
+        &train,
+        pool,
+        &PointNetConfig::small(),
+        &mut rng,
+    );
+    let mut counter = CrowdCounter::new(pn, CounterConfig::default());
+    let report = evaluate_counter(&mut counter, &captures);
+    assert_eq!(report.name, "PointNet-CC");
+}
+
+#[test]
+fn device_models_rank_the_trained_hawc_as_realtime() {
+    let (train, _, pool) = setup();
+    let mut rng = StdRng::seed_from_u64(7);
+    let model = HawcClassifier::train(&train, pool, &small_hawc_config(), &mut rng);
+    let profile = model.profile();
+    let jetson = DeviceModel::jetson_nano();
+    // Even the fp32 build fits far inside the 16 ms real-time budget.
+    assert!(jetson.latency_ms(&profile, Precision::Fp32) < 16.0);
+    assert!(
+        jetson.latency_ms(&profile, Precision::Int8)
+            < jetson.latency_ms(&profile, Precision::Fp32)
+    );
+}

@@ -1,0 +1,132 @@
+//! Failure injection: the pipeline must degrade gracefully, not panic,
+//! under hostile inputs — empty walkways, out-of-range scenes, sensor
+//! extremes, and degenerate captures.
+
+use hawc_cc::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use world::Human;
+
+/// A minimal trained counter shared by the robustness checks.
+fn tiny_counter() -> CrowdCounter<HawcClassifier> {
+    let data = generate_detection_dataset(&DetectionDatasetConfig {
+        samples: 80,
+        seed: 21,
+        ..DetectionDatasetConfig::default()
+    });
+    let pool = generate_object_pool(21, 8, &WalkwayConfig::default(), &SensorConfig::default());
+    let mut rng = StdRng::seed_from_u64(21);
+    let cfg = HawcConfig {
+        target_points: 0,
+        epochs: 4,
+        conv_channels: [6, 8, 10],
+        fc_hidden: 16,
+        ..HawcConfig::default()
+    };
+    let model = HawcClassifier::train(&data, pool, &cfg, &mut rng);
+    CrowdCounter::new(model, CounterConfig::default())
+}
+
+#[test]
+fn empty_walkway_counts_zero() {
+    let mut counter = tiny_counter();
+    let walkway = WalkwayConfig::default();
+    let scene = Scene::new(walkway);
+    let sensor = Lidar::new(SensorConfig::default());
+    let mut rng = StdRng::seed_from_u64(1);
+    let mut sweep = sensor.scan(&scene, &mut rng);
+    roi_filter(&mut sweep, &walkway);
+    ground_segment(&mut sweep);
+    // Ground returns are filtered; nothing left to count.
+    assert_eq!(counter.count(&sweep.into_cloud()).count, 0);
+}
+
+#[test]
+fn humans_outside_roi_are_invisible() {
+    let walkway = WalkwayConfig::default();
+    let mut scene = Scene::new(walkway);
+    // One person too close (pole shadow zone), one far beyond range.
+    let mut rng = StdRng::seed_from_u64(2);
+    scene.add_human(Human::new(world::HumanParams::sample(&mut rng), 5.0, 0.0, 0.0));
+    scene.add_human(Human::new(world::HumanParams::sample(&mut rng), 55.0, 0.0, 0.0));
+    let sensor = Lidar::new(SensorConfig::default());
+    let mut sweep = sensor.scan(&scene, &mut rng);
+    roi_filter(&mut sweep, &walkway);
+    ground_segment(&mut sweep);
+    assert_eq!(sweep.len(), 0, "out-of-ROI returns must be cropped");
+}
+
+#[test]
+fn pure_noise_capture_does_not_hallucinate_a_crowd() {
+    let mut counter = tiny_counter();
+    // A diffuse random cloud with no structure.
+    let mut rng = StdRng::seed_from_u64(3);
+    use rand::Rng;
+    let cloud: PointCloud = (0..400)
+        .map(|_| {
+            geom::Point3::new(
+                rng.gen_range(12.0..35.0),
+                rng.gen_range(-2.5..2.5),
+                rng.gen_range(-2.6..-0.8),
+            )
+        })
+        .collect();
+    let result = counter.count(&cloud);
+    // Diffuse noise mostly fails DBSCAN density or gets classified as
+    // clutter; a handful of false positives is tolerable, a crowd is not.
+    assert!(result.count <= 3, "hallucinated {} people from noise", result.count);
+}
+
+#[test]
+fn single_point_and_tiny_captures() {
+    let mut counter = tiny_counter();
+    assert_eq!(counter.count(&PointCloud::empty()).count, 0);
+    let one = PointCloud::new(vec![geom::Point3::new(15.0, 0.0, -2.0)]);
+    assert_eq!(counter.count(&one).count, 0);
+}
+
+#[test]
+fn extreme_sensor_configs_still_scan() {
+    let mut rng = StdRng::seed_from_u64(4);
+    let walkway = WalkwayConfig::default();
+    let mut scene = Scene::new(walkway);
+    scene.add_human(Human::new(world::HumanParams::sample(&mut rng), 15.0, 0.0, 0.0));
+    // Ultra-sparse sensor: 4 channels, coarse azimuth, single frame.
+    let sparse = SensorConfig {
+        channels: 4,
+        azimuth_step_deg: 2.0,
+        frames: 1,
+        ..SensorConfig::default()
+    };
+    let sweep = Lidar::new(sparse).scan(&scene, &mut rng);
+    assert!(sweep.len() < 2000);
+    // Short-range sensor sees nothing in the 12-35 m band.
+    let myopic = SensorConfig { max_range: 5.0, ..SensorConfig::default() };
+    let mut sweep = Lidar::new(myopic).scan(&scene, &mut rng);
+    roi_filter(&mut sweep, &walkway);
+    assert_eq!(sweep.len(), 0);
+}
+
+#[test]
+fn quantization_of_untrained_network_still_predicts() {
+    // An untrained (random-weight) model must quantize and produce
+    // *some* label without panicking — deployment-pipeline smoke check.
+    let data = generate_detection_dataset(&DetectionDatasetConfig {
+        samples: 40,
+        seed: 5,
+        ..DetectionDatasetConfig::default()
+    });
+    let pool = generate_object_pool(5, 8, &WalkwayConfig::default(), &SensorConfig::default());
+    let mut rng = StdRng::seed_from_u64(5);
+    let cfg = HawcConfig {
+        target_points: 0,
+        epochs: 1,
+        conv_channels: [4, 6, 8],
+        fc_hidden: 8,
+        ..HawcConfig::default()
+    };
+    let model = HawcClassifier::train(&data, pool, &cfg, &mut rng);
+    let q = model.quantize(&data, 10).expect("quantizes");
+    let labels = q.predict_batch(&[data[0].cloud.points().to_vec()]);
+    assert_eq!(labels.len(), 1);
+}

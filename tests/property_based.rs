@@ -1,0 +1,146 @@
+//! Property-based tests over the core data structures and invariants.
+
+use cluster::{adaptive_eps, dbscan, AdaptiveConfig, DbscanParams};
+use dataset::ObjectPool;
+use geom::stats::Summary;
+use geom::{KdTree, Point3};
+use lidar::PointCloud;
+use projection::{project, target_points, upsample_with_pool, ProjectionConfig};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn arb_point() -> impl Strategy<Value = Point3> {
+    (-40.0..40.0f64, -10.0..10.0f64, -3.0..0.5f64)
+        .prop_map(|(x, y, z)| Point3::new(x, y, z))
+}
+
+fn arb_cloud(max: usize) -> impl Strategy<Value = Vec<Point3>> {
+    proptest::collection::vec(arb_point(), 1..max)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// KD-tree k-NN matches brute force on arbitrary clouds.
+    #[test]
+    fn kdtree_knn_matches_brute_force(points in arb_cloud(80), q in arb_point(), k in 1usize..12) {
+        let tree = KdTree::build(&points);
+        let fast = tree.knn(q, k);
+        let mut brute: Vec<f64> =
+            points.iter().map(|p| p.distance_sq(q)).collect();
+        brute.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        brute.truncate(k);
+        prop_assert_eq!(fast.len(), brute.len());
+        for (f, b) in fast.iter().zip(&brute) {
+            prop_assert!((f.1 - b).abs() < 1e-9);
+        }
+    }
+
+    /// Radius queries return exactly the in-range points.
+    #[test]
+    fn kdtree_within_matches_brute_force(points in arb_cloud(80), q in arb_point(), r in 0.0..20.0f64) {
+        let tree = KdTree::build(&points);
+        let mut got = tree.within(q, r);
+        got.sort_unstable();
+        let mut want: Vec<usize> = points
+            .iter()
+            .enumerate()
+            .filter(|(_, p)| p.distance(q) <= r)
+            .map(|(i, _)| i)
+            .collect();
+        want.sort_unstable();
+        prop_assert_eq!(got, want);
+    }
+
+    /// DBSCAN output is a valid partition: every label below the cluster
+    /// count and every cluster non-empty.
+    #[test]
+    fn dbscan_produces_valid_partition(points in arb_cloud(60), eps in 0.05..3.0f64, min_pts in 1usize..8) {
+        let c = dbscan(&points, &DbscanParams { eps, min_points: min_pts });
+        prop_assert_eq!(c.len(), points.len());
+        let groups = c.clusters();
+        prop_assert_eq!(groups.len(), c.cluster_count());
+        for g in &groups {
+            prop_assert!(!g.is_empty());
+        }
+        let members: usize = groups.iter().map(Vec::len).sum();
+        prop_assert_eq!(members + c.noise_count(), points.len());
+    }
+
+    /// Adaptive ε always lands inside the configured clamp range.
+    #[test]
+    fn adaptive_eps_respects_clamps(points in arb_cloud(60)) {
+        let cfg = AdaptiveConfig::default();
+        let eps = adaptive_eps(&points, &cfg);
+        prop_assert!(eps >= cfg.min_eps.min(cfg.fallback_eps));
+        prop_assert!(eps <= cfg.max_eps.max(cfg.fallback_eps));
+        prop_assert!(eps.is_finite());
+    }
+
+    /// Up-sampling always returns exactly the target count and keeps the
+    /// original points when padding.
+    #[test]
+    fn upsample_hits_target_exactly(points in arb_cloud(500), side in 2usize..22) {
+        let target = side * side;
+        let pool = ObjectPool::new(vec![Point3::new(20.0, 0.0, -2.5); 8]);
+        let mut rng = StdRng::seed_from_u64(1);
+        let up = upsample_with_pool(&points, target, &pool, &mut rng).unwrap();
+        prop_assert_eq!(up.len(), target);
+        if points.len() <= target {
+            prop_assert_eq!(&up[..points.len()], &points[..]);
+        }
+    }
+
+    /// Projection output is always finite with the advertised shape.
+    #[test]
+    fn projection_is_finite(points in arb_cloud(200), side in 2usize..16) {
+        let target = side * side;
+        let pool = ObjectPool::new(vec![Point3::new(20.0, 0.0, -2.5); 8]);
+        let mut rng = StdRng::seed_from_u64(2);
+        let up = upsample_with_pool(&points, target, &pool, &mut rng).unwrap();
+        let cfg = ProjectionConfig::default();
+        let t = project(&up, &cfg);
+        prop_assert_eq!(t.shape(), &[cfg.method.channels(), side, side]);
+        prop_assert!(t.data().iter().all(|v| v.is_finite()));
+    }
+
+    /// `target_points` returns the smallest perfect square ≥ n.
+    #[test]
+    fn target_points_is_minimal_square(n in 1usize..5000) {
+        let t = target_points(n);
+        let side = (t as f64).sqrt().round() as usize;
+        prop_assert_eq!(side * side, t);
+        prop_assert!(t >= n);
+        if side > 1 {
+            prop_assert!((side - 1) * (side - 1) < n);
+        }
+    }
+
+    /// Welford merge equals one-pass accumulation.
+    #[test]
+    fn summary_merge_is_associative(xs in proptest::collection::vec(-100.0..100.0f64, 1..60), cut in 0usize..60) {
+        let cut = cut.min(xs.len());
+        let full: Summary = xs.iter().copied().collect();
+        let mut a: Summary = xs[..cut].iter().copied().collect();
+        let b: Summary = xs[cut..].iter().copied().collect();
+        a.merge(&b);
+        prop_assert_eq!(a.count(), full.count());
+        prop_assert!((a.mean() - full.mean()).abs() < 1e-9);
+        prop_assert!((a.population_variance() - full.population_variance()).abs() < 1e-6);
+    }
+
+    /// The dataset binary codec round-trips arbitrary clouds.
+    #[test]
+    fn codec_round_trips(points in arb_cloud(100), gt in 0usize..50) {
+        let sample = dataset::CountingSample {
+            cloud: PointCloud::new(points),
+            ground_truth: gt,
+            meta: dataset::SampleMeta::for_capture(9, 3, 2.0),
+        };
+        let encoded = dataset::codec::encode_counting(std::slice::from_ref(&sample));
+        let decoded = dataset::codec::decode_counting(encoded).unwrap();
+        prop_assert_eq!(decoded.len(), 1);
+        prop_assert_eq!(&decoded[0], &sample);
+    }
+}
