@@ -124,7 +124,11 @@ fn build_network(dim: usize, width: usize, rng: &mut StdRng) -> Sequential {
     let bottleneck = (width / 2).max(4);
     let mut net = Sequential::new();
     for &w in &[width, width, width, bottleneck, width, width, width] {
-        let in_f = if net.is_empty() { dim } else { prev_width(&net) };
+        let in_f = if net.is_empty() {
+            dim
+        } else {
+            prev_width(&net)
+        };
         net.push(Dense::new(in_f, w, rng));
         net.push(ReLU::new());
     }
@@ -143,7 +147,10 @@ fn prev_width(net: &Sequential) -> usize {
 }
 
 fn featurize(samples: &[DetectionSample], cfg: &FeatureConfig) -> Vec<Vec<f32>> {
-    samples.iter().map(|s| extract(s.cloud.points(), cfg).to_f32()).collect()
+    samples
+        .iter()
+        .map(|s| extract(s.cloud.points(), cfg).to_f32())
+        .collect()
 }
 
 fn to_tensor(rows: &[Vec<f32>]) -> Tensor {
@@ -200,8 +207,16 @@ impl AutoEncoderClassifier {
             let cfg = TrainConfig {
                 epochs: config.search_epochs,
                 batch_size: config.batch_size,
-                shuffle: true, workers: 1 };
-            candidate.fit(&tx, &ty, &cfg, &mut Adam::new(config.learning_rate), &mut net_rng);
+                shuffle: true,
+                workers: 1,
+            };
+            candidate.fit(
+                &tx,
+                &ty,
+                &cfg,
+                &mut Adam::new(config.learning_rate),
+                &mut net_rng,
+            );
             let acc = candidate.accuracy(&vx, &vy);
             if acc > best.1 {
                 best = (w, acc);
@@ -212,7 +227,9 @@ impl AutoEncoderClassifier {
         let train_cfg = TrainConfig {
             epochs: config.epochs,
             batch_size: config.batch_size,
-            shuffle: true, workers: 1 };
+            shuffle: true,
+            workers: 1,
+        };
         let eval_data = eval.map(|e| {
             let er = featurize(e, &config.features);
             let ex = to_tensor(&er.iter().map(|r| norm.apply(r)).collect::<Vec<_>>());
@@ -228,11 +245,21 @@ impl AutoEncoderClassifier {
                 &mut Adam::new(config.learning_rate),
                 &mut net_rng,
             ),
-            None => {
-                net.fit(&x, &y, &train_cfg, &mut Adam::new(config.learning_rate), &mut net_rng)
-            }
+            None => net.fit(
+                &x,
+                &y,
+                &train_cfg,
+                &mut Adam::new(config.learning_rate),
+                &mut net_rng,
+            ),
         };
-        AutoEncoderClassifier { config: config.clone(), net, norm, chosen_width: best.0, events }
+        AutoEncoderClassifier {
+            config: config.clone(),
+            net,
+            norm,
+            chosen_width: best.0,
+            events,
+        }
     }
 
     /// The grid-searched layer width.
@@ -269,7 +296,11 @@ impl AutoEncoderClassifier {
             return Vec::new();
         }
         let x = self.prepare(clouds);
-        self.net.predict_classes(&x).into_iter().map(ClassLabel::from_index).collect()
+        self.net
+            .predict_classes(&x)
+            .into_iter()
+            .map(ClassLabel::from_index)
+            .collect()
     }
 
     /// Evaluates metrics on labelled clusters.
@@ -292,8 +323,10 @@ impl AutoEncoderClassifier {
             return Err(QuantError::NoCalibrationData);
         }
         let take = calibration_samples.min(calibration.len()).max(1);
-        let clouds: Vec<Vec<Point3>> =
-            calibration[..take].iter().map(|s| s.cloud.points().to_vec()).collect();
+        let clouds: Vec<Vec<Point3>> = calibration[..take]
+            .iter()
+            .map(|s| s.cloud.points().to_vec())
+            .collect();
         let x = self.prepare(&clouds);
         Ok(QuantizedAutoEncoder {
             qnet: QuantizedNetwork::from_sequential(&self.net, &x)?,
@@ -332,7 +365,11 @@ impl QuantizedAutoEncoder {
             .map(|c| self.norm.apply(&extract(c, &self.features).to_f32()))
             .collect();
         let x = to_tensor(&rows);
-        self.qnet.predict_classes(&x).into_iter().map(ClassLabel::from_index).collect()
+        self.qnet
+            .predict_classes(&x)
+            .into_iter()
+            .map(ClassLabel::from_index)
+            .collect()
     }
 }
 
@@ -366,8 +403,7 @@ mod tests {
     fn learns_above_chance() {
         let (train, test) = setup(200);
         let mut rng = StdRng::seed_from_u64(2);
-        let mut model =
-            AutoEncoderClassifier::train(&train, &AutoEncoderConfig::small(), &mut rng);
+        let mut model = AutoEncoderClassifier::train(&train, &AutoEncoderConfig::small(), &mut rng);
         let m = model.evaluate(&test);
         assert!(m.accuracy > 0.6, "AutoEncoder failed to learn: {m}");
     }
@@ -401,7 +437,12 @@ mod tests {
     fn autoencoder_is_all_dense() {
         let (train, _) = setup(40);
         let mut rng = StdRng::seed_from_u64(5);
-        let cfg = AutoEncoderConfig { grid: vec![16], search_epochs: 1, epochs: 1, ..AutoEncoderConfig::small() };
+        let cfg = AutoEncoderConfig {
+            grid: vec![16],
+            search_epochs: 1,
+            epochs: 1,
+            ..AutoEncoderConfig::small()
+        };
         let model = AutoEncoderClassifier::train(&train, &cfg, &mut rng);
         // Dense MACs dominate; the small ReLU`macs` entries keep the
         // ratio just below 1.
@@ -412,8 +453,7 @@ mod tests {
     fn quantized_autoencoder_predicts() {
         let (train, test) = setup(120);
         let mut rng = StdRng::seed_from_u64(6);
-        let mut model =
-            AutoEncoderClassifier::train(&train, &AutoEncoderConfig::small(), &mut rng);
+        let mut model = AutoEncoderClassifier::train(&train, &AutoEncoderConfig::small(), &mut rng);
         let fp = model.evaluate(&test);
         let q = model.quantize(&train, 100).unwrap();
         let qm = {
@@ -430,7 +470,10 @@ mod tests {
     fn empty_grid_panics() {
         let (train, _) = setup(20);
         let mut rng = StdRng::seed_from_u64(7);
-        let cfg = AutoEncoderConfig { grid: vec![], ..AutoEncoderConfig::small() };
+        let cfg = AutoEncoderConfig {
+            grid: vec![],
+            ..AutoEncoderConfig::small()
+        };
         let _ = AutoEncoderClassifier::train(&train, &cfg, &mut rng);
     }
 }

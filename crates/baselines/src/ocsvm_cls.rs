@@ -13,18 +13,12 @@ use ocsvm::{OcSvm, OcSvmError, OcSvmParams};
 use serde::{Deserialize, Serialize};
 
 /// OC-SVM classifier configuration.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
 pub struct OcSvmClassifierConfig {
     /// Slice-feature extraction settings.
     pub features: FeatureConfig,
     /// SVM hyper-parameters (paper: ν = 0.01, γ = 1/n).
     pub svm: OcSvmParams,
-}
-
-impl Default for OcSvmClassifierConfig {
-    fn default() -> Self {
-        OcSvmClassifierConfig { features: FeatureConfig::default(), svm: OcSvmParams::default() }
-    }
 }
 
 /// A trained one-class-SVM human classifier.
@@ -49,10 +43,17 @@ impl OcSvmClassifier {
         let human_rows: Vec<Vec<f64>> = samples
             .iter()
             .filter(|s| s.label == ClassLabel::Human)
-            .map(|s| extract(s.cloud.points(), &config.features).values().to_vec())
+            .map(|s| {
+                extract(s.cloud.points(), &config.features)
+                    .values()
+                    .to_vec()
+            })
             .collect();
         let svm = OcSvm::fit(&human_rows, &config.svm)?;
-        Ok(OcSvmClassifier { config: *config, svm })
+        Ok(OcSvmClassifier {
+            config: *config,
+            svm,
+        })
     }
 
     /// Number of support vectors.
@@ -123,7 +124,10 @@ mod tests {
         let (train, test) = setup(400);
         let model = OcSvmClassifier::train(&train, &OcSvmClassifierConfig::default()).unwrap();
         let m = model.evaluate(&test);
-        assert!(m.recall >= 0.85, "one-class SVM should accept most humans: {m}");
+        assert!(
+            m.recall >= 0.85,
+            "one-class SVM should accept most humans: {m}"
+        );
         assert!(
             m.recall >= m.precision,
             "one-class training should over-accept, not over-reject: {m}"
@@ -152,8 +156,8 @@ mod tests {
             .into_iter()
             .filter(|s| s.label == ClassLabel::Object)
             .collect();
-        let err = OcSvmClassifier::train(&objects_only, &OcSvmClassifierConfig::default())
-            .unwrap_err();
+        let err =
+            OcSvmClassifier::train(&objects_only, &OcSvmClassifierConfig::default()).unwrap_err();
         assert_eq!(err, OcSvmError::NoData);
     }
 

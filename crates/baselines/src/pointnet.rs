@@ -12,8 +12,8 @@ use dataset::{BinaryMetrics, ClassLabel, CloudClassifier, DetectionSample, Objec
 use geom::Point3;
 use nn::quant::{QuantError, QuantizedNetwork};
 use nn::{
-    Adam, BatchNorm2d, Dense, GlobalMaxPool, PointwiseDense, ReLU, Sequential, Tensor,
-    TrainConfig, TrainEvent,
+    Adam, BatchNorm2d, Dense, GlobalMaxPool, PointwiseDense, ReLU, Sequential, Tensor, TrainConfig,
+    TrainEvent,
 };
 use projection::upsample_with_pool;
 use rand::rngs::StdRng;
@@ -174,10 +174,17 @@ impl PointNetClassifier {
             to_tensor(&clouds)
         };
         let eval_data = eval.map(|e| {
-            (prep(e, &mut up_rng), e.iter().map(|s| s.label.index()).collect::<Vec<_>>())
+            (
+                prep(e, &mut up_rng),
+                e.iter().map(|s| s.label.index()).collect::<Vec<_>>(),
+            )
         });
-        let one_epoch =
-            TrainConfig { epochs: 1, batch_size: config.batch_size, shuffle: true, workers: 0 };
+        let one_epoch = TrainConfig {
+            epochs: 1,
+            batch_size: config.batch_size,
+            shuffle: true,
+            workers: 0,
+        };
         let mut opt = Adam::new(config.learning_rate);
         let mut events = Vec::with_capacity(config.epochs);
         for epoch in 1..=config.epochs {
@@ -190,7 +197,12 @@ impl PointNetClassifier {
             }
             events.push(event);
         }
-        PointNetClassifier { config, net, pool, events }
+        PointNetClassifier {
+            config,
+            net,
+            pool,
+            events,
+        }
     }
 
     /// Trainable parameter count (≈750k for the default architecture).
@@ -226,7 +238,11 @@ impl PointNetClassifier {
             return Vec::new();
         }
         let x = self.prepare(clouds);
-        self.net.predict_classes(&x).into_iter().map(ClassLabel::from_index).collect()
+        self.net
+            .predict_classes(&x)
+            .into_iter()
+            .map(ClassLabel::from_index)
+            .collect()
     }
 
     /// Evaluates metrics on labelled clusters.
@@ -248,8 +264,10 @@ impl PointNetClassifier {
             return Err(QuantError::NoCalibrationData);
         }
         let take = calibration_samples.min(calibration.len()).max(1);
-        let clouds: Vec<Vec<Point3>> =
-            calibration[..take].iter().map(|s| s.cloud.points().to_vec()).collect();
+        let clouds: Vec<Vec<Point3>> = calibration[..take]
+            .iter()
+            .map(|s| s.cloud.points().to_vec())
+            .collect();
         let x = self.prepare(&clouds);
         Ok(QuantizedPointNet {
             qnet: QuantizedNetwork::from_sequential(&self.net, &x)?,
@@ -292,7 +310,11 @@ impl QuantizedPointNet {
             })
             .collect();
         let x = to_tensor(&fixed);
-        self.qnet.predict_classes(&x).into_iter().map(ClassLabel::from_index).collect()
+        self.qnet
+            .predict_classes(&x)
+            .into_iter()
+            .map(ClassLabel::from_index)
+            .collect()
     }
 }
 
@@ -321,8 +343,7 @@ mod tests {
             seed: 42,
             ..DetectionDatasetConfig::default()
         });
-        let pool =
-            generate_object_pool(7, 16, &WalkwayConfig::default(), &SensorConfig::default());
+        let pool = generate_object_pool(7, 16, &WalkwayConfig::default(), &SensorConfig::default());
         let mut rng = StdRng::seed_from_u64(1);
         let parts = split(&mut rng, data, 0.8);
         (parts.train, parts.test, pool)
@@ -335,7 +356,10 @@ mod tests {
         // captures and epochs to clear chance decisively.
         let (train, test, pool) = setup(400);
         let mut rng = StdRng::seed_from_u64(2);
-        let cfg = PointNetConfig { epochs: 20, ..PointNetConfig::small() };
+        let cfg = PointNetConfig {
+            epochs: 20,
+            ..PointNetConfig::small()
+        };
         let mut model = PointNetClassifier::train(&train, pool, &cfg, &mut rng);
         let m = model.evaluate(&test);
         assert!(m.accuracy > 0.65, "PointNet failed to learn: {m}");
@@ -345,7 +369,10 @@ mod tests {
     fn default_parameter_count_near_paper() {
         let (train, _, pool) = setup(20);
         let mut rng = StdRng::seed_from_u64(3);
-        let cfg = PointNetConfig { epochs: 1, ..PointNetConfig::default() };
+        let cfg = PointNetConfig {
+            epochs: 1,
+            ..PointNetConfig::default()
+        };
         let model = PointNetClassifier::train(&train, pool, &cfg, &mut rng);
         let p = model.param_count();
         // Paper: 747,947. Same order of magnitude, same architecture.
@@ -357,7 +384,10 @@ mod tests {
         use nn::profile::OpKind;
         let (train, _, pool) = setup(20);
         let mut rng = StdRng::seed_from_u64(4);
-        let cfg = PointNetConfig { epochs: 1, ..PointNetConfig::small() };
+        let cfg = PointNetConfig {
+            epochs: 1,
+            ..PointNetConfig::small()
+        };
         let model = PointNetClassifier::train(&train, pool, &cfg, &mut rng);
         let p = model.profile();
         let mlp = p.macs_of(OpKind::PointwiseMlp) + p.macs_of(OpKind::Dense);
@@ -368,11 +398,13 @@ mod tests {
     fn quantized_pointnet_predicts() {
         let (train, test, pool) = setup(80);
         let mut rng = StdRng::seed_from_u64(5);
-        let cfg = PointNetConfig { epochs: 4, ..PointNetConfig::small() };
+        let cfg = PointNetConfig {
+            epochs: 4,
+            ..PointNetConfig::small()
+        };
         let model = PointNetClassifier::train(&train, pool, &cfg, &mut rng);
         let q = model.quantize(&train, 50).unwrap();
-        let clouds: Vec<Vec<Point3>> =
-            test.iter().map(|s| s.cloud.points().to_vec()).collect();
+        let clouds: Vec<Vec<Point3>> = test.iter().map(|s| s.cloud.points().to_vec()).collect();
         let preds = q.predict_batch(&clouds);
         assert_eq!(preds.len(), clouds.len());
     }
@@ -381,7 +413,10 @@ mod tests {
     fn order_invariance_of_aggregation() {
         let (train, test, pool) = setup(80);
         let mut rng = StdRng::seed_from_u64(6);
-        let cfg = PointNetConfig { epochs: 3, ..PointNetConfig::small() };
+        let cfg = PointNetConfig {
+            epochs: 3,
+            ..PointNetConfig::small()
+        };
         let mut model = PointNetClassifier::train(&train, pool, &cfg, &mut rng);
         // Shuffling the points of a cluster must not change its label:
         // the prediction-time noise padding is seeded per batch position,

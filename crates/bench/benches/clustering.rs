@@ -17,7 +17,11 @@ fn capture() -> Vec<Point3> {
             let layer = (i / 10) as f64;
             pts.push(
                 Point3::new(cx, cy, -2.6)
-                    + Vec3::new(0.14 * a.cos(), 0.14 * a.sin(), layer * h / (n as f64 / 10.0)),
+                    + Vec3::new(
+                        0.14 * a.cos(),
+                        0.14 * a.sin(),
+                        layer * h / (n as f64 / 10.0),
+                    ),
             );
         }
     };
@@ -39,7 +43,15 @@ fn bench_clustering(c: &mut Criterion) {
         b.iter(|| adaptive_dbscan(black_box(&pts), &AdaptiveConfig::default()))
     });
     group.bench_function("fixed_dbscan_eps0.3", |b| {
-        b.iter(|| dbscan(black_box(&pts), &DbscanParams { eps: 0.3, min_points: 5 }))
+        b.iter(|| {
+            dbscan(
+                black_box(&pts),
+                &DbscanParams {
+                    eps: 0.3,
+                    min_points: 5,
+                },
+            )
+        })
     });
     group.bench_function("hierarchical_complete", |b| {
         b.iter(|| hierarchical(black_box(&pts), Linkage::Complete, 0.3))

@@ -48,10 +48,15 @@ fn bench_projection(c: &mut Criterion) {
     let mut rng = StdRng::seed_from_u64(6);
     let fixed = upsample_with_pool(&cluster, 324, &pool, &mut rng).unwrap();
     for method in ProjectionMethod::ALL {
-        let cfg = ProjectionConfig { method, ..ProjectionConfig::default() };
-        group.bench_with_input(BenchmarkId::new("project", method.to_string()), &cfg, |b, cfg| {
-            b.iter(|| project(black_box(&fixed), cfg))
-        });
+        let cfg = ProjectionConfig {
+            method,
+            ..ProjectionConfig::default()
+        };
+        group.bench_with_input(
+            BenchmarkId::new("project", method.to_string()),
+            &cfg,
+            |b, cfg| b.iter(|| project(black_box(&fixed), cfg)),
+        );
     }
     group.finish();
 }

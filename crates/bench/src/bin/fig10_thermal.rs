@@ -15,20 +15,48 @@ fn main() {
     let readings = simulate(&cfg, &mut rng);
     let s = summarize(&readings);
 
-    println!("Fig 10 — {} days at one reading per {:.1} min ({} readings)\n", cfg.days, cfg.period_min, readings.len());
+    println!(
+        "Fig 10 — {} days at one reading per {:.1} min ({} readings)\n",
+        cfg.days,
+        cfg.period_min,
+        readings.len()
+    );
     let rows = vec![
-        vec!["pole max (°C)".into(), table::f(s.pole_max_c, 2), "57.81".into()],
-        vec!["pole min (°C)".into(), table::f(s.pole_min_c, 2), "21.00".into()],
-        vec!["pole mean (°C)".into(), table::f(s.pole_mean_c, 2), "41.95".into()],
-        vec!["peak pole-weather offset (°C)".into(), table::f(s.peak_offset_c, 2), "~10".into()],
-        vec!["night pole-weather offset (°C)".into(), table::f(s.night_offset_c, 2), "<5".into()],
+        vec![
+            "pole max (°C)".into(),
+            table::f(s.pole_max_c, 2),
+            "57.81".into(),
+        ],
+        vec![
+            "pole min (°C)".into(),
+            table::f(s.pole_min_c, 2),
+            "21.00".into(),
+        ],
+        vec![
+            "pole mean (°C)".into(),
+            table::f(s.pole_mean_c, 2),
+            "41.95".into(),
+        ],
+        vec![
+            "peak pole-weather offset (°C)".into(),
+            table::f(s.peak_offset_c, 2),
+            "~10".into(),
+        ],
+        vec![
+            "night pole-weather offset (°C)".into(),
+            table::f(s.night_offset_c, 2),
+            "<5".into(),
+        ],
         vec![
             "readings above Coral's 50 °C rating".into(),
             table::pct(s.above_rated_fraction),
             ">0%".into(),
         ],
     ];
-    println!("{}", table::render(&["quantity", "measured", "paper"], &rows));
+    println!(
+        "{}",
+        table::render(&["quantity", "measured", "paper"], &rows)
+    );
 
     // Daily max/min series (the Fig. 10 curve, one row per day).
     println!("daily series (°C):");
@@ -36,8 +64,14 @@ fn main() {
     let mut rows = Vec::new();
     for d in 0..cfg.days {
         let day = &readings[d * per_day..(d + 1) * per_day];
-        let wmax = day.iter().map(|r| r.weather_c).fold(f64::NEG_INFINITY, f64::max);
-        let pmax = day.iter().map(|r| r.pole_c).fold(f64::NEG_INFINITY, f64::max);
+        let wmax = day
+            .iter()
+            .map(|r| r.weather_c)
+            .fold(f64::NEG_INFINITY, f64::max);
+        let pmax = day
+            .iter()
+            .map(|r| r.pole_c)
+            .fold(f64::NEG_INFINITY, f64::max);
         let pmin = day.iter().map(|r| r.pole_c).fold(f64::INFINITY, f64::min);
         rows.push(vec![
             format!("day {:02}", d + 1),

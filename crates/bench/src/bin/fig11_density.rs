@@ -16,7 +16,10 @@ fn main() {
     let mut rows = Vec::new();
     for (pedestrians, label) in [(50usize, "Low"), (150, "Moderate"), (250, "High")] {
         let mut rng = StdRng::seed_from_u64(11 + pedestrians as u64);
-        let cfg = CrowdConfig { pedestrians, ..CrowdConfig::default() };
+        let cfg = CrowdConfig {
+            pedestrians,
+            ..CrowdConfig::default()
+        };
         let layout = CrowdLayout::generate(&mut rng, cfg);
         assert_eq!(layout.config().density_level().to_string(), label);
         let scene = layout.build_scene(&mut rng, walkway);
@@ -33,11 +36,21 @@ fn main() {
             table::pm(ys.mean(), ys.population_std_dev(), 2),
         ]);
     }
-    println!("Fig 11 — synthetic crowds over a {:.0} m² patch (±5 m offsets)\n", CrowdConfig::default().area_m2());
+    println!(
+        "Fig 11 — synthetic crowds over a {:.0} m² patch (±5 m offsets)\n",
+        CrowdConfig::default().area_m2()
+    );
     println!(
         "{}",
         table::render(
-            &["pedestrians", "density", "capture points", "objects", "x offset (m)", "y offset (m)"],
+            &[
+                "pedestrians",
+                "density",
+                "capture points",
+                "objects",
+                "x offset (m)",
+                "y offset (m)"
+            ],
             &rows
         )
     );

@@ -23,7 +23,11 @@ fn main() {
     let mut dists = tree.knn_distances(cfg.k);
     dists.sort_by(|a, b| a.partial_cmp(b).unwrap());
     let elbow = knee::max_relative_gap(&dists).expect("curve has an elbow");
-    println!("Fig 4a — sorted {}-NN distance curve, one capture ({} points)", cfg.k, dists.len());
+    println!(
+        "Fig 4a — sorted {}-NN distance curve, one capture ({} points)",
+        cfg.k,
+        dists.len()
+    );
     let mut rows = Vec::new();
     for frac in [0.0, 0.25, 0.5, 0.75, 0.9, 0.99] {
         let i = ((dists.len() - 1) as f64 * frac) as usize;

@@ -8,9 +8,11 @@ use bench::{HarnessArgs, Workbench};
 use dataset::ClassLabel;
 use geom::stats::Histogram;
 
+type Axis = (&'static str, fn(&geom::Point3) -> f64, f64, f64);
+
 fn main() {
     let bench = Workbench::prepare(HarnessArgs::parse());
-    let axes: [(&str, fn(&geom::Point3) -> f64, f64, f64); 3] = [
+    let axes: [Axis; 3] = [
         ("x (walkway distance, m)", |p| p.x, 10.0, 37.0),
         ("y (across walkway, m)", |p| p.y, -3.0, 3.0),
         ("z (height vs sensor, m)", |p| p.z, -2.7, -0.4),

@@ -36,7 +36,11 @@ fn main() {
         &bench.autoencoder_config(),
         &mut bench.rng(),
     );
-    let series = [("HAWC", hawc.training_events()), ("PointNet", pn.training_events()), ("AutoEncoder", ae.training_events())];
+    let series = [
+        ("HAWC", hawc.training_events()),
+        ("PointNet", pn.training_events()),
+        ("AutoEncoder", ae.training_events()),
+    ];
     let max_epochs = series.iter().map(|(_, e)| e.len()).max().unwrap_or(0);
     let mut rows = Vec::new();
     for epoch in (0..max_epochs).step_by(2.max(max_epochs / 12)) {
@@ -49,7 +53,10 @@ fn main() {
         }
         rows.push(row);
     }
-    println!("{}", table::render(&["epoch", "HAWC", "PointNet", "AutoEncoder"], &rows));
+    println!(
+        "{}",
+        table::render(&["epoch", "HAWC", "PointNet", "AutoEncoder"], &rows)
+    );
 
     // (b) Limited training data: 100% → 0.1%.
     println!("Fig 8b — accuracy vs training-set fraction\n");
@@ -78,6 +85,12 @@ fn main() {
             table::pct(ae.evaluate_samples(test).accuracy),
         ]);
     }
-    println!("{}", table::render(&["training fraction", "HAWC", "PointNet", "AutoEncoder"], &rows));
+    println!(
+        "{}",
+        table::render(
+            &["training fraction", "HAWC", "PointNet", "AutoEncoder"],
+            &rows
+        )
+    );
     println!("paper @0.1%: HAWC 90.29 | PointNet 75.82 | AutoEncoder 12.44");
 }

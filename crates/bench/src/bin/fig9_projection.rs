@@ -15,7 +15,10 @@ fn main() {
     let mut rows = Vec::new();
     for method in ProjectionMethod::ALL {
         let cfg = HawcConfig {
-            projection: ProjectionConfig { method, ..ProjectionConfig::default() },
+            projection: ProjectionConfig {
+                method,
+                ..ProjectionConfig::default()
+            },
             ..bench.hawc_config()
         };
         let mut model = HawcClassifier::train(
@@ -35,10 +38,21 @@ fn main() {
             table::f(report.metrics.mse(), 3),
         ]);
     }
-    println!("\nFig 9 — projection ablation ({} counting captures)\n", bench.counting.len());
+    println!(
+        "\nFig 9 — projection ablation ({} counting captures)\n",
+        bench.counting.len()
+    );
     println!(
         "{}",
-        table::render(&["Projection", "Detection acc.", "Counting MAE", "Counting MSE"], &rows)
+        table::render(
+            &[
+                "Projection",
+                "Detection acc.",
+                "Counting MAE",
+                "Counting MSE"
+            ],
+            &rows
+        )
     );
     println!("paper: HAP best on all three; BEV worst (no height information)");
 }

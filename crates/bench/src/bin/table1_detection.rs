@@ -81,7 +81,15 @@ fn main() {
     println!(
         "{}",
         table::render(
-            &["Model", "Test Acc.", "F1", "Precision", "Recall", "Int8 Acc.", "Int8 Diff (pp)"],
+            &[
+                "Model",
+                "Test Acc.",
+                "F1",
+                "Precision",
+                "Recall",
+                "Int8 Acc.",
+                "Int8 Diff (pp)"
+            ],
             &rows
         )
     );

@@ -12,7 +12,9 @@ use bench::table;
 use edge::{DeviceModel, Precision};
 use hawc::HawcConfig;
 use nn::profile::NetworkProfile;
-use nn::{BatchNorm2d, Conv2d, Dense, Flatten, GlobalMaxPool, MaxPool2d, PointwiseDense, ReLU, Sequential};
+use nn::{
+    BatchNorm2d, Conv2d, Dense, Flatten, GlobalMaxPool, MaxPool2d, PointwiseDense, ReLU, Sequential,
+};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
@@ -84,7 +86,11 @@ fn autoencoder_profile() -> NetworkProfile {
 
 fn main() {
     let models: Vec<(&str, NetworkProfile, Option<&str>)> = vec![
-        ("OC-SVM", NetworkProfile::default(), Some("kernel method: no int8 build")),
+        (
+            "OC-SVM",
+            NetworkProfile::default(),
+            Some("kernel method: no int8 build"),
+        ),
         ("AutoEncoder", autoencoder_profile(), None),
         ("PointNet", pointnet_profile(), None),
         ("HAWC (Ours)", hawc_profile(), None),
@@ -96,7 +102,12 @@ fn main() {
             if note.is_some() {
                 // OC-SVM has no layer profile; the paper measures ~0.3 ms
                 // on both devices and excludes it from int8.
-                rows.push(vec![name.to_string(), "~0.30".into(), "-".into(), "-".into()]);
+                rows.push(vec![
+                    name.to_string(),
+                    "~0.30".into(),
+                    "-".into(),
+                    "-".into(),
+                ]);
                 continue;
             }
             let fp = device.latency_ms(profile, Precision::Fp32);
@@ -115,8 +126,10 @@ fn main() {
     }
     println!("paper (Jetson): OC-SVM 0.30 | AE 0.04→0.03 (1.62x) | PointNet 12.15→10.75 (1.13x) | HAWC 0.54→0.29 (1.87x)");
     println!("paper (Coral):  OC-SVM 0.32 | AE 0.07→1.05 (0.07x) | PointNet 57.14→1.09 (52.33x) | HAWC 1.88→0.62 (3.05x)");
-    println!("\nmodel sizes: HAWC {} params, PointNet {} params, AutoEncoder {} params",
+    println!(
+        "\nmodel sizes: HAWC {} params, PointNet {} params, AutoEncoder {} params",
         hawc_profile().total_params(),
         pointnet_profile().total_params(),
-        autoencoder_profile().total_params());
+        autoencoder_profile().total_params()
+    );
 }

@@ -19,7 +19,10 @@ fn main() {
     let mut rows = Vec::new();
     let mut baseline = None;
     for (name, sampling) in variants {
-        let cfg = HawcConfig { sampling, ..bench.hawc_config() };
+        let cfg = HawcConfig {
+            sampling,
+            ..bench.hawc_config()
+        };
         let mut model = HawcClassifier::train(
             &bench.detection.train,
             bench.pool.clone(),
@@ -35,10 +38,20 @@ fn main() {
         ]);
         eprintln!("[table3] {name}: {m}");
     }
-    println!("\nTable III — up-sampling noise source ({} train clusters)\n", bench.detection.train.len());
+    println!(
+        "\nTable III — up-sampling noise source ({} train clusters)\n",
+        bench.detection.train.len()
+    );
     println!(
         "{}",
-        table::render(&["Sampling method", "Test accuracy", "Diff vs object data (pp)"], &rows)
+        table::render(
+            &[
+                "Sampling method",
+                "Test accuracy",
+                "Diff vs object data (pp)"
+            ],
+            &rows
+        )
     );
     println!("paper: object 99.97 | σ=3 −0.27 | σ=5 −5.67 | σ=7 −2.82");
 }

@@ -11,10 +11,7 @@ use counting::{evaluate_counter, CounterConfig, CountingReport, CrowdCounter};
 use dataset::CloudClassifier;
 use edge::{DeviceModel, Precision};
 
-fn run<C: CloudClassifier>(
-    classifier: C,
-    samples: &[dataset::CountingSample],
-) -> CountingReport {
+fn run<C: CloudClassifier>(classifier: C, samples: &[dataset::CountingSample]) -> CountingReport {
     let mut counter = CrowdCounter::new(classifier, CounterConfig::default());
     evaluate_counter(&mut counter, samples)
 }
@@ -99,7 +96,10 @@ fn main() {
             r.device_ms.map_or("-".into(), |d| table::f(d, 2)),
         ]);
     }
-    println!("\nTable V — crowd counting over {} captures\n", samples.len());
+    println!(
+        "\nTable V — crowd counting over {} captures\n",
+        samples.len()
+    );
     println!(
         "{}",
         table::render(

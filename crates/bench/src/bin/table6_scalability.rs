@@ -25,7 +25,12 @@ fn main() {
     let sensor = Lidar::new(SensorConfig::default());
     // The crowd patch spills outside the default ROI (7–40 m); widen the
     // crop so the captures keep the whole patch, as the paper describes.
-    let walkway = WalkwayConfig { x_min: 7.0, x_max: 40.0, width: 10.0, ..WalkwayConfig::default() };
+    let walkway = WalkwayConfig {
+        x_min: 7.0,
+        x_max: 40.0,
+        width: 10.0,
+        ..WalkwayConfig::default()
+    };
 
     println!(
         "\nTable VI — scalability, {} runs x {} captures per row\n",
@@ -33,14 +38,16 @@ fn main() {
     );
     let mut rows = Vec::new();
     for pedestrians in [20usize, 30, 40, 50, 60, 70, 80, 90, 100, 150, 200, 250] {
-        let cfg = CrowdConfig { pedestrians, ..CrowdConfig::default() };
+        let cfg = CrowdConfig {
+            pedestrians,
+            ..CrowdConfig::default()
+        };
         let mut run_mae = Summary::new();
         let mut run_mse = Summary::new();
         let mut run_total = Summary::new();
         let mut run_actual = Summary::new();
         for run in 0..runs {
-            let mut rng =
-                StdRng::seed_from_u64(0x7AB6 ^ (pedestrians as u64) << 8 ^ run as u64);
+            let mut rng = StdRng::seed_from_u64(0x7AB6 ^ (pedestrians as u64) << 8 ^ run as u64);
             let mut metrics = CountingMetrics::new();
             for _ in 0..samples_per_run {
                 let layout = CrowdLayout::generate(&mut rng, cfg);
@@ -81,7 +88,14 @@ fn main() {
     println!(
         "{}",
         table::render(
-            &["# Pedestrians", "Density", "MAE", "MSE", "Total (K)", "Actual (K)"],
+            &[
+                "# Pedestrians",
+                "Density",
+                "MAE",
+                "MSE",
+                "Total (K)",
+                "Actual (K)"
+            ],
             &rows
         )
     );

@@ -15,14 +15,14 @@ use lidar::SensorConfig;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use std::path::PathBuf;
-use std::time::Instant;
 use world::WalkwayConfig;
 
 /// Common harness CLI arguments.
 ///
 /// Flags: `--samples N`, `--counting N`, `--seed N`, `--epochs N`,
 /// `--full` (paper-scale datasets: 15,028 detection captures),
-/// `--no-cache`.
+/// `--no-cache`, `--telemetry PATH` (enable telemetry and write a
+/// metrics + journal JSONL dump to PATH when the workbench drops).
 #[derive(Debug, Clone)]
 pub struct HarnessArgs {
     /// Detection dataset size (total, class-balanced).
@@ -35,6 +35,9 @@ pub struct HarnessArgs {
     pub epochs: usize,
     /// Skip the on-disk dataset cache.
     pub no_cache: bool,
+    /// When set, telemetry is enabled and a metrics + journal JSONL
+    /// dump lands here at the end of the run.
+    pub telemetry: Option<PathBuf>,
 }
 
 impl Default for HarnessArgs {
@@ -45,6 +48,7 @@ impl Default for HarnessArgs {
             seed: 42,
             epochs: 30,
             no_cache: false,
+            telemetry: None,
         }
     }
 }
@@ -78,6 +82,13 @@ impl HarnessArgs {
                     out.counting_samples = 15_028;
                 }
                 "--no-cache" => out.no_cache = true,
+                "--telemetry" => {
+                    i += 1;
+                    let path = args
+                        .get(i)
+                        .unwrap_or_else(|| panic!("missing value for --telemetry"));
+                    out.telemetry = Some(PathBuf::from(path));
+                }
                 other => panic!("unknown flag {other}"),
             }
             i += 1;
@@ -102,39 +113,57 @@ fn cache_dir() -> PathBuf {
     PathBuf::from("target/dataset-cache")
 }
 
-fn log_step(what: &str, t0: Instant) {
-    eprintln!("[workbench] {what} ({:.1}s)", t0.elapsed().as_secs_f64());
+/// Logs one workbench step and feeds the shared `workbench.<step>`
+/// histogram, so the harness timing and telemetry never disagree.
+fn log_step(step: &str, what: &str, ms: f64) {
+    obs::observe_ms(&format!("workbench.{step}"), ms);
+    eprintln!("[workbench] {what} ({:.1}s)", ms / 1e3);
 }
 
 impl Workbench {
-    /// Builds (or loads from cache) the datasets for `args`.
+    /// Builds (or loads from cache) the datasets for `args`. When
+    /// `args.telemetry` is set this also switches global telemetry on.
     pub fn prepare(args: HarnessArgs) -> Self {
+        if args.telemetry.is_some() {
+            obs::enable(true);
+        }
         let dir = cache_dir();
         let _ = std::fs::create_dir_all(&dir);
         let det_path = dir.join(format!("detection-{}-{}.hawc", args.samples, args.seed));
-        let cnt_path =
-            dir.join(format!("counting-{}-{}.hawc", args.counting_samples, args.seed));
+        let cnt_path = dir.join(format!(
+            "counting-{}-{}.hawc",
+            args.counting_samples, args.seed
+        ));
         let pool_path = dir.join(format!("pool-{}.hawc", args.seed));
 
-        let t0 = Instant::now();
-        let detection_all = if !args.no_cache {
-            codec::load_detection(&det_path).ok()
-        } else {
-            None
-        }
-        .unwrap_or_else(|| {
-            let data = generate_detection_dataset(&DetectionDatasetConfig {
-                samples: args.samples,
-                seed: args.seed,
-                ..DetectionDatasetConfig::default()
-            });
-            let _ = codec::save_detection(&det_path, &data);
-            data
+        let (detection_all, ms) = obs::timed_ms(|| {
+            if !args.no_cache {
+                codec::load_detection(&det_path).ok()
+            } else {
+                None
+            }
+            .unwrap_or_else(|| {
+                let data = generate_detection_dataset(&DetectionDatasetConfig {
+                    samples: args.samples,
+                    seed: args.seed,
+                    ..DetectionDatasetConfig::default()
+                });
+                let _ = codec::save_detection(&det_path, &data);
+                data
+            })
         });
-        log_step(&format!("detection dataset: {} captures", detection_all.len()), t0);
+        log_step(
+            "detection_dataset",
+            &format!("detection dataset: {} captures", detection_all.len()),
+            ms,
+        );
 
-        let t0 = Instant::now();
-        let counting = if !args.no_cache { codec::load_counting(&cnt_path).ok() } else { None }
+        let (counting, ms) = obs::timed_ms(|| {
+            if !args.no_cache {
+                codec::load_counting(&cnt_path).ok()
+            } else {
+                None
+            }
             .unwrap_or_else(|| {
                 let data = generate_counting_dataset(&CountingDatasetConfig {
                     samples: args.counting_samples,
@@ -143,11 +172,20 @@ impl Workbench {
                 });
                 let _ = codec::save_counting(&cnt_path, &data);
                 data
-            });
-        log_step(&format!("counting dataset: {} captures", counting.len()), t0);
+            })
+        });
+        log_step(
+            "counting_dataset",
+            &format!("counting dataset: {} captures", counting.len()),
+            ms,
+        );
 
-        let t0 = Instant::now();
-        let pool = if !args.no_cache { codec::load_pool(&pool_path).ok() } else { None }
+        let (pool, ms) = obs::timed_ms(|| {
+            if !args.no_cache {
+                codec::load_pool(&pool_path).ok()
+            } else {
+                None
+            }
             .unwrap_or_else(|| {
                 let pool = generate_object_pool(
                     args.seed ^ 0xB00,
@@ -157,12 +195,34 @@ impl Workbench {
                 );
                 let _ = codec::save_pool(&pool_path, &pool);
                 pool
-            });
-        log_step(&format!("object pool: {} points", pool.len()), t0);
+            })
+        });
+        log_step(
+            "object_pool",
+            &format!("object pool: {} points", pool.len()),
+            ms,
+        );
 
         let mut rng = StdRng::seed_from_u64(args.seed ^ 0x5);
         let detection = split(&mut rng, detection_all, 0.8);
-        Workbench { args, detection, counting, pool }
+        Workbench {
+            args,
+            detection,
+            counting,
+            pool,
+        }
+    }
+
+    /// Writes the metrics snapshot followed by the journal as JSON
+    /// lines to `args.telemetry`. Called automatically on drop; public
+    /// so harnesses can flush earlier.
+    pub fn write_telemetry(&self) -> std::io::Result<()> {
+        let Some(path) = &self.args.telemetry else {
+            return Ok(());
+        };
+        let mut text = obs::export::snapshot_jsonl(&obs::snapshot());
+        text.push_str(&obs::export::journal_jsonl(obs::journal_snapshot().iter()));
+        std::fs::write(path, text)
     }
 
     /// RNG stream for model training (fixed per seed).
@@ -172,7 +232,11 @@ impl Workbench {
 
     /// HAWC configuration at harness scale.
     pub fn hawc_config(&self) -> HawcConfig {
-        HawcConfig { target_points: 0, epochs: self.args.epochs, ..HawcConfig::default() }
+        HawcConfig {
+            target_points: 0,
+            epochs: self.args.epochs,
+            ..HawcConfig::default()
+        }
     }
 
     /// PointNet configuration at harness scale. The paper-scale
@@ -196,39 +260,42 @@ impl Workbench {
 
     /// Trains HAWC on the training split.
     pub fn train_hawc(&self) -> HawcClassifier {
-        let t0 = Instant::now();
-        let model = HawcClassifier::train(
-            &self.detection.train,
-            self.pool.clone(),
-            &self.hawc_config(),
-            &mut self.rng(),
-        );
-        log_step("trained HAWC", t0);
+        let (model, ms) = obs::timed_ms(|| {
+            HawcClassifier::train(
+                &self.detection.train,
+                self.pool.clone(),
+                &self.hawc_config(),
+                &mut self.rng(),
+            )
+        });
+        log_step("train_hawc", "trained HAWC", ms);
         model
     }
 
     /// Trains PointNet on the training split.
     pub fn train_pointnet(&self) -> PointNetClassifier {
-        let t0 = Instant::now();
-        let model = PointNetClassifier::train(
-            &self.detection.train,
-            self.pool.clone(),
-            &self.pointnet_config(),
-            &mut self.rng(),
-        );
-        log_step("trained PointNet", t0);
+        let (model, ms) = obs::timed_ms(|| {
+            PointNetClassifier::train(
+                &self.detection.train,
+                self.pool.clone(),
+                &self.pointnet_config(),
+                &mut self.rng(),
+            )
+        });
+        log_step("train_pointnet", "trained PointNet", ms);
         model
     }
 
     /// Trains the AutoEncoder on the training split.
     pub fn train_autoencoder(&self) -> AutoEncoderClassifier {
-        let t0 = Instant::now();
-        let model = AutoEncoderClassifier::train(
-            &self.detection.train,
-            &self.autoencoder_config(),
-            &mut self.rng(),
-        );
-        log_step("trained AutoEncoder", t0);
+        let (model, ms) = obs::timed_ms(|| {
+            AutoEncoderClassifier::train(
+                &self.detection.train,
+                &self.autoencoder_config(),
+                &mut self.rng(),
+            )
+        });
+        log_step("train_autoencoder", "trained AutoEncoder", ms);
         model
     }
 
@@ -238,11 +305,30 @@ impl Workbench {
     ///
     /// Panics when the training split has no human clusters.
     pub fn train_ocsvm(&self) -> OcSvmClassifier {
-        let t0 = Instant::now();
-        let model =
+        let (model, ms) = obs::timed_ms(|| {
             OcSvmClassifier::train(&self.detection.train, &OcSvmClassifierConfig::default())
-                .expect("training split must contain human clusters");
-        log_step("trained OC-SVM", t0);
+                .expect("training split must contain human clusters")
+        });
+        log_step("train_ocsvm", "trained OC-SVM", ms);
         model
+    }
+}
+
+impl Drop for Workbench {
+    fn drop(&mut self) {
+        if self.args.telemetry.is_none() {
+            return;
+        }
+        match self.write_telemetry() {
+            Ok(()) => eprintln!(
+                "[workbench] telemetry written to {}",
+                self.args
+                    .telemetry
+                    .as_ref()
+                    .expect("checked above")
+                    .display()
+            ),
+            Err(e) => eprintln!("[workbench] telemetry write failed: {e}"),
+        }
     }
 }

@@ -31,33 +31,82 @@ pub struct AdaptiveConfig {
 
 impl Default for AdaptiveConfig {
     fn default() -> Self {
-        AdaptiveConfig { k: 4, min_points: 5, fallback_eps: 0.08, min_eps: 0.02, max_eps: 9.06 }
+        AdaptiveConfig {
+            k: 4,
+            min_points: 5,
+            fallback_eps: 0.08,
+            min_eps: 0.02,
+            max_eps: 9.06,
+        }
     }
 }
 
-/// Computes the per-capture optimal `ε`: the value at the elbow of the
-/// ascending k-NN distance curve, clamped to the configured range.
-///
-/// Returns the fallback for captures with fewer than `k + 2` points,
-/// where no meaningful curve exists.
-pub fn adaptive_eps(points: &[Point3], cfg: &AdaptiveConfig) -> f64 {
+/// Where an adaptive `ε` came from — the provenance half of the
+/// decision, recorded in the run journal.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct EpsChoice {
+    /// The `ε` handed to DBSCAN.
+    pub eps: f64,
+    /// Index of the elbow in the sorted k-NN distance curve, when the
+    /// maximum-relative-gap rule produced one (`None` means the
+    /// fallback was used).
+    pub knee_index: Option<usize>,
+    /// True when the elbow value landed outside `[min_eps, max_eps]`
+    /// and was clamped.
+    pub clamped: bool,
+}
+
+/// Computes the per-capture optimal `ε` and where it came from: the
+/// value at the elbow of the ascending k-NN distance curve, clamped to
+/// the configured range, or the fallback for captures with fewer than
+/// `k + 2` points, where no meaningful curve exists.
+pub fn adaptive_eps_detailed(points: &[Point3], cfg: &AdaptiveConfig) -> EpsChoice {
+    let fallback = EpsChoice {
+        eps: cfg.fallback_eps,
+        knee_index: None,
+        clamped: false,
+    };
     if points.len() < cfg.k + 2 {
-        return cfg.fallback_eps;
+        return fallback;
     }
     let tree = KdTree::build(points);
     let mut dists = tree.knn_distances(cfg.k);
     dists.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
-    match knee::elbow_value(&dists) {
-        Some(eps) if eps.is_finite() && eps > 0.0 => eps.clamp(cfg.min_eps, cfg.max_eps),
-        _ => cfg.fallback_eps,
+    match knee::max_relative_gap(&dists) {
+        Some(idx) if dists[idx].is_finite() && dists[idx] > 0.0 => {
+            let eps = dists[idx].clamp(cfg.min_eps, cfg.max_eps);
+            EpsChoice {
+                eps,
+                knee_index: Some(idx),
+                clamped: eps != dists[idx],
+            }
+        }
+        _ => fallback,
     }
 }
 
+/// Computes the per-capture optimal `ε` (see [`adaptive_eps_detailed`]
+/// for the provenance-carrying variant).
+pub fn adaptive_eps(points: &[Point3], cfg: &AdaptiveConfig) -> f64 {
+    adaptive_eps_detailed(points, cfg).eps
+}
+
 /// The paper's adaptive clustering: per-capture `ε` from
-/// [`adaptive_eps`], then DBSCAN.
+/// [`adaptive_eps`], then DBSCAN. Notes the ε decision on the open
+/// telemetry frame, if any.
 pub fn adaptive_dbscan(points: &[Point3], cfg: &AdaptiveConfig) -> Clustering {
-    let eps = adaptive_eps(points, cfg);
-    dbscan(points, &DbscanParams { eps, min_points: cfg.min_points })
+    let choice = adaptive_eps_detailed(points, cfg);
+    obs::frame_eps(choice.eps, choice.knee_index);
+    if choice.clamped {
+        obs::incr("cluster.eps_clamped", 1);
+    }
+    dbscan(
+        points,
+        &DbscanParams {
+            eps: choice.eps,
+            min_points: cfg.min_points,
+        },
+    )
 }
 
 #[cfg(test)]
@@ -75,10 +124,7 @@ mod tests {
                     if pts.len() == n {
                         break 'outer;
                     }
-                    pts.push(
-                        center
-                            + Vec3::new(i as f64, j as f64, k as f64) * spacing,
-                    );
+                    pts.push(center + Vec3::new(i as f64, j as f64, k as f64) * spacing);
                 }
             }
         }
@@ -110,7 +156,11 @@ mod tests {
 
     #[test]
     fn eps_clamped_to_configured_range() {
-        let cfg = AdaptiveConfig { min_eps: 0.5, max_eps: 1.0, ..AdaptiveConfig::default() };
+        let cfg = AdaptiveConfig {
+            min_eps: 0.5,
+            max_eps: 1.0,
+            ..AdaptiveConfig::default()
+        };
         let tight = blob(Point3::ZERO, 60, 0.001);
         let eps = adaptive_eps(&tight, &cfg);
         assert!(eps >= 0.5);
@@ -151,7 +201,13 @@ mod tests {
         assert_eq!(a_far.cluster_count(), 1);
         // A fixed ε tuned to the near capture shatters the far one.
         let eps_near = adaptive_eps(&near, &cfg);
-        let fixed = dbscan(&far, &DbscanParams { eps: eps_near, min_points: cfg.min_points });
+        let fixed = dbscan(
+            &far,
+            &DbscanParams {
+                eps: eps_near,
+                min_points: cfg.min_points,
+            },
+        );
         assert!(
             fixed.cluster_count() != 1 || fixed.noise_count() > 0,
             "fixed ε unexpectedly handled both scales"

@@ -23,7 +23,10 @@ pub struct DbscanParams {
 impl Default for DbscanParams {
     fn default() -> Self {
         // min_points = 5 is the usual heuristic for 3-D data.
-        DbscanParams { eps: 0.5, min_points: 5 }
+        DbscanParams {
+            eps: 0.5,
+            min_points: 5,
+        }
     }
 }
 
@@ -95,7 +98,12 @@ mod tests {
             .map(|i| {
                 let a = i as f64 * 2.399963; // golden angle
                 let r = spread * ((i % 7) as f64 / 7.0);
-                center + geom::Vec3::new(r * a.cos(), r * a.sin(), ((i % 3) as f64 - 1.0) * spread / 3.0)
+                center
+                    + geom::Vec3::new(
+                        r * a.cos(),
+                        r * a.sin(),
+                        ((i % 3) as f64 - 1.0) * spread / 3.0,
+                    )
             })
             .collect()
     }
@@ -104,7 +112,13 @@ mod tests {
     fn two_blobs_two_clusters() {
         let mut pts = blob(Point3::new(0.0, 0.0, 0.0), 40, 0.3);
         pts.extend(blob(Point3::new(10.0, 0.0, 0.0), 40, 0.3));
-        let c = dbscan(&pts, &DbscanParams { eps: 0.5, min_points: 4 });
+        let c = dbscan(
+            &pts,
+            &DbscanParams {
+                eps: 0.5,
+                min_points: 4,
+            },
+        );
         assert_eq!(c.cluster_count(), 2);
         assert_eq!(c.noise_count(), 0);
         // Points from the same blob share a label.
@@ -120,7 +134,13 @@ mod tests {
         let mut pts = blob(Point3::new(0.0, 0.0, 0.0), 30, 0.3);
         pts.push(Point3::new(50.0, 0.0, 0.0));
         pts.push(Point3::new(-50.0, 3.0, 1.0));
-        let c = dbscan(&pts, &DbscanParams { eps: 0.5, min_points: 4 });
+        let c = dbscan(
+            &pts,
+            &DbscanParams {
+                eps: 0.5,
+                min_points: 4,
+            },
+        );
         assert_eq!(c.cluster_count(), 1);
         assert_eq!(c.noise_count(), 2);
         assert!(c.labels()[30].is_none());
@@ -130,7 +150,13 @@ mod tests {
     #[test]
     fn eps_too_small_fragments_everything_to_noise() {
         let pts = blob(Point3::new(0.0, 0.0, 0.0), 30, 1.0);
-        let c = dbscan(&pts, &DbscanParams { eps: 1e-6, min_points: 4 });
+        let c = dbscan(
+            &pts,
+            &DbscanParams {
+                eps: 1e-6,
+                min_points: 4,
+            },
+        );
         assert_eq!(c.cluster_count(), 0);
         assert_eq!(c.noise_count(), 30);
     }
@@ -139,7 +165,13 @@ mod tests {
     fn eps_too_large_merges_blobs() {
         let mut pts = blob(Point3::new(0.0, 0.0, 0.0), 30, 0.3);
         pts.extend(blob(Point3::new(4.0, 0.0, 0.0), 30, 0.3));
-        let c = dbscan(&pts, &DbscanParams { eps: 5.0, min_points: 4 });
+        let c = dbscan(
+            &pts,
+            &DbscanParams {
+                eps: 5.0,
+                min_points: 4,
+            },
+        );
         assert_eq!(c.cluster_count(), 1);
     }
 
@@ -154,7 +186,13 @@ mod tests {
         for i in 1..50 {
             pts.push(Point3::new(0.0, i as f64 * 0.1, 0.0));
         }
-        let c = dbscan(&pts, &DbscanParams { eps: 0.25, min_points: 3 });
+        let c = dbscan(
+            &pts,
+            &DbscanParams {
+                eps: 0.25,
+                min_points: 3,
+            },
+        );
         assert_eq!(c.cluster_count(), 1);
         assert_eq!(c.noise_count(), 0);
     }
@@ -169,7 +207,13 @@ mod tests {
     #[test]
     fn min_points_one_promotes_every_point_to_core() {
         let pts = vec![Point3::new(0.0, 0.0, 0.0), Point3::new(100.0, 0.0, 0.0)];
-        let c = dbscan(&pts, &DbscanParams { eps: 0.1, min_points: 1 });
+        let c = dbscan(
+            &pts,
+            &DbscanParams {
+                eps: 0.1,
+                min_points: 1,
+            },
+        );
         // Each isolated point becomes its own single-member cluster.
         assert_eq!(c.cluster_count(), 2);
         assert_eq!(c.noise_count(), 0);
@@ -178,7 +222,13 @@ mod tests {
     #[test]
     #[should_panic(expected = "eps must be positive")]
     fn zero_eps_panics() {
-        let _ = dbscan(&[], &DbscanParams { eps: 0.0, min_points: 3 });
+        let _ = dbscan(
+            &[],
+            &DbscanParams {
+                eps: 0.0,
+                min_points: 3,
+            },
+        );
     }
 
     #[test]
@@ -188,7 +238,13 @@ mod tests {
         let mut pts = blob(Point3::new(0.0, 0.0, 0.0), 20, 0.2);
         pts.extend(blob(Point3::new(2.0, 0.0, 0.0), 20, 0.2));
         pts.push(Point3::new(1.0, 0.0, 0.0));
-        let c = dbscan(&pts, &DbscanParams { eps: 0.9, min_points: 6 });
+        let c = dbscan(
+            &pts,
+            &DbscanParams {
+                eps: 0.9,
+                min_points: 6,
+            },
+        );
         let bridge = c.labels()[40];
         if let Some(l) = bridge {
             assert!(l < c.cluster_count());

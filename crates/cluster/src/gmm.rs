@@ -27,7 +27,12 @@ pub struct GmmParams {
 
 impl Default for GmmParams {
     fn default() -> Self {
-        GmmParams { k: 2, max_iters: 60, tol: 1e-6, var_floor: 1e-4 }
+        GmmParams {
+            k: 2,
+            max_iters: 60,
+            tol: 1e-6,
+            var_floor: 1e-4,
+        }
     }
 }
 
@@ -65,10 +70,22 @@ pub fn gmm<R: Rng + ?Sized>(points: &[Point3], params: &GmmParams, rng: &mut R) 
     let k = params.k.min(n);
 
     // Initialise from k-means.
-    let init = kmeans(points, &KmeansParams { k, max_iters: 20, tol: 1e-4 }, rng);
+    let init = kmeans(
+        points,
+        &KmeansParams {
+            k,
+            max_iters: 20,
+            tol: 1e-4,
+        },
+        rng,
+    );
     let k = init.cluster_count().max(1);
     let mut comps: Vec<Component> = (0..k)
-        .map(|_| Component { weight: 1.0 / k as f64, mean: Point3::ZERO, var: Vec3::splat(1.0) })
+        .map(|_| Component {
+            weight: 1.0 / k as f64,
+            mean: Point3::ZERO,
+            var: Vec3::splat(1.0),
+        })
         .collect();
     {
         let groups = init.clusters();
@@ -182,7 +199,14 @@ mod tests {
     fn separates_two_gaussians() {
         let mut pts = blob(Point3::ZERO, 60, 0.4);
         pts.extend(blob(Point3::new(8.0, 0.0, 0.0), 60, 0.4));
-        let c = gmm(&pts, &GmmParams { k: 2, ..GmmParams::default() }, &mut rng());
+        let c = gmm(
+            &pts,
+            &GmmParams {
+                k: 2,
+                ..GmmParams::default()
+            },
+            &mut rng(),
+        );
         assert_eq!(c.cluster_count(), 2);
         let l0 = c.labels()[0];
         assert!(c.labels()[..60].iter().all(|&l| l == l0));
@@ -192,14 +216,28 @@ mod tests {
     #[test]
     fn empty_and_tiny_inputs() {
         assert!(gmm(&[], &GmmParams::default(), &mut rng()).is_empty());
-        let one = gmm(&[Point3::ZERO], &GmmParams { k: 3, ..GmmParams::default() }, &mut rng());
+        let one = gmm(
+            &[Point3::ZERO],
+            &GmmParams {
+                k: 3,
+                ..GmmParams::default()
+            },
+            &mut rng(),
+        );
         assert_eq!(one.cluster_count(), 1);
     }
 
     #[test]
     fn every_point_assigned() {
         let pts = blob(Point3::ZERO, 50, 1.0);
-        let c = gmm(&pts, &GmmParams { k: 3, ..GmmParams::default() }, &mut rng());
+        let c = gmm(
+            &pts,
+            &GmmParams {
+                k: 3,
+                ..GmmParams::default()
+            },
+            &mut rng(),
+        );
         assert_eq!(c.noise_count(), 0);
         assert_eq!(c.len(), 50);
     }
@@ -207,7 +245,14 @@ mod tests {
     #[test]
     fn coincident_points_survive_var_floor() {
         let pts = vec![Point3::splat(1.0); 40];
-        let c = gmm(&pts, &GmmParams { k: 2, ..GmmParams::default() }, &mut rng());
+        let c = gmm(
+            &pts,
+            &GmmParams {
+                k: 2,
+                ..GmmParams::default()
+            },
+            &mut rng(),
+        );
         assert!(c.cluster_count() >= 1);
         assert_eq!(c.noise_count(), 0);
     }
@@ -215,6 +260,13 @@ mod tests {
     #[test]
     #[should_panic(expected = "k must be positive")]
     fn zero_k_panics() {
-        let _ = gmm(&[], &GmmParams { k: 0, ..GmmParams::default() }, &mut rng());
+        let _ = gmm(
+            &[],
+            &GmmParams {
+                k: 0,
+                ..GmmParams::default()
+            },
+            &mut rng(),
+        );
     }
 }

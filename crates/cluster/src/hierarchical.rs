@@ -68,7 +68,7 @@ pub fn hierarchical(points: &[Point3], linkage: Linkage, threshold: f64) -> Clus
                     continue;
                 }
                 let d = dist[i * n + j];
-                if best.map_or(true, |(_, _, bd)| d < bd) {
+                if best.is_none_or(|(_, _, bd)| d < bd) {
                     best = Some((i, j, d));
                 }
             }
@@ -121,7 +121,9 @@ mod tests {
     use geom::Vec3;
 
     fn line(start: Point3, n: usize, step: f64) -> Vec<Point3> {
-        (0..n).map(|i| start + Vec3::new(i as f64 * step, 0.0, 0.0)).collect()
+        (0..n)
+            .map(|i| start + Vec3::new(i as f64 * step, 0.0, 0.0))
+            .collect()
     }
 
     #[test]

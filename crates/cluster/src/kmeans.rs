@@ -25,7 +25,11 @@ pub struct KmeansParams {
 
 impl Default for KmeansParams {
     fn default() -> Self {
-        KmeansParams { k: 2, max_iters: 100, tol: 1e-6 }
+        KmeansParams {
+            k: 2,
+            max_iters: 100,
+            tol: 1e-6,
+        }
     }
 }
 
@@ -37,7 +41,11 @@ impl Default for KmeansParams {
 /// # Panics
 ///
 /// Panics if `k == 0`.
-pub fn kmeans<R: Rng + ?Sized>(points: &[Point3], params: &KmeansParams, rng: &mut R) -> Clustering {
+pub fn kmeans<R: Rng + ?Sized>(
+    points: &[Point3],
+    params: &KmeansParams,
+    rng: &mut R,
+) -> Clustering {
     assert!(params.k > 0, "k must be positive");
     let n = points.len();
     if n == 0 {
@@ -145,7 +153,14 @@ mod tests {
     fn two_blobs_k2() {
         let mut pts = blob(Point3::ZERO, 40);
         pts.extend(blob(Point3::new(10.0, 0.0, 0.0), 40));
-        let c = kmeans(&pts, &KmeansParams { k: 2, ..KmeansParams::default() }, &mut rng());
+        let c = kmeans(
+            &pts,
+            &KmeansParams {
+                k: 2,
+                ..KmeansParams::default()
+            },
+            &mut rng(),
+        );
         assert_eq!(c.cluster_count(), 2);
         let l0 = c.labels()[0];
         assert!(c.labels()[..40].iter().all(|&l| l == l0));
@@ -155,7 +170,14 @@ mod tests {
     #[test]
     fn k_larger_than_points_shrinks() {
         let pts = vec![Point3::ZERO, Point3::splat(1.0)];
-        let c = kmeans(&pts, &KmeansParams { k: 10, ..KmeansParams::default() }, &mut rng());
+        let c = kmeans(
+            &pts,
+            &KmeansParams {
+                k: 10,
+                ..KmeansParams::default()
+            },
+            &mut rng(),
+        );
         assert!(c.cluster_count() <= 2);
         assert_eq!(c.noise_count(), 0);
     }
@@ -171,7 +193,14 @@ mod tests {
         let mut pts = blob(Point3::ZERO, 25);
         pts.extend(blob(Point3::new(3.0, 3.0, 0.0), 25));
         pts.extend(blob(Point3::new(-4.0, 2.0, 1.0), 25));
-        let c = kmeans(&pts, &KmeansParams { k: 3, ..KmeansParams::default() }, &mut rng());
+        let c = kmeans(
+            &pts,
+            &KmeansParams {
+                k: 3,
+                ..KmeansParams::default()
+            },
+            &mut rng(),
+        );
         assert_eq!(c.noise_count(), 0);
         assert_eq!(c.len(), 75);
     }
@@ -179,7 +208,14 @@ mod tests {
     #[test]
     fn duplicate_points_do_not_crash() {
         let pts = vec![Point3::splat(2.0); 30];
-        let c = kmeans(&pts, &KmeansParams { k: 3, ..KmeansParams::default() }, &mut rng());
+        let c = kmeans(
+            &pts,
+            &KmeansParams {
+                k: 3,
+                ..KmeansParams::default()
+            },
+            &mut rng(),
+        );
         assert!(c.cluster_count() >= 1);
         assert_eq!(c.noise_count(), 0);
     }
@@ -187,6 +223,13 @@ mod tests {
     #[test]
     #[should_panic(expected = "k must be positive")]
     fn zero_k_panics() {
-        let _ = kmeans(&[], &KmeansParams { k: 0, ..KmeansParams::default() }, &mut rng());
+        let _ = kmeans(
+            &[],
+            &KmeansParams {
+                k: 0,
+                ..KmeansParams::default()
+            },
+            &mut rng(),
+        );
     }
 }

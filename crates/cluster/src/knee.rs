@@ -28,7 +28,7 @@ pub fn max_relative_gap(sorted: &[f64]) -> Option<usize> {
             continue;
         }
         let gap = (sorted[i + 1] - d) / d;
-        if gap.is_finite() && best.map_or(true, |(_, g)| gap > g) {
+        if gap.is_finite() && best.is_none_or(|(_, g)| gap > g) {
             best = Some((i, gap));
         }
     }

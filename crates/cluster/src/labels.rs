@@ -21,14 +21,20 @@ impl Clustering {
     /// Panics if any label is `>= n_clusters`.
     pub fn new(labels: Vec<Option<usize>>, n_clusters: usize) -> Self {
         for l in labels.iter().flatten() {
-            assert!(*l < n_clusters, "label {l} out of range for {n_clusters} clusters");
+            assert!(
+                *l < n_clusters,
+                "label {l} out of range for {n_clusters} clusters"
+            );
         }
         Clustering { labels, n_clusters }
     }
 
     /// An empty clustering over `n` points (everything is noise).
     pub fn all_noise(n: usize) -> Self {
-        Clustering { labels: vec![None; n], n_clusters: 0 }
+        Clustering {
+            labels: vec![None; n],
+            n_clusters: 0,
+        }
     }
 
     /// Number of clusters.

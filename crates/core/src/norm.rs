@@ -18,6 +18,7 @@ impl ChannelNorm {
     /// # Panics
     ///
     /// Panics on tensors with fewer than 2 axes or an empty batch.
+    #[allow(clippy::needless_range_loop)] // `ci` also drives the strided base offset
     pub fn fit(batch: &Tensor) -> Self {
         let shape = batch.shape();
         assert!(shape.len() >= 2, "expected a batched channel tensor");
@@ -69,7 +70,10 @@ impl ChannelNorm {
     /// Panics if the channel axis disagrees with the fitted statistics.
     pub fn apply(&self, batch: &Tensor) -> Tensor {
         let shape = batch.shape();
-        assert!(shape.len() >= 2 && shape[1] == self.mean.len(), "channel mismatch");
+        assert!(
+            shape.len() >= 2 && shape[1] == self.mean.len(),
+            "channel mismatch"
+        );
         let (n, c) = (shape[0], shape[1]);
         let inner: usize = shape[2..].iter().product::<usize>().max(1);
         let mut data = batch.data().to_vec();

@@ -90,7 +90,13 @@ impl CountingMetrics {
 
 impl std::fmt::Display for CountingMetrics {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        write!(f, "MAE {:.3} | MSE {:.3} | acc {:.2}%", self.mae(), self.mse(), self.accuracy() * 100.0)
+        write!(
+            f,
+            "MAE {:.3} | MSE {:.3} | acc {:.2}%",
+            self.mae(),
+            self.mse(),
+            self.accuracy() * 100.0
+        )
     }
 }
 
@@ -106,7 +112,14 @@ pub struct CountingReport {
     pub total_ms: Summary,
     /// Clustering stage time in milliseconds.
     pub clustering_ms: Summary,
-    /// Classification stage time in milliseconds.
+    /// Cloud-upsampling time in milliseconds (zero for classifiers that
+    /// do not report the stage).
+    pub upsample_ms: Summary,
+    /// 2-D projection time in milliseconds (zero for classifiers that
+    /// do not report the stage).
+    pub projection_ms: Summary,
+    /// Classification stage time in milliseconds, net of any reported
+    /// upsample/projection time.
     pub classification_ms: Summary,
 }
 

@@ -8,7 +8,6 @@ use geom::stats::Summary;
 use geom::Point3;
 use lidar::PointCloud;
 use serde::{Deserialize, Serialize};
-use std::time::Instant;
 
 use crate::{CountingMetrics, CountingReport};
 
@@ -60,7 +59,10 @@ pub struct CounterConfig {
 
 impl Default for CounterConfig {
     fn default() -> Self {
-        CounterConfig { cluster_method: ClusterMethod::default(), min_cluster_points: 10 }
+        CounterConfig {
+            cluster_method: ClusterMethod::default(),
+            min_cluster_points: 10,
+        }
     }
 }
 
@@ -75,14 +77,21 @@ pub struct CountResult {
     pub clusters_skipped: usize,
     /// Clustering stage wall time in milliseconds.
     pub clustering_ms: f64,
-    /// Classification stage wall time in milliseconds.
+    /// Cloud-upsampling wall time in milliseconds (zero for classifiers
+    /// that do not report the stage).
+    pub upsample_ms: f64,
+    /// 2-D projection wall time in milliseconds (zero for classifiers
+    /// that do not report the stage).
+    pub projection_ms: f64,
+    /// Classification stage wall time in milliseconds, with any
+    /// reported upsample/projection time already subtracted.
     pub classification_ms: f64,
 }
 
 impl CountResult {
     /// End-to-end processing time in milliseconds.
     pub fn total_ms(&self) -> f64 {
-        self.clustering_ms + self.classification_ms
+        self.clustering_ms + self.upsample_ms + self.projection_ms + self.classification_ms
     }
 }
 
@@ -109,7 +118,11 @@ impl<C: CloudClassifier> CrowdCounter<C> {
     /// Creates a counter around a trained classifier.
     pub fn new(classifier: C, config: CounterConfig) -> Self {
         let name = format!("{}-CC", classifier.model_name());
-        CrowdCounter { config, classifier, name }
+        CrowdCounter {
+            config,
+            classifier,
+            name,
+        }
     }
 
     /// Framework label (`<classifier>-CC`).
@@ -128,31 +141,65 @@ impl<C: CloudClassifier> CrowdCounter<C> {
     }
 
     /// Counts the pedestrians in one filtered capture.
+    ///
+    /// Opens a telemetry frame for the duration of the call unless the
+    /// caller (a harness attaching its own seed/source) already has one
+    /// open, in which case that frame is annotated and left open for the
+    /// caller to finish. Telemetry never feeds back into the
+    /// computation: counts are bit-identical with telemetry on or off.
     pub fn count(&mut self, capture: &PointCloud) -> CountResult {
-        let t0 = Instant::now();
-        let clustering = self.config.cluster_method.run(capture.points());
-        let groups = clustering.cluster_points(capture.points());
-        let clustering_ms = t0.elapsed().as_secs_f64() * 1e3;
+        let opened = !obs::frame_active();
+        if opened {
+            obs::frame_start("count");
+        }
+        obs::frame_points_in(capture.points().len());
 
-        let t1 = Instant::now();
+        let ((clusters_found, groups), clustering_ms) = obs::timed_ms(|| {
+            let clustering = self.config.cluster_method.run(capture.points());
+            let groups = clustering.cluster_points(capture.points());
+            (clustering.cluster_count(), groups)
+        });
+        obs::frame_stage_ms("clustering", clustering_ms);
+        obs::observe_ms("clustering", clustering_ms);
+        obs::frame_clusters(clusters_found);
+
         let (kept, skipped): (Vec<Vec<Point3>>, Vec<Vec<Point3>>) = groups
             .into_iter()
             .partition(|g| g.len() >= self.config.min_cluster_points);
-        let count = if kept.is_empty() {
-            0
-        } else {
-            self.classifier
-                .classify(&kept)
-                .into_iter()
-                .filter(|&l| l == ClassLabel::Human)
-                .count()
-        };
-        let classification_ms = t1.elapsed().as_secs_f64() * 1e3;
+        obs::frame_skipped(skipped.len());
+
+        // Instrumented classifiers time their upsample/projection work
+        // via obs::stage; the deltas are subtracted from the classify
+        // wall-clock so the three columns sum to it, not over it.
+        let u0 = obs::frame_stage_total("upsample");
+        let p0 = obs::frame_stage_total("projection");
+        let (labels, classify_ms) = obs::timed_ms(|| {
+            if kept.is_empty() {
+                Vec::new()
+            } else {
+                self.classifier.classify(&kept)
+            }
+        });
+        let upsample_ms = obs::frame_stage_total("upsample") - u0;
+        let projection_ms = obs::frame_stage_total("projection") - p0;
+        let classification_ms = (classify_ms - upsample_ms - projection_ms).max(0.0);
+        obs::frame_stage_ms("classification", classification_ms);
+        obs::observe_ms("classification", classification_ms);
+
+        for (group, label) in kept.iter().zip(&labels) {
+            obs::frame_verdict(group.len(), &format!("{label:?}"), f64::NAN);
+        }
+        let count = labels.iter().filter(|&&l| l == ClassLabel::Human).count();
+        if opened {
+            obs::frame_finish(count);
+        }
         CountResult {
             count,
             clusters_classified: kept.len(),
             clusters_skipped: skipped.len(),
             clustering_ms,
+            upsample_ms,
+            projection_ms,
             classification_ms,
         }
     }
@@ -167,12 +214,16 @@ pub fn evaluate_counter<C: CloudClassifier>(
     let mut metrics = CountingMetrics::new();
     let mut total_ms = Summary::new();
     let mut clustering_ms = Summary::new();
+    let mut upsample_ms = Summary::new();
+    let mut projection_ms = Summary::new();
     let mut classification_ms = Summary::new();
     for sample in samples {
         let result = counter.count(&sample.cloud);
         metrics.push(result.count, sample.ground_truth);
         total_ms.push(result.total_ms());
         clustering_ms.push(result.clustering_ms);
+        upsample_ms.push(result.upsample_ms);
+        projection_ms.push(result.projection_ms);
         classification_ms.push(result.classification_ms);
     }
     CountingReport {
@@ -180,6 +231,8 @@ pub fn evaluate_counter<C: CloudClassifier>(
         metrics,
         total_ms,
         clustering_ms,
+        upsample_ms,
+        projection_ms,
         classification_ms,
     }
 }
@@ -245,7 +298,11 @@ mod tests {
         // Two tall blobs (humans) + one short (bin), well separated.
         let cloud = capture(&[(14.0, 0.0, -1.3), (20.0, 1.5, -1.25), (28.0, -1.0, -2.1)]);
         let result = counter.count(&cloud);
-        assert_eq!(result.count, 2, "skipped {} kept {}", result.clusters_skipped, result.clusters_classified);
+        assert_eq!(
+            result.count, 2,
+            "skipped {} kept {}",
+            result.clusters_skipped, result.clusters_classified
+        );
         assert_eq!(result.clusters_classified, 3);
         assert_eq!(counter.name(), "HeightRule-CC");
     }
@@ -262,7 +319,10 @@ mod tests {
     fn small_clusters_are_skipped() {
         let mut counter = CrowdCounter::new(
             HeightRule,
-            CounterConfig { min_cluster_points: 300, ..CounterConfig::default() },
+            CounterConfig {
+                min_cluster_points: 300,
+                ..CounterConfig::default()
+            },
         );
         let cloud = capture(&[(14.0, 0.0, -1.3)]); // ~112-point blob < 300
         let result = counter.count(&cloud);
@@ -329,7 +389,10 @@ mod tests {
         let counter = CrowdCounter::new(
             HeightRule,
             CounterConfig {
-                cluster_method: ClusterMethod::Fixed(DbscanParams { eps: 0.01, min_points: 5 }),
+                cluster_method: ClusterMethod::Fixed(DbscanParams {
+                    eps: 0.01,
+                    min_points: 5,
+                }),
                 min_cluster_points: 10,
             },
         );

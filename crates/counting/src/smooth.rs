@@ -33,7 +33,10 @@ impl CountSmoother {
     /// Panics if `window == 0`.
     pub fn new(window: usize) -> Self {
         assert!(window > 0, "window must be positive");
-        CountSmoother { window: VecDeque::with_capacity(window), capacity: window }
+        CountSmoother {
+            window: VecDeque::with_capacity(window),
+            capacity: window,
+        }
     }
 
     /// Feeds one raw count; returns the smoothed count (the window

@@ -25,7 +25,11 @@ pub struct TrackerConfig {
 
 impl Default for TrackerConfig {
     fn default() -> Self {
-        TrackerConfig { gate_m: 1.5, confirm_hits: 2, max_misses: 3 }
+        TrackerConfig {
+            gate_m: 1.5,
+            confirm_hits: 2,
+            max_misses: 3,
+        }
     }
 }
 
@@ -43,7 +47,10 @@ pub struct Track {
 impl Track {
     /// Latest known position.
     pub fn position(&self) -> Point3 {
-        *self.trajectory.last().expect("tracks always hold one position")
+        *self
+            .trajectory
+            .last()
+            .expect("tracks always hold one position")
     }
 
     /// Returns `true` once the track has enough hits to count.
@@ -53,7 +60,9 @@ impl Track {
 
     /// Straight-line distance travelled from first to last observation.
     pub fn displacement(&self) -> f64 {
-        self.trajectory.first().map_or(0.0, |f| f.distance(self.position()))
+        self.trajectory
+            .first()
+            .map_or(0.0, |f| f.distance(self.position()))
     }
 }
 
@@ -84,7 +93,12 @@ pub struct PedestrianTracker {
 impl PedestrianTracker {
     /// Creates a tracker.
     pub fn new(config: TrackerConfig) -> Self {
-        PedestrianTracker { config, tracks: Vec::new(), next_id: 0, frames: 0 }
+        PedestrianTracker {
+            config,
+            tracks: Vec::new(),
+            next_id: 0,
+            frames: 0,
+        }
     }
 
     /// Frames processed so far.
@@ -99,7 +113,10 @@ impl PedestrianTracker {
 
     /// Number of confirmed live tracks — the tracker's crowd count.
     pub fn confirmed_count(&self) -> usize {
-        self.tracks.iter().filter(|t| t.confirmed(&self.config)).count()
+        self.tracks
+            .iter()
+            .filter(|t| t.confirmed(&self.config))
+            .count()
     }
 
     /// Advances one frame with the detected human-cluster centroids.
@@ -201,7 +218,10 @@ mod tests {
 
     #[test]
     fn track_expires_after_misses() {
-        let cfg = TrackerConfig { max_misses: 2, ..TrackerConfig::default() };
+        let cfg = TrackerConfig {
+            max_misses: 2,
+            ..TrackerConfig::default()
+        };
         let mut t = PedestrianTracker::new(cfg);
         t.step(&[p(15.0, 0.0)]);
         t.step(&[]); // miss 1
@@ -230,7 +250,10 @@ mod tests {
 
     #[test]
     fn unconfirmed_tracks_do_not_count() {
-        let cfg = TrackerConfig { confirm_hits: 3, ..TrackerConfig::default() };
+        let cfg = TrackerConfig {
+            confirm_hits: 3,
+            ..TrackerConfig::default()
+        };
         let mut t = PedestrianTracker::new(cfg);
         t.step(&[p(15.0, 0.0)]);
         assert_eq!(t.confirmed_count(), 0);

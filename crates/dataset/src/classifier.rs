@@ -23,9 +23,12 @@ pub trait CloudClassifier {
     /// Panics on an empty test set.
     fn evaluate_samples(&mut self, samples: &[DetectionSample]) -> BinaryMetrics {
         assert!(!samples.is_empty(), "test set is empty");
-        let clouds: Vec<Vec<Point3>> =
-            samples.iter().map(|s| s.cloud.points().to_vec()).collect();
-        let preds: Vec<usize> = self.classify(&clouds).into_iter().map(|l| l.index()).collect();
+        let clouds: Vec<Vec<Point3>> = samples.iter().map(|s| s.cloud.points().to_vec()).collect();
+        let preds: Vec<usize> = self
+            .classify(&clouds)
+            .into_iter()
+            .map(|l| l.index())
+            .collect();
         let targets: Vec<usize> = samples.iter().map(|s| s.label.index()).collect();
         BinaryMetrics::from_predictions(&preds, &targets)
     }
@@ -62,8 +65,9 @@ mod tests {
     }
 
     fn sample(height: f64, label: ClassLabel) -> DetectionSample {
-        let cloud: Vec<Point3> =
-            (0..20).map(|i| Point3::new(15.0, 0.0, -3.0 + height * i as f64 / 19.0)).collect();
+        let cloud: Vec<Point3> = (0..20)
+            .map(|i| Point3::new(15.0, 0.0, -3.0 + height * i as f64 / 19.0))
+            .collect();
         DetectionSample {
             cloud: PointCloud::new(cloud),
             label,

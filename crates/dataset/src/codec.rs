@@ -191,7 +191,11 @@ pub fn decode_counting(mut buf: Bytes) -> Result<Vec<CountingSample>, CodecError
         let ground_truth = buf.get_u32_le() as usize;
         let meta = get_meta(&mut buf)?;
         let cloud = get_cloud(&mut buf)?;
-        out.push(CountingSample { cloud, ground_truth, meta });
+        out.push(CountingSample {
+            cloud,
+            ground_truth,
+            meta,
+        });
     }
     if buf.has_remaining() {
         return format_err("trailing bytes after last record");
@@ -239,7 +243,10 @@ pub fn decode_pool(mut buf: Bytes) -> Result<ObjectPool, CodecError> {
 /// # Errors
 ///
 /// Propagates filesystem errors.
-pub fn save_detection<P: AsRef<Path>>(path: P, samples: &[DetectionSample]) -> Result<(), CodecError> {
+pub fn save_detection<P: AsRef<Path>>(
+    path: P,
+    samples: &[DetectionSample],
+) -> Result<(), CodecError> {
     fs::write(path, encode_detection(samples))?;
     Ok(())
 }
@@ -258,7 +265,10 @@ pub fn load_detection<P: AsRef<Path>>(path: P) -> Result<Vec<DetectionSample>, C
 /// # Errors
 ///
 /// Propagates filesystem errors.
-pub fn save_counting<P: AsRef<Path>>(path: P, samples: &[CountingSample]) -> Result<(), CodecError> {
+pub fn save_counting<P: AsRef<Path>>(
+    path: P,
+    samples: &[CountingSample],
+) -> Result<(), CodecError> {
     fs::write(path, encode_counting(samples))?;
     Ok(())
 }
@@ -303,9 +313,15 @@ mod tests {
         (0..5)
             .map(|i| DetectionSample {
                 cloud: PointCloud::new(
-                    (0..i + 1).map(|j| Point3::new(j as f64, i as f64, -1.0)).collect(),
+                    (0..i + 1)
+                        .map(|j| Point3::new(j as f64, i as f64, -1.0))
+                        .collect(),
                 ),
-                label: if i % 2 == 0 { ClassLabel::Human } else { ClassLabel::Object },
+                label: if i % 2 == 0 {
+                    ClassLabel::Human
+                } else {
+                    ClassLabel::Object
+                },
                 meta: sample_meta(i as u64),
             })
             .collect()
@@ -342,7 +358,9 @@ mod tests {
     fn empty_datasets_round_trip() {
         assert!(decode_detection(encode_detection(&[])).unwrap().is_empty());
         assert!(decode_counting(encode_counting(&[])).unwrap().is_empty());
-        assert!(decode_pool(encode_pool(&ObjectPool::default())).unwrap().is_empty());
+        assert!(decode_pool(encode_pool(&ObjectPool::default()))
+            .unwrap()
+            .is_empty());
     }
 
     #[test]

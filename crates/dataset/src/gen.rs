@@ -89,7 +89,9 @@ fn worker_count(requested: usize) -> usize {
     if requested > 0 {
         requested
     } else {
-        std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4)
+        std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(4)
     }
 }
 
@@ -115,7 +117,9 @@ fn parallel_generate<T: Send, F: Fn(u64) -> T + Sync>(n: usize, threads: usize, 
         }
     })
     .expect("dataset worker panicked");
-    out.into_iter().map(|x| x.expect("worker filled every slot")).collect()
+    out.into_iter()
+        .map(|x| x.expect("worker filled every slot"))
+        .collect()
 }
 
 /// Extracts the cluster a deployed pipeline would hand the classifier:
@@ -125,11 +129,17 @@ fn parallel_generate<T: Send, F: Fn(u64) -> T + Sync>(n: usize, threads: usize, 
 /// clustering merged in. Ground-truth-attributed clusters would be
 /// unrealistically clean; the paper's lasso-labelled patterns carry the
 /// same kind of noise.
-fn extract_entity_cluster(sweep: &LabeledSweep, entity: usize, min_points: usize) -> Option<PointCloud> {
+fn extract_entity_cluster(
+    sweep: &LabeledSweep,
+    entity: usize,
+    min_points: usize,
+) -> Option<PointCloud> {
     let clustering = adaptive_dbscan(sweep.points(), &AdaptiveConfig::default());
     let clusters = clustering.clusters();
     let owned = |idxs: &[usize]| {
-        idxs.iter().filter(|&&i| sweep.entities()[i] == Some(entity)).count()
+        idxs.iter()
+            .filter(|&&i| sweep.entities()[i] == Some(entity))
+            .count()
     };
     let best = clusters.iter().max_by_key(|idxs| owned(idxs))?;
     let attributed = owned(best);
@@ -259,7 +269,11 @@ pub fn generate_counting_dataset(cfg: &CountingDatasetConfig) -> Vec<CountingSam
             .iter()
             .filter(|&&id| sweep.points_of(id).len() >= cfg.min_visible_points)
             .count();
-        CountingSample { cloud: sweep.into_cloud(), ground_truth, meta }
+        CountingSample {
+            cloud: sweep.into_cloud(),
+            ground_truth,
+            meta,
+        }
     })
 }
 
@@ -296,7 +310,11 @@ mod tests {
     use super::*;
 
     fn small_detection_cfg() -> DetectionDatasetConfig {
-        DetectionDatasetConfig { samples: 40, seed: 1, ..DetectionDatasetConfig::default() }
+        DetectionDatasetConfig {
+            samples: 40,
+            seed: 1,
+            ..DetectionDatasetConfig::default()
+        }
     }
 
     #[test]
@@ -353,7 +371,11 @@ mod tests {
 
     #[test]
     fn counting_dataset_ground_truth_bounds() {
-        let cfg = CountingDatasetConfig { samples: 30, seed: 2, ..CountingDatasetConfig::default() };
+        let cfg = CountingDatasetConfig {
+            samples: 30,
+            seed: 2,
+            ..CountingDatasetConfig::default()
+        };
         let data = generate_counting_dataset(&cfg);
         assert_eq!(data.len(), 30);
         for s in &data {
@@ -367,18 +389,20 @@ mod tests {
 
     #[test]
     fn counting_dataset_is_deterministic() {
-        let cfg = CountingDatasetConfig { samples: 12, seed: 3, ..CountingDatasetConfig::default() };
-        assert_eq!(generate_counting_dataset(&cfg), generate_counting_dataset(&cfg));
+        let cfg = CountingDatasetConfig {
+            samples: 12,
+            seed: 3,
+            ..CountingDatasetConfig::default()
+        };
+        assert_eq!(
+            generate_counting_dataset(&cfg),
+            generate_counting_dataset(&cfg)
+        );
     }
 
     #[test]
     fn object_pool_has_points_below_human_height() {
-        let pool = generate_object_pool(
-            9,
-            12,
-            &WalkwayConfig::default(),
-            &SensorConfig::default(),
-        );
+        let pool = generate_object_pool(9, 12, &WalkwayConfig::default(), &SensorConfig::default());
         assert!(pool.len() > 50, "pool too small: {}", pool.len());
         // After ground segmentation everything sits in [-2.6, 0.5].
         for p in pool.points() {

@@ -32,11 +32,11 @@ mod pool;
 mod sample;
 mod split;
 
+pub use classifier::CloudClassifier;
 pub use gen::{
     generate_counting_dataset, generate_detection_dataset, generate_object_pool,
     CountingDatasetConfig, DetectionDatasetConfig,
 };
-pub use classifier::CloudClassifier;
 pub use metrics::BinaryMetrics;
 pub use pool::ObjectPool;
 pub use sample::{ClassLabel, CountingSample, DetectionSample, SampleMeta};

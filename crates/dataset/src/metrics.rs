@@ -24,7 +24,11 @@ impl BinaryMetrics {
     ///
     /// Panics if the vectors disagree in length or are empty.
     pub fn from_predictions(predictions: &[usize], targets: &[usize]) -> Self {
-        assert_eq!(predictions.len(), targets.len(), "prediction/target length mismatch");
+        assert_eq!(
+            predictions.len(),
+            targets.len(),
+            "prediction/target length mismatch"
+        );
         assert!(!predictions.is_empty(), "cannot score zero predictions");
         let mut tp = 0usize;
         let mut tn = 0usize;
@@ -40,14 +44,27 @@ impl BinaryMetrics {
             }
         }
         let accuracy = (tp + tn) as f64 / predictions.len() as f64;
-        let precision = if tp + fp == 0 { 0.0 } else { tp as f64 / (tp + fp) as f64 };
-        let recall = if tp + fal_n == 0 { 0.0 } else { tp as f64 / (tp + fal_n) as f64 };
+        let precision = if tp + fp == 0 {
+            0.0
+        } else {
+            tp as f64 / (tp + fp) as f64
+        };
+        let recall = if tp + fal_n == 0 {
+            0.0
+        } else {
+            tp as f64 / (tp + fal_n) as f64
+        };
         let f1 = if precision + recall == 0.0 {
             0.0
         } else {
             2.0 * precision * recall / (precision + recall)
         };
-        BinaryMetrics { accuracy, precision, recall, f1 }
+        BinaryMetrics {
+            accuracy,
+            precision,
+            recall,
+            f1,
+        }
     }
 }
 

@@ -67,7 +67,10 @@ impl ObjectPool {
         if n == 0 {
             return Vec::new();
         }
-        assert!(!self.points.is_empty(), "cannot sample from an empty object pool");
+        assert!(
+            !self.points.is_empty(),
+            "cannot sample from an empty object pool"
+        );
         (0..n)
             .map(|_| self.points[rng.gen_range(0..self.points.len())])
             .collect()
@@ -82,7 +85,9 @@ impl Extend<Point3> for ObjectPool {
 
 impl FromIterator<Point3> for ObjectPool {
     fn from_iter<I: IntoIterator<Item = Point3>>(iter: I) -> Self {
-        ObjectPool { points: iter.into_iter().collect() }
+        ObjectPool {
+            points: iter.into_iter().collect(),
+        }
     }
 }
 

@@ -28,7 +28,10 @@ pub fn split<T, R: Rng + ?Sized>(rng: &mut R, mut samples: Vec<T>, train_ratio: 
     let n_train = ((samples.len() as f64) * train_ratio).round() as usize;
     let n_train = n_train.min(samples.len());
     let test = samples.split_off(n_train);
-    Split { train: samples, test }
+    Split {
+        train: samples,
+        test,
+    }
 }
 
 /// Keeps a random fraction of `samples` (at least one when the input is
@@ -39,7 +42,10 @@ pub fn split<T, R: Rng + ?Sized>(rng: &mut R, mut samples: Vec<T>, train_ratio: 
 ///
 /// Panics unless `0 < frac <= 1`.
 pub fn fraction<T, R: Rng + ?Sized>(rng: &mut R, mut samples: Vec<T>, frac: f64) -> Vec<T> {
-    assert!(frac > 0.0 && frac <= 1.0, "frac must be in (0, 1], got {frac}");
+    assert!(
+        frac > 0.0 && frac <= 1.0,
+        "frac must be in (0, 1], got {frac}"
+    );
     samples.shuffle(rng);
     let keep = ((samples.len() as f64 * frac).round() as usize)
         .max(usize::from(!samples.is_empty()))
@@ -78,7 +84,11 @@ mod tests {
         let a = split(&mut rng(), (0..50).collect::<Vec<_>>(), 0.5);
         let b = split(&mut rng(), (0..50).collect::<Vec<_>>(), 0.5);
         assert_eq!(a, b);
-        let c = split(&mut StdRng::seed_from_u64(6), (0..50).collect::<Vec<_>>(), 0.5);
+        let c = split(
+            &mut StdRng::seed_from_u64(6),
+            (0..50).collect::<Vec<_>>(),
+            0.5,
+        );
         assert_ne!(a.train, c.train);
     }
 

@@ -117,9 +117,9 @@ impl DeviceModel {
                 cheap_layer_ms: 0.004,
             },
             int8: OpCosts {
-                conv_ns_per_mac: 0.015, // 4-TOPS TPU
+                conv_ns_per_mac: 0.015,      // 4-TOPS TPU
                 pointwise_ns_per_mac: 0.015, // 1x1 convs run on the TPU too
-                dense_ns_per_mac: 0.5,  // falls back to the CPU…
+                dense_ns_per_mac: 0.5,       // falls back to the CPU…
                 conv_layer_ms: 0.03,
                 dense_layer_ms: 0.12, // …after a host round-trip
                 cheap_layer_ms: 0.01,
@@ -171,7 +171,13 @@ mod tests {
     use nn::profile::LayerProfile;
 
     fn layer(kind: OpKind, macs: u64) -> LayerProfile {
-        LayerProfile { name: format!("{kind:?}"), kind, params: 0, macs, output_elems: 1 }
+        LayerProfile {
+            name: format!("{kind:?}"),
+            kind,
+            params: 0,
+            macs,
+            output_elems: 1,
+        }
     }
 
     /// HAWC-like: conv-dominated, a couple of small dense layers.
@@ -226,7 +232,10 @@ mod tests {
         let pn = jetson.latency_ms(&pointnet_like(), Precision::Fp32);
         let ae = jetson.latency_ms(&autoencoder_like(), Precision::Fp32);
         // Table II FP32: AE (0.04) < HAWC (0.54) < PointNet (12.15).
-        assert!(ae < hawc && hawc < pn, "ae {ae:.3} hawc {hawc:.3} pn {pn:.3}");
+        assert!(
+            ae < hawc && hawc < pn,
+            "ae {ae:.3} hawc {hawc:.3} pn {pn:.3}"
+        );
         // Magnitudes within ~2x of the paper.
         assert!((0.2..=1.2).contains(&hawc), "hawc {hawc}");
         assert!((6.0..=25.0).contains(&pn), "pn {pn}");
@@ -240,7 +249,10 @@ mod tests {
         let s_pn = jetson.speedup(&pointnet_like());
         let s_ae = jetson.speedup(&autoencoder_like());
         // Table II: HAWC 1.87x > AE 1.62x > PointNet 1.13x.
-        assert!(s_hawc > s_ae && s_ae > s_pn, "{s_hawc:.2} {s_ae:.2} {s_pn:.2}");
+        assert!(
+            s_hawc > s_ae && s_ae > s_pn,
+            "{s_hawc:.2} {s_ae:.2} {s_pn:.2}"
+        );
         assert!(s_pn > 1.0);
     }
 
@@ -249,7 +261,10 @@ mod tests {
         let coral = DeviceModel::coral_dev_board();
         // The AutoEncoder regresses under quantization (0.07 → 1.05 ms).
         let s_ae = coral.speedup(&autoencoder_like());
-        assert!(s_ae < 1.0, "int8 AE should be slower on the Coral, speedup {s_ae:.2}");
+        assert!(
+            s_ae < 1.0,
+            "int8 AE should be slower on the Coral, speedup {s_ae:.2}"
+        );
         // HAWC enjoys a large speedup (1.88 → 0.62 ms ≈ 3x).
         let s_hawc = coral.speedup(&hawc_like());
         assert!(s_hawc > 2.0, "hawc speedup {s_hawc:.2}");
@@ -276,7 +291,10 @@ mod tests {
     #[test]
     fn empty_profile_costs_nothing() {
         let jetson = DeviceModel::jetson_nano();
-        assert_eq!(jetson.latency_ms(&NetworkProfile::default(), Precision::Fp32), 0.0);
+        assert_eq!(
+            jetson.latency_ms(&NetworkProfile::default(), Precision::Fp32),
+            0.0
+        );
     }
 
     #[test]

@@ -12,6 +12,10 @@
 use rand::Rng;
 use serde::{Deserialize, Serialize};
 
+/// The Coral's rated operating ceiling, °C — the envelope the paper's
+/// pole exceeded and survived.
+pub const RATED_LIMIT_C: f64 = 50.0;
+
 /// One temperature reading.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct Reading {
@@ -110,6 +114,13 @@ pub fn simulate<R: Rng + ?Sized>(cfg: &ThermalConfig, rng: &mut R) -> Vec<Readin
             });
         }
     }
+    if let Some(last) = out.last() {
+        obs::set_gauge("edge.pole_c", last.pole_c);
+        obs::incr(
+            "edge.over_envelope",
+            out.iter().filter(|r| r.pole_c > RATED_LIMIT_C).count() as u64,
+        );
+    }
     out
 }
 
@@ -142,7 +153,7 @@ pub fn summarize(readings: &[Reading]) -> ThermalSummary {
         .map(|r| r.pole_c - r.weather_c)
         .sum::<f64>()
         / q.max(1) as f64;
-    let above = readings.iter().filter(|r| r.pole_c > 50.0).count();
+    let above = readings.iter().filter(|r| r.pole_c > RATED_LIMIT_C).count();
     ThermalSummary {
         pole_max_c: pole_max,
         pole_min_c: pole_min,
@@ -187,9 +198,21 @@ mod tests {
         let (_, s) = run();
         // Paper: max 57.81, min 21.00, mean 41.95 °C; peak offset ≈10 °C,
         // night offset <5 °C. Match the shape, allow simulator slack.
-        assert!((50.0..=62.0).contains(&s.pole_max_c), "max {}", s.pole_max_c);
-        assert!((18.0..=30.0).contains(&s.pole_min_c), "min {}", s.pole_min_c);
-        assert!((36.0..=46.0).contains(&s.pole_mean_c), "mean {}", s.pole_mean_c);
+        assert!(
+            (50.0..=62.0).contains(&s.pole_max_c),
+            "max {}",
+            s.pole_max_c
+        );
+        assert!(
+            (18.0..=30.0).contains(&s.pole_min_c),
+            "min {}",
+            s.pole_min_c
+        );
+        assert!(
+            (36.0..=46.0).contains(&s.pole_mean_c),
+            "mean {}",
+            s.pole_mean_c
+        );
         assert!(
             s.peak_offset_c > 6.0 && s.peak_offset_c < 14.0,
             "peak offset {}",
@@ -215,7 +238,10 @@ mod tests {
         let r = readings
             .iter()
             .min_by(|a, b| {
-                (a.t_s - target_t).abs().partial_cmp(&(b.t_s - target_t).abs()).unwrap()
+                (a.t_s - target_t)
+                    .abs()
+                    .partial_cmp(&(b.t_s - target_t).abs())
+                    .unwrap()
             })
             .unwrap();
         assert!(r.pole_c > r.weather_c + 3.0);

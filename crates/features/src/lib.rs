@@ -55,14 +55,23 @@ pub struct FeatureConfig {
 
 impl Default for FeatureConfig {
     fn default() -> Self {
-        FeatureConfig { slice_height: 0.2, slices: 12, include_globals: false }
+        FeatureConfig {
+            slice_height: 0.2,
+            slices: 12,
+            include_globals: false,
+        }
     }
 }
 
 impl FeatureConfig {
     /// Length of the produced feature vector.
     pub fn feature_len(&self) -> usize {
-        self.slices * SLICE_FEATURES + if self.include_globals { GLOBAL_FEATURES } else { 0 }
+        self.slices * SLICE_FEATURES
+            + if self.include_globals {
+                GLOBAL_FEATURES
+            } else {
+                0
+            }
     }
 }
 
@@ -136,16 +145,24 @@ pub fn extract(points: &[Point3], cfg: &FeatureConfig) -> FeatureVector {
             radii.push(((p.x - cx).powi(2) + (p.y - cy).powi(2)).sqrt());
         }
         let mean_r = radii.iter().sum::<f64>() / m;
-        let var_r = radii.iter().map(|r| (r - mean_r) * (r - mean_r)).sum::<f64>() / m;
+        let var_r = radii
+            .iter()
+            .map(|r| (r - mean_r) * (r - mean_r))
+            .sum::<f64>()
+            / m;
         let std_r = var_r.sqrt();
         values[base] = m / n; // fraction of points in this slice
         values[base + 1] = max_x - min_x; // depth
         values[base + 2] = max_y - min_y; // width
         values[base + 3] = mean_r; // mean boundary radius
         values[base + 4] = std_r; // boundary regularity
-        // Circularity: 1 for a perfect circle of points, → 0 as the
-        // boundary becomes irregular.
-        values[base + 5] = if mean_r > 1e-9 { 1.0 / (1.0 + std_r / mean_r) } else { 0.0 };
+                                  // Circularity: 1 for a perfect circle of points, → 0 as the
+                                  // boundary becomes irregular.
+        values[base + 5] = if mean_r > 1e-9 {
+            1.0 / (1.0 + std_r / mean_r)
+        } else {
+            0.0
+        };
     }
 
     if !cfg.include_globals {
@@ -197,7 +214,10 @@ mod tests {
     }
 
     fn with_globals() -> FeatureConfig {
-        FeatureConfig { include_globals: true, ..FeatureConfig::default() }
+        FeatureConfig {
+            include_globals: true,
+            ..FeatureConfig::default()
+        }
     }
 
     #[test]
@@ -230,9 +250,8 @@ mod tests {
         let cfg = FeatureConfig::default();
         let human = extract(&column(50, 1.7), &cfg);
         let bin = extract(&column(50, 0.9), &cfg);
-        let occupied = |f: &FeatureVector| {
-            (0..cfg.slices).filter(|s| f.values()[s * 6] > 0.0).count()
-        };
+        let occupied =
+            |f: &FeatureVector| (0..cfg.slices).filter(|s| f.values()[s * 6] > 0.0).count();
         assert!(occupied(&human) > occupied(&bin));
     }
 
@@ -241,8 +260,9 @@ mod tests {
         let cfg = FeatureConfig::default();
         let circle = extract(&ring(40, 0.3, -2.0), &cfg);
         // A straight line of points in the same slice.
-        let line: Vec<Point3> =
-            (0..40).map(|i| Point3::new(15.0 + i as f64 * 0.02, 0.0, -2.0)).collect();
+        let line: Vec<Point3> = (0..40)
+            .map(|i| Point3::new(15.0 + i as f64 * 0.02, 0.0, -2.0))
+            .collect();
         let flat = extract(&line, &cfg);
         // Both clouds occupy slice 0 of their own frame.
         let circ_c = circle.values()[5];
@@ -269,7 +289,11 @@ mod tests {
 
     #[test]
     fn points_above_slice_range_are_ignored_not_crashing() {
-        let cfg = FeatureConfig { slice_height: 0.2, slices: 2, ..FeatureConfig::default() };
+        let cfg = FeatureConfig {
+            slice_height: 0.2,
+            slices: 2,
+            ..FeatureConfig::default()
+        };
         let f = extract(&column(30, 3.0), &cfg);
         assert_eq!(f.len(), cfg.feature_len());
     }

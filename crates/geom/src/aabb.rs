@@ -118,7 +118,10 @@ impl Aabb {
     ///
     /// Panics if a negative margin would invert the box.
     pub fn inflated(&self, margin: f64) -> Aabb {
-        Aabb::new(self.min - Vec3::splat(margin), self.max + Vec3::splat(margin))
+        Aabb::new(
+            self.min - Vec3::splat(margin),
+            self.max + Vec3::splat(margin),
+        )
     }
 
     /// Squared distance from `p` to the box (zero when inside).

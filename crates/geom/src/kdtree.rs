@@ -99,7 +99,12 @@ impl KdTree {
             let n = points.len();
             Self::build_rec(&points, &mut order, &mut nodes, 0, n)
         };
-        KdTree { points, order, nodes, root }
+        KdTree {
+            points,
+            order,
+            nodes,
+            root,
+        }
     }
 
     /// Number of indexed points.
@@ -166,7 +171,12 @@ impl KdTree {
         nodes.push(Node::Leaf { start: 0, len: 0 }); // placeholder
         let left = Self::build_rec(points, order, nodes, start, mid);
         let right = Self::build_rec(points, order, nodes, start + mid, len - mid);
-        nodes[node_idx] = Node::Split { axis, value, left, right };
+        nodes[node_idx] = Node::Split {
+            axis,
+            value,
+            left,
+            right,
+        };
         node_idx
     }
 
@@ -189,8 +199,7 @@ impl KdTree {
         }
         let mut heap: BinaryHeap<HeapItem> = BinaryHeap::with_capacity(k + 1);
         self.knn_rec(self.root, q, k, &mut heap);
-        let mut out: Vec<(usize, f64)> =
-            heap.into_iter().map(|h| (h.idx, h.d2)).collect();
+        let mut out: Vec<(usize, f64)> = heap.into_iter().map(|h| (h.idx, h.d2)).collect();
         out.sort_by(|a, b| a.1.partial_cmp(&b.1).unwrap_or(Ordering::Equal));
         out
     }
@@ -201,16 +210,31 @@ impl KdTree {
                 for &i in &self.order[start..start + len] {
                     let d2 = self.points[i as usize].distance_sq(q);
                     if heap.len() < k {
-                        heap.push(HeapItem { d2, idx: i as usize });
+                        heap.push(HeapItem {
+                            d2,
+                            idx: i as usize,
+                        });
                     } else if d2 < heap.peek().map_or(f64::INFINITY, |h| h.d2) {
                         heap.pop();
-                        heap.push(HeapItem { d2, idx: i as usize });
+                        heap.push(HeapItem {
+                            d2,
+                            idx: i as usize,
+                        });
                     }
                 }
             }
-            Node::Split { axis, value, left, right } => {
+            Node::Split {
+                axis,
+                value,
+                left,
+                right,
+            } => {
                 let delta = q.axis(axis) - value;
-                let (near, far) = if delta < 0.0 { (left, right) } else { (right, left) };
+                let (near, far) = if delta < 0.0 {
+                    (left, right)
+                } else {
+                    (right, left)
+                };
                 self.knn_rec(near, q, k, heap);
                 let worst = if heap.len() < k {
                     f64::INFINITY
@@ -248,7 +272,12 @@ impl KdTree {
                     }
                 }
             }
-            Node::Split { axis, value, left, right } => {
+            Node::Split {
+                axis,
+                value,
+                left,
+                right,
+            } => {
                 let delta = q.axis(axis) - value;
                 if delta - r <= 0.0 {
                     self.within_rec(left, q, r, r2, out);
@@ -299,8 +328,11 @@ mod tests {
     }
 
     fn brute_knn(pts: &[Point3], q: Point3, k: usize) -> Vec<(usize, f64)> {
-        let mut d: Vec<(usize, f64)> =
-            pts.iter().enumerate().map(|(i, &p)| (i, p.distance_sq(q))).collect();
+        let mut d: Vec<(usize, f64)> = pts
+            .iter()
+            .enumerate()
+            .map(|(i, &p)| (i, p.distance_sq(q)))
+            .collect();
         d.sort_by(|a, b| a.1.partial_cmp(&b.1).unwrap());
         d.truncate(k);
         d
@@ -395,8 +427,7 @@ mod tests {
     #[test]
     fn knn_distances_basic_line() {
         // Points on a line spaced 1 apart: every 1-NN distance is 1.
-        let pts: Vec<Point3> =
-            (0..10).map(|i| Point3::new(i as f64, 0.0, 0.0)).collect();
+        let pts: Vec<Point3> = (0..10).map(|i| Point3::new(i as f64, 0.0, 0.0)).collect();
         let tree = KdTree::build(&pts);
         let d = tree.knn_distances(1);
         assert!(d.iter().all(|&x| (x - 1.0).abs() < 1e-12));
@@ -413,7 +444,11 @@ mod tests {
         // Mimic a LiDAR walkway: long in x, thin in y/z.
         let pts: Vec<Point3> = (0..500)
             .map(|i| {
-                Point3::new(12.0 + (i as f64) * 0.05, (i % 7) as f64 * 0.1, -(i % 13) as f64 * 0.2)
+                Point3::new(
+                    12.0 + (i as f64) * 0.05,
+                    (i % 7) as f64 * 0.1,
+                    -(i % 13) as f64 * 0.2,
+                )
             })
             .collect();
         let tree = KdTree::build(&pts);

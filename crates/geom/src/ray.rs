@@ -28,7 +28,10 @@ impl Ray {
     ///
     /// Panics in debug builds if `dir` is (near) zero.
     pub fn new(origin: Point3, dir: Vec3) -> Self {
-        Ray { origin, dir: dir.normalized() }
+        Ray {
+            origin,
+            dir: dir.normalized(),
+        }
     }
 
     /// The point at parameter `t` along the ray.
@@ -53,7 +56,11 @@ pub struct Hit {
 impl Hit {
     /// Creates a hit record.
     pub fn new(t: f64, point: Point3, reflectivity: f64) -> Self {
-        Hit { t, point, reflectivity }
+        Hit {
+            t,
+            point,
+            reflectivity,
+        }
     }
 
     /// Keeps the closer of two optional hits.

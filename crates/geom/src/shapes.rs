@@ -66,7 +66,11 @@ impl Sphere {
     /// Panics if `radius <= 0`.
     pub fn new(center: Point3, radius: f64, reflectivity: f64) -> Self {
         assert!(radius > 0.0, "sphere radius must be positive");
-        Sphere { center, radius, reflectivity }
+        Sphere {
+            center,
+            radius,
+            reflectivity,
+        }
     }
 }
 
@@ -110,7 +114,11 @@ impl Ellipsoid {
             radii.x > 0.0 && radii.y > 0.0 && radii.z > 0.0,
             "ellipsoid radii must be positive"
         );
-        Ellipsoid { center, radii, reflectivity }
+        Ellipsoid {
+            center,
+            radii,
+            reflectivity,
+        }
     }
 }
 
@@ -157,7 +165,12 @@ impl Capsule {
     pub fn new(a: Point3, b: Point3, radius: f64, reflectivity: f64) -> Self {
         assert!(radius > 0.0, "capsule radius must be positive");
         assert!(a.distance_sq(b) > 1e-18, "capsule end points must differ");
-        Capsule { a, b, radius, reflectivity }
+        Capsule {
+            a,
+            b,
+            radius,
+            reflectivity,
+        }
     }
 }
 
@@ -218,10 +231,22 @@ impl CylinderZ {
     /// # Panics
     ///
     /// Panics if `radius <= 0` or `z_min >= z_max`.
-    pub fn new(center_xy: (f64, f64), z_min: f64, z_max: f64, radius: f64, reflectivity: f64) -> Self {
+    pub fn new(
+        center_xy: (f64, f64),
+        z_min: f64,
+        z_max: f64,
+        radius: f64,
+        reflectivity: f64,
+    ) -> Self {
         assert!(radius > 0.0, "cylinder radius must be positive");
         assert!(z_min < z_max, "cylinder z_min must be below z_max");
-        CylinderZ { center_xy, z_min, z_max, radius, reflectivity }
+        CylinderZ {
+            center_xy,
+            z_min,
+            z_max,
+            radius,
+            reflectivity,
+        }
     }
 }
 
@@ -349,7 +374,10 @@ impl Shape for GroundPlane {
 
     fn bounds(&self) -> Aabb {
         const BIG: f64 = 1e6;
-        Aabb::new(Point3::new(-BIG, -BIG, self.z), Point3::new(BIG, BIG, self.z))
+        Aabb::new(
+            Point3::new(-BIG, -BIG, self.z),
+            Point3::new(BIG, BIG, self.z),
+        )
     }
 }
 
@@ -360,7 +388,9 @@ pub struct ShapeSet {
 
 impl std::fmt::Debug for ShapeSet {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.debug_struct("ShapeSet").field("len", &self.shapes.len()).finish()
+        f.debug_struct("ShapeSet")
+            .field("len", &self.shapes.len())
+            .finish()
     }
 }
 
@@ -525,7 +555,10 @@ mod tests {
     #[test]
     fn ground_plane_from_pole_height() {
         // Sensor 3 m above ground, looking 45 degrees down.
-        let g = GroundPlane { z: -3.0, reflectivity: 0.15 };
+        let g = GroundPlane {
+            z: -3.0,
+            reflectivity: 0.15,
+        };
         let r = Ray::new(Point3::ZERO, Vec3::new(1.0, 0.0, -1.0));
         let hit = g.intersect(&r).unwrap();
         assert!((hit.point.z + 3.0).abs() < 1e-12);

@@ -28,7 +28,13 @@ pub struct Summary {
 impl Summary {
     /// Creates an empty accumulator.
     pub fn new() -> Self {
-        Summary { n: 0, mean: 0.0, m2: 0.0, min: f64::INFINITY, max: f64::NEG_INFINITY }
+        Summary {
+            n: 0,
+            mean: 0.0,
+            m2: 0.0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+        }
     }
 
     /// Adds one observation.
@@ -177,7 +183,11 @@ impl Histogram {
         if lo >= hi || bins == 0 {
             return Err(InvalidHistogram);
         }
-        Ok(Histogram { lo, hi, counts: vec![0; bins] })
+        Ok(Histogram {
+            lo,
+            hi,
+            counts: vec![0; bins],
+        })
     }
 
     /// Adds one observation, clamping out-of-range values to the edge bins.
@@ -262,7 +272,10 @@ mod tests {
 
     #[test]
     fn summary_known_values() {
-        let s: Summary = [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0].iter().copied().collect();
+        let s: Summary = [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0]
+            .iter()
+            .copied()
+            .collect();
         assert_eq!(s.count(), 8);
         assert_eq!(s.mean(), 5.0);
         assert!((s.population_std_dev() - 2.0).abs() < 1e-12);

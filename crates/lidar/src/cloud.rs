@@ -77,7 +77,9 @@ impl PointCloud {
 
 impl FromIterator<Point3> for PointCloud {
     fn from_iter<I: IntoIterator<Item = Point3>>(iter: I) -> Self {
-        PointCloud { points: iter.into_iter().collect() }
+        PointCloud {
+            points: iter.into_iter().collect(),
+        }
     }
 }
 
@@ -139,7 +141,9 @@ impl LabeledSweep {
     /// Drops attribution, leaving a plain [`PointCloud`] — what the
     /// privacy-preserving production pipeline actually sees.
     pub fn into_cloud(self) -> PointCloud {
-        PointCloud { points: self.points }
+        PointCloud {
+            points: self.points,
+        }
     }
 
     /// All points attributed to entity `idx`.
@@ -236,12 +240,12 @@ mod tests {
         let cfg = WalkwayConfig::default();
         let mut sweep = LabeledSweep::new(
             vec![
-                p(11.9, 0.0, -1.0),  // too close (pole shadow)
-                p(12.0, 0.0, -1.0),  // boundary in
-                p(20.0, 2.5, -1.0),  // walkway edge in
-                p(20.0, 2.6, -1.0),  // off walkway
-                p(35.0, 0.0, -1.0),  // far boundary in
-                p(35.1, 0.0, -1.0),  // beyond effective range
+                p(11.9, 0.0, -1.0), // too close (pole shadow)
+                p(12.0, 0.0, -1.0), // boundary in
+                p(20.0, 2.5, -1.0), // walkway edge in
+                p(20.0, 2.6, -1.0), // off walkway
+                p(35.0, 0.0, -1.0), // far boundary in
+                p(35.1, 0.0, -1.0), // beyond effective range
             ],
             vec![None; 6],
         );
@@ -256,10 +260,10 @@ mod tests {
         // Ground at -3; noise band extends to -2.6 (0.4 m of clutter).
         let mut sweep = LabeledSweep::new(
             vec![
-                p(15.0, 0.0, -3.0),   // ground return
-                p(15.0, 0.0, -2.7),   // pulley-height noise
-                p(15.0, 0.0, -2.6),   // boundary kept
-                p(15.0, 0.0, -1.5),   // torso height kept
+                p(15.0, 0.0, -3.0), // ground return
+                p(15.0, 0.0, -2.7), // pulley-height noise
+                p(15.0, 0.0, -2.6), // boundary kept
+                p(15.0, 0.0, -1.5), // torso height kept
             ],
             vec![None, Some(1), Some(1), Some(0)],
         );
@@ -273,7 +277,9 @@ mod tests {
     fn retain_keeps_vectors_parallel() {
         let mut sweep = LabeledSweep::new(
             (0..10).map(|i| p(i as f64, 0.0, 0.0)).collect(),
-            (0..10).map(|i| if i % 2 == 0 { Some(i) } else { None }).collect(),
+            (0..10)
+                .map(|i| if i % 2 == 0 { Some(i) } else { None })
+                .collect(),
         );
         sweep.retain(|q| q.x >= 5.0);
         assert_eq!(sweep.len(), 5);

@@ -80,7 +80,11 @@ impl SensorConfig {
     pub fn elevation_rad(&self, c: usize) -> f64 {
         assert!(c < self.channels, "channel {c} out of range");
         let span = self.elevation_max_deg - self.elevation_min_deg;
-        let t = if self.channels == 1 { 0.5 } else { c as f64 / (self.channels - 1) as f64 };
+        let t = if self.channels == 1 {
+            0.5
+        } else {
+            c as f64 / (self.channels - 1) as f64
+        };
         (self.elevation_min_deg + span * t).to_radians()
     }
 
@@ -146,19 +150,46 @@ mod tests {
     #[test]
     fn validate_catches_bad_configs() {
         let good = SensorConfig::default();
-        assert!(SensorConfig { channels: 0, ..good }.validate().is_err());
-        assert!(SensorConfig { elevation_min_deg: 10.0, elevation_max_deg: -10.0, ..good }
-            .validate()
-            .is_err());
-        assert!(SensorConfig { azimuth_step_deg: 0.0, ..good }.validate().is_err());
-        assert!(SensorConfig { max_range: -1.0, ..good }.validate().is_err());
-        assert!(SensorConfig { min_return_prob: 1.5, ..good }.validate().is_err());
+        assert!(SensorConfig {
+            channels: 0,
+            ..good
+        }
+        .validate()
+        .is_err());
+        assert!(SensorConfig {
+            elevation_min_deg: 10.0,
+            elevation_max_deg: -10.0,
+            ..good
+        }
+        .validate()
+        .is_err());
+        assert!(SensorConfig {
+            azimuth_step_deg: 0.0,
+            ..good
+        }
+        .validate()
+        .is_err());
+        assert!(SensorConfig {
+            max_range: -1.0,
+            ..good
+        }
+        .validate()
+        .is_err());
+        assert!(SensorConfig {
+            min_return_prob: 1.5,
+            ..good
+        }
+        .validate()
+        .is_err());
         assert!(SensorConfig { frames: 0, ..good }.validate().is_err());
     }
 
     #[test]
     fn single_channel_points_at_mid_elevation() {
-        let c = SensorConfig { channels: 1, ..SensorConfig::default() };
+        let c = SensorConfig {
+            channels: 1,
+            ..SensorConfig::default()
+        };
         let mid = (c.elevation_min_deg + c.elevation_max_deg) / 2.0;
         assert!((c.elevation_rad(0).to_degrees() - mid).abs() < 1e-9);
     }

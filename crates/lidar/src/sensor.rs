@@ -71,26 +71,46 @@ impl Lidar {
     /// The sensor sits at the origin (top of the pole). Determinism: the
     /// same scene, config and RNG state produce the same sweep.
     pub fn scan<R: Rng + ?Sized>(&self, scene: &Scene, rng: &mut R) -> LabeledSweep {
-        let mut points = Vec::new();
-        let mut entities = Vec::new();
-        for &dir in &self.beams {
-            let ray = Ray { origin: Point3::ZERO, dir };
-            let Some(scene_hit) = scene.cast(&ray) else { continue };
-            let r = scene_hit.hit.t;
-            if r > self.config.max_range {
-                continue;
+        let (sweep, capture_ms) = obs::timed_ms(|| {
+            let mut points = Vec::new();
+            let mut entities = Vec::new();
+            let mut misses = 0u64;
+            let mut out_of_range = 0u64;
+            let mut dropouts = 0u64;
+            for &dir in &self.beams {
+                let ray = Ray {
+                    origin: Point3::ZERO,
+                    dir,
+                };
+                let Some(scene_hit) = scene.cast(&ray) else {
+                    misses += 1;
+                    continue;
+                };
+                let r = scene_hit.hit.t;
+                if r > self.config.max_range {
+                    out_of_range += 1;
+                    continue;
+                }
+                let falloff = (self.config.falloff_range / r).min(1.0);
+                let p_return = (scene_hit.hit.reflectivity * falloff * falloff)
+                    .max(self.config.min_return_prob);
+                if rng.gen_range(0.0..1.0) > p_return {
+                    dropouts += 1;
+                    continue;
+                }
+                let noisy_r = r + gaussian(rng, 0.0, self.config.range_noise_std);
+                points.push(ray.at(noisy_r.max(0.0)));
+                entities.push(scene_hit.entity);
             }
-            let falloff = (self.config.falloff_range / r).min(1.0);
-            let p_return = (scene_hit.hit.reflectivity * falloff * falloff)
-                .max(self.config.min_return_prob);
-            if rng.gen_range(0.0..1.0) > p_return {
-                continue;
-            }
-            let noisy_r = r + gaussian(rng, 0.0, self.config.range_noise_std);
-            points.push(ray.at(noisy_r.max(0.0)));
-            entities.push(scene_hit.entity);
-        }
-        LabeledSweep::new(points, entities)
+            obs::incr("lidar.beams_fired", self.beams.len() as u64);
+            obs::incr("lidar.returns", points.len() as u64);
+            obs::incr("lidar.misses", misses);
+            obs::incr("lidar.out_of_range", out_of_range);
+            obs::incr("lidar.dropouts", dropouts);
+            LabeledSweep::new(points, entities)
+        });
+        obs::observe_ms("capture", capture_ms);
+        sweep
     }
 }
 
@@ -203,7 +223,10 @@ mod tests {
         let mut sweep = sensor.scan(&scene, &mut rng(3));
         roi_filter(&mut sweep, &cfg);
         let ground_removed = ground_segment(&mut sweep);
-        assert!(ground_removed > 0, "ROI ground returns should be segmented away");
+        assert!(
+            ground_removed > 0,
+            "ROI ground returns should be segmented away"
+        );
         // What remains is dominated by the human.
         let human = sweep.points_of(id).len();
         assert!(human > 0);
@@ -225,18 +248,28 @@ mod tests {
         let mut sweep = sensor.scan(&scene, &mut rng(4));
         roi_filter(&mut sweep, &cfg);
         ground_segment(&mut sweep);
-        assert!(sweep.len() < 400, "cloud unexpectedly dense: {}", sweep.len());
+        assert!(
+            sweep.len() < 400,
+            "cloud unexpectedly dense: {}",
+            sweep.len()
+        );
     }
 
     #[test]
     fn beam_count_matches_config() {
         let sensor = Lidar::new(SensorConfig::default());
-        assert_eq!(sensor.beam_count(), SensorConfig::default().beams_per_sweep());
+        assert_eq!(
+            sensor.beam_count(),
+            SensorConfig::default().beams_per_sweep()
+        );
     }
 
     #[test]
     #[should_panic(expected = "invalid sensor configuration")]
     fn invalid_config_panics() {
-        let _ = Lidar::new(SensorConfig { channels: 0, ..SensorConfig::default() });
+        let _ = Lidar::new(SensorConfig {
+            channels: 0,
+            ..SensorConfig::default()
+        });
     }
 }

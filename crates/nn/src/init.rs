@@ -14,7 +14,12 @@ pub fn he_normal<R: Rng + ?Sized>(rng: &mut R, fan_in: usize, out: &mut [f32]) {
 /// Xavier-uniform initialisation with the given fan-in/fan-out — an
 /// alternative to [`he_normal`] for tanh/linear heads.
 #[allow(dead_code)] // kept for architecture experiments
-pub fn xavier_uniform<R: Rng + ?Sized>(rng: &mut R, fan_in: usize, fan_out: usize, out: &mut [f32]) {
+pub fn xavier_uniform<R: Rng + ?Sized>(
+    rng: &mut R,
+    fan_in: usize,
+    fan_out: usize,
+    out: &mut [f32],
+) {
     let limit = (6.0 / (fan_in + fan_out).max(1) as f64).sqrt();
     for w in out {
         *w = rng.gen_range(-limit..limit) as f32;
@@ -42,7 +47,10 @@ mod tests {
         let var: f32 = buf.iter().map(|x| (x - mean) * (x - mean)).sum::<f32>() / buf.len() as f32;
         assert!(mean.abs() < 0.01, "mean {mean}");
         let expected = 2.0 / 50.0;
-        assert!((var - expected).abs() < expected * 0.15, "var {var} vs {expected}");
+        assert!(
+            (var - expected).abs() < expected * 0.15,
+            "var {var} vs {expected}"
+        );
     }
 
     #[test]

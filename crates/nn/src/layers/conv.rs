@@ -97,7 +97,10 @@ impl Conv2d {
     }
 
     fn out_hw(&self, h: usize, w: usize) -> (usize, usize) {
-        (h + 2 * self.padding + 1 - self.kernel, w + 2 * self.padding + 1 - self.kernel)
+        (
+            h + 2 * self.padding + 1 - self.kernel,
+            w + 2 * self.padding + 1 - self.kernel,
+        )
     }
 
     /// Builds the im2col matrix: `[batch * oh * ow, cin * k * k]`.
@@ -324,7 +327,7 @@ mod tests {
         // 3x3 all-ones kernel, no padding, on a 3x3 ones image: single
         // output = 9.
         let mut conv = Conv2d::new(1, 1, 3, 0, &mut rng());
-        conv.set_params(&vec![1.0; 9], &[0.5]);
+        conv.set_params(&[1.0; 9], &[0.5]);
         let x = Tensor::full(&[1, 1, 3, 3], 1.0);
         let y = conv.forward(&x, false);
         assert_eq!(y.shape(), &[1, 1, 1, 1]);
@@ -345,7 +348,7 @@ mod tests {
         // All-ones 3x3 kernel with padding 1 on a ones 3x3 image: corner
         // outputs see only 4 inputs, centre sees 9.
         let mut conv = Conv2d::new(1, 1, 3, 1, &mut rng());
-        conv.set_params(&vec![1.0; 9], &[0.0]);
+        conv.set_params(&[1.0; 9], &[0.0]);
         let x = Tensor::full(&[1, 1, 3, 3], 1.0);
         let y = conv.forward(&x, false);
         assert_eq!(y.at(&[0, 0, 0, 0]), 4.0);
@@ -366,7 +369,9 @@ mod tests {
     fn gradcheck_input_and_weights() {
         let mut conv = Conv2d::new(2, 3, 3, 1, &mut rng());
         let x = Tensor::from_vec(
-            (0..2 * 2 * 4 * 4).map(|i| ((i * 7) % 13) as f32 * 0.1 - 0.5).collect(),
+            (0..2 * 2 * 4 * 4)
+                .map(|i| ((i * 7) % 13) as f32 * 0.1 - 0.5)
+                .collect(),
             &[2, 2, 4, 4],
         );
         let y = conv.forward(&x, true);

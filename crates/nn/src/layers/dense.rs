@@ -84,13 +84,24 @@ impl Layer for Dense {
 
     fn forward(&mut self, input: &Tensor, train: bool) -> Tensor {
         assert_eq!(input.shape().len(), 2, "dense expects [batch, features]");
-        assert_eq!(input.shape()[1], self.in_features, "dense input width mismatch");
+        assert_eq!(
+            input.shape()[1],
+            self.in_features,
+            "dense input width mismatch"
+        );
         let batch = input.shape()[0];
         let mut out = vec![0.0; batch * self.out_features];
         for n in 0..batch {
             out[n * self.out_features..(n + 1) * self.out_features].copy_from_slice(&self.bias);
         }
-        matmul_acc(input.data(), &self.weight, batch, self.in_features, self.out_features, &mut out);
+        matmul_acc(
+            input.data(),
+            &self.weight,
+            batch,
+            self.in_features,
+            self.out_features,
+            &mut out,
+        );
         if train {
             self.cache_input = Some(input.clone());
         }
@@ -108,7 +119,8 @@ impl Layer for Dense {
                 if xv == 0.0 {
                     continue;
                 }
-                let wrow = &mut self.grad_weight[i * self.out_features..(i + 1) * self.out_features];
+                let wrow =
+                    &mut self.grad_weight[i * self.out_features..(i + 1) * self.out_features];
                 for (w, &gv) in wrow.iter_mut().zip(g) {
                     *w += xv * gv;
                 }
@@ -220,7 +232,11 @@ impl Layer for PointwiseDense {
     }
 
     fn forward(&mut self, input: &Tensor, train: bool) -> Tensor {
-        assert_eq!(input.shape().len(), 3, "pointwise dense expects [batch, channels, points]");
+        assert_eq!(
+            input.shape().len(),
+            3,
+            "pointwise dense expects [batch, channels, points]"
+        );
         assert_eq!(input.shape()[1], self.in_channels, "channel mismatch");
         let (batch, cin, pts) = (input.shape()[0], self.in_channels, input.shape()[2]);
         let cout = self.out_channels;
@@ -373,7 +389,11 @@ mod tests {
         let mut d2 = d.clone();
         let yp = d2.forward(&xp, false);
         let num = (yp.data().iter().sum::<f32>() - y.data().iter().sum::<f32>()) / eps;
-        assert!((dx.at(&[0, 0]) - num).abs() < 1e-2, "{} vs {num}", dx.at(&[0, 0]));
+        assert!(
+            (dx.at(&[0, 0]) - num).abs() < 1e-2,
+            "{} vs {num}",
+            dx.at(&[0, 0])
+        );
         // Numerical check on a weight gradient.
         let mut grads = Vec::new();
         d.visit_params(&mut |_, g| grads.push(g.to_vec()));
@@ -385,7 +405,10 @@ mod tests {
         d3.set_params(&w, &b);
         let yw = d3.forward(&x, false);
         let num_w = (yw.data().iter().sum::<f32>() - y.data().iter().sum::<f32>()) / eps;
-        assert!((analytic_dw00 - num_w).abs() < 1e-2, "{analytic_dw00} vs {num_w}");
+        assert!(
+            (analytic_dw00 - num_w).abs() < 1e-2,
+            "{analytic_dw00} vs {num_w}"
+        );
     }
 
     #[test]

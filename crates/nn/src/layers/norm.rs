@@ -81,9 +81,13 @@ impl Layer for BatchNorm2d {
         "batchnorm2d"
     }
 
+    #[allow(clippy::needless_range_loop)] // `c` also drives the strided base offset
     fn forward(&mut self, input: &Tensor, train: bool) -> Tensor {
         let shape = input.shape().to_vec();
-        assert!(shape.len() >= 2, "batch norm expects at least [batch, channels]");
+        assert!(
+            shape.len() >= 2,
+            "batch norm expects at least [batch, channels]"
+        );
         assert_eq!(shape[1], self.channels, "batch norm channel mismatch");
         let (b, spatial) = Self::stats_axes(&shape);
         let x = input.data();
@@ -130,7 +134,11 @@ impl Layer for BatchNorm2d {
             }
         }
         if train {
-            self.cache = Some(Cache { normalized, std_inv, shape: shape.clone() });
+            self.cache = Some(Cache {
+                normalized,
+                std_inv,
+                shape: shape.clone(),
+            });
         }
         Tensor::from_vec(out, &shape)
     }

@@ -50,7 +50,11 @@ impl Layer for MaxPool2d {
         assert_eq!(s.len(), 4, "max pool expects NCHW");
         let (b, c, h, w) = (s[0], s[1], s[2], s[3]);
         let (oh, ow) = self.out_hw(h, w);
-        assert!(oh > 0 && ow > 0, "input {h}x{w} too small for pool {0}", self.size);
+        assert!(
+            oh > 0 && ow > 0,
+            "input {h}x{w} too small for pool {0}",
+            self.size
+        );
         let x = input.data();
         let mut out = vec![f32::NEG_INFINITY; b * c * oh * ow];
         let mut argmax = vec![0usize; out.len()];
@@ -139,7 +143,11 @@ impl Layer for GlobalMaxPool {
 
     fn forward(&mut self, input: &Tensor, train: bool) -> Tensor {
         let s = input.shape();
-        assert_eq!(s.len(), 3, "global max pool expects [batch, channels, points]");
+        assert_eq!(
+            s.len(),
+            3,
+            "global max pool expects [batch, channels, points]"
+        );
         let (b, c, p) = (s[0], s[1], s[2]);
         assert!(p > 0, "cannot pool over zero points");
         let x = input.data();

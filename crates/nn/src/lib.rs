@@ -57,4 +57,5 @@ pub use layers::{
 pub use loss::{mse_loss, softmax, softmax_cross_entropy};
 pub use network::{Sequential, TrainConfig, TrainEvent};
 pub use optimizer::{Adam, Optimizer, Sgd};
+pub use profile::ForwardTiming;
 pub use tensor::Tensor;

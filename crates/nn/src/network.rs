@@ -6,7 +6,7 @@ use rand::Rng;
 use crate::layers::Layer;
 use crate::loss::{mse_loss, softmax_cross_entropy};
 use crate::optimizer::Optimizer;
-use crate::profile::NetworkProfile;
+use crate::profile::{ForwardTiming, NetworkProfile};
 use crate::Tensor;
 
 /// Mini-batch training configuration.
@@ -28,7 +28,12 @@ pub struct TrainConfig {
 
 impl Default for TrainConfig {
     fn default() -> Self {
-        TrainConfig { epochs: 10, batch_size: 32, shuffle: true, workers: 1 }
+        TrainConfig {
+            epochs: 10,
+            batch_size: 32,
+            shuffle: true,
+            workers: 1,
+        }
     }
 }
 
@@ -36,7 +41,9 @@ fn resolve_workers(requested: usize) -> usize {
     if requested > 0 {
         requested
     } else {
-        std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4)
+        std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(4)
     }
 }
 
@@ -63,13 +70,17 @@ pub struct Sequential {
 impl std::fmt::Debug for Sequential {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         let names: Vec<&str> = self.layers.iter().map(|l| l.name()).collect();
-        f.debug_struct("Sequential").field("layers", &names).finish()
+        f.debug_struct("Sequential")
+            .field("layers", &names)
+            .finish()
     }
 }
 
 impl Clone for Sequential {
     fn clone(&self) -> Self {
-        Sequential { layers: self.layers.iter().map(|l| l.boxed_clone()).collect() }
+        Sequential {
+            layers: self.layers.iter().map(|l| l.boxed_clone()).collect(),
+        }
     }
 }
 
@@ -159,7 +170,10 @@ impl Sequential {
                     })
                 })
                 .collect();
-            handles.into_iter().map(|h| h.join().expect("gradient worker panicked")).collect()
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("gradient worker panicked"))
+                .collect()
         })
         .expect("gradient scope panicked");
         self.zero_grads();
@@ -204,6 +218,26 @@ impl Sequential {
             x = layer.forward(&x, train);
         }
         x
+    }
+
+    /// Forward pass that also measures each layer's wall-clock on the
+    /// calling thread. Computes exactly what [`Sequential::forward`]
+    /// computes — the timing is observational only — at the cost of one
+    /// `Instant` read per layer.
+    pub fn forward_timed(&mut self, input: &Tensor, train: bool) -> (Tensor, ForwardTiming) {
+        let mut shape = input.shape().to_vec();
+        let mut x = input.clone();
+        let mut timing = ForwardTiming {
+            layers: Vec::with_capacity(self.layers.len()),
+        };
+        for (i, layer) in self.layers.iter_mut().enumerate() {
+            let name = format!("{:02}_{}", i, layer.profile(&shape).name);
+            shape = layer.output_shape(&shape);
+            let t0 = std::time::Instant::now();
+            x = layer.forward(&x, train);
+            timing.layers.push((name, t0.elapsed().as_secs_f64() * 1e3));
+        }
+        (x, timing)
     }
 
     /// Backward pass; call only after a `forward(.., true)`.
@@ -379,7 +413,10 @@ impl Sequential {
                         })
                     })
                     .collect();
-                handles.into_iter().map(|h| h.join().expect("predict worker panicked")).collect()
+                handles
+                    .into_iter()
+                    .map(|h| h.join().expect("predict worker panicked"))
+                    .collect()
             })
             .expect("predict scope panicked");
             return Tensor::stack(&outs);
@@ -387,7 +424,19 @@ impl Sequential {
         let mut outs = Vec::new();
         for chunk in idx.chunks(256) {
             let bx = gather(x, chunk);
-            outs.push(self.forward(&bx, false));
+            // Per-layer timing is only meaningful (and only paid for) on
+            // this serial path — the sharded path above interleaves
+            // layers across worker threads.
+            if obs::enabled() {
+                let (out, timing) = self.forward_timed(&bx, false);
+                for (name, ms) in &timing.layers {
+                    obs::observe_ms(&format!("nn.layer.{name}"), *ms);
+                }
+                obs::observe_ms("nn.forward", timing.total_ms());
+                outs.push(out);
+            } else {
+                outs.push(self.forward(&bx, false));
+            }
         }
         Tensor::stack(&outs)
     }
@@ -400,7 +449,11 @@ impl Sequential {
             .map(|n| {
                 let row = logits.row(n);
                 (0..c)
-                    .max_by(|&a, &b| row[a].partial_cmp(&row[b]).unwrap_or(std::cmp::Ordering::Equal))
+                    .max_by(|&a, &b| {
+                        row[a]
+                            .partial_cmp(&row[b])
+                            .unwrap_or(std::cmp::Ordering::Equal)
+                    })
                     .unwrap_or(0)
             })
             .collect()
@@ -492,7 +545,12 @@ mod tests {
         net.push(ReLU::new());
         net.push(Dense::new(16, 2, &mut r));
         let (x, y) = xor_data();
-        let cfg = TrainConfig { epochs: 400, batch_size: 4, shuffle: true, workers: 1 };
+        let cfg = TrainConfig {
+            epochs: 400,
+            batch_size: 4,
+            shuffle: true,
+            workers: 1,
+        };
         let events = net.fit(&x, &y, &cfg, &mut Adam::new(0.05), &mut r);
         assert_eq!(events.len(), 400);
         assert!(events.last().unwrap().train_loss < 0.1);
@@ -507,7 +565,12 @@ mod tests {
         net.push(ReLU::new());
         net.push(Dense::new(6, 2, &mut r));
         let (x, y) = xor_data();
-        let cfg = TrainConfig { epochs: 200, batch_size: 4, shuffle: false, workers: 1 };
+        let cfg = TrainConfig {
+            epochs: 200,
+            batch_size: 4,
+            shuffle: false,
+            workers: 1,
+        };
         let events = net.fit(&x, &y, &cfg, &mut Adam::new(0.03), &mut r);
         assert!(events.last().unwrap().train_loss < events[0].train_loss);
     }
@@ -520,9 +583,13 @@ mod tests {
         net.push(ReLU::new());
         net.push(Dense::new(8, 2, &mut r));
         let (x, y) = xor_data();
-        let cfg = TrainConfig { epochs: 50, batch_size: 2, shuffle: true, workers: 1 };
-        let events =
-            net.fit_tracked(&x, &y, Some((&x, &y)), &cfg, &mut Adam::new(0.05), &mut r);
+        let cfg = TrainConfig {
+            epochs: 50,
+            batch_size: 2,
+            shuffle: true,
+            workers: 1,
+        };
+        let events = net.fit_tracked(&x, &y, Some((&x, &y)), &cfg, &mut Adam::new(0.05), &mut r);
         assert!(events.iter().all(|e| e.eval_accuracy.is_some()));
     }
 
@@ -550,7 +617,12 @@ mod tests {
         net.push(MaxPool2d::new(2));
         net.push(Flatten::new());
         net.push(Dense::new(4 * 3 * 3, 2, &mut r));
-        let cfg = TrainConfig { epochs: 30, batch_size: 8, shuffle: true, workers: 1 };
+        let cfg = TrainConfig {
+            epochs: 30,
+            batch_size: 8,
+            shuffle: true,
+            workers: 1,
+        };
         net.fit(&x, &labels, &cfg, &mut Adam::new(0.01), &mut r);
         assert!(net.accuracy(&x, &labels) > 0.95);
     }
@@ -566,7 +638,12 @@ mod tests {
             (0..30).map(|i| (i % 7) as f32 * 0.2 - 0.6).collect(),
             &[10, 3],
         );
-        let cfg = TrainConfig { epochs: 300, batch_size: 5, shuffle: true, workers: 1 };
+        let cfg = TrainConfig {
+            epochs: 300,
+            batch_size: 5,
+            shuffle: true,
+            workers: 1,
+        };
         let events = net.fit_regression(&x, &x, &cfg, &mut Adam::new(0.01), &mut r);
         assert!(events.last().unwrap().train_loss < 0.01);
     }
@@ -586,7 +663,12 @@ mod tests {
         let _ = net.fit(
             &Tensor::from_vec(xd.data()[..4].to_vec(), &[1, 4]),
             &yd[..1],
-            &TrainConfig { epochs: 3, batch_size: 1, shuffle: false, workers: 1 },
+            &TrainConfig {
+                epochs: 3,
+                batch_size: 1,
+                shuffle: false,
+                workers: 1,
+            },
             &mut Adam::new(0.1),
             &mut r,
         );
@@ -631,7 +713,12 @@ mod tests {
         let (x, y) = xor_data();
         let mut serial = build(7);
         let mut parallel = build(7);
-        let base = TrainConfig { epochs: 200, batch_size: 4, shuffle: false, workers: 1 };
+        let base = TrainConfig {
+            epochs: 200,
+            batch_size: 4,
+            shuffle: false,
+            workers: 1,
+        };
         let mut r1 = StdRng::seed_from_u64(1);
         let mut r2 = StdRng::seed_from_u64(1);
         serial.fit(&x, &y, &base, &mut Adam::new(0.05), &mut r1);
@@ -671,6 +758,12 @@ mod tests {
         let mut net = Sequential::new();
         net.push(Dense::new(2, 2, &mut r));
         let (x, _) = xor_data();
-        let _ = net.fit(&x, &[0, 1], &TrainConfig::default(), &mut Adam::new(0.01), &mut r);
+        let _ = net.fit(
+            &x,
+            &[0, 1],
+            &TrainConfig::default(),
+            &mut Adam::new(0.01),
+            &mut r,
+        );
     }
 }

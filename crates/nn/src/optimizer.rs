@@ -24,12 +24,20 @@ pub struct Sgd {
 impl Sgd {
     /// Creates SGD with learning rate `lr` and no momentum.
     pub fn new(lr: f32) -> Self {
-        Sgd { lr, momentum: 0.0, velocity: Vec::new() }
+        Sgd {
+            lr,
+            momentum: 0.0,
+            velocity: Vec::new(),
+        }
     }
 
     /// Creates SGD with momentum.
     pub fn with_momentum(lr: f32, momentum: f32) -> Self {
-        Sgd { lr, momentum, velocity: Vec::new() }
+        Sgd {
+            lr,
+            momentum,
+            velocity: Vec::new(),
+        }
     }
 }
 
@@ -73,7 +81,15 @@ pub struct Adam {
 impl Adam {
     /// Creates Adam with the standard β₁ = 0.9, β₂ = 0.999.
     pub fn new(lr: f32) -> Self {
-        Adam { lr, beta1: 0.9, beta2: 0.999, eps: 1e-8, t: 0, m: Vec::new(), v: Vec::new() }
+        Adam {
+            lr,
+            beta1: 0.9,
+            beta2: 0.999,
+            eps: 1e-8,
+            t: 0,
+            m: Vec::new(),
+            v: Vec::new(),
+        }
     }
 
     /// The paper's configuration: `Adam::new(0.001)`.

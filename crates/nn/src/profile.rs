@@ -63,7 +63,11 @@ impl NetworkProfile {
 
     /// MACs spent in layers of a given class.
     pub fn macs_of(&self, kind: OpKind) -> u64 {
-        self.layers.iter().filter(|l| l.kind == kind).map(|l| l.macs).sum()
+        self.layers
+            .iter()
+            .filter(|l| l.kind == kind)
+            .map(|l| l.macs)
+            .sum()
     }
 
     /// Fraction of MACs in fully connected layers — the quantity that
@@ -78,12 +82,42 @@ impl NetworkProfile {
     }
 }
 
+/// Measured wall-clock of one forward pass, layer by layer — the
+/// empirical companion to [`NetworkProfile`]'s analytic MAC counts.
+/// Produced by `Sequential::forward_timed`.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct ForwardTiming {
+    /// `(layer name, ms)` in forward order.
+    pub layers: Vec<(String, f64)>,
+}
+
+impl ForwardTiming {
+    /// Total measured forward time in milliseconds.
+    pub fn total_ms(&self) -> f64 {
+        self.layers.iter().map(|(_, ms)| ms).sum()
+    }
+
+    /// The slowest layer, if any layer was timed.
+    pub fn slowest(&self) -> Option<(&str, f64)> {
+        self.layers
+            .iter()
+            .max_by(|a, b| a.1.partial_cmp(&b.1).unwrap_or(std::cmp::Ordering::Equal))
+            .map(|(name, ms)| (name.as_str(), *ms))
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
 
     fn layer(kind: OpKind, params: usize, macs: u64) -> LayerProfile {
-        LayerProfile { name: "l".into(), kind, params, macs, output_elems: 1 }
+        LayerProfile {
+            name: "l".into(),
+            kind,
+            params,
+            macs,
+            output_elems: 1,
+        }
     }
 
     #[test]

@@ -86,10 +86,32 @@ fn quantize_weights(w: &[f32]) -> (Vec<i8>, f32) {
 
 /// Folded fp32 inference op (intermediate form used for calibration).
 enum FoldedOp {
-    Conv { w: Vec<f32>, b: Vec<f32>, in_ch: usize, out_ch: usize, k: usize, pad: usize, relu: bool },
-    Dense { w: Vec<f32>, b: Vec<f32>, in_f: usize, out_f: usize, relu: bool },
-    Pointwise { w: Vec<f32>, b: Vec<f32>, in_ch: usize, out_ch: usize, relu: bool },
-    MaxPool { size: usize },
+    Conv {
+        w: Vec<f32>,
+        b: Vec<f32>,
+        in_ch: usize,
+        out_ch: usize,
+        k: usize,
+        pad: usize,
+        relu: bool,
+    },
+    Dense {
+        w: Vec<f32>,
+        b: Vec<f32>,
+        in_f: usize,
+        out_f: usize,
+        relu: bool,
+    },
+    Pointwise {
+        w: Vec<f32>,
+        b: Vec<f32>,
+        in_ch: usize,
+        out_ch: usize,
+        relu: bool,
+    },
+    MaxPool {
+        size: usize,
+    },
     GlobalMaxPool,
     Flatten,
 }
@@ -125,7 +147,9 @@ enum QOp {
         out_q: QuantParams,
         relu: bool,
     },
-    MaxPool { size: usize },
+    MaxPool {
+        size: usize,
+    },
     GlobalMaxPool,
     Flatten,
 }
@@ -272,13 +296,29 @@ fn folded_forward(ops: &[FoldedOp], input: &Tensor) -> Vec<Tensor> {
     acts.push(x.clone());
     for op in ops {
         x = match op {
-            FoldedOp::Conv { w, b, in_ch, out_ch, k, pad, relu } => {
-                conv_f32(&x, w, b, *in_ch, *out_ch, *k, *pad, *relu)
-            }
-            FoldedOp::Dense { w, b, in_f, out_f, relu } => dense_f32(&x, w, b, *in_f, *out_f, *relu),
-            FoldedOp::Pointwise { w, b, in_ch, out_ch, relu } => {
-                pointwise_f32(&x, w, b, *in_ch, *out_ch, *relu)
-            }
+            FoldedOp::Conv {
+                w,
+                b,
+                in_ch,
+                out_ch,
+                k,
+                pad,
+                relu,
+            } => conv_f32(&x, w, b, *in_ch, *out_ch, *k, *pad, *relu),
+            FoldedOp::Dense {
+                w,
+                b,
+                in_f,
+                out_f,
+                relu,
+            } => dense_f32(&x, w, b, *in_f, *out_f, *relu),
+            FoldedOp::Pointwise {
+                w,
+                b,
+                in_ch,
+                out_ch,
+                relu,
+            } => pointwise_f32(&x, w, b, *in_ch, *out_ch, *relu),
             FoldedOp::MaxPool { size } => maxpool_f32(&x, *size),
             FoldedOp::GlobalMaxPool => global_maxpool_f32(&x),
             FoldedOp::Flatten => {
@@ -361,7 +401,14 @@ fn dense_f32(x: &Tensor, w: &[f32], b: &[f32], in_f: usize, out_f: usize, relu: 
     Tensor::from_vec(out, &[bn, out_f])
 }
 
-fn pointwise_f32(x: &Tensor, w: &[f32], b: &[f32], in_ch: usize, out_ch: usize, relu: bool) -> Tensor {
+fn pointwise_f32(
+    x: &Tensor,
+    w: &[f32],
+    b: &[f32],
+    in_ch: usize,
+    out_ch: usize,
+    relu: bool,
+) -> Tensor {
     let s = x.shape();
     let (bn, pts) = (s[0], s[2]);
     let xd = x.data();
@@ -439,15 +486,25 @@ impl QuantizedNetwork {
         // Calibrate ranges per activation (input + each op output).
         let acts = folded_forward(&folded, calibration);
         let ranges: Vec<(f32, f32)> = acts.iter().map(|t| t.min_max()).collect();
-        let qparams: Vec<QuantParams> =
-            ranges.iter().map(|&(lo, hi)| QuantParams::from_range(lo, hi)).collect();
+        let qparams: Vec<QuantParams> = ranges
+            .iter()
+            .map(|&(lo, hi)| QuantParams::from_range(lo, hi))
+            .collect();
 
         let mut ops = Vec::with_capacity(folded.len());
         for (idx, op) in folded.iter().enumerate() {
             let in_q = qparams[idx];
             let out_q = qparams[idx + 1];
             ops.push(match op {
-                FoldedOp::Conv { w, b, in_ch, out_ch, k, pad, relu } => {
+                FoldedOp::Conv {
+                    w,
+                    b,
+                    in_ch,
+                    out_ch,
+                    k,
+                    pad,
+                    relu,
+                } => {
                     let (qw, sw) = quantize_weights(w);
                     let bias_scale = in_q.scale * sw;
                     let bias = b.iter().map(|&x| (x / bias_scale).round() as i32).collect();
@@ -463,7 +520,13 @@ impl QuantizedNetwork {
                         relu: *relu,
                     }
                 }
-                FoldedOp::Dense { w, b, in_f, out_f, relu } => {
+                FoldedOp::Dense {
+                    w,
+                    b,
+                    in_f,
+                    out_f,
+                    relu,
+                } => {
                     let (qw, sw) = quantize_weights(w);
                     let bias_scale = in_q.scale * sw;
                     let bias = b.iter().map(|&x| (x / bias_scale).round() as i32).collect();
@@ -477,7 +540,13 @@ impl QuantizedNetwork {
                         relu: *relu,
                     }
                 }
-                FoldedOp::Pointwise { w, b, in_ch, out_ch, relu } => {
+                FoldedOp::Pointwise {
+                    w,
+                    b,
+                    in_ch,
+                    out_ch,
+                    relu,
+                } => {
                     let (qw, sw) = quantize_weights(w);
                     let bias_scale = in_q.scale * sw;
                     let bias = b.iter().map(|&x| (x / bias_scale).round() as i32).collect();
@@ -511,7 +580,17 @@ impl QuantizedNetwork {
         let mut zp_in = self.input_q.zero_point;
         for op in &self.ops {
             match op {
-                QOp::Conv { w, bias, in_ch, out_ch, k, pad, multiplier, out_q, relu } => {
+                QOp::Conv {
+                    w,
+                    bias,
+                    in_ch,
+                    out_ch,
+                    k,
+                    pad,
+                    multiplier,
+                    out_q,
+                    relu,
+                } => {
                     let (bn, h, wd) = (shape[0], shape[2], shape[3]);
                     let oh = h + 2 * pad + 1 - k;
                     let ow = wd + 2 * pad + 1 - k;
@@ -528,14 +607,16 @@ impl QuantizedNetwork {
                                             if iy < 0 || iy >= h as isize {
                                                 // Zero-padding contributes (0 - zp) * w.
                                                 for kx in 0..*k {
-                                                    let wv = w[co * k2c + (ci * k + ky) * k + kx] as i64;
+                                                    let wv =
+                                                        w[co * k2c + (ci * k + ky) * k + kx] as i64;
                                                     acc += (-zp_in as i64) * wv;
                                                 }
                                                 continue;
                                             }
                                             for kx in 0..*k {
                                                 let ix = ox as isize + kx as isize - *pad as isize;
-                                                let wv = w[co * k2c + (ci * k + ky) * k + kx] as i64;
+                                                let wv =
+                                                    w[co * k2c + (ci * k + ky) * k + kx] as i64;
                                                 if ix < 0 || ix >= wd as isize {
                                                     acc += (-zp_in as i64) * wv;
                                                 } else {
@@ -548,13 +629,12 @@ impl QuantizedNetwork {
                                             }
                                         }
                                     }
-                                    let mut qv = out_q.zero_point
-                                        + (acc as f32 * multiplier).round() as i32;
+                                    let mut qv =
+                                        out_q.zero_point + (acc as f32 * multiplier).round() as i32;
                                     if *relu {
                                         qv = qv.max(out_q.zero_point);
                                     }
-                                    out[((n * out_ch + co) * oh + oy) * ow + ox] =
-                                        qv.clamp(0, 255);
+                                    out[((n * out_ch + co) * oh + oy) * ow + ox] = qv.clamp(0, 255);
                                 }
                             }
                         }
@@ -563,7 +643,15 @@ impl QuantizedNetwork {
                     shape = vec![bn, *out_ch, oh, ow];
                     zp_in = out_q.zero_point;
                 }
-                QOp::Dense { w, bias, in_f, out_f, multiplier, out_q, relu } => {
+                QOp::Dense {
+                    w,
+                    bias,
+                    in_f,
+                    out_f,
+                    multiplier,
+                    out_q,
+                    relu,
+                } => {
                     let bn = shape[0];
                     let mut out = vec![0i32; bn * out_f];
                     for n in 0..bn {
@@ -585,7 +673,15 @@ impl QuantizedNetwork {
                     shape = vec![bn, *out_f];
                     zp_in = out_q.zero_point;
                 }
-                QOp::Pointwise { w, bias, in_ch, out_ch, multiplier, out_q, relu } => {
+                QOp::Pointwise {
+                    w,
+                    bias,
+                    in_ch,
+                    out_ch,
+                    multiplier,
+                    out_q,
+                    relu,
+                } => {
                     let (bn, pts) = (shape[0], shape[2]);
                     let mut out = vec![0i32; bn * out_ch * pts];
                     for n in 0..bn {
@@ -669,7 +765,9 @@ impl QuantizedNetwork {
                 let row = logits.row(n);
                 (0..c)
                     .max_by(|&a, &b| {
-                        row[a].partial_cmp(&row[b]).unwrap_or(std::cmp::Ordering::Equal)
+                        row[a]
+                            .partial_cmp(&row[b])
+                            .unwrap_or(std::cmp::Ordering::Equal)
                     })
                     .unwrap_or(0)
             })
@@ -737,7 +835,12 @@ mod tests {
         net.push(Dense::new(16, 2, r));
         let x = Tensor::from_vec(vec![0., 0., 0., 1., 1., 0., 1., 1.], &[4, 2]);
         let y = vec![0usize, 1, 1, 0];
-        let cfg = TrainConfig { epochs: 500, batch_size: 4, shuffle: true, workers: 1 };
+        let cfg = TrainConfig {
+            epochs: 500,
+            batch_size: 4,
+            shuffle: true,
+            workers: 1,
+        };
         net.fit(&x, &y, &cfg, &mut Adam::new(0.03), r);
         (net, x, y)
     }
@@ -794,7 +897,12 @@ mod tests {
             }
         }
         let x = Tensor::from_vec(data, &[n, 1, 6, 6]);
-        let cfg = TrainConfig { epochs: 40, batch_size: 8, shuffle: true, workers: 1 };
+        let cfg = TrainConfig {
+            epochs: 40,
+            batch_size: 8,
+            shuffle: true,
+            workers: 1,
+        };
         net.fit(&x, &labels, &cfg, &mut Adam::new(0.01), &mut r);
         let fp_acc = net.accuracy(&x, &labels);
         assert!(fp_acc > 0.95);
@@ -813,7 +921,10 @@ mod tests {
         net.push(ReLU::new());
         net.push(GlobalMaxPool::new());
         net.push(Dense::new(8, 2, &mut r));
-        let x = Tensor::from_vec((0..60).map(|i| (i % 11) as f32 * 0.1).collect(), &[2, 3, 10]);
+        let x = Tensor::from_vec(
+            (0..60).map(|i| (i % 11) as f32 * 0.1).collect(),
+            &[2, 3, 10],
+        );
         let q = QuantizedNetwork::from_sequential(&net, &x).unwrap();
         let fl = net.predict(&x);
         let qu = q.predict(&x);
@@ -838,7 +949,9 @@ mod tests {
         net.push(ReLU::new());
         // Push some training data through so BN stats are non-trivial.
         let x = Tensor::from_vec(
-            (0..2 * 2 * 5 * 5).map(|i| ((i * 3) % 17) as f32 * 0.1).collect(),
+            (0..2 * 2 * 5 * 5)
+                .map(|i| ((i * 3) % 17) as f32 * 0.1)
+                .collect(),
             &[2, 2, 5, 5],
         );
         let _ = net.forward(&x, true);

@@ -24,12 +24,18 @@ pub struct Tensor {
 impl Tensor {
     /// Creates a zero tensor of the given shape.
     pub fn zeros(shape: &[usize]) -> Self {
-        Tensor { shape: shape.to_vec(), data: vec![0.0; shape.iter().product()] }
+        Tensor {
+            shape: shape.to_vec(),
+            data: vec![0.0; shape.iter().product()],
+        }
     }
 
     /// Creates a tensor filled with `value`.
     pub fn full(shape: &[usize], value: f32) -> Self {
-        Tensor { shape: shape.to_vec(), data: vec![value; shape.iter().product()] }
+        Tensor {
+            shape: shape.to_vec(),
+            data: vec![value; shape.iter().product()],
+        }
     }
 
     /// Wraps an existing buffer.
@@ -45,7 +51,10 @@ impl Tensor {
             data.len(),
             shape
         );
-        Tensor { shape: shape.to_vec(), data }
+        Tensor {
+            shape: shape.to_vec(),
+            data,
+        }
     }
 
     /// The shape.
@@ -125,7 +134,10 @@ impl Tensor {
             self.shape,
             shape
         );
-        Tensor { shape: shape.to_vec(), data: self.data.clone() }
+        Tensor {
+            shape: shape.to_vec(),
+            data: self.data.clone(),
+        }
     }
 
     /// The `i`-th row of a 2-D tensor.
@@ -179,7 +191,10 @@ impl Tensor {
 
     /// Element-wise map.
     pub fn map<F: Fn(f32) -> f32>(&self, f: F) -> Tensor {
-        Tensor { shape: self.shape.clone(), data: self.data.iter().map(|&x| f(x)).collect() }
+        Tensor {
+            shape: self.shape.clone(),
+            data: self.data.iter().map(|&x| f(x)).collect(),
+        }
     }
 
     /// Minimum and maximum element (`(0, 0)` for empty tensors).

@@ -1,0 +1,285 @@
+//! Serialising snapshots and journals for `results/`.
+//!
+//! Two formats, matching how the artefacts are consumed:
+//!
+//! * **JSON lines** — one object per line, grep- and jq-friendly,
+//!   stable field order. Written by hand: the workspace's offline
+//!   `serde` stand-in provides no serialisers, and the subset needed
+//!   here (strings, numbers, arrays) is small.
+//! * **text table** — the human-readable run summary the workbench
+//!   prints and drops next to the JSONL.
+
+use std::fmt::Write as _;
+use std::io;
+use std::path::{Path, PathBuf};
+
+use crate::journal::FrameRecord;
+use crate::{HistogramSnapshot, Snapshot};
+
+/// Escapes `s` for a JSON string literal (quotes not included).
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Formats a float as JSON: finite values round-trip, NaN/∞ become
+/// `null` (JSON has no encoding for them).
+fn json_f64(v: f64) -> String {
+    if v.is_finite() {
+        format!("{v}")
+    } else {
+        "null".to_string()
+    }
+}
+
+fn json_opt_u64(v: Option<u64>) -> String {
+    v.map_or_else(|| "null".to_string(), |x| x.to_string())
+}
+
+/// One JSON line per instrument: counters, then gauges, then
+/// histograms, each sorted by name (inherited from [`Snapshot`]).
+pub fn snapshot_jsonl(snap: &Snapshot) -> String {
+    let mut out = String::new();
+    for (name, value) in &snap.counters {
+        let _ = writeln!(
+            out,
+            r#"{{"type":"counter","name":"{}","value":{value}}}"#,
+            json_escape(name)
+        );
+    }
+    for (name, value) in &snap.gauges {
+        let _ = writeln!(
+            out,
+            r#"{{"type":"gauge","name":"{}","value":{}}}"#,
+            json_escape(name),
+            json_f64(*value)
+        );
+    }
+    for h in &snap.histograms {
+        let _ = writeln!(
+            out,
+            concat!(
+                r#"{{"type":"histogram","name":"{}","count":{},"mean_ms":{},"#,
+                r#""p50_ms":{},"p95_ms":{},"p99_ms":{},"min_ms":{},"max_ms":{},"sum_ms":{}}}"#
+            ),
+            json_escape(&h.name),
+            h.count,
+            json_f64(h.mean_ms),
+            json_f64(h.p50_ms),
+            json_f64(h.p95_ms),
+            json_f64(h.p99_ms),
+            json_f64(h.min_ms),
+            json_f64(h.max_ms),
+            json_f64(h.sum_ms),
+        );
+    }
+    out
+}
+
+/// One JSON line per frame record, oldest first.
+pub fn journal_jsonl<'a>(entries: impl IntoIterator<Item = &'a FrameRecord>) -> String {
+    let mut out = String::new();
+    for r in entries {
+        let verdicts: Vec<String> = r
+            .verdicts
+            .iter()
+            .map(|v| {
+                format!(
+                    r#"{{"points":{},"label":"{}","confidence":{}}}"#,
+                    v.points,
+                    json_escape(&v.label),
+                    json_f64(v.confidence)
+                )
+            })
+            .collect();
+        let stages: Vec<String> = r
+            .stages_ms
+            .iter()
+            .map(|(name, ms)| format!(r#""{}":{}"#, json_escape(name), json_f64(*ms)))
+            .collect();
+        let _ = writeln!(
+            out,
+            concat!(
+                r#"{{"seq":{},"source":"{}","seed":{},"points_in":{},"#,
+                r#""eps":{},"knee_index":{},"clusters_found":{},"clusters_classified":{},"#,
+                r#""clusters_skipped":{},"count":{},"verdicts":[{}],"stages_ms":{{{}}}}}"#
+            ),
+            r.seq,
+            json_escape(&r.source),
+            json_opt_u64(r.seed),
+            r.points_in,
+            r.eps.map_or_else(|| "null".to_string(), json_f64),
+            json_opt_u64(r.knee_index.map(|i| i as u64)),
+            r.clusters_found,
+            r.clusters_classified,
+            r.clusters_skipped,
+            r.count,
+            verdicts.join(","),
+            stages.join(","),
+        );
+    }
+    out
+}
+
+fn histogram_row(h: &HistogramSnapshot) -> String {
+    format!(
+        "{:<28} {:>8} {:>9.3} {:>9.3} {:>9.3} {:>9.3} {:>9.3}",
+        h.name, h.count, h.mean_ms, h.p50_ms, h.p95_ms, h.p99_ms, h.max_ms
+    )
+}
+
+/// Renders the snapshot as an aligned text table.
+pub fn render_table(snap: &Snapshot) -> String {
+    let mut out = String::new();
+    if !snap.histograms.is_empty() {
+        let _ = writeln!(
+            out,
+            "{:<28} {:>8} {:>9} {:>9} {:>9} {:>9} {:>9}",
+            "stage", "count", "mean ms", "p50 ms", "p95 ms", "p99 ms", "max ms"
+        );
+        for h in &snap.histograms {
+            let _ = writeln!(out, "{}", histogram_row(h));
+        }
+    }
+    if !snap.counters.is_empty() {
+        let _ = writeln!(out, "\n{:<36} {:>12}", "counter", "total");
+        for (name, value) in &snap.counters {
+            let _ = writeln!(out, "{name:<36} {value:>12}");
+        }
+    }
+    let shown: Vec<&(String, f64)> = snap.gauges.iter().filter(|(_, v)| !v.is_nan()).collect();
+    if !shown.is_empty() {
+        let _ = writeln!(out, "\n{:<36} {:>12}", "gauge", "value");
+        for (name, value) in shown {
+            let _ = writeln!(out, "{name:<36} {value:>12.3}");
+        }
+    }
+    out
+}
+
+/// Paths produced by [`write_run`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RunArtifacts {
+    /// Metrics snapshot, JSON lines.
+    pub metrics_jsonl: PathBuf,
+    /// Journal, JSON lines.
+    pub journal_jsonl: PathBuf,
+    /// Human-readable metrics table.
+    pub metrics_table: PathBuf,
+}
+
+/// Writes the *current global* snapshot and journal into `dir` as
+/// `<tag>_metrics.jsonl`, `<tag>_journal.jsonl` and `<tag>_metrics.txt`.
+/// Creates `dir` if needed.
+pub fn write_run(dir: impl AsRef<Path>, tag: &str) -> io::Result<RunArtifacts> {
+    let dir = dir.as_ref();
+    std::fs::create_dir_all(dir)?;
+    let snap = crate::snapshot();
+    let journal = crate::journal_snapshot();
+    let artifacts = RunArtifacts {
+        metrics_jsonl: dir.join(format!("{tag}_metrics.jsonl")),
+        journal_jsonl: dir.join(format!("{tag}_journal.jsonl")),
+        metrics_table: dir.join(format!("{tag}_metrics.txt")),
+    };
+    std::fs::write(&artifacts.metrics_jsonl, snapshot_jsonl(&snap))?;
+    std::fs::write(&artifacts.journal_jsonl, journal_jsonl(journal.iter()))?;
+    std::fs::write(&artifacts.metrics_table, render_table(&snap))?;
+    Ok(artifacts)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::journal::ClusterVerdict;
+
+    fn sample_snapshot() -> Snapshot {
+        let h = crate::Histogram::default();
+        h.observe(2.0);
+        h.observe(4.0);
+        Snapshot {
+            counters: vec![("beams".to_string(), 42)],
+            gauges: vec![
+                ("pole_c".to_string(), 41.25),
+                ("unset".to_string(), f64::NAN),
+            ],
+            histograms: vec![h.snapshot("clustering")],
+        }
+    }
+
+    #[test]
+    fn snapshot_jsonl_is_one_valid_object_per_line() {
+        let text = snapshot_jsonl(&sample_snapshot());
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 4);
+        for line in &lines {
+            assert!(
+                line.starts_with('{') && line.ends_with('}'),
+                "bad line: {line}"
+            );
+        }
+        assert!(lines[0].contains(r#""type":"counter""#));
+        assert!(lines[0].contains(r#""value":42"#));
+        // NaN gauges must serialise as null, not as invalid JSON.
+        assert!(lines[2].contains(r#""value":null"#));
+        assert!(lines[3].contains(r#""count":2"#));
+    }
+
+    #[test]
+    fn journal_jsonl_round_trips_fields_textually() {
+        let rec = FrameRecord {
+            seq: 9,
+            source: "live \"walkway\"".to_string(),
+            seed: Some(99),
+            points_in: 150,
+            eps: Some(0.21),
+            knee_index: Some(17),
+            clusters_found: 3,
+            clusters_classified: 2,
+            clusters_skipped: 1,
+            verdicts: vec![ClusterVerdict {
+                points: 80,
+                label: "Human".to_string(),
+                confidence: 0.93,
+            }],
+            count: 1,
+            stages_ms: vec![("clustering".to_string(), 2.5)],
+        };
+        let text = journal_jsonl([&rec]);
+        assert_eq!(text.lines().count(), 1);
+        assert!(text.contains(r#""seq":9"#));
+        assert!(text.contains(r#""source":"live \"walkway\"""#));
+        assert!(text.contains(r#""eps":0.21"#));
+        assert!(text.contains(r#""knee_index":17"#));
+        assert!(text.contains(r#""verdicts":[{"points":80,"label":"Human","confidence":0.93}]"#));
+        assert!(text.contains(r#""stages_ms":{"clustering":2.5}"#));
+    }
+
+    #[test]
+    fn table_renders_all_sections_and_hides_unset_gauges() {
+        let table = render_table(&sample_snapshot());
+        assert!(table.contains("clustering"));
+        assert!(table.contains("beams"));
+        assert!(table.contains("pole_c"));
+        assert!(!table.contains("unset"));
+        assert!(table.contains("p95 ms"));
+    }
+
+    #[test]
+    fn escape_handles_specials() {
+        assert_eq!(json_escape("a\"b\\c\nd"), "a\\\"b\\\\c\\nd");
+        assert_eq!(json_escape("\u{1}"), "\\u0001");
+    }
+}

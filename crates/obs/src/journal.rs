@@ -1,0 +1,203 @@
+//! The run journal: a bounded ring of per-frame provenance records.
+//!
+//! Each counting frame leaves one [`FrameRecord`] describing *why* the
+//! pipeline produced the count it did — the adaptive-ε choice, the knee
+//! index it came from, which clusters were kept and how each was
+//! classified. The ring is bounded so a pole running for weeks keeps a
+//! constant memory footprint; `seq` keeps growing, so dropped history
+//! is detectable.
+
+/// Per-cluster classification outcome inside one frame.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ClusterVerdict {
+    /// Points in the cluster as handed to the classifier.
+    pub points: usize,
+    /// Predicted label, e.g. `"Human"` / `"Object"`.
+    pub label: String,
+    /// Classifier confidence in `[0, 1]`, or `NaN` when the
+    /// classifier does not expose one.
+    pub confidence: f64,
+}
+
+/// Provenance for one counting frame.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct FrameRecord {
+    /// Monotonic sequence number, assigned by the journal.
+    pub seq: u64,
+    /// Which harness produced the frame (`"live_walkway"`, …).
+    pub source: String,
+    /// RNG seed of the run, when the harness has one.
+    pub seed: Option<u64>,
+    /// Points entering the clustering stage.
+    pub points_in: usize,
+    /// Adaptive DBSCAN ε for this frame, if adaptive clustering ran.
+    pub eps: Option<f64>,
+    /// Index into the sorted k-NN distance curve where the knee was
+    /// found, if the adaptive ε came from a knee (rather than clamps
+    /// or the fallback).
+    pub knee_index: Option<usize>,
+    /// Clusters produced by the clustering stage.
+    pub clusters_found: usize,
+    /// Clusters that reached the classifier.
+    pub clusters_classified: usize,
+    /// Clusters dropped before classification (too few points).
+    pub clusters_skipped: usize,
+    /// Per-cluster classification outcomes, in classification order.
+    pub verdicts: Vec<ClusterVerdict>,
+    /// Final pedestrian count reported for the frame.
+    pub count: usize,
+    /// Stage wall-clock timings `(stage, ms)`, in first-seen order.
+    pub stages_ms: Vec<(String, f64)>,
+}
+
+/// Bounded ring buffer of [`FrameRecord`]s.
+#[derive(Debug)]
+pub struct Journal {
+    ring: std::collections::VecDeque<FrameRecord>,
+    capacity: usize,
+    next_seq: u64,
+}
+
+/// Default ring capacity — roughly a day of half-hour slots with wide
+/// margin, while keeping worst-case memory in the tens of kilobytes.
+pub const DEFAULT_JOURNAL_CAPACITY: usize = 256;
+
+impl Default for Journal {
+    fn default() -> Self {
+        Journal::with_capacity(DEFAULT_JOURNAL_CAPACITY)
+    }
+}
+
+impl Journal {
+    /// Creates a journal holding at most `capacity` records.
+    pub fn with_capacity(capacity: usize) -> Self {
+        let capacity = capacity.max(1);
+        Journal {
+            ring: std::collections::VecDeque::with_capacity(capacity),
+            capacity,
+            next_seq: 0,
+        }
+    }
+
+    /// Appends `record`, assigning its sequence number; evicts the
+    /// oldest record when full. Returns the assigned sequence number.
+    pub fn push(&mut self, mut record: FrameRecord) -> u64 {
+        let seq = self.next_seq;
+        record.seq = seq;
+        self.next_seq += 1;
+        if self.ring.len() == self.capacity {
+            self.ring.pop_front();
+        }
+        self.ring.push_back(record);
+        seq
+    }
+
+    /// Records currently retained, oldest first.
+    pub fn entries(&self) -> impl Iterator<Item = &FrameRecord> {
+        self.ring.iter()
+    }
+
+    /// Number of retained records.
+    pub fn len(&self) -> usize {
+        self.ring.len()
+    }
+
+    /// True when nothing has been retained.
+    pub fn is_empty(&self) -> bool {
+        self.ring.is_empty()
+    }
+
+    /// Ring capacity.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Total records ever pushed (including evicted ones).
+    pub fn total_recorded(&self) -> u64 {
+        self.next_seq
+    }
+
+    /// Resizes the ring, evicting oldest records if shrinking.
+    pub fn set_capacity(&mut self, capacity: usize) {
+        self.capacity = capacity.max(1);
+        while self.ring.len() > self.capacity {
+            self.ring.pop_front();
+        }
+    }
+
+    /// Clears retained records and the sequence counter.
+    pub fn clear(&mut self) {
+        self.ring.clear();
+        self.next_seq = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn record(source: &str) -> FrameRecord {
+        FrameRecord {
+            source: source.to_string(),
+            ..FrameRecord::default()
+        }
+    }
+
+    #[test]
+    fn sequences_are_monotonic_from_zero() {
+        let mut j = Journal::with_capacity(4);
+        assert_eq!(j.push(record("a")), 0);
+        assert_eq!(j.push(record("b")), 1);
+        assert_eq!(j.entries().map(|r| r.seq).collect::<Vec<_>>(), vec![0, 1]);
+    }
+
+    #[test]
+    fn ring_wraps_and_keeps_newest() {
+        let mut j = Journal::with_capacity(3);
+        for i in 0..7 {
+            j.push(record(&format!("f{i}")));
+        }
+        assert_eq!(j.len(), 3);
+        assert_eq!(j.total_recorded(), 7);
+        let kept: Vec<(u64, String)> = j.entries().map(|r| (r.seq, r.source.clone())).collect();
+        assert_eq!(
+            kept,
+            vec![
+                (4, "f4".to_string()),
+                (5, "f5".to_string()),
+                (6, "f6".to_string())
+            ]
+        );
+    }
+
+    #[test]
+    fn shrinking_capacity_evicts_oldest() {
+        let mut j = Journal::with_capacity(8);
+        for i in 0..5 {
+            j.push(record(&format!("f{i}")));
+        }
+        j.set_capacity(2);
+        assert_eq!(j.entries().map(|r| r.seq).collect::<Vec<_>>(), vec![3, 4]);
+        // Growing back does not resurrect evicted records.
+        j.set_capacity(8);
+        assert_eq!(j.len(), 2);
+    }
+
+    #[test]
+    fn zero_capacity_is_clamped_to_one() {
+        let mut j = Journal::with_capacity(0);
+        j.push(record("a"));
+        j.push(record("b"));
+        assert_eq!(j.len(), 1);
+        assert_eq!(j.entries().next().unwrap().source, "b");
+    }
+
+    #[test]
+    fn clear_resets_sequence() {
+        let mut j = Journal::default();
+        j.push(record("a"));
+        j.clear();
+        assert!(j.is_empty());
+        assert_eq!(j.push(record("b")), 0);
+    }
+}

@@ -1,0 +1,240 @@
+//! Pole-side telemetry for the HAWC-CC pipeline.
+//!
+//! Three pieces, one global registry:
+//!
+//! * **metrics** — counters, gauges and log-bucketed latency histograms
+//!   with p50/p95/p99/max snapshots ([`snapshot`]);
+//! * **spans** — scoped per-stage wall-clock timing ([`stage`],
+//!   [`timed_ms`]) feeding both the histograms and the per-frame
+//!   provenance draft;
+//! * **journal** — a bounded ring of [`FrameRecord`]s answering "why
+//!   did frame N count 3 people?" ([`journal_snapshot`]).
+//!
+//! Everything is off by default: until [`enable`] is called the only
+//! cost on the hot path is one relaxed atomic load (plus one
+//! thread-local check inside [`stage`]). Frame drafts still run inside
+//! `CrowdCounter::count` so its latency fields stay populated, but
+//! nothing is retained. Telemetry never feeds back into computation, so
+//! pipeline outputs are bit-identical with telemetry on or off — the
+//! root determinism test pins that.
+//!
+//! The registry is process-global on purpose: a pole runs one pipeline,
+//! and threading a context handle through every crate would put an
+//! observability concern in every signature.
+
+#![warn(missing_docs)]
+
+pub mod export;
+pub mod journal;
+pub mod metrics;
+mod span;
+
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, OnceLock};
+
+use parking_lot::{Mutex, RwLock};
+
+pub use journal::{ClusterVerdict, FrameRecord, Journal, DEFAULT_JOURNAL_CAPACITY};
+pub use metrics::{Counter, Gauge, Histogram, HistogramSnapshot};
+pub use span::{
+    frame_abort, frame_active, frame_clusters, frame_eps, frame_finish, frame_points_in,
+    frame_seed, frame_skipped, frame_stage_ms, frame_stage_total, frame_start, frame_verdict,
+    stage, timed_ms, FrameStats,
+};
+
+static ENABLED: AtomicBool = AtomicBool::new(false);
+
+struct Registry {
+    counters: RwLock<BTreeMap<String, Arc<Counter>>>,
+    gauges: RwLock<BTreeMap<String, Arc<Gauge>>>,
+    histograms: RwLock<BTreeMap<String, Arc<Histogram>>>,
+    journal: Mutex<Journal>,
+}
+
+fn registry() -> &'static Registry {
+    static REGISTRY: OnceLock<Registry> = OnceLock::new();
+    REGISTRY.get_or_init(|| Registry {
+        counters: RwLock::new(BTreeMap::new()),
+        gauges: RwLock::new(BTreeMap::new()),
+        histograms: RwLock::new(BTreeMap::new()),
+        journal: Mutex::new(Journal::default()),
+    })
+}
+
+fn get_or_create<T: Default>(map: &RwLock<BTreeMap<String, Arc<T>>>, name: &str) -> Arc<T> {
+    if let Some(existing) = map.read().get(name) {
+        return Arc::clone(existing);
+    }
+    Arc::clone(map.write().entry(name.to_string()).or_default())
+}
+
+/// Turns telemetry collection on or off globally.
+pub fn enable(on: bool) {
+    ENABLED.store(on, Ordering::Relaxed);
+}
+
+/// Whether telemetry collection is currently on.
+pub fn enabled() -> bool {
+    ENABLED.load(Ordering::Relaxed)
+}
+
+/// The counter registered under `name`, creating it on first use.
+pub fn counter(name: &str) -> Arc<Counter> {
+    get_or_create(&registry().counters, name)
+}
+
+/// Adds `n` to counter `name` — a no-op while telemetry is off.
+pub fn incr(name: &str, n: u64) {
+    if enabled() {
+        counter(name).add(n);
+    }
+}
+
+/// The gauge registered under `name`, creating it on first use.
+pub fn gauge(name: &str) -> Arc<Gauge> {
+    get_or_create(&registry().gauges, name)
+}
+
+/// Sets gauge `name` to `v` — a no-op while telemetry is off.
+pub fn set_gauge(name: &str, v: f64) {
+    if enabled() {
+        gauge(name).set(v);
+    }
+}
+
+/// The histogram registered under `name`, creating it on first use.
+pub fn histogram(name: &str) -> Arc<Histogram> {
+    get_or_create(&registry().histograms, name)
+}
+
+/// Observes `ms` into histogram `name` — a no-op while telemetry is
+/// off.
+pub fn observe_ms(name: &str, ms: f64) {
+    if enabled() {
+        histogram(name).observe(ms);
+    }
+}
+
+/// Point-in-time view of every registered instrument.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Snapshot {
+    /// `(name, total)` for every counter, sorted by name.
+    pub counters: Vec<(String, u64)>,
+    /// `(name, value)` for every gauge, sorted by name.
+    pub gauges: Vec<(String, f64)>,
+    /// Histogram summaries, sorted by name.
+    pub histograms: Vec<HistogramSnapshot>,
+}
+
+/// Snapshots all registered metrics.
+pub fn snapshot() -> Snapshot {
+    let reg = registry();
+    Snapshot {
+        counters: reg
+            .counters
+            .read()
+            .iter()
+            .map(|(name, c)| (name.clone(), c.get()))
+            .collect(),
+        gauges: reg
+            .gauges
+            .read()
+            .iter()
+            .map(|(name, g)| (name.clone(), g.get()))
+            .collect(),
+        histograms: reg
+            .histograms
+            .read()
+            .iter()
+            .map(|(name, h)| h.snapshot(name))
+            .collect(),
+    }
+}
+
+/// Appends a frame record to the journal, returning its sequence
+/// number. Most callers go through [`frame_finish`] instead.
+pub fn journal_push(record: FrameRecord) -> u64 {
+    registry().journal.lock().push(record)
+}
+
+/// Clones the retained journal records, oldest first.
+pub fn journal_snapshot() -> Vec<FrameRecord> {
+    registry().journal.lock().entries().cloned().collect()
+}
+
+/// Total frames ever journalled (including evicted ones).
+pub fn journal_total() -> u64 {
+    registry().journal.lock().total_recorded()
+}
+
+/// Resizes the journal ring.
+pub fn set_journal_capacity(capacity: usize) {
+    registry().journal.lock().set_capacity(capacity);
+}
+
+/// Clears every metric and the journal; instruments stay registered.
+/// Meant for test isolation and between-run resets.
+pub fn reset() {
+    let reg = registry();
+    for c in reg.counters.read().values() {
+        c.reset();
+    }
+    for g in reg.gauges.read().values() {
+        g.set(f64::NAN);
+    }
+    for h in reg.histograms.read().values() {
+        h.reset();
+    }
+    reg.journal.lock().clear();
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn registry_returns_same_instrument_per_name() {
+        let a = counter("test.lib.same");
+        let b = counter("test.lib.same");
+        a.add(2);
+        b.add(3);
+        assert_eq!(counter("test.lib.same").get(), 5);
+        assert!(Arc::ptr_eq(&a, &b));
+    }
+
+    #[test]
+    fn snapshot_is_sorted_and_complete() {
+        counter("test.lib.z").add(1);
+        counter("test.lib.a").add(1);
+        gauge("test.lib.g").set(2.5);
+        histogram("test.lib.h").observe(1.0);
+        let snap = snapshot();
+        let names: Vec<&str> = snap.counters.iter().map(|(n, _)| n.as_str()).collect();
+        let mut sorted = names.clone();
+        sorted.sort_unstable();
+        assert_eq!(names, sorted);
+        assert!(snap
+            .gauges
+            .iter()
+            .any(|(n, v)| n == "test.lib.g" && *v == 2.5));
+        assert!(snap
+            .histograms
+            .iter()
+            .any(|h| h.name == "test.lib.h" && h.count >= 1));
+    }
+
+    #[test]
+    fn gated_helpers_are_inert_while_disabled() {
+        // Global state: this test must not run concurrently with one
+        // that enables telemetry, so it uses names nothing else uses
+        // and only asserts on those.
+        assert!(!enabled());
+        incr("test.lib.gated", 5);
+        set_gauge("test.lib.gated_g", 1.0);
+        observe_ms("test.lib.gated_h", 1.0);
+        assert_eq!(counter("test.lib.gated").get(), 0);
+        assert!(gauge("test.lib.gated_g").get().is_nan());
+        assert_eq!(histogram("test.lib.gated_h").count(), 0);
+    }
+}

@@ -1,0 +1,334 @@
+//! Counters, gauges and log-bucketed latency histograms.
+//!
+//! All instruments are lock-free on the hot path: counters and gauges
+//! are single atomics, histograms are a fixed array of atomic buckets
+//! plus atomically-merged min/max/sum. Snapshots are taken with plain
+//! relaxed loads — they are monitoring data, not synchronisation.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// An `f64` stored in an `AtomicU64` via its bit pattern.
+#[derive(Debug, Default)]
+pub(crate) struct AtomicF64 {
+    bits: AtomicU64,
+}
+
+impl AtomicF64 {
+    pub(crate) fn new(v: f64) -> Self {
+        AtomicF64 {
+            bits: AtomicU64::new(v.to_bits()),
+        }
+    }
+
+    pub(crate) fn load(&self) -> f64 {
+        f64::from_bits(self.bits.load(Ordering::Relaxed))
+    }
+
+    pub(crate) fn store(&self, v: f64) {
+        self.bits.store(v.to_bits(), Ordering::Relaxed);
+    }
+
+    fn update(&self, f: impl Fn(f64) -> f64) {
+        let mut cur = self.bits.load(Ordering::Relaxed);
+        loop {
+            let next = f(f64::from_bits(cur)).to_bits();
+            match self
+                .bits
+                .compare_exchange_weak(cur, next, Ordering::Relaxed, Ordering::Relaxed)
+            {
+                Ok(_) => return,
+                Err(actual) => cur = actual,
+            }
+        }
+    }
+
+    pub(crate) fn add(&self, v: f64) {
+        self.update(|cur| cur + v);
+    }
+
+    pub(crate) fn max_merge(&self, v: f64) {
+        self.update(|cur| cur.max(v));
+    }
+
+    pub(crate) fn min_merge(&self, v: f64) {
+        self.update(|cur| cur.min(v));
+    }
+}
+
+/// A monotonically increasing event counter.
+#[derive(Debug, Default)]
+pub struct Counter {
+    value: AtomicU64,
+}
+
+impl Counter {
+    /// Adds `n` events.
+    pub fn add(&self, n: u64) {
+        self.value.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Current total.
+    pub fn get(&self) -> u64 {
+        self.value.load(Ordering::Relaxed)
+    }
+
+    pub(crate) fn reset(&self) {
+        self.value.store(0, Ordering::Relaxed);
+    }
+}
+
+/// A last-value-wins measurement (temperature, queue depth, …).
+#[derive(Debug)]
+pub struct Gauge {
+    value: AtomicF64,
+}
+
+impl Default for Gauge {
+    fn default() -> Self {
+        Gauge {
+            value: AtomicF64::new(f64::NAN),
+        }
+    }
+}
+
+impl Gauge {
+    /// Records the latest value.
+    pub fn set(&self, v: f64) {
+        self.value.store(v);
+    }
+
+    /// Latest recorded value, `NaN` until first set.
+    pub fn get(&self) -> f64 {
+        self.value.load()
+    }
+}
+
+/// Number of histogram buckets: geometric, √2 apart, so two buckets per
+/// octave. Bucket 0 tops out at [`BUCKET_LO_MS`]·√2; the range covers
+/// one microsecond to roughly 70 minutes, wide enough for anything a
+/// pole-side pipeline can produce.
+const BUCKETS: usize = 64;
+/// Lower edge (ms) of the histogram range.
+const BUCKET_LO_MS: f64 = 1e-3;
+
+/// A latency histogram over millisecond observations.
+///
+/// Buckets are geometric (√2 ratio), so relative error of a quantile
+/// estimate is bounded by ~41% of one bucket width; exact min and max
+/// are tracked separately and quantiles are clamped into `[min, max]`,
+/// which also makes the single-observation case exact.
+#[derive(Debug)]
+pub struct Histogram {
+    buckets: [AtomicU64; BUCKETS],
+    count: AtomicU64,
+    sum_ms: AtomicF64,
+    min_ms: AtomicF64,
+    max_ms: AtomicF64,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Histogram {
+            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+            count: AtomicU64::new(0),
+            sum_ms: AtomicF64::new(0.0),
+            min_ms: AtomicF64::new(f64::INFINITY),
+            max_ms: AtomicF64::new(f64::NEG_INFINITY),
+        }
+    }
+}
+
+/// Point-in-time summary of a [`Histogram`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct HistogramSnapshot {
+    /// Registry name of the series.
+    pub name: String,
+    /// Number of observations.
+    pub count: u64,
+    /// Sum of all observations, ms.
+    pub sum_ms: f64,
+    /// Arithmetic mean, ms (0 when empty).
+    pub mean_ms: f64,
+    /// Median estimate, ms.
+    pub p50_ms: f64,
+    /// 95th-percentile estimate, ms.
+    pub p95_ms: f64,
+    /// 99th-percentile estimate, ms.
+    pub p99_ms: f64,
+    /// Exact smallest observation, ms (0 when empty).
+    pub min_ms: f64,
+    /// Exact largest observation, ms (0 when empty).
+    pub max_ms: f64,
+}
+
+fn bucket_index(ms: f64) -> usize {
+    if ms.is_nan() || ms <= BUCKET_LO_MS {
+        return 0;
+    }
+    // Two buckets per octave.
+    let idx = ((ms / BUCKET_LO_MS).log2() * 2.0).floor() as usize;
+    idx.min(BUCKETS - 1)
+}
+
+fn bucket_upper_ms(idx: usize) -> f64 {
+    BUCKET_LO_MS * 2f64.powf((idx + 1) as f64 / 2.0)
+}
+
+impl Histogram {
+    /// Records one observation of `ms` milliseconds. Negative or NaN
+    /// values are clamped to zero (they can only come from clock
+    /// weirdness, and must not poison min/max).
+    pub fn observe(&self, ms: f64) {
+        let ms = if ms.is_finite() && ms > 0.0 { ms } else { 0.0 };
+        self.buckets[bucket_index(ms)].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.sum_ms.add(ms);
+        self.min_ms.min_merge(ms);
+        self.max_ms.max_merge(ms);
+    }
+
+    /// Number of observations.
+    pub fn count(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+
+    /// Quantile estimate for `q` in `[0, 1]`; `None` when empty.
+    pub fn quantile(&self, q: f64) -> Option<f64> {
+        let count = self.count();
+        if count == 0 {
+            return None;
+        }
+        let q = q.clamp(0.0, 1.0);
+        let rank = ((q * count as f64).ceil() as u64).max(1);
+        let mut cum = 0u64;
+        for (i, b) in self.buckets.iter().enumerate() {
+            cum += b.load(Ordering::Relaxed);
+            if cum >= rank {
+                let est = bucket_upper_ms(i);
+                return Some(est.clamp(self.min_ms.load(), self.max_ms.load()));
+            }
+        }
+        Some(self.max_ms.load())
+    }
+
+    /// Summarises the current state under `name`.
+    pub fn snapshot(&self, name: &str) -> HistogramSnapshot {
+        let count = self.count();
+        let sum = self.sum_ms.load();
+        HistogramSnapshot {
+            name: name.to_string(),
+            count,
+            sum_ms: sum,
+            mean_ms: if count == 0 { 0.0 } else { sum / count as f64 },
+            p50_ms: self.quantile(0.50).unwrap_or(0.0),
+            p95_ms: self.quantile(0.95).unwrap_or(0.0),
+            p99_ms: self.quantile(0.99).unwrap_or(0.0),
+            min_ms: if count == 0 { 0.0 } else { self.min_ms.load() },
+            max_ms: if count == 0 { 0.0 } else { self.max_ms.load() },
+        }
+    }
+
+    pub(crate) fn reset(&self) {
+        for b in &self.buckets {
+            b.store(0, Ordering::Relaxed);
+        }
+        self.count.store(0, Ordering::Relaxed);
+        self.sum_ms.store(0.0);
+        self.min_ms.store(f64::INFINITY);
+        self.max_ms.store(f64::NEG_INFINITY);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counter_accumulates() {
+        let c = Counter::default();
+        c.add(3);
+        c.add(4);
+        assert_eq!(c.get(), 7);
+        c.reset();
+        assert_eq!(c.get(), 0);
+    }
+
+    #[test]
+    fn gauge_is_last_value_wins() {
+        let g = Gauge::default();
+        assert!(g.get().is_nan());
+        g.set(42.5);
+        g.set(17.0);
+        assert_eq!(g.get(), 17.0);
+    }
+
+    #[test]
+    fn empty_histogram_quantiles_are_none_and_snapshot_zero() {
+        let h = Histogram::default();
+        assert_eq!(h.quantile(0.5), None);
+        let s = h.snapshot("t");
+        assert_eq!(s.count, 0);
+        assert_eq!(s.p50_ms, 0.0);
+        assert_eq!(s.p99_ms, 0.0);
+        assert_eq!(s.min_ms, 0.0);
+        assert_eq!(s.max_ms, 0.0);
+        assert_eq!(s.mean_ms, 0.0);
+    }
+
+    #[test]
+    fn one_sample_quantiles_are_exact() {
+        let h = Histogram::default();
+        h.observe(3.7);
+        for q in [0.0, 0.5, 0.95, 0.99, 1.0] {
+            assert_eq!(h.quantile(q), Some(3.7), "q={q}");
+        }
+        let s = h.snapshot("t");
+        assert_eq!(s.count, 1);
+        assert_eq!(s.min_ms, 3.7);
+        assert_eq!(s.max_ms, 3.7);
+        assert_eq!(s.mean_ms, 3.7);
+    }
+
+    #[test]
+    fn quantiles_track_a_known_distribution() {
+        let h = Histogram::default();
+        // 100 observations: 1..=100 ms.
+        for i in 1..=100 {
+            h.observe(i as f64);
+        }
+        let p50 = h.quantile(0.5).unwrap();
+        let p95 = h.quantile(0.95).unwrap();
+        let p99 = h.quantile(0.99).unwrap();
+        // √2 buckets bound the relative error by one bucket ratio.
+        assert!((35.0..=75.0).contains(&p50), "p50 {p50}");
+        assert!((67.0..=100.0).contains(&p95), "p95 {p95}");
+        assert!(p99 >= p95 && p99 <= 100.0, "p99 {p99}");
+        assert_eq!(h.snapshot("t").max_ms, 100.0);
+        assert_eq!(h.snapshot("t").min_ms, 1.0);
+    }
+
+    #[test]
+    fn extreme_values_stay_in_range() {
+        let h = Histogram::default();
+        h.observe(0.0); // below the lowest bucket edge
+        h.observe(1e9); // far above the top bucket
+        h.observe(f64::NAN); // clamped to zero
+        h.observe(-5.0); // clamped to zero
+        assert_eq!(h.count(), 4);
+        let s = h.snapshot("t");
+        assert_eq!(s.min_ms, 0.0);
+        assert_eq!(s.max_ms, 1e9);
+        assert!(h.quantile(1.0).unwrap() <= 1e9);
+    }
+
+    #[test]
+    fn bucket_index_is_monotonic() {
+        let mut last = 0;
+        for ms in [1e-4, 1e-3, 2e-3, 0.1, 1.0, 5.0, 16.0, 100.0, 1e4, 1e9] {
+            let idx = bucket_index(ms);
+            assert!(idx >= last, "index regressed at {ms}");
+            last = idx;
+        }
+        assert!(last == BUCKETS - 1);
+    }
+}

@@ -1,0 +1,234 @@
+//! Scoped stage timing and the per-frame draft.
+//!
+//! A *frame* is one `CrowdCounter::count` call (or any other unit of
+//! work that wants per-run provenance). The pipeline opens a draft with
+//! [`frame_start`], stages annotate it as they run, and
+//! [`frame_finish`] turns it into a [`FrameRecord`] for the journal.
+//!
+//! The draft lives in a thread-local and is *independent* of the global
+//! enable switch: stage timings feed `CountResult`'s latency fields,
+//! which exist with telemetry off too. Only the journal write and the
+//! histogram observations are gated on [`crate::enabled`]. Timing never
+//! feeds back into any computation, so counts are bit-identical with
+//! telemetry on or off.
+
+use std::cell::RefCell;
+use std::time::Instant;
+
+use crate::journal::{ClusterVerdict, FrameRecord};
+
+thread_local! {
+    static DRAFT: RefCell<Option<FrameRecord>> = const { RefCell::new(None) };
+}
+
+/// Stage timings extracted from a finished frame.
+#[derive(Debug, Clone, Default)]
+pub struct FrameStats {
+    /// `(stage, ms)` pairs in first-seen order.
+    pub stages_ms: Vec<(String, f64)>,
+}
+
+impl FrameStats {
+    /// Total milliseconds recorded for `stage` (0 if absent).
+    pub fn stage_ms(&self, stage: &str) -> f64 {
+        self.stages_ms
+            .iter()
+            .find(|(name, _)| name == stage)
+            .map_or(0.0, |(_, ms)| *ms)
+    }
+}
+
+/// Opens a frame draft on this thread, replacing any unfinished one.
+pub fn frame_start(source: &str) {
+    DRAFT.with(|d| {
+        *d.borrow_mut() = Some(FrameRecord {
+            source: source.to_string(),
+            ..FrameRecord::default()
+        });
+    });
+}
+
+/// True while a frame draft is open on this thread.
+pub fn frame_active() -> bool {
+    DRAFT.with(|d| d.borrow().is_some())
+}
+
+fn with_draft(f: impl FnOnce(&mut FrameRecord)) {
+    DRAFT.with(|d| {
+        if let Some(draft) = d.borrow_mut().as_mut() {
+            f(draft);
+        }
+    });
+}
+
+/// Attaches the harness RNG seed to the open frame.
+pub fn frame_seed(seed: u64) {
+    with_draft(|d| d.seed = Some(seed));
+}
+
+/// Records how many points entered clustering.
+pub fn frame_points_in(n: usize) {
+    with_draft(|d| d.points_in = n);
+}
+
+/// Records the adaptive-ε decision (and the knee index it came from,
+/// when the elbow search produced one).
+pub fn frame_eps(eps: f64, knee_index: Option<usize>) {
+    with_draft(|d| {
+        d.eps = Some(eps);
+        d.knee_index = knee_index;
+    });
+}
+
+/// Records how many clusters the clustering stage produced.
+pub fn frame_clusters(found: usize) {
+    with_draft(|d| d.clusters_found = found);
+}
+
+/// Records how many clusters were dropped before classification.
+pub fn frame_skipped(n: usize) {
+    with_draft(|d| d.clusters_skipped = n);
+}
+
+/// Appends one per-cluster classification verdict.
+pub fn frame_verdict(points: usize, label: &str, confidence: f64) {
+    with_draft(|d| {
+        d.clusters_classified += 1;
+        d.verdicts.push(ClusterVerdict {
+            points,
+            label: label.to_string(),
+            confidence,
+        });
+    });
+}
+
+/// Accumulated milliseconds recorded for `stage` in the open frame
+/// so far (0 when absent or no frame is open). Lets an outer stage
+/// subtract the time of inner stages it wraps, so per-stage columns
+/// never double-count.
+pub fn frame_stage_total(stage: &str) -> f64 {
+    DRAFT.with(|d| {
+        d.borrow().as_ref().map_or(0.0, |draft| {
+            draft
+                .stages_ms
+                .iter()
+                .find(|(name, _)| name == stage)
+                .map_or(0.0, |(_, ms)| *ms)
+        })
+    })
+}
+
+/// Adds `ms` to `stage`'s accumulated time in the open frame.
+pub fn frame_stage_ms(stage: &str, ms: f64) {
+    with_draft(|d| {
+        if let Some(entry) = d.stages_ms.iter_mut().find(|(name, _)| name == stage) {
+            entry.1 += ms;
+        } else {
+            d.stages_ms.push((stage.to_string(), ms));
+        }
+    });
+}
+
+/// Closes the frame with its final `count`. When telemetry is enabled
+/// the record goes to the journal; either way the stage timings are
+/// returned so the caller can populate its result struct. Returns
+/// `None` if no frame was open.
+pub fn frame_finish(count: usize) -> Option<FrameStats> {
+    let record = DRAFT.with(|d| d.borrow_mut().take())?;
+    let mut record = record;
+    record.count = count;
+    let stats = FrameStats {
+        stages_ms: record.stages_ms.clone(),
+    };
+    if crate::enabled() {
+        crate::incr("frames", 1);
+        crate::journal_push(record);
+    }
+    Some(stats)
+}
+
+/// Discards an open frame without journalling it.
+pub fn frame_abort() {
+    DRAFT.with(|d| *d.borrow_mut() = None);
+}
+
+/// Runs `f`, returning its result and the elapsed wall-clock in ms.
+pub fn timed_ms<R>(f: impl FnOnce() -> R) -> (R, f64) {
+    let t0 = Instant::now();
+    let r = f();
+    (r, t0.elapsed().as_secs_f64() * 1e3)
+}
+
+/// Runs `f` as a named stage: timed when a frame is open or telemetry
+/// is enabled (stage time goes to the frame draft and, when enabled, to
+/// the `name` histogram); a plain call otherwise.
+pub fn stage<R>(name: &str, f: impl FnOnce() -> R) -> R {
+    if !crate::enabled() && !frame_active() {
+        return f();
+    }
+    let (r, ms) = timed_ms(f);
+    frame_stage_ms(name, ms);
+    if crate::enabled() {
+        crate::observe_ms(name, ms);
+    }
+    r
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn frame_collects_provenance_and_stats() {
+        frame_start("test");
+        frame_seed(7);
+        frame_points_in(120);
+        frame_eps(0.3, Some(14));
+        frame_clusters(3);
+        frame_skipped(1);
+        frame_verdict(40, "Human", 0.9);
+        frame_verdict(35, "Object", 0.7);
+        frame_stage_ms("clustering", 2.0);
+        frame_stage_ms("clustering", 1.5);
+        frame_stage_ms("classification", 4.0);
+        let stats = frame_finish(1).expect("frame was open");
+        assert_eq!(stats.stage_ms("clustering"), 3.5);
+        assert_eq!(stats.stage_ms("classification"), 4.0);
+        assert_eq!(stats.stage_ms("missing"), 0.0);
+        assert!(!frame_active());
+    }
+
+    #[test]
+    fn finish_without_frame_is_none() {
+        frame_abort();
+        assert!(frame_finish(0).is_none());
+    }
+
+    #[test]
+    fn stage_times_only_with_open_frame() {
+        frame_abort();
+        // No frame, telemetry off on this thread's view: plain call.
+        let v = stage("idle", || 5);
+        assert_eq!(v, 5);
+
+        frame_start("test");
+        let v = stage("busy", || {
+            std::thread::sleep(std::time::Duration::from_millis(2));
+            6
+        });
+        assert_eq!(v, 6);
+        let stats = frame_finish(0).unwrap();
+        assert!(stats.stage_ms("busy") > 0.0, "stage not timed");
+        assert_eq!(stats.stage_ms("idle"), 0.0);
+    }
+
+    #[test]
+    fn timed_ms_measures_and_passes_through() {
+        let (v, ms) = timed_ms(|| {
+            std::thread::sleep(std::time::Duration::from_millis(2));
+            "ok"
+        });
+        assert_eq!(v, "ok");
+        assert!(ms >= 1.0);
+    }
+}

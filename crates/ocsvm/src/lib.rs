@@ -44,7 +44,12 @@ pub struct OcSvmParams {
 
 impl Default for OcSvmParams {
     fn default() -> Self {
-        OcSvmParams { nu: 0.01, gamma: None, max_sweeps: 200, tol: 1e-6 }
+        OcSvmParams {
+            nu: 0.01,
+            gamma: None,
+            max_sweeps: 200,
+            tol: 1e-6,
+        }
     }
 }
 
@@ -181,7 +186,12 @@ impl OcSvm {
                 sv_alpha.push(alpha[i]);
             }
         }
-        Ok(OcSvm { support, alpha: sv_alpha, rho, gamma })
+        Ok(OcSvm {
+            support,
+            alpha: sv_alpha,
+            rho,
+            gamma,
+        })
     }
 
     /// Signed decision value: `Σ αᵢ k(xᵢ, x) − ρ`; non-negative means
@@ -281,13 +291,19 @@ mod tests {
 
     #[test]
     fn error_cases() {
-        assert_eq!(OcSvm::fit(&[], &OcSvmParams::default()).unwrap_err(), OcSvmError::NoData);
+        assert_eq!(
+            OcSvm::fit(&[], &OcSvmParams::default()).unwrap_err(),
+            OcSvmError::NoData
+        );
         let ragged = vec![vec![1.0], vec![1.0, 2.0]];
         assert_eq!(
             OcSvm::fit(&ragged, &OcSvmParams::default()).unwrap_err(),
             OcSvmError::RaggedFeatures
         );
-        let bad_nu = OcSvmParams { nu: 0.0, ..OcSvmParams::default() };
+        let bad_nu = OcSvmParams {
+            nu: 0.0,
+            ..OcSvmParams::default()
+        };
         assert_eq!(
             OcSvm::fit(&[vec![1.0]], &bad_nu).unwrap_err(),
             OcSvmError::BadNu
@@ -308,7 +324,10 @@ mod tests {
         let train = cluster(0.0, 0.0, 60);
         let tight = OcSvm::fit(
             &train,
-            &OcSvmParams { nu: 0.5, ..OcSvmParams::default() },
+            &OcSvmParams {
+                nu: 0.5,
+                ..OcSvmParams::default()
+            },
         )
         .unwrap();
         assert!(tight.support_count() >= 60 / 2 - 5);

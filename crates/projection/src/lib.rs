@@ -24,9 +24,7 @@
 mod upsample;
 mod views;
 
-pub use upsample::{
-    upsample_gaussian, upsample_with_pool, UpsampleError, DEFAULT_TARGET_POINTS,
-};
+pub use upsample::{upsample_gaussian, upsample_with_pool, UpsampleError, DEFAULT_TARGET_POINTS};
 pub use views::{project, project_batch, ProjectionConfig, ProjectionMethod};
 
 /// Computes the fixed input size from the largest training cloud:

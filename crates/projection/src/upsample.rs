@@ -76,9 +76,11 @@ pub fn upsample_with_pool<R: Rng + ?Sized>(
         // noise.
         let (ax, ay) = anchor_xy(&out);
         let (px, py) = pool_centroid_xy(pool);
-        out.extend(pool.sample_points(rng, missing).into_iter().map(|p| {
-            Point3::new(p.x - px + ax, p.y - py + ay, p.z)
-        }));
+        out.extend(
+            pool.sample_points(rng, missing)
+                .into_iter()
+                .map(|p| Point3::new(p.x - px + ax, p.y - py + ay, p.z)),
+        );
     }
     Ok(out)
 }
@@ -161,11 +163,17 @@ mod tests {
     }
 
     fn pool() -> ObjectPool {
-        ObjectPool::new((0..200).map(|i| Point3::new(20.0, i as f64 * 0.01, -2.5)).collect())
+        ObjectPool::new(
+            (0..200)
+                .map(|i| Point3::new(20.0, i as f64 * 0.01, -2.5))
+                .collect(),
+        )
     }
 
     fn human(n: usize) -> Vec<Point3> {
-        (0..n).map(|i| Point3::new(15.0, 0.0, -2.6 + i as f64 * 0.01)).collect()
+        (0..n)
+            .map(|i| Point3::new(15.0, 0.0, -2.6 + i as f64 * 0.01))
+            .collect()
     }
 
     #[test]

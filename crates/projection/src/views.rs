@@ -102,7 +102,11 @@ impl Default for ProjectionConfig {
 pub fn project(points: &[Point3], cfg: &ProjectionConfig) -> Tensor {
     let n = points.len();
     let d = (n as f64).sqrt().round() as usize;
-    assert_eq!(d * d, n, "cloud size {n} is not a perfect square — up-sample first");
+    assert_eq!(
+        d * d,
+        n,
+        "cloud size {n} is not a perfect square — up-sample first"
+    );
     // The range view is sensor-relative by construction; centering would
     // destroy its spherical semantics.
     let center_xy = cfg.center_xy && cfg.method != ProjectionMethod::RangeView;
@@ -228,13 +232,24 @@ mod tests {
     /// A 16-point "cloud" (4×4 image) with varying heights.
     fn cloud16() -> Vec<Point3> {
         (0..16)
-            .map(|i| Point3::new(15.0 + i as f64 * 0.05, (i % 4) as f64 * 0.1, -2.6 + (i / 4) as f64 * 0.5))
+            .map(|i| {
+                Point3::new(
+                    15.0 + i as f64 * 0.05,
+                    (i % 4) as f64 * 0.1,
+                    -2.6 + (i / 4) as f64 * 0.5,
+                )
+            })
             .collect()
     }
 
     /// Raw (paper-faithful) mode: no centering, no sorting.
     fn raw(method: ProjectionMethod) -> ProjectionConfig {
-        ProjectionConfig { method, center_xy: false, sort_by_z: false, ..Default::default() }
+        ProjectionConfig {
+            method,
+            center_xy: false,
+            sort_by_z: false,
+            ..Default::default()
+        }
     }
 
     #[test]
@@ -252,7 +267,13 @@ mod tests {
     #[test]
     fn all_methods_produce_expected_channels() {
         for m in ProjectionMethod::ALL {
-            let t = project(&cloud16(), &ProjectionConfig { method: m, ..Default::default() });
+            let t = project(
+                &cloud16(),
+                &ProjectionConfig {
+                    method: m,
+                    ..Default::default()
+                },
+            );
             assert_eq!(t.shape(), &[m.channels(), 4, 4], "{m}");
             assert!(t.data().iter().all(|v| v.is_finite()), "{m}");
         }
@@ -262,16 +283,16 @@ mod tests {
     fn hap_sigma_channel_reflects_height_spread() {
         // A flat plate has zero height variation; a vertical column has a
         // lot.
-        let flat: Vec<Point3> =
-            (0..16).map(|i| Point3::new(15.0 + (i % 4) as f64 * 0.1, (i / 4) as f64 * 0.1, -2.0)).collect();
-        let column: Vec<Point3> =
-            (0..16).map(|i| Point3::new(15.0, 0.0, -2.6 + i as f64 * 0.1)).collect();
+        let flat: Vec<Point3> = (0..16)
+            .map(|i| Point3::new(15.0 + (i % 4) as f64 * 0.1, (i / 4) as f64 * 0.1, -2.0))
+            .collect();
+        let column: Vec<Point3> = (0..16)
+            .map(|i| Point3::new(15.0, 0.0, -2.6 + i as f64 * 0.1))
+            .collect();
         let cfg = raw(ProjectionMethod::Hap);
         let tf = project(&flat, &cfg);
         let tc = project(&column, &cfg);
-        let sigma_sum = |t: &Tensor| -> f32 {
-            (0..16).map(|i| t.data()[2 * 16 + i]).sum()
-        };
+        let sigma_sum = |t: &Tensor| -> f32 { (0..16).map(|i| t.data()[2 * 16 + i]).sum() };
         assert!(sigma_sum(&tf) < 1e-6);
         assert!(sigma_sum(&tc) > 0.5);
     }
@@ -281,8 +302,10 @@ mod tests {
         // Two clouds differing only in z produce identical BEV tensors —
         // the §II critique ("BEV lacks vertical information").
         let low = cloud16();
-        let high: Vec<Point3> =
-            low.iter().map(|p| Point3::new(p.x, p.y, p.z + 1.5)).collect();
+        let high: Vec<Point3> = low
+            .iter()
+            .map(|p| Point3::new(p.x, p.y, p.z + 1.5))
+            .collect();
         let cfg = raw(ProjectionMethod::Bev);
         assert_eq!(project(&low, &cfg).data(), project(&high, &cfg).data());
         // HAP distinguishes them.

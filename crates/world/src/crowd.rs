@@ -137,7 +137,11 @@ impl CrowdLayout {
                 )
             })
             .collect();
-        CrowdLayout { config, pedestrians, objects }
+        CrowdLayout {
+            config,
+            pedestrians,
+            objects,
+        }
     }
 
     /// The generating configuration.
@@ -174,8 +178,11 @@ impl CrowdLayout {
     /// Summary statistics of the x/y offsets relative to the patch centre
     /// — the offset distributions visualised in the paper's Fig. 11(d-f).
     pub fn offset_summaries(&self) -> (Summary, Summary) {
-        let xs: Summary =
-            self.pedestrians.iter().map(|&(x, _)| x - self.config.center_x).collect();
+        let xs: Summary = self
+            .pedestrians
+            .iter()
+            .map(|&(x, _)| x - self.config.center_x)
+            .collect();
         let ys: Summary = self.pedestrians.iter().map(|&(_, y)| y).collect();
         (xs, ys)
     }
@@ -208,7 +215,10 @@ mod tests {
         // (*The paper files 100 under Moderate with a <=1 boundary hit; our
         // classifier follows Fruin's strict thresholds, which puts exactly
         // 1.0 person/m² in Low.)
-        let cfg = |n| CrowdConfig { pedestrians: n, ..CrowdConfig::default() };
+        let cfg = |n| CrowdConfig {
+            pedestrians: n,
+            ..CrowdConfig::default()
+        };
         assert_eq!(cfg(20).density_level(), DensityLevel::Low);
         assert_eq!(cfg(90).density_level(), DensityLevel::Low);
         assert_eq!(cfg(150).density_level(), DensityLevel::Moderate);
@@ -221,7 +231,10 @@ mod tests {
         let mut r = rng();
         let layout = CrowdLayout::generate(
             &mut r,
-            CrowdConfig { pedestrians: 20, ..CrowdConfig::default() },
+            CrowdConfig {
+                pedestrians: 20,
+                ..CrowdConfig::default()
+            },
         );
         assert_eq!(layout.pedestrians().len(), 20);
         // "10 object data samples for 20 pedestrians".
@@ -231,7 +244,10 @@ mod tests {
     #[test]
     fn offsets_stay_within_bounds() {
         let mut r = rng();
-        let cfg = CrowdConfig { pedestrians: 120, ..CrowdConfig::default() };
+        let cfg = CrowdConfig {
+            pedestrians: 120,
+            ..CrowdConfig::default()
+        };
         let layout = CrowdLayout::generate(&mut r, cfg);
         for &(x, y) in layout.pedestrians() {
             assert!((x - cfg.center_x).abs() <= cfg.max_offset);
@@ -242,7 +258,11 @@ mod tests {
     #[test]
     fn min_separation_respected_at_low_density() {
         let mut r = rng();
-        let cfg = CrowdConfig { pedestrians: 15, min_separation: 1.0, ..CrowdConfig::default() };
+        let cfg = CrowdConfig {
+            pedestrians: 15,
+            min_separation: 1.0,
+            ..CrowdConfig::default()
+        };
         let layout = CrowdLayout::generate(&mut r, cfg);
         let ps = layout.pedestrians();
         for i in 0..ps.len() {
@@ -260,7 +280,10 @@ mod tests {
     #[test]
     fn dense_crowd_still_terminates() {
         let mut r = rng();
-        let cfg = CrowdConfig { pedestrians: 250, ..CrowdConfig::default() };
+        let cfg = CrowdConfig {
+            pedestrians: 250,
+            ..CrowdConfig::default()
+        };
         let layout = CrowdLayout::generate(&mut r, cfg);
         assert_eq!(layout.pedestrians().len(), 250);
         assert_eq!(cfg.density_level(), DensityLevel::High);
@@ -271,7 +294,10 @@ mod tests {
         let mut r = rng();
         let layout = CrowdLayout::generate(
             &mut r,
-            CrowdConfig { pedestrians: 8, ..CrowdConfig::default() },
+            CrowdConfig {
+                pedestrians: 8,
+                ..CrowdConfig::default()
+            },
         );
         let scene = layout.build_scene(&mut r, WalkwayConfig::default());
         assert_eq!(scene.human_count(), 8);
@@ -283,7 +309,10 @@ mod tests {
         let mut r = rng();
         let layout = CrowdLayout::generate(
             &mut r,
-            CrowdConfig { pedestrians: 200, ..CrowdConfig::default() },
+            CrowdConfig {
+                pedestrians: 200,
+                ..CrowdConfig::default()
+            },
         );
         let (xs, ys) = layout.offset_summaries();
         assert_eq!(xs.count(), 200);

@@ -41,7 +41,13 @@ impl HumanParams {
         let torso_radius = gaussian(rng, 0.15, 0.015).clamp(0.11, 0.20);
         let walk_phase = rng.gen_range(0.0..std::f64::consts::TAU);
         let reflectivity = rng.gen_range(0.35..0.85);
-        HumanParams { height, shoulder_width, torso_radius, walk_phase, reflectivity }
+        HumanParams {
+            height,
+            shoulder_width,
+            torso_radius,
+            walk_phase,
+            reflectivity,
+        }
     }
 }
 
@@ -62,7 +68,12 @@ impl Human {
     pub fn new(params: HumanParams, x: f64, y: f64, heading: f64) -> Self {
         let position = Point3::new(x, y, GROUND_Z);
         let body = build_body(&params, position, heading);
-        Human { params, position, heading, body }
+        Human {
+            params,
+            position,
+            heading,
+            body,
+        }
     }
 
     /// Samples body parameters and a position uniformly inside the walkway
@@ -131,13 +142,19 @@ fn build_body(p: &HumanParams, foot: Point3, heading: f64) -> ShapeSet {
         refl,
     ));
     // Torso: hip to shoulder.
-    set.push(Capsule::new(up(leg_top), up(shoulder_z), p.torso_radius, refl));
+    set.push(Capsule::new(
+        up(leg_top),
+        up(shoulder_z),
+        p.torso_radius,
+        refl,
+    ));
     // Legs: splayed by the walking stride.
     let stride = 0.18 * h * p.walk_phase.sin();
     let hip_off = lateral * (p.shoulder_width * 0.22);
     for side in [-1.0, 1.0] {
         let hip = up(leg_top) + hip_off * side;
-        let foot_pt = foot + hip_off * side + forward * (stride * side) + Vec3::new(0.0, 0.0, 0.04 * h);
+        let foot_pt =
+            foot + hip_off * side + forward * (stride * side) + Vec3::new(0.0, 0.0, 0.04 * h);
         set.push(Capsule::new(hip, foot_pt, 0.055 * h * 0.45 + 0.03, refl));
     }
     // Arms: shoulder to wrist, swinging opposite to the legs.
@@ -178,8 +195,10 @@ mod tests {
     #[test]
     fn population_mean_height_near_spec() {
         let mut r = rng();
-        let mean: f64 =
-            (0..2000).map(|_| HumanParams::sample(&mut r).height).sum::<f64>() / 2000.0;
+        let mean: f64 = (0..2000)
+            .map(|_| HumanParams::sample(&mut r).height)
+            .sum::<f64>()
+            / 2000.0;
         assert!((mean - 1.72).abs() < 0.02, "mean height {mean}");
     }
 
@@ -224,7 +243,10 @@ mod tests {
         };
         let standing = Human::new(base, 10.0, 0.0, 0.0);
         let striding = Human::new(
-            HumanParams { walk_phase: std::f64::consts::FRAC_PI_2, ..base },
+            HumanParams {
+                walk_phase: std::f64::consts::FRAC_PI_2,
+                ..base
+            },
             10.0,
             0.0,
             0.0,

@@ -86,17 +86,16 @@ impl CampusObject {
             ObjectKind::Bicycle => bicycle(rng, x, y),
             ObjectKind::PulleyCart => pulley_cart(rng, x, y),
         };
-        CampusObject { kind, position, shape }
+        CampusObject {
+            kind,
+            position,
+            shape,
+        }
     }
 
     /// Samples a random kind at a random walkway position within
     /// `x ∈ [x_min, x_max]`, `|y| <= half_width`.
-    pub fn sample<R: Rng + ?Sized>(
-        rng: &mut R,
-        x_min: f64,
-        x_max: f64,
-        half_width: f64,
-    ) -> Self {
+    pub fn sample<R: Rng + ?Sized>(rng: &mut R, x_min: f64, x_max: f64, half_width: f64) -> Self {
         let kind = ObjectKind::sample(rng);
         let x = rng.gen_range(x_min..x_max);
         let y = rng.gen_range(-half_width..half_width);
@@ -141,7 +140,11 @@ fn bollard<R: Rng + ?Sized>(rng: &mut R, x: f64, y: f64) -> ShapeSet {
     let r = rng.gen_range(0.05..0.10);
     let mut s = ShapeSet::new();
     s.push(CylinderZ::new((x, y), GROUND_Z, on_ground(h), r, 0.5));
-    s.push(geom::shapes::Sphere::new(Point3::new(x, y, on_ground(h)), r * 1.3, 0.5));
+    s.push(geom::shapes::Sphere::new(
+        Point3::new(x, y, on_ground(h)),
+        r * 1.3,
+        0.5,
+    ));
     s
 }
 
@@ -316,8 +319,12 @@ mod tests {
     #[test]
     fn objects_are_shorter_than_people_except_signs() {
         let mut r = rng();
-        for kind in [ObjectKind::TrashCan, ObjectKind::Bollard, ObjectKind::Bench, ObjectKind::Bicycle]
-        {
+        for kind in [
+            ObjectKind::TrashCan,
+            ObjectKind::Bollard,
+            ObjectKind::Bench,
+            ObjectKind::Bicycle,
+        ] {
             let o = CampusObject::build(&mut r, kind, 18.0, 0.0);
             assert!(
                 o.shape().bounds().max().z <= GROUND_Z + 1.45,

@@ -33,7 +33,12 @@ pub struct WalkwayConfig {
 
 impl Default for WalkwayConfig {
     fn default() -> Self {
-        WalkwayConfig { x_min: 12.0, x_max: 35.0, width: 5.0, ground_reflectivity: 0.18 }
+        WalkwayConfig {
+            x_min: 12.0,
+            x_max: 35.0,
+            width: 5.0,
+            ground_reflectivity: 0.18,
+        }
     }
 }
 
@@ -117,8 +122,15 @@ impl std::fmt::Debug for Scene {
 impl Scene {
     /// Creates an empty scene over the given walkway.
     pub fn new(config: WalkwayConfig) -> Self {
-        let ground = GroundPlane { z: GROUND_Z, reflectivity: config.ground_reflectivity };
-        Scene { config, ground, placed: Vec::new() }
+        let ground = GroundPlane {
+            z: GROUND_Z,
+            reflectivity: config.ground_reflectivity,
+        };
+        Scene {
+            config,
+            ground,
+            placed: Vec::new(),
+        }
     }
 
     /// Walkway configuration.
@@ -130,7 +142,11 @@ impl Scene {
     pub fn add_human(&mut self, human: Human) -> usize {
         let shape = human.into_shape();
         let bounds = shape.bounds();
-        self.placed.push(Placed { entity: SceneEntity::Human, shape, bounds });
+        self.placed.push(Placed {
+            entity: SceneEntity::Human,
+            shape,
+            bounds,
+        });
         self.placed.len() - 1
     }
 
@@ -139,7 +155,11 @@ impl Scene {
         let entity = SceneEntity::Object(object.kind());
         let shape = object.into_shape();
         let bounds = shape.bounds();
-        self.placed.push(Placed { entity, shape, bounds });
+        self.placed.push(Placed {
+            entity,
+            shape,
+            bounds,
+        });
         self.placed.len() - 1
     }
 
@@ -179,9 +199,12 @@ impl Scene {
                 continue;
             }
             if let Some(hit) = placed.shape.intersect(ray) {
-                let better = best.as_ref().map_or(true, |b| hit.t < b.hit.t);
+                let better = best.as_ref().is_none_or(|b| hit.t < b.hit.t);
                 if better {
-                    best = Some(SceneHit { hit, entity: Some(i) });
+                    best = Some(SceneHit {
+                        hit,
+                        entity: Some(i),
+                    });
                 }
             }
         }
@@ -279,7 +302,10 @@ mod tests {
         let _far = scene.add_human(default_human(20.0, 0.0));
         // A beam grazing torso height at x=14 hits the nearer human.
         let hit = scene
-            .cast(&Ray::new(Point3::ZERO, Point3::new(14.0, 0.0, GROUND_Z + 1.2)))
+            .cast(&Ray::new(
+                Point3::ZERO,
+                Point3::new(14.0, 0.0, GROUND_Z + 1.2),
+            ))
             .unwrap();
         assert_eq!(hit.entity, Some(near));
     }

@@ -22,7 +22,11 @@ fn main() {
     });
     let pool = generate_object_pool(5, 64, &WalkwayConfig::default(), &SensorConfig::default());
     let parts = split(&mut rng, data, 0.8);
-    let cfg = HawcConfig { target_points: 0, epochs: 25, ..HawcConfig::default() };
+    let cfg = HawcConfig {
+        target_points: 0,
+        epochs: 25,
+        ..HawcConfig::default()
+    };
     let mut model = HawcClassifier::train(&parts.train, pool, &cfg, &mut rng);
 
     // Post-training quantization, calibrated on 100 training clusters

@@ -4,14 +4,21 @@
 //! introduction.
 //!
 //! ```text
-//! cargo run --release --example live_walkway
+//! cargo run --release --example live_walkway            # table + snapshots
+//! cargo run --release --example live_walkway -- --json  # + JSONL dump
 //! ```
+//!
+//! Telemetry is on for the whole run: every 10 slots the current
+//! metrics table is printed, and `--json` additionally dumps the
+//! metrics snapshot and per-frame journal as JSON lines at the end.
 
 use counting::{CountSmoother, PedestrianTracker, TrackerConfig};
 use hawc_cc::prelude::*;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use world::Human;
+
+const SEED: u64 = 99;
 
 /// Expected pedestrians at a given campus hour (classes, lunch, night).
 fn expected_traffic(hour: f64) -> f64 {
@@ -22,16 +29,28 @@ fn expected_traffic(hour: f64) -> f64 {
 }
 
 fn main() {
-    let mut rng = StdRng::seed_from_u64(99);
+    let json = std::env::args().skip(1).any(|a| a == "--json");
+    obs::enable(true);
+
+    let mut rng = StdRng::seed_from_u64(SEED);
     println!("training HAWC…");
     let data = generate_detection_dataset(&DetectionDatasetConfig {
         samples: 800,
-        seed: 99,
+        seed: SEED,
         ..DetectionDatasetConfig::default()
     });
-    let pool = generate_object_pool(99, 64, &WalkwayConfig::default(), &SensorConfig::default());
+    let pool = generate_object_pool(
+        SEED,
+        64,
+        &WalkwayConfig::default(),
+        &SensorConfig::default(),
+    );
     let parts = split(&mut rng, data, 0.8);
-    let cfg = HawcConfig { target_points: 0, epochs: 25, ..HawcConfig::default() };
+    let cfg = HawcConfig {
+        target_points: 0,
+        epochs: 25,
+        ..HawcConfig::default()
+    };
     let model = HawcClassifier::train(&parts.train, pool, &cfg, &mut rng);
     let mut counter = CrowdCounter::new(model, CounterConfig::default());
 
@@ -59,19 +78,26 @@ fn main() {
         for _ in 0..n {
             scene.add_human(Human::sample(&mut rng, &walkway));
         }
+        // Open the frame here so the journal entry carries the harness
+        // seed and source; count() annotates it and leaves it open.
+        obs::frame_start("live_walkway");
+        obs::frame_seed(SEED);
         let mut sweep = sensor.scan(&scene, &mut rng);
         roi_filter(&mut sweep, &walkway);
         ground_segment(&mut sweep);
         let capture = sweep.into_cloud();
         let result = counter.count(&capture);
+        obs::frame_finish(result.count);
         let smoothed = smoother.push(result.count);
         // Track identities from the counted clusters' rough positions:
         // approximate each human cluster by the capture centroid jittered
         // per count (full integration would pass cluster centroids; the
         // tracker API accepts any per-frame positions).
         let detections: Vec<geom::Point3> = (0..result.count)
-            .map(|i| capture.centroid().unwrap_or(geom::Point3::ZERO)
-                + geom::Vec3::new(i as f64 * 0.5, 0.0, 0.0))
+            .map(|i| {
+                capture.centroid().unwrap_or(geom::Point3::ZERO)
+                    + geom::Vec3::new(i as f64 * 0.5, 0.0, 0.0)
+            })
             .collect();
         tracker.step(&detections);
         total_err += (result.count as i64 - n as i64).abs();
@@ -84,7 +110,43 @@ fn main() {
             smoothed,
             "#".repeat(result.count)
         );
+        if slot % 10 == 9 {
+            println!("\n-- telemetry after {} slots --", slot + 1);
+            print!("{}", obs::export::render_table(&obs::snapshot()));
+            println!();
+        }
     }
-    println!("\nmean absolute error over the day: {:.2}", total_err as f64 / samples as f64);
+    println!(
+        "\nmean absolute error over the day: {:.2}",
+        total_err as f64 / samples as f64
+    );
     println!("distinct pedestrian tracks observed: {}", tracker.frames());
+
+    // One day of compartment temperatures: sets the edge.pole_c gauge
+    // and the over-envelope counter for the final snapshot.
+    let thermal = edge::thermal::simulate(
+        &edge::thermal::ThermalConfig {
+            days: 1,
+            ..edge::thermal::ThermalConfig::default()
+        },
+        &mut rng,
+    );
+    let summary = edge::thermal::summarize(&thermal);
+    println!(
+        "pole compartment: max {:.1} °C, {:.1}% of readings over the {} °C envelope",
+        summary.pole_max_c,
+        summary.above_rated_fraction * 100.0,
+        edge::thermal::RATED_LIMIT_C,
+    );
+
+    println!("\n-- final telemetry --");
+    print!("{}", obs::export::render_table(&obs::snapshot()));
+    if json {
+        println!("\n-- telemetry jsonl --");
+        print!("{}", obs::export::snapshot_jsonl(&obs::snapshot()));
+        print!(
+            "{}",
+            obs::export::journal_jsonl(obs::journal_snapshot().iter())
+        );
+    }
 }

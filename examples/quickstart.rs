@@ -26,7 +26,11 @@ fn main() {
 
     // 2. Train the Height-Aware Human Classifier.
     println!("training HAWC on {} clusters…", parts.train.len());
-    let cfg = HawcConfig { target_points: 0, epochs: 25, ..HawcConfig::default() };
+    let cfg = HawcConfig {
+        target_points: 0,
+        epochs: 25,
+        ..HawcConfig::default()
+    };
     let mut model = HawcClassifier::train(&parts.train, pool, &cfg, &mut rng);
     let metrics = model.evaluate(&parts.test);
     println!("single-person detection: {metrics}");
@@ -38,7 +42,12 @@ fn main() {
     for (x, y) in [(14.0, 0.5), (19.5, -1.2), (27.0, 1.8)] {
         scene.add_human(Human::new(world::HumanParams::sample(&mut rng), x, y, 0.3));
     }
-    scene.add_object(CampusObject::build(&mut rng, ObjectKind::TrashCan, 16.0, -2.0));
+    scene.add_object(CampusObject::build(
+        &mut rng,
+        ObjectKind::TrashCan,
+        16.0,
+        -2.0,
+    ));
     scene.add_object(CampusObject::build(&mut rng, ObjectKind::Bench, 23.0, 2.0));
 
     let sensor = Lidar::new(SensorConfig::default());
@@ -46,7 +55,10 @@ fn main() {
     roi_filter(&mut sweep, &walkway);
     ground_segment(&mut sweep);
     let capture = sweep.into_cloud();
-    println!("capture: {} points after ROI crop and ground segmentation", capture.len());
+    println!(
+        "capture: {} points after ROI crop and ground segmentation",
+        capture.len()
+    );
     println!("side view (x →, height ↑): people are the tall columns\n");
     println!("{}", lidar::viz::render_side_view(&capture, 72, 10));
 

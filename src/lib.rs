@@ -42,6 +42,7 @@ pub use geom;
 pub use hawc;
 pub use lidar;
 pub use nn;
+pub use obs;
 pub use ocsvm;
 pub use projection;
 pub use world;

@@ -7,10 +7,24 @@ use rand::SeedableRng;
 
 #[test]
 fn datasets_replay_exactly() {
-    let cfg = DetectionDatasetConfig { samples: 60, seed: 11, ..DetectionDatasetConfig::default() };
-    assert_eq!(generate_detection_dataset(&cfg), generate_detection_dataset(&cfg));
-    let ccfg = CountingDatasetConfig { samples: 20, seed: 12, ..CountingDatasetConfig::default() };
-    assert_eq!(generate_counting_dataset(&ccfg), generate_counting_dataset(&ccfg));
+    let cfg = DetectionDatasetConfig {
+        samples: 60,
+        seed: 11,
+        ..DetectionDatasetConfig::default()
+    };
+    assert_eq!(
+        generate_detection_dataset(&cfg),
+        generate_detection_dataset(&cfg)
+    );
+    let ccfg = CountingDatasetConfig {
+        samples: 20,
+        seed: 12,
+        ..CountingDatasetConfig::default()
+    };
+    assert_eq!(
+        generate_counting_dataset(&ccfg),
+        generate_counting_dataset(&ccfg)
+    );
 }
 
 #[test]
@@ -47,11 +61,68 @@ fn training_and_prediction_replay_exactly() {
         let mut rng = StdRng::seed_from_u64(14);
         let parts = split(&mut rng, data.clone(), 0.8);
         let mut model = HawcClassifier::train(&parts.train, pool.clone(), &cfg, &mut rng);
-        let clouds: Vec<Vec<geom::Point3>> =
-            parts.test.iter().map(|s| s.cloud.points().to_vec()).collect();
+        let clouds: Vec<Vec<geom::Point3>> = parts
+            .test
+            .iter()
+            .map(|s| s.cloud.points().to_vec())
+            .collect();
         model.predict_batch(&clouds)
     };
     assert_eq!(train_once(), train_once());
+}
+
+#[test]
+fn counting_is_bit_identical_with_telemetry_on_or_off() {
+    // Telemetry is observational only: flipping it must not move a
+    // single count. This also pins the timed nn forward path (used
+    // when telemetry is on) to the plain forward path.
+    let data = generate_detection_dataset(&DetectionDatasetConfig {
+        samples: 80,
+        seed: 31,
+        ..DetectionDatasetConfig::default()
+    });
+    let pool = generate_object_pool(31, 8, &WalkwayConfig::default(), &SensorConfig::default());
+    let cfg = HawcConfig {
+        target_points: 0,
+        epochs: 4,
+        conv_channels: [6, 8, 10],
+        fc_hidden: 16,
+        ..HawcConfig::default()
+    };
+    let mut rng = StdRng::seed_from_u64(32);
+    let parts = split(&mut rng, data, 0.8);
+    let model = HawcClassifier::train(&parts.train, pool, &cfg, &mut rng);
+    let mut counter = CrowdCounter::new(model, CounterConfig::default());
+
+    let captures = generate_counting_dataset(&CountingDatasetConfig {
+        samples: 6,
+        seed: 33,
+        ..CountingDatasetConfig::default()
+    });
+
+    obs::enable(false);
+    let off: Vec<usize> = captures
+        .iter()
+        .map(|s| counter.count(&s.cloud).count)
+        .collect();
+    let journal_before = obs::journal_total();
+    obs::enable(true);
+    let on: Vec<usize> = captures
+        .iter()
+        .map(|s| counter.count(&s.cloud).count)
+        .collect();
+    obs::enable(false);
+
+    assert_eq!(off, on, "telemetry must not change any count");
+    // While on, every count() journalled one frame with its adaptive-ε
+    // provenance.
+    assert_eq!(obs::journal_total() - journal_before, captures.len() as u64);
+    let journal = obs::journal_snapshot();
+    let recent = &journal[journal.len() - captures.len()..];
+    for (frame, result) in recent.iter().zip(&on) {
+        assert_eq!(frame.count, *result);
+        assert!(frame.eps.is_some(), "adaptive clustering records ε");
+    }
 }
 
 #[test]

@@ -47,8 +47,18 @@ fn humans_outside_roi_are_invisible() {
     let mut scene = Scene::new(walkway);
     // One person too close (pole shadow zone), one far beyond range.
     let mut rng = StdRng::seed_from_u64(2);
-    scene.add_human(Human::new(world::HumanParams::sample(&mut rng), 5.0, 0.0, 0.0));
-    scene.add_human(Human::new(world::HumanParams::sample(&mut rng), 55.0, 0.0, 0.0));
+    scene.add_human(Human::new(
+        world::HumanParams::sample(&mut rng),
+        5.0,
+        0.0,
+        0.0,
+    ));
+    scene.add_human(Human::new(
+        world::HumanParams::sample(&mut rng),
+        55.0,
+        0.0,
+        0.0,
+    ));
     let sensor = Lidar::new(SensorConfig::default());
     let mut sweep = sensor.scan(&scene, &mut rng);
     roi_filter(&mut sweep, &walkway);
@@ -74,7 +84,11 @@ fn pure_noise_capture_does_not_hallucinate_a_crowd() {
     let result = counter.count(&cloud);
     // Diffuse noise mostly fails DBSCAN density or gets classified as
     // clutter; a handful of false positives is tolerable, a crowd is not.
-    assert!(result.count <= 3, "hallucinated {} people from noise", result.count);
+    assert!(
+        result.count <= 3,
+        "hallucinated {} people from noise",
+        result.count
+    );
 }
 
 #[test]
@@ -90,7 +104,12 @@ fn extreme_sensor_configs_still_scan() {
     let mut rng = StdRng::seed_from_u64(4);
     let walkway = WalkwayConfig::default();
     let mut scene = Scene::new(walkway);
-    scene.add_human(Human::new(world::HumanParams::sample(&mut rng), 15.0, 0.0, 0.0));
+    scene.add_human(Human::new(
+        world::HumanParams::sample(&mut rng),
+        15.0,
+        0.0,
+        0.0,
+    ));
     // Ultra-sparse sensor: 4 channels, coarse azimuth, single frame.
     let sparse = SensorConfig {
         channels: 4,
@@ -101,7 +120,10 @@ fn extreme_sensor_configs_still_scan() {
     let sweep = Lidar::new(sparse).scan(&scene, &mut rng);
     assert!(sweep.len() < 2000);
     // Short-range sensor sees nothing in the 12-35 m band.
-    let myopic = SensorConfig { max_range: 5.0, ..SensorConfig::default() };
+    let myopic = SensorConfig {
+        max_range: 5.0,
+        ..SensorConfig::default()
+    };
     let mut sweep = Lidar::new(myopic).scan(&scene, &mut rng);
     roi_filter(&mut sweep, &walkway);
     assert_eq!(sweep.len(), 0);

@@ -11,8 +11,7 @@ use rand::rngs::StdRng;
 use rand::SeedableRng;
 
 fn arb_point() -> impl Strategy<Value = Point3> {
-    (-40.0..40.0f64, -10.0..10.0f64, -3.0..0.5f64)
-        .prop_map(|(x, y, z)| Point3::new(x, y, z))
+    (-40.0..40.0f64, -10.0..10.0f64, -3.0..0.5f64).prop_map(|(x, y, z)| Point3::new(x, y, z))
 }
 
 fn arb_cloud(max: usize) -> impl Strategy<Value = Vec<Point3>> {

@@ -1,0 +1,84 @@
+//! Offline stand-in for `crossbeam`: the `thread::scope` subset this
+//! workspace uses, implemented on `std::thread::scope` with zero unsafe
+//! code.
+//!
+//! Semantics mirror crossbeam 0.8 closely enough for the call sites
+//! here: `scope(|s| …)` returns `Ok` with the closure's value, spawned
+//! closures receive a scope handle (always ignored by callers as `|_|`),
+//! and `ScopedJoinHandle::join` surfaces a worker panic as `Err`.
+
+#![forbid(unsafe_code)]
+
+/// Scoped threads (stand-in for `crossbeam::thread`).
+pub mod thread {
+    use std::thread::Result as ThreadResult;
+
+    /// A scope within which borrowed-data threads can be spawned.
+    pub struct Scope<'scope, 'env: 'scope> {
+        inner: &'scope std::thread::Scope<'scope, 'env>,
+    }
+
+    /// Handle to a spawned scoped thread.
+    pub struct ScopedJoinHandle<'scope, T> {
+        inner: std::thread::ScopedJoinHandle<'scope, T>,
+    }
+
+    impl<'scope, T> ScopedJoinHandle<'scope, T> {
+        /// Waits for the thread, returning `Err` if it panicked.
+        pub fn join(self) -> ThreadResult<T> {
+            self.inner.join()
+        }
+    }
+
+    impl<'scope, 'env> Scope<'scope, 'env> {
+        /// Spawns a thread inside the scope. The closure receives the
+        /// scope handle (crossbeam convention), allowing nested spawns.
+        pub fn spawn<F, T>(&self, f: F) -> ScopedJoinHandle<'scope, T>
+        where
+            F: FnOnce(&Scope<'scope, 'env>) -> T + Send + 'scope,
+            T: Send + 'scope,
+        {
+            let inner = self.inner;
+            ScopedJoinHandle { inner: inner.spawn(move || f(&Scope { inner })) }
+        }
+    }
+
+    /// Runs `f` with a scope handle, joining all unjoined spawned
+    /// threads before returning. Always returns `Ok`: a panicking
+    /// spawned thread either surfaces through its `join()` or, if
+    /// unjoined, propagates as a panic from `std::thread::scope`.
+    #[allow(clippy::unnecessary_wraps)]
+    pub fn scope<'env, F, R>(f: F) -> ThreadResult<R>
+    where
+        F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> R,
+    {
+        Ok(std::thread::scope(|s| f(&Scope { inner: s })))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn scoped_sum_over_borrowed_data() {
+        let data: Vec<u64> = (0..100).collect();
+        let total: u64 = super::thread::scope(|s| {
+            let handles: Vec<_> = data
+                .chunks(30)
+                .map(|chunk| s.spawn(move |_| chunk.iter().sum::<u64>()))
+                .collect();
+            handles.into_iter().map(|h| h.join().expect("worker ok")).sum()
+        })
+        .expect("scope ok");
+        assert_eq!(total, 4950);
+    }
+
+    #[test]
+    fn worker_panic_surfaces_in_join() {
+        let caught = super::thread::scope(|s| {
+            let h = s.spawn(|_| -> u32 { panic!("boom") });
+            h.join().is_err()
+        })
+        .expect("scope ok");
+        assert!(caught);
+    }
+}

@@ -1,0 +1,353 @@
+//! Offline stand-in for `proptest`: the subset this workspace's
+//! property tests use, backed by deterministic seeded sampling.
+//!
+//! Differences from upstream, by design:
+//! - no shrinking — a failing case reports the assertion, not a
+//!   minimised input;
+//! - the RNG is seeded from a hash of the test name, so every run
+//!   replays the same cases;
+//! - only the strategies actually used here exist: numeric ranges,
+//!   tuples, `prop_map`, and `collection::vec`.
+
+#![forbid(unsafe_code)]
+
+/// Strategies: composable generators of test inputs.
+pub mod strategy {
+    use crate::test_runner::TestRng;
+    use rand::Rng;
+
+    /// A generator of values of type [`Strategy::Value`].
+    pub trait Strategy {
+        /// The type of value this strategy produces.
+        type Value;
+
+        /// Draws one value from the strategy.
+        fn sample(&self, rng: &mut TestRng) -> Self::Value;
+
+        /// Maps produced values through `f`.
+        fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+        where
+            Self: Sized,
+            F: Fn(Self::Value) -> O,
+        {
+            Map { source: self, func: f }
+        }
+    }
+
+    /// Strategy adapter produced by [`Strategy::prop_map`].
+    pub struct Map<S, F> {
+        source: S,
+        func: F,
+    }
+
+    impl<S, O, F> Strategy for Map<S, F>
+    where
+        S: Strategy,
+        F: Fn(S::Value) -> O,
+    {
+        type Value = O;
+
+        fn sample(&self, rng: &mut TestRng) -> O {
+            (self.func)(self.source.sample(rng))
+        }
+    }
+
+    macro_rules! range_strategies {
+        ($($t:ty),*) => {
+            $(
+                impl Strategy for core::ops::Range<$t> {
+                    type Value = $t;
+                    fn sample(&self, rng: &mut TestRng) -> $t {
+                        rng.gen_range(self.clone())
+                    }
+                }
+
+                impl Strategy for core::ops::RangeInclusive<$t> {
+                    type Value = $t;
+                    fn sample(&self, rng: &mut TestRng) -> $t {
+                        rng.gen_range(self.clone())
+                    }
+                }
+            )*
+        };
+    }
+
+    range_strategies!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize, f32, f64);
+
+    macro_rules! tuple_strategies {
+        ($(($($name:ident),+))*) => {
+            $(
+                #[allow(non_snake_case)]
+                impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+                    type Value = ($($name::Value,)+);
+                    fn sample(&self, rng: &mut TestRng) -> Self::Value {
+                        let ($($name,)+) = self;
+                        ($($name.sample(rng),)+)
+                    }
+                }
+            )*
+        };
+    }
+
+    tuple_strategies! {
+        (A)
+        (A, B)
+        (A, B, C)
+        (A, B, C, D)
+        (A, B, C, D, E)
+    }
+}
+
+/// Collection strategies.
+pub mod collection {
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+    use rand::Rng;
+
+    /// Strategy for `Vec<S::Value>` with a length drawn from a range.
+    pub struct VecStrategy<S> {
+        element: S,
+        len: core::ops::Range<usize>,
+    }
+
+    /// Generates vectors whose elements come from `element` and whose
+    /// length is uniform in `len`.
+    pub fn vec<S: Strategy>(element: S, len: core::ops::Range<usize>) -> VecStrategy<S> {
+        VecStrategy { element, len }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+
+        fn sample(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let n = rng.gen_range(self.len.clone());
+            (0..n).map(|_| self.element.sample(rng)).collect()
+        }
+    }
+}
+
+/// Test-execution plumbing: config, errors, and the deterministic RNG.
+pub mod test_runner {
+    use rand::rngs::StdRng;
+    use rand::{RngCore, SeedableRng};
+    use std::fmt;
+
+    /// Per-`proptest!` block configuration.
+    #[derive(Clone, Debug)]
+    pub struct ProptestConfig {
+        /// Number of cases drawn per property.
+        pub cases: u32,
+    }
+
+    impl ProptestConfig {
+        /// Config running `cases` cases per property.
+        pub fn with_cases(cases: u32) -> Self {
+            ProptestConfig { cases }
+        }
+    }
+
+    impl Default for ProptestConfig {
+        /// 64 cases — trimmed from upstream's 256 to keep the offline
+        /// suite fast; tests that need more set it explicitly.
+        fn default() -> Self {
+            ProptestConfig { cases: 64 }
+        }
+    }
+
+    /// A failed property case.
+    pub struct TestCaseError {
+        message: String,
+    }
+
+    impl TestCaseError {
+        /// Failure carrying `message`.
+        pub fn fail(message: impl Into<String>) -> Self {
+            TestCaseError { message: message.into() }
+        }
+    }
+
+    impl fmt::Display for TestCaseError {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            f.write_str(&self.message)
+        }
+    }
+
+    impl fmt::Debug for TestCaseError {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            write!(f, "TestCaseError({})", self.message)
+        }
+    }
+
+    /// RNG used to draw cases; seeded from the test name so runs are
+    /// reproducible without a persistence file.
+    pub struct TestRng {
+        inner: StdRng,
+    }
+
+    impl TestRng {
+        /// RNG whose seed is an FNV-1a hash of `name`.
+        pub fn deterministic(name: &str) -> Self {
+            let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+            for b in name.bytes() {
+                h ^= u64::from(b);
+                h = h.wrapping_mul(0x0000_0100_0000_01b3);
+            }
+            TestRng { inner: StdRng::seed_from_u64(h) }
+        }
+    }
+
+    impl RngCore for TestRng {
+        fn next_u64(&mut self) -> u64 {
+            self.inner.next_u64()
+        }
+
+        fn next_u32(&mut self) -> u32 {
+            self.inner.next_u32()
+        }
+    }
+}
+
+/// One-stop imports, mirroring `proptest::prelude`.
+pub mod prelude {
+    pub use crate::strategy::Strategy;
+    pub use crate::test_runner::{ProptestConfig, TestCaseError};
+    pub use crate::{prop_assert, prop_assert_eq, proptest};
+}
+
+/// Declares property tests: each `fn` becomes a `#[test]` that draws
+/// `config.cases` inputs from its strategies and runs the body.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::proptest!(@with_config ($cfg) $($rest)*);
+    };
+    (@with_config ($cfg:expr) $(
+        $(#[doc = $doc:literal])*
+        #[test]
+        fn $name:ident($($arg:pat in $strat:expr),+ $(,)?) $body:block
+    )*) => {
+        $(
+            $(#[doc = $doc])*
+            #[test]
+            fn $name() {
+                let config: $crate::test_runner::ProptestConfig = $cfg;
+                let mut rng =
+                    $crate::test_runner::TestRng::deterministic(stringify!($name));
+                for case in 0..config.cases {
+                    $(
+                        let $arg =
+                            $crate::strategy::Strategy::sample(&($strat), &mut rng);
+                    )+
+                    let outcome = (|| -> ::core::result::Result<
+                        (),
+                        $crate::test_runner::TestCaseError,
+                    > {
+                        $body
+                        ::core::result::Result::Ok(())
+                    })();
+                    if let ::core::result::Result::Err(err) = outcome {
+                        panic!(
+                            "property {} failed on case {}/{}: {}",
+                            stringify!($name),
+                            case + 1,
+                            config.cases,
+                            err
+                        );
+                    }
+                }
+            }
+        )*
+    };
+    ($($rest:tt)*) => {
+        $crate::proptest!(
+            @with_config ($crate::test_runner::ProptestConfig::default()) $($rest)*
+        );
+    };
+}
+
+/// Asserts inside a `proptest!` body, failing the case (not panicking
+/// directly) so the harness can report which case broke.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr $(,)?) => {
+        if !($cond) {
+            return ::core::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                concat!("assertion failed: ", stringify!($cond)),
+            ));
+        }
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !($cond) {
+            return ::core::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                format!($($fmt)+),
+            ));
+        }
+    };
+}
+
+/// Equality assertion inside a `proptest!` body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let left = $left;
+        let right = $right;
+        if !(left == right) {
+            return ::core::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                format!(
+                    "assertion failed: `{} == {}`\n  left: {:?}\n right: {:?}",
+                    stringify!($left),
+                    stringify!($right),
+                    left,
+                    right
+                ),
+            ));
+        }
+    }};
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+    use crate::strategy::Strategy as _;
+    use crate::test_runner::TestRng;
+
+    #[test]
+    fn ranges_and_maps_sample_in_bounds() {
+        let mut rng = TestRng::deterministic("ranges_and_maps_sample_in_bounds");
+        let strat = (0.0..1.0f64, 1usize..5).prop_map(|(x, n)| x * n as f64);
+        for _ in 0..200 {
+            let v = strat.sample(&mut rng);
+            assert!((0.0..5.0).contains(&v));
+        }
+    }
+
+    #[test]
+    fn vec_strategy_respects_length_range() {
+        let mut rng = TestRng::deterministic("vec_strategy_respects_length_range");
+        let strat = crate::collection::vec(-1.0..1.0f64, 1..9);
+        for _ in 0..100 {
+            let v = strat.sample(&mut rng);
+            assert!((1..9).contains(&v.len()));
+        }
+    }
+
+    #[test]
+    fn sampling_is_deterministic_per_name() {
+        let strat = crate::collection::vec(0u64..1000, 3..4);
+        let mut a = TestRng::deterministic("same-name");
+        let mut b = TestRng::deterministic("same-name");
+        assert_eq!(strat.sample(&mut a), strat.sample(&mut b));
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(16))]
+
+        /// The macro itself: args bind, asserts pass, cases loop.
+        #[test]
+        fn macro_smoke(x in 0usize..10, y in 0.0..1.0f64) {
+            prop_assert!(x < 10);
+            prop_assert!(y >= 0.0 && y < 1.0, "y out of range: {}", y);
+            prop_assert_eq!(x + 1, 1 + x);
+        }
+    }
+}

@@ -1,0 +1,28 @@
+//! Offline stand-in for `serde`.
+//!
+//! This workspace annotates types with `#[derive(Serialize, Deserialize)]`
+//! for API compatibility but never routes them through a serde
+//! serializer (the on-disk dataset codec is hand-framed over `bytes`,
+//! and telemetry export is hand-rendered JSON). The stand-in therefore
+//! reduces the traits to markers satisfied by every type, and the
+//! derives (re-exported from `serde_derive`) expand to nothing.
+
+#![forbid(unsafe_code)]
+
+/// Marker stand-in for `serde::Serialize`; satisfied by every type.
+pub trait Serialize {}
+
+impl<T: ?Sized> Serialize for T {}
+
+/// Marker stand-in for `serde::Deserialize`; satisfied by every type.
+pub trait Deserialize<'de>: Sized {}
+
+impl<'de, T> Deserialize<'de> for T {}
+
+/// Marker stand-in for `serde::de::DeserializeOwned`.
+pub trait DeserializeOwned: for<'de> Deserialize<'de> {}
+
+impl<T> DeserializeOwned for T {}
+
+#[cfg(feature = "derive")]
+pub use serde_derive::{Deserialize, Serialize};

@@ -1,0 +1,20 @@
+//! Offline stand-in for `serde_derive`: the derives expand to nothing.
+//!
+//! The companion `serde` stand-in blanket-implements its marker traits
+//! for every type, so an empty expansion keeps
+//! `#[derive(Serialize, Deserialize)]` valid everywhere without code
+//! generation.
+
+use proc_macro::TokenStream;
+
+/// No-op `#[derive(Serialize)]`.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// No-op `#[derive(Deserialize)]`.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
