@@ -1,0 +1,323 @@
+//! chaos_soak — seeded fault-injection soak of the supervised pole
+//! service.
+//!
+//! For every fault class in [`lidar::FaultScript::preset_names`] the
+//! harness streams the same walkway traffic twice — once through a
+//! clean sensor, once through a [`lidar::FaultyLidar`] running that
+//! class's preset — with per-frame derived seeds so both runs see
+//! bit-identical scenes. The faulted run goes through the full
+//! [`counting::SupervisedCounter`] (sanitize → panic isolation →
+//! degradation ladder → hold-last-good), and the report shows, per
+//! fault class: MAE with and without the fault (the *inflation* is the
+//! robustness cost), frames dropped and recovered, ladder and health
+//! transitions, and worst-case frame latency. A final segment drives a
+//! synthetic heat spell through the thermal throttle to exercise the
+//! fp32 → int8 rung.
+//!
+//! ```text
+//! cargo run -p bench --release --bin chaos_soak             # full soak
+//! cargo run -p bench --release --bin chaos_soak -- --smoke  # CI-sized
+//! cargo run -p bench --release --bin chaos_soak -- --frames 600 --seed 7
+//! ```
+//!
+//! Exits non-zero if any frame panics or any reported metric is
+//! non-finite, so CI can gate on it.
+
+use counting::{CounterConfig, CrowdCounter, SupervisedCounter, SupervisorConfig, SupervisorStats};
+use dataset::{generate_detection_dataset, generate_object_pool, DetectionDatasetConfig};
+use hawc::{HawcClassifier, HawcConfig, QuantizedHawc};
+use lidar::{ground_segment, roi_filter, FaultScript, FaultyLidar, Lidar, SensorConfig};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use world::{Human, Scene, WalkwayConfig};
+
+/// Per-frame seed derivation: decorrelated per frame, shared between
+/// the clean and faulted runs so their scenes are identical.
+fn frame_seed(base: u64, frame: u64) -> u64 {
+    base ^ 0x9E37_79B9_7F4A_7C15u64.wrapping_mul(frame.wrapping_add(1))
+}
+
+/// Expected pedestrians over a compressed campus day (same curve as
+/// the live_walkway example, one "hour" per 10 frames).
+fn expected_traffic(frame: u64, frames_per_segment: u64) -> f64 {
+    let hour = 7.0 + 12.0 * (frame % frames_per_segment) as f64 / frames_per_segment as f64;
+    let class_rush = (-(hour - 9.0f64).powi(2) / 3.0).exp() * 4.0
+        + (-(hour - 12.5f64).powi(2) / 2.0).exp() * 5.0
+        + (-(hour - 17.0f64).powi(2) / 4.0).exp() * 3.5;
+    0.2 + class_rush
+}
+
+fn poisson_ish<R: Rng>(rng: &mut R, lambda: f64) -> usize {
+    let mut n = 0usize;
+    let mut acc = (-lambda).exp();
+    let mut cum = acc;
+    let u: f64 = rng.gen();
+    while cum < u && n < 12 {
+        n += 1;
+        acc *= lambda / n as f64;
+        cum += acc;
+    }
+    n
+}
+
+/// The trained tiny pipeline (the soak exercises supervision, not
+/// accuracy; the failure-injection tests use the same scale).
+fn tiny_model(seed: u64) -> (HawcClassifier, QuantizedHawc) {
+    let data = generate_detection_dataset(&DetectionDatasetConfig {
+        samples: 80,
+        seed,
+        ..DetectionDatasetConfig::default()
+    });
+    let pool = generate_object_pool(seed, 8, &WalkwayConfig::default(), &SensorConfig::default());
+    let mut rng = StdRng::seed_from_u64(seed);
+    let cfg = HawcConfig {
+        target_points: 0,
+        epochs: 4,
+        conv_channels: [6, 8, 10],
+        fc_hidden: 16,
+        ..HawcConfig::default()
+    };
+    let model = HawcClassifier::train(&data, pool, &cfg, &mut rng);
+    let quant = model.quantize(&data, 64).expect("tiny model must quantize");
+    (model, quant)
+}
+
+/// One segment's outcome.
+struct SegmentReport {
+    class: String,
+    frames: u64,
+    dropped: u64,
+    mae_clean: f64,
+    mae_faulted: f64,
+    recovered: u64,
+    held: u64,
+    ladder_transitions: u64,
+    health_transitions: u64,
+    panics: u64,
+    worst_ms: f64,
+}
+
+/// Streams `frames` frames of walkway traffic through `sensor` and the
+/// supervised counter; `heat` optionally supplies a per-frame
+/// compartment temperature.
+#[allow(clippy::too_many_arguments)]
+fn run_segment(
+    label: &str,
+    script: FaultScript,
+    frames: u64,
+    base_seed: u64,
+    segment_index: u64,
+    heat: Option<&dyn Fn(u64) -> f64>,
+) -> SegmentReport {
+    let walkway = WalkwayConfig::default();
+    let (model, quant) = tiny_model(21);
+    let primary = CrowdCounter::new(model, CounterConfig::default());
+    let int8 = CrowdCounter::new(quant, CounterConfig::default());
+    let mut supervised: SupervisedCounter<HawcClassifier, QuantizedHawc> =
+        SupervisedCounter::new(primary, SupervisorConfig::default()).with_int8(int8);
+
+    let (clean_model, _) = tiny_model(21);
+    let mut clean_counter = CrowdCounter::new(clean_model, CounterConfig::default());
+    let clean_sensor = Lidar::new(SensorConfig::default());
+
+    let mut faulty = FaultyLidar::new(Lidar::new(SensorConfig::default()), script);
+
+    let seg_seed = base_seed.wrapping_add(segment_index.wrapping_mul(0x5DEE_CE66));
+    let mut abs_err_clean = 0u64;
+    let mut abs_err_faulted = 0u64;
+    let mut dropped = 0u64;
+    let mut worst_ms = 0.0f64;
+    let before: SupervisorStats = supervised.stats();
+
+    for frame in 0..frames {
+        let seed = frame_seed(seg_seed, frame);
+        let lambda = expected_traffic(frame, frames.max(1));
+
+        // Clean twin: identical scene, pristine sensor, bare pipeline.
+        let mut rng = StdRng::seed_from_u64(seed);
+        let n = poisson_ish(&mut rng, lambda);
+        let mut scene = Scene::new(walkway);
+        for _ in 0..n {
+            scene.add_human(Human::sample(&mut rng, &walkway));
+        }
+        let mut sweep = clean_sensor.scan(&scene, &mut rng);
+        roi_filter(&mut sweep, &walkway);
+        ground_segment(&mut sweep);
+        let clean_count = clean_counter.count(&sweep.into_cloud()).count;
+        abs_err_clean += clean_count.abs_diff(n) as u64;
+
+        // Faulted run: same scene rebuilt from the same seed.
+        let mut rng = StdRng::seed_from_u64(seed);
+        let n2 = poisson_ish(&mut rng, lambda);
+        debug_assert_eq!(n, n2);
+        let mut scene = Scene::new(walkway);
+        for _ in 0..n2 {
+            scene.add_human(Human::sample(&mut rng, &walkway));
+        }
+        if let Some(heat) = heat {
+            supervised.feed_temperature(heat(frame));
+        }
+        let capture = faulty.scan(&scene, &mut rng);
+        let out = if capture.dropped {
+            dropped += 1;
+            supervised.step_dropped()
+        } else {
+            let mut sweep = capture.sweep;
+            roi_filter(&mut sweep, &walkway);
+            ground_segment(&mut sweep);
+            supervised.step(&sweep.into_cloud())
+        };
+        assert!(
+            out.elapsed_ms.is_finite(),
+            "{label}: non-finite frame latency"
+        );
+        abs_err_faulted += out.count.abs_diff(n) as u64;
+        worst_ms = worst_ms.max(out.elapsed_ms);
+    }
+
+    let after = supervised.stats();
+    SegmentReport {
+        class: label.to_string(),
+        frames,
+        dropped,
+        mae_clean: abs_err_clean as f64 / frames as f64,
+        mae_faulted: abs_err_faulted as f64 / frames as f64,
+        recovered: after.frames_recovered - before.frames_recovered,
+        held: after.frames_held - before.frames_held,
+        ladder_transitions: after.ladder_transitions - before.ladder_transitions,
+        health_transitions: after.health_transitions - before.health_transitions,
+        panics: after.panics - before.panics,
+        worst_ms,
+    }
+}
+
+fn main() {
+    let mut frames: u64 = 120;
+    let mut seed: u64 = 42;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--frames" => {
+                frames = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .expect("--frames needs a number");
+            }
+            "--seed" => {
+                seed = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .expect("--seed needs a number");
+            }
+            "--smoke" => frames = 25,
+            other => {
+                eprintln!("unknown flag {other} (use --frames N, --seed S, --smoke)");
+                std::process::exit(2);
+            }
+        }
+    }
+
+    obs::enable(true);
+    println!("chaos_soak: {frames} frames per segment, seed {seed}");
+    println!("training tiny HAWC pipelines…\n");
+
+    let mut reports = Vec::new();
+    for (i, name) in FaultScript::preset_names().iter().enumerate() {
+        let script = FaultScript::preset(name).expect("preset must exist");
+        println!("segment {:>2}: fault class '{name}'…", i + 1);
+        reports.push(run_segment(name, script, frames, seed, i as u64, None));
+    }
+    // Heat spell: clean optics, hot compartment — exercises the
+    // fp32→int8 precision rung through the throttle's hysteresis.
+    let n_presets = FaultScript::preset_names().len() as u64;
+    println!("segment {:>2}: fault class 'heat-spell'…", n_presets + 1);
+    let heat = |frame: u64| {
+        // Ramp 35 °C → 58 °C and back within the segment.
+        let t = frame as f64 / frames.max(1) as f64;
+        35.0 + 23.0 * (std::f64::consts::PI * t).sin()
+    };
+    reports.push(run_segment(
+        "heat-spell",
+        FaultScript::clean(),
+        frames,
+        seed,
+        n_presets,
+        Some(&heat),
+    ));
+
+    println!(
+        "\n{:<16} {:>7} {:>7} {:>9} {:>9} {:>9} {:>6} {:>6} {:>7} {:>7} {:>9}",
+        "fault class",
+        "frames",
+        "dropped",
+        "MAE clean",
+        "MAE fault",
+        "inflation",
+        "held",
+        "recov",
+        "ladder",
+        "health",
+        "worst ms"
+    );
+    let mut failures = 0u32;
+    for r in &reports {
+        let inflation = r.mae_faulted - r.mae_clean;
+        println!(
+            "{:<16} {:>7} {:>7} {:>9.3} {:>9.3} {:>+9.3} {:>6} {:>6} {:>7} {:>7} {:>9.2}",
+            r.class,
+            r.frames,
+            r.dropped,
+            r.mae_clean,
+            r.mae_faulted,
+            inflation,
+            r.held,
+            r.recovered,
+            r.ladder_transitions,
+            r.health_transitions,
+            r.worst_ms
+        );
+        if r.panics > 0 {
+            eprintln!("FAIL: segment '{}' absorbed {} panic(s)", r.class, r.panics);
+            failures += 1;
+        }
+        for (metric, v) in [
+            ("mae_clean", r.mae_clean),
+            ("mae_faulted", r.mae_faulted),
+            ("worst_ms", r.worst_ms),
+        ] {
+            if !v.is_finite() {
+                eprintln!("FAIL: segment '{}' reported non-finite {metric}", r.class);
+                failures += 1;
+            }
+        }
+    }
+
+    let snap = obs::snapshot();
+    let show = |name: &str| {
+        snap.counters
+            .iter()
+            .find(|(n, _)| n == name)
+            .map_or(0, |(_, v)| *v)
+    };
+    println!("\nfault-layer totals:");
+    for c in [
+        "lidar.faults.frames_dropped",
+        "lidar.faults.beams_lost",
+        "lidar.faults.returns_attenuated",
+        "lidar.faults.salt_points",
+        "supervisor.frames",
+        "supervisor.frames_held",
+        "supervisor.panics",
+        "supervisor.deadline_misses",
+        "supervisor.ladder_transitions",
+        "supervisor.health_transitions",
+    ] {
+        println!("  {c:<36} {:>10}", show(c));
+    }
+
+    if failures > 0 {
+        eprintln!("\nchaos_soak: {failures} failure(s)");
+        std::process::exit(1);
+    }
+    println!("\nchaos_soak: all segments completed with zero panics");
+}

@@ -58,8 +58,21 @@ pub struct EpsChoice {
 
 /// Computes the per-capture optimal `ε` and where it came from: the
 /// value at the elbow of the ascending k-NN distance curve, clamped to
-/// the configured range, or the fallback for captures with fewer than
-/// `k + 2` points, where no meaningful curve exists.
+/// the configured range.
+///
+/// Degenerate inputs never panic and never yield a non-finite `ε`;
+/// they take the documented `fallback_eps` instead:
+///
+/// * captures with fewer than `k + 2` points (no meaningful curve),
+/// * curves left with fewer than two entries after non-finite
+///   distances (overflowing coordinates, `k` exceeding the usable
+///   neighbourhood) are filtered out,
+/// * curves where no elbow exists (all distances zero — coincident
+///   points).
+///
+/// An all-equal positive curve (a perfectly uniform grid) has zero
+/// relative gaps everywhere; the elbow resolves to the first index, so
+/// `ε` equals the uniform spacing — finite and usable.
 pub fn adaptive_eps_detailed(points: &[Point3], cfg: &AdaptiveConfig) -> EpsChoice {
     let fallback = EpsChoice {
         eps: cfg.fallback_eps,
@@ -71,6 +84,12 @@ pub fn adaptive_eps_detailed(points: &[Point3], cfg: &AdaptiveConfig) -> EpsChoi
     }
     let tree = KdTree::build(points);
     let mut dists = tree.knn_distances(cfg.k);
+    // Non-finite distances (coordinate overflow, short neighbourhoods)
+    // carry no elbow information and would poison the sort order.
+    dists.retain(|d| d.is_finite());
+    if dists.len() < 2 {
+        return fallback;
+    }
     dists.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
     match knee::max_relative_gap(&dists) {
         Some(idx) if dists[idx].is_finite() && dists[idx] > 0.0 => {
@@ -184,6 +203,63 @@ mod tests {
         assert_eq!(adaptive_eps(&pts, &cfg), cfg.fallback_eps);
         let c = adaptive_dbscan(&pts, &cfg);
         assert_eq!(c.cluster_count(), 1);
+    }
+
+    #[test]
+    fn fewer_than_k_plus_one_points_fall_back() {
+        let cfg = AdaptiveConfig::default(); // k = 4
+        for n in 0..=cfg.k + 1 {
+            let pts: Vec<Point3> = (0..n).map(|i| Point3::splat(i as f64)).collect();
+            let choice = adaptive_eps_detailed(&pts, &cfg);
+            assert_eq!(choice.eps, cfg.fallback_eps, "n = {n}");
+            assert_eq!(choice.knee_index, None);
+        }
+    }
+
+    #[test]
+    fn all_equal_distances_give_finite_eps() {
+        // A uniform 1-D chain: every k-NN distance is identical, so
+        // every relative gap is zero. The elbow resolves to the first
+        // index and ε equals the spacing — never NaN.
+        let pts: Vec<Point3> = (0..40)
+            .map(|i| Point3::new(i as f64 * 0.1, 0.0, 0.0))
+            .collect();
+        let cfg = AdaptiveConfig::default();
+        let choice = adaptive_eps_detailed(&pts, &cfg);
+        assert!(
+            choice.eps.is_finite() && choice.eps > 0.0,
+            "eps {}",
+            choice.eps
+        );
+        let c = adaptive_dbscan(&pts, &cfg);
+        assert!(c.cluster_count() >= 1);
+    }
+
+    #[test]
+    fn extreme_coordinates_never_yield_non_finite_eps() {
+        // Distances between ±1e200 points overflow to infinity; the
+        // curve filter must keep ε finite (clamped or fallback).
+        let mut pts: Vec<Point3> = (0..20)
+            .map(|i| Point3::new(if i % 2 == 0 { 1e200 } else { -1e200 }, i as f64, 0.0))
+            .collect();
+        pts.push(Point3::new(1e200, 0.5, 0.0));
+        let cfg = AdaptiveConfig::default();
+        let choice = adaptive_eps_detailed(&pts, &cfg);
+        assert!(choice.eps.is_finite(), "eps {}", choice.eps);
+        assert!(choice.eps <= cfg.max_eps);
+    }
+
+    #[test]
+    fn empty_cluster_free_partition_on_sparse_noise() {
+        // Widely separated single points: everything is noise, no
+        // cluster is empty, nothing panics.
+        let pts: Vec<Point3> = (0..6).map(|i| Point3::splat(i as f64 * 100.0)).collect();
+        let c = adaptive_dbscan(&pts, &AdaptiveConfig::default());
+        let groups = c.cluster_points(&pts);
+        assert_eq!(groups.len(), c.cluster_count());
+        for (id, g) in groups.iter().enumerate() {
+            assert!(!g.is_empty(), "cluster {id} is empty");
+        }
     }
 
     #[test]

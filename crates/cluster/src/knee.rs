@@ -117,6 +117,16 @@ mod tests {
     }
 
     #[test]
+    fn all_equal_positive_distances_resolve_to_first_index() {
+        // Uniform grids produce a constant curve: every relative gap is
+        // exactly zero. The elbow ties resolve to the first index, so
+        // the ε read off the curve is the (finite) uniform spacing.
+        let d = [0.5, 0.5, 0.5, 0.5];
+        assert_eq!(max_relative_gap(&d), Some(0));
+        assert_eq!(elbow_value(&d), Some(0.5));
+    }
+
+    #[test]
     fn uniform_curve_picks_first_max() {
         // Constant relative gaps: ties resolve to the first index.
         let d = [1.0, 2.0, 4.0, 8.0];

@@ -40,7 +40,9 @@ mod kmeans;
 pub mod knee;
 mod labels;
 
-pub use adaptive::{adaptive_dbscan, adaptive_eps, AdaptiveConfig};
+pub use adaptive::{
+    adaptive_dbscan, adaptive_eps, adaptive_eps_detailed, AdaptiveConfig, EpsChoice,
+};
 pub use dbscan::{dbscan, DbscanParams};
 pub use gmm::{gmm, GmmParams};
 pub use hierarchical::{hierarchical, Linkage};

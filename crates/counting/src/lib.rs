@@ -14,6 +14,14 @@
 //!
 //! [`evaluate_counter`] scores a counter against ground truth with the
 //! paper's MAE/MSE metrics and collects per-stage latency statistics.
+//!
+//! For deployment, [`SupervisedCounter`] wraps the pipeline in a
+//! fault-contained per-frame loop: input sanitization, panic
+//! isolation, a deadline budget with a degradation ladder
+//! (adaptive ε → cached ε → fixed ε, fp32 → int8 under thermal
+//! throttling), hold-last-good smoothing for dropped frames, and a
+//! Healthy/Degraded/Faulted health state machine — all exported
+//! through `obs`.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -21,9 +29,14 @@
 mod metrics;
 mod pipeline;
 mod smooth;
+mod supervisor;
 mod track;
 
 pub use metrics::{CountingMetrics, CountingReport};
 pub use pipeline::{evaluate_counter, ClusterMethod, CountResult, CounterConfig, CrowdCounter};
 pub use smooth::CountSmoother;
+pub use supervisor::{
+    EpsRung, HealthState, PrecisionRung, SanitizeBounds, SupervisedCount, SupervisedCounter,
+    SupervisorConfig, SupervisorStats,
+};
 pub use track::{PedestrianTracker, Track, TrackerConfig};

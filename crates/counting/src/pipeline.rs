@@ -135,6 +135,12 @@ impl<C: CloudClassifier> CrowdCounter<C> {
         &self.config
     }
 
+    /// Mutable pipeline configuration — the supervisor retunes the
+    /// clustering stage per frame as it walks the degradation ladder.
+    pub fn config_mut(&mut self) -> &mut CounterConfig {
+        &mut self.config
+    }
+
     /// Consumes the counter, returning the classifier.
     pub fn into_classifier(self) -> C {
         self.classifier

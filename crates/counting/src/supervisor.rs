@@ -1,0 +1,878 @@
+//! The supervised counting loop: fault containment around
+//! [`CrowdCounter`].
+//!
+//! A pole counts unattended for months; the raw pipeline assumes a
+//! pristine capture and a cool compartment. [`SupervisedCounter`] wraps
+//! it in the containment a deployed service needs, per frame:
+//!
+//! 1. **input sanitization** — physically impossible returns (outside
+//!    the sanitize bounds; non-finite ones are already scrubbed by
+//!    [`PointCloud`] construction) are dropped and counted;
+//! 2. **panic isolation** — the pipeline runs under
+//!    [`std::panic::catch_unwind`]; a panicking frame is absorbed,
+//!    counted, and answered with the hold-last-good fallback;
+//! 3. **a deadline budget with a degradation ladder** — a frame that
+//!    blows its budget (or panics) drops the ε stage one rung:
+//!    adaptive ε → last-good cached ε → fixed fallback ε. Sustained
+//!    clean frames climb back up. The budget is enforced reactively:
+//!    the pipeline is single-threaded, so a miss degrades the *next*
+//!    frame rather than preempting the current one;
+//! 4. **thermal precision shedding** — when the
+//!    [`edge::ThrottleMonitor`] trips (compartment over its rated
+//!    envelope, with hysteresis), inference switches to the int8
+//!    counter until the compartment cools;
+//! 5. **hold-last-good smoothing** — dropped or faulted frames report
+//!    the last good count, up to a staleness cap, after which the
+//!    supervisor admits blindness and reports zero;
+//! 6. **a health state machine** — `Healthy → Degraded → Faulted` with
+//!    streak hysteresis, exported through `obs` gauges/counters and
+//!    stamped on every journal frame.
+
+use std::panic::{catch_unwind, AssertUnwindSafe};
+
+use cluster::{adaptive_eps_detailed, AdaptiveConfig, DbscanParams};
+use dataset::CloudClassifier;
+use edge::{ThrottleConfig, ThrottleMonitor};
+use geom::Point3;
+use lidar::PointCloud;
+use serde::{Deserialize, Serialize};
+
+use crate::{ClusterMethod, CrowdCounter};
+
+/// Health of the supervised loop.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum HealthState {
+    /// Frames are completing cleanly within budget.
+    Healthy,
+    /// Recent frames missed deadlines, panicked, or were dropped; the
+    /// loop is running on a lower ladder rung or held counts.
+    Degraded,
+    /// A sustained bad streak or stale hold: counts are unreliable.
+    Faulted,
+}
+
+impl HealthState {
+    /// Journal/gauge label.
+    pub fn as_str(&self) -> &'static str {
+        match self {
+            HealthState::Healthy => "healthy",
+            HealthState::Degraded => "degraded",
+            HealthState::Faulted => "faulted",
+        }
+    }
+
+    fn gauge(&self) -> f64 {
+        match self {
+            HealthState::Healthy => 0.0,
+            HealthState::Degraded => 1.0,
+            HealthState::Faulted => 2.0,
+        }
+    }
+
+    fn up(&self) -> HealthState {
+        match self {
+            HealthState::Faulted => HealthState::Degraded,
+            _ => HealthState::Healthy,
+        }
+    }
+}
+
+/// The ε stage of the degradation ladder, cheapest last.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum EpsRung {
+    /// Full adaptive clustering: per-frame k-NN curve and elbow.
+    Adaptive,
+    /// Reuse the last knee-derived ε without recomputing the curve.
+    Cached,
+    /// The configured fallback ε, no per-frame work at all.
+    Fixed,
+}
+
+impl EpsRung {
+    /// Journal/report label.
+    pub fn as_str(&self) -> &'static str {
+        match self {
+            EpsRung::Adaptive => "adaptive",
+            EpsRung::Cached => "cached",
+            EpsRung::Fixed => "fixed",
+        }
+    }
+
+    fn down(&self) -> EpsRung {
+        match self {
+            EpsRung::Adaptive => EpsRung::Cached,
+            _ => EpsRung::Fixed,
+        }
+    }
+
+    fn up(&self) -> EpsRung {
+        match self {
+            EpsRung::Fixed => EpsRung::Cached,
+            _ => EpsRung::Adaptive,
+        }
+    }
+}
+
+/// Inference precision of the classification stage.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum PrecisionRung {
+    /// Full-precision classifier.
+    Fp32,
+    /// Quantized classifier, engaged while the thermal throttle is
+    /// tripped (requires [`SupervisedCounter::with_int8`]).
+    Int8,
+}
+
+impl PrecisionRung {
+    /// Journal/report label.
+    pub fn as_str(&self) -> &'static str {
+        match self {
+            PrecisionRung::Fp32 => "fp32",
+            PrecisionRung::Int8 => "int8",
+        }
+    }
+}
+
+/// Physically plausible coordinate bounds; returns outside are
+/// scrubbed before clustering.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SanitizeBounds {
+    /// Maximum |x| in metres (beyond any instrumented range).
+    pub max_abs_x: f64,
+    /// Maximum |y| in metres.
+    pub max_abs_y: f64,
+    /// Minimum z in metres (below any ground return).
+    pub min_z: f64,
+    /// Maximum z in metres (above any pole-visible target).
+    pub max_z: f64,
+}
+
+impl Default for SanitizeBounds {
+    fn default() -> Self {
+        // Generous: the OS0 instruments 60 m; the pole sits 3 m up.
+        SanitizeBounds {
+            max_abs_x: 80.0,
+            max_abs_y: 80.0,
+            min_z: -10.0,
+            max_z: 10.0,
+        }
+    }
+}
+
+impl SanitizeBounds {
+    fn admits(&self, p: &Point3) -> bool {
+        p.x.abs() <= self.max_abs_x
+            && p.y.abs() <= self.max_abs_y
+            && p.z >= self.min_z
+            && p.z <= self.max_z
+    }
+}
+
+/// Supervisor tuning.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SupervisorConfig {
+    /// Per-frame wall-clock budget in milliseconds (the paper's pole
+    /// streams at 10 Hz; half a period leaves headroom).
+    pub deadline_ms: f64,
+    /// Adaptive-ε parameters for the top ladder rung (also supplies
+    /// `min_points` for every rung).
+    pub adaptive: AdaptiveConfig,
+    /// ε for the bottom (fixed) rung, and the cached rung's fallback
+    /// until a knee has been seen. The default is Table IV's best
+    /// fixed ε (0.5): degraded counting should stay usable, unlike the
+    /// adaptive fallback ε, which is tuned for coincident-point
+    /// degeneracy and fragments real scenes.
+    pub fixed_eps: f64,
+    /// Staleness cap: dropped/faulted frames report the last good
+    /// count for at most this many consecutive frames, then zero.
+    pub max_hold_frames: u32,
+    /// Consecutive clean frames before health and the ε rung climb one
+    /// step.
+    pub recover_after: u32,
+    /// Consecutive bad frames before health pins to `Faulted`.
+    pub fault_after: u32,
+    /// Coordinate sanitization bounds.
+    pub bounds: SanitizeBounds,
+    /// Thermal throttle thresholds for the fp32→int8 rung.
+    pub throttle: ThrottleConfig,
+}
+
+impl Default for SupervisorConfig {
+    fn default() -> Self {
+        SupervisorConfig {
+            deadline_ms: 50.0,
+            adaptive: AdaptiveConfig::default(),
+            fixed_eps: 0.5,
+            max_hold_frames: 5,
+            recover_after: 3,
+            fault_after: 4,
+            bounds: SanitizeBounds::default(),
+            throttle: ThrottleConfig::default(),
+        }
+    }
+}
+
+/// One supervised frame's outcome.
+#[derive(Debug, Clone)]
+pub struct SupervisedCount {
+    /// The count reported downstream (held when the frame faulted).
+    pub count: usize,
+    /// The pipeline's own count, when it ran to completion.
+    pub raw_count: Option<usize>,
+    /// Health after this frame.
+    pub health: HealthState,
+    /// ε rung the frame ran on.
+    pub eps_rung: EpsRung,
+    /// Precision the frame ran on.
+    pub precision: PrecisionRung,
+    /// Wall-clock spent on the frame (sanitize + ε + pipeline), ms.
+    pub elapsed_ms: f64,
+    /// Points removed by sanitization.
+    pub scrubbed: usize,
+    /// True when `count` is a held last-good value, not this frame's.
+    pub held: bool,
+    /// Consecutive frames the held value has been reused (0 for a
+    /// fresh count).
+    pub stale_frames: u32,
+    /// True when the pipeline panicked on this frame.
+    pub panicked: bool,
+    /// True when the frame blew its deadline budget.
+    pub deadline_missed: bool,
+}
+
+/// Cumulative supervisor statistics, mirrored on `obs` counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SupervisorStats {
+    /// Frames stepped (including dropped ones).
+    pub frames: u64,
+    /// Frames answered with a held count.
+    pub frames_held: u64,
+    /// Frames recovered: a fault (panic/drop) answered with a
+    /// non-stale held count instead of an outage.
+    pub frames_recovered: u64,
+    /// Panics absorbed.
+    pub panics: u64,
+    /// Deadline misses.
+    pub deadline_misses: u64,
+    /// Points removed by sanitization.
+    pub points_scrubbed: u64,
+    /// Health state changes.
+    pub health_transitions: u64,
+    /// Ladder movements (ε rung or precision changes).
+    pub ladder_transitions: u64,
+}
+
+/// A [`CrowdCounter`] wrapped in the supervised per-frame loop.
+///
+/// Generic over the primary classifier `C` and the optional quantized
+/// fallback `Q` (e.g. `HawcClassifier` / `QuantizedHawc`).
+pub struct SupervisedCounter<C: CloudClassifier, Q: CloudClassifier = C> {
+    primary: CrowdCounter<C>,
+    int8: Option<CrowdCounter<Q>>,
+    cfg: SupervisorConfig,
+    throttle: ThrottleMonitor,
+    health: HealthState,
+    eps_rung: EpsRung,
+    precision: PrecisionRung,
+    last_good_eps: Option<f64>,
+    last_good_count: Option<usize>,
+    stale_frames: u32,
+    good_streak: u32,
+    bad_streak: u32,
+    stats: SupervisorStats,
+}
+
+impl<C: CloudClassifier, Q: CloudClassifier> std::fmt::Debug for SupervisedCounter<C, Q> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SupervisedCounter")
+            .field("name", &self.primary.name())
+            .field("health", &self.health)
+            .field("eps_rung", &self.eps_rung)
+            .field("precision", &self.precision)
+            .field("stats", &self.stats)
+            .finish()
+    }
+}
+
+impl<C: CloudClassifier, Q: CloudClassifier> SupervisedCounter<C, Q> {
+    /// Wraps `primary` with the supervised loop.
+    pub fn new(primary: CrowdCounter<C>, cfg: SupervisorConfig) -> Self {
+        SupervisedCounter {
+            primary,
+            int8: None,
+            throttle: ThrottleMonitor::new(cfg.throttle),
+            cfg,
+            health: HealthState::Healthy,
+            eps_rung: EpsRung::Adaptive,
+            precision: PrecisionRung::Fp32,
+            last_good_eps: None,
+            last_good_count: None,
+            stale_frames: 0,
+            good_streak: 0,
+            bad_streak: 0,
+            stats: SupervisorStats::default(),
+        }
+    }
+
+    /// Attaches a quantized counter for the fp32→int8 thermal rung.
+    pub fn with_int8(mut self, int8: CrowdCounter<Q>) -> Self {
+        self.int8 = Some(int8);
+        self
+    }
+
+    /// Feeds a compartment temperature reading into the thermal
+    /// throttle (hysteresis lives in [`edge::ThrottleMonitor`]).
+    pub fn feed_temperature(&mut self, pole_c: f64) {
+        self.throttle.update(pole_c);
+    }
+
+    /// Current health.
+    pub fn health(&self) -> HealthState {
+        self.health
+    }
+
+    /// Current ε rung.
+    pub fn eps_rung(&self) -> EpsRung {
+        self.eps_rung
+    }
+
+    /// Precision the next frame will run on.
+    pub fn precision(&self) -> PrecisionRung {
+        if self.throttle.is_throttled() && self.int8.is_some() {
+            PrecisionRung::Int8
+        } else {
+            PrecisionRung::Fp32
+        }
+    }
+
+    /// Cumulative statistics.
+    pub fn stats(&self) -> SupervisorStats {
+        self.stats
+    }
+
+    /// The supervisor configuration.
+    pub fn config(&self) -> &SupervisorConfig {
+        &self.cfg
+    }
+
+    /// The wrapped primary counter.
+    pub fn primary(&self) -> &CrowdCounter<C> {
+        &self.primary
+    }
+
+    /// Handles a frame the sensor never delivered (a capture-path
+    /// drop): counts it as a fault and answers with hold-last-good.
+    pub fn step_dropped(&mut self) -> SupervisedCount {
+        let (outcome, elapsed_ms) = obs::timed_ms(|| {
+            self.begin_frame();
+            self.resolve_fallback(true)
+        });
+        self.finish_frame(outcome, elapsed_ms, 0, None, false, false)
+    }
+
+    /// Runs one capture through the supervised pipeline.
+    pub fn step(&mut self, capture: &PointCloud) -> SupervisedCount {
+        let ((outcome, scrubbed, raw, panicked), elapsed_ms) = obs::timed_ms(|| {
+            self.begin_frame();
+
+            // 1. Sanitize: drop physically impossible returns.
+            let bounds = self.cfg.bounds;
+            let kept: Vec<Point3> = capture
+                .points()
+                .iter()
+                .copied()
+                .filter(|p| bounds.admits(p))
+                .collect();
+            let scrubbed = capture.len() - kept.len();
+            if scrubbed > 0 {
+                obs::incr("supervisor.points_scrubbed", scrubbed as u64);
+                self.stats.points_scrubbed += scrubbed as u64;
+            }
+
+            // 2. ε by ladder rung.
+            let (eps, knee_index) = match self.eps_rung {
+                EpsRung::Adaptive => {
+                    let choice = adaptive_eps_detailed(&kept, &self.cfg.adaptive);
+                    if choice.knee_index.is_some() {
+                        self.last_good_eps = Some(choice.eps);
+                    }
+                    (choice.eps, choice.knee_index)
+                }
+                EpsRung::Cached => (self.last_good_eps.unwrap_or(self.cfg.fixed_eps), None),
+                EpsRung::Fixed => (self.cfg.fixed_eps, None),
+            };
+            obs::frame_eps(eps, knee_index);
+            let method = ClusterMethod::Fixed(DbscanParams {
+                eps,
+                min_points: self.cfg.adaptive.min_points,
+            });
+
+            // 3. Run the pipeline under panic isolation.
+            let cloud = PointCloud::new(kept);
+            let run = match self.precision {
+                PrecisionRung::Int8 => {
+                    let counter = self.int8.as_mut().expect("int8 rung requires a counter");
+                    counter.config_mut().cluster_method = method;
+                    catch_unwind(AssertUnwindSafe(|| counter.count(&cloud)))
+                }
+                PrecisionRung::Fp32 => {
+                    self.primary.config_mut().cluster_method = method;
+                    let counter = &mut self.primary;
+                    catch_unwind(AssertUnwindSafe(|| counter.count(&cloud)))
+                }
+            };
+
+            match run {
+                Ok(result) => {
+                    self.last_good_count = Some(result.count);
+                    self.stale_frames = 0;
+                    (
+                        Outcome::ran(result.count),
+                        scrubbed,
+                        Some(result.count),
+                        false,
+                    )
+                }
+                Err(_) => {
+                    self.stats.panics += 1;
+                    obs::incr("supervisor.panics", 1);
+                    (self.resolve_fallback(false), scrubbed, None, true)
+                }
+            }
+        });
+        let deadline_missed = elapsed_ms > self.cfg.deadline_ms;
+        self.finish_frame(
+            outcome,
+            elapsed_ms,
+            scrubbed,
+            raw,
+            panicked,
+            deadline_missed,
+        )
+    }
+
+    /// Opens the telemetry frame (unless a harness already has one
+    /// open) and refreshes the precision rung from the throttle.
+    fn begin_frame(&mut self) {
+        self.stats.frames += 1;
+        obs::incr("supervisor.frames", 1);
+        if !obs::frame_active() {
+            obs::frame_start("supervisor");
+        }
+        let precision = self.precision();
+        if precision != self.precision {
+            self.precision = precision;
+            self.stats.ladder_transitions += 1;
+            obs::incr("supervisor.ladder_transitions", 1);
+        }
+    }
+
+    /// The hold-last-good fallback for a frame that produced no count.
+    /// `dropped` distinguishes sensor drops from pipeline panics in
+    /// the recovery accounting.
+    fn resolve_fallback(&mut self, dropped: bool) -> Outcome {
+        let _ = dropped;
+        self.stale_frames += 1;
+        if self.stale_frames <= self.cfg.max_hold_frames {
+            if let Some(held) = self.last_good_count {
+                self.stats.frames_held += 1;
+                self.stats.frames_recovered += 1;
+                obs::incr("supervisor.frames_held", 1);
+                obs::incr("supervisor.frames_recovered", 1);
+                return Outcome::held(held, self.stale_frames);
+            }
+        }
+        // Past the staleness cap (or nothing ever succeeded): admit
+        // blindness rather than freezing an arbitrarily old count.
+        Outcome {
+            count: 0,
+            held: true,
+            stale: self.stale_frames,
+            good: false,
+        }
+    }
+
+    /// Ladder/health bookkeeping shared by real and dropped frames.
+    fn finish_frame(
+        &mut self,
+        outcome: Outcome,
+        elapsed_ms: f64,
+        scrubbed: usize,
+        raw_count: Option<usize>,
+        panicked: bool,
+        deadline_missed: bool,
+    ) -> SupervisedCount {
+        if deadline_missed {
+            self.stats.deadline_misses += 1;
+            obs::incr("supervisor.deadline_misses", 1);
+        }
+        let good = outcome.good && !panicked && !deadline_missed;
+        if good {
+            self.bad_streak = 0;
+            self.good_streak += 1;
+            if self.good_streak >= self.cfg.recover_after {
+                self.good_streak = 0;
+                self.shift_eps_rung(self.eps_rung.up());
+                self.set_health(self.health.up());
+            }
+        } else {
+            self.good_streak = 0;
+            self.bad_streak += 1;
+            self.shift_eps_rung(self.eps_rung.down());
+            let next = if self.bad_streak >= self.cfg.fault_after
+                || self.stale_frames > self.cfg.max_hold_frames
+            {
+                HealthState::Faulted
+            } else if self.health == HealthState::Healthy {
+                HealthState::Degraded
+            } else {
+                self.health
+            };
+            self.set_health(next);
+        }
+
+        obs::set_gauge("supervisor.health", self.health.gauge());
+        obs::set_gauge(
+            "supervisor.eps_rung",
+            match self.eps_rung {
+                EpsRung::Adaptive => 0.0,
+                EpsRung::Cached => 1.0,
+                EpsRung::Fixed => 2.0,
+            },
+        );
+        obs::set_gauge("supervisor.stale_frames", f64::from(self.stale_frames));
+        obs::observe_ms("supervisor.frame", elapsed_ms);
+
+        let rung_label = format!("{}/{}", self.eps_rung.as_str(), self.precision.as_str());
+        obs::frame_health(self.health.as_str(), &rung_label);
+        obs::frame_finish(outcome.count);
+
+        SupervisedCount {
+            count: outcome.count,
+            raw_count,
+            health: self.health,
+            eps_rung: self.eps_rung,
+            precision: self.precision,
+            elapsed_ms,
+            scrubbed,
+            held: outcome.held,
+            stale_frames: outcome.stale,
+            panicked,
+            deadline_missed,
+        }
+    }
+
+    fn shift_eps_rung(&mut self, next: EpsRung) {
+        if next != self.eps_rung {
+            self.eps_rung = next;
+            self.stats.ladder_transitions += 1;
+            obs::incr("supervisor.ladder_transitions", 1);
+        }
+    }
+
+    fn set_health(&mut self, next: HealthState) {
+        if next != self.health {
+            self.health = next;
+            self.stats.health_transitions += 1;
+            obs::incr("supervisor.health_transitions", 1);
+        }
+    }
+}
+
+/// Internal frame outcome before ladder bookkeeping.
+#[derive(Debug, Clone, Copy)]
+struct Outcome {
+    count: usize,
+    held: bool,
+    stale: u32,
+    good: bool,
+}
+
+impl Outcome {
+    fn ran(count: usize) -> Self {
+        Outcome {
+            count,
+            held: false,
+            stale: 0,
+            good: true,
+        }
+    }
+
+    fn held(count: usize, stale: u32) -> Self {
+        Outcome {
+            count,
+            held: true,
+            stale,
+            good: false,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::CounterConfig;
+    use dataset::ClassLabel;
+
+    use std::sync::atomic::{AtomicBool, Ordering};
+    use std::sync::Arc;
+
+    /// Tall clusters are humans; panics while the shared poison flag
+    /// is armed (models a latent classifier bug tripped by bad input).
+    struct PoisonableRule {
+        poison: Arc<AtomicBool>,
+    }
+
+    impl CloudClassifier for PoisonableRule {
+        fn classify(&mut self, clouds: &[Vec<Point3>]) -> Vec<ClassLabel> {
+            assert!(
+                !self.poison.load(Ordering::SeqCst),
+                "poisoned frame reached the classifier"
+            );
+            clouds
+                .iter()
+                .map(|c| {
+                    let hi = c.iter().map(|p| p.z).fold(f64::NEG_INFINITY, f64::max);
+                    if hi > -1.7 {
+                        ClassLabel::Human
+                    } else {
+                        ClassLabel::Object
+                    }
+                })
+                .collect()
+        }
+
+        fn model_name(&self) -> &str {
+            "Poisonable"
+        }
+    }
+
+    fn rule() -> PoisonableRule {
+        PoisonableRule {
+            poison: Arc::new(AtomicBool::new(false)),
+        }
+    }
+
+    /// A dense synthetic human-ish column at `(x, y)`.
+    fn blob(x: f64, y: f64, top: f64) -> Vec<Point3> {
+        let per_layer = 10;
+        let layers = (((top + 2.6) / 0.08).ceil() as usize).max(2);
+        (0..layers * per_layer)
+            .map(|i| {
+                let layer = i / per_layer;
+                let a = (i % per_layer) as f64 / per_layer as f64 * std::f64::consts::TAU;
+                Point3::new(
+                    x + 0.12 * a.cos(),
+                    y + 0.12 * a.sin(),
+                    -2.6 + (top + 2.6) * (layer as f64 / (layers - 1) as f64),
+                )
+            })
+            .collect()
+    }
+
+    fn capture(specs: &[(f64, f64, f64)]) -> PointCloud {
+        let mut pts = Vec::new();
+        for &(x, y, top) in specs {
+            pts.extend(blob(x, y, top));
+        }
+        PointCloud::new(pts)
+    }
+
+    fn supervised(cfg: SupervisorConfig) -> SupervisedCounter<PoisonableRule> {
+        SupervisedCounter::new(CrowdCounter::new(rule(), CounterConfig::default()), cfg)
+    }
+
+    #[test]
+    fn clean_frames_count_and_stay_healthy() {
+        let mut s = supervised(SupervisorConfig {
+            deadline_ms: 10_000.0,
+            ..SupervisorConfig::default()
+        });
+        let cloud = capture(&[(14.0, 0.0, -1.3), (20.0, 1.5, -1.25)]);
+        for _ in 0..5 {
+            let out = s.step(&cloud);
+            assert_eq!(out.count, 2);
+            assert!(!out.held && !out.panicked && !out.deadline_missed);
+        }
+        assert_eq!(s.health(), HealthState::Healthy);
+        assert_eq!(s.eps_rung(), EpsRung::Adaptive);
+        assert_eq!(s.stats().panics, 0);
+    }
+
+    #[test]
+    fn sanitization_scrubs_impossible_returns() {
+        let mut s = supervised(SupervisorConfig {
+            deadline_ms: 10_000.0,
+            ..SupervisorConfig::default()
+        });
+        let mut pts = blob(14.0, 0.0, -1.3);
+        let clean_len = pts.len();
+        pts.push(Point3::new(5_000.0, 0.0, -1.0)); // impossible range
+        pts.push(Point3::new(14.0, 0.0, 400.0)); // impossible height
+        let out = s.step(&PointCloud::new(pts));
+        assert_eq!(out.scrubbed, 2);
+        assert_eq!(out.count, 1, "clean blob still counted");
+        assert!(clean_len > 0);
+    }
+
+    #[test]
+    fn panic_is_contained_and_answered_with_last_good() {
+        let poison = Arc::new(AtomicBool::new(false));
+        let classifier = PoisonableRule {
+            poison: Arc::clone(&poison),
+        };
+        let mut s: SupervisedCounter<PoisonableRule> = SupervisedCounter::new(
+            CrowdCounter::new(classifier, CounterConfig::default()),
+            SupervisorConfig {
+                deadline_ms: 10_000.0,
+                ..SupervisorConfig::default()
+            },
+        );
+        // A good frame establishes a last-good count of 1.
+        let good = capture(&[(14.0, 0.0, -1.3)]);
+        assert_eq!(s.step(&good).count, 1);
+        // Arm the latent bug: the next classify call panics.
+        poison.store(true, Ordering::SeqCst);
+        let out = s.step(&good);
+        assert!(out.panicked, "panic must be caught");
+        assert!(out.held);
+        assert_eq!(out.count, 1, "held last good count");
+        assert_eq!(s.health(), HealthState::Degraded);
+        assert_eq!(s.stats().panics, 1);
+        assert_eq!(s.stats().frames_recovered, 1);
+        // The loop keeps working afterwards.
+        poison.store(false, Ordering::SeqCst);
+        let after = s.step(&good);
+        assert_eq!(after.count, 1);
+        assert!(!after.panicked);
+    }
+
+    #[test]
+    fn dropped_frames_hold_then_admit_blindness() {
+        let mut s = supervised(SupervisorConfig {
+            deadline_ms: 10_000.0,
+            max_hold_frames: 2,
+            ..SupervisorConfig::default()
+        });
+        let good = capture(&[(14.0, 0.0, -1.3), (20.0, 1.5, -1.25)]);
+        assert_eq!(s.step(&good).count, 2);
+        // Two drops ride on the held count…
+        let d1 = s.step_dropped();
+        assert!(d1.held && d1.count == 2 && d1.stale_frames == 1);
+        let d2 = s.step_dropped();
+        assert!(d2.held && d2.count == 2 && d2.stale_frames == 2);
+        // …the third is past the cap: report zero, health faulted.
+        let d3 = s.step_dropped();
+        assert_eq!(d3.count, 0);
+        assert_eq!(d3.stale_frames, 3);
+        assert_eq!(s.health(), HealthState::Faulted);
+        // Recovery: clean frames climb health back up.
+        for _ in 0..6 {
+            s.step(&good);
+        }
+        assert_eq!(s.health(), HealthState::Healthy);
+    }
+
+    #[test]
+    fn deadline_miss_walks_down_the_eps_ladder_and_back_up() {
+        // An impossible 0 ms budget: every frame misses, walking
+        // adaptive → cached → fixed without ever flapping upward.
+        let mut s = supervised(SupervisorConfig {
+            deadline_ms: 0.0,
+            ..SupervisorConfig::default()
+        });
+        let cloud = capture(&[(14.0, 0.0, -1.3)]);
+        assert_eq!(s.eps_rung(), EpsRung::Adaptive);
+        let out = s.step(&cloud);
+        assert!(out.deadline_missed);
+        assert_eq!(out.count, 1, "a late count is still a count");
+        assert_eq!(s.eps_rung(), EpsRung::Cached);
+        s.step(&cloud);
+        assert_eq!(s.eps_rung(), EpsRung::Fixed);
+        s.step(&cloud);
+        assert_eq!(s.eps_rung(), EpsRung::Fixed, "bottom rung holds");
+        assert_eq!(
+            s.health(),
+            HealthState::Degraded,
+            "streak below fault_after"
+        );
+        s.step(&cloud); // fourth consecutive miss crosses fault_after
+        assert_eq!(s.health(), HealthState::Faulted);
+        // Relax the budget: after recover_after clean frames the rung
+        // climbs one step at a time.
+        s.cfg.deadline_ms = 10_000.0;
+        for _ in 0..3 {
+            s.step(&cloud);
+        }
+        assert_eq!(s.eps_rung(), EpsRung::Cached);
+        for _ in 0..3 {
+            s.step(&cloud);
+        }
+        assert_eq!(s.eps_rung(), EpsRung::Adaptive);
+        assert_eq!(s.health(), HealthState::Healthy);
+        assert!(s.stats().ladder_transitions >= 4);
+    }
+
+    #[test]
+    fn cached_rung_reuses_last_knee_eps() {
+        let mut s = supervised(SupervisorConfig {
+            deadline_ms: 10_000.0,
+            ..SupervisorConfig::default()
+        });
+        let cloud = capture(&[(14.0, 0.0, -1.3), (20.0, 1.5, -1.25)]);
+        s.step(&cloud); // adaptive: caches the knee ε
+        assert!(s.last_good_eps.is_some());
+        s.eps_rung = EpsRung::Cached;
+        let out = s.step(&cloud);
+        assert_eq!(out.count, 2, "cached ε still separates the blobs");
+    }
+
+    #[test]
+    fn thermal_throttle_switches_to_int8_with_hysteresis() {
+        let primary = CrowdCounter::new(rule(), CounterConfig::default());
+        let int8 = CrowdCounter::new(rule(), CounterConfig::default());
+        let mut s = SupervisedCounter::new(
+            primary,
+            SupervisorConfig {
+                deadline_ms: 10_000.0,
+                ..SupervisorConfig::default()
+            },
+        )
+        .with_int8(int8);
+        let cloud = capture(&[(14.0, 0.0, -1.3)]);
+        assert_eq!(s.step(&cloud).precision, PrecisionRung::Fp32);
+        s.feed_temperature(55.0); // over the 50 °C envelope
+        assert_eq!(s.step(&cloud).precision, PrecisionRung::Int8);
+        // Inside the hysteresis band: still throttled.
+        s.feed_temperature(47.0);
+        assert_eq!(s.step(&cloud).precision, PrecisionRung::Int8);
+        // Cooled through clear_c: back to fp32.
+        s.feed_temperature(44.0);
+        assert_eq!(s.step(&cloud).precision, PrecisionRung::Fp32);
+        assert!(s.stats().ladder_transitions >= 2);
+    }
+
+    #[test]
+    fn without_int8_the_throttle_cannot_engage() {
+        let mut s = supervised(SupervisorConfig {
+            deadline_ms: 10_000.0,
+            ..SupervisorConfig::default()
+        });
+        s.feed_temperature(70.0);
+        let out = s.step(&capture(&[(14.0, 0.0, -1.3)]));
+        assert_eq!(out.precision, PrecisionRung::Fp32);
+        assert_eq!(out.count, 1);
+    }
+
+    #[test]
+    fn empty_capture_is_a_good_frame() {
+        let mut s = supervised(SupervisorConfig {
+            deadline_ms: 10_000.0,
+            ..SupervisorConfig::default()
+        });
+        let out = s.step(&PointCloud::empty());
+        assert_eq!(out.count, 0);
+        assert!(!out.held);
+        assert_eq!(s.health(), HealthState::Healthy);
+    }
+}

@@ -10,7 +10,10 @@
 //!   because the edge TPU cannot run fully connected layers and every
 //!   dense op pays a host round-trip;
 //! * [`thermal`] — the weather/pole thermal simulation behind Fig. 10's
-//!   summer-deployment study.
+//!   summer-deployment study, plus a hysteresis
+//!   [`ThrottleMonitor`](thermal::ThrottleMonitor) turning compartment
+//!   temperature into a queryable over-envelope signal for the
+//!   counting supervisor's fp32→int8 degradation rung.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -19,3 +22,4 @@ mod device;
 pub mod thermal;
 
 pub use device::{DeviceModel, Precision};
+pub use thermal::{ThrottleConfig, ThrottleMonitor, ThrottleState};

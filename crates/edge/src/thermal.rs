@@ -164,6 +164,125 @@ pub fn summarize(readings: &[Reading]) -> ThermalSummary {
     }
 }
 
+/// Hysteresis thresholds for the thermal throttle.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ThrottleConfig {
+    /// Temperature at or above which the throttle trips, °C.
+    pub trip_c: f64,
+    /// Temperature at or below which a tripped throttle clears, °C.
+    /// Must sit below `trip_c` — the gap is the hysteresis band that
+    /// keeps the state from flapping around the threshold.
+    pub clear_c: f64,
+}
+
+impl Default for ThrottleConfig {
+    fn default() -> Self {
+        ThrottleConfig {
+            trip_c: RATED_LIMIT_C,
+            clear_c: RATED_LIMIT_C - 5.0,
+        }
+    }
+}
+
+/// Whether the compartment is inside or outside its thermal envelope.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ThrottleState {
+    /// Within the rated envelope: full-precision operation.
+    Nominal,
+    /// Over the envelope: shed load (e.g. switch inference to int8)
+    /// until the compartment cools back through `clear_c`.
+    Throttled,
+}
+
+/// Queryable over-envelope state with hysteresis.
+///
+/// The paper's pole exceeded the Coral's rated 50 °C and survived, but
+/// a deployed service should shed load rather than gamble: this
+/// monitor turns the raw `edge.pole_c` gauge into a two-state throttle
+/// signal the counting supervisor can act on. Hysteresis (trip at
+/// `trip_c`, clear at `clear_c < trip_c`) guarantees the fp32→int8
+/// ladder rung cannot flap on noise around the threshold.
+#[derive(Debug, Clone)]
+pub struct ThrottleMonitor {
+    cfg: ThrottleConfig,
+    state: ThrottleState,
+    trips: u64,
+}
+
+impl Default for ThrottleMonitor {
+    fn default() -> Self {
+        ThrottleMonitor::new(ThrottleConfig::default())
+    }
+}
+
+impl ThrottleMonitor {
+    /// Creates a monitor in the [`ThrottleState::Nominal`] state.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `clear_c >= trip_c` (no hysteresis band) or either
+    /// threshold is non-finite.
+    pub fn new(cfg: ThrottleConfig) -> Self {
+        assert!(
+            cfg.trip_c.is_finite() && cfg.clear_c.is_finite(),
+            "throttle thresholds must be finite"
+        );
+        assert!(
+            cfg.clear_c < cfg.trip_c,
+            "clear_c must sit below trip_c for hysteresis"
+        );
+        ThrottleMonitor {
+            cfg,
+            state: ThrottleState::Nominal,
+            trips: 0,
+        }
+    }
+
+    /// Feeds one compartment reading, returning the resulting state.
+    /// Non-finite readings are ignored (the state holds).
+    pub fn update(&mut self, pole_c: f64) -> ThrottleState {
+        if !pole_c.is_finite() {
+            return self.state;
+        }
+        match self.state {
+            ThrottleState::Nominal if pole_c >= self.cfg.trip_c => {
+                self.state = ThrottleState::Throttled;
+                self.trips += 1;
+                obs::incr("edge.throttle_trips", 1);
+            }
+            ThrottleState::Throttled if pole_c <= self.cfg.clear_c => {
+                self.state = ThrottleState::Nominal;
+            }
+            _ => {}
+        }
+        obs::set_gauge(
+            "edge.throttled",
+            if self.is_throttled() { 1.0 } else { 0.0 },
+        );
+        self.state
+    }
+
+    /// Current state.
+    pub fn state(&self) -> ThrottleState {
+        self.state
+    }
+
+    /// True while over the envelope.
+    pub fn is_throttled(&self) -> bool {
+        self.state == ThrottleState::Throttled
+    }
+
+    /// Times the throttle has tripped since construction.
+    pub fn trips(&self) -> u64 {
+        self.trips
+    }
+
+    /// The thresholds.
+    pub fn config(&self) -> &ThrottleConfig {
+        &self.cfg
+    }
+}
+
 fn gaussian<R: Rng + ?Sized>(rng: &mut R) -> f64 {
     let u1: f64 = rng.gen_range(f64::EPSILON..1.0);
     let u2: f64 = rng.gen_range(0.0..1.0);
@@ -258,5 +377,76 @@ mod tests {
     #[should_panic(expected = "no readings")]
     fn empty_summary_panics() {
         let _ = summarize(&[]);
+    }
+
+    #[test]
+    fn throttle_trips_and_clears_with_hysteresis() {
+        let mut m = ThrottleMonitor::new(ThrottleConfig {
+            trip_c: 50.0,
+            clear_c: 45.0,
+        });
+        assert_eq!(m.update(49.9), ThrottleState::Nominal);
+        assert_eq!(m.update(50.0), ThrottleState::Throttled);
+        // Inside the hysteresis band: stays throttled.
+        assert_eq!(m.update(47.0), ThrottleState::Throttled);
+        assert_eq!(m.update(45.1), ThrottleState::Throttled);
+        assert_eq!(m.update(45.0), ThrottleState::Nominal);
+        assert_eq!(m.trips(), 1);
+    }
+
+    #[test]
+    fn throttle_does_not_flap_on_threshold_noise() {
+        // ±0.5 °C sensor noise centred on the 50 °C trip line: with a
+        // 5 °C band the state changes exactly once, not per sample.
+        let mut m = ThrottleMonitor::default();
+        let mut transitions = 0;
+        let mut last = m.state();
+        for i in 0..200 {
+            let noise = if i % 2 == 0 { 0.5 } else { -0.5 };
+            let s = m.update(50.0 + noise);
+            if s != last {
+                transitions += 1;
+                last = s;
+            }
+        }
+        assert_eq!(transitions, 1, "throttle flapped at the threshold");
+        assert!(m.is_throttled());
+    }
+
+    #[test]
+    fn throttle_tracks_a_full_thermal_campaign() {
+        // Driven by the Fig. 10 simulation, the throttle must trip on
+        // the hottest afternoons and clear overnight — several trips,
+        // not one and not hundreds.
+        let (readings, summary) = run();
+        assert!(summary.above_rated_fraction > 0.0);
+        let mut m = ThrottleMonitor::default();
+        for r in &readings {
+            m.update(r.pole_c);
+        }
+        assert!(
+            (1..=2 * 18).contains(&(m.trips() as usize)),
+            "trips {}",
+            m.trips()
+        );
+    }
+
+    #[test]
+    fn non_finite_readings_hold_state() {
+        let mut m = ThrottleMonitor::default();
+        m.update(60.0);
+        assert!(m.is_throttled());
+        assert_eq!(m.update(f64::NAN), ThrottleState::Throttled);
+        assert_eq!(m.update(f64::INFINITY), ThrottleState::Throttled);
+        assert_eq!(m.trips(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "clear_c must sit below trip_c")]
+    fn inverted_thresholds_panic() {
+        let _ = ThrottleMonitor::new(ThrottleConfig {
+            trip_c: 45.0,
+            clear_c: 50.0,
+        });
     }
 }

@@ -14,14 +14,30 @@ pub const GROUND_SEGMENT_Z_MIN: f64 = -2.6;
 /// The fundamental currency of the pipeline: the sensor produces one
 /// `PointCloud` per sweep, clustering splits it into per-object clouds,
 /// and the classifiers consume those.
+///
+/// Construction scrubs non-finite coordinates: a corrupt return with a
+/// NaN or infinite component would poison every downstream KD-tree
+/// query and distance curve, so it is rejected at the source and
+/// recorded on the `lidar.points.rejected` telemetry counter instead.
 #[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
 pub struct PointCloud {
     points: Vec<Point3>,
 }
 
+/// True when every coordinate is finite (no NaN, no ±∞).
+fn is_finite_point(p: &Point3) -> bool {
+    p.x.is_finite() && p.y.is_finite() && p.z.is_finite()
+}
+
 impl PointCloud {
-    /// Creates a cloud from raw points.
-    pub fn new(points: Vec<Point3>) -> Self {
+    /// Creates a cloud from raw points, scrubbing non-finite ones.
+    pub fn new(mut points: Vec<Point3>) -> Self {
+        let before = points.len();
+        points.retain(is_finite_point);
+        let rejected = before - points.len();
+        if rejected > 0 {
+            obs::incr("lidar.points.rejected", rejected as u64);
+        }
         PointCloud { points }
     }
 
@@ -50,9 +66,13 @@ impl PointCloud {
         self.points
     }
 
-    /// Appends a point.
+    /// Appends a point, rejecting (and counting) non-finite ones.
     pub fn push(&mut self, p: Point3) {
-        self.points.push(p);
+        if is_finite_point(&p) {
+            self.points.push(p);
+        } else {
+            obs::incr("lidar.points.rejected", 1);
+        }
     }
 
     /// Tightest bounding box, or `None` when empty.
@@ -77,21 +97,21 @@ impl PointCloud {
 
 impl FromIterator<Point3> for PointCloud {
     fn from_iter<I: IntoIterator<Item = Point3>>(iter: I) -> Self {
-        PointCloud {
-            points: iter.into_iter().collect(),
-        }
+        PointCloud::new(iter.into_iter().collect())
     }
 }
 
 impl Extend<Point3> for PointCloud {
     fn extend<I: IntoIterator<Item = Point3>>(&mut self, iter: I) {
-        self.points.extend(iter);
+        for p in iter {
+            self.push(p);
+        }
     }
 }
 
 impl From<Vec<Point3>> for PointCloud {
     fn from(points: Vec<Point3>) -> Self {
-        PointCloud { points }
+        PointCloud::new(points)
     }
 }
 
@@ -139,11 +159,17 @@ impl LabeledSweep {
     }
 
     /// Drops attribution, leaving a plain [`PointCloud`] — what the
-    /// privacy-preserving production pipeline actually sees.
+    /// privacy-preserving production pipeline actually sees. Non-finite
+    /// returns are scrubbed on the way out (see [`PointCloud::new`]).
     pub fn into_cloud(self) -> PointCloud {
-        PointCloud {
-            points: self.points,
-        }
+        PointCloud::new(self.points)
+    }
+
+    /// Appends a return with no entity attribution (spurious noise:
+    /// droplet backscatter, lens artefacts).
+    pub fn push_unattributed(&mut self, p: Point3) {
+        self.points.push(p);
+        self.entities.push(None);
     }
 
     /// All points attributed to entity `idx`.
@@ -271,6 +297,53 @@ mod tests {
         assert_eq!(removed, 2);
         assert_eq!(sweep.len(), 2);
         assert_eq!(sweep.entities(), &[Some(1), Some(0)]);
+    }
+
+    #[test]
+    fn non_finite_points_are_scrubbed_at_construction() {
+        let dirty = vec![
+            p(15.0, 0.0, -1.0),
+            p(f64::NAN, 0.0, -1.0),
+            p(16.0, f64::INFINITY, -1.0),
+            p(17.0, 0.0, f64::NEG_INFINITY),
+            p(18.0, 1.0, -2.0),
+        ];
+        let c = PointCloud::new(dirty.clone());
+        assert_eq!(c.len(), 2);
+        assert!(c
+            .points()
+            .iter()
+            .all(|q| q.x.is_finite() && q.y.is_finite() && q.z.is_finite()));
+        // Every construction path scrubs.
+        let collected: PointCloud = dirty.clone().into_iter().collect();
+        assert_eq!(collected.len(), 2);
+        let converted: PointCloud = dirty.clone().into();
+        assert_eq!(converted.len(), 2);
+        let mut pushed = PointCloud::empty();
+        for q in dirty {
+            pushed.push(q);
+        }
+        assert_eq!(pushed.len(), 2);
+    }
+
+    #[test]
+    fn scrub_feeds_the_rejection_counter_when_enabled() {
+        // Serialised with the global-telemetry determinism test via a
+        // unique counter read before/after.
+        let before = obs::counter("lidar.points.rejected").get();
+        obs::enable(true);
+        let _ = PointCloud::new(vec![p(f64::NAN, 0.0, 0.0), p(1.0, 2.0, 3.0)]);
+        obs::enable(false);
+        let after = obs::counter("lidar.points.rejected").get();
+        assert!(after >= before + 1);
+    }
+
+    #[test]
+    fn unattributed_push_stays_parallel() {
+        let mut sweep = LabeledSweep::new(vec![p(1.0, 0.0, 0.0)], vec![Some(3)]);
+        sweep.push_unattributed(p(2.0, 0.0, 0.0));
+        assert_eq!(sweep.len(), 2);
+        assert_eq!(sweep.entities(), &[Some(3), None]);
     }
 
     #[test]

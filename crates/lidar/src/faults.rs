@@ -1,0 +1,720 @@
+//! Seeded sensor-fault injection.
+//!
+//! Long-horizon outdoor deployments are dominated by conditions the
+//! clean sensor model never produces: fog and rain attenuating returns,
+//! individual beams dying, lens soiling blacking out an azimuth sector,
+//! droplets producing spurious close returns, and the capture path
+//! dropping or mistiming whole frames. This module composes those fault
+//! models onto any [`SensorConfig`](crate::SensorConfig)-built
+//! [`Lidar`]:
+//!
+//! * [`FaultKind`] — one physical fault mechanism,
+//! * [`FaultSchedule`] — when it is active (always, a window, an onset
+//!   frame, or an intermittent duty cycle),
+//! * [`FaultScript`] — a seeded composition of scheduled faults,
+//! * [`FaultyLidar`] — a [`Lidar`] wrapper applying the script per
+//!   frame and returning [`FrameCapture`]s.
+//!
+//! Determinism: fault randomness is drawn from a per-frame RNG derived
+//! from the script seed and the frame index — never from the caller's
+//! scene RNG — so a run replays bit-for-bit and an **empty script is
+//! bit-identical to the plain sensor**.
+
+use geom::{Point3, Vec3};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+use world::Scene;
+
+use crate::{LabeledSweep, Lidar};
+
+/// One sensor fault mechanism.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum FaultKind {
+    /// Per-beam hardware failure: every beam on a channel in `mask`
+    /// (bit `c` = channel `c`, channels ≥ 64 never masked) is lost.
+    DeadChannels {
+        /// Bitmask of dead channel indices.
+        mask: u64,
+    },
+    /// Fog/rain extinction: the effective range shrinks to
+    /// `range_scale × max_range` and surviving returns are additionally
+    /// dropped with probability `extra_dropout`.
+    Attenuation {
+        /// Multiplier on the instrumented range, in `(0, 1]`.
+        range_scale: f64,
+        /// Extra per-return dropout probability, in `[0, 1)`.
+        extra_dropout: f64,
+    },
+    /// Droplet/dust backscatter: `points` spurious unattributed returns
+    /// are scattered through the sensor's field of view per sweep.
+    SaltNoise {
+        /// Spurious returns added per sweep.
+        points: usize,
+        /// Nearest spurious range in metres.
+        min_range: f64,
+        /// Farthest spurious range in metres.
+        max_range: f64,
+    },
+    /// Lens soiling: beams whose azimuth falls within
+    /// `center_deg ± half_width_deg` pass only with probability
+    /// `transmission`.
+    SectorBlockage {
+        /// Centre of the soiled sector, degrees.
+        center_deg: f64,
+        /// Half-width of the soiled sector, degrees.
+        half_width_deg: f64,
+        /// Survival probability of a beam in the sector, in `[0, 1]`.
+        transmission: f64,
+    },
+    /// Capture-path stall: the whole frame is lost with probability
+    /// `prob`.
+    FrameDrop {
+        /// Per-frame drop probability, in `[0, 1]`.
+        prob: f64,
+    },
+    /// Clock instability: Gaussian jitter (1σ `std_ms`) on the frame
+    /// timestamp.
+    TimestampJitter {
+        /// Timestamp noise, 1σ milliseconds.
+        std_ms: f64,
+    },
+}
+
+impl FaultKind {
+    /// Short class tag used in telemetry and soak reports.
+    pub fn class(&self) -> &'static str {
+        match self {
+            FaultKind::DeadChannels { .. } => "dead_channels",
+            FaultKind::Attenuation { .. } => "attenuation",
+            FaultKind::SaltNoise { .. } => "salt_noise",
+            FaultKind::SectorBlockage { .. } => "sector_blockage",
+            FaultKind::FrameDrop { .. } => "frame_drop",
+            FaultKind::TimestampJitter { .. } => "timestamp_jitter",
+        }
+    }
+}
+
+/// When a scheduled fault is active.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum FaultSchedule {
+    /// Active on every frame.
+    Always,
+    /// Active from `frame` onward (sudden onset, never clears).
+    OnsetAt {
+        /// First affected frame index.
+        frame: u64,
+    },
+    /// Active on frames in `[from, until)`.
+    Window {
+        /// First affected frame index.
+        from: u64,
+        /// First frame past the window.
+        until: u64,
+    },
+    /// Periodic duty cycle: active on the first `on_frames` of every
+    /// `period` frames (shifted by `phase`).
+    Intermittent {
+        /// Cycle length in frames (0 behaves as never-active).
+        period: u64,
+        /// Active frames per cycle.
+        on_frames: u64,
+        /// Cycle phase offset in frames.
+        phase: u64,
+    },
+}
+
+impl FaultSchedule {
+    /// Whether the schedule is active on `frame`.
+    pub fn active(&self, frame: u64) -> bool {
+        match *self {
+            FaultSchedule::Always => true,
+            FaultSchedule::OnsetAt { frame: f } => frame >= f,
+            FaultSchedule::Window { from, until } => frame >= from && frame < until,
+            FaultSchedule::Intermittent {
+                period,
+                on_frames,
+                phase,
+            } => period > 0 && (frame.wrapping_add(phase)) % period < on_frames,
+        }
+    }
+}
+
+/// One fault with its activation schedule.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ScheduledFault {
+    /// The fault mechanism.
+    pub kind: FaultKind,
+    /// When it applies.
+    pub schedule: FaultSchedule,
+}
+
+/// A seeded composition of scheduled faults.
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub struct FaultScript {
+    /// Seed of the fault RNG stream (independent of the scene RNG).
+    pub seed: u64,
+    /// The scheduled faults, applied in order.
+    pub faults: Vec<ScheduledFault>,
+}
+
+impl FaultScript {
+    /// The empty script: a `FaultyLidar` running it is bit-identical
+    /// to the plain sensor.
+    pub fn clean() -> Self {
+        FaultScript::default()
+    }
+
+    /// True when no fault is ever scheduled.
+    pub fn is_clean(&self) -> bool {
+        self.faults.is_empty()
+    }
+
+    /// Adds a fault active on every frame.
+    pub fn with(mut self, kind: FaultKind) -> Self {
+        self.faults.push(ScheduledFault {
+            kind,
+            schedule: FaultSchedule::Always,
+        });
+        self
+    }
+
+    /// Adds a fault with an explicit schedule.
+    pub fn with_scheduled(mut self, kind: FaultKind, schedule: FaultSchedule) -> Self {
+        self.faults.push(ScheduledFault { kind, schedule });
+        self
+    }
+
+    /// Fault class tags active on `frame`, in script order.
+    pub fn classes_at(&self, frame: u64) -> Vec<&'static str> {
+        self.faults
+            .iter()
+            .filter(|f| f.schedule.active(frame))
+            .map(|f| f.kind.class())
+            .collect()
+    }
+
+    /// A named preset covering one fault class with deployment-shaped
+    /// parameters. Known names: `fog`, `dead-channels`, `salt`,
+    /// `blockage`, `drops`, `jitter`.
+    pub fn preset(name: &str) -> Option<FaultScript> {
+        let kind = match name {
+            "fog" => FaultKind::Attenuation {
+                range_scale: 0.55,
+                extra_dropout: 0.35,
+            },
+            // Every fourth channel of a 32-channel head dead.
+            "dead-channels" => FaultKind::DeadChannels { mask: 0x1111_1111 },
+            "salt" => FaultKind::SaltNoise {
+                points: 120,
+                min_range: 2.0,
+                max_range: 40.0,
+            },
+            "blockage" => FaultKind::SectorBlockage {
+                center_deg: 10.0,
+                half_width_deg: 12.0,
+                transmission: 0.1,
+            },
+            "drops" => FaultKind::FrameDrop { prob: 0.25 },
+            "jitter" => FaultKind::TimestampJitter { std_ms: 15.0 },
+            _ => return None,
+        };
+        Some(FaultScript::clean().with(kind))
+    }
+
+    /// The preset names accepted by [`FaultScript::preset`].
+    pub fn preset_names() -> &'static [&'static str] {
+        &[
+            "fog",
+            "dead-channels",
+            "salt",
+            "blockage",
+            "drops",
+            "jitter",
+        ]
+    }
+}
+
+/// Resolved per-beam fault state for one frame, fed into the sensor's
+/// beam loop. Carries its own RNG so fault randomness never perturbs
+/// the scene RNG stream.
+pub(crate) struct BeamFaultPass {
+    dead_mask: u64,
+    blocked: Option<(f64, f64, f64)>, // (min_az_deg, max_az_deg, transmission)
+    range_scale: f64,
+    extra_dropout: f64,
+    rng: StdRng,
+    pub(crate) beams_lost: u64,
+    pub(crate) returns_attenuated: u64,
+}
+
+impl BeamFaultPass {
+    fn new(rng: StdRng) -> Self {
+        BeamFaultPass {
+            dead_mask: 0,
+            blocked: None,
+            range_scale: 1.0,
+            extra_dropout: 0.0,
+            rng,
+            beams_lost: 0,
+            returns_attenuated: 0,
+        }
+    }
+
+    fn is_trivial(&self) -> bool {
+        self.dead_mask == 0
+            && self.blocked.is_none()
+            && self.range_scale >= 1.0
+            && self.extra_dropout <= 0.0
+    }
+
+    /// Whether the beam on `channel` pointing along `dir` is lost
+    /// before it fires (dead channel or soiled sector).
+    pub(crate) fn beam_lost(&mut self, channel: usize, dir: Vec3) -> bool {
+        if channel < 64 && self.dead_mask & (1u64 << channel) != 0 {
+            self.beams_lost += 1;
+            return true;
+        }
+        if let Some((lo, hi, transmission)) = self.blocked {
+            let az = dir.y.atan2(dir.x).to_degrees();
+            if az >= lo && az <= hi && self.rng.gen_range(0.0..1.0) > transmission {
+                self.beams_lost += 1;
+                return true;
+            }
+        }
+        false
+    }
+
+    /// Multiplier on the instrumented range for this frame.
+    pub(crate) fn range_scale(&self) -> f64 {
+        self.range_scale
+    }
+
+    /// Whether an otherwise-accepted return is extinguished by
+    /// attenuation.
+    pub(crate) fn return_attenuated(&mut self) -> bool {
+        if self.extra_dropout > 0.0 && self.rng.gen_range(0.0..1.0) < self.extra_dropout {
+            self.returns_attenuated += 1;
+            return true;
+        }
+        false
+    }
+}
+
+/// One captured frame from a [`FaultyLidar`].
+#[derive(Debug, Clone)]
+pub struct FrameCapture {
+    /// The (possibly empty) attributed sweep.
+    pub sweep: LabeledSweep,
+    /// Zero-based frame index within the run.
+    pub frame_index: u64,
+    /// Capture timestamp in milliseconds (nominal cadence plus any
+    /// scheduled jitter).
+    pub timestamp_ms: f64,
+    /// True when the whole frame was lost to a [`FaultKind::FrameDrop`].
+    pub dropped: bool,
+    /// Class tags of the faults active on this frame.
+    pub active_faults: Vec<&'static str>,
+}
+
+/// A [`Lidar`] with a [`FaultScript`] composed onto it.
+///
+/// Frames advance on every [`FaultyLidar::scan`]; the nominal frame
+/// cadence is [`FaultyLidar::DEFAULT_PERIOD_MS`] unless overridden.
+#[derive(Debug, Clone)]
+pub struct FaultyLidar {
+    inner: Lidar,
+    script: FaultScript,
+    period_ms: f64,
+    frame: u64,
+}
+
+impl FaultyLidar {
+    /// Nominal frame period: the OS0's 10 Hz sweep cadence.
+    pub const DEFAULT_PERIOD_MS: f64 = 100.0;
+
+    /// Wraps `sensor` with `script`.
+    pub fn new(sensor: Lidar, script: FaultScript) -> Self {
+        FaultyLidar {
+            inner: sensor,
+            script,
+            period_ms: Self::DEFAULT_PERIOD_MS,
+            frame: 0,
+        }
+    }
+
+    /// Overrides the nominal frame period.
+    pub fn with_period_ms(mut self, period_ms: f64) -> Self {
+        self.period_ms = period_ms;
+        self
+    }
+
+    /// The wrapped sensor.
+    pub fn sensor(&self) -> &Lidar {
+        &self.inner
+    }
+
+    /// The composed script.
+    pub fn script(&self) -> &FaultScript {
+        &self.script
+    }
+
+    /// Index of the next frame [`FaultyLidar::scan`] will capture.
+    pub fn next_frame(&self) -> u64 {
+        self.frame
+    }
+
+    /// Rewinds the frame counter (for replaying a run).
+    pub fn reset(&mut self) {
+        self.frame = 0;
+    }
+
+    /// Per-frame fault RNG: derived from the script seed and the frame
+    /// index so each frame's fault stream is independent of how many
+    /// draws earlier frames made.
+    fn fault_rng(&self, frame: u64) -> StdRng {
+        StdRng::seed_from_u64(
+            self.script
+                .seed
+                .wrapping_add(0x9E37_79B9_7F4A_7C15u64.wrapping_mul(frame.wrapping_add(1))),
+        )
+    }
+
+    /// Captures one frame: applies every fault active on the current
+    /// frame index, advances the frame counter, and reports what was
+    /// done. The scene RNG is consumed exactly as by [`Lidar::scan`]
+    /// on non-dropped frames and not at all on dropped ones.
+    pub fn scan<R: Rng + ?Sized>(&mut self, scene: &Scene, rng: &mut R) -> FrameCapture {
+        let frame = self.frame;
+        self.frame += 1;
+        let active: Vec<&ScheduledFault> = self
+            .script
+            .faults
+            .iter()
+            .filter(|f| f.schedule.active(frame))
+            .collect();
+        let active_faults: Vec<&'static str> = active.iter().map(|f| f.kind.class()).collect();
+        let mut timestamp_ms = frame as f64 * self.period_ms;
+
+        if active.is_empty() {
+            // Clean frame: bit-identical to the plain sensor.
+            return FrameCapture {
+                sweep: self.inner.scan(scene, rng),
+                frame_index: frame,
+                timestamp_ms,
+                dropped: false,
+                active_faults,
+            };
+        }
+
+        let mut fault_rng = self.fault_rng(frame);
+        let mut pass = BeamFaultPass::new(self.fault_rng(frame.wrapping_add(0x5A5A)));
+        let mut salt: Vec<(usize, f64, f64)> = Vec::new();
+        let mut dropped = false;
+        for fault in &active {
+            match fault.kind {
+                FaultKind::DeadChannels { mask } => pass.dead_mask |= mask,
+                FaultKind::Attenuation {
+                    range_scale,
+                    extra_dropout,
+                } => {
+                    pass.range_scale = pass.range_scale.min(range_scale.clamp(0.01, 1.0));
+                    pass.extra_dropout =
+                        1.0 - (1.0 - pass.extra_dropout) * (1.0 - extra_dropout.clamp(0.0, 0.999));
+                }
+                FaultKind::SaltNoise {
+                    points,
+                    min_range,
+                    max_range,
+                } => salt.push((points, min_range.max(0.1), max_range.max(min_range + 0.1))),
+                FaultKind::SectorBlockage {
+                    center_deg,
+                    half_width_deg,
+                    transmission,
+                } => {
+                    let half = half_width_deg.abs();
+                    pass.blocked = Some((
+                        center_deg - half,
+                        center_deg + half,
+                        transmission.clamp(0.0, 1.0),
+                    ));
+                }
+                FaultKind::FrameDrop { prob } => {
+                    if fault_rng.gen_range(0.0..1.0) < prob {
+                        dropped = true;
+                    }
+                }
+                FaultKind::TimestampJitter { std_ms } => {
+                    timestamp_ms += gaussian(&mut fault_rng) * std_ms;
+                }
+            }
+        }
+
+        if dropped {
+            obs::incr("lidar.faults.frames_dropped", 1);
+            return FrameCapture {
+                sweep: LabeledSweep::default(),
+                frame_index: frame,
+                timestamp_ms,
+                dropped: true,
+                active_faults,
+            };
+        }
+
+        let mut sweep = if pass.is_trivial() {
+            self.inner.scan(scene, rng)
+        } else {
+            let sweep = self.inner.scan_core(scene, rng, Some(&mut pass));
+            obs::incr("lidar.faults.beams_lost", pass.beams_lost);
+            obs::incr("lidar.faults.returns_attenuated", pass.returns_attenuated);
+            sweep
+        };
+
+        let mut salt_added = 0u64;
+        for (points, min_range, max_range) in salt {
+            let cfg = self.inner.config();
+            for _ in 0..points {
+                let az = fault_rng
+                    .gen_range(-cfg.azimuth_half_deg..cfg.azimuth_half_deg)
+                    .to_radians();
+                let el = fault_rng
+                    .gen_range(cfg.elevation_min_deg..cfg.elevation_max_deg)
+                    .to_radians();
+                let r = fault_rng.gen_range(min_range..max_range);
+                let (sin_a, cos_a) = az.sin_cos();
+                let (sin_e, cos_e) = el.sin_cos();
+                let dir = Vec3::new(cos_e * cos_a, cos_e * sin_a, sin_e);
+                sweep.push_unattributed(Point3::ZERO + dir * r);
+                salt_added += 1;
+            }
+        }
+        obs::incr("lidar.faults.salt_points", salt_added);
+
+        FrameCapture {
+            sweep,
+            frame_index: frame,
+            timestamp_ms,
+            dropped: false,
+            active_faults,
+        }
+    }
+}
+
+/// Box–Muller Gaussian sample (local copy: the sensor's is private to
+/// its module and the streams must stay independent anyway).
+fn gaussian<R: Rng + ?Sized>(rng: &mut R) -> f64 {
+    let u1: f64 = rng.gen_range(f64::EPSILON..1.0);
+    let u2: f64 = rng.gen_range(0.0..1.0);
+    (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::SensorConfig;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use world::{Human, HumanParams, WalkwayConfig};
+
+    fn rng(seed: u64) -> StdRng {
+        StdRng::seed_from_u64(seed)
+    }
+
+    fn scene_with_human(x: f64) -> Scene {
+        let mut scene = Scene::new(WalkwayConfig::default());
+        scene.add_human(Human::new(
+            HumanParams {
+                height: 1.75,
+                shoulder_width: 0.45,
+                torso_radius: 0.15,
+                walk_phase: 0.4,
+                reflectivity: 0.7,
+            },
+            x,
+            0.0,
+            0.2,
+        ));
+        scene
+    }
+
+    #[test]
+    fn clean_script_is_bit_identical_to_plain_sensor() {
+        let scene = scene_with_human(18.0);
+        let sensor = Lidar::new(SensorConfig::default());
+        let plain = sensor.scan(&scene, &mut rng(9));
+        let mut faulty = FaultyLidar::new(sensor, FaultScript::clean());
+        let capture = faulty.scan(&scene, &mut rng(9));
+        assert!(!capture.dropped);
+        assert!(capture.active_faults.is_empty());
+        assert_eq!(capture.sweep.points(), plain.points());
+        assert_eq!(capture.sweep.entities(), plain.entities());
+    }
+
+    #[test]
+    fn faulty_scan_replays_bit_for_bit() {
+        let scene = scene_with_human(20.0);
+        let script = FaultScript::preset("fog")
+            .unwrap()
+            .with(FaultKind::SaltNoise {
+                points: 50,
+                min_range: 2.0,
+                max_range: 30.0,
+            });
+        let run = |seed: u64| {
+            let mut faulty = FaultyLidar::new(Lidar::new(SensorConfig::default()), script.clone());
+            let mut r = rng(seed);
+            (0..3)
+                .map(|_| faulty.scan(&scene, &mut r).sweep.points().to_vec())
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(run(4), run(4));
+    }
+
+    #[test]
+    fn dead_channels_thin_the_sweep() {
+        let scene = scene_with_human(15.0);
+        let sensor = Lidar::new(SensorConfig::default());
+        let clean_len = sensor.scan(&scene, &mut rng(1)).len();
+        let script = FaultScript::clean().with(FaultKind::DeadChannels {
+            mask: 0xFFFF, // lower 16 of 32 channels dead
+        });
+        let mut faulty = FaultyLidar::new(sensor, script);
+        let got = faulty.scan(&scene, &mut rng(1));
+        assert!(
+            (got.sweep.len() as f64) < 0.8 * clean_len as f64,
+            "dead channels should thin returns: {} vs {clean_len}",
+            got.sweep.len()
+        );
+    }
+
+    #[test]
+    fn attenuation_cuts_range_and_density() {
+        // A far human disappears entirely when fog halves the range.
+        let scene = scene_with_human(33.0);
+        let sensor = Lidar::new(SensorConfig::default());
+        let clean = sensor.scan(&scene, &mut rng(2));
+        assert!(clean.points_of(0).len() > 0);
+        let script = FaultScript::clean().with(FaultKind::Attenuation {
+            range_scale: 0.4, // 24 m effective range
+            extra_dropout: 0.2,
+        });
+        let mut faulty = FaultyLidar::new(sensor, script);
+        let got = faulty.scan(&scene, &mut rng(2));
+        assert_eq!(
+            got.sweep.points_of(0).len(),
+            0,
+            "33 m human must vanish behind a 24 m fog wall"
+        );
+    }
+
+    #[test]
+    fn salt_noise_adds_unattributed_points() {
+        let scene = Scene::new(WalkwayConfig::default());
+        let sensor = Lidar::new(SensorConfig::default());
+        let clean_len = sensor.scan(&scene, &mut rng(3)).len();
+        let mut faulty = FaultyLidar::new(sensor, FaultScript::preset("salt").unwrap());
+        let got = faulty.scan(&scene, &mut rng(3));
+        assert_eq!(got.sweep.len(), clean_len + 120);
+        assert!(got.sweep.entities()[clean_len..]
+            .iter()
+            .all(|e| e.is_none()));
+    }
+
+    #[test]
+    fn sector_blockage_empties_the_sector() {
+        let scene = Scene::new(WalkwayConfig::default());
+        let sensor = Lidar::new(SensorConfig::default());
+        let script = FaultScript::clean().with(FaultKind::SectorBlockage {
+            center_deg: 0.0,
+            half_width_deg: 20.0,
+            transmission: 0.0,
+        });
+        let mut faulty = FaultyLidar::new(sensor, script);
+        let got = faulty.scan(&scene, &mut rng(5));
+        assert!(!got.sweep.is_empty(), "sides of the sector still return");
+        for p in got.sweep.points() {
+            let az = p.y.atan2(p.x).to_degrees();
+            assert!(
+                !(-20.0..=20.0).contains(&az),
+                "point at az {az:.1}° inside the fully blocked sector"
+            );
+        }
+    }
+
+    #[test]
+    fn frame_drops_follow_the_schedule() {
+        let scene = Scene::new(WalkwayConfig::default());
+        let script = FaultScript::clean().with_scheduled(
+            FaultKind::FrameDrop { prob: 1.0 },
+            FaultSchedule::Window { from: 2, until: 4 },
+        );
+        let mut faulty = FaultyLidar::new(Lidar::new(SensorConfig::default()), script);
+        let mut r = rng(6);
+        let dropped: Vec<bool> = (0..6)
+            .map(|_| faulty.scan(&scene, &mut r).dropped)
+            .collect();
+        assert_eq!(dropped, vec![false, false, true, true, false, false]);
+    }
+
+    #[test]
+    fn timestamps_jitter_but_frames_advance() {
+        let scene = Scene::new(WalkwayConfig::default());
+        let mut faulty = FaultyLidar::new(
+            Lidar::new(SensorConfig::default()),
+            FaultScript::preset("jitter").unwrap(),
+        );
+        let mut r = rng(7);
+        let a = faulty.scan(&scene, &mut r);
+        let b = faulty.scan(&scene, &mut r);
+        assert_eq!(a.frame_index, 0);
+        assert_eq!(b.frame_index, 1);
+        assert!((a.timestamp_ms - 0.0).abs() < 100.0);
+        assert!((b.timestamp_ms - FaultyLidar::DEFAULT_PERIOD_MS).abs() < 100.0);
+        assert!(
+            a.timestamp_ms != 0.0 || b.timestamp_ms != FaultyLidar::DEFAULT_PERIOD_MS,
+            "jitter should move at least one timestamp off the nominal grid"
+        );
+    }
+
+    #[test]
+    fn schedules_activate_when_expected() {
+        assert!(FaultSchedule::Always.active(0));
+        assert!(!FaultSchedule::OnsetAt { frame: 5 }.active(4));
+        assert!(FaultSchedule::OnsetAt { frame: 5 }.active(5));
+        let w = FaultSchedule::Window { from: 2, until: 4 };
+        assert!(!w.active(1) && w.active(2) && w.active(3) && !w.active(4));
+        let i = FaultSchedule::Intermittent {
+            period: 4,
+            on_frames: 1,
+            phase: 0,
+        };
+        assert!(i.active(0) && !i.active(1) && i.active(4));
+        assert!(!FaultSchedule::Intermittent {
+            period: 0,
+            on_frames: 1,
+            phase: 0
+        }
+        .active(0));
+    }
+
+    #[test]
+    fn presets_cover_every_fault_class() {
+        let mut classes: Vec<&str> = FaultScript::preset_names()
+            .iter()
+            .flat_map(|n| FaultScript::preset(n).unwrap().classes_at(0))
+            .collect();
+        classes.sort_unstable();
+        assert_eq!(
+            classes,
+            vec![
+                "attenuation",
+                "dead_channels",
+                "frame_drop",
+                "salt_noise",
+                "sector_blockage",
+                "timestamp_jitter"
+            ]
+        );
+        assert!(FaultScript::preset("nope").is_none());
+    }
+}

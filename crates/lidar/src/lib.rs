@@ -10,7 +10,11 @@
 //!    reflectivity-dependent signal strength — the source of the paper's
 //!    "fewer points with increasing distance" behaviour,
 //! 4. region-of-interest cropping (`x ∈ [12, 35]` m over the 5 m walkway)
-//!    and rule-based ground segmentation (`z ≥ −2.6` m).
+//!    and rule-based ground segmentation (`z ≥ −2.6` m),
+//! 5. a seeded fault-injection layer ([`faults`]) composing outdoor
+//!    failure modes — dead channels, fog attenuation, salt noise,
+//!    sector blockage, frame drops, timestamp jitter — onto any sensor
+//!    configuration for resilience testing.
 //!
 //! # Examples
 //!
@@ -33,9 +37,13 @@
 
 mod cloud;
 mod config;
+pub mod faults;
 mod sensor;
 pub mod viz;
 
 pub use cloud::{ground_segment, roi_filter, LabeledSweep, PointCloud};
 pub use config::SensorConfig;
+pub use faults::{
+    FaultKind, FaultSchedule, FaultScript, FaultyLidar, FrameCapture, ScheduledFault,
+};
 pub use sensor::Lidar;

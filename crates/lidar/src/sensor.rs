@@ -4,6 +4,7 @@ use geom::{Point3, Ray, Vec3};
 use rand::Rng;
 use world::Scene;
 
+use crate::faults::BeamFaultPass;
 use crate::{LabeledSweep, SensorConfig};
 
 /// A simulated pole-mounted LiDAR.
@@ -71,13 +72,35 @@ impl Lidar {
     /// The sensor sits at the origin (top of the pole). Determinism: the
     /// same scene, config and RNG state produce the same sweep.
     pub fn scan<R: Rng + ?Sized>(&self, scene: &Scene, rng: &mut R) -> LabeledSweep {
+        self.scan_core(scene, rng, None)
+    }
+
+    /// The beam loop, optionally perturbed by an active fault pass.
+    ///
+    /// The clean path (`faults: None`) draws exactly the same RNG
+    /// sequence as the original [`Lidar::scan`], so a fault-capable
+    /// sensor wrapper with an empty script is bit-identical to the
+    /// plain sensor. Fault randomness comes from the pass's own RNG,
+    /// never from `rng`.
+    pub(crate) fn scan_core<R: Rng + ?Sized>(
+        &self,
+        scene: &Scene,
+        rng: &mut R,
+        mut faults: Option<&mut BeamFaultPass>,
+    ) -> LabeledSweep {
         let (sweep, capture_ms) = obs::timed_ms(|| {
             let mut points = Vec::new();
             let mut entities = Vec::new();
             let mut misses = 0u64;
             let mut out_of_range = 0u64;
             let mut dropouts = 0u64;
-            for &dir in &self.beams {
+            for (i, &dir) in self.beams.iter().enumerate() {
+                if let Some(pass) = faults.as_deref_mut() {
+                    let channel = i % self.config.channels;
+                    if pass.beam_lost(channel, dir) {
+                        continue;
+                    }
+                }
                 let ray = Ray {
                     origin: Point3::ZERO,
                     dir,
@@ -87,7 +110,10 @@ impl Lidar {
                     continue;
                 };
                 let r = scene_hit.hit.t;
-                if r > self.config.max_range {
+                let max_range = faults.as_deref().map_or(self.config.max_range, |pass| {
+                    self.config.max_range * pass.range_scale()
+                });
+                if r > max_range {
                     out_of_range += 1;
                     continue;
                 }
@@ -97,6 +123,11 @@ impl Lidar {
                 if rng.gen_range(0.0..1.0) > p_return {
                     dropouts += 1;
                     continue;
+                }
+                if let Some(pass) = faults.as_deref_mut() {
+                    if pass.return_attenuated() {
+                        continue;
+                    }
                 }
                 let noisy_r = r + gaussian(rng, 0.0, self.config.range_noise_std);
                 points.push(ray.at(noisy_r.max(0.0)));

@@ -49,6 +49,10 @@ fn json_opt_u64(v: Option<u64>) -> String {
     v.map_or_else(|| "null".to_string(), |x| x.to_string())
 }
 
+fn json_opt_str(v: Option<&str>) -> String {
+    v.map_or_else(|| "null".to_string(), |s| format!("\"{}\"", json_escape(s)))
+}
+
 /// One JSON line per instrument: counters, then gauges, then
 /// histograms, each sorted by name (inherited from [`Snapshot`]).
 pub fn snapshot_jsonl(snap: &Snapshot) -> String {
@@ -115,7 +119,8 @@ pub fn journal_jsonl<'a>(entries: impl IntoIterator<Item = &'a FrameRecord>) -> 
             concat!(
                 r#"{{"seq":{},"source":"{}","seed":{},"points_in":{},"#,
                 r#""eps":{},"knee_index":{},"clusters_found":{},"clusters_classified":{},"#,
-                r#""clusters_skipped":{},"count":{},"verdicts":[{}],"stages_ms":{{{}}}}}"#
+                r#""clusters_skipped":{},"count":{},"health":{},"rung":{},"#,
+                r#""verdicts":[{}],"stages_ms":{{{}}}}}"#
             ),
             r.seq,
             json_escape(&r.source),
@@ -127,6 +132,8 @@ pub fn journal_jsonl<'a>(entries: impl IntoIterator<Item = &'a FrameRecord>) -> 
             r.clusters_classified,
             r.clusters_skipped,
             r.count,
+            json_opt_str(r.health.as_deref()),
+            json_opt_str(r.rung.as_deref()),
             verdicts.join(","),
             stages.join(","),
         );
@@ -256,6 +263,8 @@ mod tests {
             }],
             count: 1,
             stages_ms: vec![("clustering".to_string(), 2.5)],
+            health: Some("degraded".to_string()),
+            rung: Some("cached/int8".to_string()),
         };
         let text = journal_jsonl([&rec]);
         assert_eq!(text.lines().count(), 1);
@@ -263,6 +272,8 @@ mod tests {
         assert!(text.contains(r#""source":"live \"walkway\"""#));
         assert!(text.contains(r#""eps":0.21"#));
         assert!(text.contains(r#""knee_index":17"#));
+        assert!(text.contains(r#""health":"degraded""#));
+        assert!(text.contains(r#""rung":"cached/int8""#));
         assert!(text.contains(r#""verdicts":[{"points":80,"label":"Human","confidence":0.93}]"#));
         assert!(text.contains(r#""stages_ms":{"clustering":2.5}"#));
     }

@@ -48,6 +48,13 @@ pub struct FrameRecord {
     pub count: usize,
     /// Stage wall-clock timings `(stage, ms)`, in first-seen order.
     pub stages_ms: Vec<(String, f64)>,
+    /// Supervisor health state when a supervised loop produced the
+    /// frame (`"healthy"` / `"degraded"` / `"faulted"`), `None` for
+    /// unsupervised runs.
+    pub health: Option<String>,
+    /// Degradation-ladder rung the frame ran on (e.g.
+    /// `"adaptive/fp32"`), `None` for unsupervised runs.
+    pub rung: Option<String>,
 }
 
 /// Bounded ring buffer of [`FrameRecord`]s.

@@ -38,9 +38,9 @@ use parking_lot::{Mutex, RwLock};
 pub use journal::{ClusterVerdict, FrameRecord, Journal, DEFAULT_JOURNAL_CAPACITY};
 pub use metrics::{Counter, Gauge, Histogram, HistogramSnapshot};
 pub use span::{
-    frame_abort, frame_active, frame_clusters, frame_eps, frame_finish, frame_points_in,
-    frame_seed, frame_skipped, frame_stage_ms, frame_stage_total, frame_start, frame_verdict,
-    stage, timed_ms, FrameStats,
+    frame_abort, frame_active, frame_clusters, frame_eps, frame_finish, frame_health,
+    frame_points_in, frame_seed, frame_skipped, frame_stage_ms, frame_stage_total, frame_start,
+    frame_verdict, stage, timed_ms, FrameStats,
 };
 
 static ENABLED: AtomicBool = AtomicBool::new(false);

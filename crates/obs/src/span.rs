@@ -90,6 +90,15 @@ pub fn frame_skipped(n: usize) {
     with_draft(|d| d.clusters_skipped = n);
 }
 
+/// Records the supervising loop's health state and degradation-ladder
+/// rung for the open frame.
+pub fn frame_health(health: &str, rung: &str) {
+    with_draft(|d| {
+        d.health = Some(health.to_string());
+        d.rung = Some(rung.to_string());
+    });
+}
+
 /// Appends one per-cluster classification verdict.
 pub fn frame_verdict(points: usize, label: &str, confidence: f64) {
     with_draft(|d| {

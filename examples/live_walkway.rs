@@ -4,13 +4,21 @@
 //! introduction.
 //!
 //! ```text
-//! cargo run --release --example live_walkway            # table + snapshots
-//! cargo run --release --example live_walkway -- --json  # + JSONL dump
+//! cargo run --release --example live_walkway                  # table + snapshots
+//! cargo run --release --example live_walkway -- --json        # + JSONL dump
+//! cargo run --release --example live_walkway -- --faults fog  # faulted sensor
 //! ```
 //!
 //! Telemetry is on for the whole run: every 10 slots the current
 //! metrics table is printed, and `--json` additionally dumps the
 //! metrics snapshot and per-frame journal as JSON lines at the end.
+//!
+//! With `--faults <preset>` the sensor runs through the
+//! [`lidar::FaultyLidar`] injection layer (presets: fog,
+//! dead-channels, salt, blockage, drops, jitter) and the pipeline runs
+//! inside the [`counting::SupervisedCounter`] fault-contained loop, so
+//! the time series shows held counts and health transitions instead of
+//! outages.
 
 use counting::{CountSmoother, PedestrianTracker, TrackerConfig};
 use hawc_cc::prelude::*;
@@ -19,6 +27,38 @@ use rand::{Rng, SeedableRng};
 use world::Human;
 
 const SEED: u64 = 99;
+
+fn parse_args() -> (bool, Option<FaultScript>) {
+    let mut json = false;
+    let mut script = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--json" => json = true,
+            "--faults" => {
+                let name = args.next().unwrap_or_else(|| {
+                    eprintln!(
+                        "--faults needs a preset: {}",
+                        lidar::FaultScript::preset_names().join(", ")
+                    );
+                    std::process::exit(2);
+                });
+                script = Some(lidar::FaultScript::preset(&name).unwrap_or_else(|| {
+                    eprintln!(
+                        "unknown fault preset '{name}' (have: {})",
+                        lidar::FaultScript::preset_names().join(", ")
+                    );
+                    std::process::exit(2);
+                }));
+            }
+            other => {
+                eprintln!("unknown flag {other} (use --json, --faults <preset>)");
+                std::process::exit(2);
+            }
+        }
+    }
+    (json, script)
+}
 
 /// Expected pedestrians at a given campus hour (classes, lunch, night).
 fn expected_traffic(hour: f64) -> f64 {
@@ -29,7 +69,7 @@ fn expected_traffic(hour: f64) -> f64 {
 }
 
 fn main() {
-    let json = std::env::args().skip(1).any(|a| a == "--json");
+    let (json, script) = parse_args();
     obs::enable(true);
 
     let mut rng = StdRng::seed_from_u64(SEED);
@@ -52,9 +92,33 @@ fn main() {
         ..HawcConfig::default()
     };
     let model = HawcClassifier::train(&parts.train, pool, &cfg, &mut rng);
-    let mut counter = CrowdCounter::new(model, CounterConfig::default());
 
     let walkway = WalkwayConfig::default();
+    // With --faults: sensor wrapped in the injection layer, pipeline
+    // wrapped in the supervised loop. Without: the bare pipeline.
+    enum Engine {
+        Plain(CrowdCounter<HawcClassifier>),
+        Supervised(Box<SupervisedCounter<HawcClassifier>>, FaultyLidar),
+    }
+    let counter = CrowdCounter::new(model, CounterConfig::default());
+    let mut engine = match script {
+        Some(script) => {
+            println!("fault script active: {}", script.classes_at(0).join(", "));
+            // The per-frame budget is wall-clock of this simulation's
+            // f64 NN, far slower than the Coral's int8 engine — budget
+            // a few frames so the ladder reacts to faults, not to the
+            // host machine.
+            let cfg = SupervisorConfig {
+                deadline_ms: 500.0,
+                ..SupervisorConfig::default()
+            };
+            Engine::Supervised(
+                Box::new(SupervisedCounter::new(counter, cfg)),
+                FaultyLidar::new(Lidar::new(SensorConfig::default()), script),
+            )
+        }
+        None => Engine::Plain(counter),
+    };
     let sensor = Lidar::new(SensorConfig::default());
     let mut smoother = CountSmoother::new(3);
     let mut tracker = PedestrianTracker::new(TrackerConfig::default());
@@ -79,36 +143,61 @@ fn main() {
             scene.add_human(Human::sample(&mut rng, &walkway));
         }
         // Open the frame here so the journal entry carries the harness
-        // seed and source; count() annotates it and leaves it open.
+        // seed and source; the pipeline annotates it.
         obs::frame_start("live_walkway");
         obs::frame_seed(SEED);
-        let mut sweep = sensor.scan(&scene, &mut rng);
-        roi_filter(&mut sweep, &walkway);
-        ground_segment(&mut sweep);
-        let capture = sweep.into_cloud();
-        let result = counter.count(&capture);
-        obs::frame_finish(result.count);
-        let smoothed = smoother.push(result.count);
+        let (count, capture, status) = match &mut engine {
+            Engine::Plain(counter) => {
+                let mut sweep = sensor.scan(&scene, &mut rng);
+                roi_filter(&mut sweep, &walkway);
+                ground_segment(&mut sweep);
+                let capture = sweep.into_cloud();
+                let result = counter.count(&capture);
+                obs::frame_finish(result.count);
+                (result.count, capture, String::new())
+            }
+            Engine::Supervised(supervised, faulty) => {
+                let frame = faulty.scan(&scene, &mut rng);
+                let (capture, out) = if frame.dropped {
+                    (PointCloud::empty(), supervised.step_dropped())
+                } else {
+                    let mut sweep = frame.sweep;
+                    roi_filter(&mut sweep, &walkway);
+                    ground_segment(&mut sweep);
+                    let capture = sweep.into_cloud();
+                    let out = supervised.step(&capture);
+                    (capture, out)
+                };
+                let mut status = format!(" [{}", out.health.as_str());
+                if out.held {
+                    status.push_str(", held");
+                }
+                status.push(']');
+                (out.count, capture, status)
+            }
+        };
+        let smoothed = smoother.push(count);
         // Track identities from the counted clusters' rough positions:
         // approximate each human cluster by the capture centroid jittered
         // per count (full integration would pass cluster centroids; the
         // tracker API accepts any per-frame positions).
-        let detections: Vec<geom::Point3> = (0..result.count)
+        let detections: Vec<geom::Point3> = (0..count)
             .map(|i| {
                 capture.centroid().unwrap_or(geom::Point3::ZERO)
                     + geom::Vec3::new(i as f64 * 0.5, 0.0, 0.0)
             })
             .collect();
         tracker.step(&detections);
-        total_err += (result.count as i64 - n as i64).abs();
+        total_err += (count as i64 - n as i64).abs();
         samples += 1;
         println!(
-            "{:>4.1} | {:>6} | {:>7} | {:>8} | {}",
+            "{:>4.1} | {:>6} | {:>7} | {:>8} | {}{}",
             hour,
             n,
-            result.count,
+            count,
             smoothed,
-            "#".repeat(result.count)
+            "#".repeat(count),
+            status
         );
         if slot % 10 == 9 {
             println!("\n-- telemetry after {} slots --", slot + 1);

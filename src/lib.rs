@@ -54,13 +54,19 @@ pub mod prelude {
         PointNetClassifier, PointNetConfig,
     };
     pub use cluster::{adaptive_dbscan, AdaptiveConfig};
-    pub use counting::{evaluate_counter, CounterConfig, CrowdCounter};
+    pub use counting::{
+        evaluate_counter, CounterConfig, CrowdCounter, HealthState, SupervisedCounter,
+        SupervisorConfig,
+    };
     pub use dataset::{
         generate_counting_dataset, generate_detection_dataset, generate_object_pool, split,
         ClassLabel, CloudClassifier, CountingDatasetConfig, DetectionDatasetConfig, ObjectPool,
     };
-    pub use edge::{DeviceModel, Precision};
+    pub use edge::{DeviceModel, Precision, ThrottleConfig, ThrottleMonitor, ThrottleState};
     pub use hawc::{HawcClassifier, HawcConfig};
-    pub use lidar::{ground_segment, roi_filter, Lidar, PointCloud, SensorConfig};
+    pub use lidar::{
+        ground_segment, roi_filter, FaultKind, FaultSchedule, FaultScript, FaultyLidar, Lidar,
+        PointCloud, SensorConfig,
+    };
     pub use world::{Human, Scene, WalkwayConfig};
 }

@@ -126,6 +126,83 @@ fn counting_is_bit_identical_with_telemetry_on_or_off() {
 }
 
 #[test]
+fn supervised_counting_under_clean_script_is_bit_identical_with_telemetry_on_or_off() {
+    // The fault layer with an empty script must be invisible (the
+    // sensor draws the identical RNG sequence), and the supervised
+    // loop — like the bare pipeline — must not let telemetry move a
+    // count.
+    let data = generate_detection_dataset(&DetectionDatasetConfig {
+        samples: 80,
+        seed: 41,
+        ..DetectionDatasetConfig::default()
+    });
+    let pool = generate_object_pool(41, 8, &WalkwayConfig::default(), &SensorConfig::default());
+    let cfg = HawcConfig {
+        target_points: 0,
+        epochs: 4,
+        conv_channels: [6, 8, 10],
+        fc_hidden: 16,
+        ..HawcConfig::default()
+    };
+
+    let run = |telemetry: bool| -> Vec<usize> {
+        obs::enable(telemetry);
+        let mut rng = StdRng::seed_from_u64(42);
+        let parts = split(&mut rng, data.clone(), 0.8);
+        let model = HawcClassifier::train(&parts.train, pool.clone(), &cfg, &mut rng);
+        let counter = CrowdCounter::new(model, CounterConfig::default());
+        // An effectively infinite deadline: wall-clock misses are not
+        // deterministic, and a miss in only one run would move the
+        // ladder and change ε.
+        let sup_cfg = SupervisorConfig {
+            deadline_ms: f64::INFINITY,
+            ..SupervisorConfig::default()
+        };
+        let mut supervised: SupervisedCounter<HawcClassifier> =
+            SupervisedCounter::new(counter, sup_cfg);
+
+        let walkway = WalkwayConfig::default();
+        let mut faulty =
+            FaultyLidar::new(Lidar::new(SensorConfig::default()), FaultScript::clean());
+        let mut scene_rng = StdRng::seed_from_u64(43);
+        let mut counts = Vec::new();
+        for _ in 0..4 {
+            let mut scene = Scene::new(walkway);
+            for _ in 0..3 {
+                scene.add_human(Human::sample(&mut scene_rng, &walkway));
+            }
+            let frame = faulty.scan(&scene, &mut scene_rng);
+            assert!(!frame.dropped, "clean script never drops frames");
+            let mut sweep = frame.sweep;
+            roi_filter(&mut sweep, &walkway);
+            ground_segment(&mut sweep);
+            counts.push(supervised.step(&sweep.into_cloud()).count);
+        }
+        obs::enable(false);
+        counts
+    };
+
+    let off = run(false);
+    let on = run(true);
+    assert_eq!(off, on, "telemetry must not change any supervised count");
+
+    // The clean fault layer must also match the bare sensor
+    // bit-for-bit on the raw sweep.
+    let walkway = WalkwayConfig::default();
+    let sensor = Lidar::new(SensorConfig::default());
+    let mut rng_a = StdRng::seed_from_u64(44);
+    let mut rng_b = StdRng::seed_from_u64(44);
+    let mut scene = Scene::new(walkway);
+    scene.add_human(Human::sample(&mut rng_a, &walkway));
+    let mut scene_b = Scene::new(walkway);
+    scene_b.add_human(Human::sample(&mut rng_b, &walkway));
+    let bare = sensor.scan(&scene, &mut rng_a);
+    let mut faulty = FaultyLidar::new(Lidar::new(SensorConfig::default()), FaultScript::clean());
+    let wrapped = faulty.scan(&scene_b, &mut rng_b);
+    assert_eq!(bare.points(), wrapped.sweep.points());
+}
+
+#[test]
 fn dataset_codec_round_trips_through_disk() {
     let data = generate_detection_dataset(&DetectionDatasetConfig {
         samples: 30,

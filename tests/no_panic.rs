@@ -1,0 +1,126 @@
+//! The pole never panics: the full counting pipeline — scrubbing,
+//! adaptive clustering, classification, supervision — must absorb
+//! arbitrary clouds (empty, single-point, duplicate-point,
+//! non-finite, extreme-coordinate) and return a sane count.
+//!
+//! One tiny trained HAWC is shared across all cases; training it per
+//! proptest case would dominate the run.
+
+use std::sync::{Mutex, OnceLock};
+
+use counting::{CounterConfig, CrowdCounter, SupervisedCounter, SupervisorConfig};
+use geom::Point3;
+use hawc_cc::prelude::*;
+use lidar::PointCloud;
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn shared_counter() -> &'static Mutex<CrowdCounter<HawcClassifier>> {
+    static COUNTER: OnceLock<Mutex<CrowdCounter<HawcClassifier>>> = OnceLock::new();
+    COUNTER.get_or_init(|| {
+        let data = generate_detection_dataset(&DetectionDatasetConfig {
+            samples: 80,
+            seed: 31,
+            ..DetectionDatasetConfig::default()
+        });
+        let pool = generate_object_pool(31, 8, &WalkwayConfig::default(), &SensorConfig::default());
+        let mut rng = StdRng::seed_from_u64(31);
+        let cfg = HawcConfig {
+            target_points: 0,
+            epochs: 4,
+            conv_channels: [6, 8, 10],
+            fc_hidden: 16,
+            ..HawcConfig::default()
+        };
+        let model = HawcClassifier::train(&data, pool, &cfg, &mut rng);
+        Mutex::new(CrowdCounter::new(model, CounterConfig::default()))
+    })
+}
+
+/// Coordinates drawn across normal, extreme, and non-finite values —
+/// the non-finite ones must be scrubbed at `PointCloud` construction.
+fn arb_coord() -> impl Strategy<Value = f64> {
+    prop_oneof![
+        8 => -40.0..40.0f64,
+        1 => prop_oneof![
+            Just(f64::NAN),
+            Just(f64::INFINITY),
+            Just(f64::NEG_INFINITY),
+            Just(1e200),
+            Just(-1e200),
+            Just(f64::MIN_POSITIVE),
+        ],
+    ]
+}
+
+fn arb_point() -> impl Strategy<Value = Point3> {
+    (arb_coord(), arb_coord(), arb_coord()).prop_map(|(x, y, z)| Point3::new(x, y, z))
+}
+
+/// Arbitrary clouds biased toward the degenerate shapes that have
+/// historically broken clustering: empty, singleton, all-duplicate.
+fn arb_cloud() -> impl Strategy<Value = Vec<Point3>> {
+    prop_oneof![
+        1 => Just(Vec::new()),
+        1 => arb_point().prop_map(|p| vec![p]),
+        1 => (arb_point(), 2usize..40).prop_map(|(p, n)| vec![p; n]),
+        5 => proptest::collection::vec(arb_point(), 0..120),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// The bare pipeline absorbs any cloud without panicking and never
+    /// counts more humans than it has points.
+    #[test]
+    fn crowd_counter_never_panics(points in arb_cloud()) {
+        let cloud = PointCloud::new(points);
+        let n = cloud.len();
+        let mut counter = shared_counter().lock().unwrap();
+        let result = counter.count(&cloud);
+        prop_assert!(result.count <= n);
+        prop_assert!(result.total_ms().is_finite());
+    }
+
+    /// The supervised loop absorbs the same inputs, keeps its latency
+    /// finite, and interleaved frame drops don't wedge it. One
+    /// long-lived supervisor soaks every case, so ladder and health
+    /// state carry across hostile inputs the way a deployed pole's
+    /// would.
+    #[test]
+    fn supervised_counter_never_panics(clouds in proptest::collection::vec(arb_cloud(), 1..4), drop_mask in 0u8..8) {
+        static SUPERVISED: OnceLock<Mutex<SupervisedCounter<HawcClassifier>>> = OnceLock::new();
+        let supervised = SUPERVISED.get_or_init(|| {
+            let data = generate_detection_dataset(&DetectionDatasetConfig {
+                samples: 40,
+                seed: 33,
+                ..DetectionDatasetConfig::default()
+            });
+            let pool =
+                generate_object_pool(33, 4, &WalkwayConfig::default(), &SensorConfig::default());
+            let mut rng = StdRng::seed_from_u64(33);
+            let cfg = HawcConfig {
+                target_points: 0,
+                epochs: 1,
+                conv_channels: [4, 6, 8],
+                fc_hidden: 8,
+                ..HawcConfig::default()
+            };
+            let model = HawcClassifier::train(&data, pool, &cfg, &mut rng);
+            let counter = CrowdCounter::new(model, CounterConfig::default());
+            Mutex::new(SupervisedCounter::new(counter, SupervisorConfig::default()))
+        });
+        let mut supervised = supervised.lock().unwrap();
+        for (i, points) in clouds.into_iter().enumerate() {
+            let out = if drop_mask & (1 << i) != 0 {
+                supervised.step_dropped()
+            } else {
+                supervised.step(&PointCloud::new(points))
+            };
+            prop_assert!(out.elapsed_ms.is_finite());
+        }
+        prop_assert_eq!(supervised.stats().panics, 0);
+    }
+}

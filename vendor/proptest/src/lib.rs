@@ -7,7 +7,8 @@
 //! - the RNG is seeded from a hash of the test name, so every run
 //!   replays the same cases;
 //! - only the strategies actually used here exist: numeric ranges,
-//!   tuples, `prop_map`, and `collection::vec`.
+//!   tuples, `prop_map`, `collection::vec`, [`strategy::Just`], and
+//!   weighted unions via [`prop_oneof!`].
 
 #![forbid(unsafe_code)]
 
@@ -49,6 +50,71 @@ pub mod strategy {
 
         fn sample(&self, rng: &mut TestRng) -> O {
             (self.func)(self.source.sample(rng))
+        }
+    }
+
+    /// Strategy yielding a constant value.
+    pub struct Just<T>(pub T);
+
+    impl<T: Clone> Strategy for Just<T> {
+        type Value = T;
+
+        fn sample(&self, _rng: &mut TestRng) -> T {
+            self.0.clone()
+        }
+    }
+
+    /// Boxes a strategy for storage in a [`Union`] (used by
+    /// [`crate::prop_oneof!`]; the turbofish-free helper keeps the
+    /// macro's element type inferable).
+    pub fn boxed<S>(s: S) -> Box<dyn Strategy<Value = S::Value>>
+    where
+        S: Strategy + 'static,
+    {
+        Box::new(s)
+    }
+
+    impl<V> Strategy for Box<dyn Strategy<Value = V>> {
+        type Value = V;
+
+        fn sample(&self, rng: &mut TestRng) -> V {
+            (**self).sample(rng)
+        }
+    }
+
+    /// Weighted choice between strategies producing the same type —
+    /// the engine behind [`crate::prop_oneof!`].
+    pub struct Union<V> {
+        options: Vec<(u32, Box<dyn Strategy<Value = V>>)>,
+    }
+
+    impl<V> Union<V> {
+        /// A union over `(weight, strategy)` options.
+        ///
+        /// # Panics
+        ///
+        /// Panics if `options` is empty or all weights are zero.
+        pub fn new(options: Vec<(u32, Box<dyn Strategy<Value = V>>)>) -> Self {
+            let total: u64 = options.iter().map(|(w, _)| u64::from(*w)).sum();
+            assert!(total > 0, "prop_oneof! needs at least one positive weight");
+            Union { options }
+        }
+    }
+
+    impl<V> Strategy for Union<V> {
+        type Value = V;
+
+        fn sample(&self, rng: &mut TestRng) -> V {
+            let total: u64 = self.options.iter().map(|(w, _)| u64::from(*w)).sum();
+            let mut pick = rng.gen_range(0..total);
+            for (weight, strat) in &self.options {
+                let weight = u64::from(*weight);
+                if pick < weight {
+                    return strat.sample(rng);
+                }
+                pick -= weight;
+            }
+            unreachable!("pick always lands inside the total weight")
         }
     }
 
@@ -209,9 +275,25 @@ pub mod test_runner {
 
 /// One-stop imports, mirroring `proptest::prelude`.
 pub mod prelude {
-    pub use crate::strategy::Strategy;
+    pub use crate::strategy::{Just, Strategy};
     pub use crate::test_runner::{ProptestConfig, TestCaseError};
-    pub use crate::{prop_assert, prop_assert_eq, proptest};
+    pub use crate::{prop_assert, prop_assert_eq, prop_oneof, proptest};
+}
+
+/// Weighted (`weight => strategy`) or uniform (`strategy, …`) choice
+/// between strategies producing the same value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($weight:literal => $strat:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $(($weight as u32, $crate::strategy::boxed($strat))),+
+        ])
+    };
+    ($($strat:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $((1u32, $crate::strategy::boxed($strat))),+
+        ])
+    };
 }
 
 /// Declares property tests: each `fn` becomes a `#[test]` that draws
@@ -337,6 +419,39 @@ mod tests {
         let mut a = TestRng::deterministic("same-name");
         let mut b = TestRng::deterministic("same-name");
         assert_eq!(strat.sample(&mut a), strat.sample(&mut b));
+    }
+
+    #[test]
+    fn oneof_samples_every_arm_and_respects_weights() {
+        let mut rng = TestRng::deterministic("oneof_samples_every_arm");
+        let strat = prop_oneof![
+            9 => 0.0..1.0f64,
+            1 => Just(5.0f64),
+        ];
+        let mut constants = 0u32;
+        let mut ranged = 0u32;
+        for _ in 0..500 {
+            let v = strat.sample(&mut rng);
+            if v == 5.0 {
+                constants += 1;
+            } else {
+                assert!((0.0..1.0).contains(&v));
+                ranged += 1;
+            }
+        }
+        assert!(constants > 0, "low-weight arm never sampled");
+        assert!(ranged > constants, "weights ignored");
+    }
+
+    #[test]
+    fn uniform_oneof_covers_all_arms() {
+        let mut rng = TestRng::deterministic("uniform_oneof_covers_all_arms");
+        let strat = prop_oneof![Just(1u32), Just(2u32), Just(3u32)];
+        let mut seen = [false; 3];
+        for _ in 0..100 {
+            seen[strat.sample(&mut rng) as usize - 1] = true;
+        }
+        assert_eq!(seen, [true; 3]);
     }
 
     proptest! {
