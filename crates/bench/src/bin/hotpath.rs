@@ -1,0 +1,265 @@
+//! Hot-path latency baseline: per-stage p50/p95/p99 across a crowd
+//! density × point budget sweep, written to `BENCH_hotpath.json` at the
+//! repository root.
+//!
+//! Every cell trains nothing — one compact HAWC is trained up front and
+//! shared — so the sweep isolates the per-frame pipeline: adaptive
+//! clustering (scratch-reusing DBSCAN), up-sampling, projection, and
+//! the CNN forward pass. Stage timings come from the `obs` histograms
+//! the pipeline already feeds; the bench resets them between cells.
+//!
+//! ```text
+//! cargo run -p bench --release --bin hotpath              # full sweep
+//! cargo run -p bench --release --bin hotpath -- --smoke   # CI-sized
+//! cargo run -p bench --release --bin hotpath -- --threads 4 --frames 50
+//! ```
+//!
+//! Flags: `--smoke` (small sweep for CI), `--seed N`, `--threads N`
+//! (classify fan-out workers, 0 = one per core), `--frames N` (captures
+//! per cell), `--out PATH` (default `<repo root>/BENCH_hotpath.json`).
+
+use bench::{table, HarnessArgs, Workbench};
+use counting::{CounterConfig, CrowdCounter};
+use dataset::{generate_counting_dataset, CountingDatasetConfig};
+use lidar::SensorConfig;
+use obs::HistogramSnapshot;
+use std::fmt::Write as _;
+use std::path::PathBuf;
+
+/// Stages reported per cell, in pipeline order.
+const STAGES: [&str; 5] = [
+    "clustering",
+    "upsample",
+    "projection",
+    "classification",
+    "frame_total",
+];
+
+struct Args {
+    smoke: bool,
+    seed: u64,
+    threads: usize,
+    frames: usize,
+    out: PathBuf,
+}
+
+fn repo_root() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../..")
+}
+
+fn parse_args() -> Args {
+    let mut out = Args {
+        smoke: false,
+        seed: 42,
+        threads: 0,
+        frames: 0,
+        out: repo_root().join("BENCH_hotpath.json"),
+    };
+    let args: Vec<String> = std::env::args().collect();
+    let mut i = 1;
+    while i < args.len() {
+        let take = |i: &mut usize| -> String {
+            *i += 1;
+            args.get(*i)
+                .unwrap_or_else(|| panic!("missing value for {}", args[*i - 1]))
+                .clone()
+        };
+        match args[i].as_str() {
+            "--smoke" => out.smoke = true,
+            "--seed" => out.seed = take(&mut i).parse().expect("--seed"),
+            "--threads" => out.threads = take(&mut i).parse().expect("--threads"),
+            "--frames" => out.frames = take(&mut i).parse().expect("--frames"),
+            "--out" => out.out = PathBuf::from(take(&mut i)),
+            other => {
+                panic!("unknown flag {other} (use --smoke, --seed, --threads, --frames, --out)")
+            }
+        }
+        i += 1;
+    }
+    if out.frames == 0 {
+        out.frames = if out.smoke { 12 } else { 60 };
+    }
+    out
+}
+
+/// One sweep cell: `max_pedestrians` sets crowd density, `sweep_frames`
+/// sets the point budget (aggregated LiDAR sweeps per capture).
+struct Cell {
+    crowd: usize,
+    sweep_frames: usize,
+}
+
+fn cells(smoke: bool) -> Vec<Cell> {
+    let crowds: &[usize] = if smoke { &[2, 8] } else { &[2, 6, 12] };
+    let budgets: &[usize] = if smoke { &[1] } else { &[1, 2] };
+    crowds
+        .iter()
+        .flat_map(|&crowd| {
+            budgets.iter().map(move |&sweep_frames| Cell {
+                crowd,
+                sweep_frames,
+            })
+        })
+        .collect()
+}
+
+// --- minimal JSON writers (the vendored serde stand-in has no
+// serializers, so the report is hand-rolled like obs::export) ---
+
+fn json_f64(v: f64) -> String {
+    if v.is_finite() {
+        format!("{v}")
+    } else {
+        "null".to_string()
+    }
+}
+
+fn stage_json(h: &HistogramSnapshot) -> String {
+    format!(
+        "{{\"name\":\"{}\",\"count\":{},\"mean_ms\":{},\"p50_ms\":{},\"p95_ms\":{},\"p99_ms\":{},\"min_ms\":{},\"max_ms\":{}}}",
+        h.name,
+        h.count,
+        json_f64(h.mean_ms),
+        json_f64(h.p50_ms),
+        json_f64(h.p95_ms),
+        json_f64(h.p99_ms),
+        json_f64(h.min_ms),
+        json_f64(h.max_ms),
+    )
+}
+
+struct CellReport {
+    crowd: usize,
+    sweep_frames: usize,
+    mean_points: f64,
+    mae: f64,
+    stages: Vec<HistogramSnapshot>,
+}
+
+impl CellReport {
+    fn json(&self) -> String {
+        let stages: Vec<String> = self.stages.iter().map(stage_json).collect();
+        format!(
+            "{{\"crowd\":{},\"sweep_frames\":{},\"mean_points\":{},\"mae\":{},\"stages\":[{}]}}",
+            self.crowd,
+            self.sweep_frames,
+            json_f64(self.mean_points),
+            json_f64(self.mae),
+            stages.join(",")
+        )
+    }
+}
+
+fn main() {
+    let args = parse_args();
+    obs::enable(true);
+
+    // One compact HAWC shared across the sweep. Smoke mode shrinks the
+    // training set and epochs to CI scale; accuracy is incidental here —
+    // the bench measures latency, and every cell runs the same weights.
+    let harness = HarnessArgs {
+        samples: if args.smoke { 160 } else { 800 },
+        counting_samples: 0,
+        seed: args.seed,
+        epochs: if args.smoke { 4 } else { 16 },
+        ..HarnessArgs::default()
+    };
+    let bench = Workbench::prepare(harness);
+    let model = bench.train_hawc();
+    let mut counter = CrowdCounter::new(
+        model,
+        CounterConfig {
+            classify_threads: args.threads,
+            ..CounterConfig::default()
+        },
+    );
+
+    let mut reports: Vec<CellReport> = Vec::new();
+    for cell in cells(args.smoke) {
+        let data = generate_counting_dataset(&CountingDatasetConfig {
+            samples: args.frames,
+            seed: args.seed ^ ((cell.crowd as u64) << 8) ^ cell.sweep_frames as u64,
+            max_pedestrians: cell.crowd,
+            sensor: SensorConfig {
+                frames: cell.sweep_frames,
+                ..SensorConfig::default()
+            },
+            ..CountingDatasetConfig::default()
+        });
+        obs::reset();
+        let mut points = 0usize;
+        let mut abs_err = 0usize;
+        for sample in &data {
+            let result = counter.count(&sample.cloud);
+            obs::observe_ms("frame_total", result.total_ms());
+            points += sample.cloud.len();
+            abs_err += result.count.abs_diff(sample.ground_truth);
+        }
+        let snapshot = obs::snapshot();
+        let stages: Vec<HistogramSnapshot> = STAGES
+            .iter()
+            .filter_map(|&stage| {
+                snapshot
+                    .histograms
+                    .iter()
+                    .find(|h| h.name == stage)
+                    .cloned()
+            })
+            .collect();
+        let report = CellReport {
+            crowd: cell.crowd,
+            sweep_frames: cell.sweep_frames,
+            mean_points: points as f64 / data.len().max(1) as f64,
+            mae: abs_err as f64 / data.len().max(1) as f64,
+            stages,
+        };
+        eprintln!(
+            "[hotpath] crowd ≤{:>2}, {} sweep(s): {:.0} pts/frame, MAE {:.2}",
+            report.crowd, report.sweep_frames, report.mean_points, report.mae
+        );
+        reports.push(report);
+    }
+
+    // Terminal summary: one row per (cell, stage).
+    let mut rows = Vec::new();
+    for r in &reports {
+        for h in &r.stages {
+            rows.push(vec![
+                format!("≤{} ped × {} sweep", r.crowd, r.sweep_frames),
+                h.name.clone(),
+                table::f(h.p50_ms, 2),
+                table::f(h.p95_ms, 2),
+                table::f(h.p99_ms, 2),
+                table::f(h.mean_ms, 2),
+            ]);
+        }
+    }
+    println!(
+        "\nHot-path latency baseline ({} captures/cell, classify_threads = {})\n",
+        args.frames, args.threads
+    );
+    println!(
+        "{}",
+        table::render(
+            &["Cell", "Stage", "p50 ms", "p95 ms", "p99 ms", "mean ms"],
+            &rows
+        )
+    );
+
+    let mut json = String::new();
+    let _ = write!(
+        json,
+        "{{\"bench\":\"hotpath\",\"seed\":{},\"threads\":{},\"frames_per_cell\":{},\"smoke\":{},\"cells\":[",
+        args.seed, args.threads, args.frames, args.smoke
+    );
+    let cells_json: Vec<String> = reports.iter().map(CellReport::json).collect();
+    json.push_str(&cells_json.join(","));
+    json.push_str("]}\n");
+    match std::fs::write(&args.out, &json) {
+        Ok(()) => println!("report written to {}", args.out.display()),
+        Err(e) => {
+            eprintln!("failed to write {}: {e}", args.out.display());
+            std::process::exit(1);
+        }
+    }
+}

@@ -9,7 +9,7 @@
 use geom::{KdTree, Point3};
 use serde::{Deserialize, Serialize};
 
-use crate::{dbscan, knee, Clustering, DbscanParams};
+use crate::{dbscan_with_scratch, dbscan_with_tree, knee, Clustering, DbscanParams, DbscanScratch};
 
 /// Parameters of adaptive clustering.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -74,15 +74,28 @@ pub struct EpsChoice {
 /// relative gaps everywhere; the elbow resolves to the first index, so
 /// `ε` equals the uniform spacing — finite and usable.
 pub fn adaptive_eps_detailed(points: &[Point3], cfg: &AdaptiveConfig) -> EpsChoice {
+    if points.len() < cfg.k + 2 {
+        return EpsChoice {
+            eps: cfg.fallback_eps,
+            knee_index: None,
+            clamped: false,
+        };
+    }
+    adaptive_eps_from_tree(&KdTree::build(points), cfg)
+}
+
+/// [`adaptive_eps_detailed`] over an already-built tree, so per-frame
+/// callers (and [`adaptive_dbscan`] itself) can reuse one tree for both
+/// the k-NN elbow and the DBSCAN expansion queries.
+pub fn adaptive_eps_from_tree(tree: &KdTree, cfg: &AdaptiveConfig) -> EpsChoice {
     let fallback = EpsChoice {
         eps: cfg.fallback_eps,
         knee_index: None,
         clamped: false,
     };
-    if points.len() < cfg.k + 2 {
+    if tree.len() < cfg.k + 2 {
         return fallback;
     }
-    let tree = KdTree::build(points);
     let mut dists = tree.knn_distances(cfg.k);
     // Non-finite distances (coordinate overflow, short neighbourhoods)
     // carry no elbow information and would poison the sort order.
@@ -114,23 +127,42 @@ pub fn adaptive_eps(points: &[Point3], cfg: &AdaptiveConfig) -> f64 {
 /// [`adaptive_eps`], then DBSCAN. Notes the ε decision on the open
 /// telemetry frame, if any.
 pub fn adaptive_dbscan(points: &[Point3], cfg: &AdaptiveConfig) -> Clustering {
-    let choice = adaptive_eps_detailed(points, cfg);
+    adaptive_dbscan_with_scratch(points, cfg, &mut DbscanScratch::new())
+}
+
+/// [`adaptive_dbscan`] with caller-owned DBSCAN working memory. One
+/// kd-tree serves both the elbow search and the expansion queries, and
+/// with a warmed `scratch` the whole stage performs no per-query heap
+/// allocations.
+pub fn adaptive_dbscan_with_scratch(
+    points: &[Point3],
+    cfg: &AdaptiveConfig,
+    scratch: &mut DbscanScratch,
+) -> Clustering {
+    let params_for = |choice: &EpsChoice| DbscanParams {
+        eps: choice.eps,
+        min_points: cfg.min_points,
+    };
+    let choice;
+    let clustering = if points.len() < cfg.k + 2 {
+        choice = adaptive_eps_detailed(points, cfg);
+        dbscan_with_scratch(points, &params_for(&choice), scratch)
+    } else {
+        let tree = KdTree::build(points);
+        choice = adaptive_eps_from_tree(&tree, cfg);
+        dbscan_with_tree(&tree, &params_for(&choice), scratch)
+    };
     obs::frame_eps(choice.eps, choice.knee_index);
     if choice.clamped {
         obs::incr("cluster.eps_clamped", 1);
     }
-    dbscan(
-        points,
-        &DbscanParams {
-            eps: choice.eps,
-            min_points: cfg.min_points,
-        },
-    )
+    clustering
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::dbscan;
     use geom::Vec3;
 
     fn blob(center: Point3, n: usize, spacing: f64) -> Vec<Point3> {

@@ -30,6 +30,47 @@ impl Default for DbscanParams {
     }
 }
 
+/// Reusable working memory for [`dbscan_with_scratch`].
+///
+/// Holds the neighbour buffer, the expansion queue and the
+/// visited/enqueued bitmaps. After the first frame at a given capture
+/// size the whole clustering stage performs no per-query heap
+/// allocations: every radius query lands in the same neighbour buffer
+/// and the queue/bitmaps only grow, never shrink.
+#[derive(Debug, Default)]
+pub struct DbscanScratch {
+    neighbours: Vec<usize>,
+    queue: Vec<usize>,
+    visited: Vec<bool>,
+    enqueued: Vec<bool>,
+    max_queue_len: usize,
+}
+
+impl DbscanScratch {
+    /// Creates an empty scratch.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Largest expansion-queue length seen over the scratch's lifetime.
+    ///
+    /// The enqueued bitmap guarantees each point enters the queue at
+    /// most once per run, so this never exceeds the capture size — the
+    /// regression guard for the old duplicate-enqueue behaviour whose
+    /// queue grew with the sum of core degrees.
+    pub fn max_queue_len(&self) -> usize {
+        self.max_queue_len
+    }
+
+    fn reset(&mut self, n: usize) {
+        self.visited.clear();
+        self.visited.resize(n, false);
+        self.enqueued.clear();
+        self.enqueued.resize(n, false);
+        self.queue.clear();
+    }
+}
+
 /// Runs DBSCAN over `points`.
 ///
 /// Standard expansion: every unvisited core point seeds a cluster and the
@@ -40,32 +81,86 @@ impl Default for DbscanParams {
 ///
 /// Panics if `eps` is not positive or `min_points == 0`.
 pub fn dbscan(points: &[Point3], params: &DbscanParams) -> Clustering {
+    dbscan_with_scratch(points, params, &mut DbscanScratch::new())
+}
+
+/// [`dbscan`] with caller-owned working memory, for per-frame loops
+/// that want the clustering stage allocation-free after warm-up.
+///
+/// # Panics
+///
+/// Panics if `eps` is not positive or `min_points == 0`.
+pub fn dbscan_with_scratch(
+    points: &[Point3],
+    params: &DbscanParams,
+    scratch: &mut DbscanScratch,
+) -> Clustering {
+    if points.is_empty() {
+        assert!(params.eps > 0.0, "eps must be positive");
+        assert!(params.min_points > 0, "min_points must be positive");
+        return Clustering::all_noise(0);
+    }
+    let tree = KdTree::build(points);
+    dbscan_with_tree(&tree, params, scratch)
+}
+
+/// Runs DBSCAN over the points already indexed by `tree` — the core of
+/// both public entry points. Adaptive clustering calls this directly so
+/// the tree built for the k-NN elbow is reused for the expansion
+/// queries instead of being rebuilt.
+///
+/// Labels refer to the order of the slice the tree was built from.
+///
+/// # Panics
+///
+/// Panics if `eps` is not positive or `min_points == 0`.
+pub fn dbscan_with_tree(
+    tree: &KdTree,
+    params: &DbscanParams,
+    scratch: &mut DbscanScratch,
+) -> Clustering {
     assert!(params.eps > 0.0, "eps must be positive");
     assert!(params.min_points > 0, "min_points must be positive");
+    let points = tree.points();
     let n = points.len();
     if n == 0 {
         return Clustering::all_noise(0);
     }
-    let tree = KdTree::build(points);
     let mut labels: Vec<Option<usize>> = vec![None; n];
-    let mut visited = vec![false; n];
     let mut n_clusters = 0usize;
-    let mut queue: Vec<usize> = Vec::new();
+    scratch.reset(n);
+    let DbscanScratch {
+        neighbours,
+        queue,
+        visited,
+        enqueued,
+        max_queue_len,
+    } = scratch;
 
     for seed in 0..n {
         if visited[seed] {
             continue;
         }
         visited[seed] = true;
-        let neighbours = tree.within(points[seed], params.eps);
+        tree.within_into(points[seed], params.eps, neighbours);
         if neighbours.len() < params.min_points {
             continue; // noise unless a later cluster absorbs it as border
         }
         let cluster = n_clusters;
         n_clusters += 1;
         labels[seed] = Some(cluster);
-        queue.clear();
-        queue.extend(neighbours);
+        enqueued[seed] = true;
+        for &q in neighbours.iter() {
+            // The enqueued bitmap admits each point at most once: a
+            // point already labelled (or waiting in the queue) gains
+            // nothing from a second visit, and dense blobs would
+            // otherwise grow the queue with the sum of core degrees.
+            if !enqueued[q] {
+                enqueued[q] = true;
+                queue.push(q);
+            }
+        }
+        *max_queue_len = (*max_queue_len).max(queue.len());
         while let Some(p) = queue.pop() {
             if labels[p].is_none() {
                 labels[p] = Some(cluster); // border or core member
@@ -74,14 +169,16 @@ pub fn dbscan(points: &[Point3], params: &DbscanParams) -> Clustering {
                 continue;
             }
             visited[p] = true;
-            let nn = tree.within(points[p], params.eps);
-            if nn.len() >= params.min_points {
+            tree.within_into(points[p], params.eps, neighbours);
+            if neighbours.len() >= params.min_points {
                 // p is core: its neighbourhood is density-reachable.
-                for q in nn {
-                    if !visited[q] || labels[q].is_none() {
+                for &q in neighbours.iter() {
+                    if !enqueued[q] {
+                        enqueued[q] = true;
                         queue.push(q);
                     }
                 }
+                *max_queue_len = (*max_queue_len).max(queue.len());
             }
         }
     }
@@ -229,6 +326,72 @@ mod tests {
                 min_points: 3,
             },
         );
+    }
+
+    #[test]
+    fn dense_blob_queue_never_exceeds_point_count() {
+        // Regression: expansion used to push a point once per core
+        // neighbour, so a dense blob (every point within ε of every
+        // other) grew the queue to O(n²) entries. The enqueued bitmap
+        // bounds it at n.
+        let n = 400;
+        let pts = blob(Point3::new(0.0, 0.0, 0.0), n, 0.2);
+        let mut scratch = DbscanScratch::new();
+        let c = dbscan_with_scratch(
+            &pts,
+            &DbscanParams {
+                eps: 2.0, // every pair is within ε: all points are core
+                min_points: 4,
+            },
+            &mut scratch,
+        );
+        assert_eq!(c.cluster_count(), 1);
+        assert!(
+            scratch.max_queue_len() <= n,
+            "queue peaked at {} for {} points",
+            scratch.max_queue_len(),
+            n
+        );
+    }
+
+    #[test]
+    fn scratch_reuse_matches_fresh_runs() {
+        // One scratch across captures of different sizes and ε must
+        // give the same partitions as fresh allocations each time.
+        let mut scratch = DbscanScratch::new();
+        let captures: Vec<(Vec<Point3>, DbscanParams)> = vec![
+            (
+                blob(Point3::ZERO, 300, 0.4),
+                DbscanParams {
+                    eps: 0.5,
+                    min_points: 4,
+                },
+            ),
+            (
+                {
+                    let mut p = blob(Point3::ZERO, 40, 0.3);
+                    p.extend(blob(Point3::new(10.0, 0.0, 0.0), 40, 0.3));
+                    p
+                },
+                DbscanParams {
+                    eps: 0.5,
+                    min_points: 4,
+                },
+            ),
+            (
+                blob(Point3::new(3.0, 1.0, 0.0), 12, 1.5),
+                DbscanParams {
+                    eps: 0.2,
+                    min_points: 3,
+                },
+            ),
+        ];
+        for (pts, params) in &captures {
+            let reused = dbscan_with_scratch(pts, params, &mut scratch);
+            let fresh = dbscan(pts, params);
+            assert_eq!(reused.labels(), fresh.labels());
+            assert_eq!(reused.cluster_count(), fresh.cluster_count());
+        }
     }
 
     #[test]

@@ -41,9 +41,10 @@ pub mod knee;
 mod labels;
 
 pub use adaptive::{
-    adaptive_dbscan, adaptive_eps, adaptive_eps_detailed, AdaptiveConfig, EpsChoice,
+    adaptive_dbscan, adaptive_dbscan_with_scratch, adaptive_eps, adaptive_eps_detailed,
+    adaptive_eps_from_tree, AdaptiveConfig, EpsChoice,
 };
-pub use dbscan::{dbscan, DbscanParams};
+pub use dbscan::{dbscan, dbscan_with_scratch, dbscan_with_tree, DbscanParams, DbscanScratch};
 pub use gmm::{gmm, GmmParams};
 pub use hierarchical::{hierarchical, Linkage};
 pub use kmeans::{kmeans, KmeansParams};

@@ -7,7 +7,9 @@ use nn::{
     Adam, BatchNorm2d, Conv2d, Dense, Flatten, MaxPool2d, ReLU, Sequential, Tensor, TrainConfig,
     TrainEvent,
 };
-use projection::{project_batch, upsample_gaussian, upsample_with_pool, ProjectionConfig};
+use projection::{
+    project_batch, project_batch_threads, upsample_gaussian, upsample_with_pool, ProjectionConfig,
+};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use serde::{Deserialize, Serialize};
@@ -290,20 +292,24 @@ impl HawcClassifier {
     }
 
     /// Preprocesses raw clusters into the standardized CNN input for one
-    /// noise draw (`vote` selects the draw).
-    fn prepare(&self, clouds: &[Vec<Point3>], vote: u64) -> Tensor {
+    /// noise draw (`vote` selects the draw), fanning the per-cloud
+    /// up-sampling and projection over up to `threads` workers.
+    ///
+    /// Each cloud pads from its own content-derived seed and the ordered
+    /// fan-out re-assembles results in input order, so the tensor is
+    /// bit-identical for any thread count. The `obs::stage` wrappers stay
+    /// on this (coordinator) thread: frame drafts are thread-local, and
+    /// the stage must be attributed to the frame being counted.
+    fn prepare(&self, clouds: &[Vec<Point3>], vote: u64, threads: usize) -> Tensor {
         let fixed: Vec<Vec<Point3>> = obs::stage("upsample", || {
-            clouds
-                .iter()
-                .map(|c| {
-                    let seed = cloud_seed(c, self.config.predict_seed).wrapping_add(vote);
-                    let mut rng = StdRng::seed_from_u64(seed);
-                    pad_cloud(c, &self.config, &self.pool, &mut rng)
-                })
-                .collect()
+            nn::par_map_ordered(clouds, threads, |c| {
+                let seed = cloud_seed(c, self.config.predict_seed).wrapping_add(vote);
+                let mut rng = StdRng::seed_from_u64(seed);
+                pad_cloud(c, &self.config, &self.pool, &mut rng)
+            })
         });
         let x = obs::stage("projection", || {
-            project_batch(&fixed, &self.config.projection)
+            project_batch_threads(&fixed, &self.config.projection, threads)
         });
         self.norm.apply(&x)
     }
@@ -316,13 +322,26 @@ impl HawcClassifier {
     /// Classifies a batch of clusters, averaging logits over
     /// `predict_votes` independent padding draws.
     pub fn predict_batch(&mut self, clouds: &[Vec<Point3>]) -> Vec<ClassLabel> {
+        self.predict_batch_threads(clouds, 1)
+    }
+
+    /// [`predict_batch`] with the per-cluster preprocessing fanned out
+    /// over up to `threads` workers (`0` = one per core). Labels are
+    /// bit-identical to the serial path for any thread count.
+    ///
+    /// [`predict_batch`]: HawcClassifier::predict_batch
+    pub fn predict_batch_threads(
+        &mut self,
+        clouds: &[Vec<Point3>],
+        threads: usize,
+    ) -> Vec<ClassLabel> {
         if clouds.is_empty() {
             return Vec::new();
         }
         let votes = self.config.predict_votes.max(1);
         let mut sum: Option<Vec<f32>> = None;
         for v in 0..votes {
-            let x = self.prepare(clouds, v as u64);
+            let x = self.prepare(clouds, v as u64, threads);
             let probs = nn::softmax(&self.net.predict(&x));
             match &mut sum {
                 None => sum = Some(probs.data().to_vec()),
@@ -375,7 +394,7 @@ impl HawcClassifier {
             .iter()
             .map(|s| s.cloud.points().to_vec())
             .collect();
-        let x = self.prepare(&clouds, 0);
+        let x = self.prepare(&clouds, 0, 1);
         let qnet = QuantizedNetwork::from_sequential(&self.net, &x)?;
         Ok(QuantizedHawc {
             config: self.config,
@@ -399,6 +418,15 @@ impl QuantizedHawc {
     /// Classifies a batch of clusters with integer arithmetic, averaging
     /// dequantized logits over `predict_votes` padding draws.
     pub fn predict_batch(&self, clouds: &[Vec<Point3>]) -> Vec<ClassLabel> {
+        self.predict_batch_threads(clouds, 1)
+    }
+
+    /// [`predict_batch`] with the per-cluster preprocessing fanned out
+    /// over up to `threads` workers (`0` = one per core). Labels are
+    /// bit-identical to the serial path for any thread count.
+    ///
+    /// [`predict_batch`]: QuantizedHawc::predict_batch
+    pub fn predict_batch_threads(&self, clouds: &[Vec<Point3>], threads: usize) -> Vec<ClassLabel> {
         if clouds.is_empty() {
             return Vec::new();
         }
@@ -406,18 +434,18 @@ impl QuantizedHawc {
         let mut sum: Option<Vec<f32>> = None;
         for v in 0..votes {
             let fixed: Vec<Vec<Point3>> = obs::stage("upsample", || {
-                clouds
-                    .iter()
-                    .map(|c| {
-                        let seed = cloud_seed(c, self.config.predict_seed).wrapping_add(v as u64);
-                        let mut rng = StdRng::seed_from_u64(seed);
-                        pad_cloud(c, &self.config, &self.pool, &mut rng)
-                    })
-                    .collect()
+                nn::par_map_ordered(clouds, threads, |c| {
+                    let seed = cloud_seed(c, self.config.predict_seed).wrapping_add(v as u64);
+                    let mut rng = StdRng::seed_from_u64(seed);
+                    pad_cloud(c, &self.config, &self.pool, &mut rng)
+                })
             });
             let x = obs::stage("projection", || {
-                self.norm
-                    .apply(&project_batch(&fixed, &self.config.projection))
+                self.norm.apply(&project_batch_threads(
+                    &fixed,
+                    &self.config.projection,
+                    threads,
+                ))
             });
             let logits = self.qnet.predict(&x);
             let probs = nn::softmax(&logits);
@@ -464,6 +492,10 @@ impl dataset::CloudClassifier for HawcClassifier {
         self.predict_batch(clouds)
     }
 
+    fn classify_parallel(&mut self, clouds: &[Vec<Point3>], threads: usize) -> Vec<ClassLabel> {
+        self.predict_batch_threads(clouds, threads)
+    }
+
     fn model_name(&self) -> &str {
         "HAWC"
     }
@@ -472,6 +504,10 @@ impl dataset::CloudClassifier for HawcClassifier {
 impl dataset::CloudClassifier for QuantizedHawc {
     fn classify(&mut self, clouds: &[Vec<Point3>]) -> Vec<ClassLabel> {
         self.predict_batch(clouds)
+    }
+
+    fn classify_parallel(&mut self, clouds: &[Vec<Point3>], threads: usize) -> Vec<ClassLabel> {
+        self.predict_batch_threads(clouds, threads)
     }
 
     fn model_name(&self) -> &str {

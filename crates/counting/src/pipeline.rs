@@ -1,7 +1,8 @@
 //! The clustering + classification counting pipeline.
 
 use cluster::{
-    adaptive_dbscan, dbscan, hierarchical, AdaptiveConfig, Clustering, DbscanParams, Linkage,
+    adaptive_dbscan_with_scratch, dbscan_with_scratch, hierarchical, AdaptiveConfig, Clustering,
+    DbscanParams, DbscanScratch, Linkage,
 };
 use dataset::{ClassLabel, CloudClassifier, CountingSample};
 use geom::stats::Summary;
@@ -36,10 +37,10 @@ impl Default for ClusterMethod {
 }
 
 impl ClusterMethod {
-    fn run(&self, points: &[Point3]) -> Clustering {
+    fn run(&self, points: &[Point3], scratch: &mut DbscanScratch) -> Clustering {
         match self {
-            ClusterMethod::Adaptive(cfg) => adaptive_dbscan(points, cfg),
-            ClusterMethod::Fixed(params) => dbscan(points, params),
+            ClusterMethod::Adaptive(cfg) => adaptive_dbscan_with_scratch(points, cfg, scratch),
+            ClusterMethod::Fixed(params) => dbscan_with_scratch(points, params, scratch),
             ClusterMethod::Hierarchical { linkage, threshold } => {
                 hierarchical(points, *linkage, *threshold)
             }
@@ -55,6 +56,10 @@ pub struct CounterConfig {
     /// Clusters smaller than this are treated as residual noise and never
     /// reach the classifier.
     pub min_cluster_points: usize,
+    /// Worker-thread budget handed to the classifier's per-cluster
+    /// fan-out (`0` = pick automatically). Counts are bit-identical for
+    /// any value — see [`CloudClassifier::classify_parallel`].
+    pub classify_threads: usize,
 }
 
 impl Default for CounterConfig {
@@ -62,6 +67,7 @@ impl Default for CounterConfig {
         CounterConfig {
             cluster_method: ClusterMethod::default(),
             min_cluster_points: 10,
+            classify_threads: 0,
         }
     }
 }
@@ -103,6 +109,9 @@ pub struct CrowdCounter<C: CloudClassifier> {
     config: CounterConfig,
     classifier: C,
     name: String,
+    /// Reusable clustering buffers: after the first frame warms them up,
+    /// the clustering stage performs no transient allocations.
+    scratch: DbscanScratch,
 }
 
 impl<C: CloudClassifier> std::fmt::Debug for CrowdCounter<C> {
@@ -122,6 +131,7 @@ impl<C: CloudClassifier> CrowdCounter<C> {
             config,
             classifier,
             name,
+            scratch: DbscanScratch::new(),
         }
     }
 
@@ -160,8 +170,9 @@ impl<C: CloudClassifier> CrowdCounter<C> {
         }
         obs::frame_points_in(capture.points().len());
 
+        let scratch = &mut self.scratch;
         let ((clusters_found, groups), clustering_ms) = obs::timed_ms(|| {
-            let clustering = self.config.cluster_method.run(capture.points());
+            let clustering = self.config.cluster_method.run(capture.points(), scratch);
             let groups = clustering.cluster_points(capture.points());
             (clustering.cluster_count(), groups)
         });
@@ -183,7 +194,8 @@ impl<C: CloudClassifier> CrowdCounter<C> {
             if kept.is_empty() {
                 Vec::new()
             } else {
-                self.classifier.classify(&kept)
+                self.classifier
+                    .classify_parallel(&kept, self.config.classify_threads)
             }
         });
         let upsample_ms = obs::frame_stage_total("upsample") - u0;
@@ -373,6 +385,7 @@ mod tests {
                     threshold: 0.3,
                 },
                 min_cluster_points: 1,
+                ..CounterConfig::default()
             },
         );
         let fragmented = frag.count(&capture(&[(14.0, 0.0, -1.3)]));
@@ -400,6 +413,7 @@ mod tests {
                     min_points: 5,
                 }),
                 min_cluster_points: 10,
+                ..CounterConfig::default()
             },
         );
         let result = counter.count_once(&capture(&[(14.0, 0.0, -1.3)]));

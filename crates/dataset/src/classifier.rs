@@ -13,6 +13,22 @@ pub trait CloudClassifier {
     /// Classifies a batch of clusters.
     fn classify(&mut self, clouds: &[Vec<Point3>]) -> Vec<ClassLabel>;
 
+    /// Classifies a batch of clusters, allowed to fan the per-cluster
+    /// work out over up to `threads` worker threads (`0` = pick
+    /// automatically).
+    ///
+    /// Implementations must return **exactly** what [`classify`]
+    /// returns for the same batch — thread count is a throughput knob,
+    /// never an accuracy knob — so the default simply delegates to the
+    /// serial path. Classifiers with an internally parallel hot path
+    /// (HAWC's upsample + projection fan-out) override this.
+    ///
+    /// [`classify`]: CloudClassifier::classify
+    fn classify_parallel(&mut self, clouds: &[Vec<Point3>], threads: usize) -> Vec<ClassLabel> {
+        let _ = threads;
+        self.classify(clouds)
+    }
+
     /// Short human-readable model name for report tables.
     fn model_name(&self) -> &str;
 

@@ -25,21 +25,48 @@ use serde::{Deserialize, Serialize};
 #[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
 pub struct ObjectPool {
     points: Vec<Point3>,
+    /// x/y centroid of the pooled points, computed once at
+    /// construction. Up-sampling re-anchors every padding draw relative
+    /// to this; recomputing it per cluster per frame made each upsample
+    /// call O(pool size).
+    centroid_xy: (f64, f64),
+}
+
+fn centroid_xy_of(points: &[Point3]) -> (f64, f64) {
+    if points.is_empty() {
+        return (0.0, 0.0);
+    }
+    let n = points.len() as f64;
+    (
+        points.iter().map(|p| p.x).sum::<f64>() / n,
+        points.iter().map(|p| p.y).sum::<f64>() / n,
+    )
 }
 
 impl ObjectPool {
     /// Creates a pool from raw points.
     pub fn new(points: Vec<Point3>) -> Self {
-        ObjectPool { points }
+        let centroid_xy = centroid_xy_of(&points);
+        ObjectPool {
+            points,
+            centroid_xy,
+        }
     }
 
     /// Builds a pool by flattening object clouds.
     pub fn from_clouds<'a, I: IntoIterator<Item = &'a PointCloud>>(clouds: I) -> Self {
-        let points = clouds
-            .into_iter()
-            .flat_map(|c| c.points().iter().copied())
-            .collect();
-        ObjectPool { points }
+        Self::new(
+            clouds
+                .into_iter()
+                .flat_map(|c| c.points().iter().copied())
+                .collect(),
+        )
+    }
+
+    /// The pool's x/y centroid, cached at construction (`(0, 0)` for an
+    /// empty pool).
+    pub fn centroid_xy(&self) -> (f64, f64) {
+        self.centroid_xy
     }
 
     /// Number of pooled points.
@@ -80,14 +107,13 @@ impl ObjectPool {
 impl Extend<Point3> for ObjectPool {
     fn extend<I: IntoIterator<Item = Point3>>(&mut self, iter: I) {
         self.points.extend(iter);
+        self.centroid_xy = centroid_xy_of(&self.points);
     }
 }
 
 impl FromIterator<Point3> for ObjectPool {
     fn from_iter<I: IntoIterator<Item = Point3>>(iter: I) -> Self {
-        ObjectPool {
-            points: iter.into_iter().collect(),
-        }
+        ObjectPool::new(iter.into_iter().collect())
     }
 }
 
@@ -135,6 +161,29 @@ mod tests {
         let mut pool: ObjectPool = (0..5).map(|i| Point3::splat(i as f64)).collect();
         pool.extend([Point3::splat(9.0)]);
         assert_eq!(pool.len(), 6);
+    }
+
+    #[test]
+    fn centroid_is_cached_at_construction_and_tracks_extend() {
+        let pool = ObjectPool::new(vec![
+            Point3::new(1.0, 2.0, 5.0),
+            Point3::new(3.0, 6.0, -1.0),
+        ]);
+        assert_eq!(pool.centroid_xy(), (2.0, 4.0));
+
+        // Every constructor path must agree with a fresh recompute.
+        let collected: ObjectPool = pool.points().iter().copied().collect();
+        assert_eq!(collected.centroid_xy(), (2.0, 4.0));
+        let cloud = PointCloud::new(pool.points().to_vec());
+        assert_eq!(ObjectPool::from_clouds([&cloud]).centroid_xy(), (2.0, 4.0));
+
+        // Extending the pool refreshes the cache.
+        let mut pool = pool;
+        pool.extend([Point3::new(5.0, 13.0, 0.0)]);
+        assert_eq!(pool.centroid_xy(), (3.0, 7.0));
+
+        // Empty pools report the origin rather than NaN.
+        assert_eq!(ObjectPool::default().centroid_xy(), (0.0, 0.0));
     }
 
     #[test]

@@ -83,6 +83,39 @@ impl Ord for HeapItem {
     }
 }
 
+/// Reusable scratch state for [`KdTree::knn_into`].
+///
+/// Holds the query's bounded max-heap so repeated queries perform no
+/// heap allocations once the scratch has warmed up to the largest `k`
+/// seen. One scratch serves any number of trees and queries, but it is
+/// not shareable across threads mid-query (each worker owns its own).
+#[derive(Default)]
+pub struct KnnScratch {
+    heap: BinaryHeap<HeapItem>,
+}
+
+impl KnnScratch {
+    /// Creates an empty scratch.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Creates a scratch pre-sized for `k`-neighbour queries.
+    pub fn with_capacity(k: usize) -> Self {
+        KnnScratch {
+            heap: BinaryHeap::with_capacity(k + 1),
+        }
+    }
+}
+
+impl std::fmt::Debug for KnnScratch {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("KnnScratch")
+            .field("capacity", &self.heap.capacity())
+            .finish()
+    }
+}
+
 impl KdTree {
     /// Builds a tree over `points`.
     ///
@@ -194,14 +227,34 @@ impl KdTree {
     /// for `k + 1` and drop the first hit, as the height-aware projection
     /// does.
     pub fn knn(&self, q: Point3, k: usize) -> Vec<(usize, f64)> {
-        if k == 0 || self.points.is_empty() {
-            return Vec::new();
-        }
-        let mut heap: BinaryHeap<HeapItem> = BinaryHeap::with_capacity(k + 1);
-        self.knn_rec(self.root, q, k, &mut heap);
-        let mut out: Vec<(usize, f64)> = heap.into_iter().map(|h| (h.idx, h.d2)).collect();
-        out.sort_by(|a, b| a.1.partial_cmp(&b.1).unwrap_or(Ordering::Equal));
+        let mut out = Vec::new();
+        self.knn_into(q, k, &mut KnnScratch::with_capacity(k), &mut out);
         out
+    }
+
+    /// Allocation-free variant of [`KdTree::knn`]: clears `out` and
+    /// fills it with up to `k` `(index, squared distance)` pairs sorted
+    /// by ascending distance, reusing `scratch`'s internal heap.
+    ///
+    /// After the first call at a given `k`, repeated queries perform no
+    /// heap allocations as long as `out` has seen `k` results before —
+    /// the hot-path contract the clustering stage relies on (see
+    /// DESIGN.md "Scratch-buffer query API").
+    pub fn knn_into(
+        &self,
+        q: Point3,
+        k: usize,
+        scratch: &mut KnnScratch,
+        out: &mut Vec<(usize, f64)>,
+    ) {
+        out.clear();
+        if k == 0 || self.points.is_empty() {
+            return;
+        }
+        scratch.heap.clear();
+        self.knn_rec(self.root, q, k, &mut scratch.heap);
+        out.extend(scratch.heap.drain().map(|h| (h.idx, h.d2)));
+        out.sort_by(|a, b| a.1.partial_cmp(&b.1).unwrap_or(Ordering::Equal));
     }
 
     fn knn_rec(&self, node: usize, q: Point3, k: usize, heap: &mut BinaryHeap<HeapItem>) {
@@ -255,12 +308,23 @@ impl KdTree {
     /// neighbour of `p_i` when `distance(p_i, p_j) <= eps`.
     pub fn within(&self, q: Point3, radius: f64) -> Vec<usize> {
         let mut out = Vec::new();
+        self.within_into(q, radius, &mut out);
+        out
+    }
+
+    /// Allocation-free variant of [`KdTree::within`]: clears `out` and
+    /// fills it with the indices of all points within `radius` of `q`.
+    ///
+    /// Once `out` has grown to the largest neighbourhood the workload
+    /// produces, repeated queries perform no heap allocations — DBSCAN
+    /// runs its entire expansion through one such buffer.
+    pub fn within_into(&self, q: Point3, radius: f64, out: &mut Vec<usize>) {
+        out.clear();
         if radius < 0.0 || self.points.is_empty() {
-            return out;
+            return;
         }
         let r2 = radius * radius;
-        self.within_rec(self.root, q, radius, r2, &mut out);
-        out
+        self.within_rec(self.root, q, radius, r2, out);
     }
 
     fn within_rec(&self, node: usize, q: Point3, r: f64, r2: f64, out: &mut Vec<usize>) {
@@ -293,18 +357,31 @@ impl KdTree {
     /// point, i.e. the k-NN distance vector whose sorted form the adaptive
     /// clustering method scans for an elbow (§IV).
     ///
+    /// When the tree holds `k` or fewer points there is no k-th other
+    /// neighbour; those entries are `f64::INFINITY` rather than the
+    /// nearest order statistic that does exist — a silently-too-small
+    /// value would skew the adaptive-ε elbow, while the adaptive path
+    /// filters non-finite entries out.
+    ///
     /// # Panics
     ///
     /// Panics if `k == 0`.
     pub fn knn_distances(&self, k: usize) -> Vec<f64> {
         assert!(k > 0, "k must be positive");
+        let mut scratch = KnnScratch::with_capacity(k + 1);
+        let mut hits = Vec::with_capacity(k + 1);
         self.points
             .iter()
             .map(|&p| {
-                let hits = self.knn(p, k + 1);
+                self.knn_into(p, k + 1, &mut scratch, &mut hits);
                 // First hit is the point itself at distance 0 (or a
-                // duplicate); the k-th other neighbour is the last entry.
-                hits.last().map_or(f64::INFINITY, |&(_, d2)| d2.sqrt())
+                // duplicate); the k-th other neighbour is the last
+                // entry — present only when k + 1 hits came back.
+                if hits.len() < k + 1 {
+                    f64::INFINITY
+                } else {
+                    hits[k].1.sqrt()
+                }
             })
             .collect()
     }
@@ -437,6 +514,67 @@ mod tests {
         let d2 = tree.knn_distances(2);
         assert!((d2[0] - 2.0).abs() < 1e-12);
         assert!((d2[5] - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn knn_distances_without_kth_other_neighbour_are_infinite() {
+        // Regression: a tree with n <= k points used to return the
+        // (n−1)-th neighbour distance instead of the documented k-th,
+        // feeding a silently-too-small order statistic to the
+        // adaptive-ε elbow.
+        let pts = vec![
+            Point3::ZERO,
+            Point3::new(1.0, 0.0, 0.0),
+            Point3::new(2.0, 0.0, 0.0),
+        ];
+        let tree = KdTree::build(&pts);
+        // k = 4 > n - 1 = 2: no point has a 4th other neighbour.
+        assert!(tree.knn_distances(4).iter().all(|d| d.is_infinite()));
+        // k = n - 1 is the largest answerable k.
+        let d = tree.knn_distances(2);
+        assert_eq!(d, vec![2.0, 1.0, 2.0]);
+        // k = n has no k-th other neighbour either.
+        assert!(tree.knn_distances(3).iter().all(|d| d.is_infinite()));
+    }
+
+    #[test]
+    fn into_variants_match_owned_queries() {
+        let pts = grid(4);
+        let tree = KdTree::build(&pts);
+        let mut scratch = KnnScratch::new();
+        let mut knn_out = Vec::new();
+        let mut within_out = Vec::new();
+        for (i, &q) in pts.iter().enumerate() {
+            let k = 1 + i % 9;
+            tree.knn_into(q, k, &mut scratch, &mut knn_out);
+            assert_eq!(knn_out, tree.knn(q, k));
+            let r = 0.3 * (1 + i % 5) as f64;
+            tree.within_into(q, r, &mut within_out);
+            assert_eq!(within_out, tree.within(q, r));
+        }
+        // Degenerate inputs clear the buffer rather than appending.
+        knn_out.push((999, 0.0));
+        tree.knn_into(Point3::ZERO, 0, &mut scratch, &mut knn_out);
+        assert!(knn_out.is_empty());
+        within_out.push(999);
+        tree.within_into(Point3::ZERO, -1.0, &mut within_out);
+        assert!(within_out.is_empty());
+    }
+
+    #[test]
+    fn into_variants_reuse_capacity() {
+        let pts = grid(5);
+        let tree = KdTree::build(&pts);
+        let mut scratch = KnnScratch::new();
+        let mut out = Vec::new();
+        tree.knn_into(Point3::ZERO, 16, &mut scratch, &mut out);
+        let cap = out.capacity();
+        let ptr = out.as_ptr();
+        for _ in 0..50 {
+            tree.knn_into(Point3::splat(2.0), 16, &mut scratch, &mut out);
+        }
+        assert_eq!(out.capacity(), cap);
+        assert_eq!(out.as_ptr(), ptr, "buffer must be reused, not replaced");
     }
 
     #[test]

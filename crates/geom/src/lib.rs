@@ -9,7 +9,10 @@
 //! * [`KdTree`] — a k-d tree over 3-D points supporting k-nearest-neighbour
 //!   and radius queries; used both by the height-aware projection (height
 //!   variance of the k nearest neighbours, paper §V) and by DBSCAN
-//!   neighbourhood queries (paper §IV).
+//!   neighbourhood queries (paper §IV). The `*_into` variants
+//!   ([`KdTree::within_into`], [`KdTree::knn_into`] with a [`KnnScratch`])
+//!   reuse caller-owned buffers so per-frame query loops allocate nothing
+//!   after warm-up.
 //! * [`Ray`] and the [`shapes`] module — analytic ray/primitive
 //!   intersections used by the LiDAR sensor simulator.
 //! * [`stats`] — numerically stable summary statistics and histograms used
@@ -42,6 +45,6 @@ pub mod stats;
 mod vec3;
 
 pub use aabb::Aabb;
-pub use kdtree::KdTree;
+pub use kdtree::{KdTree, KnnScratch};
 pub use ray::{Hit, Ray};
 pub use vec3::{Point3, Vec3};

@@ -47,6 +47,7 @@ mod layers;
 mod loss;
 mod network;
 mod optimizer;
+pub mod par;
 pub mod profile;
 pub mod quant;
 mod tensor;
@@ -57,5 +58,6 @@ pub use layers::{
 pub use loss::{mse_loss, softmax, softmax_cross_entropy};
 pub use network::{Sequential, TrainConfig, TrainEvent};
 pub use optimizer::{Adam, Optimizer, Sgd};
+pub use par::{par_map_ordered, resolve_workers};
 pub use profile::ForwardTiming;
 pub use tensor::Tensor;

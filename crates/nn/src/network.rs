@@ -6,6 +6,7 @@ use rand::Rng;
 use crate::layers::Layer;
 use crate::loss::{mse_loss, softmax_cross_entropy};
 use crate::optimizer::Optimizer;
+use crate::par::resolve_workers;
 use crate::profile::{ForwardTiming, NetworkProfile};
 use crate::Tensor;
 
@@ -34,16 +35,6 @@ impl Default for TrainConfig {
             shuffle: true,
             workers: 1,
         }
-    }
-}
-
-fn resolve_workers(requested: usize) -> usize {
-    if requested > 0 {
-        requested
-    } else {
-        std::thread::available_parallelism()
-            .map(|n| n.get())
-            .unwrap_or(4)
     }
 }
 

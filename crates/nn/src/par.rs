@@ -1,0 +1,84 @@
+//! Deterministic fan-out helpers shared by the inference hot path.
+//!
+//! The counting pipeline parallelizes per-cluster work (up-sampling,
+//! projection) with these helpers. Results are always returned in input
+//! order, so as long as the mapped function depends only on its item
+//! (per-cloud seeds, no shared mutable state), the output is
+//! bit-identical for any thread count — thread budgets are throughput
+//! knobs, never accuracy knobs.
+
+/// Resolves a requested worker count: `0` means "one worker per
+/// available core" (falling back to 4 when the core count is unknown).
+pub fn resolve_workers(requested: usize) -> usize {
+    if requested > 0 {
+        requested
+    } else {
+        std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(4)
+    }
+}
+
+/// Maps `f` over `items` on up to `threads` scoped worker threads
+/// (`0` = one per core), returning the results **in input order**.
+///
+/// Items are split into contiguous chunks, one per worker; each worker
+/// maps its chunk serially and the chunks are concatenated in order, so
+/// the result equals `items.iter().map(f).collect()` whenever `f` is a
+/// pure function of its item. Small inputs (or `threads == 1`) take the
+/// serial path with no thread spawns.
+///
+/// # Panics
+///
+/// Propagates a panic from `f`.
+pub fn par_map_ordered<T, U, F>(items: &[T], threads: usize, f: F) -> Vec<U>
+where
+    T: Sync,
+    U: Send,
+    F: Fn(&T) -> U + Sync,
+{
+    let workers = resolve_workers(threads).min(items.len());
+    if workers <= 1 || items.len() < 2 {
+        return items.iter().map(f).collect();
+    }
+    let chunk_len = items.len().div_ceil(workers);
+    let f = &f;
+    crossbeam::thread::scope(|s| {
+        let handles: Vec<_> = items
+            .chunks(chunk_len)
+            .map(|chunk| s.spawn(move |_| chunk.iter().map(f).collect::<Vec<U>>()))
+            .collect();
+        handles
+            .into_iter()
+            .flat_map(|h| h.join().expect("par_map_ordered worker panicked"))
+            .collect()
+    })
+    .expect("par_map_ordered scope panicked")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn preserves_input_order_for_any_thread_count() {
+        let items: Vec<usize> = (0..103).collect();
+        let expect: Vec<usize> = items.iter().map(|&i| i * 2).collect();
+        for threads in [1, 2, 3, 8, 64] {
+            assert_eq!(par_map_ordered(&items, threads, |&i| i * 2), expect);
+        }
+    }
+
+    #[test]
+    fn empty_and_singleton_inputs_stay_serial() {
+        let none: Vec<u32> = Vec::new();
+        assert!(par_map_ordered(&none, 0, |&i| i).is_empty());
+        assert_eq!(par_map_ordered(&[7u32], 0, |&i| i + 1), vec![8]);
+    }
+
+    #[test]
+    fn zero_means_auto() {
+        assert!(resolve_workers(0) >= 1);
+        assert_eq!(resolve_workers(3), 3);
+    }
+}

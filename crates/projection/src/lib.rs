@@ -25,7 +25,9 @@ mod upsample;
 mod views;
 
 pub use upsample::{upsample_gaussian, upsample_with_pool, UpsampleError, DEFAULT_TARGET_POINTS};
-pub use views::{project, project_batch, ProjectionConfig, ProjectionMethod};
+pub use views::{
+    project, project_batch, project_batch_threads, ProjectionConfig, ProjectionMethod,
+};
 
 /// Computes the fixed input size from the largest training cloud:
 /// `N'_max = ceil(sqrt(N_max))²` (§V), so the flat point list reshapes

@@ -56,11 +56,7 @@ pub fn upsample_with_pool<R: Rng + ?Sized>(
     check_square(target)?;
     let mut out: Vec<Point3> = points.to_vec();
     if out.len() > target {
-        // Random subsample without replacement, preserving order.
-        while out.len() > target {
-            let i = rng.gen_range(0..out.len());
-            out.remove(i);
-        }
+        subsample_in_place(&mut out, target, rng);
         return Ok(out);
     }
     let missing = target - out.len();
@@ -75,7 +71,7 @@ pub fn upsample_with_pool<R: Rng + ?Sized>(
         // cluster at 14 m and one at 33 m receive identically distributed
         // noise.
         let (ax, ay) = anchor_xy(&out);
-        let (px, py) = pool_centroid_xy(pool);
+        let (px, py) = pool.centroid_xy();
         out.extend(
             pool.sample_points(rng, missing)
                 .into_iter()
@@ -96,16 +92,30 @@ fn anchor_xy(points: &[Point3]) -> (f64, f64) {
     )
 }
 
-fn pool_centroid_xy(pool: &ObjectPool) -> (f64, f64) {
-    let pts = pool.points();
-    if pts.is_empty() {
-        return (0.0, 0.0);
+/// Uniform subsample without replacement down to `target`, preserving the
+/// surviving points' original order.
+///
+/// A partial Fisher–Yates over an index permutation draws the `target`
+/// survivors in `O(n)`; sorting the chosen indices restores input order.
+/// The loop this replaced (`out.remove(rng.gen_range(..))` until small
+/// enough) was `O((n − target) · n)` — quadratic whenever a dense frame
+/// handed the classifier clusters several times the 324-point budget.
+fn subsample_in_place<R: Rng + ?Sized>(out: &mut Vec<Point3>, target: usize, rng: &mut R) {
+    let n = out.len();
+    if n <= target {
+        return;
     }
-    let n = pts.len() as f64;
-    (
-        pts.iter().map(|p| p.x).sum::<f64>() / n,
-        pts.iter().map(|p| p.y).sum::<f64>() / n,
-    )
+    let mut idx: Vec<usize> = (0..n).collect();
+    for i in 0..target {
+        let j = rng.gen_range(i..n);
+        idx.swap(i, j);
+    }
+    let keep = &mut idx[..target];
+    keep.sort_unstable();
+    for (slot, &src) in keep.iter().enumerate() {
+        out[slot] = out[src];
+    }
+    out.truncate(target);
 }
 
 /// The Table III ablation: pads with synthetic Gaussian points
@@ -122,10 +132,7 @@ pub fn upsample_gaussian<R: Rng + ?Sized>(
 ) -> Result<Vec<Point3>, UpsampleError> {
     check_square(target)?;
     let mut out: Vec<Point3> = points.to_vec();
-    while out.len() > target {
-        let i = rng.gen_range(0..out.len());
-        out.remove(i);
-    }
+    subsample_in_place(&mut out, target, rng);
     // "Fixed mean μ = 0" (§VII-B) reads in cluster-normalised
     // coordinates: anchor the synthetic points at the cluster centroid on
     // all three axes so the comparison against object-data padding is
@@ -204,6 +211,39 @@ mod tests {
         assert_eq!(up.len(), 324);
         // Every survivor is an original point.
         assert!(up.iter().all(|p| pts.contains(p)));
+    }
+
+    #[test]
+    fn subsample_preserves_original_order() {
+        // `human` clouds are strictly increasing in z, so order
+        // preservation is equivalent to the z sequence staying sorted.
+        let pts = human(2_000);
+        for seed in 0..5 {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let up = upsample_with_pool(&pts, 324, &pool(), &mut rng).unwrap();
+            assert_eq!(up.len(), 324);
+            assert!(up.windows(2).all(|w| w[0].z < w[1].z));
+            assert!(up.iter().all(|p| pts.contains(p)));
+        }
+    }
+
+    #[test]
+    fn subsample_is_deterministic_per_seed_and_handles_large_clouds() {
+        // 50k points through the old remove()-loop was ~15M element moves
+        // per cluster; the Fisher–Yates path is linear. This doubles as a
+        // per-seed determinism pin for the subsample branch.
+        let pts = human(50_000);
+        let a = upsample_with_pool(&pts, 324, &pool(), &mut StdRng::seed_from_u64(7)).unwrap();
+        let b = upsample_with_pool(&pts, 324, &pool(), &mut StdRng::seed_from_u64(7)).unwrap();
+        assert_eq!(a, b);
+        let c = upsample_with_pool(&pts, 324, &pool(), &mut StdRng::seed_from_u64(8)).unwrap();
+        assert_ne!(a, c);
+
+        // The Gaussian-ablation path shares the same subsample helper.
+        let g1 = upsample_gaussian(&pts, 324, 3.0, &mut StdRng::seed_from_u64(7)).unwrap();
+        let g2 = upsample_gaussian(&pts, 324, 3.0, &mut StdRng::seed_from_u64(7)).unwrap();
+        assert_eq!(g1, g2);
+        assert!(g1.windows(2).all(|w| w[0].z < w[1].z));
     }
 
     #[test]

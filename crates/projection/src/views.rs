@@ -1,6 +1,6 @@
 //! 2-D view generation from fixed-size point clouds.
 
-use geom::{KdTree, Point3};
+use geom::{KdTree, KnnScratch, Point3};
 use nn::Tensor;
 use serde::{Deserialize, Serialize};
 
@@ -182,15 +182,30 @@ pub fn project(points: &[Point3], cfg: &ProjectionConfig) -> Tensor {
 ///
 /// Panics if `clusters` is empty or the clouds disagree in size.
 pub fn project_batch(clusters: &[Vec<Point3>], cfg: &ProjectionConfig) -> Tensor {
+    project_batch_threads(clusters, cfg, 1)
+}
+
+/// [`project_batch`] with the per-cloud projections fanned out over up
+/// to `threads` worker threads (`0` = one per core).
+///
+/// Each cloud's projection depends only on that cloud, and the per-cloud
+/// tensors are re-stacked in input order, so the result is bit-identical
+/// to the serial [`project_batch`] for any thread count.
+///
+/// # Panics
+///
+/// Panics if `clusters` is empty or the clouds disagree in size.
+pub fn project_batch_threads(
+    clusters: &[Vec<Point3>],
+    cfg: &ProjectionConfig,
+    threads: usize,
+) -> Tensor {
     assert!(!clusters.is_empty(), "cannot project an empty batch");
-    let tensors: Vec<Tensor> = clusters
-        .iter()
-        .map(|c| {
-            let t = project(c, cfg);
-            let s = t.shape().to_vec();
-            t.reshape(&[1, s[0], s[1], s[2]])
-        })
-        .collect();
+    let tensors = nn::par_map_ordered(clusters, threads, |c| {
+        let t = project(c, cfg);
+        let s = t.shape().to_vec();
+        t.reshape(&[1, s[0], s[1], s[2]])
+    });
     Tensor::stack(&tensors)
 }
 
@@ -202,13 +217,21 @@ fn height_variation(points: &[Point3], k: usize) -> Vec<f64> {
         return vec![0.0; points.len()];
     }
     let tree = KdTree::build(points);
+    let k = (k + 1).min(points.len());
+    let mut scratch = KnnScratch::with_capacity(k);
+    let mut hits = Vec::with_capacity(k);
     points
         .iter()
         .map(|&p| {
-            let hits = tree.knn(p, (k + 1).min(points.len()));
-            let zs: Vec<f64> = hits.iter().map(|&(i, _)| points[i].z).collect();
-            let mean = zs.iter().sum::<f64>() / zs.len() as f64;
-            (zs.iter().map(|z| (z - mean) * (z - mean)).sum::<f64>() / zs.len() as f64).sqrt()
+            tree.knn_into(p, k, &mut scratch, &mut hits);
+            let n = hits.len() as f64;
+            let mean = hits.iter().map(|&(i, _)| points[i].z).sum::<f64>() / n;
+            (hits
+                .iter()
+                .map(|&(i, _)| (points[i].z - mean) * (points[i].z - mean))
+                .sum::<f64>()
+                / n)
+                .sqrt()
         })
         .collect()
 }
@@ -219,9 +242,13 @@ fn local_density(points: &[Point3], radius: f64) -> Vec<f64> {
         return Vec::new();
     }
     let tree = KdTree::build(points);
+    let mut hits = Vec::new();
     points
         .iter()
-        .map(|&p| (tree.within(p, radius).len() - 1) as f64)
+        .map(|&p| {
+            tree.within_into(p, radius, &mut hits);
+            (hits.len() - 1) as f64
+        })
         .collect()
 }
 

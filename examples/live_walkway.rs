@@ -7,6 +7,7 @@
 //! cargo run --release --example live_walkway                  # table + snapshots
 //! cargo run --release --example live_walkway -- --json        # + JSONL dump
 //! cargo run --release --example live_walkway -- --faults fog  # faulted sensor
+//! cargo run --release --example live_walkway -- --threads 4   # classify fan-out
 //! ```
 //!
 //! Telemetry is on for the whole run: every 10 slots the current
@@ -28,13 +29,21 @@ use world::Human;
 
 const SEED: u64 = 99;
 
-fn parse_args() -> (bool, Option<FaultScript>) {
+fn parse_args() -> (bool, Option<FaultScript>, usize) {
     let mut json = false;
     let mut script = None;
+    let mut threads = 0usize;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
             "--json" => json = true,
+            "--threads" => {
+                let n = args.next().and_then(|v| v.parse::<usize>().ok());
+                threads = n.unwrap_or_else(|| {
+                    eprintln!("--threads needs a number (0 = one worker per core)");
+                    std::process::exit(2);
+                });
+            }
             "--faults" => {
                 let name = args.next().unwrap_or_else(|| {
                     eprintln!(
@@ -52,12 +61,12 @@ fn parse_args() -> (bool, Option<FaultScript>) {
                 }));
             }
             other => {
-                eprintln!("unknown flag {other} (use --json, --faults <preset>)");
+                eprintln!("unknown flag {other} (use --json, --faults <preset>, --threads <n>)");
                 std::process::exit(2);
             }
         }
     }
-    (json, script)
+    (json, script, threads)
 }
 
 /// Expected pedestrians at a given campus hour (classes, lunch, night).
@@ -69,7 +78,7 @@ fn expected_traffic(hour: f64) -> f64 {
 }
 
 fn main() {
-    let (json, script) = parse_args();
+    let (json, script, threads) = parse_args();
     obs::enable(true);
 
     let mut rng = StdRng::seed_from_u64(SEED);
@@ -97,10 +106,16 @@ fn main() {
     // With --faults: sensor wrapped in the injection layer, pipeline
     // wrapped in the supervised loop. Without: the bare pipeline.
     enum Engine {
-        Plain(CrowdCounter<HawcClassifier>),
+        Plain(Box<CrowdCounter<HawcClassifier>>),
         Supervised(Box<SupervisedCounter<HawcClassifier>>, FaultyLidar),
     }
-    let counter = CrowdCounter::new(model, CounterConfig::default());
+    let counter = CrowdCounter::new(
+        model,
+        CounterConfig {
+            classify_threads: threads,
+            ..CounterConfig::default()
+        },
+    );
     let mut engine = match script {
         Some(script) => {
             println!("fault script active: {}", script.classes_at(0).join(", "));
@@ -117,7 +132,7 @@ fn main() {
                 FaultyLidar::new(Lidar::new(SensorConfig::default()), script),
             )
         }
-        None => Engine::Plain(counter),
+        None => Engine::Plain(Box::new(counter)),
     };
     let sensor = Lidar::new(SensorConfig::default());
     let mut smoother = CountSmoother::new(3);

@@ -126,6 +126,65 @@ fn counting_is_bit_identical_with_telemetry_on_or_off() {
 }
 
 #[test]
+fn counting_is_bit_identical_across_classify_thread_counts() {
+    // The classify fan-out is a throughput knob, never an accuracy knob:
+    // every cloud pads from a content-derived seed and the parallel map
+    // merges in input order, so 1, 2 and 8 workers — with telemetry on
+    // or off — must produce identical counts.
+    let data = generate_detection_dataset(&DetectionDatasetConfig {
+        samples: 80,
+        seed: 51,
+        ..DetectionDatasetConfig::default()
+    });
+    let pool = generate_object_pool(51, 8, &WalkwayConfig::default(), &SensorConfig::default());
+    let cfg = HawcConfig {
+        target_points: 0,
+        epochs: 4,
+        conv_channels: [6, 8, 10],
+        fc_hidden: 16,
+        ..HawcConfig::default()
+    };
+    let mut rng = StdRng::seed_from_u64(52);
+    let parts = split(&mut rng, data, 0.8);
+    let model = HawcClassifier::train(&parts.train, pool, &cfg, &mut rng);
+    let captures = generate_counting_dataset(&CountingDatasetConfig {
+        samples: 5,
+        seed: 53,
+        max_pedestrians: 8,
+        ..CountingDatasetConfig::default()
+    });
+
+    let mut counter = CrowdCounter::new(model, CounterConfig::default());
+    let mut runs: Vec<Vec<usize>> = Vec::new();
+    for telemetry in [false, true] {
+        obs::enable(telemetry);
+        for threads in [1usize, 2, 8] {
+            counter.config_mut().classify_threads = threads;
+            runs.push(
+                captures
+                    .iter()
+                    .map(|s| counter.count(&s.cloud).count)
+                    .collect(),
+            );
+        }
+    }
+    obs::enable(false);
+    for run in &runs[1..] {
+        assert_eq!(
+            &runs[0], run,
+            "classify thread count / telemetry must not change any count"
+        );
+    }
+    // Sanity: the workload actually exercised the fan-out (≥ 2 clusters
+    // in at least one capture would be ideal, but at minimum something
+    // got counted so labels existed to disagree on).
+    assert!(
+        runs[0].iter().sum::<usize>() > 0,
+        "degenerate workload: nothing was ever counted"
+    );
+}
+
+#[test]
 fn supervised_counting_under_clean_script_is_bit_identical_with_telemetry_on_or_off() {
     // The fault layer with an empty script must be invisible (the
     // sensor draws the identical RNG sequence), and the supervised

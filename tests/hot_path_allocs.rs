@@ -1,0 +1,124 @@
+//! Allocation accounting for the clustering hot path.
+//!
+//! A counting global allocator wraps the system allocator; the single
+//! test below (one `#[test]` so no sibling test allocates concurrently)
+//! pins the scratch-buffer contract from DESIGN.md:
+//!
+//! * `KdTree::within_into` / `knn_into` with reused buffers perform
+//!   **zero** heap allocations after warm-up,
+//! * a warmed-up `dbscan_with_tree` run allocates only the constant
+//!   handful needed for its returned `Clustering`, independent of how
+//!   many neighbourhood queries the expansion performs.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use cluster::{dbscan_with_tree, DbscanParams, DbscanScratch};
+use geom::{KdTree, KnnScratch, Point3};
+
+struct CountingAlloc;
+
+static ALLOCS: AtomicU64 = AtomicU64::new(0);
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        System.alloc(layout)
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout)
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        System.realloc(ptr, layout, new_size)
+    }
+}
+
+#[global_allocator]
+static COUNTER: CountingAlloc = CountingAlloc;
+
+fn allocations() -> u64 {
+    ALLOCS.load(Ordering::SeqCst)
+}
+
+/// Two walkway blobs plus scattered noise — enough structure that the
+/// DBSCAN expansion visits every point and the queries return varied
+/// neighbour counts.
+fn capture() -> Vec<Point3> {
+    let mut pts = Vec::new();
+    for i in 0..240 {
+        let a = i as f64 * 2.399963;
+        let r = 0.3 * ((i % 7) as f64 / 7.0);
+        let cx = if i % 2 == 0 { 14.0 } else { 22.0 };
+        pts.push(Point3::new(
+            cx + r * a.cos(),
+            r * a.sin(),
+            -2.6 + ((i % 5) as f64) * 0.35,
+        ));
+    }
+    for i in 0..20 {
+        pts.push(Point3::new(30.0 + i as f64, 5.0, -2.0));
+    }
+    pts
+}
+
+#[test]
+fn warmed_up_clustering_queries_do_not_allocate() {
+    let points = capture();
+    let tree = KdTree::build(&points);
+    let params = DbscanParams {
+        eps: 0.6,
+        min_points: 4,
+    };
+
+    // --- kd-tree queries: zero allocations after warm-up ---
+    let mut knn_scratch = KnnScratch::new();
+    let mut hits = Vec::new();
+    let mut within_hits = Vec::new();
+    for &p in points.iter().take(4) {
+        tree.knn_into(p, 9, &mut knn_scratch, &mut hits);
+        tree.within_into(p, params.eps, &mut within_hits);
+    }
+    let before = allocations();
+    let mut checksum = 0usize;
+    for &p in &points {
+        tree.within_into(p, params.eps, &mut within_hits);
+        checksum += within_hits.len();
+        tree.knn_into(p, 9, &mut knn_scratch, &mut hits);
+        checksum += hits.len();
+    }
+    let query_allocs = allocations() - before;
+    assert!(checksum > 0, "queries must have returned neighbours");
+    assert_eq!(
+        query_allocs,
+        0,
+        "within_into/knn_into allocated {query_allocs} times across {} warmed-up queries",
+        2 * points.len()
+    );
+
+    // --- full DBSCAN runs: only the returned Clustering allocates ---
+    let mut scratch = DbscanScratch::new();
+    let warm = dbscan_with_tree(&tree, &params, &mut scratch);
+    assert!(warm.cluster_count() >= 2);
+    let before = allocations();
+    let a = dbscan_with_tree(&tree, &params, &mut scratch);
+    let run_allocs = allocations() - before;
+    let before = allocations();
+    let b = dbscan_with_tree(&tree, &params, &mut scratch);
+    let rerun_allocs = allocations() - before;
+    assert_eq!(a.labels(), b.labels());
+    assert_eq!(
+        run_allocs, rerun_allocs,
+        "warmed-up runs must allocate identically (steady state)"
+    );
+    // The expansion performs ~260 neighbourhood queries; if any of them
+    // allocated, the count would be far above the constant handful the
+    // output Clustering needs.
+    assert!(
+        run_allocs <= 8,
+        "a warmed-up dbscan run allocated {run_allocs} times — \
+         the per-query path is no longer allocation-free"
+    );
+}

@@ -18,6 +18,17 @@ fn arb_cloud(max: usize) -> impl Strategy<Value = Vec<Point3>> {
     proptest::collection::vec(arb_point(), 1..max)
 }
 
+/// Walkway-like anisotropic clouds: long in x (the walkway axis), narrow
+/// in y, short in z — the aspect ratio that stresses kd-tree pruning the
+/// most, since many node bounding boxes are thin slabs.
+fn arb_walkway_point() -> impl Strategy<Value = Point3> {
+    (-40.0..40.0f64, -0.8..0.8f64, -2.8..-0.9f64).prop_map(|(x, y, z)| Point3::new(x, y, z))
+}
+
+fn arb_walkway_cloud(max: usize) -> impl Strategy<Value = Vec<Point3>> {
+    proptest::collection::vec(arb_walkway_point(), 1..max)
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(64))]
 
@@ -50,6 +61,55 @@ proptest! {
             .collect();
         want.sort_unstable();
         prop_assert_eq!(got, want);
+    }
+
+    /// The scratch-reusing `knn_into` matches brute force on anisotropic
+    /// walkway clouds, with one scratch and one output buffer shared
+    /// across every query of the sweep.
+    #[test]
+    fn knn_into_matches_brute_force_on_walkway_clouds(
+        points in arb_walkway_cloud(80),
+        queries in proptest::collection::vec(arb_walkway_point(), 1..6),
+        k in 1usize..12,
+    ) {
+        let tree = KdTree::build(&points);
+        let mut scratch = geom::KnnScratch::new();
+        let mut hits = Vec::new();
+        for q in queries {
+            tree.knn_into(q, k, &mut scratch, &mut hits);
+            let mut brute: Vec<f64> = points.iter().map(|p| p.distance_sq(q)).collect();
+            brute.sort_by(|a, b| a.partial_cmp(b).unwrap());
+            brute.truncate(k);
+            prop_assert_eq!(hits.len(), brute.len());
+            for (f, b) in hits.iter().zip(&brute) {
+                prop_assert!((f.1 - b).abs() < 1e-9);
+            }
+        }
+    }
+
+    /// The buffer-reusing `within_into` matches brute force on
+    /// anisotropic walkway clouds across a whole query sweep.
+    #[test]
+    fn within_into_matches_brute_force_on_walkway_clouds(
+        points in arb_walkway_cloud(80),
+        queries in proptest::collection::vec(arb_walkway_point(), 1..6),
+        r in 0.0..30.0f64,
+    ) {
+        let tree = KdTree::build(&points);
+        let mut hits = Vec::new();
+        for q in queries {
+            tree.within_into(q, r, &mut hits);
+            let mut got = hits.clone();
+            got.sort_unstable();
+            let mut want: Vec<usize> = points
+                .iter()
+                .enumerate()
+                .filter(|(_, p)| p.distance(q) <= r)
+                .map(|(i, _)| i)
+                .collect();
+            want.sort_unstable();
+            prop_assert_eq!(got, want);
+        }
     }
 
     /// DBSCAN output is a valid partition: every label below the cluster
