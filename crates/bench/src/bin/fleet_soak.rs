@@ -1,0 +1,350 @@
+//! Fleet soak: pole count × link loss × batch size sweep over the
+//! loopback transport, written to `BENCH_fleet.json` at the repo root.
+//!
+//! Every cell stands up a full in-process campus — N pole agents,
+//! each running the supervised counting loop on synthetic captures,
+//! streaming over seeded-lossy loopback links into one aggregator —
+//! and measures what the fleet tier adds: report throughput, delivery
+//! ratio under loss, reorder discards, and fused-occupancy error
+//! against the constructed ground truth.
+//!
+//! The ground truth is arranged to exercise dedup: each pole owns one
+//! person at local x = 14 m, and every pole pair shares one person on
+//! their ROI seam (local x = 28 m for the left pole, x = 13 m for the
+//! right), so a campus of N poles holds exactly `2N - 1` people and
+//! every seam person is double-reported by construction.
+//!
+//! ```text
+//! cargo run -p bench --release --bin fleet_soak              # full sweep
+//! cargo run -p bench --release --bin fleet_soak -- --smoke   # CI-sized
+//! ```
+//!
+//! Flags: `--smoke`, `--seed N`, `--frames N` (per pole per cell),
+//! `--out PATH`.
+
+use std::fmt::Write as _;
+use std::path::PathBuf;
+use std::time::{Duration, Instant};
+
+use cluster::AdaptiveConfig;
+use counting::{CounterConfig, CrowdCounter, SupervisedCounter, SupervisorConfig};
+use dataset::{ClassLabel, CloudClassifier};
+use fleet::{AgentConfig, Aggregator, AggregatorConfig, LoopbackConfig, LoopbackHub, PoleAgent};
+use geom::Point3;
+use lidar::PointCloud;
+use world::{corridor_layout, PoleRegistry, WalkwayConfig};
+
+const SPACING_M: f64 = 15.0;
+
+struct Args {
+    smoke: bool,
+    seed: u64,
+    frames: usize,
+    out: PathBuf,
+}
+
+fn repo_root() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../..")
+}
+
+fn parse_args() -> Args {
+    let mut out = Args {
+        smoke: false,
+        seed: 42,
+        frames: 0,
+        out: repo_root().join("BENCH_fleet.json"),
+    };
+    let args: Vec<String> = std::env::args().collect();
+    let mut i = 1;
+    while i < args.len() {
+        let take = |i: &mut usize| -> String {
+            *i += 1;
+            args.get(*i)
+                .unwrap_or_else(|| panic!("missing value for {}", args[*i - 1]))
+                .clone()
+        };
+        match args[i].as_str() {
+            "--smoke" => out.smoke = true,
+            "--seed" => out.seed = take(&mut i).parse().expect("--seed"),
+            "--frames" => out.frames = take(&mut i).parse().expect("--frames"),
+            "--out" => out.out = PathBuf::from(take(&mut i)),
+            other => panic!("unknown flag {other} (use --smoke, --seed, --frames, --out)"),
+        }
+        i += 1;
+    }
+    if out.frames == 0 {
+        out.frames = if out.smoke { 24 } else { 120 };
+    }
+    out
+}
+
+/// Tall clusters are humans.
+struct HeightRule;
+
+impl CloudClassifier for HeightRule {
+    fn classify(&mut self, clouds: &[Vec<Point3>]) -> Vec<ClassLabel> {
+        clouds
+            .iter()
+            .map(|c| {
+                let hi = c.iter().map(|p| p.z).fold(f64::NEG_INFINITY, f64::max);
+                if hi > -1.7 {
+                    ClassLabel::Human
+                } else {
+                    ClassLabel::Object
+                }
+            })
+            .collect()
+    }
+
+    fn model_name(&self) -> &str {
+        "HeightRule"
+    }
+}
+
+/// A dense human-ish column at `(x, y)` in a pole's local frame.
+fn blob(x: f64, y: f64) -> Vec<Point3> {
+    (0..120)
+        .map(|i| {
+            let layer = i / 10;
+            let a = (i % 10) as f64 / 10.0 * std::f64::consts::TAU;
+            Point3::new(
+                x + 0.12 * a.cos(),
+                y + 0.12 * a.sin(),
+                -2.6 + 1.3 * (layer as f64 / 11.0),
+            )
+        })
+        .collect()
+}
+
+/// The capture pole `i` of `n` sees every frame: its own person, plus
+/// the seam people it shares with its neighbours.
+fn capture_for(i: usize, n: usize) -> PointCloud {
+    let mut pts = blob(14.0, 0.0);
+    if i + 1 < n {
+        pts.extend(blob(28.0, 0.7)); // seam person shared with pole i+1
+    }
+    if i > 0 {
+        pts.extend(blob(13.0, 0.7)); // the same person, seen from the right
+    }
+    PointCloud::new(pts)
+}
+
+struct Cell {
+    poles: usize,
+    loss: f64,
+    batch: usize,
+    wall_s: f64,
+    reports: u64,
+    sent: u64,
+    delivered: u64,
+    discards: u64,
+    report_delivery: f64,
+    throughput_rps: f64,
+    occupancy: u32,
+    expected: u32,
+    occupancy_error: i64,
+    live: u32,
+    dead: u32,
+}
+
+fn run_cell(seed: u64, frames: usize, poles: usize, loss: f64, batch: usize) -> Cell {
+    let registry = PoleRegistry::from_poses(corridor_layout(poles, SPACING_M));
+    let hub = LoopbackHub::new();
+    let aggregator = Aggregator::new(
+        registry,
+        WalkwayConfig::default(),
+        AggregatorConfig::default(),
+    );
+
+    let mut agents: Vec<PoleAgent<HeightRule>> = (0..poles)
+        .map(|i| {
+            let counter = SupervisedCounter::new(
+                CrowdCounter::new(
+                    HeightRule,
+                    CounterConfig {
+                        min_cluster_points: 8,
+                        ..CounterConfig::default()
+                    },
+                ),
+                SupervisorConfig {
+                    deadline_ms: 500.0,
+                    adaptive: AdaptiveConfig {
+                        fallback_eps: 0.5,
+                        min_eps: 0.35,
+                        ..AdaptiveConfig::default()
+                    },
+                    ..SupervisorConfig::default()
+                },
+            );
+            let link =
+                LoopbackConfig::lossy(loss, loss / 2.0, seed ^ (i as u64).wrapping_mul(0x9E37));
+            let mut cfg = AgentConfig::for_pole(i as u32);
+            cfg.batch_frames = batch;
+            PoleAgent::new(counter, Box::new(hub.connector(link)), cfg)
+        })
+        .collect();
+
+    let captures: Vec<PointCloud> = (0..poles).map(|i| capture_for(i, poles)).collect();
+    let t0 = Instant::now();
+    let mut readers = Vec::new();
+    for _ in 0..frames {
+        for (agent, capture) in agents.iter_mut().zip(&captures) {
+            agent.step(capture);
+        }
+        while let Ok(server) = hub.accept(Duration::ZERO) {
+            readers.push(aggregator.spawn_connection(Box::new(server)));
+        }
+    }
+    while let Ok(server) = hub.accept(Duration::from_millis(5)) {
+        readers.push(aggregator.spawn_connection(Box::new(server)));
+    }
+    // Let the reader threads drain: poll until the ingest counters go
+    // quiet. `frames` is a multiple of every batch size, so no agent
+    // is sitting on a partial batch.
+    let drain_deadline = Instant::now() + Duration::from_secs(2);
+    let mut last = u64::MAX;
+    loop {
+        let stats = aggregator.stats();
+        let seen = stats.reports + stats.stale_discards;
+        if seen == last || Instant::now() > drain_deadline {
+            break;
+        }
+        last = seen;
+        std::thread::sleep(Duration::from_millis(10));
+    }
+    let wall_s = t0.elapsed().as_secs_f64();
+
+    // Measure before shutdown: Bye marks poles dead and would zero
+    // the fused occupancy.
+    let snap = aggregator.snapshot();
+    for agent in &mut agents {
+        agent.shutdown();
+    }
+    aggregator.stop();
+    for r in readers {
+        let _ = r.join();
+    }
+
+    let stats = aggregator.stats();
+    let reports: u64 = agents.iter().map(|a| a.stats().reports).sum();
+    let sent: u64 = agents.iter().map(|a| a.stats().sent).sum();
+    let expected = (2 * poles - 1) as u32;
+    Cell {
+        poles,
+        loss,
+        batch,
+        wall_s,
+        reports,
+        sent,
+        delivered: stats.reports,
+        discards: stats.stale_discards,
+        report_delivery: if reports > 0 {
+            (stats.reports + stats.stale_discards) as f64 / reports as f64
+        } else {
+            0.0
+        },
+        throughput_rps: if wall_s > 0.0 {
+            reports as f64 / wall_s
+        } else {
+            0.0
+        },
+        occupancy: snap.occupancy,
+        expected,
+        occupancy_error: i64::from(snap.occupancy) - i64::from(expected),
+        live: snap.live,
+        dead: snap.dead,
+    }
+}
+
+fn json_f64(v: f64) -> String {
+    if v.is_finite() {
+        format!("{v:.4}")
+    } else {
+        "null".into()
+    }
+}
+
+fn main() {
+    let args = parse_args();
+    obs::enable(true);
+
+    let pole_counts: &[usize] = if args.smoke { &[2, 4] } else { &[2, 8, 16] };
+    let losses: &[f64] = if args.smoke {
+        &[0.0, 0.2]
+    } else {
+        &[0.0, 0.1, 0.3]
+    };
+    let batches: &[usize] = &[1, 4];
+
+    println!("fleet soak: {} frames per pole per cell\n", args.frames);
+    println!(" poles | loss | batch |   wall s | reports |  deliv% | occ (exp) | rps");
+
+    let mut cells = Vec::new();
+    let mut failures = 0u32;
+    for &poles in pole_counts {
+        for &loss in losses {
+            for &batch in batches {
+                let cell = run_cell(args.seed, args.frames, poles, loss, batch);
+                println!(
+                    "{:>6} | {:>4.2} | {:>5} | {:>8.3} | {:>7} | {:>6.1}% | {:>4} ({:>3}) | {:>7.0}",
+                    cell.poles,
+                    cell.loss,
+                    cell.batch,
+                    cell.wall_s,
+                    cell.reports,
+                    cell.report_delivery * 100.0,
+                    cell.occupancy,
+                    cell.expected,
+                    cell.throughput_rps,
+                );
+                // A lossless link must deliver every report, fuse the
+                // exact constructed campus, and keep every pole live.
+                if loss == 0.0
+                    && (cell.report_delivery < 1.0 - 1e-9
+                        || cell.occupancy_error != 0
+                        || cell.dead != 0)
+                {
+                    eprintln!("  ^ FAIL: lossless cell dropped reports or mis-fused");
+                    failures += 1;
+                }
+                cells.push(cell);
+            }
+        }
+    }
+
+    let mut json = String::new();
+    let _ = write!(
+        json,
+        "{{\n  \"bench\": \"fleet_soak\",\n  \"seed\": {},\n  \"frames_per_pole\": {},\n  \"smoke\": {},\n  \"cells\": [\n",
+        args.seed, args.frames, args.smoke
+    );
+    for (i, c) in cells.iter().enumerate() {
+        let _ = writeln!(
+            json,
+            "    {{\"poles\": {}, \"loss\": {}, \"batch\": {}, \"wall_s\": {}, \"reports\": {}, \"sent\": {}, \"delivered\": {}, \"discards\": {}, \"report_delivery\": {}, \"throughput_rps\": {}, \"occupancy\": {}, \"expected\": {}, \"occupancy_error\": {}, \"live\": {}, \"dead\": {}}}{}",
+            c.poles,
+            json_f64(c.loss),
+            c.batch,
+            json_f64(c.wall_s),
+            c.reports,
+            c.sent,
+            c.delivered,
+            c.discards,
+            json_f64(c.report_delivery),
+            json_f64(c.throughput_rps),
+            c.occupancy,
+            c.expected,
+            c.occupancy_error,
+            c.live,
+            c.dead,
+            if i + 1 < cells.len() { "," } else { "" },
+        );
+    }
+    let _ = write!(json, "  ]\n}}\n");
+    std::fs::write(&args.out, json).expect("write BENCH_fleet.json");
+    println!("\nwrote {}", args.out.display());
+    if failures > 0 {
+        eprintln!("{failures} lossless cells failed their invariants");
+        std::process::exit(1);
+    }
+}

@@ -33,7 +33,9 @@ mod supervisor;
 mod track;
 
 pub use metrics::{CountingMetrics, CountingReport};
-pub use pipeline::{evaluate_counter, ClusterMethod, CountResult, CounterConfig, CrowdCounter};
+pub use pipeline::{
+    evaluate_counter, ClusterMethod, ClusterReport, CountResult, CounterConfig, CrowdCounter,
+};
 pub use smooth::CountSmoother;
 pub use supervisor::{
     EpsRung, HealthState, PrecisionRung, SanitizeBounds, SupervisedCount, SupervisedCounter,

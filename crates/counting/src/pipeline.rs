@@ -72,11 +72,27 @@ impl Default for CounterConfig {
     }
 }
 
+/// One classified cluster, summarised for downstream consumers (the
+/// fleet wire protocol ships these instead of raw points — the
+/// privacy argument of the paper: counts and centroids leave the
+/// pole, clouds never do).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ClusterReport {
+    /// Cluster centroid in pole-local sensor coordinates.
+    pub centroid: Point3,
+    /// Points the cluster contained.
+    pub points: usize,
+    /// The classifier's verdict.
+    pub label: ClassLabel,
+}
+
 /// One capture's counting outcome.
 #[derive(Debug, Clone)]
 pub struct CountResult {
     /// Number of clusters classified "Human" — the crowd count.
     pub count: usize,
+    /// Per-cluster centroid/size/label summaries, in clustering order.
+    pub clusters: Vec<ClusterReport>,
     /// Number of clusters that reached the classifier.
     pub clusters_classified: usize,
     /// Clusters dropped as noise.
@@ -204,8 +220,18 @@ impl<C: CloudClassifier> CrowdCounter<C> {
         obs::frame_stage_ms("classification", classification_ms);
         obs::observe_ms("classification", classification_ms);
 
+        let mut clusters = Vec::with_capacity(kept.len());
         for (group, label) in kept.iter().zip(&labels) {
             obs::frame_verdict(group.len(), &format!("{label:?}"), f64::NAN);
+            let mut sum = Point3::ZERO;
+            for p in group {
+                sum += *p;
+            }
+            clusters.push(ClusterReport {
+                centroid: sum / group.len() as f64,
+                points: group.len(),
+                label: *label,
+            });
         }
         let count = labels.iter().filter(|&&l| l == ClassLabel::Human).count();
         if opened {
@@ -213,6 +239,7 @@ impl<C: CloudClassifier> CrowdCounter<C> {
         }
         CountResult {
             count,
+            clusters,
             clusters_classified: kept.len(),
             clusters_skipped: skipped.len(),
             clustering_ms,

@@ -29,15 +29,18 @@
 //!    stamped on every journal frame.
 
 use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::Arc;
+use std::time::Duration;
 
 use cluster::{adaptive_eps_detailed, AdaptiveConfig, DbscanParams};
 use dataset::CloudClassifier;
 use edge::{ThrottleConfig, ThrottleMonitor};
 use geom::Point3;
 use lidar::PointCloud;
+use obs::{Clock, SystemClock};
 use serde::{Deserialize, Serialize};
 
-use crate::{ClusterMethod, CrowdCounter};
+use crate::{ClusterMethod, ClusterReport, CrowdCounter};
 
 /// Health of the supervised loop.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
@@ -186,6 +189,11 @@ pub struct SupervisorConfig {
     /// Staleness cap: dropped/faulted frames report the last good
     /// count for at most this many consecutive frames, then zero.
     pub max_hold_frames: u32,
+    /// Wall-clock staleness cap in milliseconds, measured on the
+    /// injected [`Clock`]: a held count older than this is never
+    /// reported, whatever the frame cadence. `INFINITY` (the default)
+    /// leaves the frame cap in sole control.
+    pub max_hold_ms: f64,
     /// Consecutive clean frames before health and the ε rung climb one
     /// step.
     pub recover_after: u32,
@@ -204,6 +212,7 @@ impl Default for SupervisorConfig {
             adaptive: AdaptiveConfig::default(),
             fixed_eps: 0.5,
             max_hold_frames: 5,
+            max_hold_ms: f64::INFINITY,
             recover_after: 3,
             fault_after: 4,
             bounds: SanitizeBounds::default(),
@@ -238,6 +247,13 @@ pub struct SupervisedCount {
     pub panicked: bool,
     /// True when the frame blew its deadline budget.
     pub deadline_missed: bool,
+    /// Per-cluster centroid/size/label summaries from the pipeline
+    /// (empty for held, dropped, or panicked frames).
+    pub clusters: Vec<ClusterReport>,
+    /// Milliseconds since the last completed frame, on the injected
+    /// clock: `0` when this frame ran, `INFINITY` when nothing has
+    /// ever completed.
+    pub age_ms: f64,
 }
 
 /// Cumulative supervisor statistics, mirrored on `obs` counters.
@@ -270,12 +286,14 @@ pub struct SupervisedCounter<C: CloudClassifier, Q: CloudClassifier = C> {
     primary: CrowdCounter<C>,
     int8: Option<CrowdCounter<Q>>,
     cfg: SupervisorConfig,
+    clock: Arc<dyn Clock>,
     throttle: ThrottleMonitor,
     health: HealthState,
     eps_rung: EpsRung,
     precision: PrecisionRung,
     last_good_eps: Option<f64>,
     last_good_count: Option<usize>,
+    last_good_at: Option<Duration>,
     stale_frames: u32,
     good_streak: u32,
     bad_streak: u32,
@@ -295,11 +313,14 @@ impl<C: CloudClassifier, Q: CloudClassifier> std::fmt::Debug for SupervisedCount
 }
 
 impl<C: CloudClassifier, Q: CloudClassifier> SupervisedCounter<C, Q> {
-    /// Wraps `primary` with the supervised loop.
+    /// Wraps `primary` with the supervised loop, timed on the real
+    /// monotonic clock. Use [`SupervisedCounter::with_clock`] to
+    /// inject a test clock.
     pub fn new(primary: CrowdCounter<C>, cfg: SupervisorConfig) -> Self {
         SupervisedCounter {
             primary,
             int8: None,
+            clock: Arc::new(SystemClock),
             throttle: ThrottleMonitor::new(cfg.throttle),
             cfg,
             health: HealthState::Healthy,
@@ -307,6 +328,7 @@ impl<C: CloudClassifier, Q: CloudClassifier> SupervisedCounter<C, Q> {
             precision: PrecisionRung::Fp32,
             last_good_eps: None,
             last_good_count: None,
+            last_good_at: None,
             stale_frames: 0,
             good_streak: 0,
             bad_streak: 0,
@@ -318,6 +340,19 @@ impl<C: CloudClassifier, Q: CloudClassifier> SupervisedCounter<C, Q> {
     pub fn with_int8(mut self, int8: CrowdCounter<Q>) -> Self {
         self.int8 = Some(int8);
         self
+    }
+
+    /// Replaces the time source. Every staleness decision — frame
+    /// elapsed/deadline, hold-last-good age — reads this clock, so a
+    /// [`obs::ManualClock`] makes them all deterministic.
+    pub fn with_clock(mut self, clock: Arc<dyn Clock>) -> Self {
+        self.clock = clock;
+        self
+    }
+
+    /// The injected time source.
+    pub fn clock(&self) -> &Arc<dyn Clock> {
+        &self.clock
     }
 
     /// Feeds a compartment temperature reading into the thermal
@@ -360,19 +395,34 @@ impl<C: CloudClassifier, Q: CloudClassifier> SupervisedCounter<C, Q> {
         &self.primary
     }
 
+    /// Milliseconds since the last completed frame on the injected
+    /// clock (`INFINITY` before the first).
+    pub fn age_ms(&self) -> f64 {
+        match self.last_good_at {
+            Some(at) => (self.clock.now().saturating_sub(at)).as_secs_f64() * 1e3,
+            None => f64::INFINITY,
+        }
+    }
+
+    /// Last compartment temperature fed to the thermal throttle.
+    pub fn pole_temperature(&self) -> Option<f64> {
+        self.throttle.last_reading()
+    }
+
     /// Handles a frame the sensor never delivered (a capture-path
     /// drop): counts it as a fault and answers with hold-last-good.
     pub fn step_dropped(&mut self) -> SupervisedCount {
-        let (outcome, elapsed_ms) = obs::timed_ms(|| {
-            self.begin_frame();
-            self.resolve_fallback(true)
-        });
-        self.finish_frame(outcome, elapsed_ms, 0, None, false, false)
+        let t0 = self.clock.now();
+        self.begin_frame();
+        let outcome = self.resolve_fallback(true);
+        let elapsed_ms = (self.clock.now().saturating_sub(t0)).as_secs_f64() * 1e3;
+        self.finish_frame(outcome, elapsed_ms, 0, None, false, false, Vec::new())
     }
 
     /// Runs one capture through the supervised pipeline.
     pub fn step(&mut self, capture: &PointCloud) -> SupervisedCount {
-        let ((outcome, scrubbed, raw, panicked), elapsed_ms) = obs::timed_ms(|| {
+        let t0 = self.clock.now();
+        let (outcome, scrubbed, raw, panicked, clusters) = {
             self.begin_frame();
 
             // 1. Sanitize: drop physically impossible returns.
@@ -425,21 +475,30 @@ impl<C: CloudClassifier, Q: CloudClassifier> SupervisedCounter<C, Q> {
             match run {
                 Ok(result) => {
                     self.last_good_count = Some(result.count);
+                    self.last_good_at = Some(self.clock.now());
                     self.stale_frames = 0;
                     (
                         Outcome::ran(result.count),
                         scrubbed,
                         Some(result.count),
                         false,
+                        result.clusters,
                     )
                 }
                 Err(_) => {
                     self.stats.panics += 1;
                     obs::incr("supervisor.panics", 1);
-                    (self.resolve_fallback(false), scrubbed, None, true)
+                    (
+                        self.resolve_fallback(false),
+                        scrubbed,
+                        None,
+                        true,
+                        Vec::new(),
+                    )
                 }
             }
-        });
+        };
+        let elapsed_ms = (self.clock.now().saturating_sub(t0)).as_secs_f64() * 1e3;
         let deadline_missed = elapsed_ms > self.cfg.deadline_ms;
         self.finish_frame(
             outcome,
@@ -448,6 +507,7 @@ impl<C: CloudClassifier, Q: CloudClassifier> SupervisedCounter<C, Q> {
             raw,
             panicked,
             deadline_missed,
+            clusters,
         )
     }
 
@@ -473,7 +533,8 @@ impl<C: CloudClassifier, Q: CloudClassifier> SupervisedCounter<C, Q> {
     fn resolve_fallback(&mut self, dropped: bool) -> Outcome {
         let _ = dropped;
         self.stale_frames += 1;
-        if self.stale_frames <= self.cfg.max_hold_frames {
+        let fresh_enough = self.age_ms() <= self.cfg.max_hold_ms;
+        if self.stale_frames <= self.cfg.max_hold_frames && fresh_enough {
             if let Some(held) = self.last_good_count {
                 self.stats.frames_held += 1;
                 self.stats.frames_recovered += 1;
@@ -493,6 +554,7 @@ impl<C: CloudClassifier, Q: CloudClassifier> SupervisedCounter<C, Q> {
     }
 
     /// Ladder/health bookkeeping shared by real and dropped frames.
+    #[allow(clippy::too_many_arguments)]
     fn finish_frame(
         &mut self,
         outcome: Outcome,
@@ -501,6 +563,7 @@ impl<C: CloudClassifier, Q: CloudClassifier> SupervisedCounter<C, Q> {
         raw_count: Option<usize>,
         panicked: bool,
         deadline_missed: bool,
+        clusters: Vec<ClusterReport>,
     ) -> SupervisedCount {
         if deadline_missed {
             self.stats.deadline_misses += 1;
@@ -559,6 +622,12 @@ impl<C: CloudClassifier, Q: CloudClassifier> SupervisedCounter<C, Q> {
             stale_frames: outcome.stale,
             panicked,
             deadline_missed,
+            clusters,
+            age_ms: if raw_count.is_some() {
+                0.0
+            } else {
+                self.age_ms()
+            },
         }
     }
 
@@ -862,6 +931,108 @@ mod tests {
         let out = s.step(&capture(&[(14.0, 0.0, -1.3)]));
         assert_eq!(out.precision, PrecisionRung::Fp32);
         assert_eq!(out.count, 1);
+    }
+
+    /// Height rule that also advances a [`ManualClock`] on every
+    /// classify call, modelling a pipeline with a known, injectable
+    /// per-frame cost.
+    struct MeteredRule {
+        clock: obs::ManualClock,
+        cost_ms: Arc<std::sync::atomic::AtomicU64>,
+    }
+
+    impl CloudClassifier for MeteredRule {
+        fn classify(&mut self, clouds: &[Vec<Point3>]) -> Vec<ClassLabel> {
+            self.clock.advance_ms(self.cost_ms.load(Ordering::SeqCst));
+            clouds
+                .iter()
+                .map(|c| {
+                    let hi = c.iter().map(|p| p.z).fold(f64::NEG_INFINITY, f64::max);
+                    if hi > -1.7 {
+                        ClassLabel::Human
+                    } else {
+                        ClassLabel::Object
+                    }
+                })
+                .collect()
+        }
+
+        fn model_name(&self) -> &str {
+            "Metered"
+        }
+    }
+
+    #[test]
+    fn hold_staleness_is_deterministic_on_an_injected_clock() {
+        let clock = obs::ManualClock::new();
+        let mut s = supervised(SupervisorConfig {
+            deadline_ms: 10_000.0,
+            max_hold_frames: 10,
+            max_hold_ms: 5_000.0,
+            ..SupervisorConfig::default()
+        })
+        .with_clock(clock.handle());
+        let good = capture(&[(14.0, 0.0, -1.3)]);
+        assert_eq!(s.step(&good).count, 1);
+        // Two seconds later a dropped frame still rides the held count…
+        clock.advance_ms(2_000);
+        let d1 = s.step_dropped();
+        assert!(d1.held);
+        assert_eq!(d1.count, 1);
+        assert_eq!(d1.age_ms, 2_000.0, "age is exact on the manual clock");
+        // …but past the 5 s wall-clock cap the supervisor admits
+        // blindness even though the frame cap (10) has headroom.
+        clock.advance_ms(4_000);
+        let d2 = s.step_dropped();
+        assert_eq!(d2.count, 0, "time-capped hold must not serve a 6 s count");
+        assert_eq!(d2.stale_frames, 2);
+    }
+
+    #[test]
+    fn deadline_misses_are_exact_on_an_injected_clock() {
+        // A 120 ms pipeline against a 50 ms budget: every frame misses
+        // by construction, no matter how fast the host machine is.
+        let clock = obs::ManualClock::new();
+        let cost_ms = Arc::new(std::sync::atomic::AtomicU64::new(120));
+        let classifier = MeteredRule {
+            clock: clock.clone(),
+            cost_ms: Arc::clone(&cost_ms),
+        };
+        let mut s: SupervisedCounter<MeteredRule> = SupervisedCounter::new(
+            CrowdCounter::new(classifier, CounterConfig::default()),
+            SupervisorConfig {
+                deadline_ms: 50.0,
+                ..SupervisorConfig::default()
+            },
+        )
+        .with_clock(clock.handle());
+        let cloud = capture(&[(14.0, 0.0, -1.3)]);
+        let out = s.step(&cloud);
+        assert!(out.deadline_missed);
+        assert_eq!(out.elapsed_ms, 120.0, "elapsed is the injected cost");
+        assert_eq!(s.eps_rung(), EpsRung::Cached);
+        // Cheap frames (still on the same clock) recover the ladder.
+        cost_ms.store(10, Ordering::SeqCst);
+        for _ in 0..3 {
+            assert!(!s.step(&cloud).deadline_missed);
+        }
+        assert_eq!(s.eps_rung(), EpsRung::Adaptive);
+    }
+
+    #[test]
+    fn reports_carry_cluster_centroids_and_temperature() {
+        let mut s = supervised(SupervisorConfig {
+            deadline_ms: 10_000.0,
+            ..SupervisorConfig::default()
+        });
+        s.feed_temperature(36.5);
+        let out = s.step(&capture(&[(14.0, 0.0, -1.3), (20.0, 1.5, -1.25)]));
+        assert_eq!(out.clusters.len(), 2);
+        let c0 = out.clusters[0];
+        assert!((c0.centroid.x - 14.0).abs() < 0.3);
+        assert!(c0.points > 0);
+        assert_eq!(s.pole_temperature(), Some(36.5));
+        assert_eq!(out.age_ms, 0.0, "fresh frame has zero age");
     }
 
     #[test]

@@ -207,6 +207,7 @@ pub struct ThrottleMonitor {
     cfg: ThrottleConfig,
     state: ThrottleState,
     trips: u64,
+    last_c: Option<f64>,
 }
 
 impl Default for ThrottleMonitor {
@@ -235,6 +236,7 @@ impl ThrottleMonitor {
             cfg,
             state: ThrottleState::Nominal,
             trips: 0,
+            last_c: None,
         }
     }
 
@@ -244,6 +246,7 @@ impl ThrottleMonitor {
         if !pole_c.is_finite() {
             return self.state;
         }
+        self.last_c = Some(pole_c);
         match self.state {
             ThrottleState::Nominal if pole_c >= self.cfg.trip_c => {
                 self.state = ThrottleState::Throttled;
@@ -275,6 +278,12 @@ impl ThrottleMonitor {
     /// Times the throttle has tripped since construction.
     pub fn trips(&self) -> u64 {
         self.trips
+    }
+
+    /// The last finite reading fed to [`ThrottleMonitor::update`] —
+    /// the pole's thermal gauge as reported over the fleet wire.
+    pub fn last_reading(&self) -> Option<f64> {
+        self.last_c
     }
 
     /// The thresholds.

@@ -1,0 +1,650 @@
+//! The pole side of the fleet: a counting loop with an uplink.
+//!
+//! [`PoleAgent`] wraps a [`SupervisedCounter`] and turns every stepped
+//! frame into a [`PoleReport`] on the wire. The uplink is engineered
+//! for the realities of a pole in the weather:
+//!
+//! - **bounded drop-oldest queue** — when the link is down, encoded
+//!   frames accumulate up to [`AgentConfig::queue_cap`], then the
+//!   *oldest* is discarded. Fresh occupancy beats a complete history;
+//!   the aggregator's fusion is last-sequence-wins anyway.
+//! - **heartbeats** — if nothing has been enqueued for
+//!   [`AgentConfig::heartbeat_every_ms`], a heartbeat goes out so the
+//!   aggregator can tell "quiet pole" from "dead pole".
+//! - **jittered exponential backoff** — redial delays double from
+//!   `backoff_base_ms` to `backoff_max_ms` with seeded half-to-full
+//!   jitter, so a rebooted aggregator is not met by a synchronized
+//!   thundering herd of poles.
+//!
+//! Time comes from the counter's injected [`obs::Clock`], and backoff
+//! is deadline-based (`next_dial_at`) rather than slept, so the whole
+//! reconnect dance is deterministic under a [`obs::ManualClock`].
+
+use std::collections::VecDeque;
+use std::sync::Arc;
+use std::time::Duration;
+
+use counting::{SupervisedCount, SupervisedCounter};
+use dataset::CloudClassifier;
+use lidar::PointCloud;
+use obs::Clock;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+use crate::transport::{Connector, Transport};
+use crate::wire::{encode, ClusterObservation, Heartbeat, Message, PoleReport};
+
+/// Pole agent tuning.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct AgentConfig {
+    /// This pole's fleet-wide id (must exist in the campus
+    /// `world::PoleRegistry` for its clusters to be fused).
+    pub pole_id: u32,
+    /// Encoded frames the send queue holds before dropping the oldest.
+    pub queue_cap: usize,
+    /// Enqueued frames per transport flush. `1` streams every frame;
+    /// larger values trade latency for fewer, bigger writes.
+    pub batch_frames: usize,
+    /// Idle gap after which a heartbeat is enqueued, ms.
+    pub heartbeat_every_ms: f64,
+    /// First redial delay, ms.
+    pub backoff_base_ms: f64,
+    /// Redial delay ceiling, ms.
+    pub backoff_max_ms: f64,
+    /// Seed for the backoff jitter draw.
+    pub jitter_seed: u64,
+}
+
+impl Default for AgentConfig {
+    fn default() -> Self {
+        AgentConfig {
+            pole_id: 0,
+            queue_cap: 256,
+            batch_frames: 1,
+            heartbeat_every_ms: 1_000.0,
+            backoff_base_ms: 50.0,
+            backoff_max_ms: 5_000.0,
+            jitter_seed: 0xA6E27,
+        }
+    }
+}
+
+impl AgentConfig {
+    /// A default config for `pole_id` (jitter seed varied per pole so
+    /// a fleet never dials in lockstep).
+    pub fn for_pole(pole_id: u32) -> Self {
+        AgentConfig {
+            pole_id,
+            jitter_seed: 0xA6E27 ^ u64::from(pole_id),
+            ..AgentConfig::default()
+        }
+    }
+}
+
+/// Cumulative agent counters, mirrored on `obs`.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct AgentStats {
+    /// Reports enqueued (one per stepped frame).
+    pub reports: u64,
+    /// Heartbeats enqueued.
+    pub heartbeats: u64,
+    /// Frames evicted by drop-oldest backpressure.
+    pub dropped_oldest: u64,
+    /// Frames successfully written to a transport.
+    pub sent: u64,
+    /// Transport writes that failed (each costs the connection).
+    pub send_failures: u64,
+    /// Dial attempts.
+    pub dials: u64,
+    /// Dials that failed.
+    pub dial_failures: u64,
+    /// Successful connections after the first.
+    pub reconnects: u64,
+}
+
+/// A supervised counter with a fleet uplink.
+pub struct PoleAgent<C: CloudClassifier, Q: CloudClassifier = C> {
+    counter: SupervisedCounter<C, Q>,
+    connector: Box<dyn Connector>,
+    transport: Option<Box<dyn Transport>>,
+    cfg: AgentConfig,
+    clock: Arc<dyn Clock>,
+    queue: VecDeque<Vec<u8>>,
+    seq: u64,
+    jitter: StdRng,
+    backoff_ms: f64,
+    next_dial_at: Duration,
+    last_enqueue_at: Duration,
+    connected_before: bool,
+    stats: AgentStats,
+}
+
+impl<C: CloudClassifier, Q: CloudClassifier> std::fmt::Debug for PoleAgent<C, Q> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("PoleAgent")
+            .field("pole_id", &self.cfg.pole_id)
+            .field("connected", &self.transport.is_some())
+            .field("queued", &self.queue.len())
+            .field("seq", &self.seq)
+            .field("stats", &self.stats)
+            .finish()
+    }
+}
+
+impl<C: CloudClassifier, Q: CloudClassifier> PoleAgent<C, Q> {
+    /// Wraps `counter` with an uplink dialled through `connector`.
+    /// The agent shares the counter's clock, so injecting a
+    /// [`obs::ManualClock`] there drives backoff and heartbeat
+    /// deadlines too.
+    pub fn new(
+        counter: SupervisedCounter<C, Q>,
+        connector: Box<dyn Connector>,
+        cfg: AgentConfig,
+    ) -> Self {
+        let clock = Arc::clone(counter.clock());
+        let now = clock.now();
+        PoleAgent {
+            counter,
+            connector,
+            transport: None,
+            jitter: StdRng::seed_from_u64(cfg.jitter_seed),
+            cfg,
+            clock,
+            queue: VecDeque::new(),
+            seq: 0,
+            backoff_ms: 0.0,
+            next_dial_at: now,
+            last_enqueue_at: now,
+            connected_before: false,
+            stats: AgentStats::default(),
+        }
+    }
+
+    /// The wrapped counter.
+    pub fn counter(&self) -> &SupervisedCounter<C, Q> {
+        &self.counter
+    }
+
+    /// Mutable access (e.g. to feed compartment temperatures).
+    pub fn counter_mut(&mut self) -> &mut SupervisedCounter<C, Q> {
+        &mut self.counter
+    }
+
+    /// Cumulative uplink counters.
+    pub fn stats(&self) -> AgentStats {
+        self.stats
+    }
+
+    /// Whether a transport is currently up.
+    pub fn is_connected(&self) -> bool {
+        self.transport.is_some()
+    }
+
+    /// Encoded frames awaiting a flush.
+    pub fn queue_len(&self) -> usize {
+        self.queue.len()
+    }
+
+    /// Last report sequence number issued.
+    pub fn seq(&self) -> u64 {
+        self.seq
+    }
+
+    /// Runs one capture through the supervised counter, enqueues the
+    /// report, and flushes the uplink.
+    pub fn step(&mut self, capture: &PointCloud) -> SupervisedCount {
+        let out = self.counter.step(capture);
+        self.enqueue_report(&out);
+        self.maybe_heartbeat();
+        self.flush();
+        out
+    }
+
+    /// Accounts a frame the sensor never delivered; the held count
+    /// still goes on the wire so the campus sees the pole degrade.
+    pub fn step_dropped(&mut self) -> SupervisedCount {
+        let out = self.counter.step_dropped();
+        self.enqueue_report(&out);
+        self.maybe_heartbeat();
+        self.flush();
+        out
+    }
+
+    /// Idle maintenance when no capture arrived this cycle: emits a
+    /// heartbeat if the link has been quiet and retries the dial if a
+    /// backoff deadline has passed.
+    pub fn tick(&mut self) {
+        self.maybe_heartbeat();
+        self.flush();
+    }
+
+    /// Announces an orderly shutdown (best effort) and closes.
+    pub fn shutdown(&mut self) {
+        self.enqueue(Message::Bye {
+            pole_id: self.cfg.pole_id,
+        });
+        self.flush();
+        if let Some(mut t) = self.transport.take() {
+            t.close();
+        }
+    }
+
+    fn enqueue_report(&mut self, out: &SupervisedCount) {
+        self.seq += 1;
+        let report = PoleReport {
+            pole_id: self.cfg.pole_id,
+            seq: self.seq,
+            timestamp_ms: self.clock.now_ms() as u64,
+            count: out.count as u32,
+            health: out.health,
+            eps_rung: out.eps_rung,
+            precision: out.precision,
+            held: out.held,
+            stale_frames: out.stale_frames,
+            age_ms: out.age_ms,
+            pole_temp_c: self.counter.pole_temperature(),
+            clusters: out
+                .clusters
+                .iter()
+                .map(|c| ClusterObservation {
+                    centroid: c.centroid,
+                    points: c.points.min(u32::MAX as usize) as u32,
+                    confidence: support_confidence(c.points),
+                })
+                .collect(),
+        };
+        self.stats.reports += 1;
+        obs::incr("fleet.agent.reports", 1);
+        self.enqueue(Message::Report(report));
+    }
+
+    fn maybe_heartbeat(&mut self) {
+        let idle_ms = (self.clock.now().saturating_sub(self.last_enqueue_at)).as_secs_f64() * 1e3;
+        if idle_ms >= self.cfg.heartbeat_every_ms {
+            self.stats.heartbeats += 1;
+            obs::incr("fleet.agent.heartbeats", 1);
+            self.enqueue(Message::Heartbeat(Heartbeat {
+                pole_id: self.cfg.pole_id,
+                seq: self.seq,
+                timestamp_ms: self.clock.now_ms() as u64,
+            }));
+        }
+    }
+
+    fn enqueue(&mut self, msg: Message) {
+        if self.queue.len() >= self.cfg.queue_cap.max(1) {
+            self.queue.pop_front();
+            self.stats.dropped_oldest += 1;
+            obs::incr("fleet.agent.dropped_oldest", 1);
+        }
+        self.queue.push_back(encode(&msg));
+        self.last_enqueue_at = self.clock.now();
+        obs::set_gauge("fleet.agent.queue_depth", self.queue.len() as f64);
+    }
+
+    /// Drains the queue into the transport, dialling first if the
+    /// backoff deadline allows. Batching: waits for
+    /// [`AgentConfig::batch_frames`] queued frames before writing
+    /// (heartbeats and shutdowns flush regardless via queue pressure
+    /// over time).
+    fn flush(&mut self) {
+        if self.queue.len() < self.cfg.batch_frames.max(1) {
+            return;
+        }
+        if self.transport.is_none() {
+            self.try_dial();
+        }
+        let Some(transport) = self.transport.as_mut() else {
+            return;
+        };
+        while let Some(frame) = self.queue.front() {
+            match transport.send(frame) {
+                Ok(()) => {
+                    self.queue.pop_front();
+                    self.stats.sent += 1;
+                    obs::incr("fleet.agent.sent", 1);
+                }
+                Err(_) => {
+                    self.stats.send_failures += 1;
+                    obs::incr("fleet.agent.send_failures", 1);
+                    self.drop_transport();
+                    break;
+                }
+            }
+        }
+        obs::set_gauge("fleet.agent.queue_depth", self.queue.len() as f64);
+    }
+
+    fn try_dial(&mut self) {
+        if self.clock.now() < self.next_dial_at {
+            return;
+        }
+        self.stats.dials += 1;
+        obs::incr("fleet.agent.dials", 1);
+        match self.connector.connect() {
+            Ok(mut transport) => {
+                // Announce ourselves before any queued traffic.
+                let hello = encode(&Message::Hello {
+                    pole_id: self.cfg.pole_id,
+                });
+                if transport.send(&hello).is_err() {
+                    self.stats.dial_failures += 1;
+                    self.schedule_backoff();
+                    return;
+                }
+                if self.connected_before {
+                    self.stats.reconnects += 1;
+                    obs::incr("fleet.agent.reconnects", 1);
+                }
+                self.connected_before = true;
+                self.backoff_ms = 0.0;
+                self.transport = Some(transport);
+            }
+            Err(_) => {
+                self.stats.dial_failures += 1;
+                obs::incr("fleet.agent.dial_failures", 1);
+                self.schedule_backoff();
+            }
+        }
+    }
+
+    fn drop_transport(&mut self) {
+        if let Some(mut t) = self.transport.take() {
+            t.close();
+        }
+        self.schedule_backoff();
+    }
+
+    /// Doubles the redial delay (clamped to the ceiling) and draws a
+    /// half-to-full jitter factor so fleets don't redial in lockstep.
+    fn schedule_backoff(&mut self) {
+        self.backoff_ms = if self.backoff_ms <= 0.0 {
+            self.cfg.backoff_base_ms
+        } else {
+            (self.backoff_ms * 2.0).min(self.cfg.backoff_max_ms)
+        };
+        let jitter = 0.5 + 0.5 * self.jitter.gen::<f64>();
+        let wait = Duration::from_secs_f64(self.backoff_ms * jitter / 1e3);
+        self.next_dial_at = self.clock.now() + wait;
+    }
+}
+
+/// Cluster-support stand-in for a detection posterior: a cluster with
+/// the ~60-point support of a close-range pedestrian saturates toward
+/// 1, a 3-point wisp stays near 0.1. Monotone, bounded in `[0, 1)`.
+pub fn support_confidence(points: usize) -> f64 {
+    let p = points as f64;
+    p / (p + 25.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::transport::{loopback_pair, LoopbackConfig, LoopbackHub, TransportError};
+    use crate::wire::FrameDecoder;
+    use counting::{CounterConfig, CrowdCounter, SupervisorConfig};
+    use dataset::ClassLabel;
+    use geom::Point3;
+    use obs::ManualClock;
+
+    /// Tall clusters are humans.
+    struct HeightRule;
+
+    impl CloudClassifier for HeightRule {
+        fn classify(&mut self, clouds: &[Vec<Point3>]) -> Vec<ClassLabel> {
+            clouds
+                .iter()
+                .map(|c| {
+                    let hi = c.iter().map(|p| p.z).fold(f64::NEG_INFINITY, f64::max);
+                    if hi > -1.7 {
+                        ClassLabel::Human
+                    } else {
+                        ClassLabel::Object
+                    }
+                })
+                .collect()
+        }
+
+        fn model_name(&self) -> &str {
+            "HeightRule"
+        }
+    }
+
+    fn human_blob(x: f64, y: f64) -> Vec<Point3> {
+        (0..120)
+            .map(|i| {
+                let layer = i / 10;
+                let a = (i % 10) as f64 / 10.0 * std::f64::consts::TAU;
+                Point3::new(
+                    x + 0.12 * a.cos(),
+                    y + 0.12 * a.sin(),
+                    -2.6 + 1.3 * (layer as f64 / 11.0),
+                )
+            })
+            .collect()
+    }
+
+    fn capture(n: usize) -> PointCloud {
+        let mut pts = Vec::new();
+        for i in 0..n {
+            pts.extend(human_blob(14.0 + 3.0 * i as f64, (i % 2) as f64 * 1.5));
+        }
+        PointCloud::new(pts)
+    }
+
+    fn counter(clock: &ManualClock) -> SupervisedCounter<HeightRule> {
+        SupervisedCounter::new(
+            CrowdCounter::new(HeightRule, CounterConfig::default()),
+            SupervisorConfig {
+                deadline_ms: 10_000.0,
+                ..SupervisorConfig::default()
+            },
+        )
+        .with_clock(clock.handle())
+    }
+
+    /// A connector whose link can be severed mid-test.
+    struct SwitchedConnector {
+        hub: LoopbackHub,
+        refuse: std::sync::Arc<std::sync::atomic::AtomicBool>,
+    }
+
+    impl Connector for SwitchedConnector {
+        fn connect(&mut self) -> Result<Box<dyn Transport>, TransportError> {
+            if self.refuse.load(std::sync::atomic::Ordering::SeqCst) {
+                return Err(TransportError::Closed);
+            }
+            let mut c = self.hub.connector(LoopbackConfig::reliable());
+            c.connect()
+        }
+    }
+
+    #[test]
+    fn agent_streams_hello_then_reports() {
+        let clock = ManualClock::new();
+        let hub = LoopbackHub::new();
+        let connector = hub.connector(LoopbackConfig::reliable());
+        let mut agent = PoleAgent::new(
+            counter(&clock),
+            Box::new(connector),
+            AgentConfig::for_pole(3),
+        );
+        let out = agent.step(&capture(2));
+        assert_eq!(out.count, 2);
+        let mut server = hub.accept(Duration::from_millis(50)).unwrap();
+        let mut decoder = FrameDecoder::new();
+        let mut msgs = Vec::new();
+        while let Ok(chunk) = server.recv(Duration::from_millis(5)) {
+            decoder.push(&chunk);
+            while let Some(m) = decoder.next_message().unwrap() {
+                msgs.push(m);
+            }
+        }
+        assert_eq!(msgs[0], Message::Hello { pole_id: 3 });
+        match &msgs[1] {
+            Message::Report(r) => {
+                assert_eq!(r.pole_id, 3);
+                assert_eq!(r.seq, 1);
+                assert_eq!(r.count, 2);
+                assert_eq!(r.clusters.len(), 2);
+                assert!(r.clusters.iter().all(|c| c.confidence > 0.5));
+            }
+            other => panic!("expected a report, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn queue_drops_oldest_under_backpressure() {
+        let clock = ManualClock::new();
+        let refuse = std::sync::Arc::new(std::sync::atomic::AtomicBool::new(true));
+        let connector = SwitchedConnector {
+            hub: LoopbackHub::new(),
+            refuse: std::sync::Arc::clone(&refuse),
+        };
+        let mut cfg = AgentConfig::for_pole(1);
+        cfg.queue_cap = 4;
+        let mut agent = PoleAgent::new(counter(&clock), Box::new(connector), cfg);
+        for _ in 0..10 {
+            clock.advance_ms(100);
+            agent.step(&capture(1));
+        }
+        assert_eq!(agent.queue_len(), 4, "queue stays bounded");
+        assert_eq!(agent.stats().dropped_oldest, 6);
+        assert!(!agent.is_connected());
+    }
+
+    #[test]
+    fn backoff_doubles_with_jitter_and_resets_on_success() {
+        let clock = ManualClock::new();
+        let refuse = std::sync::Arc::new(std::sync::atomic::AtomicBool::new(true));
+        let hub = LoopbackHub::new();
+        // The hub outlives the refusing connector wrapper.
+        let connector = SwitchedConnector {
+            hub,
+            refuse: std::sync::Arc::clone(&refuse),
+        };
+        let mut cfg = AgentConfig::for_pole(2);
+        cfg.backoff_base_ms = 100.0;
+        cfg.backoff_max_ms = 800.0;
+        let mut agent = PoleAgent::new(counter(&clock), Box::new(connector), cfg);
+
+        agent.step(&capture(1)); // dial fails, backoff armed
+        let dials_after_first = agent.stats().dials;
+        assert_eq!(dials_after_first, 1);
+        agent.step(&capture(1)); // 0 ms later: inside backoff, no dial
+        assert_eq!(agent.stats().dials, 1, "backoff suppresses redial");
+
+        // March time forward; each expiry earns exactly one new dial.
+        let mut dials = 1;
+        for _ in 0..6 {
+            clock.advance_ms(1_000); // ≥ max backoff incl. jitter
+            agent.tick();
+            dials += 1;
+            assert_eq!(agent.stats().dials, dials);
+        }
+
+        // Open the gate: next expiry connects and drains the queue.
+        refuse.store(false, std::sync::atomic::Ordering::SeqCst);
+        clock.advance_ms(1_000);
+        agent.tick();
+        assert!(agent.is_connected());
+        assert_eq!(agent.queue_len(), 0, "backlog drains on reconnect");
+    }
+
+    #[test]
+    fn heartbeats_cover_idle_gaps() {
+        let clock = ManualClock::new();
+        let hub = LoopbackHub::new();
+        let connector = hub.connector(LoopbackConfig::reliable());
+        let mut cfg = AgentConfig::for_pole(9);
+        cfg.heartbeat_every_ms = 500.0;
+        let mut agent = PoleAgent::new(counter(&clock), Box::new(connector), cfg);
+        agent.step(&capture(1));
+        // Quiet for 600 ms: a tick must produce a heartbeat.
+        clock.advance_ms(600);
+        agent.tick();
+        assert_eq!(agent.stats().heartbeats, 1);
+        let mut server = hub.accept(Duration::from_millis(50)).unwrap();
+        let mut decoder = FrameDecoder::new();
+        let mut beats = 0;
+        while let Ok(chunk) = server.recv(Duration::from_millis(5)) {
+            decoder.push(&chunk);
+            while let Some(m) = decoder.next_message().unwrap() {
+                if let Message::Heartbeat(h) = m {
+                    assert_eq!(h.pole_id, 9);
+                    assert_eq!(h.seq, 1, "heartbeat carries the last report seq");
+                    beats += 1;
+                }
+            }
+        }
+        assert_eq!(beats, 1);
+    }
+
+    #[test]
+    fn shutdown_sends_bye() {
+        let clock = ManualClock::new();
+        let hub = LoopbackHub::new();
+        let connector = hub.connector(LoopbackConfig::reliable());
+        let mut agent = PoleAgent::new(
+            counter(&clock),
+            Box::new(connector),
+            AgentConfig::for_pole(5),
+        );
+        agent.step(&capture(1));
+        agent.shutdown();
+        let mut server = hub.accept(Duration::from_millis(50)).unwrap();
+        let mut decoder = FrameDecoder::new();
+        let mut last = None;
+        while let Ok(chunk) = server.recv(Duration::from_millis(5)) {
+            decoder.push(&chunk);
+            while let Some(m) = decoder.next_message().unwrap() {
+                last = Some(m);
+            }
+        }
+        assert_eq!(last, Some(Message::Bye { pole_id: 5 }));
+    }
+
+    #[test]
+    fn batching_defers_writes_until_the_batch_fills() {
+        let clock = ManualClock::new();
+        let (client, mut server) = loopback_pair(LoopbackConfig::reliable());
+        struct Once(Option<LoopbackClient>);
+        use crate::transport::LoopbackClient;
+        impl Connector for Once {
+            fn connect(&mut self) -> Result<Box<dyn Transport>, TransportError> {
+                self.0
+                    .take()
+                    .map(|c| Box::new(c) as Box<dyn Transport>)
+                    .ok_or(TransportError::Closed)
+            }
+        }
+        let mut cfg = AgentConfig::for_pole(4);
+        cfg.batch_frames = 3;
+        let mut agent = PoleAgent::new(counter(&clock), Box::new(Once(Some(client))), cfg);
+        agent.step(&capture(1));
+        agent.step(&capture(1));
+        assert_eq!(agent.stats().sent, 0, "below batch threshold: no writes");
+        agent.step(&capture(1));
+        assert!(agent.stats().sent >= 3, "batch flushes all queued frames");
+        // Everything decodes on the far side.
+        let mut decoder = FrameDecoder::new();
+        let mut reports = 0;
+        while let Ok(chunk) = server.recv(Duration::from_millis(5)) {
+            decoder.push(&chunk);
+            while let Some(m) = decoder.next_message().unwrap() {
+                if matches!(m, Message::Report(_)) {
+                    reports += 1;
+                }
+            }
+        }
+        assert_eq!(reports, 3);
+    }
+
+    #[test]
+    fn support_confidence_is_monotone_and_bounded() {
+        assert_eq!(support_confidence(0), 0.0);
+        assert!(support_confidence(10) < support_confidence(100));
+        assert!(support_confidence(1_000_000) < 1.0);
+    }
+}

@@ -1,0 +1,814 @@
+//! The campus side of the fleet: fusion, liveness, and occupancy.
+//!
+//! [`FusionCore`] holds one slot per pole, keyed by `pole_id` and
+//! updated **last-sequence-wins**: a report only replaces the slot if
+//! its `seq` is newer than what the slot holds. That one rule makes
+//! the whole tier order-independent — a campus snapshot is a pure
+//! function of *which* reports have arrived, not of the order, the
+//! socket, or the thread they arrived on. The integration tests pin
+//! this by fusing the same traffic through one thread and through
+//! eight and demanding bit-identical snapshots.
+//!
+//! # Dedup geometry
+//!
+//! Poles overlap on purpose (a corridor surveyed every 15 m with a
+//! 23 m ROI sees every walker twice near the seams). Each report
+//! carries cluster centroids in the pole's own frame; fusion maps
+//! them to campus coordinates through the surveyed
+//! [`world::PoleRegistry`] pose and greedily merges any two
+//! observations within [`FusionConfig::dedup_radius_m`] (in the
+//! ground plane) into one fused person. The greedy pass runs over
+//! observations sorted by `(pole_id, cluster index)`, so it is
+//! deterministic given the fused state.
+//!
+//! # Liveness
+//!
+//! A pole is [`Liveness::Live`] while messages keep arriving,
+//! [`Liveness::Stale`] after [`FusionConfig::stale_after_ms`] of
+//! silence, and [`Liveness::Dead`] after
+//! [`FusionConfig::dead_after_ms`] (or immediately on an orderly
+//! `Bye`). Dead poles keep their slot — the dashboard should show
+//! *which* pole died — but stop contributing people to occupancy.
+
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+use counting::HealthState;
+use geom::Point3;
+use obs::{Clock, SystemClock};
+use parking_lot::Mutex;
+use serde::{Deserialize, Serialize};
+use world::{PoleRegistry, WalkwayConfig};
+
+use crate::transport::{Transport, TransportError};
+use crate::wire::{FrameDecoder, Message, PoleReport};
+
+/// Fusion and liveness tuning.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct FusionConfig {
+    /// Ground-plane radius (m) within which two cluster centroids
+    /// from different poles are the same person. The paper's walkway
+    /// data puts nearest-neighbour pedestrian spacing well above a
+    /// shoulder width; 0.75 m merges double-sightings without gluing
+    /// genuinely separate walkers.
+    pub dedup_radius_m: f64,
+    /// Silence (ms) after which a pole turns [`Liveness::Stale`].
+    pub stale_after_ms: f64,
+    /// Silence (ms) after which a pole turns [`Liveness::Dead`] and
+    /// its people leave the fused count.
+    pub dead_after_ms: f64,
+    /// Edge length (m) of the campus occupancy grid zones.
+    pub zone_size_m: f64,
+}
+
+impl Default for FusionConfig {
+    fn default() -> Self {
+        FusionConfig {
+            dedup_radius_m: 0.75,
+            stale_after_ms: 2_000.0,
+            dead_after_ms: 5_000.0,
+            zone_size_m: 20.0,
+        }
+    }
+}
+
+/// Per-pole liveness as judged by the aggregator's clock.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Liveness {
+    /// Heard from recently.
+    Live,
+    /// Quiet past the stale threshold; last data still trusted.
+    Stale,
+    /// Quiet past the dead threshold (or said `Bye`); excluded from
+    /// occupancy.
+    Dead,
+}
+
+impl Liveness {
+    /// Dashboard label.
+    pub fn as_str(&self) -> &'static str {
+        match self {
+            Liveness::Live => "live",
+            Liveness::Stale => "stale",
+            Liveness::Dead => "dead",
+        }
+    }
+}
+
+/// One pole's row in a campus snapshot.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PoleStatus {
+    /// Pole id.
+    pub pole_id: u32,
+    /// Liveness at snapshot time.
+    pub liveness: Liveness,
+    /// Supervisor health from the last report, if any arrived.
+    pub health: Option<HealthState>,
+    /// Last reported count.
+    pub count: u32,
+    /// Last accepted report sequence.
+    pub seq: u64,
+    /// Milliseconds since the aggregator last heard this pole.
+    pub silence_ms: f64,
+    /// Whether the last report was a held (stale) count.
+    pub held: bool,
+}
+
+/// One deduplicated pedestrian in campus coordinates.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FusedPerson {
+    /// Campus-frame ground position.
+    pub x: f64,
+    /// Campus-frame ground position.
+    pub y: f64,
+    /// Best confidence among merged observations.
+    pub confidence: f64,
+    /// Poles that saw this person (ascending, first is the keeper of
+    /// the position).
+    pub observers: Vec<u32>,
+}
+
+/// Per-zone occupancy on the campus grid.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ZoneOccupancy {
+    /// Grid column (`floor(x / zone_size)`).
+    pub zone_x: i32,
+    /// Grid row (`floor(y / zone_size)`).
+    pub zone_y: i32,
+    /// Fused people inside the zone.
+    pub count: u32,
+}
+
+/// A time-windowed view of the whole campus.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CampusSnapshot {
+    /// Aggregator-clock timestamp, ms.
+    pub at_ms: f64,
+    /// Total fused occupancy: deduplicated people plus unmapped
+    /// scalar counts.
+    pub occupancy: u32,
+    /// Deduplicated pedestrians with campus positions.
+    pub people: Vec<FusedPerson>,
+    /// Counts that could not be placed on the map (held reports carry
+    /// no clusters; unregistered poles have no surveyed pose). These
+    /// skip dedup, so overlap-zone people may count twice while a
+    /// pole is holding.
+    pub unmapped: u32,
+    /// Non-empty occupancy grid zones, ascending `(zone_x, zone_y)`.
+    pub zones: Vec<ZoneOccupancy>,
+    /// Every known pole, ascending id.
+    pub poles: Vec<PoleStatus>,
+    /// Poles currently [`Liveness::Live`].
+    pub live: u32,
+    /// Poles currently [`Liveness::Stale`].
+    pub stale: u32,
+    /// Poles currently [`Liveness::Dead`].
+    pub dead: u32,
+    /// 95th-percentile silence across non-dead poles, ms.
+    pub p95_silence_ms: f64,
+}
+
+impl CampusSnapshot {
+    /// One JSONL line for dashboards and the soak bench.
+    pub fn to_json(&self) -> String {
+        let mut s = String::with_capacity(256);
+        s.push_str(&format!(
+            "{{\"at_ms\":{:.3},\"occupancy\":{},\"unmapped\":{},\"live\":{},\"stale\":{},\"dead\":{},\"p95_silence_ms\":{:.3},\"people\":[",
+            self.at_ms, self.occupancy, self.unmapped, self.live, self.stale, self.dead,
+            self.p95_silence_ms
+        ));
+        for (i, p) in self.people.iter().enumerate() {
+            if i > 0 {
+                s.push(',');
+            }
+            s.push_str(&format!(
+                "{{\"x\":{:.3},\"y\":{:.3},\"confidence\":{:.3},\"observers\":{:?}}}",
+                p.x, p.y, p.confidence, p.observers
+            ));
+        }
+        s.push_str("],\"poles\":[");
+        for (i, p) in self.poles.iter().enumerate() {
+            if i > 0 {
+                s.push(',');
+            }
+            s.push_str(&format!(
+                "{{\"pole_id\":{},\"liveness\":\"{}\",\"count\":{},\"seq\":{},\"silence_ms\":{:.1},\"held\":{}}}",
+                p.pole_id,
+                p.liveness.as_str(),
+                p.count,
+                p.seq,
+                p.silence_ms,
+                p.held
+            ));
+        }
+        s.push_str("]}");
+        s
+    }
+}
+
+/// Cumulative aggregator counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct FusionStats {
+    /// Reports accepted into pole slots.
+    pub reports: u64,
+    /// Reports discarded because a newer `seq` was already fused
+    /// (reorders and duplicates).
+    pub stale_discards: u64,
+    /// Heartbeats ingested.
+    pub heartbeats: u64,
+    /// Hello messages ingested.
+    pub hellos: u64,
+    /// Bye messages ingested.
+    pub byes: u64,
+}
+
+#[derive(Debug, Clone)]
+struct PoleSlot {
+    report: Option<PoleReport>,
+    last_seq: u64,
+    heard_at: Duration,
+    said_bye: bool,
+}
+
+/// The fusion state machine: ingest wire messages, answer campus
+/// snapshots. Thread-agnostic — wrap it in [`Aggregator`] for the
+/// threaded service.
+#[derive(Debug)]
+pub struct FusionCore {
+    registry: PoleRegistry,
+    walkway: WalkwayConfig,
+    cfg: FusionConfig,
+    clock: Arc<dyn Clock>,
+    slots: BTreeMap<u32, PoleSlot>,
+    stats: FusionStats,
+}
+
+impl FusionCore {
+    /// A core fusing against the surveyed `registry` on the system
+    /// clock.
+    pub fn new(registry: PoleRegistry, walkway: WalkwayConfig, cfg: FusionConfig) -> Self {
+        FusionCore {
+            registry,
+            walkway,
+            cfg,
+            clock: Arc::new(SystemClock),
+            slots: BTreeMap::new(),
+            stats: FusionStats::default(),
+        }
+    }
+
+    /// Replaces the liveness clock (deterministic tests).
+    pub fn with_clock(mut self, clock: Arc<dyn Clock>) -> Self {
+        self.clock = clock;
+        self
+    }
+
+    /// Cumulative counters.
+    pub fn stats(&self) -> FusionStats {
+        self.stats
+    }
+
+    /// The surveyed registry the core fuses against.
+    pub fn registry(&self) -> &PoleRegistry {
+        &self.registry
+    }
+
+    /// Folds one wire message into the fused state.
+    pub fn ingest(&mut self, msg: Message) {
+        let now = self.clock.now();
+        match msg {
+            Message::Hello { pole_id } => {
+                self.stats.hellos += 1;
+                obs::incr("fleet.agg.hellos", 1);
+                let slot = self.slot(pole_id, now);
+                slot.heard_at = now;
+                slot.said_bye = false;
+            }
+            Message::Report(report) => {
+                let pole_id = report.pole_id;
+                let slot = self.slot(pole_id, now);
+                slot.heard_at = now;
+                slot.said_bye = false;
+                if report.seq > slot.last_seq {
+                    slot.last_seq = report.seq;
+                    slot.report = Some(report);
+                    self.stats.reports += 1;
+                    obs::incr("fleet.agg.reports", 1);
+                } else {
+                    self.stats.stale_discards += 1;
+                    obs::incr("fleet.agg.stale_discards", 1);
+                }
+            }
+            Message::Heartbeat(hb) => {
+                self.stats.heartbeats += 1;
+                obs::incr("fleet.agg.heartbeats", 1);
+                let slot = self.slot(hb.pole_id, now);
+                slot.heard_at = now;
+                slot.said_bye = false;
+            }
+            Message::Bye { pole_id } => {
+                self.stats.byes += 1;
+                obs::incr("fleet.agg.byes", 1);
+                let slot = self.slot(pole_id, now);
+                slot.heard_at = now;
+                slot.said_bye = true;
+            }
+        }
+    }
+
+    fn slot(&mut self, pole_id: u32, now: Duration) -> &mut PoleSlot {
+        self.slots.entry(pole_id).or_insert_with(|| PoleSlot {
+            report: None,
+            last_seq: 0,
+            heard_at: now,
+            said_bye: false,
+        })
+    }
+
+    fn liveness(&self, slot: &PoleSlot, now: Duration) -> Liveness {
+        if slot.said_bye {
+            return Liveness::Dead;
+        }
+        let silence_ms = (now.saturating_sub(slot.heard_at)).as_secs_f64() * 1e3;
+        if silence_ms >= self.cfg.dead_after_ms {
+            Liveness::Dead
+        } else if silence_ms >= self.cfg.stale_after_ms {
+            Liveness::Stale
+        } else {
+            Liveness::Live
+        }
+    }
+
+    /// Builds the campus view from the current fused state. Pure with
+    /// respect to the slots and the clock: calling it twice without
+    /// new messages or time passing yields identical snapshots.
+    pub fn snapshot(&self) -> CampusSnapshot {
+        let now = self.clock.now();
+        let mut poles = Vec::with_capacity(self.slots.len());
+        let mut observations: Vec<(u32, Point3, f64)> = Vec::new();
+        let mut unmapped = 0u32;
+        let (mut live, mut stale, mut dead) = (0u32, 0u32, 0u32);
+        let mut silences: Vec<f64> = Vec::new();
+
+        for (&pole_id, slot) in &self.slots {
+            let liveness = self.liveness(slot, now);
+            let silence_ms = (now.saturating_sub(slot.heard_at)).as_secs_f64() * 1e3;
+            match liveness {
+                Liveness::Live => live += 1,
+                Liveness::Stale => stale += 1,
+                Liveness::Dead => dead += 1,
+            }
+            if liveness != Liveness::Dead {
+                silences.push(silence_ms);
+                if let Some(report) = &slot.report {
+                    match (self.registry.pose(pole_id), report.clusters.is_empty()) {
+                        (Some(pose), false) => {
+                            for c in &report.clusters {
+                                observations.push((
+                                    pole_id,
+                                    pose.to_campus(c.centroid),
+                                    c.confidence,
+                                ));
+                            }
+                        }
+                        // Held frames carry no clusters; unregistered
+                        // poles have no pose. Their counts still
+                        // matter — they just can't be deduplicated.
+                        _ => unmapped += report.count,
+                    }
+                }
+            }
+            poles.push(PoleStatus {
+                pole_id,
+                liveness,
+                health: slot.report.as_ref().map(|r| r.health),
+                count: slot.report.as_ref().map_or(0, |r| r.count),
+                seq: slot.last_seq,
+                silence_ms,
+                held: slot.report.as_ref().is_some_and(|r| r.held),
+            });
+        }
+
+        // Greedy ground-plane dedup over (pole_id, index)-ordered
+        // observations (the BTreeMap iteration above provides that
+        // order already).
+        let mut people: Vec<FusedPerson> = Vec::new();
+        let radius2 = self.cfg.dedup_radius_m * self.cfg.dedup_radius_m;
+        'obs: for (pole_id, campus, confidence) in observations {
+            for person in &mut people {
+                let dx = campus.x - person.x;
+                let dy = campus.y - person.y;
+                if dx * dx + dy * dy <= radius2 {
+                    if !person.observers.contains(&pole_id) {
+                        person.observers.push(pole_id);
+                    }
+                    person.confidence = person.confidence.max(confidence);
+                    continue 'obs;
+                }
+            }
+            people.push(FusedPerson {
+                x: campus.x,
+                y: campus.y,
+                confidence,
+                observers: vec![pole_id],
+            });
+        }
+
+        let mut zone_counts: BTreeMap<(i32, i32), u32> = BTreeMap::new();
+        let zone = self.cfg.zone_size_m.max(1e-9);
+        for p in &people {
+            let key = ((p.x / zone).floor() as i32, (p.y / zone).floor() as i32);
+            *zone_counts.entry(key).or_insert(0) += 1;
+        }
+        let zones = zone_counts
+            .into_iter()
+            .map(|((zone_x, zone_y), count)| ZoneOccupancy {
+                zone_x,
+                zone_y,
+                count,
+            })
+            .collect();
+
+        silences.sort_by(|a, b| a.partial_cmp(b).expect("silences are finite"));
+        let p95_silence_ms = if silences.is_empty() {
+            0.0
+        } else {
+            let idx = ((silences.len() as f64 * 0.95).ceil() as usize).max(1) - 1;
+            silences[idx.min(silences.len() - 1)]
+        };
+
+        let occupancy = people.len() as u32 + unmapped;
+        obs::set_gauge("fleet.occupancy", f64::from(occupancy));
+        obs::set_gauge("fleet.poles_live", f64::from(live));
+        obs::set_gauge("fleet.poles_stale", f64::from(stale));
+        obs::set_gauge("fleet.poles_dead", f64::from(dead));
+        obs::set_gauge("fleet.p95_silence_ms", p95_silence_ms);
+
+        CampusSnapshot {
+            at_ms: now.as_secs_f64() * 1e3,
+            occupancy,
+            people,
+            unmapped,
+            zones,
+            poles,
+            live,
+            stale,
+            dead,
+            p95_silence_ms,
+        }
+    }
+
+    /// The walkway geometry poles share.
+    pub fn walkway(&self) -> &WalkwayConfig {
+        &self.walkway
+    }
+}
+
+/// Aggregator service tuning.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct AggregatorConfig {
+    /// Fusion and liveness parameters.
+    pub fusion: FusionConfig,
+    /// Per-connection receive poll timeout, ms (bounds how fast a
+    /// reader thread notices shutdown).
+    pub recv_timeout_ms: u64,
+}
+
+impl Default for AggregatorConfig {
+    fn default() -> Self {
+        AggregatorConfig {
+            fusion: FusionConfig::default(),
+            recv_timeout_ms: 50,
+        }
+    }
+}
+
+/// The threaded occupancy service: one reader thread per connection,
+/// all folding into a shared [`FusionCore`].
+#[derive(Debug)]
+pub struct Aggregator {
+    core: Arc<Mutex<FusionCore>>,
+    cfg: AggregatorConfig,
+    running: Arc<AtomicBool>,
+}
+
+impl Aggregator {
+    /// A service fusing against `registry` on the system clock.
+    pub fn new(registry: PoleRegistry, walkway: WalkwayConfig, cfg: AggregatorConfig) -> Self {
+        Aggregator::with_core(FusionCore::new(registry, walkway, cfg.fusion), cfg)
+    }
+
+    /// Wraps an existing core (e.g. one with an injected clock).
+    pub fn with_core(core: FusionCore, cfg: AggregatorConfig) -> Self {
+        Aggregator {
+            core: Arc::new(Mutex::new(core)),
+            cfg,
+            running: Arc::new(AtomicBool::new(true)),
+        }
+    }
+
+    /// The current campus view.
+    pub fn snapshot(&self) -> CampusSnapshot {
+        self.core.lock().snapshot()
+    }
+
+    /// Cumulative fusion counters.
+    pub fn stats(&self) -> FusionStats {
+        self.core.lock().stats()
+    }
+
+    /// Asks every reader thread to wind down at its next poll.
+    pub fn stop(&self) {
+        self.running.store(false, Ordering::SeqCst);
+    }
+
+    /// Spawns a reader thread that drains `transport` into the fused
+    /// state until the peer closes, the decoder poisons, or
+    /// [`Aggregator::stop`] is called. Join the handle to know the
+    /// connection fully drained.
+    pub fn spawn_connection(
+        &self,
+        mut transport: Box<dyn Transport>,
+    ) -> std::thread::JoinHandle<()> {
+        let core = Arc::clone(&self.core);
+        let running = Arc::clone(&self.running);
+        let timeout = Duration::from_millis(self.cfg.recv_timeout_ms.max(1));
+        std::thread::spawn(move || {
+            let mut decoder = FrameDecoder::new();
+            while running.load(Ordering::SeqCst) {
+                match transport.recv(timeout) {
+                    Ok(chunk) => {
+                        decoder.push(&chunk);
+                        loop {
+                            match decoder.next_message() {
+                                Ok(Some(msg)) => core.lock().ingest(msg),
+                                Ok(None) => break,
+                                Err(_) => {
+                                    // Framing is unrecoverable
+                                    // mid-stream: drop the connection
+                                    // and let the agent redial.
+                                    obs::incr("fleet.agg.decode_errors", 1);
+                                    transport.close();
+                                    return;
+                                }
+                            }
+                        }
+                    }
+                    Err(TransportError::TimedOut) => continue,
+                    Err(_) => break,
+                }
+            }
+            transport.close();
+        })
+    }
+
+    /// Serves a TCP listener: accepts connections and spawns a reader
+    /// per socket until [`Aggregator::stop`]. The accept loop polls,
+    /// so it notices `stop` within ~`recv_timeout_ms`.
+    pub fn serve_tcp(&self, listener: std::net::TcpListener) -> std::thread::JoinHandle<()> {
+        let running = Arc::clone(&self.running);
+        let this = Aggregator {
+            core: Arc::clone(&self.core),
+            cfg: self.cfg,
+            running: Arc::clone(&self.running),
+        };
+        listener
+            .set_nonblocking(true)
+            .expect("listener nonblocking");
+        let poll = Duration::from_millis(self.cfg.recv_timeout_ms.max(1));
+        std::thread::spawn(move || {
+            while running.load(Ordering::SeqCst) {
+                match listener.accept() {
+                    Ok((stream, _)) => {
+                        stream.set_nonblocking(false).ok();
+                        if let Ok(t) = crate::transport::TcpTransport::new(stream) {
+                            this.spawn_connection(Box::new(t));
+                        }
+                    }
+                    Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                        std::thread::sleep(poll);
+                    }
+                    Err(_) => break,
+                }
+            }
+        })
+    }
+
+    /// Appends the current snapshot as one JSONL line.
+    pub fn export_jsonl(&self, out: &mut dyn std::io::Write) -> std::io::Result<()> {
+        writeln!(out, "{}", self.snapshot().to_json())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::wire::{ClusterObservation, Heartbeat};
+    use counting::{EpsRung, PrecisionRung};
+    use obs::ManualClock;
+    use world::corridor_layout;
+
+    fn report(pole_id: u32, seq: u64, clusters: &[(f64, f64)]) -> Message {
+        Message::Report(PoleReport {
+            pole_id,
+            seq,
+            timestamp_ms: seq * 100,
+            count: clusters.len() as u32,
+            health: HealthState::Healthy,
+            eps_rung: EpsRung::Adaptive,
+            precision: PrecisionRung::Fp32,
+            held: false,
+            stale_frames: 0,
+            age_ms: 0.0,
+            pole_temp_c: Some(35.0),
+            clusters: clusters
+                .iter()
+                .map(|&(x, y)| ClusterObservation {
+                    centroid: Point3::new(x, y, -2.0),
+                    points: 80,
+                    confidence: 0.8,
+                })
+                .collect(),
+        })
+    }
+
+    fn held_report(pole_id: u32, seq: u64, count: u32) -> Message {
+        Message::Report(PoleReport {
+            pole_id,
+            seq,
+            timestamp_ms: seq * 100,
+            count,
+            health: HealthState::Degraded,
+            eps_rung: EpsRung::Cached,
+            precision: PrecisionRung::Fp32,
+            held: true,
+            stale_frames: 1,
+            age_ms: 100.0,
+            pole_temp_c: None,
+            clusters: Vec::new(),
+        })
+    }
+
+    fn core(clock: &ManualClock) -> FusionCore {
+        let registry = PoleRegistry::from_poses(corridor_layout(3, 15.0));
+        FusionCore::new(registry, WalkwayConfig::default(), FusionConfig::default())
+            .with_clock(clock.handle())
+    }
+
+    #[test]
+    fn overlap_sightings_fuse_into_one_person() {
+        let clock = ManualClock::new();
+        let mut core = core(&clock);
+        // Pole 0 sees someone at local x=28 (campus 28); pole 1 (at
+        // campus x=15) sees the same person at local x=13.2 — 20 cm
+        // of disagreement, well inside the dedup radius.
+        core.ingest(report(0, 1, &[(28.0, 0.0)]));
+        core.ingest(report(1, 1, &[(13.2, 0.0)]));
+        let snap = core.snapshot();
+        assert_eq!(snap.occupancy, 1, "one person, not two");
+        assert_eq!(snap.people.len(), 1);
+        assert_eq!(snap.people[0].observers, vec![0, 1]);
+        assert_eq!(snap.unmapped, 0);
+    }
+
+    #[test]
+    fn distinct_people_stay_distinct() {
+        let clock = ManualClock::new();
+        let mut core = core(&clock);
+        core.ingest(report(0, 1, &[(14.0, 0.0), (20.0, 1.5)]));
+        core.ingest(report(2, 1, &[(18.0, -1.0)])); // campus x = 48
+        let snap = core.snapshot();
+        assert_eq!(snap.occupancy, 3);
+        assert_eq!(snap.zones.iter().map(|z| z.count).sum::<u32>(), 3);
+    }
+
+    #[test]
+    fn last_seq_wins_regardless_of_arrival_order() {
+        let clock = ManualClock::new();
+        let mut forward = core(&clock);
+        forward.ingest(report(0, 1, &[(14.0, 0.0)]));
+        forward.ingest(report(0, 2, &[(15.0, 0.0), (20.0, 0.0)]));
+        let mut reversed = core(&clock);
+        reversed.ingest(report(0, 2, &[(15.0, 0.0), (20.0, 0.0)]));
+        reversed.ingest(report(0, 1, &[(14.0, 0.0)]));
+        let a = forward.snapshot();
+        let b = reversed.snapshot();
+        assert_eq!(a, b, "snapshots must not depend on arrival order");
+        assert_eq!(a.occupancy, 2);
+        assert_eq!(reversed.stats().stale_discards, 1);
+    }
+
+    #[test]
+    fn liveness_walks_live_stale_dead_on_the_clock() {
+        let clock = ManualClock::new();
+        let mut core = core(&clock);
+        core.ingest(report(0, 1, &[(14.0, 0.0)]));
+        assert_eq!(core.snapshot().live, 1);
+        clock.advance_ms(2_500); // past stale_after (2 s)
+        let snap = core.snapshot();
+        assert_eq!(snap.stale, 1);
+        assert_eq!(snap.occupancy, 1, "stale data still counts");
+        clock.advance_ms(3_000); // past dead_after (5 s)
+        let snap = core.snapshot();
+        assert_eq!(snap.dead, 1);
+        assert_eq!(snap.occupancy, 0, "dead poles leave the count");
+        // A heartbeat resurrects it without a new report.
+        core.ingest(Message::Heartbeat(Heartbeat {
+            pole_id: 0,
+            seq: 1,
+            timestamp_ms: 0,
+        }));
+        let snap = core.snapshot();
+        assert_eq!(snap.live, 1);
+        assert_eq!(snap.occupancy, 1);
+    }
+
+    #[test]
+    fn bye_kills_immediately_and_hello_revives() {
+        let clock = ManualClock::new();
+        let mut core = core(&clock);
+        core.ingest(report(1, 1, &[(14.0, 0.0)]));
+        core.ingest(Message::Bye { pole_id: 1 });
+        let snap = core.snapshot();
+        assert_eq!(snap.dead, 1);
+        assert_eq!(snap.occupancy, 0);
+        core.ingest(Message::Hello { pole_id: 1 });
+        assert_eq!(core.snapshot().live, 1);
+    }
+
+    #[test]
+    fn held_reports_count_as_unmapped() {
+        let clock = ManualClock::new();
+        let mut core = core(&clock);
+        core.ingest(held_report(0, 3, 2));
+        let snap = core.snapshot();
+        assert_eq!(snap.unmapped, 2);
+        assert_eq!(snap.occupancy, 2);
+        assert!(snap.people.is_empty());
+        assert!(snap.poles[0].held);
+    }
+
+    #[test]
+    fn unregistered_poles_contribute_scalar_counts() {
+        let clock = ManualClock::new();
+        let mut core = core(&clock); // registry has poles 0..3
+        core.ingest(report(99, 1, &[(14.0, 0.0)]));
+        let snap = core.snapshot();
+        assert_eq!(snap.unmapped, 1, "no pose: cannot place, still counted");
+        assert!(snap.people.is_empty());
+    }
+
+    #[test]
+    fn snapshot_json_is_well_formed_enough() {
+        let clock = ManualClock::new();
+        let mut core = core(&clock);
+        core.ingest(report(0, 1, &[(14.0, 0.0)]));
+        let json = core.snapshot().to_json();
+        assert!(json.starts_with('{') && json.ends_with('}'));
+        assert!(json.contains("\"occupancy\":1"));
+        assert!(json.contains("\"liveness\":\"live\""));
+        assert_eq!(
+            json.matches('{').count(),
+            json.matches('}').count(),
+            "balanced braces"
+        );
+    }
+
+    #[test]
+    fn aggregator_threads_fold_into_one_core() {
+        use crate::transport::loopback_pair;
+        use crate::transport::LoopbackConfig;
+        use crate::wire::encode;
+        let clock = ManualClock::new();
+        let agg = Aggregator::with_core(core(&clock), AggregatorConfig::default());
+        let (mut c1, s1) = loopback_pair(LoopbackConfig::reliable());
+        let (mut c2, s2) = loopback_pair(LoopbackConfig::reliable());
+        let h1 = agg.spawn_connection(Box::new(s1));
+        let h2 = agg.spawn_connection(Box::new(s2));
+        c1.send(&encode(&report(0, 1, &[(14.0, 0.0)]))).unwrap();
+        c2.send(&encode(&report(1, 1, &[(20.0, 0.0)]))).unwrap();
+        c1.close();
+        c2.close();
+        drop(c1);
+        drop(c2);
+        h1.join().unwrap();
+        h2.join().unwrap();
+        let snap = agg.snapshot();
+        assert_eq!(snap.occupancy, 2);
+        assert_eq!(snap.poles.len(), 2);
+    }
+
+    #[test]
+    fn p95_silence_tracks_the_quietest_pole() {
+        let clock = ManualClock::new();
+        let mut core = core(&clock);
+        core.ingest(report(0, 1, &[(14.0, 0.0)]));
+        clock.advance_ms(400);
+        core.ingest(report(1, 1, &[(14.0, 0.0)]));
+        clock.advance_ms(100);
+        let snap = core.snapshot();
+        assert_eq!(snap.p95_silence_ms, 500.0, "oldest silence dominates p95");
+    }
+}

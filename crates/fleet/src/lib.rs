@@ -1,0 +1,51 @@
+//! Campus fleet tier for HAWC-CC: pole agents, a wire protocol, and
+//! an occupancy aggregator.
+//!
+//! A blue light pole counts pedestrians by itself (`counting`), but a
+//! campus deployment is a *fleet*: dozens of poles, each streaming
+//! per-frame counts to a central aggregator that answers "how many
+//! people are on campus right now, and where?". This crate is that
+//! tier, split into three layers:
+//!
+//! - [`wire`] — a versioned, length-prefixed, checksummed binary
+//!   framing for [`wire::PoleReport`]s and heartbeats. Decoding is
+//!   strict and panic-free: a malformed byte stream yields a
+//!   [`wire::WireError`], never a crash on the aggregator.
+//! - [`transport`] — how frames move: a blocking [`transport::Transport`]
+//!   pair over std TCP for real deployments, and a deterministic
+//!   in-process loopback with seeded loss/latency/reorder for tests
+//!   and benches.
+//! - [`agent`] — the pole side: wraps a `counting::SupervisedCounter`,
+//!   stamps its output into reports, batches them through a bounded
+//!   drop-oldest queue, and reconnects with jittered exponential
+//!   backoff when the uplink dies.
+//! - [`aggregator`] — the campus side: per-pole liveness from
+//!   heartbeat deadlines, centroid fusion that dedups people seen by
+//!   two overlapping poles (via `world::PoleRegistry` poses), and
+//!   time-windowed [`aggregator::CampusSnapshot`]s for dashboards.
+//!
+//! The design invariant underneath all of it: fusion state is keyed
+//! per pole and last-sequence-wins, so a campus snapshot is a pure
+//! function of *which* reports arrived, not the order or thread they
+//! arrived on. Tests pin this — fused counts are bit-identical across
+//! one agent thread or eight, and across packet reorder.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod agent;
+pub mod aggregator;
+pub mod transport;
+pub mod wire;
+
+pub use agent::{AgentConfig, AgentStats, PoleAgent};
+pub use aggregator::{
+    Aggregator, AggregatorConfig, CampusSnapshot, FusionConfig, FusionCore, Liveness, PoleStatus,
+    ZoneOccupancy,
+};
+pub use transport::{
+    loopback_pair, Connector, LoopbackConfig, LoopbackHub, TcpConnector, Transport, TransportError,
+};
+pub use wire::{
+    decode, encode, ClusterObservation, FrameDecoder, Heartbeat, Message, PoleReport, WireError,
+};

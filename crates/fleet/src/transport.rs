@@ -1,0 +1,496 @@
+//! How frames move: blocking byte transports for the pole uplink.
+//!
+//! Two implementations share one [`Transport`] trait:
+//!
+//! - **TCP** ([`TcpTransport`] / [`TcpConnector`]) over `std::net`,
+//!   for real deployments — Nagle off, bounded read timeouts so the
+//!   aggregator's per-connection reader can enforce heartbeat
+//!   deadlines.
+//! - **Loopback** ([`LoopbackHub`] / [`loopback_pair`]), an
+//!   in-process channel with *seeded* loss, reorder, and delay. The
+//!   fault pattern is drawn from a per-endpoint `StdRng`, so a test
+//!   that connects the same agents in the same order sees the same
+//!   drops regardless of thread interleaving — which is what lets the
+//!   integration suite pin fused counts bit-identical across 1 and N
+//!   agent threads.
+//!
+//! The loopback is deliberately *frame*-oriented: each
+//! [`Transport::send`] call carries one encoded wire frame, and loss/
+//! reorder act on whole frames (like a datagram link), never on bytes
+//! within a frame. Corrupting bytes mid-frame would poison the
+//! receiver's [`crate::wire::FrameDecoder`] by design — that path is
+//! exercised separately by the wire fuzz tests.
+
+use std::io::{Read, Write};
+use std::net::TcpStream;
+use std::sync::mpsc;
+use std::time::Duration;
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Why a transport operation failed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TransportError {
+    /// The peer hung up (or was never there).
+    Closed,
+    /// No bytes arrived inside the caller's timeout. The connection
+    /// may still be fine — liveness policy is the caller's job.
+    TimedOut,
+    /// An underlying I/O error, stringly preserved.
+    Io(String),
+}
+
+impl std::fmt::Display for TransportError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TransportError::Closed => write!(f, "transport closed"),
+            TransportError::TimedOut => write!(f, "transport receive timed out"),
+            TransportError::Io(e) => write!(f, "transport i/o error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for TransportError {}
+
+/// A blocking, connection-oriented byte pipe carrying wire frames.
+pub trait Transport: Send {
+    /// Ships one encoded wire frame. `Ok(())` means *accepted by the
+    /// link*, not delivered — the loopback may still drop it.
+    fn send(&mut self, frame: &[u8]) -> Result<(), TransportError>;
+
+    /// Waits up to `timeout` for bytes and returns whatever arrived
+    /// (one frame on the loopback; an arbitrary stream chunk on TCP —
+    /// feed it to a [`crate::wire::FrameDecoder`]).
+    fn recv(&mut self, timeout: Duration) -> Result<Vec<u8>, TransportError>;
+
+    /// Releases the connection (flushes any loopback in-flight frame).
+    fn close(&mut self);
+}
+
+/// Dials new [`Transport`] connections; the agent's reconnect loop
+/// holds one of these rather than a live socket.
+pub trait Connector: Send {
+    /// Attempts one connection.
+    fn connect(&mut self) -> Result<Box<dyn Transport>, TransportError>;
+}
+
+// ---------------------------------------------------------------------------
+// TCP.
+
+/// A [`Transport`] over a connected [`TcpStream`].
+#[derive(Debug)]
+pub struct TcpTransport {
+    stream: TcpStream,
+}
+
+impl TcpTransport {
+    /// Wraps an accepted or dialled stream (disables Nagle: reports
+    /// are latency-sensitive and a frame is far below one MSS).
+    pub fn new(stream: TcpStream) -> Result<Self, TransportError> {
+        stream
+            .set_nodelay(true)
+            .map_err(|e| TransportError::Io(e.to_string()))?;
+        Ok(TcpTransport { stream })
+    }
+}
+
+impl Transport for TcpTransport {
+    fn send(&mut self, frame: &[u8]) -> Result<(), TransportError> {
+        self.stream.write_all(frame).map_err(|e| {
+            if e.kind() == std::io::ErrorKind::BrokenPipe
+                || e.kind() == std::io::ErrorKind::ConnectionReset
+            {
+                TransportError::Closed
+            } else {
+                TransportError::Io(e.to_string())
+            }
+        })
+    }
+
+    fn recv(&mut self, timeout: Duration) -> Result<Vec<u8>, TransportError> {
+        // `set_read_timeout(Some(0))` is an error on std sockets; pin
+        // a 1 ms floor instead.
+        let timeout = timeout.max(Duration::from_millis(1));
+        self.stream
+            .set_read_timeout(Some(timeout))
+            .map_err(|e| TransportError::Io(e.to_string()))?;
+        let mut buf = [0u8; 8 * 1024];
+        match self.stream.read(&mut buf) {
+            Ok(0) => Err(TransportError::Closed),
+            Ok(n) => Ok(buf[..n].to_vec()),
+            Err(e)
+                if e.kind() == std::io::ErrorKind::WouldBlock
+                    || e.kind() == std::io::ErrorKind::TimedOut =>
+            {
+                Err(TransportError::TimedOut)
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::ConnectionReset => {
+                Err(TransportError::Closed)
+            }
+            Err(e) => Err(TransportError::Io(e.to_string())),
+        }
+    }
+
+    fn close(&mut self) {
+        let _ = self.stream.shutdown(std::net::Shutdown::Both);
+    }
+}
+
+/// Dials a TCP aggregator by address.
+#[derive(Debug, Clone)]
+pub struct TcpConnector {
+    addr: String,
+    connect_timeout: Duration,
+}
+
+impl TcpConnector {
+    /// A connector for `addr` (e.g. `"127.0.0.1:7700"`).
+    pub fn new(addr: impl Into<String>) -> Self {
+        TcpConnector {
+            addr: addr.into(),
+            connect_timeout: Duration::from_secs(2),
+        }
+    }
+}
+
+impl Connector for TcpConnector {
+    fn connect(&mut self) -> Result<Box<dyn Transport>, TransportError> {
+        let _ = self.connect_timeout; // std's connect_timeout needs a SocketAddr; keep dial simple.
+        let stream =
+            TcpStream::connect(&self.addr).map_err(|e| TransportError::Io(e.to_string()))?;
+        Ok(Box::new(TcpTransport::new(stream)?))
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Deterministic loopback.
+
+/// Fault model for a loopback link.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LoopbackConfig {
+    /// Probability a sent frame is silently dropped.
+    pub loss: f64,
+    /// Probability a sent frame is held and delivered *after* the
+    /// next one (pairwise reorder, the common LAN pathology).
+    pub reorder: f64,
+    /// Simulated one-way link delay applied on `send` (sleeps the
+    /// sender; keep zero in deterministic tests).
+    pub delay: Duration,
+    /// Seed for the per-endpoint fault RNG. Endpoint `k` dialled from
+    /// one connector draws from `seed + k`, so reconnects are
+    /// deterministic too.
+    pub seed: u64,
+}
+
+impl Default for LoopbackConfig {
+    fn default() -> Self {
+        LoopbackConfig {
+            loss: 0.0,
+            reorder: 0.0,
+            delay: Duration::ZERO,
+            seed: 0,
+        }
+    }
+}
+
+impl LoopbackConfig {
+    /// A perfect link.
+    pub fn reliable() -> Self {
+        LoopbackConfig::default()
+    }
+
+    /// A lossy, reordering link seeded for reproducibility.
+    pub fn lossy(loss: f64, reorder: f64, seed: u64) -> Self {
+        LoopbackConfig {
+            loss,
+            reorder,
+            delay: Duration::ZERO,
+            seed,
+        }
+    }
+}
+
+/// Client (sending) end of a loopback link.
+#[derive(Debug)]
+pub struct LoopbackClient {
+    tx: mpsc::Sender<Vec<u8>>,
+    cfg: LoopbackConfig,
+    rng: StdRng,
+    held: Option<Vec<u8>>,
+    closed: bool,
+}
+
+impl LoopbackClient {
+    fn deliver(&mut self, frame: Vec<u8>) -> Result<(), TransportError> {
+        self.tx.send(frame).map_err(|_| TransportError::Closed)
+    }
+}
+
+impl Transport for LoopbackClient {
+    fn send(&mut self, frame: &[u8]) -> Result<(), TransportError> {
+        if self.closed {
+            return Err(TransportError::Closed);
+        }
+        if !self.cfg.delay.is_zero() {
+            std::thread::sleep(self.cfg.delay);
+        }
+        if self.cfg.loss > 0.0 && self.rng.gen::<f64>() < self.cfg.loss {
+            obs::incr("fleet.loopback.frames_lost", 1);
+            return Ok(());
+        }
+        let frame = frame.to_vec();
+        if let Some(earlier) = self.held.take() {
+            // Deliver the newer frame first, then the held one: a
+            // pairwise swap on the wire.
+            self.deliver(frame)?;
+            self.deliver(earlier)?;
+            obs::incr("fleet.loopback.frames_reordered", 1);
+        } else if self.cfg.reorder > 0.0 && self.rng.gen::<f64>() < self.cfg.reorder {
+            self.held = Some(frame);
+        } else {
+            self.deliver(frame)?;
+        }
+        Ok(())
+    }
+
+    fn recv(&mut self, _timeout: Duration) -> Result<Vec<u8>, TransportError> {
+        // The fleet protocol is pole → campus only; the client end has
+        // nothing to receive.
+        Err(TransportError::Closed)
+    }
+
+    fn close(&mut self) {
+        if let Some(frame) = self.held.take() {
+            let _ = self.tx.send(frame);
+        }
+        self.closed = true;
+    }
+}
+
+impl Drop for LoopbackClient {
+    fn drop(&mut self) {
+        self.close();
+    }
+}
+
+/// Server (receiving) end of a loopback link.
+#[derive(Debug)]
+pub struct LoopbackServer {
+    rx: mpsc::Receiver<Vec<u8>>,
+}
+
+impl Transport for LoopbackServer {
+    fn send(&mut self, _frame: &[u8]) -> Result<(), TransportError> {
+        Err(TransportError::Io(String::from(
+            "loopback is simplex: the campus side never sends",
+        )))
+    }
+
+    fn recv(&mut self, timeout: Duration) -> Result<Vec<u8>, TransportError> {
+        match self.rx.recv_timeout(timeout) {
+            Ok(frame) => Ok(frame),
+            Err(mpsc::RecvTimeoutError::Timeout) => Err(TransportError::TimedOut),
+            Err(mpsc::RecvTimeoutError::Disconnected) => Err(TransportError::Closed),
+        }
+    }
+
+    fn close(&mut self) {}
+}
+
+/// One loopback link: the client end applies `cfg`'s fault model, the
+/// server end yields surviving frames in delivery order.
+pub fn loopback_pair(cfg: LoopbackConfig) -> (LoopbackClient, LoopbackServer) {
+    let (tx, rx) = mpsc::channel();
+    (
+        LoopbackClient {
+            tx,
+            cfg,
+            rng: StdRng::seed_from_u64(cfg.seed),
+            held: None,
+            closed: false,
+        },
+        LoopbackServer { rx },
+    )
+}
+
+/// An in-process "listener": agents dial it through
+/// [`LoopbackHub::connector`], the aggregator accepts server ends.
+#[derive(Debug)]
+pub struct LoopbackHub {
+    conn_tx: mpsc::Sender<LoopbackServer>,
+    conn_rx: mpsc::Receiver<LoopbackServer>,
+}
+
+impl Default for LoopbackHub {
+    fn default() -> Self {
+        LoopbackHub::new()
+    }
+}
+
+impl LoopbackHub {
+    /// A hub with no connections yet.
+    pub fn new() -> Self {
+        let (conn_tx, conn_rx) = mpsc::channel();
+        LoopbackHub { conn_tx, conn_rx }
+    }
+
+    /// A [`Connector`] that dials this hub with `cfg`'s fault model.
+    /// The `k`-th connection it makes draws faults from `cfg.seed + k`.
+    pub fn connector(&self, cfg: LoopbackConfig) -> LoopbackConnector {
+        LoopbackConnector {
+            tx: self.conn_tx.clone(),
+            cfg,
+            dialled: 0,
+        }
+    }
+
+    /// Waits up to `timeout` for the next inbound connection.
+    pub fn accept(&self, timeout: Duration) -> Result<LoopbackServer, TransportError> {
+        match self.conn_rx.recv_timeout(timeout) {
+            Ok(server) => Ok(server),
+            Err(mpsc::RecvTimeoutError::Timeout) => Err(TransportError::TimedOut),
+            Err(mpsc::RecvTimeoutError::Disconnected) => Err(TransportError::Closed),
+        }
+    }
+}
+
+/// Dials a [`LoopbackHub`]; each dial is a fresh seeded link.
+#[derive(Debug, Clone)]
+pub struct LoopbackConnector {
+    tx: mpsc::Sender<LoopbackServer>,
+    cfg: LoopbackConfig,
+    dialled: u64,
+}
+
+impl Connector for LoopbackConnector {
+    fn connect(&mut self) -> Result<Box<dyn Transport>, TransportError> {
+        let mut cfg = self.cfg;
+        cfg.seed = cfg.seed.wrapping_add(self.dialled);
+        self.dialled += 1;
+        let (client, server) = loopback_pair(cfg);
+        self.tx.send(server).map_err(|_| TransportError::Closed)?;
+        Ok(Box::new(client))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reliable_loopback_delivers_in_order() {
+        let (mut client, mut server) = loopback_pair(LoopbackConfig::reliable());
+        for i in 0..10u8 {
+            client.send(&[i]).unwrap();
+        }
+        for i in 0..10u8 {
+            assert_eq!(server.recv(Duration::from_millis(50)).unwrap(), vec![i]);
+        }
+        assert_eq!(
+            server.recv(Duration::from_millis(5)),
+            Err(TransportError::TimedOut)
+        );
+    }
+
+    #[test]
+    fn lossy_loopback_is_deterministic_per_seed() {
+        let survivors = |seed: u64| -> Vec<Vec<u8>> {
+            let (mut client, mut server) = loopback_pair(LoopbackConfig::lossy(0.3, 0.2, seed));
+            for i in 0..50u8 {
+                client.send(&[i]).unwrap();
+            }
+            client.close();
+            let mut out = Vec::new();
+            while let Ok(frame) = server.recv(Duration::from_millis(5)) {
+                out.push(frame);
+            }
+            out
+        };
+        let a = survivors(7);
+        let b = survivors(7);
+        let c = survivors(8);
+        assert_eq!(a, b, "same seed, same fault pattern");
+        assert!(a.len() < 50, "losses must actually happen at 30%");
+        assert!(!a.is_empty());
+        assert_ne!(a, c, "different seed, different pattern");
+    }
+
+    #[test]
+    fn reorder_swaps_adjacent_frames_without_losing_any() {
+        let (mut client, mut server) = loopback_pair(LoopbackConfig::lossy(0.0, 0.5, 42));
+        let n = 40u8;
+        for i in 0..n {
+            client.send(&[i]).unwrap();
+        }
+        client.close(); // flush any held frame
+        let mut got = Vec::new();
+        while let Ok(frame) = server.recv(Duration::from_millis(5)) {
+            got.push(frame[0]);
+        }
+        assert_eq!(got.len(), n as usize, "reorder never drops");
+        let mut sorted = got.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..n).collect::<Vec<_>>());
+        assert_ne!(got, sorted, "at 50% reorder some swap must occur");
+    }
+
+    #[test]
+    fn hub_accepts_each_dialled_connection() {
+        let hub = LoopbackHub::new();
+        let mut connector = hub.connector(LoopbackConfig::reliable());
+        let mut c1 = connector.connect().unwrap();
+        let mut c2 = connector.connect().unwrap();
+        let mut s1 = hub.accept(Duration::from_millis(50)).unwrap();
+        let mut s2 = hub.accept(Duration::from_millis(50)).unwrap();
+        c1.send(b"one").unwrap();
+        c2.send(b"two").unwrap();
+        assert_eq!(s1.recv(Duration::from_millis(50)).unwrap(), b"one");
+        assert_eq!(s2.recv(Duration::from_millis(50)).unwrap(), b"two");
+        assert_eq!(
+            hub.accept(Duration::from_millis(5)).err(),
+            Some(TransportError::TimedOut)
+        );
+    }
+
+    #[test]
+    fn dropped_server_closes_the_client() {
+        let (mut client, server) = loopback_pair(LoopbackConfig::reliable());
+        drop(server);
+        assert_eq!(client.send(b"x"), Err(TransportError::Closed));
+    }
+
+    #[test]
+    fn tcp_round_trips_frames() {
+        let listener = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let join = std::thread::spawn(move || {
+            let (stream, _) = listener.accept().unwrap();
+            let mut server = TcpTransport::new(stream).unwrap();
+            let mut got = Vec::new();
+            while got.len() < 6 {
+                match server.recv(Duration::from_millis(200)) {
+                    Ok(chunk) => got.extend_from_slice(&chunk),
+                    Err(TransportError::TimedOut) => continue,
+                    Err(e) => panic!("server recv: {e}"),
+                }
+            }
+            got
+        });
+        let mut connector = TcpConnector::new(addr.to_string());
+        let mut client = connector.connect().unwrap();
+        client.send(b"abc").unwrap();
+        client.send(b"def").unwrap();
+        assert_eq!(join.join().unwrap(), b"abcdef");
+        client.close();
+    }
+
+    #[test]
+    fn accept_error_surfaces_as_timeout_first() {
+        let hub = LoopbackHub::new();
+        assert_eq!(
+            hub.accept(Duration::from_millis(2)).err(),
+            Some(TransportError::TimedOut)
+        );
+    }
+}

@@ -1,0 +1,796 @@
+//! The pole → campus wire protocol.
+//!
+//! HAWC-CC's privacy argument (ship counts, never raw clouds) fixes
+//! what may cross this wire: per-frame summaries — a count, cluster
+//! centroids with confidences, health/ladder state, a thermal gauge —
+//! and nothing resembling a point cloud. This module is the *only*
+//! place those bytes are defined; the agent and the aggregator both
+//! compile against it, so two processes cannot disagree about framing.
+//!
+//! # Framing
+//!
+//! Every message travels in one length-prefixed frame:
+//!
+//! ```text
+//! ┌────────────┬─────────┬──────────┬──────────────┬─────────┬──────────────┐
+//! │ magic u32  │ ver u8  │ type u8  │ body len u32 │ body …  │ crc32 u32    │
+//! │ 0x48574343 │ 1       │ 1..=4    │ ≤ 64 KiB     │         │ ver..body    │
+//! └────────────┴─────────┴──────────┴──────────────┴─────────┴──────────────┘
+//! ```
+//!
+//! All integers and floats are little-endian. The CRC-32 (IEEE) covers
+//! version, type, length, and body — a flipped bit anywhere past the
+//! magic is rejected, not misinterpreted.
+//!
+//! # Decode discipline
+//!
+//! Decoding **never panics** on malformed input: every read is
+//! length-checked, every enum discriminant validated, every float
+//! checked against the field's domain, and anything wrong is a typed
+//! [`WireError`]. A framing error is not recoverable mid-stream (the
+//! reader has lost byte alignment), so [`FrameDecoder::next_message`]
+//! poisons itself after the first error and the transport layer must
+//! reset the connection — the same contract TCP framing bugs force on
+//! real services.
+
+use bytes::{BufMut, BytesMut};
+use counting::{EpsRung, HealthState, PrecisionRung};
+use geom::Point3;
+use serde::{Deserialize, Serialize};
+
+/// Frame magic: `b"HWCC"` read as a little-endian `u32`.
+pub const MAGIC: u32 = u32::from_le_bytes(*b"HWCC");
+
+/// Wire protocol version this build speaks.
+pub const VERSION: u8 = 1;
+
+/// Frame header length in bytes (magic + version + type + body len).
+pub const HEADER_LEN: usize = 10;
+
+/// Trailing checksum length in bytes.
+pub const CHECKSUM_LEN: usize = 4;
+
+/// Hard ceiling on a frame body. A report with the ~100-cluster worst
+/// case is under 5 KiB; anything near this limit is corruption or
+/// abuse, not data.
+pub const MAX_BODY_LEN: usize = 64 * 1024;
+
+/// Everything that can be wrong with bytes on this wire.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WireError {
+    /// The frame did not start with [`MAGIC`].
+    BadMagic(u32),
+    /// The sender speaks a protocol version this build does not.
+    UnsupportedVersion(u8),
+    /// Unknown message type discriminant.
+    UnknownMessageType(u8),
+    /// The body length field exceeds [`MAX_BODY_LEN`].
+    Oversize(u32),
+    /// The buffer ended before the structure it promised.
+    Truncated,
+    /// The CRC-32 over version..body did not match.
+    ChecksumMismatch {
+        /// Checksum carried by the frame.
+        expected: u32,
+        /// Checksum computed from the received bytes.
+        computed: u32,
+    },
+    /// The body decoded but left unconsumed bytes.
+    TrailingBytes(usize),
+    /// A field held a value outside its domain.
+    Malformed(&'static str),
+}
+
+impl std::fmt::Display for WireError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            WireError::BadMagic(got) => write!(f, "bad frame magic {got:#010x}"),
+            WireError::UnsupportedVersion(v) => write!(f, "unsupported wire version {v}"),
+            WireError::UnknownMessageType(t) => write!(f, "unknown message type {t}"),
+            WireError::Oversize(n) => write!(f, "body length {n} exceeds {MAX_BODY_LEN}"),
+            WireError::Truncated => write!(f, "frame truncated"),
+            WireError::ChecksumMismatch { expected, computed } => {
+                write!(
+                    f,
+                    "checksum mismatch: frame {expected:#010x}, computed {computed:#010x}"
+                )
+            }
+            WireError::TrailingBytes(n) => write!(f, "{n} trailing bytes after body"),
+            WireError::Malformed(what) => write!(f, "malformed field: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for WireError {}
+
+/// One fused observation of a (probable) pedestrian cluster.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ClusterObservation {
+    /// Cluster centroid in the reporting pole's sensor frame.
+    pub centroid: Point3,
+    /// Points the cluster contained on the pole.
+    pub points: u32,
+    /// Detection confidence in `[0, 1]` (cluster-support heuristic:
+    /// the pipeline's classifier is a hard decision, so support size
+    /// stands in for a posterior).
+    pub confidence: f64,
+}
+
+/// One pole frame's worth of counting state — the only payload that
+/// ever leaves a pole.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PoleReport {
+    /// Reporting pole.
+    pub pole_id: u32,
+    /// Per-pole monotonically increasing report number. The
+    /// aggregator uses it to discard stale reorders.
+    pub seq: u64,
+    /// Pole-monotonic capture timestamp in ms (meaningful only
+    /// relative to the same pole's other timestamps).
+    pub timestamp_ms: u64,
+    /// The supervised count reported downstream.
+    pub count: u32,
+    /// Supervisor health after the frame.
+    pub health: HealthState,
+    /// ε-ladder rung the frame ran on.
+    pub eps_rung: EpsRung,
+    /// Precision rung the frame ran on.
+    pub precision: PrecisionRung,
+    /// True when `count` is a held last-good value.
+    pub held: bool,
+    /// Consecutive frames the held value has been reused.
+    pub stale_frames: u32,
+    /// Milliseconds since the pole's last completed frame
+    /// (`INFINITY` encodes "never").
+    pub age_ms: f64,
+    /// Compartment temperature in °C, when the pole has a probe.
+    pub pole_temp_c: Option<f64>,
+    /// Human-classified cluster centroids, pole-local coordinates.
+    pub clusters: Vec<ClusterObservation>,
+}
+
+/// A liveness beacon sent whenever the report stream goes quiet.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Heartbeat {
+    /// Beaconing pole.
+    pub pole_id: u32,
+    /// The pole's current report sequence number.
+    pub seq: u64,
+    /// Pole-monotonic send time in ms.
+    pub timestamp_ms: u64,
+}
+
+/// Every message the protocol carries.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum Message {
+    /// Connection opener: announces the pole behind the socket.
+    Hello {
+        /// Connecting pole.
+        pole_id: u32,
+    },
+    /// A per-frame counting report.
+    Report(PoleReport),
+    /// A liveness beacon.
+    Heartbeat(Heartbeat),
+    /// Orderly goodbye; the aggregator marks the pole offline
+    /// immediately instead of waiting out the heartbeat timeout.
+    Bye {
+        /// Departing pole.
+        pole_id: u32,
+    },
+}
+
+impl Message {
+    fn type_byte(&self) -> u8 {
+        match self {
+            Message::Hello { .. } => 1,
+            Message::Report(_) => 2,
+            Message::Heartbeat(_) => 3,
+            Message::Bye { .. } => 4,
+        }
+    }
+
+    /// The pole the message speaks for.
+    pub fn pole_id(&self) -> u32 {
+        match self {
+            Message::Hello { pole_id } | Message::Bye { pole_id } => *pole_id,
+            Message::Report(r) => r.pole_id,
+            Message::Heartbeat(h) => h.pole_id,
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// CRC-32 (IEEE 802.3), byte-at-a-time over a lazily built table.
+
+fn crc32_table() -> &'static [u32; 256] {
+    static TABLE: std::sync::OnceLock<[u32; 256]> = std::sync::OnceLock::new();
+    TABLE.get_or_init(|| {
+        let mut table = [0u32; 256];
+        for (i, entry) in table.iter_mut().enumerate() {
+            let mut crc = i as u32;
+            for _ in 0..8 {
+                crc = if crc & 1 != 0 {
+                    (crc >> 1) ^ 0xEDB8_8320
+                } else {
+                    crc >> 1
+                };
+            }
+            *entry = crc;
+        }
+        table
+    })
+}
+
+/// IEEE CRC-32 of `bytes`.
+pub fn crc32(bytes: &[u8]) -> u32 {
+    let table = crc32_table();
+    let mut crc = !0u32;
+    for &b in bytes {
+        crc = (crc >> 8) ^ table[((crc ^ u32::from(b)) & 0xFF) as usize];
+    }
+    !crc
+}
+
+// ---------------------------------------------------------------------------
+// Checked little-endian reader: the panic-free dual of `bytes::Buf`.
+
+struct Reader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Reader<'a> {
+    fn new(buf: &'a [u8]) -> Self {
+        Reader { buf, pos: 0 }
+    }
+
+    fn remaining(&self) -> usize {
+        self.buf.len() - self.pos
+    }
+
+    fn take(&mut self, n: usize) -> Result<&'a [u8], WireError> {
+        if self.remaining() < n {
+            return Err(WireError::Truncated);
+        }
+        let slice = &self.buf[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(slice)
+    }
+
+    fn u8(&mut self) -> Result<u8, WireError> {
+        Ok(self.take(1)?[0])
+    }
+
+    fn u32(&mut self) -> Result<u32, WireError> {
+        Ok(u32::from_le_bytes(self.take(4)?.try_into().expect("4")))
+    }
+
+    fn u64(&mut self) -> Result<u64, WireError> {
+        Ok(u64::from_le_bytes(self.take(8)?.try_into().expect("8")))
+    }
+
+    fn f64(&mut self) -> Result<f64, WireError> {
+        Ok(f64::from_le_bytes(self.take(8)?.try_into().expect("8")))
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Body codecs.
+
+const FLAG_HELD: u8 = 1 << 0;
+const FLAG_HAS_TEMP: u8 = 1 << 1;
+
+fn health_byte(h: HealthState) -> u8 {
+    match h {
+        HealthState::Healthy => 0,
+        HealthState::Degraded => 1,
+        HealthState::Faulted => 2,
+    }
+}
+
+fn health_from(b: u8) -> Result<HealthState, WireError> {
+    match b {
+        0 => Ok(HealthState::Healthy),
+        1 => Ok(HealthState::Degraded),
+        2 => Ok(HealthState::Faulted),
+        _ => Err(WireError::Malformed("health state")),
+    }
+}
+
+fn eps_byte(r: EpsRung) -> u8 {
+    match r {
+        EpsRung::Adaptive => 0,
+        EpsRung::Cached => 1,
+        EpsRung::Fixed => 2,
+    }
+}
+
+fn eps_from(b: u8) -> Result<EpsRung, WireError> {
+    match b {
+        0 => Ok(EpsRung::Adaptive),
+        1 => Ok(EpsRung::Cached),
+        2 => Ok(EpsRung::Fixed),
+        _ => Err(WireError::Malformed("eps rung")),
+    }
+}
+
+fn precision_byte(p: PrecisionRung) -> u8 {
+    match p {
+        PrecisionRung::Fp32 => 0,
+        PrecisionRung::Int8 => 1,
+    }
+}
+
+fn precision_from(b: u8) -> Result<PrecisionRung, WireError> {
+    match b {
+        0 => Ok(PrecisionRung::Fp32),
+        1 => Ok(PrecisionRung::Int8),
+        _ => Err(WireError::Malformed("precision rung")),
+    }
+}
+
+fn put_report(body: &mut BytesMut, r: &PoleReport) {
+    body.put_u32_le(r.pole_id);
+    body.put_u64_le(r.seq);
+    body.put_u64_le(r.timestamp_ms);
+    body.put_u32_le(r.count);
+    body.put_u8(health_byte(r.health));
+    body.put_u8(eps_byte(r.eps_rung));
+    body.put_u8(precision_byte(r.precision));
+    let mut flags = 0u8;
+    if r.held {
+        flags |= FLAG_HELD;
+    }
+    if r.pole_temp_c.is_some() {
+        flags |= FLAG_HAS_TEMP;
+    }
+    body.put_u8(flags);
+    body.put_u32_le(r.stale_frames);
+    body.put_f64_le(r.age_ms);
+    body.put_f64_le(r.pole_temp_c.unwrap_or(0.0));
+    body.put_u32_le(r.clusters.len() as u32);
+    for c in &r.clusters {
+        body.put_f64_le(c.centroid.x);
+        body.put_f64_le(c.centroid.y);
+        body.put_f64_le(c.centroid.z);
+        body.put_u32_le(c.points);
+        body.put_f64_le(c.confidence);
+    }
+}
+
+/// Per-cluster encoded size: 3 coordinates + points + confidence.
+const CLUSTER_WIRE_LEN: usize = 3 * 8 + 4 + 8;
+
+fn read_report(r: &mut Reader<'_>) -> Result<PoleReport, WireError> {
+    let pole_id = r.u32()?;
+    let seq = r.u64()?;
+    let timestamp_ms = r.u64()?;
+    let count = r.u32()?;
+    let health = health_from(r.u8()?)?;
+    let eps_rung = eps_from(r.u8()?)?;
+    let precision = precision_from(r.u8()?)?;
+    let flags = r.u8()?;
+    if flags & !(FLAG_HELD | FLAG_HAS_TEMP) != 0 {
+        return Err(WireError::Malformed("unknown report flags"));
+    }
+    let stale_frames = r.u32()?;
+    let age_ms = r.f64()?;
+    if age_ms.is_nan() || age_ms < 0.0 {
+        return Err(WireError::Malformed("age_ms"));
+    }
+    let temp = r.f64()?;
+    let pole_temp_c = if flags & FLAG_HAS_TEMP != 0 {
+        if !temp.is_finite() {
+            return Err(WireError::Malformed("pole_temp_c"));
+        }
+        Some(temp)
+    } else {
+        None
+    };
+    let n = r.u32()? as usize;
+    // Length sanity *before* allocating: a corrupt count cannot ask
+    // for gigabytes.
+    if n.checked_mul(CLUSTER_WIRE_LEN)
+        .ok_or(WireError::Truncated)?
+        > r.remaining()
+    {
+        return Err(WireError::Truncated);
+    }
+    let mut clusters = Vec::with_capacity(n);
+    for _ in 0..n {
+        let centroid = Point3::new(r.f64()?, r.f64()?, r.f64()?);
+        if !centroid.is_finite() {
+            return Err(WireError::Malformed("cluster centroid"));
+        }
+        let points = r.u32()?;
+        let confidence = r.f64()?;
+        if !(0.0..=1.0).contains(&confidence) {
+            return Err(WireError::Malformed("cluster confidence"));
+        }
+        clusters.push(ClusterObservation {
+            centroid,
+            points,
+            confidence,
+        });
+    }
+    Ok(PoleReport {
+        pole_id,
+        seq,
+        timestamp_ms,
+        count,
+        health,
+        eps_rung,
+        precision,
+        held: flags & FLAG_HELD != 0,
+        stale_frames,
+        age_ms,
+        pole_temp_c,
+        clusters,
+    })
+}
+
+// ---------------------------------------------------------------------------
+// Frame codec.
+
+/// Encodes one message into a complete wire frame.
+pub fn encode(msg: &Message) -> Vec<u8> {
+    let mut body = BytesMut::new();
+    match msg {
+        Message::Hello { pole_id } | Message::Bye { pole_id } => body.put_u32_le(*pole_id),
+        Message::Report(r) => put_report(&mut body, r),
+        Message::Heartbeat(h) => {
+            body.put_u32_le(h.pole_id);
+            body.put_u64_le(h.seq);
+            body.put_u64_le(h.timestamp_ms);
+        }
+    }
+    let body = body.freeze().to_vec();
+    debug_assert!(body.len() <= MAX_BODY_LEN, "report exceeds MAX_BODY_LEN");
+
+    let mut frame = BytesMut::with_capacity(HEADER_LEN + body.len() + CHECKSUM_LEN);
+    frame.put_u32_le(MAGIC);
+    frame.put_u8(VERSION);
+    frame.put_u8(msg.type_byte());
+    frame.put_u32_le(body.len() as u32);
+    frame.put_slice(&body);
+    let frame = frame.freeze().to_vec();
+    let crc = crc32(&frame[4..]); // version..body
+    let mut out = frame;
+    out.extend_from_slice(&crc.to_le_bytes());
+    out
+}
+
+/// Decodes one complete frame from the front of `buf`.
+///
+/// Returns the message and the number of bytes consumed, or
+/// `Ok(None)` when `buf` holds only a prefix of a frame (read more
+/// and retry). Never panics.
+pub fn decode(buf: &[u8]) -> Result<Option<(Message, usize)>, WireError> {
+    if buf.len() < HEADER_LEN {
+        return Ok(None);
+    }
+    let mut r = Reader::new(buf);
+    let magic = r.u32().expect("length checked");
+    if magic != MAGIC {
+        return Err(WireError::BadMagic(magic));
+    }
+    let version = r.u8().expect("length checked");
+    if version != VERSION {
+        return Err(WireError::UnsupportedVersion(version));
+    }
+    let msg_type = r.u8().expect("length checked");
+    let body_len = r.u32().expect("length checked") as usize;
+    if body_len > MAX_BODY_LEN {
+        return Err(WireError::Oversize(body_len as u32));
+    }
+    let frame_len = HEADER_LEN + body_len + CHECKSUM_LEN;
+    if buf.len() < frame_len {
+        return Ok(None);
+    }
+    let expected = u32::from_le_bytes(
+        buf[HEADER_LEN + body_len..frame_len]
+            .try_into()
+            .expect("4 bytes"),
+    );
+    let computed = crc32(&buf[4..HEADER_LEN + body_len]);
+    if expected != computed {
+        return Err(WireError::ChecksumMismatch { expected, computed });
+    }
+
+    let body = &buf[HEADER_LEN..HEADER_LEN + body_len];
+    let mut r = Reader::new(body);
+    let msg = match msg_type {
+        1 => Message::Hello { pole_id: r.u32()? },
+        2 => Message::Report(read_report(&mut r)?),
+        3 => Message::Heartbeat(Heartbeat {
+            pole_id: r.u32()?,
+            seq: r.u64()?,
+            timestamp_ms: r.u64()?,
+        }),
+        4 => Message::Bye { pole_id: r.u32()? },
+        other => return Err(WireError::UnknownMessageType(other)),
+    };
+    if r.remaining() != 0 {
+        return Err(WireError::TrailingBytes(r.remaining()));
+    }
+    Ok(Some((msg, frame_len)))
+}
+
+/// Incremental frame reassembly over a byte stream (TCP reads arrive
+/// in arbitrary chunks).
+///
+/// After any decode error the stream's byte alignment is unknowable,
+/// so the decoder poisons itself: every later call returns the same
+/// error until [`FrameDecoder::reset`]. Connection handlers treat
+/// that as "drop the socket".
+#[derive(Debug, Default)]
+pub struct FrameDecoder {
+    buf: Vec<u8>,
+    poisoned: Option<WireError>,
+}
+
+impl FrameDecoder {
+    /// An empty decoder.
+    pub fn new() -> Self {
+        FrameDecoder::default()
+    }
+
+    /// Appends raw bytes received from the transport.
+    pub fn push(&mut self, bytes: &[u8]) {
+        if self.poisoned.is_none() {
+            self.buf.extend_from_slice(bytes);
+        }
+    }
+
+    /// Bytes buffered but not yet decoded.
+    pub fn pending(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// Pops the next complete message, `Ok(None)` when more bytes are
+    /// needed.
+    pub fn next_message(&mut self) -> Result<Option<Message>, WireError> {
+        if let Some(err) = self.poisoned {
+            return Err(err);
+        }
+        match decode(&self.buf) {
+            Ok(Some((msg, consumed))) => {
+                self.buf.drain(..consumed);
+                Ok(Some(msg))
+            }
+            Ok(None) => Ok(None),
+            Err(err) => {
+                self.poisoned = Some(err);
+                Err(err)
+            }
+        }
+    }
+
+    /// Clears the buffer and the poison — for reuse on a *new*
+    /// connection, never mid-stream.
+    pub fn reset(&mut self) {
+        self.buf.clear();
+        self.poisoned = None;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn sample_report(clusters: usize) -> PoleReport {
+        PoleReport {
+            pole_id: 7,
+            seq: 42,
+            timestamp_ms: 123_456,
+            count: clusters as u32,
+            health: HealthState::Degraded,
+            eps_rung: EpsRung::Cached,
+            precision: PrecisionRung::Int8,
+            held: true,
+            stale_frames: 3,
+            age_ms: 218.25,
+            pole_temp_c: Some(48.5),
+            clusters: (0..clusters)
+                .map(|i| ClusterObservation {
+                    centroid: Point3::new(14.0 + i as f64, -1.25, -2.0),
+                    points: 120 + i as u32,
+                    confidence: 0.875,
+                })
+                .collect(),
+        }
+    }
+
+    #[test]
+    fn every_message_round_trips() {
+        let messages = vec![
+            Message::Hello { pole_id: 3 },
+            Message::Report(sample_report(0)),
+            Message::Report(sample_report(5)),
+            Message::Heartbeat(Heartbeat {
+                pole_id: 3,
+                seq: 9,
+                timestamp_ms: 1_000,
+            }),
+            Message::Bye { pole_id: 3 },
+        ];
+        for msg in messages {
+            let bytes = encode(&msg);
+            let (decoded, consumed) = decode(&bytes).unwrap().unwrap();
+            assert_eq!(consumed, bytes.len());
+            assert_eq!(decoded, msg);
+        }
+    }
+
+    #[test]
+    fn infinity_age_round_trips() {
+        let mut report = sample_report(1);
+        report.age_ms = f64::INFINITY;
+        report.pole_temp_c = None;
+        let bytes = encode(&Message::Report(report.clone()));
+        let (decoded, _) = decode(&bytes).unwrap().unwrap();
+        assert_eq!(decoded, Message::Report(report));
+    }
+
+    #[test]
+    fn partial_frames_ask_for_more() {
+        let bytes = encode(&Message::Report(sample_report(3)));
+        for cut in 0..bytes.len() {
+            assert_eq!(
+                decode(&bytes[..cut]).unwrap(),
+                None,
+                "prefix of {cut} bytes must not decode"
+            );
+        }
+    }
+
+    #[test]
+    fn every_single_bit_flip_is_rejected() {
+        let bytes = encode(&Message::Report(sample_report(2)));
+        for byte in 0..bytes.len() {
+            for bit in 0..8 {
+                let mut corrupt = bytes.clone();
+                corrupt[byte] ^= 1 << bit;
+                match decode(&corrupt) {
+                    Err(_) => {}
+                    Ok(None) => {} // length field shrank/grew: more bytes requested
+                    Ok(Some((msg, _))) => {
+                        panic!("flip at byte {byte} bit {bit} decoded as {msg:?}")
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn oversize_length_is_rejected_before_allocation() {
+        let mut bytes = encode(&Message::Hello { pole_id: 1 });
+        bytes[6..10].copy_from_slice(&u32::MAX.to_le_bytes());
+        assert!(matches!(decode(&bytes), Err(WireError::Oversize(_))));
+    }
+
+    #[test]
+    fn decoder_reassembles_across_arbitrary_chunking() {
+        let mut stream = Vec::new();
+        let sent = vec![
+            Message::Hello { pole_id: 1 },
+            Message::Report(sample_report(4)),
+            Message::Heartbeat(Heartbeat {
+                pole_id: 1,
+                seq: 1,
+                timestamp_ms: 5,
+            }),
+            Message::Bye { pole_id: 1 },
+        ];
+        for m in &sent {
+            stream.extend_from_slice(&encode(m));
+        }
+        // Deliver in 7-byte chunks.
+        let mut decoder = FrameDecoder::new();
+        let mut got = Vec::new();
+        for chunk in stream.chunks(7) {
+            decoder.push(chunk);
+            while let Some(msg) = decoder.next_message().unwrap() {
+                got.push(msg);
+            }
+        }
+        assert_eq!(got, sent);
+        assert_eq!(decoder.pending(), 0);
+    }
+
+    #[test]
+    fn decoder_poisons_after_an_error() {
+        let mut decoder = FrameDecoder::new();
+        decoder.push(&[0xFF; HEADER_LEN]);
+        let first = decoder.next_message().unwrap_err();
+        assert!(matches!(first, WireError::BadMagic(_)));
+        decoder.push(&encode(&Message::Hello { pole_id: 1 }));
+        assert_eq!(decoder.next_message().unwrap_err(), first);
+        decoder.reset();
+        decoder.push(&encode(&Message::Hello { pole_id: 1 }));
+        assert!(decoder.next_message().unwrap().is_some());
+    }
+
+    fn arb_cluster() -> impl Strategy<Value = ClusterObservation> {
+        (
+            (-500.0f64..500.0, -500.0f64..500.0, -10.0f64..10.0),
+            0u32..5_000,
+            0.0f64..1.0,
+        )
+            .prop_map(|((x, y, z), points, confidence)| ClusterObservation {
+                centroid: Point3::new(x, y, z),
+                points,
+                confidence,
+            })
+    }
+
+    fn arb_report() -> impl Strategy<Value = PoleReport> {
+        // The vendored proptest tops out at 5-element tuples, so the
+        // fields are grouped: identity, ladder state, hold state.
+        let identity = (0u32..u32::MAX, 0u64..u64::MAX, 0u64..u64::MAX, 0u32..10_000);
+        let ladder = (0u8..3, 0u8..3, 0u8..2, 0u8..2);
+        let hold = (0u32..1_000, 0.0f64..1e9, 0u8..2, -40.0f64..90.0);
+        (
+            identity,
+            ladder,
+            hold,
+            proptest::collection::vec(arb_cluster(), 0..12),
+        )
+            .prop_map(
+                |(
+                    (pole_id, seq, timestamp_ms, count),
+                    (health, eps, precision, held),
+                    (stale_frames, age_ms, has_temp, temp),
+                    clusters,
+                )| {
+                    PoleReport {
+                        pole_id,
+                        seq,
+                        timestamp_ms,
+                        count,
+                        health: health_from(health).unwrap(),
+                        eps_rung: eps_from(eps).unwrap(),
+                        precision: precision_from(precision).unwrap(),
+                        held: held == 1,
+                        stale_frames,
+                        age_ms,
+                        pole_temp_c: (has_temp == 1).then_some(temp),
+                        clusters,
+                    }
+                },
+            )
+    }
+
+    proptest! {
+        #[test]
+        fn report_round_trip(report in arb_report()) {
+            let msg = Message::Report(report);
+            let bytes = encode(&msg);
+            let (decoded, consumed) = decode(&bytes).unwrap().unwrap();
+            prop_assert_eq!(consumed, bytes.len());
+            prop_assert_eq!(decoded, msg);
+        }
+
+        #[test]
+        fn decode_never_panics_on_noise(bytes in proptest::collection::vec(0u8..=255, 0..256)) {
+            let _ = decode(&bytes);
+        }
+
+        #[test]
+        fn decode_never_panics_on_corrupted_frames(
+            report in arb_report(),
+            flips in proptest::collection::vec((0usize..4096, 0u8..8), 1..8),
+            cut in 0usize..4096,
+        ) {
+            let mut bytes = encode(&Message::Report(report));
+            for (pos, bit) in flips {
+                let len = bytes.len();
+                bytes[pos % len] ^= 1 << bit;
+            }
+            bytes.truncate(cut.min(bytes.len()));
+            let _ = decode(&bytes);
+        }
+    }
+}

@@ -335,7 +335,7 @@ mod tests {
         let _ = PointCloud::new(vec![p(f64::NAN, 0.0, 0.0), p(1.0, 2.0, 3.0)]);
         obs::enable(false);
         let after = obs::counter("lidar.points.rejected").get();
-        assert!(after >= before + 1);
+        assert!(after > before);
     }
 
     #[test]

@@ -593,7 +593,7 @@ mod tests {
         let scene = scene_with_human(33.0);
         let sensor = Lidar::new(SensorConfig::default());
         let clean = sensor.scan(&scene, &mut rng(2));
-        assert!(clean.points_of(0).len() > 0);
+        assert!(!clean.points_of(0).is_empty());
         let script = FaultScript::clean().with(FaultKind::Attenuation {
             range_scale: 0.4, // 24 m effective range
             extra_dropout: 0.2,

@@ -1,0 +1,149 @@
+//! Injected time for everything that must reason about staleness.
+//!
+//! Two subsystems care about "how long ago": the counting supervisor's
+//! hold-last-good window and the fleet tier's heartbeat liveness. Both
+//! must agree on what a millisecond is, and both must be testable
+//! without sleeping — so they share one [`Clock`] trait instead of
+//! reading `Instant::now()` directly. Production code injects
+//! [`SystemClock`]; tests inject a [`ManualClock`] and advance it
+//! explicitly, making every staleness decision deterministic.
+//!
+//! Clocks are **monotonic and relative**: [`Clock::now`] is the time
+//! since the clock's own epoch, not a wall-clock date. Durations from
+//! the same clock are comparable; durations from different clocks are
+//! not (a pole's report timestamps are meaningful only to that pole,
+//! which is why the aggregator stamps arrivals with *its* clock).
+
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use parking_lot::Mutex;
+
+/// A monotonic time source.
+pub trait Clock: Send + Sync + std::fmt::Debug {
+    /// Time elapsed since this clock's epoch.
+    fn now(&self) -> Duration;
+
+    /// [`Clock::now`] in milliseconds (convenience for budgets,
+    /// timestamps, and gauges that are specified in ms).
+    fn now_ms(&self) -> f64 {
+        self.now().as_secs_f64() * 1e3
+    }
+}
+
+/// The real monotonic clock: epoch is the first time any
+/// `SystemClock` is read in this process, so timestamps stay small and
+/// every `SystemClock` instance agrees.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct SystemClock;
+
+impl SystemClock {
+    /// A shareable handle to the system clock.
+    pub fn shared() -> Arc<dyn Clock> {
+        Arc::new(SystemClock)
+    }
+}
+
+fn process_epoch() -> Instant {
+    static EPOCH: std::sync::OnceLock<Instant> = std::sync::OnceLock::new();
+    *EPOCH.get_or_init(Instant::now)
+}
+
+impl Clock for SystemClock {
+    fn now(&self) -> Duration {
+        process_epoch().elapsed()
+    }
+}
+
+/// A hand-advanced clock for deterministic tests: time moves only when
+/// [`ManualClock::advance`] (or [`ManualClock::set`]) is called.
+/// Cloning shares the underlying time, so a supervisor, an agent, and
+/// an aggregator can all be driven off one instance.
+#[derive(Debug, Clone, Default)]
+pub struct ManualClock {
+    now: Arc<Mutex<Duration>>,
+}
+
+impl ManualClock {
+    /// A clock starting at its epoch (zero elapsed).
+    pub fn new() -> Self {
+        ManualClock::default()
+    }
+
+    /// A clock starting `ms` milliseconds past its epoch.
+    pub fn starting_at_ms(ms: u64) -> Self {
+        let clock = ManualClock::new();
+        clock.set(Duration::from_millis(ms));
+        clock
+    }
+
+    /// Moves time forward by `delta`.
+    pub fn advance(&self, delta: Duration) {
+        *self.now.lock() += delta;
+    }
+
+    /// Moves time forward by `ms` milliseconds.
+    pub fn advance_ms(&self, ms: u64) {
+        self.advance(Duration::from_millis(ms));
+    }
+
+    /// Jumps to an absolute offset from the epoch. Panics if time
+    /// would move backwards — consumers assume monotonicity.
+    pub fn set(&self, to: Duration) {
+        let mut now = self.now.lock();
+        assert!(to >= *now, "ManualClock must not move backwards");
+        *now = to;
+    }
+
+    /// A shareable trait-object handle to this clock (time stays
+    /// shared with `self`).
+    pub fn handle(&self) -> Arc<dyn Clock> {
+        Arc::new(self.clone())
+    }
+}
+
+impl Clock for ManualClock {
+    fn now(&self) -> Duration {
+        *self.now.lock()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn system_clock_is_monotonic_and_shared() {
+        let a = SystemClock;
+        let b = SystemClock;
+        let t0 = a.now();
+        let t1 = b.now();
+        assert!(t1 >= t0, "instances share one epoch");
+    }
+
+    #[test]
+    fn manual_clock_moves_only_when_advanced() {
+        let clock = ManualClock::new();
+        assert_eq!(clock.now(), Duration::ZERO);
+        clock.advance_ms(250);
+        assert_eq!(clock.now_ms(), 250.0);
+        let shared = clock.clone();
+        shared.advance(Duration::from_millis(750));
+        assert_eq!(clock.now(), Duration::from_secs(1), "clones share time");
+    }
+
+    #[test]
+    #[should_panic(expected = "move backwards")]
+    fn manual_clock_rejects_rewind() {
+        let clock = ManualClock::starting_at_ms(100);
+        clock.set(Duration::from_millis(50));
+    }
+
+    #[test]
+    fn handle_is_usable_as_trait_object() {
+        let clock = ManualClock::new();
+        let handle = clock.handle();
+        clock.advance_ms(5);
+        assert_eq!(handle.now_ms(), 5.0);
+    }
+}

@@ -24,6 +24,7 @@
 
 #![warn(missing_docs)]
 
+pub mod clock;
 pub mod export;
 pub mod journal;
 pub mod metrics;
@@ -35,6 +36,7 @@ use std::sync::{Arc, OnceLock};
 
 use parking_lot::{Mutex, RwLock};
 
+pub use clock::{Clock, ManualClock, SystemClock};
 pub use journal::{ClusterVerdict, FrameRecord, Journal, DEFAULT_JOURNAL_CAPACITY};
 pub use metrics::{Counter, Gauge, Histogram, HistogramSnapshot};
 pub use span::{

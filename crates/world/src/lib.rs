@@ -31,9 +31,11 @@
 mod crowd;
 mod human;
 mod objects;
+mod pole;
 mod scene;
 
 pub use crowd::{CrowdConfig, CrowdLayout, DensityLevel};
 pub use human::{Human, HumanParams};
 pub use objects::{CampusObject, ObjectKind};
+pub use pole::{corridor_layout, PolePose, PoleRegistry};
 pub use scene::{Scene, SceneEntity, SceneHit, WalkwayConfig, GROUND_Z, POLE_HEIGHT};

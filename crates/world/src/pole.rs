@@ -1,0 +1,198 @@
+//! Pole poses in campus coordinates.
+//!
+//! Every pole runs the counting pipeline in its own sensor frame (the
+//! LiDAR at the origin, `x` down its walkway). A campus has many
+//! poles, and the aggregation tier must place all of their
+//! observations on one map: a [`PolePose`] is the rigid 2-D transform
+//! (translation + yaw about `z`) from a pole's local frame to campus
+//! coordinates, and a [`PoleRegistry`] is the deployment's survey —
+//! the authoritative id → pose table the aggregator fuses against.
+//!
+//! Height is deliberately *not* part of the pose: every blue light
+//! pole is the same 3 m mast, so `z` means the same thing in every
+//! frame and the transform leaves it untouched.
+
+use std::collections::BTreeMap;
+
+use geom::Point3;
+use serde::{Deserialize, Serialize};
+
+use crate::WalkwayConfig;
+
+/// A pole's rigid placement on the campus map.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct PolePose {
+    /// Stable pole identifier (also the fleet wire `pole_id`).
+    pub pole_id: u32,
+    /// Pole position on the campus map, metres.
+    pub x: f64,
+    /// Pole position on the campus map, metres.
+    pub y: f64,
+    /// Heading of the pole's local `+x` axis (its walkway direction)
+    /// in campus coordinates, radians counter-clockwise from campus
+    /// `+x`.
+    pub yaw: f64,
+}
+
+impl PolePose {
+    /// A pose at `(x, y)` looking along campus `+x`.
+    pub fn new(pole_id: u32, x: f64, y: f64, yaw: f64) -> Self {
+        PolePose { pole_id, x, y, yaw }
+    }
+
+    /// Maps a point from this pole's sensor frame to campus
+    /// coordinates (`z` is shared by construction).
+    pub fn to_campus(&self, local: Point3) -> Point3 {
+        let (sin, cos) = self.yaw.sin_cos();
+        Point3::new(
+            self.x + local.x * cos - local.y * sin,
+            self.y + local.x * sin + local.y * cos,
+            local.z,
+        )
+    }
+
+    /// Maps a campus-coordinate point into this pole's sensor frame —
+    /// the inverse of [`PolePose::to_campus`].
+    pub fn to_local(&self, campus: Point3) -> Point3 {
+        let (sin, cos) = self.yaw.sin_cos();
+        let dx = campus.x - self.x;
+        let dy = campus.y - self.y;
+        Point3::new(dx * cos + dy * sin, -dx * sin + dy * cos, campus.z)
+    }
+
+    /// Whether a campus-coordinate point falls inside this pole's
+    /// monitored region of interest for the given walkway geometry.
+    pub fn covers(&self, campus: Point3, walkway: &WalkwayConfig) -> bool {
+        let local = self.to_local(campus);
+        local.x >= walkway.x_min
+            && local.x <= walkway.x_max
+            && local.y.abs() <= walkway.half_width()
+    }
+}
+
+/// The campus survey: every deployed pole's pose, keyed by id.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct PoleRegistry {
+    poses: BTreeMap<u32, PolePose>,
+}
+
+impl PoleRegistry {
+    /// An empty registry.
+    pub fn new() -> Self {
+        PoleRegistry::default()
+    }
+
+    /// Builds a registry from surveyed poses. Later duplicates of a
+    /// `pole_id` replace earlier ones.
+    pub fn from_poses(poses: impl IntoIterator<Item = PolePose>) -> Self {
+        let mut registry = PoleRegistry::new();
+        for pose in poses {
+            registry.insert(pose);
+        }
+        registry
+    }
+
+    /// Adds or replaces a pole's pose.
+    pub fn insert(&mut self, pose: PolePose) {
+        self.poses.insert(pose.pole_id, pose);
+    }
+
+    /// The pose surveyed for `pole_id`, if any.
+    pub fn pose(&self, pole_id: u32) -> Option<&PolePose> {
+        self.poses.get(&pole_id)
+    }
+
+    /// Number of surveyed poles.
+    pub fn len(&self) -> usize {
+        self.poses.len()
+    }
+
+    /// `len() == 0`.
+    pub fn is_empty(&self) -> bool {
+        self.poses.is_empty()
+    }
+
+    /// All poses in ascending `pole_id` order.
+    pub fn poses(&self) -> impl Iterator<Item = &PolePose> {
+        self.poses.values()
+    }
+
+    /// Poles whose ROI contains the campus point, ascending id order.
+    pub fn observers_of(
+        &self,
+        campus: Point3,
+        walkway: &WalkwayConfig,
+    ) -> impl Iterator<Item = &PolePose> + '_ {
+        let walkway = *walkway;
+        self.poses
+            .values()
+            .filter(move |p| p.covers(campus, &walkway))
+    }
+}
+
+/// Surveys `n` poles down one shared campus corridor: pole `i` stands
+/// at `(i * spacing, 0)` with yaw 0, so consecutive regions of
+/// interest overlap whenever `spacing` is less than the ROI depth
+/// (`x_max - x_min`). The overlap zones are where the aggregator's
+/// centroid dedup earns its keep: a pedestrian standing in one is
+/// legitimately reported by two poles.
+pub fn corridor_layout(n: usize, spacing: f64) -> Vec<PolePose> {
+    (0..n)
+        .map(|i| PolePose::new(i as u32, i as f64 * spacing, 0.0, 0.0))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn campus_local_round_trip() {
+        let pose = PolePose::new(3, 40.0, -12.0, 1.1);
+        let local = Point3::new(17.5, -1.25, -2.1);
+        let back = pose.to_local(pose.to_campus(local));
+        assert!(local.distance(back) < 1e-12);
+    }
+
+    #[test]
+    fn yawed_pole_rotates_its_walkway() {
+        // A pole looking along campus +y: local +x becomes campus +y.
+        let pose = PolePose::new(0, 10.0, 20.0, std::f64::consts::FRAC_PI_2);
+        let campus = pose.to_campus(Point3::new(15.0, 0.0, -3.0));
+        assert!((campus.x - 10.0).abs() < 1e-12);
+        assert!((campus.y - 35.0).abs() < 1e-12);
+        assert_eq!(campus.z, -3.0, "height never transforms");
+    }
+
+    #[test]
+    fn corridor_layout_overlaps_when_spacing_is_tight() {
+        let walkway = WalkwayConfig::default(); // ROI x ∈ [12, 35]
+        let poses = corridor_layout(3, 15.0);
+        assert_eq!(poses.len(), 3);
+        // x = 28 sits in pole 0's [12, 35] and pole 1's [27, 50].
+        let shared = Point3::new(28.0, 0.0, -3.0);
+        let registry = PoleRegistry::from_poses(poses);
+        let observers: Vec<u32> = registry
+            .observers_of(shared, &walkway)
+            .map(|p| p.pole_id)
+            .collect();
+        assert_eq!(observers, vec![0, 1]);
+        // x = 5 is in nobody's ROI (shadowed by pole 0's mast).
+        assert_eq!(
+            registry
+                .observers_of(Point3::new(5.0, 0.0, -3.0), &walkway)
+                .count(),
+            0
+        );
+    }
+
+    #[test]
+    fn registry_replaces_duplicate_ids() {
+        let mut registry = PoleRegistry::new();
+        registry.insert(PolePose::new(7, 0.0, 0.0, 0.0));
+        registry.insert(PolePose::new(7, 5.0, 5.0, 0.0));
+        assert_eq!(registry.len(), 1);
+        assert_eq!(registry.pose(7).unwrap().x, 5.0);
+        assert!(registry.pose(8).is_none());
+    }
+}

@@ -38,6 +38,7 @@ pub use counting;
 pub use dataset;
 pub use edge;
 pub use features;
+pub use fleet;
 pub use geom;
 pub use hawc;
 pub use lidar;
@@ -63,10 +64,13 @@ pub mod prelude {
         ClassLabel, CloudClassifier, CountingDatasetConfig, DetectionDatasetConfig, ObjectPool,
     };
     pub use edge::{DeviceModel, Precision, ThrottleConfig, ThrottleMonitor, ThrottleState};
+    pub use fleet::{
+        AgentConfig, Aggregator, AggregatorConfig, CampusSnapshot, FusionConfig, PoleAgent,
+    };
     pub use hawc::{HawcClassifier, HawcConfig};
     pub use lidar::{
         ground_segment, roi_filter, FaultKind, FaultSchedule, FaultScript, FaultyLidar, Lidar,
         PointCloud, SensorConfig,
     };
-    pub use world::{Human, Scene, WalkwayConfig};
+    pub use world::{corridor_layout, Human, PoleRegistry, Scene, WalkwayConfig};
 }
