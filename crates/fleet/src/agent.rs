@@ -25,7 +25,7 @@ use std::sync::Arc;
 use std::time::Duration;
 
 use counting::{SupervisedCount, SupervisedCounter};
-use dataset::CloudClassifier;
+use dataset::{ClassLabel, CloudClassifier};
 use lidar::PointCloud;
 use obs::Clock;
 use rand::rngs::StdRng;
@@ -196,8 +196,7 @@ impl<C: CloudClassifier, Q: CloudClassifier> PoleAgent<C, Q> {
     pub fn step(&mut self, capture: &PointCloud) -> SupervisedCount {
         let out = self.counter.step(capture);
         self.enqueue_report(&out);
-        self.maybe_heartbeat();
-        self.flush();
+        self.after_enqueue();
         out
     }
 
@@ -206,8 +205,7 @@ impl<C: CloudClassifier, Q: CloudClassifier> PoleAgent<C, Q> {
     pub fn step_dropped(&mut self) -> SupervisedCount {
         let out = self.counter.step_dropped();
         self.enqueue_report(&out);
-        self.maybe_heartbeat();
-        self.flush();
+        self.after_enqueue();
         out
     }
 
@@ -215,16 +213,28 @@ impl<C: CloudClassifier, Q: CloudClassifier> PoleAgent<C, Q> {
     /// heartbeat if the link has been quiet and retries the dial if a
     /// backoff deadline has passed.
     pub fn tick(&mut self) {
-        self.maybe_heartbeat();
-        self.flush();
+        self.after_enqueue();
     }
 
-    /// Announces an orderly shutdown (best effort) and closes.
+    /// Heartbeat check + flush. A heartbeat is a liveness signal: it
+    /// must not sit behind the batch gate or the aggregator wrongly
+    /// marks a quiet-but-alive pole Stale, so its flush is unbatched.
+    fn after_enqueue(&mut self) {
+        if self.maybe_heartbeat() {
+            self.flush_all();
+        } else {
+            self.flush();
+        }
+    }
+
+    /// Announces an orderly shutdown (best effort) and closes. The
+    /// final flush ignores the batch threshold — the transport closes
+    /// right after, so anything unsent now is lost.
     pub fn shutdown(&mut self) {
         self.enqueue(Message::Bye {
             pole_id: self.cfg.pole_id,
         });
-        self.flush();
+        self.flush_all();
         if let Some(mut t) = self.transport.take() {
             t.close();
         }
@@ -244,9 +254,13 @@ impl<C: CloudClassifier, Q: CloudClassifier> PoleAgent<C, Q> {
             stale_frames: out.stale_frames,
             age_ms: out.age_ms,
             pole_temp_c: self.counter.pole_temperature(),
+            // Only Human clusters go on the wire: `count` excludes
+            // benches and bushes, and the aggregator fuses every
+            // shipped observation into a person.
             clusters: out
                 .clusters
                 .iter()
+                .filter(|c| c.label == ClassLabel::Human)
                 .map(|c| ClusterObservation {
                     centroid: c.centroid,
                     points: c.points.min(u32::MAX as usize) as u32,
@@ -259,17 +273,21 @@ impl<C: CloudClassifier, Q: CloudClassifier> PoleAgent<C, Q> {
         self.enqueue(Message::Report(report));
     }
 
-    fn maybe_heartbeat(&mut self) {
+    /// Enqueues a heartbeat if the link has been quiet; returns
+    /// whether one was enqueued (the caller then flushes unbatched).
+    fn maybe_heartbeat(&mut self) -> bool {
         let idle_ms = (self.clock.now().saturating_sub(self.last_enqueue_at)).as_secs_f64() * 1e3;
-        if idle_ms >= self.cfg.heartbeat_every_ms {
-            self.stats.heartbeats += 1;
-            obs::incr("fleet.agent.heartbeats", 1);
-            self.enqueue(Message::Heartbeat(Heartbeat {
-                pole_id: self.cfg.pole_id,
-                seq: self.seq,
-                timestamp_ms: self.clock.now_ms() as u64,
-            }));
+        if idle_ms < self.cfg.heartbeat_every_ms {
+            return false;
         }
+        self.stats.heartbeats += 1;
+        obs::incr("fleet.agent.heartbeats", 1);
+        self.enqueue(Message::Heartbeat(Heartbeat {
+            pole_id: self.cfg.pole_id,
+            seq: self.seq,
+            timestamp_ms: self.clock.now_ms() as u64,
+        }));
+        true
     }
 
     fn enqueue(&mut self, msg: Message) {
@@ -283,13 +301,21 @@ impl<C: CloudClassifier, Q: CloudClassifier> PoleAgent<C, Q> {
         obs::set_gauge("fleet.agent.queue_depth", self.queue.len() as f64);
     }
 
-    /// Drains the queue into the transport, dialling first if the
-    /// backoff deadline allows. Batching: waits for
-    /// [`AgentConfig::batch_frames`] queued frames before writing
-    /// (heartbeats and shutdowns flush regardless via queue pressure
-    /// over time).
+    /// Batched flush: waits for [`AgentConfig::batch_frames`] queued
+    /// frames before writing. Report traffic only — heartbeats and
+    /// Bye go through [`PoleAgent::flush_all`] so a batch that never
+    /// fills cannot strand a liveness signal.
     fn flush(&mut self) {
         if self.queue.len() < self.cfg.batch_frames.max(1) {
+            return;
+        }
+        self.flush_all();
+    }
+
+    /// Drains the queue into the transport regardless of the batch
+    /// threshold, dialling first if the backoff deadline allows.
+    fn flush_all(&mut self) {
+        if self.queue.is_empty() {
             return;
         }
         if self.transport.is_none() {
@@ -425,6 +451,22 @@ mod tests {
             .collect()
     }
 
+    /// A bench-height column: the footprint and point pitch of a human
+    /// blob, but too short for the height rule — classified Object.
+    fn bench_blob(x: f64, y: f64) -> Vec<Point3> {
+        (0..40)
+            .map(|i| {
+                let layer = i / 10;
+                let a = (i % 10) as f64 / 10.0 * std::f64::consts::TAU;
+                Point3::new(
+                    x + 0.12 * a.cos(),
+                    y + 0.12 * a.sin(),
+                    -2.6 + 1.3 * (layer as f64 / 11.0),
+                )
+            })
+            .collect()
+    }
+
     fn capture(n: usize) -> PointCloud {
         let mut pts = Vec::new();
         for i in 0..n {
@@ -492,6 +534,65 @@ mod tests {
             }
             other => panic!("expected a report, got {other:?}"),
         }
+    }
+
+    #[test]
+    fn object_clusters_stay_off_the_wire_and_out_of_fusion() {
+        use crate::aggregator::{FusionConfig, FusionCore};
+        use world::{corridor_layout, PoleRegistry, WalkwayConfig};
+
+        let clock = ManualClock::new();
+        let hub = LoopbackHub::new();
+        let connector = hub.connector(LoopbackConfig::reliable());
+        let mut agent = PoleAgent::new(
+            counter(&clock),
+            Box::new(connector),
+            AgentConfig::for_pole(0),
+        );
+
+        // Two walkers plus a bench the classifier labels Object.
+        let mut pts = human_blob(14.0, 0.0);
+        pts.extend(human_blob(17.0, 1.5));
+        pts.extend(bench_blob(20.0, -2.0));
+        let out = agent.step(&PointCloud::new(pts));
+        assert_eq!(out.count, 2);
+        assert!(
+            out.clusters.iter().any(|c| c.label == ClassLabel::Object),
+            "the pipeline must have seen the bench for this test to bite"
+        );
+
+        // Feed everything the pole sent into a fusion core whose
+        // registry knows this pole's pose.
+        let mut core = FusionCore::new(
+            PoleRegistry::from_poses(corridor_layout(1, 15.0)),
+            WalkwayConfig::default(),
+            FusionConfig::default(),
+        )
+        .with_clock(clock.handle());
+        let mut server = hub.accept(Duration::from_millis(50)).unwrap();
+        let mut decoder = FrameDecoder::new();
+        let mut report = None;
+        while let Ok(chunk) = server.recv(Duration::from_millis(5)) {
+            decoder.push(&chunk);
+            while let Some(m) = decoder.next_message().unwrap() {
+                if let Message::Report(r) = &m {
+                    report = Some(r.clone());
+                }
+                core.ingest(m);
+            }
+        }
+        let report = report.expect("a report reached the wire");
+        assert_eq!(report.count, 2);
+        assert_eq!(
+            report.clusters.len(),
+            2,
+            "Object clusters must not ship as people"
+        );
+        let snap = core.snapshot();
+        assert_eq!(
+            snap.occupancy, report.count,
+            "fused occupancy agrees with the pole's own count"
+        );
     }
 
     #[test]
@@ -603,6 +704,66 @@ mod tests {
             }
         }
         assert_eq!(last, Some(Message::Bye { pole_id: 5 }));
+    }
+
+    #[test]
+    fn shutdown_flushes_bye_past_the_batch_gate() {
+        let clock = ManualClock::new();
+        let hub = LoopbackHub::new();
+        let connector = hub.connector(LoopbackConfig::reliable());
+        let mut cfg = AgentConfig::for_pole(6);
+        cfg.batch_frames = 8;
+        let mut agent = PoleAgent::new(counter(&clock), Box::new(connector), cfg);
+        agent.step(&capture(1));
+        assert_eq!(agent.stats().sent, 0, "one report sits below the gate");
+        agent.shutdown();
+        let mut server = hub.accept(Duration::from_millis(50)).unwrap();
+        let mut decoder = FrameDecoder::new();
+        let mut last = None;
+        let mut reports = 0;
+        while let Ok(chunk) = server.recv(Duration::from_millis(5)) {
+            decoder.push(&chunk);
+            while let Some(m) = decoder.next_message().unwrap() {
+                if matches!(m, Message::Report(_)) {
+                    reports += 1;
+                }
+                last = Some(m);
+            }
+        }
+        assert_eq!(reports, 1, "the queued report goes out with the Bye");
+        assert_eq!(last, Some(Message::Bye { pole_id: 6 }));
+    }
+
+    #[test]
+    fn heartbeats_flush_past_the_batch_gate() {
+        let clock = ManualClock::new();
+        let hub = LoopbackHub::new();
+        let connector = hub.connector(LoopbackConfig::reliable());
+        let mut cfg = AgentConfig::for_pole(7);
+        cfg.batch_frames = 8;
+        cfg.heartbeat_every_ms = 500.0;
+        let mut agent = PoleAgent::new(counter(&clock), Box::new(connector), cfg);
+        agent.step(&capture(1));
+        assert_eq!(agent.stats().sent, 0, "one report sits below the gate");
+        clock.advance_ms(600);
+        agent.tick();
+        assert_eq!(agent.stats().heartbeats, 1);
+        assert!(
+            agent.stats().sent >= 2,
+            "a heartbeat must drain the queue immediately, not wait out the batch"
+        );
+        let mut server = hub.accept(Duration::from_millis(50)).unwrap();
+        let mut decoder = FrameDecoder::new();
+        let mut beats = 0;
+        while let Ok(chunk) = server.recv(Duration::from_millis(5)) {
+            decoder.push(&chunk);
+            while let Some(m) = decoder.next_message().unwrap() {
+                if matches!(m, Message::Heartbeat(_)) {
+                    beats += 1;
+                }
+            }
+        }
+        assert_eq!(beats, 1);
     }
 
     #[test]

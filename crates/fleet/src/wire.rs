@@ -55,6 +55,14 @@ pub const CHECKSUM_LEN: usize = 4;
 /// abuse, not data.
 pub const MAX_BODY_LEN: usize = 64 * 1024;
 
+/// Most clusters one report frame can carry: the fixed report fields
+/// plus this many cluster records still fit [`MAX_BODY_LEN`]. The
+/// encoder truncates longer lists (keeping `count` intact) so an
+/// encodable message is always decodable — an over-limit body would
+/// be rejected as [`WireError::Oversize`] by the receiver, poisoning
+/// its [`FrameDecoder`] and costing the connection.
+pub const MAX_WIRE_CLUSTERS: usize = (MAX_BODY_LEN - REPORT_FIXED_LEN) / CLUSTER_WIRE_LEN;
+
 /// Everything that can be wrong with bytes on this wire.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum WireError {
@@ -146,6 +154,8 @@ pub struct PoleReport {
     /// Compartment temperature in °C, when the pole has a probe.
     pub pole_temp_c: Option<f64>,
     /// Human-classified cluster centroids, pole-local coordinates.
+    /// At most [`MAX_WIRE_CLUSTERS`] survive encoding; the tail is
+    /// truncated to keep the frame under [`MAX_BODY_LEN`].
     pub clusters: Vec<ClusterObservation>,
 }
 
@@ -349,8 +359,12 @@ fn put_report(body: &mut BytesMut, r: &PoleReport) {
     body.put_u32_le(r.stale_frames);
     body.put_f64_le(r.age_ms);
     body.put_f64_le(r.pole_temp_c.unwrap_or(0.0));
-    body.put_u32_le(r.clusters.len() as u32);
-    for c in &r.clusters {
+    // Encode-side ceiling (see `MAX_WIRE_CLUSTERS`): clusters past the
+    // limit are dropped rather than emitting an Oversize frame the
+    // receiver must reject.
+    let n = r.clusters.len().min(MAX_WIRE_CLUSTERS);
+    body.put_u32_le(n as u32);
+    for c in &r.clusters[..n] {
         body.put_f64_le(c.centroid.x);
         body.put_f64_le(c.centroid.y);
         body.put_f64_le(c.centroid.z);
@@ -361,6 +375,11 @@ fn put_report(body: &mut BytesMut, r: &PoleReport) {
 
 /// Per-cluster encoded size: 3 coordinates + points + confidence.
 const CLUSTER_WIRE_LEN: usize = 3 * 8 + 4 + 8;
+
+/// Encoded size of a report body's fixed fields (everything before
+/// the cluster records): pole id, seq, timestamp, count, three rung
+/// bytes, flags, stale frames, age, temperature, cluster count.
+const REPORT_FIXED_LEN: usize = 4 + 8 + 8 + 4 + 1 + 1 + 1 + 1 + 4 + 8 + 8 + 4;
 
 fn read_report(r: &mut Reader<'_>) -> Result<PoleReport, WireError> {
     let pole_id = r.u32()?;
@@ -661,6 +680,23 @@ mod tests {
                     }
                 }
             }
+        }
+    }
+
+    #[test]
+    fn oversized_cluster_lists_truncate_to_stay_decodable() {
+        let report = sample_report(MAX_WIRE_CLUSTERS + 500);
+        let bytes = encode(&Message::Report(report.clone()));
+        assert!(bytes.len() <= HEADER_LEN + MAX_BODY_LEN + CHECKSUM_LEN);
+        let (decoded, consumed) = decode(&bytes).expect("truncated frame decodes").unwrap();
+        assert_eq!(consumed, bytes.len());
+        match decoded {
+            Message::Report(d) => {
+                assert_eq!(d.count, report.count, "count survives truncation");
+                assert_eq!(d.clusters.len(), MAX_WIRE_CLUSTERS);
+                assert_eq!(d.clusters[..], report.clusters[..MAX_WIRE_CLUSTERS]);
+            }
+            other => panic!("expected a report, got {other:?}"),
         }
     }
 
