@@ -356,7 +356,7 @@ pub struct QuantizedAutoEncoder {
 
 impl QuantizedAutoEncoder {
     /// Classifies a batch of clusters with integer arithmetic.
-    pub fn predict_batch(&self, clouds: &[Vec<Point3>]) -> Vec<ClassLabel> {
+    pub fn predict_batch(&mut self, clouds: &[Vec<Point3>]) -> Vec<ClassLabel> {
         if clouds.is_empty() {
             return Vec::new();
         }

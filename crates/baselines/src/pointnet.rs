@@ -297,7 +297,7 @@ pub struct QuantizedPointNet {
 
 impl QuantizedPointNet {
     /// Classifies a batch of clusters with integer arithmetic.
-    pub fn predict_batch(&self, clouds: &[Vec<Point3>]) -> Vec<ClassLabel> {
+    pub fn predict_batch(&mut self, clouds: &[Vec<Point3>]) -> Vec<ClassLabel> {
         if clouds.is_empty() {
             return Vec::new();
         }
@@ -403,7 +403,7 @@ mod tests {
             ..PointNetConfig::small()
         };
         let model = PointNetClassifier::train(&train, pool, &cfg, &mut rng);
-        let q = model.quantize(&train, 50).unwrap();
+        let mut q = model.quantize(&train, 50).unwrap();
         let clouds: Vec<Vec<Point3>> = test.iter().map(|s| s.cloud.points().to_vec()).collect();
         let preds = q.predict_batch(&clouds);
         assert_eq!(preds.len(), clouds.len());

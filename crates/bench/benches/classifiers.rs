@@ -28,7 +28,7 @@ fn bench_classifiers(c: &mut Criterion) {
         ..HawcConfig::default()
     };
     let mut hawc = HawcClassifier::train(&data, pool, &hawc_cfg, &mut rng);
-    let hawc_int8 = hawc.quantize(&data, 100).expect("quantizes");
+    let mut hawc_int8 = hawc.quantize(&data, 100).expect("quantizes");
     let mut ae = AutoEncoderClassifier::train(&data, &AutoEncoderConfig::small(), &mut rng);
     let svm = OcSvmClassifier::train(&data, &OcSvmClassifierConfig::default()).unwrap();
 

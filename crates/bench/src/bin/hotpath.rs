@@ -2,11 +2,14 @@
 //! density × point budget sweep, written to `BENCH_hotpath.json` at the
 //! repository root.
 //!
-//! Every cell trains nothing — one compact HAWC is trained up front and
-//! shared — so the sweep isolates the per-frame pipeline: adaptive
-//! clustering (scratch-reusing DBSCAN), up-sampling, projection, and
-//! the CNN forward pass. Stage timings come from the `obs` histograms
-//! the pipeline already feeds; the bench resets them between cells.
+//! Every cell trains nothing — one compact HAWC is trained and
+//! quantized up front and shared — so the sweep isolates the per-frame
+//! pipeline: adaptive clustering (scratch-reusing DBSCAN), up-sampling,
+//! projection, and the classifier forward pass. Each cell runs twice:
+//! once on the int8 fast path (the headline numbers — this is the
+//! deployed configuration) and once on the fp32 reference, yielding a
+//! per-cell quantization speedup plus per-layer breakdowns from the
+//! `nn.qop.*` / `nn.layer.*` histograms the inference paths feed.
 //!
 //! ```text
 //! cargo run -p bench --release --bin hotpath              # full sweep
@@ -20,7 +23,7 @@
 
 use bench::{table, HarnessArgs, Workbench};
 use counting::{CounterConfig, CrowdCounter};
-use dataset::{generate_counting_dataset, CountingDatasetConfig};
+use dataset::{generate_counting_dataset, CountingDatasetConfig, CountingSample};
 use lidar::SensorConfig;
 use obs::HistogramSnapshot;
 use std::fmt::Write as _;
@@ -34,6 +37,10 @@ const STAGES: [&str; 5] = [
     "classification",
     "frame_total",
 ];
+
+/// Stages whose fp32/int8 ratio is worth a column (the others don't
+/// touch the classifier and only differ by noise).
+const SPEEDUP_STAGES: [&str; 2] = ["classification", "frame_total"];
 
 struct Args {
     smoke: bool,
@@ -128,24 +135,105 @@ fn stage_json(h: &HistogramSnapshot) -> String {
     )
 }
 
+/// One measured pass over a cell's captures: headline stages plus the
+/// per-layer classifier breakdown (`nn.qop.*` for int8, `nn.layer.*`
+/// for fp32).
+struct Pass {
+    mae: f64,
+    stages: Vec<HistogramSnapshot>,
+    layers: Vec<HistogramSnapshot>,
+}
+
+fn run_pass<C: dataset::CloudClassifier>(
+    counter: &mut CrowdCounter<C>,
+    data: &[CountingSample],
+    layer_prefix: &str,
+) -> Pass {
+    obs::reset();
+    let mut abs_err = 0usize;
+    for sample in data {
+        let result = counter.count(&sample.cloud);
+        obs::observe_ms("frame_total", result.total_ms());
+        abs_err += result.count.abs_diff(sample.ground_truth);
+    }
+    let snapshot = obs::snapshot();
+    let stages: Vec<HistogramSnapshot> = STAGES
+        .iter()
+        .filter_map(|&stage| {
+            snapshot
+                .histograms
+                .iter()
+                .find(|h| h.name == stage)
+                .cloned()
+        })
+        .collect();
+    let mut layers: Vec<HistogramSnapshot> = snapshot
+        .histograms
+        .iter()
+        .filter(|h| h.name.starts_with(layer_prefix))
+        .cloned()
+        .collect();
+    layers.sort_by(|a, b| a.name.cmp(&b.name));
+    Pass {
+        mae: abs_err as f64 / data.len().max(1) as f64,
+        stages,
+        layers,
+    }
+}
+
+fn stage_p(
+    stages: &[HistogramSnapshot],
+    name: &str,
+    pick: impl Fn(&HistogramSnapshot) -> f64,
+) -> f64 {
+    stages
+        .iter()
+        .find(|h| h.name == name)
+        .map(pick)
+        .unwrap_or(f64::NAN)
+}
+
 struct CellReport {
     crowd: usize,
     sweep_frames: usize,
     mean_points: f64,
-    mae: f64,
-    stages: Vec<HistogramSnapshot>,
+    int8: Pass,
+    fp32: Pass,
 }
 
 impl CellReport {
+    /// fp32-over-int8 ratio for a stage's percentile (>1 = int8 faster).
+    fn speedup(&self, stage: &str, pick: impl Fn(&HistogramSnapshot) -> f64 + Copy) -> f64 {
+        stage_p(&self.fp32.stages, stage, pick) / stage_p(&self.int8.stages, stage, pick)
+    }
+
     fn json(&self) -> String {
-        let stages: Vec<String> = self.stages.iter().map(stage_json).collect();
+        let join =
+            |hs: &[HistogramSnapshot]| hs.iter().map(stage_json).collect::<Vec<_>>().join(",");
+        let speedups: Vec<String> = SPEEDUP_STAGES
+            .iter()
+            .map(|&s| {
+                format!(
+                    "\"{s}\":{{\"p50\":{},\"p99\":{}}}",
+                    json_f64(self.speedup(s, |h| h.p50_ms)),
+                    json_f64(self.speedup(s, |h| h.p99_ms)),
+                )
+            })
+            .collect();
         format!(
-            "{{\"crowd\":{},\"sweep_frames\":{},\"mean_points\":{},\"mae\":{},\"stages\":[{}]}}",
+            "{{\"crowd\":{},\"sweep_frames\":{},\"mean_points\":{},\"mae\":{},\"fp32_mae\":{},\
+             \"stages\":[{}],\"layers\":[{}],\"fp32_stages\":[{}],\"fp32_layers\":[{}],\
+             \"speedup\":{{{}}}}}",
             self.crowd,
             self.sweep_frames,
             json_f64(self.mean_points),
-            json_f64(self.mae),
-            stages.join(",")
+            json_f64(self.int8.mae),
+            json_f64(self.fp32.mae),
+            join(&self.int8.stages),
+            join(&self.int8.layers),
+            join(&self.fp32.stages),
+            join(&self.fp32.layers),
+            speedups.join(","),
         )
     }
 }
@@ -154,9 +242,10 @@ fn main() {
     let args = parse_args();
     obs::enable(true);
 
-    // One compact HAWC shared across the sweep. Smoke mode shrinks the
-    // training set and epochs to CI scale; accuracy is incidental here —
-    // the bench measures latency, and every cell runs the same weights.
+    // One compact HAWC shared across the sweep, quantized once. Smoke
+    // mode shrinks the training set and epochs to CI scale; accuracy is
+    // incidental here — the bench measures latency, and every cell runs
+    // the same weights through both precisions.
     let harness = HarnessArgs {
         samples: if args.smoke { 160 } else { 800 },
         counting_samples: 0,
@@ -166,13 +255,15 @@ fn main() {
     };
     let bench = Workbench::prepare(harness);
     let model = bench.train_hawc();
-    let mut counter = CrowdCounter::new(
-        model,
-        CounterConfig {
-            classify_threads: args.threads,
-            ..CounterConfig::default()
-        },
-    );
+    let quantized = model
+        .quantize(&bench.detection.train, 100)
+        .expect("quantization of the trained HAWC");
+    let counter_cfg = CounterConfig {
+        classify_threads: args.threads,
+        ..CounterConfig::default()
+    };
+    let mut int8_counter = CrowdCounter::new(quantized, counter_cfg);
+    let mut fp32_counter = CrowdCounter::new(model, counter_cfg);
 
     let mut reports: Vec<CellReport> = Vec::new();
     for cell in cells(args.smoke) {
@@ -186,70 +277,92 @@ fn main() {
             },
             ..CountingDatasetConfig::default()
         });
-        obs::reset();
-        let mut points = 0usize;
-        let mut abs_err = 0usize;
-        for sample in &data {
-            let result = counter.count(&sample.cloud);
-            obs::observe_ms("frame_total", result.total_ms());
-            points += sample.cloud.len();
-            abs_err += result.count.abs_diff(sample.ground_truth);
-        }
-        let snapshot = obs::snapshot();
-        let stages: Vec<HistogramSnapshot> = STAGES
-            .iter()
-            .filter_map(|&stage| {
-                snapshot
-                    .histograms
-                    .iter()
-                    .find(|h| h.name == stage)
-                    .cloned()
-            })
-            .collect();
+        let points: usize = data.iter().map(|s| s.cloud.len()).sum();
+        // int8 first: it is the deployed fast path and owns the
+        // headline stage numbers. The fp32 pass over the identical
+        // captures yields the reference timings for the speedup column.
+        let int8 = run_pass(&mut int8_counter, &data, "nn.qop.");
+        let fp32 = run_pass(&mut fp32_counter, &data, "nn.layer.");
         let report = CellReport {
             crowd: cell.crowd,
             sweep_frames: cell.sweep_frames,
             mean_points: points as f64 / data.len().max(1) as f64,
-            mae: abs_err as f64 / data.len().max(1) as f64,
-            stages,
+            int8,
+            fp32,
         };
         eprintln!(
-            "[hotpath] crowd ≤{:>2}, {} sweep(s): {:.0} pts/frame, MAE {:.2}",
-            report.crowd, report.sweep_frames, report.mean_points, report.mae
+            "[hotpath] crowd ≤{:>2}, {} sweep(s): {:.0} pts/frame, MAE int8 {:.2} / fp32 {:.2}, \
+             frame p99 ×{:.2}",
+            report.crowd,
+            report.sweep_frames,
+            report.mean_points,
+            report.int8.mae,
+            report.fp32.mae,
+            report.speedup("frame_total", |h| h.p99_ms),
         );
         reports.push(report);
     }
 
-    // Terminal summary: one row per (cell, stage).
+    // Terminal summary: one row per (cell, stage); int8 percentiles
+    // with the fp32 p50 and the fp32/int8 speedup alongside.
     let mut rows = Vec::new();
     for r in &reports {
-        for h in &r.stages {
+        for h in &r.int8.stages {
+            let speedup = if SPEEDUP_STAGES.contains(&h.name.as_str()) {
+                format!("×{}", table::f(r.speedup(&h.name, |s| s.p50_ms), 2))
+            } else {
+                "—".to_string()
+            };
             rows.push(vec![
                 format!("≤{} ped × {} sweep", r.crowd, r.sweep_frames),
                 h.name.clone(),
                 table::f(h.p50_ms, 2),
                 table::f(h.p95_ms, 2),
                 table::f(h.p99_ms, 2),
-                table::f(h.mean_ms, 2),
+                table::f(stage_p(&r.fp32.stages, &h.name, |s| s.p50_ms), 2),
+                speedup,
             ]);
         }
     }
     println!(
-        "\nHot-path latency baseline ({} captures/cell, classify_threads = {})\n",
+        "\nHot-path latency, int8 fast path ({} captures/cell, classify_threads = {})\n",
         args.frames, args.threads
     );
     println!(
         "{}",
         table::render(
-            &["Cell", "Stage", "p50 ms", "p95 ms", "p99 ms", "mean ms"],
+            &["Cell", "Stage", "p50 ms", "p95 ms", "p99 ms", "fp32 p50", "speedup"],
             &rows
         )
     );
 
+    // Per-layer classification breakdown for the densest cell.
+    if let Some(worst) = reports.iter().max_by_key(|r| (r.crowd, r.sweep_frames)) {
+        let mut rows = Vec::new();
+        for h in worst.int8.layers.iter().chain(&worst.fp32.layers) {
+            rows.push(vec![
+                h.name.clone(),
+                format!("{}", h.count),
+                table::f(h.p50_ms, 4),
+                table::f(h.p99_ms, 4),
+                table::f(h.mean_ms, 4),
+            ]);
+        }
+        println!(
+            "\nPer-layer breakdown, crowd ≤{} × {} sweep(s)\n",
+            worst.crowd, worst.sweep_frames
+        );
+        println!(
+            "{}",
+            table::render(&["Layer", "calls", "p50 ms", "p99 ms", "mean ms"], &rows)
+        );
+    }
+
     let mut json = String::new();
     let _ = write!(
         json,
-        "{{\"bench\":\"hotpath\",\"seed\":{},\"threads\":{},\"frames_per_cell\":{},\"smoke\":{},\"cells\":[",
+        "{{\"bench\":\"hotpath\",\"seed\":{},\"threads\":{},\"frames_per_cell\":{},\"smoke\":{},\
+         \"precision\":\"int8-fast\",\"cells\":[",
         args.seed, args.threads, args.frames, args.smoke
     );
     let cells_json: Vec<String> = reports.iter().map(CellReport::json).collect();

@@ -61,7 +61,7 @@ fn main() {
     // HAWC.
     let mut hawc = bench.train_hawc();
     let m = hawc.evaluate(test);
-    let q = hawc.quantize(calib, 100).expect("HAWC quantizes");
+    let mut q = hawc.quantize(calib, 100).expect("HAWC quantizes");
     let mq = q.evaluate(test);
     rows.push(vec![
         "HAWC (Ours)".into(),

@@ -417,7 +417,7 @@ pub struct QuantizedHawc {
 impl QuantizedHawc {
     /// Classifies a batch of clusters with integer arithmetic, averaging
     /// dequantized logits over `predict_votes` padding draws.
-    pub fn predict_batch(&self, clouds: &[Vec<Point3>]) -> Vec<ClassLabel> {
+    pub fn predict_batch(&mut self, clouds: &[Vec<Point3>]) -> Vec<ClassLabel> {
         self.predict_batch_threads(clouds, 1)
     }
 
@@ -426,7 +426,11 @@ impl QuantizedHawc {
     /// bit-identical to the serial path for any thread count.
     ///
     /// [`predict_batch`]: QuantizedHawc::predict_batch
-    pub fn predict_batch_threads(&self, clouds: &[Vec<Point3>], threads: usize) -> Vec<ClassLabel> {
+    pub fn predict_batch_threads(
+        &mut self,
+        clouds: &[Vec<Point3>],
+        threads: usize,
+    ) -> Vec<ClassLabel> {
         if clouds.is_empty() {
             return Vec::new();
         }
@@ -465,7 +469,7 @@ impl QuantizedHawc {
     }
 
     /// Classifies one cluster.
-    pub fn predict(&self, cloud: &[Point3]) -> ClassLabel {
+    pub fn predict(&mut self, cloud: &[Point3]) -> ClassLabel {
         self.predict_batch(std::slice::from_ref(&cloud.to_vec()))[0]
     }
 
@@ -474,7 +478,7 @@ impl QuantizedHawc {
     /// # Panics
     ///
     /// Panics on an empty test set.
-    pub fn evaluate(&self, samples: &[DetectionSample]) -> BinaryMetrics {
+    pub fn evaluate(&mut self, samples: &[DetectionSample]) -> BinaryMetrics {
         assert!(!samples.is_empty(), "test set is empty");
         let clouds: Vec<Vec<Point3>> = samples.iter().map(|s| s.cloud.points().to_vec()).collect();
         let preds: Vec<usize> = self
@@ -625,7 +629,7 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(7);
         let mut model = HawcClassifier::train(&train, pool, &fast_config(), &mut rng);
         let fp = model.evaluate(&test);
-        let q = model.quantize(&train, 100).unwrap();
+        let mut q = model.quantize(&train, 100).unwrap();
         let qm = q.evaluate(&test);
         // §VII-B: HAWC's quantization loss is the smallest of all models
         // (−0.44%). Allow a few points of slack on the small test set.

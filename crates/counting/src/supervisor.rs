@@ -17,10 +17,16 @@
 //!    clean frames climb back up. The budget is enforced reactively:
 //!    the pipeline is single-threaded, so a miss degrades the *next*
 //!    frame rather than preempting the current one;
-//! 4. **thermal precision shedding** — when the
-//!    [`edge::ThrottleMonitor`] trips (compartment over its rated
-//!    envelope, with hysteresis), inference switches to the int8
-//!    counter until the compartment cools;
+//! 4. **a precision policy** — under the default
+//!    [`PrecisionPolicy::Int8Fast`], the quantized counter *is* the
+//!    steady-state fast path (on the blocked-GEMM kernels int8 is the
+//!    faster rung, not a degradation) and the fp32 primary is kept as
+//!    the reference/verification rung
+//!    ([`SupervisedCounter::reference_count`]). Under
+//!    [`PrecisionPolicy::Fp32Reference`] the pre-quantization behaviour
+//!    holds: fp32 is primary and inference switches to int8 only while
+//!    the [`edge::ThrottleMonitor`] trips (compartment over its rated
+//!    envelope, with hysteresis) until the compartment cools;
 //! 5. **hold-last-good smoothing** — dropped or faulted frames report
 //!    the last good count, up to a staleness cap, after which the
 //!    supervisor admits blindness and reports zero;
@@ -121,8 +127,7 @@ impl EpsRung {
 pub enum PrecisionRung {
     /// Full-precision classifier.
     Fp32,
-    /// Quantized classifier, engaged while the thermal throttle is
-    /// tripped (requires [`SupervisedCounter::with_int8`]).
+    /// Quantized classifier (requires [`SupervisedCounter::with_int8`]).
     Int8,
 }
 
@@ -132,6 +137,33 @@ impl PrecisionRung {
         match self {
             PrecisionRung::Fp32 => "fp32",
             PrecisionRung::Int8 => "int8",
+        }
+    }
+}
+
+/// Which precision rung is the steady-state fast path.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum PrecisionPolicy {
+    #[default]
+    /// int8 is the normal fast path whenever a quantized counter is
+    /// attached; fp32 stays available as the reference/verification
+    /// rung. The default: on the blocked SIMD GEMM kernels the
+    /// quantized classifier is the *faster* one (the paper's Table
+    /// II/V quantization-speedup story), so running it only under
+    /// thermal duress would waste the headroom every normal frame.
+    Int8Fast,
+    /// fp32 is primary; int8 engages only while the thermal throttle
+    /// is tripped. The pre-quantization-speedup behaviour, kept for
+    /// reference/verification runs and A/B comparisons.
+    Fp32Reference,
+}
+
+impl PrecisionPolicy {
+    /// Journal/report label.
+    pub fn as_str(&self) -> &'static str {
+        match self {
+            PrecisionPolicy::Int8Fast => "int8-fast",
+            PrecisionPolicy::Fp32Reference => "fp32-reference",
         }
     }
 }
@@ -201,7 +233,12 @@ pub struct SupervisorConfig {
     pub fault_after: u32,
     /// Coordinate sanitization bounds.
     pub bounds: SanitizeBounds,
-    /// Thermal throttle thresholds for the fp32→int8 rung.
+    /// Which precision rung is the steady-state fast path.
+    pub precision_policy: PrecisionPolicy,
+    /// Thermal throttle thresholds. Under
+    /// [`PrecisionPolicy::Fp32Reference`] a trip engages the fp32→int8
+    /// rung; under [`PrecisionPolicy::Int8Fast`] inference is already
+    /// on the cooler integer path and the monitor is observational.
     pub throttle: ThrottleConfig,
 }
 
@@ -216,6 +253,7 @@ impl Default for SupervisorConfig {
             recover_after: 3,
             fault_after: 4,
             bounds: SanitizeBounds::default(),
+            precision_policy: PrecisionPolicy::default(),
             throttle: ThrottleConfig::default(),
         }
     }
@@ -336,7 +374,11 @@ impl<C: CloudClassifier, Q: CloudClassifier> SupervisedCounter<C, Q> {
         }
     }
 
-    /// Attaches a quantized counter for the fp32→int8 thermal rung.
+    /// Attaches a quantized counter. Under the default
+    /// [`PrecisionPolicy::Int8Fast`] it becomes the steady-state fast
+    /// path from the next frame on; under
+    /// [`PrecisionPolicy::Fp32Reference`] it is the fp32→int8 thermal
+    /// rung.
     pub fn with_int8(mut self, int8: CrowdCounter<Q>) -> Self {
         self.int8 = Some(int8);
         self
@@ -371,13 +413,34 @@ impl<C: CloudClassifier, Q: CloudClassifier> SupervisedCounter<C, Q> {
         self.eps_rung
     }
 
-    /// Precision the next frame will run on.
+    /// Precision the next frame will run on, per the configured
+    /// [`PrecisionPolicy`].
     pub fn precision(&self) -> PrecisionRung {
-        if self.throttle.is_throttled() && self.int8.is_some() {
-            PrecisionRung::Int8
-        } else {
-            PrecisionRung::Fp32
+        match self.cfg.precision_policy {
+            PrecisionPolicy::Int8Fast => {
+                if self.int8.is_some() {
+                    PrecisionRung::Int8
+                } else {
+                    PrecisionRung::Fp32
+                }
+            }
+            PrecisionPolicy::Fp32Reference => {
+                if self.throttle.is_throttled() && self.int8.is_some() {
+                    PrecisionRung::Int8
+                } else {
+                    PrecisionRung::Fp32
+                }
+            }
         }
+    }
+
+    /// Runs the fp32 reference counter on a capture, outside the
+    /// supervised bookkeeping (no frame, no ladder movement, no held
+    /// counts). The verification rung for the int8 fast path: callers
+    /// periodically cross-check the steady-state integer counts
+    /// against full precision without giving up the speedup.
+    pub fn reference_count(&mut self, capture: &PointCloud) -> usize {
+        self.primary.count(capture).count
     }
 
     /// Cumulative statistics.
@@ -897,6 +960,35 @@ mod tests {
     }
 
     #[test]
+    fn int8_is_the_default_fast_path_when_attached() {
+        // Under the default Int8Fast policy the quantized counter is
+        // the steady-state rung — no thermal trip required — and fp32
+        // remains reachable as the reference rung.
+        let primary = CrowdCounter::new(rule(), CounterConfig::default());
+        let int8 = CrowdCounter::new(rule(), CounterConfig::default());
+        let mut s = SupervisedCounter::new(
+            primary,
+            SupervisorConfig {
+                deadline_ms: 10_000.0,
+                ..SupervisorConfig::default()
+            },
+        )
+        .with_int8(int8);
+        let cloud = capture(&[(14.0, 0.0, -1.3)]);
+        let out = s.step(&cloud);
+        assert_eq!(out.precision, PrecisionRung::Int8);
+        assert_eq!(out.count, 1);
+        // The fp32 reference rung answers out-of-band and moves no
+        // supervisor state.
+        let frames_before = s.stats().frames;
+        assert_eq!(s.reference_count(&cloud), 1);
+        assert_eq!(s.stats().frames, frames_before);
+        // Cooling/heating is observational here: still int8.
+        s.feed_temperature(80.0);
+        assert_eq!(s.step(&cloud).precision, PrecisionRung::Int8);
+    }
+
+    #[test]
     fn thermal_throttle_switches_to_int8_with_hysteresis() {
         let primary = CrowdCounter::new(rule(), CounterConfig::default());
         let int8 = CrowdCounter::new(rule(), CounterConfig::default());
@@ -904,6 +996,7 @@ mod tests {
             primary,
             SupervisorConfig {
                 deadline_ms: 10_000.0,
+                precision_policy: PrecisionPolicy::Fp32Reference,
                 ..SupervisorConfig::default()
             },
         )

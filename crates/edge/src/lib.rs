@@ -12,8 +12,10 @@
 //! * [`thermal`] — the weather/pole thermal simulation behind Fig. 10's
 //!   summer-deployment study, plus a hysteresis
 //!   [`ThrottleMonitor`](thermal::ThrottleMonitor) turning compartment
-//!   temperature into a queryable over-envelope signal for the
-//!   counting supervisor's fp32→int8 degradation rung.
+//!   temperature into a queryable over-envelope signal. The counting
+//!   supervisor runs int8 as its default fast path; under its
+//!   fp32-reference policy this signal drives the fp32→int8 shedding
+//!   rung, and otherwise it is envelope telemetry.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]

@@ -189,8 +189,11 @@ impl Default for ThrottleConfig {
 pub enum ThrottleState {
     /// Within the rated envelope: full-precision operation.
     Nominal,
-    /// Over the envelope: shed load (e.g. switch inference to int8)
-    /// until the compartment cools back through `clear_c`.
+    /// Over the envelope: shed load until the compartment cools back
+    /// through `clear_c`. Under the supervisor's fp32-reference
+    /// precision policy this is the signal that drops inference to
+    /// int8; under the default int8-fast policy the integer path is
+    /// already the steady state and the signal is observational.
     Throttled,
 }
 
@@ -200,8 +203,11 @@ pub enum ThrottleState {
 /// a deployed service should shed load rather than gamble: this
 /// monitor turns the raw `edge.pole_c` gauge into a two-state throttle
 /// signal the counting supervisor can act on. Hysteresis (trip at
-/// `trip_c`, clear at `clear_c < trip_c`) guarantees the fp32→int8
-/// ladder rung cannot flap on noise around the threshold.
+/// `trip_c`, clear at `clear_c < trip_c`) guarantees the precision
+/// ladder cannot flap on noise around the threshold. With int8 as the
+/// default fast path the rung only sheds work when the supervisor runs
+/// its fp32-reference policy; otherwise the trip count and gauge serve
+/// as envelope telemetry.
 #[derive(Debug, Clone)]
 pub struct ThrottleMonitor {
     cfg: ThrottleConfig,

@@ -13,10 +13,9 @@
 
 use crate::Point3;
 use std::cmp::Ordering;
-use std::collections::BinaryHeap;
 
 /// Maximum number of points in a leaf before a split is attempted.
-const LEAF_SIZE: usize = 12;
+const LEAF_SIZE: usize = 28;
 
 #[derive(Debug, Clone)]
 enum Node {
@@ -60,38 +59,21 @@ pub struct KdTree {
     root: usize,
 }
 
-/// Max-heap entry for k-NN queries (ordered by squared distance).
-struct HeapItem {
-    d2: f64,
-    idx: usize,
-}
-
-impl PartialEq for HeapItem {
-    fn eq(&self, other: &Self) -> bool {
-        self.d2 == other.d2
-    }
-}
-impl Eq for HeapItem {}
-impl PartialOrd for HeapItem {
-    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
-        Some(self.cmp(other))
-    }
-}
-impl Ord for HeapItem {
-    fn cmp(&self, other: &Self) -> Ordering {
-        self.d2.partial_cmp(&other.d2).unwrap_or(Ordering::Equal)
-    }
-}
-
 /// Reusable scratch state for [`KdTree::knn_into`].
 ///
-/// Holds the query's bounded max-heap so repeated queries perform no
-/// heap allocations once the scratch has warmed up to the largest `k`
+/// Holds the query's bounded best-`k` buffer so repeated queries perform
+/// no heap allocations once the scratch has warmed up to the largest `k`
 /// seen. One scratch serves any number of trees and queries, but it is
 /// not shareable across threads mid-query (each worker owns its own).
-#[derive(Default)]
+///
+/// The buffer replaced a `BinaryHeap`: for the small `k` the projection
+/// and clustering stages use (≤ 16) a flat unsorted array with a tracked
+/// worst entry beats heap sift-up/sift-down, and it keeps the pruning
+/// bound in a register instead of behind a `peek()` per candidate.
+#[derive(Default, Debug)]
 pub struct KnnScratch {
-    heap: BinaryHeap<HeapItem>,
+    /// Bounded best-k candidates as `(squared distance, point index)`.
+    buf: Vec<(f64, u32)>,
 }
 
 impl KnnScratch {
@@ -103,16 +85,52 @@ impl KnnScratch {
     /// Creates a scratch pre-sized for `k`-neighbour queries.
     pub fn with_capacity(k: usize) -> Self {
         KnnScratch {
-            heap: BinaryHeap::with_capacity(k + 1),
+            buf: Vec::with_capacity(k),
         }
     }
 }
 
-impl std::fmt::Debug for KnnScratch {
-    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.debug_struct("KnnScratch")
-            .field("capacity", &self.heap.capacity())
-            .finish()
+/// In-flight state of one k-NN query: the candidate buffer plus the
+/// current pruning bound (`worst` = largest kept squared distance once
+/// the buffer holds `k` entries, `INFINITY` before that).
+struct KnnState<'a> {
+    buf: &'a mut Vec<(f64, u32)>,
+    k: usize,
+    worst: f64,
+    /// Index in `buf` of the entry holding `worst` (valid once full).
+    wi: usize,
+}
+
+impl KnnState<'_> {
+    /// Offers one candidate, keeping the best `k` seen so far. Ties at
+    /// the boundary keep the incumbent (`<` is strict), matching the
+    /// old heap's replacement rule.
+    #[inline]
+    fn offer(&mut self, d2: f64, idx: u32) {
+        if self.buf.len() < self.k {
+            self.buf.push((d2, idx));
+            if self.buf.len() == self.k {
+                self.rescan_worst();
+            }
+        } else if d2 < self.worst {
+            self.buf[self.wi] = (d2, idx);
+            self.rescan_worst();
+        }
+    }
+
+    /// Recomputes the worst kept entry after the buffer changed. `k` is
+    /// small, so a linear rescan is cheaper than maintaining heap order.
+    #[inline]
+    fn rescan_worst(&mut self) {
+        let (mut w, mut wi) = (f64::NEG_INFINITY, 0);
+        for (j, &(d, _)) in self.buf.iter().enumerate() {
+            if d > w {
+                w = d;
+                wi = j;
+            }
+        }
+        self.worst = w;
+        self.wi = wi;
     }
 }
 
@@ -251,29 +269,24 @@ impl KdTree {
         if k == 0 || self.points.is_empty() {
             return;
         }
-        scratch.heap.clear();
-        self.knn_rec(self.root, q, k, &mut scratch.heap);
-        out.extend(scratch.heap.drain().map(|h| (h.idx, h.d2)));
+        scratch.buf.clear();
+        let mut state = KnnState {
+            buf: &mut scratch.buf,
+            k,
+            worst: f64::INFINITY,
+            wi: 0,
+        };
+        self.knn_rec(self.root, q, &mut state);
+        out.extend(state.buf.iter().map(|&(d2, i)| (i as usize, d2)));
         out.sort_by(|a, b| a.1.partial_cmp(&b.1).unwrap_or(Ordering::Equal));
     }
 
-    fn knn_rec(&self, node: usize, q: Point3, k: usize, heap: &mut BinaryHeap<HeapItem>) {
+    fn knn_rec(&self, node: usize, q: Point3, state: &mut KnnState<'_>) {
         match self.nodes[node] {
             Node::Leaf { start, len } => {
                 for &i in &self.order[start..start + len] {
                     let d2 = self.points[i as usize].distance_sq(q);
-                    if heap.len() < k {
-                        heap.push(HeapItem {
-                            d2,
-                            idx: i as usize,
-                        });
-                    } else if d2 < heap.peek().map_or(f64::INFINITY, |h| h.d2) {
-                        heap.pop();
-                        heap.push(HeapItem {
-                            d2,
-                            idx: i as usize,
-                        });
-                    }
+                    state.offer(d2, i);
                 }
             }
             Node::Split {
@@ -288,14 +301,11 @@ impl KdTree {
                 } else {
                     (right, left)
                 };
-                self.knn_rec(near, q, k, heap);
-                let worst = if heap.len() < k {
-                    f64::INFINITY
-                } else {
-                    heap.peek().map_or(f64::INFINITY, |h| h.d2)
-                };
-                if delta * delta < worst {
-                    self.knn_rec(far, q, k, heap);
+                self.knn_rec(near, q, state);
+                // `worst` is INFINITY until the buffer has k entries, so
+                // the far side is never pruned before k candidates exist.
+                if delta * delta < state.worst {
+                    self.knn_rec(far, q, state);
                 }
             }
         }

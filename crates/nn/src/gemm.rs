@@ -1,0 +1,592 @@
+//! Blocked GEMM kernels behind runtime SIMD dispatch.
+//!
+//! Every matrix product in the crate — dense layers, im2col
+//! convolutions, the shared PointNet MLP, and the integer inference
+//! path — lands on one of two kernel families defined here:
+//!
+//! * **fp32** — [`matmul_acc`], a cache-blocked `out += a × b` with the
+//!   inner loop vectorized over the output columns (AVX2 on `x86_64`,
+//!   NEON on `aarch64`). The scalar fallback walks the *same* blocked
+//!   loop nest and performs the *same* per-element multiply-then-add
+//!   (no FMA contraction), so SIMD and scalar results are bit-identical
+//!   — dispatch is a throughput knob, never an accuracy knob, exactly
+//!   like the thread-count knobs in [`crate::par`].
+//! * **int8** — [`gemm_u8i8`], a uint8-activation × int8-weight product
+//!   with i32 accumulators in dot-product orientation (the weight
+//!   matrix is packed row-per-output at quantize time). Products are
+//!   widened to i16 lanes before `madd`-style pairwise accumulation, so
+//!   no saturation can occur and the SIMD result matches a plain i32
+//!   reference loop exactly.
+//!
+//! # Dispatch
+//!
+//! The backend is chosen once per call from, in priority order: the
+//! [`force_scalar`] override (used by tests and the CI fallback leg),
+//! the `NN_FORCE_SCALAR` environment variable (any non-empty value other
+//! than `0`), and runtime CPU feature detection. Forcing scalar on a
+//! SIMD-capable host changes nothing but speed.
+
+use std::sync::atomic::{AtomicU8, Ordering};
+use std::sync::OnceLock;
+
+/// Panic-free p-dimension block: a `KC × n` panel of `b` (≤ 64 rows)
+/// stays resident in L1 while every row of `a` streams over it.
+const KC: usize = 64;
+
+/// Which kernel family a call dispatches to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Backend {
+    /// Plain Rust loops (the bit-exact reference).
+    Scalar,
+    /// Explicit `std::arch` vectors (AVX2 / NEON).
+    Simd,
+}
+
+impl Backend {
+    /// Label for logs and bench reports.
+    pub fn as_str(&self) -> &'static str {
+        match self {
+            Backend::Scalar => "scalar",
+            Backend::Simd => "simd",
+        }
+    }
+}
+
+/// 0 = follow the environment, 1 = force scalar, 2 = allow SIMD.
+static OVERRIDE: AtomicU8 = AtomicU8::new(0);
+
+fn env_forces_scalar() -> bool {
+    static ENV: OnceLock<bool> = OnceLock::new();
+    *ENV.get_or_init(|| {
+        std::env::var("NN_FORCE_SCALAR")
+            .map(|v| !v.is_empty() && v != "0")
+            .unwrap_or(false)
+    })
+}
+
+/// True when the host CPU has the vector ISA the SIMD kernels need.
+pub fn simd_available() -> bool {
+    #[cfg(target_arch = "x86_64")]
+    {
+        is_x86_feature_detected!("avx2")
+    }
+    #[cfg(target_arch = "aarch64")]
+    {
+        true // NEON is architecturally mandatory on AArch64.
+    }
+    #[cfg(not(any(target_arch = "x86_64", target_arch = "aarch64")))]
+    {
+        false
+    }
+}
+
+/// Forces (or re-allows) the scalar fallback for this process. Tests
+/// use this to exercise both dispatch arms; since the arms are
+/// bit-identical, flipping it mid-run never changes any result.
+pub fn force_scalar(on: bool) {
+    OVERRIDE.store(if on { 1 } else { 2 }, Ordering::SeqCst);
+}
+
+/// The backend the next kernel call will run on.
+pub fn active_backend() -> Backend {
+    let forced = match OVERRIDE.load(Ordering::SeqCst) {
+        1 => true,
+        2 => false,
+        _ => env_forces_scalar(),
+    };
+    if !forced && simd_available() {
+        Backend::Simd
+    } else {
+        Backend::Scalar
+    }
+}
+
+// --- fp32: out[m,n] += a[m,k] × b[k,n] ---
+
+/// Dense row-major multiply-accumulate: `out[m,n] += a[m,k] * b[k,n]`,
+/// dispatched to the active backend.
+///
+/// # Panics
+///
+/// Panics (in debug builds) on shape/length mismatches.
+pub fn matmul_acc(a: &[f32], b: &[f32], m: usize, k: usize, n: usize, out: &mut [f32]) {
+    matmul_acc_backend(active_backend(), a, b, m, k, n, out);
+}
+
+/// [`matmul_acc`] on an explicit backend (property tests pin the two
+/// arms against each other with this).
+pub fn matmul_acc_backend(
+    backend: Backend,
+    a: &[f32],
+    b: &[f32],
+    m: usize,
+    k: usize,
+    n: usize,
+    out: &mut [f32],
+) {
+    debug_assert_eq!(a.len(), m * k);
+    debug_assert_eq!(b.len(), k * n);
+    debug_assert_eq!(out.len(), m * n);
+    match backend {
+        Backend::Scalar => matmul_acc_scalar(a, b, m, k, n, out),
+        Backend::Simd => {
+            #[cfg(target_arch = "x86_64")]
+            if is_x86_feature_detected!("avx2") {
+                // SAFETY: AVX2 support was just verified at runtime.
+                #[allow(unsafe_code)]
+                unsafe {
+                    x86::matmul_acc_avx2(a, b, m, k, n, out)
+                };
+                return;
+            }
+            #[cfg(target_arch = "aarch64")]
+            {
+                // SAFETY: NEON is architecturally mandatory on AArch64.
+                #[allow(unsafe_code)]
+                unsafe {
+                    arm::matmul_acc_neon(a, b, m, k, n, out)
+                };
+                return;
+            }
+            #[allow(unreachable_code)]
+            matmul_acc_scalar(a, b, m, k, n, out)
+        }
+    }
+}
+
+/// The blocked scalar kernel. The loop nest (p-panel → row → p → j)
+/// accumulates every output element over `p` in strictly increasing
+/// order with one rounding per multiply and one per add — the exact
+/// operation sequence the SIMD kernels replicate lane-wise.
+fn matmul_acc_scalar(a: &[f32], b: &[f32], m: usize, k: usize, n: usize, out: &mut [f32]) {
+    let mut pb = 0;
+    while pb < k {
+        let pe = (pb + KC).min(k);
+        for i in 0..m {
+            let a_row = &a[i * k..(i + 1) * k];
+            let out_row = &mut out[i * n..(i + 1) * n];
+            for p in pb..pe {
+                let av = a_row[p];
+                let b_row = &b[p * n..(p + 1) * n];
+                for (o, &bv) in out_row.iter_mut().zip(b_row) {
+                    *o += av * bv;
+                }
+            }
+        }
+        pb = pe;
+    }
+}
+
+// --- int8: out[m,n] = a[m,k] (u8) · btᵀ (i8, packed [n,k]) ---
+
+/// Integer GEMM in dot-product orientation: `bt` holds the weight
+/// matrix packed row-per-output (`[n, k]`), and
+/// `out[i*n + j] = Σ_p a[i*k + p] · bt[j*k + p]` as exact i32 sums
+/// (products fit i16, k·2¹⁵ fits i32 for every shape this crate
+/// builds). Overwrites `out`; zero-point correction and bias are the
+/// caller's affair — they fold into per-output constants.
+///
+/// # Panics
+///
+/// Panics (in debug builds) on shape/length mismatches.
+pub fn gemm_u8i8(a: &[u8], bt: &[i8], m: usize, k: usize, n: usize, out: &mut [i32]) {
+    gemm_u8i8_backend(active_backend(), a, bt, m, k, n, out);
+}
+
+/// [`gemm_u8i8`] on an explicit backend.
+pub fn gemm_u8i8_backend(
+    backend: Backend,
+    a: &[u8],
+    bt: &[i8],
+    m: usize,
+    k: usize,
+    n: usize,
+    out: &mut [i32],
+) {
+    debug_assert_eq!(a.len(), m * k);
+    debug_assert_eq!(bt.len(), n * k);
+    debug_assert_eq!(out.len(), m * n);
+    match backend {
+        Backend::Scalar => gemm_u8i8_scalar(a, bt, m, k, n, out),
+        Backend::Simd => {
+            #[cfg(target_arch = "x86_64")]
+            if is_x86_feature_detected!("avx2") {
+                // SAFETY: AVX2 support was just verified at runtime.
+                #[allow(unsafe_code)]
+                unsafe {
+                    x86::gemm_u8i8_avx2(a, bt, m, k, n, out)
+                };
+                return;
+            }
+            #[cfg(target_arch = "aarch64")]
+            {
+                // SAFETY: NEON is architecturally mandatory on AArch64.
+                #[allow(unsafe_code)]
+                unsafe {
+                    arm::gemm_u8i8_neon(a, bt, m, k, n, out)
+                };
+                return;
+            }
+            #[allow(unreachable_code)]
+            gemm_u8i8_scalar(a, bt, m, k, n, out)
+        }
+    }
+}
+
+fn gemm_u8i8_scalar(a: &[u8], bt: &[i8], m: usize, k: usize, n: usize, out: &mut [i32]) {
+    for i in 0..m {
+        let a_row = &a[i * k..(i + 1) * k];
+        let out_row = &mut out[i * n..(i + 1) * n];
+        for (j, slot) in out_row.iter_mut().enumerate() {
+            let w_row = &bt[j * k..(j + 1) * k];
+            let mut acc = 0i32;
+            for (&x, &w) in a_row.iter().zip(w_row) {
+                acc += x as i32 * w as i32;
+            }
+            *slot = acc;
+        }
+    }
+}
+
+#[cfg(target_arch = "x86_64")]
+mod x86 {
+    use super::KC;
+    use std::arch::x86_64::*;
+
+    /// AVX2 fp32 kernel: identical loop nest to the scalar fallback
+    /// with the j loop widened to 8 lanes. Each lane performs the same
+    /// `mul` + `add` (deliberately no FMA: a fused multiply-add rounds
+    /// once where the scalar path rounds twice) over the same `p`
+    /// order, so every output bit matches the scalar kernel.
+    #[target_feature(enable = "avx2")]
+    #[allow(unsafe_code)]
+    pub(super) unsafe fn matmul_acc_avx2(
+        a: &[f32],
+        b: &[f32],
+        m: usize,
+        k: usize,
+        n: usize,
+        out: &mut [f32],
+    ) {
+        let bp = b.as_ptr();
+        let op = out.as_mut_ptr();
+        let mut pb = 0;
+        while pb < k {
+            let pe = (pb + KC).min(k);
+            for i in 0..m {
+                let o_row = op.add(i * n);
+                for p in pb..pe {
+                    let av = *a.get_unchecked(i * k + p);
+                    let va = _mm256_set1_ps(av);
+                    let b_row = bp.add(p * n);
+                    let mut j = 0;
+                    while j + 8 <= n {
+                        let vb = _mm256_loadu_ps(b_row.add(j));
+                        let vo = _mm256_loadu_ps(o_row.add(j));
+                        let vo = _mm256_add_ps(vo, _mm256_mul_ps(va, vb));
+                        _mm256_storeu_ps(o_row.add(j), vo);
+                        j += 8;
+                    }
+                    while j < n {
+                        *o_row.add(j) += av * *b_row.add(j);
+                        j += 1;
+                    }
+                }
+            }
+            pb = pe;
+        }
+    }
+
+    /// Horizontal sum of the eight i32 lanes.
+    #[target_feature(enable = "avx2")]
+    #[allow(unsafe_code)]
+    #[inline]
+    unsafe fn hsum_i32(v: __m256i) -> i32 {
+        let lo = _mm256_castsi256_si128(v);
+        let hi = _mm256_extracti128_si256(v, 1);
+        let q = _mm_add_epi32(lo, hi);
+        let q = _mm_add_epi32(q, _mm_shuffle_epi32(q, 0b00_01_10_11));
+        let q = _mm_add_epi32(q, _mm_shuffle_epi32(q, 0b00_00_00_01));
+        _mm_cvtsi128_si32(q)
+    }
+
+    /// AVX2 u8×i8 kernel: 16 taps per step, widened to i16 lanes before
+    /// `madd` (products ≤ 255·128 fit i16; pair sums fit i32), so the
+    /// arithmetic is exact and order-independent — which also makes the
+    /// 2-column unroll below free of numerical caveats. Pairing weight
+    /// rows halves the activation load/widen traffic and amortises the
+    /// per-dot horizontal sum, the dominant overhead at the small `n`
+    /// (16–64 output channels) the classifier runs.
+    #[target_feature(enable = "avx2")]
+    #[allow(unsafe_code)]
+    pub(super) unsafe fn gemm_u8i8_avx2(
+        a: &[u8],
+        bt: &[i8],
+        m: usize,
+        k: usize,
+        n: usize,
+        out: &mut [i32],
+    ) {
+        for i in 0..m {
+            let a_row = a.as_ptr().add(i * k);
+            let mut j = 0;
+            while j + 2 <= n {
+                let w0 = bt.as_ptr().add(j * k);
+                let w1 = bt.as_ptr().add((j + 1) * k);
+                let mut vacc0 = _mm256_setzero_si256();
+                let mut vacc1 = _mm256_setzero_si256();
+                let mut p = 0;
+                while p + 16 <= k {
+                    let vx = _mm256_cvtepu8_epi16(_mm_loadu_si128(a_row.add(p) as *const __m128i));
+                    let vw0 = _mm256_cvtepi8_epi16(_mm_loadu_si128(w0.add(p) as *const __m128i));
+                    let vw1 = _mm256_cvtepi8_epi16(_mm_loadu_si128(w1.add(p) as *const __m128i));
+                    vacc0 = _mm256_add_epi32(vacc0, _mm256_madd_epi16(vx, vw0));
+                    vacc1 = _mm256_add_epi32(vacc1, _mm256_madd_epi16(vx, vw1));
+                    p += 16;
+                }
+                if p + 8 <= k {
+                    // 8-tap step over the low 128-bit half keeps short
+                    // dots (small-k convs, tails) off the scalar path.
+                    let vx = _mm_cvtepu8_epi16(_mm_loadl_epi64(a_row.add(p) as *const __m128i));
+                    let vw0 = _mm_cvtepi8_epi16(_mm_loadl_epi64(w0.add(p) as *const __m128i));
+                    let vw1 = _mm_cvtepi8_epi16(_mm_loadl_epi64(w1.add(p) as *const __m128i));
+                    // zext (not cast): the upper 128 bits must be zero.
+                    vacc0 =
+                        _mm256_add_epi32(vacc0, _mm256_zextsi128_si256(_mm_madd_epi16(vx, vw0)));
+                    vacc1 =
+                        _mm256_add_epi32(vacc1, _mm256_zextsi128_si256(_mm_madd_epi16(vx, vw1)));
+                    p += 8;
+                }
+                let mut acc0 = hsum_i32(vacc0);
+                let mut acc1 = hsum_i32(vacc1);
+                while p < k {
+                    let x = *a_row.add(p) as i32;
+                    acc0 += x * *w0.add(p) as i32;
+                    acc1 += x * *w1.add(p) as i32;
+                    p += 1;
+                }
+                *out.get_unchecked_mut(i * n + j) = acc0;
+                *out.get_unchecked_mut(i * n + j + 1) = acc1;
+                j += 2;
+            }
+            if j < n {
+                let w_row = bt.as_ptr().add(j * k);
+                let mut vacc = _mm256_setzero_si256();
+                let mut p = 0;
+                while p + 16 <= k {
+                    let vx = _mm256_cvtepu8_epi16(_mm_loadu_si128(a_row.add(p) as *const __m128i));
+                    let vw = _mm256_cvtepi8_epi16(_mm_loadu_si128(w_row.add(p) as *const __m128i));
+                    vacc = _mm256_add_epi32(vacc, _mm256_madd_epi16(vx, vw));
+                    p += 16;
+                }
+                if p + 8 <= k {
+                    let vx = _mm_cvtepu8_epi16(_mm_loadl_epi64(a_row.add(p) as *const __m128i));
+                    let vw = _mm_cvtepi8_epi16(_mm_loadl_epi64(w_row.add(p) as *const __m128i));
+                    vacc = _mm256_add_epi32(vacc, _mm256_zextsi128_si256(_mm_madd_epi16(vx, vw)));
+                    p += 8;
+                }
+                let mut acc = hsum_i32(vacc);
+                while p < k {
+                    acc += *a_row.add(p) as i32 * *w_row.add(p) as i32;
+                    p += 1;
+                }
+                *out.get_unchecked_mut(i * n + j) = acc;
+            }
+        }
+    }
+}
+
+#[cfg(target_arch = "aarch64")]
+mod arm {
+    use super::KC;
+    use std::arch::aarch64::*;
+
+    /// NEON fp32 kernel: the scalar loop nest with the j loop widened
+    /// to 4 lanes; separate `mul` + `add` (no fused form) keeps every
+    /// lane bit-identical to the scalar fallback.
+    #[target_feature(enable = "neon")]
+    #[allow(unsafe_code)]
+    pub(super) unsafe fn matmul_acc_neon(
+        a: &[f32],
+        b: &[f32],
+        m: usize,
+        k: usize,
+        n: usize,
+        out: &mut [f32],
+    ) {
+        let bp = b.as_ptr();
+        let op = out.as_mut_ptr();
+        let mut pb = 0;
+        while pb < k {
+            let pe = (pb + KC).min(k);
+            for i in 0..m {
+                let o_row = op.add(i * n);
+                for p in pb..pe {
+                    let av = *a.get_unchecked(i * k + p);
+                    let va = vdupq_n_f32(av);
+                    let b_row = bp.add(p * n);
+                    let mut j = 0;
+                    while j + 4 <= n {
+                        let vb = vld1q_f32(b_row.add(j));
+                        let vo = vld1q_f32(o_row.add(j));
+                        let vo = vaddq_f32(vo, vmulq_f32(va, vb));
+                        vst1q_f32(o_row.add(j), vo);
+                        j += 4;
+                    }
+                    while j < n {
+                        *o_row.add(j) += av * *b_row.add(j);
+                        j += 1;
+                    }
+                }
+            }
+            pb = pe;
+        }
+    }
+
+    /// NEON u8×i8 kernel: 8 taps per step widened to i16, multiplied
+    /// into i32 accumulators via `vmlal` — exact integer arithmetic.
+    #[target_feature(enable = "neon")]
+    #[allow(unsafe_code)]
+    pub(super) unsafe fn gemm_u8i8_neon(
+        a: &[u8],
+        bt: &[i8],
+        m: usize,
+        k: usize,
+        n: usize,
+        out: &mut [i32],
+    ) {
+        for i in 0..m {
+            let a_row = a.as_ptr().add(i * k);
+            for j in 0..n {
+                let w_row = bt.as_ptr().add(j * k);
+                let mut vacc = vdupq_n_s32(0);
+                let mut p = 0;
+                while p + 8 <= k {
+                    let vx = vreinterpretq_s16_u16(vmovl_u8(vld1_u8(a_row.add(p))));
+                    let vw = vmovl_s8(vld1_s8(w_row.add(p)));
+                    vacc = vmlal_s16(vacc, vget_low_s16(vx), vget_low_s16(vw));
+                    vacc = vmlal_s16(vacc, vget_high_s16(vx), vget_high_s16(vw));
+                    p += 8;
+                }
+                let mut acc = vaddvq_s32(vacc);
+                while p < k {
+                    acc += *a_row.add(p) as i32 * *w_row.add(p) as i32;
+                    p += 1;
+                }
+                *out.get_unchecked_mut(i * n + j) = acc;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn naive(a: &[f32], b: &[f32], m: usize, k: usize, n: usize, out: &mut [f32]) {
+        for i in 0..m {
+            for p in 0..k {
+                for j in 0..n {
+                    out[i * n + j] += a[i * k + p] * b[p * n + j];
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn matmul_known_product() {
+        // [1 2; 3 4] x [5 6; 7 8] = [19 22; 43 50]
+        let a = [1.0, 2.0, 3.0, 4.0];
+        let b = [5.0, 6.0, 7.0, 8.0];
+        let mut out = [0.0; 4];
+        matmul_acc(&a, &b, 2, 2, 2, &mut out);
+        assert_eq!(out, [19.0, 22.0, 43.0, 50.0]);
+    }
+
+    #[test]
+    fn matmul_accumulates() {
+        let a = [1.0, 0.0];
+        let b = [2.0, 3.0];
+        let mut out = [10.0];
+        matmul_acc(&a, &b, 1, 2, 1, &mut out);
+        assert_eq!(out, [12.0]);
+    }
+
+    #[test]
+    fn matmul_rectangular() {
+        // (1x3) x (3x2)
+        let a = [1.0, 2.0, 3.0];
+        let b = [1.0, 4.0, 2.0, 5.0, 3.0, 6.0];
+        let mut out = [0.0; 2];
+        matmul_acc(&a, &b, 1, 3, 2, &mut out);
+        assert_eq!(out, [14.0, 32.0]);
+    }
+
+    #[test]
+    fn blocked_kernel_matches_naive_past_the_panel_size() {
+        // k > KC exercises the p-panel seam; odd n exercises the SIMD
+        // tail. f32 sums here are exact (small integers), so naive and
+        // blocked orders agree bit-for-bit.
+        let (m, k, n) = (3, KC + 17, 13);
+        let a: Vec<f32> = (0..m * k).map(|i| ((i * 7) % 5) as f32 - 2.0).collect();
+        let b: Vec<f32> = (0..k * n).map(|i| ((i * 11) % 7) as f32 - 3.0).collect();
+        let mut want = vec![0.5; m * n];
+        naive(&a, &b, m, k, n, &mut want);
+        for backend in [Backend::Scalar, Backend::Simd] {
+            let mut got = vec![0.5; m * n];
+            matmul_acc_backend(backend, &a, &b, m, k, n, &mut got);
+            assert_eq!(got, want, "{backend:?}");
+        }
+    }
+
+    #[test]
+    fn simd_and_scalar_fp32_are_bit_identical() {
+        let (m, k, n) = (5, 150, 23);
+        let a: Vec<f32> = (0..m * k).map(|i| (i as f32 * 0.37).sin()).collect();
+        let b: Vec<f32> = (0..k * n).map(|i| (i as f32 * 0.21).cos()).collect();
+        let mut s = vec![0.125; m * n];
+        let mut v = vec![0.125; m * n];
+        matmul_acc_backend(Backend::Scalar, &a, &b, m, k, n, &mut s);
+        matmul_acc_backend(Backend::Simd, &a, &b, m, k, n, &mut v);
+        for (x, y) in s.iter().zip(&v) {
+            assert_eq!(x.to_bits(), y.to_bits());
+        }
+    }
+
+    #[test]
+    fn int8_kernel_matches_reference_at_extremes() {
+        // Saturation trap: maximal same-sign products would overflow a
+        // narrower accumulator; the widened path must stay exact.
+        let (m, k, n) = (2, 37, 3);
+        let a = vec![255u8; m * k];
+        let mut bt = vec![127i8; n * k];
+        for (i, w) in bt.iter_mut().enumerate() {
+            if i % 3 == 0 {
+                *w = -128;
+            }
+        }
+        let mut want = vec![0i32; m * n];
+        gemm_u8i8_backend(Backend::Scalar, &a, &bt, m, k, n, &mut want);
+        let mut got = vec![0i32; m * n];
+        gemm_u8i8_backend(Backend::Simd, &a, &bt, m, k, n, &mut got);
+        assert_eq!(got, want);
+        // Spot-check one element against the definition.
+        let hand: i32 = (0..k).map(|p| 255 * bt[p] as i32).sum();
+        assert_eq!(want[0], hand);
+    }
+
+    #[test]
+    fn force_scalar_flips_the_backend() {
+        force_scalar(true);
+        assert_eq!(active_backend(), Backend::Scalar);
+        force_scalar(false);
+        assert_eq!(
+            active_backend(),
+            if simd_available() {
+                Backend::Simd
+            } else {
+                Backend::Scalar
+            }
+        );
+    }
+}

@@ -22,6 +22,13 @@ pub struct Conv2d {
     grad_weight: Vec<f32>,
     grad_bias: Vec<f32>,
     cache_cols: Option<(Vec<f32>, Vec<usize>)>, // (im2col matrix, input shape)
+    /// Persistent im2col scratch: reused across forward calls so a
+    /// warmed-up inference loop performs no per-frame re-allocation.
+    scratch_cols: Vec<f32>,
+    /// Persistent `[k2c, cout]` weight transpose scratch.
+    scratch_wt: Vec<f32>,
+    /// Persistent `[rows, cout]` GEMM output scratch.
+    scratch_rows: Vec<f32>,
 }
 
 impl Conv2d {
@@ -51,6 +58,9 @@ impl Conv2d {
             grad_weight: vec![0.0; out_channels * fan_in],
             grad_bias: vec![0.0; out_channels],
             cache_cols: None,
+            scratch_cols: Vec::new(),
+            scratch_wt: Vec::new(),
+            scratch_rows: Vec::new(),
         }
     }
 
@@ -102,40 +112,44 @@ impl Conv2d {
             w + 2 * self.padding + 1 - self.kernel,
         )
     }
+}
 
-    /// Builds the im2col matrix: `[batch * oh * ow, cin * k * k]`.
-    fn im2col(&self, input: &Tensor) -> Vec<f32> {
-        let (b, c, h, w) = shape4(input);
-        let (oh, ow) = self.out_hw(h, w);
-        let k = self.kernel;
-        let pad = self.padding as isize;
-        let x = input.data();
-        let cols_width = c * k * k;
-        let mut cols = vec![0.0; b * oh * ow * cols_width];
-        for n in 0..b {
-            for oy in 0..oh {
-                for ox in 0..ow {
-                    let row = ((n * oh + oy) * ow + ox) * cols_width;
-                    for ci in 0..c {
-                        for ky in 0..k {
-                            let iy = oy as isize + ky as isize - pad;
-                            if iy < 0 || iy >= h as isize {
-                                continue; // zero padding
+/// Fills `cols` with the im2col matrix `[batch * oh * ow, cin * k * k]`
+/// for a stride-1 convolution with symmetric zero padding. A free
+/// function (rather than a method) so callers can borrow the scratch
+/// buffer and the layer's other fields disjointly; the buffer is resized
+/// in place, which allocates only until the steady-state shape is seen.
+pub(crate) fn im2col_into(input: &Tensor, k: usize, padding: usize, cols: &mut Vec<f32>) {
+    let (b, c, h, w) = shape4(input);
+    let oh = h + 2 * padding + 1 - k;
+    let ow = w + 2 * padding + 1 - k;
+    let pad = padding as isize;
+    let x = input.data();
+    let cols_width = c * k * k;
+    cols.resize(b * oh * ow * cols_width, 0.0);
+    cols.fill(0.0);
+    for n in 0..b {
+        for oy in 0..oh {
+            for ox in 0..ow {
+                let row = ((n * oh + oy) * ow + ox) * cols_width;
+                for ci in 0..c {
+                    for ky in 0..k {
+                        let iy = oy as isize + ky as isize - pad;
+                        if iy < 0 || iy >= h as isize {
+                            continue; // zero padding
+                        }
+                        for kx in 0..k {
+                            let ix = ox as isize + kx as isize - pad;
+                            if ix < 0 || ix >= w as isize {
+                                continue;
                             }
-                            for kx in 0..k {
-                                let ix = ox as isize + kx as isize - pad;
-                                if ix < 0 || ix >= w as isize {
-                                    continue;
-                                }
-                                cols[row + (ci * k + ky) * k + kx] =
-                                    x[((n * c + ci) * h + iy as usize) * w + ix as usize];
-                            }
+                            cols[row + (ci * k + ky) * k + kx] =
+                                x[((n * c + ci) * h + iy as usize) * w + ix as usize];
                         }
                     }
                 }
             }
         }
-        cols
     }
 }
 
@@ -163,23 +177,33 @@ impl Layer for Conv2d {
         assert_eq!(c, self.in_channels, "conv input channel mismatch");
         let (oh, ow) = self.out_hw(h, w);
         let k2c = self.in_channels * self.kernel * self.kernel;
-        let cols = self.im2col(input);
+        im2col_into(input, self.kernel, self.padding, &mut self.scratch_cols);
         // out[n,co,oy,ox] = cols[(n,oy,ox), :] · weight[co, :]
         let rows = b * oh * ow;
-        let mut out = vec![0.0; rows * self.out_channels];
-        // cols: [rows, k2c]; weightᵀ: [k2c, cout]
-        let mut wt = vec![0.0; k2c * self.out_channels];
+        // cols: [rows, k2c]; weightᵀ: [k2c, cout] — the transpose is
+        // rebuilt each call (the weights move during training) but into
+        // a persistent buffer.
+        self.scratch_wt.resize(k2c * self.out_channels, 0.0);
         for co in 0..self.out_channels {
             for i in 0..k2c {
-                wt[i * self.out_channels + co] = self.weight[co * k2c + i];
+                self.scratch_wt[i * self.out_channels + co] = self.weight[co * k2c + i];
             }
         }
+        self.scratch_rows.resize(rows * self.out_channels, 0.0);
         for r in 0..rows {
-            let dst = &mut out[r * self.out_channels..(r + 1) * self.out_channels];
+            let dst = &mut self.scratch_rows[r * self.out_channels..(r + 1) * self.out_channels];
             dst.copy_from_slice(&self.bias);
         }
-        matmul_acc(&cols, &wt, rows, k2c, self.out_channels, &mut out);
+        matmul_acc(
+            &self.scratch_cols,
+            &self.scratch_wt,
+            rows,
+            k2c,
+            self.out_channels,
+            &mut self.scratch_rows,
+        );
         // Transpose rows (n,oy,ox,co) → NCHW.
+        let out = &self.scratch_rows;
         let mut y = vec![0.0; b * self.out_channels * oh * ow];
         for n in 0..b {
             for oy in 0..oh {
@@ -192,7 +216,7 @@ impl Layer for Conv2d {
             }
         }
         if train {
-            self.cache_cols = Some((cols, input.shape().to_vec()));
+            self.cache_cols = Some((self.scratch_cols.clone(), input.shape().to_vec()));
         }
         Tensor::from_vec(y, &[b, self.out_channels, oh, ow])
     }

@@ -65,59 +65,8 @@ pub trait Layer: Send + Sync {
     }
 }
 
-/// Dense row-major matrix multiply: `out[m,n] += a[m,k] * b[k,n]`.
-///
-/// Shared by the dense and convolution layers; the simple ikj loop order
-/// keeps the inner loop contiguous.
-pub(crate) fn matmul_acc(a: &[f32], b: &[f32], m: usize, k: usize, n: usize, out: &mut [f32]) {
-    debug_assert_eq!(a.len(), m * k);
-    debug_assert_eq!(b.len(), k * n);
-    debug_assert_eq!(out.len(), m * n);
-    for i in 0..m {
-        let a_row = &a[i * k..(i + 1) * k];
-        let out_row = &mut out[i * n..(i + 1) * n];
-        for (p, &av) in a_row.iter().enumerate() {
-            if av == 0.0 {
-                continue;
-            }
-            let b_row = &b[p * n..(p + 1) * n];
-            for (o, &bv) in out_row.iter_mut().zip(b_row) {
-                *o += av * bv;
-            }
-        }
-    }
-}
-
-#[cfg(test)]
-mod tests {
-    use super::*;
-
-    #[test]
-    fn matmul_known_product() {
-        // [1 2; 3 4] x [5 6; 7 8] = [19 22; 43 50]
-        let a = [1.0, 2.0, 3.0, 4.0];
-        let b = [5.0, 6.0, 7.0, 8.0];
-        let mut out = [0.0; 4];
-        matmul_acc(&a, &b, 2, 2, 2, &mut out);
-        assert_eq!(out, [19.0, 22.0, 43.0, 50.0]);
-    }
-
-    #[test]
-    fn matmul_accumulates() {
-        let a = [1.0, 0.0];
-        let b = [2.0, 3.0];
-        let mut out = [10.0];
-        matmul_acc(&a, &b, 1, 2, 1, &mut out);
-        assert_eq!(out, [12.0]);
-    }
-
-    #[test]
-    fn matmul_rectangular() {
-        // (1x3) x (3x2)
-        let a = [1.0, 2.0, 3.0];
-        let b = [1.0, 4.0, 2.0, 5.0, 3.0, 6.0];
-        let mut out = [0.0; 2];
-        matmul_acc(&a, &b, 1, 3, 2, &mut out);
-        assert_eq!(out, [14.0, 32.0]);
-    }
-}
+// Dense row-major multiply-accumulate shared by the dense and
+// convolution layers. Lives in `crate::gemm` behind runtime SIMD
+// dispatch; unit tests for the known-product contract ride with the
+// kernels there.
+pub(crate) use crate::gemm::matmul_acc;

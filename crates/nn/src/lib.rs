@@ -15,6 +15,8 @@
 //!   loop,
 //! * [`quant`] — TFLite-style post-training affine int8 quantization with
 //!   calibration, and an integer inference path,
+//! * [`gemm`] — the blocked GEMM kernel family (fp32 and u8×i8) behind
+//!   runtime SIMD dispatch that every matrix product above lands on,
 //! * [`profile`] — per-layer parameter/MAC accounting feeding the edge
 //!   latency models.
 //!
@@ -39,9 +41,12 @@
 //! assert_eq!(net.accuracy(&x, &y), 1.0);
 //! ```
 
-#![forbid(unsafe_code)]
+// `unsafe` is denied crate-wide and re-allowed only for the `std::arch`
+// intrinsic calls inside `gemm`, each behind runtime feature detection.
+#![deny(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod gemm;
 mod init;
 mod layers;
 mod loss;

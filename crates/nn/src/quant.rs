@@ -14,6 +14,27 @@
 //! and produces the integer network; unsupported layer sequences are
 //! reported as [`QuantError`] — which is exactly how OC-SVM ends up
 //! excluded from the paper's quantized comparisons.
+//!
+//! # The integer fast path
+//!
+//! Inference stays in u8 end to end — activations are `Vec<u8>`, and
+//! every matrix-shaped op (conv via zero-point-padded im2col, dense,
+//! pointwise) lands on [`crate::gemm::gemm_u8i8`], the u8×i8→i32 SIMD
+//! kernel. Weights are packed row-per-output at quantize time and the
+//! per-output weight sums are precomputed, so the input zero-point
+//! correction folds into a per-output constant:
+//!
+//! ```text
+//! acc[o] = Σ_p x[p]·w[o,p]  −  zp_in · Σ_p w[o,p]  +  bias[o]
+//!          └── gemm_u8i8 ──┘   └── precomputed ──┘
+//! ```
+//!
+//! Requantization applies the fused multiplier and — when a ReLU was
+//! folded in — clamps at the output zero point, so activation, batch
+//! norm (folded earlier) and scale conversion are all one rounding.
+//! All staging buffers live in a persistent scratch: a warmed-up
+//! [`QuantizedNetwork::predict_into`] performs **zero** transient heap
+//! allocations (pinned by `tests/hot_path_allocs.rs`).
 
 use crate::layers::{
     BatchNorm2d, Conv2d, Dense, Flatten, GlobalMaxPool, MaxPool2d, PointwiseDense, ReLU,
@@ -41,9 +62,12 @@ impl QuantParams {
     }
 
     /// Quantizes a real value to uint8 (stored as i32 for arithmetic).
+    ///
+    /// Ties round to even — the hardware rounding mode — keeping the
+    /// per-element input quantization a single instruction.
     #[inline]
     pub fn quantize(&self, x: f32) -> i32 {
-        ((x / self.scale).round() as i32 + self.zero_point).clamp(0, 255)
+        ((x / self.scale).round_ties_even() as i32 + self.zero_point).clamp(0, 255)
     }
 
     /// Dequantizes back to f32.
@@ -84,6 +108,56 @@ fn quantize_weights(w: &[f32]) -> (Vec<i8>, f32) {
     (q, scale)
 }
 
+/// Transposes a `[rows, cols]` row-major i8 matrix to `[cols, rows]` —
+/// used to pack dense/pointwise weights row-per-output at quantize time.
+fn transpose_i8(w: &[i8], rows: usize, cols: usize) -> Vec<i8> {
+    let mut wt = vec![0i8; w.len()];
+    for r in 0..rows {
+        for c in 0..cols {
+            wt[c * rows + r] = w[r * cols + c];
+        }
+    }
+    wt
+}
+
+/// Per-row sums of a packed `[rows, k]` i8 weight matrix: the constant
+/// that folds the input zero point out of the GEMM inner loop.
+fn per_row_sums(wt: &[i8], rows: usize, k: usize) -> Vec<i32> {
+    (0..rows)
+        .map(|r| wt[r * k..(r + 1) * k].iter().map(|&v| v as i32).sum())
+        .collect()
+}
+
+/// Rounds a GEMM depth up to the SIMD-friendly row stride.
+fn pad_k(k: usize) -> usize {
+    (k + 15) & !15
+}
+
+/// Repacks a `[rows, k]` i8 matrix into `[rows, pad_k(k)]` with zero
+/// weights in the padding lanes. Zero taps contribute exactly nothing
+/// to the integer dot (whatever the staged activation byte holds), so
+/// padded rows keep the kernel tail-free without changing any output —
+/// on every backend, since the arithmetic is exact.
+fn pad_rows_i8(w: &[i8], rows: usize, k: usize) -> Vec<i8> {
+    let kp = pad_k(k);
+    let mut out = vec![0i8; rows * kp];
+    for r in 0..rows {
+        out[r * kp..r * kp + k].copy_from_slice(&w[r * k..(r + 1) * k]);
+    }
+    out
+}
+
+/// Requantizes an i32 accumulator to u8: fused multiplier, output
+/// zero-point shift, and the folded-ReLU clamp floor `lo`.
+///
+/// Rounding is ties-to-even — the mode the hardware rounding
+/// instruction implements, so the scale conversion stays a single
+/// `vroundss` instead of a libm call in the innermost requant loop.
+#[inline]
+fn requantize(acc: i32, multiplier: f32, zp_out: i32, lo: i32) -> u8 {
+    (zp_out + (acc as f32 * multiplier).round_ties_even() as i32).clamp(lo, 255) as u8
+}
+
 /// Folded fp32 inference op (intermediate form used for calibration).
 enum FoldedOp {
     Conv {
@@ -116,10 +190,15 @@ enum FoldedOp {
     Flatten,
 }
 
-/// Integer inference op.
+/// Integer inference op. Weights are packed row-per-output (`[out, k]`)
+/// — the layout [`crate::gemm::gemm_u8i8`] consumes — and `wsum` holds
+/// the per-output weight sums for the zero-point correction.
 enum QOp {
     Conv {
+        /// `[out_ch, pad_k(in_ch·k·k)]` row-major (row-per-output,
+        /// rows zero-padded to the SIMD stride).
         w: Vec<i8>,
+        wsum: Vec<i32>,
         bias: Vec<i32>,
         in_ch: usize,
         out_ch: usize,
@@ -130,7 +209,9 @@ enum QOp {
         relu: bool,
     },
     Dense {
-        w: Vec<i8>,
+        /// `[out_f, in_f]` row-major (transposed from the fp32 layout).
+        wt: Vec<i8>,
+        wsum: Vec<i32>,
         bias: Vec<i32>,
         in_f: usize,
         out_f: usize,
@@ -139,7 +220,10 @@ enum QOp {
         relu: bool,
     },
     Pointwise {
-        w: Vec<i8>,
+        /// `[out_ch, pad_k(in_ch)]` row-major (transposed from the fp32
+        /// layout, rows zero-padded to the SIMD stride).
+        wt: Vec<i8>,
+        wsum: Vec<i32>,
         bias: Vec<i32>,
         in_ch: usize,
         out_ch: usize,
@@ -154,12 +238,47 @@ enum QOp {
     Flatten,
 }
 
+impl QOp {
+    fn kind(&self) -> &'static str {
+        match self {
+            QOp::Conv { .. } => "conv",
+            QOp::Dense { .. } => "dense",
+            QOp::Pointwise { .. } => "pointwise",
+            QOp::MaxPool { .. } => "maxpool",
+            QOp::GlobalMaxPool => "globalmaxpool",
+            QOp::Flatten => "flatten",
+        }
+    }
+}
+
+/// Persistent integer-inference buffers. `act`/`next` ping-pong the u8
+/// activations between ops; `cols` stages im2col / per-point transposes;
+/// `acc` holds the i32 GEMM accumulators. All are grown with `resize`
+/// and reused, so a warmed-up network runs without transient
+/// allocations.
+#[derive(Default)]
+struct QuantScratch {
+    act: Vec<u8>,
+    next: Vec<u8>,
+    cols: Vec<u8>,
+    acc: Vec<i32>,
+}
+
 /// A fully integer (uint8 activations / int8 weights / int32
 /// accumulators) inference network.
 pub struct QuantizedNetwork {
     input_q: QuantParams,
     ops: Vec<QOp>,
     output_q: QuantParams,
+    /// Pre-formatted telemetry labels (`nn.qop.{idx:02}_{kind}`), built
+    /// once so the hot loop never formats strings.
+    op_labels: Vec<String>,
+    /// Histogram handles for `op_labels`, resolved on the first timed
+    /// run. Recording through the handle is a few atomic adds; looking
+    /// the name up in the registry per op costs more than some of the
+    /// ops it times.
+    op_hists: Vec<std::sync::Arc<obs::Histogram>>,
+    scratch: QuantScratch,
 }
 
 impl std::fmt::Debug for QuantizedNetwork {
@@ -508,8 +627,14 @@ impl QuantizedNetwork {
                     let (qw, sw) = quantize_weights(w);
                     let bias_scale = in_q.scale * sw;
                     let bias = b.iter().map(|&x| (x / bias_scale).round() as i32).collect();
+                    // The conv weight is already `[out_ch, in_ch·k·k]`
+                    // row-major — exactly the row-per-output packing the
+                    // integer GEMM consumes.
+                    let k2c = in_ch * k * k;
+                    let wsum = per_row_sums(&qw, *out_ch, k2c);
                     QOp::Conv {
-                        w: qw,
+                        w: pad_rows_i8(&qw, *out_ch, k2c),
+                        wsum,
                         bias,
                         in_ch: *in_ch,
                         out_ch: *out_ch,
@@ -530,8 +655,11 @@ impl QuantizedNetwork {
                     let (qw, sw) = quantize_weights(w);
                     let bias_scale = in_q.scale * sw;
                     let bias = b.iter().map(|&x| (x / bias_scale).round() as i32).collect();
+                    let wt = transpose_i8(&qw, *in_f, *out_f);
+                    let wsum = per_row_sums(&wt, *out_f, *in_f);
                     QOp::Dense {
-                        w: qw,
+                        wt,
+                        wsum,
                         bias,
                         in_f: *in_f,
                         out_f: *out_f,
@@ -550,8 +678,11 @@ impl QuantizedNetwork {
                     let (qw, sw) = quantize_weights(w);
                     let bias_scale = in_q.scale * sw;
                     let bias = b.iter().map(|&x| (x / bias_scale).round() as i32).collect();
+                    let wt = transpose_i8(&qw, *in_ch, *out_ch);
+                    let wsum = per_row_sums(&wt, *out_ch, *in_ch);
                     QOp::Pointwise {
-                        w: qw,
+                        wt: pad_rows_i8(&wt, *out_ch, *in_ch),
+                        wsum,
                         bias,
                         in_ch: *in_ch,
                         out_ch: *out_ch,
@@ -565,23 +696,56 @@ impl QuantizedNetwork {
                 FoldedOp::Flatten => QOp::Flatten,
             });
         }
+        let op_labels = ops
+            .iter()
+            .enumerate()
+            .map(|(idx, op)| format!("nn.qop.{idx:02}_{}", op.kind()))
+            .collect();
         Ok(QuantizedNetwork {
             input_q: qparams[0],
             output_q: *qparams.last().expect("at least the input activation"),
             ops,
+            op_labels,
+            op_hists: Vec::new(),
+            scratch: QuantScratch::default(),
         })
     }
 
-    /// Integer inference returning dequantized f32 logits.
-    pub fn predict(&self, x: &Tensor) -> Tensor {
-        // Quantize input.
-        let mut q: Vec<i32> = x.data().iter().map(|&v| self.input_q.quantize(v)).collect();
-        let mut shape = x.shape().to_vec();
-        let mut zp_in = self.input_q.zero_point;
-        for op in &self.ops {
+    /// Runs the integer graph, leaving the final u8 activations in
+    /// `self.scratch.act`. Returns the output shape as a fixed-size
+    /// array (no allocation) plus its rank.
+    ///
+    /// Conv padding cells are filled with the input zero point — the
+    /// quantized representation of real 0.0 — so a padded tap
+    /// contributes exactly nothing after the `zp·wsum` correction.
+    fn run(&mut self, x: &Tensor) -> ([usize; 4], usize) {
+        let timing = obs::enabled();
+        if timing && self.op_hists.len() != self.ops.len() {
+            self.op_hists = self.op_labels.iter().map(|l| obs::histogram(l)).collect();
+        }
+        let input_q = self.input_q;
+        let ops = &self.ops;
+        let hists = &self.op_hists;
+        let scratch = &mut self.scratch;
+
+        let xs = x.shape();
+        assert!(xs.len() <= 4, "quantized inference supports ≤4-D tensors");
+        let mut shape = [1usize; 4];
+        shape[..xs.len()].copy_from_slice(xs);
+        let mut ndim = xs.len();
+
+        scratch.act.resize(x.data().len(), 0);
+        for (dst, &v) in scratch.act.iter_mut().zip(x.data()) {
+            *dst = input_q.quantize(v) as u8;
+        }
+        let mut zp_in = input_q.zero_point;
+
+        for (idx, op) in ops.iter().enumerate() {
+            let t0 = timing.then(std::time::Instant::now);
             match op {
                 QOp::Conv {
                     w,
+                    wsum,
                     bias,
                     in_ch,
                     out_ch,
@@ -591,60 +755,86 @@ impl QuantizedNetwork {
                     out_q,
                     relu,
                 } => {
+                    let (in_ch, out_ch, k) = (*in_ch, *out_ch, *k);
                     let (bn, h, wd) = (shape[0], shape[2], shape[3]);
                     let oh = h + 2 * pad + 1 - k;
                     let ow = wd + 2 * pad + 1 - k;
                     let k2c = in_ch * k * k;
-                    let mut out = vec![0i32; bn * out_ch * oh * ow];
+                    // Rows are strided to pad_k(k2c); the padding lanes
+                    // multiply zero weights, so the fill value below is
+                    // only cosmetic there.
+                    let k2cp = pad_k(k2c);
+                    let rows = bn * oh * ow;
+                    // im2col with padding cells at the zero point. The
+                    // nest runs input-plane-major so each (ci, ky, oy)
+                    // pins one source row, and the kx taps collapse to a
+                    // short run of bytes clipped against the image edge.
+                    scratch.cols.resize(rows * k2cp, 0);
+                    scratch.cols.fill(zp_in as u8);
+                    let ipad = *pad as isize;
+                    let (act, cols) = (&scratch.act, &mut scratch.cols);
                     for n in 0..bn {
-                        for co in 0..*out_ch {
-                            for oy in 0..oh {
-                                for ox in 0..ow {
-                                    let mut acc: i64 = bias[co] as i64;
-                                    for ci in 0..*in_ch {
-                                        for ky in 0..*k {
-                                            let iy = oy as isize + ky as isize - *pad as isize;
-                                            if iy < 0 || iy >= h as isize {
-                                                // Zero-padding contributes (0 - zp) * w.
-                                                for kx in 0..*k {
-                                                    let wv =
-                                                        w[co * k2c + (ci * k + ky) * k + kx] as i64;
-                                                    acc += (-zp_in as i64) * wv;
-                                                }
-                                                continue;
-                                            }
-                                            for kx in 0..*k {
-                                                let ix = ox as isize + kx as isize - *pad as isize;
-                                                let wv =
-                                                    w[co * k2c + (ci * k + ky) * k + kx] as i64;
-                                                if ix < 0 || ix >= wd as isize {
-                                                    acc += (-zp_in as i64) * wv;
-                                                } else {
-                                                    let xv = q[((n * in_ch + ci) * h + iy as usize)
-                                                        * wd
-                                                        + ix as usize]
-                                                        as i64;
-                                                    acc += (xv - zp_in as i64) * wv;
-                                                }
-                                            }
+                        for ci in 0..in_ch {
+                            let plane = &act[(n * in_ch + ci) * h * wd..][..h * wd];
+                            for ky in 0..k {
+                                let base = (ci * k + ky) * k;
+                                for oy in 0..oh {
+                                    let iy = oy as isize + ky as isize - ipad;
+                                    if iy < 0 || iy >= h as isize {
+                                        continue;
+                                    }
+                                    let src = &plane[iy as usize * wd..][..wd];
+                                    let row0 = (n * oh + oy) * ow * k2cp + base;
+                                    #[allow(clippy::manual_memcpy)]
+                                    for ox in 0..ow {
+                                        let x0 = ox as isize - ipad;
+                                        let lo = (-x0).max(0) as usize;
+                                        let hi = (wd as isize - x0).min(k as isize) as usize;
+                                        // Manual byte loop: the runs are
+                                        // k ≤ 5 bytes, where a memcpy
+                                        // call costs more than it moves.
+                                        let dst = row0 + ox * k2cp;
+                                        let mut s = (x0 + lo as isize) as usize;
+                                        for d in lo..hi {
+                                            cols[dst + d] = src[s];
+                                            s += 1;
                                         }
                                     }
-                                    let mut qv =
-                                        out_q.zero_point + (acc as f32 * multiplier).round() as i32;
-                                    if *relu {
-                                        qv = qv.max(out_q.zero_point);
-                                    }
-                                    out[((n * out_ch + co) * oh + oy) * ow + ox] = qv.clamp(0, 255);
                                 }
                             }
                         }
                     }
-                    q = out;
-                    shape = vec![bn, *out_ch, oh, ow];
+                    scratch.acc.resize(rows * out_ch, 0);
+                    crate::gemm::gemm_u8i8(&scratch.cols, w, rows, k2cp, out_ch, &mut scratch.acc);
+                    scratch.next.resize(bn * out_ch * oh * ow, 0);
+                    let lo = if *relu { out_q.zero_point } else { 0 };
+                    // Channel-major requantize: the zero-point/bias
+                    // offset hoists out of the pixel loop and the NCHW
+                    // writes become contiguous.
+                    let pixels = oh * ow;
+                    for n in 0..bn {
+                        for co in 0..out_ch {
+                            let off = bias[co] - zp_in * wsum[co];
+                            let acc = &scratch.acc[n * pixels * out_ch..][..pixels * out_ch];
+                            let dst = &mut scratch.next[(n * out_ch + co) * pixels..][..pixels];
+                            for (p, d) in dst.iter_mut().enumerate() {
+                                *d = requantize(
+                                    acc[p * out_ch + co] + off,
+                                    *multiplier,
+                                    out_q.zero_point,
+                                    lo,
+                                );
+                            }
+                        }
+                    }
+                    std::mem::swap(&mut scratch.act, &mut scratch.next);
+                    shape = [bn, out_ch, oh, ow];
+                    ndim = 4;
                     zp_in = out_q.zero_point;
                 }
                 QOp::Dense {
-                    w,
+                    wt,
+                    wsum,
                     bias,
                     in_f,
                     out_f,
@@ -653,28 +843,25 @@ impl QuantizedNetwork {
                     relu,
                 } => {
                     let bn = shape[0];
-                    let mut out = vec![0i32; bn * out_f];
+                    scratch.acc.resize(bn * out_f, 0);
+                    crate::gemm::gemm_u8i8(&scratch.act, wt, bn, *in_f, *out_f, &mut scratch.acc);
+                    scratch.next.resize(bn * out_f, 0);
+                    let lo = if *relu { out_q.zero_point } else { 0 };
                     for n in 0..bn {
                         for o in 0..*out_f {
-                            let mut acc: i64 = bias[o] as i64;
-                            for i in 0..*in_f {
-                                acc += (q[n * in_f + i] as i64 - zp_in as i64)
-                                    * w[i * out_f + o] as i64;
-                            }
-                            let mut qv =
-                                out_q.zero_point + (acc as f32 * multiplier).round() as i32;
-                            if *relu {
-                                qv = qv.max(out_q.zero_point);
-                            }
-                            out[n * out_f + o] = qv.clamp(0, 255);
+                            let acc = scratch.acc[n * out_f + o] + bias[o] - zp_in * wsum[o];
+                            scratch.next[n * out_f + o] =
+                                requantize(acc, *multiplier, out_q.zero_point, lo);
                         }
                     }
-                    q = out;
-                    shape = vec![bn, *out_f];
+                    std::mem::swap(&mut scratch.act, &mut scratch.next);
+                    shape = [bn, *out_f, 1, 1];
+                    ndim = 2;
                     zp_in = out_q.zero_point;
                 }
                 QOp::Pointwise {
-                    w,
+                    wt,
+                    wsum,
                     bias,
                     in_ch,
                     out_ch,
@@ -683,81 +870,134 @@ impl QuantizedNetwork {
                     relu,
                 } => {
                     let (bn, pts) = (shape[0], shape[2]);
-                    let mut out = vec![0i32; bn * out_ch * pts];
+                    // Stage [pts, pad_k(in_ch)] rows per sample so each
+                    // point is one GEMM row. Padding lanes keep whatever
+                    // bytes the scratch held — they multiply zero
+                    // weights, contributing nothing.
+                    let inp = pad_k(*in_ch);
+                    let rows = bn * pts;
+                    scratch.cols.resize(rows * inp, 0);
                     for n in 0..bn {
-                        for p in 0..pts {
-                            for co in 0..*out_ch {
-                                let mut acc: i64 = bias[co] as i64;
-                                for ci in 0..*in_ch {
-                                    acc += (q[(n * in_ch + ci) * pts + p] as i64 - zp_in as i64)
-                                        * w[ci * out_ch + co] as i64;
-                                }
-                                let mut qv =
-                                    out_q.zero_point + (acc as f32 * multiplier).round() as i32;
-                                if *relu {
-                                    qv = qv.max(out_q.zero_point);
-                                }
-                                out[(n * out_ch + co) * pts + p] = qv.clamp(0, 255);
+                        for ci in 0..*in_ch {
+                            for p in 0..pts {
+                                scratch.cols[(n * pts + p) * inp + ci] =
+                                    scratch.act[(n * in_ch + ci) * pts + p];
                             }
                         }
                     }
-                    q = out;
-                    shape = vec![bn, *out_ch, pts];
+                    scratch.acc.resize(rows * out_ch, 0);
+                    crate::gemm::gemm_u8i8(&scratch.cols, wt, rows, inp, *out_ch, &mut scratch.acc);
+                    scratch.next.resize(bn * out_ch * pts, 0);
+                    let lo = if *relu { out_q.zero_point } else { 0 };
+                    for n in 0..bn {
+                        for co in 0..*out_ch {
+                            let off = bias[co] - zp_in * wsum[co];
+                            let acc = &scratch.acc[n * pts * out_ch..][..pts * out_ch];
+                            let dst = &mut scratch.next[(n * out_ch + co) * pts..][..pts];
+                            for (p, d) in dst.iter_mut().enumerate() {
+                                *d = requantize(
+                                    acc[p * out_ch + co] + off,
+                                    *multiplier,
+                                    out_q.zero_point,
+                                    lo,
+                                );
+                            }
+                        }
+                    }
+                    std::mem::swap(&mut scratch.act, &mut scratch.next);
+                    shape = [bn, *out_ch, pts, 1];
+                    ndim = 3;
                     zp_in = out_q.zero_point;
                 }
                 QOp::MaxPool { size } => {
                     let (bn, c, h, w) = (shape[0], shape[1], shape[2], shape[3]);
                     let (oh, ow) = (h / size, w / size);
-                    let mut out = vec![i32::MIN; bn * c * oh * ow];
+                    scratch.next.resize(bn * c * oh * ow, 0);
                     for n in 0..bn {
                         for ci in 0..c {
                             for oy in 0..oh {
                                 for ox in 0..ow {
-                                    let mut m = i32::MIN;
+                                    let mut m = 0u8;
                                     for ky in 0..*size {
                                         for kx in 0..*size {
                                             m = m.max(
-                                                q[((n * c + ci) * h + oy * size + ky) * w
+                                                scratch.act[((n * c + ci) * h + oy * size + ky)
+                                                    * w
                                                     + ox * size
                                                     + kx],
                                             );
                                         }
                                     }
-                                    out[((n * c + ci) * oh + oy) * ow + ox] = m;
+                                    scratch.next[((n * c + ci) * oh + oy) * ow + ox] = m;
                                 }
                             }
                         }
                     }
-                    q = out;
-                    shape = vec![bn, c, oh, ow];
+                    std::mem::swap(&mut scratch.act, &mut scratch.next);
+                    shape = [bn, c, oh, ow];
                     // Max pooling preserves scale and zero point.
                 }
                 QOp::GlobalMaxPool => {
                     let (bn, c, p) = (shape[0], shape[1], shape[2]);
-                    let mut out = vec![i32::MIN; bn * c];
+                    scratch.next.resize(bn * c, 0);
                     for n in 0..bn {
                         for ci in 0..c {
+                            let base = (n * c + ci) * p;
+                            let mut m = 0u8;
                             for k in 0..p {
-                                out[n * c + ci] = out[n * c + ci].max(q[(n * c + ci) * p + k]);
+                                m = m.max(scratch.act[base + k]);
                             }
+                            scratch.next[n * c + ci] = m;
                         }
                     }
-                    q = out;
-                    shape = vec![bn, c];
+                    std::mem::swap(&mut scratch.act, &mut scratch.next);
+                    shape = [bn, c, 1, 1];
+                    ndim = 2;
                 }
                 QOp::Flatten => {
                     let bn = shape[0];
                     let f: usize = shape[1..].iter().product();
-                    shape = vec![bn, f];
+                    shape = [bn, f, 1, 1];
+                    ndim = 2;
                 }
             }
+            if let Some(t0) = t0 {
+                hists[idx].observe(t0.elapsed().as_secs_f64() * 1e3);
+            }
         }
-        let data: Vec<f32> = q.iter().map(|&v| self.output_q.dequantize(v)).collect();
-        Tensor::from_vec(data, &shape)
+        (shape, ndim)
+    }
+
+    /// Integer inference returning dequantized f32 logits.
+    pub fn predict(&mut self, x: &Tensor) -> Tensor {
+        let (shape, ndim) = self.run(x);
+        let out_q = self.output_q;
+        let data: Vec<f32> = self
+            .scratch
+            .act
+            .iter()
+            .map(|&v| out_q.dequantize(v as i32))
+            .collect();
+        Tensor::from_vec(data, &shape[..ndim])
+    }
+
+    /// Integer inference writing dequantized logits into a caller-owned
+    /// buffer. After the first call on a given input shape, this path
+    /// performs **zero** transient heap allocations (with telemetry
+    /// off) — every staging buffer is persistent scratch. Returns the
+    /// output shape and its rank.
+    pub fn predict_into(&mut self, x: &Tensor, out: &mut Vec<f32>) -> ([usize; 4], usize) {
+        let (shape, ndim) = self.run(x);
+        let out_q = self.output_q;
+        out.resize(self.scratch.act.len(), 0.0);
+        for (dst, &v) in out.iter_mut().zip(&self.scratch.act) {
+            *dst = out_q.dequantize(v as i32);
+        }
+        (shape, ndim)
     }
 
     /// Class predictions by argmax over dequantized logits.
-    pub fn predict_classes(&self, x: &Tensor) -> Vec<usize> {
+    pub fn predict_classes(&mut self, x: &Tensor) -> Vec<usize> {
         let logits = self.predict(x);
         let c = logits.shape()[1];
         (0..logits.shape()[0])
@@ -775,7 +1015,7 @@ impl QuantizedNetwork {
     }
 
     /// Classification accuracy in `[0, 1]`.
-    pub fn accuracy(&self, x: &Tensor, y: &[usize]) -> f64 {
+    pub fn accuracy(&mut self, x: &Tensor, y: &[usize]) -> f64 {
         if y.is_empty() {
             return 0.0;
         }
@@ -851,7 +1091,7 @@ mod tests {
         let (net, x, y) = trained_mlp(&mut r);
         let mut net = net;
         assert_eq!(net.accuracy(&x, &y), 1.0);
-        let q = QuantizedNetwork::from_sequential(&net, &x).unwrap();
+        let mut q = QuantizedNetwork::from_sequential(&net, &x).unwrap();
         assert_eq!(q.accuracy(&x, &y), 1.0, "int8 XOR must stay perfect");
     }
 
@@ -859,7 +1099,7 @@ mod tests {
     fn quantized_logits_close_to_float() {
         let mut r = rng();
         let (mut net, x, _) = trained_mlp(&mut r);
-        let q = QuantizedNetwork::from_sequential(&net, &x).unwrap();
+        let mut q = QuantizedNetwork::from_sequential(&net, &x).unwrap();
         let fl = net.predict(&x);
         let qu = q.predict(&x);
         let (lo, hi) = fl.min_max();
@@ -906,7 +1146,7 @@ mod tests {
         net.fit(&x, &labels, &cfg, &mut Adam::new(0.01), &mut r);
         let fp_acc = net.accuracy(&x, &labels);
         assert!(fp_acc > 0.95);
-        let q = QuantizedNetwork::from_sequential(&net, &x).unwrap();
+        let mut q = QuantizedNetwork::from_sequential(&net, &x).unwrap();
         let q_acc = q.accuracy(&x, &labels);
         assert!(q_acc > 0.9, "int8 accuracy collapsed: {q_acc}");
         // Conv+BN+ReLU fused into one op: conv, pool, flatten, dense.
@@ -925,7 +1165,7 @@ mod tests {
             (0..60).map(|i| (i % 11) as f32 * 0.1).collect(),
             &[2, 3, 10],
         );
-        let q = QuantizedNetwork::from_sequential(&net, &x).unwrap();
+        let mut q = QuantizedNetwork::from_sequential(&net, &x).unwrap();
         let fl = net.predict(&x);
         let qu = q.predict(&x);
         assert_eq!(fl.shape(), qu.shape());

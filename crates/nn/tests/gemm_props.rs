@@ -1,0 +1,96 @@
+//! Property tests pinning the GEMM kernel family's equivalence
+//! contracts: the SIMD fp32 arm must be *bit-identical* to the blocked
+//! scalar fallback (determinism across dispatch is load-bearing for
+//! the counting pipeline), and the u8×i8 kernel must match a
+//! straightforward i32 reference loop exactly for every shape and
+//! value range.
+
+use nn::gemm::{gemm_u8i8_backend, matmul_acc_backend, simd_available, Backend};
+use proptest::prelude::*;
+
+/// Shapes that cross the KC=64 panel boundary as well as tiny and
+/// SIMD-tail-heavy cases (n not a multiple of the lane width).
+fn arb_dims() -> impl Strategy<Value = (usize, usize, usize)> {
+    (1usize..9, 1usize..150, 1usize..34)
+}
+
+/// Naive dot-orientation i32 reference for the integer kernel:
+/// `out[i*n + j] = Σ_p a[i*k + p] · bt[j*k + p]`.
+fn gemm_u8i8_reference(a: &[u8], bt: &[i8], m: usize, k: usize, n: usize) -> Vec<i32> {
+    let mut out = vec![0i32; m * n];
+    for i in 0..m {
+        for j in 0..n {
+            let mut acc = 0i32;
+            for p in 0..k {
+                acc += i32::from(a[i * k + p]) * i32::from(bt[j * k + p]);
+            }
+            out[i * n + j] = acc;
+        }
+    }
+    out
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// SIMD and scalar fp32 arms produce bit-identical accumulations
+    /// across random shapes, values, and non-zero starting `out`.
+    #[test]
+    fn fp32_simd_is_bit_identical_to_scalar(
+        (m, k, n) in arb_dims(),
+        seed in 0u64..u64::MAX,
+    ) {
+        // When no SIMD arm exists, Backend::Simd falls back to the
+        // scalar kernel and the property holds trivially.
+        let mut state = seed | 1;
+        let mut next = || {
+            // xorshift64*: cheap deterministic floats in [-4, 4).
+            state ^= state >> 12;
+            state ^= state << 25;
+            state ^= state >> 27;
+            let bits = state.wrapping_mul(0x2545_f491_4f6c_dd1d);
+            (bits >> 40) as f32 / (1u64 << 21) as f32 - 4.0
+        };
+        let a: Vec<f32> = (0..m * k).map(|_| next()).collect();
+        let b: Vec<f32> = (0..k * n).map(|_| next()).collect();
+        let init: Vec<f32> = (0..m * n).map(|_| next()).collect();
+
+        let mut scalar = init.clone();
+        matmul_acc_backend(Backend::Scalar, &a, &b, m, k, n, &mut scalar);
+        let mut simd = init;
+        matmul_acc_backend(Backend::Simd, &a, &b, m, k, n, &mut simd);
+
+        for (s, v) in scalar.iter().zip(&simd) {
+            prop_assert_eq!(s.to_bits(), v.to_bits());
+        }
+    }
+
+    /// Both int8 backends match the naive i32 reference loop exactly.
+    #[test]
+    fn int8_kernels_match_i32_reference(
+        (m, k, n) in arb_dims(),
+        seed in 0u64..u64::MAX,
+    ) {
+        let mut state = seed | 1;
+        let mut next = || {
+            state ^= state >> 12;
+            state ^= state << 25;
+            state ^= state >> 27;
+            state.wrapping_mul(0x2545_f491_4f6c_dd1d)
+        };
+        let a: Vec<u8> = (0..m * k).map(|_| next() as u8).collect();
+        let bt: Vec<i8> = (0..n * k).map(|_| next() as i8).collect();
+        let reference = gemm_u8i8_reference(&a, &bt, m, k, n);
+
+        // Non-zero garbage pins the overwrite (not accumulate) contract.
+        let mut scalar = vec![-7i32; m * n];
+        gemm_u8i8_backend(Backend::Scalar, &a, &bt, m, k, n, &mut scalar);
+        prop_assert_eq!(&scalar, &reference);
+
+        if simd_available() {
+            let mut simd = vec![13i32; m * n];
+            gemm_u8i8_backend(Backend::Simd, &a, &bt, m, k, n, &mut simd);
+            prop_assert_eq!(&simd, &reference);
+        }
+    }
+}

@@ -31,7 +31,7 @@ fn main() {
 
     // Post-training quantization, calibrated on 100 training clusters
     // exactly as §VI describes.
-    let quantized = model.quantize(&parts.train, 100).expect("HAWC quantizes");
+    let mut quantized = model.quantize(&parts.train, 100).expect("HAWC quantizes");
     let fp = model.evaluate(&parts.test);
     let q = quantized.evaluate(&parts.test);
     println!("fp32: {fp}");

@@ -185,6 +185,63 @@ fn counting_is_bit_identical_across_classify_thread_counts() {
 }
 
 #[test]
+fn counting_is_bit_identical_across_gemm_dispatch_arms() {
+    // The SIMD GEMM arms are constructed to replicate the blocked
+    // scalar kernel's operation sequence exactly, so forcing the
+    // scalar fallback must not move a single count — the same bar the
+    // thread-count knob meets. This is the end-to-end face of the
+    // bit-identity property tests in crates/nn/tests/gemm_props.rs.
+    let data = generate_detection_dataset(&DetectionDatasetConfig {
+        samples: 80,
+        seed: 61,
+        ..DetectionDatasetConfig::default()
+    });
+    let pool = generate_object_pool(61, 8, &WalkwayConfig::default(), &SensorConfig::default());
+    let cfg = HawcConfig {
+        target_points: 0,
+        epochs: 4,
+        conv_channels: [6, 8, 10],
+        fc_hidden: 16,
+        ..HawcConfig::default()
+    };
+    let mut rng = StdRng::seed_from_u64(62);
+    let parts = split(&mut rng, data, 0.8);
+    let model = HawcClassifier::train(&parts.train, pool, &cfg, &mut rng);
+    let captures = generate_counting_dataset(&CountingDatasetConfig {
+        samples: 5,
+        seed: 63,
+        max_pedestrians: 8,
+        ..CountingDatasetConfig::default()
+    });
+
+    let mut counter = CrowdCounter::new(model, CounterConfig::default());
+    let mut runs: Vec<Vec<usize>> = Vec::new();
+    for forced_scalar in [false, true] {
+        nn::gemm::force_scalar(forced_scalar);
+        for threads in [1usize, 2, 8] {
+            counter.config_mut().classify_threads = threads;
+            runs.push(
+                captures
+                    .iter()
+                    .map(|s| counter.count(&s.cloud).count)
+                    .collect(),
+            );
+        }
+    }
+    nn::gemm::force_scalar(false);
+    for run in &runs[1..] {
+        assert_eq!(
+            &runs[0], run,
+            "GEMM dispatch arm / thread count must not change any count"
+        );
+    }
+    assert!(
+        runs[0].iter().sum::<usize>() > 0,
+        "degenerate workload: nothing was ever counted"
+    );
+}
+
+#[test]
 fn supervised_counting_under_clean_script_is_bit_identical_with_telemetry_on_or_off() {
     // The fault layer with an empty script must be invisible (the
     // sensor draws the identical RNG sequence), and the supervised

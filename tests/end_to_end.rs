@@ -90,7 +90,7 @@ fn quantized_pipeline_matches_fp32_closely() {
     let mut rng = StdRng::seed_from_u64(4);
     let mut model = HawcClassifier::train(&train, pool, &small_hawc_config(), &mut rng);
     let fp = model.evaluate(&test);
-    let quantized = model.quantize(&train, 100).expect("quantizes");
+    let mut quantized = model.quantize(&train, 100).expect("quantizes");
     let q = quantized.evaluate(&test);
     // Tolerance is calibrated to the offline RNG stub's stream: at this
     // training scale (128 samples, 12 epochs) both builds sit close to

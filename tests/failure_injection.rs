@@ -148,7 +148,7 @@ fn quantization_of_untrained_network_still_predicts() {
         ..HawcConfig::default()
     };
     let model = HawcClassifier::train(&data, pool, &cfg, &mut rng);
-    let q = model.quantize(&data, 10).expect("quantizes");
+    let mut q = model.quantize(&data, 10).expect("quantizes");
     let labels = q.predict_batch(&[data[0].cloud.points().to_vec()]);
     assert_eq!(labels.len(), 1);
 }

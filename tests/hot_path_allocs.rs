@@ -8,13 +8,20 @@
 //!   **zero** heap allocations after warm-up,
 //! * a warmed-up `dbscan_with_tree` run allocates only the constant
 //!   handful needed for its returned `Clustering`, independent of how
-//!   many neighbourhood queries the expansion performs.
+//!   many neighbourhood queries the expansion performs,
+//! * a warmed-up quantized classifier `predict_into` performs **zero**
+//!   heap allocations: im2col staging, GEMM accumulators and the u8
+//!   activation ping-pong all live in persistent scratch.
 
 use std::alloc::{GlobalAlloc, Layout, System};
 use std::sync::atomic::{AtomicU64, Ordering};
 
 use cluster::{dbscan_with_tree, DbscanParams, DbscanScratch};
 use geom::{KdTree, KnnScratch, Point3};
+use nn::quant::QuantizedNetwork;
+use nn::{BatchNorm2d, Conv2d, Dense, Flatten, MaxPool2d, ReLU, Sequential, Tensor};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
 
 struct CountingAlloc;
 
@@ -120,5 +127,38 @@ fn warmed_up_clustering_queries_do_not_allocate() {
         run_allocs <= 8,
         "a warmed-up dbscan run allocated {run_allocs} times — \
          the per-query path is no longer allocation-free"
+    );
+
+    // --- quantized classification: zero allocations after warm-up ---
+    // A miniature HAWC-shaped stack (conv+BN+ReLU, pool, dense head)
+    // exercises every integer op kind with persistent scratch. Weights
+    // are untrained — only the allocation behaviour is under test.
+    let mut rng = StdRng::seed_from_u64(7);
+    let mut net = Sequential::new();
+    net.push(Conv2d::new(1, 4, 3, 1, &mut rng));
+    net.push(BatchNorm2d::new(4));
+    net.push(ReLU::new());
+    net.push(MaxPool2d::new(2));
+    net.push(Flatten::new());
+    net.push(Dense::new(4 * 4 * 4, 3, &mut rng));
+    let frame = Tensor::from_vec((0..64).map(|i| i as f32 / 64.0).collect(), &[1, 1, 8, 8]);
+    let mut q = QuantizedNetwork::from_sequential(&net, &frame).unwrap();
+
+    let mut logits = Vec::new();
+    q.predict_into(&frame, &mut logits); // warm-up sizes every buffer
+    q.predict_into(&frame, &mut logits);
+    let before = allocations();
+    let mut class_checksum = 0.0f32;
+    for _ in 0..16 {
+        let (shape, ndim) = q.predict_into(&frame, &mut logits);
+        assert_eq!((shape[0], shape[1], ndim), (1, 3, 2));
+        class_checksum += logits.iter().sum::<f32>();
+    }
+    let classify_allocs = allocations() - before;
+    assert!(class_checksum.is_finite());
+    assert_eq!(
+        classify_allocs, 0,
+        "warmed-up quantized classification allocated {classify_allocs} times \
+         across 16 frames — the int8 hot path is no longer allocation-free"
     );
 }
