@@ -14,13 +14,21 @@
 //! right), so a campus of N poles holds exactly `2N - 1` people and
 //! every seam person is double-reported by construction.
 //!
+//! Each cell also exercises the observability plane: agents ship
+//! telemetry windows over the wire, the aggregator rolls them into a
+//! campus health scoreboard, and the bench records end-to-end ingest
+//! latency percentiles (pole capture → fused slot) plus the wire byte
+//! counts taken from the global telemetry snapshot delta. Lossless
+//! cells additionally run a telemetry-off arm (min-of-2 per arm on
+//! the stepping loop) and gate the measured overhead under 5%.
+//!
 //! ```text
 //! cargo run -p bench --release --bin fleet_soak              # full sweep
 //! cargo run -p bench --release --bin fleet_soak -- --smoke   # CI-sized
 //! ```
 //!
 //! Flags: `--smoke`, `--seed N`, `--frames N` (per pole per cell),
-//! `--out PATH`.
+//! `--out PATH`, `--ops-out PATH` (health scoreboard JSONL artifact).
 
 use std::fmt::Write as _;
 use std::path::PathBuf;
@@ -35,12 +43,18 @@ use lidar::PointCloud;
 use world::{corridor_layout, PoleRegistry, WalkwayConfig};
 
 const SPACING_M: f64 = 15.0;
+/// Telemetry cadence for the on-arm: one window every 8 frames.
+const TELEMETRY_EVERY: u64 = 8;
+/// Lossless cells must keep telemetry overhead under this fraction of
+/// the telemetry-off stepping time.
+const OVERHEAD_GATE: f64 = 0.05;
 
 struct Args {
     smoke: bool,
     seed: u64,
     frames: usize,
     out: PathBuf,
+    ops_out: PathBuf,
 }
 
 fn repo_root() -> PathBuf {
@@ -53,6 +67,7 @@ fn parse_args() -> Args {
         seed: 42,
         frames: 0,
         out: repo_root().join("BENCH_fleet.json"),
+        ops_out: repo_root().join("BENCH_fleet_ops.jsonl"),
     };
     let args: Vec<String> = std::env::args().collect();
     let mut i = 1;
@@ -68,7 +83,10 @@ fn parse_args() -> Args {
             "--seed" => out.seed = take(&mut i).parse().expect("--seed"),
             "--frames" => out.frames = take(&mut i).parse().expect("--frames"),
             "--out" => out.out = PathBuf::from(take(&mut i)),
-            other => panic!("unknown flag {other} (use --smoke, --seed, --frames, --out)"),
+            "--ops-out" => out.ops_out = PathBuf::from(take(&mut i)),
+            other => {
+                panic!("unknown flag {other} (use --smoke, --seed, --frames, --out, --ops-out)")
+            }
         }
         i += 1;
     }
@@ -129,11 +147,23 @@ fn capture_for(i: usize, n: usize) -> PointCloud {
     PointCloud::new(pts)
 }
 
+struct PoleIngest {
+    pole_id: u32,
+    count: u64,
+    p50_ms: f64,
+    p95_ms: f64,
+    p99_ms: f64,
+}
+
 struct Cell {
     poles: usize,
     loss: f64,
     batch: usize,
     wall_s: f64,
+    /// Wall time of just the agent stepping loop (the overhead-arm
+    /// comparand — excludes the drain poll, which sleeps in 10 ms
+    /// quanta and would swamp a percent-level delta).
+    step_wall_s: f64,
     reports: u64,
     sent: u64,
     delivered: u64,
@@ -145,9 +175,28 @@ struct Cell {
     occupancy_error: i64,
     live: u32,
     dead: u32,
+    telemetry_frames: u64,
+    wire_bytes_sent: u64,
+    wire_bytes_received: u64,
+    ingest_count: u64,
+    ingest_p50_ms: f64,
+    ingest_p95_ms: f64,
+    ingest_p99_ms: f64,
+    ingest_poles: Vec<PoleIngest>,
+    ops_json: String,
+    events_jsonl: String,
+    /// `(on - off) / off` stepping overhead, lossless cells only.
+    telemetry_overhead: Option<f64>,
 }
 
-fn run_cell(seed: u64, frames: usize, poles: usize, loss: f64, batch: usize) -> Cell {
+fn run_cell(
+    seed: u64,
+    frames: usize,
+    poles: usize,
+    loss: f64,
+    batch: usize,
+    telemetry_every: u64,
+) -> Cell {
     let registry = PoleRegistry::from_poses(corridor_layout(poles, SPACING_M));
     let hub = LoopbackHub::new();
     let aggregator = Aggregator::new(
@@ -180,10 +229,12 @@ fn run_cell(seed: u64, frames: usize, poles: usize, loss: f64, batch: usize) -> 
                 LoopbackConfig::lossy(loss, loss / 2.0, seed ^ (i as u64).wrapping_mul(0x9E37));
             let mut cfg = AgentConfig::for_pole(i as u32);
             cfg.batch_frames = batch;
+            cfg.telemetry_every_frames = telemetry_every;
             PoleAgent::new(counter, Box::new(hub.connector(link)), cfg)
         })
         .collect();
 
+    let wire_base = obs::telemetry_snapshot();
     let captures: Vec<PointCloud> = (0..poles).map(|i| capture_for(i, poles)).collect();
     let t0 = Instant::now();
     let mut readers = Vec::new();
@@ -195,6 +246,7 @@ fn run_cell(seed: u64, frames: usize, poles: usize, loss: f64, batch: usize) -> 
             readers.push(aggregator.spawn_connection(Box::new(server)));
         }
     }
+    let step_wall_s = t0.elapsed().as_secs_f64();
     while let Ok(server) = hub.accept(Duration::from_millis(5)) {
         readers.push(aggregator.spawn_connection(Box::new(server)));
     }
@@ -217,6 +269,9 @@ fn run_cell(seed: u64, frames: usize, poles: usize, loss: f64, batch: usize) -> 
     // Measure before shutdown: Bye marks poles dead and would zero
     // the fused occupancy.
     let snap = aggregator.snapshot();
+    let health = aggregator.health();
+    let mut events_jsonl = Vec::new();
+    let _ = aggregator.export_events_jsonl(&mut events_jsonl);
     for agent in &mut agents {
         agent.shutdown();
     }
@@ -225,15 +280,32 @@ fn run_cell(seed: u64, frames: usize, poles: usize, loss: f64, batch: usize) -> 
         let _ = r.join();
     }
 
+    let wire = obs::telemetry_snapshot().delta_since(&wire_base);
     let stats = aggregator.stats();
     let reports: u64 = agents.iter().map(|a| a.stats().reports).sum();
     let sent: u64 = agents.iter().map(|a| a.stats().sent).sum();
     let expected = (2 * poles - 1) as u32;
+    let campus = health.campus_ingest.summary();
+    let ingest_poles = health
+        .poles
+        .iter()
+        .map(|p| {
+            let s = p.ingest.summary();
+            PoleIngest {
+                pole_id: p.pole_id,
+                count: s.count,
+                p50_ms: s.p50_ms,
+                p95_ms: s.p95_ms,
+                p99_ms: s.p99_ms,
+            }
+        })
+        .collect();
     Cell {
         poles,
         loss,
         batch,
         wall_s,
+        step_wall_s,
         reports,
         sent,
         delivered: stats.reports,
@@ -253,7 +325,51 @@ fn run_cell(seed: u64, frames: usize, poles: usize, loss: f64, batch: usize) -> 
         occupancy_error: i64::from(snap.occupancy) - i64::from(expected),
         live: snap.live,
         dead: snap.dead,
+        telemetry_frames: stats.telemetry,
+        wire_bytes_sent: wire.counter("fleet.wire.bytes_sent"),
+        wire_bytes_received: wire.counter("fleet.wire.bytes_received"),
+        ingest_count: campus.count,
+        ingest_p50_ms: campus.p50_ms,
+        ingest_p95_ms: campus.p95_ms,
+        ingest_p99_ms: campus.p99_ms,
+        ingest_poles,
+        ops_json: health.to_json(),
+        events_jsonl: String::from_utf8_lossy(&events_jsonl).into_owned(),
+        telemetry_overhead: None,
     }
+}
+
+/// `(on - off) / off` stepping-loop overhead of the telemetry plane
+/// on a lossless cell. A throwaway warmup pass primes caches and the
+/// allocator, then five (on, off) arm pairs run back to back; the
+/// reported overhead is the *minimum paired ratio*. The stepping loop
+/// shares the machine with the aggregator's reader threads, so any
+/// single arm can eat a multi-millisecond scheduler excursion; a
+/// paired minimum only needs one clean pair to upper-bound the true
+/// cost, where comparing pooled minima let one noisy arm poison the
+/// whole measurement. Small cells stretch to at least `768 / poles`
+/// frames so a percent-level delta resolves above timer noise.
+fn measure_overhead(seed: u64, frames: usize, poles: usize, batch: usize) -> (f64, f64, f64) {
+    let arm_frames = frames.max(768 / poles.max(1));
+    let _ = run_cell(seed, arm_frames, poles, 0.0, batch, TELEMETRY_EVERY);
+    let (mut overhead, mut best_on, mut best_off) = (f64::INFINITY, f64::INFINITY, f64::INFINITY);
+    for _ in 0..5 {
+        let on = run_cell(seed, arm_frames, poles, 0.0, batch, TELEMETRY_EVERY).step_wall_s;
+        obs::enable(false);
+        let off = run_cell(seed, arm_frames, poles, 0.0, batch, 0).step_wall_s;
+        obs::enable(true);
+        let ratio = if off > 0.0 {
+            ((on - off) / off).max(0.0)
+        } else {
+            0.0
+        };
+        if ratio < overhead {
+            overhead = ratio;
+            best_on = on;
+            best_off = off;
+        }
+    }
+    (overhead, best_on, best_off)
 }
 
 fn json_f64(v: f64) -> String {
@@ -277,16 +393,19 @@ fn main() {
     let batches: &[usize] = &[1, 4];
 
     println!("fleet soak: {} frames per pole per cell\n", args.frames);
-    println!(" poles | loss | batch |   wall s | reports |  deliv% | occ (exp) | rps");
+    println!(
+        " poles | loss | batch |   wall s | reports |  deliv% | occ (exp) | rps     | ingest p99"
+    );
 
     let mut cells = Vec::new();
     let mut failures = 0u32;
     for &poles in pole_counts {
         for &loss in losses {
             for &batch in batches {
-                let cell = run_cell(args.seed, args.frames, poles, loss, batch);
+                let mut cell =
+                    run_cell(args.seed, args.frames, poles, loss, batch, TELEMETRY_EVERY);
                 println!(
-                    "{:>6} | {:>4.2} | {:>5} | {:>8.3} | {:>7} | {:>6.1}% | {:>4} ({:>3}) | {:>7.0}",
+                    "{:>6} | {:>4.2} | {:>5} | {:>8.3} | {:>7} | {:>6.1}% | {:>4} ({:>3}) | {:>7.0} | {:>7.2} ms",
                     cell.poles,
                     cell.loss,
                     cell.batch,
@@ -296,36 +415,95 @@ fn main() {
                     cell.occupancy,
                     cell.expected,
                     cell.throughput_rps,
+                    cell.ingest_p99_ms,
                 );
                 // A lossless link must deliver every report, fuse the
-                // exact constructed campus, and keep every pole live.
+                // exact constructed campus, keep every pole live, and
+                // trace every delivered report end to end.
                 if loss == 0.0
                     && (cell.report_delivery < 1.0 - 1e-9
                         || cell.occupancy_error != 0
-                        || cell.dead != 0)
+                        || cell.dead != 0
+                        || cell.ingest_count != cell.delivered)
                 {
-                    eprintln!("  ^ FAIL: lossless cell dropped reports or mis-fused");
+                    eprintln!("  ^ FAIL: lossless cell dropped reports, mis-fused, or lost traces");
                     failures += 1;
+                }
+                // Lossless cells also carry the telemetry-overhead
+                // comparison: stepping time with the plane on vs
+                // fully off (no cadence, obs disabled). A reading
+                // over the gate earns one re-measure before counting
+                // as a failure — a false positive then needs every
+                // arm pair of both rounds noisy the same way.
+                if loss == 0.0 {
+                    let (mut overhead, mut on_s, mut off_s) =
+                        measure_overhead(args.seed, args.frames, poles, batch);
+                    if overhead > OVERHEAD_GATE {
+                        (overhead, on_s, off_s) =
+                            measure_overhead(args.seed, args.frames, poles, batch);
+                    }
+                    cell.telemetry_overhead = Some(overhead);
+                    println!(
+                        "       | telemetry overhead: {:+.2}% (on {:.3} s, off {:.3} s)",
+                        overhead * 100.0,
+                        on_s,
+                        off_s
+                    );
+                    if overhead > OVERHEAD_GATE {
+                        eprintln!(
+                            "  ^ FAIL: telemetry overhead {:.1}% exceeds the {:.0}% gate",
+                            overhead * 100.0,
+                            OVERHEAD_GATE * 100.0
+                        );
+                        failures += 1;
+                    }
                 }
                 cells.push(cell);
             }
         }
     }
 
+    // The ops artifact: one health-scoreboard JSONL line per cell,
+    // then the final cell's event journal.
+    let mut ops = String::new();
+    for c in &cells {
+        ops.push_str(&c.ops_json);
+        ops.push('\n');
+    }
+    if let Some(last) = cells.last() {
+        ops.push_str(&last.events_jsonl);
+    }
+    std::fs::write(&args.ops_out, ops).expect("write BENCH_fleet_ops.jsonl");
+
     let mut json = String::new();
     let _ = write!(
         json,
-        "{{\n  \"bench\": \"fleet_soak\",\n  \"seed\": {},\n  \"frames_per_pole\": {},\n  \"smoke\": {},\n  \"cells\": [\n",
-        args.seed, args.frames, args.smoke
+        "{{\n  \"bench\": \"fleet_soak\",\n  \"seed\": {},\n  \"frames_per_pole\": {},\n  \"smoke\": {},\n  \"telemetry_every_frames\": {},\n  \"cells\": [\n",
+        args.seed, args.frames, args.smoke, TELEMETRY_EVERY
     );
     for (i, c) in cells.iter().enumerate() {
+        let mut poles_json = String::new();
+        for (j, p) in c.ingest_poles.iter().enumerate() {
+            let _ = write!(
+                poles_json,
+                "{}{{\"pole_id\": {}, \"count\": {}, \"p50_ms\": {}, \"p95_ms\": {}, \"p99_ms\": {}}}",
+                if j > 0 { ", " } else { "" },
+                p.pole_id,
+                p.count,
+                json_f64(p.p50_ms),
+                json_f64(p.p95_ms),
+                json_f64(p.p99_ms),
+            );
+        }
+        let overhead = c.telemetry_overhead.map_or("null".to_string(), json_f64);
         let _ = writeln!(
             json,
-            "    {{\"poles\": {}, \"loss\": {}, \"batch\": {}, \"wall_s\": {}, \"reports\": {}, \"sent\": {}, \"delivered\": {}, \"discards\": {}, \"report_delivery\": {}, \"throughput_rps\": {}, \"occupancy\": {}, \"expected\": {}, \"occupancy_error\": {}, \"live\": {}, \"dead\": {}}}{}",
+            "    {{\"poles\": {}, \"loss\": {}, \"batch\": {}, \"wall_s\": {}, \"step_wall_s\": {}, \"reports\": {}, \"sent\": {}, \"delivered\": {}, \"discards\": {}, \"report_delivery\": {}, \"throughput_rps\": {}, \"occupancy\": {}, \"expected\": {}, \"occupancy_error\": {}, \"live\": {}, \"dead\": {}, \"telemetry_frames\": {}, \"wire_bytes_sent\": {}, \"wire_bytes_received\": {}, \"telemetry_overhead\": {}, \"ingest\": {{\"count\": {}, \"p50_ms\": {}, \"p95_ms\": {}, \"p99_ms\": {}}}, \"ingest_poles\": [{}]}}{}",
             c.poles,
             json_f64(c.loss),
             c.batch,
             json_f64(c.wall_s),
+            json_f64(c.step_wall_s),
             c.reports,
             c.sent,
             c.delivered,
@@ -337,12 +515,22 @@ fn main() {
             c.occupancy_error,
             c.live,
             c.dead,
+            c.telemetry_frames,
+            c.wire_bytes_sent,
+            c.wire_bytes_received,
+            overhead,
+            c.ingest_count,
+            json_f64(c.ingest_p50_ms),
+            json_f64(c.ingest_p95_ms),
+            json_f64(c.ingest_p99_ms),
+            poles_json,
             if i + 1 < cells.len() { "," } else { "" },
         );
     }
     let _ = write!(json, "  ]\n}}\n");
     std::fs::write(&args.out, json).expect("write BENCH_fleet.json");
     println!("\nwrote {}", args.out.display());
+    println!("wrote {}", args.ops_out.display());
     if failures > 0 {
         eprintln!("{failures} lossless cells failed their invariants");
         std::process::exit(1);

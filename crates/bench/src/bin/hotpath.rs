@@ -149,26 +149,23 @@ fn run_pass<C: dataset::CloudClassifier>(
     data: &[CountingSample],
     layer_prefix: &str,
 ) -> Pass {
-    obs::reset();
+    // Delta against the live registry instead of `obs::reset()`: each
+    // pass reads only its own window, and the bench no longer clobbers
+    // global counters for anything else sharing the process.
+    let base = obs::telemetry_snapshot();
     let mut abs_err = 0usize;
     for sample in data {
         let result = counter.count(&sample.cloud);
         obs::observe_ms("frame_total", result.total_ms());
         abs_err += result.count.abs_diff(sample.ground_truth);
     }
-    let snapshot = obs::snapshot();
+    let window = obs::telemetry_snapshot().delta_since(&base);
+    let summaries = window.histogram_summaries();
     let stages: Vec<HistogramSnapshot> = STAGES
         .iter()
-        .filter_map(|&stage| {
-            snapshot
-                .histograms
-                .iter()
-                .find(|h| h.name == stage)
-                .cloned()
-        })
+        .filter_map(|&stage| summaries.iter().find(|h| h.name == stage).cloned())
         .collect();
-    let mut layers: Vec<HistogramSnapshot> = snapshot
-        .histograms
+    let mut layers: Vec<HistogramSnapshot> = summaries
         .iter()
         .filter(|h| h.name.starts_with(layer_prefix))
         .cloned()

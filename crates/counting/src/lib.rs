@@ -38,7 +38,7 @@ pub use pipeline::{
 };
 pub use smooth::CountSmoother;
 pub use supervisor::{
-    EpsRung, HealthState, PrecisionRung, SanitizeBounds, SupervisedCount, SupervisedCounter,
-    SupervisorConfig, SupervisorStats,
+    EpsRung, HealthState, PrecisionRung, SanitizeBounds, StageMs, SupervisedCount,
+    SupervisedCounter, SupervisorConfig, SupervisorStats,
 };
 pub use track::{PedestrianTracker, Track, TrackerConfig};

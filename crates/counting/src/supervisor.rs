@@ -70,7 +70,9 @@ impl HealthState {
         }
     }
 
-    fn gauge(&self) -> f64 {
+    /// Numeric gauge encoding (0 healthy, 1 degraded, 2 faulted),
+    /// shared by the local `obs` gauges and fleet telemetry.
+    pub fn gauge(&self) -> f64 {
         match self {
             HealthState::Healthy => 0.0,
             HealthState::Degraded => 1.0,
@@ -259,6 +261,23 @@ impl Default for SupervisorConfig {
     }
 }
 
+/// Per-stage pipeline latencies for one completed frame, ms.
+///
+/// Mirrors the stage split in [`crate::pipeline::CountResult`]; only
+/// present on frames where the pipeline actually ran (held, dropped
+/// and panicked frames have no stage breakdown).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct StageMs {
+    /// DBSCAN clustering, ms.
+    pub clustering_ms: f64,
+    /// Per-cluster upsampling, ms.
+    pub upsample_ms: f64,
+    /// 2-D projection, ms.
+    pub projection_ms: f64,
+    /// Classifier inference, ms.
+    pub classification_ms: f64,
+}
+
 /// One supervised frame's outcome.
 #[derive(Debug, Clone)]
 pub struct SupervisedCount {
@@ -292,6 +311,9 @@ pub struct SupervisedCount {
     /// clock: `0` when this frame ran, `INFINITY` when nothing has
     /// ever completed.
     pub age_ms: f64,
+    /// Per-stage pipeline latencies (`None` for held, dropped or
+    /// panicked frames, which never ran the pipeline to completion).
+    pub stages: Option<StageMs>,
 }
 
 /// Cumulative supervisor statistics, mirrored on `obs` counters.
@@ -479,13 +501,13 @@ impl<C: CloudClassifier, Q: CloudClassifier> SupervisedCounter<C, Q> {
         self.begin_frame();
         let outcome = self.resolve_fallback(true);
         let elapsed_ms = (self.clock.now().saturating_sub(t0)).as_secs_f64() * 1e3;
-        self.finish_frame(outcome, elapsed_ms, 0, None, false, false, Vec::new())
+        self.finish_frame(outcome, elapsed_ms, 0, None, false, false, Vec::new(), None)
     }
 
     /// Runs one capture through the supervised pipeline.
     pub fn step(&mut self, capture: &PointCloud) -> SupervisedCount {
         let t0 = self.clock.now();
-        let (outcome, scrubbed, raw, panicked, clusters) = {
+        let (outcome, scrubbed, raw, panicked, clusters, stages) = {
             self.begin_frame();
 
             // 1. Sanitize: drop physically impossible returns.
@@ -540,12 +562,19 @@ impl<C: CloudClassifier, Q: CloudClassifier> SupervisedCounter<C, Q> {
                     self.last_good_count = Some(result.count);
                     self.last_good_at = Some(self.clock.now());
                     self.stale_frames = 0;
+                    let stages = StageMs {
+                        clustering_ms: result.clustering_ms,
+                        upsample_ms: result.upsample_ms,
+                        projection_ms: result.projection_ms,
+                        classification_ms: result.classification_ms,
+                    };
                     (
                         Outcome::ran(result.count),
                         scrubbed,
                         Some(result.count),
                         false,
                         result.clusters,
+                        Some(stages),
                     )
                 }
                 Err(_) => {
@@ -557,6 +586,7 @@ impl<C: CloudClassifier, Q: CloudClassifier> SupervisedCounter<C, Q> {
                         None,
                         true,
                         Vec::new(),
+                        None,
                     )
                 }
             }
@@ -571,6 +601,7 @@ impl<C: CloudClassifier, Q: CloudClassifier> SupervisedCounter<C, Q> {
             panicked,
             deadline_missed,
             clusters,
+            stages,
         )
     }
 
@@ -627,6 +658,7 @@ impl<C: CloudClassifier, Q: CloudClassifier> SupervisedCounter<C, Q> {
         panicked: bool,
         deadline_missed: bool,
         clusters: Vec<ClusterReport>,
+        stages: Option<StageMs>,
     ) -> SupervisedCount {
         if deadline_missed {
             self.stats.deadline_misses += 1;
@@ -691,6 +723,7 @@ impl<C: CloudClassifier, Q: CloudClassifier> SupervisedCounter<C, Q> {
             } else {
                 self.age_ms()
             },
+            stages,
         }
     }
 

@@ -15,25 +15,36 @@
 //!   `backoff_base_ms` to `backoff_max_ms` with seeded half-to-full
 //!   jitter, so a rebooted aggregator is not met by a synchronized
 //!   thundering herd of poles.
+//! - **piggybacked telemetry** — when
+//!   [`AgentConfig::telemetry_every_frames`] is non-zero the agent
+//!   keeps a *scoped* [`obs::Registry`] of pole-side series (frame and
+//!   stage latencies, supervisor health/ladder gauges, queue depth)
+//!   and ships the delta since the last emission as a
+//!   [`Message::Telemetry`] frame — on that frame cadence, and
+//!   whenever a heartbeat fires. Telemetry, like heartbeats, flushes
+//!   past the batch gate: an ops signal that waits out a batch that
+//!   never fills is an ops signal that lies.
 //!
 //! Time comes from the counter's injected [`obs::Clock`], and backoff
 //! is deadline-based (`next_dial_at`) rather than slept, so the whole
 //! reconnect dance is deterministic under a [`obs::ManualClock`].
+//! Telemetry cadence is frame-counted, not timed, for the same
+//! reason.
 
 use std::collections::VecDeque;
 use std::sync::Arc;
 use std::time::Duration;
 
-use counting::{SupervisedCount, SupervisedCounter};
+use counting::{EpsRung, PrecisionRung, SupervisedCount, SupervisedCounter};
 use dataset::{ClassLabel, CloudClassifier};
 use lidar::PointCloud;
-use obs::Clock;
+use obs::{Clock, Counter, Gauge, Histogram, Registry, TelemetrySnapshot};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use serde::{Deserialize, Serialize};
 
 use crate::transport::{Connector, Transport};
-use crate::wire::{encode, ClusterObservation, Heartbeat, Message, PoleReport};
+use crate::wire::{encode, ClusterObservation, Heartbeat, Message, PoleReport, TelemetryFrame};
 
 /// Pole agent tuning.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -54,6 +65,12 @@ pub struct AgentConfig {
     pub backoff_max_ms: f64,
     /// Seed for the backoff jitter draw.
     pub jitter_seed: u64,
+    /// Frames between telemetry emissions; `0` disables telemetry
+    /// entirely. When enabled, a heartbeat also carries a telemetry
+    /// frame regardless of where the frame counter stands. Counted in
+    /// frames rather than wall time so the cadence is identical across
+    /// agent-thread counts and under a never-advancing manual clock.
+    pub telemetry_every_frames: u64,
 }
 
 impl Default for AgentConfig {
@@ -66,6 +83,7 @@ impl Default for AgentConfig {
             backoff_base_ms: 50.0,
             backoff_max_ms: 5_000.0,
             jitter_seed: 0xA6E27,
+            telemetry_every_frames: 0,
         }
     }
 }
@@ -101,6 +119,53 @@ pub struct AgentStats {
     pub dial_failures: u64,
     /// Successful connections after the first.
     pub reconnects: u64,
+    /// Telemetry frames enqueued.
+    pub telemetry: u64,
+}
+
+/// Pre-resolved handles into the agent's scoped registry. Fetched
+/// once at construction so the per-frame record path is a handful of
+/// atomic ops, not a string-keyed map lookup per series — on a cheap
+/// pipeline those lookups alone were a measurable share of the frame
+/// budget.
+struct PoleMetrics {
+    frames: Arc<Counter>,
+    frames_held: Arc<Counter>,
+    panics: Arc<Counter>,
+    deadline_misses: Arc<Counter>,
+    frame: Arc<Histogram>,
+    stage_clustering: Arc<Histogram>,
+    stage_upsample: Arc<Histogram>,
+    stage_projection: Arc<Histogram>,
+    stage_classification: Arc<Histogram>,
+    health: Arc<Gauge>,
+    eps_rung: Arc<Gauge>,
+    precision: Arc<Gauge>,
+    stale_frames: Arc<Gauge>,
+    temp_c: Arc<Gauge>,
+    queue_depth: Arc<Gauge>,
+}
+
+impl PoleMetrics {
+    fn new(reg: &Registry) -> Self {
+        PoleMetrics {
+            frames: reg.counter("pole.frames"),
+            frames_held: reg.counter("pole.frames_held"),
+            panics: reg.counter("pole.panics"),
+            deadline_misses: reg.counter("pole.deadline_misses"),
+            frame: reg.histogram("pole.frame"),
+            stage_clustering: reg.histogram("pole.stage.clustering"),
+            stage_upsample: reg.histogram("pole.stage.upsample"),
+            stage_projection: reg.histogram("pole.stage.projection"),
+            stage_classification: reg.histogram("pole.stage.classification"),
+            health: reg.gauge("pole.health"),
+            eps_rung: reg.gauge("pole.eps_rung"),
+            precision: reg.gauge("pole.precision"),
+            stale_frames: reg.gauge("pole.stale_frames"),
+            temp_c: reg.gauge("pole.temp_c"),
+            queue_depth: reg.gauge("pole.queue_depth"),
+        }
+    }
 }
 
 /// A supervised counter with a fleet uplink.
@@ -118,6 +183,11 @@ pub struct PoleAgent<C: CloudClassifier, Q: CloudClassifier = C> {
     last_enqueue_at: Duration,
     connected_before: bool,
     stats: AgentStats,
+    registry: Registry,
+    metrics: PoleMetrics,
+    telemetry_basis: TelemetrySnapshot,
+    last_telemetry_at: Duration,
+    frames_since_telemetry: u64,
 }
 
 impl<C: CloudClassifier, Q: CloudClassifier> std::fmt::Debug for PoleAgent<C, Q> {
@@ -144,6 +214,8 @@ impl<C: CloudClassifier, Q: CloudClassifier> PoleAgent<C, Q> {
     ) -> Self {
         let clock = Arc::clone(counter.clock());
         let now = clock.now();
+        let registry = Registry::new();
+        let metrics = PoleMetrics::new(&registry);
         PoleAgent {
             counter,
             connector,
@@ -158,6 +230,11 @@ impl<C: CloudClassifier, Q: CloudClassifier> PoleAgent<C, Q> {
             last_enqueue_at: now,
             connected_before: false,
             stats: AgentStats::default(),
+            registry,
+            metrics,
+            telemetry_basis: TelemetrySnapshot::default(),
+            last_telemetry_at: now,
+            frames_since_telemetry: 0,
         }
     }
 
@@ -191,11 +268,22 @@ impl<C: CloudClassifier, Q: CloudClassifier> PoleAgent<C, Q> {
         self.seq
     }
 
+    /// The agent's scoped telemetry registry: pole-side series that
+    /// never touch the global registry, so fleets of in-process agents
+    /// don't smear into one another.
+    pub fn registry(&self) -> &Registry {
+        &self.registry
+    }
+
     /// Runs one capture through the supervised counter, enqueues the
-    /// report, and flushes the uplink.
+    /// report, and flushes the uplink. The capture instant is stamped
+    /// *before* counting starts, so the report's trace context covers
+    /// the pole-side pipeline as well as the wire.
     pub fn step(&mut self, capture: &PointCloud) -> SupervisedCount {
+        let capture_ms = self.clock.now_ms();
         let out = self.counter.step(capture);
-        self.enqueue_report(&out);
+        self.enqueue_report(&out, capture_ms);
+        self.record_frame(&out);
         self.after_enqueue();
         out
     }
@@ -203,8 +291,10 @@ impl<C: CloudClassifier, Q: CloudClassifier> PoleAgent<C, Q> {
     /// Accounts a frame the sensor never delivered; the held count
     /// still goes on the wire so the campus sees the pole degrade.
     pub fn step_dropped(&mut self) -> SupervisedCount {
+        let capture_ms = self.clock.now_ms();
         let out = self.counter.step_dropped();
-        self.enqueue_report(&out);
+        self.enqueue_report(&out, capture_ms);
+        self.record_frame(&out);
         self.after_enqueue();
         out
     }
@@ -216,11 +306,15 @@ impl<C: CloudClassifier, Q: CloudClassifier> PoleAgent<C, Q> {
         self.after_enqueue();
     }
 
-    /// Heartbeat check + flush. A heartbeat is a liveness signal: it
-    /// must not sit behind the batch gate or the aggregator wrongly
-    /// marks a quiet-but-alive pole Stale, so its flush is unbatched.
+    /// Heartbeat/telemetry check + flush. Heartbeats are liveness
+    /// signals and telemetry is the ops plane: neither may sit behind
+    /// the batch gate (a stranded heartbeat wrongly marks a
+    /// quiet-but-alive pole Stale; stranded telemetry shows the
+    /// campus a stale scoreboard), so both force an unbatched flush.
     fn after_enqueue(&mut self) {
-        if self.maybe_heartbeat() {
+        let heartbeat = self.maybe_heartbeat();
+        let telemetry = self.maybe_telemetry(heartbeat);
+        if heartbeat || telemetry {
             self.flush_all();
         } else {
             self.flush();
@@ -240,7 +334,7 @@ impl<C: CloudClassifier, Q: CloudClassifier> PoleAgent<C, Q> {
         }
     }
 
-    fn enqueue_report(&mut self, out: &SupervisedCount) {
+    fn enqueue_report(&mut self, out: &SupervisedCount, capture_ms: f64) {
         self.seq += 1;
         let report = PoleReport {
             pole_id: self.cfg.pole_id,
@@ -254,6 +348,7 @@ impl<C: CloudClassifier, Q: CloudClassifier> PoleAgent<C, Q> {
             stale_frames: out.stale_frames,
             age_ms: out.age_ms,
             pole_temp_c: self.counter.pole_temperature(),
+            capture_ms: Some(capture_ms.max(0.0)),
             // Only Human clusters go on the wire: `count` excludes
             // benches and bushes, and the aggregator fuses every
             // shipped observation into a person.
@@ -271,6 +366,82 @@ impl<C: CloudClassifier, Q: CloudClassifier> PoleAgent<C, Q> {
         self.stats.reports += 1;
         obs::incr("fleet.agent.reports", 1);
         self.enqueue(Message::Report(report));
+    }
+
+    /// Records the frame into the agent's scoped registry: what a
+    /// telemetry window will carry to the aggregator. Runs on cached
+    /// handles ([`PoleMetrics`]) so the per-frame cost is atomic ops,
+    /// not one registry lookup per series.
+    fn record_frame(&mut self, out: &SupervisedCount) {
+        if self.cfg.telemetry_every_frames == 0 {
+            return;
+        }
+        self.frames_since_telemetry += 1;
+        let m = &self.metrics;
+        m.frames.add(1);
+        if out.held {
+            m.frames_held.add(1);
+        }
+        if out.panicked {
+            m.panics.add(1);
+        }
+        if out.deadline_missed {
+            m.deadline_misses.add(1);
+        }
+        m.frame.observe(out.elapsed_ms);
+        if let Some(s) = out.stages {
+            m.stage_clustering.observe(s.clustering_ms);
+            m.stage_upsample.observe(s.upsample_ms);
+            m.stage_projection.observe(s.projection_ms);
+            m.stage_classification.observe(s.classification_ms);
+        }
+        m.health.set(out.health.gauge());
+        m.eps_rung.set(match out.eps_rung {
+            EpsRung::Adaptive => 0.0,
+            EpsRung::Cached => 1.0,
+            EpsRung::Fixed => 2.0,
+        });
+        m.precision.set(match out.precision {
+            PrecisionRung::Fp32 => 0.0,
+            PrecisionRung::Int8 => 1.0,
+        });
+        m.stale_frames.set(f64::from(out.stale_frames));
+        if let Some(t) = self.counter.pole_temperature() {
+            m.temp_c.set(t);
+        }
+        m.queue_depth.set(self.queue.len() as f64);
+    }
+
+    /// Emits a telemetry frame when the cadence (or a piggyback on
+    /// `heartbeat`) calls for one; returns whether it did. The frame
+    /// carries the scoped registry's delta since the last emission,
+    /// so windows tile: summing every window a pole ever shipped
+    /// reproduces its lifetime totals exactly.
+    fn maybe_telemetry(&mut self, heartbeat: bool) -> bool {
+        if self.cfg.telemetry_every_frames == 0 {
+            return false;
+        }
+        let due = self.frames_since_telemetry >= self.cfg.telemetry_every_frames;
+        if !due && !heartbeat {
+            return false;
+        }
+        let now = self.clock.now();
+        let current = self.registry.telemetry();
+        let window = current.delta_since(&self.telemetry_basis);
+        self.telemetry_basis = current;
+        let frame = TelemetryFrame {
+            pole_id: self.cfg.pole_id,
+            seq: self.seq,
+            timestamp_ms: self.clock.now_ms() as u64,
+            window_ms: (now.saturating_sub(self.last_telemetry_at)).as_secs_f64() * 1e3,
+            snapshot: window,
+        };
+        self.last_telemetry_at = now;
+        self.frames_since_telemetry = 0;
+        self.stats.telemetry += 1;
+        obs::incr("fleet.agent.telemetry", 1);
+        self.enqueue(Message::Telemetry(frame));
+        true
     }
 
     /// Enqueues a heartbeat if the link has been quiet; returns
@@ -325,11 +496,13 @@ impl<C: CloudClassifier, Q: CloudClassifier> PoleAgent<C, Q> {
             return;
         };
         while let Some(frame) = self.queue.front() {
+            let frame_len = frame.len() as u64;
             match transport.send(frame) {
                 Ok(()) => {
                     self.queue.pop_front();
                     self.stats.sent += 1;
                     obs::incr("fleet.agent.sent", 1);
+                    obs::incr("fleet.wire.bytes_sent", frame_len);
                 }
                 Err(_) => {
                     self.stats.send_failures += 1;
@@ -359,6 +532,7 @@ impl<C: CloudClassifier, Q: CloudClassifier> PoleAgent<C, Q> {
                     self.schedule_backoff();
                     return;
                 }
+                obs::incr("fleet.wire.bytes_sent", hello.len() as u64);
                 if self.connected_before {
                     self.stats.reconnects += 1;
                     obs::incr("fleet.agent.reconnects", 1);
@@ -800,6 +974,132 @@ mod tests {
             }
         }
         assert_eq!(reports, 3);
+    }
+
+    fn drain_messages(hub: &LoopbackHub) -> Vec<Message> {
+        let mut server = hub.accept(Duration::from_millis(50)).unwrap();
+        let mut decoder = FrameDecoder::new();
+        let mut msgs = Vec::new();
+        while let Ok(chunk) = server.recv(Duration::from_millis(5)) {
+            decoder.push(&chunk);
+            while let Some(m) = decoder.next_message().unwrap() {
+                msgs.push(m);
+            }
+        }
+        msgs
+    }
+
+    #[test]
+    fn reports_carry_the_capture_instant() {
+        let clock = ManualClock::new();
+        clock.advance_ms(1_234);
+        let hub = LoopbackHub::new();
+        let connector = hub.connector(LoopbackConfig::reliable());
+        let mut agent = PoleAgent::new(
+            counter(&clock),
+            Box::new(connector),
+            AgentConfig::for_pole(11),
+        );
+        agent.step(&capture(1));
+        let msgs = drain_messages(&hub);
+        match &msgs[1] {
+            Message::Report(r) => {
+                assert_eq!(r.capture_ms, Some(1_234.0), "stamped at step entry");
+            }
+            other => panic!("expected a report, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn telemetry_windows_tile_on_the_frame_cadence() {
+        let clock = ManualClock::new();
+        let hub = LoopbackHub::new();
+        let connector = hub.connector(LoopbackConfig::reliable());
+        let mut cfg = AgentConfig::for_pole(8);
+        cfg.telemetry_every_frames = 2;
+        let mut agent = PoleAgent::new(counter(&clock), Box::new(connector), cfg);
+        for _ in 0..6 {
+            clock.advance_ms(100);
+            agent.step(&capture(1));
+        }
+        assert_eq!(agent.stats().telemetry, 3);
+        let msgs = drain_messages(&hub);
+        let frames: Vec<_> = msgs
+            .iter()
+            .filter_map(|m| match m {
+                Message::Telemetry(t) => Some(t.clone()),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(frames.len(), 3);
+        // Windows are deltas: summed, they reproduce lifetime totals.
+        let mut merged = TelemetrySnapshot::default();
+        for t in &frames {
+            assert_eq!(t.pole_id, 8);
+            assert_eq!(t.snapshot.counter("pole.frames"), 2, "per-window delta");
+            merged.merge(&t.snapshot);
+        }
+        assert_eq!(merged.counter("pole.frames"), 6);
+        let frame_hist = merged.histogram("pole.frame").expect("frame latencies");
+        assert_eq!(frame_hist.count, 6);
+        assert!(
+            merged.histogram("pole.stage.clustering").is_some(),
+            "stage breakdown rides along"
+        );
+        assert_eq!(merged.gauge("pole.health"), Some(0.0));
+    }
+
+    #[test]
+    fn telemetry_piggybacks_on_heartbeats_and_skips_the_batch_gate() {
+        let clock = ManualClock::new();
+        let hub = LoopbackHub::new();
+        let connector = hub.connector(LoopbackConfig::reliable());
+        let mut cfg = AgentConfig::for_pole(12);
+        cfg.batch_frames = 8;
+        cfg.heartbeat_every_ms = 500.0;
+        cfg.telemetry_every_frames = 1_000_000; // cadence alone never fires
+        let mut agent = PoleAgent::new(counter(&clock), Box::new(connector), cfg);
+        agent.step(&capture(1));
+        assert_eq!(agent.stats().telemetry, 0, "cadence not yet due");
+        clock.advance_ms(600);
+        agent.tick();
+        assert_eq!(agent.stats().heartbeats, 1);
+        assert_eq!(agent.stats().telemetry, 1, "telemetry rides the heartbeat");
+        assert_eq!(
+            agent.queue_len(),
+            0,
+            "heartbeat + telemetry drain the queue past the batch gate"
+        );
+        let msgs = drain_messages(&hub);
+        let telemetry: Vec<_> = msgs
+            .iter()
+            .filter_map(|m| match m {
+                Message::Telemetry(t) => Some(t),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(telemetry.len(), 1);
+        assert_eq!(telemetry[0].seq, 1);
+        assert_eq!(telemetry[0].snapshot.counter("pole.frames"), 1);
+    }
+
+    #[test]
+    fn disabled_telemetry_sends_nothing_extra() {
+        let clock = ManualClock::new();
+        let hub = LoopbackHub::new();
+        let connector = hub.connector(LoopbackConfig::reliable());
+        let mut cfg = AgentConfig::for_pole(13);
+        cfg.heartbeat_every_ms = 500.0;
+        let mut agent = PoleAgent::new(counter(&clock), Box::new(connector), cfg);
+        agent.step(&capture(1));
+        clock.advance_ms(600);
+        agent.tick();
+        assert_eq!(agent.stats().telemetry, 0);
+        let msgs = drain_messages(&hub);
+        assert!(
+            msgs.iter().all(|m| !matches!(m, Message::Telemetry(_))),
+            "telemetry_every_frames = 0 keeps the wire telemetry-free"
+        );
     }
 
     #[test]

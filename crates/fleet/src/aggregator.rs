@@ -37,11 +37,12 @@ use std::time::Duration;
 
 use counting::HealthState;
 use geom::Point3;
-use obs::{Clock, SystemClock};
+use obs::{Clock, Histogram, HistogramCells, SystemClock, TelemetrySnapshot};
 use parking_lot::Mutex;
 use serde::{Deserialize, Serialize};
 use world::{PoleRegistry, WalkwayConfig};
 
+use crate::health::{EventJournal, FleetEvent, FleetEventKind, FleetHealth, PoleHealth};
 use crate::transport::{Transport, TransportError};
 use crate::wire::{FrameDecoder, Message, PoleReport};
 
@@ -222,6 +223,8 @@ pub struct FusionStats {
     pub hellos: u64,
     /// Bye messages ingested.
     pub byes: u64,
+    /// Telemetry frames ingested.
+    pub telemetry: u64,
 }
 
 #[derive(Debug, Clone)]
@@ -230,6 +233,24 @@ struct PoleSlot {
     last_seq: u64,
     heard_at: Duration,
     said_bye: bool,
+    /// Last liveness journalled for this pole; transitions (including
+    /// the passive Live→Stale→Dead walks that happen in silence) are
+    /// detected against it at every observation point.
+    liveness_seen: Liveness,
+}
+
+/// Per-pole observability state: everything the scoreboard knows that
+/// a [`CampusSnapshot`] must not depend on.
+#[derive(Debug, Default)]
+struct PoleObs {
+    /// End-to-end ingest latency (capture → fused slot), ms.
+    ingest: Histogram,
+    /// Merged telemetry windows.
+    telemetry: TelemetrySnapshot,
+    /// Telemetry frames received.
+    telemetry_frames: u64,
+    /// `window_ms` of the latest telemetry frame.
+    last_window_ms: f64,
 }
 
 /// The fusion state machine: ingest wire messages, answer campus
@@ -243,6 +264,8 @@ pub struct FusionCore {
     clock: Arc<dyn Clock>,
     slots: BTreeMap<u32, PoleSlot>,
     stats: FusionStats,
+    obs: BTreeMap<u32, PoleObs>,
+    journal: EventJournal,
 }
 
 impl FusionCore {
@@ -256,6 +279,8 @@ impl FusionCore {
             clock: Arc::new(SystemClock),
             slots: BTreeMap::new(),
             stats: FusionStats::default(),
+            obs: BTreeMap::new(),
+            journal: EventJournal::default(),
         }
     }
 
@@ -278,20 +303,83 @@ impl FusionCore {
     /// Folds one wire message into the fused state.
     pub fn ingest(&mut self, msg: Message) {
         let now = self.clock.now();
+        let now_ms = now.as_secs_f64() * 1e3;
+        // Catch any passive Live→Stale→Dead walk that happened in
+        // silence before this message, so the journal shows the decay
+        // *before* the resurrection it is about to cause.
+        let touched = msg.pole_id();
+        self.note_liveness(touched, now);
         match msg {
             Message::Hello { pole_id } => {
                 self.stats.hellos += 1;
                 obs::incr("fleet.agg.hellos", 1);
-                let slot = self.slot(pole_id, now);
+                let is_new = !self.slots.contains_key(&pole_id);
+                let slot = Self::slot_entry(&mut self.slots, pole_id, now);
                 slot.heard_at = now;
                 slot.said_bye = false;
+                let kind = if is_new {
+                    FleetEventKind::Connected
+                } else {
+                    obs::incr("fleet.agg.reconnects", 1);
+                    FleetEventKind::Reconnected
+                };
+                self.journal.push(FleetEvent {
+                    at_ms: now_ms,
+                    pole_id,
+                    kind,
+                });
             }
             Message::Report(report) => {
                 let pole_id = report.pole_id;
-                let slot = self.slot(pole_id, now);
+                let slot = Self::slot_entry(&mut self.slots, pole_id, now);
                 slot.heard_at = now;
                 slot.said_bye = false;
                 if report.seq > slot.last_seq {
+                    // Journal supervisor-side transitions by diffing
+                    // the previous accepted report against this one.
+                    if let Some(prev) = &slot.report {
+                        if prev.health != report.health {
+                            self.journal.push(FleetEvent {
+                                at_ms: now_ms,
+                                pole_id,
+                                kind: FleetEventKind::HealthChanged {
+                                    from: prev.health,
+                                    to: report.health,
+                                },
+                            });
+                        }
+                        if prev.eps_rung != report.eps_rung || prev.precision != report.precision {
+                            self.journal.push(FleetEvent {
+                                at_ms: now_ms,
+                                pole_id,
+                                kind: FleetEventKind::LadderChanged {
+                                    from: format!(
+                                        "{}/{}",
+                                        prev.eps_rung.as_str(),
+                                        prev.precision.as_str()
+                                    ),
+                                    to: format!(
+                                        "{}/{}",
+                                        report.eps_rung.as_str(),
+                                        report.precision.as_str()
+                                    ),
+                                },
+                            });
+                        }
+                    }
+                    // Trace context: the pole stamped capture_ms on
+                    // its own clock; both ends share the process
+                    // epoch in-process (and NTP in the field), so the
+                    // difference is the capture→fuse ingest latency.
+                    if let Some(capture_ms) = report.capture_ms {
+                        let latency_ms = (now_ms - capture_ms).max(0.0);
+                        self.obs
+                            .entry(pole_id)
+                            .or_default()
+                            .ingest
+                            .observe(latency_ms);
+                        obs::observe_ms("fleet.agg.ingest", latency_ms);
+                    }
                     slot.last_seq = report.seq;
                     slot.report = Some(report);
                     self.stats.reports += 1;
@@ -304,41 +392,77 @@ impl FusionCore {
             Message::Heartbeat(hb) => {
                 self.stats.heartbeats += 1;
                 obs::incr("fleet.agg.heartbeats", 1);
-                let slot = self.slot(hb.pole_id, now);
+                let slot = Self::slot_entry(&mut self.slots, hb.pole_id, now);
                 slot.heard_at = now;
                 slot.said_bye = false;
+            }
+            Message::Telemetry(frame) => {
+                self.stats.telemetry += 1;
+                obs::incr("fleet.agg.telemetry", 1);
+                let slot = Self::slot_entry(&mut self.slots, frame.pole_id, now);
+                slot.heard_at = now;
+                slot.said_bye = false;
+                let pole = self.obs.entry(frame.pole_id).or_default();
+                pole.telemetry.merge(&frame.snapshot);
+                pole.telemetry_frames += 1;
+                pole.last_window_ms = frame.window_ms;
             }
             Message::Bye { pole_id } => {
                 self.stats.byes += 1;
                 obs::incr("fleet.agg.byes", 1);
-                let slot = self.slot(pole_id, now);
+                let slot = Self::slot_entry(&mut self.slots, pole_id, now);
                 slot.heard_at = now;
                 slot.said_bye = true;
+                self.journal.push(FleetEvent {
+                    at_ms: now_ms,
+                    pole_id,
+                    kind: FleetEventKind::Bye,
+                });
             }
         }
+        // And the transition this message itself caused (resurrection,
+        // Bye→Dead).
+        self.note_liveness(touched, now);
     }
 
-    fn slot(&mut self, pole_id: u32, now: Duration) -> &mut PoleSlot {
-        self.slots.entry(pole_id).or_insert_with(|| PoleSlot {
+    fn slot_entry(
+        slots: &mut BTreeMap<u32, PoleSlot>,
+        pole_id: u32,
+        now: Duration,
+    ) -> &mut PoleSlot {
+        slots.entry(pole_id).or_insert_with(|| PoleSlot {
             report: None,
             last_seq: 0,
             heard_at: now,
             said_bye: false,
+            liveness_seen: Liveness::Live,
         })
     }
 
+    /// Journals a liveness transition for `pole_id` if its computed
+    /// liveness differs from the last one seen. No-op for unknown
+    /// poles.
+    fn note_liveness(&mut self, pole_id: u32, now: Duration) {
+        let Some(slot) = self.slots.get_mut(&pole_id) else {
+            return;
+        };
+        let liveness = liveness_of(&self.cfg, slot, now);
+        if liveness != slot.liveness_seen {
+            self.journal.push(FleetEvent {
+                at_ms: now.as_secs_f64() * 1e3,
+                pole_id,
+                kind: FleetEventKind::LivenessChanged {
+                    from: slot.liveness_seen,
+                    to: liveness,
+                },
+            });
+            obs::incr("fleet.agg.liveness_transitions", 1);
+            slot.liveness_seen = liveness;
+        }
+    }
+
     fn liveness(&self, slot: &PoleSlot, now: Duration) -> Liveness {
-        if slot.said_bye {
-            return Liveness::Dead;
-        }
-        let silence_ms = (now.saturating_sub(slot.heard_at)).as_secs_f64() * 1e3;
-        if silence_ms >= self.cfg.dead_after_ms {
-            Liveness::Dead
-        } else if silence_ms >= self.cfg.stale_after_ms {
-            Liveness::Stale
-        } else {
-            Liveness::Live
-        }
+        liveness_of(&self.cfg, slot, now)
     }
 
     /// Builds the campus view from the current fused state. Pure with
@@ -460,9 +584,87 @@ impl FusionCore {
         }
     }
 
+    /// Builds the campus health scoreboard: per-pole telemetry rollups
+    /// and ingest-latency percentiles, the campus-wide merges, and the
+    /// recent event journal. Takes `&mut self` because it first sweeps
+    /// liveness over every known pole so passive Stale/Dead walks land
+    /// in the journal even when no message forced the transition.
+    pub fn health(&mut self) -> FleetHealth {
+        let now = self.clock.now();
+        let ids: Vec<u32> = self.slots.keys().copied().collect();
+        for pole_id in ids {
+            self.note_liveness(pole_id, now);
+        }
+
+        let mut poles = Vec::with_capacity(self.slots.len());
+        let mut campus_ingest = HistogramCells::empty("fleet.ingest");
+        let mut campus_telemetry = TelemetrySnapshot::default();
+        for (&pole_id, slot) in &self.slots {
+            let liveness = liveness_of(&self.cfg, slot, now);
+            let (telemetry, ingest, telemetry_frames, last_window_ms) = match self.obs.get(&pole_id)
+            {
+                Some(o) => {
+                    let ingest = o.ingest.cells(&format!("fleet.ingest.pole{pole_id}"));
+                    campus_ingest.merge(&ingest);
+                    campus_telemetry.merge(&o.telemetry);
+                    (
+                        o.telemetry.clone(),
+                        ingest,
+                        o.telemetry_frames,
+                        o.last_window_ms,
+                    )
+                }
+                None => (
+                    TelemetrySnapshot::default(),
+                    HistogramCells::empty(format!("fleet.ingest.pole{pole_id}")),
+                    0,
+                    0.0,
+                ),
+            };
+            poles.push(PoleHealth {
+                pole_id,
+                liveness,
+                telemetry,
+                ingest,
+                telemetry_frames,
+                last_window_ms,
+            });
+        }
+
+        FleetHealth {
+            at_ms: now.as_secs_f64() * 1e3,
+            poles,
+            campus_ingest,
+            campus_telemetry,
+            events_total: self.journal.total(),
+            events: self.journal.events().cloned().collect(),
+        }
+    }
+
+    /// The fleet event journal.
+    pub fn journal(&self) -> &EventJournal {
+        &self.journal
+    }
+
     /// The walkway geometry poles share.
     pub fn walkway(&self) -> &WalkwayConfig {
         &self.walkway
+    }
+}
+
+/// The liveness judgement as a free function, so callers holding a
+/// slot borrow can compute it without re-borrowing the whole core.
+fn liveness_of(cfg: &FusionConfig, slot: &PoleSlot, now: Duration) -> Liveness {
+    if slot.said_bye {
+        return Liveness::Dead;
+    }
+    let silence_ms = (now.saturating_sub(slot.heard_at)).as_secs_f64() * 1e3;
+    if silence_ms >= cfg.dead_after_ms {
+        Liveness::Dead
+    } else if silence_ms >= cfg.stale_after_ms {
+        Liveness::Stale
+    } else {
+        Liveness::Live
     }
 }
 
@@ -600,6 +802,21 @@ impl Aggregator {
     pub fn export_jsonl(&self, out: &mut dyn std::io::Write) -> std::io::Result<()> {
         writeln!(out, "{}", self.snapshot().to_json())
     }
+
+    /// The current campus health scoreboard.
+    pub fn health(&self) -> FleetHealth {
+        self.core.lock().health()
+    }
+
+    /// Appends the current scoreboard as one JSONL line.
+    pub fn export_ops_jsonl(&self, out: &mut dyn std::io::Write) -> std::io::Result<()> {
+        writeln!(out, "{}", self.health().to_json())
+    }
+
+    /// Writes the retained fleet event journal as JSONL.
+    pub fn export_events_jsonl(&self, out: &mut dyn std::io::Write) -> std::io::Result<()> {
+        write!(out, "{}", self.core.lock().journal().to_jsonl())
+    }
 }
 
 #[cfg(test)]
@@ -623,6 +840,7 @@ mod tests {
             stale_frames: 0,
             age_ms: 0.0,
             pole_temp_c: Some(35.0),
+            capture_ms: Some(seq as f64 * 100.0),
             clusters: clusters
                 .iter()
                 .map(|&(x, y)| ClusterObservation {
@@ -647,6 +865,7 @@ mod tests {
             stale_frames: 1,
             age_ms: 100.0,
             pole_temp_c: None,
+            capture_ms: None,
             clusters: Vec::new(),
         })
     }
@@ -798,6 +1017,149 @@ mod tests {
         let snap = agg.snapshot();
         assert_eq!(snap.occupancy, 2);
         assert_eq!(snap.poles.len(), 2);
+    }
+
+    #[test]
+    fn ingest_latency_is_measured_from_the_capture_stamp() {
+        let clock = ManualClock::new();
+        let mut core = core(&clock);
+        clock.advance_ms(150);
+        // Captured at 100 ms on the pole clock, fused at 150 ms here:
+        // 50 ms of end-to-end latency.
+        core.ingest(report(0, 1, &[(14.0, 0.0)]));
+        clock.advance_ms(80);
+        // Captured at 200, fused at 230: 30 ms.
+        core.ingest(report(0, 2, &[(14.5, 0.0)]));
+        let health = core.health();
+        assert_eq!(health.poles.len(), 1);
+        let ingest = &health.poles[0].ingest;
+        assert_eq!(ingest.count, 2);
+        assert_eq!(ingest.min_ms, 30.0);
+        assert_eq!(ingest.max_ms, 50.0);
+        assert_eq!(health.campus_ingest.count, 2, "campus merges the pole");
+        // A held report without trace context adds nothing.
+        core.ingest(held_report(0, 3, 1));
+        assert_eq!(core.health().campus_ingest.count, 2);
+    }
+
+    #[test]
+    fn telemetry_frames_merge_into_the_scoreboard() {
+        use crate::wire::TelemetryFrame;
+        let clock = ManualClock::new();
+        let mut core = core(&clock);
+        let reg = obs::Registry::new();
+        reg.incr("pole.frames", 4);
+        reg.set_gauge("pole.temp_c", 41.5);
+        reg.observe_ms("pole.frame", 2.0);
+        let first = reg.telemetry();
+        core.ingest(Message::Telemetry(TelemetryFrame {
+            pole_id: 2,
+            seq: 1,
+            timestamp_ms: 100,
+            window_ms: 500.0,
+            snapshot: first.clone(),
+        }));
+        reg.incr("pole.frames", 3);
+        reg.observe_ms("pole.frame", 4.0);
+        core.ingest(Message::Telemetry(TelemetryFrame {
+            pole_id: 2,
+            seq: 2,
+            timestamp_ms: 600,
+            window_ms: 500.0,
+            snapshot: reg.telemetry().delta_since(&first),
+        }));
+        assert_eq!(core.stats().telemetry, 2);
+        let health = core.health();
+        let pole = &health.poles[0];
+        assert_eq!(pole.pole_id, 2);
+        assert_eq!(pole.telemetry_frames, 2);
+        assert_eq!(pole.telemetry.counter("pole.frames"), 7, "windows re-sum");
+        assert_eq!(pole.telemetry.gauge("pole.temp_c"), Some(41.5));
+        assert_eq!(
+            pole.telemetry.histogram("pole.frame").map(|h| h.count),
+            Some(2)
+        );
+        assert_eq!(
+            health.campus_telemetry.counter("pole.frames"),
+            7,
+            "campus merge sees the same totals"
+        );
+        // Telemetry keeps the pole alive like any other traffic.
+        assert_eq!(health.poles[0].liveness, Liveness::Live);
+    }
+
+    #[test]
+    fn journal_records_the_life_of_a_pole() {
+        let clock = ManualClock::new();
+        let mut core = core(&clock);
+        core.ingest(Message::Hello { pole_id: 0 });
+        core.ingest(report(0, 1, &[(14.0, 0.0)]));
+        // Supervisor degrades and drops a ladder rung.
+        core.ingest(Message::Report(PoleReport {
+            pole_id: 0,
+            seq: 2,
+            timestamp_ms: 200,
+            count: 1,
+            health: HealthState::Degraded,
+            eps_rung: EpsRung::Cached,
+            precision: PrecisionRung::Fp32,
+            held: false,
+            stale_frames: 0,
+            age_ms: 0.0,
+            pole_temp_c: Some(44.0),
+            capture_ms: None,
+            clusters: Vec::new(),
+        }));
+        // Silence past dead, then a redial resurrects it.
+        clock.advance_ms(6_000);
+        core.ingest(Message::Hello { pole_id: 0 });
+        core.ingest(Message::Bye { pole_id: 0 });
+        let kinds: Vec<&'static str> = core.journal().events().map(|e| e.kind.as_str()).collect();
+        assert_eq!(
+            kinds,
+            vec![
+                "connected",
+                "health_changed",
+                "ladder_changed",
+                "liveness_changed", // live -> dead, noticed on redial
+                "reconnected",
+                "liveness_changed", // dead -> live resurrection
+                "bye",
+                "liveness_changed", // live -> dead from the Bye
+            ]
+        );
+        let FleetEventKind::LadderChanged { from, to } = &core
+            .journal()
+            .events()
+            .find(|e| e.kind.as_str() == "ladder_changed")
+            .unwrap()
+            .kind
+        else {
+            panic!("ladder event carries labels");
+        };
+        assert_eq!(from, "adaptive/fp32");
+        assert_eq!(to, "cached/fp32");
+    }
+
+    #[test]
+    fn health_sweep_journals_passive_decay() {
+        let clock = ManualClock::new();
+        let mut core = core(&clock);
+        core.ingest(report(0, 1, &[(14.0, 0.0)]));
+        clock.advance_ms(2_500);
+        let health = core.health();
+        assert_eq!(health.poles[0].liveness, Liveness::Stale);
+        assert!(health.events.iter().any(|e| matches!(
+            e.kind,
+            FleetEventKind::LivenessChanged {
+                from: Liveness::Live,
+                to: Liveness::Stale
+            }
+        )));
+        clock.advance_ms(3_000);
+        let health = core.health();
+        assert_eq!(health.poles[0].liveness, Liveness::Dead);
+        assert_eq!(health.events_total, 2, "stale then dead, no repeats");
     }
 
     #[test]

@@ -1,0 +1,413 @@
+//! The campus health scoreboard and fleet event journal.
+//!
+//! The aggregator sees three streams per pole — reports, heartbeats,
+//! telemetry windows — and this module is where they become an ops
+//! surface: a [`FleetHealth`] scoreboard of per-pole rollups (merged
+//! telemetry, end-to-end ingest latency percentiles) plus a bounded,
+//! structured [`EventJournal`] of the things an operator greps for at
+//! 2 am: connects, reconnects, liveness flips, ladder and health
+//! transitions.
+//!
+//! Everything here is derived state, held *outside*
+//! [`crate::CampusSnapshot`] on purpose: the campus snapshot stays a
+//! pure function of arrived reports (the determinism tests pin that
+//! bit-for-bit), while the scoreboard is allowed to remember history.
+
+use std::collections::VecDeque;
+
+use counting::HealthState;
+use obs::{HistogramCells, TelemetrySnapshot};
+use serde::{Deserialize, Serialize};
+
+use crate::aggregator::Liveness;
+
+/// Something that happened to a pole, as judged by the aggregator.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum FleetEventKind {
+    /// First Hello ever heard from this pole.
+    Connected,
+    /// A Hello from a pole the aggregator already knew — the far end
+    /// redialled (backoff recovery or an agent restart).
+    Reconnected,
+    /// An orderly goodbye.
+    Bye,
+    /// The liveness state machine moved (Stale/Dead walks and
+    /// resurrections alike).
+    LivenessChanged {
+        /// State before.
+        from: Liveness,
+        /// State after.
+        to: Liveness,
+    },
+    /// The pole's degradation ladder moved (ε rung or precision), as
+    /// seen on its reports.
+    LadderChanged {
+        /// `"<eps>/<precision>"` label before.
+        from: String,
+        /// `"<eps>/<precision>"` label after.
+        to: String,
+    },
+    /// The pole's supervisor health moved, as seen on its reports.
+    HealthChanged {
+        /// State before.
+        from: HealthState,
+        /// State after.
+        to: HealthState,
+    },
+}
+
+impl FleetEventKind {
+    /// Journal label for the event type.
+    pub fn as_str(&self) -> &'static str {
+        match self {
+            FleetEventKind::Connected => "connected",
+            FleetEventKind::Reconnected => "reconnected",
+            FleetEventKind::Bye => "bye",
+            FleetEventKind::LivenessChanged { .. } => "liveness_changed",
+            FleetEventKind::LadderChanged { .. } => "ladder_changed",
+            FleetEventKind::HealthChanged { .. } => "health_changed",
+        }
+    }
+}
+
+/// One journal entry.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FleetEvent {
+    /// Aggregator-clock timestamp, ms.
+    pub at_ms: f64,
+    /// The pole it happened to.
+    pub pole_id: u32,
+    /// What happened.
+    pub kind: FleetEventKind,
+}
+
+impl FleetEvent {
+    /// One JSONL line.
+    pub fn to_json(&self) -> String {
+        let detail = match &self.kind {
+            FleetEventKind::LivenessChanged { from, to } => {
+                format!(",\"from\":\"{}\",\"to\":\"{}\"", from.as_str(), to.as_str())
+            }
+            FleetEventKind::LadderChanged { from, to } => {
+                format!(",\"from\":\"{from}\",\"to\":\"{to}\"")
+            }
+            FleetEventKind::HealthChanged { from, to } => {
+                format!(",\"from\":\"{}\",\"to\":\"{}\"", from.as_str(), to.as_str())
+            }
+            _ => String::new(),
+        };
+        format!(
+            "{{\"at_ms\":{:.3},\"pole_id\":{},\"event\":\"{}\"{detail}}}",
+            self.at_ms,
+            self.pole_id,
+            self.kind.as_str()
+        )
+    }
+}
+
+/// A bounded, append-only journal of fleet events. When the cap is
+/// reached the oldest entries fall off (and are counted), so a flappy
+/// pole cannot eat the aggregator's memory.
+#[derive(Debug)]
+pub struct EventJournal {
+    events: VecDeque<FleetEvent>,
+    cap: usize,
+    total: u64,
+    dropped: u64,
+}
+
+impl Default for EventJournal {
+    fn default() -> Self {
+        EventJournal::with_capacity(1024)
+    }
+}
+
+impl EventJournal {
+    /// A journal keeping at most `cap` recent events.
+    pub fn with_capacity(cap: usize) -> Self {
+        EventJournal {
+            events: VecDeque::new(),
+            cap: cap.max(1),
+            total: 0,
+            dropped: 0,
+        }
+    }
+
+    /// Appends one event, evicting the oldest at the cap.
+    pub fn push(&mut self, event: FleetEvent) {
+        self.total += 1;
+        if self.events.len() >= self.cap {
+            self.events.pop_front();
+            self.dropped += 1;
+        }
+        self.events.push_back(event);
+    }
+
+    /// Retained events, oldest first.
+    pub fn events(&self) -> impl Iterator<Item = &FleetEvent> {
+        self.events.iter()
+    }
+
+    /// Events ever journalled (including evicted ones).
+    pub fn total(&self) -> u64 {
+        self.total
+    }
+
+    /// Events evicted by the cap.
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+
+    /// The whole retained journal as JSONL, one event per line.
+    pub fn to_jsonl(&self) -> String {
+        let mut s = String::new();
+        for e in &self.events {
+            s.push_str(&e.to_json());
+            s.push('\n');
+        }
+        s
+    }
+}
+
+/// One pole's row on the scoreboard.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PoleHealth {
+    /// Pole id.
+    pub pole_id: u32,
+    /// Liveness at scoreboard time.
+    pub liveness: Liveness,
+    /// Merged telemetry windows the pole has shipped: counters are
+    /// lifetime deltas summed back to totals, gauges are the latest
+    /// values, histograms are exact bucket merges.
+    pub telemetry: TelemetrySnapshot,
+    /// End-to-end ingest latency (pole capture → fused slot) for every
+    /// traced report from this pole.
+    pub ingest: HistogramCells,
+    /// Telemetry frames received.
+    pub telemetry_frames: u64,
+    /// `window_ms` of the most recent telemetry frame.
+    pub last_window_ms: f64,
+}
+
+/// The campus-wide ops scoreboard.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FleetHealth {
+    /// Aggregator-clock timestamp, ms.
+    pub at_ms: f64,
+    /// Per-pole rollups, ascending id.
+    pub poles: Vec<PoleHealth>,
+    /// Campus-wide ingest latency: the exact bucket merge of every
+    /// pole's [`PoleHealth::ingest`] cells.
+    pub campus_ingest: HistogramCells,
+    /// Campus-wide telemetry merge. Histograms and counters aggregate
+    /// exactly; gauges are last-merged-pole-wins and only meaningful
+    /// per pole.
+    pub campus_telemetry: TelemetrySnapshot,
+    /// Fleet events ever journalled.
+    pub events_total: u64,
+    /// Recent journal entries, oldest first.
+    pub events: Vec<FleetEvent>,
+}
+
+fn jsonf(v: f64) -> String {
+    if v.is_finite() {
+        format!("{v:.3}")
+    } else {
+        "null".to_string()
+    }
+}
+
+fn hist_json(h: &HistogramCells) -> String {
+    let s = h.summary();
+    format!(
+        "{{\"name\":\"{}\",\"count\":{},\"p50_ms\":{},\"p95_ms\":{},\"p99_ms\":{},\"min_ms\":{},\"max_ms\":{},\"mean_ms\":{}}}",
+        s.name,
+        s.count,
+        jsonf(s.p50_ms),
+        jsonf(s.p95_ms),
+        jsonf(s.p99_ms),
+        jsonf(s.min_ms),
+        jsonf(s.max_ms),
+        jsonf(s.mean_ms),
+    )
+}
+
+impl FleetHealth {
+    /// The scoreboard as one JSONL line (events ride separately via
+    /// [`EventJournal::to_jsonl`]).
+    pub fn to_json(&self) -> String {
+        let mut s = String::with_capacity(512);
+        s.push_str(&format!(
+            "{{\"at_ms\":{:.3},\"events_total\":{},\"campus_ingest\":{},\"poles\":[",
+            self.at_ms,
+            self.events_total,
+            hist_json(&self.campus_ingest)
+        ));
+        for (i, p) in self.poles.iter().enumerate() {
+            if i > 0 {
+                s.push(',');
+            }
+            s.push_str(&format!(
+                "{{\"pole_id\":{},\"liveness\":\"{}\",\"telemetry_frames\":{},\"frames\":{},\"frames_held\":{},\"ingest\":{}",
+                p.pole_id,
+                p.liveness.as_str(),
+                p.telemetry_frames,
+                p.telemetry.counter("pole.frames"),
+                p.telemetry.counter("pole.frames_held"),
+                hist_json(&p.ingest),
+            ));
+            for (key, gauge) in [
+                ("health", "pole.health"),
+                ("eps_rung", "pole.eps_rung"),
+                ("temp_c", "pole.temp_c"),
+                ("queue_depth", "pole.queue_depth"),
+            ] {
+                if let Some(v) = p.telemetry.gauge(gauge) {
+                    s.push_str(&format!(",\"{key}\":{}", jsonf(v)));
+                }
+            }
+            s.push('}');
+        }
+        s.push_str("]}");
+        s
+    }
+
+    /// A human-readable scoreboard for terminals (`--ops`).
+    pub fn render_table(&self) -> String {
+        let mut out = String::new();
+        out.push_str("fleet health scoreboard\n");
+        out.push_str(&format!(
+            "{:>6} {:>6} {:>7} {:>6} {:>9} {:>9} {:>9} {:>7} {:>6}\n",
+            "pole",
+            "state",
+            "frames",
+            "held",
+            "ingst p50",
+            "ingst p95",
+            "ingst p99",
+            "temp",
+            "queue"
+        ));
+        for p in &self.poles {
+            let s = p.ingest.summary();
+            let temp = p
+                .telemetry
+                .gauge("pole.temp_c")
+                .map_or("-".to_string(), |v| format!("{v:.1}"));
+            let queue = p
+                .telemetry
+                .gauge("pole.queue_depth")
+                .map_or("-".to_string(), |v| format!("{v:.0}"));
+            out.push_str(&format!(
+                "{:>6} {:>6} {:>7} {:>6} {:>9} {:>9} {:>9} {:>7} {:>6}\n",
+                p.pole_id,
+                p.liveness.as_str(),
+                p.telemetry.counter("pole.frames"),
+                p.telemetry.counter("pole.frames_held"),
+                format!("{:.2}", s.p50_ms),
+                format!("{:.2}", s.p95_ms),
+                format!("{:.2}", s.p99_ms),
+                temp,
+                queue,
+            ));
+        }
+        let c = self.campus_ingest.summary();
+        out.push_str(&format!(
+            "campus ingest: n={} p50={:.2} ms p95={:.2} ms p99={:.2} ms max={:.2} ms\n",
+            c.count, c.p50_ms, c.p95_ms, c.p99_ms, c.max_ms
+        ));
+        out.push_str(&format!(
+            "events: {} journalled, {} shown\n",
+            self.events_total,
+            self.events.len()
+        ));
+        for e in self
+            .events
+            .iter()
+            .rev()
+            .take(12)
+            .collect::<Vec<_>>()
+            .iter()
+            .rev()
+        {
+            out.push_str(&format!(
+                "  [{:>10.1} ms] pole {:>3} {}\n",
+                e.at_ms,
+                e.pole_id,
+                match &e.kind {
+                    FleetEventKind::LivenessChanged { from, to } =>
+                        format!("liveness {} -> {}", from.as_str(), to.as_str()),
+                    FleetEventKind::LadderChanged { from, to } => format!("ladder {from} -> {to}"),
+                    FleetEventKind::HealthChanged { from, to } =>
+                        format!("health {} -> {}", from.as_str(), to.as_str()),
+                    other => other.as_str().to_string(),
+                }
+            ));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn journal_caps_and_counts() {
+        let mut j = EventJournal::with_capacity(3);
+        for i in 0..5 {
+            j.push(FleetEvent {
+                at_ms: i as f64,
+                pole_id: i,
+                kind: FleetEventKind::Connected,
+            });
+        }
+        assert_eq!(j.total(), 5);
+        assert_eq!(j.dropped(), 2);
+        let kept: Vec<u32> = j.events().map(|e| e.pole_id).collect();
+        assert_eq!(kept, vec![2, 3, 4], "oldest evicted first");
+        assert_eq!(j.to_jsonl().lines().count(), 3);
+    }
+
+    #[test]
+    fn event_json_carries_transition_detail() {
+        let e = FleetEvent {
+            at_ms: 1_500.0,
+            pole_id: 3,
+            kind: FleetEventKind::LivenessChanged {
+                from: Liveness::Live,
+                to: Liveness::Stale,
+            },
+        };
+        let json = e.to_json();
+        assert!(json.contains("\"event\":\"liveness_changed\""));
+        assert!(json.contains("\"from\":\"live\""));
+        assert!(json.contains("\"to\":\"stale\""));
+        assert_eq!(json.matches('{').count(), json.matches('}').count());
+    }
+
+    #[test]
+    fn scoreboard_json_is_balanced_and_renders() {
+        let health = FleetHealth {
+            at_ms: 2_000.0,
+            poles: vec![PoleHealth {
+                pole_id: 0,
+                liveness: Liveness::Live,
+                telemetry: TelemetrySnapshot::default(),
+                ingest: HistogramCells::empty("fleet.ingest.pole0"),
+                telemetry_frames: 0,
+                last_window_ms: 0.0,
+            }],
+            campus_ingest: HistogramCells::empty("fleet.ingest"),
+            campus_telemetry: TelemetrySnapshot::default(),
+            events_total: 0,
+            events: Vec::new(),
+        };
+        let json = health.to_json();
+        assert_eq!(json.matches('{').count(), json.matches('}').count());
+        assert!(json.contains("\"campus_ingest\""));
+        let table = health.render_table();
+        assert!(table.contains("campus ingest"));
+        assert!(table.contains("pole"));
+    }
+}

@@ -23,6 +23,11 @@
 //!   heartbeat deadlines, centroid fusion that dedups people seen by
 //!   two overlapping poles (via `world::PoleRegistry` poses), and
 //!   time-windowed [`aggregator::CampusSnapshot`]s for dashboards.
+//! - [`health`] — the ops surface derived from all of the above: a
+//!   [`health::FleetHealth`] scoreboard of merged per-pole telemetry
+//!   and end-to-end ingest latency percentiles, plus a bounded
+//!   [`health::EventJournal`] of connects, liveness flips, and ladder
+//!   transitions.
 //!
 //! The design invariant underneath all of it: fusion state is keyed
 //! per pole and last-sequence-wins, so a campus snapshot is a pure
@@ -35,6 +40,7 @@
 
 pub mod agent;
 pub mod aggregator;
+pub mod health;
 pub mod transport;
 pub mod wire;
 
@@ -43,9 +49,11 @@ pub use aggregator::{
     Aggregator, AggregatorConfig, CampusSnapshot, FusionConfig, FusionCore, Liveness, PoleStatus,
     ZoneOccupancy,
 };
+pub use health::{EventJournal, FleetEvent, FleetEventKind, FleetHealth, PoleHealth};
 pub use transport::{
     loopback_pair, Connector, LoopbackConfig, LoopbackHub, TcpConnector, Transport, TransportError,
 };
 pub use wire::{
-    decode, encode, ClusterObservation, FrameDecoder, Heartbeat, Message, PoleReport, WireError,
+    decode, encode, ClusterObservation, FrameDecoder, Heartbeat, Message, PoleReport,
+    TelemetryFrame, WireError,
 };

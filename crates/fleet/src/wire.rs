@@ -14,13 +14,24 @@
 //! ```text
 //! ┌────────────┬─────────┬──────────┬──────────────┬─────────┬──────────────┐
 //! │ magic u32  │ ver u8  │ type u8  │ body len u32 │ body …  │ crc32 u32    │
-//! │ 0x48574343 │ 1       │ 1..=4    │ ≤ 64 KiB     │         │ ver..body    │
+//! │ 0x48574343 │ 1..=2   │ 1..=5    │ ≤ 64 KiB     │         │ ver..body    │
 //! └────────────┴─────────┴──────────┴──────────────┴─────────┴──────────────┘
 //! ```
 //!
 //! All integers and floats are little-endian. The CRC-32 (IEEE) covers
 //! version, type, length, and body — a flipped bit anywhere past the
 //! magic is rejected, not misinterpreted.
+//!
+//! # Versioning
+//!
+//! This build encodes [`VERSION`] and decodes every version in
+//! [`MIN_VERSION`]`..=`[`VERSION`]. Version 2 added two things to
+//! version 1: a per-frame trace context on [`PoleReport`]
+//! ([`PoleReport::capture_ms`], flag-gated so v1 frames still decode,
+//! with `capture_ms: None`) and the [`Message::Telemetry`] message
+//! type carrying a portable [`obs::TelemetrySnapshot`]. A v2
+//! aggregator therefore drains mixed fleets mid-rollout; a v1
+//! aggregator rejects v2 frames cleanly as `UnsupportedVersion`.
 //!
 //! # Decode discipline
 //!
@@ -36,13 +47,17 @@
 use bytes::{BufMut, BytesMut};
 use counting::{EpsRung, HealthState, PrecisionRung};
 use geom::Point3;
+use obs::{HistogramCells, TelemetrySnapshot};
 use serde::{Deserialize, Serialize};
 
 /// Frame magic: `b"HWCC"` read as a little-endian `u32`.
 pub const MAGIC: u32 = u32::from_le_bytes(*b"HWCC");
 
-/// Wire protocol version this build speaks.
-pub const VERSION: u8 = 1;
+/// Wire protocol version this build encodes.
+pub const VERSION: u8 = 2;
+
+/// Oldest wire protocol version this build still decodes.
+pub const MIN_VERSION: u8 = 1;
 
 /// Frame header length in bytes (magic + version + type + body len).
 pub const HEADER_LEN: usize = 10;
@@ -62,6 +77,21 @@ pub const MAX_BODY_LEN: usize = 64 * 1024;
 /// be rejected as [`WireError::Oversize`] by the receiver, poisoning
 /// its [`FrameDecoder`] and costing the connection.
 pub const MAX_WIRE_CLUSTERS: usize = (MAX_BODY_LEN - REPORT_FIXED_LEN) / CLUSTER_WIRE_LEN;
+
+/// Longest metric name a telemetry frame carries; the encoder
+/// truncates longer ones at a character boundary.
+pub const MAX_TELEMETRY_NAME: usize = 96;
+
+/// Most counters one telemetry frame carries.
+pub const MAX_TELEMETRY_COUNTERS: usize = 128;
+
+/// Most gauges one telemetry frame carries.
+pub const MAX_TELEMETRY_GAUGES: usize = 128;
+
+/// Most histograms one telemetry frame carries. The worst-case frame
+/// (every cap hit, every histogram with all 64 buckets occupied)
+/// stays under [`MAX_BODY_LEN`].
+pub const MAX_TELEMETRY_HISTOGRAMS: usize = 32;
 
 /// Everything that can be wrong with bytes on this wire.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -153,6 +183,13 @@ pub struct PoleReport {
     pub age_ms: f64,
     /// Compartment temperature in °C, when the pole has a probe.
     pub pole_temp_c: Option<f64>,
+    /// Trace context (wire v2): the instant the frame's capture was
+    /// handed to the agent, on the same clock as `timestamp_ms`. When
+    /// pole and aggregator share that clock (in-process fleets, or
+    /// NTP-disciplined deployments) the aggregator subtracts it from
+    /// its own now to get true end-to-end ingest latency. `None` on
+    /// frames from v1 poles.
+    pub capture_ms: Option<f64>,
     /// Human-classified cluster centroids, pole-local coordinates.
     /// At most [`MAX_WIRE_CLUSTERS`] survive encoding; the tail is
     /// truncated to keep the frame under [`MAX_BODY_LEN`].
@@ -168,6 +205,30 @@ pub struct Heartbeat {
     pub seq: u64,
     /// Pole-monotonic send time in ms.
     pub timestamp_ms: u64,
+}
+
+/// A pole's periodic telemetry window (wire v2): the delta of its
+/// scoped [`obs::Registry`] since the previous emission, shipped on
+/// the heartbeat cadence so the aggregator sees stage latencies,
+/// ladder state and thermal gauges without ever seeing a point cloud.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TelemetryFrame {
+    /// Reporting pole.
+    pub pole_id: u32,
+    /// The pole's report sequence at emission time (correlates the
+    /// window with the report stream).
+    pub seq: u64,
+    /// Pole-monotonic emission time in ms.
+    pub timestamp_ms: u64,
+    /// Length of the activity window this snapshot covers, ms.
+    pub window_ms: f64,
+    /// The window's activity: counter deltas, gauge values, histogram
+    /// cells. Bounded on the wire by [`MAX_TELEMETRY_COUNTERS`],
+    /// [`MAX_TELEMETRY_GAUGES`], [`MAX_TELEMETRY_HISTOGRAMS`] and
+    /// [`MAX_TELEMETRY_NAME`]; the encoder truncates (sorted-name
+    /// order, so deterministically) rather than emit a frame the
+    /// receiver would reject.
+    pub snapshot: TelemetrySnapshot,
 }
 
 /// Every message the protocol carries.
@@ -188,6 +249,8 @@ pub enum Message {
         /// Departing pole.
         pole_id: u32,
     },
+    /// A periodic observability window (wire v2).
+    Telemetry(TelemetryFrame),
 }
 
 impl Message {
@@ -197,6 +260,7 @@ impl Message {
             Message::Report(_) => 2,
             Message::Heartbeat(_) => 3,
             Message::Bye { .. } => 4,
+            Message::Telemetry(_) => 5,
         }
     }
 
@@ -206,6 +270,7 @@ impl Message {
             Message::Hello { pole_id } | Message::Bye { pole_id } => *pole_id,
             Message::Report(r) => r.pole_id,
             Message::Heartbeat(h) => h.pole_id,
+            Message::Telemetry(t) => t.pole_id,
         }
     }
 }
@@ -290,6 +355,16 @@ impl<'a> Reader<'a> {
 
 const FLAG_HELD: u8 = 1 << 0;
 const FLAG_HAS_TEMP: u8 = 1 << 1;
+const FLAG_HAS_CAPTURE: u8 = 1 << 2;
+
+/// Report flags a frame of `version` may legally carry.
+fn known_report_flags(version: u8) -> u8 {
+    if version >= 2 {
+        FLAG_HELD | FLAG_HAS_TEMP | FLAG_HAS_CAPTURE
+    } else {
+        FLAG_HELD | FLAG_HAS_TEMP
+    }
+}
 
 fn health_byte(h: HealthState) -> u8 {
     match h {
@@ -355,10 +430,14 @@ fn put_report(body: &mut BytesMut, r: &PoleReport) {
     if r.pole_temp_c.is_some() {
         flags |= FLAG_HAS_TEMP;
     }
+    if r.capture_ms.is_some() {
+        flags |= FLAG_HAS_CAPTURE;
+    }
     body.put_u8(flags);
     body.put_u32_le(r.stale_frames);
     body.put_f64_le(r.age_ms);
     body.put_f64_le(r.pole_temp_c.unwrap_or(0.0));
+    body.put_f64_le(r.capture_ms.unwrap_or(0.0));
     // Encode-side ceiling (see `MAX_WIRE_CLUSTERS`): clusters past the
     // limit are dropped rather than emitting an Oversize frame the
     // receiver must reject.
@@ -376,12 +455,13 @@ fn put_report(body: &mut BytesMut, r: &PoleReport) {
 /// Per-cluster encoded size: 3 coordinates + points + confidence.
 const CLUSTER_WIRE_LEN: usize = 3 * 8 + 4 + 8;
 
-/// Encoded size of a report body's fixed fields (everything before
+/// Encoded size of a v2 report body's fixed fields (everything before
 /// the cluster records): pole id, seq, timestamp, count, three rung
-/// bytes, flags, stale frames, age, temperature, cluster count.
-const REPORT_FIXED_LEN: usize = 4 + 8 + 8 + 4 + 1 + 1 + 1 + 1 + 4 + 8 + 8 + 4;
+/// bytes, flags, stale frames, age, temperature, capture time,
+/// cluster count. (v1 bodies are 8 bytes shorter — no capture time.)
+const REPORT_FIXED_LEN: usize = 4 + 8 + 8 + 4 + 1 + 1 + 1 + 1 + 4 + 8 + 8 + 8 + 4;
 
-fn read_report(r: &mut Reader<'_>) -> Result<PoleReport, WireError> {
+fn read_report(r: &mut Reader<'_>, version: u8) -> Result<PoleReport, WireError> {
     let pole_id = r.u32()?;
     let seq = r.u64()?;
     let timestamp_ms = r.u64()?;
@@ -390,7 +470,7 @@ fn read_report(r: &mut Reader<'_>) -> Result<PoleReport, WireError> {
     let eps_rung = eps_from(r.u8()?)?;
     let precision = precision_from(r.u8()?)?;
     let flags = r.u8()?;
-    if flags & !(FLAG_HELD | FLAG_HAS_TEMP) != 0 {
+    if flags & !known_report_flags(version) != 0 {
         return Err(WireError::Malformed("unknown report flags"));
     }
     let stale_frames = r.u32()?;
@@ -404,6 +484,19 @@ fn read_report(r: &mut Reader<'_>) -> Result<PoleReport, WireError> {
             return Err(WireError::Malformed("pole_temp_c"));
         }
         Some(temp)
+    } else {
+        None
+    };
+    let capture_ms = if version >= 2 {
+        let capture = r.f64()?;
+        if flags & FLAG_HAS_CAPTURE != 0 {
+            if !capture.is_finite() || capture < 0.0 {
+                return Err(WireError::Malformed("capture_ms"));
+            }
+            Some(capture)
+        } else {
+            None
+        }
     } else {
         None
     };
@@ -445,7 +538,192 @@ fn read_report(r: &mut Reader<'_>) -> Result<PoleReport, WireError> {
         stale_frames,
         age_ms,
         pole_temp_c,
+        capture_ms,
         clusters,
+    })
+}
+
+// ---------------------------------------------------------------------------
+// Telemetry body codec (wire v2).
+
+/// Writes `name` length-prefixed, truncated to [`MAX_TELEMETRY_NAME`]
+/// bytes at a character boundary.
+fn put_name(body: &mut BytesMut, name: &str) {
+    let mut end = name.len().min(MAX_TELEMETRY_NAME);
+    while !name.is_char_boundary(end) {
+        end -= 1;
+    }
+    body.put_u8(end as u8);
+    body.put_slice(&name.as_bytes()[..end]);
+}
+
+fn read_name(r: &mut Reader<'_>) -> Result<String, WireError> {
+    let len = r.u8()? as usize;
+    if len > MAX_TELEMETRY_NAME {
+        return Err(WireError::Malformed("telemetry name length"));
+    }
+    let bytes = r.take(len)?;
+    std::str::from_utf8(bytes)
+        .map(str::to_owned)
+        .map_err(|_| WireError::Malformed("telemetry name utf-8"))
+}
+
+fn put_telemetry(body: &mut BytesMut, t: &TelemetryFrame) {
+    body.put_u32_le(t.pole_id);
+    body.put_u64_le(t.seq);
+    body.put_u64_le(t.timestamp_ms);
+    body.put_f64_le(t.window_ms);
+
+    // Series are sorted by name, so truncation at the caps is
+    // deterministic. Gauges must be finite on the wire (a registry
+    // gauge that was never set reads NaN); histograms must be
+    // internally consistent — both are filtered, not rejected, so an
+    // encodable frame is always decodable.
+    let counters: Vec<_> = t
+        .snapshot
+        .counters
+        .iter()
+        .take(MAX_TELEMETRY_COUNTERS)
+        .collect();
+    body.put_u32_le(counters.len() as u32);
+    for (name, v) in counters {
+        put_name(body, name);
+        body.put_u64_le(*v);
+    }
+
+    let gauges: Vec<_> = t
+        .snapshot
+        .gauges
+        .iter()
+        .filter(|(_, v)| v.is_finite())
+        .take(MAX_TELEMETRY_GAUGES)
+        .collect();
+    body.put_u32_le(gauges.len() as u32);
+    for (name, v) in gauges {
+        put_name(body, name);
+        body.put_f64_le(*v);
+    }
+
+    let hists: Vec<_> = t
+        .snapshot
+        .histograms
+        .iter()
+        .filter(|h| telemetry_cells_consistent(h))
+        .take(MAX_TELEMETRY_HISTOGRAMS)
+        .collect();
+    body.put_u32_le(hists.len() as u32);
+    for h in hists {
+        put_name(body, &h.name);
+        body.put_u64_le(h.count);
+        body.put_f64_le(h.sum_ms);
+        body.put_f64_le(h.min_ms);
+        body.put_f64_le(h.max_ms);
+        body.put_u32_le(h.buckets.len() as u32);
+        for &(idx, c) in &h.buckets {
+            body.put_u8(idx);
+            body.put_u64_le(c);
+        }
+    }
+}
+
+/// The invariants [`read_telemetry`] enforces, checked encode-side so
+/// inconsistent cells are dropped instead of poisoning the receiver.
+fn telemetry_cells_consistent(h: &HistogramCells) -> bool {
+    if h.is_empty() {
+        return false;
+    }
+    let ascending = h.buckets.windows(2).all(|w| w[0].0 < w[1].0);
+    let occupied = h.buckets.iter().all(|&(idx, c)| idx < 64 && c > 0);
+    let total: u64 = h.buckets.iter().map(|&(_, c)| c).sum();
+    ascending
+        && occupied
+        && total == h.count
+        && h.sum_ms.is_finite()
+        && h.sum_ms >= 0.0
+        && h.min_ms.is_finite()
+        && h.max_ms.is_finite()
+        && h.min_ms >= 0.0
+        && h.min_ms <= h.max_ms
+}
+
+fn read_telemetry(r: &mut Reader<'_>) -> Result<TelemetryFrame, WireError> {
+    let pole_id = r.u32()?;
+    let seq = r.u64()?;
+    let timestamp_ms = r.u64()?;
+    let window_ms = r.f64()?;
+    if !window_ms.is_finite() || window_ms < 0.0 {
+        return Err(WireError::Malformed("window_ms"));
+    }
+
+    let n = r.u32()? as usize;
+    if n > MAX_TELEMETRY_COUNTERS {
+        return Err(WireError::Malformed("telemetry counter count"));
+    }
+    let mut counters = Vec::with_capacity(n);
+    for _ in 0..n {
+        let name = read_name(r)?;
+        counters.push((name, r.u64()?));
+    }
+
+    let n = r.u32()? as usize;
+    if n > MAX_TELEMETRY_GAUGES {
+        return Err(WireError::Malformed("telemetry gauge count"));
+    }
+    let mut gauges = Vec::with_capacity(n);
+    for _ in 0..n {
+        let name = read_name(r)?;
+        let v = r.f64()?;
+        if !v.is_finite() {
+            return Err(WireError::Malformed("telemetry gauge value"));
+        }
+        gauges.push((name, v));
+    }
+
+    let n = r.u32()? as usize;
+    if n > MAX_TELEMETRY_HISTOGRAMS {
+        return Err(WireError::Malformed("telemetry histogram count"));
+    }
+    let mut histograms = Vec::with_capacity(n);
+    for _ in 0..n {
+        let name = read_name(r)?;
+        let count = r.u64()?;
+        let sum_ms = r.f64()?;
+        let min_ms = r.f64()?;
+        let max_ms = r.f64()?;
+        let nb = r.u32()? as usize;
+        if nb > 64 {
+            return Err(WireError::Malformed("telemetry bucket count"));
+        }
+        let mut buckets = Vec::with_capacity(nb);
+        for _ in 0..nb {
+            let idx = r.u8()?;
+            let c = r.u64()?;
+            buckets.push((idx, c));
+        }
+        let cells = HistogramCells {
+            name,
+            count,
+            sum_ms,
+            min_ms,
+            max_ms,
+            buckets,
+        };
+        if !telemetry_cells_consistent(&cells) {
+            return Err(WireError::Malformed("telemetry histogram cells"));
+        }
+        histograms.push(cells);
+    }
+
+    Ok(TelemetryFrame {
+        pole_id,
+        seq,
+        timestamp_ms,
+        window_ms,
+        snapshot: TelemetrySnapshot {
+            counters,
+            gauges,
+            histograms,
+        },
     })
 }
 
@@ -463,6 +741,7 @@ pub fn encode(msg: &Message) -> Vec<u8> {
             body.put_u64_le(h.seq);
             body.put_u64_le(h.timestamp_ms);
         }
+        Message::Telemetry(t) => put_telemetry(&mut body, t),
     }
     let body = body.freeze().to_vec();
     debug_assert!(body.len() <= MAX_BODY_LEN, "report exceeds MAX_BODY_LEN");
@@ -495,7 +774,7 @@ pub fn decode(buf: &[u8]) -> Result<Option<(Message, usize)>, WireError> {
         return Err(WireError::BadMagic(magic));
     }
     let version = r.u8().expect("length checked");
-    if version != VERSION {
+    if !(MIN_VERSION..=VERSION).contains(&version) {
         return Err(WireError::UnsupportedVersion(version));
     }
     let msg_type = r.u8().expect("length checked");
@@ -521,13 +800,16 @@ pub fn decode(buf: &[u8]) -> Result<Option<(Message, usize)>, WireError> {
     let mut r = Reader::new(body);
     let msg = match msg_type {
         1 => Message::Hello { pole_id: r.u32()? },
-        2 => Message::Report(read_report(&mut r)?),
+        2 => Message::Report(read_report(&mut r, version)?),
         3 => Message::Heartbeat(Heartbeat {
             pole_id: r.u32()?,
             seq: r.u64()?,
             timestamp_ms: r.u64()?,
         }),
         4 => Message::Bye { pole_id: r.u32()? },
+        // Telemetry was introduced in v2; a v1 frame claiming it is
+        // corruption, not compatibility.
+        5 if version >= 2 => Message::Telemetry(read_telemetry(&mut r)?),
         other => return Err(WireError::UnknownMessageType(other)),
     };
     if r.remaining() != 0 {
@@ -557,6 +839,7 @@ impl FrameDecoder {
 
     /// Appends raw bytes received from the transport.
     pub fn push(&mut self, bytes: &[u8]) {
+        obs::incr("fleet.wire.bytes_received", bytes.len() as u64);
         if self.poisoned.is_none() {
             self.buf.extend_from_slice(bytes);
         }
@@ -571,6 +854,7 @@ impl FrameDecoder {
     /// needed.
     pub fn next_message(&mut self) -> Result<Option<Message>, WireError> {
         if let Some(err) = self.poisoned {
+            obs::incr("fleet.wire.decode_errors", 1);
             return Err(err);
         }
         match decode(&self.buf) {
@@ -580,6 +864,17 @@ impl FrameDecoder {
             }
             Ok(None) => Ok(None),
             Err(err) => {
+                obs::incr("fleet.wire.decode_errors", 1);
+                obs::incr("fleet.wire.decoder_poisonings", 1);
+                match err {
+                    WireError::ChecksumMismatch { .. } => {
+                        obs::incr("fleet.wire.crc_failures", 1);
+                    }
+                    WireError::Oversize(_) => {
+                        obs::incr("fleet.wire.oversize_rejects", 1);
+                    }
+                    _ => {}
+                }
                 self.poisoned = Some(err);
                 Err(err)
             }
@@ -612,6 +907,7 @@ mod tests {
             stale_frames: 3,
             age_ms: 218.25,
             pole_temp_c: Some(48.5),
+            capture_ms: Some(123_400.5),
             clusters: (0..clusters)
                 .map(|i| ClusterObservation {
                     centroid: Point3::new(14.0 + i as f64, -1.25, -2.0),
@@ -749,6 +1045,163 @@ mod tests {
         assert!(decoder.next_message().unwrap().is_some());
     }
 
+    /// Encodes `r` exactly as a v1 sender would: version byte 1, no
+    /// capture field, recomputed CRC.
+    fn encode_v1_report(r: &PoleReport) -> Vec<u8> {
+        assert!(r.capture_ms.is_none(), "v1 cannot carry capture_ms");
+        let mut body = BytesMut::new();
+        body.put_u32_le(r.pole_id);
+        body.put_u64_le(r.seq);
+        body.put_u64_le(r.timestamp_ms);
+        body.put_u32_le(r.count);
+        body.put_u8(health_byte(r.health));
+        body.put_u8(eps_byte(r.eps_rung));
+        body.put_u8(precision_byte(r.precision));
+        let mut flags = 0u8;
+        if r.held {
+            flags |= FLAG_HELD;
+        }
+        if r.pole_temp_c.is_some() {
+            flags |= FLAG_HAS_TEMP;
+        }
+        body.put_u8(flags);
+        body.put_u32_le(r.stale_frames);
+        body.put_f64_le(r.age_ms);
+        body.put_f64_le(r.pole_temp_c.unwrap_or(0.0));
+        body.put_u32_le(r.clusters.len() as u32);
+        for c in &r.clusters {
+            body.put_f64_le(c.centroid.x);
+            body.put_f64_le(c.centroid.y);
+            body.put_f64_le(c.centroid.z);
+            body.put_u32_le(c.points);
+            body.put_f64_le(c.confidence);
+        }
+        let body = body.freeze().to_vec();
+        let mut frame = BytesMut::new();
+        frame.put_u32_le(MAGIC);
+        frame.put_u8(1); // wire v1
+        frame.put_u8(2); // Report
+        frame.put_u32_le(body.len() as u32);
+        frame.put_slice(&body);
+        let mut out = frame.freeze().to_vec();
+        let crc = crc32(&out[4..]);
+        out.extend_from_slice(&crc.to_le_bytes());
+        out
+    }
+
+    #[test]
+    fn v1_report_frames_still_decode() {
+        let mut report = sample_report(3);
+        report.capture_ms = None;
+        let bytes = encode_v1_report(&report);
+        let (decoded, consumed) = decode(&bytes).expect("v1 decodes").unwrap();
+        assert_eq!(consumed, bytes.len());
+        assert_eq!(decoded, Message::Report(report));
+    }
+
+    #[test]
+    fn v1_frames_reject_v2_only_flags_and_types() {
+        // A v1 frame carrying the capture flag is corruption.
+        let report = sample_report(0);
+        let mut bytes = encode_v1_report(&PoleReport {
+            capture_ms: None,
+            ..report.clone()
+        });
+        let flags_at = HEADER_LEN + 4 + 8 + 8 + 4 + 3;
+        bytes[flags_at] |= FLAG_HAS_CAPTURE;
+        let crc = crc32(&bytes[4..bytes.len() - CHECKSUM_LEN]);
+        let len = bytes.len();
+        bytes[len - CHECKSUM_LEN..].copy_from_slice(&crc.to_le_bytes());
+        assert_eq!(
+            decode(&bytes),
+            Err(WireError::Malformed("unknown report flags"))
+        );
+
+        // And so is a v1 frame claiming the v2-only Telemetry type.
+        let mut bytes = encode(&Message::Telemetry(sample_telemetry()));
+        bytes[4] = 1; // version byte
+        let body_len = bytes.len() - HEADER_LEN - CHECKSUM_LEN;
+        let crc = crc32(&bytes[4..HEADER_LEN + body_len]);
+        let len = bytes.len();
+        bytes[len - CHECKSUM_LEN..].copy_from_slice(&crc.to_le_bytes());
+        assert_eq!(decode(&bytes), Err(WireError::UnknownMessageType(5)));
+    }
+
+    fn sample_telemetry() -> TelemetryFrame {
+        let reg = obs::Registry::new();
+        reg.incr("pole.frames", 240);
+        reg.incr("pole.frames_held", 3);
+        reg.set_gauge("pole.temp_c", 51.25);
+        reg.set_gauge("pole.queue_depth", 2.0);
+        for ms in [4.0, 4.5, 5.0, 80.0] {
+            reg.observe_ms("pole.frame", ms);
+        }
+        TelemetryFrame {
+            pole_id: 7,
+            seq: 240,
+            timestamp_ms: 60_000,
+            window_ms: 5_000.0,
+            snapshot: reg.telemetry(),
+        }
+    }
+
+    #[test]
+    fn telemetry_round_trips() {
+        let msg = Message::Telemetry(sample_telemetry());
+        let bytes = encode(&msg);
+        let (decoded, consumed) = decode(&bytes).unwrap().unwrap();
+        assert_eq!(consumed, bytes.len());
+        assert_eq!(decoded, msg);
+        assert_eq!(decoded.pole_id(), 7);
+    }
+
+    #[test]
+    fn telemetry_encoder_filters_what_the_decoder_rejects() {
+        let mut frame = sample_telemetry();
+        // A never-set gauge reads NaN; an empty histogram has no
+        // occupancy. Neither may cross the wire.
+        frame.snapshot.gauges.push(("pole.unset".into(), f64::NAN));
+        frame
+            .snapshot
+            .histograms
+            .push(obs::HistogramCells::empty("pole.quiet"));
+        let bytes = encode(&Message::Telemetry(frame.clone()));
+        let (decoded, _) = decode(&bytes).unwrap().unwrap();
+        match decoded {
+            Message::Telemetry(t) => {
+                assert!(t.snapshot.gauge("pole.unset").is_none());
+                assert!(t.snapshot.histogram("pole.quiet").is_none());
+                assert_eq!(t.snapshot.counters, frame.snapshot.counters);
+            }
+            other => panic!("expected telemetry, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn telemetry_truncates_at_the_wire_caps() {
+        let mut frame = sample_telemetry();
+        frame.snapshot.counters = (0..MAX_TELEMETRY_COUNTERS + 50)
+            .map(|i| (format!("c{i:04}"), i as u64 + 1))
+            .collect();
+        let long_name = "n".repeat(MAX_TELEMETRY_NAME + 40);
+        frame.snapshot.gauges = vec![(long_name.clone(), 1.5)];
+        let bytes = encode(&Message::Telemetry(frame));
+        assert!(bytes.len() <= HEADER_LEN + MAX_BODY_LEN + CHECKSUM_LEN);
+        let (decoded, _) = decode(&bytes).unwrap().unwrap();
+        match decoded {
+            Message::Telemetry(t) => {
+                assert_eq!(t.snapshot.counters.len(), MAX_TELEMETRY_COUNTERS);
+                assert_eq!(t.snapshot.counters[0], ("c0000".into(), 1));
+                assert_eq!(
+                    t.snapshot.gauges[0].0,
+                    long_name[..MAX_TELEMETRY_NAME],
+                    "long names truncate, not reject"
+                );
+            }
+            other => panic!("expected telemetry, got {other:?}"),
+        }
+    }
+
     fn arb_cluster() -> impl Strategy<Value = ClusterObservation> {
         (
             (-500.0f64..500.0, -500.0f64..500.0, -10.0f64..10.0),
@@ -764,14 +1217,17 @@ mod tests {
 
     fn arb_report() -> impl Strategy<Value = PoleReport> {
         // The vendored proptest tops out at 5-element tuples, so the
-        // fields are grouped: identity, ladder state, hold state.
+        // fields are grouped: identity, ladder state, hold state,
+        // trace context.
         let identity = (0u32..u32::MAX, 0u64..u64::MAX, 0u64..u64::MAX, 0u32..10_000);
         let ladder = (0u8..3, 0u8..3, 0u8..2, 0u8..2);
         let hold = (0u32..1_000, 0.0f64..1e9, 0u8..2, -40.0f64..90.0);
+        let trace = (0u8..2, 0.0f64..1e12);
         (
             identity,
             ladder,
             hold,
+            trace,
             proptest::collection::vec(arb_cluster(), 0..12),
         )
             .prop_map(
@@ -779,6 +1235,7 @@ mod tests {
                     (pole_id, seq, timestamp_ms, count),
                     (health, eps, precision, held),
                     (stale_frames, age_ms, has_temp, temp),
+                    (has_capture, capture_ms),
                     clusters,
                 )| {
                     PoleReport {
@@ -793,10 +1250,72 @@ mod tests {
                         stale_frames,
                         age_ms,
                         pole_temp_c: (has_temp == 1).then_some(temp),
+                        capture_ms: (has_capture == 1).then_some(capture_ms),
                         clusters,
                     }
                 },
             )
+    }
+
+    fn arb_telemetry() -> impl Strategy<Value = TelemetryFrame> {
+        // Build through a real scoped registry, which yields exactly
+        // the sorted, internally consistent snapshots agents emit.
+        let counters = proptest::collection::vec((0usize..24, 1u64..1_000_000), 0..24);
+        let gauges = proptest::collection::vec((0usize..12, -1e6f64..1e6), 0..12);
+        let hists = proptest::collection::vec(
+            (0usize..6, proptest::collection::vec(0.0f64..1e7, 1..24)),
+            0..6,
+        );
+        let header = (0u32..u32::MAX, 0u64..u64::MAX, 0u64..u64::MAX, 0.0f64..1e9);
+        (counters, gauges, hists, header).prop_map(
+            |(counters, gauges, hists, (pole_id, seq, timestamp_ms, window_ms))| {
+                let reg = obs::Registry::new();
+                for (i, v) in counters {
+                    reg.incr(&format!("counter.{i:02}"), v);
+                }
+                for (i, v) in gauges {
+                    reg.set_gauge(&format!("gauge.{i:02}"), v);
+                }
+                for (i, samples) in hists {
+                    for ms in samples {
+                        reg.observe_ms(&format!("hist.{i:02}"), ms);
+                    }
+                }
+                TelemetryFrame {
+                    pole_id,
+                    seq,
+                    timestamp_ms,
+                    window_ms,
+                    snapshot: reg.telemetry(),
+                }
+            },
+        )
+    }
+
+    proptest! {
+        #[test]
+        fn telemetry_round_trip(frame in arb_telemetry()) {
+            let msg = Message::Telemetry(frame);
+            let bytes = encode(&msg);
+            let (decoded, consumed) = decode(&bytes).unwrap().unwrap();
+            prop_assert_eq!(consumed, bytes.len());
+            prop_assert_eq!(decoded, msg);
+        }
+
+        #[test]
+        fn decode_never_panics_on_corrupted_telemetry(
+            frame in arb_telemetry(),
+            flips in proptest::collection::vec((0usize..4096, 0u8..8), 1..8),
+            cut in 0usize..4096,
+        ) {
+            let mut bytes = encode(&Message::Telemetry(frame));
+            for (pos, bit) in flips {
+                let len = bytes.len();
+                bytes[pos % len] ^= 1 << bit;
+            }
+            bytes.truncate(cut.min(bytes.len()));
+            let _ = decode(&bytes);
+        }
     }
 
     proptest! {

@@ -93,6 +93,54 @@ pub fn snapshot_jsonl(snap: &Snapshot) -> String {
     out
 }
 
+/// One JSON line for a whole [`TelemetrySnapshot`]: counters and
+/// gauges inline, histograms summarised (the full cells travel on the
+/// wire, not in dashboards).
+pub fn telemetry_jsonl(t: &crate::TelemetrySnapshot) -> String {
+    let mut out = String::from("{\"counters\":{");
+    for (i, (name, v)) in t.counters.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let _ = write!(out, "\"{}\":{v}", json_escape(name));
+    }
+    out.push_str("},\"gauges\":{");
+    let mut first = true;
+    for (name, v) in &t.gauges {
+        if v.is_nan() {
+            continue;
+        }
+        if !first {
+            out.push(',');
+        }
+        first = false;
+        let _ = write!(out, "\"{}\":{}", json_escape(name), json_f64(*v));
+    }
+    out.push_str("},\"histograms\":[");
+    for (i, h) in t.histogram_summaries().iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let _ = write!(
+            out,
+            concat!(
+                r#"{{"name":"{}","count":{},"mean_ms":{},"#,
+                r#""p50_ms":{},"p95_ms":{},"p99_ms":{},"min_ms":{},"max_ms":{}}}"#
+            ),
+            json_escape(&h.name),
+            h.count,
+            json_f64(h.mean_ms),
+            json_f64(h.p50_ms),
+            json_f64(h.p95_ms),
+            json_f64(h.p99_ms),
+            json_f64(h.min_ms),
+            json_f64(h.max_ms),
+        );
+    }
+    out.push_str("]}");
+    out
+}
+
 /// One JSON line per frame record, oldest first.
 pub fn journal_jsonl<'a>(entries: impl IntoIterator<Item = &'a FrameRecord>) -> String {
     let mut out = String::new();
@@ -242,6 +290,22 @@ mod tests {
         // NaN gauges must serialise as null, not as invalid JSON.
         assert!(lines[2].contains(r#""value":null"#));
         assert!(lines[3].contains(r#""count":2"#));
+    }
+
+    #[test]
+    fn telemetry_jsonl_is_one_balanced_object() {
+        let reg = crate::Registry::new();
+        reg.incr("c", 3);
+        reg.set_gauge("g", 1.5);
+        reg.set_gauge("unset", f64::NAN);
+        reg.observe_ms("h", 2.0);
+        let line = telemetry_jsonl(&reg.telemetry());
+        assert!(line.starts_with('{') && line.ends_with('}'));
+        assert_eq!(line.matches('{').count(), line.matches('}').count());
+        assert!(line.contains(r#""c":3"#));
+        assert!(line.contains(r#""g":1.5"#));
+        assert!(!line.contains("unset"), "NaN gauges are omitted");
+        assert!(line.contains(r#""count":1"#));
     }
 
     #[test]

@@ -18,9 +18,13 @@
 //! pipeline outputs are bit-identical with telemetry on or off — the
 //! root determinism test pins that.
 //!
-//! The registry is process-global on purpose: a pole runs one pipeline,
-//! and threading a context handle through every crate would put an
-//! observability concern in every signature.
+//! The *default* registry is process-global on purpose: a pole runs
+//! one pipeline, and threading a context handle through every crate
+//! would put an observability concern in every signature. Components
+//! that need isolated series — a fleet agent emitting per-pole
+//! telemetry, a bench that must not leak state across cells — own a
+//! [`Registry`] of their own and dump it as a portable
+//! [`TelemetrySnapshot`] (see [`telemetry`]).
 
 #![warn(missing_docs)]
 
@@ -29,6 +33,7 @@ pub mod export;
 pub mod journal;
 pub mod metrics;
 mod span;
+pub mod telemetry;
 
 use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicBool, Ordering};
@@ -44,24 +49,139 @@ pub use span::{
     frame_points_in, frame_seed, frame_skipped, frame_stage_ms, frame_stage_total, frame_start,
     frame_verdict, stage, timed_ms, FrameStats,
 };
+pub use telemetry::{HistogramCells, TelemetrySnapshot};
 
 static ENABLED: AtomicBool = AtomicBool::new(false);
 
-struct Registry {
+/// An isolated metrics registry: counters, gauges, histograms, and a
+/// frame journal under one namespace.
+///
+/// The process-global registry (reached through the free functions
+/// [`counter`], [`incr`], [`snapshot`], …) is one instance of this
+/// type. Owning a scoped `Registry` gives a component series that no
+/// other code can touch — a pole agent's per-pole telemetry, a bench
+/// cell's private stats. Scoped instrument helpers are **not** gated
+/// on [`enabled`]: whoever constructed the registry asked for the
+/// data, while the global free functions stay off-by-default.
+#[derive(Debug, Default)]
+pub struct Registry {
     counters: RwLock<BTreeMap<String, Arc<Counter>>>,
     gauges: RwLock<BTreeMap<String, Arc<Gauge>>>,
     histograms: RwLock<BTreeMap<String, Arc<Histogram>>>,
     journal: Mutex<Journal>,
 }
 
+impl Registry {
+    /// An empty registry.
+    pub fn new() -> Self {
+        Registry::default()
+    }
+
+    /// The counter registered under `name`, creating it on first use.
+    pub fn counter(&self, name: &str) -> Arc<Counter> {
+        get_or_create(&self.counters, name)
+    }
+
+    /// Adds `n` to counter `name`.
+    pub fn incr(&self, name: &str, n: u64) {
+        self.counter(name).add(n);
+    }
+
+    /// The gauge registered under `name`, creating it on first use.
+    pub fn gauge(&self, name: &str) -> Arc<Gauge> {
+        get_or_create(&self.gauges, name)
+    }
+
+    /// Sets gauge `name` to `v`.
+    pub fn set_gauge(&self, name: &str, v: f64) {
+        self.gauge(name).set(v);
+    }
+
+    /// The histogram registered under `name`, creating it on first
+    /// use.
+    pub fn histogram(&self, name: &str) -> Arc<Histogram> {
+        get_or_create(&self.histograms, name)
+    }
+
+    /// Observes `ms` into histogram `name`.
+    pub fn observe_ms(&self, name: &str, ms: f64) {
+        self.histogram(name).observe(ms);
+    }
+
+    /// Summarised point-in-time view (rendering format).
+    pub fn snapshot(&self) -> Snapshot {
+        Snapshot {
+            counters: self
+                .counters
+                .read()
+                .iter()
+                .map(|(name, c)| (name.clone(), c.get()))
+                .collect(),
+            gauges: self
+                .gauges
+                .read()
+                .iter()
+                .map(|(name, g)| (name.clone(), g.get()))
+                .collect(),
+            histograms: self
+                .histograms
+                .read()
+                .iter()
+                .map(|(name, h)| h.snapshot(name))
+                .collect(),
+        }
+    }
+
+    /// Portable, mergeable dump of every instrument (transport
+    /// format) — counters as totals, gauges, full histogram cells.
+    /// Never-set gauges (still `NaN`) are omitted: a pre-registered
+    /// handle nobody wrote to carries no information, and `NaN` would
+    /// poison bitwise snapshot comparison downstream.
+    pub fn telemetry(&self) -> TelemetrySnapshot {
+        TelemetrySnapshot {
+            counters: self
+                .counters
+                .read()
+                .iter()
+                .map(|(name, c)| (name.clone(), c.get()))
+                .collect(),
+            gauges: self
+                .gauges
+                .read()
+                .iter()
+                .filter_map(|(name, g)| {
+                    let v = g.get();
+                    (!v.is_nan()).then(|| (name.clone(), v))
+                })
+                .collect(),
+            histograms: self
+                .histograms
+                .read()
+                .iter()
+                .map(|(name, h)| h.cells(name))
+                .collect(),
+        }
+    }
+
+    /// Clears every metric and the journal; instruments stay
+    /// registered.
+    pub fn reset(&self) {
+        for c in self.counters.read().values() {
+            c.reset();
+        }
+        for g in self.gauges.read().values() {
+            g.set(f64::NAN);
+        }
+        for h in self.histograms.read().values() {
+            h.reset();
+        }
+        self.journal.lock().clear();
+    }
+}
+
 fn registry() -> &'static Registry {
     static REGISTRY: OnceLock<Registry> = OnceLock::new();
-    REGISTRY.get_or_init(|| Registry {
-        counters: RwLock::new(BTreeMap::new()),
-        gauges: RwLock::new(BTreeMap::new()),
-        histograms: RwLock::new(BTreeMap::new()),
-        journal: Mutex::new(Journal::default()),
-    })
+    REGISTRY.get_or_init(Registry::new)
 }
 
 fn get_or_create<T: Default>(map: &RwLock<BTreeMap<String, Arc<T>>>, name: &str) -> Arc<T> {
@@ -81,9 +201,10 @@ pub fn enabled() -> bool {
     ENABLED.load(Ordering::Relaxed)
 }
 
-/// The counter registered under `name`, creating it on first use.
+/// The global counter registered under `name`, creating it on first
+/// use.
 pub fn counter(name: &str) -> Arc<Counter> {
-    get_or_create(&registry().counters, name)
+    registry().counter(name)
 }
 
 /// Adds `n` to counter `name` — a no-op while telemetry is off.
@@ -93,9 +214,9 @@ pub fn incr(name: &str, n: u64) {
     }
 }
 
-/// The gauge registered under `name`, creating it on first use.
+/// The global gauge registered under `name`, creating it on first use.
 pub fn gauge(name: &str) -> Arc<Gauge> {
-    get_or_create(&registry().gauges, name)
+    registry().gauge(name)
 }
 
 /// Sets gauge `name` to `v` — a no-op while telemetry is off.
@@ -105,9 +226,10 @@ pub fn set_gauge(name: &str, v: f64) {
     }
 }
 
-/// The histogram registered under `name`, creating it on first use.
+/// The global histogram registered under `name`, creating it on first
+/// use.
 pub fn histogram(name: &str) -> Arc<Histogram> {
-    get_or_create(&registry().histograms, name)
+    registry().histogram(name)
 }
 
 /// Observes `ms` into histogram `name` — a no-op while telemetry is
@@ -129,29 +251,16 @@ pub struct Snapshot {
     pub histograms: Vec<HistogramSnapshot>,
 }
 
-/// Snapshots all registered metrics.
+/// Snapshots all globally registered metrics.
 pub fn snapshot() -> Snapshot {
-    let reg = registry();
-    Snapshot {
-        counters: reg
-            .counters
-            .read()
-            .iter()
-            .map(|(name, c)| (name.clone(), c.get()))
-            .collect(),
-        gauges: reg
-            .gauges
-            .read()
-            .iter()
-            .map(|(name, g)| (name.clone(), g.get()))
-            .collect(),
-        histograms: reg
-            .histograms
-            .read()
-            .iter()
-            .map(|(name, h)| h.snapshot(name))
-            .collect(),
-    }
+    registry().snapshot()
+}
+
+/// Portable, mergeable dump of the global registry. Benches take one
+/// before a cell and [`TelemetrySnapshot::delta_since`] after it for
+/// honest per-cell stats without resetting shared state.
+pub fn telemetry_snapshot() -> TelemetrySnapshot {
+    registry().telemetry()
 }
 
 /// Appends a frame record to the journal, returning its sequence
@@ -175,20 +284,12 @@ pub fn set_journal_capacity(capacity: usize) {
     registry().journal.lock().set_capacity(capacity);
 }
 
-/// Clears every metric and the journal; instruments stay registered.
-/// Meant for test isolation and between-run resets.
+/// Clears every global metric and the journal; instruments stay
+/// registered. Meant for test isolation and between-run resets —
+/// long-lived processes should prefer [`telemetry_snapshot`] deltas,
+/// which don't destroy other readers' baselines.
 pub fn reset() {
-    let reg = registry();
-    for c in reg.counters.read().values() {
-        c.reset();
-    }
-    for g in reg.gauges.read().values() {
-        g.set(f64::NAN);
-    }
-    for h in reg.histograms.read().values() {
-        h.reset();
-    }
-    reg.journal.lock().clear();
+    registry().reset();
 }
 
 #[cfg(test)]
@@ -224,6 +325,38 @@ mod tests {
             .histograms
             .iter()
             .any(|h| h.name == "test.lib.h" && h.count >= 1));
+    }
+
+    #[test]
+    fn scoped_registries_are_isolated_from_the_global_one() {
+        let scoped = Registry::new();
+        scoped.incr("test.scoped.c", 7);
+        scoped.set_gauge("test.scoped.g", 3.0);
+        scoped.observe_ms("test.scoped.h", 2.0);
+        // Scoped writes are ungated and land only in the scoped
+        // registry.
+        assert_eq!(scoped.counter("test.scoped.c").get(), 7);
+        assert_eq!(counter("test.scoped.c").get(), 0);
+        assert!(gauge("test.scoped.g").get().is_nan());
+        assert_eq!(histogram("test.scoped.h").count(), 0);
+        // And the scoped dump carries everything.
+        let t = scoped.telemetry();
+        assert_eq!(t.counter("test.scoped.c"), 7);
+        assert_eq!(t.gauge("test.scoped.g"), Some(3.0));
+        assert_eq!(t.histogram("test.scoped.h").unwrap().count, 1);
+    }
+
+    #[test]
+    fn telemetry_delta_since_tracks_a_window() {
+        let scoped = Registry::new();
+        scoped.incr("test.delta.c", 2);
+        scoped.observe_ms("test.delta.h", 1.0);
+        let base = scoped.telemetry();
+        scoped.incr("test.delta.c", 5);
+        scoped.observe_ms("test.delta.h", 4.0);
+        let delta = scoped.telemetry().delta_since(&base);
+        assert_eq!(delta.counter("test.delta.c"), 5);
+        assert_eq!(delta.histogram("test.delta.h").unwrap().count, 1);
     }
 
     #[test]

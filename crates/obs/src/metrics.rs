@@ -107,7 +107,7 @@ impl Gauge {
 /// octave. Bucket 0 tops out at [`BUCKET_LO_MS`]·√2; the range covers
 /// one microsecond to roughly 70 minutes, wide enough for anything a
 /// pole-side pipeline can produce.
-const BUCKETS: usize = 64;
+pub(crate) const BUCKETS: usize = 64;
 /// Lower edge (ms) of the histogram range.
 const BUCKET_LO_MS: f64 = 1e-3;
 
@@ -170,8 +170,17 @@ fn bucket_index(ms: f64) -> usize {
     idx.min(BUCKETS - 1)
 }
 
-fn bucket_upper_ms(idx: usize) -> f64 {
+pub(crate) fn bucket_upper_ms(idx: usize) -> f64 {
     BUCKET_LO_MS * 2f64.powf((idx + 1) as f64 / 2.0)
+}
+
+/// Lower edge of bucket `idx` (0 for the catch-all first bucket).
+pub(crate) fn bucket_lower_ms(idx: usize) -> f64 {
+    if idx == 0 {
+        0.0
+    } else {
+        BUCKET_LO_MS * 2f64.powf(idx as f64 / 2.0)
+    }
 }
 
 impl Histogram {
@@ -236,6 +245,22 @@ impl Histogram {
         self.sum_ms.store(0.0);
         self.min_ms.store(f64::INFINITY);
         self.max_ms.store(f64::NEG_INFINITY);
+    }
+
+    pub(crate) fn bucket_count(&self, idx: usize) -> u64 {
+        self.buckets[idx].load(Ordering::Relaxed)
+    }
+
+    pub(crate) fn sum_ms_total(&self) -> f64 {
+        self.sum_ms.load()
+    }
+
+    pub(crate) fn min_ms_raw(&self) -> f64 {
+        self.min_ms.load()
+    }
+
+    pub(crate) fn max_ms_raw(&self) -> f64 {
+        self.max_ms.load()
     }
 }
 

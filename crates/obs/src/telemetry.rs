@@ -1,0 +1,481 @@
+//! Portable, mergeable telemetry snapshots.
+//!
+//! [`crate::Snapshot`] is a rendering format: histogram summaries with
+//! pre-computed quantiles that cannot be combined after the fact
+//! (quantiles do not add). This module is the *transport* format: a
+//! [`TelemetrySnapshot`] carries raw counter totals, gauge values, and
+//! the full log-bucket occupancy of every histogram, so two snapshots
+//! from different poles — or from the same pole at different times —
+//! merge **exactly**:
+//!
+//! - counters add;
+//! - gauges are last-value-wins (the merged-in side wins);
+//! - histograms merge bucket-by-bucket, which is bit-identical to
+//!   having observed the union of both sample sets in the first place
+//!   (bucket counts, total count, min and max are exact; only `sum_ms`
+//!   is subject to float-addition ordering).
+//!
+//! The dual operation is [`TelemetrySnapshot::delta_since`], which
+//! subtracts an earlier snapshot of the *same* registry to get the
+//! activity of a window — what a pole agent ships on its heartbeat
+//! cadence, and what benches use for honest per-cell stats instead of
+//! resetting the global registry.
+
+use serde::{Deserialize, Serialize};
+
+use crate::metrics::{bucket_lower_ms, bucket_upper_ms, Histogram, HistogramSnapshot, BUCKETS};
+
+/// The full bucket occupancy of one histogram, sparse and portable.
+///
+/// Unlike [`HistogramSnapshot`] this is lossless with respect to the
+/// underlying buckets, so any number of cells can be merged and the
+/// quantiles of the merged distribution computed afterwards.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct HistogramCells {
+    /// Registry name of the series.
+    pub name: String,
+    /// Number of observations.
+    pub count: u64,
+    /// Sum of all observations, ms.
+    pub sum_ms: f64,
+    /// Exact smallest observation, ms (`INFINITY` when empty).
+    pub min_ms: f64,
+    /// Exact largest observation, ms (`NEG_INFINITY` when empty).
+    pub max_ms: f64,
+    /// `(bucket index, occupancy)`, ascending index, zero-occupancy
+    /// buckets omitted. Indices address the registry's fixed √2
+    /// geometric bucket grid, so cells from any two histograms are
+    /// directly comparable.
+    pub buckets: Vec<(u8, u64)>,
+}
+
+impl HistogramCells {
+    /// An empty cell set under `name`.
+    pub fn empty(name: impl Into<String>) -> Self {
+        HistogramCells {
+            name: name.into(),
+            count: 0,
+            sum_ms: 0.0,
+            min_ms: f64::INFINITY,
+            max_ms: f64::NEG_INFINITY,
+            buckets: Vec::new(),
+        }
+    }
+
+    /// Whether no observations are recorded.
+    pub fn is_empty(&self) -> bool {
+        self.count == 0
+    }
+
+    /// Folds `other` in. Bucket-exact: the result has the same bucket
+    /// occupancy, count, min and max as a histogram that observed both
+    /// sample sets directly.
+    pub fn merge(&mut self, other: &HistogramCells) {
+        self.count += other.count;
+        self.sum_ms += other.sum_ms;
+        self.min_ms = self.min_ms.min(other.min_ms);
+        self.max_ms = self.max_ms.max(other.max_ms);
+        let mut merged: Vec<(u8, u64)> =
+            Vec::with_capacity(self.buckets.len() + other.buckets.len());
+        let (mut a, mut b) = (
+            self.buckets.iter().peekable(),
+            other.buckets.iter().peekable(),
+        );
+        loop {
+            match (a.peek(), b.peek()) {
+                (Some(&&(ia, ca)), Some(&&(ib, cb))) => {
+                    if ia < ib {
+                        merged.push((ia, ca));
+                        a.next();
+                    } else if ib < ia {
+                        merged.push((ib, cb));
+                        b.next();
+                    } else {
+                        merged.push((ia, ca + cb));
+                        a.next();
+                        b.next();
+                    }
+                }
+                (Some(&&x), None) => {
+                    merged.push(x);
+                    a.next();
+                }
+                (None, Some(&&x)) => {
+                    merged.push(x);
+                    b.next();
+                }
+                (None, None) => break,
+            }
+        }
+        self.buckets = merged;
+    }
+
+    /// Quantile estimate for `q` in `[0, 1]`; `None` when empty. Same
+    /// estimator as [`Histogram::quantile`]: bucket upper edge clamped
+    /// into `[min, max]`.
+    pub fn quantile(&self, q: f64) -> Option<f64> {
+        if self.count == 0 {
+            return None;
+        }
+        let q = q.clamp(0.0, 1.0);
+        let rank = ((q * self.count as f64).ceil() as u64).max(1);
+        let mut cum = 0u64;
+        for &(idx, c) in &self.buckets {
+            cum += c;
+            if cum >= rank {
+                let est = bucket_upper_ms(idx as usize);
+                return Some(est.clamp(self.min_ms, self.max_ms));
+            }
+        }
+        Some(self.max_ms)
+    }
+
+    /// Summarises into the rendering format.
+    pub fn summary(&self) -> HistogramSnapshot {
+        HistogramSnapshot {
+            name: self.name.clone(),
+            count: self.count,
+            sum_ms: self.sum_ms,
+            mean_ms: if self.count == 0 {
+                0.0
+            } else {
+                self.sum_ms / self.count as f64
+            },
+            p50_ms: self.quantile(0.50).unwrap_or(0.0),
+            p95_ms: self.quantile(0.95).unwrap_or(0.0),
+            p99_ms: self.quantile(0.99).unwrap_or(0.0),
+            min_ms: if self.count == 0 { 0.0 } else { self.min_ms },
+            max_ms: if self.count == 0 { 0.0 } else { self.max_ms },
+        }
+    }
+
+    /// The window of activity since `base` (an earlier cell dump of
+    /// the same histogram). Bucket counts and totals subtract exactly.
+    /// Min/max cannot be un-merged, so the delta's extremes are exact
+    /// when `base` was empty and otherwise estimated from the delta's
+    /// own occupied bucket range, clamped into the lifetime extremes.
+    pub fn delta_since(&self, base: &HistogramCells) -> HistogramCells {
+        if base.count == 0 {
+            return self.clone();
+        }
+        let mut buckets: Vec<(u8, u64)> = Vec::new();
+        for &(idx, cur) in &self.buckets {
+            let prev = base
+                .buckets
+                .iter()
+                .find(|&&(i, _)| i == idx)
+                .map_or(0, |&(_, c)| c);
+            let d = cur.saturating_sub(prev);
+            if d > 0 {
+                buckets.push((idx, d));
+            }
+        }
+        let count = self.count.saturating_sub(base.count);
+        let (min_ms, max_ms) = if count == 0 {
+            (f64::INFINITY, f64::NEG_INFINITY)
+        } else {
+            let lo = buckets.first().map_or(self.min_ms, |&(i, _)| {
+                bucket_lower_ms(i as usize).max(self.min_ms)
+            });
+            let hi = buckets.last().map_or(self.max_ms, |&(i, _)| {
+                bucket_upper_ms(i as usize).min(self.max_ms)
+            });
+            (lo, hi.max(lo))
+        };
+        HistogramCells {
+            name: self.name.clone(),
+            count,
+            sum_ms: (self.sum_ms - base.sum_ms).max(0.0),
+            min_ms,
+            max_ms,
+            buckets,
+        }
+    }
+}
+
+impl Histogram {
+    /// Dumps the current state as portable cells under `name`.
+    pub fn cells(&self, name: &str) -> HistogramCells {
+        let count = self.count();
+        let mut buckets = Vec::new();
+        for idx in 0..BUCKETS {
+            let c = self.bucket_count(idx);
+            if c > 0 {
+                buckets.push((idx as u8, c));
+            }
+        }
+        HistogramCells {
+            name: name.to_string(),
+            count,
+            sum_ms: self.sum_ms_total(),
+            min_ms: self.min_ms_raw(),
+            max_ms: self.max_ms_raw(),
+            buckets,
+        }
+    }
+}
+
+/// A portable, mergeable dump of a whole registry: counter totals,
+/// gauge values, and full histogram cells, each sorted by name.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct TelemetrySnapshot {
+    /// `(name, total)` per counter, ascending name.
+    pub counters: Vec<(String, u64)>,
+    /// `(name, value)` per gauge, ascending name.
+    pub gauges: Vec<(String, f64)>,
+    /// Histogram cells, ascending name.
+    pub histograms: Vec<HistogramCells>,
+}
+
+impl TelemetrySnapshot {
+    /// Whether nothing at all is recorded.
+    pub fn is_empty(&self) -> bool {
+        self.counters.is_empty() && self.gauges.is_empty() && self.histograms.is_empty()
+    }
+
+    /// Counter total under `name` (0 when absent).
+    pub fn counter(&self, name: &str) -> u64 {
+        self.counters
+            .iter()
+            .find(|(n, _)| n == name)
+            .map_or(0, |&(_, v)| v)
+    }
+
+    /// Gauge value under `name`, when present.
+    pub fn gauge(&self, name: &str) -> Option<f64> {
+        self.gauges.iter().find(|(n, _)| n == name).map(|&(_, v)| v)
+    }
+
+    /// Histogram cells under `name`, when present.
+    pub fn histogram(&self, name: &str) -> Option<&HistogramCells> {
+        self.histograms.iter().find(|h| h.name == name)
+    }
+
+    /// Folds `other` in: counters add, gauges last-value-wins (the
+    /// merged-in side), histograms merge bucket-exactly by name.
+    pub fn merge(&mut self, other: &TelemetrySnapshot) {
+        for (name, v) in &other.counters {
+            match self
+                .counters
+                .binary_search_by(|(n, _)| n.as_str().cmp(name))
+            {
+                Ok(i) => self.counters[i].1 += v,
+                Err(i) => self.counters.insert(i, (name.clone(), *v)),
+            }
+        }
+        for (name, v) in &other.gauges {
+            match self.gauges.binary_search_by(|(n, _)| n.as_str().cmp(name)) {
+                Ok(i) => self.gauges[i].1 = *v,
+                Err(i) => self.gauges.insert(i, (name.clone(), *v)),
+            }
+        }
+        for h in &other.histograms {
+            match self
+                .histograms
+                .binary_search_by(|mine| mine.name.as_str().cmp(&h.name))
+            {
+                Ok(i) => self.histograms[i].merge(h),
+                Err(i) => self.histograms.insert(i, h.clone()),
+            }
+        }
+    }
+
+    /// The activity window since `base` (an earlier snapshot of the
+    /// same registry): counters subtract (zero deltas dropped), gauges
+    /// keep their current values, histograms subtract bucket-exactly
+    /// (empty deltas dropped). `merge`ing the delta onto `base`
+    /// reproduces the current bucket occupancy exactly.
+    pub fn delta_since(&self, base: &TelemetrySnapshot) -> TelemetrySnapshot {
+        let counters = self
+            .counters
+            .iter()
+            .filter_map(|(name, v)| {
+                let d = v.saturating_sub(base.counter(name));
+                (d > 0).then(|| (name.clone(), d))
+            })
+            .collect();
+        let histograms = self
+            .histograms
+            .iter()
+            .filter_map(|h| {
+                let d = match base.histogram(&h.name) {
+                    Some(b) => h.delta_since(b),
+                    None => h.clone(),
+                };
+                (!d.is_empty()).then_some(d)
+            })
+            .collect();
+        TelemetrySnapshot {
+            counters,
+            gauges: self.gauges.clone(),
+            histograms,
+        }
+    }
+
+    /// Histogram summaries (rendering format), ascending name.
+    pub fn histogram_summaries(&self) -> Vec<HistogramSnapshot> {
+        self.histograms.iter().map(|h| h.summary()).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn observed(name: &str, samples: &[f64]) -> HistogramCells {
+        let h = Histogram::default();
+        for &s in samples {
+            h.observe(s);
+        }
+        h.cells(name)
+    }
+
+    #[test]
+    fn cells_round_trip_the_histogram_state() {
+        let h = Histogram::default();
+        for ms in [0.5, 2.0, 2.1, 40.0, 1000.0] {
+            h.observe(ms);
+        }
+        let cells = h.cells("t");
+        assert_eq!(cells.count, 5);
+        assert_eq!(cells.min_ms, 0.5);
+        assert_eq!(cells.max_ms, 1000.0);
+        assert_eq!(cells.buckets.iter().map(|&(_, c)| c).sum::<u64>(), 5);
+        // Same estimator, same inputs: quantiles agree with the live
+        // histogram bit-for-bit.
+        for q in [0.0, 0.5, 0.95, 0.99, 1.0] {
+            assert_eq!(cells.quantile(q), h.quantile(q), "q={q}");
+        }
+    }
+
+    #[test]
+    fn merge_equals_observing_the_union() {
+        // Integer-valued samples: sums are exact, so even `sum_ms` is
+        // bit-identical between the merged and the directly-observed
+        // histogram.
+        let a_samples: Vec<f64> = (1..=40).map(|i| i as f64).collect();
+        let b_samples: Vec<f64> = (25..=90).map(|i| (i * 3) as f64).collect();
+        let a = observed("t", &a_samples);
+        let b = observed("t", &b_samples);
+        let union: Vec<f64> = a_samples.iter().chain(&b_samples).copied().collect();
+        let direct = observed("t", &union);
+        let mut merged = a.clone();
+        merged.merge(&b);
+        assert_eq!(merged, direct, "merge(a, b) == observing the union");
+        // And merge is symmetric on everything but float sums (which
+        // are exact here anyway).
+        let mut flipped = b.clone();
+        flipped.merge(&a);
+        assert_eq!(flipped, direct);
+    }
+
+    #[test]
+    fn merging_an_empty_cell_set_is_identity() {
+        let a = observed("t", &[1.0, 5.0, 9.0]);
+        let mut merged = a.clone();
+        merged.merge(&HistogramCells::empty("t"));
+        assert_eq!(merged, a);
+        let mut other = HistogramCells::empty("t");
+        other.merge(&a);
+        assert_eq!(other, a);
+    }
+
+    #[test]
+    fn delta_then_merge_reproduces_the_current_state() {
+        let h = Histogram::default();
+        for ms in [1.0, 4.0, 16.0] {
+            h.observe(ms);
+        }
+        let base = h.cells("t");
+        for ms in [2.0, 64.0, 64.0, 256.0] {
+            h.observe(ms);
+        }
+        let cur = h.cells("t");
+        let delta = cur.delta_since(&base);
+        assert_eq!(delta.count, 4);
+        let mut rebuilt = base.clone();
+        rebuilt.merge(&delta);
+        assert_eq!(rebuilt.count, cur.count);
+        assert_eq!(rebuilt.buckets, cur.buckets, "buckets rebuild exactly");
+    }
+
+    #[test]
+    fn delta_extremes_are_exact_from_an_empty_base() {
+        let h = Histogram::default();
+        let base = h.cells("t");
+        h.observe(3.5);
+        h.observe(7.0);
+        let delta = h.cells("t").delta_since(&base);
+        assert_eq!(delta.min_ms, 3.5);
+        assert_eq!(delta.max_ms, 7.0);
+    }
+
+    #[test]
+    fn delta_extremes_stay_bracketed_otherwise() {
+        let h = Histogram::default();
+        h.observe(1000.0); // lifetime max, outside the window
+        let base = h.cells("t");
+        h.observe(4.0);
+        h.observe(6.0);
+        let delta = h.cells("t").delta_since(&base);
+        assert_eq!(delta.count, 2);
+        // Bucket-resolution estimates: bracket the true window values
+        // and never exceed the lifetime extremes.
+        assert!(
+            delta.min_ms <= 4.0 && delta.min_ms > 0.0,
+            "{}",
+            delta.min_ms
+        );
+        assert!(
+            delta.max_ms >= 6.0 && delta.max_ms < 1000.0,
+            "{}",
+            delta.max_ms
+        );
+    }
+
+    #[test]
+    fn snapshot_merge_adds_counters_and_overwrites_gauges() {
+        let a = TelemetrySnapshot {
+            counters: vec![("x".into(), 3), ("y".into(), 1)],
+            gauges: vec![("g".into(), 1.0)],
+            histograms: vec![observed("h", &[1.0])],
+        };
+        let b = TelemetrySnapshot {
+            counters: vec![("x".into(), 4), ("z".into(), 9)],
+            gauges: vec![("g".into(), 2.5), ("q".into(), 7.0)],
+            histograms: vec![observed("h", &[8.0]), observed("h2", &[2.0])],
+        };
+        let mut m = a.clone();
+        m.merge(&b);
+        assert_eq!(m.counter("x"), 7);
+        assert_eq!(m.counter("y"), 1);
+        assert_eq!(m.counter("z"), 9);
+        assert_eq!(m.gauge("g"), Some(2.5), "merged-in gauge wins");
+        assert_eq!(m.gauge("q"), Some(7.0));
+        assert_eq!(m.histogram("h").unwrap().count, 2);
+        assert_eq!(m.histogram("h2").unwrap().count, 1);
+        let names: Vec<&str> = m.histograms.iter().map(|h| h.name.as_str()).collect();
+        let mut sorted = names.clone();
+        sorted.sort_unstable();
+        assert_eq!(names, sorted, "merge keeps name order");
+    }
+
+    #[test]
+    fn snapshot_delta_drops_quiet_series() {
+        let base = TelemetrySnapshot {
+            counters: vec![("busy".into(), 5), ("quiet".into(), 2)],
+            gauges: vec![("g".into(), 1.0)],
+            histograms: vec![observed("h", &[1.0])],
+        };
+        let mut cur = base.clone();
+        cur.counters[0].1 = 9; // busy: +4
+        let delta = cur.delta_since(&base);
+        assert_eq!(delta.counter("busy"), 4);
+        assert!(
+            !delta.counters.iter().any(|(n, _)| n == "quiet"),
+            "zero-delta counters are dropped"
+        );
+        assert!(delta.histograms.is_empty(), "empty histogram deltas too");
+        assert_eq!(delta.gauge("g"), Some(1.0), "gauges keep current values");
+    }
+}

@@ -9,6 +9,7 @@
 //! cargo run --release --example campus -- --poles 12     # bigger corridor
 //! cargo run --release --example campus -- --loss 0.2     # nastier links
 //! cargo run --release --example campus -- --json         # JSONL snapshots
+//! cargo run --release --example campus -- --ops          # health scoreboard
 //! ```
 //!
 //! Poles stand every 15 m down a shared corridor with a 23 m region
@@ -39,6 +40,7 @@ struct Args {
     steps: usize,
     loss: f64,
     json: bool,
+    ops: bool,
 }
 
 fn parse_args() -> Args {
@@ -47,6 +49,7 @@ fn parse_args() -> Args {
         steps: 30,
         loss: 0.05,
         json: false,
+        ops: false,
     };
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -63,9 +66,10 @@ fn parse_args() -> Args {
             "--steps" => out.steps = num("--steps") as usize,
             "--loss" => out.loss = num("--loss"),
             "--json" => out.json = true,
+            "--ops" => out.ops = true,
             other => {
                 eprintln!(
-                    "unknown flag {other} (use --poles <n>, --steps <n>, --loss <p>, --json)"
+                    "unknown flag {other} (use --poles <n>, --steps <n>, --loss <p>, --json, --ops)"
                 );
                 std::process::exit(2);
             }
@@ -176,11 +180,11 @@ fn main() {
             );
             let link =
                 LoopbackConfig::lossy(args.loss, args.loss / 2.0, SEED ^ u64::from(pose.pole_id));
-            PoleAgent::new(
-                counter,
-                Box::new(hub.connector(link)),
-                AgentConfig::for_pole(pose.pole_id),
-            )
+            let mut cfg = AgentConfig::for_pole(pose.pole_id);
+            // One telemetry window every 10 frames; heartbeats carry
+            // extra windows for free when the uplink goes quiet.
+            cfg.telemetry_every_frames = 10;
+            PoleAgent::new(counter, Box::new(hub.connector(link)), cfg)
         })
         .collect();
 
@@ -252,6 +256,12 @@ fn main() {
         if args.json {
             println!("{}", snap.to_json());
         }
+    }
+
+    if args.ops {
+        // The ops view: per-pole telemetry rollups, end-to-end ingest
+        // latency percentiles, and the fleet event journal.
+        println!("\n{}", aggregator.health().render_table());
     }
 
     // Orderly shutdown: every pole says Bye. Byes ride the same lossy

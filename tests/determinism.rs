@@ -319,6 +319,36 @@ fn supervised_counting_under_clean_script_is_bit_identical_with_telemetry_on_or_
 }
 
 #[test]
+fn scoped_telemetry_windows_tile_exactly() {
+    // The benches carve per-cell windows out of a running registry
+    // with snapshot deltas instead of `obs::reset()`. That only works
+    // if windows tile: merging consecutive deltas must reproduce the
+    // lifetime totals bit for bit, histograms included.
+    let reg = obs::Registry::new();
+    reg.incr("frames", 3);
+    reg.observe_ms("lat", 1.5);
+    reg.observe_ms("lat", 240.0);
+    reg.set_gauge("temp", 40.0);
+    let w1 = reg.telemetry();
+
+    reg.incr("frames", 5);
+    reg.observe_ms("lat", 0.25);
+    reg.set_gauge("temp", 43.5);
+    let lifetime = reg.telemetry();
+    let w2 = lifetime.delta_since(&w1);
+
+    let mut tiled = w1.clone();
+    tiled.merge(&w2);
+    assert_eq!(tiled.counter("frames"), lifetime.counter("frames"));
+    assert_eq!(tiled.gauge("temp"), lifetime.gauge("temp"));
+    assert_eq!(
+        tiled.histogram("lat"),
+        lifetime.histogram("lat"),
+        "histogram windows merge back to the lifetime cells exactly"
+    );
+}
+
+#[test]
 fn dataset_codec_round_trips_through_disk() {
     let data = generate_detection_dataset(&DetectionDatasetConfig {
         samples: 30,

@@ -86,6 +86,7 @@ fn make_agent(
     clock: &ManualClock,
     hub: &LoopbackHub,
     link: LoopbackConfig,
+    telemetry_every: u64,
 ) -> PoleAgent<HeightRule> {
     let counter = SupervisedCounter::new(
         CrowdCounter::new(
@@ -106,11 +107,9 @@ fn make_agent(
         },
     )
     .with_clock(clock.handle());
-    PoleAgent::new(
-        counter,
-        Box::new(hub.connector(link)),
-        AgentConfig::for_pole(pole_id),
-    )
+    let mut cfg = AgentConfig::for_pole(pole_id);
+    cfg.telemetry_every_frames = telemetry_every;
+    PoleAgent::new(counter, Box::new(hub.connector(link)), cfg)
 }
 
 fn make_aggregator(poles: usize, clock: &ManualClock) -> Aggregator {
@@ -137,18 +136,20 @@ fn drain(aggregator: &Aggregator) {
 
 /// Runs `poles` agents for `frames` each over links built by `link_for`,
 /// either on the calling thread or one thread per agent, and returns
-/// the drained snapshot.
+/// the drained snapshot. `telemetry_every` sets the agents' telemetry
+/// window cadence (0 = off).
 fn run_campus(
     poles: usize,
     frames: usize,
     threaded: bool,
+    telemetry_every: u64,
     link_for: impl Fn(u32) -> LoopbackConfig,
 ) -> CampusSnapshot {
     let clock = ManualClock::new();
     let hub = LoopbackHub::new();
     let aggregator = make_aggregator(poles, &clock);
     let mut agents: Vec<PoleAgent<HeightRule>> = (0..poles)
-        .map(|i| make_agent(i as u32, &clock, &hub, link_for(i as u32)))
+        .map(|i| make_agent(i as u32, &clock, &hub, link_for(i as u32), telemetry_every))
         .collect();
 
     let mut readers = Vec::new();
@@ -192,7 +193,7 @@ fn run_campus(
 #[test]
 fn eight_poles_over_a_lossy_link_converge_to_ground_truth() {
     let poles = 8;
-    let snap = run_campus(poles, 30, false, |id| {
+    let snap = run_campus(poles, 30, false, 0, |id| {
         LoopbackConfig::lossy(0.10, 0.05, 0xC0FFEE ^ u64::from(id))
     });
     let expected = (2 * poles - 1) as u32;
@@ -226,12 +227,13 @@ fn killing_one_agent_flips_only_that_pole_dead() {
                 &clock,
                 &hub,
                 LoopbackConfig::lossy(0.05, 0.02, u64::from(i as u32)),
+                4,
             )
         })
         .collect();
     let captures: Vec<PointCloud> = (0..poles).map(|i| capture_for(i, poles)).collect();
 
-    // Phase 1: the whole fleet reports.
+    // Phase 1: the whole fleet reports (telemetry riding along).
     for _ in 0..10 {
         for (agent, capture) in agents.iter_mut().zip(&captures) {
             agent.step(capture);
@@ -283,8 +285,8 @@ fn killing_one_agent_flips_only_that_pole_dead() {
 #[test]
 fn fused_snapshot_is_bit_identical_across_one_and_eight_threads() {
     let link = |id: u32| LoopbackConfig::lossy(0.10, 0.08, 0xDEAD ^ u64::from(id));
-    let single = run_campus(8, 20, false, link);
-    let threaded = run_campus(8, 20, true, link);
+    let single = run_campus(8, 20, false, 0, link);
+    let threaded = run_campus(8, 20, true, 0, link);
     assert_eq!(
         single, threaded,
         "fusion is last-seq-wins per pole: thread interleaving must not matter"
@@ -299,8 +301,8 @@ fn fused_snapshot_is_bit_identical_across_packet_reorder() {
     // still be holding its final frame when we snapshot (hold-and-swap
     // reorder), so per-pole `seq` is allowed to trail by one — every
     // fused quantity must match exactly.
-    let ordered = run_campus(6, 20, false, |_| LoopbackConfig::reliable());
-    let reordered = run_campus(6, 20, false, |id| {
+    let ordered = run_campus(6, 20, false, 0, |_| LoopbackConfig::reliable());
+    let reordered = run_campus(6, 20, false, 0, |id| {
         LoopbackConfig::lossy(0.0, 0.45, 0xBEEF ^ u64::from(id))
     });
     assert_eq!(ordered.occupancy, reordered.occupancy);
@@ -316,5 +318,92 @@ fn fused_snapshot_is_bit_identical_across_packet_reorder() {
         assert_eq!(a.liveness, b.liveness);
         assert_eq!(a.count, b.count, "pole {}: fused count differs", a.pole_id);
         assert_eq!(a.held, b.held);
+    }
+}
+
+#[test]
+fn campus_snapshot_is_bit_identical_with_telemetry_on_or_off() {
+    // Telemetry rides the same wire but must never leak into fusion:
+    // over a lossless link the fused campus is bit-identical whether
+    // the observability plane is off, on, or on across eight threads.
+    let link = |_: u32| LoopbackConfig::reliable();
+    let off = run_campus(6, 20, false, 0, link);
+    let on = run_campus(6, 20, false, 4, link);
+    assert_eq!(off, on, "telemetry must not perturb the fused campus");
+    let on_threaded = run_campus(6, 20, true, 4, link);
+    assert_eq!(off, on_threaded, "nor may it interact with threading");
+}
+
+#[test]
+fn scoreboard_rolls_up_telemetry_and_traces_every_report() {
+    let poles = 3usize;
+    let frames = 8usize;
+    let clock = ManualClock::new();
+    let hub = LoopbackHub::new();
+    let aggregator = make_aggregator(poles, &clock);
+    let mut agents: Vec<PoleAgent<HeightRule>> = (0..poles)
+        .map(|i| make_agent(i as u32, &clock, &hub, LoopbackConfig::reliable(), 2))
+        .collect();
+    let captures: Vec<PointCloud> = (0..poles).map(|i| capture_for(i, poles)).collect();
+    for _ in 0..frames {
+        for (agent, capture) in agents.iter_mut().zip(&captures) {
+            agent.step(capture);
+        }
+    }
+    let mut readers = Vec::new();
+    let accept_deadline = std::time::Instant::now() + Duration::from_secs(5);
+    while readers.len() < poles && std::time::Instant::now() < accept_deadline {
+        if let Ok(server) = hub.accept(Duration::from_millis(20)) {
+            readers.push(aggregator.spawn_connection(Box::new(server)));
+        }
+    }
+    drain(&aggregator);
+    // Telemetry frames trail the watched ingest counters; give the
+    // readers a beat to finish them too.
+    std::thread::sleep(Duration::from_millis(50));
+
+    let health = aggregator.health();
+    assert_eq!(health.poles.len(), poles);
+    let delivered = aggregator.stats().reports;
+    assert_eq!(
+        health.campus_ingest.count, delivered,
+        "every delivered report was traced end to end"
+    );
+    // The ManualClock never moves, so every traced report has exactly
+    // zero capture→fuse latency.
+    assert_eq!(health.campus_ingest.min_ms, 0.0);
+    assert_eq!(health.campus_ingest.max_ms, 0.0);
+    let mut campus_frames = 0u64;
+    for p in &health.poles {
+        assert_eq!(p.liveness, fleet::Liveness::Live);
+        assert!(p.telemetry_frames >= frames as u64 / 2, "cadence of 2");
+        assert_eq!(
+            p.telemetry.counter("pole.frames"),
+            frames as u64,
+            "pole {}: telemetry windows re-sum to the lifetime total",
+            p.pole_id
+        );
+        campus_frames += p.telemetry.counter("pole.frames");
+    }
+    assert_eq!(
+        health.campus_telemetry.counter("pole.frames"),
+        campus_frames,
+        "campus merge preserves counter totals exactly"
+    );
+    // The journal saw each pole connect, and the scoreboard renders.
+    let connects = health
+        .events
+        .iter()
+        .filter(|e| matches!(e.kind, fleet::FleetEventKind::Connected))
+        .count();
+    assert_eq!(connects, poles);
+    let table = health.render_table();
+    assert!(table.contains("campus ingest"));
+    let json = health.to_json();
+    assert_eq!(json.matches('{').count(), json.matches('}').count());
+
+    aggregator.stop();
+    for r in readers {
+        let _ = r.join();
     }
 }
