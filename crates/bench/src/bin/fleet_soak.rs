@@ -22,6 +22,17 @@
 //! cells additionally run a telemetry-off arm (min-of-2 per arm on
 //! the stepping loop) and gate the measured overhead under 5%.
 //!
+//! After the sweep an **adversarial arm** runs: honest poles stream
+//! over links that tear frames mid-write and stall the tails, while
+//! compromised poles send wire-valid semantic garbage (out-of-campus
+//! centroids, future capture clocks, sequence replays, implausible
+//! counts) and a rogue connection impersonates an honest pole. The
+//! arm gates in-binary: no panics, peak live heap under a ceiling
+//! (tracked by a counting global allocator), honest fused occupancy
+//! bit-equal to a clean control run, every malicious pole quarantined
+//! (recall) with zero honest poles flagged (precision), and banned
+//! reconnects rejected during cooldown.
+//!
 //! ```text
 //! cargo run -p bench --release --bin fleet_soak              # full sweep
 //! cargo run -p bench --release --bin fleet_soak -- --smoke   # CI-sized
@@ -30,14 +41,22 @@
 //! Flags: `--smoke`, `--seed N`, `--frames N` (per pole per cell),
 //! `--out PATH`, `--ops-out PATH` (health scoreboard JSONL artifact).
 
+use std::alloc::{GlobalAlloc, Layout, System};
 use std::fmt::Write as _;
 use std::path::PathBuf;
+use std::sync::atomic::{AtomicU32, AtomicU64, Ordering};
 use std::time::{Duration, Instant};
 
 use cluster::AdaptiveConfig;
-use counting::{CounterConfig, CrowdCounter, SupervisedCounter, SupervisorConfig};
+use counting::{
+    CounterConfig, CrowdCounter, EpsRung, HealthState, PrecisionRung, SupervisedCounter,
+    SupervisorConfig,
+};
 use dataset::{ClassLabel, CloudClassifier};
-use fleet::{AgentConfig, Aggregator, AggregatorConfig, LoopbackConfig, LoopbackHub, PoleAgent};
+use fleet::{
+    encode, AgentConfig, Aggregator, AggregatorConfig, ClusterObservation, Connector,
+    LoopbackConfig, LoopbackHub, Message, PoleAgent, PoleReport, Transport, TrustState,
+};
 use geom::Point3;
 use lidar::PointCloud;
 use world::{corridor_layout, PoleRegistry, WalkwayConfig};
@@ -48,6 +67,66 @@ const TELEMETRY_EVERY: u64 = 8;
 /// Lossless cells must keep telemetry overhead under this fraction of
 /// the telemetry-off stepping time.
 const OVERHEAD_GATE: f64 = 0.05;
+/// Peak live heap allowed during the adversarial arm. The arm runs a
+/// handful of full counting pipelines plus the aggregator; anything
+/// near this ceiling means hostile input found a way to make state
+/// grow without bound.
+const ADVERSARIAL_ALLOC_CEILING: u64 = 256 << 20;
+/// Minimum fraction of ingested malicious frames that must be
+/// quarantined or rejected. The first probes land before a pole's
+/// violation score crosses the quarantine threshold, so steady-state
+/// containment is necessarily below 1.0.
+const CONTAINMENT_GATE: f64 = 0.70;
+/// Minimum fraction of malicious poles that must end the run at
+/// Quarantined or worse.
+const RECALL_GATE: f64 = 0.85;
+
+// ---------------------------------------------------------------------------
+// Tracked allocation: a live-bytes RSS proxy for the adversarial
+// memory-ceiling gate, in the style of `tests/hot_path_allocs.rs`.
+
+struct TrackingAlloc;
+
+static LIVE_BYTES: AtomicU64 = AtomicU64::new(0);
+static PEAK_BYTES: AtomicU64 = AtomicU64::new(0);
+static PANICS: AtomicU32 = AtomicU32::new(0);
+
+fn note_alloc(size: usize) {
+    let live = LIVE_BYTES.fetch_add(size as u64, Ordering::Relaxed) + size as u64;
+    PEAK_BYTES.fetch_max(live, Ordering::Relaxed);
+}
+
+unsafe impl GlobalAlloc for TrackingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        let p = System.alloc(layout);
+        if !p.is_null() {
+            note_alloc(layout.size());
+        }
+        p
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        LIVE_BYTES.fetch_sub(layout.size() as u64, Ordering::Relaxed);
+        System.dealloc(ptr, layout)
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        let p = System.realloc(ptr, layout, new_size);
+        if !p.is_null() {
+            LIVE_BYTES.fetch_sub(layout.size() as u64, Ordering::Relaxed);
+            note_alloc(new_size);
+        }
+        p
+    }
+}
+
+#[global_allocator]
+static ALLOC: TrackingAlloc = TrackingAlloc;
+
+/// Restart the peak-live-bytes watermark at the current live level.
+fn reset_peak() {
+    PEAK_BYTES.store(LIVE_BYTES.load(Ordering::Relaxed), Ordering::Relaxed);
+}
 
 struct Args {
     smoke: bool,
@@ -372,6 +451,340 @@ fn measure_overhead(seed: u64, frames: usize, poles: usize, batch: usize) -> (f6
     (overhead, best_on, best_off)
 }
 
+// ---------------------------------------------------------------------------
+// Adversarial arm.
+
+/// A compromised pole's behaviour. Every frame it emits is wire-valid
+/// (correct framing, correct CRC) — the damage is semantic, which is
+/// exactly the traffic the sentinel exists to catch.
+#[derive(Clone, Copy, Debug, PartialEq)]
+enum Attack {
+    /// Cluster centroids kilometres outside the surveyed campus.
+    OutOfBounds,
+    /// Capture timestamps from the distant future.
+    FutureClock,
+    /// One high-water-mark report, then endless replays far below it.
+    SeqReplay,
+    /// A people count no walkway could physically hold.
+    ImplausibleCount,
+    /// Semantically clean traffic claiming an honest pole's identity.
+    Impersonate,
+}
+
+impl Attack {
+    fn name(self) -> &'static str {
+        match self {
+            Attack::OutOfBounds => "out_of_bounds",
+            Attack::FutureClock => "future_clock",
+            Attack::SeqReplay => "seq_replay",
+            Attack::ImplausibleCount => "implausible_count",
+            Attack::Impersonate => "impersonate",
+        }
+    }
+}
+
+/// The four scoreable attacks, one per compromised pole.
+const ATTACKS: [Attack; 4] = [
+    Attack::OutOfBounds,
+    Attack::FutureClock,
+    Attack::SeqReplay,
+    Attack::ImplausibleCount,
+];
+
+fn crafted_report(pole_id: u32, seq: u64, attack: Attack) -> PoleReport {
+    let mut report = PoleReport {
+        pole_id,
+        seq,
+        timestamp_ms: seq * 100,
+        count: 1,
+        health: HealthState::Healthy,
+        eps_rung: EpsRung::Fixed,
+        precision: PrecisionRung::Fp32,
+        held: false,
+        stale_frames: 0,
+        age_ms: 100.0,
+        pole_temp_c: None,
+        capture_ms: None,
+        clusters: vec![ClusterObservation {
+            centroid: Point3::new(14.0, 0.0, -1.2),
+            points: 100,
+            confidence: 0.9,
+        }],
+    };
+    match attack {
+        Attack::OutOfBounds => {
+            report.clusters[0].centroid = Point3::new(40_000.0, -3_000.0, -1.2);
+        }
+        Attack::FutureClock => {
+            report.capture_ms = Some(4.0e12);
+        }
+        Attack::SeqReplay => {
+            report.seq = if seq == 1 { 1_000 } else { 1 };
+        }
+        Attack::ImplausibleCount => {
+            report.count = 1_000_000;
+            report.clusters.clear();
+        }
+        Attack::Impersonate => {}
+    }
+    report
+}
+
+/// A compromised pole: dials the hub like a real agent, speaks the
+/// real wire protocol, and feeds the aggregator crafted garbage. When
+/// the sentinel bans it and drops the connection, it tries exactly one
+/// redial — which the ban cooldown must reject — then goes quiet.
+struct Malicious {
+    pole_id: u32,
+    attack: Attack,
+    connector: Box<dyn Connector>,
+    client: Option<Box<dyn Transport>>,
+    seq: u64,
+    sent_reports: u64,
+    reconnects: u64,
+    dead: bool,
+}
+
+impl Malicious {
+    fn new(pole_id: u32, attack: Attack, hub: &LoopbackHub) -> Self {
+        Malicious {
+            pole_id,
+            attack,
+            connector: Box::new(hub.connector(LoopbackConfig::reliable())),
+            client: None,
+            seq: 0,
+            sent_reports: 0,
+            reconnects: 0,
+            dead: false,
+        }
+    }
+
+    fn step(&mut self) {
+        if self.dead {
+            return;
+        }
+        if self.client.is_none() {
+            match self.connector.connect() {
+                Ok(mut c) => {
+                    let _ = c.send(&encode(&Message::Hello {
+                        pole_id: self.pole_id,
+                    }));
+                    self.client = Some(c);
+                }
+                Err(_) => {
+                    self.dead = true;
+                    return;
+                }
+            }
+        }
+        self.seq += 1;
+        let frame = encode(&Message::Report(crafted_report(
+            self.pole_id,
+            self.seq,
+            self.attack,
+        )));
+        match self.client.as_mut().expect("connected").send(&frame) {
+            Ok(()) => self.sent_reports += 1,
+            Err(_) => {
+                // The aggregator dropped us. One redial to probe the
+                // ban cooldown, then stay down.
+                self.client = None;
+                if self.reconnects >= 1 {
+                    self.dead = true;
+                } else {
+                    self.reconnects += 1;
+                }
+            }
+        }
+    }
+}
+
+struct ArmOut {
+    occupancy: u32,
+    live: u32,
+    dead: u32,
+    snapshot_quarantined: u32,
+    honest_all_trusted: bool,
+    flagged_total: u32,
+    flagged_malicious: u32,
+    mal_fused: u64,
+    mal_quarantined: u64,
+    mal_rejected: u64,
+    mal_sent: u64,
+    ban_rejects: u64,
+    conflicts: u64,
+    frames_torn: u64,
+    frames_stalled: u64,
+}
+
+/// One survivability arm: `honest` real agents on adversarial links
+/// (frame tearing, mid-frame stalls, mild reorder — no loss, so fused
+/// occupancy is exactly comparable), plus one compromised pole per
+/// entry of `attacks`, plus optionally a mid-run impersonator dialling
+/// in as honest pole 0. With `attacks` empty and no impersonation this
+/// is the clean control arm that sets the occupancy envelope.
+fn run_arm(
+    seed: u64,
+    frames: usize,
+    honest: usize,
+    attacks: &[Attack],
+    impersonate: bool,
+) -> ArmOut {
+    let total = honest + attacks.len();
+    let registry = PoleRegistry::from_poses(corridor_layout(total, SPACING_M));
+    let hub = LoopbackHub::new();
+    let aggregator = Aggregator::new(
+        registry,
+        WalkwayConfig::default(),
+        AggregatorConfig::default(),
+    );
+    let base = obs::telemetry_snapshot();
+
+    let adversarial_links = !attacks.is_empty();
+    let mut agents: Vec<PoleAgent<HeightRule>> = (0..honest)
+        .map(|i| {
+            let counter = SupervisedCounter::new(
+                CrowdCounter::new(
+                    HeightRule,
+                    CounterConfig {
+                        min_cluster_points: 8,
+                        ..CounterConfig::default()
+                    },
+                ),
+                SupervisorConfig {
+                    deadline_ms: 500.0,
+                    adaptive: AdaptiveConfig {
+                        fallback_eps: 0.5,
+                        min_eps: 0.35,
+                        ..AdaptiveConfig::default()
+                    },
+                    ..SupervisorConfig::default()
+                },
+            );
+            let link_seed = seed ^ (i as u64).wrapping_mul(0x9E37);
+            let link = if adversarial_links {
+                LoopbackConfig::adversarial(0.0, 0.1, 0.4, 0.4, link_seed)
+            } else {
+                LoopbackConfig::reliable()
+            };
+            let mut cfg = AgentConfig::for_pole(i as u32);
+            cfg.batch_frames = 1;
+            cfg.telemetry_every_frames = TELEMETRY_EVERY;
+            PoleAgent::new(counter, Box::new(hub.connector(link)), cfg)
+        })
+        .collect();
+    let mut mals: Vec<Malicious> = attacks
+        .iter()
+        .enumerate()
+        .map(|(k, &a)| Malicious::new((honest + k) as u32, a, &hub))
+        .collect();
+
+    // The honest sub-corridor is self-contained: seam people exist
+    // only between honest neighbours, so the clean fused occupancy is
+    // exactly `2 * honest - 1` and independent of the malicious poles.
+    let captures: Vec<PointCloud> = (0..honest).map(|i| capture_for(i, honest)).collect();
+    let mut readers = Vec::new();
+    let mut impersonated = false;
+    for fi in 0..frames {
+        for (agent, capture) in agents.iter_mut().zip(&captures) {
+            agent.step(capture);
+        }
+        for m in &mut mals {
+            m.step();
+        }
+        while let Ok(server) = hub.accept(Duration::ZERO) {
+            readers.push(aggregator.spawn_connection(Box::new(server)));
+        }
+        if impersonate && !impersonated && fi >= frames / 2 {
+            // Wait until honest pole 0's own connection owns its slot,
+            // then dial in claiming the same identity. Every frame must
+            // bounce off the connection-conflict check without touching
+            // pole 0's trust score.
+            let deadline = Instant::now() + Duration::from_secs(2);
+            while Instant::now() < deadline {
+                let owned = aggregator
+                    .snapshot()
+                    .poles
+                    .iter()
+                    .any(|p| p.pole_id == 0 && p.seq > 0);
+                if owned {
+                    break;
+                }
+                std::thread::sleep(Duration::from_millis(5));
+            }
+            let mut connector = hub.connector(LoopbackConfig::reliable());
+            if let Ok(mut c) = connector.connect() {
+                let _ = c.send(&encode(&Message::Hello { pole_id: 0 }));
+                for k in 0..6u64 {
+                    let report = crafted_report(0, 1_000_000 + k, Attack::Impersonate);
+                    let _ = c.send(&encode(&Message::Report(report)));
+                }
+                c.close();
+            }
+            impersonated = true;
+        }
+    }
+    while let Ok(server) = hub.accept(Duration::from_millis(5)) {
+        readers.push(aggregator.spawn_connection(Box::new(server)));
+    }
+    let drain_deadline = Instant::now() + Duration::from_secs(2);
+    let mut last = u64::MAX;
+    loop {
+        let stats = aggregator.stats();
+        let seen = stats.reports + stats.stale_discards + stats.rejected + stats.quarantined;
+        if seen == last || Instant::now() > drain_deadline {
+            break;
+        }
+        last = seen;
+        std::thread::sleep(Duration::from_millis(10));
+    }
+
+    let snap = aggregator.snapshot();
+    let trust = aggregator.trust();
+    for agent in &mut agents {
+        agent.shutdown();
+    }
+    aggregator.stop();
+    for r in readers {
+        let _ = r.join();
+    }
+    let delta = obs::telemetry_snapshot().delta_since(&base);
+
+    let honest_all_trusted = trust
+        .iter()
+        .filter(|t| (t.pole_id as usize) < honest)
+        .all(|t| t.state == TrustState::Trusted);
+    let flagged: Vec<_> = trust
+        .iter()
+        .filter(|t| t.state >= TrustState::Quarantined)
+        .collect();
+    let flagged_malicious = flagged
+        .iter()
+        .filter(|t| (t.pole_id as usize) >= honest)
+        .count() as u32;
+    let mal: Vec<_> = trust
+        .iter()
+        .filter(|t| (t.pole_id as usize) >= honest)
+        .collect();
+    ArmOut {
+        occupancy: snap.occupancy,
+        live: snap.live,
+        dead: snap.dead,
+        snapshot_quarantined: snap.quarantined,
+        honest_all_trusted,
+        flagged_total: flagged.len() as u32,
+        flagged_malicious,
+        mal_fused: mal.iter().map(|t| t.fused).sum(),
+        mal_quarantined: mal.iter().map(|t| t.quarantined).sum(),
+        mal_rejected: mal.iter().map(|t| t.rejected).sum(),
+        mal_sent: mals.iter().map(|m| m.sent_reports).sum(),
+        ban_rejects: delta.counter("fleet.agg.ban_rejects"),
+        conflicts: delta.counter("fleet.sentinel.conflicts"),
+        frames_torn: delta.counter("fleet.loopback.frames_torn"),
+        frames_stalled: delta.counter("fleet.loopback.frames_stalled"),
+    }
+}
+
 fn json_f64(v: f64) -> String {
     if v.is_finite() {
         format!("{v:.4}")
@@ -383,6 +796,14 @@ fn json_f64(v: f64) -> String {
 fn main() {
     let args = parse_args();
     obs::enable(true);
+    // Count every panic anywhere in the process — a reader thread that
+    // dies on hostile input must fail the adversarial gate even though
+    // `join` would surface it only as a closed connection.
+    let default_hook = std::panic::take_hook();
+    std::panic::set_hook(Box::new(move |info| {
+        PANICS.fetch_add(1, Ordering::SeqCst);
+        default_hook(info);
+    }));
 
     let pole_counts: &[usize] = if args.smoke { &[2, 4] } else { &[2, 8, 16] };
     let losses: &[f64] = if args.smoke {
@@ -463,6 +884,82 @@ fn main() {
         }
     }
 
+    // ------------------------------------------------------------------
+    // Adversarial arm: clean control first (sets the occupancy
+    // envelope), then the same honest campus under attack.
+    let adv_honest = if args.smoke { 3 } else { 5 };
+    let adv_frames = args.frames.max(24);
+    println!("\nadversarial arm: {adv_honest} honest poles, {} attackers + impersonator, {adv_frames} frames", ATTACKS.len());
+    let clean = run_arm(args.seed, adv_frames, adv_honest, &[], false);
+    reset_peak();
+    let panics_before = PANICS.load(Ordering::SeqCst);
+    let adv = run_arm(args.seed, adv_frames, adv_honest, &ATTACKS, true);
+    let peak_bytes = PEAK_BYTES.load(Ordering::Relaxed);
+    let panics = PANICS.load(Ordering::SeqCst) - panics_before;
+
+    let mal_ingested = adv.mal_fused + adv.mal_quarantined + adv.mal_rejected;
+    let containment = if mal_ingested > 0 {
+        (adv.mal_quarantined + adv.mal_rejected) as f64 / mal_ingested as f64
+    } else {
+        0.0
+    };
+    let recall = adv.flagged_malicious as f64 / ATTACKS.len() as f64;
+    let precision = if adv.flagged_total > 0 {
+        adv.flagged_malicious as f64 / adv.flagged_total as f64
+    } else {
+        0.0
+    };
+    println!(
+        "  occupancy {} (clean {}), honest trusted: {}, quarantined poles: {}",
+        adv.occupancy, clean.occupancy, adv.honest_all_trusted, adv.snapshot_quarantined
+    );
+    println!(
+        "  recall {recall:.2}, precision {precision:.2}, containment {containment:.2} ({}/{} malicious frames), ban rejects {}, conflicts {}",
+        adv.mal_quarantined + adv.mal_rejected,
+        mal_ingested,
+        adv.ban_rejects,
+        adv.conflicts
+    );
+    println!(
+        "  links: {} frames torn, {} stalled; peak live heap {:.1} MiB; panics {}",
+        adv.frames_torn,
+        adv.frames_stalled,
+        peak_bytes as f64 / (1 << 20) as f64,
+        panics
+    );
+    let mut gate = |ok: bool, what: &str| {
+        if !ok {
+            eprintln!("  ^ FAIL: adversarial gate: {what}");
+            failures += 1;
+        }
+    };
+    gate(panics == 0, "panicked under hostile input");
+    gate(
+        peak_bytes <= ADVERSARIAL_ALLOC_CEILING,
+        "peak live heap exceeded the ceiling",
+    );
+    gate(
+        adv.occupancy == clean.occupancy,
+        "honest fused occupancy left the clean-run envelope",
+    );
+    gate(adv.honest_all_trusted, "an honest pole lost Trusted");
+    gate(
+        precision >= 1.0 - 1e-9 && adv.flagged_total > 0,
+        "a flagged pole was not malicious (precision < 1)",
+    );
+    gate(recall >= RECALL_GATE, "malicious poles escaped quarantine");
+    gate(
+        containment >= CONTAINMENT_GATE,
+        "too many malicious frames reached fusion",
+    );
+    gate(adv.ban_rejects >= 1, "banned reconnect was not rejected");
+    gate(adv.conflicts >= 1, "impersonator raised no conflicts");
+    gate(
+        adv.frames_torn > 0 && adv.frames_stalled > 0,
+        "adversarial link faults never fired",
+    );
+    drop(gate);
+
     // The ops artifact: one health-scoreboard JSONL line per cell,
     // then the final cell's event journal.
     let mut ops = String::new();
@@ -475,12 +972,50 @@ fn main() {
     }
     std::fs::write(&args.ops_out, ops).expect("write BENCH_fleet_ops.jsonl");
 
+    let mut attacks_json = String::new();
+    for (i, a) in ATTACKS.iter().enumerate() {
+        let _ = write!(
+            attacks_json,
+            "{}\"{}\"",
+            if i > 0 { ", " } else { "" },
+            a.name()
+        );
+    }
     let mut json = String::new();
     let _ = write!(
         json,
-        "{{\n  \"bench\": \"fleet_soak\",\n  \"seed\": {},\n  \"frames_per_pole\": {},\n  \"smoke\": {},\n  \"telemetry_every_frames\": {},\n  \"cells\": [\n",
+        "{{\n  \"bench\": \"fleet_soak\",\n  \"seed\": {},\n  \"frames_per_pole\": {},\n  \"smoke\": {},\n  \"telemetry_every_frames\": {},\n",
         args.seed, args.frames, args.smoke, TELEMETRY_EVERY
     );
+    let _ = write!(
+        json,
+        "  \"adversarial\": {{\"honest\": {}, \"malicious\": {}, \"attacks\": [{}], \"frames_per_pole\": {}, \"clean_occupancy\": {}, \"occupancy\": {}, \"honest_all_trusted\": {}, \"snapshot_quarantined\": {}, \"live\": {}, \"dead\": {}, \"quarantine_recall\": {}, \"quarantine_precision\": {}, \"containment\": {}, \"malicious_frames\": {{\"sent\": {}, \"fused\": {}, \"quarantined\": {}, \"rejected\": {}}}, \"ban_rejects\": {}, \"impersonation_conflicts\": {}, \"frames_torn\": {}, \"frames_stalled\": {}, \"panics\": {}, \"peak_alloc_bytes\": {}, \"alloc_ceiling_bytes\": {}}},\n",
+        adv_honest,
+        ATTACKS.len(),
+        attacks_json,
+        adv_frames,
+        clean.occupancy,
+        adv.occupancy,
+        adv.honest_all_trusted,
+        adv.snapshot_quarantined,
+        adv.live,
+        adv.dead,
+        json_f64(recall),
+        json_f64(precision),
+        json_f64(containment),
+        adv.mal_sent,
+        adv.mal_fused,
+        adv.mal_quarantined,
+        adv.mal_rejected,
+        adv.ban_rejects,
+        adv.conflicts,
+        adv.frames_torn,
+        adv.frames_stalled,
+        panics,
+        peak_bytes,
+        ADVERSARIAL_ALLOC_CEILING
+    );
+    let _ = write!(json, "  \"cells\": [\n");
     for (i, c) in cells.iter().enumerate() {
         let mut poles_json = String::new();
         for (j, p) in c.ingest_poles.iter().enumerate() {

@@ -30,8 +30,8 @@
 //! `Bye`). Dead poles keep their slot — the dashboard should show
 //! *which* pole died — but stop contributing people to occupancy.
 
-use std::collections::BTreeMap;
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::collections::{BTreeMap, VecDeque};
+use std::sync::atomic::{AtomicBool, AtomicU32, Ordering};
 use std::sync::Arc;
 use std::time::Duration;
 
@@ -42,7 +42,10 @@ use parking_lot::Mutex;
 use serde::{Deserialize, Serialize};
 use world::{PoleRegistry, WalkwayConfig};
 
+use crate::capture::CaptureWriter;
+use crate::checkpoint::{Checkpoint, CheckpointError, SlotCheckpoint};
 use crate::health::{EventJournal, FleetEvent, FleetEventKind, FleetHealth, PoleHealth};
+use crate::sentinel::{Disposition, PoleTrust, Sentinel, SentinelConfig, TrustState};
 use crate::transport::{Transport, TransportError};
 use crate::wire::{FrameDecoder, Message, PoleReport};
 
@@ -62,6 +65,8 @@ pub struct FusionConfig {
     pub dead_after_ms: f64,
     /// Edge length (m) of the campus occupancy grid zones.
     pub zone_size_m: f64,
+    /// Byzantine-input hardening thresholds (see [`SentinelConfig`]).
+    pub sentinel: SentinelConfig,
 }
 
 impl Default for FusionConfig {
@@ -71,6 +76,7 @@ impl Default for FusionConfig {
             stale_after_ms: 2_000.0,
             dead_after_ms: 5_000.0,
             zone_size_m: 20.0,
+            sentinel: SentinelConfig::default(),
         }
     }
 }
@@ -115,6 +121,8 @@ pub struct PoleStatus {
     pub silence_ms: f64,
     /// Whether the last report was a held (stale) count.
     pub held: bool,
+    /// Where the pole sits on the sentinel's trust ladder.
+    pub trust: TrustState,
 }
 
 /// One deduplicated pedestrian in campus coordinates.
@@ -167,6 +175,9 @@ pub struct CampusSnapshot {
     pub stale: u32,
     /// Poles currently [`Liveness::Dead`].
     pub dead: u32,
+    /// Poles whose trust is [`TrustState::Quarantined`] or worse —
+    /// alive, counted in liveness, but excluded from fused occupancy.
+    pub quarantined: u32,
     /// 95th-percentile silence across non-dead poles, ms.
     pub p95_silence_ms: f64,
 }
@@ -176,9 +187,9 @@ impl CampusSnapshot {
     pub fn to_json(&self) -> String {
         let mut s = String::with_capacity(256);
         s.push_str(&format!(
-            "{{\"at_ms\":{:.3},\"occupancy\":{},\"unmapped\":{},\"live\":{},\"stale\":{},\"dead\":{},\"p95_silence_ms\":{:.3},\"people\":[",
+            "{{\"at_ms\":{:.3},\"occupancy\":{},\"unmapped\":{},\"live\":{},\"stale\":{},\"dead\":{},\"quarantined\":{},\"p95_silence_ms\":{:.3},\"people\":[",
             self.at_ms, self.occupancy, self.unmapped, self.live, self.stale, self.dead,
-            self.p95_silence_ms
+            self.quarantined, self.p95_silence_ms
         ));
         for (i, p) in self.people.iter().enumerate() {
             if i > 0 {
@@ -195,9 +206,10 @@ impl CampusSnapshot {
                 s.push(',');
             }
             s.push_str(&format!(
-                "{{\"pole_id\":{},\"liveness\":\"{}\",\"count\":{},\"seq\":{},\"silence_ms\":{:.1},\"held\":{}}}",
+                "{{\"pole_id\":{},\"liveness\":\"{}\",\"trust\":\"{}\",\"count\":{},\"seq\":{},\"silence_ms\":{:.1},\"held\":{}}}",
                 p.pole_id,
                 p.liveness.as_str(),
+                p.trust.as_str(),
                 p.count,
                 p.seq,
                 p.silence_ms,
@@ -225,6 +237,12 @@ pub struct FusionStats {
     pub byes: u64,
     /// Telemetry frames ingested.
     pub telemetry: u64,
+    /// Messages the sentinel rejected outright (active bans, pole-id
+    /// conflicts).
+    pub rejected: u64,
+    /// Messages ingested while their pole was quarantined (slot
+    /// updated, excluded from fusion).
+    pub quarantined: u64,
 }
 
 #[derive(Debug, Clone)]
@@ -266,12 +284,25 @@ pub struct FusionCore {
     stats: FusionStats,
     obs: BTreeMap<u32, PoleObs>,
     journal: EventJournal,
+    sentinel: Sentinel,
+}
+
+/// What [`FusionCore::ingest_from`] did with one message, and what
+/// the delivering connection should do about it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct IngestVerdict {
+    /// The sentinel's judgement of the message.
+    pub disposition: Disposition,
+    /// Whether the delivering connection should be dropped (a ban, or
+    /// a pole-id conflict past the strike limit).
+    pub drop_connection: bool,
 }
 
 impl FusionCore {
     /// A core fusing against the surveyed `registry` on the system
     /// clock.
     pub fn new(registry: PoleRegistry, walkway: WalkwayConfig, cfg: FusionConfig) -> Self {
+        let sentinel = Sentinel::new(cfg.sentinel, &registry, &walkway);
         FusionCore {
             registry,
             walkway,
@@ -281,6 +312,7 @@ impl FusionCore {
             stats: FusionStats::default(),
             obs: BTreeMap::new(),
             journal: EventJournal::default(),
+            sentinel,
         }
     }
 
@@ -288,6 +320,12 @@ impl FusionCore {
     pub fn with_clock(mut self, clock: Arc<dyn Clock>) -> Self {
         self.clock = clock;
         self
+    }
+
+    /// A handle to the core's clock (connection readers stamp frame
+    /// arrivals on the same timeline the core fuses on).
+    pub fn clock_handle(&self) -> Arc<dyn Clock> {
+        Arc::clone(&self.clock)
     }
 
     /// Cumulative counters.
@@ -300,8 +338,22 @@ impl FusionCore {
         &self.registry
     }
 
-    /// Folds one wire message into the fused state.
+    /// Every pole's current sentinel trust record.
+    pub fn trust(&self) -> Vec<PoleTrust> {
+        let now_ms = self.clock.now().as_secs_f64() * 1e3;
+        self.sentinel.export(now_ms)
+    }
+
+    /// Folds one wire message into the fused state (direct ingest — no
+    /// connection identity, so pole-id conflict tracking is skipped).
     pub fn ingest(&mut self, msg: Message) {
+        self.ingest_from(0, msg);
+    }
+
+    /// Folds one wire message delivered by connection `conn_id` into
+    /// the fused state, after the sentinel has judged it. `conn_id` 0
+    /// means "direct ingest, no connection identity".
+    pub fn ingest_from(&mut self, conn_id: u32, msg: Message) -> IngestVerdict {
         let now = self.clock.now();
         let now_ms = now.as_secs_f64() * 1e3;
         // Catch any passive Live→Stale→Dead walk that happened in
@@ -309,6 +361,49 @@ impl FusionCore {
         // *before* the resurrection it is about to cause.
         let touched = msg.pole_id();
         self.note_liveness(touched, now);
+
+        let last_seq = self.slots.get(&touched).map_or(0, |s| s.last_seq);
+        let was_banned = self.sentinel.state_of(touched) == TrustState::Banned;
+        let inspection = self.sentinel.inspect(conn_id, &msg, now_ms, last_seq);
+        if let Some((from, to)) = inspection.transition {
+            obs::incr("fleet.agg.trust_transitions", 1);
+            self.journal.push(FleetEvent {
+                at_ms: now_ms,
+                pole_id: touched,
+                kind: FleetEventKind::TrustChanged { from, to },
+            });
+        }
+        match inspection.disposition {
+            Disposition::Reject => {
+                // Rejected messages never touch the slot: a banned
+                // pole walks Stale→Dead exactly as if it were silent,
+                // and a conflicting connection cannot refresh the
+                // liveness of the pole it is impersonating.
+                self.stats.rejected += 1;
+                obs::incr("fleet.agg.rejected", 1);
+                if was_banned && matches!(msg, Message::Hello { .. }) {
+                    obs::incr("fleet.agg.ban_rejects", 1);
+                    self.journal.push(FleetEvent {
+                        at_ms: now_ms,
+                        pole_id: touched,
+                        kind: FleetEventKind::BanRejected,
+                    });
+                }
+                return IngestVerdict {
+                    disposition: Disposition::Reject,
+                    drop_connection: inspection.drop_connection,
+                };
+            }
+            Disposition::Quarantine => {
+                // Quarantined traffic still updates the slot (so
+                // de-escalation restores data instantly) — the
+                // exclusion happens at snapshot time.
+                self.stats.quarantined += 1;
+                obs::incr("fleet.agg.quarantined", 1);
+            }
+            Disposition::Fuse => {}
+        }
+
         match msg {
             Message::Hello { pole_id } => {
                 self.stats.hellos += 1;
@@ -371,8 +466,16 @@ impl FusionCore {
                     // its own clock; both ends share the process
                     // epoch in-process (and NTP in the field), so the
                     // difference is the capture→fuse ingest latency.
+                    // Skewed stamps (negative latency, or past the
+                    // plausible-skew ceiling) are clamped so one bad
+                    // clock cannot poison the campus p99.
                     if let Some(capture_ms) = report.capture_ms {
-                        let latency_ms = (now_ms - capture_ms).max(0.0);
+                        let raw_ms = now_ms - capture_ms;
+                        let cap = self.cfg.sentinel.max_clock_skew_ms;
+                        let latency_ms = raw_ms.clamp(0.0, cap);
+                        if raw_ms < 0.0 || raw_ms > cap {
+                            obs::incr("fleet.ingest.clock_skew_clamped", 1);
+                        }
                         self.obs
                             .entry(pole_id)
                             .or_default()
@@ -423,6 +526,10 @@ impl FusionCore {
         // And the transition this message itself caused (resurrection,
         // Bye→Dead).
         self.note_liveness(touched, now);
+        IngestVerdict {
+            disposition: inspection.disposition,
+            drop_connection: inspection.drop_connection,
+        }
     }
 
     fn slot_entry(
@@ -474,11 +581,17 @@ impl FusionCore {
         let mut observations: Vec<(u32, Point3, f64)> = Vec::new();
         let mut unmapped = 0u32;
         let (mut live, mut stale, mut dead) = (0u32, 0u32, 0u32);
+        let mut quarantined = 0u32;
         let mut silences: Vec<f64> = Vec::new();
 
         for (&pole_id, slot) in &self.slots {
             let liveness = self.liveness(slot, now);
             let silence_ms = (now.saturating_sub(slot.heard_at)).as_secs_f64() * 1e3;
+            let trust = self.sentinel.state_of(pole_id);
+            let excluded = trust >= TrustState::Quarantined;
+            if excluded {
+                quarantined += 1;
+            }
             match liveness {
                 Liveness::Live => live += 1,
                 Liveness::Stale => stale += 1,
@@ -487,20 +600,23 @@ impl FusionCore {
             if liveness != Liveness::Dead {
                 silences.push(silence_ms);
                 if let Some(report) = &slot.report {
-                    match (self.registry.pose(pole_id), report.clusters.is_empty()) {
-                        (Some(pose), false) => {
-                            for c in &report.clusters {
-                                observations.push((
-                                    pole_id,
-                                    pose.to_campus(c.centroid),
-                                    c.confidence,
-                                ));
+                    if !excluded {
+                        match (self.registry.pose(pole_id), report.clusters.is_empty()) {
+                            (Some(pose), false) => {
+                                for c in &report.clusters {
+                                    observations.push((
+                                        pole_id,
+                                        pose.to_campus(c.centroid),
+                                        c.confidence,
+                                    ));
+                                }
                             }
+                            // Held frames carry no clusters;
+                            // unregistered poles have no pose. Their
+                            // counts still matter — they just can't
+                            // be deduplicated.
+                            _ => unmapped += report.count,
                         }
-                        // Held frames carry no clusters; unregistered
-                        // poles have no pose. Their counts still
-                        // matter — they just can't be deduplicated.
-                        _ => unmapped += report.count,
                     }
                 }
             }
@@ -512,6 +628,7 @@ impl FusionCore {
                 seq: slot.last_seq,
                 silence_ms,
                 held: slot.report.as_ref().is_some_and(|r| r.held),
+                trust,
             });
         }
 
@@ -568,6 +685,7 @@ impl FusionCore {
         obs::set_gauge("fleet.poles_live", f64::from(live));
         obs::set_gauge("fleet.poles_stale", f64::from(stale));
         obs::set_gauge("fleet.poles_dead", f64::from(dead));
+        obs::set_gauge("fleet.poles_quarantined", f64::from(quarantined));
         obs::set_gauge("fleet.p95_silence_ms", p95_silence_ms);
 
         CampusSnapshot {
@@ -580,6 +698,7 @@ impl FusionCore {
             live,
             stale,
             dead,
+            quarantined,
             p95_silence_ms,
         }
     }
@@ -624,6 +743,7 @@ impl FusionCore {
             poles.push(PoleHealth {
                 pole_id,
                 liveness,
+                trust: self.sentinel.state_of(pole_id),
                 telemetry,
                 ingest,
                 telemetry_frames,
@@ -649,6 +769,67 @@ impl FusionCore {
     /// The walkway geometry poles share.
     pub fn walkway(&self) -> &WalkwayConfig {
         &self.walkway
+    }
+
+    /// Captures the fused state for crash-safe persistence. Timing is
+    /// stored as per-pole *silence* relative to this instant, so a
+    /// restore against any clock reconstructs `heard_at` exactly.
+    pub fn checkpoint(&self) -> Checkpoint {
+        let now = self.clock.now();
+        let now_ms = now.as_secs_f64() * 1e3;
+        Checkpoint {
+            taken_at_nanos: now.as_nanos() as u64,
+            stats: self.stats,
+            slots: self
+                .slots
+                .iter()
+                .map(|(&pole_id, s)| SlotCheckpoint {
+                    pole_id,
+                    last_seq: s.last_seq,
+                    silence_nanos: now.saturating_sub(s.heard_at).as_nanos() as u64,
+                    said_bye: s.said_bye,
+                    liveness_seen: s.liveness_seen,
+                    report: s.report.clone(),
+                })
+                .collect(),
+            sentinel: self.sentinel.export(now_ms),
+        }
+    }
+
+    /// Restores fused state from a checkpoint: slots, stats, and
+    /// sentinel trust records, with `heard_at` rebuilt against this
+    /// core's clock from the checkpointed silences. The ops-surface
+    /// telemetry rollups and journal history are not restored (they
+    /// are history, not fused state).
+    pub fn restore_from(&mut self, ckpt: &Checkpoint) {
+        let now = self.clock.now();
+        let now_ms = now.as_secs_f64() * 1e3;
+        self.stats = ckpt.stats;
+        self.slots = ckpt
+            .slots
+            .iter()
+            .map(|s| {
+                (
+                    s.pole_id,
+                    PoleSlot {
+                        report: s.report.clone(),
+                        last_seq: s.last_seq,
+                        heard_at: now.saturating_sub(Duration::from_nanos(s.silence_nanos)),
+                        said_bye: s.said_bye,
+                        liveness_seen: s.liveness_seen,
+                    },
+                )
+            })
+            .collect();
+        self.sentinel.import(&ckpt.sentinel, now_ms);
+        obs::incr("fleet.checkpoint.restores", 1);
+        self.journal.push(FleetEvent {
+            at_ms: now_ms,
+            pole_id: 0,
+            kind: FleetEventKind::Restored {
+                poles: ckpt.slots.len() as u32,
+            },
+        });
     }
 }
 
@@ -676,6 +857,11 @@ pub struct AggregatorConfig {
     /// Per-connection receive poll timeout, ms (bounds how fast a
     /// reader thread notices shutdown).
     pub recv_timeout_ms: u64,
+    /// Most decoded messages one connection may have waiting for the
+    /// fusion lock at once. Past the budget the oldest waiting message
+    /// is dropped (and counted), so one firehosing pole sheds its own
+    /// backlog instead of starving the rest of the fleet.
+    pub inflight_budget: usize,
 }
 
 impl Default for AggregatorConfig {
@@ -683,6 +869,7 @@ impl Default for AggregatorConfig {
         AggregatorConfig {
             fusion: FusionConfig::default(),
             recv_timeout_ms: 50,
+            inflight_budget: 256,
         }
     }
 }
@@ -694,6 +881,8 @@ pub struct Aggregator {
     core: Arc<Mutex<FusionCore>>,
     cfg: AggregatorConfig,
     running: Arc<AtomicBool>,
+    capture: Option<Arc<Mutex<CaptureWriter>>>,
+    next_conn: Arc<AtomicU32>,
 }
 
 impl Aggregator {
@@ -708,7 +897,16 @@ impl Aggregator {
             core: Arc::new(Mutex::new(core)),
             cfg,
             running: Arc::new(AtomicBool::new(true)),
+            capture: None,
+            // Connection ids are 1-based; 0 is "direct ingest".
+            next_conn: Arc::new(AtomicU32::new(1)),
         }
+    }
+
+    /// Records every inbound wire frame to `writer` as it is decoded.
+    pub fn with_capture(mut self, writer: CaptureWriter) -> Self {
+        self.capture = Some(Arc::new(Mutex::new(writer)));
+        self
     }
 
     /// The current campus view.
@@ -721,37 +919,132 @@ impl Aggregator {
         self.core.lock().stats()
     }
 
-    /// Asks every reader thread to wind down at its next poll.
+    /// Every pole's current sentinel trust record.
+    pub fn trust(&self) -> Vec<PoleTrust> {
+        self.core.lock().trust()
+    }
+
+    /// Asks every reader thread to wind down at its next poll, and
+    /// flushes the capture sink so a recording is complete on disk.
     pub fn stop(&self) {
         self.running.store(false, Ordering::SeqCst);
+        if let Some(cap) = &self.capture {
+            let _ = cap.lock().flush();
+        }
+    }
+
+    /// Captures the fused state (see [`FusionCore::checkpoint`]).
+    pub fn checkpoint(&self) -> Checkpoint {
+        self.core.lock().checkpoint()
+    }
+
+    /// Writes a checkpoint of the fused state to `path` atomically.
+    pub fn checkpoint_to(&self, path: &std::path::Path) -> std::io::Result<()> {
+        self.checkpoint().save_atomic(path)
+    }
+
+    /// Restores fused state from a checkpoint file written by
+    /// [`Aggregator::checkpoint_to`] (or the background checkpointer).
+    pub fn restore_from_file(&self, path: &std::path::Path) -> Result<(), CheckpointError> {
+        let ckpt = Checkpoint::load(path)?;
+        self.core.lock().restore_from(&ckpt);
+        Ok(())
+    }
+
+    /// Spawns a thread that checkpoints the fused state to `path`
+    /// every `every`, plus once on shutdown. Each write is atomic
+    /// (temp + rename), so a crash mid-write leaves the previous
+    /// checkpoint intact.
+    pub fn spawn_checkpointer(
+        &self,
+        path: std::path::PathBuf,
+        every: Duration,
+    ) -> std::thread::JoinHandle<()> {
+        let core = Arc::clone(&self.core);
+        let running = Arc::clone(&self.running);
+        std::thread::spawn(move || {
+            let tick = Duration::from_millis(50).min(every.max(Duration::from_millis(1)));
+            let mut since = Duration::ZERO;
+            while running.load(Ordering::SeqCst) {
+                std::thread::sleep(tick);
+                since += tick;
+                if since >= every {
+                    since = Duration::ZERO;
+                    let ckpt = core.lock().checkpoint();
+                    let _ = ckpt.save_atomic(&path);
+                }
+            }
+            // A final checkpoint on orderly shutdown, so a clean stop
+            // restarts just as warm as a crash mid-cadence.
+            let ckpt = core.lock().checkpoint();
+            let _ = ckpt.save_atomic(&path);
+        })
     }
 
     /// Spawns a reader thread that drains `transport` into the fused
-    /// state until the peer closes, the decoder poisons, or
-    /// [`Aggregator::stop`] is called. Join the handle to know the
-    /// connection fully drained.
+    /// state until the peer closes, the decoder poisons, the sentinel
+    /// orders the connection dropped, or [`Aggregator::stop`] is
+    /// called. Join the handle to know the connection fully drained.
     pub fn spawn_connection(
         &self,
         mut transport: Box<dyn Transport>,
     ) -> std::thread::JoinHandle<()> {
         let core = Arc::clone(&self.core);
         let running = Arc::clone(&self.running);
+        let capture = self.capture.clone();
+        let conn_id = self.next_conn.fetch_add(1, Ordering::SeqCst);
         let timeout = Duration::from_millis(self.cfg.recv_timeout_ms.max(1));
+        let budget = self.cfg.inflight_budget.max(1);
         std::thread::spawn(move || {
+            let clock = core.lock().clock_handle();
             let mut decoder = FrameDecoder::new();
             while running.load(Ordering::SeqCst) {
                 match transport.recv(timeout) {
                     Ok(chunk) => {
+                        let arrival = clock.now();
                         decoder.push(&chunk);
+                        // Decode the whole chunk before taking the
+                        // fusion lock, shedding past the inflight
+                        // budget so a firehosing peer drops its own
+                        // oldest traffic instead of starving others.
+                        let mut batch: VecDeque<Message> = VecDeque::new();
                         loop {
-                            match decoder.next_message() {
-                                Ok(Some(msg)) => core.lock().ingest(msg),
+                            let step = match &capture {
+                                Some(cap) => decoder.next_message_and_frame().map(|opt| {
+                                    opt.map(|(msg, frame)| {
+                                        // Best-effort: a full capture
+                                        // disk must not down the fleet.
+                                        let _ = cap.lock().record(arrival, conn_id, &frame);
+                                        msg
+                                    })
+                                }),
+                                None => decoder.next_message(),
+                            };
+                            match step {
+                                Ok(Some(msg)) => {
+                                    if batch.len() >= budget {
+                                        batch.pop_front();
+                                        obs::incr("fleet.agg.inflight_dropped", 1);
+                                    }
+                                    batch.push_back(msg);
+                                }
                                 Ok(None) => break,
                                 Err(_) => {
                                     // Framing is unrecoverable
                                     // mid-stream: drop the connection
                                     // and let the agent redial.
                                     obs::incr("fleet.agg.decode_errors", 1);
+                                    transport.close();
+                                    return;
+                                }
+                            }
+                        }
+                        if !batch.is_empty() {
+                            let mut guard = core.lock();
+                            for msg in batch {
+                                let verdict = guard.ingest_from(conn_id, msg);
+                                if verdict.drop_connection {
+                                    drop(guard);
                                     transport.close();
                                     return;
                                 }
@@ -775,6 +1068,8 @@ impl Aggregator {
             core: Arc::clone(&self.core),
             cfg: self.cfg,
             running: Arc::clone(&self.running),
+            capture: self.capture.clone(),
+            next_conn: Arc::clone(&self.next_conn),
         };
         listener
             .set_nonblocking(true)

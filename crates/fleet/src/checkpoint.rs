@@ -1,0 +1,346 @@
+//! Crash-safe aggregator checkpoints.
+//!
+//! The aggregator's fused state — per-pole slots, liveness timing,
+//! cumulative counters, and sentinel trust records — is periodically
+//! serialised to a versioned snapshot file so a restarted aggregator
+//! resumes with poles still Live and fused people intact, instead of
+//! flapping the whole campus Dead while every agent redials.
+//!
+//! # File format (version 1)
+//!
+//! ```text
+//! magic u32 "HWCK" | version u32 | body len u32 | body | crc32 u32
+//! ```
+//!
+//! The CRC-32 (IEEE) covers the body. Writes go through a temp file
+//! in the same directory followed by an atomic rename, so a crash
+//! mid-checkpoint leaves the previous checkpoint intact — there is
+//! never a moment when the path holds a torn file.
+//!
+//! Timing state is stored as *silence* (nanoseconds since each pole
+//! was last heard, relative to the checkpoint instant) rather than
+//! absolute instants: on restore, `heard_at` is rebuilt against the
+//! restoring clock. Under a continuous [`obs::ManualClock`] the
+//! reconstruction is exact to the nanosecond, which is what lets the
+//! warm-restart test pin `CampusSnapshot` bit-identity against an
+//! uninterrupted run. Reports are serialised through the public wire
+//! codec — there is exactly one byte layout for a report in this
+//! codebase.
+//!
+//! Deliberately *not* checkpointed: the ops-surface telemetry rollups
+//! and the event journal (history, not fused state — the campus
+//! snapshot must not depend on them), and sentinel connection
+//! bindings (connection ids do not survive a restart).
+
+use std::fs;
+use std::io::Read;
+use std::path::Path;
+
+use crate::aggregator::{FusionStats, Liveness};
+use crate::sentinel::PoleTrust;
+use crate::wire::{self, Message, PoleReport};
+
+/// Checkpoint file magic: `b"HWCK"` read as a little-endian `u32`.
+pub const CHECKPOINT_MAGIC: u32 = u32::from_le_bytes(*b"HWCK");
+
+/// Checkpoint format version this build writes.
+pub const CHECKPOINT_VERSION: u32 = 1;
+
+/// Everything that can be wrong with a checkpoint file.
+#[derive(Debug)]
+pub enum CheckpointError {
+    /// Underlying I/O failure.
+    Io(std::io::Error),
+    /// The file did not start with [`CHECKPOINT_MAGIC`].
+    BadMagic(u32),
+    /// The file's format version is newer than this build.
+    UnsupportedVersion(u32),
+    /// The file ended before the structure it promised.
+    Truncated,
+    /// The body CRC did not match.
+    ChecksumMismatch,
+    /// A field held a value outside its domain.
+    Corrupt(&'static str),
+}
+
+impl std::fmt::Display for CheckpointError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CheckpointError::Io(e) => write!(f, "checkpoint i/o error: {e}"),
+            CheckpointError::BadMagic(got) => write!(f, "bad checkpoint magic {got:#010x}"),
+            CheckpointError::UnsupportedVersion(v) => {
+                write!(f, "unsupported checkpoint version {v}")
+            }
+            CheckpointError::Truncated => write!(f, "checkpoint truncated"),
+            CheckpointError::ChecksumMismatch => write!(f, "checkpoint failed its checksum"),
+            CheckpointError::Corrupt(what) => write!(f, "corrupt checkpoint field: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for CheckpointError {}
+
+impl From<std::io::Error> for CheckpointError {
+    fn from(e: std::io::Error) -> Self {
+        CheckpointError::Io(e)
+    }
+}
+
+/// One pole slot's persisted state.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SlotCheckpoint {
+    /// The pole.
+    pub pole_id: u32,
+    /// Newest accepted report seq.
+    pub last_seq: u64,
+    /// Nanoseconds of silence at checkpoint time.
+    pub silence_nanos: u64,
+    /// Whether the pole's last word was an orderly Bye.
+    pub said_bye: bool,
+    /// Last liveness journalled for the pole (restored so the journal
+    /// does not re-announce transitions it already recorded).
+    pub liveness_seen: Liveness,
+    /// The fused report, if one had arrived.
+    pub report: Option<PoleReport>,
+}
+
+/// A complete aggregator checkpoint.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Checkpoint {
+    /// Checkpoint instant on the taking aggregator's clock, nanos.
+    pub taken_at_nanos: u64,
+    /// Cumulative fusion counters.
+    pub stats: FusionStats,
+    /// Per-pole slots, ascending id.
+    pub slots: Vec<SlotCheckpoint>,
+    /// Per-pole sentinel trust records, ascending id.
+    pub sentinel: Vec<PoleTrust>,
+}
+
+fn liveness_byte(l: Liveness) -> u8 {
+    match l {
+        Liveness::Live => 0,
+        Liveness::Stale => 1,
+        Liveness::Dead => 2,
+    }
+}
+
+fn liveness_from(b: u8) -> Result<Liveness, CheckpointError> {
+    match b {
+        0 => Ok(Liveness::Live),
+        1 => Ok(Liveness::Stale),
+        2 => Ok(Liveness::Dead),
+        _ => Err(CheckpointError::Corrupt("liveness")),
+    }
+}
+
+struct Reader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Reader<'a> {
+    fn take(&mut self, n: usize) -> Result<&'a [u8], CheckpointError> {
+        if self.buf.len() - self.pos < n {
+            return Err(CheckpointError::Truncated);
+        }
+        let s = &self.buf[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(s)
+    }
+
+    fn u8(&mut self) -> Result<u8, CheckpointError> {
+        Ok(self.take(1)?[0])
+    }
+
+    fn u32(&mut self) -> Result<u32, CheckpointError> {
+        Ok(u32::from_le_bytes(self.take(4)?.try_into().expect("4")))
+    }
+
+    fn u64(&mut self) -> Result<u64, CheckpointError> {
+        Ok(u64::from_le_bytes(self.take(8)?.try_into().expect("8")))
+    }
+
+    fn f64(&mut self) -> Result<f64, CheckpointError> {
+        Ok(f64::from_le_bytes(self.take(8)?.try_into().expect("8")))
+    }
+}
+
+impl Checkpoint {
+    /// Serialises to the versioned, CRC'd byte format.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut body = Vec::with_capacity(256);
+        body.extend_from_slice(&self.taken_at_nanos.to_le_bytes());
+        for v in [
+            self.stats.reports,
+            self.stats.stale_discards,
+            self.stats.heartbeats,
+            self.stats.hellos,
+            self.stats.byes,
+            self.stats.telemetry,
+            self.stats.rejected,
+            self.stats.quarantined,
+        ] {
+            body.extend_from_slice(&v.to_le_bytes());
+        }
+        body.extend_from_slice(&(self.slots.len() as u32).to_le_bytes());
+        for s in &self.slots {
+            body.extend_from_slice(&s.pole_id.to_le_bytes());
+            body.extend_from_slice(&s.last_seq.to_le_bytes());
+            body.extend_from_slice(&s.silence_nanos.to_le_bytes());
+            body.push(u8::from(s.said_bye));
+            body.push(liveness_byte(s.liveness_seen));
+            match &s.report {
+                Some(r) => {
+                    // One report layout in the codebase: the wire's.
+                    let frame = wire::encode(&Message::Report(r.clone()));
+                    body.extend_from_slice(&(frame.len() as u32).to_le_bytes());
+                    body.extend_from_slice(&frame);
+                }
+                None => body.extend_from_slice(&0u32.to_le_bytes()),
+            }
+        }
+        body.extend_from_slice(&(self.sentinel.len() as u32).to_le_bytes());
+        for t in &self.sentinel {
+            t.write_to(&mut body);
+        }
+
+        let mut out = Vec::with_capacity(16 + body.len());
+        out.extend_from_slice(&CHECKPOINT_MAGIC.to_le_bytes());
+        out.extend_from_slice(&CHECKPOINT_VERSION.to_le_bytes());
+        out.extend_from_slice(&(body.len() as u32).to_le_bytes());
+        out.extend_from_slice(&body);
+        out.extend_from_slice(&wire::crc32(&body).to_le_bytes());
+        out
+    }
+
+    /// Parses the byte format, verifying version and checksum.
+    pub fn from_bytes(bytes: &[u8]) -> Result<Self, CheckpointError> {
+        if bytes.len() < 12 {
+            return Err(CheckpointError::Truncated);
+        }
+        let magic = u32::from_le_bytes(bytes[0..4].try_into().expect("4"));
+        if magic != CHECKPOINT_MAGIC {
+            return Err(CheckpointError::BadMagic(magic));
+        }
+        let version = u32::from_le_bytes(bytes[4..8].try_into().expect("4"));
+        if version > CHECKPOINT_VERSION {
+            return Err(CheckpointError::UnsupportedVersion(version));
+        }
+        let body_len = u32::from_le_bytes(bytes[8..12].try_into().expect("4")) as usize;
+        if bytes.len() < 12 + body_len + 4 {
+            return Err(CheckpointError::Truncated);
+        }
+        let body = &bytes[12..12 + body_len];
+        let expected = u32::from_le_bytes(
+            bytes[12 + body_len..12 + body_len + 4]
+                .try_into()
+                .expect("4"),
+        );
+        if wire::crc32(body) != expected {
+            return Err(CheckpointError::ChecksumMismatch);
+        }
+
+        let mut r = Reader { buf: body, pos: 0 };
+        let taken_at_nanos = r.u64()?;
+        let stats = FusionStats {
+            reports: r.u64()?,
+            stale_discards: r.u64()?,
+            heartbeats: r.u64()?,
+            hellos: r.u64()?,
+            byes: r.u64()?,
+            telemetry: r.u64()?,
+            rejected: r.u64()?,
+            quarantined: r.u64()?,
+        };
+        let n_slots = r.u32()? as usize;
+        let mut slots = Vec::with_capacity(n_slots.min(4096));
+        for _ in 0..n_slots {
+            let pole_id = r.u32()?;
+            let last_seq = r.u64()?;
+            let silence_nanos = r.u64()?;
+            let said_bye = match r.u8()? {
+                0 => false,
+                1 => true,
+                _ => return Err(CheckpointError::Corrupt("said_bye")),
+            };
+            let liveness_seen = liveness_from(r.u8()?)?;
+            let frame_len = r.u32()? as usize;
+            let report = if frame_len == 0 {
+                None
+            } else {
+                let frame = r.take(frame_len)?;
+                match wire::decode(frame) {
+                    Ok(Some((Message::Report(report), consumed))) if consumed == frame_len => {
+                        Some(report)
+                    }
+                    _ => return Err(CheckpointError::Corrupt("slot report frame")),
+                }
+            };
+            slots.push(SlotCheckpoint {
+                pole_id,
+                last_seq,
+                silence_nanos,
+                said_bye,
+                liveness_seen,
+                report,
+            });
+        }
+        let n_sentinel = r.u32()? as usize;
+        let mut sentinel = Vec::with_capacity(n_sentinel.min(4096));
+        for _ in 0..n_sentinel {
+            let pole_id = r.u32()?;
+            let score = r.f64()?;
+            if !score.is_finite() || score < 0.0 {
+                return Err(CheckpointError::Corrupt("trust score"));
+            }
+            let state = PoleTrust::state_from_byte(r.u8()?)
+                .ok_or(CheckpointError::Corrupt("trust state"))?;
+            let ban_remaining_ms = r.f64()?;
+            if !ban_remaining_ms.is_finite() || ban_remaining_ms < 0.0 {
+                return Err(CheckpointError::Corrupt("ban remaining"));
+            }
+            sentinel.push(PoleTrust {
+                pole_id,
+                score,
+                state,
+                ban_remaining_ms,
+                fused: r.u64()?,
+                quarantined: r.u64()?,
+                rejected: r.u64()?,
+                violations: r.u64()?,
+            });
+        }
+        if r.pos != body.len() {
+            return Err(CheckpointError::Corrupt("trailing bytes"));
+        }
+        Ok(Checkpoint {
+            taken_at_nanos,
+            stats,
+            slots,
+            sentinel,
+        })
+    }
+
+    /// Writes the checkpoint to `path` atomically: serialise to a
+    /// sibling temp file, fsync, rename over the target.
+    pub fn save_atomic(&self, path: &Path) -> std::io::Result<()> {
+        let bytes = self.to_bytes();
+        let tmp = path.with_extension("ckpt-tmp");
+        {
+            let mut f = fs::File::create(&tmp)?;
+            std::io::Write::write_all(&mut f, &bytes)?;
+            f.sync_all()?;
+        }
+        fs::rename(&tmp, path)?;
+        obs::incr("fleet.checkpoint.saves", 1);
+        Ok(())
+    }
+
+    /// Loads and parses a checkpoint file.
+    pub fn load(path: &Path) -> Result<Self, CheckpointError> {
+        let mut bytes = Vec::new();
+        fs::File::open(path)?.read_to_end(&mut bytes)?;
+        Checkpoint::from_bytes(&bytes)
+    }
+}

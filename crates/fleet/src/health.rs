@@ -20,6 +20,7 @@ use obs::{HistogramCells, TelemetrySnapshot};
 use serde::{Deserialize, Serialize};
 
 use crate::aggregator::Liveness;
+use crate::sentinel::TrustState;
 
 /// Something that happened to a pole, as judged by the aggregator.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -54,6 +55,22 @@ pub enum FleetEventKind {
         /// State after.
         to: HealthState,
     },
+    /// The sentinel moved the pole on the trust ladder.
+    TrustChanged {
+        /// State before.
+        from: TrustState,
+        /// State after.
+        to: TrustState,
+    },
+    /// A banned pole tried to reconnect during its cooldown and was
+    /// turned away.
+    BanRejected,
+    /// The aggregator restored fused state from a checkpoint
+    /// (`pole_id` 0 — the event is campus-wide).
+    Restored {
+        /// Pole slots the checkpoint carried.
+        poles: u32,
+    },
 }
 
 impl FleetEventKind {
@@ -66,6 +83,9 @@ impl FleetEventKind {
             FleetEventKind::LivenessChanged { .. } => "liveness_changed",
             FleetEventKind::LadderChanged { .. } => "ladder_changed",
             FleetEventKind::HealthChanged { .. } => "health_changed",
+            FleetEventKind::TrustChanged { .. } => "trust_changed",
+            FleetEventKind::BanRejected => "ban_rejected",
+            FleetEventKind::Restored { .. } => "restored",
         }
     }
 }
@@ -94,6 +114,10 @@ impl FleetEvent {
             FleetEventKind::HealthChanged { from, to } => {
                 format!(",\"from\":\"{}\",\"to\":\"{}\"", from.as_str(), to.as_str())
             }
+            FleetEventKind::TrustChanged { from, to } => {
+                format!(",\"from\":\"{}\",\"to\":\"{}\"", from.as_str(), to.as_str())
+            }
+            FleetEventKind::Restored { poles } => format!(",\"poles\":{poles}"),
             _ => String::new(),
         };
         format!(
@@ -176,6 +200,8 @@ pub struct PoleHealth {
     pub pole_id: u32,
     /// Liveness at scoreboard time.
     pub liveness: Liveness,
+    /// Sentinel trust state at scoreboard time.
+    pub trust: TrustState,
     /// Merged telemetry windows the pole has shipped: counters are
     /// lifetime deltas summed back to totals, gauges are the latest
     /// values, histograms are exact bucket merges.
@@ -248,9 +274,10 @@ impl FleetHealth {
                 s.push(',');
             }
             s.push_str(&format!(
-                "{{\"pole_id\":{},\"liveness\":\"{}\",\"telemetry_frames\":{},\"frames\":{},\"frames_held\":{},\"ingest\":{}",
+                "{{\"pole_id\":{},\"liveness\":\"{}\",\"trust\":\"{}\",\"telemetry_frames\":{},\"frames\":{},\"frames_held\":{},\"ingest\":{}",
                 p.pole_id,
                 p.liveness.as_str(),
+                p.trust.as_str(),
                 p.telemetry_frames,
                 p.telemetry.counter("pole.frames"),
                 p.telemetry.counter("pole.frames_held"),
@@ -277,9 +304,10 @@ impl FleetHealth {
         let mut out = String::new();
         out.push_str("fleet health scoreboard\n");
         out.push_str(&format!(
-            "{:>6} {:>6} {:>7} {:>6} {:>9} {:>9} {:>9} {:>7} {:>6}\n",
+            "{:>6} {:>6} {:>11} {:>7} {:>6} {:>9} {:>9} {:>9} {:>7} {:>6}\n",
             "pole",
             "state",
+            "trust",
             "frames",
             "held",
             "ingst p50",
@@ -299,9 +327,10 @@ impl FleetHealth {
                 .gauge("pole.queue_depth")
                 .map_or("-".to_string(), |v| format!("{v:.0}"));
             out.push_str(&format!(
-                "{:>6} {:>6} {:>7} {:>6} {:>9} {:>9} {:>9} {:>7} {:>6}\n",
+                "{:>6} {:>6} {:>11} {:>7} {:>6} {:>9} {:>9} {:>9} {:>7} {:>6}\n",
                 p.pole_id,
                 p.liveness.as_str(),
+                p.trust.as_str(),
                 p.telemetry.counter("pole.frames"),
                 p.telemetry.counter("pole.frames_held"),
                 format!("{:.2}", s.p50_ms),
@@ -340,6 +369,10 @@ impl FleetHealth {
                     FleetEventKind::LadderChanged { from, to } => format!("ladder {from} -> {to}"),
                     FleetEventKind::HealthChanged { from, to } =>
                         format!("health {} -> {}", from.as_str(), to.as_str()),
+                    FleetEventKind::TrustChanged { from, to } =>
+                        format!("trust {} -> {}", from.as_str(), to.as_str()),
+                    FleetEventKind::Restored { poles } =>
+                        format!("restored from checkpoint ({poles} poles)"),
                     other => other.as_str().to_string(),
                 }
             ));
@@ -393,6 +426,7 @@ mod tests {
             poles: vec![PoleHealth {
                 pole_id: 0,
                 liveness: Liveness::Live,
+                trust: TrustState::Trusted,
                 telemetry: TelemetrySnapshot::default(),
                 ingest: HistogramCells::empty("fleet.ingest.pole0"),
                 telemetry_frames: 0,

@@ -28,6 +28,18 @@
 //!   and end-to-end ingest latency percentiles, plus a bounded
 //!   [`health::EventJournal`] of connects, liveness flips, and ladder
 //!   transitions.
+//! - [`sentinel`] — Byzantine-input hardening: per-pole semantic
+//!   validation of every decoded message, a decaying violation score,
+//!   and a Suspect → Quarantined → Banned trust ladder that keeps a
+//!   compromised pole from poisoning the campus view.
+//! - [`capture`] — wire capture and bit-exact replay: every inbound
+//!   frame can be recorded with its arrival metadata and later fed
+//!   back through the full decode → sentinel → fusion path, turning a
+//!   live anomaly into a frozen regression fixture.
+//! - [`checkpoint`] — crash-safe warm restart: the fused state is
+//!   periodically serialised to a versioned, CRC'd snapshot file
+//!   (written atomically), so a restarted aggregator resumes with
+//!   poles still Live instead of flapping the campus Dead.
 //!
 //! The design invariant underneath all of it: fusion state is keyed
 //! per pole and last-sequence-wins, so a campus snapshot is a pure
@@ -40,16 +52,26 @@
 
 pub mod agent;
 pub mod aggregator;
+pub mod capture;
+pub mod checkpoint;
 pub mod health;
+pub mod sentinel;
 pub mod transport;
 pub mod wire;
 
 pub use agent::{AgentConfig, AgentStats, PoleAgent};
 pub use aggregator::{
-    Aggregator, AggregatorConfig, CampusSnapshot, FusionConfig, FusionCore, Liveness, PoleStatus,
-    ZoneOccupancy,
+    Aggregator, AggregatorConfig, CampusSnapshot, FusionConfig, FusionCore, IngestVerdict,
+    Liveness, PoleStatus, ZoneOccupancy,
 };
+pub use capture::{
+    load_capture, read_capture, replay, CaptureError, CaptureRecord, CaptureWriter, ReplayTransport,
+};
+pub use checkpoint::{Checkpoint, CheckpointError, SlotCheckpoint};
 pub use health::{EventJournal, FleetEvent, FleetEventKind, FleetHealth, PoleHealth};
+pub use sentinel::{
+    Disposition, Inspection, PoleTrust, Sentinel, SentinelConfig, TrustState, Violation,
+};
 pub use transport::{
     loopback_pair, Connector, LoopbackConfig, LoopbackHub, TcpConnector, Transport, TransportError,
 };

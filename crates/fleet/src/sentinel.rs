@@ -1,0 +1,584 @@
+//! Byzantine-input hardening: per-pole trust scoring for the
+//! aggregator.
+//!
+//! The wire layer rejects frames that are *malformed* — bad magic,
+//! flipped bits, out-of-domain floats. It cannot reject frames that
+//! are *wrong*: a compromised or malfunctioning pole can emit frames
+//! that are byte-perfect and CRC-valid yet semantically garbage —
+//! centroids kilometres off campus, replayed sequence numbers,
+//! capture timestamps from the future, telemetry windows spanning
+//! hours. Because the aggregator is the single point the whole fleet
+//! funnels into, one such pole would poison the campus occupancy view
+//! for everyone.
+//!
+//! The [`Sentinel`] sits between decode and fusion and judges every
+//! message against what a sane pole could plausibly send:
+//!
+//! - cluster centroids must map inside the surveyed campus bounding
+//!   box (pole poses × walkway ROI, plus a margin);
+//! - report sequence numbers may regress only within a bounded
+//!   reorder tolerance — anything further back is a replay;
+//! - capture timestamps must sit within a bounded skew of the
+//!   aggregator's own clock;
+//! - telemetry windows must cover a plausible span;
+//! - reported counts must stay below a physical plausibility ceiling.
+//!
+//! Violations add to a per-pole score; clean messages decay it. The
+//! score drives a trust ladder — [`TrustState::Trusted`] →
+//! [`TrustState::Suspect`] (fused, but flagged) →
+//! [`TrustState::Quarantined`] (frames counted, excluded from fusion)
+//! → [`TrustState::Banned`] (connection dropped, reconnects rejected
+//! for a cooldown, after which the pole re-enters on probation as
+//! Quarantined). Because the score depends only on the pole's own
+//! message stream — which arrives in order on its single connection —
+//! trust state is deterministic across aggregator thread counts, and
+//! campus snapshots stay bit-identical.
+//!
+//! Pole-id conflicts (a second connection speaking for a pole whose
+//! owning connection is still active) are handled *outside* the
+//! score: the offending connection accumulates strikes and is
+//! dropped, but the pole itself is not penalised — otherwise an
+//! impersonator could talk an honest pole into quarantine. See the
+//! threat model in DESIGN.md for what this does and does not defend
+//! against (the wire has no authentication; a spoofer who announces
+//! itself with a Hello after the owner goes silent is
+//! indistinguishable from a legitimate redial).
+
+use std::collections::BTreeMap;
+
+use serde::{Deserialize, Serialize};
+use world::{PolePose, PoleRegistry, WalkwayConfig};
+
+use crate::wire::Message;
+
+/// Where a pole sits on the aggregator's trust ladder.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum TrustState {
+    /// No recent violations; frames fuse normally.
+    Trusted,
+    /// Violations accumulating; frames still fuse, but the pole is
+    /// flagged on the ops surface.
+    Suspect,
+    /// Score past the quarantine threshold: frames are counted and
+    /// keep liveness, but are excluded from fused occupancy.
+    Quarantined,
+    /// Score past the ban threshold: the connection is dropped and
+    /// reconnects are rejected until the cooldown expires.
+    Banned,
+}
+
+impl TrustState {
+    /// Ops-surface label.
+    pub fn as_str(&self) -> &'static str {
+        match self {
+            TrustState::Trusted => "trusted",
+            TrustState::Suspect => "suspect",
+            TrustState::Quarantined => "quarantined",
+            TrustState::Banned => "banned",
+        }
+    }
+
+    fn byte(self) -> u8 {
+        match self {
+            TrustState::Trusted => 0,
+            TrustState::Suspect => 1,
+            TrustState::Quarantined => 2,
+            TrustState::Banned => 3,
+        }
+    }
+
+    fn from_byte(b: u8) -> Option<Self> {
+        match b {
+            0 => Some(TrustState::Trusted),
+            1 => Some(TrustState::Suspect),
+            2 => Some(TrustState::Quarantined),
+            3 => Some(TrustState::Banned),
+            _ => None,
+        }
+    }
+}
+
+/// A semantic rule one message broke.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Violation {
+    /// A cluster centroid mapped outside the campus bounding box.
+    OutOfBounds,
+    /// The report's seq regressed beyond the reorder tolerance.
+    SeqReplay,
+    /// The capture timestamp disagrees with the aggregator clock
+    /// beyond the allowed skew.
+    ClockSkew,
+    /// The reported count exceeds the plausibility ceiling.
+    ImplausibleCount,
+    /// A telemetry window claimed an implausible span.
+    TelemetryInsane,
+}
+
+impl Violation {
+    /// Counter-name label.
+    pub fn as_str(&self) -> &'static str {
+        match self {
+            Violation::OutOfBounds => "out_of_bounds",
+            Violation::SeqReplay => "seq_replay",
+            Violation::ClockSkew => "clock_skew",
+            Violation::ImplausibleCount => "implausible_count",
+            Violation::TelemetryInsane => "telemetry_insane",
+        }
+    }
+
+    /// Score weight: how strongly this violation indicts the pole.
+    /// Geometric and count violations can only come from garbage;
+    /// skew and telemetry anomalies have benign failure modes (clock
+    /// drift, a wedged window timer) and weigh less.
+    pub fn weight(&self) -> f64 {
+        match self {
+            Violation::OutOfBounds | Violation::ImplausibleCount => 2.0,
+            Violation::SeqReplay => 1.5,
+            Violation::ClockSkew | Violation::TelemetryInsane => 1.0,
+        }
+    }
+}
+
+/// Sentinel tuning.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SentinelConfig {
+    /// Master switch; when false every message fuses untouched.
+    pub enabled: bool,
+    /// Metres added around the surveyed pole ROI union when judging
+    /// [`Violation::OutOfBounds`].
+    pub bounds_margin_m: f64,
+    /// How far a report seq may regress below the last accepted seq
+    /// before it reads as a replay (honest links reorder by a frame
+    /// or two; replays rewind by thousands).
+    pub seq_regression_tolerance: u64,
+    /// Largest |now − capture| the ingest trace will believe, ms.
+    pub max_clock_skew_ms: f64,
+    /// Largest plausible telemetry window span, ms.
+    pub max_telemetry_window_ms: f64,
+    /// Largest plausible per-pole count.
+    pub max_plausible_count: u32,
+    /// Multiplier applied to the score on every clean message.
+    pub decay: f64,
+    /// Score at which a pole turns [`TrustState::Suspect`].
+    pub suspect_at: f64,
+    /// Score at which a pole turns [`TrustState::Quarantined`].
+    pub quarantine_at: f64,
+    /// Score at which a pole turns [`TrustState::Banned`].
+    pub ban_at: f64,
+    /// How long a ban rejects reconnects, ms. After the cooldown the
+    /// pole re-enters on probation (Quarantined at the threshold
+    /// score) and must earn its way back down.
+    pub ban_cooldown_ms: f64,
+    /// Silence (ms) after which a pole-id binding may move to a new
+    /// connection without reading as a conflict.
+    pub conflict_rebind_ms: f64,
+    /// Conflict strikes after which the offending *connection* is
+    /// dropped.
+    pub conflict_drop_after: u32,
+}
+
+impl Default for SentinelConfig {
+    fn default() -> Self {
+        SentinelConfig {
+            enabled: true,
+            bounds_margin_m: 5.0,
+            seq_regression_tolerance: 64,
+            max_clock_skew_ms: 10_000.0,
+            max_telemetry_window_ms: 600_000.0,
+            max_plausible_count: 4_096,
+            decay: 0.5,
+            suspect_at: 2.0,
+            quarantine_at: 4.0,
+            ban_at: 16.0,
+            ban_cooldown_ms: 30_000.0,
+            conflict_rebind_ms: 1_000.0,
+            conflict_drop_after: 3,
+        }
+    }
+}
+
+/// What fusion should do with one inspected message.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Disposition {
+    /// Fold it into fused state normally.
+    Fuse,
+    /// Update the slot and liveness, but exclude the pole's data from
+    /// fused occupancy at snapshot time.
+    Quarantine,
+    /// Do not touch fused state at all (banned pole or a conflicting
+    /// connection).
+    Reject,
+}
+
+/// The sentinel's judgement of one message.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Inspection {
+    /// What fusion should do with the message.
+    pub disposition: Disposition,
+    /// Whether the delivering connection should be dropped (ban, or a
+    /// conflict past the strike limit).
+    pub drop_connection: bool,
+    /// Trust transition this message caused, if any.
+    pub transition: Option<(TrustState, TrustState)>,
+    /// Semantic violations the message carried.
+    pub violations: u32,
+}
+
+/// Per-pole trust counters, as exposed to benches and checkpoints.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct PoleTrust {
+    /// The pole.
+    pub pole_id: u32,
+    /// Current violation score.
+    pub score: f64,
+    /// Current trust state.
+    pub state: TrustState,
+    /// Remaining ban cooldown at export time, ms (0 unless banned).
+    pub ban_remaining_ms: f64,
+    /// Messages that fused normally.
+    pub fused: u64,
+    /// Messages counted but excluded from fusion.
+    pub quarantined: u64,
+    /// Messages rejected outright.
+    pub rejected: u64,
+    /// Total violations observed.
+    pub violations: u64,
+}
+
+impl PoleTrust {
+    /// Serialises for the checkpoint body (fixed 61-byte record).
+    pub(crate) fn write_to(&self, out: &mut Vec<u8>) {
+        out.extend_from_slice(&self.pole_id.to_le_bytes());
+        out.extend_from_slice(&self.score.to_le_bytes());
+        out.push(self.state.byte());
+        out.extend_from_slice(&self.ban_remaining_ms.to_le_bytes());
+        out.extend_from_slice(&self.fused.to_le_bytes());
+        out.extend_from_slice(&self.quarantined.to_le_bytes());
+        out.extend_from_slice(&self.rejected.to_le_bytes());
+        out.extend_from_slice(&self.violations.to_le_bytes());
+    }
+
+    pub(crate) fn state_from_byte(b: u8) -> Option<TrustState> {
+        TrustState::from_byte(b)
+    }
+}
+
+/// Rectangular campus bounding box in ground-plane metres.
+#[derive(Debug, Clone, Copy, PartialEq)]
+struct Bounds {
+    min_x: f64,
+    max_x: f64,
+    min_y: f64,
+    max_y: f64,
+}
+
+#[derive(Debug, Clone)]
+struct PoleGuard {
+    score: f64,
+    state: TrustState,
+    banned_until_ms: f64,
+    owner_conn: u32,
+    owner_heard_ms: f64,
+    fused: u64,
+    quarantined: u64,
+    rejected: u64,
+    violations: u64,
+}
+
+impl Default for PoleGuard {
+    fn default() -> Self {
+        PoleGuard {
+            score: 0.0,
+            state: TrustState::Trusted,
+            banned_until_ms: 0.0,
+            owner_conn: 0,
+            owner_heard_ms: 0.0,
+            fused: 0,
+            quarantined: 0,
+            rejected: 0,
+            violations: 0,
+        }
+    }
+}
+
+/// The per-pole trust machine. Owned by `FusionCore`; all state is
+/// driven by [`Sentinel::inspect`] calls in connection-FIFO order.
+#[derive(Debug)]
+pub struct Sentinel {
+    cfg: SentinelConfig,
+    bounds: Option<Bounds>,
+    poses: BTreeMap<u32, PolePose>,
+    poles: BTreeMap<u32, PoleGuard>,
+    conn_strikes: BTreeMap<u32, u32>,
+}
+
+impl Sentinel {
+    /// A sentinel judging against the surveyed `registry` + walkway
+    /// geometry. An empty registry disables the bounds check (there
+    /// is nothing to bound against).
+    pub fn new(cfg: SentinelConfig, registry: &PoleRegistry, walkway: &WalkwayConfig) -> Self {
+        let bounds = Self::campus_bounds(registry, walkway, cfg.bounds_margin_m);
+        Sentinel {
+            cfg,
+            bounds,
+            poses: registry.poses().map(|p| (p.pole_id, *p)).collect(),
+            poles: BTreeMap::new(),
+            conn_strikes: BTreeMap::new(),
+        }
+    }
+
+    fn campus_bounds(
+        registry: &PoleRegistry,
+        walkway: &WalkwayConfig,
+        margin: f64,
+    ) -> Option<Bounds> {
+        let hw = walkway.half_width();
+        let mut bounds: Option<Bounds> = None;
+        for pose in registry.poses() {
+            for (lx, ly) in [
+                (walkway.x_min, -hw),
+                (walkway.x_min, hw),
+                (walkway.x_max, -hw),
+                (walkway.x_max, hw),
+            ] {
+                let p = pose.to_campus(geom::Point3::new(lx, ly, 0.0));
+                bounds = Some(match bounds {
+                    None => Bounds {
+                        min_x: p.x,
+                        max_x: p.x,
+                        min_y: p.y,
+                        max_y: p.y,
+                    },
+                    Some(b) => Bounds {
+                        min_x: b.min_x.min(p.x),
+                        max_x: b.max_x.max(p.x),
+                        min_y: b.min_y.min(p.y),
+                        max_y: b.max_y.max(p.y),
+                    },
+                });
+            }
+        }
+        bounds.map(|b| Bounds {
+            min_x: b.min_x - margin,
+            max_x: b.max_x + margin,
+            min_y: b.min_y - margin,
+            max_y: b.max_y + margin,
+        })
+    }
+
+    /// The trust state of `pole_id` (Trusted when never seen).
+    pub fn state_of(&self, pole_id: u32) -> TrustState {
+        self.poles
+            .get(&pole_id)
+            .map_or(TrustState::Trusted, |g| g.state)
+    }
+
+    /// Exports every pole's trust record (for checkpoints and bench
+    /// reporting). `now_ms` converts an active ban into a remaining
+    /// cooldown that survives a restart.
+    pub fn export(&self, now_ms: f64) -> Vec<PoleTrust> {
+        self.poles
+            .iter()
+            .map(|(&pole_id, g)| PoleTrust {
+                pole_id,
+                score: g.score,
+                state: g.state,
+                ban_remaining_ms: if g.state == TrustState::Banned {
+                    (g.banned_until_ms - now_ms).max(0.0)
+                } else {
+                    0.0
+                },
+                fused: g.fused,
+                quarantined: g.quarantined,
+                rejected: g.rejected,
+                violations: g.violations,
+            })
+            .collect()
+    }
+
+    /// Restores trust records from a checkpoint. Connection bindings
+    /// are not restored — connection ids do not survive a restart.
+    pub fn import(&mut self, records: &[PoleTrust], now_ms: f64) {
+        for r in records {
+            self.poles.insert(
+                r.pole_id,
+                PoleGuard {
+                    score: r.score,
+                    state: r.state,
+                    banned_until_ms: if r.state == TrustState::Banned {
+                        now_ms + r.ban_remaining_ms
+                    } else {
+                        0.0
+                    },
+                    owner_conn: 0,
+                    owner_heard_ms: 0.0,
+                    fused: r.fused,
+                    quarantined: r.quarantined,
+                    rejected: r.rejected,
+                    violations: r.violations,
+                },
+            );
+        }
+    }
+
+    /// Judges one decoded message delivered by `conn_id` at `now_ms`.
+    /// `conn_id` 0 means "direct ingest, no connection identity" and
+    /// skips conflict tracking. `last_accepted_seq` is the fused
+    /// slot's newest report seq (0 when none).
+    pub fn inspect(
+        &mut self,
+        conn_id: u32,
+        msg: &Message,
+        now_ms: f64,
+        last_accepted_seq: u64,
+    ) -> Inspection {
+        if !self.cfg.enabled {
+            return Inspection {
+                disposition: Disposition::Fuse,
+                drop_connection: false,
+                transition: None,
+                violations: 0,
+            };
+        }
+        let cfg = self.cfg;
+        let pole_id = msg.pole_id();
+        let guard = self.poles.entry(pole_id).or_default();
+        let state_at_entry = guard.state;
+
+        // An expired ban re-admits the pole on probation; an active
+        // one rejects everything and keeps dropping the connection.
+        if guard.state == TrustState::Banned {
+            if now_ms < guard.banned_until_ms {
+                guard.rejected += 1;
+                obs::incr("fleet.sentinel.rejected", 1);
+                return Inspection {
+                    disposition: Disposition::Reject,
+                    drop_connection: true,
+                    transition: None,
+                    violations: 0,
+                };
+            }
+            guard.state = TrustState::Quarantined;
+            guard.score = cfg.quarantine_at;
+            guard.banned_until_ms = 0.0;
+        }
+
+        // Connection-identity conflicts are judged before semantics:
+        // a frame from a non-owning connection never touches fused
+        // state *or* the pole's score.
+        if conn_id != 0 {
+            let owner_active = guard.owner_conn != 0
+                && guard.owner_conn != conn_id
+                && now_ms - guard.owner_heard_ms < cfg.conflict_rebind_ms;
+            if owner_active {
+                guard.rejected += 1;
+                let strikes = self.conn_strikes.entry(conn_id).or_insert(0);
+                *strikes += 1;
+                obs::incr("fleet.sentinel.conflicts", 1);
+                let transition =
+                    (state_at_entry != guard.state).then_some((state_at_entry, guard.state));
+                return Inspection {
+                    disposition: Disposition::Reject,
+                    drop_connection: *strikes >= cfg.conflict_drop_after,
+                    transition,
+                    violations: 1,
+                };
+            }
+            guard.owner_conn = conn_id;
+            guard.owner_heard_ms = now_ms;
+        }
+
+        // Semantic checks.
+        let mut weight = 0.0;
+        let mut violations = 0u32;
+        let record = |v: Violation, weight_acc: &mut f64, count: &mut u32| {
+            obs::incr(&format!("fleet.sentinel.violation.{}", v.as_str()), 1);
+            *weight_acc += v.weight();
+            *count += 1;
+        };
+        match msg {
+            Message::Report(r) => {
+                if let Some(b) = &self.bounds {
+                    // Bounds are judged in campus coordinates, so only
+                    // surveyed poles can be judged — an unregistered
+                    // pole's local frame maps nowhere.
+                    if let Some(pose) = self.poses.get(&pole_id) {
+                        let out = r.clusters.iter().any(|c| {
+                            let p = pose.to_campus(c.centroid);
+                            p.x < b.min_x || p.x > b.max_x || p.y < b.min_y || p.y > b.max_y
+                        });
+                        if out {
+                            record(Violation::OutOfBounds, &mut weight, &mut violations);
+                        }
+                    }
+                }
+                if last_accepted_seq > cfg.seq_regression_tolerance
+                    && r.seq < last_accepted_seq - cfg.seq_regression_tolerance
+                {
+                    record(Violation::SeqReplay, &mut weight, &mut violations);
+                }
+                if let Some(capture) = r.capture_ms {
+                    if (now_ms - capture).abs() > cfg.max_clock_skew_ms {
+                        record(Violation::ClockSkew, &mut weight, &mut violations);
+                    }
+                }
+                if r.count > cfg.max_plausible_count {
+                    record(Violation::ImplausibleCount, &mut weight, &mut violations);
+                }
+            }
+            Message::Telemetry(t) => {
+                if t.window_ms > cfg.max_telemetry_window_ms {
+                    record(Violation::TelemetryInsane, &mut weight, &mut violations);
+                }
+            }
+            Message::Hello { .. } | Message::Heartbeat(_) | Message::Bye { .. } => {}
+        }
+
+        if violations == 0 {
+            guard.score *= cfg.decay;
+            if guard.score < 1e-6 {
+                guard.score = 0.0;
+            }
+        } else {
+            guard.score += weight;
+            guard.violations += u64::from(violations);
+        }
+
+        guard.state = if guard.score >= cfg.ban_at {
+            TrustState::Banned
+        } else if guard.score >= cfg.quarantine_at {
+            TrustState::Quarantined
+        } else if guard.score >= cfg.suspect_at {
+            TrustState::Suspect
+        } else {
+            TrustState::Trusted
+        };
+        if guard.state == TrustState::Banned && state_at_entry != TrustState::Banned {
+            guard.banned_until_ms = now_ms + cfg.ban_cooldown_ms;
+        }
+
+        let disposition = match guard.state {
+            TrustState::Banned => {
+                guard.rejected += 1;
+                obs::incr("fleet.sentinel.rejected", 1);
+                Disposition::Reject
+            }
+            TrustState::Quarantined => {
+                guard.quarantined += 1;
+                obs::incr("fleet.sentinel.quarantined", 1);
+                Disposition::Quarantine
+            }
+            _ => {
+                guard.fused += 1;
+                Disposition::Fuse
+            }
+        };
+        let transition = (state_at_entry != guard.state).then_some((state_at_entry, guard.state));
+        Inspection {
+            disposition,
+            drop_connection: guard.state == TrustState::Banned,
+            transition,
+            violations,
+        }
+    }
+}

@@ -174,6 +174,16 @@ pub struct LoopbackConfig {
     /// Probability a sent frame is held and delivered *after* the
     /// next one (pairwise reorder, the common LAN pathology).
     pub reorder: f64,
+    /// Probability a sent frame is torn mid-frame into two stream
+    /// chunks (a partial write): the head is delivered at once, the
+    /// tail on the next send. Tears the *byte* stream without
+    /// corrupting it, exactly like a short TCP write.
+    pub partial: f64,
+    /// Probability (given a partial write happened) that the tail is
+    /// additionally *stalled*: held back until yet another send (or
+    /// close) pushes it out — a mid-frame stall, the pathology that
+    /// leaves a decoder holding half a frame across recv timeouts.
+    pub stall: f64,
     /// Simulated one-way link delay applied on `send` (sleeps the
     /// sender; keep zero in deterministic tests).
     pub delay: Duration,
@@ -188,6 +198,8 @@ impl Default for LoopbackConfig {
         LoopbackConfig {
             loss: 0.0,
             reorder: 0.0,
+            partial: 0.0,
+            stall: 0.0,
             delay: Duration::ZERO,
             seed: 0,
         }
@@ -205,8 +217,21 @@ impl LoopbackConfig {
         LoopbackConfig {
             loss,
             reorder,
-            delay: Duration::ZERO,
             seed,
+            ..LoopbackConfig::default()
+        }
+    }
+
+    /// An adversarial link: loss and reorder plus byte-level partial
+    /// writes and mid-frame stalls, seeded for reproducibility.
+    pub fn adversarial(loss: f64, reorder: f64, partial: f64, stall: f64, seed: u64) -> Self {
+        LoopbackConfig {
+            loss,
+            reorder,
+            partial,
+            stall,
+            seed,
+            ..LoopbackConfig::default()
         }
     }
 }
@@ -218,6 +243,7 @@ pub struct LoopbackClient {
     cfg: LoopbackConfig,
     rng: StdRng,
     held: Option<Vec<u8>>,
+    stalled: Option<Vec<u8>>,
     closed: bool,
 }
 
@@ -235,11 +261,39 @@ impl Transport for LoopbackClient {
         if !self.cfg.delay.is_zero() {
             std::thread::sleep(self.cfg.delay);
         }
+        // A stalled mid-frame tail from an earlier partial write must
+        // go out before anything newer: it is stream bytes, and
+        // reordering *bytes* (unlike whole frames) would corrupt.
+        if let Some(tail) = self.stalled.take() {
+            self.deliver(tail)?;
+        }
         if self.cfg.loss > 0.0 && self.rng.gen::<f64>() < self.cfg.loss {
             obs::incr("fleet.loopback.frames_lost", 1);
             return Ok(());
         }
         let frame = frame.to_vec();
+        // Partial write: tear the frame into head + tail stream chunks.
+        // RNG draws are gated on the knob being enabled so configs
+        // without the fault keep their established draw sequence.
+        if self.cfg.partial > 0.0 && frame.len() >= 2 && self.rng.gen::<f64>() < self.cfg.partial {
+            let cut = self.rng.gen_range(1..frame.len());
+            let head = frame[..cut].to_vec();
+            let tail = frame[cut..].to_vec();
+            obs::incr("fleet.loopback.frames_torn", 1);
+            // Byte-stream ordering: any held whole frame precedes the
+            // torn one; the fragments themselves are never reordered.
+            if let Some(earlier) = self.held.take() {
+                self.deliver(earlier)?;
+            }
+            self.deliver(head)?;
+            if self.cfg.stall > 0.0 && self.rng.gen::<f64>() < self.cfg.stall {
+                obs::incr("fleet.loopback.frames_stalled", 1);
+                self.stalled = Some(tail);
+            } else {
+                self.deliver(tail)?;
+            }
+            return Ok(());
+        }
         if let Some(earlier) = self.held.take() {
             // Deliver the newer frame first, then the held one: a
             // pairwise swap on the wire.
@@ -261,6 +315,9 @@ impl Transport for LoopbackClient {
     }
 
     fn close(&mut self) {
+        if let Some(tail) = self.stalled.take() {
+            let _ = self.tx.send(tail);
+        }
         if let Some(frame) = self.held.take() {
             let _ = self.tx.send(frame);
         }
@@ -308,6 +365,7 @@ pub fn loopback_pair(cfg: LoopbackConfig) -> (LoopbackClient, LoopbackServer) {
             cfg,
             rng: StdRng::seed_from_u64(cfg.seed),
             held: None,
+            stalled: None,
             closed: false,
         },
         LoopbackServer { rx },
@@ -492,5 +550,100 @@ mod tests {
             hub.accept(Duration::from_millis(2)).err(),
             Some(TransportError::TimedOut)
         );
+    }
+
+    #[test]
+    fn partial_writes_tear_frames_but_preserve_the_byte_stream() {
+        let (mut client, mut server) =
+            loopback_pair(LoopbackConfig::adversarial(0.0, 0.0, 1.0, 0.0, 11));
+        let frames: Vec<Vec<u8>> = (0..20u8).map(|i| vec![i; 8]).collect();
+        for f in &frames {
+            client.send(f).unwrap();
+        }
+        client.close();
+        let mut chunks = 0usize;
+        let mut stream = Vec::new();
+        while let Ok(chunk) = server.recv(Duration::from_millis(5)) {
+            chunks += 1;
+            stream.extend_from_slice(&chunk);
+        }
+        assert!(chunks > frames.len(), "every frame must be torn at 100%");
+        let expected: Vec<u8> = frames.concat();
+        assert_eq!(stream, expected, "tearing must never corrupt the stream");
+    }
+
+    #[test]
+    fn stalled_tail_is_flushed_by_the_next_send_or_close() {
+        let (mut client, mut server) =
+            loopback_pair(LoopbackConfig::adversarial(0.0, 0.0, 1.0, 1.0, 3));
+        client.send(b"abcdef").unwrap();
+        // Head arrives; the tail is stalled inside the client.
+        let head = server.recv(Duration::from_millis(20)).unwrap();
+        assert!(!head.is_empty() && head.len() < 6);
+        assert_eq!(
+            server.recv(Duration::from_millis(5)),
+            Err(TransportError::TimedOut),
+            "tail must be stalled, not delivered"
+        );
+        // The next send flushes the stalled tail first, in order.
+        client.send(b"ghij").unwrap();
+        client.close();
+        let mut stream = head;
+        while let Ok(chunk) = server.recv(Duration::from_millis(5)) {
+            stream.extend_from_slice(&chunk);
+        }
+        assert_eq!(stream, b"abcdefghij");
+    }
+
+    #[test]
+    fn adversarial_link_is_deterministic_per_seed() {
+        let run = |seed: u64| -> Vec<Vec<u8>> {
+            let (mut client, mut server) =
+                loopback_pair(LoopbackConfig::adversarial(0.1, 0.2, 0.5, 0.5, seed));
+            for i in 0..60u8 {
+                client.send(&[i; 4]).unwrap();
+            }
+            client.close();
+            let mut out = Vec::new();
+            while let Ok(chunk) = server.recv(Duration::from_millis(5)) {
+                out.push(chunk);
+            }
+            out
+        };
+        assert_eq!(run(9), run(9), "same seed, same chunk sequence");
+        assert_ne!(run(9), run(10), "different seed, different pattern");
+    }
+
+    #[test]
+    fn torn_frames_reassemble_through_the_decoder() {
+        use crate::wire::{encode, FrameDecoder, Heartbeat, Message};
+        let (mut client, mut server) =
+            loopback_pair(LoopbackConfig::adversarial(0.0, 0.0, 1.0, 0.5, 17));
+        let n = 25u64;
+        for seq in 0..n {
+            let frame = encode(&Message::Heartbeat(Heartbeat {
+                pole_id: 1,
+                seq,
+                timestamp_ms: seq * 100,
+            }));
+            client.send(&frame).unwrap();
+        }
+        client.close();
+        let mut dec = FrameDecoder::new();
+        let mut got = Vec::new();
+        while let Ok(chunk) = server.recv(Duration::from_millis(5)) {
+            dec.push(&chunk);
+            while let Ok(Some(msg)) = dec.next_message() {
+                got.push(msg);
+            }
+        }
+        let seqs: Vec<u64> = got
+            .iter()
+            .map(|m| match m {
+                Message::Heartbeat(h) => h.seq,
+                other => panic!("unexpected message: {other:?}"),
+            })
+            .collect();
+        assert_eq!(seqs, (0..n).collect::<Vec<_>>());
     }
 }

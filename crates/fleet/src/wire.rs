@@ -70,6 +70,16 @@ pub const CHECKSUM_LEN: usize = 4;
 /// abuse, not data.
 pub const MAX_BODY_LEN: usize = 64 * 1024;
 
+/// Largest complete frame the protocol allows.
+pub const MAX_FRAME_LEN: usize = HEADER_LEN + MAX_BODY_LEN + CHECKSUM_LEN;
+
+/// Hard ceiling on a [`FrameDecoder`]'s undrained buffer: a few
+/// worst-case frames. Well-behaved callers drain after every push;
+/// only a hostile sender paired with a caller that never drains can
+/// reach this, and the decoder poisons rather than buffer without
+/// bound.
+pub const MAX_PENDING_BYTES: usize = 4 * MAX_FRAME_LEN;
+
 /// Most clusters one report frame can carry: the fixed report fields
 /// plus this many cluster records still fit [`MAX_BODY_LEN`]. The
 /// encoder truncates longer lists (keeping `count` intact) so an
@@ -117,6 +127,10 @@ pub enum WireError {
     TrailingBytes(usize),
     /// A field held a value outside its domain.
     Malformed(&'static str),
+    /// The receive buffer exceeded [`MAX_PENDING_BYTES`] without the
+    /// caller draining it — a peer is flooding faster than frames can
+    /// possibly be this large.
+    Backlog(usize),
 }
 
 impl std::fmt::Display for WireError {
@@ -135,6 +149,9 @@ impl std::fmt::Display for WireError {
             }
             WireError::TrailingBytes(n) => write!(f, "{n} trailing bytes after body"),
             WireError::Malformed(what) => write!(f, "malformed field: {what}"),
+            WireError::Backlog(n) => {
+                write!(f, "{n} undrained bytes exceed {MAX_PENDING_BYTES}")
+            }
         }
     }
 }
@@ -818,6 +835,10 @@ pub fn decode(buf: &[u8]) -> Result<Option<(Message, usize)>, WireError> {
     Ok(Some((msg, frame_len)))
 }
 
+/// A decoded message plus, when requested, the exact wire bytes it
+/// decoded from.
+type DecodedFrame = (Message, Option<Vec<u8>>);
+
 /// Incremental frame reassembly over a byte stream (TCP reads arrive
 /// in arbitrary chunks).
 ///
@@ -831,6 +852,27 @@ pub struct FrameDecoder {
     poisoned: Option<WireError>,
 }
 
+/// Validates the frame header at the front of `buf` without touching
+/// the body. `None` when the header is incomplete or valid.
+fn frame_header_error(buf: &[u8]) -> Option<WireError> {
+    if buf.len() < HEADER_LEN {
+        return None;
+    }
+    let magic = u32::from_le_bytes(buf[0..4].try_into().expect("4"));
+    if magic != MAGIC {
+        return Some(WireError::BadMagic(magic));
+    }
+    let version = buf[4];
+    if !(MIN_VERSION..=VERSION).contains(&version) {
+        return Some(WireError::UnsupportedVersion(version));
+    }
+    let body_len = u32::from_le_bytes(buf[6..10].try_into().expect("4"));
+    if body_len as usize > MAX_BODY_LEN {
+        return Some(WireError::Oversize(body_len));
+    }
+    None
+}
+
 impl FrameDecoder {
     /// An empty decoder.
     pub fn new() -> Self {
@@ -838,11 +880,44 @@ impl FrameDecoder {
     }
 
     /// Appends raw bytes received from the transport.
+    ///
+    /// The frame header at the front of the buffer is validated
+    /// *here*, before its body is ever buffered: a hostile length
+    /// prefix (say, claiming a 4 GiB body) poisons the decoder and
+    /// frees the buffer immediately instead of reserving memory for
+    /// bytes that can never decode. The total undrained buffer is
+    /// bounded by [`MAX_PENDING_BYTES`] for the same reason.
     pub fn push(&mut self, bytes: &[u8]) {
         obs::incr("fleet.wire.bytes_received", bytes.len() as u64);
-        if self.poisoned.is_none() {
-            self.buf.extend_from_slice(bytes);
+        if self.poisoned.is_some() {
+            return;
         }
+        if self.buf.len() + bytes.len() > MAX_PENDING_BYTES {
+            self.poison_now(WireError::Backlog(self.buf.len() + bytes.len()));
+            return;
+        }
+        self.buf.extend_from_slice(bytes);
+        if let Some(err) = frame_header_error(&self.buf) {
+            self.poison_now(err);
+        }
+    }
+
+    /// Records the first stream error, counts it, and frees the
+    /// buffer — poisoned bytes will never decode, so holding them is
+    /// pure waste.
+    fn poison_now(&mut self, err: WireError) {
+        obs::incr("fleet.wire.decoder_poisonings", 1);
+        match err {
+            WireError::ChecksumMismatch { .. } => {
+                obs::incr("fleet.wire.crc_failures", 1);
+            }
+            WireError::Oversize(_) | WireError::Backlog(_) => {
+                obs::incr("fleet.wire.oversize_rejects", 1);
+            }
+            _ => {}
+        }
+        self.poisoned = Some(err);
+        self.buf = Vec::new();
     }
 
     /// Bytes buffered but not yet decoded.
@@ -853,29 +928,38 @@ impl FrameDecoder {
     /// Pops the next complete message, `Ok(None)` when more bytes are
     /// needed.
     pub fn next_message(&mut self) -> Result<Option<Message>, WireError> {
+        Ok(self.next_inner(false)?.map(|(msg, _)| msg))
+    }
+
+    /// Like [`FrameDecoder::next_message`], but also returns the raw
+    /// frame bytes the message decoded from — the capture layer
+    /// records exactly what crossed the wire, not a re-encoding.
+    pub fn next_message_and_frame(&mut self) -> Result<Option<(Message, Vec<u8>)>, WireError> {
+        Ok(self
+            .next_inner(true)?
+            .map(|(msg, frame)| (msg, frame.expect("frame requested"))))
+    }
+
+    fn next_inner(&mut self, want_frame: bool) -> Result<Option<DecodedFrame>, WireError> {
         if let Some(err) = self.poisoned {
             obs::incr("fleet.wire.decode_errors", 1);
             return Err(err);
         }
         match decode(&self.buf) {
             Ok(Some((msg, consumed))) => {
+                let frame = want_frame.then(|| self.buf[..consumed].to_vec());
                 self.buf.drain(..consumed);
-                Ok(Some(msg))
+                // The next frame's header is at the front now; apply
+                // the same eager judgement push applies.
+                if let Some(err) = frame_header_error(&self.buf) {
+                    self.poison_now(err);
+                }
+                Ok(Some((msg, frame)))
             }
             Ok(None) => Ok(None),
             Err(err) => {
                 obs::incr("fleet.wire.decode_errors", 1);
-                obs::incr("fleet.wire.decoder_poisonings", 1);
-                match err {
-                    WireError::ChecksumMismatch { .. } => {
-                        obs::incr("fleet.wire.crc_failures", 1);
-                    }
-                    WireError::Oversize(_) => {
-                        obs::incr("fleet.wire.oversize_rejects", 1);
-                    }
-                    _ => {}
-                }
-                self.poisoned = Some(err);
+                self.poison_now(err);
                 Err(err)
             }
         }
@@ -1030,6 +1114,100 @@ mod tests {
         }
         assert_eq!(got, sent);
         assert_eq!(decoder.pending(), 0);
+    }
+
+    #[test]
+    fn every_frame_boundary_torn_at_every_offset() {
+        // Satellite: the decoder must reassemble a multi-frame stream
+        // no matter where the transport tears it — every single split
+        // point of the concatenated stream, including splits inside
+        // headers, bodies, and checksums.
+        let sent = vec![
+            Message::Hello { pole_id: 9 },
+            Message::Report(sample_report(2)),
+            Message::Telemetry(sample_telemetry()),
+            Message::Bye { pole_id: 9 },
+        ];
+        let mut stream = Vec::new();
+        for m in &sent {
+            stream.extend_from_slice(&encode(m));
+        }
+        for cut in 0..=stream.len() {
+            let mut decoder = FrameDecoder::new();
+            let mut got = Vec::new();
+            for part in [&stream[..cut], &stream[cut..]] {
+                decoder.push(part);
+                while let Some(msg) = decoder.next_message().unwrap() {
+                    got.push(msg);
+                }
+            }
+            assert_eq!(got, sent, "split at {cut} lost or reordered messages");
+            assert_eq!(decoder.pending(), 0);
+        }
+        // Degenerate extreme: one byte per push.
+        let mut decoder = FrameDecoder::new();
+        let mut got = Vec::new();
+        for b in &stream {
+            decoder.push(std::slice::from_ref(b));
+            while let Some(msg) = decoder.next_message().unwrap() {
+                got.push(msg);
+            }
+        }
+        assert_eq!(got, sent);
+    }
+
+    #[test]
+    fn hostile_length_prefix_poisons_on_push_without_buffering() {
+        // A header claiming a 4 GiB body must be rejected the moment
+        // the header is complete — nothing gets buffered for it.
+        let mut header = Vec::new();
+        header.extend_from_slice(&MAGIC.to_le_bytes());
+        header.push(VERSION);
+        header.push(2); // Report
+        header.extend_from_slice(&u32::MAX.to_le_bytes()); // 4 GiB body
+        let mut decoder = FrameDecoder::new();
+        decoder.push(&header);
+        assert_eq!(decoder.pending(), 0, "hostile prefix must not buffer");
+        assert!(matches!(
+            decoder.next_message(),
+            Err(WireError::Oversize(u32::MAX))
+        ));
+        // Later pushes are discarded, not buffered.
+        decoder.push(&[0u8; 1024]);
+        assert_eq!(decoder.pending(), 0);
+    }
+
+    #[test]
+    fn undrained_backlog_poisons_instead_of_growing() {
+        let frame = encode(&Message::Report(sample_report(MAX_WIRE_CLUSTERS)));
+        let mut decoder = FrameDecoder::new();
+        // Never drain: a firehosing peer fills the budget and the
+        // decoder gives up rather than buffer without bound.
+        let mut pushed = 0usize;
+        while pushed <= MAX_PENDING_BYTES + frame.len() {
+            decoder.push(&frame);
+            pushed += frame.len();
+        }
+        assert!(matches!(decoder.next_message(), Err(WireError::Backlog(_))));
+        assert_eq!(decoder.pending(), 0, "poisoning frees the buffer");
+    }
+
+    #[test]
+    fn next_message_and_frame_returns_the_exact_wire_bytes() {
+        let msgs = [
+            Message::Hello { pole_id: 4 },
+            Message::Report(sample_report(3)),
+        ];
+        let mut decoder = FrameDecoder::new();
+        for m in &msgs {
+            decoder.push(&encode(m));
+        }
+        for m in &msgs {
+            let (msg, frame) = decoder.next_message_and_frame().unwrap().unwrap();
+            assert_eq!(&msg, m);
+            assert_eq!(frame, encode(m), "frame bytes match the encoding");
+        }
+        assert!(decoder.next_message_and_frame().unwrap().is_none());
     }
 
     #[test]
@@ -1331,6 +1509,36 @@ mod tests {
         #[test]
         fn decode_never_panics_on_noise(bytes in proptest::collection::vec(0u8..=255, 0..256)) {
             let _ = decode(&bytes);
+        }
+
+        #[test]
+        fn decoder_survives_interleaved_partial_writes(
+            reports in proptest::collection::vec(arb_report(), 1..5),
+            chunk_lens in proptest::collection::vec(1usize..96, 1..64),
+        ) {
+            // Satellite: random stream partitions — the decoder must
+            // produce the identical message sequence whatever chunk
+            // boundaries the transport imposes, draining after every
+            // push (interleaved partial writes).
+            let sent: Vec<Message> = reports.into_iter().map(Message::Report).collect();
+            let mut stream = Vec::new();
+            for m in &sent {
+                stream.extend_from_slice(&encode(m));
+            }
+            let mut decoder = FrameDecoder::new();
+            let mut got = Vec::new();
+            let mut pos = 0usize;
+            let mut lens = chunk_lens.iter().cycle();
+            while pos < stream.len() {
+                let n = (*lens.next().unwrap()).min(stream.len() - pos);
+                decoder.push(&stream[pos..pos + n]);
+                pos += n;
+                while let Some(msg) = decoder.next_message().unwrap() {
+                    got.push(msg);
+                }
+            }
+            prop_assert_eq!(got, sent);
+            prop_assert_eq!(decoder.pending(), 0);
         }
 
         #[test]

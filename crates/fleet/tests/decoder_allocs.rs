@@ -1,0 +1,108 @@
+//! Allocation accounting for the wire decoder's hostile-input path.
+//!
+//! A counting global allocator (the `tests/hot_path_allocs.rs`
+//! pattern) pins the `FrameDecoder` contract from DESIGN.md: a hostile
+//! length prefix is rejected *before* any buffer is reserved for the
+//! advertised body. A 4 GiB `body_len` must poison the decoder with
+//! the largest single allocation during the whole exchange staying
+//! bytes-sized — nothing remotely proportional to the claimed body.
+//!
+//! One `#[test]` only, so no sibling test allocates concurrently.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use fleet::{encode, FrameDecoder, Message, WireError};
+
+struct CountingAlloc;
+
+static ALLOCATED_BYTES: AtomicU64 = AtomicU64::new(0);
+static LARGEST_ALLOC: AtomicU64 = AtomicU64::new(0);
+
+fn note(size: usize) {
+    ALLOCATED_BYTES.fetch_add(size as u64, Ordering::Relaxed);
+    LARGEST_ALLOC.fetch_max(size as u64, Ordering::Relaxed);
+}
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        note(layout.size());
+        System.alloc(layout)
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout)
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        note(new_size);
+        System.realloc(ptr, layout, new_size)
+    }
+}
+
+#[global_allocator]
+static COUNTER: CountingAlloc = CountingAlloc;
+
+#[test]
+fn hostile_length_prefix_reserves_nothing() {
+    // A genuine frame donates a valid header prefix: magic (4) +
+    // version (1) + type (1). Splicing a hostile body length after it
+    // makes a header that passes every check up to the length bound.
+    let genuine = encode(&Message::Hello { pole_id: 7 });
+    let mut hostile = genuine[..6].to_vec();
+    hostile.extend_from_slice(&u32::MAX.to_le_bytes()); // body_len = 4 GiB - 1
+
+    // Warm-up: run the whole exchange once on throwaway decoders so
+    // every lazily-created telemetry counter and the decoder's buffer
+    // growth path already exist before anything is measured.
+    {
+        let mut dec = FrameDecoder::new();
+        dec.push(&genuine);
+        assert!(matches!(
+            dec.next_message(),
+            Ok(Some(Message::Hello { .. }))
+        ));
+        dec.push(&hostile);
+        assert!(matches!(dec.next_message(), Err(WireError::Oversize(_))));
+    }
+
+    // The measured run: a warmed decoder (its internal buffer already
+    // holds capacity from the genuine frame) takes the hostile header.
+    let mut dec = FrameDecoder::new();
+    dec.push(&genuine);
+    assert!(matches!(
+        dec.next_message(),
+        Ok(Some(Message::Hello { .. }))
+    ));
+
+    let bytes_before = ALLOCATED_BYTES.load(Ordering::SeqCst);
+    LARGEST_ALLOC.store(0, Ordering::SeqCst);
+
+    dec.push(&hostile);
+    let err = dec.next_message();
+
+    let bytes_delta = ALLOCATED_BYTES.load(Ordering::SeqCst) - bytes_before;
+    let largest = LARGEST_ALLOC.load(Ordering::SeqCst);
+
+    match err {
+        Err(WireError::Oversize(len)) => assert_eq!(len, u32::MAX),
+        other => panic!("expected Oversize, got {other:?}"),
+    }
+    assert_eq!(dec.pending(), 0, "poisoning must free the buffer");
+    // The headline claim: nothing proportional to the advertised 4 GiB
+    // body was ever reserved. The rejection happens on push, straight
+    // off the 10 header bytes.
+    assert!(
+        largest < 4096,
+        "largest allocation during hostile push was {largest} bytes"
+    );
+    assert!(
+        bytes_delta < 16_384,
+        "hostile push allocated {bytes_delta} bytes total"
+    );
+
+    // And the decoder stays poisoned: later pushes buffer nothing.
+    dec.push(&genuine);
+    assert_eq!(dec.pending(), 0);
+    assert!(dec.next_message().is_err());
+}

@@ -10,7 +10,16 @@
 //! cargo run --release --example campus -- --loss 0.2     # nastier links
 //! cargo run --release --example campus -- --json         # JSONL snapshots
 //! cargo run --release --example campus -- --ops          # health scoreboard
+//! cargo run --release --example campus -- --capture campus.hwcr   # record the wire
+//! cargo run --release --example campus -- --checkpoint campus.ckpt # warm restart
 //! ```
+//!
+//! `--capture PATH` records every inbound frame with its arrival
+//! metadata; replay it later through `fleet::replay` to reproduce the
+//! run's snapshots bit-exactly. `--checkpoint PATH` restores fused
+//! state from PATH when it exists, checkpoints in the background every
+//! 2 s, and writes a final checkpoint on exit — so a second invocation
+//! resumes with poles still known instead of a cold campus.
 //!
 //! Poles stand every 15 m down a shared corridor with a 23 m region
 //! of interest each, so neighbouring poles watch overlapping stretches
@@ -41,6 +50,8 @@ struct Args {
     loss: f64,
     json: bool,
     ops: bool,
+    capture: Option<std::path::PathBuf>,
+    checkpoint: Option<std::path::PathBuf>,
 }
 
 fn parse_args() -> Args {
@@ -50,26 +61,38 @@ fn parse_args() -> Args {
         loss: 0.05,
         json: false,
         ops: false,
+        capture: None,
+        checkpoint: None,
     };
+    fn num(args: &mut impl Iterator<Item = String>, name: &str) -> f64 {
+        args.next()
+            .and_then(|v| v.parse::<f64>().ok())
+            .unwrap_or_else(|| {
+                eprintln!("{name} needs a number");
+                std::process::exit(2);
+            })
+    }
+    fn path(args: &mut impl Iterator<Item = String>, name: &str) -> std::path::PathBuf {
+        args.next()
+            .map(std::path::PathBuf::from)
+            .unwrap_or_else(|| {
+                eprintln!("{name} needs a path");
+                std::process::exit(2);
+            })
+    }
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
-        let mut num = |name: &str| -> f64 {
-            args.next()
-                .and_then(|v| v.parse::<f64>().ok())
-                .unwrap_or_else(|| {
-                    eprintln!("{name} needs a number");
-                    std::process::exit(2);
-                })
-        };
         match arg.as_str() {
-            "--poles" => out.poles = num("--poles") as usize,
-            "--steps" => out.steps = num("--steps") as usize,
-            "--loss" => out.loss = num("--loss"),
+            "--poles" => out.poles = num(&mut args, "--poles") as usize,
+            "--steps" => out.steps = num(&mut args, "--steps") as usize,
+            "--loss" => out.loss = num(&mut args, "--loss"),
             "--json" => out.json = true,
             "--ops" => out.ops = true,
+            "--capture" => out.capture = Some(path(&mut args, "--capture")),
+            "--checkpoint" => out.checkpoint = Some(path(&mut args, "--checkpoint")),
             other => {
                 eprintln!(
-                    "unknown flag {other} (use --poles <n>, --steps <n>, --loss <p>, --json, --ops)"
+                    "unknown flag {other} (use --poles <n>, --steps <n>, --loss <p>, --json, --ops, --capture <path>, --checkpoint <path>)"
                 );
                 std::process::exit(2);
             }
@@ -150,7 +173,40 @@ fn main() {
 
     // The campus side: one aggregator, one reader thread per pole.
     let hub = LoopbackHub::new();
-    let aggregator = Aggregator::new(registry, walkway, AggregatorConfig::default());
+    let mut aggregator = Aggregator::new(registry, walkway, AggregatorConfig::default());
+    if let Some(path) = &args.capture {
+        match fleet::CaptureWriter::create(path) {
+            Ok(writer) => {
+                aggregator = aggregator.with_capture(writer);
+                println!("recording the wire to {}", path.display());
+            }
+            Err(e) => {
+                eprintln!("--capture {}: {e}", path.display());
+                std::process::exit(2);
+            }
+        }
+    }
+    let mut checkpointer = None;
+    if let Some(path) = &args.checkpoint {
+        if path.exists() {
+            match aggregator.restore_from_file(path) {
+                Ok(()) => {
+                    let snap = aggregator.snapshot();
+                    println!(
+                        "warm restart from {}: {} poles known, fused occupancy {}",
+                        path.display(),
+                        snap.poles.len(),
+                        snap.occupancy
+                    );
+                }
+                Err(e) => eprintln!(
+                    "checkpoint {} unusable ({e}); starting cold",
+                    path.display()
+                ),
+            }
+        }
+        checkpointer = Some(aggregator.spawn_checkpointer(path.clone(), Duration::from_secs(2)));
+    }
 
     // The pole side: an agent per pose, dialling the hub over a link
     // that drops `loss` of frames and reorders a few percent more.
@@ -277,8 +333,18 @@ fn main() {
         snap.dead, args.poles, snap.occupancy
     );
     aggregator.stop();
+    if let Some(t) = checkpointer {
+        // The checkpointer writes one final checkpoint on shutdown.
+        let _ = t.join();
+    }
     for t in reader_threads {
         let _ = t.join();
+    }
+    if let Some(path) = &args.checkpoint {
+        println!("checkpoint saved to {}", path.display());
+    }
+    if let Some(path) = &args.capture {
+        println!("wire capture saved to {}", path.display());
     }
 
     let sent: u64 = agents.iter().map(|a| a.stats().sent).sum();
