@@ -59,6 +59,7 @@ use fleet::{
 };
 use geom::Point3;
 use lidar::PointCloud;
+use obs::{Clock, ManualClock, SystemClock};
 use world::{corridor_layout, PoleRegistry, WalkwayConfig};
 
 const SPACING_M: f64 = 15.0;
@@ -134,6 +135,10 @@ struct Args {
     frames: usize,
     out: PathBuf,
     ops_out: PathBuf,
+    /// Pole counts for the ingest arm (`--poles 256,1024`).
+    ingest_poles: Vec<usize>,
+    /// Run only the ingest arm (the CI reactor gate).
+    ingest_only: bool,
 }
 
 fn repo_root() -> PathBuf {
@@ -147,6 +152,8 @@ fn parse_args() -> Args {
         frames: 0,
         out: repo_root().join("BENCH_fleet.json"),
         ops_out: repo_root().join("BENCH_fleet_ops.jsonl"),
+        ingest_poles: Vec::new(),
+        ingest_only: false,
     };
     let args: Vec<String> = std::env::args().collect();
     let mut i = 1;
@@ -163,14 +170,31 @@ fn parse_args() -> Args {
             "--frames" => out.frames = take(&mut i).parse().expect("--frames"),
             "--out" => out.out = PathBuf::from(take(&mut i)),
             "--ops-out" => out.ops_out = PathBuf::from(take(&mut i)),
+            "--poles" => {
+                out.ingest_poles = take(&mut i)
+                    .split(',')
+                    .map(|s| s.trim().parse().expect("--poles"))
+                    .collect();
+            }
+            "--ingest-only" => out.ingest_only = true,
             other => {
-                panic!("unknown flag {other} (use --smoke, --seed, --frames, --out, --ops-out)")
+                panic!(
+                    "unknown flag {other} (use --smoke, --seed, --frames, --out, --ops-out, \
+                     --poles, --ingest-only)"
+                )
             }
         }
         i += 1;
     }
     if out.frames == 0 {
         out.frames = if out.smoke { 24 } else { 120 };
+    }
+    if out.ingest_poles.is_empty() {
+        out.ingest_poles = if out.smoke {
+            vec![256]
+        } else {
+            vec![256, 1024]
+        };
     }
     out
 }
@@ -785,6 +809,305 @@ fn run_arm(
     }
 }
 
+// ---------------------------------------------------------------------------
+// Ingest arm: the reactor ingest plane against the historical
+// reader-thread-per-connection path, fed pre-encoded frames so frame
+// decode + sentinel + fusion are the only work in the lane.
+
+/// How a campus's connections reach fused state.
+#[derive(Clone, Copy)]
+enum IngestPath {
+    /// One reader thread per connection (the historical path).
+    Threaded,
+    /// Readiness-driven reactor with this many fusion workers
+    /// (0 = auto-size from the host).
+    Reactor(usize),
+}
+
+impl IngestPath {
+    fn name(self) -> String {
+        match self {
+            IngestPath::Threaded => "threaded".into(),
+            IngestPath::Reactor(0) => "reactor".into(),
+            IngestPath::Reactor(w) => format!("reactor-w{w}"),
+        }
+    }
+}
+
+/// A corridor-truth report for pole `pole_id` of `n`: its own person
+/// plus the seam people shared with each neighbour, so the fused
+/// campus holds exactly `2n - 1` people.
+fn ingest_report(pole_id: u32, seq: u64, n: usize, capture_ms: Option<f64>) -> Message {
+    let mut clusters = vec![(14.0, 0.0)];
+    if (pole_id as usize) + 1 < n {
+        clusters.push((28.0, 0.7));
+    }
+    if pole_id > 0 {
+        clusters.push((13.0, 0.7));
+    }
+    Message::Report(PoleReport {
+        pole_id,
+        seq,
+        timestamp_ms: seq * 100,
+        count: u32::try_from(clusters.len()).unwrap_or(u32::MAX),
+        health: HealthState::Healthy,
+        eps_rung: EpsRung::Fixed,
+        precision: PrecisionRung::Fp32,
+        held: false,
+        stale_frames: 0,
+        age_ms: 0.0,
+        pole_temp_c: None,
+        capture_ms,
+        clusters: clusters
+            .iter()
+            .map(|&(x, y)| ClusterObservation {
+                centroid: Point3::new(x, y, -1.2),
+                points: 60,
+                confidence: 0.9,
+            })
+            .collect(),
+    })
+}
+
+/// Feeds an identical pre-loaded stream through the chosen ingest path
+/// on a pinned manual clock and returns the fused snapshot. The
+/// inflight budget is raised past any possible backlog: the two paths
+/// shed under pressure in different orders, and a determinism
+/// comparison must never reach either shed policy.
+fn ingest_deterministic(poles: usize, reports: u64, path: IngestPath) -> fleet::CampusSnapshot {
+    let clock = ManualClock::new();
+    let registry = PoleRegistry::from_poses(corridor_layout(poles, SPACING_M));
+    let cfg = AggregatorConfig {
+        inflight_budget: 1 << 20,
+        reactor_workers: match path {
+            IngestPath::Reactor(w) => w,
+            IngestPath::Threaded => 0,
+        },
+        ..Default::default()
+    };
+    let aggregator =
+        Aggregator::with_clock(registry, WalkwayConfig::default(), cfg, clock.handle());
+    let hub = LoopbackHub::new();
+    let mut clients = Vec::new();
+    for i in 0..poles as u32 {
+        let mut c = hub
+            .connector(LoopbackConfig::reliable())
+            .connect()
+            .expect("loopback dial");
+        c.send(&encode(&Message::Hello { pole_id: i }))
+            .expect("hello");
+        clients.push(c);
+    }
+    for seq in 1..=reports {
+        for (i, c) in clients.iter_mut().enumerate() {
+            c.send(&encode(&ingest_report(i as u32, seq, poles, None)))
+                .expect("report");
+        }
+    }
+    for c in &mut clients {
+        c.close();
+    }
+    match path {
+        IngestPath::Threaded => {
+            let mut readers = Vec::new();
+            while let Ok(server) = hub.accept(Duration::ZERO) {
+                readers.push(aggregator.spawn_connection(Box::new(server)));
+            }
+            assert_eq!(readers.len(), poles, "every pole dialled in");
+            // Clients are closed: each reader exits once its queue is
+            // dry, so the joins double as the drain barrier.
+            for r in readers {
+                let _ = r.join();
+            }
+            aggregator.stop();
+        }
+        IngestPath::Reactor(_) => {
+            let handle = aggregator.spawn_reactor();
+            let mut adopted = 0;
+            while let Ok(server) = hub.accept(Duration::ZERO) {
+                aggregator.add_connection(Box::new(server));
+                adopted += 1;
+            }
+            assert_eq!(adopted, poles, "every pole dialled in");
+            // The reactor's shutdown path drains every adopted
+            // connection before the workers retire, so join is the
+            // drain barrier here too.
+            aggregator.stop();
+            handle.join();
+        }
+    }
+    aggregator.snapshot()
+}
+
+struct IngestCell {
+    poles: usize,
+    path: String,
+    sent: u64,
+    fused: u64,
+    shed: u64,
+    wall_s: f64,
+    throughput_rps: f64,
+    p50_ms: f64,
+    p95_ms: f64,
+    p99_ms: f64,
+    occupancy: u32,
+    expected: u32,
+    bit_identical: Option<bool>,
+}
+
+/// Firehoses `reports` live-stamped reports per pole through the
+/// chosen ingest path and measures wall-to-fused throughput plus the
+/// campus capture→fuse latency histogram.
+fn ingest_perf(poles: usize, reports: u64, path: IngestPath) -> IngestCell {
+    let registry = PoleRegistry::from_poses(corridor_layout(poles, SPACING_M));
+    let mut cfg = AggregatorConfig::default();
+    if let IngestPath::Reactor(w) = path {
+        cfg.reactor_workers = w;
+    }
+    let aggregator = Aggregator::new(registry, WalkwayConfig::default(), cfg);
+    let hub = LoopbackHub::new();
+    let base = obs::telemetry_snapshot();
+    let mut clients = Vec::new();
+    for i in 0..poles as u32 {
+        let mut c = hub
+            .connector(LoopbackConfig::reliable())
+            .connect()
+            .expect("loopback dial");
+        c.send(&encode(&Message::Hello { pole_id: i }))
+            .expect("hello");
+        clients.push(c);
+    }
+    let mut readers = Vec::new();
+    let mut handle = None;
+    match path {
+        IngestPath::Threaded => {
+            while let Ok(server) = hub.accept(Duration::ZERO) {
+                readers.push(aggregator.spawn_connection(Box::new(server)));
+            }
+        }
+        IngestPath::Reactor(_) => {
+            handle = Some(aggregator.spawn_reactor());
+            while let Ok(server) = hub.accept(Duration::ZERO) {
+                aggregator.add_connection(Box::new(server));
+            }
+        }
+    }
+    // Up to 8 sender threads, each encoding its poles' reports on the
+    // fly with a live capture stamp (SystemClock shares one process
+    // epoch, so sender stamps and the aggregator's fuse clock agree).
+    let t0 = Instant::now();
+    let nsenders = 8.min(poles.max(1));
+    let mut chunks: Vec<Vec<(u32, Box<dyn Transport>)>> =
+        (0..nsenders).map(|_| Vec::new()).collect();
+    for (i, c) in clients.into_iter().enumerate() {
+        chunks[i % nsenders].push((i as u32, c));
+    }
+    let senders: Vec<_> = chunks
+        .into_iter()
+        .map(|mut chunk| {
+            std::thread::spawn(move || {
+                for seq in 1..=reports {
+                    for (pole, c) in &mut chunk {
+                        let now_ms = SystemClock.now().as_secs_f64() * 1e3;
+                        let _ = c.send(&encode(&ingest_report(*pole, seq, poles, Some(now_ms))));
+                    }
+                }
+                for (_, c) in &mut chunk {
+                    c.close();
+                }
+            })
+        })
+        .collect();
+    for s in senders {
+        let _ = s.join();
+    }
+    // Drain barrier, as in the determinism arm: reader joins on the
+    // threaded path, reactor shutdown + join on the reactor path.
+    match path {
+        IngestPath::Threaded => {
+            for r in readers.drain(..) {
+                let _ = r.join();
+            }
+            aggregator.stop();
+        }
+        IngestPath::Reactor(_) => {
+            aggregator.stop();
+            if let Some(h) = handle.take() {
+                h.join();
+            }
+        }
+    }
+    let wall_s = t0.elapsed().as_secs_f64();
+    let snap = aggregator.snapshot();
+    let campus = aggregator.health().campus_ingest.summary();
+    let delta = obs::telemetry_snapshot().delta_since(&base);
+    let stats = aggregator.stats();
+    IngestCell {
+        poles,
+        path: path.name(),
+        sent: poles as u64 * reports,
+        fused: stats.reports,
+        shed: delta.counter("fleet.agg.inflight_dropped"),
+        wall_s,
+        throughput_rps: if wall_s > 0.0 {
+            stats.reports as f64 / wall_s
+        } else {
+            0.0
+        },
+        p50_ms: campus.p50_ms,
+        p95_ms: campus.p95_ms,
+        p99_ms: campus.p99_ms,
+        occupancy: snap.occupancy,
+        expected: (2 * poles - 1) as u32,
+        bit_identical: None,
+    }
+}
+
+/// Total user + system CPU ticks this process has burned, from
+/// `/proc/self/stat` (fields 14 and 15, at USER_HZ granularity).
+fn cpu_ticks() -> Option<u64> {
+    let stat = std::fs::read_to_string("/proc/self/stat").ok()?;
+    // The comm field can hold spaces and parens; everything after the
+    // last ')' is whitespace-delimited.
+    let rest = stat.rsplit(')').next()?;
+    let fields: Vec<&str> = rest.split_whitespace().collect();
+    let utime: u64 = fields.get(11)?.parse().ok()?;
+    let stime: u64 = fields.get(12)?.parse().ok()?;
+    Some(utime + stime)
+}
+
+/// Parks a live reactor — accept loop listening on TCP, one silent
+/// connected client, zero traffic — and reports the fraction of one
+/// core the whole process burned over the window. A readiness-driven
+/// reactor should sit in poll(2) and cost ~nothing; a busy-spin
+/// regression shows up as a fraction near or above 1.0.
+fn measure_idle_cpu() -> Option<f64> {
+    let registry = PoleRegistry::from_poses(corridor_layout(4, SPACING_M));
+    let aggregator = Aggregator::new(
+        registry,
+        WalkwayConfig::default(),
+        AggregatorConfig::default(),
+    );
+    let handle = aggregator.spawn_reactor();
+    let listener = std::net::TcpListener::bind("127.0.0.1:0").ok()?;
+    let addr = listener.local_addr().ok()?;
+    let serve = aggregator.serve_tcp(listener);
+    let stream = std::net::TcpStream::connect(addr).ok()?;
+    // Let the accept land and the fd settle into the poll set before
+    // the measured window opens.
+    std::thread::sleep(Duration::from_millis(100));
+    let ticks0 = cpu_ticks()?;
+    let w0 = Instant::now();
+    std::thread::sleep(Duration::from_millis(600));
+    let burned_s = (cpu_ticks()?.saturating_sub(ticks0)) as f64 / 100.0;
+    let frac = burned_s / w0.elapsed().as_secs_f64();
+    drop(stream);
+    aggregator.stop();
+    handle.join();
+    let _ = serve.join();
+    Some(frac)
+}
+
 fn json_f64(v: f64) -> String {
     if v.is_finite() {
         format!("{v:.4}")
@@ -805,7 +1128,13 @@ fn main() {
         default_hook(info);
     }));
 
-    let pole_counts: &[usize] = if args.smoke { &[2, 4] } else { &[2, 8, 16] };
+    let pole_counts: &[usize] = if args.ingest_only {
+        &[]
+    } else if args.smoke {
+        &[2, 4]
+    } else {
+        &[2, 8, 16]
+    };
     let losses: &[f64] = if args.smoke {
         &[0.0, 0.2]
     } else {
@@ -886,110 +1215,94 @@ fn main() {
 
     // ------------------------------------------------------------------
     // Adversarial arm: clean control first (sets the occupancy
-    // envelope), then the same honest campus under attack.
-    let adv_honest = if args.smoke { 3 } else { 5 };
-    let adv_frames = args.frames.max(24);
-    println!("\nadversarial arm: {adv_honest} honest poles, {} attackers + impersonator, {adv_frames} frames", ATTACKS.len());
-    let clean = run_arm(args.seed, adv_frames, adv_honest, &[], false);
-    reset_peak();
-    let panics_before = PANICS.load(Ordering::SeqCst);
-    let adv = run_arm(args.seed, adv_frames, adv_honest, &ATTACKS, true);
-    let peak_bytes = PEAK_BYTES.load(Ordering::Relaxed);
-    let panics = PANICS.load(Ordering::SeqCst) - panics_before;
+    // envelope), then the same honest campus under attack. Skipped
+    // under --ingest-only, which exists so CI can gate the reactor
+    // path without paying for the full soak.
+    let mut adv_json = String::new();
+    if !args.ingest_only {
+        let adv_honest = if args.smoke { 3 } else { 5 };
+        let adv_frames = args.frames.max(24);
+        println!("\nadversarial arm: {adv_honest} honest poles, {} attackers + impersonator, {adv_frames} frames", ATTACKS.len());
+        let clean = run_arm(args.seed, adv_frames, adv_honest, &[], false);
+        reset_peak();
+        let panics_before = PANICS.load(Ordering::SeqCst);
+        let adv = run_arm(args.seed, adv_frames, adv_honest, &ATTACKS, true);
+        let peak_bytes = PEAK_BYTES.load(Ordering::Relaxed);
+        let panics = PANICS.load(Ordering::SeqCst) - panics_before;
 
-    let mal_ingested = adv.mal_fused + adv.mal_quarantined + adv.mal_rejected;
-    let containment = if mal_ingested > 0 {
-        (adv.mal_quarantined + adv.mal_rejected) as f64 / mal_ingested as f64
-    } else {
-        0.0
-    };
-    let recall = adv.flagged_malicious as f64 / ATTACKS.len() as f64;
-    let precision = if adv.flagged_total > 0 {
-        adv.flagged_malicious as f64 / adv.flagged_total as f64
-    } else {
-        0.0
-    };
-    println!(
-        "  occupancy {} (clean {}), honest trusted: {}, quarantined poles: {}",
-        adv.occupancy, clean.occupancy, adv.honest_all_trusted, adv.snapshot_quarantined
-    );
-    println!(
+        let mal_ingested = adv.mal_fused + adv.mal_quarantined + adv.mal_rejected;
+        let containment = if mal_ingested > 0 {
+            (adv.mal_quarantined + adv.mal_rejected) as f64 / mal_ingested as f64
+        } else {
+            0.0
+        };
+        let recall = adv.flagged_malicious as f64 / ATTACKS.len() as f64;
+        let precision = if adv.flagged_total > 0 {
+            adv.flagged_malicious as f64 / adv.flagged_total as f64
+        } else {
+            0.0
+        };
+        println!(
+            "  occupancy {} (clean {}), honest trusted: {}, quarantined poles: {}",
+            adv.occupancy, clean.occupancy, adv.honest_all_trusted, adv.snapshot_quarantined
+        );
+        println!(
         "  recall {recall:.2}, precision {precision:.2}, containment {containment:.2} ({}/{} malicious frames), ban rejects {}, conflicts {}",
         adv.mal_quarantined + adv.mal_rejected,
         mal_ingested,
         adv.ban_rejects,
         adv.conflicts
     );
-    println!(
-        "  links: {} frames torn, {} stalled; peak live heap {:.1} MiB; panics {}",
-        adv.frames_torn,
-        adv.frames_stalled,
-        peak_bytes as f64 / (1 << 20) as f64,
-        panics
-    );
-    let mut gate = |ok: bool, what: &str| {
-        if !ok {
-            eprintln!("  ^ FAIL: adversarial gate: {what}");
-            failures += 1;
-        }
-    };
-    gate(panics == 0, "panicked under hostile input");
-    gate(
-        peak_bytes <= ADVERSARIAL_ALLOC_CEILING,
-        "peak live heap exceeded the ceiling",
-    );
-    gate(
-        adv.occupancy == clean.occupancy,
-        "honest fused occupancy left the clean-run envelope",
-    );
-    gate(adv.honest_all_trusted, "an honest pole lost Trusted");
-    gate(
-        precision >= 1.0 - 1e-9 && adv.flagged_total > 0,
-        "a flagged pole was not malicious (precision < 1)",
-    );
-    gate(recall >= RECALL_GATE, "malicious poles escaped quarantine");
-    gate(
-        containment >= CONTAINMENT_GATE,
-        "too many malicious frames reached fusion",
-    );
-    gate(adv.ban_rejects >= 1, "banned reconnect was not rejected");
-    gate(adv.conflicts >= 1, "impersonator raised no conflicts");
-    gate(
-        adv.frames_torn > 0 && adv.frames_stalled > 0,
-        "adversarial link faults never fired",
-    );
-    drop(gate);
-
-    // The ops artifact: one health-scoreboard JSONL line per cell,
-    // then the final cell's event journal.
-    let mut ops = String::new();
-    for c in &cells {
-        ops.push_str(&c.ops_json);
-        ops.push('\n');
-    }
-    if let Some(last) = cells.last() {
-        ops.push_str(&last.events_jsonl);
-    }
-    std::fs::write(&args.ops_out, ops).expect("write BENCH_fleet_ops.jsonl");
-
-    let mut attacks_json = String::new();
-    for (i, a) in ATTACKS.iter().enumerate() {
-        let _ = write!(
-            attacks_json,
-            "{}\"{}\"",
-            if i > 0 { ", " } else { "" },
-            a.name()
+        println!(
+            "  links: {} frames torn, {} stalled; peak live heap {:.1} MiB; panics {}",
+            adv.frames_torn,
+            adv.frames_stalled,
+            peak_bytes as f64 / (1 << 20) as f64,
+            panics
         );
-    }
-    let mut json = String::new();
-    let _ = write!(
-        json,
-        "{{\n  \"bench\": \"fleet_soak\",\n  \"seed\": {},\n  \"frames_per_pole\": {},\n  \"smoke\": {},\n  \"telemetry_every_frames\": {},\n",
-        args.seed, args.frames, args.smoke, TELEMETRY_EVERY
-    );
-    let _ = write!(
-        json,
-        "  \"adversarial\": {{\"honest\": {}, \"malicious\": {}, \"attacks\": [{}], \"frames_per_pole\": {}, \"clean_occupancy\": {}, \"occupancy\": {}, \"honest_all_trusted\": {}, \"snapshot_quarantined\": {}, \"live\": {}, \"dead\": {}, \"quarantine_recall\": {}, \"quarantine_precision\": {}, \"containment\": {}, \"malicious_frames\": {{\"sent\": {}, \"fused\": {}, \"quarantined\": {}, \"rejected\": {}}}, \"ban_rejects\": {}, \"impersonation_conflicts\": {}, \"frames_torn\": {}, \"frames_stalled\": {}, \"panics\": {}, \"peak_alloc_bytes\": {}, \"alloc_ceiling_bytes\": {}}},\n",
+        let mut gate = |ok: bool, what: &str| {
+            if !ok {
+                eprintln!("  ^ FAIL: adversarial gate: {what}");
+                failures += 1;
+            }
+        };
+        gate(panics == 0, "panicked under hostile input");
+        gate(
+            peak_bytes <= ADVERSARIAL_ALLOC_CEILING,
+            "peak live heap exceeded the ceiling",
+        );
+        gate(
+            adv.occupancy == clean.occupancy,
+            "honest fused occupancy left the clean-run envelope",
+        );
+        gate(adv.honest_all_trusted, "an honest pole lost Trusted");
+        gate(
+            precision >= 1.0 - 1e-9 && adv.flagged_total > 0,
+            "a flagged pole was not malicious (precision < 1)",
+        );
+        gate(recall >= RECALL_GATE, "malicious poles escaped quarantine");
+        gate(
+            containment >= CONTAINMENT_GATE,
+            "too many malicious frames reached fusion",
+        );
+        gate(adv.ban_rejects >= 1, "banned reconnect was not rejected");
+        gate(adv.conflicts >= 1, "impersonator raised no conflicts");
+        gate(
+            adv.frames_torn > 0 && adv.frames_stalled > 0,
+            "adversarial link faults never fired",
+        );
+        let mut attacks_json = String::new();
+        for (i, a) in ATTACKS.iter().enumerate() {
+            let _ = write!(
+                attacks_json,
+                "{}\"{}\"",
+                if i > 0 { ", " } else { "" },
+                a.name()
+            );
+        }
+        let _ = writeln!(
+        adv_json,
+        "  \"adversarial\": {{\"honest\": {}, \"malicious\": {}, \"attacks\": [{}], \"frames_per_pole\": {}, \"clean_occupancy\": {}, \"occupancy\": {}, \"honest_all_trusted\": {}, \"snapshot_quarantined\": {}, \"live\": {}, \"dead\": {}, \"quarantine_recall\": {}, \"quarantine_precision\": {}, \"containment\": {}, \"malicious_frames\": {{\"sent\": {}, \"fused\": {}, \"quarantined\": {}, \"rejected\": {}}}, \"ban_rejects\": {}, \"impersonation_conflicts\": {}, \"frames_torn\": {}, \"frames_stalled\": {}, \"panics\": {}, \"peak_alloc_bytes\": {}, \"alloc_ceiling_bytes\": {}}},",
         adv_honest,
         ATTACKS.len(),
         attacks_json,
@@ -1015,7 +1328,144 @@ fn main() {
         peak_bytes,
         ADVERSARIAL_ALLOC_CEILING
     );
-    let _ = write!(json, "  \"cells\": [\n");
+    }
+
+    // ------------------------------------------------------------------
+    // Ingest arm: the event-driven reactor against the historical
+    // reader-thread-per-connection path, on pre-encoded frames so the
+    // counting pipeline stays out of the lane. Determinism cells pin a
+    // manual clock and bit-compare fused snapshots; perf cells firehose
+    // live-stamped reports for throughput and capture→fuse latency.
+    let det_reports: u64 = if args.smoke { 8 } else { 16 };
+    let perf_reports: u64 = if args.smoke { 40 } else { 100 };
+    println!(
+        "\ningest arm: poles {:?}, {det_reports} determinism + {perf_reports} perf reports per pole",
+        args.ingest_poles
+    );
+    let mut ingest_cells: Vec<IngestCell> = Vec::new();
+    for &poles in &args.ingest_poles {
+        let golden = ingest_deterministic(poles, det_reports, IngestPath::Threaded);
+        let golden_json = golden.to_json();
+        let mut identical = true;
+        for workers in [1usize, 4] {
+            let snap = ingest_deterministic(poles, det_reports, IngestPath::Reactor(workers));
+            let ok = snap.to_json() == golden_json;
+            identical &= ok;
+            println!("  {poles} poles, reactor w{workers}: bit-identical to threaded: {ok}");
+        }
+        let truth = (2 * poles - 1) as u32;
+        if !identical || golden.occupancy != truth {
+            eprintln!(
+                "  ^ FAIL: ingest determinism at {poles} poles (occupancy {} vs truth {truth})",
+                golden.occupancy
+            );
+            failures += 1;
+        }
+        // Perf cells. The threaded arm needs one OS thread per pole,
+        // so it only runs at campus sizes where that is sane; the
+        // reactor runs everywhere — that asymmetry is the point.
+        let mut paths = vec![IngestPath::Reactor(0)];
+        if poles <= 256 {
+            paths.insert(0, IngestPath::Threaded);
+        }
+        for path in paths {
+            let mut cell = ingest_perf(poles, perf_reports, path);
+            cell.bit_identical = Some(identical);
+            println!(
+                "  {:>5} poles | {:<9} | {:>7.3} s | {:>8.0} rps | shed {:>6} | p99 {:>7.2} ms | occ {} ({})",
+                cell.poles,
+                cell.path,
+                cell.wall_s,
+                cell.throughput_rps,
+                cell.shed,
+                cell.p99_ms,
+                cell.occupancy,
+                cell.expected,
+            );
+            if cell.occupancy != cell.expected {
+                eprintln!("  ^ FAIL: ingest perf cell mis-fused the campus");
+                failures += 1;
+            }
+            if cell.poles == 256
+                && cell.path.starts_with("reactor")
+                && cell.throughput_rps < 10_000.0
+            {
+                eprintln!(
+                    "  ^ FAIL: reactor ingest {:.0} rps at 256 poles is below the 10k gate",
+                    cell.throughput_rps
+                );
+                failures += 1;
+            }
+            ingest_cells.push(cell);
+        }
+    }
+    let idle_cpu = measure_idle_cpu();
+    match idle_cpu {
+        Some(frac) => {
+            println!(
+                "  idle reactor CPU: {:.1}% of one core over the parked window",
+                frac * 100.0
+            );
+            if frac > 0.15 {
+                eprintln!(
+                    "  ^ FAIL: parked reactor burned {:.0}% CPU — busy-spin regression",
+                    frac * 100.0
+                );
+                failures += 1;
+            }
+        }
+        None => println!("  idle reactor CPU: /proc/self/stat unreadable, gate skipped"),
+    }
+    let mut ingest_json = String::new();
+    let _ = writeln!(
+        ingest_json,
+        "  \"ingest\": {{\"determinism_reports_per_pole\": {det_reports}, \"perf_reports_per_pole\": {perf_reports}, \"idle_cpu_frac\": {}, \"cells\": [",
+        idle_cpu.map_or("null".to_string(), json_f64)
+    );
+    for (i, c) in ingest_cells.iter().enumerate() {
+        let _ = writeln!(
+            ingest_json,
+            "    {{\"poles\": {}, \"path\": \"{}\", \"sent\": {}, \"fused\": {}, \"shed\": {}, \"wall_s\": {}, \"throughput_rps\": {}, \"ingest\": {{\"p50_ms\": {}, \"p95_ms\": {}, \"p99_ms\": {}}}, \"occupancy\": {}, \"expected\": {}, \"bit_identical\": {}}}{}",
+            c.poles,
+            c.path,
+            c.sent,
+            c.fused,
+            c.shed,
+            json_f64(c.wall_s),
+            json_f64(c.throughput_rps),
+            json_f64(c.p50_ms),
+            json_f64(c.p95_ms),
+            json_f64(c.p99_ms),
+            c.occupancy,
+            c.expected,
+            c.bit_identical
+                .map_or("null".to_string(), |b| b.to_string()),
+            if i + 1 < ingest_cells.len() { "," } else { "" },
+        );
+    }
+    let _ = writeln!(ingest_json, "  ]}},");
+
+    // The ops artifact: one health-scoreboard JSONL line per cell,
+    // then the final cell's event journal.
+    let mut ops = String::new();
+    for c in &cells {
+        ops.push_str(&c.ops_json);
+        ops.push('\n');
+    }
+    if let Some(last) = cells.last() {
+        ops.push_str(&last.events_jsonl);
+    }
+    std::fs::write(&args.ops_out, ops).expect("write BENCH_fleet_ops.jsonl");
+
+    let mut json = String::new();
+    let _ = write!(
+        json,
+        "{{\n  \"bench\": \"fleet_soak\",\n  \"seed\": {},\n  \"frames_per_pole\": {},\n  \"smoke\": {},\n  \"telemetry_every_frames\": {},\n",
+        args.seed, args.frames, args.smoke, TELEMETRY_EVERY
+    );
+    json.push_str(&adv_json);
+    json.push_str(&ingest_json);
+    let _ = writeln!(json, "  \"cells\": [");
     for (i, c) in cells.iter().enumerate() {
         let mut poles_json = String::new();
         for (j, p) in c.ingest_poles.iter().enumerate() {
@@ -1067,7 +1517,7 @@ fn main() {
     println!("\nwrote {}", args.out.display());
     println!("wrote {}", args.ops_out.display());
     if failures > 0 {
-        eprintln!("{failures} lossless cells failed their invariants");
+        eprintln!("{failures} gates failed their invariants");
         std::process::exit(1);
     }
 }

@@ -340,7 +340,10 @@ impl<C: CloudClassifier, Q: CloudClassifier> PoleAgent<C, Q> {
             pole_id: self.cfg.pole_id,
             seq: self.seq,
             timestamp_ms: self.clock.now_ms() as u64,
-            count: out.count as u32,
+            // Clamped, not truncated: a count past u32::MAX (only a
+            // poisoned counter produces one) must saturate on the
+            // wire, not wrap to a small plausible number.
+            count: u32::try_from(out.count).unwrap_or(u32::MAX),
             health: out.health,
             eps_rung: out.eps_rung,
             precision: out.precision,

@@ -21,6 +21,23 @@
 //! observations sorted by `(pole_id, cluster index)`, so it is
 //! deterministic given the fused state.
 //!
+//! # Zone sharding
+//!
+//! At city scale one fusion lock is the bottleneck, so
+//! [`ShardedFusion`] splits the campus into zone bands: each
+//! registered pole routes to the shard owning its zone column, each
+//! shard runs a full [`FusionCore`] behind its own lock, and
+//! snapshots are assembled from per-shard gathers. The greedy dedup
+//! only ever interacts within connected components of the
+//! within-radius graph, so components are computed exactly (grid
+//! hash + union-find) and people seen across a seam — a component
+//! spanning two shards' observations — are handed off into one
+//! campus-wide merge before dedup. The result is bit-identical to
+//! running the same traffic through a single core, which the replay
+//! fixture and the soak bench pin. Published snapshots go through a
+//! [`SnapshotCell`] (epoch + double buffer) so dashboard readers
+//! never take a fusion lock.
+//!
 //! # Liveness
 //!
 //! A pole is [`Liveness::Live`] while messages keep arriving,
@@ -31,12 +48,11 @@
 //! *which* pole died — but stop contributing people to occupancy.
 
 use std::collections::{BTreeMap, VecDeque};
-use std::sync::atomic::{AtomicBool, AtomicU32, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU32, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::Duration;
 
 use counting::HealthState;
-use geom::Point3;
 use obs::{Clock, Histogram, HistogramCells, SystemClock, TelemetrySnapshot};
 use parking_lot::Mutex;
 use serde::{Deserialize, Serialize};
@@ -45,6 +61,7 @@ use world::{PoleRegistry, WalkwayConfig};
 use crate::capture::CaptureWriter;
 use crate::checkpoint::{Checkpoint, CheckpointError, SlotCheckpoint};
 use crate::health::{EventJournal, FleetEvent, FleetEventKind, FleetHealth, PoleHealth};
+use crate::reactor::{self, Intake, ReactorConfig, ReactorHandle};
 use crate::sentinel::{Disposition, PoleTrust, Sentinel, SentinelConfig, TrustState};
 use crate::transport::{Transport, TransportError};
 use crate::wire::{FrameDecoder, Message, PoleReport};
@@ -151,7 +168,7 @@ pub struct ZoneOccupancy {
 }
 
 /// A time-windowed view of the whole campus.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
 pub struct CampusSnapshot {
     /// Aggregator-clock timestamp, ms.
     pub at_ms: f64,
@@ -243,6 +260,21 @@ pub struct FusionStats {
     /// Messages ingested while their pole was quarantined (slot
     /// updated, excluded from fusion).
     pub quarantined: u64,
+}
+
+impl FusionStats {
+    /// Accumulates another shard's counters into this one (shards
+    /// partition the traffic, so campus totals are plain sums).
+    pub fn absorb(&mut self, other: &FusionStats) {
+        self.reports += other.reports;
+        self.stale_discards += other.stale_discards;
+        self.heartbeats += other.heartbeats;
+        self.hellos += other.hellos;
+        self.byes += other.byes;
+        self.telemetry += other.telemetry;
+        self.rejected += other.rejected;
+        self.quarantined += other.quarantined;
+    }
 }
 
 #[derive(Debug, Clone)]
@@ -577,8 +609,18 @@ impl FusionCore {
     /// new messages or time passing yields identical snapshots.
     pub fn snapshot(&self) -> CampusSnapshot {
         let now = self.clock.now();
+        assemble_snapshot(&self.cfg, now, vec![self.gather(now)])
+    }
+
+    /// Everything this core contributes to a campus snapshot at
+    /// `now`: pole rows, mapped (not yet deduplicated) observations,
+    /// and the liveness tallies. A single core is the one-shard case;
+    /// [`ShardedFusion`] gathers every shard on the same `now` and
+    /// assembles once, so seam people whose sightings span shards
+    /// still merge.
+    pub(crate) fn gather(&self, now: Duration) -> ShardGather {
         let mut poles = Vec::with_capacity(self.slots.len());
-        let mut observations: Vec<(u32, Point3, f64)> = Vec::new();
+        let mut observations: Vec<Observation> = Vec::new();
         let mut unmapped = 0u32;
         let (mut live, mut stale, mut dead) = (0u32, 0u32, 0u32);
         let mut quarantined = 0u32;
@@ -604,18 +646,22 @@ impl FusionCore {
                         match (self.registry.pose(pole_id), report.clusters.is_empty()) {
                             (Some(pose), false) => {
                                 for c in &report.clusters {
-                                    observations.push((
+                                    let campus = pose.to_campus(c.centroid);
+                                    observations.push(Observation {
                                         pole_id,
-                                        pose.to_campus(c.centroid),
-                                        c.confidence,
-                                    ));
+                                        x: campus.x,
+                                        y: campus.y,
+                                        confidence: c.confidence,
+                                    });
                                 }
                             }
                             // Held frames carry no clusters;
                             // unregistered poles have no pose. Their
                             // counts still matter — they just can't
-                            // be deduplicated.
-                            _ => unmapped += report.count,
+                            // be deduplicated. Saturating: a forged
+                            // count near u32::MAX must not wrap the
+                            // campus total around zero.
+                            _ => unmapped = unmapped.saturating_add(report.count),
                         }
                     }
                 }
@@ -632,74 +678,15 @@ impl FusionCore {
             });
         }
 
-        // Greedy ground-plane dedup over (pole_id, index)-ordered
-        // observations (the BTreeMap iteration above provides that
-        // order already).
-        let mut people: Vec<FusedPerson> = Vec::new();
-        let radius2 = self.cfg.dedup_radius_m * self.cfg.dedup_radius_m;
-        'obs: for (pole_id, campus, confidence) in observations {
-            for person in &mut people {
-                let dx = campus.x - person.x;
-                let dy = campus.y - person.y;
-                if dx * dx + dy * dy <= radius2 {
-                    if !person.observers.contains(&pole_id) {
-                        person.observers.push(pole_id);
-                    }
-                    person.confidence = person.confidence.max(confidence);
-                    continue 'obs;
-                }
-            }
-            people.push(FusedPerson {
-                x: campus.x,
-                y: campus.y,
-                confidence,
-                observers: vec![pole_id],
-            });
-        }
-
-        let mut zone_counts: BTreeMap<(i32, i32), u32> = BTreeMap::new();
-        let zone = self.cfg.zone_size_m.max(1e-9);
-        for p in &people {
-            let key = ((p.x / zone).floor() as i32, (p.y / zone).floor() as i32);
-            *zone_counts.entry(key).or_insert(0) += 1;
-        }
-        let zones = zone_counts
-            .into_iter()
-            .map(|((zone_x, zone_y), count)| ZoneOccupancy {
-                zone_x,
-                zone_y,
-                count,
-            })
-            .collect();
-
-        silences.sort_by(|a, b| a.partial_cmp(b).expect("silences are finite"));
-        let p95_silence_ms = if silences.is_empty() {
-            0.0
-        } else {
-            let idx = ((silences.len() as f64 * 0.95).ceil() as usize).max(1) - 1;
-            silences[idx.min(silences.len() - 1)]
-        };
-
-        let occupancy = people.len() as u32 + unmapped;
-        obs::set_gauge("fleet.occupancy", f64::from(occupancy));
-        obs::set_gauge("fleet.poles_live", f64::from(live));
-        obs::set_gauge("fleet.poles_stale", f64::from(stale));
-        obs::set_gauge("fleet.poles_dead", f64::from(dead));
-        obs::set_gauge("fleet.poles_quarantined", f64::from(quarantined));
-        obs::set_gauge("fleet.p95_silence_ms", p95_silence_ms);
-
-        CampusSnapshot {
-            at_ms: now.as_secs_f64() * 1e3,
-            occupancy,
-            people,
-            unmapped,
-            zones,
+        ShardGather {
             poles,
+            observations,
+            unmapped,
             live,
             stale,
             dead,
             quarantined,
-            p95_silence_ms,
+            silences,
         }
     }
 
@@ -771,6 +758,11 @@ impl FusionCore {
         &self.walkway
     }
 
+    /// The fusion tuning this core runs with.
+    pub(crate) fn config(&self) -> &FusionConfig {
+        &self.cfg
+    }
+
     /// Captures the fused state for crash-safe persistence. Timing is
     /// stored as per-pole *silence* relative to this instant, so a
     /// restore against any clock reconstructs `heard_at` exactly.
@@ -778,7 +770,7 @@ impl FusionCore {
         let now = self.clock.now();
         let now_ms = now.as_secs_f64() * 1e3;
         Checkpoint {
-            taken_at_nanos: now.as_nanos() as u64,
+            taken_at_nanos: saturating_nanos(now),
             stats: self.stats,
             slots: self
                 .slots
@@ -786,7 +778,7 @@ impl FusionCore {
                 .map(|(&pole_id, s)| SlotCheckpoint {
                     pole_id,
                     last_seq: s.last_seq,
-                    silence_nanos: now.saturating_sub(s.heard_at).as_nanos() as u64,
+                    silence_nanos: saturating_nanos(now.saturating_sub(s.heard_at)),
                     said_bye: s.said_bye,
                     liveness_seen: s.liveness_seen,
                     report: s.report.clone(),
@@ -849,19 +841,536 @@ fn liveness_of(cfg: &FusionConfig, slot: &PoleSlot, now: Duration) -> Liveness {
     }
 }
 
+/// One mapped sighting in campus coordinates, tagged with the pole
+/// that saw it. Gathers emit these in `(pole_id, cluster index)`
+/// order; shards partition poles, so a stable sort by `pole_id` on
+/// the concatenation restores the global greedy-dedup order.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct Observation {
+    pole_id: u32,
+    x: f64,
+    y: f64,
+    confidence: f64,
+}
+
+/// Everything one fusion shard contributes to a campus snapshot.
+/// Observations are *not* deduplicated yet — a person straddling a
+/// zone seam is seen by poles on different shards, and only the
+/// campus-wide assembly may merge those sightings.
+#[derive(Debug, Default)]
+pub(crate) struct ShardGather {
+    poles: Vec<PoleStatus>,
+    observations: Vec<Observation>,
+    unmapped: u32,
+    live: u32,
+    stale: u32,
+    dead: u32,
+    quarantined: u32,
+    silences: Vec<f64>,
+}
+
+/// Assembles per-shard gathers into the campus snapshot. This is the
+/// seam hand-off point: every shard's observations meet here before
+/// dedup, so cross-shard double-sightings fuse exactly as they would
+/// in a single core.
+pub(crate) fn assemble_snapshot(
+    cfg: &FusionConfig,
+    now: Duration,
+    gathers: Vec<ShardGather>,
+) -> CampusSnapshot {
+    let mut poles = Vec::new();
+    let mut observations: Vec<Observation> = Vec::new();
+    let mut silences: Vec<f64> = Vec::new();
+    let mut unmapped = 0u32;
+    let (mut live, mut stale, mut dead, mut quarantined) = (0u32, 0u32, 0u32, 0u32);
+    for g in gathers {
+        poles.extend(g.poles);
+        observations.extend(g.observations);
+        silences.extend(g.silences);
+        unmapped = unmapped.saturating_add(g.unmapped);
+        live += g.live;
+        stale += g.stale;
+        dead += g.dead;
+        quarantined += g.quarantined;
+    }
+    // Shards partition poles; stable sorts by pole id restore the
+    // global orders a single core would have produced.
+    poles.sort_by_key(|p| p.pole_id);
+    observations.sort_by_key(|o| o.pole_id);
+
+    let people = dedup_people(&observations, cfg.dedup_radius_m);
+
+    let mut zone_counts: BTreeMap<(i32, i32), u32> = BTreeMap::new();
+    let zone = cfg.zone_size_m.max(1e-9);
+    for p in &people {
+        let key = ((p.x / zone).floor() as i32, (p.y / zone).floor() as i32);
+        *zone_counts.entry(key).or_insert(0) += 1;
+    }
+    let zones = zone_counts
+        .into_iter()
+        .map(|((zone_x, zone_y), count)| ZoneOccupancy {
+            zone_x,
+            zone_y,
+            count,
+        })
+        .collect();
+
+    let p95_silence_ms = p95_silence(&mut silences);
+
+    // Checked at the u32 boundary: a hostile fleet reporting 2^32
+    // people must pin the gauge at u32::MAX, not wrap past zero.
+    let occupancy = u32::try_from(people.len())
+        .unwrap_or(u32::MAX)
+        .saturating_add(unmapped);
+    obs::set_gauge("fleet.occupancy", f64::from(occupancy));
+    obs::set_gauge("fleet.poles_live", f64::from(live));
+    obs::set_gauge("fleet.poles_stale", f64::from(stale));
+    obs::set_gauge("fleet.poles_dead", f64::from(dead));
+    obs::set_gauge("fleet.poles_quarantined", f64::from(quarantined));
+    obs::set_gauge("fleet.p95_silence_ms", p95_silence_ms);
+
+    CampusSnapshot {
+        at_ms: now.as_secs_f64() * 1e3,
+        occupancy,
+        people,
+        unmapped,
+        zones,
+        poles,
+        live,
+        stale,
+        dead,
+        quarantined,
+        p95_silence_ms,
+    }
+}
+
+/// Greedy ground-plane dedup, decomposed by connected components of
+/// the within-radius graph.
+///
+/// The historical single-core pass walked observations in
+/// `(pole_id, cluster index)` order and merged each into the first
+/// already-founded person within the radius. Two facts make an exact
+/// decomposition possible: (a) an observation can only merge into a
+/// founder it is within radius of, i.e. a neighbour in the radius
+/// graph, and (b) founders keep their founding observation's
+/// position, so every candidate founder for an observation lies in
+/// its own connected component. Observations in different components
+/// therefore never interact, and running the identical greedy walk
+/// per component (members in ascending global order), then stitching
+/// people back in founder order, reproduces the single-core output
+/// bit for bit — no matter how many shards the observations came
+/// from. The components are found with a grid hash (cells one radius
+/// wide, so all edges live within a 3×3 neighbourhood) and a
+/// union-find.
+fn dedup_people(obs: &[Observation], radius_m: f64) -> Vec<FusedPerson> {
+    let n = obs.len();
+    if n == 0 {
+        return Vec::new();
+    }
+    let radius = radius_m.max(0.0);
+    let radius2 = radius * radius;
+    let cell = radius.max(1e-9);
+
+    let mut bins: BTreeMap<(i64, i64), Vec<usize>> = BTreeMap::new();
+    for (i, o) in obs.iter().enumerate() {
+        let key = ((o.x / cell).floor() as i64, (o.y / cell).floor() as i64);
+        bins.entry(key).or_default().push(i);
+    }
+
+    fn find(parent: &mut [usize], mut i: usize) -> usize {
+        while parent[i] != i {
+            parent[i] = parent[parent[i]];
+            i = parent[i];
+        }
+        i
+    }
+    let mut parent: Vec<usize> = (0..n).collect();
+    for (&(cx, cy), members) in &bins {
+        for dx in -1i64..=1 {
+            for dy in -1i64..=1 {
+                // Saturating keys can alias at the numeric edge; the
+                // distance check below still guards every union, so
+                // aliasing only costs comparisons, never correctness.
+                let key = (cx.saturating_add(dx), cy.saturating_add(dy));
+                let Some(others) = bins.get(&key) else {
+                    continue;
+                };
+                for &i in members {
+                    for &j in others {
+                        if j <= i {
+                            continue;
+                        }
+                        let ddx = obs[i].x - obs[j].x;
+                        let ddy = obs[i].y - obs[j].y;
+                        if ddx * ddx + ddy * ddy <= radius2 {
+                            let (ri, rj) = (find(&mut parent, i), find(&mut parent, j));
+                            if ri != rj {
+                                parent[ri.max(rj)] = ri.min(rj);
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    let mut components: BTreeMap<usize, Vec<usize>> = BTreeMap::new();
+    for i in 0..n {
+        components.entry(find(&mut parent, i)).or_default().push(i);
+    }
+
+    let mut founded: Vec<(usize, FusedPerson)> = Vec::with_capacity(components.len());
+    for members in components.into_values() {
+        let start = founded.len();
+        'member: for &i in &members {
+            let o = &obs[i];
+            for (_, person) in &mut founded[start..] {
+                let dx = o.x - person.x;
+                let dy = o.y - person.y;
+                if dx * dx + dy * dy <= radius2 {
+                    if !person.observers.contains(&o.pole_id) {
+                        person.observers.push(o.pole_id);
+                    }
+                    person.confidence = person.confidence.max(o.confidence);
+                    continue 'member;
+                }
+            }
+            founded.push((
+                i,
+                FusedPerson {
+                    x: o.x,
+                    y: o.y,
+                    confidence: o.confidence,
+                    observers: vec![o.pole_id],
+                },
+            ));
+        }
+    }
+    // People surface in founding order — the order the single-core
+    // greedy walk would have created them in.
+    founded.sort_by_key(|&(founder, _)| founder);
+    founded.into_iter().map(|(_, p)| p).collect()
+}
+
+/// 95th-percentile silence. Sorted under `f64::total_cmp`: a NaN
+/// silence (conjured by adversarial or badly skewed timestamps)
+/// sorts last deterministically instead of panicking the snapshot
+/// path for the whole campus.
+fn p95_silence(silences: &mut [f64]) -> f64 {
+    silences.sort_by(f64::total_cmp);
+    if silences.is_empty() {
+        return 0.0;
+    }
+    let idx = ((silences.len() as f64 * 0.95).ceil() as usize).max(1) - 1;
+    silences[idx.min(silences.len() - 1)]
+}
+
+/// `Duration::as_nanos` is u128 but the checkpoint stores u64.
+/// Saturate instead of truncating: a skewed clock can measure a
+/// silence in centuries, and `as u64` would wrap it into a
+/// recent-looking value that restores as a live pole.
+fn saturating_nanos(d: Duration) -> u64 {
+    u64::try_from(d.as_nanos()).unwrap_or(u64::MAX)
+}
+
+/// Epoch-stamped double-buffered snapshot publication.
+///
+/// The writer fills the inactive slot, then bumps the epoch; readers
+/// clone the active slot's `Arc` and retry if the epoch moved under
+/// them. Readers never touch a fusion lock, so a dashboard poll
+/// cannot stall ingest and a fusion stall cannot freeze dashboards —
+/// they just keep the previous epoch.
+#[derive(Debug)]
+pub struct SnapshotCell {
+    epoch: AtomicU64,
+    slots: [Mutex<Arc<CampusSnapshot>>; 2],
+    writer: Mutex<()>,
+}
+
+impl Default for SnapshotCell {
+    fn default() -> Self {
+        SnapshotCell::new()
+    }
+}
+
+impl SnapshotCell {
+    /// An empty cell at epoch 0 (nothing published yet).
+    pub fn new() -> Self {
+        let empty = Arc::new(CampusSnapshot::default());
+        SnapshotCell {
+            epoch: AtomicU64::new(0),
+            slots: [Mutex::new(Arc::clone(&empty)), Mutex::new(empty)],
+            writer: Mutex::new(()),
+        }
+    }
+
+    /// The published epoch; bumps by one per publish.
+    pub fn epoch(&self) -> u64 {
+        self.epoch.load(Ordering::Acquire)
+    }
+
+    /// Publishes `snap` as the new current snapshot.
+    pub fn publish(&self, snap: Arc<CampusSnapshot>) {
+        let _writer = self.writer.lock();
+        let epoch = self.epoch.load(Ordering::Acquire);
+        // Writers only ever touch the *inactive* slot, so a reader on
+        // the active slot never blocks on a publish.
+        *self.slots[((epoch + 1) & 1) as usize].lock() = snap;
+        self.epoch.store(epoch + 1, Ordering::Release);
+    }
+
+    /// The most recently published snapshot (empty before the first
+    /// publish).
+    pub fn read(&self) -> Arc<CampusSnapshot> {
+        loop {
+            let epoch = self.epoch.load(Ordering::Acquire);
+            let snap = Arc::clone(&self.slots[(epoch & 1) as usize].lock());
+            if self.epoch.load(Ordering::Acquire) == epoch {
+                return snap;
+            }
+        }
+    }
+}
+
+/// Zone-sharded fusion: independent [`FusionCore`]s behind per-shard
+/// locks, with registered poles routed to shards by campus zone
+/// column (unregistered poles hash by id). Ingest for different
+/// shards never contends; snapshots gather every shard at one
+/// instant and assemble campus-wide (see [`assemble_snapshot`] for
+/// the seam hand-off), then publish through a [`SnapshotCell`].
+#[derive(Debug)]
+pub struct ShardedFusion {
+    shards: Vec<Mutex<FusionCore>>,
+    route: BTreeMap<u32, usize>,
+    cfg: FusionConfig,
+    clock: Arc<dyn Clock>,
+    cell: SnapshotCell,
+}
+
+/// Auto shard count: one shard per 64 registered poles, capped so
+/// shard bookkeeping never dominates a small campus.
+fn auto_shards(poles: usize) -> usize {
+    if poles < 64 {
+        1
+    } else {
+        (poles / 64).clamp(2, 8)
+    }
+}
+
+/// Routes registered poles to shards as contiguous zone-column bands:
+/// poles sort by `(zone column, pole_id)` and split into equal-count
+/// bands, so shard neighbours are campus neighbours and every seam is
+/// shared by exactly two adjacent shards.
+fn zone_route(registry: &PoleRegistry, zone_size_m: f64, nshards: usize) -> BTreeMap<u32, usize> {
+    let zone = zone_size_m.max(1e-9);
+    let mut keyed: Vec<(i64, u32)> = registry
+        .poses()
+        .map(|p| (((p.x / zone).floor()) as i64, p.pole_id))
+        .collect();
+    keyed.sort_unstable();
+    let n = keyed.len().max(1);
+    keyed
+        .into_iter()
+        .enumerate()
+        .map(|(i, (_, pole_id))| (pole_id, i * nshards / n))
+        .collect()
+}
+
+impl ShardedFusion {
+    /// A sharded fusion over `shards` zone bands (0 = auto from the
+    /// registry size) on the given clock. Every shard holds a full
+    /// registry — routing, not geometry, is what partitions them.
+    pub fn new(
+        registry: PoleRegistry,
+        walkway: WalkwayConfig,
+        cfg: FusionConfig,
+        shards: usize,
+        clock: Arc<dyn Clock>,
+    ) -> Self {
+        let nshards = if shards == 0 {
+            auto_shards(registry.len())
+        } else {
+            shards
+        }
+        .max(1);
+        let route = zone_route(&registry, cfg.zone_size_m, nshards);
+        let shards = (0..nshards)
+            .map(|_| {
+                Mutex::new(
+                    FusionCore::new(registry.clone(), walkway, cfg).with_clock(Arc::clone(&clock)),
+                )
+            })
+            .collect();
+        ShardedFusion {
+            shards,
+            route,
+            cfg,
+            clock,
+            cell: SnapshotCell::new(),
+        }
+    }
+
+    /// Wraps an existing core as a single shard (deterministic tests,
+    /// injected clocks).
+    pub fn single(core: FusionCore) -> Self {
+        let cfg = *core.config();
+        let clock = core.clock_handle();
+        ShardedFusion {
+            shards: vec![Mutex::new(core)],
+            route: BTreeMap::new(),
+            cfg,
+            clock,
+            cell: SnapshotCell::new(),
+        }
+    }
+
+    /// How many shards the campus is split into.
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// The shard owning `pole_id`: its zone band when registered,
+    /// id-hash otherwise.
+    pub fn shard_of(&self, pole_id: u32) -> usize {
+        self.route
+            .get(&pole_id)
+            .copied()
+            .unwrap_or(pole_id as usize % self.shards.len())
+    }
+
+    /// The clock all shards fuse on.
+    pub fn clock_handle(&self) -> Arc<dyn Clock> {
+        Arc::clone(&self.clock)
+    }
+
+    /// Folds one message into the owning shard (see
+    /// [`FusionCore::ingest_from`]). Only that shard's lock is taken.
+    pub fn ingest_from(&self, conn_id: u32, msg: Message) -> IngestVerdict {
+        let shard = self.shard_of(msg.pole_id());
+        self.shards[shard].lock().ingest_from(conn_id, msg)
+    }
+
+    /// Direct ingest without a connection identity.
+    pub fn ingest(&self, msg: Message) {
+        self.ingest_from(0, msg);
+    }
+
+    /// Builds the campus view by gathering every shard at one instant
+    /// and assembling once (cross-shard seam people merge here), then
+    /// publishes it to the snapshot cell.
+    pub fn snapshot(&self) -> CampusSnapshot {
+        let now = self.clock.now();
+        let gathers = self
+            .shards
+            .iter()
+            .map(|s| s.lock().gather(now))
+            .collect::<Vec<_>>();
+        let snap = assemble_snapshot(&self.cfg, now, gathers);
+        self.cell.publish(Arc::new(snap.clone()));
+        snap
+    }
+
+    /// The last published snapshot — readers never touch a fusion
+    /// lock.
+    pub fn published(&self) -> Arc<CampusSnapshot> {
+        self.cell.read()
+    }
+
+    /// The publish epoch (bumps once per [`ShardedFusion::snapshot`]).
+    pub fn publish_epoch(&self) -> u64 {
+        self.cell.epoch()
+    }
+
+    /// Campus-wide counters (summed over shards).
+    pub fn stats(&self) -> FusionStats {
+        let mut out = FusionStats::default();
+        for shard in &self.shards {
+            out.absorb(&shard.lock().stats());
+        }
+        out
+    }
+
+    /// Every pole's sentinel trust record, ascending pole id.
+    pub fn trust(&self) -> Vec<PoleTrust> {
+        let mut out: Vec<PoleTrust> = Vec::new();
+        for shard in &self.shards {
+            out.extend(shard.lock().trust());
+        }
+        out.sort_by_key(|t| t.pole_id);
+        out
+    }
+
+    /// The merged campus health scoreboard.
+    pub fn health(&self) -> FleetHealth {
+        let parts = self
+            .shards
+            .iter()
+            .map(|s| s.lock().health())
+            .collect::<Vec<_>>();
+        FleetHealth::merge(parts)
+    }
+
+    /// The merged fleet event journal as JSONL, interleaved by event
+    /// time (stable across shards).
+    pub fn events_jsonl(&self) -> String {
+        let mut events: Vec<FleetEvent> = Vec::new();
+        for shard in &self.shards {
+            events.extend(shard.lock().journal().events().cloned());
+        }
+        events.sort_by(|a, b| a.at_ms.total_cmp(&b.at_ms));
+        let mut out = String::new();
+        for e in &events {
+            out.push_str(&e.to_json());
+            out.push('\n');
+        }
+        out
+    }
+
+    /// A campus checkpoint merged from every shard.
+    pub fn checkpoint(&self) -> Checkpoint {
+        let parts = self
+            .shards
+            .iter()
+            .map(|s| s.lock().checkpoint())
+            .collect::<Vec<_>>();
+        Checkpoint::merge(parts)
+    }
+
+    /// Restores a campus checkpoint by routing each pole's slot and
+    /// trust record to its owning shard. The campus-wide counters
+    /// land on shard 0 so fleet totals don't multiply.
+    pub fn restore_from(&self, ckpt: &Checkpoint) {
+        for (idx, shard) in self.shards.iter().enumerate() {
+            let stats = if idx == 0 {
+                ckpt.stats
+            } else {
+                FusionStats::default()
+            };
+            let sub = ckpt.filtered(stats, |pole_id| self.shard_of(pole_id) == idx);
+            shard.lock().restore_from(&sub);
+        }
+    }
+}
+
 /// Aggregator service tuning.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct AggregatorConfig {
     /// Fusion and liveness parameters.
     pub fusion: FusionConfig,
     /// Per-connection receive poll timeout, ms (bounds how fast a
-    /// reader thread notices shutdown).
+    /// reader thread notices shutdown, and the reactor's park tick).
     pub recv_timeout_ms: u64,
     /// Most decoded messages one connection may have waiting for the
     /// fusion lock at once. Past the budget the oldest waiting message
     /// is dropped (and counted), so one firehosing pole sheds its own
     /// backlog instead of starving the rest of the fleet.
     pub inflight_budget: usize,
+    /// Fusion shards (zone bands). 0 = auto from the registry size.
+    /// Ignored by [`Aggregator::with_core`], which wraps the given
+    /// core as a single shard.
+    pub fusion_shards: usize,
+    /// Reactor worker threads. 0 = auto from available parallelism.
+    pub reactor_workers: usize,
 }
 
 impl Default for AggregatorConfig {
@@ -870,37 +1379,88 @@ impl Default for AggregatorConfig {
             fusion: FusionConfig::default(),
             recv_timeout_ms: 50,
             inflight_budget: 256,
+            fusion_shards: 0,
+            reactor_workers: 0,
         }
     }
 }
 
-/// The threaded occupancy service: one reader thread per connection,
-/// all folding into a shared [`FusionCore`].
+/// The campus occupancy service over a [`ShardedFusion`]. Two ingest
+/// paths share the fused state and produce bit-identical snapshots:
+///
+/// - [`Aggregator::spawn_connection`] — the historical reader thread
+///   per connection;
+/// - [`Aggregator::spawn_reactor`] + [`Aggregator::add_connection`] —
+///   one readiness-driven pump and a small worker pool, the path that
+///   scales to a thousand poles.
 #[derive(Debug)]
 pub struct Aggregator {
-    core: Arc<Mutex<FusionCore>>,
+    fusion: Arc<ShardedFusion>,
     cfg: AggregatorConfig,
     running: Arc<AtomicBool>,
     capture: Option<Arc<Mutex<CaptureWriter>>>,
     next_conn: Arc<AtomicU32>,
+    intake: Arc<Intake>,
+    reactor_live: Arc<AtomicBool>,
 }
 
 impl Aggregator {
     /// A service fusing against `registry` on the system clock.
     pub fn new(registry: PoleRegistry, walkway: WalkwayConfig, cfg: AggregatorConfig) -> Self {
-        Aggregator::with_core(FusionCore::new(registry, walkway, cfg.fusion), cfg)
+        Aggregator::from_fusion(
+            ShardedFusion::new(
+                registry,
+                walkway,
+                cfg.fusion,
+                cfg.fusion_shards,
+                Arc::new(SystemClock),
+            ),
+            cfg,
+        )
     }
 
-    /// Wraps an existing core (e.g. one with an injected clock).
+    /// A service on an injected clock (deterministic tests and
+    /// benches that still want zone sharding).
+    pub fn with_clock(
+        registry: PoleRegistry,
+        walkway: WalkwayConfig,
+        cfg: AggregatorConfig,
+        clock: Arc<dyn Clock>,
+    ) -> Self {
+        Aggregator::from_fusion(
+            ShardedFusion::new(registry, walkway, cfg.fusion, cfg.fusion_shards, clock),
+            cfg,
+        )
+    }
+
+    /// Wraps an existing core (e.g. one with an injected clock) as a
+    /// single fusion shard.
     pub fn with_core(core: FusionCore, cfg: AggregatorConfig) -> Self {
+        Aggregator::from_fusion(ShardedFusion::single(core), cfg)
+    }
+
+    fn from_fusion(fusion: ShardedFusion, cfg: AggregatorConfig) -> Self {
         Aggregator {
-            core: Arc::new(Mutex::new(core)),
+            fusion: Arc::new(fusion),
             cfg,
             running: Arc::new(AtomicBool::new(true)),
             capture: None,
             // Connection ids are 1-based; 0 is "direct ingest".
             next_conn: Arc::new(AtomicU32::new(1)),
+            intake: Arc::new(Intake::new()),
+            reactor_live: Arc::new(AtomicBool::new(false)),
         }
+    }
+
+    /// The sharded fusion behind this service (benches poke shard
+    /// routing; dashboards read published snapshots through it).
+    pub fn fusion(&self) -> Arc<ShardedFusion> {
+        Arc::clone(&self.fusion)
+    }
+
+    /// The last published snapshot, without touching any fusion lock.
+    pub fn published(&self) -> Arc<CampusSnapshot> {
+        self.fusion.published()
     }
 
     /// Records every inbound wire frame to `writer` as it is decoded.
@@ -909,25 +1469,29 @@ impl Aggregator {
         self
     }
 
-    /// The current campus view.
+    /// The current campus view (freshly assembled, and published to
+    /// the snapshot cell as a side effect).
     pub fn snapshot(&self) -> CampusSnapshot {
-        self.core.lock().snapshot()
+        self.fusion.snapshot()
     }
 
     /// Cumulative fusion counters.
     pub fn stats(&self) -> FusionStats {
-        self.core.lock().stats()
+        self.fusion.stats()
     }
 
     /// Every pole's current sentinel trust record.
     pub fn trust(&self) -> Vec<PoleTrust> {
-        self.core.lock().trust()
+        self.fusion.trust()
     }
 
-    /// Asks every reader thread to wind down at its next poll, and
-    /// flushes the capture sink so a recording is complete on disk.
+    /// Asks every reader thread and the reactor to wind down at their
+    /// next poll, and flushes the capture sink so a recording is
+    /// complete on disk.
     pub fn stop(&self) {
         self.running.store(false, Ordering::SeqCst);
+        // Wake the reactor pump so shutdown is prompt, not tick-paced.
+        self.intake.poke();
         if let Some(cap) = &self.capture {
             let _ = cap.lock().flush();
         }
@@ -935,7 +1499,7 @@ impl Aggregator {
 
     /// Captures the fused state (see [`FusionCore::checkpoint`]).
     pub fn checkpoint(&self) -> Checkpoint {
-        self.core.lock().checkpoint()
+        self.fusion.checkpoint()
     }
 
     /// Writes a checkpoint of the fused state to `path` atomically.
@@ -947,7 +1511,7 @@ impl Aggregator {
     /// [`Aggregator::checkpoint_to`] (or the background checkpointer).
     pub fn restore_from_file(&self, path: &std::path::Path) -> Result<(), CheckpointError> {
         let ckpt = Checkpoint::load(path)?;
-        self.core.lock().restore_from(&ckpt);
+        self.fusion.restore_from(&ckpt);
         Ok(())
     }
 
@@ -960,7 +1524,7 @@ impl Aggregator {
         path: std::path::PathBuf,
         every: Duration,
     ) -> std::thread::JoinHandle<()> {
-        let core = Arc::clone(&self.core);
+        let fusion = Arc::clone(&self.fusion);
         let running = Arc::clone(&self.running);
         std::thread::spawn(move || {
             let tick = Duration::from_millis(50).min(every.max(Duration::from_millis(1)));
@@ -970,14 +1534,12 @@ impl Aggregator {
                 since += tick;
                 if since >= every {
                     since = Duration::ZERO;
-                    let ckpt = core.lock().checkpoint();
-                    let _ = ckpt.save_atomic(&path);
+                    let _ = fusion.checkpoint().save_atomic(&path);
                 }
             }
             // A final checkpoint on orderly shutdown, so a clean stop
             // restarts just as warm as a crash mid-cadence.
-            let ckpt = core.lock().checkpoint();
-            let _ = ckpt.save_atomic(&path);
+            let _ = fusion.checkpoint().save_atomic(&path);
         })
     }
 
@@ -989,24 +1551,24 @@ impl Aggregator {
         &self,
         mut transport: Box<dyn Transport>,
     ) -> std::thread::JoinHandle<()> {
-        let core = Arc::clone(&self.core);
+        let fusion = Arc::clone(&self.fusion);
         let running = Arc::clone(&self.running);
         let capture = self.capture.clone();
         let conn_id = self.next_conn.fetch_add(1, Ordering::SeqCst);
         let timeout = Duration::from_millis(self.cfg.recv_timeout_ms.max(1));
         let budget = self.cfg.inflight_budget.max(1);
         std::thread::spawn(move || {
-            let clock = core.lock().clock_handle();
+            let clock = fusion.clock_handle();
             let mut decoder = FrameDecoder::new();
             while running.load(Ordering::SeqCst) {
                 match transport.recv(timeout) {
                     Ok(chunk) => {
                         let arrival = clock.now();
                         decoder.push(&chunk);
-                        // Decode the whole chunk before taking the
-                        // fusion lock, shedding past the inflight
-                        // budget so a firehosing peer drops its own
-                        // oldest traffic instead of starving others.
+                        // Decode the whole chunk before fusing,
+                        // shedding past the inflight budget so a
+                        // firehosing peer drops its own oldest
+                        // traffic instead of starving others.
                         let mut batch: VecDeque<Message> = VecDeque::new();
                         loop {
                             let step = match &capture {
@@ -1039,15 +1601,11 @@ impl Aggregator {
                                 }
                             }
                         }
-                        if !batch.is_empty() {
-                            let mut guard = core.lock();
-                            for msg in batch {
-                                let verdict = guard.ingest_from(conn_id, msg);
-                                if verdict.drop_connection {
-                                    drop(guard);
-                                    transport.close();
-                                    return;
-                                }
+                        for msg in batch {
+                            let verdict = fusion.ingest_from(conn_id, msg);
+                            if verdict.drop_connection {
+                                transport.close();
+                                return;
                             }
                         }
                     }
@@ -1059,33 +1617,95 @@ impl Aggregator {
         })
     }
 
-    /// Serves a TCP listener: accepts connections and spawns a reader
-    /// per socket until [`Aggregator::stop`]. The accept loop polls,
-    /// so it notices `stop` within ~`recv_timeout_ms`.
+    /// Spawns the readiness-driven reactor: one pump thread parking
+    /// on transport readiness plus a worker pool folding decoded
+    /// messages into the fusion shards. Feed it sockets with
+    /// [`Aggregator::add_connection`]; join the returned handle after
+    /// [`Aggregator::stop`] to know every accepted message was fused.
+    ///
+    /// At most one reactor may run per aggregator.
+    pub fn spawn_reactor(&self) -> ReactorHandle {
+        assert!(
+            !self.reactor_live.swap(true, Ordering::SeqCst),
+            "reactor already running"
+        );
+        reactor::spawn(reactor::ReactorContext {
+            fusion: Arc::clone(&self.fusion),
+            running: Arc::clone(&self.running),
+            intake: Arc::clone(&self.intake),
+            capture: self.capture.clone(),
+            cfg: ReactorConfig {
+                workers: self.cfg.reactor_workers,
+                tick: Duration::from_millis(self.cfg.recv_timeout_ms.max(1)),
+                inflight_budget: self.cfg.inflight_budget.max(1),
+                publish_every: Some(Duration::from_millis(250)),
+            },
+        })
+    }
+
+    /// Hands a connection to the running reactor (spawn it first) and
+    /// returns the assigned connection id. The transport should
+    /// already be non-blocking where that applies; the pump only ever
+    /// issues zero-timeout reads.
+    pub fn add_connection(&self, transport: Box<dyn Transport>) -> u32 {
+        let conn_id = self.next_conn.fetch_add(1, Ordering::SeqCst);
+        self.intake.push(conn_id, transport);
+        conn_id
+    }
+
+    /// Serves a TCP listener until [`Aggregator::stop`]: parks on
+    /// listener readiness (`poll(2)` where available — no busy spin,
+    /// near-zero idle CPU) and routes accepted sockets into the
+    /// reactor when one is running, else to a reader thread each.
     pub fn serve_tcp(&self, listener: std::net::TcpListener) -> std::thread::JoinHandle<()> {
         let running = Arc::clone(&self.running);
+        let reactor_live = Arc::clone(&self.reactor_live);
         let this = Aggregator {
-            core: Arc::clone(&self.core),
+            fusion: Arc::clone(&self.fusion),
             cfg: self.cfg,
             running: Arc::clone(&self.running),
             capture: self.capture.clone(),
             next_conn: Arc::clone(&self.next_conn),
+            intake: Arc::clone(&self.intake),
+            reactor_live: Arc::clone(&self.reactor_live),
         };
         listener
             .set_nonblocking(true)
             .expect("listener nonblocking");
-        let poll = Duration::from_millis(self.cfg.recv_timeout_ms.max(1));
+        let tick = Duration::from_millis(self.cfg.recv_timeout_ms.max(1));
         std::thread::spawn(move || {
             while running.load(Ordering::SeqCst) {
                 match listener.accept() {
                     Ok((stream, _)) => {
-                        stream.set_nonblocking(false).ok();
-                        if let Ok(t) = crate::transport::TcpTransport::new(stream) {
-                            this.spawn_connection(Box::new(t));
+                        if reactor_live.load(Ordering::SeqCst) {
+                            stream.set_nonblocking(true).ok();
+                            if let Ok(mut t) = crate::transport::TcpTransport::new(stream) {
+                                let _ = t.set_nonblocking(true);
+                                this.add_connection(Box::new(t));
+                            }
+                        } else {
+                            stream.set_nonblocking(false).ok();
+                            if let Ok(t) = crate::transport::TcpTransport::new(stream) {
+                                this.spawn_connection(Box::new(t));
+                            }
                         }
                     }
                     Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
-                        std::thread::sleep(poll);
+                        // Park on readiness instead of hot-looping:
+                        // the kernel wakes us for the next SYN, and
+                        // the tick bounds how fast we notice `stop`.
+                        #[cfg(unix)]
+                        {
+                            use std::os::unix::io::AsRawFd;
+                            let mut fds = [crate::sys::PollFd {
+                                fd: listener.as_raw_fd(),
+                                events: crate::sys::POLLIN,
+                                revents: 0,
+                            }];
+                            crate::sys::poll_fds(&mut fds, tick);
+                        }
+                        #[cfg(not(unix))]
+                        std::thread::sleep(tick);
                     }
                     Err(_) => break,
                 }
@@ -1100,7 +1720,7 @@ impl Aggregator {
 
     /// The current campus health scoreboard.
     pub fn health(&self) -> FleetHealth {
-        self.core.lock().health()
+        self.fusion.health()
     }
 
     /// Appends the current scoreboard as one JSONL line.
@@ -1110,7 +1730,7 @@ impl Aggregator {
 
     /// Writes the retained fleet event journal as JSONL.
     pub fn export_events_jsonl(&self, out: &mut dyn std::io::Write) -> std::io::Result<()> {
-        write!(out, "{}", self.core.lock().journal().to_jsonl())
+        write!(out, "{}", self.fusion.events_jsonl())
     }
 }
 
@@ -1119,6 +1739,7 @@ mod tests {
     use super::*;
     use crate::wire::{ClusterObservation, Heartbeat};
     use counting::{EpsRung, PrecisionRung};
+    use geom::Point3;
     use obs::ManualClock;
     use world::corridor_layout;
 
@@ -1127,7 +1748,7 @@ mod tests {
             pole_id,
             seq,
             timestamp_ms: seq * 100,
-            count: clusters.len() as u32,
+            count: u32::try_from(clusters.len()).unwrap_or(u32::MAX),
             health: HealthState::Healthy,
             eps_rung: EpsRung::Adaptive,
             precision: PrecisionRung::Fp32,
@@ -1467,5 +2088,214 @@ mod tests {
         clock.advance_ms(100);
         let snap = core.snapshot();
         assert_eq!(snap.p95_silence_ms, 500.0, "oldest silence dominates p95");
+    }
+
+    #[test]
+    fn p95_silence_survives_nan_without_panicking() {
+        // Regression: the sweep sorted with partial_cmp().expect(), so
+        // a single NaN silence panicked the snapshot path for the
+        // whole campus. Under total_cmp it sorts last, deterministically.
+        let mut adversarial = vec![f64::NAN, 250.0, -0.0, f64::INFINITY, 100.0];
+        let p95 = p95_silence(&mut adversarial);
+        assert!(p95.is_nan(), "NaN owns the tail slot under total_cmp");
+
+        // With enough honest poles the percentile stays finite even
+        // when one silence is poisoned.
+        let mut mostly_honest: Vec<f64> = (0..99).map(f64::from).collect();
+        mostly_honest.push(f64::NAN);
+        assert_eq!(p95_silence(&mut mostly_honest), 94.0);
+
+        assert_eq!(p95_silence(&mut []), 0.0);
+    }
+
+    #[test]
+    fn snapshot_assembly_tolerates_adversarial_silences() {
+        let snap = assemble_snapshot(
+            &FusionConfig::default(),
+            Duration::from_secs(1),
+            vec![ShardGather {
+                poles: Vec::new(),
+                observations: Vec::new(),
+                unmapped: 0,
+                live: 0,
+                stale: 0,
+                dead: 0,
+                quarantined: 0,
+                silences: vec![100.0, f64::NAN],
+            }],
+        );
+        assert!(snap.p95_silence_ms.is_nan(), "poisoned but not panicked");
+        assert_eq!(snap.occupancy, 0);
+    }
+
+    #[test]
+    fn checkpoint_saturates_century_scale_silences() {
+        let clock = ManualClock::new();
+        let mut skewed = core(&clock);
+        skewed.ingest(report(0, 1, &[(14.0, 0.0)]));
+        // Skew the clock just past 2^64 nanoseconds (~584.5 years).
+        // The old `as_nanos() as u64` truncation wrapped this into a
+        // ~0.3 s silence — a pole dead for centuries checkpointed as
+        // freshly heard.
+        clock.set(Duration::new(18_446_744_074, 0));
+        let ckpt = skewed.checkpoint();
+        assert_eq!(
+            ckpt.slots[0].silence_nanos,
+            u64::MAX,
+            "century-scale silences saturate instead of wrapping"
+        );
+
+        // Round-trip: restored against a sane clock, the pole must
+        // come back Dead with no people on the board.
+        let clock2 = ManualClock::new();
+        let mut restored = core(&clock2);
+        clock2.advance_ms(10_000);
+        restored.restore_from(&ckpt);
+        let snap = restored.snapshot();
+        assert_eq!(snap.dead, 1, "restored pole is dead, not live");
+        assert_eq!(snap.occupancy, 0);
+    }
+
+    #[test]
+    fn occupancy_clamps_at_the_u32_boundary() {
+        // The sentinel's plausibility ceiling would quarantine counts
+        // this hostile long before the sum; switch it off so the
+        // arithmetic itself is on trial.
+        let hostile_core = |clock: &ManualClock| {
+            let registry = PoleRegistry::from_poses(corridor_layout(3, 15.0));
+            let mut cfg = FusionConfig::default();
+            cfg.sentinel.enabled = false;
+            FusionCore::new(registry, WalkwayConfig::default(), cfg).with_clock(clock.handle())
+        };
+
+        // One mapped person plus a held count at the top of u32: the
+        // old `people.len() as u32 + unmapped` wrapped past zero.
+        let clock = ManualClock::new();
+        let mut core = hostile_core(&clock);
+        core.ingest(report(0, 1, &[(14.0, 0.0)]));
+        core.ingest(held_report(1, 1, u32::MAX));
+        let snap = core.snapshot();
+        assert_eq!(snap.unmapped, u32::MAX);
+        assert_eq!(snap.occupancy, u32::MAX, "saturates instead of wrapping");
+
+        // Two hostile held counts must not wrap the unmapped sum either.
+        let clock = ManualClock::new();
+        let mut core = hostile_core(&clock);
+        core.ingest(held_report(0, 1, u32::MAX));
+        core.ingest(held_report(1, 1, 7));
+        assert_eq!(core.snapshot().occupancy, u32::MAX);
+    }
+
+    #[test]
+    fn snapshot_cell_publishes_monotonic_epochs() {
+        let cell = SnapshotCell::new();
+        assert_eq!(cell.epoch(), 0);
+        assert_eq!(
+            cell.read().occupancy,
+            0,
+            "empty snapshot before first publish"
+        );
+        for i in 1..=5u32 {
+            let snap = CampusSnapshot {
+                occupancy: i,
+                ..CampusSnapshot::default()
+            };
+            cell.publish(Arc::new(snap));
+            assert_eq!(cell.epoch(), u64::from(i));
+            assert_eq!(cell.read().occupancy, i, "read returns the latest publish");
+        }
+    }
+
+    #[test]
+    fn sharded_fusion_matches_a_single_core_bit_for_bit() {
+        let n: u32 = 8;
+        let clock = ManualClock::new();
+        let mk_registry = || PoleRegistry::from_poses(corridor_layout(n as usize, 15.0));
+        let mut single = FusionCore::new(
+            mk_registry(),
+            WalkwayConfig::default(),
+            FusionConfig::default(),
+        )
+        .with_clock(clock.handle());
+        let sharded = ShardedFusion::new(
+            mk_registry(),
+            WalkwayConfig::default(),
+            FusionConfig::default(),
+            4,
+            clock.handle(),
+        );
+        assert_eq!(sharded.shard_count(), 4);
+        assert_ne!(
+            sharded.shard_of(1),
+            sharded.shard_of(2),
+            "adjacent poles 1 and 2 must straddle a shard seam for this test to bite"
+        );
+
+        // Every pole sees its own person; adjacent poles double-sight
+        // a seam person standing between them (campus x = 15i + 28),
+        // so people straddle every shard boundary.
+        for i in 0..n {
+            let mut clusters = vec![(14.0, 0.0)];
+            if i + 1 < n {
+                clusters.push((28.0, 0.7));
+            }
+            if i > 0 {
+                clusters.push((13.0, 0.7));
+            }
+            let msg = report(i, 1, &clusters);
+            single.ingest(msg.clone());
+            sharded.ingest(msg);
+        }
+        clock.advance_ms(50);
+        let a = single.snapshot();
+        let b = sharded.snapshot();
+        assert_eq!(
+            a.to_json(),
+            b.to_json(),
+            "sharded snapshot must be bit-identical to the single core"
+        );
+        assert_eq!(b.occupancy, 2 * n - 1, "n own people + n-1 seam people");
+
+        // The snapshot was also published through the lock-free cell.
+        assert_eq!(sharded.published().to_json(), b.to_json());
+        assert!(sharded.publish_epoch() >= 1);
+    }
+
+    #[test]
+    fn sharded_checkpoint_round_trips_through_restore() {
+        let clock = ManualClock::new();
+        let mk_registry = || PoleRegistry::from_poses(corridor_layout(6, 15.0));
+        let sharded = ShardedFusion::new(
+            mk_registry(),
+            WalkwayConfig::default(),
+            FusionConfig::default(),
+            3,
+            clock.handle(),
+        );
+        for i in 0..6u32 {
+            sharded.ingest(report(i, 1, &[(14.0, 0.0)]));
+        }
+        clock.advance_ms(100);
+        let before = sharded.snapshot();
+        let ckpt = sharded.checkpoint();
+
+        let clock2 = ManualClock::new();
+        clock2.advance_ms(100);
+        let restored = ShardedFusion::new(
+            mk_registry(),
+            WalkwayConfig::default(),
+            FusionConfig::default(),
+            3,
+            clock2.handle(),
+        );
+        restored.restore_from(&ckpt);
+        let after = restored.snapshot();
+        assert_eq!(before.occupancy, after.occupancy);
+        assert_eq!(before.people, after.people);
+        assert_eq!(
+            sharded.stats().reports,
+            restored.stats().reports,
+            "campus stats survive the shard split exactly once"
+        );
     }
 }

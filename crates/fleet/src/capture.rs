@@ -35,6 +35,14 @@
 //! single pole's traffic straddles two connections inside one window,
 //! cross-connection order is scheduler-chosen, exactly as it was
 //! live.)
+//!
+//! Replay deliberately stays on a single [`FusionCore`]: it is the
+//! reference path the sharded live aggregator is measured against.
+//! [`crate::ShardedFusion`] assembles snapshots through the same
+//! gather/dedup pipeline a lone core uses (seam components merge
+//! campus-wide before dedup), so a capture replayed here must match
+//! snapshots the reactor produced live, at any shard or worker
+//! count — the soak bench's ingest cells assert exactly that.
 
 use std::collections::BTreeMap;
 use std::fs::File;

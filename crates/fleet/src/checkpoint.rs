@@ -167,6 +167,52 @@ impl<'a> Reader<'a> {
 }
 
 impl Checkpoint {
+    /// Merges per-shard checkpoints into one campus checkpoint:
+    /// slots and trust records re-key into ascending pole order,
+    /// counters sum, and `taken_at_nanos` takes the newest part (all
+    /// shards checkpoint on one clock, so parts differ only by lock
+    /// acquisition jitter).
+    pub fn merge(parts: Vec<Checkpoint>) -> Checkpoint {
+        let mut out = Checkpoint {
+            taken_at_nanos: 0,
+            stats: FusionStats::default(),
+            slots: Vec::new(),
+            sentinel: Vec::new(),
+        };
+        for part in parts {
+            out.taken_at_nanos = out.taken_at_nanos.max(part.taken_at_nanos);
+            out.stats.absorb(&part.stats);
+            out.slots.extend(part.slots);
+            out.sentinel.extend(part.sentinel);
+        }
+        out.slots.sort_by_key(|s| s.pole_id);
+        out.sentinel.sort_by_key(|t| t.pole_id);
+        out
+    }
+
+    /// The sub-checkpoint holding only poles `keep` accepts — the
+    /// unit a sharded aggregator feeds each fusion shard on restore.
+    /// `stats` lets the caller assign the campus-wide counters to
+    /// exactly one shard so fleet totals don't multiply.
+    pub fn filtered(&self, stats: FusionStats, keep: impl Fn(u32) -> bool) -> Checkpoint {
+        Checkpoint {
+            taken_at_nanos: self.taken_at_nanos,
+            stats,
+            slots: self
+                .slots
+                .iter()
+                .filter(|s| keep(s.pole_id))
+                .cloned()
+                .collect(),
+            sentinel: self
+                .sentinel
+                .iter()
+                .filter(|t| keep(t.pole_id))
+                .cloned()
+                .collect(),
+        }
+    }
+
     /// Serialises to the versioned, CRC'd byte format.
     pub fn to_bytes(&self) -> Vec<u8> {
         let mut body = Vec::with_capacity(256);

@@ -259,6 +259,35 @@ fn hist_json(h: &HistogramCells) -> String {
 }
 
 impl FleetHealth {
+    /// Merges per-shard scoreboards into one campus view. Shards
+    /// partition poles, so pole rows concatenate and re-sort by id,
+    /// the campus-wide rollups re-merge, and the event journals
+    /// interleave by event time (the sort is stable and the shard
+    /// order is fixed, so the merge is deterministic).
+    pub fn merge(parts: Vec<FleetHealth>) -> FleetHealth {
+        let mut out = FleetHealth {
+            at_ms: 0.0,
+            poles: Vec::new(),
+            campus_ingest: HistogramCells::empty("fleet.ingest"),
+            campus_telemetry: TelemetrySnapshot::default(),
+            events_total: 0,
+            events: Vec::new(),
+        };
+        for part in parts {
+            if part.at_ms > out.at_ms {
+                out.at_ms = part.at_ms;
+            }
+            out.campus_ingest.merge(&part.campus_ingest);
+            out.campus_telemetry.merge(&part.campus_telemetry);
+            out.events_total += part.events_total;
+            out.poles.extend(part.poles);
+            out.events.extend(part.events);
+        }
+        out.poles.sort_by_key(|p| p.pole_id);
+        out.events.sort_by(|a, b| a.at_ms.total_cmp(&b.at_ms));
+        out
+    }
+
     /// The scoreboard as one JSONL line (events ride separately via
     /// [`EventJournal::to_jsonl`]).
     pub fn to_json(&self) -> String {

@@ -47,7 +47,7 @@
 //! arrived on. Tests pin this — fused counts are bit-identical across
 //! one agent thread or eight, and across packet reorder.
 
-#![forbid(unsafe_code)]
+#![deny(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod agent;
@@ -55,25 +55,33 @@ pub mod aggregator;
 pub mod capture;
 pub mod checkpoint;
 pub mod health;
+pub mod reactor;
 pub mod sentinel;
+// The vendored dependency set has no `libc`, so the one syscall the
+// reactor parks on (`poll(2)`) is hand-declared FFI, quarantined to
+// this module. Everything else in the crate stays `deny(unsafe_code)`.
+#[allow(unsafe_code)]
+mod sys;
 pub mod transport;
 pub mod wire;
 
 pub use agent::{AgentConfig, AgentStats, PoleAgent};
 pub use aggregator::{
-    Aggregator, AggregatorConfig, CampusSnapshot, FusionConfig, FusionCore, IngestVerdict,
-    Liveness, PoleStatus, ZoneOccupancy,
+    Aggregator, AggregatorConfig, CampusSnapshot, FusionConfig, FusionCore, FusionStats,
+    IngestVerdict, Liveness, PoleStatus, ShardedFusion, SnapshotCell, ZoneOccupancy,
 };
 pub use capture::{
     load_capture, read_capture, replay, CaptureError, CaptureRecord, CaptureWriter, ReplayTransport,
 };
 pub use checkpoint::{Checkpoint, CheckpointError, SlotCheckpoint};
 pub use health::{EventJournal, FleetEvent, FleetEventKind, FleetHealth, PoleHealth};
+pub use reactor::{ReactorConfig, ReactorHandle};
 pub use sentinel::{
     Disposition, Inspection, PoleTrust, Sentinel, SentinelConfig, TrustState, Violation,
 };
 pub use transport::{
-    loopback_pair, Connector, LoopbackConfig, LoopbackHub, TcpConnector, Transport, TransportError,
+    loopback_pair, Connector, LoopbackConfig, LoopbackHub, ReadySignal, TcpConnector, Transport,
+    TransportError,
 };
 pub use wire::{
     decode, encode, ClusterObservation, FrameDecoder, Heartbeat, Message, PoleReport,

@@ -1,0 +1,467 @@
+//! The readiness-driven ingest reactor.
+//!
+//! One *pump* thread owns every connection: it parks on a shared
+//! [`ReadySignal`] (in-process transports ping it on delivery) and on
+//! `poll(2)` (descriptor-backed transports), drains ready transports
+//! with zero-timeout reads, decodes frames, and fans complete
+//! messages out to a small worker pool. Workers fold messages into
+//! the [`ShardedFusion`]; a connection's messages always land on the
+//! same worker (`conn_id % workers`), so per-connection FIFO — the
+//! order the sentinel's trust ladder is defined over — survives the
+//! fan-out.
+//!
+//! # Why determinism survives
+//!
+//! Fusion is last-sequence-wins per pole and the sentinel judges each
+//! pole's own stream in connection order, so the fused state is a
+//! pure function of *which* messages arrived — never of the thread,
+//! poll cycle, or shard that carried them. That is the exact
+//! invariant the thread-per-connection path leans on, which is why
+//! the two paths produce bit-identical snapshots at any worker count
+//! (pinned by `tests/fleet.rs` and the soak bench's ingest cells).
+//!
+//! Transports that can neither signal readiness nor expose a
+//! descriptor are swept once per tick — correct, just not as idle.
+
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::{mpsc, Arc};
+use std::time::{Duration, Instant};
+
+use obs::Clock;
+use parking_lot::Mutex;
+
+use crate::aggregator::ShardedFusion;
+use crate::capture::CaptureWriter;
+use crate::transport::{ReadySignal, Transport, TransportError};
+use crate::wire::{FrameDecoder, Message};
+
+/// The token control traffic (new connections, shutdown pokes) uses
+/// on the shared [`ReadySignal`]; data transports use their
+/// connection id.
+const INTAKE_TOKEN: u64 = u64::MAX;
+
+/// Reactor tuning.
+#[derive(Debug, Clone, Copy)]
+pub struct ReactorConfig {
+    /// Worker threads folding messages into fusion. 0 = auto.
+    pub workers: usize,
+    /// Pump park bound: the longest the pump sleeps with nothing
+    /// ready, and the sweep cadence for transports without readiness.
+    pub tick: Duration,
+    /// Per-connection cap on messages decoded but not yet fused; past
+    /// it the newest decode is shed (and counted), so one firehosing
+    /// pole cannot queue unbounded memory.
+    pub inflight_budget: usize,
+    /// Cadence for publishing snapshots to the aggregator's
+    /// [`crate::SnapshotCell`]; `None` publishes only on demand.
+    pub publish_every: Option<Duration>,
+}
+
+impl Default for ReactorConfig {
+    fn default() -> Self {
+        ReactorConfig {
+            workers: 0,
+            tick: Duration::from_millis(50),
+            inflight_budget: 256,
+            publish_every: Some(Duration::from_millis(250)),
+        }
+    }
+}
+
+/// Where new connections land before the pump adopts them, plus the
+/// signal the whole reactor parks on.
+pub(crate) struct Intake {
+    pub(crate) signal: Arc<ReadySignal>,
+    pending: Mutex<Vec<(u32, Box<dyn Transport>)>>,
+}
+
+impl std::fmt::Debug for Intake {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Intake")
+            .field("pending", &self.pending.lock().len())
+            .finish()
+    }
+}
+
+impl Intake {
+    pub(crate) fn new() -> Self {
+        Intake {
+            signal: Arc::new(ReadySignal::new()),
+            pending: Mutex::new(Vec::new()),
+        }
+    }
+
+    /// Queues a connection for the pump and wakes it.
+    pub(crate) fn push(&self, conn_id: u32, transport: Box<dyn Transport>) {
+        self.pending.lock().push((conn_id, transport));
+        self.signal.notify(INTAKE_TOKEN);
+    }
+
+    /// Wakes the pump without queueing anything (shutdown, kill
+    /// verdicts).
+    pub(crate) fn poke(&self) {
+        self.signal.notify(INTAKE_TOKEN);
+    }
+
+    fn drain(&self) -> Vec<(u32, Box<dyn Transport>)> {
+        std::mem::take(&mut *self.pending.lock())
+    }
+}
+
+/// Everything [`spawn`] needs from the aggregator.
+pub(crate) struct ReactorContext {
+    pub(crate) fusion: Arc<ShardedFusion>,
+    pub(crate) running: Arc<AtomicBool>,
+    pub(crate) intake: Arc<Intake>,
+    pub(crate) capture: Option<Arc<Mutex<CaptureWriter>>>,
+    pub(crate) cfg: ReactorConfig,
+}
+
+/// Join handle for a running reactor: the pump and its workers.
+#[derive(Debug)]
+pub struct ReactorHandle {
+    pump: std::thread::JoinHandle<()>,
+    workers: Vec<std::thread::JoinHandle<()>>,
+}
+
+impl ReactorHandle {
+    /// How many workers the reactor is running.
+    pub fn worker_count(&self) -> usize {
+        self.workers.len()
+    }
+
+    /// Waits for the pump to exit and the workers to drain every
+    /// accepted message into fusion.
+    pub fn join(self) {
+        let _ = self.pump.join();
+        for w in self.workers {
+            let _ = w.join();
+        }
+    }
+}
+
+/// One message waiting for its worker, with the shared per-connection
+/// accounting the pump and worker coordinate through.
+struct Job {
+    conn_id: u32,
+    msg: Message,
+    inflight: Arc<AtomicUsize>,
+    kill: Arc<AtomicBool>,
+}
+
+fn worker_loop(fusion: Arc<ShardedFusion>, rx: mpsc::Receiver<Job>, signal: Arc<ReadySignal>) {
+    // The pump drops its senders when it exits; draining until
+    // `Disconnected` means every accepted message is fused before the
+    // worker leaves, so `ReactorHandle::join` implies quiescence.
+    while let Ok(job) = rx.recv() {
+        job.inflight.fetch_sub(1, Ordering::AcqRel);
+        if job.kill.load(Ordering::Acquire) {
+            // Condemned connection: its queued tail is discarded,
+            // matching the reader-thread path which stops at the
+            // verdict message.
+            continue;
+        }
+        let verdict = fusion.ingest_from(job.conn_id, job.msg);
+        if verdict.drop_connection {
+            job.kill.store(true, Ordering::Release);
+            signal.notify(INTAKE_TOKEN);
+        }
+    }
+}
+
+pub(crate) fn spawn(ctx: ReactorContext) -> ReactorHandle {
+    let nworkers = if ctx.cfg.workers != 0 {
+        ctx.cfg.workers
+    } else {
+        let cores = std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(4);
+        (cores / 2).clamp(1, 8)
+    };
+
+    let mut txs = Vec::with_capacity(nworkers);
+    let mut workers = Vec::with_capacity(nworkers);
+    for w in 0..nworkers {
+        let (tx, rx) = mpsc::channel::<Job>();
+        txs.push(tx);
+        let fusion = Arc::clone(&ctx.fusion);
+        let signal = Arc::clone(&ctx.intake.signal);
+        workers.push(
+            std::thread::Builder::new()
+                .name(format!("fusion-worker-{w}"))
+                .spawn(move || worker_loop(fusion, rx, signal))
+                .expect("spawn fusion worker"),
+        );
+    }
+
+    let clock = ctx.fusion.clock_handle();
+    let pump = Pump {
+        fusion: ctx.fusion,
+        running: ctx.running,
+        intake: ctx.intake,
+        capture: ctx.capture,
+        clock,
+        txs,
+        conns: BTreeMap::new(),
+        tick: ctx.cfg.tick.max(Duration::from_millis(1)),
+        budget: ctx.cfg.inflight_budget.max(1),
+        publish_every: ctx.cfg.publish_every,
+    };
+    let pump = std::thread::Builder::new()
+        .name("ingest-pump".into())
+        .spawn(move || pump.run())
+        .expect("spawn ingest pump");
+
+    ReactorHandle { pump, workers }
+}
+
+/// One adopted connection, as the pump sees it.
+struct Conn {
+    transport: Box<dyn Transport>,
+    decoder: FrameDecoder,
+    inflight: Arc<AtomicUsize>,
+    kill: Arc<AtomicBool>,
+    /// The transport pings the shared signal on delivery, so the pump
+    /// only visits it when its token surfaces.
+    signalled: bool,
+    #[cfg(unix)]
+    fd: Option<std::os::unix::io::RawFd>,
+    dead: bool,
+}
+
+struct Pump {
+    fusion: Arc<ShardedFusion>,
+    running: Arc<AtomicBool>,
+    intake: Arc<Intake>,
+    capture: Option<Arc<Mutex<CaptureWriter>>>,
+    clock: Arc<dyn Clock>,
+    txs: Vec<mpsc::Sender<Job>>,
+    conns: BTreeMap<u32, Conn>,
+    tick: Duration,
+    budget: usize,
+    publish_every: Option<Duration>,
+}
+
+impl Pump {
+    fn run(mut self) {
+        let mut last_publish = Instant::now();
+        while self.running.load(Ordering::SeqCst) {
+            let ready = self.wait_ready();
+            self.adopt();
+            self.drain_cycle(ready);
+            self.reap();
+            if let Some(every) = self.publish_every {
+                if last_publish.elapsed() >= every {
+                    self.fusion.snapshot();
+                    last_publish = Instant::now();
+                }
+            }
+        }
+        // Orderly shutdown: adopt stragglers, drain what has already
+        // been delivered, close everything. Dropping the worker
+        // senders afterwards lets the workers finish the queued tail
+        // and exit.
+        self.adopt();
+        let ids: Vec<u32> = self.conns.keys().copied().collect();
+        for id in ids {
+            self.drain_conn(id);
+        }
+        for (_, mut conn) in std::mem::take(&mut self.conns) {
+            conn.transport.close();
+        }
+    }
+
+    /// Parks until something is ready, returning connection ids whose
+    /// readiness was signalled. Descriptor-backed connections park in
+    /// `poll(2)`; with none of those, the pump sleeps entirely on the
+    /// condvar — zero CPU while the campus is quiet.
+    fn wait_ready(&mut self) -> Vec<u32> {
+        #[cfg(unix)]
+        {
+            let mut fd_ids: Vec<u32> = Vec::new();
+            let mut pfds: Vec<crate::sys::PollFd> = Vec::new();
+            for (&id, c) in &self.conns {
+                if c.dead {
+                    continue;
+                }
+                if let Some(fd) = c.fd {
+                    fd_ids.push(id);
+                    pfds.push(crate::sys::PollFd {
+                        fd,
+                        events: crate::sys::POLLIN,
+                        revents: 0,
+                    });
+                }
+            }
+            if !pfds.is_empty() {
+                crate::sys::poll_fds(&mut pfds, self.tick);
+                // The signal is only drained (not parked on) here:
+                // poll is the park, so signalled traffic in a mixed
+                // deployment waits at most one tick.
+                let mut ready: Vec<u32> = self
+                    .intake
+                    .signal
+                    .drain()
+                    .into_iter()
+                    .filter(|&t| t != INTAKE_TOKEN)
+                    .map(|t| t as u32)
+                    .collect();
+                for (i, p) in pfds.iter().enumerate() {
+                    if p.revents != 0 {
+                        ready.push(fd_ids[i]);
+                    }
+                }
+                ready.sort_unstable();
+                ready.dedup();
+                return ready;
+            }
+        }
+        self.intake
+            .signal
+            .wait(self.tick)
+            .into_iter()
+            .filter(|&t| t != INTAKE_TOKEN)
+            .map(|t| t as u32)
+            .collect()
+    }
+
+    fn adopt(&mut self) {
+        for (id, mut transport) in self.intake.drain() {
+            let signalled = transport.register_ready(&self.intake.signal, u64::from(id));
+            #[cfg(unix)]
+            let fd = transport.poll_fd();
+            self.conns.insert(
+                id,
+                Conn {
+                    transport,
+                    decoder: FrameDecoder::new(),
+                    inflight: Arc::new(AtomicUsize::new(0)),
+                    kill: Arc::new(AtomicBool::new(false)),
+                    signalled,
+                    #[cfg(unix)]
+                    fd,
+                    dead: false,
+                },
+            );
+            // Registration re-notifies for frames that arrived before
+            // the hand-off, but sweep once anyway so adoption never
+            // depends on that courtesy.
+            self.drain_conn(id);
+        }
+    }
+
+    /// Drains every connection due this cycle: the signalled-ready
+    /// set, plus a tick-paced sweep of connections that cannot signal.
+    fn drain_cycle(&mut self, ready: Vec<u32>) {
+        let mut ids = ready;
+        for (&id, c) in &self.conns {
+            if c.dead || c.signalled {
+                continue;
+            }
+            #[cfg(unix)]
+            {
+                if c.fd.is_some() {
+                    continue; // poll(2) already vouched for these
+                }
+            }
+            ids.push(id);
+        }
+        ids.sort_unstable();
+        ids.dedup();
+        for id in ids {
+            self.drain_conn(id);
+        }
+    }
+
+    fn drain_conn(&mut self, id: u32) {
+        let Some(conn) = self.conns.get_mut(&id) else {
+            return;
+        };
+        if conn.dead {
+            return;
+        }
+        loop {
+            if conn.kill.load(Ordering::Acquire) {
+                conn.dead = true;
+                return;
+            }
+            match conn.transport.recv(Duration::ZERO) {
+                Ok(chunk) => {
+                    let arrival = self.clock.now();
+                    conn.decoder.push(&chunk);
+                    loop {
+                        if conn.kill.load(Ordering::Acquire) {
+                            conn.dead = true;
+                            return;
+                        }
+                        let step = match &self.capture {
+                            Some(cap) => conn.decoder.next_message_and_frame().map(|opt| {
+                                opt.map(|(msg, frame)| {
+                                    // Best-effort: a full capture disk
+                                    // must not down the fleet.
+                                    let _ = cap.lock().record(arrival, id, &frame);
+                                    msg
+                                })
+                            }),
+                            None => conn.decoder.next_message(),
+                        };
+                        match step {
+                            Ok(Some(msg)) => {
+                                if conn.inflight.load(Ordering::Acquire) >= self.budget {
+                                    // Shed the newest decode: the
+                                    // firehosing connection pays for
+                                    // its own backlog.
+                                    obs::incr("fleet.agg.inflight_dropped", 1);
+                                    continue;
+                                }
+                                conn.inflight.fetch_add(1, Ordering::AcqRel);
+                                let worker = id as usize % self.txs.len();
+                                let job = Job {
+                                    conn_id: id,
+                                    msg,
+                                    inflight: Arc::clone(&conn.inflight),
+                                    kill: Arc::clone(&conn.kill),
+                                };
+                                if self.txs[worker].send(job).is_err() {
+                                    conn.dead = true;
+                                    return;
+                                }
+                            }
+                            Ok(None) => break,
+                            Err(_) => {
+                                // Framing is unrecoverable mid-stream:
+                                // drop the connection, the agent
+                                // redials.
+                                obs::incr("fleet.agg.decode_errors", 1);
+                                conn.dead = true;
+                                return;
+                            }
+                        }
+                    }
+                }
+                Err(TransportError::TimedOut) => return,
+                Err(_) => {
+                    conn.dead = true;
+                    return;
+                }
+            }
+        }
+    }
+
+    /// Closes and forgets connections that died or were condemned by
+    /// a worker's sentinel verdict.
+    fn reap(&mut self) {
+        let doomed: Vec<u32> = self
+            .conns
+            .iter()
+            .filter(|(_, c)| c.dead || c.kill.load(Ordering::Acquire))
+            .map(|(&id, _)| id)
+            .collect();
+        for id in doomed {
+            if let Some(mut conn) = self.conns.remove(&id) {
+                conn.transport.close();
+            }
+        }
+    }
+}

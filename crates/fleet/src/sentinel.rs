@@ -301,6 +301,10 @@ impl Default for PoleGuard {
     }
 }
 
+/// Most connection ids the conflict strike table retains; the oldest
+/// id is evicted past this, bounding memory under connection churn.
+const MAX_TRACKED_CONNS: usize = 4096;
+
 /// The per-pole trust machine. Owned by `FusionCore`; all state is
 /// driven by [`Sentinel::inspect`] calls in connection-FIFO order.
 #[derive(Debug)]
@@ -364,6 +368,12 @@ impl Sentinel {
             min_y: b.min_y - margin,
             max_y: b.max_y + margin,
         })
+    }
+
+    /// How many connection ids the conflict strike table currently
+    /// tracks (bounded by an internal cap; ops surface).
+    pub fn tracked_conns(&self) -> usize {
+        self.conn_strikes.len()
     }
 
     /// The trust state of `pole_id` (Trusted when never seen).
@@ -472,14 +482,26 @@ impl Sentinel {
                 && now_ms - guard.owner_heard_ms < cfg.conflict_rebind_ms;
             if owner_active {
                 guard.rejected += 1;
-                let strikes = self.conn_strikes.entry(conn_id).or_insert(0);
-                *strikes += 1;
+                let strikes = {
+                    let s = self.conn_strikes.entry(conn_id).or_insert(0);
+                    *s += 1;
+                    *s
+                };
+                // The strike table is keyed by connection id, which a
+                // reconnect-churning (or hostile) fleet mints without
+                // bound; evict the oldest tracked connection past the
+                // cap so a year of churn cannot grow the aggregator.
+                // Ids are monotonic, so the first key is the oldest
+                // and never the one just struck.
+                while self.conn_strikes.len() > MAX_TRACKED_CONNS {
+                    self.conn_strikes.pop_first();
+                }
                 obs::incr("fleet.sentinel.conflicts", 1);
                 let transition =
                     (state_at_entry != guard.state).then_some((state_at_entry, guard.state));
                 return Inspection {
                     disposition: Disposition::Reject,
-                    drop_connection: *strikes >= cfg.conflict_drop_after,
+                    drop_connection: strikes >= cfg.conflict_drop_after,
                     transition,
                     violations: 1,
                 };
@@ -580,5 +602,41 @@ impl Sentinel {
             transition,
             violations,
         }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::wire::Message;
+    use world::{corridor_layout, PoleRegistry, WalkwayConfig};
+
+    #[test]
+    fn conflict_strike_table_is_bounded() {
+        let registry = PoleRegistry::from_poses(corridor_layout(1, 15.0));
+        let walkway = WalkwayConfig::default();
+        let mut sentinel = Sentinel::new(SentinelConfig::default(), &registry, &walkway);
+        let hello = Message::Hello { pole_id: 0 };
+
+        // Conn 1 owns the pole; a reconnect-churning imposter then
+        // hits it from tens of thousands of distinct connection ids,
+        // each of which earns a conflict strike. Pre-cap, the strike
+        // table grew one entry per id, forever.
+        sentinel.inspect(1, &hello, 0.0, 0);
+        for conn in 2..20_000u32 {
+            let insp = sentinel.inspect(conn, &hello, 1.0, 0);
+            assert!(
+                matches!(insp.disposition, Disposition::Reject),
+                "imposter connections must be rejected"
+            );
+        }
+        assert!(
+            sentinel.tracked_conns() <= MAX_TRACKED_CONNS,
+            "strike table must stay bounded under connection churn, got {}",
+            sentinel.tracked_conns()
+        );
+        // The owner is still the owner.
+        let insp = sentinel.inspect(1, &hello, 2.0, 0);
+        assert!(matches!(insp.disposition, Disposition::Fuse));
     }
 }

@@ -21,11 +21,14 @@
 //! receiver's [`crate::wire::FrameDecoder`] by design — that path is
 //! exercised separately by the wire fuzz tests.
 
+use std::collections::VecDeque;
 use std::io::{Read, Write};
 use std::net::TcpStream;
 use std::sync::mpsc;
+use std::sync::Arc;
 use std::time::Duration;
 
+use parking_lot::{Condvar, Mutex};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
@@ -53,6 +56,64 @@ impl std::fmt::Display for TransportError {
 
 impl std::error::Error for TransportError {}
 
+/// Wakes a reactor when any of its registered sources becomes
+/// readable, identified by an opaque per-source token.
+///
+/// Channel-backed transports (the loopback) cannot be multiplexed by
+/// an OS readiness syscall, so the reactor hands each one a shared
+/// `ReadySignal` instead: the *sending* side pushes the source's token
+/// and pings the condvar on every delivery, and the reactor's event
+/// loop parks in [`ReadySignal::wait`] until something is actually
+/// ready — no per-connection thread, no busy polling.
+#[derive(Debug, Default)]
+pub struct ReadySignal {
+    state: Mutex<ReadyState>,
+    cv: Condvar,
+}
+
+#[derive(Debug, Default)]
+struct ReadyState {
+    /// Tokens in notification order. Deduplicated: a source that fires
+    /// ten times before the reactor wakes is drained once.
+    tokens: VecDeque<u64>,
+    queued: std::collections::BTreeSet<u64>,
+}
+
+impl ReadySignal {
+    /// A signal with nothing pending.
+    pub fn new() -> Self {
+        ReadySignal::default()
+    }
+
+    /// Marks `token` ready and wakes any waiting reactor.
+    pub fn notify(&self, token: u64) {
+        let mut state = self.state.lock();
+        if state.queued.insert(token) {
+            state.tokens.push_back(token);
+        }
+        self.cv.notify_one();
+    }
+
+    /// Blocks up to `timeout` for at least one ready token, then
+    /// drains and returns everything pending (possibly empty on
+    /// timeout — the caller's periodic sweep handles stragglers).
+    pub fn wait(&self, timeout: Duration) -> Vec<u64> {
+        let mut state = self.state.lock();
+        if state.tokens.is_empty() {
+            self.cv.wait_for(&mut state, timeout);
+        }
+        state.queued.clear();
+        state.tokens.drain(..).collect()
+    }
+
+    /// Drains pending tokens without blocking.
+    pub fn drain(&self) -> Vec<u64> {
+        let mut state = self.state.lock();
+        state.queued.clear();
+        state.tokens.drain(..).collect()
+    }
+}
+
 /// A blocking, connection-oriented byte pipe carrying wire frames.
 pub trait Transport: Send {
     /// Ships one encoded wire frame. `Ok(())` means *accepted by the
@@ -66,6 +127,23 @@ pub trait Transport: Send {
 
     /// Releases the connection (flushes any loopback in-flight frame).
     fn close(&mut self);
+
+    /// Asks the transport to ping `signal` with `token` whenever bytes
+    /// become available, so a reactor can park instead of polling.
+    /// Returns `false` (the default) if the transport has no way to
+    /// hook deliveries; such sources fall back to the reactor's
+    /// periodic sweep.
+    fn register_ready(&mut self, _signal: &Arc<ReadySignal>, _token: u64) -> bool {
+        false
+    }
+
+    /// The OS file descriptor backing this transport, if any — lets a
+    /// reactor multiplex socket transports with `poll(2)` instead of
+    /// one thread per connection.
+    #[cfg(unix)]
+    fn poll_fd(&self) -> Option<std::os::unix::io::RawFd> {
+        None
+    }
 }
 
 /// Dials new [`Transport`] connections; the agent's reconnect loop
@@ -82,6 +160,7 @@ pub trait Connector: Send {
 #[derive(Debug)]
 pub struct TcpTransport {
     stream: TcpStream,
+    nonblocking: bool,
 }
 
 impl TcpTransport {
@@ -91,7 +170,22 @@ impl TcpTransport {
         stream
             .set_nodelay(true)
             .map_err(|e| TransportError::Io(e.to_string()))?;
-        Ok(TcpTransport { stream })
+        Ok(TcpTransport {
+            stream,
+            nonblocking: false,
+        })
+    }
+
+    /// Switches the socket between blocking reads (thread-per-
+    /// connection readers) and non-blocking reads (reactor sources,
+    /// where readiness comes from `poll(2)` and `recv` must only
+    /// drain what the kernel already buffered).
+    pub fn set_nonblocking(&mut self, on: bool) -> Result<(), TransportError> {
+        self.stream
+            .set_nonblocking(on)
+            .map_err(|e| TransportError::Io(e.to_string()))?;
+        self.nonblocking = on;
+        Ok(())
     }
 }
 
@@ -109,12 +203,14 @@ impl Transport for TcpTransport {
     }
 
     fn recv(&mut self, timeout: Duration) -> Result<Vec<u8>, TransportError> {
-        // `set_read_timeout(Some(0))` is an error on std sockets; pin
-        // a 1 ms floor instead.
-        let timeout = timeout.max(Duration::from_millis(1));
-        self.stream
-            .set_read_timeout(Some(timeout))
-            .map_err(|e| TransportError::Io(e.to_string()))?;
+        if !self.nonblocking {
+            // `set_read_timeout(Some(0))` is an error on std sockets;
+            // pin a 1 ms floor instead.
+            let timeout = timeout.max(Duration::from_millis(1));
+            self.stream
+                .set_read_timeout(Some(timeout))
+                .map_err(|e| TransportError::Io(e.to_string()))?;
+        }
         let mut buf = [0u8; 8 * 1024];
         match self.stream.read(&mut buf) {
             Ok(0) => Err(TransportError::Closed),
@@ -134,6 +230,12 @@ impl Transport for TcpTransport {
 
     fn close(&mut self) {
         let _ = self.stream.shutdown(std::net::Shutdown::Both);
+    }
+
+    #[cfg(unix)]
+    fn poll_fd(&self) -> Option<std::os::unix::io::RawFd> {
+        use std::os::unix::io::AsRawFd;
+        Some(self.stream.as_raw_fd())
     }
 }
 
@@ -236,10 +338,101 @@ impl LoopbackConfig {
     }
 }
 
+/// The shared byte-frame queue under one loopback link: a condvar
+/// channel whose sender side can additionally ping a reactor's
+/// [`ReadySignal`] on every delivery.
+#[derive(Debug, Default)]
+struct FrameQueue {
+    inner: Mutex<FrameQueueInner>,
+    cv: Condvar,
+}
+
+#[derive(Debug, Default)]
+struct FrameQueueInner {
+    frames: VecDeque<Vec<u8>>,
+    sender_closed: bool,
+    receiver_closed: bool,
+    ready: Option<(Arc<ReadySignal>, u64)>,
+}
+
+impl FrameQueue {
+    fn push(&self, frame: Vec<u8>) -> Result<(), TransportError> {
+        let ready = {
+            let mut inner = self.inner.lock();
+            if inner.receiver_closed {
+                return Err(TransportError::Closed);
+            }
+            inner.frames.push_back(frame);
+            inner.ready.clone()
+        };
+        self.cv.notify_one();
+        if let Some((signal, token)) = ready {
+            signal.notify(token);
+        }
+        Ok(())
+    }
+
+    fn pop(&self, timeout: Duration) -> Result<Vec<u8>, TransportError> {
+        let mut inner = self.inner.lock();
+        loop {
+            if let Some(frame) = inner.frames.pop_front() {
+                return Ok(frame);
+            }
+            if inner.sender_closed {
+                return Err(TransportError::Closed);
+            }
+            if timeout.is_zero() || self.cv.wait_for(&mut inner, timeout).timed_out() {
+                // Re-check: the sender may have delivered or closed in
+                // the window between the timeout and the lock.
+                if let Some(frame) = inner.frames.pop_front() {
+                    return Ok(frame);
+                }
+                if inner.sender_closed {
+                    return Err(TransportError::Closed);
+                }
+                return Err(TransportError::TimedOut);
+            }
+        }
+    }
+
+    fn close_sender(&self) {
+        let ready = {
+            let mut inner = self.inner.lock();
+            inner.sender_closed = true;
+            inner.ready.clone()
+        };
+        self.cv.notify_all();
+        // Wake the reactor so it notices the hangup instead of waiting
+        // for its periodic sweep.
+        if let Some((signal, token)) = ready {
+            signal.notify(token);
+        }
+    }
+
+    fn close_receiver(&self) {
+        let mut inner = self.inner.lock();
+        inner.receiver_closed = true;
+        inner.frames.clear();
+    }
+
+    fn register_ready(&self, signal: &Arc<ReadySignal>, token: u64) {
+        let pending = {
+            let mut inner = self.inner.lock();
+            inner.ready = Some((Arc::clone(signal), token));
+            !inner.frames.is_empty() || inner.sender_closed
+        };
+        // Anything delivered before registration must still wake the
+        // reactor exactly once.
+        if pending {
+            signal.notify(token);
+        }
+    }
+}
+
 /// Client (sending) end of a loopback link.
 #[derive(Debug)]
 pub struct LoopbackClient {
-    tx: mpsc::Sender<Vec<u8>>,
+    q: Arc<FrameQueue>,
     cfg: LoopbackConfig,
     rng: StdRng,
     held: Option<Vec<u8>>,
@@ -249,7 +442,7 @@ pub struct LoopbackClient {
 
 impl LoopbackClient {
     fn deliver(&mut self, frame: Vec<u8>) -> Result<(), TransportError> {
-        self.tx.send(frame).map_err(|_| TransportError::Closed)
+        self.q.push(frame)
     }
 }
 
@@ -315,13 +508,16 @@ impl Transport for LoopbackClient {
     }
 
     fn close(&mut self) {
-        if let Some(tail) = self.stalled.take() {
-            let _ = self.tx.send(tail);
+        if !self.closed {
+            if let Some(tail) = self.stalled.take() {
+                let _ = self.q.push(tail);
+            }
+            if let Some(frame) = self.held.take() {
+                let _ = self.q.push(frame);
+            }
+            self.q.close_sender();
+            self.closed = true;
         }
-        if let Some(frame) = self.held.take() {
-            let _ = self.tx.send(frame);
-        }
-        self.closed = true;
     }
 }
 
@@ -334,7 +530,7 @@ impl Drop for LoopbackClient {
 /// Server (receiving) end of a loopback link.
 #[derive(Debug)]
 pub struct LoopbackServer {
-    rx: mpsc::Receiver<Vec<u8>>,
+    q: Arc<FrameQueue>,
 }
 
 impl Transport for LoopbackServer {
@@ -345,30 +541,39 @@ impl Transport for LoopbackServer {
     }
 
     fn recv(&mut self, timeout: Duration) -> Result<Vec<u8>, TransportError> {
-        match self.rx.recv_timeout(timeout) {
-            Ok(frame) => Ok(frame),
-            Err(mpsc::RecvTimeoutError::Timeout) => Err(TransportError::TimedOut),
-            Err(mpsc::RecvTimeoutError::Disconnected) => Err(TransportError::Closed),
-        }
+        self.q.pop(timeout)
     }
 
-    fn close(&mut self) {}
+    fn close(&mut self) {
+        self.q.close_receiver();
+    }
+
+    fn register_ready(&mut self, signal: &Arc<ReadySignal>, token: u64) -> bool {
+        self.q.register_ready(signal, token);
+        true
+    }
+}
+
+impl Drop for LoopbackServer {
+    fn drop(&mut self) {
+        self.q.close_receiver();
+    }
 }
 
 /// One loopback link: the client end applies `cfg`'s fault model, the
 /// server end yields surviving frames in delivery order.
 pub fn loopback_pair(cfg: LoopbackConfig) -> (LoopbackClient, LoopbackServer) {
-    let (tx, rx) = mpsc::channel();
+    let q = Arc::new(FrameQueue::default());
     (
         LoopbackClient {
-            tx,
+            q: Arc::clone(&q),
             cfg,
             rng: StdRng::seed_from_u64(cfg.seed),
             held: None,
             stalled: None,
             closed: false,
         },
-        LoopbackServer { rx },
+        LoopbackServer { q },
     )
 }
 

@@ -253,7 +253,9 @@ fn main() {
     );
     println!("step | truth | fused | unmapped | live/stale/dead | zones");
 
-    let mut reader_threads = Vec::new();
+    // The campus ingests through the event-driven reactor: one poll
+    // loop owns every accepted link, a small worker pool fuses.
+    let reactor = aggregator.spawn_reactor();
     for step in 0..args.steps {
         for w in &mut walkers {
             w.advance(corridor_len, step);
@@ -287,9 +289,9 @@ fn main() {
         }
         // Adopt any connections the agents just dialled.
         while let Ok(server) = hub.accept(Duration::from_millis(1)) {
-            reader_threads.push(aggregator.spawn_connection(Box::new(server)));
+            aggregator.add_connection(Box::new(server));
         }
-        // Let the reader threads drain this round's frames.
+        // Let the reactor drain this round's frames.
         std::thread::sleep(Duration::from_millis(15));
 
         let snap = aggregator.snapshot();
@@ -337,9 +339,8 @@ fn main() {
         // The checkpointer writes one final checkpoint on shutdown.
         let _ = t.join();
     }
-    for t in reader_threads {
-        let _ = t.join();
-    }
+    // The reactor drains every adopted connection before retiring.
+    reactor.join();
     if let Some(path) = &args.checkpoint {
         println!("checkpoint saved to {}", path.display());
     }

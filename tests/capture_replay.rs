@@ -46,7 +46,7 @@ fn report(pole_id: u32, seq: u64, clusters: &[(f64, f64)]) -> Message {
         pole_id,
         seq,
         timestamp_ms: seq * 100,
-        count: clusters.len() as u32,
+        count: u32::try_from(clusters.len()).unwrap_or(u32::MAX),
         health: HealthState::Healthy,
         eps_rung: EpsRung::Fixed,
         precision: PrecisionRung::Fp32,

@@ -407,3 +407,83 @@ fn scoreboard_rolls_up_telemetry_and_traces_every_report() {
         let _ = r.join();
     }
 }
+
+/// Like [`run_campus`], but ingesting through the event-driven
+/// reactor (`spawn_reactor` + `add_connection`) instead of a reader
+/// thread per connection. `shards` = 0 keeps a single fusion shard.
+/// The inflight budget is raised past any possible backlog so shed
+/// policy differences can never enter a determinism comparison.
+fn run_campus_reactor(
+    poles: usize,
+    frames: usize,
+    workers: usize,
+    shards: usize,
+    link_for: impl Fn(u32) -> LoopbackConfig,
+) -> CampusSnapshot {
+    let clock = ManualClock::new();
+    let hub = LoopbackHub::new();
+    let cfg = AggregatorConfig {
+        reactor_workers: workers,
+        fusion_shards: shards,
+        inflight_budget: 1 << 20,
+        ..Default::default()
+    };
+    let registry = PoleRegistry::from_poses(corridor_layout(poles, SPACING_M));
+    let aggregator =
+        fleet::Aggregator::with_clock(registry, WalkwayConfig::default(), cfg, clock.handle());
+    let handle = aggregator.spawn_reactor();
+
+    let mut agents: Vec<PoleAgent<HeightRule>> = (0..poles)
+        .map(|i| make_agent(i as u32, &clock, &hub, link_for(i as u32), 0))
+        .collect();
+    let captures: Vec<PointCloud> = (0..poles).map(|i| capture_for(i, poles)).collect();
+    for _ in 0..frames {
+        for (agent, capture) in agents.iter_mut().zip(&captures) {
+            agent.step(capture);
+        }
+    }
+
+    let mut adopted = 0usize;
+    let accept_deadline = std::time::Instant::now() + Duration::from_secs(5);
+    while adopted < poles && std::time::Instant::now() < accept_deadline {
+        if let Ok(server) = hub.accept(Duration::from_millis(20)) {
+            aggregator.add_connection(Box::new(server));
+            adopted += 1;
+        }
+    }
+    assert_eq!(adopted, poles, "every pole must reach the hub");
+    drain(&aggregator);
+    // Stop and join before reading: a joined reactor has fused every
+    // frame it accepted, so the snapshot needs no grace period.
+    aggregator.stop();
+    handle.join();
+    aggregator.snapshot()
+}
+
+#[test]
+fn reactor_ingest_is_bit_identical_to_reader_threads() {
+    let link = |id: u32| LoopbackConfig::lossy(0.10, 0.08, 0xFEED ^ u64::from(id));
+    let threaded = run_campus(8, 20, false, 0, link);
+    for workers in [1usize, 4] {
+        let reactor = run_campus_reactor(8, 20, workers, 0, link);
+        assert_eq!(
+            threaded.to_json(),
+            reactor.to_json(),
+            "reactor at {workers} workers must fuse bit-identically to reader threads"
+        );
+    }
+}
+
+#[test]
+fn zone_sharded_reactor_matches_the_single_core_campus() {
+    let link = |_: u32| LoopbackConfig::reliable();
+    let single = run_campus(8, 20, false, 0, link);
+    let sharded = run_campus_reactor(8, 20, 4, 4, link);
+    assert_eq!(
+        single.to_json(),
+        sharded.to_json(),
+        "zone sharding must not perturb the fused campus"
+    );
+    let expected = (2 * 8 - 1) as u32;
+    assert_eq!(sharded.occupancy, expected);
+}

@@ -1,13 +1,14 @@
-//! Offline stand-in for `parking_lot`: `Mutex`/`RwLock` with the
-//! non-poisoning API, wrapping `std::sync`. A lock held by a panicked
-//! thread is simply re-acquired (parking_lot semantics) by unwrapping
-//! the poison error into the inner guard.
+//! Offline stand-in for `parking_lot`: `Mutex`/`RwLock`/`Condvar`
+//! with the non-poisoning API, wrapping `std::sync`. A lock held by a
+//! panicked thread is simply re-acquired (parking_lot semantics) by
+//! unwrapping the poison error into the inner guard.
 
 #![forbid(unsafe_code)]
 
 use std::fmt;
 use std::ops::{Deref, DerefMut};
 use std::sync::{self, PoisonError};
+use std::time::Duration;
 
 /// Non-poisoning mutex (stand-in for `parking_lot::Mutex`).
 #[derive(Default)]
@@ -16,8 +17,13 @@ pub struct Mutex<T: ?Sized> {
 }
 
 /// Guard for [`Mutex::lock`].
+///
+/// The inner std guard lives in an `Option` so [`Condvar::wait_for`]
+/// can move it through `std::sync::Condvar::wait_timeout` (which takes
+/// the guard by value) and put it back — parking_lot's `&mut guard`
+/// API without unsafe. The option is `None` only inside that call.
 pub struct MutexGuard<'a, T: ?Sized> {
-    inner: sync::MutexGuard<'a, T>,
+    inner: Option<sync::MutexGuard<'a, T>>,
 }
 
 impl<T> Mutex<T> {
@@ -35,7 +41,7 @@ impl<T> Mutex<T> {
 impl<T: ?Sized> Mutex<T> {
     /// Acquires the lock, ignoring poisoning.
     pub fn lock(&self) -> MutexGuard<'_, T> {
-        MutexGuard { inner: self.inner.lock().unwrap_or_else(PoisonError::into_inner) }
+        MutexGuard { inner: Some(self.inner.lock().unwrap_or_else(PoisonError::into_inner)) }
     }
 
     /// Mutable access without locking.
@@ -53,13 +59,78 @@ impl<T: ?Sized + fmt::Debug> fmt::Debug for Mutex<T> {
 impl<T: ?Sized> Deref for MutexGuard<'_, T> {
     type Target = T;
     fn deref(&self) -> &T {
-        &self.inner
+        self.inner.as_deref().expect("guard present outside Condvar::wait")
     }
 }
 
 impl<T: ?Sized> DerefMut for MutexGuard<'_, T> {
     fn deref_mut(&mut self) -> &mut T {
-        &mut self.inner
+        self.inner.as_deref_mut().expect("guard present outside Condvar::wait")
+    }
+}
+
+/// Result of [`Condvar::wait_for`] (stand-in for
+/// `parking_lot::WaitTimeoutResult`).
+#[derive(Clone, Copy, Debug)]
+pub struct WaitTimeoutResult {
+    timed_out: bool,
+}
+
+impl WaitTimeoutResult {
+    /// Whether the wait ended by timeout rather than notification.
+    pub fn timed_out(&self) -> bool {
+        self.timed_out
+    }
+}
+
+/// Condition variable (stand-in for `parking_lot::Condvar`).
+#[derive(Default)]
+pub struct Condvar {
+    inner: sync::Condvar,
+}
+
+impl Condvar {
+    /// Creates a condition variable.
+    pub const fn new() -> Self {
+        Condvar { inner: sync::Condvar::new() }
+    }
+
+    /// Blocks until notified, re-acquiring the lock before returning.
+    pub fn wait<T>(&self, guard: &mut MutexGuard<'_, T>) {
+        let inner = guard.inner.take().expect("guard present");
+        let inner = self.inner.wait(inner).unwrap_or_else(PoisonError::into_inner);
+        guard.inner = Some(inner);
+    }
+
+    /// Blocks until notified or `timeout` elapses.
+    pub fn wait_for<T>(
+        &self,
+        guard: &mut MutexGuard<'_, T>,
+        timeout: Duration,
+    ) -> WaitTimeoutResult {
+        let inner = guard.inner.take().expect("guard present");
+        let (inner, res) = self
+            .inner
+            .wait_timeout(inner, timeout)
+            .unwrap_or_else(PoisonError::into_inner);
+        guard.inner = Some(inner);
+        WaitTimeoutResult { timed_out: res.timed_out() }
+    }
+
+    /// Wakes one waiting thread.
+    pub fn notify_one(&self) {
+        self.inner.notify_one();
+    }
+
+    /// Wakes every waiting thread.
+    pub fn notify_all(&self) {
+        self.inner.notify_all();
+    }
+}
+
+impl fmt::Debug for Condvar {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.pad("Condvar { .. }")
     }
 }
 
@@ -163,5 +234,32 @@ mod tests {
     fn const_new_in_static() {
         static CELL: Mutex<u64> = Mutex::new(5);
         assert_eq!(*CELL.lock(), 5);
+    }
+
+    #[test]
+    fn condvar_notify_and_timeout() {
+        use std::sync::Arc;
+        use std::time::Duration;
+
+        let pair = Arc::new((Mutex::new(false), Condvar::new()));
+        let pair2 = Arc::clone(&pair);
+        let t = std::thread::spawn(move || {
+            let (m, cv) = &*pair2;
+            *m.lock() = true;
+            cv.notify_one();
+        });
+        let (m, cv) = &*pair;
+        let mut flag = m.lock();
+        while !*flag {
+            cv.wait_for(&mut flag, Duration::from_millis(200));
+        }
+        assert!(*flag);
+        t.join().unwrap();
+
+        // Pure timeout path: nobody notifies.
+        let mut flag = m.lock();
+        *flag = false;
+        let res = cv.wait_for(&mut flag, Duration::from_millis(10));
+        assert!(res.timed_out());
     }
 }
