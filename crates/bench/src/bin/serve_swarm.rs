@@ -1,0 +1,473 @@
+//! Serve swarm: pipelined keep-alive reader swarms against the
+//! snapshot serving tier, written to `BENCH_serve.json` at the repo
+//! root.
+//!
+//! The serving tier's claim is asymmetric fan-out: one fused campus
+//! snapshot, rendered once per publish, read by an unbounded dashboard
+//! population. This bench stands up a real [`serve::HttpServer`] on a
+//! loopback TCP listener and drives it with client threads speaking
+//! pipelined HTTP/1.1 keep-alive — the same shape a CDN edge or a
+//! dashboard fleet presents — then reads the tier's own `serve.*`
+//! telemetry for the authoritative request counts.
+//!
+//! Cells:
+//!
+//! - **snapshot_304** — every client revalidates with `If-None-Match`
+//!   matching the published seq, the steady state of a polling
+//!   dashboard fleet between publishes. Gated (outside `--smoke`):
+//!   at least 100k reads/s through one pump thread and at least a 90%
+//!   ETag hit ratio.
+//! - **snapshot_full** — cold readers taking the whole campus body
+//!   every time; measures rendered-body fan-out and egress bandwidth.
+//! - **slices** — `/zone`, `/pole` and `/history` readers, the
+//!   scrubbing-dashboard mix; per-request rendering from scratch
+//!   buffers.
+//!
+//! ```text
+//! cargo run -p bench --release --bin serve_swarm            # full
+//! cargo run -p bench --release --bin serve_swarm -- --ci    # CI gate
+//! cargo run -p bench --release --bin serve_swarm -- --smoke # tiny
+//! ```
+//!
+//! Flags: `--ci`, `--smoke`, `--clients N`, `--depth N`,
+//! `--window-s SECS`, `--people N`, `--out PATH`.
+
+use std::fmt::Write as _;
+use std::io::{Read, Write};
+use std::net::{TcpListener, TcpStream};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use fleet::{
+    CampusSnapshot, FusedPerson, Liveness, PoleStatus, SnapshotCell, TrustState, ZoneOccupancy,
+};
+use serve::{HttpServer, ServeConfig};
+
+/// The 304-swarm cell must push at least this many responses per
+/// second through the single pump thread.
+const READS_GATE: f64 = 100_000.0;
+/// And at least this fraction of stateful reads must be ETag hits.
+const HIT_RATIO_GATE: f64 = 0.90;
+
+struct Args {
+    smoke: bool,
+    ci: bool,
+    clients: usize,
+    depth: usize,
+    window_s: f64,
+    people: usize,
+    out: PathBuf,
+}
+
+fn repo_root() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../..")
+}
+
+fn parse_args() -> Args {
+    let mut out = Args {
+        smoke: false,
+        ci: false,
+        clients: 0,
+        depth: 0,
+        window_s: 0.0,
+        people: 96,
+        out: repo_root().join("BENCH_serve.json"),
+    };
+    let args: Vec<String> = std::env::args().collect();
+    let mut i = 1;
+    while i < args.len() {
+        let take = |i: &mut usize| -> String {
+            *i += 1;
+            args.get(*i)
+                .unwrap_or_else(|| panic!("missing value for {}", args[*i - 1]))
+                .clone()
+        };
+        match args[i].as_str() {
+            "--smoke" => out.smoke = true,
+            "--ci" => out.ci = true,
+            "--clients" => out.clients = take(&mut i).parse().expect("--clients"),
+            "--depth" => out.depth = take(&mut i).parse().expect("--depth"),
+            "--window-s" => out.window_s = take(&mut i).parse().expect("--window-s"),
+            "--people" => out.people = take(&mut i).parse().expect("--people"),
+            "--out" => out.out = PathBuf::from(take(&mut i)),
+            other => panic!(
+                "unknown flag {other} (use --smoke, --ci, --clients, --depth, --window-s, \
+                 --people, --out)"
+            ),
+        }
+        i += 1;
+    }
+    let cores = std::thread::available_parallelism().map_or(4, |n| n.get());
+    if out.clients == 0 {
+        out.clients = if out.smoke {
+            2
+        } else {
+            cores.saturating_sub(2).clamp(2, 6)
+        };
+    }
+    if out.depth == 0 {
+        out.depth = if out.smoke { 8 } else { 32 };
+    }
+    if out.window_s == 0.0 {
+        out.window_s = if out.smoke {
+            0.3
+        } else if out.ci {
+            1.5
+        } else {
+            3.0
+        };
+    }
+    out
+}
+
+/// A campus snapshot busy enough that full bodies cost real rendering:
+/// `people` pedestrians spread over a zone grid, a pole roster with
+/// mixed liveness, and non-trivial derived stats.
+fn campus(people: usize, at_ms: f64) -> Arc<CampusSnapshot> {
+    let persons: Vec<FusedPerson> = (0..people)
+        .map(|i| FusedPerson {
+            x: (i % 12) as f64 * 9.5,
+            y: (i / 12) as f64 * 7.0,
+            confidence: 0.55 + (i % 9) as f64 * 0.05,
+            observers: vec![(i % 16) as u32, (i % 16) as u32 + 1],
+        })
+        .collect();
+    let zones: Vec<ZoneOccupancy> = (0..(people / 8).max(1))
+        .map(|z| ZoneOccupancy {
+            zone_x: (z % 6) as i32,
+            zone_y: (z / 6) as i32,
+            count: 8,
+        })
+        .collect();
+    let poles: Vec<PoleStatus> = (0..16)
+        .map(|p| PoleStatus {
+            pole_id: p,
+            liveness: if p % 7 == 6 {
+                Liveness::Stale
+            } else {
+                Liveness::Live
+            },
+            health: None,
+            count: 6,
+            seq: 1000 + u64::from(p),
+            silence_ms: 40.0 + f64::from(p),
+            held: false,
+            trust: TrustState::Trusted,
+        })
+        .collect();
+    Arc::new(CampusSnapshot {
+        at_ms,
+        occupancy: persons.len() as u32,
+        people: persons,
+        unmapped: 0,
+        zones,
+        poles,
+        live: 14,
+        stale: 2,
+        dead: 0,
+        quarantined: 0,
+        p95_silence_ms: 55.0,
+    })
+}
+
+/// One client thread's contribution to a swarm cell.
+struct ClientOut {
+    responses: u64,
+    r304: u64,
+    bytes_in: u64,
+    /// Per-response latency samples, ms (batch wall / depth).
+    lat_ms: Vec<f64>,
+}
+
+/// Counts `HTTP/1.1 ` status-line markers in `chunk`, including one
+/// that straddles the previous chunk's tail (`carry`), and notes 304s.
+/// Bodies are JSON and never contain the marker, so counting is exact.
+fn count_markers(carry: &mut Vec<u8>, chunk: &[u8], r304: &mut u64) -> u64 {
+    const MARK: &[u8] = b"HTTP/1.1 ";
+    carry.extend_from_slice(chunk);
+    let mut n = 0;
+    let mut i = 0;
+    while i + MARK.len() + 3 <= carry.len() {
+        if &carry[i..i + MARK.len()] == MARK {
+            n += 1;
+            if &carry[i + MARK.len()..i + MARK.len() + 3] == b"304" {
+                *r304 += 1;
+            }
+            i += MARK.len();
+        } else {
+            i += 1;
+        }
+    }
+    // Keep only a tail shorter than a full marker + status so a
+    // straddled marker still matches next time.
+    let keep = (MARK.len() + 3 - 1).min(carry.len());
+    carry.drain(..carry.len() - keep);
+    n
+}
+
+/// Runs `clients` pipelined keep-alive readers against `addr` for
+/// `window`, each round-tripping `depth`-deep request batches built
+/// from `requests` (cycled). Returns merged per-client tallies.
+fn swarm(
+    addr: std::net::SocketAddr,
+    clients: usize,
+    depth: usize,
+    window: Duration,
+    requests: Vec<String>,
+) -> Vec<ClientOut> {
+    let stop = Arc::new(AtomicBool::new(false));
+    let handles: Vec<_> = (0..clients)
+        .map(|c| {
+            let stop = Arc::clone(&stop);
+            let requests = requests.clone();
+            std::thread::spawn(move || {
+                let mut stream = TcpStream::connect(addr).expect("connect swarm client");
+                stream.set_nodelay(true).ok();
+                stream.set_read_timeout(Some(Duration::from_secs(10))).ok();
+                // Each client offsets into the request mix so the
+                // server sees interleaved paths, not phased waves.
+                let batch: Vec<u8> = (0..depth)
+                    .flat_map(|k| requests[(c + k) % requests.len()].bytes())
+                    .collect();
+                let mut out = ClientOut {
+                    responses: 0,
+                    r304: 0,
+                    bytes_in: 0,
+                    lat_ms: Vec::new(),
+                };
+                let mut carry = Vec::new();
+                let mut buf = vec![0u8; 256 * 1024];
+                while !stop.load(Ordering::Relaxed) {
+                    let t0 = Instant::now();
+                    stream.write_all(&batch).expect("swarm write");
+                    let mut seen = 0u64;
+                    while seen < depth as u64 {
+                        let n = stream.read(&mut buf).expect("swarm read");
+                        assert!(n > 0, "server closed a keep-alive swarm connection");
+                        out.bytes_in += n as u64;
+                        seen += count_markers(&mut carry, &buf[..n], &mut out.r304);
+                    }
+                    out.responses += seen;
+                    out.lat_ms
+                        .push(t0.elapsed().as_secs_f64() * 1e3 / depth as f64);
+                }
+                out
+            })
+        })
+        .collect();
+    std::thread::sleep(window);
+    stop.store(true, Ordering::Relaxed);
+    handles
+        .into_iter()
+        .map(|h| h.join().expect("swarm client"))
+        .collect()
+}
+
+fn percentile(sorted: &[f64], q: f64) -> f64 {
+    if sorted.is_empty() {
+        return 0.0;
+    }
+    let idx = ((q * sorted.len() as f64).ceil() as usize).clamp(1, sorted.len()) - 1;
+    sorted[idx]
+}
+
+struct Cell {
+    name: &'static str,
+    clients: usize,
+    depth: usize,
+    window_s: f64,
+    responses: u64,
+    reads_per_s: f64,
+    hit_ratio: f64,
+    mb_in_per_s: f64,
+    client_p50_ms: f64,
+    client_p95_ms: f64,
+    client_p99_ms: f64,
+    handle_p50_ms: f64,
+    handle_p99_ms: f64,
+}
+
+/// Runs one swarm cell and folds in the server-side `serve.*` deltas
+/// (the authoritative counts — client tallies cross-check them).
+fn run_cell(
+    server: &HttpServer,
+    name: &'static str,
+    clients: usize,
+    depth: usize,
+    window_s: f64,
+    requests: Vec<String>,
+) -> Cell {
+    let base = server.telemetry();
+    let t0 = Instant::now();
+    let outs = swarm(
+        server.local_addr(),
+        clients,
+        depth,
+        Duration::from_secs_f64(window_s),
+        requests,
+    );
+    let wall_s = t0.elapsed().as_secs_f64();
+    let delta = server.telemetry().delta_since(&base);
+
+    let responses: u64 = outs.iter().map(|o| o.responses).sum();
+    let r304: u64 = outs.iter().map(|o| o.r304).sum();
+    let bytes_in: u64 = outs.iter().map(|o| o.bytes_in).sum();
+    let mut lat: Vec<f64> = outs.iter().flat_map(|o| o.lat_ms.iter().copied()).collect();
+    lat.sort_by(|a, b| a.total_cmp(b));
+
+    let served = delta.counter("serve.200") + delta.counter("serve.304");
+    let handle = delta.histogram("serve.handle_ms").map(|h| h.summary());
+    let (handle_p50, handle_p99) = handle.map_or((0.0, 0.0), |s| (s.p50_ms, s.p99_ms));
+    Cell {
+        name,
+        clients,
+        depth,
+        window_s: wall_s,
+        responses,
+        reads_per_s: served as f64 / wall_s,
+        hit_ratio: if served > 0 {
+            r304 as f64 / served as f64
+        } else {
+            0.0
+        },
+        mb_in_per_s: bytes_in as f64 / wall_s / (1 << 20) as f64,
+        client_p50_ms: percentile(&lat, 0.50),
+        client_p95_ms: percentile(&lat, 0.95),
+        client_p99_ms: percentile(&lat, 0.99),
+        handle_p50_ms: handle_p50,
+        handle_p99_ms: handle_p99,
+    }
+}
+
+fn json_f64(v: f64) -> String {
+    if v.is_finite() {
+        format!("{v:.4}")
+    } else {
+        "null".into()
+    }
+}
+
+fn main() {
+    let args = parse_args();
+    let cell_cfg = ServeConfig::default();
+    let cell = Arc::new(SnapshotCell::new());
+    cell.publish(campus(args.people, 1000.0));
+    cell.publish(campus(args.people, 2000.0));
+    let (seq, _) = cell.read_versioned();
+
+    let listener = TcpListener::bind("127.0.0.1:0").expect("bind serve listener");
+    let mut server = HttpServer::spawn(listener, Arc::clone(&cell), cell_cfg).expect("spawn serve");
+    println!(
+        "serve swarm: {} clients x depth {} over {:.1} s windows, campus of {} people (seq {seq})\n",
+        args.clients, args.depth, args.window_s, args.people
+    );
+    println!(" cell          |  reads/s | 304 ratio |  MiB/s in | cli p50/p99 ms | srv p50/p99 ms");
+
+    let revalidate = vec![format!(
+        "GET /snapshot HTTP/1.1\r\nHost: campus\r\nIf-None-Match: \"{seq}\"\r\n\r\n"
+    )];
+    let cold = vec!["GET /snapshot HTTP/1.1\r\nHost: campus\r\n\r\n".to_string()];
+    let slices = vec![
+        "GET /zone/0,0 HTTP/1.1\r\n\r\n".to_string(),
+        "GET /pole/3 HTTP/1.1\r\n\r\n".to_string(),
+        "GET /history?res=1s HTTP/1.1\r\n\r\n".to_string(),
+        "GET /zone/1,0 HTTP/1.1\r\n\r\n".to_string(),
+    ];
+
+    let mut cells = Vec::new();
+    for (name, requests) in [
+        ("snapshot_304", revalidate),
+        ("snapshot_full", cold),
+        ("slices", slices),
+    ] {
+        let c = run_cell(
+            &server,
+            name,
+            args.clients,
+            args.depth,
+            args.window_s,
+            requests,
+        );
+        println!(
+            " {:<13} | {:>8.0} | {:>8.1}% | {:>9.2} | {:>6.3} / {:>5.3} | {:>6.3} / {:>5.3}",
+            c.name,
+            c.reads_per_s,
+            c.hit_ratio * 100.0,
+            c.mb_in_per_s,
+            c.client_p50_ms,
+            c.client_p99_ms,
+            c.handle_p50_ms,
+            c.handle_p99_ms,
+        );
+        cells.push(c);
+    }
+
+    let mut failures = 0u32;
+    if !args.smoke {
+        let c304 = &cells[0];
+        if c304.reads_per_s < READS_GATE {
+            eprintln!(
+                "  ^ FAIL: {:.0} snapshot reads/s is below the {:.0}/s gate",
+                c304.reads_per_s, READS_GATE
+            );
+            failures += 1;
+        }
+        if c304.hit_ratio < HIT_RATIO_GATE {
+            eprintln!(
+                "  ^ FAIL: ETag hit ratio {:.1}% is below the {:.0}% gate",
+                c304.hit_ratio * 100.0,
+                HIT_RATIO_GATE * 100.0
+            );
+            failures += 1;
+        }
+    }
+
+    let total = server.telemetry();
+    let mut json = String::new();
+    let _ = write!(
+        json,
+        "{{\n  \"bench\": \"serve_swarm\",\n  \"smoke\": {},\n  \"ci\": {},\n  \"clients\": {},\n  \"depth\": {},\n  \"people\": {},\n  \"gates\": {{\"reads_per_s\": {}, \"hit_ratio\": {}}},\n  \"totals\": {{\"requests\": {}, \"r200\": {}, \"r304\": {}, \"r4xx\": {}, \"bytes_out\": {}}},\n  \"cells\": [\n",
+        args.smoke,
+        args.ci,
+        args.clients,
+        args.depth,
+        args.people,
+        json_f64(READS_GATE),
+        json_f64(HIT_RATIO_GATE),
+        total.counter("serve.requests"),
+        total.counter("serve.200"),
+        total.counter("serve.304"),
+        total.counter("serve.4xx"),
+        total.counter("serve.bytes_out"),
+    );
+    for (i, c) in cells.iter().enumerate() {
+        let _ = writeln!(
+            json,
+            "    {{\"cell\": \"{}\", \"clients\": {}, \"depth\": {}, \"window_s\": {}, \"responses\": {}, \"reads_per_s\": {}, \"hit_ratio\": {}, \"mb_in_per_s\": {}, \"client_ms\": {{\"p50\": {}, \"p95\": {}, \"p99\": {}}}, \"handle_ms\": {{\"p50\": {}, \"p99\": {}}}}}{}",
+            c.name,
+            c.clients,
+            c.depth,
+            json_f64(c.window_s),
+            c.responses,
+            json_f64(c.reads_per_s),
+            json_f64(c.hit_ratio),
+            json_f64(c.mb_in_per_s),
+            json_f64(c.client_p50_ms),
+            json_f64(c.client_p95_ms),
+            json_f64(c.client_p99_ms),
+            json_f64(c.handle_p50_ms),
+            json_f64(c.handle_p99_ms),
+            if i + 1 < cells.len() { "," } else { "" },
+        );
+    }
+    let _ = write!(json, "  ]\n}}\n");
+    std::fs::write(&args.out, json).expect("write BENCH_serve.json");
+    println!("\nwrote {}", args.out.display());
+    server.stop();
+    if failures > 0 {
+        eprintln!("{failures} serve gates failed");
+        std::process::exit(1);
+    }
+}

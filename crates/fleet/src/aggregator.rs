@@ -199,22 +199,45 @@ pub struct CampusSnapshot {
     pub p95_silence_ms: f64,
 }
 
+/// Renders an `f64` as a JSON number, or `null` when it is not
+/// finite. `format!("{v:.3}")` happily prints `NaN` and `inf`, which
+/// are not JSON — a poisoned silence percentile must not corrupt the
+/// export stream or the HTTP serving tier that reuses it.
+fn json_num(v: f64) -> String {
+    if v.is_finite() {
+        format!("{v:.3}")
+    } else {
+        "null".to_string()
+    }
+}
+
 impl CampusSnapshot {
-    /// One JSONL line for dashboards and the soak bench.
+    /// One JSONL line for dashboards and the soak bench. Non-finite
+    /// values render as `null` so the line stays parseable JSON even
+    /// when a derived rate degenerates.
     pub fn to_json(&self) -> String {
         let mut s = String::with_capacity(256);
         s.push_str(&format!(
-            "{{\"at_ms\":{:.3},\"occupancy\":{},\"unmapped\":{},\"live\":{},\"stale\":{},\"dead\":{},\"quarantined\":{},\"p95_silence_ms\":{:.3},\"people\":[",
-            self.at_ms, self.occupancy, self.unmapped, self.live, self.stale, self.dead,
-            self.quarantined, self.p95_silence_ms
+            "{{\"at_ms\":{},\"occupancy\":{},\"unmapped\":{},\"live\":{},\"stale\":{},\"dead\":{},\"quarantined\":{},\"p95_silence_ms\":{},\"people\":[",
+            json_num(self.at_ms),
+            self.occupancy,
+            self.unmapped,
+            self.live,
+            self.stale,
+            self.dead,
+            self.quarantined,
+            json_num(self.p95_silence_ms)
         ));
         for (i, p) in self.people.iter().enumerate() {
             if i > 0 {
                 s.push(',');
             }
             s.push_str(&format!(
-                "{{\"x\":{:.3},\"y\":{:.3},\"confidence\":{:.3},\"observers\":{:?}}}",
-                p.x, p.y, p.confidence, p.observers
+                "{{\"x\":{},\"y\":{},\"confidence\":{},\"observers\":{:?}}}",
+                json_num(p.x),
+                json_num(p.y),
+                json_num(p.confidence),
+                p.observers
             ));
         }
         s.push_str("],\"poles\":[");
@@ -223,13 +246,13 @@ impl CampusSnapshot {
                 s.push(',');
             }
             s.push_str(&format!(
-                "{{\"pole_id\":{},\"liveness\":\"{}\",\"trust\":\"{}\",\"count\":{},\"seq\":{},\"silence_ms\":{:.1},\"held\":{}}}",
+                "{{\"pole_id\":{},\"liveness\":\"{}\",\"trust\":\"{}\",\"count\":{},\"seq\":{},\"silence_ms\":{},\"held\":{}}}",
                 p.pole_id,
                 p.liveness.as_str(),
                 p.trust.as_str(),
                 p.count,
                 p.seq,
-                p.silence_ms,
+                json_num(p.silence_ms),
                 p.held
             ));
         }
@@ -745,6 +768,7 @@ impl FusionCore {
             campus_telemetry,
             events_total: self.journal.total(),
             events: self.journal.events().cloned().collect(),
+            serve: None,
         }
     }
 
@@ -1073,6 +1097,15 @@ fn saturating_nanos(d: Duration) -> u64 {
     u64::try_from(d.as_nanos()).unwrap_or(u64::MAX)
 }
 
+/// A callback fired after every [`SnapshotCell::publish`], outside
+/// the writer lock. The serving tier registers one to wake its HTTP
+/// reactor so parked long-polls complete within a publish, not a
+/// poll-tick.
+pub trait PublishHook: Send + Sync {
+    /// Called with the epoch the publish just installed.
+    fn on_publish(&self, epoch: u64);
+}
+
 /// Epoch-stamped double-buffered snapshot publication.
 ///
 /// The writer fills the inactive slot, then bumps the epoch; readers
@@ -1080,11 +1113,20 @@ fn saturating_nanos(d: Duration) -> u64 {
 /// them. Readers never touch a fusion lock, so a dashboard poll
 /// cannot stall ingest and a fusion stall cannot freeze dashboards —
 /// they just keep the previous epoch.
-#[derive(Debug)]
 pub struct SnapshotCell {
     epoch: AtomicU64,
     slots: [Mutex<Arc<CampusSnapshot>>; 2],
     writer: Mutex<()>,
+    hooks: Mutex<Vec<Arc<dyn PublishHook>>>,
+}
+
+impl std::fmt::Debug for SnapshotCell {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SnapshotCell")
+            .field("epoch", &self.epoch())
+            .field("hooks", &self.hooks.lock().len())
+            .finish()
+    }
 }
 
 impl Default for SnapshotCell {
@@ -1101,32 +1143,61 @@ impl SnapshotCell {
             epoch: AtomicU64::new(0),
             slots: [Mutex::new(Arc::clone(&empty)), Mutex::new(empty)],
             writer: Mutex::new(()),
+            hooks: Mutex::new(Vec::new()),
         }
     }
 
-    /// The published epoch; bumps by one per publish.
+    /// The published epoch; bumps by one per publish. Epoch 0 means
+    /// nothing has ever been published: readers get the empty default
+    /// snapshot, and consumers that need "real data arrived" must
+    /// check for a nonzero epoch rather than a nonzero occupancy (an
+    /// empty campus is a legitimate published state).
     pub fn epoch(&self) -> u64 {
         self.epoch.load(Ordering::Acquire)
     }
 
+    /// Registers a hook fired after each publish.
+    pub fn add_hook(&self, hook: Arc<dyn PublishHook>) {
+        self.hooks.lock().push(hook);
+    }
+
     /// Publishes `snap` as the new current snapshot.
     pub fn publish(&self, snap: Arc<CampusSnapshot>) {
-        let _writer = self.writer.lock();
-        let epoch = self.epoch.load(Ordering::Acquire);
-        // Writers only ever touch the *inactive* slot, so a reader on
-        // the active slot never blocks on a publish.
-        *self.slots[((epoch + 1) & 1) as usize].lock() = snap;
-        self.epoch.store(epoch + 1, Ordering::Release);
+        let epoch = {
+            let _writer = self.writer.lock();
+            let epoch = self.epoch.load(Ordering::Acquire);
+            // Writers only ever touch the *inactive* slot, so a reader
+            // on the active slot never blocks on a publish.
+            *self.slots[((epoch + 1) & 1) as usize].lock() = snap;
+            self.epoch.store(epoch + 1, Ordering::Release);
+            epoch + 1
+        };
+        // Hooks run outside the writer lock: a slow waker delays the
+        // next publish, never a concurrent reader.
+        let hooks = self.hooks.lock().clone();
+        for hook in hooks {
+            hook.on_publish(epoch);
+        }
     }
 
     /// The most recently published snapshot (empty before the first
     /// publish).
     pub fn read(&self) -> Arc<CampusSnapshot> {
+        self.read_versioned().1
+    }
+
+    /// The current epoch and its snapshot as one consistent pair.
+    ///
+    /// `(epoch(), read())` called separately can tear — a publish
+    /// between the two calls pairs epoch N with snapshot N+1, which
+    /// would hand an HTTP reader an `ETag` that lies about the body.
+    /// This loops until both loads land on the same epoch.
+    pub fn read_versioned(&self) -> (u64, Arc<CampusSnapshot>) {
         loop {
             let epoch = self.epoch.load(Ordering::Acquire);
             let snap = Arc::clone(&self.slots[(epoch & 1) as usize].lock());
             if self.epoch.load(Ordering::Acquire) == epoch {
-                return snap;
+                return (epoch, snap);
             }
         }
     }
@@ -1144,7 +1215,7 @@ pub struct ShardedFusion {
     route: BTreeMap<u32, usize>,
     cfg: FusionConfig,
     clock: Arc<dyn Clock>,
-    cell: SnapshotCell,
+    cell: Arc<SnapshotCell>,
 }
 
 /// Auto shard count: one shard per 64 registered poles, capped so
@@ -1206,7 +1277,7 @@ impl ShardedFusion {
             route,
             cfg,
             clock,
-            cell: SnapshotCell::new(),
+            cell: Arc::new(SnapshotCell::new()),
         }
     }
 
@@ -1220,7 +1291,7 @@ impl ShardedFusion {
             route: BTreeMap::new(),
             cfg,
             clock,
-            cell: SnapshotCell::new(),
+            cell: Arc::new(SnapshotCell::new()),
         }
     }
 
@@ -1279,6 +1350,13 @@ impl ShardedFusion {
     /// The publish epoch (bumps once per [`ShardedFusion::snapshot`]).
     pub fn publish_epoch(&self) -> u64 {
         self.cell.epoch()
+    }
+
+    /// A shared handle to the publication cell — what the HTTP
+    /// serving tier reads from (and parks its long-polls on) without
+    /// ever touching a fusion lock.
+    pub fn cell(&self) -> Arc<SnapshotCell> {
+        Arc::clone(&self.cell)
     }
 
     /// Campus-wide counters (summed over shards).
@@ -1461,6 +1539,12 @@ impl Aggregator {
     /// The last published snapshot, without touching any fusion lock.
     pub fn published(&self) -> Arc<CampusSnapshot> {
         self.fusion.published()
+    }
+
+    /// The snapshot publication cell, for attaching an HTTP serving
+    /// tier (`crates/serve`) to this aggregator.
+    pub fn snapshot_cell(&self) -> Arc<SnapshotCell> {
+        self.fusion.cell()
     }
 
     /// Records every inbound wire frame to `writer` as it is decoded.
@@ -2297,5 +2381,124 @@ mod tests {
             restored.stats().reports,
             "campus stats survive the shard split exactly once"
         );
+    }
+
+    #[test]
+    fn to_json_survives_non_finite_derived_rates() {
+        // Regression: `format!("{v:.3}")` happily prints `NaN` and
+        // `inf`, which are not JSON. Before `json_num` this test
+        // failed — a poisoned silence percentile corrupted the export
+        // stream and every HTTP reader downstream of it.
+        let snap = CampusSnapshot {
+            at_ms: f64::NAN,
+            p95_silence_ms: f64::INFINITY,
+            poles: vec![PoleStatus {
+                pole_id: 7,
+                liveness: Liveness::Live,
+                health: None,
+                count: 1,
+                seq: 1,
+                silence_ms: f64::NAN,
+                held: false,
+                trust: TrustState::Trusted,
+            }],
+            people: vec![FusedPerson {
+                x: f64::NEG_INFINITY,
+                y: 0.0,
+                confidence: f64::NAN,
+                observers: vec![7],
+            }],
+            live: 1,
+            occupancy: 1,
+            ..CampusSnapshot::default()
+        };
+        let json = snap.to_json();
+        assert!(!json.contains("NaN"), "bare NaN is not JSON: {json}");
+        assert!(!json.contains("inf"), "bare inf is not JSON: {json}");
+        assert!(json.contains("\"at_ms\":null"));
+        assert!(json.contains("\"p95_silence_ms\":null"));
+        assert!(json.contains("\"silence_ms\":null"));
+        assert!(json.contains("\"x\":null"));
+        assert!(json.contains("\"confidence\":null"));
+    }
+
+    #[test]
+    fn empty_fleet_snapshot_is_wellformed_jsonl() {
+        // Degenerate input: an aggregator that has never heard a pole
+        // must still export a valid single-line JSON record.
+        let clock = ManualClock::new();
+        let core = core(&clock);
+        let snap = core.snapshot();
+        assert_eq!(snap.occupancy, 0);
+        assert_eq!(snap.live + snap.stale + snap.dead, 0);
+        let json = snap.to_json();
+        assert!(!json.contains('\n'), "JSONL is one line");
+        assert_eq!(json.matches('{').count(), json.matches('}').count());
+        assert_eq!(json.matches('[').count(), json.matches(']').count());
+        assert!(json.contains("\"people\":["));
+        assert!(!json.contains("NaN") && !json.contains("inf"));
+    }
+
+    #[test]
+    fn all_quarantined_campus_serves_zero_not_garbage() {
+        // Degenerate input: every pole on the sentinel's quarantine
+        // rung. Counts must leave the board (not wrap, not linger)
+        // and the export must stay well-formed.
+        let clock = ManualClock::new();
+        let mut core = core(&clock);
+        for pole in 0..3u32 {
+            // Three implausible counts score 6.0: past quarantine
+            // (4.0), short of ban (16.0).
+            for seq in 1..=3u64 {
+                core.ingest(held_report(pole, seq, u32::MAX));
+            }
+        }
+        let snap = core.snapshot();
+        assert_eq!(snap.quarantined, 3, "all poles quarantined");
+        assert_eq!(snap.occupancy, 0, "quarantined counts leave the board");
+        assert!(snap.people.is_empty());
+        assert_eq!(snap.live, 3, "quarantine is not death — liveness holds");
+        let json = snap.to_json();
+        assert_eq!(json.matches('{').count(), json.matches('}').count());
+        assert!(json.contains("\"quarantined\":3"));
+    }
+
+    #[test]
+    fn read_versioned_pairs_epoch_with_its_snapshot() {
+        let cell = SnapshotCell::new();
+        let (epoch, snap) = cell.read_versioned();
+        assert_eq!(epoch, 0, "epoch 0 means never published");
+        assert_eq!(snap.occupancy, 0, "empty snapshot before first publish");
+        for i in 1..=4u32 {
+            cell.publish(Arc::new(CampusSnapshot {
+                occupancy: i,
+                ..CampusSnapshot::default()
+            }));
+            let (epoch, snap) = cell.read_versioned();
+            assert_eq!(epoch, u64::from(i));
+            assert_eq!(
+                snap.occupancy, i,
+                "epoch and snapshot must come from the same publish"
+            );
+        }
+    }
+
+    #[test]
+    fn publish_hooks_fire_once_per_epoch_in_order() {
+        use std::sync::Mutex as StdMutex;
+        #[derive(Default)]
+        struct Recorder(StdMutex<Vec<u64>>);
+        impl PublishHook for Recorder {
+            fn on_publish(&self, epoch: u64) {
+                self.0.lock().unwrap().push(epoch);
+            }
+        }
+        let cell = SnapshotCell::new();
+        let rec = Arc::new(Recorder::default());
+        cell.add_hook(Arc::clone(&rec) as Arc<dyn PublishHook>);
+        for _ in 0..3 {
+            cell.publish(Arc::new(CampusSnapshot::default()));
+        }
+        assert_eq!(*rec.0.lock().unwrap(), vec![1, 2, 3]);
     }
 }

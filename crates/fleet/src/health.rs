@@ -233,6 +233,12 @@ pub struct FleetHealth {
     pub events_total: u64,
     /// Recent journal entries, oldest first.
     pub events: Vec<FleetEvent>,
+    /// Serving-tier telemetry (request counters, 304 ratio, response
+    /// latency), when an HTTP server is attached. The aggregator
+    /// itself never populates this — the process that owns both the
+    /// aggregator and the server staples it on via
+    /// [`FleetHealth::with_serve`].
+    pub serve: Option<TelemetrySnapshot>,
 }
 
 fn jsonf(v: f64) -> String {
@@ -272,6 +278,7 @@ impl FleetHealth {
             campus_telemetry: TelemetrySnapshot::default(),
             events_total: 0,
             events: Vec::new(),
+            serve: None,
         };
         for part in parts {
             if part.at_ms > out.at_ms {
@@ -282,10 +289,25 @@ impl FleetHealth {
             out.events_total += part.events_total;
             out.poles.extend(part.poles);
             out.events.extend(part.events);
+            if let Some(serve) = part.serve {
+                match &mut out.serve {
+                    Some(merged) => merged.merge(&serve),
+                    slot => *slot = Some(serve),
+                }
+            }
         }
         out.poles.sort_by_key(|p| p.pole_id);
         out.events.sort_by(|a, b| a.at_ms.total_cmp(&b.at_ms));
         out
+    }
+
+    /// Staples serving-tier telemetry onto the scoreboard. The serve
+    /// crate's metric names (`serve.requests`, `serve.304`,
+    /// `serve.handle_ms`, …) are what [`FleetHealth::to_json`] and
+    /// [`FleetHealth::render_table`] surface.
+    pub fn with_serve(mut self, serve: TelemetrySnapshot) -> Self {
+        self.serve = Some(serve);
+        self
     }
 
     /// The scoreboard as one JSONL line (events ride separately via
@@ -324,7 +346,31 @@ impl FleetHealth {
             }
             s.push('}');
         }
-        s.push_str("]}");
+        s.push(']');
+        if let Some(serve) = &self.serve {
+            let requests = serve.counter("serve.requests");
+            let hits = serve.counter("serve.304");
+            let answered = serve.counter("serve.200") + hits;
+            let ratio = if answered == 0 {
+                0.0
+            } else {
+                hits as f64 / answered as f64
+            };
+            s.push_str(&format!(
+                ",\"serve\":{{\"requests\":{},\"r200\":{},\"r304\":{},\"r4xx\":{},\"parked\":{},\"hit_ratio\":{}",
+                requests,
+                serve.counter("serve.200"),
+                hits,
+                serve.counter("serve.4xx"),
+                serve.counter("serve.parked"),
+                jsonf(ratio),
+            ));
+            if let Some(h) = serve.histogram("serve.handle_ms") {
+                s.push_str(&format!(",\"handle_ms\":{}", hist_json(h)));
+            }
+            s.push('}');
+        }
+        s.push('}');
         s
     }
 
@@ -374,6 +420,31 @@ impl FleetHealth {
             "campus ingest: n={} p50={:.2} ms p95={:.2} ms p99={:.2} ms max={:.2} ms\n",
             c.count, c.p50_ms, c.p95_ms, c.p99_ms, c.max_ms
         ));
+        if let Some(serve) = &self.serve {
+            let hits = serve.counter("serve.304");
+            let answered = serve.counter("serve.200") + hits;
+            let ratio = if answered == 0 {
+                0.0
+            } else {
+                100.0 * hits as f64 / answered as f64
+            };
+            out.push_str(&format!(
+                "serve: {} requests, {} full, {} not-modified ({ratio:.1}% cached), {} rejected, {} long-polls",
+                serve.counter("serve.requests"),
+                serve.counter("serve.200"),
+                hits,
+                serve.counter("serve.4xx"),
+                serve.counter("serve.parked"),
+            ));
+            if let Some(h) = serve.histogram("serve.handle_ms") {
+                let s = h.summary();
+                out.push_str(&format!(
+                    ", handle p50={:.3} ms p99={:.3} ms",
+                    s.p50_ms, s.p99_ms
+                ));
+            }
+            out.push('\n');
+        }
         out.push_str(&format!(
             "events: {} journalled, {} shown\n",
             self.events_total,
@@ -465,6 +536,7 @@ mod tests {
             campus_telemetry: TelemetrySnapshot::default(),
             events_total: 0,
             events: Vec::new(),
+            serve: None,
         };
         let json = health.to_json();
         assert_eq!(json.matches('{').count(), json.matches('}').count());

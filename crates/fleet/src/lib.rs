@@ -60,15 +60,18 @@ pub mod sentinel;
 // The vendored dependency set has no `libc`, so the one syscall the
 // reactor parks on (`poll(2)`) is hand-declared FFI, quarantined to
 // this module. Everything else in the crate stays `deny(unsafe_code)`.
+// Public: the serving tier (`crates/serve`) parks its HTTP reactor on
+// the same primitive rather than re-declaring the FFI.
 #[allow(unsafe_code)]
-mod sys;
+pub mod sys;
 pub mod transport;
 pub mod wire;
 
 pub use agent::{AgentConfig, AgentStats, PoleAgent};
 pub use aggregator::{
-    Aggregator, AggregatorConfig, CampusSnapshot, FusionConfig, FusionCore, FusionStats,
-    IngestVerdict, Liveness, PoleStatus, ShardedFusion, SnapshotCell, ZoneOccupancy,
+    Aggregator, AggregatorConfig, CampusSnapshot, FusedPerson, FusionConfig, FusionCore,
+    FusionStats, IngestVerdict, Liveness, PoleStatus, PublishHook, ShardedFusion, SnapshotCell,
+    ZoneOccupancy,
 };
 pub use capture::{
     load_capture, read_capture, replay, CaptureError, CaptureRecord, CaptureWriter, ReplayTransport,

@@ -26,6 +26,11 @@ pub struct PollFd {
 /// Data may be read without blocking.
 pub const POLLIN: i16 = 0x001;
 
+/// Data may be written without blocking. The ingest reactor never
+/// waits on writability, but the HTTP serving tier does when a slow
+/// reader leaves a partially flushed response behind.
+pub const POLLOUT: i16 = 0x004;
+
 #[cfg(target_os = "linux")]
 mod imp {
     use super::PollFd;

@@ -1,0 +1,434 @@
+//! Strict, panic-free, allocation-free HTTP/1.1 request parsing and
+//! response writing.
+//!
+//! The parser is deliberately tiny: the serving tier answers `GET`s
+//! for machine-generated dashboard polls, so it accepts exactly the
+//! subset those clients emit and rejects everything else with a 4xx
+//! and a closed connection. What makes it production-grade is what it
+//! *refuses* to do:
+//!
+//! - no allocation: a parsed [`Request`] borrows from the connection
+//!   buffer, so the warmed request path allocates nothing (the
+//!   counting-allocator test pins this);
+//! - no unbounded buffering: a head that exceeds
+//!   [`HttpLimits::max_head_bytes`] without completing is a 431 the
+//!   moment the limit is crossed, which is what defuses slowloris
+//!   drip-feeding (paired with the server's read deadline);
+//! - no panics: every index is guarded, every conversion checked —
+//!   the fuzz arm feeds it random splits, truncations and garbage.
+
+/// Bounds on what a single request may look like on the wire.
+#[derive(Debug, Clone, Copy)]
+pub struct HttpLimits {
+    /// Max bytes of request head (request line + headers + CRLFCRLF)
+    /// buffered before the connection is rejected with 431.
+    pub max_head_bytes: usize,
+    /// Max bytes of the request target (path + query); longer is 414.
+    pub max_target_bytes: usize,
+    /// Max header count; more is 431.
+    pub max_headers: usize,
+}
+
+impl Default for HttpLimits {
+    fn default() -> Self {
+        HttpLimits {
+            max_head_bytes: 8 * 1024,
+            max_target_bytes: 1024,
+            max_headers: 32,
+        }
+    }
+}
+
+/// One parsed request, borrowing from the connection buffer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Request<'a> {
+    /// Request path up to `?` (e.g. `/zone/0,1`).
+    pub path: &'a str,
+    /// Raw query string after `?` (empty when absent).
+    pub query: &'a str,
+    /// `If-None-Match` ETag, when present and shaped like ours
+    /// (`"<seq>"`). A foreign-shaped validator parses as `None`,
+    /// which correctly never matches.
+    pub if_none_match: Option<u64>,
+    /// Whether the client asked to close after this response
+    /// (`Connection: close`, or HTTP/1.0 without keep-alive).
+    pub close: bool,
+}
+
+/// One step of incremental parsing.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ParseStep<'a> {
+    /// The head is not complete yet; read more bytes.
+    Incomplete,
+    /// A complete request; `consumed` bytes of the buffer belong to
+    /// it (requests never carry bodies here, so the next request
+    /// starts right after).
+    Parsed {
+        /// The parsed request.
+        req: Request<'a>,
+        /// Bytes of the buffer consumed by this request.
+        consumed: usize,
+    },
+    /// The bytes are not an acceptable request. Write the status and
+    /// close the connection.
+    Reject {
+        /// HTTP status to answer with (4xx/5xx).
+        status: u16,
+        /// Reason phrase for the status line and body.
+        reason: &'static str,
+    },
+}
+
+fn reject(status: u16, reason: &'static str) -> ParseStep<'static> {
+    ParseStep::Reject { status, reason }
+}
+
+/// Finds the end of the request head (`\r\n\r\n`), returning the
+/// offset one past it.
+fn head_end(buf: &[u8]) -> Option<usize> {
+    buf.windows(4).position(|w| w == b"\r\n\r\n").map(|i| i + 4)
+}
+
+/// Header values and targets must be visible ASCII (plus SP/HT in
+/// values); anything else is a smuggling attempt or line noise.
+fn printable_ascii(bytes: &[u8]) -> bool {
+    bytes
+        .iter()
+        .all(|&b| (0x20..=0x7e).contains(&b) || b == b'\t')
+}
+
+/// Parses an `If-None-Match` value of our own shape: `"17"`, `17`,
+/// or `W/"17"`. Anything else — including `*` and multi-valued
+/// lists — is `None`, i.e. "does not match", which is always safe
+/// (the client just gets a full 200).
+fn parse_etag(value: &str) -> Option<u64> {
+    let v = value.trim();
+    let v = v.strip_prefix("W/").unwrap_or(v);
+    let v = v.strip_prefix('"').unwrap_or(v);
+    let v = v.strip_suffix('"').unwrap_or(v);
+    if v.is_empty() || v.len() > 20 {
+        return None;
+    }
+    v.parse::<u64>().ok()
+}
+
+/// Incrementally parses the front of `buf` as one HTTP/1.x request.
+///
+/// Stateless by design: the caller buffers bytes per connection and
+/// re-invokes on every arrival. Cost is one linear scan over a head
+/// bounded by [`HttpLimits::max_head_bytes`], so re-parsing on a slow
+/// trickle stays O(limit²) worst-case with a small constant — the
+/// read deadline cuts the trickle off long before that matters.
+pub fn parse_request<'a>(buf: &'a [u8], limits: &HttpLimits) -> ParseStep<'a> {
+    let end = match head_end(buf) {
+        Some(end) => {
+            if end > limits.max_head_bytes {
+                return reject(431, "Request Header Fields Too Large");
+            }
+            end
+        }
+        None => {
+            if buf.len() >= limits.max_head_bytes {
+                return reject(431, "Request Header Fields Too Large");
+            }
+            return ParseStep::Incomplete;
+        }
+    };
+    let head = &buf[..end - 4];
+    let mut lines = head
+        .split(|&b| b == b'\n')
+        .map(|l| l.strip_suffix(b"\r").unwrap_or(l));
+    let request_line = match lines.next() {
+        Some(l) => l,
+        None => return reject(400, "Bad Request"),
+    };
+    if !printable_ascii(request_line) {
+        return reject(400, "Bad Request");
+    }
+    let mut parts = request_line.split(|&b| b == b' ').filter(|p| !p.is_empty());
+    let (method, target, version) = match (parts.next(), parts.next(), parts.next(), parts.next()) {
+        (Some(m), Some(t), Some(v), None) => (m, t, v),
+        _ => return reject(400, "Bad Request"),
+    };
+    let keep_alive_default = match version {
+        b"HTTP/1.1" => true,
+        b"HTTP/1.0" => false,
+        _ => return reject(505, "HTTP Version Not Supported"),
+    };
+    if method != b"GET" {
+        return reject(405, "Method Not Allowed");
+    }
+    if target.len() > limits.max_target_bytes {
+        return reject(414, "URI Too Long");
+    }
+    if target.first() != Some(&b'/') {
+        return reject(400, "Bad Request");
+    }
+
+    let mut if_none_match = None;
+    let mut close = !keep_alive_default;
+    let mut headers = 0usize;
+    for line in lines {
+        if line.is_empty() {
+            continue;
+        }
+        headers += 1;
+        if headers > limits.max_headers {
+            return reject(431, "Request Header Fields Too Large");
+        }
+        if !printable_ascii(line) {
+            return reject(400, "Bad Request");
+        }
+        let colon = match line.iter().position(|&b| b == b':') {
+            Some(c) if c > 0 => c,
+            _ => return reject(400, "Bad Request"),
+        };
+        let name = &line[..colon];
+        // Obsolete whitespace-before-colon is a classic smuggling
+        // vector; reject it outright.
+        if name.iter().any(|&b| b == b' ' || b == b'\t') {
+            return reject(400, "Bad Request");
+        }
+        let value = match std::str::from_utf8(&line[colon + 1..]) {
+            Ok(v) => v.trim(),
+            Err(_) => return reject(400, "Bad Request"),
+        };
+        if name.eq_ignore_ascii_case(b"if-none-match") {
+            if_none_match = parse_etag(value);
+        } else if name.eq_ignore_ascii_case(b"connection") {
+            if value.eq_ignore_ascii_case("close") {
+                close = true;
+            } else if value.eq_ignore_ascii_case("keep-alive") {
+                close = false;
+            }
+        } else if name.eq_ignore_ascii_case(b"content-length") {
+            // GETs here never carry bodies; a nonzero length is either
+            // a confused client or a request-smuggling probe.
+            match value.parse::<u64>() {
+                Ok(0) => {}
+                _ => return reject(413, "Content Too Large"),
+            }
+        } else if name.eq_ignore_ascii_case(b"transfer-encoding") {
+            return reject(400, "Bad Request");
+        }
+    }
+
+    let target = match std::str::from_utf8(target) {
+        Ok(t) => t,
+        Err(_) => return reject(400, "Bad Request"),
+    };
+    let (path, query) = match target.split_once('?') {
+        Some((p, q)) => (p, q),
+        None => (target, ""),
+    };
+    ParseStep::Parsed {
+        req: Request {
+            path,
+            query,
+            if_none_match,
+            close,
+        },
+        consumed: end,
+    }
+}
+
+/// Looks up `key` in a raw query string (`a=1&b=2`), zero-alloc.
+pub fn query_param<'a>(query: &'a str, key: &str) -> Option<&'a str> {
+    query.split('&').find_map(|pair| {
+        let (k, v) = pair.split_once('=').unwrap_or((pair, ""));
+        (k == key).then_some(v)
+    })
+}
+
+/// Reason phrase for the handful of statuses the tier emits.
+pub fn reason_phrase(status: u16) -> &'static str {
+    match status {
+        200 => "OK",
+        304 => "Not Modified",
+        400 => "Bad Request",
+        404 => "Not Found",
+        405 => "Method Not Allowed",
+        408 => "Request Timeout",
+        413 => "Content Too Large",
+        414 => "URI Too Long",
+        431 => "Request Header Fields Too Large",
+        505 => "HTTP Version Not Supported",
+        _ => "Error",
+    }
+}
+
+/// Appends a decimal `u64` to `out` without going through `fmt`
+/// machinery (and demonstrably without allocating).
+fn push_u64(out: &mut Vec<u8>, mut v: u64) {
+    let mut digits = [0u8; 20];
+    let mut i = digits.len();
+    loop {
+        i -= 1;
+        digits[i] = b'0' + (v % 10) as u8;
+        v /= 10;
+        if v == 0 {
+            break;
+        }
+    }
+    out.extend_from_slice(&digits[i..]);
+}
+
+/// Writes a complete response (status line, headers, body) into
+/// `out`. `etag` renders as `ETag: "<seq>"`. Zero transient
+/// allocations once `out` has grown to its working capacity.
+pub fn write_response(
+    out: &mut Vec<u8>,
+    status: u16,
+    etag: Option<u64>,
+    content_type: &str,
+    body: &[u8],
+    close: bool,
+) {
+    out.extend_from_slice(b"HTTP/1.1 ");
+    push_u64(out, u64::from(status));
+    out.push(b' ');
+    out.extend_from_slice(reason_phrase(status).as_bytes());
+    out.extend_from_slice(b"\r\n");
+    if let Some(tag) = etag {
+        out.extend_from_slice(b"ETag: \"");
+        push_u64(out, tag);
+        out.extend_from_slice(b"\"\r\n");
+    }
+    if status == 304 {
+        // 304 carries validators only — no body, no content headers.
+        out.extend_from_slice(b"Connection: keep-alive\r\n\r\n");
+        return;
+    }
+    out.extend_from_slice(b"Content-Type: ");
+    out.extend_from_slice(content_type.as_bytes());
+    out.extend_from_slice(b"\r\nContent-Length: ");
+    push_u64(out, body.len() as u64);
+    if close {
+        out.extend_from_slice(b"\r\nConnection: close\r\n\r\n");
+    } else {
+        out.extend_from_slice(b"\r\nConnection: keep-alive\r\n\r\n");
+    }
+    out.extend_from_slice(body);
+}
+
+/// Writes a 4xx/5xx with the reason phrase as a plain-text body and
+/// `Connection: close` — error responses always end the connection.
+pub fn write_error(out: &mut Vec<u8>, status: u16) {
+    let reason = reason_phrase(status);
+    write_response(out, status, None, "text/plain", reason.as_bytes(), true);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(buf: &[u8]) -> ParseStep<'_> {
+        parse_request(buf, &HttpLimits::default())
+    }
+
+    #[test]
+    fn parses_a_plain_get() {
+        let buf = b"GET /snapshot HTTP/1.1\r\nHost: x\r\n\r\n";
+        match parse(buf) {
+            ParseStep::Parsed { req, consumed } => {
+                assert_eq!(req.path, "/snapshot");
+                assert_eq!(req.query, "");
+                assert_eq!(req.if_none_match, None);
+                assert!(!req.close);
+                assert_eq!(consumed, buf.len());
+            }
+            other => panic!("expected parse, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn splits_query_and_reads_etag() {
+        let step =
+            parse(b"GET /delta?since=17&wait_ms=100 HTTP/1.1\r\nIf-None-Match: \"42\"\r\n\r\n");
+        match step {
+            ParseStep::Parsed { req, .. } => {
+                assert_eq!(req.path, "/delta");
+                assert_eq!(query_param(req.query, "since"), Some("17"));
+                assert_eq!(query_param(req.query, "wait_ms"), Some("100"));
+                assert_eq!(query_param(req.query, "missing"), None);
+                assert_eq!(req.if_none_match, Some(42));
+            }
+            other => panic!("expected parse, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn etag_shapes() {
+        assert_eq!(parse_etag("\"7\""), Some(7));
+        assert_eq!(parse_etag("7"), Some(7));
+        assert_eq!(parse_etag("W/\"7\""), Some(7));
+        assert_eq!(parse_etag("*"), None);
+        assert_eq!(parse_etag("\"abc\""), None);
+        assert_eq!(parse_etag(""), None);
+        assert_eq!(parse_etag("\"99999999999999999999999999\""), None);
+    }
+
+    #[test]
+    fn incomplete_head_waits() {
+        assert_eq!(parse(b"GET /snap"), ParseStep::Incomplete);
+        assert_eq!(
+            parse(b"GET /snapshot HTTP/1.1\r\nHost: x\r\n"),
+            ParseStep::Incomplete
+        );
+    }
+
+    #[test]
+    fn oversized_head_is_431_even_without_terminator() {
+        let limits = HttpLimits::default();
+        let buf = vec![b'A'; limits.max_head_bytes];
+        match parse_request(&buf, &limits) {
+            ParseStep::Reject { status: 431, .. } => {}
+            other => panic!("expected 431, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn non_get_is_405_and_bodies_are_413() {
+        match parse(b"POST /snapshot HTTP/1.1\r\n\r\n") {
+            ParseStep::Reject { status: 405, .. } => {}
+            other => panic!("expected 405, got {other:?}"),
+        }
+        match parse(b"GET /snapshot HTTP/1.1\r\nContent-Length: 10\r\n\r\n") {
+            ParseStep::Reject { status: 413, .. } => {}
+            other => panic!("expected 413, got {other:?}"),
+        }
+        match parse(b"GET /snapshot HTTP/1.1\r\nTransfer-Encoding: chunked\r\n\r\n") {
+            ParseStep::Reject { status: 400, .. } => {}
+            other => panic!("expected 400, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn http10_defaults_to_close() {
+        match parse(b"GET / HTTP/1.0\r\n\r\n") {
+            ParseStep::Parsed { req, .. } => assert!(req.close),
+            other => panic!("expected parse, got {other:?}"),
+        }
+        match parse(b"GET / HTTP/2\r\n\r\n") {
+            ParseStep::Reject { status: 505, .. } => {}
+            other => panic!("expected 505, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn response_writer_shapes() {
+        let mut out = Vec::new();
+        write_response(&mut out, 200, Some(7), "application/json", b"{}", false);
+        let s = String::from_utf8(out.clone()).unwrap();
+        assert!(s.starts_with("HTTP/1.1 200 OK\r\n"));
+        assert!(s.contains("ETag: \"7\"\r\n"));
+        assert!(s.contains("Content-Length: 2\r\n"));
+        assert!(s.ends_with("\r\n\r\n{}"));
+
+        out.clear();
+        write_response(&mut out, 304, Some(7), "application/json", b"", false);
+        let s = String::from_utf8(out).unwrap();
+        assert!(s.starts_with("HTTP/1.1 304 Not Modified\r\n"));
+        assert!(!s.contains("Content-Length"), "304 has no content headers");
+    }
+}

@@ -1,0 +1,298 @@
+//! Tiered time-series ring buffer behind `GET /history`.
+//!
+//! Every published campus snapshot folds one sample — occupancy,
+//! fused-people count, publish seq — into a 1 s bucket. When a 1 s
+//! bucket closes (time moves past its end), it cascades *as a bucket*
+//! into the open 10 s bucket, and a closing 10 s bucket cascades into
+//! the open 1 min bucket. All aggregate fields are integers combined
+//! with associative ops (sum/min/max, last-by-seq), so a coarse
+//! bucket is **bit-identical** to the merge of the fine buckets that
+//! tile it — the proptests pin that exactly. Each tier keeps a
+//! bounded deque; at capacity the oldest bucket falls off.
+//!
+//! Reordered publishes (a sample timestamped before the open bucket)
+//! fold into the open bucket rather than being dropped or rewriting
+//! closed history: a late sample is still one sample, and last-wins
+//! fields are arbitrated by publish seq, not arrival order.
+
+use std::collections::VecDeque;
+
+/// Bucket resolutions, fine to coarse, in milliseconds.
+pub const TIER_RES_MS: [u64; 3] = [1_000, 10_000, 60_000];
+
+/// Dashboard labels for the tiers, index-aligned with
+/// [`TIER_RES_MS`].
+pub const TIER_LABELS: [&str; 3] = ["1s", "10s", "1m"];
+
+/// Maps a `?res=` query value to a tier index.
+pub fn tier_index(label: &str) -> Option<usize> {
+    TIER_LABELS.iter().position(|&l| l == label)
+}
+
+/// One downsampled bucket. All fields are integers so tier merges
+/// are exact, not approximately-equal.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Bucket {
+    /// Bucket start, aligned to the tier resolution, ms.
+    pub start_ms: u64,
+    /// Samples folded in (published snapshots).
+    pub samples: u32,
+    /// Sum of occupancy over samples (mean = sum / samples).
+    pub occ_sum: u64,
+    /// Smallest occupancy seen.
+    pub occ_min: u32,
+    /// Largest occupancy seen.
+    pub occ_max: u32,
+    /// Occupancy of the latest sample by publish seq.
+    pub occ_last: u32,
+    /// Fused-people count of the latest sample by publish seq.
+    pub people_last: u32,
+    /// Publish seq of the latest sample (what "latest" means here).
+    pub last_seq: u64,
+}
+
+impl Bucket {
+    fn new(start_ms: u64) -> Bucket {
+        Bucket {
+            start_ms,
+            samples: 0,
+            occ_sum: 0,
+            occ_min: u32::MAX,
+            occ_max: 0,
+            occ_last: 0,
+            people_last: 0,
+            last_seq: 0,
+        }
+    }
+
+    fn fold(&mut self, occupancy: u32, people: u32, seq: u64) {
+        self.samples = self.samples.saturating_add(1);
+        self.occ_sum += u64::from(occupancy);
+        self.occ_min = self.occ_min.min(occupancy);
+        self.occ_max = self.occ_max.max(occupancy);
+        if seq >= self.last_seq {
+            self.last_seq = seq;
+            self.occ_last = occupancy;
+            self.people_last = people;
+        }
+    }
+
+    /// Merges another bucket into this one. Associative and (for the
+    /// last-by-seq fields) commutative, which is what makes coarse
+    /// tiers tile exactly over fine ones.
+    pub fn merge(&mut self, other: &Bucket) {
+        self.samples = self.samples.saturating_add(other.samples);
+        self.occ_sum += other.occ_sum;
+        self.occ_min = self.occ_min.min(other.occ_min);
+        self.occ_max = self.occ_max.max(other.occ_max);
+        if other.last_seq >= self.last_seq {
+            self.last_seq = other.last_seq;
+            self.occ_last = other.occ_last;
+            self.people_last = other.people_last;
+        }
+    }
+
+    /// Mean occupancy over the bucket (0 when empty).
+    pub fn occ_mean(&self) -> f64 {
+        if self.samples == 0 {
+            0.0
+        } else {
+            self.occ_sum as f64 / f64::from(self.samples)
+        }
+    }
+}
+
+#[derive(Debug)]
+struct Tier {
+    res_ms: u64,
+    open: Option<Bucket>,
+    closed: VecDeque<Bucket>,
+}
+
+impl Tier {
+    fn align(&self, t_ms: u64) -> u64 {
+        t_ms - t_ms % self.res_ms
+    }
+}
+
+/// The three-tier history ring. See the module docs for semantics.
+#[derive(Debug)]
+pub struct HistoryRing {
+    tiers: Vec<Tier>,
+    cap: usize,
+}
+
+impl HistoryRing {
+    /// A ring retaining at most `cap_per_tier` *closed* buckets per
+    /// tier (plus one open bucket each).
+    pub fn new(cap_per_tier: usize) -> HistoryRing {
+        HistoryRing {
+            tiers: TIER_RES_MS
+                .iter()
+                .map(|&res_ms| Tier {
+                    res_ms,
+                    open: None,
+                    closed: VecDeque::new(),
+                })
+                .collect(),
+            cap: cap_per_tier.max(1),
+        }
+    }
+
+    /// Folds one published snapshot into the ring.
+    pub fn push(&mut self, at_ms: f64, occupancy: u32, people: u32, seq: u64) {
+        // Non-finite or negative timestamps clamp to 0 rather than
+        // poisoning bucket alignment.
+        let t_ms = if at_ms.is_finite() && at_ms > 0.0 {
+            at_ms as u64
+        } else {
+            0
+        };
+        let mut sample = Bucket::new(self.tiers[0].align(t_ms));
+        sample.fold(occupancy, people, seq);
+        self.absorb(0, sample);
+    }
+
+    /// Folds `incoming` (an aligned bucket from the finer tier, or a
+    /// single-sample bucket for tier 0) into tier `idx`, cascading
+    /// any bucket this closes into the next tier.
+    fn absorb(&mut self, idx: usize, incoming: Bucket) {
+        if idx >= self.tiers.len() {
+            return;
+        }
+        let aligned = self.tiers[idx].align(incoming.start_ms);
+        let incoming = Bucket {
+            start_ms: aligned,
+            ..incoming
+        };
+        let closed = {
+            let tier = &mut self.tiers[idx];
+            match &mut tier.open {
+                None => {
+                    tier.open = Some(incoming);
+                    None
+                }
+                Some(open) if aligned <= open.start_ms => {
+                    // Same bucket, or a reordered publish from the
+                    // past: fold into the open bucket so no sample is
+                    // ever dropped (closed history stays immutable).
+                    open.merge(&incoming);
+                    None
+                }
+                Some(open) => {
+                    let finished = *open;
+                    *open = incoming;
+                    Some(finished)
+                }
+            }
+        };
+        if let Some(finished) = closed {
+            let tier = &mut self.tiers[idx];
+            if tier.closed.len() >= self.cap {
+                tier.closed.pop_front();
+            }
+            tier.closed.push_back(finished);
+            self.absorb(idx + 1, finished);
+        }
+    }
+
+    /// Retained buckets of tier `idx`, oldest first, the open bucket
+    /// last.
+    pub fn buckets(&self, idx: usize) -> impl Iterator<Item = &Bucket> {
+        let tier = &self.tiers[idx.min(self.tiers.len() - 1)];
+        tier.closed.iter().chain(tier.open.iter())
+    }
+
+    /// Closed-bucket count of tier `idx` (capacity accounting).
+    pub fn closed_len(&self, idx: usize) -> usize {
+        self.tiers[idx.min(self.tiers.len() - 1)].closed.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ring_with(samples: &[(u64, u32)]) -> HistoryRing {
+        let mut ring = HistoryRing::new(1024);
+        for (i, &(t, occ)) in samples.iter().enumerate() {
+            ring.push(t as f64, occ, occ, i as u64 + 1);
+        }
+        ring
+    }
+
+    #[test]
+    fn single_bucket_aggregates() {
+        let ring = ring_with(&[(100, 5), (400, 3), (900, 7)]);
+        let b: Vec<&Bucket> = ring.buckets(0).collect();
+        assert_eq!(b.len(), 1);
+        assert_eq!(b[0].start_ms, 0);
+        assert_eq!(b[0].samples, 3);
+        assert_eq!(b[0].occ_min, 3);
+        assert_eq!(b[0].occ_max, 7);
+        assert_eq!(b[0].occ_last, 7);
+        assert_eq!(b[0].occ_mean(), 5.0);
+    }
+
+    #[test]
+    fn closing_a_second_cascades_into_ten_seconds() {
+        // Samples at 0.5s, 1.5s, …, 11.5s: twelve 1s buckets, the
+        // first ten of which tile the first 10s bucket.
+        let samples: Vec<(u64, u32)> = (0..12).map(|i| (i * 1000 + 500, i as u32)).collect();
+        let ring = ring_with(&samples);
+        let fine: Vec<&Bucket> = ring.buckets(0).collect();
+        assert_eq!(fine.len(), 12);
+        let coarse: Vec<&Bucket> = ring.buckets(1).collect();
+        // 10s tier: one closed bucket [0,10s) + the open [10s,20s).
+        assert_eq!(coarse.len(), 2);
+        let mut expect = Bucket::new(0);
+        for b in &fine[..10] {
+            expect.merge(b);
+        }
+        assert_eq!(
+            *coarse[0], expect,
+            "10s bucket tiles its 1s buckets exactly"
+        );
+        assert_eq!(coarse[0].samples, 10);
+        assert_eq!(coarse[0].occ_last, 9);
+    }
+
+    #[test]
+    fn wraparound_drops_oldest() {
+        let mut ring = HistoryRing::new(4);
+        for i in 0..10u64 {
+            ring.push((i * 1000) as f64, 1, 1, i + 1);
+        }
+        // 10 buckets started; 9 closed; cap 4 keeps the newest 4
+        // closed plus the open one.
+        assert_eq!(ring.closed_len(0), 4);
+        let b: Vec<&Bucket> = ring.buckets(0).collect();
+        assert_eq!(b.len(), 5);
+        assert_eq!(b[0].start_ms, 5000, "oldest retained");
+        assert_eq!(b[4].start_ms, 9000, "open bucket last");
+    }
+
+    #[test]
+    fn reordered_publish_folds_into_open_bucket() {
+        let mut ring = HistoryRing::new(16);
+        ring.push(5_000.0, 4, 4, 10);
+        ring.push(1_000.0, 9, 9, 3); // late, lower seq
+        let b: Vec<&Bucket> = ring.buckets(0).collect();
+        assert_eq!(b.len(), 1, "late sample folded, not a new bucket");
+        assert_eq!(b[0].samples, 2);
+        assert_eq!(b[0].occ_last, 4, "last is by seq, not arrival");
+        assert_eq!(b[0].occ_max, 9);
+    }
+
+    #[test]
+    fn degenerate_timestamps_clamp() {
+        let mut ring = HistoryRing::new(4);
+        ring.push(f64::NAN, 1, 1, 1);
+        ring.push(-50.0, 2, 2, 2);
+        ring.push(f64::INFINITY, 3, 3, 3);
+        let b: Vec<&Bucket> = ring.buckets(0).collect();
+        assert_eq!(b.len(), 1);
+        assert_eq!(b[0].start_ms, 0);
+        assert_eq!(b[0].samples, 3);
+    }
+}

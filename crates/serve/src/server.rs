@@ -1,0 +1,415 @@
+//! The socket pump: one thread, `poll(2)`, every connection
+//! non-blocking.
+//!
+//! The pump owns a [`ServeCore`] and multiplexes the listener, a
+//! publish waker, and every accepted connection through
+//! [`fleet::sys::poll_fds`] — the same readiness primitive the ingest
+//! reactor parks on, so a dashboard swarm costs one thread however
+//! many sockets it opens. Publish wakeups ride a self-connected TCP
+//! pair: the [`fleet::PublishHook`] fired by the aggregator's
+//! [`SnapshotCell`] arms an atomic and writes one byte, which makes
+//! `poll` return immediately and lets parked `/delta` long-polls
+//! answer within a tick of the epoch turning over.
+//!
+//! Slow and hostile clients are bounded on every axis: request heads
+//! are size-capped (`431`), a dribbled head hits the read deadline
+//! (`408`), idle keep-alives are reaped, partially flushed responses
+//! wait on `POLLOUT` without blocking anyone else, and the accept
+//! loop stops at `max_conns`.
+
+use std::io::{self, Read, Write};
+use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use fleet::{PublishHook, SnapshotCell};
+use obs::{Registry, TelemetrySnapshot};
+use parking_lot::Mutex;
+
+use crate::core::{ConnStatus, Connection, ServeConfig, ServeCore, ServeMetrics};
+use crate::http::write_error;
+
+/// Wakes the pump out of `poll` when an epoch publishes. The armed
+/// flag keeps the pipe to at most one in-flight byte however many
+/// publishes race a slow tick.
+struct Waker {
+    tx: Mutex<TcpStream>,
+    rx: TcpStream,
+    armed: AtomicBool,
+}
+
+impl Waker {
+    fn new() -> io::Result<Waker> {
+        let listener = TcpListener::bind("127.0.0.1:0")?;
+        let tx = TcpStream::connect(listener.local_addr()?)?;
+        let (rx, _) = listener.accept()?;
+        rx.set_nonblocking(true)?;
+        Ok(Waker {
+            tx: Mutex::new(tx),
+            rx,
+            armed: AtomicBool::new(false),
+        })
+    }
+
+    fn wake(&self) {
+        if !self.armed.swap(true, Ordering::AcqRel) {
+            let _ = self.tx.lock().write(&[1]);
+        }
+    }
+
+    /// Clears the armed flag and swallows the pipe byte(s). Takes
+    /// `&self`: `Read` is implemented for `&TcpStream`, and the pump
+    /// is the only reader.
+    fn drain(&self) {
+        self.armed.store(false, Ordering::Release);
+        let mut sink = [0u8; 16];
+        let mut rx = &self.rx;
+        while matches!(rx.read(&mut sink), Ok(n) if n > 0) {}
+    }
+}
+
+/// [`PublishHook`] bridging the aggregator's publish path to the
+/// pump's waker. Fired outside the writer lock, so a wake costs the
+/// fusion thread one atomic swap and (rarely) a loopback byte.
+struct PublishWaker(Arc<Waker>);
+
+impl PublishHook for PublishWaker {
+    fn on_publish(&self, _epoch: u64) {
+        self.0.wake();
+    }
+}
+
+struct ConnState {
+    stream: TcpStream,
+    conn: Connection,
+    status: ConnStatus,
+    last_activity: Instant,
+    /// Set while a request head is partially received; drives the
+    /// slowloris read deadline.
+    read_started: Option<Instant>,
+    park_deadline: Option<Instant>,
+}
+
+/// A running snapshot server. Dropping it (or calling
+/// [`HttpServer::stop`]) shuts the pump down.
+pub struct HttpServer {
+    addr: SocketAddr,
+    stop: Arc<AtomicBool>,
+    waker: Arc<Waker>,
+    metrics: ServeMetrics,
+    handle: Option<JoinHandle<()>>,
+}
+
+impl HttpServer {
+    /// Spawns the pump thread over an already-bound listener, serving
+    /// epochs published into `cell`.
+    pub fn spawn(
+        listener: TcpListener,
+        cell: Arc<SnapshotCell>,
+        cfg: ServeConfig,
+    ) -> io::Result<HttpServer> {
+        let addr = listener.local_addr()?;
+        listener.set_nonblocking(true)?;
+        let waker = Arc::new(Waker::new()?);
+        cell.add_hook(Arc::new(PublishWaker(Arc::clone(&waker))));
+        let metrics = ServeMetrics::new(Arc::new(Registry::new()));
+        let stop = Arc::new(AtomicBool::new(false));
+        let pump = Pump {
+            listener,
+            cell,
+            cfg,
+            core: ServeCore::new(cfg, metrics.clone()),
+            waker: Arc::clone(&waker),
+            stop: Arc::clone(&stop),
+            conns: Vec::new(),
+        };
+        let handle = std::thread::Builder::new()
+            .name("serve-pump".into())
+            .spawn(move || pump.run())?;
+        Ok(HttpServer {
+            addr,
+            stop,
+            waker,
+            metrics,
+            handle: Some(handle),
+        })
+    }
+
+    /// The bound address (useful with port 0).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// The serve-tier metric handles.
+    pub fn metrics(&self) -> &ServeMetrics {
+        &self.metrics
+    }
+
+    /// The registry holding every `serve.*` instrument.
+    pub fn registry(&self) -> Arc<Registry> {
+        self.metrics.registry()
+    }
+
+    /// Portable dump of the serve-tier instruments — staple this onto
+    /// a [`fleet::FleetHealth`] with `with_serve`.
+    pub fn telemetry(&self) -> TelemetrySnapshot {
+        self.metrics.telemetry()
+    }
+
+    /// Stops the pump and joins it. Idempotent.
+    pub fn stop(&mut self) {
+        self.stop.store(true, Ordering::Release);
+        self.waker.wake();
+        if let Some(handle) = self.handle.take() {
+            let _ = handle.join();
+        }
+    }
+}
+
+impl Drop for HttpServer {
+    fn drop(&mut self) {
+        self.stop();
+    }
+}
+
+struct Pump {
+    listener: TcpListener,
+    cell: Arc<SnapshotCell>,
+    cfg: ServeConfig,
+    core: ServeCore,
+    waker: Arc<Waker>,
+    stop: Arc<AtomicBool>,
+    conns: Vec<ConnState>,
+}
+
+impl Pump {
+    fn run(mut self) {
+        let conns_gauge = self.core.metrics().registry().gauge("serve.conns");
+        let tick = Duration::from_millis(self.cfg.tick_ms.max(1));
+        let mut read_buf = [0u8; 16 * 1024];
+        while !self.stop.load(Ordering::Acquire) {
+            self.adopt_epoch();
+            let (waker_ready, listener_ready, ready) = self.wait_ready(tick);
+            if waker_ready {
+                self.waker.drain();
+            }
+            if listener_ready {
+                self.accept_ready();
+            }
+            let now = Instant::now();
+            for idx in ready {
+                self.read_conn(idx, now, &mut read_buf);
+            }
+            self.adopt_epoch();
+            self.enforce_deadlines(now);
+            self.flush_all();
+            self.reap();
+            conns_gauge.set(self.conns.len() as f64);
+        }
+    }
+
+    /// Publishes any new epoch into the core and answers parked
+    /// long-polls it unblocks.
+    fn adopt_epoch(&mut self) {
+        let (epoch, snap) = self.cell.read_versioned();
+        if epoch <= self.core.seq() {
+            return;
+        }
+        self.core.on_publish(epoch, snap);
+        for c in &mut self.conns {
+            if c.status == ConnStatus::Parked {
+                c.status = self.core.unpark(&mut c.conn, false);
+                if c.status != ConnStatus::Parked {
+                    c.park_deadline = None;
+                    c.last_activity = Instant::now();
+                }
+            }
+        }
+    }
+
+    /// Polls the waker, listener, and every connection; returns
+    /// (waker ready, listener ready, indices of ready connections).
+    #[cfg(unix)]
+    fn wait_ready(&mut self, tick: Duration) -> (bool, bool, Vec<usize>) {
+        use std::os::unix::io::AsRawFd;
+        let accepting = self.conns.len() < self.cfg.max_conns;
+        let mut pfds = Vec::with_capacity(self.conns.len() + 2);
+        pfds.push(fleet::sys::PollFd {
+            fd: self.waker.rx.as_raw_fd(),
+            events: fleet::sys::POLLIN,
+            revents: 0,
+        });
+        pfds.push(fleet::sys::PollFd {
+            fd: self.listener.as_raw_fd(),
+            events: if accepting { fleet::sys::POLLIN } else { 0 },
+            revents: 0,
+        });
+        for c in &self.conns {
+            let mut events = fleet::sys::POLLIN;
+            if !c.conn.out.is_empty() {
+                events |= fleet::sys::POLLOUT;
+            }
+            pfds.push(fleet::sys::PollFd {
+                fd: c.stream.as_raw_fd(),
+                events,
+                revents: 0,
+            });
+        }
+        fleet::sys::poll_fds(&mut pfds, tick);
+        let ready = pfds[2..]
+            .iter()
+            .enumerate()
+            .filter(|(_, p)| p.revents != 0)
+            .map(|(i, _)| i)
+            .collect();
+        (
+            pfds[0].revents != 0,
+            accepting && pfds[1].revents != 0,
+            ready,
+        )
+    }
+
+    /// Portable fallback: tick-paced sweep claiming everything ready;
+    /// nonblocking reads resolve the spurious readiness.
+    #[cfg(not(unix))]
+    fn wait_ready(&mut self, tick: Duration) -> (bool, bool, Vec<usize>) {
+        std::thread::sleep(tick);
+        let accepting = self.conns.len() < self.cfg.max_conns;
+        (true, accepting, (0..self.conns.len()).collect())
+    }
+
+    fn accept_ready(&mut self) {
+        while self.conns.len() < self.cfg.max_conns {
+            match self.listener.accept() {
+                Ok((stream, _)) => {
+                    if stream.set_nonblocking(true).is_err() {
+                        continue;
+                    }
+                    let _ = stream.set_nodelay(true);
+                    self.conns.push(ConnState {
+                        stream,
+                        conn: Connection::new(),
+                        status: ConnStatus::Open,
+                        last_activity: Instant::now(),
+                        read_started: None,
+                        park_deadline: None,
+                    });
+                }
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => break,
+                Err(_) => break,
+            }
+        }
+    }
+
+    fn read_conn(&mut self, idx: usize, now: Instant, buf: &mut [u8]) {
+        let c = &mut self.conns[idx];
+        loop {
+            match c.stream.read(buf) {
+                Ok(0) => {
+                    // Peer closed. A parked long-poll just goes away;
+                    // anything else is a done connection.
+                    c.status = ConnStatus::Close;
+                    c.conn.out.clear();
+                    return;
+                }
+                Ok(n) => {
+                    c.last_activity = now;
+                    if c.status == ConnStatus::Close {
+                        continue; // draining a poisoned connection
+                    }
+                    if c.status == ConnStatus::Parked {
+                        // Pipelined bytes behind a parked poll just
+                        // buffer; they answer at unpark.
+                        c.conn
+                            .buffer_while_parked(&buf[..n], self.cfg.limits.max_head_bytes);
+                        continue;
+                    }
+                    c.status = self.core.on_bytes(&mut c.conn, &buf[..n]);
+                    match c.status {
+                        ConnStatus::Parked => {
+                            let wait = c.conn.parked().map_or(0, |p| p.wait_ms);
+                            c.park_deadline = Some(now + Duration::from_millis(wait));
+                            c.read_started = None;
+                        }
+                        _ => {
+                            c.read_started = if c.conn.mid_request() {
+                                Some(c.read_started.unwrap_or(now))
+                            } else {
+                                None
+                            };
+                        }
+                    }
+                }
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => return,
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+                Err(_) => {
+                    c.status = ConnStatus::Close;
+                    c.conn.out.clear();
+                    return;
+                }
+            }
+        }
+    }
+
+    fn enforce_deadlines(&mut self, now: Instant) {
+        let read_deadline = Duration::from_millis(self.cfg.read_deadline_ms);
+        let idle_timeout = Duration::from_millis(self.cfg.idle_timeout_ms);
+        for c in &mut self.conns {
+            match c.status {
+                ConnStatus::Parked => {
+                    if c.park_deadline.is_some_and(|d| now >= d) {
+                        c.status = self.core.unpark(&mut c.conn, true);
+                        c.park_deadline = None;
+                        c.last_activity = now;
+                    }
+                }
+                ConnStatus::Open => {
+                    if c.read_started.is_some_and(|t| now - t >= read_deadline) {
+                        // Slowloris: a head dribbled past the deadline.
+                        write_error(&mut c.conn.out, 408);
+                        c.status = ConnStatus::Close;
+                    } else if now - c.last_activity >= idle_timeout {
+                        c.status = ConnStatus::Close;
+                    }
+                }
+                ConnStatus::Close => {}
+            }
+        }
+    }
+
+    fn flush_all(&mut self) {
+        for c in &mut self.conns {
+            while !c.conn.out.is_empty() {
+                match c.stream.write(&c.conn.out) {
+                    Ok(0) => {
+                        c.status = ConnStatus::Close;
+                        c.conn.out.clear();
+                        break;
+                    }
+                    Ok(n) => {
+                        c.conn.out.drain(..n);
+                    }
+                    Err(e) if e.kind() == io::ErrorKind::WouldBlock => break,
+                    Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+                    Err(_) => {
+                        c.status = ConnStatus::Close;
+                        c.conn.out.clear();
+                        break;
+                    }
+                }
+            }
+        }
+    }
+
+    fn reap(&mut self) {
+        self.conns.retain(|c| {
+            let done = c.status == ConnStatus::Close && c.conn.out.is_empty();
+            if done {
+                let _ = c.stream.shutdown(Shutdown::Both);
+            }
+            !done
+        });
+    }
+}

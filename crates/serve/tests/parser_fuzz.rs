@@ -1,0 +1,150 @@
+//! Adversarial-input properties for the HTTP request path.
+//!
+//! The serving tier faces the open campus network, so the parser is
+//! tried the way the wire decoder is: random garbage, random split
+//! points (the same partial-delivery shapes the adversarial loopback
+//! transport injects at the fleet layer), oversized heads, truncated
+//! and pipelined requests. The invariants: never panic, never buffer
+//! unboundedly, answer malformed framing with a `4xx` that closes the
+//! connection, and produce byte-identical output however the bytes
+//! were chunked.
+
+use proptest::prelude::*;
+use serve::{ConnStatus, Connection, HttpLimits, ParseStep, ServeConfig, ServeCore, ServeMetrics};
+
+fn core() -> ServeCore {
+    ServeCore::new(ServeConfig::default(), ServeMetrics::default())
+}
+
+/// Feeds `bytes` split at `cuts` into a fresh connection; returns the
+/// final status, the full response stream, and the residual buffer.
+fn feed_chunked(
+    core: &mut ServeCore,
+    bytes: &[u8],
+    cuts: &[usize],
+) -> (ConnStatus, Vec<u8>, usize) {
+    let mut conn = Connection::new();
+    let mut status = ConnStatus::Open;
+    let mut out = Vec::new();
+    let mut at = 0usize;
+    let mut offsets: Vec<usize> = cuts.iter().map(|&c| c % (bytes.len() + 1)).collect();
+    offsets.push(bytes.len());
+    offsets.sort_unstable();
+    for off in offsets {
+        if off > at {
+            status = core.on_bytes(&mut conn, &bytes[at..off]);
+            out.extend_from_slice(&conn.out);
+            conn.out.clear();
+            at = off;
+        }
+    }
+    (status, out, conn.buffered())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Arbitrary bytes, arbitrarily chunked: no panic, bounded buffer,
+    /// and any rejection closes the connection.
+    #[test]
+    fn random_bytes_never_panic_and_stay_bounded(
+        bytes in proptest::collection::vec(0u8..=255, 0..4096),
+        cuts in proptest::collection::vec(0usize..4096, 0..16),
+    ) {
+        let mut core = core();
+        let limits = HttpLimits::default();
+        let (status, out, buffered) = feed_chunked(&mut core, &bytes, &cuts);
+        prop_assert!(buffered <= limits.max_head_bytes + 4096,
+            "input buffer must stay bounded, got {buffered}");
+        if status == ConnStatus::Close && !out.is_empty() {
+            let text = String::from_utf8_lossy(&out);
+            prop_assert!(text.contains("Connection: close"),
+                "a rejecting response must close: {text}");
+        }
+    }
+
+    /// A valid request answers byte-identically no matter how the
+    /// network fragments it.
+    #[test]
+    fn chunking_never_changes_the_answer(
+        cuts in proptest::collection::vec(0usize..128, 0..12),
+        path in prop_oneof![
+            Just("/snapshot"), Just("/"), Just("/history?res=10s"),
+            Just("/zone/0,0"), Just("/delta?since=0"),
+        ],
+    ) {
+        let req = format!("GET {path} HTTP/1.1\r\nHost: campus\r\n\r\n");
+        let mut whole_core = core();
+        let (_, whole, _) = feed_chunked(&mut whole_core, req.as_bytes(), &[]);
+        let mut split_core = core();
+        let (_, split, residual) = feed_chunked(&mut split_core, req.as_bytes(), &cuts);
+        prop_assert_eq!(whole, split);
+        prop_assert_eq!(residual, 0);
+    }
+
+    /// Truncated requests never answer early and never lose bytes.
+    #[test]
+    fn truncation_waits_without_answering(
+        keep in 1usize..36,
+        cuts in proptest::collection::vec(0usize..36, 0..6),
+    ) {
+        let req = b"GET /snapshot HTTP/1.1\r\nHost: campus\r\n\r\n";
+        let prefix = &req[..keep.min(req.len() - 1)];
+        let mut c = core();
+        let (status, out, buffered) = feed_chunked(&mut c, prefix, &cuts);
+        prop_assert_eq!(status, ConnStatus::Open);
+        prop_assert!(out.is_empty(), "no response before the head completes");
+        prop_assert_eq!(buffered, prefix.len());
+    }
+
+    /// Pipelines answer one response per request, in order, however
+    /// the stream is fragmented.
+    #[test]
+    fn pipelines_answer_exactly_once_per_request(
+        n in 1usize..8,
+        cuts in proptest::collection::vec(0usize..512, 0..10),
+    ) {
+        let mut stream = Vec::new();
+        for _ in 0..n {
+            stream.extend_from_slice(b"GET / HTTP/1.1\r\n\r\n");
+        }
+        let mut c = core();
+        let (status, out, buffered) = feed_chunked(&mut c, &stream, &cuts);
+        let text = String::from_utf8_lossy(&out);
+        prop_assert_eq!(text.matches("HTTP/1.1 200").count(), n);
+        prop_assert_eq!(status, ConnStatus::Open);
+        prop_assert_eq!(buffered, 0);
+    }
+
+    /// Oversized heads reject as 431 whether delivered whole or
+    /// dribbled, and before buffering much more than the cap.
+    #[test]
+    fn oversized_heads_reject_bounded(
+        pad in 8192usize..16384,
+        cuts in proptest::collection::vec(0usize..16384, 0..8),
+    ) {
+        let mut req = b"GET / HTTP/1.1\r\nX-Junk: ".to_vec();
+        req.resize(pad, b'a');
+        // No terminator: the head just keeps growing.
+        let mut c = core();
+        let (status, out, buffered) = feed_chunked(&mut c, &req, &cuts);
+        prop_assert_eq!(status, ConnStatus::Close);
+        let text = String::from_utf8_lossy(&out);
+        prop_assert!(text.starts_with("HTTP/1.1 431"), "{}", text);
+        prop_assert!(buffered <= HttpLimits::default().max_head_bytes + 16384);
+    }
+
+    /// The streaming parser agrees with itself: feeding a buffer that
+    /// holds a complete request always consumes exactly through its
+    /// terminator, never into the next request's bytes.
+    #[test]
+    fn parse_consumes_exactly_one_request(trailer in proptest::collection::vec(0u8..=255, 0..64)) {
+        let head = b"GET /snapshot HTTP/1.1\r\nHost: x\r\n\r\n";
+        let mut buf = head.to_vec();
+        buf.extend_from_slice(&trailer);
+        match serve::http::parse_request(&buf, &HttpLimits::default()) {
+            ParseStep::Parsed { consumed, .. } => prop_assert_eq!(consumed, head.len()),
+            other => prop_assert!(false, "expected parse, got {:?}", other),
+        }
+    }
+}

@@ -12,7 +12,15 @@
 //! cargo run --release --example campus -- --ops          # health scoreboard
 //! cargo run --release --example campus -- --capture campus.hwcr   # record the wire
 //! cargo run --release --example campus -- --checkpoint campus.ckpt # warm restart
+//! cargo run --release --example campus -- --serve 127.0.0.1:8080  # HTTP snapshots
 //! ```
+//!
+//! `--serve ADDR` attaches the snapshot serving tier: a single-thread
+//! HTTP/1.1 server on ADDR answering `GET /snapshot` (ETag = publish
+//! seq, so pollers revalidate for a near-free 304), `GET /zone/x,y`
+//! and `GET /pole/id` slices, `GET /delta?since=N` long-polls and
+//! `GET /history?res=1s|10s|1m` ring-buffer rollups, straight off the
+//! aggregator's lock-free snapshot cell.
 //!
 //! `--capture PATH` records every inbound frame with its arrival
 //! metadata; replay it later through `fleet::replay` to reproduce the
@@ -52,6 +60,7 @@ struct Args {
     ops: bool,
     capture: Option<std::path::PathBuf>,
     checkpoint: Option<std::path::PathBuf>,
+    serve: Option<String>,
 }
 
 fn parse_args() -> Args {
@@ -63,6 +72,7 @@ fn parse_args() -> Args {
         ops: false,
         capture: None,
         checkpoint: None,
+        serve: None,
     };
     fn num(args: &mut impl Iterator<Item = String>, name: &str) -> f64 {
         args.next()
@@ -90,9 +100,15 @@ fn parse_args() -> Args {
             "--ops" => out.ops = true,
             "--capture" => out.capture = Some(path(&mut args, "--capture")),
             "--checkpoint" => out.checkpoint = Some(path(&mut args, "--checkpoint")),
+            "--serve" => {
+                out.serve = Some(args.next().unwrap_or_else(|| {
+                    eprintln!("--serve needs an address (e.g. 127.0.0.1:8080)");
+                    std::process::exit(2);
+                }))
+            }
             other => {
                 eprintln!(
-                    "unknown flag {other} (use --poles <n>, --steps <n>, --loss <p>, --json, --ops, --capture <path>, --checkpoint <path>)"
+                    "unknown flag {other} (use --poles <n>, --steps <n>, --loss <p>, --json, --ops, --capture <path>, --checkpoint <path>, --serve <addr>)"
                 );
                 std::process::exit(2);
             }
@@ -208,6 +224,31 @@ fn main() {
         checkpointer = Some(aggregator.spawn_checkpointer(path.clone(), Duration::from_secs(2)));
     }
 
+    // The reader side: every fused publish lands in the aggregator's
+    // snapshot cell; the serving tier fans it out over HTTP without
+    // ever touching the fusion path.
+    let mut http = None;
+    if let Some(addr) = &args.serve {
+        let listener = std::net::TcpListener::bind(addr).unwrap_or_else(|e| {
+            eprintln!("--serve {addr}: {e}");
+            std::process::exit(2);
+        });
+        let server = serve::HttpServer::spawn(
+            listener,
+            aggregator.snapshot_cell(),
+            serve::ServeConfig::default(),
+        )
+        .unwrap_or_else(|e| {
+            eprintln!("--serve {addr}: {e}");
+            std::process::exit(2);
+        });
+        println!(
+            "serving http://{} — GET /snapshot | /zone/x,y | /pole/id | /delta?since=N | /history?res=1s|10s|1m",
+            server.local_addr()
+        );
+        http = Some(server);
+    }
+
     // The pole side: an agent per pose, dialling the hub over a link
     // that drops `loss` of frames and reorders a few percent more.
     let mut agents: Vec<PoleAgent<HeightRule>> = poses
@@ -318,8 +359,13 @@ fn main() {
 
     if args.ops {
         // The ops view: per-pole telemetry rollups, end-to-end ingest
-        // latency percentiles, and the fleet event journal.
-        println!("\n{}", aggregator.health().render_table());
+        // latency percentiles, the fleet event journal, and — when the
+        // serving tier is attached — its request counters and 304 ratio.
+        let mut health = aggregator.health();
+        if let Some(server) = &http {
+            health = health.with_serve(server.telemetry());
+        }
+        println!("\n{}", health.render_table());
     }
 
     // Orderly shutdown: every pole says Bye. Byes ride the same lossy
@@ -341,6 +387,9 @@ fn main() {
     }
     // The reactor drains every adopted connection before retiring.
     reactor.join();
+    if let Some(mut server) = http {
+        server.stop();
+    }
     if let Some(path) = &args.checkpoint {
         println!("checkpoint saved to {}", path.display());
     }
