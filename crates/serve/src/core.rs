@@ -333,13 +333,15 @@ impl ServeCore {
         let before = conn.out.len();
         self.render_delta(parked.since);
         let body = std::mem::take(&mut self.scratch);
+        // `close_after` was recorded when the poll parked, so the
+        // Connection header matches what the owner actually does.
         write_response(
             &mut conn.out,
             200,
             Some(self.seq),
             "application/json",
             &body,
-            false,
+            conn.close_after,
         );
         self.scratch = body;
         self.metrics.r200.add(1);
@@ -359,7 +361,7 @@ impl ServeCore {
         match req.path {
             "/snapshot" => {
                 if req.if_none_match == Some(self.seq) {
-                    write_response(out, 304, Some(self.seq), "", b"", false);
+                    write_response(out, 304, Some(self.seq), "", b"", req.close);
                     self.metrics.r304.add(1);
                 } else {
                     // The body is rendered once per publish; serving
@@ -387,7 +389,7 @@ impl ServeCore {
                     }
                     Some(tier) => {
                         if req.if_none_match == Some(self.seq) {
-                            write_response(out, 304, Some(self.seq), "", b"", false);
+                            write_response(out, 304, Some(self.seq), "", b"", req.close);
                             self.metrics.r304.add(1);
                         } else {
                             self.render_history(tier);
@@ -424,7 +426,7 @@ impl ServeCore {
                     match parse_zone_id(rest) {
                         Some((zx, zy)) => {
                             if req.if_none_match == Some(self.seq) {
-                                write_response(out, 304, Some(self.seq), "", b"", false);
+                                write_response(out, 304, Some(self.seq), "", b"", req.close);
                                 self.metrics.r304.add(1);
                             } else {
                                 self.render_zone(zx, zy);
@@ -441,11 +443,16 @@ impl ServeCore {
                     match rest.parse::<u32>() {
                         Ok(pole_id) => {
                             if !self.snap.poles.iter().any(|p| p.pole_id == pole_id) {
-                                write_error(out, 404);
-                                self.metrics.r4xx.add(1);
-                                close = true;
+                                // Routing 404: the request is well
+                                // formed, the resource just isn't
+                                // there — keep the connection. A
+                                // dashboard polling a decommissioned
+                                // pole shouldn't pay a reconnect per
+                                // poll; only parse-level rejects
+                                // poison the connection.
+                                self.not_found(out, req.close);
                             } else if req.if_none_match == Some(self.seq) {
-                                write_response(out, 304, Some(self.seq), "", b"", false);
+                                write_response(out, 304, Some(self.seq), "", b"", req.close);
                                 self.metrics.r304.add(1);
                             } else {
                                 self.render_pole(pole_id);
@@ -459,14 +466,21 @@ impl ServeCore {
                         }
                     }
                 } else {
-                    write_error(out, 404);
-                    self.metrics.r4xx.add(1);
-                    close = true;
+                    // Unknown path: same routing-404 semantics.
+                    self.not_found(out, req.close);
                 }
             }
         }
         self.metrics.bytes_out.add((out.len() - before) as u64);
         (parked, close)
+    }
+
+    /// Writes a routing 404 (well-formed request, unknown resource)
+    /// that honors the request's own keep-alive choice — unlike
+    /// [`write_error`], which always closes.
+    fn not_found(&mut self, out: &mut Vec<u8>, close: bool) {
+        write_response(out, 404, None, "text/plain", b"Not Found", close);
+        self.metrics.r4xx.add(1);
     }
 
     /// Writes the scratch body as a 200 with the current seq ETag.
@@ -890,7 +904,72 @@ mod tests {
         assert!(resp.contains("\"x\":1.000"));
         let (st, resp) = run(&mut core, &mut conn, "GET /pole/99 HTTP/1.1\r\n\r\n");
         assert!(resp.starts_with("HTTP/1.1 404"));
+        assert_eq!(st, ConnStatus::Open, "routing 404 keeps the connection");
+        assert!(resp.contains("Connection: keep-alive"), "{resp}");
+        // The connection is still serviceable afterwards.
+        let (st, resp) = run(&mut core, &mut conn, "GET /pole/3 HTTP/1.1\r\n\r\n");
+        assert_eq!(st, ConnStatus::Open);
+        assert!(resp.starts_with("HTTP/1.1 200"));
+    }
+
+    #[test]
+    fn unknown_path_404_keeps_alive_but_honors_close() {
+        let mut core = ServeCore::new(ServeConfig::default(), ServeMetrics::default());
+        core.on_publish(1, snap(1000.0, vec![]));
+        let mut conn = Connection::new();
+        let (st, resp) = run(&mut core, &mut conn, "GET /nope HTTP/1.1\r\n\r\n");
+        assert!(resp.starts_with("HTTP/1.1 404"));
+        assert_eq!(st, ConnStatus::Open);
+        assert!(resp.contains("Connection: keep-alive"), "{resp}");
+        let (st, resp) = run(
+            &mut core,
+            &mut conn,
+            "GET /nope HTTP/1.1\r\nConnection: close\r\n\r\n",
+        );
+        assert!(resp.starts_with("HTTP/1.1 404"));
         assert_eq!(st, ConnStatus::Close);
+        assert!(resp.contains("Connection: close"), "{resp}");
+    }
+
+    #[test]
+    fn connection_header_matches_fate_on_304_and_unpark() {
+        let mut core = ServeCore::new(ServeConfig::default(), ServeMetrics::default());
+        core.on_publish(1, snap(1000.0, vec![]));
+        // 304 on a keep-alive request says keep-alive…
+        let mut conn = Connection::new();
+        let (st, resp) = run(
+            &mut core,
+            &mut conn,
+            "GET /snapshot HTTP/1.1\r\nIf-None-Match: \"1\"\r\n\r\n",
+        );
+        assert!(resp.starts_with("HTTP/1.1 304"));
+        assert_eq!(st, ConnStatus::Open);
+        assert!(resp.contains("Connection: keep-alive"), "{resp}");
+        // …and close when the request asked to close.
+        let mut conn = Connection::new();
+        let (st, resp) = run(
+            &mut core,
+            &mut conn,
+            "GET /snapshot HTTP/1.1\r\nIf-None-Match: \"1\"\r\nConnection: close\r\n\r\n",
+        );
+        assert!(resp.starts_with("HTTP/1.1 304"));
+        assert_eq!(st, ConnStatus::Close);
+        assert!(resp.contains("Connection: close"), "{resp}");
+        // A long-poll parked on a Connection: close request answers
+        // with a close header at unpark, and the connection closes.
+        let mut conn = Connection::new();
+        let (st, _) = run(
+            &mut core,
+            &mut conn,
+            "GET /delta?since=1 HTTP/1.1\r\nConnection: close\r\n\r\n",
+        );
+        assert_eq!(st, ConnStatus::Parked);
+        core.on_publish(2, snap(2000.0, vec![person(1.0, 2.0, &[3])]));
+        let st = core.unpark(&mut conn, false);
+        assert_eq!(st, ConnStatus::Close);
+        let resp = String::from_utf8(conn.out.clone()).unwrap();
+        assert!(resp.contains("Connection: close"), "{resp}");
+        assert!(!resp.contains("keep-alive"), "{resp}");
     }
 
     #[test]

@@ -296,7 +296,11 @@ pub fn write_response(
     }
     if status == 304 {
         // 304 carries validators only — no body, no content headers.
-        out.extend_from_slice(b"Connection: keep-alive\r\n\r\n");
+        if close {
+            out.extend_from_slice(b"Connection: close\r\n\r\n");
+        } else {
+            out.extend_from_slice(b"Connection: keep-alive\r\n\r\n");
+        }
         return;
     }
     out.extend_from_slice(b"Content-Type: ");

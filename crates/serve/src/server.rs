@@ -14,8 +14,10 @@
 //! Slow and hostile clients are bounded on every axis: request heads
 //! are size-capped (`431`), a dribbled head hits the read deadline
 //! (`408`), idle keep-alives are reaped, partially flushed responses
-//! wait on `POLLOUT` without blocking anyone else, and the accept
-//! loop stops at `max_conns`.
+//! wait on `POLLOUT` without blocking anyone else, a closing
+//! connection whose peer stops reading hits a write deadline instead
+//! of holding its fd forever, and the accept loop stops at
+//! `max_conns`.
 
 use std::io::{self, Read, Write};
 use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
@@ -59,14 +61,22 @@ impl Waker {
         }
     }
 
-    /// Clears the armed flag and swallows the pipe byte(s). Takes
+    /// Swallows the pipe byte(s), then clears the armed flag. Takes
     /// `&self`: `Read` is implemented for `&TcpStream`, and the pump
     /// is the only reader.
+    ///
+    /// Order matters: pipe first, flag second. A `wake()` racing
+    /// between the two sees `armed` still true and skips its write —
+    /// safe, because its publish happened before the `store(false)`
+    /// and the `adopt_epoch` that follows this drain observes it. The
+    /// reverse order could consume a byte belonging to a wake that
+    /// already saw `armed == false`, leaving the flag stuck true and
+    /// every future wake silent.
     fn drain(&self) {
-        self.armed.store(false, Ordering::Release);
         let mut sink = [0u8; 16];
         let mut rx = &self.rx;
         while matches!(rx.read(&mut sink), Ok(n) if n > 0) {}
+        self.armed.store(false, Ordering::Release);
     }
 }
 
@@ -204,7 +214,7 @@ impl Pump {
             }
             self.adopt_epoch();
             self.enforce_deadlines(now);
-            self.flush_all();
+            self.flush_all(now);
             self.reap();
             conns_gauge.set(self.conns.len() as f64);
         }
@@ -315,10 +325,15 @@ impl Pump {
                     return;
                 }
                 Ok(n) => {
-                    c.last_activity = now;
                     if c.status == ConnStatus::Close {
-                        continue; // draining a poisoned connection
+                        // Draining a poisoned connection. Deliberately
+                        // not activity: only flush progress defers the
+                        // write deadline, so a peer cannot keep a
+                        // wedged connection alive by dribbling bytes
+                        // it never reads answers to.
+                        continue;
                     }
+                    c.last_activity = now;
                     if c.status == ConnStatus::Parked {
                         // Pipelined bytes behind a parked poll just
                         // buffer; they answer at unpark.
@@ -374,12 +389,23 @@ impl Pump {
                         c.status = ConnStatus::Close;
                     }
                 }
-                ConnStatus::Close => {}
+                ConnStatus::Close => {
+                    // Write deadline: a closing connection still owes
+                    // the peer bytes, but a peer that stops reading
+                    // (slow-read, or silently gone) must not hold the
+                    // fd and buffers forever. Flush progress refreshes
+                    // `last_activity`; once it stalls past the idle
+                    // timeout, drop the output so reap() collects the
+                    // connection.
+                    if !c.conn.out.is_empty() && now - c.last_activity >= idle_timeout {
+                        c.conn.out.clear();
+                    }
+                }
             }
         }
     }
 
-    fn flush_all(&mut self) {
+    fn flush_all(&mut self, now: Instant) {
         for c in &mut self.conns {
             while !c.conn.out.is_empty() {
                 match c.stream.write(&c.conn.out) {
@@ -390,6 +416,7 @@ impl Pump {
                     }
                     Ok(n) => {
                         c.conn.out.drain(..n);
+                        c.last_activity = now;
                     }
                     Err(e) if e.kind() == io::ErrorKind::WouldBlock => break,
                     Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
@@ -411,5 +438,76 @@ impl Pump {
             }
             !done
         });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A pump holding one accepted connection in the given state; the
+    /// returned client stream keeps the peer side alive.
+    fn pump_with_conn(status: ConnStatus, last_activity: Instant, out: &[u8]) -> (Pump, TcpStream) {
+        let cfg = ServeConfig::default();
+        let listener = TcpListener::bind("127.0.0.1:0").expect("bind");
+        let client = TcpStream::connect(listener.local_addr().expect("addr")).expect("connect");
+        let (stream, _) = listener.accept().expect("accept");
+        stream.set_nonblocking(true).expect("nonblocking");
+        let mut conn = Connection::new();
+        conn.out.extend_from_slice(out);
+        let pump = Pump {
+            listener,
+            cell: Arc::new(SnapshotCell::new()),
+            cfg,
+            core: ServeCore::new(cfg, ServeMetrics::default()),
+            waker: Arc::new(Waker::new().expect("waker")),
+            stop: Arc::new(AtomicBool::new(false)),
+            conns: vec![ConnState {
+                stream,
+                conn,
+                status,
+                last_activity,
+                read_started: None,
+                park_deadline: None,
+            }],
+        };
+        (pump, client)
+    }
+
+    /// Regression: a Close-status connection whose peer never drains
+    /// the response used to hold its fd and buffers forever (no reap,
+    /// no deadline), so `max_conns` slow-read clients could wedge the
+    /// accept loop. The write deadline must clear the stalled output
+    /// and let reap() collect the connection.
+    #[test]
+    fn stalled_close_connection_hits_the_write_deadline() {
+        let stale = match Instant::now().checked_sub(Duration::from_secs(60)) {
+            Some(t) => t,
+            None => return, // monotonic clock too young to fake staleness
+        };
+        let (mut pump, _client) =
+            pump_with_conn(ConnStatus::Close, stale, b"bytes the peer never reads");
+        pump.enforce_deadlines(Instant::now());
+        assert!(
+            pump.conns[0].conn.out.is_empty(),
+            "write deadline must drop the stalled output"
+        );
+        pump.reap();
+        assert!(
+            pump.conns.is_empty(),
+            "reap must collect the wedged connection"
+        );
+    }
+
+    /// The inverse: a Close connection whose flush is making progress
+    /// (fresh `last_activity`) keeps its pending output and stays.
+    #[test]
+    fn progressing_close_connection_keeps_its_output() {
+        let (mut pump, _client) =
+            pump_with_conn(ConnStatus::Close, Instant::now(), b"still flushing");
+        pump.enforce_deadlines(Instant::now());
+        assert!(!pump.conns[0].conn.out.is_empty());
+        pump.reap();
+        assert_eq!(pump.conns.len(), 1, "a progressing flush is not reaped");
     }
 }
